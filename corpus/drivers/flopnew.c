@@ -1,0 +1,66 @@
+/* The in-development floppy driver of Table 1 ("an internally developed
+ * floppy device driver"), for which the SLAM toolkit found a real error
+ * in interrupt-request-packet handling. This synthetic counterpart seeds
+ * the same class of bug: on the transfer-failure path the request is
+ * completed once by the error handler and then, because the failure also
+ * falls through to the normal epilogue, completed a second time. */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+void IoCompleteRequest(void) { ; }
+void IoCheckCompleted(void) { ; }
+void HalStartMotor(void) { ; }
+int HalTransferSector(int sector, int writing) { return sector; }
+
+int motor_on;
+int controller_busy;
+
+struct irp {
+    int sector;
+    int writing;
+    int status;
+};
+
+int FlnCheckController(void) {
+    if (motor_on == 0) {
+        motor_on = 1;
+        HalStartMotor();
+    }
+    if (controller_busy == 1) {
+        return 0;
+    }
+    controller_busy = 1;
+    return 1;
+}
+
+/* error handler: fails the request and completes it */
+void FlnFailRequest(struct irp *request, int rc) {
+    request->status = rc;
+    IoCompleteRequest();
+}
+
+int FlopnewReadWrite(struct irp *request) {
+    int ready, rc;
+    rc = 0;
+    KeAcquireSpinLock();
+    ready = FlnCheckController();
+    KeReleaseSpinLock();
+    if (ready == 0) {
+        FlnFailRequest(request, -3);
+        IoCheckCompleted();
+        return -3;
+    }
+    rc = HalTransferSector(request->sector, request->writing);
+    if (rc < 0) {
+        /* BUG: the error handler completes the IRP, but control falls
+         * through to the common epilogue below, which completes it
+         * again. */
+        FlnFailRequest(request, rc);
+    }
+    KeAcquireSpinLock();
+    controller_busy = 0;
+    KeReleaseSpinLock();
+    IoCompleteRequest();
+    IoCheckCompleted();
+    return rc;
+}

@@ -1,0 +1,115 @@
+/* Synthetic floppy controller driver, standing in for the DDK floppy
+ * sample of Table 1. Handles read/write request packets with motor
+ * control: the motor is spun up lazily under the lock, requests are
+ * queued when the controller is busy, and every IRP is completed exactly
+ * once on every path. Both the locking and the IRP-completion properties
+ * hold for this driver. */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+void IoCompleteRequest(void) { ; }
+void IoCheckCompleted(void) { ; }
+void HalStartMotor(void) { ; }
+void HalStopMotor(void) { ; }
+int HalTransferSector(int sector, int writing) { return sector; }
+
+int motor_on;
+int controller_busy;
+int queue_len;
+
+struct irp {
+    int sector;
+    int writing;
+    int status;
+};
+
+/* called with the lock held; spins the motor up if needed and reports
+ * whether the controller can take the request now */
+int FlCheckController(void) {
+    if (motor_on == 0) {
+        motor_on = 1;
+        HalStartMotor();
+    }
+    if (controller_busy == 1) {
+        return 0;
+    }
+    controller_busy = 1;
+    return 1;
+}
+
+/* transfer one sector; returns negative status on device error */
+int FlTransfer(struct irp *request) {
+    int rc;
+    rc = HalTransferSector(request->sector, request->writing);
+    if (rc < 0) {
+        request->status = rc;
+        return rc;
+    }
+    request->status = 0;
+    return 0;
+}
+
+int FlQueueRequest(void) {
+    queue_len = queue_len + 1;
+    return queue_len;
+}
+
+/* main dispatch for read/write IRPs */
+int FloppyReadWrite(struct irp *request) {
+    int ready, rc, queued;
+    queued = 0;
+    rc = 0;
+    KeAcquireSpinLock();
+    if (request->sector < 0) {
+        /* invalid request: fail it immediately */
+        request->status = -1;
+        KeReleaseSpinLock();
+        IoCompleteRequest();
+        IoCheckCompleted();
+        return -1;
+    }
+    ready = FlCheckController();
+    if (ready == 0) {
+        /* controller busy: queue and complete later from the DPC */
+        queued = FlQueueRequest();
+        KeReleaseSpinLock();
+        if (queued > 8) {
+            /* queue overflow: fail the request now */
+            IoCompleteRequest();
+            IoCheckCompleted();
+            return -2;
+        }
+        /* the queued request is completed by FloppyDpc, not here */
+        return 1;
+    }
+    KeReleaseSpinLock();
+    rc = FlTransfer(request);
+    KeAcquireSpinLock();
+    controller_busy = 0;
+    if (queue_len == 0) {
+        motor_on = 0;
+        KeReleaseSpinLock();
+        HalStopMotor();
+    } else {
+        KeReleaseSpinLock();
+    }
+    IoCompleteRequest();
+    IoCheckCompleted();
+    return rc;
+}
+
+/* deferred completion of one queued request */
+int FloppyDpc(struct irp *request) {
+    int rc;
+    KeAcquireSpinLock();
+    if (queue_len > 0) {
+        queue_len = queue_len - 1;
+        KeReleaseSpinLock();
+        rc = FlTransfer(request);
+        IoCompleteRequest();
+        IoCheckCompleted();
+        return rc;
+    }
+    KeReleaseSpinLock();
+    return 0;
+}

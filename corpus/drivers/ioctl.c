@@ -1,0 +1,70 @@
+/* Synthetic NT-style ioctl dispatcher, standing in for the DDK `ioctl`
+ * sample of Table 1. Control-intensive: a chain of request codes, each
+ * taking and releasing the device spin lock around its work, with an
+ * early-exit path for invalid parameters. The locking property holds. */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+int IoValidateBuffer(int length) { return length; }
+
+struct device_ext {
+    int opened;
+    int busy;
+    int buffer_len;
+};
+
+int status_ok;
+int status_invalid;
+
+int DeviceIoControl(struct device_ext *dev, int code, int length) {
+    int status;
+    int validated;
+    status_ok = 0;
+    status_invalid = 1;
+    status = status_ok;
+
+    if (code == 1) {
+        /* query: lock, read state, unlock */
+        KeAcquireSpinLock();
+        if (dev->opened == 0) {
+            status = status_invalid;
+        }
+        KeReleaseSpinLock();
+        return status;
+    }
+    if (code == 2) {
+        /* write: validate before taking the lock */
+        validated = IoValidateBuffer(length);
+        if (validated <= 0) {
+            return status_invalid;
+        }
+        KeAcquireSpinLock();
+        if (dev->busy == 1) {
+            status = status_invalid;
+            KeReleaseSpinLock();
+            return status;
+        }
+        dev->busy = 1;
+        dev->buffer_len = validated;
+        KeReleaseSpinLock();
+        return status;
+    }
+    if (code == 3) {
+        /* reset: loop until the device quiesces */
+        int tries;
+        tries = 3;
+        while (tries > 0) {
+            KeAcquireSpinLock();
+            if (dev->busy == 0) {
+                dev->buffer_len = 0;
+                KeReleaseSpinLock();
+                return status_ok;
+            }
+            dev->busy = 0;
+            KeReleaseSpinLock();
+            tries = tries - 1;
+        }
+        return status_invalid;
+    }
+    return status_invalid;
+}

@@ -1,0 +1,60 @@
+/* Synthetic logging driver, standing in for the `log` row of Table 1.
+ * Appends records to a circular buffer under the device lock, flushing
+ * through a helper when the buffer fills; the flush path temporarily
+ * drops the lock around the slow write. The locking property holds. */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+int HalWriteBlock(int count) { return count; }
+
+int log_head;
+int log_count;
+int log_capacity;
+int dropped;
+
+/* must be called with the lock held; returns with the lock held */
+int LogFlush(void) {
+    int to_write, written;
+    to_write = log_count;
+    if (to_write == 0) {
+        return 0;
+    }
+    /* drop the lock around the slow hardware write */
+    KeReleaseSpinLock();
+    written = HalWriteBlock(to_write);
+    KeAcquireSpinLock();
+    if (written < 0) {
+        dropped = dropped + to_write;
+        log_count = 0;
+        return written;
+    }
+    log_count = log_count - written;
+    if (log_count < 0) {
+        log_count = 0;
+    }
+    return written;
+}
+
+int LogAppend(int severity) {
+    int rc;
+    rc = 0;
+    KeAcquireSpinLock();
+    if (log_capacity == 0) {
+        log_capacity = 64;
+    }
+    if (log_count >= log_capacity) {
+        rc = LogFlush();
+        if (rc < 0) {
+            KeReleaseSpinLock();
+            return rc;
+        }
+    }
+    log_count = log_count + 1;
+    log_head = log_head + 1;
+    if (severity >= 3) {
+        /* urgent records force a flush */
+        rc = LogFlush();
+    }
+    KeReleaseSpinLock();
+    return rc;
+}

@@ -1,0 +1,67 @@
+/* Synthetic open/close handler pair, standing in for the DDK `openclos`
+ * sample of Table 1. Maintains a reference count under the device lock;
+ * the close path conditionally powers the device down while still holding
+ * the lock. The locking property holds. */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+void PoPowerDown(void) { ; }
+void PoPowerUp(void) { ; }
+
+int refcount;
+int powered;
+
+int DeviceOpen(int exclusive) {
+    int granted;
+    granted = 0;
+    KeAcquireSpinLock();
+    if (exclusive == 1) {
+        if (refcount == 0) {
+            refcount = 1;
+            granted = 1;
+        }
+    } else {
+        refcount = refcount + 1;
+        granted = 1;
+    }
+    if (granted == 1) {
+        if (powered == 0) {
+            powered = 1;
+            KeReleaseSpinLock();
+            PoPowerUp();
+            return 1;
+        }
+    }
+    KeReleaseSpinLock();
+    return granted;
+}
+
+int DeviceClose(void) {
+    int drop_power;
+    drop_power = 0;
+    KeAcquireSpinLock();
+    if (refcount > 0) {
+        refcount = refcount - 1;
+    }
+    if (refcount == 0) {
+        if (powered == 1) {
+            powered = 0;
+            drop_power = 1;
+        }
+    }
+    KeReleaseSpinLock();
+    if (drop_power == 1) {
+        PoPowerDown();
+    }
+    return 0;
+}
+
+int DispatchOpenClose(int opening, int exclusive) {
+    int status;
+    if (opening == 1) {
+        status = DeviceOpen(exclusive);
+    } else {
+        status = DeviceClose();
+    }
+    return status;
+}

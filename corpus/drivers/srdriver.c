@@ -1,0 +1,82 @@
+/* Synthetic start/reset driver, standing in for the DDK `srdriver` sample
+ * of Table 1. A retry loop re-acquires the lock each attempt; failure
+ * paths release before backing off; a nested helper performs the actual
+ * hardware poke under the caller's lock. The locking property holds. */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+int HalPokeHardware(int value) { return value; }
+void KeStallExecution(void) { ; }
+
+int device_state;
+int last_error;
+
+/* must be called with the lock held; never touches the lock */
+int ProgramController(int value) {
+    int result;
+    result = HalPokeHardware(value);
+    if (result < 0) {
+        last_error = result;
+        device_state = 2;
+        return 0;
+    }
+    device_state = 1;
+    return 1;
+}
+
+int StartDevice(int config) {
+    int attempts, done, ok;
+    attempts = 0;
+    done = 0;
+    ok = 0;
+    while (done == 0) {
+        if (attempts >= 3) {
+            done = 1;
+        } else {
+            KeAcquireSpinLock();
+            if (device_state == 2) {
+                /* needs reset before retry */
+                device_state = 0;
+                KeReleaseSpinLock();
+                KeStallExecution();
+            } else {
+                ok = ProgramController(config);
+                KeReleaseSpinLock();
+                if (ok == 1) {
+                    done = 1;
+                }
+            }
+            attempts = attempts + 1;
+        }
+    }
+    return ok;
+}
+
+int ResetDevice(void) {
+    int was_started;
+    was_started = 0;
+    KeAcquireSpinLock();
+    if (device_state == 1) {
+        was_started = 1;
+    }
+    device_state = 0;
+    last_error = 0;
+    KeReleaseSpinLock();
+    if (was_started == 1) {
+        KeStallExecution();
+        KeAcquireSpinLock();
+        device_state = 1;
+        KeReleaseSpinLock();
+    }
+    return was_started;
+}
+
+int DispatchStartReset(int starting, int config) {
+    int status;
+    if (starting == 1) {
+        status = StartDevice(config);
+    } else {
+        status = ResetDevice();
+    }
+    return status;
+}

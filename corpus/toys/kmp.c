@@ -1,0 +1,61 @@
+/* Knuth-Morris-Pratt string matching over integer arrays, after the
+ * example Necula used for proof-carrying code [26]. The asserts are the
+ * array-bounds obligations whose loop invariants the PCC compiler had to
+ * generate; predicate abstraction discovers them automatically from the
+ * index-bound predicates. */
+int pat[4];
+int str[16];
+int fail[4];
+
+int kmp(int m, int n) {
+    int i, j;
+    assume(m >= 1);
+    assume(m <= 4);
+    assume(n >= 0);
+    assume(n <= 16);
+    /* failure function */
+    fail[0] = 0;
+    i = 1;
+    j = 0;
+    while (i < m) {
+        assert(i >= 0);
+        assert(i < 4);
+        if (pat[i] == pat[j]) {
+            fail[i] = j + 1;
+            i = i + 1;
+            j = j + 1;
+        } else {
+            if (j == 0) {
+                fail[i] = 0;
+                i = i + 1;
+            } else {
+                j = fail[j - 1];
+                assume(j >= 0);
+                assume(j < m);
+            }
+        }
+    }
+    /* scan */
+    i = 0;
+    j = 0;
+    while (i < n) {
+        L: assert(i >= 0);
+        assert(i < 16);
+        if (str[i] == pat[j]) {
+            i = i + 1;
+            j = j + 1;
+            if (j == m) {
+                return i - m;
+            }
+        } else {
+            if (j == 0) {
+                i = i + 1;
+            } else {
+                j = fail[j - 1];
+                assume(j >= 0);
+                assume(j < m);
+            }
+        }
+    }
+    return -1;
+}

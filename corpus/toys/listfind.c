@@ -1,0 +1,20 @@
+/* List membership test: returns 1 iff some cell holds v. */
+typedef struct cell {
+    int val;
+    struct cell *next;
+} *list;
+
+int listfind(list l, int v) {
+    list curr;
+    int found;
+    curr = l;
+    found = 0;
+    while (curr != NULL) {
+        if (curr->val == v) {
+            found = 1;
+            L: break;
+        }
+        curr = curr->next;
+    }
+    return found;
+}

@@ -1,0 +1,31 @@
+/* Figure 1(a) of the paper: destructively partition a list of integers
+ * around a pivot v. Cells with val > v move to the returned list; cells
+ * with val <= v stay on the original list (through *l). */
+typedef struct cell {
+    int val;
+    struct cell* next;
+} *list;
+
+list partition(list *l, int v) {
+    list curr, prev, newl, nextcurr;
+    curr = *l;
+    prev = NULL;
+    newl = NULL;
+    while (curr != NULL) {
+        nextcurr = curr->next;
+        if (curr->val > v) {
+            if (prev != NULL) {
+                prev->next = nextcurr;
+            }
+            if (curr == *l) {
+                *l = nextcurr;
+            }
+            curr->next = newl;
+            L: newl = curr;
+        } else {
+            prev = curr;
+        }
+        curr = nextcurr;
+    }
+    return newl;
+}

@@ -1,0 +1,34 @@
+/* Array quicksort (Lomuto partition), after Necula's PCC example [26].
+ * The asserts are the array-bounds obligations; the loop invariant
+ * lo <= i <= j <= hi < 16 is discovered from the index predicates. */
+int a[16];
+
+void qsort_range(int lo, int hi) {
+    int i, j, pivot, tmp;
+    assume(lo >= 0);
+    assume(hi < 16);
+    if (lo >= hi) {
+        return;
+    }
+    pivot = a[hi];
+    i = lo;
+    j = i;
+    while (j < hi) {
+        L: assert(j >= 0);
+        assert(j < 16);
+        assert(i >= 0);
+        assert(i < 16);
+        if (a[j] < pivot) {
+            tmp = a[i];
+            a[i] = a[j];
+            a[j] = tmp;
+            i = i + 1;
+        }
+        j = j + 1;
+    }
+    tmp = a[i];
+    a[i] = a[hi];
+    a[hi] = tmp;
+    qsort_range(lo, i - 1);
+    qsort_range(i + 1, hi);
+}

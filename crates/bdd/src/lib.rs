@@ -1,0 +1,601 @@
+//! Reduced ordered binary decision diagrams.
+//!
+//! The Bebop model checker represents sets of boolean-program states and
+//! statement transfer relations as BDDs (the paper cites Bryant \[9\]). This
+//! is a compact, arena-based implementation: nodes are interned in a
+//! unique table, all boolean operations are derived from a memoized
+//! ternary `ite`, and quantification/renaming are provided for the
+//! relational composition Bebop performs.
+//!
+//! Variables are `u32` indices; the variable order is the numeric order.
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let f = m.and(x, y);
+//! assert_eq!(m.sat_count(f, 2), 1);
+//! let g = m.or(x, y);
+//! assert_eq!(m.sat_count(g, 2), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// A BDD function handle (index into the manager's node arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(pub u32);
+
+/// The constant `false`.
+pub const FALSE: Bdd = Bdd(0);
+/// The constant `true`.
+pub const TRUE: Bdd = Bdd(1);
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+/// The BDD manager: owns the node arena and operation caches.
+#[derive(Debug, Default)]
+pub struct Manager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    rename_cache: HashMap<(Bdd, u64), Bdd>,
+    exists_cache: HashMap<(Bdd, u64), Bdd>,
+    /// Monotonically increasing stamp distinguishing rename/exists maps.
+    op_stamp: u64,
+}
+
+impl Manager {
+    /// Creates a manager containing only the terminals.
+    pub fn new() -> Manager {
+        let mut m = Manager::default();
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: FALSE,
+            hi: FALSE,
+        }); // FALSE
+        m.nodes.push(Node {
+            var: TERMINAL_VAR,
+            lo: TRUE,
+            hi: TRUE,
+        }); // TRUE
+        m
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// The top variable of `f`, or `None` for terminals.
+    pub fn top_var(&self, f: Bdd) -> Option<u32> {
+        let v = self.node(f).var;
+        (v != TERMINAL_VAR).then_some(v)
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let n = Node { var, lo, hi };
+        if let Some(b) = self.unique.get(&n) {
+            return *b;
+        }
+        let b = Bdd(self.nodes.len() as u32);
+        self.nodes.push(n);
+        self.unique.insert(n, b);
+        b
+    }
+
+    /// The function of a single variable.
+    pub fn var(&mut self, v: u32) -> Bdd {
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// The negation of a single variable.
+    pub fn nvar(&mut self, v: u32) -> Bdd {
+        self.mk(v, TRUE, FALSE)
+    }
+
+    /// If-then-else: `f ? g : h`, the universal connective.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        if let Some(r) = self.ite_cache.get(&(f, g, h)) {
+            return *r;
+        }
+        let vf = self.node(f).var;
+        let vg = self.node(g).var;
+        let vh = self.node(h).var;
+        let v = vf.min(vg).min(vh);
+        let (f0, f1) = self.cofactors(f, v);
+        let (g0, g1) = self.cofactors(g, v);
+        let (h0, h1) = self.cofactors(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors(&self, f: Bdd, v: u32) -> (Bdd, Bdd) {
+        let n = self.node(f);
+        if n.var == v {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// `!f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    /// `f && g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, FALSE)
+    }
+
+    /// `f || g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, TRUE, g)
+    }
+
+    /// `f ^ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// `f <-> g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// `f -> g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, TRUE)
+    }
+
+    /// Conjunction of many functions.
+    pub fn and_all(&mut self, fs: impl IntoIterator<Item = Bdd>) -> Bdd {
+        let mut acc = TRUE;
+        for f in fs {
+            acc = self.and(acc, f);
+            if acc == FALSE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction of many functions.
+    pub fn or_all(&mut self, fs: impl IntoIterator<Item = Bdd>) -> Bdd {
+        let mut acc = FALSE;
+        for f in fs {
+            acc = self.or(acc, f);
+            if acc == TRUE {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Restricts variable `v` to the constant `val`.
+    pub fn restrict(&mut self, f: Bdd, v: u32, val: bool) -> Bdd {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR || n.var > v {
+            return f;
+        }
+        if n.var == v {
+            return if val { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, v, val);
+        let hi = self.restrict(n.hi, v, val);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existentially quantifies the variables in `vars` (a set).
+    pub fn exists(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        if vars.is_empty() {
+            return f;
+        }
+        let mut sorted: Vec<u32> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.op_stamp += 1;
+        let stamp = self.op_stamp;
+        self.exists_rec(f, &sorted, stamp)
+    }
+
+    fn exists_rec(&mut self, f: Bdd, vars: &[u32], stamp: u64) -> Bdd {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR {
+            return f;
+        }
+        let rest: &[u32] = {
+            let mut i = 0;
+            while i < vars.len() && vars[i] < n.var {
+                i += 1;
+            }
+            &vars[i..]
+        };
+        if rest.is_empty() {
+            return f;
+        }
+        if let Some(r) = self.exists_cache.get(&(f, stamp)) {
+            return *r;
+        }
+        let r = if rest[0] == n.var {
+            let lo = self.exists_rec(n.lo, &rest[1..], stamp);
+            let hi = self.exists_rec(n.hi, &rest[1..], stamp);
+            self.or(lo, hi)
+        } else {
+            let lo = self.exists_rec(n.lo, rest, stamp);
+            let hi = self.exists_rec(n.hi, rest, stamp);
+            self.mk(n.var, lo, hi)
+        };
+        self.exists_cache.insert((f, stamp), r);
+        r
+    }
+
+    /// Universally quantifies the variables in `vars`.
+    pub fn forall(&mut self, f: Bdd, vars: &[u32]) -> Bdd {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Renames variables according to `map` (old → new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is not order-preserving (renaming would then
+    /// require a full reordering).
+    pub fn rename(&mut self, f: Bdd, map: &HashMap<u32, u32>) -> Bdd {
+        if map.is_empty() {
+            return f;
+        }
+        let mut pairs: Vec<(u32, u32)> = map.iter().map(|(a, b)| (*a, *b)).collect();
+        pairs.sort_unstable();
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].1 < w[1].1,
+                "rename map must be order-preserving: {pairs:?}"
+            );
+        }
+        self.op_stamp += 1;
+        let stamp = self.op_stamp;
+        self.rename_rec(f, map, stamp)
+    }
+
+    fn rename_rec(&mut self, f: Bdd, map: &HashMap<u32, u32>, stamp: u64) -> Bdd {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR {
+            return f;
+        }
+        if let Some(r) = self.rename_cache.get(&(f, stamp)) {
+            return *r;
+        }
+        let lo = self.rename_rec(n.lo, map, stamp);
+        let hi = self.rename_rec(n.hi, map, stamp);
+        let v = map.get(&n.var).copied().unwrap_or(n.var);
+        let r = self.mk(v, lo, hi);
+        self.rename_cache.insert((f, stamp), r);
+        r
+    }
+
+    /// Substitutes the function `g` for variable `v` in `f`.
+    pub fn compose(&mut self, f: Bdd, v: u32, g: Bdd) -> Bdd {
+        let hi = self.restrict(f, v, true);
+        let lo = self.restrict(f, v, false);
+        self.ite(g, hi, lo)
+    }
+
+    /// Number of satisfying assignments over the variables `0..n_vars`.
+    pub fn sat_count(&self, f: Bdd, n_vars: u32) -> u128 {
+        let mut memo = HashMap::new();
+        self.sat_count_rec(f, 0, n_vars, &mut memo)
+    }
+
+    fn sat_count_rec(
+        &self,
+        f: Bdd,
+        from_var: u32,
+        n_vars: u32,
+        memo: &mut HashMap<(Bdd, u32), u128>,
+    ) -> u128 {
+        if f == FALSE {
+            return 0;
+        }
+        let n = self.node(f);
+        let top = if n.var == TERMINAL_VAR { n_vars } else { n.var };
+        debug_assert!(top >= from_var, "variable out of declared range");
+        let scale = 1u128 << (top - from_var);
+        if f == TRUE {
+            return scale;
+        }
+        if let Some(c) = memo.get(&(f, from_var)) {
+            return *c;
+        }
+        let lo = self.sat_count_rec(n.lo, n.var + 1, n_vars, memo);
+        let hi = self.sat_count_rec(n.hi, n.var + 1, n_vars, memo);
+        let count = scale * (lo + hi);
+        memo.insert((f, from_var), count);
+        count
+    }
+
+    /// One satisfying assignment as `(var, value)` pairs for the variables
+    /// on the chosen path, or `None` if `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<(u32, bool)>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = f;
+        while cur != TRUE {
+            let n = self.node(cur);
+            if n.lo != FALSE {
+                out.push((n.var, false));
+                cur = n.lo;
+            } else {
+                out.push((n.var, true));
+                cur = n.hi;
+            }
+        }
+        Some(out)
+    }
+
+    /// All paths to `TRUE` as partial assignments (a DNF cover of `f`).
+    pub fn cubes(&self, f: Bdd) -> Vec<Vec<(u32, bool)>> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        self.cubes_rec(f, &mut path, &mut out);
+        out
+    }
+
+    fn cubes_rec(
+        &self,
+        f: Bdd,
+        path: &mut Vec<(u32, bool)>,
+        out: &mut Vec<Vec<(u32, bool)>>,
+    ) {
+        if f == FALSE {
+            return;
+        }
+        if f == TRUE {
+            out.push(path.clone());
+            return;
+        }
+        let n = self.node(f);
+        path.push((n.var, false));
+        self.cubes_rec(n.lo, path, out);
+        path.pop();
+        path.push((n.var, true));
+        self.cubes_rec(n.hi, path, out);
+        path.pop();
+    }
+
+    /// Evaluates `f` under a total assignment given as a lookup.
+    pub fn eval(&self, f: Bdd, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == TRUE {
+                return true;
+            }
+            if cur == FALSE {
+                return false;
+            }
+            let n = self.node(cur);
+            cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+    }
+
+    /// Builds the BDD of a cube (conjunction of literals).
+    pub fn cube(&mut self, lits: &[(u32, bool)]) -> Bdd {
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable_by_key(|(v, _)| *v);
+        let mut acc = TRUE;
+        for &(v, val) in sorted.iter().rev() {
+            acc = if val {
+                self.mk(v, FALSE, acc)
+            } else {
+                self.mk(v, acc, FALSE)
+            };
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        assert_ne!(x, TRUE);
+        assert_ne!(x, FALSE);
+        let nx = m.not(x);
+        assert_eq!(m.not(nx), x);
+        assert_eq!(m.nvar(0), nx);
+    }
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        // distributivity
+        let a = m.or(y, z);
+        let lhs = m.and(x, a);
+        let xy = m.and(x, y);
+        let xz = m.and(x, z);
+        let rhs = m.or(xy, xz);
+        assert_eq!(lhs, rhs);
+        // de morgan
+        let nand = {
+            let a = m.and(x, y);
+            m.not(a)
+        };
+        let nor = {
+            let nx = m.not(x);
+            let ny = m.not(y);
+            m.or(nx, ny)
+        };
+        assert_eq!(nand, nor);
+        // absorption
+        let a = m.or(x, xy);
+        assert_eq!(a, x);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f1 = {
+            let a = m.and(x, y);
+            let nx = m.not(x);
+            let ny = m.not(y);
+            let b = m.and(nx, ny);
+            m.or(a, b)
+        };
+        let f2 = m.iff(x, y);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn sat_count_counts() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        assert_eq!(m.sat_count(TRUE, 2), 4);
+        assert_eq!(m.sat_count(FALSE, 2), 0);
+        assert_eq!(m.sat_count(x, 2), 2);
+        let f = m.and(x, y);
+        assert_eq!(m.sat_count(f, 2), 1);
+        let g = m.xor(x, y);
+        assert_eq!(m.sat_count(g, 2), 2);
+        assert_eq!(m.sat_count(x, 4), 8);
+        // a function over a later variable only
+        let z = m.var(2);
+        assert_eq!(m.sat_count(z, 3), 4);
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let f = m.and(x, y);
+        assert_eq!(m.restrict(f, 0, true), y);
+        assert_eq!(m.restrict(f, 0, false), FALSE);
+        let g = m.compose(f, 1, z);
+        let expect = m.and(x, z);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        assert_eq!(m.exists(f, &[0]), y);
+        assert_eq!(m.exists(f, &[0, 1]), TRUE);
+        assert_eq!(m.forall(f, &[0]), FALSE);
+        let g = m.or(x, y);
+        assert_eq!(m.forall(g, &[0]), y);
+    }
+
+    #[test]
+    fn rename_shifts_variables() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(2);
+        let f = m.and(x, y);
+        let map: HashMap<u32, u32> = [(0, 1), (2, 3)].into_iter().collect();
+        let g = m.rename(f, &map);
+        let x1 = m.var(1);
+        let y3 = m.var(3);
+        let expect = m.and(x1, y3);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "order-preserving")]
+    fn rename_rejects_swaps() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let map: HashMap<u32, u32> = [(0, 1), (1, 0)].into_iter().collect();
+        let _ = m.rename(f, &map);
+    }
+
+    #[test]
+    fn any_sat_and_cubes() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        let sat = m.any_sat(f).unwrap();
+        let assign: HashMap<u32, bool> = sat.into_iter().collect();
+        assert!(m.eval(f, &|v| *assign.get(&v).unwrap_or(&false)));
+        let cubes = m.cubes(f);
+        assert_eq!(cubes.len(), 2);
+        assert!(m.any_sat(FALSE).is_none());
+    }
+
+    #[test]
+    fn cube_builder() {
+        let mut m = Manager::new();
+        let c = m.cube(&[(0, true), (2, false)]);
+        assert!(m.eval(c, &|v| v == 0));
+        assert!(!m.eval(c, &|_| true));
+        assert_eq!(m.sat_count(c, 3), 2);
+    }
+
+    #[test]
+    fn eval_walks_paths() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.implies(x, y);
+        assert!(m.eval(f, &|_| false));
+        assert!(!m.eval(f, &|v| v == 0));
+        assert!(m.eval(f, &|_| true));
+    }
+}

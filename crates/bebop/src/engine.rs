@@ -1,0 +1,874 @@
+//! The interprocedural reachability engine (RHS tabulation over BDDs).
+//!
+//! Variable banks: a procedure whose scope (globals, then formals, then
+//! locals) puts variable `v` at position `p` uses BDD variables
+//! `4p` (entry copy), `4p+1` (current copy), `4p+2` (next copy / callee
+//! entry during call processing), and `4p+3` (callee exit during call
+//! processing). Globals occupy the same positions in every procedure, so
+//! the banks line up across procedures. Return values of `bool<k>`
+//! procedures live above all banks.
+
+use bdd::{Bdd, Manager, FALSE, TRUE};
+use bp::ast::{BExpr, BProgram};
+use bp::flow::{flatten_proc, BInstr, FlatProc};
+use cparse::ast::StmtId;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Errors raised while setting up or running the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BebopError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for BebopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bebop error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BebopError {}
+
+/// A reachable `assert(false)`-style failure.
+#[derive(Debug, Clone)]
+pub struct ErrorSite {
+    /// Procedure containing the failing assert.
+    pub proc: String,
+    /// Instruction index of the assert.
+    pub pc: usize,
+    /// Originating C statement, if any.
+    pub id: Option<StmtId>,
+}
+
+/// The model checker.
+pub struct Bebop {
+    program: BProgram,
+    flats: HashMap<String, FlatProc>,
+    mgr: Manager,
+    /// Per-procedure scope: variable names in position order.
+    scopes: HashMap<String, Vec<String>>,
+    /// Per-procedure: name -> position.
+    positions: HashMap<String, HashMap<String, usize>>,
+    n_globals: usize,
+    /// First BDD variable index reserved for return values.
+    ret_base: u32,
+}
+
+/// Results of one [`Bebop::analyze`] run.
+pub struct Analysis {
+    /// Path edges: `(proc, node)` -> BDD over (entry bank, current bank).
+    pub(crate) path_edges: HashMap<(String, usize), Bdd>,
+    /// Reachable assertion failures.
+    pub errors: Vec<ErrorSite>,
+    /// The procedure the analysis started from.
+    pub main: String,
+    /// Number of worklist iterations (a proxy for analysis effort).
+    pub iterations: u64,
+}
+
+impl Analysis {
+    /// True if any assertion failure is reachable.
+    pub fn error_reachable(&self) -> bool {
+        !self.errors.is_empty()
+    }
+}
+
+impl Bebop {
+    /// Prepares the checker (flattens all procedures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BebopError`] on unresolved labels or duplicate variables.
+    pub fn new(program: &BProgram) -> Result<Bebop, BebopError> {
+        let mut flats = HashMap::new();
+        let mut scopes = HashMap::new();
+        let mut positions = HashMap::new();
+        let mut max_scope = program.globals.len();
+        for p in &program.procs {
+            let flat = flatten_proc(p).map_err(|e| BebopError { message: e.message })?;
+            flats.insert(p.name.clone(), flat);
+            let scope = program.scope_of(p);
+            let mut pos = HashMap::new();
+            for (i, v) in scope.iter().enumerate() {
+                if pos.insert(v.clone(), i).is_some() {
+                    return Err(BebopError {
+                        message: format!("duplicate variable `{v}` in `{}`", p.name),
+                    });
+                }
+            }
+            max_scope = max_scope.max(scope.len());
+            scopes.insert(p.name.clone(), scope);
+            positions.insert(p.name.clone(), pos);
+        }
+        Ok(Bebop {
+            program: program.clone(),
+            flats,
+            mgr: Manager::new(),
+            scopes,
+            positions,
+            n_globals: program.globals.len(),
+            ret_base: 4 * max_scope as u32,
+        })
+    }
+
+    // -- bank helpers --------------------------------------------------------
+
+    fn entry_var(pos: usize) -> u32 {
+        4 * pos as u32
+    }
+    fn cur_var(pos: usize) -> u32 {
+        4 * pos as u32 + 1
+    }
+    fn nxt_var(pos: usize) -> u32 {
+        4 * pos as u32 + 2
+    }
+    fn aux_var(pos: usize) -> u32 {
+        4 * pos as u32 + 3
+    }
+    fn ret_var(&self, j: usize) -> u32 {
+        self.ret_base + j as u32
+    }
+
+    fn scope_len(&self, proc: &str) -> usize {
+        self.scopes[proc].len()
+    }
+
+    fn position(&self, proc: &str, var: &str) -> Result<usize, BebopError> {
+        self.positions[proc]
+            .get(var)
+            .copied()
+            .ok_or_else(|| BebopError {
+                message: format!("unknown variable `{var}` in `{proc}`"),
+            })
+    }
+
+    /// Nondeterministic evaluation of `e` over the given bank:
+    /// (may-be-true set, may-be-false set).
+    fn eval(
+        &mut self,
+        proc: &str,
+        e: &BExpr,
+        var_of: &dyn Fn(usize) -> u32,
+    ) -> Result<(Bdd, Bdd), BebopError> {
+        Ok(match e {
+            BExpr::Const(true) => (TRUE, FALSE),
+            BExpr::Const(false) => (FALSE, TRUE),
+            BExpr::Nondet => (TRUE, TRUE),
+            BExpr::Var(v) => {
+                let p = self.position(proc, v)?;
+                let b = self.mgr.var(var_of(p));
+                (b, self.mgr.not(b))
+            }
+            BExpr::Not(inner) => {
+                let (t, f) = self.eval(proc, inner, var_of)?;
+                (f, t)
+            }
+            BExpr::And(es) => {
+                let mut t = TRUE;
+                let mut f = FALSE;
+                for x in es {
+                    let (xt, xf) = self.eval(proc, x, var_of)?;
+                    t = self.mgr.and(t, xt);
+                    f = self.mgr.or(f, xf);
+                }
+                (t, f)
+            }
+            BExpr::Or(es) => {
+                let mut t = FALSE;
+                let mut f = TRUE;
+                for x in es {
+                    let (xt, xf) = self.eval(proc, x, var_of)?;
+                    t = self.mgr.or(t, xt);
+                    f = self.mgr.and(f, xf);
+                }
+                (t, f)
+            }
+            BExpr::Choose(p, n) => {
+                // true if p; false if !p && n; nondet if !p && !n
+                let (pt, pf) = self.eval(proc, p, var_of)?;
+                let (nt, nf) = self.eval(proc, n, var_of)?;
+                let may_true = {
+                    let both_f = self.mgr.and(pf, nf);
+                    self.mgr.or(pt, both_f)
+                };
+                let may_false = {
+                    let _ = nt;
+                    pf
+                };
+                (may_true, may_false)
+            }
+        })
+    }
+
+    /// The relation `next_target ↔ value` for one parallel-assignment slot.
+    fn assign_slot(
+        &mut self,
+        proc: &str,
+        target_pos: usize,
+        value: &BExpr,
+    ) -> Result<Bdd, BebopError> {
+        let (vt, vf) = self.eval(proc, value, &Self::cur_var)?;
+        let nxt = self.mgr.var(Self::nxt_var(target_pos));
+        let pos_case = self.mgr.and(vt, nxt);
+        let nnxt = self.mgr.not(nxt);
+        let neg_case = self.mgr.and(vf, nnxt);
+        Ok(self.mgr.or(pos_case, neg_case))
+    }
+
+    /// Forward image of a path-edge set through a parallel assignment.
+    fn apply_assign(
+        &mut self,
+        proc: &str,
+        pe: Bdd,
+        targets: &[String],
+        values: &[BExpr],
+    ) -> Result<Bdd, BebopError> {
+        let scope_len = self.scope_len(proc);
+        let mut rel = TRUE;
+        let mut assigned = vec![false; scope_len];
+        for (t, v) in targets.iter().zip(values) {
+            let p = self.position(proc, t)?;
+            assigned[p] = true;
+            let slot = self.assign_slot(proc, p, v)?;
+            rel = self.mgr.and(rel, slot);
+        }
+        for (p, was) in assigned.iter().enumerate() {
+            if !was {
+                let c = self.mgr.var(Self::cur_var(p));
+                let n = self.mgr.var(Self::nxt_var(p));
+                let eq = self.mgr.iff(c, n);
+                rel = self.mgr.and(rel, eq);
+            }
+        }
+        let conj = self.mgr.and(pe, rel);
+        let cur_vars: Vec<u32> = (0..scope_len).map(Self::cur_var).collect();
+        let projected = self.mgr.exists(conj, &cur_vars);
+        let map: HashMap<u32, u32> = (0..scope_len)
+            .map(|p| (Self::nxt_var(p), Self::cur_var(p)))
+            .collect();
+        Ok(self.mgr.rename(projected, &map))
+    }
+
+    /// The enforce invariant of `proc` over the current bank (TRUE if none).
+    fn enforce_bdd(&mut self, proc: &str) -> Result<Bdd, BebopError> {
+        let Some(inv) = self
+            .program
+            .proc(proc)
+            .and_then(|p| p.enforce.clone())
+        else {
+            return Ok(TRUE);
+        };
+        let (t, _) = self.eval(proc, &inv, &Self::cur_var)?;
+        Ok(t)
+    }
+
+    /// The identity `entry ↔ current` over globals and formals of `proc`.
+    fn entry_diag(&mut self, proc: &str) -> Bdd {
+        let p = self.program.proc(proc).expect("proc exists");
+        let n = self.n_globals + p.formals.len();
+        let mut d = TRUE;
+        for pos in 0..n {
+            let e = self.mgr.var(Self::entry_var(pos));
+            let c = self.mgr.var(Self::cur_var(pos));
+            let eq = self.mgr.iff(e, c);
+            d = self.mgr.and(d, eq);
+        }
+        d
+    }
+
+    /// Runs the reachability analysis from `main`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BebopError`] for malformed programs (unknown variables or
+    /// procedures, arity mismatches).
+    pub fn analyze(&mut self, main: &str) -> Result<Analysis, BebopError> {
+        if self.program.proc(main).is_none() {
+            return Err(BebopError {
+                message: format!("unknown entry procedure `{main}`"),
+            });
+        }
+        let mut path_edges: HashMap<(String, usize), Bdd> = HashMap::new();
+        // summaries: proc -> BDD over (entry bank, current-bank globals,
+        // return-value vars)
+        let mut summaries: HashMap<String, Bdd> = HashMap::new();
+        let mut call_sites: HashMap<String, HashSet<(String, usize)>> = HashMap::new();
+        let mut errors: Vec<ErrorSite> = Vec::new();
+        let mut error_seen: HashSet<(String, usize)> = HashSet::new();
+        let mut worklist: VecDeque<(String, usize)> = VecDeque::new();
+        let mut queued: HashSet<(String, usize)> = HashSet::new();
+        let mut iterations = 0u64;
+
+        let seed = {
+            let diag = self.entry_diag(main);
+            let inv = self.enforce_bdd(main)?;
+            self.mgr.and(diag, inv)
+        };
+        path_edges.insert((main.to_string(), 0), seed);
+        worklist.push_back((main.to_string(), 0));
+        queued.insert((main.to_string(), 0));
+
+        macro_rules! add_edge {
+            ($proc:expr, $node:expr, $states:expr) => {{
+                let proc: String = $proc;
+                let node: usize = $node;
+                let inv = self.enforce_bdd(&proc)?;
+                let states = self.mgr.and($states, inv);
+                if states != FALSE {
+                    let key = (proc.clone(), node);
+                    let old = path_edges.get(&key).copied().unwrap_or(FALSE);
+                    let new = self.mgr.or(old, states);
+                    if new != old {
+                        path_edges.insert(key.clone(), new);
+                        if queued.insert(key.clone()) {
+                            worklist.push_back(key);
+                        }
+                    }
+                }
+            }};
+        }
+
+        while let Some((proc, node)) = worklist.pop_front() {
+            queued.remove(&(proc.clone(), node));
+            iterations += 1;
+            if iterations > 2_000_000 {
+                return Err(BebopError {
+                    message: "worklist budget exhausted".into(),
+                });
+            }
+            let pe = path_edges
+                .get(&(proc.clone(), node))
+                .copied()
+                .unwrap_or(FALSE);
+            if pe == FALSE {
+                continue;
+            }
+            let instr = self.flats[&proc].instrs[node].clone();
+            match instr {
+                BInstr::Nop => add_edge!(proc.clone(), node + 1, pe),
+                BInstr::Jump(t) => add_edge!(proc.clone(), t, pe),
+                BInstr::Assign { targets, values, .. } => {
+                    let post = self.apply_assign(&proc, pe, &targets, &values)?;
+                    add_edge!(proc.clone(), node + 1, post);
+                }
+                BInstr::Assume { cond, .. } => {
+                    let (vt, _) = self.eval(&proc, &cond, &Self::cur_var)?;
+                    let post = self.mgr.and(pe, vt);
+                    add_edge!(proc.clone(), node + 1, post);
+                }
+                BInstr::Assert { id, cond } => {
+                    let (vt, vf) = self.eval(&proc, &cond, &Self::cur_var)?;
+                    let fail = self.mgr.and(pe, vf);
+                    if fail != FALSE && error_seen.insert((proc.clone(), node)) {
+                        errors.push(ErrorSite {
+                            proc: proc.clone(),
+                            pc: node,
+                            id,
+                        });
+                    }
+                    let post = self.mgr.and(pe, vt);
+                    add_edge!(proc.clone(), node + 1, post);
+                }
+                BInstr::Branch {
+                    cond,
+                    target_true,
+                    target_false,
+                    ..
+                } => {
+                    let (vt, vf) = self.eval(&proc, &cond, &Self::cur_var)?;
+                    let t_states = self.mgr.and(pe, vt);
+                    let f_states = self.mgr.and(pe, vf);
+                    add_edge!(proc.clone(), target_true, t_states);
+                    add_edge!(proc.clone(), target_false, f_states);
+                }
+                BInstr::Call { dsts, proc: callee, args, .. } => {
+                    if self.program.proc(&callee).is_none() {
+                        return Err(BebopError {
+                            message: format!("call to unknown procedure `{callee}`"),
+                        });
+                    }
+                    call_sites
+                        .entry(callee.clone())
+                        .or_default()
+                        .insert((proc.clone(), node));
+                    let link = self.call_link(&proc, &callee, &args)?;
+                    let k1 = self.mgr.and(pe, link);
+                    // seed callee entry
+                    let seed = self.callee_entry_seed(&proc, &callee, k1)?;
+                    add_edge!(callee.clone(), 0, seed);
+                    // apply existing summary
+                    if let Some(&sum) = summaries.get(&callee) {
+                        let post =
+                            self.apply_summary(&proc, &callee, k1, sum, &dsts)?;
+                        add_edge!(proc.clone(), node + 1, post);
+                    }
+                }
+                BInstr::Return { values, .. } => {
+                    let new_sum = self.summarize(&proc, pe, &values)?;
+                    let old = summaries.get(&proc).copied().unwrap_or(FALSE);
+                    let merged = self.mgr.or(old, new_sum);
+                    if merged != old {
+                        summaries.insert(proc.clone(), merged);
+                        if let Some(sites) = call_sites.get(&proc) {
+                            for site in sites.clone() {
+                                if queued.insert(site.clone()) {
+                                    worklist.push_back(site);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Analysis {
+            path_edges,
+            errors,
+            main: main.to_string(),
+            iterations,
+        })
+    }
+
+    /// `Link(caller current bank, callee next bank)`: formals bound to
+    /// actuals, globals copied.
+    fn call_link(
+        &mut self,
+        caller: &str,
+        callee: &str,
+        args: &[BExpr],
+    ) -> Result<Bdd, BebopError> {
+        let callee_proc = self.program.proc(callee).expect("checked").clone();
+        if args.len() != callee_proc.formals.len() {
+            return Err(BebopError {
+                message: format!(
+                    "call to `{callee}` with {} args, expected {}",
+                    args.len(),
+                    callee_proc.formals.len()
+                ),
+            });
+        }
+        let mut link = TRUE;
+        for g in 0..self.n_globals {
+            let c = self.mgr.var(Self::cur_var(g));
+            let n = self.mgr.var(Self::nxt_var(g));
+            let eq = self.mgr.iff(c, n);
+            link = self.mgr.and(link, eq);
+        }
+        for (k, arg) in args.iter().enumerate() {
+            let fpos = self.n_globals + k;
+            let (vt, vf) = self.eval(caller, arg, &Self::cur_var)?;
+            let fv = self.mgr.var(Self::nxt_var(fpos));
+            let pos_case = self.mgr.and(vt, fv);
+            let nfv = self.mgr.not(fv);
+            let neg_case = self.mgr.and(vf, nfv);
+            let rel = self.mgr.or(pos_case, neg_case);
+            link = self.mgr.and(link, rel);
+        }
+        Ok(link)
+    }
+
+    /// Projects `k1 = PE ∧ Link` onto the callee's entry valuation and
+    /// turns it into a fresh ⟨d, d⟩ path edge for the callee entry.
+    fn callee_entry_seed(
+        &mut self,
+        caller: &str,
+        callee: &str,
+        k1: Bdd,
+    ) -> Result<Bdd, BebopError> {
+        let caller_len = self.scope_len(caller);
+        let mut quantify: Vec<u32> = Vec::new();
+        for p in 0..caller_len {
+            quantify.push(Self::entry_var(p));
+            quantify.push(Self::cur_var(p));
+        }
+        let entry2 = self.mgr.exists(k1, &quantify);
+        // entry2 is over nxt-bank positions of the callee's globals+formals
+        let callee_proc = self.program.proc(callee).expect("checked").clone();
+        let n_entry = self.n_globals + callee_proc.formals.len();
+        let map: HashMap<u32, u32> = (0..n_entry)
+            .map(|p| (Self::nxt_var(p), Self::entry_var(p)))
+            .collect();
+        let entry0 = self.mgr.rename(entry2, &map);
+        let diag = self.entry_diag(callee);
+        Ok(self.mgr.and(entry0, diag))
+    }
+
+    /// Builds the summary contribution of a `return` with `values`, from
+    /// the exit path edges `pe`: keeps (entry bank, current-bank globals,
+    /// return-value vars).
+    fn summarize(
+        &mut self,
+        proc: &str,
+        pe: Bdd,
+        values: &[BExpr],
+    ) -> Result<Bdd, BebopError> {
+        let mut s = pe;
+        for (j, v) in values.iter().enumerate() {
+            let (vt, vf) = self.eval(proc, v, &Self::cur_var)?;
+            let rv = self.mgr.var(self.ret_var(j));
+            let pos_case = self.mgr.and(vt, rv);
+            let nrv = self.mgr.not(rv);
+            let neg_case = self.mgr.and(vf, nrv);
+            let rel = self.mgr.or(pos_case, neg_case);
+            s = self.mgr.and(s, rel);
+        }
+        // quantify out formal and local current values (globals stay)
+        let scope_len = self.scope_len(proc);
+        let vars: Vec<u32> = (self.n_globals..scope_len).map(Self::cur_var).collect();
+        Ok(self.mgr.exists(s, &vars))
+    }
+
+    /// Applies a callee summary at a call site: from `k1 = PE ∧ Link`
+    /// produce the caller's post-call path edges.
+    fn apply_summary(
+        &mut self,
+        caller: &str,
+        callee: &str,
+        k1: Bdd,
+        summary: Bdd,
+        dsts: &[String],
+    ) -> Result<Bdd, BebopError> {
+        let callee_len = self.scope_len(callee);
+        // rename summary: entry bank -> nxt bank, current-globals -> aux
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        for p in 0..callee_len {
+            map.insert(Self::entry_var(p), Self::nxt_var(p));
+        }
+        for g in 0..self.n_globals {
+            map.insert(Self::cur_var(g), Self::aux_var(g));
+        }
+        let sum = self.mgr.rename(summary, &map);
+        let mut k = self.mgr.and(k1, sum);
+        // drop the callee entry valuation
+        let nxt_vars: Vec<u32> = (0..callee_len).map(Self::nxt_var).collect();
+        k = self.mgr.exists(k, &nxt_vars);
+        // move exit globals (aux bank) into the caller's current bank
+        for g in 0..self.n_globals {
+            let cur = Self::cur_var(g);
+            let aux = Self::aux_var(g);
+            k = self.mgr.exists(k, &[cur]);
+            let c = self.mgr.var(cur);
+            let a = self.mgr.var(aux);
+            let eq = self.mgr.iff(c, a);
+            k = self.mgr.and(k, eq);
+            k = self.mgr.exists(k, &[aux]);
+        }
+        // move return values into destination variables
+        let callee_rets = self.program.proc(callee).map(|p| p.n_returns).unwrap_or(0);
+        for (j, d) in dsts.iter().enumerate() {
+            let pd = self.position(caller, d)?;
+            let cur = Self::cur_var(pd);
+            let rv = self.ret_var(j);
+            k = self.mgr.exists(k, &[cur]);
+            let c = self.mgr.var(cur);
+            let r = self.mgr.var(rv);
+            let eq = self.mgr.iff(c, r);
+            k = self.mgr.and(k, eq);
+            k = self.mgr.exists(k, &[rv]);
+        }
+        // discard unconsumed return values
+        if callee_rets > dsts.len() {
+            let leftover: Vec<u32> =
+                (dsts.len()..callee_rets).map(|j| self.ret_var(j)).collect();
+            k = self.mgr.exists(k, &leftover);
+        }
+        Ok(k)
+    }
+
+    // -- result inspection ---------------------------------------------------
+
+    /// The reachable states at `(proc, pc)` as cubes over variable names.
+    ///
+    /// Each cube is a partial assignment; variables absent from a cube may
+    /// take either value.
+    pub fn invariant_at(
+        &mut self,
+        analysis: &Analysis,
+        proc: &str,
+        pc: usize,
+    ) -> Vec<Vec<(String, bool)>> {
+        let Some(&pe) = analysis.path_edges.get(&(proc.to_string(), pc)) else {
+            return Vec::new();
+        };
+        let scope_len = self.scope_len(proc);
+        let entry_vars: Vec<u32> = (0..scope_len).map(Self::entry_var).collect();
+        let states = self.mgr.exists(pe, &entry_vars);
+        let scope = self.scopes[proc].clone();
+        self.mgr
+            .cubes(states)
+            .into_iter()
+            .map(|cube| {
+                cube.into_iter()
+                    .filter_map(|(v, val)| {
+                        // current bank only
+                        if v % 4 == 1 {
+                            let pos = (v / 4) as usize;
+                            scope.get(pos).map(|name| (name.clone(), val))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The reachable states at a label.
+    pub fn invariant_at_label(
+        &mut self,
+        analysis: &Analysis,
+        proc: &str,
+        label: &str,
+    ) -> Vec<Vec<(String, bool)>> {
+        let Some(&pc) = self.flats[proc].labels.get(label) else {
+            return Vec::new();
+        };
+        self.invariant_at(analysis, proc, pc)
+    }
+
+    /// True if `(proc, pc)` is reachable at all.
+    pub fn reachable(&self, analysis: &Analysis, proc: &str, pc: usize) -> bool {
+        analysis
+            .path_edges
+            .get(&(proc.to_string(), pc))
+            .map(|&b| b != FALSE)
+            .unwrap_or(false)
+    }
+
+    /// The flattened body of a procedure (for trace mapping).
+    pub fn flat(&self, proc: &str) -> Option<&FlatProc> {
+        self.flats.get(proc)
+    }
+
+    /// The underlying boolean program.
+    pub fn program(&self) -> &BProgram {
+        &self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp::parse_bp;
+
+    fn analyze(src: &str) -> (Bebop, Analysis) {
+        let p = parse_bp(src).unwrap();
+        let mut b = Bebop::new(&p).unwrap();
+        let a = b.analyze("main").unwrap();
+        (b, a)
+    }
+
+    #[test]
+    fn straight_line_safe() {
+        let (_, a) = analyze("bool g; void main() { g = true; assert(g); }");
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn unknown_value_can_fail() {
+        let (_, a) = analyze("bool g; void main() { g = unknown(); assert(g); }");
+        assert!(a.error_reachable());
+    }
+
+    #[test]
+    fn assume_blocks_failure() {
+        let (_, a) =
+            analyze("bool g; void main() { g = unknown(); assume(g); assert(g); }");
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn correlation_is_tracked() {
+        // b = a; assert(a == b) — requires sets of vectors, not per-bit
+        // independent analysis
+        let src = r#"
+            bool a, b;
+            void main() {
+                a = unknown();
+                b = a;
+                assert(!a || b);
+                assert(!b || a);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn branch_conditions_filter() {
+        let src = r#"
+            bool g;
+            void main() {
+                g = unknown();
+                if (g) { assert(g); } else { assert(!g); }
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        let src = r#"
+            bool g;
+            void main() {
+                g = false;
+                while (*) { g = !g; }
+                assert(g || !g);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn invariant_at_label_reports_states() {
+        let src = r#"
+            bool a, b;
+            void main() {
+                a = true;
+                b = !a;
+                L: skip;
+            }
+        "#;
+        let (mut b, a) = analyze(src);
+        let inv = b.invariant_at_label(&a, "main", "L");
+        assert_eq!(inv.len(), 1);
+        let cube = &inv[0];
+        assert!(cube.contains(&("a".to_string(), true)));
+        assert!(cube.contains(&("b".to_string(), false)));
+    }
+
+    #[test]
+    fn calls_and_summaries() {
+        let src = r#"
+            bool g;
+            bool id(x) { return x; }
+            void main() {
+                bool r;
+                r = id(true);
+                assert(r);
+                r = id(false);
+                assert(!r);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn summary_is_input_sensitive() {
+        // f(x) = x: calling with both values must not conflate contexts
+        let src = r#"
+            bool neg(x) { return !x; }
+            void main() {
+                bool r;
+                r = neg(true);
+                assert(!r);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn globals_flow_through_calls() {
+        let src = r#"
+            bool g;
+            void set() { g = true; }
+            void main() {
+                g = false;
+                set();
+                assert(g);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let src = r#"
+            bool g;
+            void rec(x) {
+                if (*) { rec(!x); }
+                g = x || !x;
+            }
+            void main() {
+                rec(true);
+                assert(g);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn multi_return_values() {
+        let src = r#"
+            bool<2> pair(x) { return x, !x; }
+            void main() {
+                bool a, b;
+                a, b = pair(true);
+                assert(a);
+                assert(!b);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn enforce_prunes_states() {
+        let src = r#"
+            bool a, b;
+            void main() {
+                enforce !(a && b);
+                a = unknown();
+                b = unknown();
+                assert(!a || !b);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn error_site_carries_location() {
+        let (_, a) = analyze("bool g; void main() { g = unknown(); assert(g); }");
+        assert_eq!(a.errors.len(), 1);
+        assert_eq!(a.errors[0].proc, "main");
+    }
+
+    #[test]
+    fn unreachable_code_stays_unreachable() {
+        let src = r#"
+            bool g;
+            void main() {
+                g = true;
+                if (g) { skip; } else { assert(false); }
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+
+    #[test]
+    fn formals_do_not_leak_back() {
+        // callee modifies its formal; caller's variable is unaffected
+        let src = r#"
+            bool g;
+            void clobber(x) { x = !x; g = x; }
+            void main() {
+                bool mine;
+                mine = true;
+                clobber(mine);
+                assert(mine);
+                assert(!g);
+            }
+        "#;
+        let (_, a) = analyze(src);
+        assert!(!a.error_reachable());
+    }
+}

@@ -1,0 +1,39 @@
+//! Bebop: a symbolic model checker for boolean programs.
+//!
+//! Bebop computes, for every statement of a boolean program, the set of
+//! reachable states — a set of bit vectors over the variables in scope —
+//! using the interprocedural dataflow algorithm of Reps–Horwitz–Sagiv in
+//! the style described by the paper ([5, 31, 28]): *path edges*
+//! `⟨entry valuation, current valuation⟩` per node, *summary edges* per
+//! procedure, and binary decision diagrams for all state sets and
+//! transfer functions, over an explicit control-flow graph.
+//!
+//! The analysis answers:
+//! * per-label invariants (§2.2's `(curr != NULL) && ...` at `L`);
+//! * reachability of `assert` failures, with a hierarchical
+//!   counterexample trace mapped back to originating C statements.
+//!
+//! # Example
+//!
+//! ```
+//! use bp::parse_bp;
+//! use bebop::Bebop;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_bp(
+//!     "bool g; void main() { g = true; assert(g); }",
+//! )?;
+//! let mut bebop = Bebop::new(&program)?;
+//! let analysis = bebop.analyze("main")?;
+//! assert!(!analysis.error_reachable());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+pub mod trace;
+
+pub use engine::{Analysis, Bebop, BebopError, ErrorSite};
+pub use trace::{find_error_trace, BTrace, BTraceStep};

@@ -1,0 +1,228 @@
+//! Counterexample extraction.
+//!
+//! Once the symbolic analysis reports a reachable assertion failure, a
+//! concrete failing execution of the boolean program is found by a
+//! systematic depth-first search over the program's nondeterministic
+//! choices, executed with the reference interpreter. The resulting trace
+//! carries the originating C statement ids and branch directions, which
+//! is exactly what Newton needs to test path feasibility in the C
+//! program.
+
+use bp::ast::BProgram;
+use bp::interp::{BInterp, BOutcome, ChooseCtx, Chooser};
+use cparse::ast::StmtId;
+
+/// One step of a counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BTraceStep {
+    /// Procedure executing.
+    pub proc: String,
+    /// Instruction index within the flattened procedure.
+    pub pc: usize,
+    /// Originating C statement, if any.
+    pub id: Option<StmtId>,
+    /// For branches: direction taken.
+    pub branch: Option<bool>,
+    /// Boolean-variable valuation before the step (predicate names to
+    /// values) — lets users read the abstract state along the trace.
+    pub state: std::collections::HashMap<String, bool>,
+}
+
+/// A counterexample: a failing execution of the boolean program.
+#[derive(Debug, Clone, Default)]
+pub struct BTrace {
+    /// The executed steps, in order.
+    pub steps: Vec<BTraceStep>,
+}
+
+impl BTrace {
+    /// The (C statement id, branch direction) decisions along the trace,
+    /// in order — the input Newton replays against the C semantics.
+    pub fn decisions(&self) -> Vec<(StmtId, bool)> {
+        self.steps
+            .iter()
+            .filter_map(|s| match (s.id, s.branch) {
+                (Some(id), Some(b)) => Some((id, b)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The C statement ids touched by the trace, in order.
+    pub fn statement_ids(&self) -> Vec<StmtId> {
+        self.steps.iter().filter_map(|s| s.id).collect()
+    }
+}
+
+/// A chooser that replays a scripted prefix of choices, then answers
+/// `false` while recording how many choices were consumed.
+struct ScriptedChooser {
+    script: Vec<bool>,
+    consumed: usize,
+}
+
+impl Chooser for ScriptedChooser {
+    fn choose(&mut self, _ctx: &ChooseCtx) -> bool {
+        let v = self.script.get(self.consumed).copied().unwrap_or(false);
+        self.consumed += 1;
+        v
+    }
+}
+
+/// Searches for a concrete failing execution of `program` starting at
+/// `main`, exploring nondeterministic choices depth-first (at most
+/// `max_runs` executions, each bounded by `fuel` steps).
+///
+/// Returns `None` if no failure was found within the budget — for traces
+/// produced after Bebop has proved reachability this only happens when the
+/// budget is too small.
+pub fn find_error_trace(
+    program: &BProgram,
+    main: &str,
+    max_runs: u64,
+    fuel: u64,
+) -> Option<BTrace> {
+    // Depth-first search over binary choice strings. `script` holds the
+    // fixed prefix; each run extends it implicitly with `false`s. On
+    // completion without failure, backtrack: flip the last `false` that
+    // was actually consumed to `true`.
+    let mut script: Vec<bool> = Vec::new();
+    for _ in 0..max_runs {
+        let mut interp = BInterp::new(program).ok()?;
+        interp.fuel = fuel;
+        let mut chooser = ScriptedChooser {
+            script: script.clone(),
+            consumed: 0,
+        };
+        // formals of the entry procedure are unconstrained: their values
+        // are part of the searched choice string
+        let n_formals = program.proc(main).map(|p| p.formals.len()).unwrap_or(0);
+        let ctx = ChooseCtx {
+            proc: main.to_string(),
+            id: None,
+            target: None,
+            purpose: bp::interp::ChoosePurpose::InitialValue,
+        };
+        let args: Vec<bool> = (0..n_formals).map(|_| chooser.choose(&ctx)).collect();
+        let outcome = interp.run(main, args, &mut chooser);
+        match outcome {
+            Ok(BOutcome::AssertViolated { .. }) => {
+                // branch directions: C2bp encodes each C branch decision as
+                // an `assume` carrying the arm (`branch` tag); those are the
+                // authoritative C-semantic decisions. The raw boolean
+                // `if (*)` direction is dropped (it is inverted for the
+                // assert encoding).
+                let mut flats = std::collections::HashMap::new();
+                for p in &program.procs {
+                    if let Ok(f) = bp::flow::flatten_proc(p) {
+                        flats.insert(p.name.clone(), f);
+                    }
+                }
+                let steps = interp
+                    .trace
+                    .iter()
+                    .map(|s| {
+                        let branch = flats.get(&s.proc).and_then(|f| {
+                            match f.instrs.get(s.pc) {
+                                Some(bp::flow::BInstr::Assume { branch, .. }) => *branch,
+                                _ => None,
+                            }
+                        });
+                        BTraceStep {
+                            proc: s.proc.clone(),
+                            pc: s.pc,
+                            id: s.id,
+                            branch,
+                            state: s.state.clone(),
+                        }
+                    })
+                    .collect();
+                return Some(BTrace { steps });
+            }
+            Ok(_) | Err(_) => {
+                // backtrack: extend script to what was consumed (filled
+                // with false), then flip trailing trues off and the last
+                // false to true
+                let consumed = chooser.consumed.min(256);
+                script.resize(consumed, false);
+                while script.last() == Some(&true) {
+                    script.pop();
+                }
+                let Some(last) = script.last_mut() else {
+                    return None; // whole tree explored
+                };
+                *last = true;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp::parse_bp;
+
+    #[test]
+    fn finds_direct_failure() {
+        let p = parse_bp("bool g; void main() { g = false; assert(g); }").unwrap();
+        let t = find_error_trace(&p, "main", 100, 10_000).unwrap();
+        assert!(!t.steps.is_empty());
+    }
+
+    #[test]
+    fn finds_failure_behind_choices() {
+        // failure requires choosing g = true then h = true
+        let src = r#"
+            bool g, h;
+            void main() {
+                g = unknown();
+                h = unknown();
+                if (g) {
+                    if (h) { assert(false); }
+                }
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        let t = find_error_trace(&p, "main", 1000, 10_000).unwrap();
+        // the failing run passes both branch instructions and the assert
+        assert!(t.steps.len() >= 4);
+    }
+
+    #[test]
+    fn respects_assumes() {
+        // the only failing path is blocked by an assume
+        let src = r#"
+            bool g;
+            void main() {
+                g = unknown();
+                assume(!g);
+                if (g) { assert(false); }
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        assert!(find_error_trace(&p, "main", 1000, 10_000).is_none());
+    }
+
+    #[test]
+    fn reports_no_failure_for_safe_programs() {
+        let p = parse_bp("bool g; void main() { g = true; assert(g); }").unwrap();
+        assert!(find_error_trace(&p, "main", 1000, 10_000).is_none());
+    }
+
+    #[test]
+    fn failure_through_calls() {
+        let src = r#"
+            bool g;
+            bool flip(x) { return !x; }
+            void main() {
+                bool r;
+                r = flip(false);
+                if (r) { assert(false); }
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        let t = find_error_trace(&p, "main", 1000, 10_000).unwrap();
+        assert!(t.steps.iter().any(|s| s.proc == "flip"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Differential property test: the symbolic model checker against the
+//! nondeterministic reference interpreter.
+//!
+//! For random boolean programs, every location and state the interpreter
+//! visits (under many random choice resolutions) must be covered by
+//! Bebop's path edges, and any assertion violation the interpreter
+//! observes must be reported reachable by Bebop.
+
+use bebop::Bebop;
+use bp::ast::{BExpr, BProc, BProgram, BStmt};
+use bp::interp::{BInterp, BOutcome, SeededChooser};
+use proptest::prelude::*;
+
+/// Statement recipe (rendered into a [`BStmt`]).
+#[derive(Debug, Clone)]
+enum S {
+    AssignVar(usize, E),
+    AssignUnknown(usize),
+    Assume(E),
+    Assert(E),
+    If(E, Vec<S>, Vec<S>),
+    While(Vec<S>),
+    CallHelper(usize, E),
+}
+
+#[derive(Debug, Clone)]
+enum E {
+    Const(bool),
+    Var(usize),
+    Not(Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+}
+
+const VARS: [&str; 3] = ["g0", "g1", "g2"];
+
+fn bexpr(e: &E) -> BExpr {
+    match e {
+        E::Const(b) => BExpr::Const(*b),
+        E::Var(i) => BExpr::var(VARS[*i % 3]),
+        E::Not(x) => bexpr(x).negate(),
+        E::And(a, b) => BExpr::and([bexpr(a), bexpr(b)]),
+        E::Or(a, b) => BExpr::or([bexpr(a), bexpr(b)]),
+    }
+}
+
+fn bstmt(s: &S) -> BStmt {
+    match s {
+        S::AssignVar(i, e) => BStmt::Assign {
+            id: None,
+            targets: vec![VARS[*i % 3].into()],
+            values: vec![bexpr(e)],
+        },
+        S::AssignUnknown(i) => BStmt::Assign {
+            id: None,
+            targets: vec![VARS[*i % 3].into()],
+            values: vec![BExpr::unknown()],
+        },
+        S::Assume(e) => BStmt::Assume {
+            id: None,
+            branch: None,
+            cond: bexpr(e),
+        },
+        S::Assert(e) => BStmt::Assert {
+            id: None,
+            cond: bexpr(e),
+        },
+        S::If(c, t, f) => BStmt::If {
+            id: None,
+            cond: bexpr(c),
+            then_branch: Box::new(BStmt::Seq(t.iter().map(bstmt).collect())),
+            else_branch: Box::new(BStmt::Seq(f.iter().map(bstmt).collect())),
+        },
+        S::While(body) => BStmt::While {
+            id: None,
+            cond: BExpr::Nondet,
+            body: Box::new(BStmt::Seq(body.iter().map(bstmt).collect())),
+        },
+        S::CallHelper(i, arg) => BStmt::Call {
+            id: None,
+            dsts: vec![VARS[*i % 3].into()],
+            proc: "helper".into(),
+            args: vec![bexpr(arg)],
+        },
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(E::Const),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| E::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn stmt_strategy(depth: u32) -> BoxedStrategy<Vec<S>> {
+    let leaf = prop_oneof![
+        ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::AssignVar(i, e)),
+        (0usize..3).prop_map(S::AssignUnknown),
+        expr_strategy().prop_map(S::Assume),
+        expr_strategy().prop_map(S::Assert),
+        ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::CallHelper(i, e)),
+    ];
+    if depth == 0 {
+        prop::collection::vec(leaf, 1..4).boxed()
+    } else {
+        let inner = stmt_strategy(depth - 1);
+        let node = prop_oneof![
+            ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::AssignVar(i, e)),
+            (0usize..3).prop_map(S::AssignUnknown),
+            expr_strategy().prop_map(S::Assume),
+            expr_strategy().prop_map(S::Assert),
+            ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::CallHelper(i, e)),
+            (expr_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| S::If(c, t, f)),
+            inner.prop_map(S::While),
+        ];
+        prop::collection::vec(node, 1..4).boxed()
+    }
+}
+
+fn build_program(stmts: &[S]) -> BProgram {
+    BProgram {
+        globals: VARS.iter().map(|v| v.to_string()).collect(),
+        procs: vec![
+            BProc {
+                name: "main".into(),
+                formals: vec![],
+                n_returns: 0,
+                locals: vec![],
+                enforce: None,
+                body: BStmt::Seq(stmts.iter().map(bstmt).collect()),
+            },
+            BProc {
+                name: "helper".into(),
+                formals: vec!["x".into()],
+                n_returns: 1,
+                locals: vec![],
+                enforce: None,
+                body: BStmt::Seq(vec![
+                    BStmt::If {
+                        id: None,
+                        cond: BExpr::var("x"),
+                        then_branch: Box::new(BStmt::Assign {
+                            id: None,
+                            targets: vec!["g2".into()],
+                            values: vec![BExpr::var("x")],
+                        }),
+                        else_branch: Box::new(BStmt::Skip),
+                    },
+                    BStmt::Return {
+                        id: None,
+                        values: vec![BExpr::var("x").negate()],
+                    },
+                ]),
+            },
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interpreter_behaviors_are_covered_by_bebop(stmts in stmt_strategy(2)) {
+        let program = build_program(&stmts);
+        let mut checker = Bebop::new(&program).expect("bebop setup");
+        let analysis = checker.analyze("main").expect("analysis");
+        let mut interp_error = false;
+        for seed in 0..24u64 {
+            let mut interp = BInterp::new(&program).expect("interp");
+            interp.fuel = 20_000;
+            let mut chooser = SeededChooser::new(seed);
+            let outcome = match interp.run("main", vec![], &mut chooser) {
+                Ok(o) => o,
+                Err(_) => continue, // out of fuel: ignore this resolution
+            };
+            match outcome {
+                BOutcome::AssertViolated { .. } => interp_error = true,
+                BOutcome::Completed | BOutcome::AssumeViolated { .. } => {}
+            }
+            // every visited location is symbolically reachable, and the
+            // visited state satisfies the invariant there
+            for step in &interp.trace {
+                prop_assert!(
+                    checker.reachable(&analysis, &step.proc, step.pc),
+                    "interpreter visited unreachable {}:{}",
+                    step.proc,
+                    step.pc
+                );
+                let cubes = checker.invariant_at(&analysis, &step.proc, step.pc);
+                let satisfied = cubes.iter().any(|cube| {
+                    cube.iter().all(|(name, val)| {
+                        step.state.get(name).map(|v| v == val).unwrap_or(false)
+                    })
+                });
+                prop_assert!(
+                    satisfied,
+                    "state {:?} at {}:{} not in invariant {:?}",
+                    step.state, step.proc, step.pc, cubes
+                );
+            }
+        }
+        if interp_error {
+            prop_assert!(
+                analysis.error_reachable(),
+                "interpreter failed an assert Bebop calls unreachable"
+            );
+        }
+    }
+}

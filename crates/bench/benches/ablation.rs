@@ -1,0 +1,53 @@
+//! Criterion benchmark for the §5.2 optimization ablations on
+//! `partition` (each configuration timed separately).
+
+use bench::run_toy;
+use c2bp::{C2bpOptions, CubeOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-partition");
+    group.sample_size(10);
+    let configs: Vec<(&str, C2bpOptions)> = vec![
+        ("paper", C2bpOptions::paper_defaults()),
+        (
+            "no-coi",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    cone_of_influence: false,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "no-syntax",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    syntactic_fast_paths: false,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "k-unbounded",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    max_cube_len: None,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+    ];
+    for (name, options) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| run_toy("partition", "partition", &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

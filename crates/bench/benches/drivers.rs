@@ -1,0 +1,19 @@
+//! Criterion benchmark for Table 1 (the full SLAM loop per driver).
+
+use bench::{run_driver, DRIVERS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_drivers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for (stem, entry, prop) in DRIVERS {
+        group.bench_function(stem, |b| b.iter(|| run_driver(stem, entry, prop)));
+    }
+    group.bench_function("flopnew-bug", |b| {
+        b.iter(|| run_driver("flopnew", "FlopnewReadWrite", "irp"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drivers);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark for Table 2 (C2bp on the array/heap programs).
+//!
+//! `reverse` is excluded from the timed loop (it takes ~10s per
+//! abstraction; run `--bin table2` for its row) so the suite completes in
+//! reasonable time.
+
+use bench::run_toy;
+use c2bp::C2bpOptions;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_toys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (stem, entry) in [("partition", "partition"), ("listfind", "listfind")] {
+        group.bench_function(stem, |b| {
+            b.iter(|| run_toy(stem, entry, &C2bpOptions::paper_defaults()))
+        });
+    }
+    group.finish();
+
+    let mut slow = c.benchmark_group("table2-slow");
+    slow.sample_size(10);
+    for (stem, entry) in [("kmp", "kmp"), ("qsort", "qsort_range")] {
+        slow.bench_function(stem, |b| {
+            b.iter(|| run_toy(stem, entry, &C2bpOptions::paper_defaults()))
+        });
+    }
+    slow.finish();
+}
+
+criterion_group!(benches, bench_toys);
+criterion_main!(benches);

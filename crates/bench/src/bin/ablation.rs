@@ -1,0 +1,17 @@
+//! The §5.2 optimization study: prover calls with each C2bp optimization
+//! toggled, on `partition` (precision-preserving ones must not change the
+//! outcome) and `qsort` (where the cube-length cap k matters).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin ablation
+//! ```
+fn main() {
+    for (stem, entry) in [("partition", "partition"), ("qsort", "qsort_range")] {
+        let rows = bench::ablation_rows(stem, entry);
+        print!(
+            "{}",
+            bench::render(&rows, &format!("§5.2 ablations on `{stem}`"))
+        );
+        println!();
+    }
+}

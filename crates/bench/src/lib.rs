@@ -1,0 +1,285 @@
+//! Benchmark harnesses regenerating the paper's evaluation (§6).
+//!
+//! * [`table1_rows`] — the device-driver experiments (Table 1): the SLAM
+//!   toolkit checking the locking and IRP properties, reporting lines,
+//!   predicates, theorem-prover calls, and C2bp runtime.
+//! * [`table2_rows`] — the array/heap programs (Table 2): `kmp`, `qsort`,
+//!   `partition`, `listfind`, `reverse` with their predicate input files.
+//! * [`ablation_rows`] — the §5.2 optimization study: prover calls with
+//!   each optimization toggled.
+//!
+//! Absolute numbers differ from the paper (different machine, different
+//! prover, synthetic drivers); the *shape* — who costs more, by roughly
+//! what factor, where the blowup is — is the reproduction target. See
+//! `EXPERIMENTS.md` at the workspace root.
+
+#![warn(missing_docs)]
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions, CubeOptions};
+use slam::spec::{irp_spec, locking_spec, Spec};
+use slam::{SlamOptions, SlamVerdict};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One row of a reproduced table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name.
+    pub program: String,
+    /// Checked property / configuration, where applicable.
+    pub config: String,
+    /// Non-blank source lines.
+    pub lines: usize,
+    /// Predicates used (final count, for CEGAR runs).
+    pub predicates: usize,
+    /// Theorem-prover calls.
+    pub prover_calls: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Human-readable outcome.
+    pub outcome: String,
+}
+
+/// Renders rows as an aligned text table.
+pub fn render(rows: &[Row], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<22} {:<10} {:>6} {:>6} {:>10} {:>9}  outcome\n",
+        "program", "config", "lines", "preds", "thm calls", "time (s)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:<10} {:>6} {:>6} {:>10} {:>9.2}  {}\n",
+            r.program, r.config, r.lines, r.predicates, r.prover_calls, r.seconds, r.outcome
+        ));
+    }
+    out
+}
+
+/// Path to the corpus directory, robust to the working directory.
+pub fn corpus_dir() -> PathBuf {
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    here.join("../../corpus")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("corpus"))
+}
+
+fn read(path: PathBuf) -> String {
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// The Table 2 benchmark set: (file stem, entry procedure).
+pub const TOYS: [(&str, &str); 5] = [
+    ("kmp", "kmp"),
+    ("qsort", "qsort_range"),
+    ("partition", "partition"),
+    ("listfind", "listfind"),
+    ("reverse", "mark"),
+];
+
+/// The Table 1 benchmark set: (file stem, entry, property).
+pub const DRIVERS: [(&str, &str, &str); 5] = [
+    ("floppy", "FloppyReadWrite", "lock"),
+    ("ioctl", "DeviceIoControl", "lock"),
+    ("openclos", "DispatchOpenClose", "lock"),
+    ("srdriver", "DispatchStartReset", "lock"),
+    ("log", "LogAppend", "lock"),
+];
+
+/// The bug-finding run reported alongside Table 1: the in-development
+/// floppy driver and its IRP property.
+pub const BUGGY_DRIVER: (&str, &str, &str) = ("flopnew", "FlopnewReadWrite", "irp");
+
+fn spec_for(prop: &str) -> Spec {
+    match prop {
+        "lock" => locking_spec(),
+        "irp" => irp_spec(),
+        other => panic!("unknown property `{other}`"),
+    }
+}
+
+/// Runs one Table 2 entry (pure C2bp + Bebop with a fixed predicate file)
+/// and returns its row.
+pub fn run_toy(stem: &str, entry: &str, options: &C2bpOptions) -> Row {
+    let dir = corpus_dir().join("toys");
+    let source = read(dir.join(format!("{stem}.c")));
+    let preds_src = read(dir.join(format!("{stem}.preds")));
+    let program = cparse::parse_and_simplify(&source).expect("corpus parses");
+    let preds = parse_pred_file(&preds_src).expect("corpus predicates parse");
+    let t0 = Instant::now();
+    let abs = abstract_program(&program, &preds, options).expect("abstraction succeeds");
+    let c2bp_secs = t0.elapsed().as_secs_f64();
+    let mut bebop = bebop::Bebop::new(&abs.bprogram).expect("bebop setup");
+    let analysis = bebop.analyze(entry).expect("bebop analysis");
+    Row {
+        program: stem.to_string(),
+        config: "-".into(),
+        lines: abs.stats.lines,
+        predicates: abs.stats.predicates,
+        prover_calls: abs.stats.prover_calls,
+        seconds: c2bp_secs,
+        outcome: if analysis.error_reachable() {
+            "assert reachable".into()
+        } else {
+            "invariants proved".into()
+        },
+    }
+}
+
+/// Runs one Table 1 entry (the full SLAM loop on a driver) and returns
+/// its row.
+pub fn run_driver(stem: &str, entry: &str, prop: &str) -> Row {
+    let dir = corpus_dir().join("drivers");
+    let source = read(dir.join(format!("{stem}.c")));
+    let spec = spec_for(prop);
+    let t0 = Instant::now();
+    let run = slam::verify(&source, &spec, entry, &SlamOptions::default())
+        .expect("slam run completes");
+    let secs = t0.elapsed().as_secs_f64();
+    let prover_calls: u64 = run.per_iteration.iter().map(|s| s.prover_calls).sum();
+    let lines = cparse::parse_and_simplify(&source)
+        .map(|p| p.line_count())
+        .unwrap_or(0);
+    Row {
+        program: stem.to_string(),
+        config: prop.to_string(),
+        lines,
+        predicates: run.final_preds.len(),
+        prover_calls,
+        seconds: secs,
+        outcome: match run.verdict {
+            SlamVerdict::Validated => format!("validated ({} iters)", run.iterations),
+            SlamVerdict::ErrorFound { .. } => format!("ERROR FOUND ({} iters)", run.iterations),
+            SlamVerdict::GaveUp { reason } => format!("gave up: {reason}"),
+        },
+    }
+}
+
+/// All Table 1 rows (plus the buggy-driver row appended last).
+pub fn table1_rows() -> Vec<Row> {
+    let mut rows: Vec<Row> = DRIVERS
+        .iter()
+        .map(|(stem, entry, prop)| run_driver(stem, entry, prop))
+        .collect();
+    let (stem, entry, prop) = BUGGY_DRIVER;
+    rows.push(run_driver(stem, entry, prop));
+    rows
+}
+
+/// All Table 2 rows.
+pub fn table2_rows() -> Vec<Row> {
+    TOYS.iter()
+        .map(|(stem, entry)| run_toy(stem, entry, &C2bpOptions::paper_defaults()))
+        .collect()
+}
+
+/// The §5.2 ablation grid on one toy program: each optimization toggled
+/// off in turn (the paper: "the above optimizations dramatically reduce
+/// the number of calls made to the theorem prover").
+pub fn ablation_rows(stem: &str, entry: &str) -> Vec<Row> {
+    let configs: Vec<(&str, C2bpOptions)> = vec![
+        ("paper", C2bpOptions::paper_defaults()),
+        (
+            "no-coi",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    cone_of_influence: false,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "no-syntax",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    syntactic_fast_paths: false,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "no-skip",
+            C2bpOptions {
+                skip_unaffected: false,
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "k=2",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    max_cube_len: Some(2),
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "k=unbnd",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    max_cube_len: None,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "atomic-F",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    atomic_decomposition: true,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(name, options)| {
+            let mut row = run_toy(stem, entry, &options);
+            row.config = name.to_string();
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_present() {
+        let dir = corpus_dir();
+        assert!(dir.join("toys/partition.c").exists(), "{dir:?}");
+        assert!(dir.join("drivers/floppy.c").exists());
+    }
+
+    #[test]
+    fn partition_row_matches_paper_shape() {
+        let row = run_toy("partition", "partition", &C2bpOptions::paper_defaults());
+        assert_eq!(row.predicates, 4);
+        assert!(row.prover_calls > 0);
+        assert_eq!(row.outcome, "invariants proved");
+    }
+
+    #[test]
+    fn render_produces_a_table() {
+        let rows = vec![Row {
+            program: "p".into(),
+            config: "-".into(),
+            lines: 1,
+            predicates: 2,
+            prover_calls: 3,
+            seconds: 0.5,
+            outcome: "ok".into(),
+        }];
+        let text = render(&rows, "T");
+        assert!(text.contains("thm calls"));
+        assert!(text.contains("p "));
+    }
+}

@@ -1,0 +1,385 @@
+//! Abstract syntax of boolean programs (Ball & Rajamani \[5\]).
+//!
+//! A boolean program is "essentially a C program in which the only type
+//! available is boolean". Beyond plain C it has: parallel assignment,
+//! nondeterministic choice `*`, `assume`/`assert`, the ternary
+//! `choose(pos, neg)` / `unknown()` helpers used by C2bp, procedures with
+//! *multiple return values*, and per-procedure `enforce` data invariants
+//! (§5.1 of the paper).
+//!
+//! Variable identifiers may be ordinary identifiers or arbitrary strings
+//! written `{...}` — C2bp names each boolean variable after its predicate,
+//! e.g. `{curr == NULL}`.
+
+use cparse::ast::StmtId;
+use std::fmt;
+
+/// Boolean expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BExpr {
+    /// `true` / `false`.
+    Const(bool),
+    /// The nondeterministic choice `*`.
+    Nondet,
+    /// A boolean variable.
+    Var(String),
+    /// `!e`.
+    Not(Box<BExpr>),
+    /// Conjunction.
+    And(Vec<BExpr>),
+    /// Disjunction.
+    Or(Vec<BExpr>),
+    /// `choose(pos, neg)`: `true` if `pos`, else `false` if `neg`, else `*`.
+    Choose(Box<BExpr>, Box<BExpr>),
+}
+
+impl BExpr {
+    /// Variable helper.
+    pub fn var(name: impl Into<String>) -> BExpr {
+        BExpr::Var(name.into())
+    }
+
+    /// `!self`, collapsing double negation and constants.
+    pub fn negate(self) -> BExpr {
+        match self {
+            BExpr::Const(b) => BExpr::Const(!b),
+            BExpr::Not(inner) => *inner,
+            other => BExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction with folding.
+    pub fn and(parts: impl IntoIterator<Item = BExpr>) -> BExpr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                BExpr::Const(true) => {}
+                BExpr::Const(false) => return BExpr::Const(false),
+                BExpr::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => BExpr::Const(true),
+            1 => out.pop().expect("len 1"),
+            _ => BExpr::And(out),
+        }
+    }
+
+    /// Disjunction with folding.
+    pub fn or(parts: impl IntoIterator<Item = BExpr>) -> BExpr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                BExpr::Const(false) => {}
+                BExpr::Const(true) => return BExpr::Const(true),
+                BExpr::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => BExpr::Const(false),
+            1 => out.pop().expect("len 1"),
+            _ => BExpr::Or(out),
+        }
+    }
+
+    /// `self => other`.
+    pub fn implies(self, other: BExpr) -> BExpr {
+        BExpr::or([self.negate(), other])
+    }
+
+    /// The `unknown()` expression: `choose(false, false)`, i.e. `*`.
+    pub fn unknown() -> BExpr {
+        BExpr::Choose(
+            Box::new(BExpr::Const(false)),
+            Box::new(BExpr::Const(false)),
+        )
+    }
+
+    /// `choose(pos, neg)` with the paper's short-circuit simplifications:
+    /// `choose(true, _) = true`, `choose(false, true) = false`,
+    /// `choose(false, false) = unknown` stays, and `choose(e, !e) = e`.
+    pub fn choose(pos: BExpr, neg: BExpr) -> BExpr {
+        match (&pos, &neg) {
+            (BExpr::Const(true), _) => return BExpr::Const(true),
+            (BExpr::Const(false), BExpr::Const(true)) => return BExpr::Const(false),
+            _ => {}
+        }
+        if neg == pos.clone().negate() {
+            return pos;
+        }
+        BExpr::Choose(Box::new(pos), Box::new(neg))
+    }
+
+    /// True if the expression is deterministic (no `*`, no residual
+    /// `choose`).
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            BExpr::Const(_) | BExpr::Var(_) => true,
+            BExpr::Nondet | BExpr::Choose(_, _) => false,
+            BExpr::Not(e) => e.is_deterministic(),
+            BExpr::And(es) | BExpr::Or(es) => es.iter().all(BExpr::is_deterministic),
+        }
+    }
+
+    /// All variables mentioned, in first-occurrence order.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            BExpr::Const(_) | BExpr::Nondet => {}
+            BExpr::Var(v) => {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+            BExpr::Not(e) => e.collect_vars(out),
+            BExpr::And(es) | BExpr::Or(es) => {
+                for e in es {
+                    e.collect_vars(out);
+                }
+            }
+            BExpr::Choose(p, n) => {
+                p.collect_vars(out);
+                n.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for BExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::print::bexpr_to_string(self))
+    }
+}
+
+/// Boolean program statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BStmt {
+    /// `skip;`
+    Skip,
+    /// Parallel assignment `t1, ..., tn = e1, ..., en;`.
+    Assign {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Target variables.
+        targets: Vec<String>,
+        /// Values, evaluated simultaneously.
+        values: Vec<BExpr>,
+    },
+    /// `assume(e);`
+    Assume {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// For assumes generated from a C branch: which arm this is.
+        branch: Option<bool>,
+        /// Filter condition.
+        cond: BExpr,
+    },
+    /// `assert(e);`
+    Assert {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Checked condition.
+        cond: BExpr,
+    },
+    /// `if (cond) { ... } else { ... }` (cond is typically `*`).
+    If {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Branch condition.
+        cond: BExpr,
+        /// Then branch.
+        then_branch: Box<BStmt>,
+        /// Else branch.
+        else_branch: Box<BStmt>,
+    },
+    /// `while (cond) { ... }` (cond is typically `*`).
+    While {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Loop condition.
+        cond: BExpr,
+        /// Loop body.
+        body: Box<BStmt>,
+    },
+    /// `goto L;`
+    Goto(String),
+    /// Label marker `L:`.
+    Label(String),
+    /// Procedure call `d1, ..., dk = p(e1, ..., en);`.
+    Call {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Destinations for the (multiple) return values.
+        dsts: Vec<String>,
+        /// Callee.
+        proc: String,
+        /// Actuals.
+        args: Vec<BExpr>,
+    },
+    /// `return e1, ..., ek;`
+    Return {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Returned values.
+        values: Vec<BExpr>,
+    },
+    /// Statement sequence.
+    Seq(Vec<BStmt>),
+}
+
+impl BStmt {
+    /// Visits every statement, outermost first.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a BStmt)) {
+        visit(self);
+        match self {
+            BStmt::Seq(ss) => {
+                for s in ss {
+                    s.walk(visit);
+                }
+            }
+            BStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.walk(visit);
+                else_branch.walk(visit);
+            }
+            BStmt::While { body, .. } => body.walk(visit),
+            _ => {}
+        }
+    }
+}
+
+/// A boolean procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BProc {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameters (boolean).
+    pub formals: Vec<String>,
+    /// Number of return values.
+    pub n_returns: usize,
+    /// Local boolean variables.
+    pub locals: Vec<String>,
+    /// The `enforce` data invariant (§5.1), if any: an implicit
+    /// `assume` between every pair of statements.
+    pub enforce: Option<BExpr>,
+    /// The body.
+    pub body: BStmt,
+}
+
+impl BProc {
+    /// True if `name` is a formal or local of this procedure.
+    pub fn declares(&self, name: &str) -> bool {
+        self.formals.iter().any(|f| f == name) || self.locals.iter().any(|l| l == name)
+    }
+}
+
+/// A boolean program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BProgram {
+    /// Global boolean variables.
+    pub globals: Vec<String>,
+    /// Procedures.
+    pub procs: Vec<BProc>,
+}
+
+impl BProgram {
+    /// Creates an empty program.
+    pub fn new() -> BProgram {
+        BProgram::default()
+    }
+
+    /// Looks up a procedure by name.
+    pub fn proc(&self, name: &str) -> Option<&BProc> {
+        self.procs.iter().find(|p| p.name == name)
+    }
+
+    /// The variables in scope inside `proc`: globals then formals then
+    /// locals.
+    pub fn scope_of(&self, proc: &BProc) -> Vec<String> {
+        let mut out = self.globals.clone();
+        out.extend(proc.formals.iter().cloned());
+        out.extend(proc.locals.iter().cloned());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_simplifications() {
+        let v = BExpr::var("b");
+        assert_eq!(
+            BExpr::choose(BExpr::Const(true), BExpr::Const(false)),
+            BExpr::Const(true)
+        );
+        assert_eq!(
+            BExpr::choose(BExpr::Const(false), BExpr::Const(true)),
+            BExpr::Const(false)
+        );
+        // choose(b, !b) = b
+        assert_eq!(
+            BExpr::choose(v.clone(), v.clone().negate()),
+            v.clone()
+        );
+        // unknown stays a choose
+        assert!(matches!(BExpr::unknown(), BExpr::Choose(_, _)));
+        let _ = v;
+    }
+
+    #[test]
+    fn and_or_folding() {
+        let t = BExpr::Const(true);
+        let f = BExpr::Const(false);
+        let v = BExpr::var("x");
+        assert_eq!(BExpr::and([t.clone(), v.clone()]), v);
+        assert_eq!(BExpr::and([f.clone(), v.clone()]), f);
+        assert_eq!(BExpr::or([f.clone(), v.clone()]), v);
+        assert_eq!(BExpr::or([t.clone(), v.clone()]), t);
+    }
+
+    #[test]
+    fn negate_collapses() {
+        let v = BExpr::var("x");
+        assert_eq!(v.clone().negate().negate(), v);
+        assert_eq!(BExpr::Const(true).negate(), BExpr::Const(false));
+    }
+
+    #[test]
+    fn vars_collects_in_order() {
+        let e = BExpr::and([
+            BExpr::var("b"),
+            BExpr::or([BExpr::var("a"), BExpr::var("b")]),
+        ]);
+        assert_eq!(e.vars(), vec!["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn scope_order_is_globals_formals_locals() {
+        let prog = BProgram {
+            globals: vec!["g".into()],
+            procs: vec![BProc {
+                name: "p".into(),
+                formals: vec!["f".into()],
+                n_returns: 0,
+                locals: vec!["l".into()],
+                enforce: None,
+                body: BStmt::Skip,
+            }],
+        };
+        let p = prog.proc("p").unwrap();
+        assert_eq!(prog.scope_of(p), vec!["g", "f", "l"]);
+        assert!(p.declares("f") && p.declares("l") && !p.declares("g"));
+    }
+}

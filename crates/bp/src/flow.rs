@@ -1,0 +1,294 @@
+//! Flat control-flow form of boolean procedures, shared by the
+//! interpreter and the Bebop model checker.
+
+use crate::ast::*;
+use cparse::ast::StmtId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A flat boolean-program instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BInstr {
+    /// Parallel assignment.
+    Assign {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Targets.
+        targets: Vec<String>,
+        /// Values (evaluated simultaneously).
+        values: Vec<BExpr>,
+    },
+    /// `assume(cond)`.
+    Assume {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Which C branch arm produced this assume, if any.
+        branch: Option<bool>,
+        /// Condition.
+        cond: BExpr,
+    },
+    /// `assert(cond)`.
+    Assert {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Condition.
+        cond: BExpr,
+    },
+    /// Two-way branch.
+    Branch {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Condition (may be [`BExpr::Nondet`]).
+        cond: BExpr,
+        /// Target when true.
+        target_true: usize,
+        /// Target when false.
+        target_false: usize,
+    },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Procedure call.
+    Call {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Return-value destinations.
+        dsts: Vec<String>,
+        /// Callee.
+        proc: String,
+        /// Actuals.
+        args: Vec<BExpr>,
+    },
+    /// Return with values.
+    Return {
+        /// Originating C statement, if any.
+        id: Option<StmtId>,
+        /// Returned values.
+        values: Vec<BExpr>,
+    },
+    /// No-op.
+    Nop,
+}
+
+impl BInstr {
+    /// Originating C statement id, if any.
+    pub fn id(&self) -> Option<StmtId> {
+        match self {
+            BInstr::Assign { id, .. }
+            | BInstr::Assume { id, .. }
+            | BInstr::Assert { id, .. }
+            | BInstr::Branch { id, .. }
+            | BInstr::Call { id, .. }
+            | BInstr::Return { id, .. } => *id,
+            _ => None,
+        }
+    }
+}
+
+/// A flattened boolean procedure.
+#[derive(Debug, Clone)]
+pub struct FlatProc {
+    /// Procedure name.
+    pub name: String,
+    /// Instructions; entry is index 0.
+    pub instrs: Vec<BInstr>,
+    /// Label positions.
+    pub labels: HashMap<String, usize>,
+}
+
+/// Error for unresolved gotos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BFlattenError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for BFlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bp flatten error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BFlattenError {}
+
+/// Flattens a boolean procedure.
+///
+/// # Errors
+///
+/// Returns [`BFlattenError`] if a `goto` targets an undefined label.
+pub fn flatten_proc(p: &BProc) -> Result<FlatProc, BFlattenError> {
+    let mut f = Flattener {
+        instrs: Vec::new(),
+        labels: HashMap::new(),
+        pending: Vec::new(),
+    };
+    f.stmt(&p.body);
+    // implicit return (void or under-determined values are filled with *)
+    f.instrs.push(BInstr::Return {
+        id: None,
+        values: vec![BExpr::Nondet; p.n_returns],
+    });
+    for (idx, label) in f.pending {
+        let target = *f.labels.get(&label).ok_or_else(|| BFlattenError {
+            message: format!("undefined label `{label}` in `{}`", p.name),
+        })?;
+        if let BInstr::Jump(t) = &mut f.instrs[idx] {
+            *t = target;
+        }
+    }
+    Ok(FlatProc {
+        name: p.name.clone(),
+        instrs: f.instrs,
+        labels: f.labels,
+    })
+}
+
+struct Flattener {
+    instrs: Vec<BInstr>,
+    labels: HashMap<String, usize>,
+    pending: Vec<(usize, String)>,
+}
+
+impl Flattener {
+    fn stmt(&mut self, s: &BStmt) {
+        match s {
+            BStmt::Skip => {}
+            BStmt::Label(l) => {
+                self.labels.insert(l.clone(), self.instrs.len());
+            }
+            BStmt::Goto(l) => {
+                self.pending.push((self.instrs.len(), l.clone()));
+                self.instrs.push(BInstr::Jump(usize::MAX));
+            }
+            BStmt::Assign { id, targets, values } => self.instrs.push(BInstr::Assign {
+                id: *id,
+                targets: targets.clone(),
+                values: values.clone(),
+            }),
+            BStmt::Assume { id, branch, cond } => self.instrs.push(BInstr::Assume {
+                id: *id,
+                branch: *branch,
+                cond: cond.clone(),
+            }),
+            BStmt::Assert { id, cond } => self.instrs.push(BInstr::Assert {
+                id: *id,
+                cond: cond.clone(),
+            }),
+            BStmt::Call { id, dsts, proc, args } => self.instrs.push(BInstr::Call {
+                id: *id,
+                dsts: dsts.clone(),
+                proc: proc.clone(),
+                args: args.clone(),
+            }),
+            BStmt::Return { id, values } => self.instrs.push(BInstr::Return {
+                id: *id,
+                values: values.clone(),
+            }),
+            BStmt::Seq(ss) => {
+                for st in ss {
+                    self.stmt(st);
+                }
+            }
+            BStmt::If {
+                id,
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let b = self.instrs.len();
+                self.instrs.push(BInstr::Branch {
+                    id: *id,
+                    cond: cond.clone(),
+                    target_true: 0,
+                    target_false: 0,
+                });
+                let then_start = self.instrs.len();
+                self.stmt(then_branch);
+                let j = self.instrs.len();
+                self.instrs.push(BInstr::Jump(usize::MAX));
+                let else_start = self.instrs.len();
+                self.stmt(else_branch);
+                let end = self.instrs.len();
+                if let BInstr::Branch {
+                    target_true,
+                    target_false,
+                    ..
+                } = &mut self.instrs[b]
+                {
+                    *target_true = then_start;
+                    *target_false = else_start;
+                }
+                if let BInstr::Jump(t) = &mut self.instrs[j] {
+                    *t = end;
+                }
+            }
+            BStmt::While { id, cond, body } => {
+                let head = self.instrs.len();
+                self.instrs.push(BInstr::Branch {
+                    id: *id,
+                    cond: cond.clone(),
+                    target_true: 0,
+                    target_false: 0,
+                });
+                let body_start = self.instrs.len();
+                self.stmt(body);
+                self.instrs.push(BInstr::Jump(head));
+                let exit = self.instrs.len();
+                if let BInstr::Branch {
+                    target_true,
+                    target_false,
+                    ..
+                } = &mut self.instrs[head]
+                {
+                    *target_true = body_start;
+                    *target_false = exit;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bp;
+
+    #[test]
+    fn flattens_ifs_and_loops() {
+        let p = parse_bp(
+            r#"
+            void m() {
+                bool a;
+                while (*) {
+                    if (a) { a = false; } else { a = true; }
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let f = flatten_proc(p.proc("m").unwrap()).unwrap();
+        let branches = f
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, BInstr::Branch { .. }))
+            .count();
+        assert_eq!(branches, 2);
+        assert!(matches!(f.instrs.last(), Some(BInstr::Return { .. })));
+    }
+
+    #[test]
+    fn goto_resolution() {
+        let p = parse_bp("void m() { bool a; L: a = true; goto L; }").unwrap();
+        let f = flatten_proc(p.proc("m").unwrap()).unwrap();
+        let l = f.labels["L"];
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, BInstr::Jump(t) if *t == l)));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let p = parse_bp("void m() { goto nowhere; }").unwrap();
+        assert!(flatten_proc(p.proc("m").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,618 @@
+//! Nondeterministic interpreter for boolean programs.
+//!
+//! Nondeterminism (`*`, residual `choose`, uninitialized variables,
+//! `bool<k>` under-determined returns) is resolved by a caller-provided
+//! [`Chooser`]. A random chooser explores arbitrary executions; a *guided*
+//! chooser lets the soundness tests replay a concrete C trace through the
+//! abstraction (the paper's §4.6 theorem states such a replay always
+//! exists).
+
+use crate::ast::{BExpr, BProgram};
+use crate::flow::{flatten_proc, BInstr, FlatProc};
+use cparse::ast::StmtId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a nondeterministic choice is being made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChoosePurpose {
+    /// Choosing a branch direction for an `if (*)` / `while (*)`.
+    BranchCond,
+    /// Choosing the value of a `*`/`choose` in an assignment or argument.
+    AssignValue,
+    /// Choosing the initial value of a declared-but-unassigned variable.
+    InitialValue,
+}
+
+/// Context handed to a [`Chooser`].
+#[derive(Debug, Clone)]
+pub struct ChooseCtx {
+    /// Procedure being executed.
+    pub proc: String,
+    /// Originating C statement of the current instruction, if any.
+    pub id: Option<StmtId>,
+    /// The variable being assigned/initialized, if any.
+    pub target: Option<String>,
+    /// What the choice is for.
+    pub purpose: ChoosePurpose,
+}
+
+/// Resolves nondeterministic choices during execution.
+pub trait Chooser {
+    /// Picks the boolean used for this occurrence of nondeterminism.
+    fn choose(&mut self, ctx: &ChooseCtx) -> bool;
+}
+
+/// A [`Chooser`] driven by a seeded linear-congruential stream
+/// (deterministic given the seed; no external randomness needed).
+#[derive(Debug, Clone)]
+pub struct SeededChooser {
+    state: u64,
+}
+
+impl SeededChooser {
+    /// Creates a chooser from a seed.
+    pub fn new(seed: u64) -> SeededChooser {
+        SeededChooser {
+            state: seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+        }
+    }
+}
+
+impl Chooser for SeededChooser {
+    fn choose(&mut self, _ctx: &ChooseCtx) -> bool {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.state >> 33) & 1 == 1
+    }
+}
+
+/// Outcome of a boolean-program run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BOutcome {
+    /// The program returned normally.
+    Completed,
+    /// An `assume` (or `enforce`) filtered this execution out.
+    AssumeViolated {
+        /// Originating C statement of the assume, if any.
+        id: Option<StmtId>,
+    },
+    /// An `assert` failed.
+    AssertViolated {
+        /// Originating C statement of the assert, if any.
+        id: Option<StmtId>,
+    },
+}
+
+/// Runtime errors (distinct from [`BOutcome`] which is expected behavior).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BRuntimeError {
+    /// Unknown variable.
+    UnknownVar(String),
+    /// Unknown procedure.
+    UnknownProc(String),
+    /// Arity mismatch at a call or return.
+    Arity(String),
+    /// Step budget exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for BRuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BRuntimeError::UnknownVar(v) => write!(f, "unknown boolean variable `{v}`"),
+            BRuntimeError::UnknownProc(p) => write!(f, "unknown procedure `{p}`"),
+            BRuntimeError::Arity(m) => write!(f, "arity mismatch: {m}"),
+            BRuntimeError::OutOfFuel => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BRuntimeError {}
+
+/// One step of a recorded boolean-program execution.
+#[derive(Debug, Clone)]
+pub struct BTraceStep {
+    /// Procedure.
+    pub proc: String,
+    /// Instruction index.
+    pub pc: usize,
+    /// Originating C statement, if any.
+    pub id: Option<StmtId>,
+    /// For branch instructions: the direction taken.
+    pub branch: Option<bool>,
+    /// Values of all variables in scope (name → value) *before* the step.
+    pub state: HashMap<String, bool>,
+}
+
+/// The boolean-program interpreter.
+pub struct BInterp<'a> {
+    program: &'a BProgram,
+    flats: HashMap<String, FlatProc>,
+    /// Remaining steps.
+    pub fuel: u64,
+    /// Recorded trace of the last run.
+    pub trace: Vec<BTraceStep>,
+    globals: HashMap<String, bool>,
+}
+
+struct BFrame {
+    proc: String,
+    pc: usize,
+    locals: HashMap<String, bool>,
+    dsts: Vec<String>,
+}
+
+impl<'a> BInterp<'a> {
+    /// Creates an interpreter; all procedures are flattened eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BRuntimeError::UnknownProc`] wrapping flatten failures.
+    pub fn new(program: &'a BProgram) -> Result<BInterp<'a>, BRuntimeError> {
+        let mut flats = HashMap::new();
+        for p in &program.procs {
+            let f = flatten_proc(p)
+                .map_err(|e| BRuntimeError::UnknownProc(e.message))?;
+            flats.insert(p.name.clone(), f);
+        }
+        Ok(BInterp {
+            program,
+            flats,
+            fuel: 1_000_000,
+            trace: Vec::new(),
+            globals: HashMap::new(),
+        })
+    }
+
+    fn eval(
+        &self,
+        e: &BExpr,
+        frame: &BFrame,
+        chooser: &mut dyn Chooser,
+        ctx: &ChooseCtx,
+    ) -> Result<bool, BRuntimeError> {
+        Ok(match e {
+            BExpr::Const(b) => *b,
+            BExpr::Nondet => chooser.choose(ctx),
+            BExpr::Var(v) => self.read_var(frame, v)?,
+            BExpr::Not(inner) => !self.eval(inner, frame, chooser, ctx)?,
+            BExpr::And(es) => {
+                let mut acc = true;
+                for x in es {
+                    acc &= self.eval(x, frame, chooser, ctx)?;
+                }
+                acc
+            }
+            BExpr::Or(es) => {
+                let mut acc = false;
+                for x in es {
+                    acc |= self.eval(x, frame, chooser, ctx)?;
+                }
+                acc
+            }
+            BExpr::Choose(p, n) => {
+                if self.eval(p, frame, chooser, ctx)? {
+                    true
+                } else if self.eval(n, frame, chooser, ctx)? {
+                    false
+                } else {
+                    chooser.choose(ctx)
+                }
+            }
+        })
+    }
+
+    fn read_var(&self, frame: &BFrame, v: &str) -> Result<bool, BRuntimeError> {
+        frame
+            .locals
+            .get(v)
+            .or_else(|| self.globals.get(v))
+            .copied()
+            .ok_or_else(|| BRuntimeError::UnknownVar(v.to_string()))
+    }
+
+    fn write_var(
+        &mut self,
+        frame: &mut BFrame,
+        v: &str,
+        val: bool,
+    ) -> Result<(), BRuntimeError> {
+        if let Some(slot) = frame.locals.get_mut(v) {
+            *slot = val;
+            return Ok(());
+        }
+        if let Some(slot) = self.globals.get_mut(v) {
+            *slot = val;
+            return Ok(());
+        }
+        Err(BRuntimeError::UnknownVar(v.to_string()))
+    }
+
+    fn snapshot(&self, frame: &BFrame) -> HashMap<String, bool> {
+        let mut st = self.globals.clone();
+        for (k, v) in &frame.locals {
+            st.insert(k.clone(), *v);
+        }
+        st
+    }
+
+    fn make_frame(
+        &mut self,
+        proc_name: &str,
+        args: Vec<bool>,
+        dsts: Vec<String>,
+        chooser: &mut dyn Chooser,
+    ) -> Result<BFrame, BRuntimeError> {
+        let p = self
+            .program
+            .proc(proc_name)
+            .ok_or_else(|| BRuntimeError::UnknownProc(proc_name.to_string()))?;
+        if args.len() != p.formals.len() {
+            return Err(BRuntimeError::Arity(format!(
+                "{proc_name} expects {} args, got {}",
+                p.formals.len(),
+                args.len()
+            )));
+        }
+        let mut locals = HashMap::new();
+        for (f, v) in p.formals.iter().zip(args) {
+            locals.insert(f.clone(), v);
+        }
+        for l in &p.locals {
+            let ctx = ChooseCtx {
+                proc: proc_name.to_string(),
+                id: None,
+                target: Some(l.clone()),
+                purpose: ChoosePurpose::InitialValue,
+            };
+            locals.insert(l.clone(), chooser.choose(&ctx));
+        }
+        Ok(BFrame {
+            proc: proc_name.to_string(),
+            pc: 0,
+            locals,
+            dsts,
+        })
+    }
+
+    fn enforce_of(&self, proc_name: &str) -> Option<BExpr> {
+        self.program
+            .proc(proc_name)
+            .and_then(|p| p.enforce.clone())
+    }
+
+    /// Runs `main_proc` with the given initial global values (missing
+    /// globals are chosen nondeterministically) and actual arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BRuntimeError`] on malformed programs; assumption and
+    /// assertion violations are reported through [`BOutcome`].
+    pub fn run(
+        &mut self,
+        main_proc: &str,
+        args: Vec<bool>,
+        chooser: &mut dyn Chooser,
+    ) -> Result<BOutcome, BRuntimeError> {
+        self.trace.clear();
+        self.globals.clear();
+        for g in self.program.globals.clone() {
+            let ctx = ChooseCtx {
+                proc: main_proc.to_string(),
+                id: None,
+                target: Some(g.clone()),
+                purpose: ChoosePurpose::InitialValue,
+            };
+            let v = chooser.choose(&ctx);
+            self.globals.insert(g, v);
+        }
+        let mut stack = vec![self.make_frame(main_proc, args, Vec::new(), chooser)?];
+        // check enforce at entry
+        if let Some(inv) = self.enforce_of(main_proc) {
+            let frame = stack.last().expect("frame");
+            let ctx = ChooseCtx {
+                proc: frame.proc.clone(),
+                id: None,
+                target: None,
+                purpose: ChoosePurpose::AssignValue,
+            };
+            if !self.eval(&inv, frame, chooser, &ctx)? {
+                return Ok(BOutcome::AssumeViolated { id: None });
+            }
+        }
+        while let Some(frame) = stack.last() {
+            if self.fuel == 0 {
+                return Err(BRuntimeError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            let flat = &self.flats[&frame.proc];
+            let instr = flat.instrs[frame.pc].clone();
+            // record
+            self.trace.push(BTraceStep {
+                proc: frame.proc.clone(),
+                pc: frame.pc,
+                id: instr.id(),
+                branch: None,
+                state: self.snapshot(frame),
+            });
+            match instr {
+                BInstr::Nop => stack.last_mut().expect("frame").pc += 1,
+                BInstr::Jump(t) => stack.last_mut().expect("frame").pc = t,
+                BInstr::Assign { id, targets, values } => {
+                    let frame = stack.last().expect("frame");
+                    let mut vals = Vec::with_capacity(values.len());
+                    for (t, v) in targets.iter().zip(&values) {
+                        let ctx = ChooseCtx {
+                            proc: frame.proc.clone(),
+                            id,
+                            target: Some(t.clone()),
+                            purpose: ChoosePurpose::AssignValue,
+                        };
+                        vals.push(self.eval(v, frame, chooser, &ctx)?);
+                    }
+                    let frame = stack.last_mut().expect("frame");
+                    let proc_name = frame.proc.clone();
+                    // split borrows: write through helper
+                    let pairs: Vec<(String, bool)> =
+                        targets.into_iter().zip(vals).collect();
+                    let mut frame_owned = stack.pop().expect("frame");
+                    for (t, v) in pairs {
+                        self.write_var(&mut frame_owned, &t, v)?;
+                    }
+                    frame_owned.pc += 1;
+                    stack.push(frame_owned);
+                    // enforce invariant acts as an assume after each stmt
+                    if let Some(inv) = self.enforce_of(&proc_name) {
+                        let frame = stack.last().expect("frame");
+                        let ctx = ChooseCtx {
+                            proc: proc_name,
+                            id,
+                            target: None,
+                            purpose: ChoosePurpose::AssignValue,
+                        };
+                        if !self.eval(&inv, frame, chooser, &ctx)? {
+                            return Ok(BOutcome::AssumeViolated { id });
+                        }
+                    }
+                }
+                BInstr::Assume { id, cond, .. } => {
+                    let frame = stack.last().expect("frame");
+                    let ctx = ChooseCtx {
+                        proc: frame.proc.clone(),
+                        id,
+                        target: None,
+                        purpose: ChoosePurpose::AssignValue,
+                    };
+                    if !self.eval(&cond, frame, chooser, &ctx)? {
+                        return Ok(BOutcome::AssumeViolated { id });
+                    }
+                    stack.last_mut().expect("frame").pc += 1;
+                }
+                BInstr::Assert { id, cond } => {
+                    let frame = stack.last().expect("frame");
+                    let ctx = ChooseCtx {
+                        proc: frame.proc.clone(),
+                        id,
+                        target: None,
+                        purpose: ChoosePurpose::AssignValue,
+                    };
+                    if !self.eval(&cond, frame, chooser, &ctx)? {
+                        return Ok(BOutcome::AssertViolated { id });
+                    }
+                    stack.last_mut().expect("frame").pc += 1;
+                }
+                BInstr::Branch {
+                    id,
+                    cond,
+                    target_true,
+                    target_false,
+                } => {
+                    let frame = stack.last().expect("frame");
+                    let ctx = ChooseCtx {
+                        proc: frame.proc.clone(),
+                        id,
+                        target: None,
+                        purpose: ChoosePurpose::BranchCond,
+                    };
+                    let taken = self.eval(&cond, frame, chooser, &ctx)?;
+                    if let Some(step) = self.trace.last_mut() {
+                        step.branch = Some(taken);
+                    }
+                    stack.last_mut().expect("frame").pc =
+                        if taken { target_true } else { target_false };
+                }
+                BInstr::Call { id, dsts, proc, args } => {
+                    let frame = stack.last().expect("frame");
+                    let mut argv = Vec::with_capacity(args.len());
+                    for a in &args {
+                        let ctx = ChooseCtx {
+                            proc: frame.proc.clone(),
+                            id,
+                            target: None,
+                            purpose: ChoosePurpose::AssignValue,
+                        };
+                        argv.push(self.eval(a, frame, chooser, &ctx)?);
+                    }
+                    stack.last_mut().expect("frame").pc += 1;
+                    let new_frame = self.make_frame(&proc, argv, dsts, chooser)?;
+                    stack.push(new_frame);
+                }
+                BInstr::Return { id, values } => {
+                    let frame = stack.last().expect("frame");
+                    let mut vals = Vec::with_capacity(values.len());
+                    for v in &values {
+                        let ctx = ChooseCtx {
+                            proc: frame.proc.clone(),
+                            id,
+                            target: None,
+                            purpose: ChoosePurpose::AssignValue,
+                        };
+                        vals.push(self.eval(v, frame, chooser, &ctx)?);
+                    }
+                    let done = stack.pop().expect("frame");
+                    if let Some(caller) = stack.last() {
+                        if done.dsts.len() > vals.len() {
+                            return Err(BRuntimeError::Arity(format!(
+                                "{} returns {} values, caller wants {}",
+                                done.proc,
+                                vals.len(),
+                                done.dsts.len()
+                            )));
+                        }
+                        let _ = caller;
+                        let mut caller_frame = stack.pop().expect("caller");
+                        for (d, v) in done.dsts.iter().zip(vals) {
+                            self.write_var(&mut caller_frame, d, v)?;
+                        }
+                        stack.push(caller_frame);
+                    }
+                }
+            }
+        }
+        Ok(BOutcome::Completed)
+    }
+
+    /// The final global variable values after a completed run.
+    pub fn globals(&self) -> &HashMap<String, bool> {
+        &self.globals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bp;
+
+    fn run_with_seed(src: &str, seed: u64) -> (BOutcome, HashMap<String, bool>) {
+        let p = parse_bp(src).unwrap();
+        let mut i = BInterp::new(&p).unwrap();
+        let mut c = SeededChooser::new(seed);
+        let out = i.run("main", vec![], &mut c).unwrap();
+        (out, i.globals().clone())
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let (out, globals) = run_with_seed(
+            "bool g; void main() { g = true; g = !g; }",
+            0,
+        );
+        assert_eq!(out, BOutcome::Completed);
+        assert_eq!(globals["g"], false);
+    }
+
+    #[test]
+    fn assume_filters_paths() {
+        // g is chosen nondeterministically; assume(g) discards g=false runs
+        let src = "bool g; void main() { assume(g); assert(g); }";
+        let mut completed = 0;
+        let mut filtered = 0;
+        for seed in 0..32 {
+            let (out, _) = run_with_seed(src, seed);
+            match out {
+                BOutcome::Completed => completed += 1,
+                BOutcome::AssumeViolated { .. } => filtered += 1,
+                BOutcome::AssertViolated { .. } => panic!("assert can't fail"),
+            }
+        }
+        assert!(completed > 0 && filtered > 0);
+    }
+
+    #[test]
+    fn assert_can_fail_on_unknown() {
+        let src = "bool g; void main() { g = unknown(); assert(g); }";
+        let mut failures = 0;
+        for seed in 0..32 {
+            if matches!(run_with_seed(src, seed).0, BOutcome::AssertViolated { .. }) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0);
+    }
+
+    #[test]
+    fn parallel_assignment_swaps() {
+        let (out, globals) = run_with_seed(
+            "bool a, b; void main() { a = true; b = false; a, b = b, a; }",
+            7,
+        );
+        assert_eq!(out, BOutcome::Completed);
+        assert_eq!((globals["a"], globals["b"]), (false, true));
+    }
+
+    #[test]
+    fn calls_return_multiple_values() {
+        let src = r#"
+            bool r1, r2;
+            bool<2> both(x) { return x, !x; }
+            void main() { r1, r2 = both(true); }
+        "#;
+        let (out, globals) = run_with_seed(src, 3);
+        assert_eq!(out, BOutcome::Completed);
+        assert_eq!((globals["r1"], globals["r2"]), (true, false));
+    }
+
+    #[test]
+    fn enforce_filters_states() {
+        // enforce !(a && b): an execution that sets both dies as an assume
+        let src = r#"
+            bool a, b;
+            void main() {
+                enforce !(a && b);
+                a = true;
+                b = true;
+            }
+        "#;
+        // need locals in scope: use globals via main-level enforce
+        let p = parse_bp(src).unwrap();
+        let mut i = BInterp::new(&p).unwrap();
+        let mut c = SeededChooser::new(0);
+        // initial values may already violate; accept either violation point
+        let out = i.run("main", vec![], &mut c).unwrap();
+        assert!(matches!(out, BOutcome::AssumeViolated { .. }));
+    }
+
+    #[test]
+    fn choose_semantics() {
+        // choose(pos, neg): pos true -> true
+        let (_, g) = run_with_seed(
+            "bool a; void main() { a = choose(true, false); }",
+            0,
+        );
+        assert!(g["a"]);
+        let (_, g) = run_with_seed(
+            "bool a; void main() { a = choose(false, true); }",
+            0,
+        );
+        assert!(!g["a"]);
+    }
+
+    #[test]
+    fn while_star_terminates_by_chooser() {
+        let src = "bool g; void main() { while (*) { g = !g; } }";
+        for seed in 0..8 {
+            let p = parse_bp(src).unwrap();
+            let mut i = BInterp::new(&p).unwrap();
+            i.fuel = 100_000;
+            let mut c = SeededChooser::new(seed);
+            // with a fair coin the loop exits with probability 1
+            let out = i.run("main", vec![], &mut c).unwrap();
+            assert_eq!(out, BOutcome::Completed);
+        }
+    }
+
+    #[test]
+    fn trace_records_states() {
+        let src = "bool g; void main() { g = true; g = false; }";
+        let p = parse_bp(src).unwrap();
+        let mut i = BInterp::new(&p).unwrap();
+        let mut c = SeededChooser::new(0);
+        i.run("main", vec![], &mut c).unwrap();
+        assert!(i.trace.len() >= 3);
+        // second step sees g = true
+        assert_eq!(i.trace[1].state["g"], true);
+    }
+}

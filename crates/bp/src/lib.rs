@@ -1,0 +1,38 @@
+//! Boolean programs: the target language of predicate abstraction.
+//!
+//! This crate implements the boolean program language of Ball & Rajamani
+//! (*Bebop: A Symbolic Model Checker for Boolean Programs*, cited as \[5\]
+//! by the PLDI 2001 paper): an AST, a concrete-syntax parser and printer
+//! matching the paper's Figure 1(b), a flattened control-flow form, and a
+//! nondeterministic reference interpreter used for differential testing
+//! of the Bebop model checker and for replaying soundness witnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use bp::parse::parse_bp;
+//! use bp::interp::{BInterp, BOutcome, SeededChooser};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_bp(
+//!     "bool g; void main() { g = true; assert(g); }",
+//! )?;
+//! let mut interp = BInterp::new(&program)?;
+//! let mut chooser = SeededChooser::new(42);
+//! let outcome = interp.run("main", vec![], &mut chooser)?;
+//! assert_eq!(outcome, BOutcome::Completed);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod flow;
+pub mod interp;
+pub mod parse;
+pub mod print;
+
+pub use ast::{BExpr, BProc, BProgram, BStmt};
+pub use parse::parse_bp;
+pub use print::program_to_string;

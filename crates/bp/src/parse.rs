@@ -1,0 +1,702 @@
+//! Parser for the boolean-program concrete syntax printed by
+//! [`crate::print`], so `.bp` files can be model-checked standalone.
+
+use crate::ast::*;
+use std::fmt;
+
+/// A boolean-program syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpParseError {
+    /// 1-based line of the error.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for BpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bp parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BpParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Int(u64),
+    KwBool,
+    KwVoid,
+    KwSkip,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwGoto,
+    KwReturn,
+    KwAssume,
+    KwAssert,
+    KwEnforce,
+    KwChoose,
+    KwUnknown,
+    KwTrue,
+    KwFalse,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Lt,
+    Gt,
+    Semi,
+    Comma,
+    Colon,
+    Assign,
+    Star,
+    Bang,
+    AndAnd,
+    OrOr,
+    Eof,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, BpParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                // `{` starts either a block or a quoted identifier; a quoted
+                // identifier is `{...}` with no nested braces/newlines where
+                // the contents are not valid block syntax. Disambiguate by
+                // scanning for a `}` before any `;`, `{`, or newline.
+                let mut j = i + 1;
+                let mut quoted_end = None;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'}' => {
+                            quoted_end = Some(j);
+                            break;
+                        }
+                        b'{' | b';' | b'\n' => break,
+                        _ => j += 1,
+                    }
+                }
+                match quoted_end {
+                    Some(end) if !src[i + 1..end].trim().is_empty() => {
+                        out.push((
+                            Tok::Quoted(src[i + 1..end].trim().to_string()),
+                            line,
+                        ));
+                        i = end + 1;
+                    }
+                    _ => {
+                        out.push((Tok::LBrace, line));
+                        i += 1;
+                    }
+                }
+            }
+            b'}' => {
+                out.push((Tok::RBrace, line));
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: u64 = src[start..i].parse().map_err(|_| BpParseError {
+                    line,
+                    message: "bad integer".into(),
+                })?;
+                out.push((Tok::Int(v), line));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let t = match &src[start..i] {
+                    "bool" | "decl" => Tok::KwBool,
+                    "void" => Tok::KwVoid,
+                    "skip" => Tok::KwSkip,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "goto" => Tok::KwGoto,
+                    "return" => Tok::KwReturn,
+                    "assume" => Tok::KwAssume,
+                    "assert" => Tok::KwAssert,
+                    "enforce" => Tok::KwEnforce,
+                    "choose" => Tok::KwChoose,
+                    "unknown" => Tok::KwUnknown,
+                    "true" => Tok::KwTrue,
+                    "false" => Tok::KwFalse,
+                    s => Tok::Ident(s.to_string()),
+                };
+                out.push((t, line));
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (t, n) = match two {
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => match c {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b';' => (Tok::Semi, 1),
+                        b',' => (Tok::Comma, 1),
+                        b':' => (Tok::Colon, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'!' => (Tok::Bang, 1),
+                        _ => {
+                            return Err(BpParseError {
+                                line,
+                                message: format!("unexpected character `{}`", c as char),
+                            })
+                        }
+                    },
+                };
+                out.push((t, line));
+                i += n;
+            }
+        }
+    }
+    out.push((Tok::Eof, line));
+    Ok(out)
+}
+
+/// Parses a boolean program from its concrete syntax.
+///
+/// # Errors
+///
+/// Returns a [`BpParseError`] with the offending line on syntax errors.
+pub fn parse_bp(src: &str) -> Result<BProgram, BpParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> BpParseError {
+        BpParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), BpParseError> {
+        if self.eat(t.clone()) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn var_name(&mut self) -> Result<String, BpParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            Tok::Quoted(s) => Ok(s),
+            other => Err(self.err(format!("expected variable, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<BProgram, BpParseError> {
+        let mut prog = BProgram::new();
+        while *self.peek() != Tok::Eof {
+            if self.eat(Tok::KwBool) {
+                // global decl or procedure returning bool<k>
+                if *self.peek() == Tok::Lt {
+                    let n = self.return_arity()?;
+                    prog.procs.push(self.proc(n)?);
+                } else {
+                    // look ahead: `bool name (` is a procedure
+                    let save = self.pos;
+                    let first = self.var_name()?;
+                    if *self.peek() == Tok::LParen {
+                        self.pos = save;
+                        prog.procs.push(self.proc(1)?);
+                    } else {
+                        prog.globals.push(first);
+                        while self.eat(Tok::Comma) {
+                            prog.globals.push(self.var_name()?);
+                        }
+                        self.expect(Tok::Semi)?;
+                    }
+                }
+            } else if self.eat(Tok::KwVoid) {
+                prog.procs.push(self.proc(0)?);
+            } else {
+                return Err(self.err("expected declaration or procedure"));
+            }
+        }
+        Ok(prog)
+    }
+
+    fn return_arity(&mut self) -> Result<usize, BpParseError> {
+        self.expect(Tok::Lt)?;
+        let n = match self.bump() {
+            Tok::Int(v) => v as usize,
+            _ => return Err(self.err("expected return arity")),
+        };
+        self.expect(Tok::Gt)?;
+        Ok(n)
+    }
+
+    fn proc(&mut self, n_returns: usize) -> Result<BProc, BpParseError> {
+        let name = match self.bump() {
+            Tok::Ident(s) => s,
+            other => return Err(self.err(format!("expected procedure name, found {other:?}"))),
+        };
+        self.expect(Tok::LParen)?;
+        let mut formals = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                formals.push(self.var_name()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::LBrace)?;
+        let mut locals = Vec::new();
+        let mut enforce = None;
+        // declarations and enforce come first
+        loop {
+            if self.eat(Tok::KwBool) {
+                locals.push(self.var_name()?);
+                while self.eat(Tok::Comma) {
+                    locals.push(self.var_name()?);
+                }
+                self.expect(Tok::Semi)?;
+            } else if self.eat(Tok::KwEnforce) {
+                enforce = Some(self.expr()?);
+                self.expect(Tok::Semi)?;
+            } else {
+                break;
+            }
+        }
+        let mut body = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(BProc {
+            name,
+            formals,
+            n_returns,
+            locals,
+            enforce,
+            body: BStmt::Seq(body),
+        })
+    }
+
+    fn block(&mut self) -> Result<BStmt, BpParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut body = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(BStmt::Seq(body))
+    }
+
+    fn stmt(&mut self) -> Result<BStmt, BpParseError> {
+        match self.peek().clone() {
+            Tok::KwSkip => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(BStmt::Skip)
+            }
+            Tok::Semi => {
+                self.bump();
+                Ok(BStmt::Skip)
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_branch = self.block()?;
+                let else_branch = if self.eat(Tok::KwElse) {
+                    self.block()?
+                } else {
+                    BStmt::Skip
+                };
+                Ok(BStmt::If {
+                    id: None,
+                    cond,
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(BStmt::While {
+                    id: None,
+                    cond,
+                    body: Box::new(body),
+                })
+            }
+            Tok::KwGoto => {
+                self.bump();
+                let l = self.var_name()?;
+                self.expect(Tok::Semi)?;
+                Ok(BStmt::Goto(l))
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let mut values = Vec::new();
+                if *self.peek() != Tok::Semi {
+                    loop {
+                        values.push(self.expr()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::Semi)?;
+                Ok(BStmt::Return { id: None, values })
+            }
+            Tok::KwAssume => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(BStmt::Assume {
+                    id: None,
+                    branch: None,
+                    cond,
+                })
+            }
+            Tok::KwAssert => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(BStmt::Assert { id: None, cond })
+            }
+            Tok::Ident(name) => {
+                // label, call, or assignment
+                let save = self.pos;
+                self.bump();
+                if self.eat(Tok::Colon) {
+                    return Ok(BStmt::Label(name));
+                }
+                if *self.peek() == Tok::LParen {
+                    // plain call
+                    self.bump();
+                    let args = self.args()?;
+                    self.expect(Tok::Semi)?;
+                    return Ok(BStmt::Call {
+                        id: None,
+                        dsts: Vec::new(),
+                        proc: name,
+                        args,
+                    });
+                }
+                self.pos = save;
+                self.assignment_or_call()
+            }
+            Tok::Quoted(_) => self.assignment_or_call(),
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<BExpr>, BpParseError> {
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    /// `t1, ..., tn = rhs;` where rhs is either a call or expressions.
+    fn assignment_or_call(&mut self) -> Result<BStmt, BpParseError> {
+        let mut targets = vec![self.var_name()?];
+        while self.eat(Tok::Comma) {
+            targets.push(self.var_name()?);
+        }
+        self.expect(Tok::Assign)?;
+        // call on the rhs?
+        if let Tok::Ident(f) = self.peek().clone() {
+            let save = self.pos;
+            self.bump();
+            if self.eat(Tok::LParen) && f != "choose" && f != "unknown" {
+                let args = self.args()?;
+                self.expect(Tok::Semi)?;
+                return Ok(BStmt::Call {
+                    id: None,
+                    dsts: targets,
+                    proc: f,
+                    args,
+                });
+            }
+            self.pos = save;
+        }
+        let mut values = vec![self.expr()?];
+        while self.eat(Tok::Comma) {
+            values.push(self.expr()?);
+        }
+        self.expect(Tok::Semi)?;
+        if values.len() != targets.len() {
+            return Err(self.err(format!(
+                "parallel assignment arity mismatch: {} targets, {} values",
+                targets.len(),
+                values.len()
+            )));
+        }
+        Ok(BStmt::Assign {
+            id: None,
+            targets,
+            values,
+        })
+    }
+
+    // expressions: || < && < ! < primary
+    fn expr(&mut self) -> Result<BExpr, BpParseError> {
+        let mut e = self.and_expr()?;
+        while self.eat(Tok::OrOr) {
+            let r = self.and_expr()?;
+            e = BExpr::or([e, r]);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<BExpr, BpParseError> {
+        let mut e = self.unary_expr()?;
+        while self.eat(Tok::AndAnd) {
+            let r = self.unary_expr()?;
+            e = BExpr::and([e, r]);
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<BExpr, BpParseError> {
+        if self.eat(Tok::Bang) {
+            return Ok(self.unary_expr()?.negate());
+        }
+        match self.bump() {
+            Tok::KwTrue => Ok(BExpr::Const(true)),
+            Tok::KwFalse => Ok(BExpr::Const(false)),
+            Tok::Star => Ok(BExpr::Nondet),
+            Tok::Ident(s) => Ok(BExpr::Var(s)),
+            Tok::Quoted(s) => Ok(BExpr::Var(s)),
+            Tok::KwUnknown => {
+                self.expect(Tok::LParen)?;
+                self.expect(Tok::RParen)?;
+                Ok(BExpr::unknown())
+            }
+            Tok::KwChoose => {
+                self.expect(Tok::LParen)?;
+                let p = self.expr()?;
+                self.expect(Tok::Comma)?;
+                let n = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(BExpr::Choose(Box::new(p), Box::new(n)))
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::program_to_string;
+
+    #[test]
+    fn parses_globals_and_procs() {
+        let src = r#"
+            bool g1, {x > 0};
+            void main(a) {
+                bool l;
+                l = a && {x > 0};
+                if (*) { g1 = true; } else { g1 = unknown(); }
+                assume(!l || g1);
+                return;
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        assert_eq!(p.globals, vec!["g1".to_string(), "x > 0".to_string()]);
+        let main = p.proc("main").unwrap();
+        assert_eq!(main.formals, vec!["a".to_string()]);
+        assert_eq!(main.locals, vec!["l".to_string()]);
+    }
+
+    #[test]
+    fn parses_multi_return_and_calls() {
+        let src = r#"
+            bool<2> bar(p1, p2) {
+                return p1, p2;
+            }
+            void foo() {
+                bool t1, t2;
+                t1, t2 = bar(true, false);
+                t1, t2 = t2, t1;
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        assert_eq!(p.proc("bar").unwrap().n_returns, 2);
+        let foo = p.proc("foo").unwrap();
+        let mut calls = 0;
+        let mut passigns = 0;
+        foo.body.walk(&mut |s| match s {
+            BStmt::Call { dsts, .. } => {
+                calls += 1;
+                assert_eq!(dsts.len(), 2);
+            }
+            BStmt::Assign { targets, .. } => {
+                passigns += 1;
+                assert_eq!(targets.len(), 2);
+            }
+            _ => {}
+        });
+        assert_eq!((calls, passigns), (1, 1));
+    }
+
+    #[test]
+    fn parses_enforce_and_labels() {
+        let src = r#"
+            void p() {
+                bool a, b;
+                enforce !(a && b);
+                L: a = true;
+                goto L;
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        let proc = p.proc("p").unwrap();
+        assert!(proc.enforce.is_some());
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let src = r#"
+            bool {curr == NULL};
+            void partition() {
+                bool {curr->val > v};
+                {curr == NULL} = unknown();
+                while (*) {
+                    assume(!{curr == NULL});
+                    {curr->val > v} = choose({curr == NULL}, false);
+                }
+                assume({curr == NULL});
+            }
+        "#;
+        let p1 = parse_bp(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse_bp(&printed).unwrap();
+        assert_eq!(p1, p2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let src = "void p() { bool a, b; a, b = true; }";
+        assert!(parse_bp(src).is_err());
+    }
+
+    #[test]
+    fn quoted_names_with_operators() {
+        let src = "bool {*p <= 0}; void m() { {*p <= 0} = !{*p <= 0}; }";
+        let p = parse_bp(src).unwrap();
+        assert_eq!(p.globals, vec!["*p <= 0".to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_bp("bool g;\nvoid m() {\n  g = ;\n}").unwrap_err();
+        // the offending token is on line 3 (the error may point at it or
+        // at the token after it)
+        assert!(err.line >= 3, "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_braces() {
+        assert!(parse_bp("void m() { if (*) { skip; }").is_err());
+    }
+
+    #[test]
+    fn rejects_statements_outside_procs() {
+        assert!(parse_bp("skip;").is_err());
+    }
+
+    #[test]
+    fn empty_program_is_fine() {
+        let p = parse_bp("").unwrap();
+        assert!(p.procs.is_empty());
+    }
+}

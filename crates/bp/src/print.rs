@@ -1,0 +1,259 @@
+//! Concrete syntax printer for boolean programs.
+//!
+//! The output format matches the paper's Figure 1(b): C-like braces,
+//! `bool` declarations, `{...}`-quoted predicate names, parallel
+//! assignments, `assume`, `enforce`, and nondeterministic `*` conditions.
+//! [`crate::parse`] accepts everything this module prints.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// True if `name` needs `{...}` quoting (not a plain C identifier).
+pub fn needs_quoting(name: &str) -> bool {
+    name.is_empty()
+        || name
+            .chars()
+            .next()
+            .map(|c| !(c.is_ascii_alphabetic() || c == '_'))
+            .unwrap_or(true)
+        || name
+            .chars()
+            .any(|c| !(c.is_ascii_alphanumeric() || c == '_'))
+}
+
+/// Renders a variable reference.
+pub fn var_to_string(name: &str) -> String {
+    if needs_quoting(name) {
+        format!("{{{name}}}")
+    } else {
+        name.to_string()
+    }
+}
+
+fn prec(e: &BExpr) -> u8 {
+    match e {
+        BExpr::Const(_) | BExpr::Nondet | BExpr::Var(_) | BExpr::Choose(_, _) => 4,
+        BExpr::Not(_) => 3,
+        BExpr::And(_) => 2,
+        BExpr::Or(_) => 1,
+    }
+}
+
+/// Renders a boolean expression.
+pub fn bexpr_to_string(e: &BExpr) -> String {
+    let mut s = String::new();
+    write_bexpr(&mut s, e, 0);
+    s
+}
+
+fn write_bexpr(out: &mut String, e: &BExpr, parent: u8) {
+    let my = prec(e);
+    let parens = my < parent;
+    if parens {
+        out.push('(');
+    }
+    match e {
+        BExpr::Const(true) => out.push_str("true"),
+        BExpr::Const(false) => out.push_str("false"),
+        BExpr::Nondet => out.push('*'),
+        BExpr::Var(v) => out.push_str(&var_to_string(v)),
+        BExpr::Not(inner) => {
+            out.push('!');
+            write_bexpr(out, inner, 3);
+        }
+        BExpr::And(es) => {
+            for (i, x) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" && ");
+                }
+                write_bexpr(out, x, my + 1);
+            }
+        }
+        BExpr::Or(es) => {
+            for (i, x) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" || ");
+                }
+                write_bexpr(out, x, my + 1);
+            }
+        }
+        BExpr::Choose(p, n) => {
+            if **p == BExpr::Const(false) && **n == BExpr::Const(false) {
+                out.push_str("unknown()");
+            } else {
+                out.push_str("choose(");
+                write_bexpr(out, p, 0);
+                out.push_str(", ");
+                write_bexpr(out, n, 0);
+                out.push(')');
+            }
+        }
+    }
+    if parens {
+        out.push(')');
+    }
+}
+
+/// Renders a statement at the given indent depth.
+pub fn bstmt_to_string(s: &BStmt, indent: usize) -> String {
+    let mut out = String::new();
+    write_bstmt(&mut out, s, indent);
+    out
+}
+
+fn write_bstmt(out: &mut String, s: &BStmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        BStmt::Skip => {
+            let _ = writeln!(out, "{pad}skip;");
+        }
+        BStmt::Assign { targets, values, .. } => {
+            let ts: Vec<String> = targets.iter().map(|t| var_to_string(t)).collect();
+            let vs: Vec<String> = values.iter().map(bexpr_to_string).collect();
+            let _ = writeln!(out, "{pad}{} = {};", ts.join(", "), vs.join(", "));
+        }
+        BStmt::Assume { cond, .. } => {
+            let _ = writeln!(out, "{pad}assume({});", bexpr_to_string(cond));
+        }
+        BStmt::Assert { cond, .. } => {
+            let _ = writeln!(out, "{pad}assert({});", bexpr_to_string(cond));
+        }
+        BStmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", bexpr_to_string(cond));
+            write_bstmt(out, then_branch, indent + 1);
+            if matches!(**else_branch, BStmt::Skip)
+                || matches!(&**else_branch, BStmt::Seq(v) if v.is_empty())
+            {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                write_bstmt(out, else_branch, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        BStmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", bexpr_to_string(cond));
+            write_bstmt(out, body, indent + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        BStmt::Goto(l) => {
+            let _ = writeln!(out, "{pad}goto {l};");
+        }
+        BStmt::Label(l) => {
+            let _ = writeln!(out, "{l}:");
+        }
+        BStmt::Call { dsts, proc, args, .. } => {
+            let args: Vec<String> = args.iter().map(bexpr_to_string).collect();
+            if dsts.is_empty() {
+                let _ = writeln!(out, "{pad}{proc}({});", args.join(", "));
+            } else {
+                let ds: Vec<String> = dsts.iter().map(|d| var_to_string(d)).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {proc}({});",
+                    ds.join(", "),
+                    args.join(", ")
+                );
+            }
+        }
+        BStmt::Return { values, .. } => {
+            if values.is_empty() {
+                let _ = writeln!(out, "{pad}return;");
+            } else {
+                let vs: Vec<String> = values.iter().map(bexpr_to_string).collect();
+                let _ = writeln!(out, "{pad}return {};", vs.join(", "));
+            }
+        }
+        BStmt::Seq(ss) => {
+            for st in ss {
+                write_bstmt(out, st, indent);
+            }
+        }
+    }
+}
+
+/// Renders a whole boolean program.
+pub fn program_to_string(p: &BProgram) -> String {
+    let mut out = String::new();
+    if !p.globals.is_empty() {
+        let gs: Vec<String> = p.globals.iter().map(|g| var_to_string(g)).collect();
+        let _ = writeln!(out, "bool {};", gs.join(", "));
+        let _ = writeln!(out);
+    }
+    for proc in &p.procs {
+        let fs: Vec<String> = proc.formals.iter().map(|f| var_to_string(f)).collect();
+        let ret = match proc.n_returns {
+            0 => "void".to_string(),
+            n => format!("bool<{n}>"),
+        };
+        let _ = writeln!(out, "{ret} {}({}) {{", proc.name, fs.join(", "));
+        if !proc.locals.is_empty() {
+            let ls: Vec<String> = proc.locals.iter().map(|l| var_to_string(l)).collect();
+            let _ = writeln!(out, "    bool {};", ls.join(", "));
+        }
+        if let Some(e) = &proc.enforce {
+            let _ = writeln!(out, "    enforce {};", bexpr_to_string(e));
+        }
+        write_bstmt(&mut out, &proc.body, 1);
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_rules() {
+        assert!(!needs_quoting("curr"));
+        assert!(!needs_quoting("_t0"));
+        assert!(needs_quoting("curr == NULL"));
+        assert!(needs_quoting("curr->val > v"));
+        assert_eq!(var_to_string("x"), "x");
+        assert_eq!(var_to_string("x > 0"), "{x > 0}");
+    }
+
+    #[test]
+    fn expressions_render() {
+        let e = BExpr::and([
+            BExpr::var("a"),
+            BExpr::or([BExpr::var("b"), BExpr::var("c == d")]).negate(),
+        ]);
+        assert_eq!(bexpr_to_string(&e), "a && !(b || {c == d})");
+        assert_eq!(bexpr_to_string(&BExpr::unknown()), "unknown()");
+        assert_eq!(bexpr_to_string(&BExpr::Nondet), "*");
+        let ch = BExpr::Choose(Box::new(BExpr::var("p")), Box::new(BExpr::var("n")));
+        assert_eq!(bexpr_to_string(&ch), "choose(p, n)");
+    }
+
+    #[test]
+    fn statements_render_like_figure_1() {
+        let s = BStmt::Seq(vec![
+            BStmt::Assign {
+                id: None,
+                targets: vec!["prev==NULL".into()],
+                values: vec![BExpr::Const(true)],
+            },
+            BStmt::While {
+                id: None,
+                cond: BExpr::Nondet,
+                body: Box::new(BStmt::Assume {
+                    id: None,
+                    branch: Some(true),
+                    cond: BExpr::var("curr==NULL").negate(),
+                }),
+            },
+        ]);
+        let text = bstmt_to_string(&s, 0);
+        assert!(text.contains("{prev==NULL} = true;"));
+        assert!(text.contains("while (*) {"));
+        assert!(text.contains("assume(!{curr==NULL});"));
+    }
+}

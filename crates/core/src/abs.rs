@@ -1,0 +1,826 @@
+//! The C2bp abstraction algorithm (§4): translating a simplified C
+//! program plus predicates into a boolean program, statement by
+//! statement.
+//!
+//! The boolean program has the same control structure as the C program.
+//! Assignments become parallel `choose(F(WP(s,φ)), F(WP(s,¬φ)))` updates
+//! (§4.3), conditionals become nondeterministic branches guarded by
+//! `assume(G(cond))` / `assume(G(!cond))` (§4.4), and procedure calls use
+//! the modular signature scheme of §4.5. Each procedure receives an
+//! `enforce` invariant `¬F(false)` ruling out inconsistent predicate
+//! combinations (§5.1).
+
+use crate::cubes::{CubeOptions, CubeSearch, CubeStats, ScopeVar};
+use crate::preds::{Pred, PredScope};
+use crate::sig::{signature, Signature};
+use crate::wp::{wp_assign, AliasCase, WpCtx};
+use bp::ast::{BExpr, BProc, BProgram, BStmt};
+use cparse::ast::{Expr, Function, Program, Stmt};
+use cparse::typeck::TypeEnv;
+use pointsto::PointsTo;
+use prover::Prover;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Options controlling the abstraction.
+#[derive(Debug, Clone, Default)]
+pub struct C2bpOptions {
+    /// Cube-search options (§5.2).
+    pub cubes: CubeOptions,
+    /// Skip variables syntactically unaffected by an assignment
+    /// (optimization 2). Disable only for ablation measurements.
+    pub skip_unaffected: bool,
+    /// Compute `enforce` invariants (§5.1).
+    pub compute_enforce: bool,
+}
+
+impl C2bpOptions {
+    /// The configuration used for the paper's experiments.
+    pub fn paper_defaults() -> C2bpOptions {
+        C2bpOptions {
+            cubes: CubeOptions::default(),
+            skip_unaffected: true,
+            compute_enforce: true,
+        }
+    }
+}
+
+/// Failure of the abstraction (ill-formed inputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "abstraction error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AbsError {}
+
+/// Summary counters for one abstraction run (the columns of the paper's
+/// Tables 1 and 2).
+#[derive(Debug, Clone, Default)]
+pub struct AbsStats {
+    /// Non-blank pretty-printed source lines of the C program.
+    pub lines: usize,
+    /// Number of input predicates.
+    pub predicates: usize,
+    /// Theorem-prover calls (uncached queries).
+    pub prover_calls: u64,
+    /// Prover cache hits.
+    pub prover_cache_hits: u64,
+    /// Cube-search counters.
+    pub cubes: CubeStats,
+    /// Wall-clock seconds spent abstracting.
+    pub seconds: f64,
+}
+
+/// The result of abstracting a program.
+#[derive(Debug, Clone)]
+pub struct Abstraction {
+    /// The boolean program `BP(P, E)`.
+    pub bprogram: BProgram,
+    /// Signatures computed for each procedure.
+    pub signatures: HashMap<String, Signature>,
+    /// Run statistics.
+    pub stats: AbsStats,
+}
+
+/// Runs C2bp: abstracts `program` (already simplified) with respect to
+/// `preds`.
+///
+/// # Errors
+///
+/// Returns [`AbsError`] if a predicate references an unknown scope or the
+/// program is not in the simplified intermediate form.
+pub fn abstract_program(
+    program: &Program,
+    preds: &[Pred],
+    options: &C2bpOptions,
+) -> Result<Abstraction, AbsError> {
+    let start = Instant::now();
+    let env = TypeEnv::new(program);
+    let mut pts = PointsTo::analyze(program);
+    let mut prover = Prover::new();
+    // validate scopes and dedupe
+    let mut preds_vec: Vec<Pred> = Vec::new();
+    for p in preds {
+        if let PredScope::Local(f) = &p.scope {
+            if program.function(f).is_none() {
+                return Err(AbsError {
+                    message: format!("predicate scope `{f}` is not a function"),
+                });
+            }
+        }
+        if !preds_vec
+            .iter()
+            .any(|q| q.scope == p.scope && q.var_name() == p.var_name())
+        {
+            preds_vec.push(p.clone());
+        }
+    }
+    let global_preds: Vec<Pred> = preds_vec
+        .iter()
+        .filter(|p| p.scope == PredScope::Global)
+        .cloned()
+        .collect();
+
+    // pass 1: signatures
+    let mut signatures = HashMap::new();
+    for f in &program.functions {
+        signatures.insert(f.name.clone(), signature(program, f, &preds_vec));
+    }
+
+    // pass 2: abstraction
+    let mut bprogram = BProgram {
+        globals: global_preds.iter().map(Pred::var_name).collect(),
+        procs: Vec::new(),
+    };
+    let mut cube_stats = CubeStats::default();
+    for f in &program.functions {
+        let mut actx = ProcAbstractor::new(
+            program,
+            &env,
+            &mut pts,
+            &mut prover,
+            &signatures,
+            &global_preds,
+            &preds_vec,
+            f,
+            options,
+        );
+        let bproc = actx.run()?;
+        cube_stats.cubes_tested += actx.cube_stats.cubes_tested;
+        cube_stats.cubes_pruned += actx.cube_stats.cubes_pruned;
+        cube_stats.fast_path_hits += actx.cube_stats.fast_path_hits;
+        bprogram.procs.push(bproc);
+    }
+
+    let stats = AbsStats {
+        lines: program.line_count(),
+        predicates: preds_vec.len(),
+        prover_calls: prover.stats.queries,
+        prover_cache_hits: prover.stats.cache_hits,
+        cubes: cube_stats,
+        seconds: start.elapsed().as_secs_f64(),
+    };
+    Ok(Abstraction {
+        bprogram,
+        signatures,
+        stats,
+    })
+}
+
+/// Per-procedure abstraction state.
+struct ProcAbstractor<'a> {
+    program: &'a Program,
+    env: &'a TypeEnv,
+    pts: &'a mut PointsTo,
+    prover: &'a mut Prover,
+    signatures: &'a HashMap<String, Signature>,
+    global_preds: &'a [Pred],
+    all_preds: &'a [Pred],
+    func: &'a Function,
+    options: &'a C2bpOptions,
+    /// Scope: global preds then this function's local preds.
+    scope_vars: Vec<ScopeVar>,
+    /// Extra boolean temporaries introduced for call returns.
+    temps: Vec<String>,
+    temp_counter: u32,
+    cube_stats: CubeStats,
+}
+
+impl<'a> ProcAbstractor<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        program: &'a Program,
+        env: &'a TypeEnv,
+        pts: &'a mut PointsTo,
+        prover: &'a mut Prover,
+        signatures: &'a HashMap<String, Signature>,
+        global_preds: &'a [Pred],
+        all_preds: &'a [Pred],
+        func: &'a Function,
+        options: &'a C2bpOptions,
+    ) -> ProcAbstractor<'a> {
+        let mut scope_vars: Vec<ScopeVar> =
+            global_preds.iter().map(ScopeVar::of_pred).collect();
+        scope_vars.extend(
+            all_preds
+                .iter()
+                .filter(|p| p.scope == PredScope::Local(func.name.clone()))
+                .map(ScopeVar::of_pred),
+        );
+        ProcAbstractor {
+            program,
+            env,
+            pts,
+            prover,
+            signatures,
+            global_preds,
+            all_preds,
+            func,
+            options,
+            scope_vars,
+            temps: Vec::new(),
+            temp_counter: 0,
+            cube_stats: CubeStats::default(),
+        }
+    }
+
+    fn local_preds(&self) -> Vec<&'a Pred> {
+        self.all_preds
+            .iter()
+            .filter(|p| p.scope == PredScope::Local(self.func.name.clone()))
+            .collect()
+    }
+
+    /// Runs a cube search over the given variable set.
+    fn with_search<T>(
+        &mut self,
+        run: impl FnOnce(&mut CubeSearch<'_>) -> T,
+    ) -> T {
+        let lookup = {
+            let func = self.func;
+            let env = self.env;
+            move |name: &str| {
+                func.var_type(name)
+                    .cloned()
+                    .or_else(|| env.var_type(None, name))
+            }
+        };
+        let mut cs = CubeSearch::new(
+            self.prover,
+            self.env,
+            &lookup,
+            self.options.cubes.clone(),
+        );
+        let out = run(&mut cs);
+        self.cube_stats.cubes_tested += cs.stats.cubes_tested;
+        self.cube_stats.cubes_pruned += cs.stats.cubes_pruned;
+        self.cube_stats.fast_path_hits += cs.stats.fast_path_hits;
+        out
+    }
+
+    fn wp_ctx(&mut self) -> WpCtx<'_> {
+        let func = self.func;
+        let env = self.env;
+        WpCtx {
+            env: self.env,
+            pts: self.pts,
+            func: self.func.name.clone(),
+            lookup: Box::new(move |name| {
+                func.var_type(name)
+                    .cloned()
+                    .or_else(|| env.var_type(None, name))
+            }),
+        }
+    }
+
+    fn fresh_temp(&mut self) -> String {
+        let name = format!("__t{}", self.temp_counter);
+        self.temp_counter += 1;
+        self.temps.push(name.clone());
+        name
+    }
+
+    fn run(&mut self) -> Result<BProc, AbsError> {
+        let body = self.stmt(&self.func.body)?;
+        let sig = &self.signatures[&self.func.name];
+        let formal_names: Vec<String> =
+            sig.formal_preds.iter().map(Pred::var_name).collect();
+        let locals: Vec<String> = self
+            .local_preds()
+            .iter()
+            .map(|p| p.var_name())
+            .filter(|n| !formal_names.contains(n))
+            .chain(self.temps.iter().cloned())
+            .collect();
+        let enforce = if self.options.compute_enforce {
+            let vars = self.scope_vars.clone();
+            self.with_search(|cs| cs.enforce_invariant(&vars))
+        } else {
+            None
+        };
+        Ok(BProc {
+            name: self.func.name.clone(),
+            formals: formal_names,
+            n_returns: sig.return_preds.len(),
+            locals,
+            enforce,
+            body,
+        })
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<BStmt, AbsError> {
+        match s {
+            Stmt::Skip => Ok(BStmt::Skip),
+            Stmt::Goto(l) => Ok(BStmt::Goto(l.clone())),
+            Stmt::Label(l) => Ok(BStmt::Label(l.clone())),
+            Stmt::Seq(ss) => {
+                let mut out = Vec::new();
+                for st in ss {
+                    out.push(self.stmt(st)?);
+                }
+                Ok(BStmt::Seq(out))
+            }
+            Stmt::Assign { id, lhs, rhs } => Ok(self.assign(Some(*id), lhs, rhs)),
+            Stmt::If {
+                id,
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let vars = self.scope_vars.clone();
+                let g_then =
+                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
+                let neg = cond.negated();
+                let g_else =
+                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, &neg));
+                let tb = self.stmt(then_branch)?;
+                let eb = self.stmt(else_branch)?;
+                Ok(BStmt::If {
+                    id: Some(*id),
+                    cond: BExpr::Nondet,
+                    then_branch: Box::new(BStmt::Seq(vec![
+                        BStmt::Assume {
+                            id: Some(*id),
+                            branch: Some(true),
+                            cond: g_then,
+                        },
+                        tb,
+                    ])),
+                    else_branch: Box::new(BStmt::Seq(vec![
+                        BStmt::Assume {
+                            id: Some(*id),
+                            branch: Some(false),
+                            cond: g_else,
+                        },
+                        eb,
+                    ])),
+                })
+            }
+            Stmt::While { id, cond, body } => {
+                let vars = self.scope_vars.clone();
+                let g_enter =
+                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
+                let neg = cond.negated();
+                let g_exit =
+                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, &neg));
+                let b = self.stmt(body)?;
+                Ok(BStmt::Seq(vec![
+                    BStmt::While {
+                        id: Some(*id),
+                        cond: BExpr::Nondet,
+                        body: Box::new(BStmt::Seq(vec![
+                            BStmt::Assume {
+                                id: Some(*id),
+                                branch: Some(true),
+                                cond: g_enter,
+                            },
+                            b,
+                        ])),
+                    },
+                    BStmt::Assume {
+                        id: Some(*id),
+                        branch: Some(false),
+                        cond: g_exit,
+                    },
+                ]))
+            }
+            Stmt::Assert { id, cond } => {
+                let vars = self.scope_vars.clone();
+                let neg = cond.negated();
+                let g_fail =
+                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, &neg));
+                let g_ok =
+                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
+                Ok(BStmt::If {
+                    id: Some(*id),
+                    cond: BExpr::Nondet,
+                    then_branch: Box::new(BStmt::Seq(vec![
+                        BStmt::Assume {
+                            id: Some(*id),
+                            branch: Some(false),
+                            cond: g_fail,
+                        },
+                        BStmt::Assert {
+                            id: Some(*id),
+                            cond: BExpr::Const(false),
+                        },
+                    ])),
+                    else_branch: Box::new(BStmt::Assume {
+                        id: Some(*id),
+                        branch: Some(true),
+                        cond: g_ok,
+                    }),
+                })
+            }
+            Stmt::Assume { id, cond } => {
+                let vars = self.scope_vars.clone();
+                let g = self
+                    .with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
+                Ok(BStmt::Assume {
+                    id: Some(*id),
+                    branch: None,
+                    cond: g,
+                })
+            }
+            Stmt::Return { id, .. } => {
+                let sig = &self.signatures[&self.func.name];
+                let values: Vec<BExpr> = sig
+                    .return_preds
+                    .iter()
+                    .map(|p| BExpr::var(p.var_name()))
+                    .collect();
+                Ok(BStmt::Return { id: Some(*id), values })
+            }
+            Stmt::Call { id, dst, func, args } => self.call(*id, dst, func, args),
+            Stmt::Break | Stmt::Continue => Err(AbsError {
+                message: "break/continue must be simplified away before c2bp".into(),
+            }),
+        }
+    }
+
+    /// §4.3: abstraction of an assignment.
+    fn assign(&mut self, id: Option<cparse::StmtId>, lhs: &Expr, rhs: &Expr) -> BStmt {
+        let scope = self.scope_vars.clone();
+        let mut targets = Vec::new();
+        let mut values = Vec::new();
+        for sv in &scope {
+            let (wp_pos, wp_neg) = {
+                let mut ctx = self.wp_ctx();
+                let pos = wp_assign(&mut ctx, lhs, rhs, &sv.expr);
+                let neg_pred = sv.expr.negated();
+                let neg = wp_assign(&mut ctx, lhs, rhs, &neg_pred);
+                (pos, neg)
+            };
+            if self.options.skip_unaffected {
+                if let Some(wp) = &wp_pos {
+                    if *wp == sv.expr {
+                        continue; // optimization 2: definitely unchanged
+                    }
+                }
+            }
+            let value = match (wp_pos, wp_neg) {
+                (Some(p), Some(n)) => {
+                    let fp = self
+                        .with_search(|cs| cs.largest_implying_disjunction(&scope, &p));
+                    let fn_ = self
+                        .with_search(|cs| cs.largest_implying_disjunction(&scope, &n));
+                    BExpr::choose(fp, fn_)
+                }
+                _ => BExpr::unknown(),
+            };
+            targets.push(sv.name.clone());
+            values.push(value);
+        }
+        if targets.is_empty() {
+            BStmt::Skip
+        } else {
+            BStmt::Assign { id, targets, values }
+        }
+    }
+
+    /// §4.5.3: abstraction of a procedure call.
+    fn call(
+        &mut self,
+        id: cparse::StmtId,
+        dst: &Option<Expr>,
+        callee: &str,
+        args: &[Expr],
+    ) -> Result<BStmt, AbsError> {
+        let scope = self.scope_vars.clone();
+        let Some(sig) = self.signatures.get(callee).cloned() else {
+            // intrinsic (nondet/malloc) or external function: havoc
+            // everything the destination might touch
+            return Ok(self.havoc_for_unknown_call(Some(id), dst));
+        };
+        // actuals for the formal-parameter predicates
+        let mut actuals = Vec::new();
+        for fp in &sig.formal_preds {
+            let e_translated = subst_formals(&fp.expr, &sig.formals, args);
+            let val = self.with_search(|cs| cs.choose_value(&scope, &e_translated));
+            actuals.push(val);
+        }
+        // temporaries receiving the return predicates
+        let mut temp_names = Vec::new();
+        let mut temp_vars: Vec<ScopeVar> = Vec::new();
+        for rp in &sig.return_preds {
+            let t = self.fresh_temp();
+            temp_names.push(t.clone());
+            // translate e_i to the calling context: e_i[v/r, a/f]
+            let mut e = subst_formals(&rp.expr, &sig.formals, args);
+            let mut translatable = true;
+            if let Some(r) = &sig.ret_var {
+                if e.vars().iter().any(|v| v == r) {
+                    match dst {
+                        Some(d) => e = e.subst_var(r, d),
+                        None => translatable = false,
+                    }
+                }
+            }
+            if translatable {
+                temp_vars.push(ScopeVar { name: t, expr: e });
+            }
+        }
+        let call_stmt = BStmt::Call {
+            id: Some(id),
+            dsts: temp_names,
+            proc: callee.to_string(),
+            args: actuals,
+        };
+        // E_u: local predicates of the caller that may have changed
+        let local_names: Vec<String> =
+            self.global_preds.iter().map(Pred::var_name).collect();
+        let mut updated = Vec::new();
+        let mut unchanged_vars: Vec<ScopeVar> = Vec::new();
+        for sv in &scope {
+            let is_global_pred = local_names.contains(&sv.name);
+            if is_global_pred {
+                // global predicates are updated inside the callee
+                unchanged_vars.push(sv.clone());
+                continue;
+            }
+            if self.pred_may_change_across_call(&sv.expr, dst, args, callee) {
+                updated.push(sv.clone());
+            } else {
+                unchanged_vars.push(sv.clone());
+            }
+        }
+        let mut hyp_vars = unchanged_vars;
+        hyp_vars.extend(temp_vars);
+        let mut targets = Vec::new();
+        let mut values = Vec::new();
+        for sv in &updated {
+            let val = self.with_search(|cs| cs.choose_value(&hyp_vars, &sv.expr));
+            targets.push(sv.name.clone());
+            values.push(val);
+        }
+        let mut stmts = vec![call_stmt];
+        if !targets.is_empty() {
+            stmts.push(BStmt::Assign {
+                id: Some(id),
+                targets,
+                values,
+            });
+        }
+        Ok(BStmt::Seq(stmts))
+    }
+
+    /// Does `pred` mention the destination, a location reachable from an
+    /// actual pointer argument, or an alias thereof? (conservative E_u
+    /// membership test).
+    fn pred_may_change_across_call(
+        &mut self,
+        pred: &Expr,
+        dst: &Option<Expr>,
+        args: &[Expr],
+        callee: &str,
+    ) -> bool {
+        // mentions the destination lvalue (or an alias of it)?
+        if let Some(d) = dst {
+            let mut ctx = self.wp_ctx();
+            for loc in crate::wp::locations(pred) {
+                if ctx.alias_case(d, &loc) != AliasCase::Never {
+                    return true;
+                }
+            }
+        }
+        // dereferences something an actual pointer argument may reach?
+        let derefd = pred.derefd_vars();
+        if !derefd.is_empty() {
+            let mut arg_ptr_vars: Vec<String> = Vec::new();
+            for a in args {
+                for v in a.vars() {
+                    let ty = self
+                        .func
+                        .var_type(&v)
+                        .cloned()
+                        .or_else(|| self.env.var_type(None, &v));
+                    if ty.map(|t| t.is_pointer_like()).unwrap_or(true) {
+                        arg_ptr_vars.push(v);
+                    }
+                }
+            }
+            // globals reachable by the callee can also be written through
+            let fname = self.func.name.clone();
+            for d in &derefd {
+                for a in &arg_ptr_vars {
+                    if self.pts.targets_may_intersect(&fname, d, &fname, a) {
+                        return true;
+                    }
+                }
+                // written through a global pointer inside the callee
+                for (g, ty) in &self.program.globals {
+                    if ty.is_pointer_like()
+                        && self.pts.targets_may_intersect(&fname, d, callee, g)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Havoc for calls whose callee we cannot see (intrinsics, externals):
+    /// local predicates mentioning the destination are invalidated.
+    fn havoc_for_unknown_call(
+        &mut self,
+        id: Option<cparse::StmtId>,
+        dst: &Option<Expr>,
+    ) -> BStmt {
+        let Some(d) = dst else {
+            return BStmt::Skip;
+        };
+        let scope = self.scope_vars.clone();
+        let mut targets = Vec::new();
+        for sv in &scope {
+            let mut ctx = self.wp_ctx();
+            let affected = crate::wp::locations(&sv.expr)
+                .iter()
+                .any(|loc| ctx.alias_case(d, loc) != AliasCase::Never);
+            if affected {
+                targets.push(sv.name.clone());
+            }
+        }
+        if targets.is_empty() {
+            BStmt::Skip
+        } else {
+            let values = vec![BExpr::unknown(); targets.len()];
+            BStmt::Assign { id, targets, values }
+        }
+    }
+}
+
+/// Substitutes actuals for formals: `e[a1/f1, ..., an/fn]`.
+fn subst_formals(e: &Expr, formals: &[String], actuals: &[Expr]) -> Expr {
+    let mut out = e.clone();
+    for (f, a) in formals.iter().zip(actuals) {
+        out = out.subst_var(f, a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preds::parse_pred_file;
+    use cparse::parse_and_simplify;
+
+    fn abstract_src(src: &str, preds: &str) -> Abstraction {
+        let program = parse_and_simplify(src).unwrap();
+        let preds = parse_pred_file(preds).unwrap();
+        abstract_program(&program, &preds, &C2bpOptions::paper_defaults()).unwrap()
+    }
+
+    #[test]
+    fn simple_assignment_updates_predicate() {
+        let a = abstract_src(
+            "void f(int x) { x = 0; }",
+            "f x == 0",
+        );
+        let p = a.bprogram.proc("f").unwrap();
+        let text = bp::print::bstmt_to_string(&p.body, 0);
+        assert!(text.contains("{x == 0} = true;"), "{text}");
+    }
+
+    #[test]
+    fn increment_uses_weakest_precondition() {
+        // after x = x + 1, {x == 0} is true iff x == -1 before: with only
+        // {x == 0} tracked, the positive case is unprovable and the
+        // negative case follows from x == 0 (0+1 != 0)
+        let a = abstract_src("void f(int x) { x = x + 1; }", "f x == 0");
+        let p = a.bprogram.proc("f").unwrap();
+        let text = bp::print::bstmt_to_string(&p.body, 0);
+        assert!(
+            text.contains("{x == 0} = choose(false, {x == 0});"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn irrelevant_assignment_becomes_skip() {
+        let a = abstract_src("void f(int x, int y) { y = 3; }", "f x == 0");
+        let p = a.bprogram.proc("f").unwrap();
+        let text = bp::print::bstmt_to_string(&p.body, 0);
+        assert!(text.contains("skip;"), "{text}");
+        assert!(!text.contains("{x == 0} ="), "{text}");
+    }
+
+    #[test]
+    fn conditionals_get_assumes() {
+        let a = abstract_src(
+            "void f(int x) { if (x == 0) { x = 1; } else { x = 0; } }",
+            "f x == 0",
+        );
+        let p = a.bprogram.proc("f").unwrap();
+        let text = bp::print::bstmt_to_string(&p.body, 0);
+        assert!(text.contains("if (*)"), "{text}");
+        assert!(text.contains("assume({x == 0});"), "{text}");
+        assert!(text.contains("assume(!{x == 0});"), "{text}");
+    }
+
+    #[test]
+    fn swap_correlation_is_tracked() {
+        // t = x; x = y; y = t with preds x==1, y==1: the assignments
+        // should copy predicate values, not havoc them
+        let a = abstract_src(
+            r#"
+            void swap(int x, int y) {
+                int t;
+                t = x;
+                x = y;
+                y = t;
+            }
+            "#,
+            "swap x == 1, y == 1, t == 1",
+        );
+        let p = a.bprogram.proc("swap").unwrap();
+        let text = bp::print::bstmt_to_string(&p.body, 0);
+        assert!(text.contains("{t == 1} = {x == 1};"), "{text}");
+        assert!(text.contains("{x == 1} = {y == 1};"), "{text}");
+        assert!(text.contains("{y == 1} = {t == 1};"), "{text}");
+    }
+
+    #[test]
+    fn enforce_invariant_excludes_contradictions() {
+        let a = abstract_src(
+            "void f(int x) { x = 1; }",
+            "f x == 1, x == 2",
+        );
+        let p = a.bprogram.proc("f").unwrap();
+        let inv = p.enforce.as_ref().expect("enforce");
+        let text = bp::print::bexpr_to_string(inv);
+        assert!(text.contains("x == 1") && text.contains("x == 2"), "{text}");
+    }
+
+    #[test]
+    fn figure_2_call_abstraction() {
+        let a = abstract_src(
+            r#"
+            int bar(int* q, int y) {
+                int l1, l2;
+                l1 = y;
+                l2 = 0;
+                return l1;
+            }
+            void foo(int* p, int x) {
+                int r;
+                if (*p <= x) { *p = x; } else { *p = *p + x; }
+                r = bar(p, x);
+            }
+            "#,
+            "bar y >= 0, *q <= y, y == l1, y > l2\nfoo *p <= 0, x == 0, r == 0",
+        );
+        let bar = a.bprogram.proc("bar").unwrap();
+        // E_f = {y >= 0, *q <= y} become formals
+        assert_eq!(bar.formals.len(), 2);
+        assert_eq!(bar.n_returns, 2);
+        let foo = a.bprogram.proc("foo").unwrap();
+        let text = bp::print::bstmt_to_string(&foo.body, 0);
+        // call with temporaries receiving both return predicates
+        assert!(text.contains("= bar("), "{text}");
+        assert!(text.contains("__t0"), "{text}");
+        // *p <= 0 and r == 0 must be updated after the call
+        assert!(text.contains("{*p <= 0}"), "{text}");
+        let sig = &a.signatures["bar"];
+        assert_eq!(sig.return_preds.len(), 2);
+    }
+
+    #[test]
+    fn nondet_call_havocs_destination_predicates() {
+        let a = abstract_src(
+            "void f(int x) { x = nondet(); }",
+            "f x == 0",
+        );
+        let p = a.bprogram.proc("f").unwrap();
+        let text = bp::print::bstmt_to_string(&p.body, 0);
+        assert!(text.contains("{x == 0} = unknown();"), "{text}");
+    }
+
+    #[test]
+    fn assert_splits_into_failure_branch() {
+        let a = abstract_src(
+            "void f(int x) { assert(x == 0); }",
+            "f x == 0",
+        );
+        let p = a.bprogram.proc("f").unwrap();
+        let text = bp::print::bstmt_to_string(&p.body, 0);
+        assert!(text.contains("assert(false);"), "{text}");
+        assert!(text.contains("assume(!{x == 0});"), "{text}");
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let a = abstract_src("void f(int x) { x = x + 1; }", "f x == 0");
+        assert_eq!(a.stats.predicates, 1);
+        assert!(a.stats.prover_calls > 0);
+        assert!(a.stats.lines > 0);
+    }
+}

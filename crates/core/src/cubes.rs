@@ -1,0 +1,597 @@
+//! The cube search: `F_V(φ)` and `G_V(φ)` (§4.1) with the optimizations
+//! of §5.2.
+//!
+//! `F_V(φ)` is the largest disjunction of cubes `c` over the boolean
+//! variables `V` such that `E(c) ⇒ φ`; it is the *weakest* expressible
+//! strengthening of `φ`. `G_V(φ) = ¬F_V(¬φ)` is the strongest expressible
+//! weakening. Each candidate cube costs a theorem-prover call, so the
+//! search implements all five optimizations the paper describes:
+//!
+//! 1. cubes enumerated by increasing length, pruning supersets of found
+//!    implicants (yielding only prime implicants) and supersets of cubes
+//!    shown to imply `¬φ`;
+//! 2. (in `abs.rs`) variables whose predicate is syntactically unaffected
+//!    by an assignment are not updated at all;
+//! 3. a syntactic cone-of-influence pre-pass restricts `V` to predicates
+//!    sharing locations (or aliased locations) with `φ`;
+//! 4. syntactic fast paths (`φ` literally equal to a predicate or its
+//!    negation) answer without any prover call;
+//! 5. prover-result caching (inside [`prover::Prover`]).
+//!
+//! Two precision-trading options are also implemented: the cube-length
+//! bound `k` (the paper found `k = 3` sufficient) and recursive
+//! distribution of `F` over `&&`/`||`.
+
+use crate::preds::Pred;
+use bp::BExpr;
+use cparse::ast::{BinOp, Expr, Type, UnOp};
+use cparse::typeck::TypeEnv;
+use prover::{Formula, Prover, Translator};
+
+/// Tunable knobs for the cube search (see module docs).
+#[derive(Debug, Clone)]
+pub struct CubeOptions {
+    /// Maximum cube length `k`; `None` means unbounded (exact).
+    pub max_cube_len: Option<usize>,
+    /// Enable the syntactic cone-of-influence restriction of `V`.
+    pub cone_of_influence: bool,
+    /// Enable syntactic fast paths.
+    pub syntactic_fast_paths: bool,
+    /// Distribute `F` through `&&` and `||` (loses precision on `||`).
+    pub atomic_decomposition: bool,
+}
+
+impl Default for CubeOptions {
+    fn default() -> CubeOptions {
+        CubeOptions {
+            max_cube_len: Some(3),
+            cone_of_influence: true,
+            syntactic_fast_paths: true,
+            atomic_decomposition: false,
+        }
+    }
+}
+
+/// Counters for the search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CubeStats {
+    /// Cubes whose implication was actually checked.
+    pub cubes_tested: u64,
+    /// Cubes skipped by superset pruning.
+    pub cubes_pruned: u64,
+    /// Queries answered by the syntactic fast path.
+    pub fast_path_hits: u64,
+}
+
+/// One in-scope boolean variable: its BP name and its predicate.
+#[derive(Debug, Clone)]
+pub struct ScopeVar {
+    /// Boolean-program variable name.
+    pub name: String,
+    /// The predicate `E(b)`.
+    pub expr: Expr,
+}
+
+impl ScopeVar {
+    /// Builds a scope variable from a predicate.
+    pub fn of_pred(p: &Pred) -> ScopeVar {
+        ScopeVar {
+            name: p.var_name(),
+            expr: p.expr.clone(),
+        }
+    }
+}
+
+/// The cube-search engine for one scope (one procedure's abstraction).
+pub struct CubeSearch<'a> {
+    /// The shared prover.
+    pub prover: &'a mut Prover,
+    /// Typing environment (for translation).
+    pub env: &'a TypeEnv,
+    /// Variable-type lookup of the enclosing scope.
+    pub lookup: &'a dyn Fn(&str) -> Option<Type>,
+    /// Options.
+    pub options: CubeOptions,
+    /// Counters.
+    pub stats: CubeStats,
+}
+
+impl<'a> CubeSearch<'a> {
+    /// Creates a search engine.
+    pub fn new(
+        prover: &'a mut Prover,
+        env: &'a TypeEnv,
+        lookup: &'a dyn Fn(&str) -> Option<Type>,
+        options: CubeOptions,
+    ) -> CubeSearch<'a> {
+        CubeSearch {
+            prover,
+            env,
+            lookup,
+            options,
+            stats: CubeStats::default(),
+        }
+    }
+
+    fn translate(&mut self, e: &Expr) -> Option<Formula> {
+        let mut t = Translator::new(&mut self.prover.store, self.env, self.lookup);
+        t.formula(e).ok()
+    }
+
+    /// `F_V(φ)`: the largest disjunction of cubes over `vars` implying
+    /// `φ`, as a boolean-program expression.
+    pub fn largest_implying_disjunction(
+        &mut self,
+        vars: &[ScopeVar],
+        phi: &Expr,
+    ) -> BExpr {
+        if self.options.atomic_decomposition {
+            match phi {
+                Expr::Binary(BinOp::And, l, r) => {
+                    let a = self.largest_implying_disjunction(vars, l);
+                    let b = self.largest_implying_disjunction(vars, r);
+                    return BExpr::and([a, b]);
+                }
+                Expr::Binary(BinOp::Or, l, r) => {
+                    let a = self.largest_implying_disjunction(vars, l);
+                    let b = self.largest_implying_disjunction(vars, r);
+                    return BExpr::or([a, b]);
+                }
+                _ => {}
+            }
+        }
+        // fast paths
+        if self.options.syntactic_fast_paths {
+            if let Some(b) = self.fast_path(vars, phi) {
+                self.stats.fast_path_hits += 1;
+                return b;
+            }
+        }
+        let relevant: Vec<&ScopeVar> = if self.options.cone_of_influence {
+            cone_of_influence(vars, phi)
+        } else {
+            vars.iter().collect()
+        };
+        let Some(goal) = self.translate(phi) else {
+            // untranslatable goal: nothing can be proven to imply it
+            return BExpr::Const(false);
+        };
+        // trivial validity/unsatisfiability of φ itself
+        if self.prover.implies(&Formula::True, &goal) {
+            return BExpr::Const(true);
+        }
+        let lits: Vec<(usize, Formula)> = relevant
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| self.translate(&v.expr).map(|f| (i, f)))
+            .collect();
+        let max_len = self
+            .options
+            .max_cube_len
+            .unwrap_or(lits.len())
+            .min(lits.len());
+        let mut implicants: Vec<Vec<(usize, bool)>> = Vec::new();
+        let mut blocked: Vec<Vec<(usize, bool)>> = Vec::new();
+        let neg_goal = goal.clone().negate();
+        // when computing F(false) for `enforce`, the "cube implies ¬φ"
+        // pruning would block everything (every satisfiable cube implies
+        // true); the unsatisfiable cubes are exactly what we are looking
+        // for there
+        let track_blocked = goal != Formula::False;
+        // enumerate cubes by increasing length
+        for len in 1..=max_len.max(0) {
+            let mut combo = CubeEnum::new(lits.len(), len);
+            while let Some(cube_vars) = combo.next_combo() {
+                'signs: for signs in 0..(1u32 << len) {
+                    let cube: Vec<(usize, bool)> = cube_vars
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &vi)| (vi, signs & (1 << pos) != 0))
+                        .collect();
+                    // superset pruning
+                    for known in implicants.iter().chain(blocked.iter()) {
+                        if known.iter().all(|l| cube.contains(l)) {
+                            self.stats.cubes_pruned += 1;
+                            continue 'signs;
+                        }
+                    }
+                    self.stats.cubes_tested += 1;
+                    let hyp = Formula::and(cube.iter().map(|&(vi, pos)| {
+                        let f = lits[vi].1.clone();
+                        if pos {
+                            f
+                        } else {
+                            f.negate()
+                        }
+                    }));
+                    if self.prover.implies(&hyp, &goal) {
+                        implicants.push(cube);
+                    } else if track_blocked && self.prover.implies(&hyp, &neg_goal) {
+                        blocked.push(cube);
+                    }
+                }
+            }
+        }
+        BExpr::or(implicants.into_iter().map(|cube| {
+            BExpr::and(cube.into_iter().map(|(vi, pos)| {
+                let var = BExpr::var(relevant[lits[vi].0].name.clone());
+                if pos {
+                    var
+                } else {
+                    var.negate()
+                }
+            }))
+        }))
+    }
+
+    /// `G_V(φ) = ¬F_V(¬φ)`: the strongest expressible consequence of `φ`.
+    pub fn strongest_implied_conjunction(
+        &mut self,
+        vars: &[ScopeVar],
+        phi: &Expr,
+    ) -> BExpr {
+        let neg = phi.negated();
+        self.largest_implying_disjunction(vars, &neg).negate()
+    }
+
+    /// The `choose(F(φ), F(¬φ))` pair used for assignments and call
+    /// arguments (§4.3).
+    pub fn choose_value(&mut self, vars: &[ScopeVar], phi: &Expr) -> BExpr {
+        let pos = self.largest_implying_disjunction(vars, phi);
+        let neg = self.largest_implying_disjunction(vars, &phi.negated());
+        BExpr::choose(pos, neg)
+    }
+
+    /// The inconsistent-cube invariant for `enforce` (§5.1):
+    /// `¬F_V(false)`, or `None` when every combination is consistent.
+    pub fn enforce_invariant(&mut self, vars: &[ScopeVar]) -> Option<BExpr> {
+        // `false` mentions no locations, so the cone of influence would be
+        // empty; the search must consider all variables here
+        let saved = self.options.cone_of_influence;
+        self.options.cone_of_influence = false;
+        let f = self.largest_implying_disjunction(vars, &Expr::IntLit(0));
+        self.options.cone_of_influence = saved;
+        match f {
+            BExpr::Const(false) => None,
+            other => Some(other.negate()),
+        }
+    }
+
+    fn fast_path(&mut self, vars: &[ScopeVar], phi: &Expr) -> Option<BExpr> {
+        if let Expr::IntLit(v) = phi {
+            // `F(true) = true`; `F(false)` must run the cube search (it is
+            // the set of inconsistent cubes used by `enforce`)
+            if *v != 0 {
+                return Some(BExpr::Const(true));
+            }
+        }
+        for v in vars {
+            if v.expr == *phi {
+                return Some(BExpr::var(v.name.clone()));
+            }
+            if v.expr == phi.negated() || v.expr.negated() == *phi {
+                return Some(BExpr::var(v.name.clone()).negate());
+            }
+        }
+        None
+    }
+}
+
+/// The syntactic cone of influence (§5.2, third optimization): starting
+/// from the tokens of `φ`, repeatedly add predicates sharing a variable or
+/// an accessed field, until a fixpoint.
+fn cone_of_influence<'v>(vars: &'v [ScopeVar], phi: &Expr) -> Vec<&'v ScopeVar> {
+    let mut tokens = influence_tokens(phi);
+    let mut included = vec![false; vars.len()];
+    loop {
+        let mut changed = false;
+        for (i, v) in vars.iter().enumerate() {
+            if included[i] {
+                continue;
+            }
+            let vt = influence_tokens(&v.expr);
+            if vt.iter().any(|t| tokens.contains(t)) {
+                included[i] = true;
+                changed = true;
+                for t in vt {
+                    if !tokens.contains(&t) {
+                        tokens.push(t);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return vars
+                .iter()
+                .enumerate()
+                .filter_map(|(i, v)| included[i].then_some(v))
+                .collect();
+        }
+    }
+}
+
+/// Tokens over which influence is computed: variable names and accessed
+/// field names (fields stand in for "a location or an alias of a
+/// location" — any two same-named fields may alias).
+fn influence_tokens(e: &Expr) -> Vec<String> {
+    let mut out = Vec::new();
+    e.walk(&mut |sub| match sub {
+        Expr::Var(v) => {
+            let t = format!("v:{v}");
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        Expr::Field(_, f) => {
+            let t = format!("f:{f}");
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        Expr::Unary(UnOp::Deref, _) | Expr::Index(_, _) => {
+            let t = "deref".to_string();
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        _ => {}
+    });
+    out
+}
+
+/// Simple combination enumerator: k-subsets of 0..n in lexicographic
+/// order.
+struct CubeEnum {
+    n: usize,
+    k: usize,
+    current: Vec<usize>,
+    started: bool,
+}
+
+impl CubeEnum {
+    fn new(n: usize, k: usize) -> CubeEnum {
+        CubeEnum {
+            n,
+            k,
+            current: (0..k).collect(),
+            started: false,
+        }
+    }
+
+    fn next_combo(&mut self) -> Option<Vec<usize>> {
+        if self.k == 0 || self.k > self.n {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.current.clone());
+        }
+        // advance
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            if self.current[i] != i + self.n - self.k {
+                break;
+            }
+        }
+        self.current[i] += 1;
+        for j in i + 1..self.k {
+            self.current[j] = self.current[j - 1] + 1;
+        }
+        Some(self.current.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cparse::parser::{parse_expr, parse_program};
+
+    fn scope_vars(preds: &[&str]) -> Vec<ScopeVar> {
+        preds
+            .iter()
+            .map(|p| ScopeVar {
+                name: (*p).to_string(),
+                expr: parse_expr(p).unwrap(),
+            })
+            .collect()
+    }
+
+    fn search_env() -> (TypeEnv, impl Fn(&str) -> Option<Type>) {
+        let p = parse_program(
+            r#"
+            struct cell { int val; struct cell* next; };
+            int x, y, v;
+            void holder(struct cell* curr, struct cell* prev, int* p) { ; }
+        "#,
+        )
+        .unwrap();
+        let env = TypeEnv::new(&p);
+        let f = p.function("holder").unwrap().clone();
+        let lookup = move |name: &str| {
+            f.var_type(name).cloned().or(match name {
+                "x" | "y" | "v" => Some(Type::Int),
+                _ => None,
+            })
+        };
+        (env, lookup)
+    }
+
+    #[test]
+    fn paper_example_x_equals_2_implies_x_lt_4() {
+        // E = {x < 5, x == 2}; F_V(x < 4) = {x == 2}
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["x < 5", "x == 2"]);
+        let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
+        let f = cs.largest_implying_disjunction(&vars, &parse_expr("x < 4").unwrap());
+        assert_eq!(f, BExpr::var("x == 2"));
+    }
+
+    #[test]
+    fn fast_path_answers_without_prover() {
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["x < 5"]);
+        let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
+        let f = cs.largest_implying_disjunction(&vars, &parse_expr("x < 5").unwrap());
+        assert_eq!(f, BExpr::var("x < 5"));
+        // negation fast path: F(x >= 5) = !{x < 5}
+        let g = cs.largest_implying_disjunction(&vars, &parse_expr("x >= 5").unwrap());
+        assert_eq!(g, BExpr::var("x < 5").negate());
+        assert_eq!(cs.prover.stats.queries, 0);
+        assert_eq!(cs.stats.fast_path_hits, 2);
+    }
+
+    #[test]
+    fn prime_implicants_only() {
+        // E = {x == 1, y == 1}; F(x >= 1) should be just {x == 1}, not
+        // also the longer cube {x == 1 && y == 1}
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["x == 1", "y == 1"]);
+        let mut cs = CubeSearch::new(
+            &mut prover,
+            &env,
+            &lookup,
+            CubeOptions {
+                cone_of_influence: false,
+                ..CubeOptions::default()
+            },
+        );
+        let f = cs.largest_implying_disjunction(&vars, &parse_expr("x >= 1").unwrap());
+        assert_eq!(f, BExpr::var("x == 1"));
+        assert!(cs.stats.cubes_pruned > 0);
+    }
+
+    #[test]
+    fn disjunction_of_multiple_implicants() {
+        // E = {x == 1, x == 2}; F(x >= 1) = {x==1} || {x==2}
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["x == 1", "x == 2"]);
+        let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
+        let f = cs.largest_implying_disjunction(&vars, &parse_expr("x >= 1").unwrap());
+        assert_eq!(
+            f,
+            BExpr::or([BExpr::var("x == 1"), BExpr::var("x == 2")])
+        );
+    }
+
+    #[test]
+    fn g_is_dual_of_f() {
+        // G(x == 2) over {x < 5}: strongest consequence is {x < 5}
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["x < 5"]);
+        let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
+        let g = cs.strongest_implied_conjunction(&vars, &parse_expr("x == 2").unwrap());
+        assert_eq!(g, BExpr::var("x < 5"));
+    }
+
+    #[test]
+    fn enforce_finds_mutual_exclusion() {
+        // {x == 1} and {x == 2} cannot hold together
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["x == 1", "x == 2"]);
+        let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
+        let inv = cs.enforce_invariant(&vars).expect("should find invariant");
+        // invariant is !( {x==1} && {x==2} )
+        assert_eq!(
+            inv,
+            BExpr::and([BExpr::var("x == 1"), BExpr::var("x == 2")]).negate()
+        );
+    }
+
+    #[test]
+    fn enforce_absent_when_consistent() {
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["x < 5", "y < 5"]);
+        let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
+        assert!(cs.enforce_invariant(&vars).is_none());
+    }
+
+    #[test]
+    fn cone_of_influence_reduces_queries() {
+        let (env, lookup) = search_env();
+        let vars = scope_vars(&["x == 1", "y == 7", "v == 3"]);
+        let phi = parse_expr("x >= 1").unwrap();
+        let mut p1 = Prover::new();
+        let mut with_coi = CubeSearch::new(&mut p1, &env, &lookup, CubeOptions::default());
+        let f1 = with_coi.largest_implying_disjunction(&vars, &phi);
+        let q_with = with_coi.prover.stats.queries;
+        let mut p2 = Prover::new();
+        let mut without = CubeSearch::new(
+            &mut p2,
+            &env,
+            &lookup,
+            CubeOptions {
+                cone_of_influence: false,
+                ..CubeOptions::default()
+            },
+        );
+        let f2 = without.largest_implying_disjunction(&vars, &phi);
+        let q_without = without.prover.stats.queries;
+        assert_eq!(f1, f2, "cone of influence must not change the result");
+        assert!(q_with < q_without, "{q_with} !< {q_without}");
+    }
+
+    #[test]
+    fn cube_length_cap_trades_precision() {
+        // proving x+y+v >= 3 requires the length-3 cube
+        let (env, lookup) = search_env();
+        let vars = scope_vars(&["x == 1", "y == 1", "v == 1"]);
+        let phi = parse_expr("x + y + v >= 3").unwrap();
+        let mut p1 = Prover::new();
+        let mut full = CubeSearch::new(&mut p1, &env, &lookup, CubeOptions::default());
+        let f_full = full.largest_implying_disjunction(&vars, &phi);
+        assert_ne!(f_full, BExpr::Const(false));
+        let mut p2 = Prover::new();
+        let mut capped = CubeSearch::new(
+            &mut p2,
+            &env,
+            &lookup,
+            CubeOptions {
+                max_cube_len: Some(2),
+                ..CubeOptions::default()
+            },
+        );
+        let f_capped = capped.largest_implying_disjunction(&vars, &phi);
+        assert_eq!(f_capped, BExpr::Const(false));
+    }
+
+    #[test]
+    fn pointer_predicates_from_figure_2() {
+        // abstracting *p = *p + x over {*p <= 0, x == 0, r == 0}:
+        // F(WP) where WP(s, *p <= 0) = *p + x <= 0 gives {*p <= 0} && {x == 0}
+        let (env, lookup) = search_env();
+        let mut prover = Prover::new();
+        let vars = scope_vars(&["*p <= 0", "x == 0", "r == 0"]);
+        let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
+        let f = cs.largest_implying_disjunction(
+            &vars,
+            &parse_expr("*p + x <= 0").unwrap(),
+        );
+        assert_eq!(
+            f,
+            BExpr::and([BExpr::var("*p <= 0"), BExpr::var("x == 0")])
+        );
+    }
+
+    #[test]
+    fn combination_enumerator() {
+        let mut e = CubeEnum::new(4, 2);
+        let mut combos = Vec::new();
+        while let Some(c) = e.next_combo() {
+            combos.push(c);
+        }
+        assert_eq!(combos.len(), 6);
+        assert_eq!(combos[0], vec![0, 1]);
+        assert_eq!(combos[5], vec![2, 3]);
+    }
+}

@@ -1,0 +1,39 @@
+//! C2bp: automatic predicate abstraction of C programs.
+//!
+//! This crate is the primary contribution of the reproduced paper,
+//! *Automatic Predicate Abstraction of C Programs* (Ball, Majumdar,
+//! Millstein, Rajamani — PLDI 2001). Given a C program `P` (parsed and
+//! simplified by [`cparse`]) and a set `E` of pure boolean C expressions,
+//! it constructs a boolean program `BP(P, E)` ([`bp`]) that is a sound
+//! abstraction of `P`: every feasible execution path of `P` is feasible
+//! in `BP(P, E)`, with predicate valuations matching the concrete states
+//! (§4.6).
+//!
+//! # Example
+//!
+//! ```
+//! use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
+//! use cparse::parse_and_simplify;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_and_simplify("void f(int x) { x = 0; }")?;
+//! let preds = parse_pred_file("f x == 0")?;
+//! let abs = abstract_program(&program, &preds, &C2bpOptions::paper_defaults())?;
+//! let text = bp::program_to_string(&abs.bprogram);
+//! assert!(text.contains("{x == 0} = true;"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abs;
+pub mod cubes;
+pub mod preds;
+pub mod sig;
+pub mod wp;
+
+pub use abs::{abstract_program, AbsError, AbsStats, Abstraction, C2bpOptions};
+pub use cubes::{CubeOptions, CubeStats, ScopeVar};
+pub use preds::{parse_pred_file, Pred, PredScope};
+pub use sig::{signature, Signature};

@@ -1,0 +1,224 @@
+//! Predicates and the predicate input file format.
+//!
+//! The paper feeds C2bp a *predicate input file* like:
+//!
+//! ```text
+//! partition curr == NULL, prev == NULL,
+//!           curr->val > v, prev->val > v
+//! global    locked == 1
+//! ```
+//!
+//! Each entry names a scope — a procedure, or the keyword `global` — and
+//! lists pure boolean C expressions separated by commas. A list continues
+//! onto the next line after a trailing comma.
+
+use cparse::ast::Expr;
+use cparse::parser::parse_expr;
+use cparse::ParseError;
+use std::fmt;
+
+/// Where a predicate's boolean variable lives (§4.5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PredScope {
+    /// Global to the boolean program; may only mention C globals.
+    Global,
+    /// Local to the named procedure.
+    Local(String),
+}
+
+impl fmt::Display for PredScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredScope::Global => write!(f, "global"),
+            PredScope::Local(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A predicate to track: a pure boolean C expression with a scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// Scope of the corresponding boolean variable.
+    pub scope: PredScope,
+    /// The C expression.
+    pub expr: Expr,
+}
+
+impl Pred {
+    /// A predicate local to `proc`.
+    pub fn local(proc: impl Into<String>, expr: Expr) -> Pred {
+        Pred {
+            scope: PredScope::Local(proc.into()),
+            expr,
+        }
+    }
+
+    /// A global predicate.
+    pub fn global(expr: Expr) -> Pred {
+        Pred {
+            scope: PredScope::Global,
+            expr,
+        }
+    }
+
+    /// The boolean variable name C2bp uses for this predicate: the
+    /// pretty-printed expression (quoted as `{...}` when printed).
+    pub fn var_name(&self) -> String {
+        cparse::pretty::expr_to_string(&self.expr)
+    }
+}
+
+/// An error in a predicate input file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredFileError {
+    /// 1-based line of the offending entry.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PredFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "predicate file error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for PredFileError {}
+
+impl From<(u32, ParseError)> for PredFileError {
+    fn from((line, e): (u32, ParseError)) -> PredFileError {
+        PredFileError {
+            line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a predicate input file.
+///
+/// # Errors
+///
+/// Returns a [`PredFileError`] on malformed entries or unparsable
+/// predicate expressions.
+pub fn parse_pred_file(src: &str) -> Result<Vec<Pred>, PredFileError> {
+    let mut out = Vec::new();
+    // group lines into entries: a new entry starts on a line that is not a
+    // continuation (previous line ended with a comma)
+    let mut entries: Vec<(u32, String)> = Vec::new();
+    let mut continuing = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if continuing {
+            let last = entries.last_mut().expect("continuation has a start");
+            last.1.push(' ');
+            last.1.push_str(line);
+        } else {
+            entries.push((line_no, line.to_string()));
+        }
+        continuing = line.ends_with(',');
+    }
+    for (line_no, entry) in entries {
+        let Some((scope_word, rest)) = split_scope(&entry) else {
+            return Err(PredFileError {
+                line: line_no,
+                message: format!("entry `{entry}` has no scope name"),
+            });
+        };
+        let scope = if scope_word == "global" {
+            PredScope::Global
+        } else {
+            PredScope::Local(scope_word.to_string())
+        };
+        for piece in rest.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            let expr = parse_expr(piece).map_err(|e| PredFileError {
+                line: line_no,
+                message: format!("cannot parse predicate `{piece}`: {}", e.message),
+            })?;
+            out.push(Pred {
+                scope: scope.clone(),
+                expr,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Splits `name rest` or `name: rest`.
+fn split_scope(entry: &str) -> Option<(&str, &str)> {
+    let entry = entry.trim();
+    let end = entry.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))?;
+    if end == 0 {
+        return None;
+    }
+    let (name, rest) = entry.split_at(end);
+    let rest = rest.trim_start().strip_prefix(':').unwrap_or(rest).trim();
+    Some((name, rest))
+}
+
+/// Renders predicates back into the input-file format (one per line).
+pub fn preds_to_string(preds: &[Pred]) -> String {
+    let mut out = String::new();
+    for p in preds {
+        out.push_str(&format!("{} {}\n", p.scope, p.var_name()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_partition_file() {
+        let src = "partition curr == NULL, prev == NULL, curr->val > v, prev->val > v";
+        let preds = parse_pred_file(src).unwrap();
+        assert_eq!(preds.len(), 4);
+        assert!(preds
+            .iter()
+            .all(|p| p.scope == PredScope::Local("partition".into())));
+        assert_eq!(preds[2].var_name(), "curr->val > v");
+    }
+
+    #[test]
+    fn continuation_lines_after_commas() {
+        let src = "mark h == 0, prev == h, this == h,\n     this->next == hnext,\n     prev == this";
+        let preds = parse_pred_file(src).unwrap();
+        assert_eq!(preds.len(), 5);
+    }
+
+    #[test]
+    fn global_scope_and_comments() {
+        let src = "// spec state\nglobal locked == 1, locked == 0\nfoo x == 0";
+        let preds = parse_pred_file(src).unwrap();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(preds[0].scope, PredScope::Global);
+        assert_eq!(preds[2].scope, PredScope::Local("foo".into()));
+    }
+
+    #[test]
+    fn bad_expression_is_reported_with_line() {
+        let err = parse_pred_file("foo x ==").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn round_trip_rendering() {
+        let src = "foo *p <= 0, x == 0";
+        let preds = parse_pred_file(src).unwrap();
+        let text = preds_to_string(&preds);
+        let again = parse_pred_file(&text).unwrap();
+        assert_eq!(preds, again);
+    }
+}

@@ -1,0 +1,236 @@
+//! Procedure signatures for modular abstraction (§4.5.2).
+//!
+//! The signature of a procedure `R` is `(F_R, r, E_f, E_r)`: its formals,
+//! its return variable, the *formal parameter predicates* (predicates of
+//! `R` mentioning no locals — they become the formals of the abstracted
+//! procedure), and the *return predicates* (predicates whose post-call
+//! value callers receive, covering both the return value and side effects
+//! on globals and by-reference parameters).
+
+use crate::preds::{Pred, PredScope};
+use cparse::ast::{Expr, Function, Program, Stmt, UnOp};
+
+/// The signature of one procedure's abstraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    /// Procedure name.
+    pub name: String,
+    /// Formal parameter names of the C procedure (`F_R`).
+    pub formals: Vec<String>,
+    /// The return variable `r`, if the procedure returns a value.
+    pub ret_var: Option<String>,
+    /// `E_f`: predicates that become formals of the boolean procedure.
+    pub formal_preds: Vec<Pred>,
+    /// `E_r`: predicates whose values the boolean procedure returns.
+    pub return_preds: Vec<Pred>,
+}
+
+/// The return variable of a simplified function: the variable in its
+/// single `return` statement.
+pub fn return_var(f: &Function) -> Option<String> {
+    let mut out = None;
+    f.body.walk(&mut |s| {
+        if let Stmt::Return {
+            value: Some(Expr::Var(v)),
+            ..
+        } = s
+        {
+            out = Some(v.clone());
+        }
+    });
+    out
+}
+
+/// Formal parameters whose value may change inside the body (assigned
+/// directly or address-taken). Predicates in `E_r` mentioning these are
+/// dropped (footnote 4: the formal may no longer equal its actual at the
+/// end of the call).
+pub fn modified_formals(f: &Function) -> Vec<String> {
+    let formal_names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+    let mut out: Vec<String> = Vec::new();
+    f.body.walk(&mut |s| {
+        let mut hit = |name: &str| {
+            if formal_names.contains(&name) && !out.iter().any(|o| o == name) {
+                out.push(name.to_string());
+            }
+        };
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                if let Expr::Var(v) = lhs {
+                    hit(v);
+                }
+                // address-taken formals may be modified through the pointer
+                rhs.walk(&mut |e| {
+                    if let Expr::Unary(UnOp::AddrOf, inner) = e {
+                        if let Expr::Var(v) = &**inner {
+                            hit(v);
+                        }
+                    }
+                });
+            }
+            Stmt::Call { dst, args, .. } => {
+                if let Some(Expr::Var(v)) = dst {
+                    hit(v);
+                }
+                for a in args {
+                    a.walk(&mut |e| {
+                        if let Expr::Unary(UnOp::AddrOf, inner) = e {
+                            if let Expr::Var(v) = &**inner {
+                                hit(v);
+                            }
+                        }
+                    });
+                }
+            }
+            _ => {}
+        }
+    });
+    out
+}
+
+/// Computes the signature of `func` with respect to the predicates `E`.
+pub fn signature(program: &Program, func: &Function, preds: &[Pred]) -> Signature {
+    let local_preds: Vec<&Pred> = preds
+        .iter()
+        .filter(|p| p.scope == PredScope::Local(func.name.clone()))
+        .collect();
+    let locals: Vec<&str> = func.locals.iter().map(|(n, _)| n.as_str()).collect();
+    let formals: Vec<String> = func.params.iter().map(|p| p.name.clone()).collect();
+    let globals: Vec<&str> = program.globals.iter().map(|(n, _)| n.as_str()).collect();
+    let r = return_var(func);
+    let modified = modified_formals(func);
+
+    let mentions_local = |e: &Expr| e.vars().iter().any(|v| locals.contains(&v.as_str()));
+    let formal_preds: Vec<Pred> = local_preds
+        .iter()
+        .filter(|p| !mentions_local(&p.expr))
+        .map(|p| (*p).clone())
+        .collect();
+
+    let mut return_preds: Vec<Pred> = Vec::new();
+    for p in &local_preds {
+        let vars = p.expr.vars();
+        let mentions_r = r.as_deref().map(|rv| vars.iter().any(|v| v == rv));
+        // clause 1: mentions r and no *other* locals
+        let clause1 = mentions_r == Some(true)
+            && vars
+                .iter()
+                .filter(|v| Some(v.as_str()) != r.as_deref())
+                .all(|v| !locals.contains(&v.as_str()));
+        // clause 2: a formal predicate that observes a global or
+        // dereferences a formal (side-effect visibility)
+        let in_formals = formal_preds.iter().any(|fp| fp.expr == p.expr);
+        let clause2 = in_formals
+            && (vars.iter().any(|v| globals.contains(&v.as_str()))
+                || p.expr
+                    .derefd_vars()
+                    .iter()
+                    .any(|v| formals.contains(v)));
+        if clause1 || clause2 {
+            // footnote 4: drop if a mentioned formal is modified
+            let mentions_modified = vars.iter().any(|v| modified.contains(v));
+            if !mentions_modified && !return_preds.iter().any(|rp| rp.expr == p.expr) {
+                return_preds.push((*p).clone());
+            }
+        }
+    }
+
+    Signature {
+        name: func.name.clone(),
+        formals,
+        ret_var: r,
+        formal_preds,
+        return_preds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preds::parse_pred_file;
+    use cparse::parse_and_simplify;
+
+    /// The paper's Figure 2 program.
+    const FIG2: &str = r#"
+        int bar(int* q, int y) {
+            int l1, l2;
+            l1 = y;
+            l2 = 0;
+            return l1;
+        }
+        void foo(int* p, int x) {
+            int r;
+            if (*p <= x) { *p = x; } else { *p = *p + x; }
+            r = bar(p, x);
+        }
+    "#;
+
+    #[test]
+    fn figure_2_signature_of_bar() {
+        let program = parse_and_simplify(FIG2).unwrap();
+        let preds = parse_pred_file(
+            "bar y >= 0, *q <= y, y == l1, y > l2\nfoo *p <= 0, x == 0, r == 0",
+        )
+        .unwrap();
+        let bar = program.function("bar").unwrap();
+        let sig = signature(&program, bar, &preds);
+        assert_eq!(sig.ret_var.as_deref(), Some("l1"));
+        let ef: Vec<String> = sig.formal_preds.iter().map(Pred::var_name).collect();
+        assert_eq!(ef, vec!["y >= 0", "*q <= y"]);
+        let er: Vec<String> = sig.return_preds.iter().map(Pred::var_name).collect();
+        // paper: E_r = { y == l1, *q <= y }
+        assert!(er.contains(&"y == l1".to_string()), "er = {er:?}");
+        assert!(er.contains(&"*q <= y".to_string()), "er = {er:?}");
+        assert_eq!(er.len(), 2);
+    }
+
+    #[test]
+    fn modified_formals_are_dropped_from_returns() {
+        let program = parse_and_simplify(
+            r#"
+            int bar(int y) {
+                int l1;
+                y = y + 1;
+                l1 = y;
+                return l1;
+            }
+        "#,
+        )
+        .unwrap();
+        let preds = parse_pred_file("bar y >= 0, y == l1").unwrap();
+        let bar = program.function("bar").unwrap();
+        let sig = signature(&program, bar, &preds);
+        assert!(sig.return_preds.is_empty(), "{:?}", sig.return_preds);
+        assert!(modified_formals(bar).contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn globals_make_formal_preds_returnable() {
+        let program = parse_and_simplify(
+            r#"
+            int g;
+            void setg(int v) { g = v; }
+        "#,
+        )
+        .unwrap();
+        let preds = parse_pred_file("setg g == 0, v == 0").unwrap();
+        let f = program.function("setg").unwrap();
+        let sig = signature(&program, f, &preds);
+        let er: Vec<String> = sig.return_preds.iter().map(Pred::var_name).collect();
+        assert!(er.contains(&"g == 0".to_string()));
+        assert!(!er.contains(&"v == 0".to_string()));
+    }
+
+    #[test]
+    fn return_var_found_after_simplification() {
+        let program = parse_and_simplify(
+            "int f(int x) { if (x > 0) { return 1; } return 0; }",
+        )
+        .unwrap();
+        let f = program.function("f").unwrap();
+        assert_eq!(
+            return_var(f).as_deref(),
+            Some(cparse::simplify::RET_VAR)
+        );
+    }
+}

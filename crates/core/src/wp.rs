@@ -1,0 +1,475 @@
+//! Weakest preconditions with Morris' general axiom of assignment (§4.2).
+//!
+//! `WP(x = e, φ)` is `φ[e/x]` only in the absence of pointers. With
+//! pointers, every location `y` mentioned in `φ` may or may not alias the
+//! assigned location `x`:
+//!
+//! ```text
+//! φ[x, e, y] = (&x == &y && φ[e/y]) || (&x != &y && φ)
+//! ```
+//!
+//! applied in sequence for each `y`. This module classifies each pair of
+//! lvalues as [`AliasCase::Never`] / [`AliasCase::Must`] /
+//! [`AliasCase::May`] using types, shapes (a named variable is never a
+//! struct field), and the points-to analysis, generating the residual
+//! disjuncts only for genuine `May` pairs — the paper's alias-pruning
+//! optimization.
+
+use cparse::ast::{BinOp, Expr, Type, UnOp};
+use cparse::typeck::TypeEnv;
+use pointsto::PointsTo;
+
+/// Can two memory cells of these types be the same cell? Stricter than
+/// expression-level compatibility: an `int` cell is never a pointer cell
+/// (the `0`-as-null-literal rule does not apply to locations).
+fn cells_compatible(a: &Type, b: &Type) -> bool {
+    let decay = |t: &Type| match t {
+        Type::Array(elem, _) => Type::Ptr(elem.clone()),
+        other => other.clone(),
+    };
+    match (decay(a), decay(b)) {
+        (Type::Int, Type::Int) => true,
+        (Type::Ptr(x), Type::Ptr(y)) => *x == Type::Void || *y == Type::Void || x == y,
+        (Type::Struct(x), Type::Struct(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// How two lvalues may relate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AliasCase {
+    /// The lvalues never denote the same location.
+    Never,
+    /// The lvalues always denote the same location (syntactically equal).
+    Must,
+    /// They alias exactly when the given (pure, C-expressible) condition
+    /// holds at runtime.
+    May(Expr),
+    /// They may alias but the condition is not expressible in the
+    /// predicate language; the caller must give up precision.
+    Unknown,
+}
+
+/// Scope information for WP computation inside one function.
+pub struct WpCtx<'a> {
+    /// Typing environment.
+    pub env: &'a TypeEnv,
+    /// The points-to analysis results.
+    pub pts: &'a mut PointsTo,
+    /// Enclosing function name.
+    pub func: String,
+    /// Variable-type lookup for the enclosing scope.
+    pub lookup: Box<dyn Fn(&str) -> Option<Type> + 'a>,
+}
+
+impl WpCtx<'_> {
+    fn type_of(&self, e: &Expr) -> Option<Type> {
+        self.env.type_of_with(&*self.lookup, e).ok()
+    }
+
+    /// The base pointer variable of a dereference-shaped lvalue, if it is
+    /// a plain variable (after simplification it almost always is).
+    fn base_var(e: &Expr) -> Option<&str> {
+        match e {
+            Expr::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Classifies the relation between assigned location `x` and mentioned
+    /// location `y`.
+    pub fn alias_case(&mut self, x: &Expr, y: &Expr) -> AliasCase {
+        if x == y {
+            return AliasCase::Must;
+        }
+        // type pruning: different cell types never alias
+        if let (Some(tx), Some(ty)) = (self.type_of(x), self.type_of(y)) {
+            if !cells_compatible(&tx, &ty) {
+                return AliasCase::Never;
+            }
+        }
+        let func = self.func.clone();
+        match (shape(x), shape(y)) {
+            (Shape::Var(a), Shape::Var(b)) => {
+                if a == b {
+                    AliasCase::Must
+                } else {
+                    AliasCase::Never
+                }
+            }
+            // a named variable is a whole object; fields/elements are
+            // interior locations of struct/array objects
+            (Shape::Var(_), Shape::Field(_, _)) | (Shape::Field(_, _), Shape::Var(_)) => {
+                AliasCase::Never
+            }
+            (Shape::Var(v), Shape::Deref(p)) | (Shape::Deref(p), Shape::Var(v)) => {
+                if let Some(pv) = Self::base_var(p) {
+                    if !self.pts.may_point_to(&func, pv, &func, v) {
+                        return AliasCase::Never;
+                    }
+                }
+                AliasCase::May(Expr::bin(
+                    BinOp::Eq,
+                    p.clone(),
+                    Expr::Var(v.to_string()).addr_of(),
+                ))
+            }
+            (Shape::Var(v), Shape::Index(a, _)) | (Shape::Index(a, _), Shape::Var(v)) => {
+                // a[i] can only be the scalar v if a points at v itself
+                if let Some(av) = Self::base_var(a) {
+                    if !self.pts.may_point_to(&func, av, &func, v) {
+                        return AliasCase::Never;
+                    }
+                }
+                AliasCase::May(Expr::bin(
+                    BinOp::Eq,
+                    a.clone(),
+                    Expr::Var(v.to_string()).addr_of(),
+                ))
+            }
+            (Shape::Deref(p), Shape::Deref(q)) => {
+                if let (Some(pv), Some(qv)) = (Self::base_var(p), Self::base_var(q)) {
+                    if !self.pts.targets_may_intersect(&func, pv, &func, qv) {
+                        return AliasCase::Never;
+                    }
+                }
+                AliasCase::May(Expr::bin(BinOp::Eq, p.clone(), q.clone()))
+            }
+            (Shape::Deref(p), Shape::Field(q, f)) => {
+                self.deref_vs_field(p, q, f)
+            }
+            (Shape::Field(q, f), Shape::Deref(p)) => {
+                self.deref_vs_field(p, q, f)
+            }
+            (Shape::Field(p, f), Shape::Field(q, g)) => {
+                if f != g {
+                    return AliasCase::Never;
+                }
+                if let (Some(pv), Some(qv)) = (Self::base_var(p), Self::base_var(q)) {
+                    if !self.pts.targets_may_intersect(&func, pv, &func, qv) {
+                        return AliasCase::Never;
+                    }
+                }
+                AliasCase::May(Expr::bin(BinOp::Eq, p.clone(), q.clone()))
+            }
+            (Shape::Deref(p), Shape::Index(a, i)) => self.deref_vs_index(p, a, i),
+            (Shape::Index(a, i), Shape::Deref(p)) => self.deref_vs_index(p, a, i),
+            (Shape::Index(a, i), Shape::Index(b, j)) => {
+                if let (Some(av), Some(bv)) = (Self::base_var(a), Self::base_var(b)) {
+                    if av != bv && !self.pts.targets_may_intersect(&func, av, &func, bv) {
+                        return AliasCase::Never;
+                    }
+                }
+                let same_base = a == b;
+                let idx_eq = Expr::bin(BinOp::Eq, (*i).clone(), (*j).clone());
+                if same_base {
+                    if i == j {
+                        AliasCase::Must
+                    } else {
+                        AliasCase::May(idx_eq)
+                    }
+                } else {
+                    AliasCase::May(Expr::bin(
+                        BinOp::And,
+                        Expr::bin(BinOp::Eq, a.clone(), b.clone()),
+                        idx_eq,
+                    ))
+                }
+            }
+            // fields vs array elements: expressible only via interior
+            // addresses we do not model — give up precision, stay sound
+            (Shape::Field(_, _), Shape::Index(_, _))
+            | (Shape::Index(_, _), Shape::Field(_, _)) => AliasCase::Unknown,
+            (Shape::Other, _) | (_, Shape::Other) => AliasCase::Unknown,
+        }
+    }
+
+    fn deref_vs_field(&mut self, p: &Expr, q: &Expr, f: &str) -> AliasCase {
+        // *p aliases q->f iff p == &(q->f)
+        let func = self.func.clone();
+        if let (Some(pv), Some(qv)) = (Self::base_var(p), Self::base_var(q)) {
+            if !self.pts.targets_may_intersect(&func, pv, &func, qv) {
+                return AliasCase::Never;
+            }
+        }
+        let field_lv = q.clone().deref().field(f.to_string());
+        AliasCase::May(Expr::bin(BinOp::Eq, p.clone(), field_lv.addr_of()))
+    }
+
+    fn deref_vs_index(&mut self, p: &Expr, a: &Expr, i: &Expr) -> AliasCase {
+        let func = self.func.clone();
+        if let (Some(pv), Some(av)) = (Self::base_var(p), Self::base_var(a)) {
+            if !self.pts.targets_may_intersect(&func, pv, &func, av) {
+                return AliasCase::Never;
+            }
+        }
+        let elem_lv = Expr::Index(Box::new(a.clone()), Box::new(i.clone()));
+        AliasCase::May(Expr::bin(BinOp::Eq, p.clone(), elem_lv.addr_of()))
+    }
+}
+
+/// The shape of an lvalue for alias classification.
+enum Shape<'a> {
+    Var(&'a str),
+    Deref(&'a Expr),
+    /// `base_ptr->field` (base is the *pointer*, not the struct value).
+    Field(&'a Expr, &'a str),
+    Index(&'a Expr, &'a Expr),
+    Other,
+}
+
+fn shape(e: &Expr) -> Shape<'_> {
+    match e {
+        Expr::Var(v) => Shape::Var(v),
+        Expr::Unary(UnOp::Deref, p) => Shape::Deref(p),
+        Expr::Field(base, f) => match &**base {
+            Expr::Unary(UnOp::Deref, p) => Shape::Field(p, f),
+            // x.f: treat as a field of the object &x
+            _ => Shape::Other,
+        },
+        Expr::Index(a, i) => Shape::Index(a, i),
+        _ => Shape::Other,
+    }
+}
+
+/// All distinct lvalue subexpressions of `φ` (the paper's "locations
+/// mentioned in φ"), outermost first.
+pub fn locations(phi: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    phi.walk(&mut |e| {
+        if e.is_lvalue() && !out.contains(e) {
+            out.push(e.clone());
+        }
+    });
+    out
+}
+
+/// `WP(lhs = rhs, φ)` under Morris' axiom with alias pruning.
+///
+/// Returns `None` when some may-alias pair has no expressible alias
+/// condition; the abstraction then treats the predicate's new value as
+/// unknown (sound).
+pub fn wp_assign(ctx: &mut WpCtx<'_>, lhs: &Expr, rhs: &Expr, phi: &Expr) -> Option<Expr> {
+    let mut wp = phi.clone();
+    for y in locations(phi) {
+        match ctx.alias_case(lhs, &y) {
+            AliasCase::Never => {}
+            AliasCase::Must => {
+                wp = wp.subst_expr(&y, rhs);
+            }
+            AliasCase::May(cond) => {
+                let hit = Expr::bin(BinOp::And, cond.clone(), wp.subst_expr(&y, rhs));
+                let miss = Expr::bin(
+                    BinOp::And,
+                    Expr::un(UnOp::Not, cond),
+                    wp.clone(),
+                );
+                wp = Expr::bin(BinOp::Or, hit, miss);
+            }
+            AliasCase::Unknown => return None,
+        }
+    }
+    Some(wp)
+}
+
+/// Syntactic check: does the assignment certainly leave `φ` unchanged
+/// (the paper's second optimization)? True when `WP(s, φ) == φ`.
+pub fn unaffected(ctx: &mut WpCtx<'_>, lhs: &Expr, rhs: &Expr, phi: &Expr) -> bool {
+    match wp_assign(ctx, lhs, rhs, phi) {
+        Some(wp) => wp == *phi,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cparse::parser::{parse_expr, parse_program};
+    use cparse::simplify::simplify_program;
+
+    fn setup(src: &str, func: &str) -> (cparse::Program, TypeEnv, PointsTo, String) {
+        let p = parse_program(src).unwrap();
+        let p = simplify_program(&p).unwrap();
+        let env = TypeEnv::new(&p);
+        let pts = PointsTo::analyze(&p);
+        (p, env, pts, func.to_string())
+    }
+
+    fn wp_str(
+        program: &cparse::Program,
+        env: &TypeEnv,
+        pts: &mut PointsTo,
+        func: &str,
+        lhs: &str,
+        rhs: &str,
+        phi: &str,
+    ) -> Option<String> {
+        let f = program.function(func).unwrap();
+        let mut ctx = WpCtx {
+            env,
+            pts,
+            func: func.to_string(),
+            lookup: Box::new(move |n| {
+                f.var_type(n).cloned()
+            }),
+        };
+        let lhs = parse_expr(lhs).unwrap();
+        let rhs = parse_expr(rhs).unwrap();
+        let phi = parse_expr(phi).unwrap();
+        wp_assign(&mut ctx, &lhs, &rhs, &phi).map(|e| cparse::pretty::expr_to_string(&e))
+    }
+
+    const SCALARS: &str = r#"
+        void f(int x, int y) {
+            int* p; int* q;
+            p = &x;
+            x = 3;
+        }
+    "#;
+
+    #[test]
+    fn plain_substitution_without_pointers() {
+        // WP(x = x + 1, x < 5) = x + 1 < 5
+        let (p, env, mut pts, f) = setup("void f(int x) { x = x + 1; }", "f");
+        let wp = wp_str(&p, &env, &mut pts, &f, "x", "x + 1", "x < 5").unwrap();
+        assert_eq!(wp, "x + 1 < 5");
+    }
+
+    #[test]
+    fn morris_axiom_for_possible_alias() {
+        // WP(x = 3, *p > 5) with p possibly pointing to x:
+        // (p == &x && 3 > 5) || (!(p == &x) && *p > 5)
+        let (p, env, mut pts, f) = setup(SCALARS, "f");
+        let wp = wp_str(&p, &env, &mut pts, &f, "x", "3", "*p > 5").unwrap();
+        assert!(wp.contains("p == &x"), "wp = {wp}");
+        assert!(wp.contains("3 > 5"), "wp = {wp}");
+        assert!(wp.contains("*p > 5"), "wp = {wp}");
+    }
+
+    #[test]
+    fn alias_analysis_prunes_impossible_aliases() {
+        // q never points to x, so WP(x = 3, *q > 5) = *q > 5
+        let src = r#"
+            void f(int x, int y) {
+                int* q;
+                q = &y;
+                x = 3;
+            }
+        "#;
+        let (p, env, mut pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &mut pts, &f, "x", "3", "*q > 5").unwrap();
+        assert_eq!(wp, "*q > 5");
+    }
+
+    #[test]
+    fn distinct_fields_never_alias() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            void f(list curr, list prev, list nextcurr, int v) {
+                prev->next = nextcurr;
+            }
+        "#;
+        let (p, env, mut pts, f) = setup(src, "f");
+        // assignment to prev->next leaves curr->val alone
+        let wp = wp_str(
+            &p, &env, &mut pts, &f,
+            "prev->next", "nextcurr", "curr->val > v",
+        )
+        .unwrap();
+        assert_eq!(wp, "curr->val > v");
+    }
+
+    #[test]
+    fn same_field_may_alias_with_pointer_equality_condition() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            void f(list curr, list prev, int v) {
+                curr->val = v;
+            }
+        "#;
+        let (p, env, mut pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &mut pts, &f, "curr->val", "0", "prev->val > v")
+            .unwrap();
+        assert!(wp.contains("curr == prev") || wp.contains("prev == curr"), "wp={wp}");
+    }
+
+    #[test]
+    fn var_assignment_to_pointer_substitutes_in_field_access() {
+        // WP(prev = curr, prev->val > v) = curr->val > v
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            void f(list curr, list prev, int v) {
+                prev = curr;
+            }
+        "#;
+        let (p, env, mut pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &mut pts, &f, "prev", "curr", "prev->val > v")
+            .unwrap();
+        assert_eq!(wp, "curr->val > v");
+    }
+
+    #[test]
+    fn var_never_aliases_field() {
+        // assignment to int variable leaves any p->val untouched
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            void f(list p, int v) { v = 3; }
+        "#;
+        let (prog, env, mut pts, f) = setup(src, "f");
+        let wp = wp_str(&prog, &env, &mut pts, &f, "v", "3", "p->val > 0").unwrap();
+        assert_eq!(wp, "p->val > 0");
+    }
+
+    #[test]
+    fn array_elements_use_index_condition() {
+        let src = r#"
+            int a[10];
+            void f(int i, int j) { a[i] = 0; }
+        "#;
+        let (p, env, mut pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &mut pts, &f, "a[i]", "0", "a[j] > 1").unwrap();
+        assert!(wp.contains("i == j") || wp.contains("j == i"), "wp={wp}");
+        // and identical indices substitute outright
+        let wp2 = wp_str(&p, &env, &mut pts, &f, "a[i]", "0", "a[i] > 1").unwrap();
+        assert_eq!(wp2, "0 > 1");
+    }
+
+    #[test]
+    fn unaffected_detects_identity() {
+        let (p, env, mut pts, f) = setup("void f(int x, int y) { x = 1; }", "f");
+        let fun = p.function(&f).unwrap();
+        let mut ctx = WpCtx {
+            env: &env,
+            pts: &mut pts,
+            func: f.clone(),
+            lookup: Box::new(move |n| fun.var_type(n).cloned()),
+        };
+        assert!(unaffected(
+            &mut ctx,
+            &parse_expr("x").unwrap(),
+            &parse_expr("1").unwrap(),
+            &parse_expr("y > 0").unwrap()
+        ));
+        assert!(!unaffected(
+            &mut ctx,
+            &parse_expr("x").unwrap(),
+            &parse_expr("1").unwrap(),
+            &parse_expr("x > 0").unwrap()
+        ));
+    }
+
+    #[test]
+    fn locations_enumerates_lvalues() {
+        let phi = parse_expr("curr->val > v && *p == a[i]").unwrap();
+        let locs = locations(&phi);
+        let strs: Vec<String> = locs
+            .iter()
+            .map(cparse::pretty::expr_to_string)
+            .collect();
+        assert!(strs.contains(&"curr->val".to_string()));
+        assert!(strs.contains(&"curr".to_string()));
+        assert!(strs.contains(&"v".to_string()));
+        assert!(strs.contains(&"*p".to_string()));
+        assert!(strs.contains(&"a[i]".to_string()));
+    }
+}

@@ -1,0 +1,743 @@
+//! Abstract syntax for the C subset analyzed by the SLAM toolkit.
+//!
+//! The language covers everything the paper exercises: integers, named
+//! structs, pointers, (logically modeled) arrays, procedures with
+//! call-by-value parameters, `if`/`while`/`goto` control flow, and the
+//! statement forms of the paper's intermediate representation.
+//!
+//! Expressions are *pure*: assignment is a statement, there are no `++`
+//! operators, and after [simplification](crate::simplify) function calls
+//! appear only at statement level and no expression contains more than one
+//! pointer dereference on any access path.
+
+use std::fmt;
+
+/// A source position (1-based line and column) used in diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pos {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Types of the C subset.
+///
+/// Arrays and pointers follow the paper's *logical model of memory*:
+/// `p + i` yields a pointer to the same object as `p`, and `a[i]` denotes
+/// the logical element `i` of array object `a`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The `void` type (function returns only).
+    Void,
+    /// The `int` type. All integral types of the subset collapse to `int`.
+    Int,
+    /// A named struct type, e.g. `struct cell`.
+    Struct(String),
+    /// A pointer type `T*`.
+    Ptr(Box<Type>),
+    /// An array type `T[n]`; `n` is `None` for unsized array parameters.
+    Array(Box<Type>, Option<usize>),
+}
+
+impl Type {
+    /// Returns the pointee type if `self` is a pointer (or decayed array).
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if the type is a pointer or array (pointer-like for aliasing).
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, Type::Ptr(_) | Type::Array(_, _))
+    }
+
+    /// A pointer to `self`.
+    pub fn ptr_to(&self) -> Type {
+        Type::Ptr(Box::new(self.clone()))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int => write!(f, "int"),
+            Type::Struct(name) => write!(f, "struct {name}"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, Some(n)) => write!(f, "{t}[{n}]"),
+            Type::Array(t, None) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `!e`.
+    Not,
+    /// Pointer dereference `*e`.
+    Deref,
+    /// Address-of `&e` (the operand must be an lvalue).
+    AddrOf,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Deref => "*",
+            UnOp::AddrOf => "&",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` — pure conjunction (expressions have no side effects).
+    And,
+    /// `||` — pure disjunction.
+    Or,
+}
+
+impl BinOp {
+    /// True for `<`, `<=`, `>`, `>=`, `==`, `!=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for `&&` and `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for `+ - * / %`.
+    pub fn is_arith(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`), if any.
+    pub fn flip(self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            BinOp::Eq => BinOp::Eq,
+            BinOp::Ne => BinOp::Ne,
+            _ => return None,
+        })
+    }
+
+    /// The logically negated comparison (`a < b` ⇔ `!(a >= b)`), if any.
+    pub fn negate(self) -> Option<BinOp> {
+        Some(match self {
+            BinOp::Lt => BinOp::Ge,
+            BinOp::Le => BinOp::Gt,
+            BinOp::Gt => BinOp::Le,
+            BinOp::Ge => BinOp::Lt,
+            BinOp::Eq => BinOp::Ne,
+            BinOp::Ne => BinOp::Eq,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Pure expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// The null pointer constant `NULL` (also written `0` in pointer context).
+    Null,
+    /// A variable reference.
+    Var(String),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A struct field access `e.f`; `e->f` parses as `(*e).f`.
+    Field(Box<Expr>, String),
+    /// An array element access `a[i]` (logical memory model).
+    Index(Box<Expr>, Box<Expr>),
+    /// A call `f(args)`. After simplification calls appear only at the
+    /// top level of [`Stmt::Call`].
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Integer literal helper.
+    pub fn int(v: i64) -> Expr {
+        Expr::IntLit(v)
+    }
+
+    /// Variable helper.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// `!self` with double negations collapsed and comparisons flipped.
+    pub fn negated(&self) -> Expr {
+        match self {
+            Expr::Unary(UnOp::Not, inner) => (**inner).clone(),
+            Expr::Binary(op, l, r) => match op.negate() {
+                Some(neg) => Expr::Binary(neg, l.clone(), r.clone()),
+                None => Expr::Unary(UnOp::Not, Box::new(self.clone())),
+            },
+            Expr::IntLit(v) => Expr::IntLit(i64::from(*v == 0)),
+            _ => Expr::Unary(UnOp::Not, Box::new(self.clone())),
+        }
+    }
+
+    /// Binary-operation helper.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary(op, Box::new(l), Box::new(r))
+    }
+
+    /// Unary-operation helper.
+    pub fn un(op: UnOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// `*self`.
+    pub fn deref(self) -> Expr {
+        Expr::un(UnOp::Deref, self)
+    }
+
+    /// `&self`.
+    pub fn addr_of(self) -> Expr {
+        Expr::un(UnOp::AddrOf, self)
+    }
+
+    /// `self->field`, i.e. `(*self).field`.
+    pub fn arrow(self, field: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(self.deref()), field.into())
+    }
+
+    /// `self.field`.
+    pub fn field(self, field: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(self), field.into())
+    }
+
+    /// True if this expression is an lvalue form (variable, dereference,
+    /// field access, or array element).
+    pub fn is_lvalue(&self) -> bool {
+        match self {
+            Expr::Var(_) => true,
+            Expr::Unary(UnOp::Deref, _) => true,
+            Expr::Field(base, _) => base.is_lvalue(),
+            Expr::Index(base, _) => base.is_lvalue(),
+            _ => false,
+        }
+    }
+
+    /// True if the expression contains a function call.
+    pub fn has_call(&self) -> bool {
+        match self {
+            Expr::Call(_, _) => true,
+            Expr::IntLit(_) | Expr::Null | Expr::Var(_) => false,
+            Expr::Unary(_, e) => e.has_call(),
+            Expr::Binary(_, l, r) => l.has_call() || r.has_call(),
+            Expr::Field(e, _) => e.has_call(),
+            Expr::Index(a, i) => a.has_call() || i.has_call(),
+        }
+    }
+
+    /// The maximum number of dereferences stacked along any access path.
+    ///
+    /// `x` has depth 0, `*p` and `p->f` have depth 1, `**p` and
+    /// `p->next->val` have depth 2. The paper's intermediate form requires
+    /// depth at most 1 on every access path.
+    pub fn deref_depth(&self) -> u32 {
+        match self {
+            Expr::IntLit(_) | Expr::Null | Expr::Var(_) => 0,
+            Expr::Unary(UnOp::Deref, e) => e.deref_depth() + 1,
+            Expr::Unary(UnOp::AddrOf, e) => e.deref_depth().saturating_sub(1),
+            Expr::Unary(_, e) => e.deref_depth(),
+            Expr::Binary(_, l, r) => l.deref_depth().max(r.deref_depth()),
+            Expr::Field(e, _) => e.deref_depth(),
+            Expr::Index(a, i) => (a.deref_depth() + 1).max(i.deref_depth()),
+            Expr::Call(_, args) => args.iter().map(Expr::deref_depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Visits every sub-expression (including `self`), outermost first.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a Expr)) {
+        visit(self);
+        match self {
+            Expr::IntLit(_) | Expr::Null | Expr::Var(_) => {}
+            Expr::Unary(_, e) => e.walk(visit),
+            Expr::Binary(_, l, r) => {
+                l.walk(visit);
+                r.walk(visit);
+            }
+            Expr::Field(e, _) => e.walk(visit),
+            Expr::Index(a, i) => {
+                a.walk(visit);
+                i.walk(visit);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+        }
+    }
+
+    /// The set of variable names referenced anywhere in the expression
+    /// (the paper's `vars(e)`), in first-occurrence order.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Var(name) = e {
+                if !out.iter().any(|v| v == name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// The set of variable names *dereferenced* in the expression (the
+    /// paper's `drfs(e)`): variables appearing under a `*`, `->`, or `[]`.
+    pub fn derefd_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            let base = match e {
+                Expr::Unary(UnOp::Deref, b) => Some(b),
+                Expr::Index(b, _) => Some(b),
+                _ => None,
+            };
+            if let Some(b) = base {
+                for v in b.vars() {
+                    if !out.iter().any(|x| x == &v) {
+                        out.push(v);
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Replaces every occurrence of expression `from` with `to`
+    /// (syntactic substitution; `from` is matched structurally).
+    pub fn subst_expr(&self, from: &Expr, to: &Expr) -> Expr {
+        if self == from {
+            return to.clone();
+        }
+        match self {
+            Expr::IntLit(_) | Expr::Null | Expr::Var(_) => self.clone(),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.subst_expr(from, to))),
+            Expr::Binary(op, l, r) => Expr::Binary(
+                *op,
+                Box::new(l.subst_expr(from, to)),
+                Box::new(r.subst_expr(from, to)),
+            ),
+            Expr::Field(e, f) => Expr::Field(Box::new(e.subst_expr(from, to)), f.clone()),
+            Expr::Index(a, i) => Expr::Index(
+                Box::new(a.subst_expr(from, to)),
+                Box::new(i.subst_expr(from, to)),
+            ),
+            Expr::Call(f, args) => Expr::Call(
+                f.clone(),
+                args.iter().map(|a| a.subst_expr(from, to)).collect(),
+            ),
+        }
+    }
+
+    /// Substitutes variable `name` by expression `to` (`self[to/name]`).
+    pub fn subst_var(&self, name: &str, to: &Expr) -> Expr {
+        self.subst_expr(&Expr::Var(name.to_string()), to)
+    }
+}
+
+/// A unique identifier for a statement of the simplified program.
+///
+/// Statement identities survive the translation into a boolean program so
+/// that Bebop counterexamples can be mapped back to C statements by Newton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+impl StmtId {
+    /// The id used for statements that have not been numbered yet.
+    pub const UNASSIGNED: StmtId = StmtId(u32::MAX);
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// The empty statement `;`.
+    Skip,
+    /// An assignment `lhs = rhs;` where `lhs` is an lvalue.
+    Assign {
+        /// Unique id (assigned by [`crate::simplify`]).
+        id: StmtId,
+        /// Left-hand side lvalue.
+        lhs: Expr,
+        /// Right-hand side (pure, call-free after simplification).
+        rhs: Expr,
+    },
+    /// A call statement `dst = f(args);` or `f(args);`.
+    Call {
+        /// Unique id (assigned by [`crate::simplify`]).
+        id: StmtId,
+        /// Optional destination lvalue.
+        dst: Option<Expr>,
+        /// Callee name.
+        func: String,
+        /// Actual arguments (pure, call-free after simplification).
+        args: Vec<Expr>,
+    },
+    /// A statement sequence `{ s1 ... sn }`.
+    Seq(Vec<Stmt>),
+    /// `if (cond) then_branch else else_branch`.
+    If {
+        /// Unique id of the branch point.
+        id: StmtId,
+        /// Branch condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Box<Stmt>,
+        /// Else branch ([`Stmt::Skip`] if absent).
+        else_branch: Box<Stmt>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Unique id of the loop head.
+        id: StmtId,
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `goto label;`
+    Goto(String),
+    /// A label marker `label:` (attaches to the next statement in sequence).
+    Label(String),
+    /// `return;` or `return e;`
+    Return {
+        /// Unique id.
+        id: StmtId,
+        /// Returned value, if any.
+        value: Option<Expr>,
+    },
+    /// `assert(e);` — reaching this with `e` false is the property violation.
+    Assert {
+        /// Unique id.
+        id: StmtId,
+        /// Asserted condition.
+        cond: Expr,
+    },
+    /// `assume(e);` — executions where `e` is false are discarded
+    /// (used by spec instrumentation; not ordinary C).
+    Assume {
+        /// Unique id.
+        id: StmtId,
+        /// Assumed condition.
+        cond: Expr,
+    },
+    /// `break;` (eliminated by simplification).
+    Break,
+    /// `continue;` (eliminated by simplification).
+    Continue,
+}
+
+impl Stmt {
+    /// An assignment with an unassigned id.
+    pub fn assign(lhs: Expr, rhs: Expr) -> Stmt {
+        Stmt::Assign {
+            id: StmtId::UNASSIGNED,
+            lhs,
+            rhs,
+        }
+    }
+
+    /// Visits every statement in the tree, outermost first.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a Stmt)) {
+        visit(self);
+        match self {
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    s.walk(visit);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.walk(visit);
+                else_branch.walk(visit);
+            }
+            Stmt::While { body, .. } => body.walk(visit),
+            _ => {}
+        }
+    }
+
+    /// The id of this statement, if it carries one.
+    pub fn id(&self) -> Option<StmtId> {
+        match self {
+            Stmt::Assign { id, .. }
+            | Stmt::Call { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::While { id, .. }
+            | Stmt::Return { id, .. }
+            | Stmt::Assert { id, .. }
+            | Stmt::Assume { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<(String, Type)>,
+}
+
+impl StructDef {
+    /// Looks up the type of a field.
+    pub fn field_type(&self, field: &str) -> Option<&Type> {
+        self.fields.iter().find(|(n, _)| n == field).map(|(_, t)| t)
+    }
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Local variables (declarations are hoisted to function scope).
+    pub locals: Vec<(String, Type)>,
+    /// The function body.
+    pub body: Stmt,
+}
+
+impl Function {
+    /// Looks up the declared type of a parameter or local.
+    pub fn var_type(&self, name: &str) -> Option<&Type> {
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| &p.ty)
+            .or_else(|| {
+                self.locals
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, t)| t)
+            })
+    }
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Struct definitions, in declaration order.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<(String, Type)>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Looks up a struct definition by tag.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup of a function by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Looks up the type of a global variable.
+    pub fn global_type(&self, name: &str) -> Option<&Type> {
+        self.globals.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// The number of non-blank source lines of the pretty-printed program,
+    /// used for the "lines" column of the paper's tables.
+    pub fn line_count(&self) -> usize {
+        crate::pretty::program_to_string(self)
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_helpers_build_expected_shapes() {
+        let e = Expr::var("p").arrow("val");
+        assert_eq!(
+            e,
+            Expr::Field(
+                Box::new(Expr::Unary(UnOp::Deref, Box::new(Expr::Var("p".into())))),
+                "val".into()
+            )
+        );
+        assert!(e.is_lvalue());
+        assert!(!Expr::int(3).is_lvalue());
+    }
+
+    #[test]
+    fn deref_depth_counts_stacked_derefs() {
+        let p = Expr::var("p");
+        assert_eq!(p.deref_depth(), 0);
+        assert_eq!(p.clone().deref().deref_depth(), 1);
+        assert_eq!(p.clone().deref().deref().deref_depth(), 2);
+        // p->next->val has depth 2
+        let e = Expr::var("p").arrow("next").deref().field("val");
+        assert_eq!(e.deref_depth(), 2);
+        // &*p cancels
+        assert_eq!(p.deref().addr_of().deref_depth(), 0);
+    }
+
+    #[test]
+    fn vars_and_drfs() {
+        // *q <= y
+        let e = Expr::bin(BinOp::Le, Expr::var("q").deref(), Expr::var("y"));
+        assert_eq!(e.vars(), vec!["q".to_string(), "y".to_string()]);
+        assert_eq!(e.derefd_vars(), vec!["q".to_string()]);
+    }
+
+    #[test]
+    fn negated_flips_comparisons() {
+        let e = Expr::bin(BinOp::Lt, Expr::var("x"), Expr::int(5));
+        assert_eq!(
+            e.negated(),
+            Expr::bin(BinOp::Ge, Expr::var("x"), Expr::int(5))
+        );
+        assert_eq!(e.negated().negated(), e);
+        let n = Expr::un(UnOp::Not, Expr::var("b"));
+        assert_eq!(n.negated(), Expr::var("b"));
+    }
+
+    #[test]
+    fn subst_var_replaces_occurrences() {
+        // (x + 1) < y  with x := z*2
+        let e = Expr::bin(
+            BinOp::Lt,
+            Expr::bin(BinOp::Add, Expr::var("x"), Expr::int(1)),
+            Expr::var("y"),
+        );
+        let to = Expr::bin(BinOp::Mul, Expr::var("z"), Expr::int(2));
+        let got = e.subst_var("x", &to);
+        assert_eq!(
+            got,
+            Expr::bin(
+                BinOp::Lt,
+                Expr::bin(BinOp::Add, to.clone(), Expr::int(1)),
+                Expr::var("y"),
+            )
+        );
+        // y untouched
+        assert_eq!(e.subst_var("w", &to), e);
+    }
+
+    #[test]
+    fn type_display() {
+        let t = Type::Struct("cell".into()).ptr_to();
+        assert_eq!(t.to_string(), "struct cell*");
+        assert_eq!(Type::Array(Box::new(Type::Int), Some(4)).to_string(), "int[4]");
+    }
+}

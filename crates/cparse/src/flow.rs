@@ -1,0 +1,372 @@
+//! Flat control-flow form of simplified functions.
+//!
+//! The structured intermediate form (see [`crate::simplify`]) is convenient
+//! for the abstraction algorithm, which mirrors program structure, but the
+//! concrete interpreter and Newton's symbolic path executor want a flat
+//! instruction list with resolved jump targets. Both views share
+//! [`StmtId`]s, so a trace through one can be replayed through the other.
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// A flat instruction. Indices refer to positions in
+/// [`FlatFunction::instrs`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `lhs = rhs;`
+    Assign {
+        /// Originating statement.
+        id: StmtId,
+        /// Destination lvalue.
+        lhs: Expr,
+        /// Pure right-hand side.
+        rhs: Expr,
+    },
+    /// `dst = func(args);` or `func(args);`
+    Call {
+        /// Originating statement.
+        id: StmtId,
+        /// Optional destination lvalue.
+        dst: Option<Expr>,
+        /// Callee.
+        func: String,
+        /// Pure actuals.
+        args: Vec<Expr>,
+    },
+    /// Two-way branch on `cond`.
+    Branch {
+        /// Originating `if`/`while` statement.
+        id: StmtId,
+        /// Branch condition.
+        cond: Expr,
+        /// Target when `cond` is true.
+        target_true: usize,
+        /// Target when `cond` is false.
+        target_false: usize,
+    },
+    /// Unconditional jump.
+    Jump(usize),
+    /// `assert(cond);`
+    Assert {
+        /// Originating statement.
+        id: StmtId,
+        /// Asserted condition.
+        cond: Expr,
+    },
+    /// `assume(cond);`
+    Assume {
+        /// Originating statement.
+        id: StmtId,
+        /// Assumed condition.
+        cond: Expr,
+    },
+    /// Function return; the value (if any) is the given variable.
+    Return {
+        /// Originating statement.
+        id: StmtId,
+        /// Name of the returned variable, if non-void.
+        value: Option<String>,
+    },
+    /// No-op placeholder (labels, skips).
+    Nop,
+}
+
+impl Instr {
+    /// The originating statement id, if the instruction carries one.
+    pub fn id(&self) -> Option<StmtId> {
+        match self {
+            Instr::Assign { id, .. }
+            | Instr::Call { id, .. }
+            | Instr::Branch { id, .. }
+            | Instr::Assert { id, .. }
+            | Instr::Assume { id, .. }
+            | Instr::Return { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A function lowered to a flat instruction list.
+#[derive(Debug, Clone)]
+pub struct FlatFunction {
+    /// Function name.
+    pub name: String,
+    /// The instructions; entry is index 0.
+    pub instrs: Vec<Instr>,
+    /// Label name to instruction index.
+    pub labels: HashMap<String, usize>,
+}
+
+/// Errors produced while flattening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlattenError {
+    /// Description, including the offending label for unresolved gotos.
+    pub message: String,
+}
+
+impl std::fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flatten error: {}", self.message)
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+/// Flattens a simplified function into a [`FlatFunction`].
+///
+/// # Errors
+///
+/// Returns [`FlattenError`] if a `goto` targets an undefined label or a
+/// `break`/`continue` survived simplification.
+pub fn flatten_function(f: &Function) -> Result<FlatFunction, FlattenError> {
+    let mut fl = Flattener {
+        instrs: Vec::new(),
+        labels: HashMap::new(),
+        pending_gotos: Vec::new(),
+    };
+    fl.stmt(&f.body)?;
+    // implicit return for void functions that fall off the end
+    fl.instrs.push(Instr::Return {
+        id: StmtId::UNASSIGNED,
+        value: None,
+    });
+    for (idx, label) in fl.pending_gotos {
+        let target = *fl
+            .labels
+            .get(&label)
+            .ok_or_else(|| FlattenError {
+                message: format!("undefined label `{label}` in `{}`", f.name),
+            })?;
+        if let Instr::Jump(t) = &mut fl.instrs[idx] {
+            *t = target;
+        }
+    }
+    Ok(FlatFunction {
+        name: f.name.clone(),
+        instrs: fl.instrs,
+        labels: fl.labels,
+    })
+}
+
+/// Flattens every function of a simplified program.
+///
+/// # Errors
+///
+/// Propagates the first [`FlattenError`].
+pub fn flatten_program(p: &Program) -> Result<HashMap<String, FlatFunction>, FlattenError> {
+    let mut out = HashMap::new();
+    for f in &p.functions {
+        out.insert(f.name.clone(), flatten_function(f)?);
+    }
+    Ok(out)
+}
+
+struct Flattener {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    /// (index of placeholder Jump, label name)
+    pending_gotos: Vec<(usize, String)>,
+}
+
+impl Flattener {
+    fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), FlattenError> {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Label(l) => {
+                self.labels.insert(l.clone(), self.here());
+            }
+            Stmt::Goto(l) => {
+                let idx = self.here();
+                self.instrs.push(Instr::Jump(usize::MAX));
+                self.pending_gotos.push((idx, l.clone()));
+            }
+            Stmt::Assign { id, lhs, rhs } => self.instrs.push(Instr::Assign {
+                id: *id,
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+            }),
+            Stmt::Call { id, dst, func, args } => self.instrs.push(Instr::Call {
+                id: *id,
+                dst: dst.clone(),
+                func: func.clone(),
+                args: args.clone(),
+            }),
+            Stmt::Assert { id, cond } => self.instrs.push(Instr::Assert {
+                id: *id,
+                cond: cond.clone(),
+            }),
+            Stmt::Assume { id, cond } => self.instrs.push(Instr::Assume {
+                id: *id,
+                cond: cond.clone(),
+            }),
+            Stmt::Return { id, value } => {
+                let value = match value {
+                    Some(Expr::Var(v)) => Some(v.clone()),
+                    None => None,
+                    Some(other) => {
+                        return Err(FlattenError {
+                            message: format!(
+                                "return of non-variable `{}` (run simplify first)",
+                                crate::pretty::expr_to_string(other)
+                            ),
+                        })
+                    }
+                };
+                self.instrs.push(Instr::Return { id: *id, value });
+            }
+            Stmt::Seq(stmts) => {
+                for st in stmts {
+                    self.stmt(st)?;
+                }
+            }
+            Stmt::If {
+                id,
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let branch_idx = self.here();
+                self.instrs.push(Instr::Branch {
+                    id: *id,
+                    cond: cond.clone(),
+                    target_true: 0,
+                    target_false: 0,
+                });
+                let then_start = self.here();
+                self.stmt(then_branch)?;
+                let jump_idx = self.here();
+                self.instrs.push(Instr::Jump(usize::MAX));
+                let else_start = self.here();
+                self.stmt(else_branch)?;
+                let end = self.here();
+                if let Instr::Branch {
+                    target_true,
+                    target_false,
+                    ..
+                } = &mut self.instrs[branch_idx]
+                {
+                    *target_true = then_start;
+                    *target_false = else_start;
+                }
+                if let Instr::Jump(t) = &mut self.instrs[jump_idx] {
+                    *t = end;
+                }
+            }
+            Stmt::While { id, cond, body } => {
+                let head = self.here();
+                self.instrs.push(Instr::Branch {
+                    id: *id,
+                    cond: cond.clone(),
+                    target_true: 0,
+                    target_false: 0,
+                });
+                let body_start = self.here();
+                self.stmt(body)?;
+                self.instrs.push(Instr::Jump(head));
+                let exit = self.here();
+                if let Instr::Branch {
+                    target_true,
+                    target_false,
+                    ..
+                } = &mut self.instrs[head]
+                {
+                    *target_true = body_start;
+                    *target_false = exit;
+                }
+            }
+            Stmt::Break | Stmt::Continue => {
+                return Err(FlattenError {
+                    message: "break/continue must be eliminated by simplify".into(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::simplify::simplify_program;
+
+    fn flat(src: &str, name: &str) -> FlatFunction {
+        let p = parse_program(src).unwrap();
+        let s = simplify_program(&p).unwrap();
+        flatten_function(s.function(name).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn flattens_straight_line() {
+        let f = flat("int f(int x) { x = 1; x = 2; return x; }", "f");
+        let assigns = f
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Assign { .. }))
+            .count();
+        // x=1, x=2 (the trailing `return x` keeps x as the return variable)
+        assert_eq!(assigns, 2);
+        assert!(matches!(f.instrs.last(), Some(Instr::Return { .. })));
+    }
+
+    #[test]
+    fn branch_targets_resolve() {
+        let f = flat(
+            "int f(int x) { if (x > 0) { x = 1; } else { x = 2; } return x; }",
+            "f",
+        );
+        let (tt, tf) = f
+            .instrs
+            .iter()
+            .find_map(|i| match i {
+                Instr::Branch {
+                    target_true,
+                    target_false,
+                    ..
+                } => Some((*target_true, *target_false)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(tt < f.instrs.len() && tf < f.instrs.len());
+        assert_ne!(tt, tf);
+    }
+
+    #[test]
+    fn while_loops_back() {
+        let f = flat("void f(int x) { while (x > 0) { x = x - 1; } }", "f");
+        // some Jump targets the Branch index
+        let branch_idx = f
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Branch { .. }))
+            .unwrap();
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Jump(t) if *t == branch_idx)));
+    }
+
+    #[test]
+    fn goto_resolves_to_label() {
+        let f = flat(
+            "void f(int x) { if (x > 0) goto done; x = 1; done: ; }",
+            "f",
+        );
+        let done = f.labels["done"];
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Jump(t) if *t == done)));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let p = parse_program("void f() { goto nowhere; }").unwrap();
+        let s = simplify_program(&p).unwrap();
+        assert!(flatten_function(s.function("f").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,980 @@
+//! Concrete interpreter for simplified programs.
+//!
+//! The interpreter implements the paper's *logical model of memory*: every
+//! variable, struct field, and array element is one logical cell, `p + i`
+//! for pointer `p` yields `p` itself, and `malloc` allocates a fresh
+//! logical object sized by the static type of its destination.
+//!
+//! It exists for three reasons:
+//!
+//! * the example binaries run the corpus programs on concrete inputs;
+//! * the property-based *soundness* tests execute a C program concretely
+//!   and check that the boolean program abstraction can replay the same
+//!   path with consistent predicate valuations (the paper's §4.6 theorem);
+//! * Newton's symbolic executor shares its path semantics.
+//!
+//! Per-step *watch expressions* (the predicates) are evaluated into the
+//! recorded [`Trace`]; a watch that traps (e.g. dereferences `NULL`)
+//! records [`None`], matching the abstraction's "unknown" value.
+
+use crate::ast::*;
+use crate::flow::{flatten_program, FlatFunction, Instr};
+use crate::simplify::RET_VAR;
+use crate::typeck::TypeEnv;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The address of a logical memory cell: object number and offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Object identifier.
+    pub obj: u32,
+    /// Cell offset within the object.
+    pub off: u32,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A pointer to a cell.
+    Ptr(Addr),
+    /// The null pointer.
+    Null,
+    /// An uninitialized cell (reading one is a trap).
+    Uninit,
+}
+
+impl Value {
+    /// C truthiness: nonzero integers and non-null pointers are true.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::UninitRead`] for uninitialized values.
+    pub fn truthy(self) -> Result<bool, Trap> {
+        match self {
+            Value::Int(v) => Ok(v != 0),
+            Value::Ptr(_) => Ok(true),
+            Value::Null => Ok(false),
+            Value::Uninit => Err(Trap::UninitRead),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ptr(a) => write!(f, "<obj{}+{}>", a.obj, a.off),
+            Value::Null => write!(f, "NULL"),
+            Value::Uninit => write!(f, "<uninit>"),
+        }
+    }
+}
+
+/// Reasons execution can stop abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// A `NULL` pointer was dereferenced.
+    NullDeref,
+    /// An uninitialized value was read.
+    UninitRead,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// An array access fell outside its object.
+    OutOfBounds,
+    /// The step budget was exhausted (probable infinite loop).
+    OutOfFuel,
+    /// An `assert` failed at the given statement.
+    AssertFailed(StmtId),
+    /// An `assume` was violated at the given statement (execution is
+    /// discarded, not erroneous).
+    AssumeFailed(StmtId),
+    /// A construct the interpreter does not model.
+    Unsupported(String),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::NullDeref => write!(f, "null pointer dereference"),
+            Trap::UninitRead => write!(f, "read of uninitialized value"),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::OutOfBounds => write!(f, "array access out of bounds"),
+            Trap::OutOfFuel => write!(f, "step budget exhausted"),
+            Trap::AssertFailed(id) => write!(f, "assertion failed at {id}"),
+            Trap::AssumeFailed(id) => write!(f, "assume violated at {id}"),
+            Trap::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// One recorded execution step.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// Function being executed.
+    pub func: String,
+    /// Instruction index within the function's flat body.
+    pub pc: usize,
+    /// Originating statement id, if any.
+    pub id: Option<StmtId>,
+    /// For branches, the direction taken.
+    pub branch_taken: Option<bool>,
+    /// Values of the function's watch expressions *before* the step;
+    /// `None` when evaluation trapped (predicate undefined here).
+    pub watches: Vec<Option<bool>>,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The steps, in execution order.
+    pub steps: Vec<TraceStep>,
+}
+
+/// The interpreter.
+pub struct Interp {
+    program: Program,
+    env: TypeEnv,
+    flats: HashMap<String, FlatFunction>,
+    heap: Vec<Vec<Value>>,
+    globals: HashMap<String, Addr>,
+    /// Inputs consumed by the `nondet()` intrinsic.
+    pub nondet_inputs: Vec<i64>,
+    nondet_pos: usize,
+    /// Remaining execution steps.
+    pub fuel: u64,
+    /// Per-function watch expressions, evaluated at every step.
+    pub watches: HashMap<String, Vec<Expr>>,
+    /// The recorded trace of the last `run`.
+    pub trace: Trace,
+}
+
+struct Frame {
+    func: String,
+    pc: usize,
+    locals: HashMap<String, Addr>,
+    /// Pre-evaluated address receiving the return value, if any.
+    ret_addr: Option<Addr>,
+}
+
+impl Interp {
+    /// Creates an interpreter for a *simplified* program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Unsupported`] if the program fails to flatten.
+    pub fn new(program: &Program) -> Result<Interp, Trap> {
+        let env = TypeEnv::new(program);
+        let flats = flatten_program(program)
+            .map_err(|e| Trap::Unsupported(e.message))?;
+        let mut interp = Interp {
+            program: program.clone(),
+            env,
+            flats,
+            heap: Vec::new(),
+            globals: HashMap::new(),
+            nondet_inputs: Vec::new(),
+            nondet_pos: 0,
+            fuel: 1_000_000,
+            watches: HashMap::new(),
+            trace: Trace::default(),
+        };
+        for (name, ty) in &interp.program.globals.clone() {
+            let addr = interp.alloc(ty, true);
+            interp.globals.insert(name.clone(), addr);
+        }
+        Ok(interp)
+    }
+
+    /// The number of cells occupied by a value of type `ty`.
+    pub fn size_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Void | Type::Int | Type::Ptr(_) => 1,
+            Type::Struct(name) => self
+                .env
+                .struct_def(name)
+                .map(|sd| sd.fields.iter().map(|(_, t)| self.size_of(t)).sum())
+                .unwrap_or(1),
+            Type::Array(elem, n) => self.size_of(elem) * n.unwrap_or(1) as u32,
+        }
+    }
+
+    /// The cell offset of `field` within `struct name`.
+    fn field_offset(&self, name: &str, field: &str) -> Result<u32, Trap> {
+        let sd = self
+            .env
+            .struct_def(name)
+            .ok_or_else(|| Trap::Unsupported(format!("unknown struct {name}")))?;
+        let mut off = 0;
+        for (fname, fty) in &sd.fields {
+            if fname == field {
+                return Ok(off);
+            }
+            off += self.size_of(fty);
+        }
+        Err(Trap::Unsupported(format!("no field {field} in {name}")))
+    }
+
+    /// Allocates a fresh object of type `ty`; zero-initialized if `zero`.
+    pub fn alloc(&mut self, ty: &Type, zero: bool) -> Addr {
+        let size = self.size_of(ty).max(1);
+        let init = if zero {
+            match ty {
+                Type::Ptr(_) => Value::Null,
+                _ => Value::Int(0),
+            }
+        } else {
+            Value::Uninit
+        };
+        // structs mix field kinds; zero-init per flattened scalar kind
+        let mut cells = vec![init; size as usize];
+        if zero {
+            self.zero_init_cells(ty, &mut cells, 0);
+        }
+        let obj = self.heap.len() as u32;
+        self.heap.push(cells);
+        Addr { obj, off: 0 }
+    }
+
+    fn zero_init_cells(&self, ty: &Type, cells: &mut [Value], at: u32) {
+        match ty {
+            Type::Ptr(_) => cells[at as usize] = Value::Null,
+            Type::Int | Type::Void => cells[at as usize] = Value::Int(0),
+            Type::Struct(name) => {
+                if let Some(sd) = self.env.struct_def(name) {
+                    let fields = sd.fields.clone();
+                    let mut off = at;
+                    for (_, fty) in &fields {
+                        self.zero_init_cells(fty, cells, off);
+                        off += self.size_of(fty);
+                    }
+                }
+            }
+            Type::Array(elem, n) => {
+                let mut off = at;
+                for _ in 0..n.unwrap_or(1) {
+                    self.zero_init_cells(elem, cells, off);
+                    off += self.size_of(elem);
+                }
+            }
+        }
+    }
+
+    /// Reads the cell at `addr`.
+    pub fn load(&self, addr: Addr) -> Result<Value, Trap> {
+        self.heap
+            .get(addr.obj as usize)
+            .and_then(|o| o.get(addr.off as usize))
+            .copied()
+            .ok_or(Trap::OutOfBounds)
+    }
+
+    /// Writes the cell at `addr`.
+    pub fn store(&mut self, addr: Addr, v: Value) -> Result<(), Trap> {
+        let cell = self
+            .heap
+            .get_mut(addr.obj as usize)
+            .and_then(|o| o.get_mut(addr.off as usize))
+            .ok_or(Trap::OutOfBounds)?;
+        *cell = v;
+        Ok(())
+    }
+
+    fn var_addr(&self, frame: &Frame, name: &str) -> Result<Addr, Trap> {
+        frame
+            .locals
+            .get(name)
+            .or_else(|| self.globals.get(name))
+            .copied()
+            .ok_or_else(|| Trap::Unsupported(format!("unknown variable {name}")))
+    }
+
+    fn func_of(&self, name: &str) -> Option<&Function> {
+        self.program.function(name)
+    }
+
+    fn static_type(&self, frame: &Frame, e: &Expr) -> Result<Type, Trap> {
+        let f = self.func_of(&frame.func);
+        self.env
+            .type_of(f, e)
+            .map_err(|te| Trap::Unsupported(te.message))
+    }
+
+    /// Evaluates an lvalue to a cell address in `frame`'s scope.
+    fn eval_lvalue(&self, frame: &Frame, e: &Expr) -> Result<Addr, Trap> {
+        match e {
+            Expr::Var(name) => self.var_addr(frame, name),
+            Expr::Unary(UnOp::Deref, inner) => match self.eval(frame, inner)? {
+                Value::Ptr(a) => Ok(a),
+                Value::Null => Err(Trap::NullDeref),
+                Value::Uninit => Err(Trap::UninitRead),
+                Value::Int(_) => Err(Trap::Unsupported("dereference of int".into())),
+            },
+            Expr::Field(base, field) => {
+                let base_addr = self.eval_lvalue(frame, base)?;
+                let bt = self.static_type(frame, base)?;
+                match bt {
+                    Type::Struct(sname) => {
+                        let off = self.field_offset(&sname, field)?;
+                        Ok(Addr {
+                            obj: base_addr.obj,
+                            off: base_addr.off + off,
+                        })
+                    }
+                    other => Err(Trap::Unsupported(format!(
+                        "field access on non-struct {other}"
+                    ))),
+                }
+            }
+            Expr::Index(base, idx) => {
+                let i = match self.eval(frame, idx)? {
+                    Value::Int(v) => v,
+                    _ => return Err(Trap::Unsupported("non-integer index".into())),
+                };
+                let bt = self.static_type(frame, base)?;
+                let (base_addr, elem) = match bt {
+                    Type::Array(elem, _) => (self.eval_lvalue(frame, base)?, *elem),
+                    Type::Ptr(elem) => match self.eval(frame, base)? {
+                        Value::Ptr(a) => (a, *elem),
+                        Value::Null => return Err(Trap::NullDeref),
+                        _ => return Err(Trap::UninitRead),
+                    },
+                    other => {
+                        return Err(Trap::Unsupported(format!("index of {other}")))
+                    }
+                };
+                if i < 0 {
+                    return Err(Trap::OutOfBounds);
+                }
+                let off = base_addr.off + (i as u32) * self.size_of(&elem);
+                let size = self
+                    .heap
+                    .get(base_addr.obj as usize)
+                    .map(|o| o.len() as u32)
+                    .unwrap_or(0);
+                if off >= size {
+                    return Err(Trap::OutOfBounds);
+                }
+                Ok(Addr {
+                    obj: base_addr.obj,
+                    off,
+                })
+            }
+            other => Err(Trap::Unsupported(format!(
+                "not an lvalue: {}",
+                crate::pretty::expr_to_string(other)
+            ))),
+        }
+    }
+
+    /// Evaluates a pure expression in `frame`'s scope.
+    fn eval(&self, frame: &Frame, e: &Expr) -> Result<Value, Trap> {
+        match e {
+            Expr::IntLit(v) => Ok(Value::Int(*v)),
+            Expr::Null => Ok(Value::Null),
+            Expr::Var(_) | Expr::Field(_, _) | Expr::Index(_, _) => {
+                let a = self.eval_lvalue(frame, e)?;
+                let v = self.load(a)?;
+                if v == Value::Uninit {
+                    Err(Trap::UninitRead)
+                } else {
+                    Ok(v)
+                }
+            }
+            Expr::Unary(UnOp::Deref, _) => {
+                let a = self.eval_lvalue(frame, e)?;
+                let v = self.load(a)?;
+                if v == Value::Uninit {
+                    Err(Trap::UninitRead)
+                } else {
+                    Ok(v)
+                }
+            }
+            Expr::Unary(UnOp::AddrOf, inner) => {
+                Ok(Value::Ptr(self.eval_lvalue(frame, inner)?))
+            }
+            Expr::Unary(UnOp::Neg, inner) => match self.eval(frame, inner)? {
+                Value::Int(v) => Ok(Value::Int(v.wrapping_neg())),
+                _ => Err(Trap::Unsupported("negation of pointer".into())),
+            },
+            Expr::Unary(UnOp::Not, inner) => {
+                let b = self.eval(frame, inner)?.truthy()?;
+                Ok(Value::Int(i64::from(!b)))
+            }
+            Expr::Binary(op, l, r) => self.eval_binary(frame, *op, l, r),
+            Expr::Call(name, _) => Err(Trap::Unsupported(format!(
+                "call to `{name}` inside expression (run simplify first)"
+            ))),
+        }
+    }
+
+    fn eval_binary(
+        &self,
+        frame: &Frame,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<Value, Trap> {
+        // short-circuit-free but lazy evaluation is still fine: operands
+        // are pure; we evaluate both eagerly except for logical ops where
+        // laziness avoids spurious traps on the non-taken side.
+        if op == BinOp::And {
+            return Ok(Value::Int(i64::from(
+                self.eval(frame, l)?.truthy()? && self.eval(frame, r)?.truthy()?,
+            )));
+        }
+        if op == BinOp::Or {
+            return Ok(Value::Int(i64::from(
+                self.eval(frame, l)?.truthy()? || self.eval(frame, r)?.truthy()?,
+            )));
+        }
+        let lv = self.eval(frame, l)?;
+        let rv = self.eval(frame, r)?;
+        if op.is_comparison() {
+            let result = match (lv, rv) {
+                (Value::Int(a), Value::Int(b)) => match op {
+                    BinOp::Lt => a < b,
+                    BinOp::Le => a <= b,
+                    BinOp::Gt => a > b,
+                    BinOp::Ge => a >= b,
+                    BinOp::Eq => a == b,
+                    BinOp::Ne => a != b,
+                    _ => unreachable!(),
+                },
+                (Value::Null, Value::Null) => match op {
+                    BinOp::Eq => true,
+                    BinOp::Ne => false,
+                    _ => return Err(Trap::Unsupported("ordered pointer compare".into())),
+                },
+                (Value::Ptr(a), Value::Ptr(b)) => match op {
+                    BinOp::Eq => a == b,
+                    BinOp::Ne => a != b,
+                    _ => return Err(Trap::Unsupported("ordered pointer compare".into())),
+                },
+                (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_)) => match op {
+                    BinOp::Eq => false,
+                    BinOp::Ne => true,
+                    _ => return Err(Trap::Unsupported("ordered pointer compare".into())),
+                },
+                // comparing a pointer against literal 0
+                (Value::Ptr(_), Value::Int(0)) | (Value::Int(0), Value::Ptr(_)) => match op
+                {
+                    BinOp::Eq => false,
+                    BinOp::Ne => true,
+                    _ => return Err(Trap::Unsupported("pointer/int compare".into())),
+                },
+                (Value::Null, Value::Int(0)) | (Value::Int(0), Value::Null) => match op {
+                    BinOp::Eq => true,
+                    BinOp::Ne => false,
+                    _ => return Err(Trap::Unsupported("pointer/int compare".into())),
+                },
+                (Value::Uninit, _) | (_, Value::Uninit) => return Err(Trap::UninitRead),
+                _ => return Err(Trap::Unsupported("mixed compare".into())),
+            };
+            return Ok(Value::Int(i64::from(result)));
+        }
+        // arithmetic
+        match (lv, rv) {
+            (Value::Int(a), Value::Int(b)) => {
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(v))
+            }
+            // logical memory model: p + i == p
+            (Value::Ptr(a), Value::Int(_)) if matches!(op, BinOp::Add | BinOp::Sub) => {
+                Ok(Value::Ptr(a))
+            }
+            (Value::Int(_), Value::Ptr(a)) if op == BinOp::Add => Ok(Value::Ptr(a)),
+            (Value::Null, Value::Int(_)) if matches!(op, BinOp::Add | BinOp::Sub) => {
+                Ok(Value::Null)
+            }
+            (Value::Uninit, _) | (_, Value::Uninit) => Err(Trap::UninitRead),
+            _ => Err(Trap::Unsupported("pointer arithmetic".into())),
+        }
+    }
+
+    fn next_nondet(&mut self) -> i64 {
+        let v = self
+            .nondet_inputs
+            .get(self.nondet_pos)
+            .copied()
+            .unwrap_or(0);
+        self.nondet_pos += 1;
+        v
+    }
+
+    fn record_step(&mut self, frame: &Frame, branch_taken: Option<bool>) {
+        let id = self.flats[&frame.func].instrs[frame.pc].id();
+        let watches = match self.watches.get(&frame.func) {
+            Some(exprs) => exprs
+                .iter()
+                .map(|w| self.eval(frame, w).ok().and_then(|v| v.truthy().ok()))
+                .collect(),
+            None => Vec::new(),
+        };
+        self.trace.steps.push(TraceStep {
+            func: frame.func.clone(),
+            pc: frame.pc,
+            id,
+            branch_taken,
+            watches,
+        });
+    }
+
+    /// Runs function `func` on `args` until it returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] if execution goes wrong; `Trap::AssertFailed`
+    /// signals a property violation, `Trap::AssumeFailed` a discarded
+    /// execution.
+    pub fn run(&mut self, func: &str, args: Vec<Value>) -> Result<Option<Value>, Trap> {
+        self.trace = Trace::default();
+        self.nondet_pos = 0;
+        let mut stack = Vec::new();
+        stack.push(self.make_frame(func, args, None)?);
+        let mut last_return: Option<Value> = None;
+        while let Some(frame) = stack.last() {
+            if self.fuel == 0 {
+                return Err(Trap::OutOfFuel);
+            }
+            self.fuel -= 1;
+            let flat = &self.flats[&frame.func];
+            if frame.pc >= flat.instrs.len() {
+                return Err(Trap::Unsupported("fell off function end".into()));
+            }
+            let instr = flat.instrs[frame.pc].clone();
+            match instr {
+                Instr::Nop => {
+                    stack.last_mut().expect("frame").pc += 1;
+                }
+                Instr::Jump(t) => {
+                    stack.last_mut().expect("frame").pc = t;
+                }
+                Instr::Assign { lhs, rhs, .. } => {
+                    let frame = stack.last().expect("frame");
+                    self.record_step(frame, None);
+                    let addr = self.eval_lvalue(frame, &lhs)?;
+                    let v = self.eval(frame, &rhs)?;
+                    self.store(addr, v)?;
+                    stack.last_mut().expect("frame").pc += 1;
+                }
+                Instr::Branch {
+                    cond,
+                    target_true,
+                    target_false,
+                    ..
+                } => {
+                    let frame = stack.last().expect("frame");
+                    let taken = self.eval(frame, &cond)?.truthy()?;
+                    self.record_step(frame, Some(taken));
+                    stack.last_mut().expect("frame").pc =
+                        if taken { target_true } else { target_false };
+                }
+                Instr::Assert { id, cond } => {
+                    let frame = stack.last().expect("frame");
+                    self.record_step(frame, None);
+                    if !self.eval(frame, &cond)?.truthy()? {
+                        return Err(Trap::AssertFailed(id));
+                    }
+                    stack.last_mut().expect("frame").pc += 1;
+                }
+                Instr::Assume { id, cond } => {
+                    let frame = stack.last().expect("frame");
+                    self.record_step(frame, None);
+                    if !self.eval(frame, &cond)?.truthy()? {
+                        return Err(Trap::AssumeFailed(id));
+                    }
+                    stack.last_mut().expect("frame").pc += 1;
+                }
+                Instr::Call {
+                    dst, func: callee, args, ..
+                } => {
+                    let frame = stack.last().expect("frame");
+                    self.record_step(frame, None);
+                    let ret_addr = match &dst {
+                        Some(d) => Some(self.eval_lvalue(frame, d)?),
+                        None => None,
+                    };
+                    match callee.as_str() {
+                        "nondet" => {
+                            let v = Value::Int(self.next_nondet());
+                            if let Some(a) = ret_addr {
+                                self.store(a, v)?;
+                            }
+                            stack.last_mut().expect("frame").pc += 1;
+                        }
+                        "malloc" => {
+                            let pointee = match &dst {
+                                Some(d) => {
+                                    match self.static_type(stack.last().expect("frame"), d)? {
+                                        Type::Ptr(inner) => *inner,
+                                        _ => Type::Int,
+                                    }
+                                }
+                                None => Type::Int,
+                            };
+                            let a = self.alloc(&pointee, true);
+                            if let Some(ra) = ret_addr {
+                                self.store(ra, Value::Ptr(a))?;
+                            }
+                            stack.last_mut().expect("frame").pc += 1;
+                        }
+                        _ => {
+                            let mut argv = Vec::with_capacity(args.len());
+                            {
+                                let frame = stack.last().expect("frame");
+                                for a in &args {
+                                    argv.push(self.eval(frame, a)?);
+                                }
+                            }
+                            let new_frame = self.make_frame(&callee, argv, ret_addr)?;
+                            stack.last_mut().expect("frame").pc += 1;
+                            stack.push(new_frame);
+                        }
+                    }
+                }
+                Instr::Return { value, .. } => {
+                    let frame = stack.last().expect("frame");
+                    self.record_step(frame, None);
+                    let v = match &value {
+                        Some(name) => {
+                            let a = self.var_addr(frame, name)?;
+                            Some(self.load(a)?)
+                        }
+                        None => None,
+                    };
+                    let ret_addr = frame.ret_addr;
+                    stack.pop();
+                    if let (Some(a), Some(v)) = (ret_addr, v) {
+                        self.store(a, v)?;
+                    }
+                    last_return = v;
+                }
+            }
+        }
+        Ok(last_return)
+    }
+
+    fn make_frame(
+        &mut self,
+        func: &str,
+        args: Vec<Value>,
+        ret_addr: Option<Addr>,
+    ) -> Result<Frame, Trap> {
+        let f = self
+            .func_of(func)
+            .ok_or_else(|| Trap::Unsupported(format!("unknown function {func}")))?
+            .clone();
+        if args.len() != f.params.len() {
+            return Err(Trap::Unsupported(format!(
+                "{func} expects {} args, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let mut locals = HashMap::new();
+        for (p, v) in f.params.iter().zip(args) {
+            let a = self.alloc(&p.ty, false);
+            self.store(a, v)?;
+            locals.insert(p.name.clone(), a);
+        }
+        for (name, ty) in &f.locals {
+            let a = self.alloc(ty, false);
+            locals.insert(name.clone(), a);
+        }
+        let _ = RET_VAR; // return slot is an ordinary local created above
+        Ok(Frame {
+            func: func.to_string(),
+            pc: 0,
+            locals,
+            ret_addr,
+        })
+    }
+
+    /// Builds a linked list of `cell`-like struct objects from `vals`,
+    /// returning a pointer to the head (or `Null` for the empty list).
+    ///
+    /// The struct must have an `int`-valued field `val_field` and a
+    /// self-pointer field `next_field`. Used by examples and tests to set
+    /// up heap inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Unsupported`] if the struct or fields are missing.
+    pub fn build_list(
+        &mut self,
+        struct_name: &str,
+        val_field: &str,
+        next_field: &str,
+        vals: &[i64],
+    ) -> Result<Value, Trap> {
+        let ty = Type::Struct(struct_name.to_string());
+        let val_off = self.field_offset(struct_name, val_field)?;
+        let next_off = self.field_offset(struct_name, next_field)?;
+        let mut head = Value::Null;
+        for v in vals.iter().rev() {
+            let a = self.alloc(&ty, true);
+            self.store(
+                Addr {
+                    obj: a.obj,
+                    off: a.off + val_off,
+                },
+                Value::Int(*v),
+            )?;
+            self.store(
+                Addr {
+                    obj: a.obj,
+                    off: a.off + next_off,
+                },
+                head,
+            )?;
+            head = Value::Ptr(a);
+        }
+        Ok(head)
+    }
+
+    /// Reads back a linked list into a vector of its `val_field` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on malformed lists (cycles are cut by fuel).
+    pub fn read_list(
+        &self,
+        struct_name: &str,
+        val_field: &str,
+        next_field: &str,
+        mut head: Value,
+    ) -> Result<Vec<i64>, Trap> {
+        let val_off = self.field_offset(struct_name, val_field)?;
+        let next_off = self.field_offset(struct_name, next_field)?;
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while let Value::Ptr(a) = head {
+            guard += 1;
+            if guard > 100_000 {
+                return Err(Trap::OutOfFuel);
+            }
+            match self.load(Addr {
+                obj: a.obj,
+                off: a.off + val_off,
+            })? {
+                Value::Int(v) => out.push(v),
+                _ => return Err(Trap::UninitRead),
+            }
+            head = self.load(Addr {
+                obj: a.obj,
+                off: a.off + next_off,
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Allocates an object of type `ty` and returns a pointer to it
+    /// (for setting up `T*` arguments in harnesses).
+    pub fn alloc_value(&mut self, ty: &Type, v: Value) -> Result<Value, Trap> {
+        let a = self.alloc(ty, true);
+        self.store(a, v)?;
+        Ok(Value::Ptr(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::simplify::simplify_program;
+
+    fn interp_of(src: &str) -> Interp {
+        let p = parse_program(src).unwrap();
+        let s = simplify_program(&p).unwrap();
+        Interp::new(&s).unwrap()
+    }
+
+    #[test]
+    fn runs_arithmetic() {
+        let mut i = interp_of("int f(int x) { return x * 2 + 1; }");
+        assert_eq!(
+            i.run("f", vec![Value::Int(20)]).unwrap(),
+            Some(Value::Int(41))
+        );
+    }
+
+    #[test]
+    fn runs_loops_and_branches() {
+        let mut i = interp_of(
+            r#"
+            int sum(int n) {
+                int s, k;
+                s = 0; k = 1;
+                while (k <= n) { s = s + k; k = k + 1; }
+                return s;
+            }
+        "#,
+        );
+        assert_eq!(
+            i.run("sum", vec![Value::Int(10)]).unwrap(),
+            Some(Value::Int(55))
+        );
+    }
+
+    #[test]
+    fn runs_calls_with_byvalue_semantics() {
+        let mut i = interp_of(
+            r#"
+            int inc(int x) { x = x + 1; return x; }
+            int f(int y) { int z; z = inc(y); return z + y; }
+        "#,
+        );
+        // inc gets a copy: f(5) = 6 + 5
+        assert_eq!(
+            i.run("f", vec![Value::Int(5)]).unwrap(),
+            Some(Value::Int(11))
+        );
+    }
+
+    #[test]
+    fn pointers_read_and_write() {
+        let mut i = interp_of(
+            r#"
+            void setp(int* p, int v) { *p = v; }
+            int f(int x) {
+                int y;
+                y = 0;
+                setp(&y, x);
+                return y;
+            }
+        "#,
+        );
+        assert_eq!(
+            i.run("f", vec![Value::Int(7)]).unwrap(),
+            Some(Value::Int(7))
+        );
+    }
+
+    #[test]
+    fn null_deref_traps() {
+        let mut i = interp_of(
+            r#"
+            struct cell { int val; struct cell* next; };
+            int f(struct cell* p) { return p->val; }
+        "#,
+        );
+        assert_eq!(i.run("f", vec![Value::Null]), Err(Trap::NullDeref));
+    }
+
+    #[test]
+    fn assert_failure_is_reported() {
+        let mut i = interp_of("void f(int x) { assert(x > 0); }");
+        let r = i.run("f", vec![Value::Int(-1)]);
+        assert!(matches!(r, Err(Trap::AssertFailed(_))));
+        assert!(i.run("f", vec![Value::Int(1)]).is_ok());
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let mut i = interp_of("void f() { while (1) { ; } }");
+        i.fuel = 1000;
+        assert_eq!(i.run("f", vec![]), Err(Trap::OutOfFuel));
+    }
+
+    #[test]
+    fn nondet_consumes_inputs() {
+        let mut i = interp_of("int f() { int x; x = nondet(); return x; }");
+        i.nondet_inputs = vec![42];
+        assert_eq!(i.run("f", vec![]).unwrap(), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn list_partition_end_to_end() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            list partition(list *l, int v) {
+                list curr, prev, newl, nextcurr;
+                curr = *l;
+                prev = NULL;
+                newl = NULL;
+                while (curr != NULL) {
+                    nextcurr = curr->next;
+                    if (curr->val > v) {
+                        if (prev != NULL) { prev->next = nextcurr; }
+                        if (curr == *l) { *l = nextcurr; }
+                        curr->next = newl;
+                        L: newl = curr;
+                    } else {
+                        prev = curr;
+                    }
+                    curr = nextcurr;
+                }
+                return newl;
+            }
+        "#;
+        let mut i = interp_of(src);
+        let head = i.build_list("cell", "val", "next", &[5, 1, 9, 3, 7]).unwrap();
+        let l = i.alloc_value(&Type::Struct("cell".into()).ptr_to(), head).unwrap();
+        let big = i.run("partition", vec![l.clone(), Value::Int(4)]).unwrap().unwrap();
+        // returned list: elements > 4, in reverse encounter order
+        let bigs = i.read_list("cell", "val", "next", big).unwrap();
+        assert_eq!(bigs, vec![7, 9, 5]);
+        // original list (through *l): elements <= 4
+        let Value::Ptr(la) = l else { panic!() };
+        let small_head = i.load(la).unwrap();
+        let smalls = i.read_list("cell", "val", "next", small_head).unwrap();
+        assert_eq!(smalls, vec![1, 3]);
+    }
+
+    #[test]
+    fn watches_are_recorded() {
+        let mut i = interp_of("int f(int x) { x = x + 1; return x; }");
+        i.watches.insert(
+            "f".into(),
+            vec![crate::parser::parse_expr("x > 0").unwrap()],
+        );
+        i.run("f", vec![Value::Int(0)]).unwrap();
+        let first = &i.trace.steps[0];
+        assert_eq!(first.watches, vec![Some(false)]);
+        let last = i.trace.steps.last().unwrap();
+        assert_eq!(last.watches, vec![Some(true)]);
+    }
+
+    #[test]
+    fn arrays_index_and_bounds() {
+        let mut i = interp_of(
+            r#"
+            int f(int n) {
+                int a[4];
+                int k, s;
+                k = 0;
+                while (k < 4) { a[k] = k * 10; k = k + 1; }
+                s = a[n];
+                return s;
+            }
+        "#,
+        );
+        assert_eq!(
+            i.run("f", vec![Value::Int(2)]).unwrap(),
+            Some(Value::Int(20))
+        );
+        assert_eq!(i.run("f", vec![Value::Int(9)]), Err(Trap::OutOfBounds));
+    }
+}

@@ -1,0 +1,396 @@
+//! Hand-written lexer for the C subset.
+
+use crate::ast::Pos;
+use crate::ParseError;
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `struct`
+    KwStruct,
+    /// `typedef`
+    KwTypedef,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `goto`
+    KwGoto,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `assert`
+    KwAssert,
+    /// `assume`
+    KwAssume,
+    /// `NULL`
+    KwNull,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::KwInt => write!(f, "int"),
+            Tok::KwVoid => write!(f, "void"),
+            Tok::KwStruct => write!(f, "struct"),
+            Tok::KwTypedef => write!(f, "typedef"),
+            Tok::KwIf => write!(f, "if"),
+            Tok::KwElse => write!(f, "else"),
+            Tok::KwWhile => write!(f, "while"),
+            Tok::KwGoto => write!(f, "goto"),
+            Tok::KwReturn => write!(f, "return"),
+            Tok::KwBreak => write!(f, "break"),
+            Tok::KwContinue => write!(f, "continue"),
+            Tok::KwAssert => write!(f, "assert"),
+            Tok::KwAssume => write!(f, "assume"),
+            Tok::KwNull => write!(f, "NULL"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Amp => write!(f, "&"),
+            Tok::AmpAmp => write!(f, "&&"),
+            Tok::PipePipe => write!(f, "||"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Colon => write!(f, ":"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Source position of the first character.
+    pub pos: Pos,
+}
+
+/// Tokenizes `src` into a vector of tokens terminated by [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unrecognized characters, unterminated
+/// comments, or integer literals that overflow `i64`.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new(pos, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'#' => {
+                // Preprocessor lines (e.g. #include) are skipped wholesale.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(pos, format!("integer literal `{text}` overflows")))?;
+                out.push(Token { tok: Tok::Int(v), pos });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let text = &src[start..i];
+                let tok = match text {
+                    "int" | "long" | "short" | "char" | "unsigned" | "signed" => Tok::KwInt,
+                    "void" => Tok::KwVoid,
+                    "struct" => Tok::KwStruct,
+                    "typedef" => Tok::KwTypedef,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "goto" => Tok::KwGoto,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    "assert" => Tok::KwAssert,
+                    "assume" => Tok::KwAssume,
+                    "NULL" => Tok::KwNull,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                out.push(Token { tok, pos });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "->" => (Tok::Arrow, 2),
+                    "&&" => (Tok::AmpAmp, 2),
+                    "||" => (Tok::PipePipe, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    _ => match c {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b';' => (Tok::Semi, 1),
+                        b',' => (Tok::Comma, 1),
+                        b'.' => (Tok::Dot, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'/' => (Tok::Slash, 1),
+                        b'%' => (Tok::Percent, 1),
+                        b'&' => (Tok::Amp, 1),
+                        b'!' => (Tok::Bang, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b':' => (Tok::Colon, 1),
+                        _ => {
+                            return Err(ParseError::new(
+                                pos,
+                                format!("unrecognized character `{}`", c as char),
+                            ))
+                        }
+                    },
+                };
+                for _ in 0..len {
+                    bump!();
+                }
+                out.push(Token { tok, pos });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_basic_tokens() {
+        assert_eq!(
+            toks("x = p->next;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("p".into()),
+                Tok::Arrow,
+                Tok::Ident("next".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparisons_and_logic() {
+        assert_eq!(
+            toks("a <= b && c != d || !e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::AmpAmp,
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Ident("d".into()),
+                Tok::PipePipe,
+                Tok::Bang,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor() {
+        assert_eq!(
+            toks("// line\nx /* block\nmore */ y\n#include <stdio.h>\nz"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Ident("y".into()),
+                Tok::Ident("z".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_null() {
+        assert_eq!(
+            toks("if while NULL struct typedef unsigned"),
+            vec![
+                Tok::KwIf,
+                Tok::KwWhile,
+                Tok::KwNull,
+                Tok::KwStruct,
+                Tok::KwTypedef,
+                Tok::KwInt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let ts = tokenize("x\n  y").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("x @ y").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+    }
+}

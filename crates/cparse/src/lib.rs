@@ -1,0 +1,143 @@
+//! Front end for the C subset analyzed by the SLAM toolkit reproduction.
+//!
+//! This crate plays the role of Microsoft's AST toolkit in the paper
+//! *Automatic Predicate Abstraction of C Programs* (PLDI 2001): it parses
+//! a C subset, type-checks it, and lowers it into the paper's intermediate
+//! form (§4), in which all intraprocedural control flow is `if`/`while`/
+//! `goto`, expressions are side-effect free with at most one pointer
+//! dereference per access path, and calls occur only at statement level.
+//!
+//! # Example
+//!
+//! ```
+//! use cparse::parse_and_simplify;
+//! use cparse::interp::{Interp, Value};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_and_simplify("int dbl(int x) { return x + x; }")?;
+//! let mut interp = Interp::new(&program)?;
+//! let out = interp.run("dbl", vec![Value::Int(21)])?;
+//! assert_eq!(out, Some(Value::Int(42)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod flow;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod simplify;
+pub mod typeck;
+
+pub use ast::{Expr, Function, Program, Stmt, StmtId, Type};
+pub use parser::{parse_expr, parse_program};
+pub use simplify::simplify_program;
+pub use typeck::{check_program, TypeEnv, TypeError};
+
+use ast::Pos;
+use std::fmt;
+
+/// A syntax error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at `pos`.
+    pub fn new(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Any front-end failure: syntax or type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Type error (possibly raised during simplification).
+    Type(TypeError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Parse(e) => e.fmt(f),
+            FrontendError::Type(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> FrontendError {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<TypeError> for FrontendError {
+    fn from(e: TypeError) -> FrontendError {
+        FrontendError::Type(e)
+    }
+}
+
+/// Parses, type-checks, and lowers a source file into the intermediate
+/// form in one call.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] on the first syntax or type error.
+pub fn parse_and_simplify(src: &str) -> Result<Program, FrontendError> {
+    let program = parse_program(src)?;
+    check_program(&program)?;
+    Ok(simplify_program(&program)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_simplify_pipeline() {
+        let p = parse_and_simplify(
+            "int f(int x) { if (x > 0) return x; else return -x; }",
+        )
+        .unwrap();
+        simplify::check_simple_form(&p).unwrap();
+    }
+
+    #[test]
+    fn reports_parse_errors() {
+        assert!(matches!(
+            parse_and_simplify("int f( {"),
+            Err(FrontendError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn reports_type_errors() {
+        assert!(matches!(
+            parse_and_simplify("void f() { x = 1; }"),
+            Err(FrontendError::Type(_))
+        ));
+    }
+}

@@ -1,0 +1,821 @@
+//! Recursive-descent parser for the C subset.
+//!
+//! Supported top-level forms: `typedef` (including the paper's
+//! `typedef struct cell {...} *list;` idiom), standalone struct
+//! definitions, global variable declarations, and function definitions.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Tok, Token};
+use crate::ParseError;
+use std::collections::HashMap;
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error with its
+/// source position.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    p.program()
+}
+
+/// Parses a single expression (used for predicate input files).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if `src` is not a single well-formed expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Names bound by `typedef`, mapped to their underlying type.
+    typedefs: HashMap<String, Type>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            typedefs: HashMap::new(),
+        }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].tok
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.here(),
+                format!("expected `{t}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                self.here(),
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    // ---- types ---------------------------------------------------------
+
+    /// True if the current token starts a type.
+    fn at_type(&self) -> bool {
+        match self.peek() {
+            Tok::KwInt | Tok::KwVoid | Tok::KwStruct => true,
+            Tok::Ident(name) => self.typedefs.contains_key(name),
+            _ => false,
+        }
+    }
+
+    /// Parses a base type (without declarator stars): `int`, `void`,
+    /// `struct tag`, `struct tag { fields }`, or a typedef name.
+    /// Returns the type and any struct definition encountered inline.
+    fn base_type(&mut self) -> Result<(Type, Option<StructDef>), ParseError> {
+        match self.peek().clone() {
+            Tok::KwInt => {
+                self.bump();
+                // collapse `unsigned long` etc. (lexer maps them all to KwInt)
+                while *self.peek() == Tok::KwInt {
+                    self.bump();
+                }
+                Ok((Type::Int, None))
+            }
+            Tok::KwVoid => {
+                self.bump();
+                Ok((Type::Void, None))
+            }
+            Tok::KwStruct => {
+                self.bump();
+                let name = match self.peek().clone() {
+                    Tok::Ident(s) => {
+                        self.bump();
+                        s
+                    }
+                    // anonymous structs get a synthesized tag
+                    _ => format!("__anon{}", self.pos),
+                };
+                if *self.peek() == Tok::LBrace {
+                    let def = self.struct_body(name.clone())?;
+                    Ok((Type::Struct(name), Some(def)))
+                } else {
+                    Ok((Type::Struct(name), None))
+                }
+            }
+            Tok::Ident(name) => {
+                if let Some(t) = self.typedefs.get(&name).cloned() {
+                    self.bump();
+                    Ok((t, None))
+                } else {
+                    Err(ParseError::new(
+                        self.here(),
+                        format!("unknown type name `{name}`"),
+                    ))
+                }
+            }
+            other => Err(ParseError::new(
+                self.here(),
+                format!("expected type, found `{other}`"),
+            )),
+        }
+    }
+
+    /// Parses `{ field decls }` of a struct definition named `name`.
+    fn struct_body(&mut self, name: String) -> Result<StructDef, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let (base, _) = self.base_type()?;
+            loop {
+                let (fname, ty) = self.declarator(base.clone())?;
+                fields.push((fname, ty));
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Semi)?;
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(StructDef { name, fields })
+    }
+
+    /// Parses a declarator: `* ... name [n]?` applied to a base type.
+    fn declarator(&mut self, mut ty: Type) -> Result<(String, Type), ParseError> {
+        while self.eat(Tok::Star) {
+            ty = ty.ptr_to();
+        }
+        let name = self.expect_ident()?;
+        if self.eat(Tok::LBracket) {
+            let n = match self.peek().clone() {
+                Tok::Int(v) => {
+                    self.bump();
+                    Some(v as usize)
+                }
+                _ => None,
+            };
+            self.expect(Tok::RBracket)?;
+            ty = Type::Array(Box::new(ty), n);
+        }
+        Ok((name, ty))
+    }
+
+    // ---- top level -----------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::new();
+        while *self.peek() != Tok::Eof {
+            if self.eat(Tok::KwTypedef) {
+                let (base, def) = self.base_type()?;
+                if let Some(d) = def {
+                    prog.structs.push(d);
+                }
+                loop {
+                    let (name, ty) = self.declarator(base.clone())?;
+                    self.typedefs.insert(name, ty);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::Semi)?;
+                continue;
+            }
+            let (base, def) = self.base_type()?;
+            if let Some(d) = def {
+                prog.structs.push(d);
+            }
+            // `struct foo { ... };` with no declarators
+            if self.eat(Tok::Semi) {
+                continue;
+            }
+            let save = self.pos;
+            let (name, ty) = self.declarator(base.clone())?;
+            if *self.peek() == Tok::LParen {
+                // function definition
+                self.pos = save;
+                let f = self.function(base)?;
+                prog.functions.push(f);
+            } else {
+                // global variable(s)
+                prog.globals.push((name, ty));
+                while self.eat(Tok::Comma) {
+                    let (n, t) = self.declarator(base.clone())?;
+                    prog.globals.push((n, t));
+                }
+                self.expect(Tok::Semi)?;
+            }
+        }
+        Ok(prog)
+    }
+
+    fn function(&mut self, base: Type) -> Result<Function, ParseError> {
+        let (name, ret) = self.declarator(base)?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            if *self.peek() == Tok::KwVoid && *self.peek2() == Tok::RParen {
+                self.bump(); // f(void)
+            } else {
+                loop {
+                    let (pbase, _) = self.base_type()?;
+                    let (pname, pty) = self.declarator(pbase)?;
+                    // array parameters decay to pointers
+                    let pty = match pty {
+                        Type::Array(elem, _) => Type::Ptr(elem),
+                        other => other,
+                    };
+                    params.push(Param { name: pname, ty: pty });
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let mut locals = Vec::new();
+        let body = self.block(&mut locals)?;
+        Ok(Function {
+            name,
+            ret,
+            params,
+            locals,
+            body,
+        })
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block(&mut self, locals: &mut Vec<(String, Type)>) -> Result<Stmt, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            self.stmt_into(&mut stmts, locals)?;
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Stmt::Seq(stmts))
+    }
+
+    /// Parses one statement (or a declaration, which may expand to several
+    /// initializing assignments) into `stmts`.
+    fn stmt_into(
+        &mut self,
+        stmts: &mut Vec<Stmt>,
+        locals: &mut Vec<(String, Type)>,
+    ) -> Result<(), ParseError> {
+        // label?
+        if let Tok::Ident(name) = self.peek().clone() {
+            if *self.peek2() == Tok::Colon && !self.typedefs.contains_key(&name) {
+                self.bump();
+                self.bump();
+                stmts.push(Stmt::Label(name));
+                return self.stmt_into(stmts, locals);
+            }
+        }
+        if self.at_type() {
+            // declaration: hoist to function scope, keep initializers
+            let (base, _) = self.base_type()?;
+            loop {
+                let (name, ty) = self.declarator(base.clone())?;
+                locals.push((name.clone(), ty));
+                if self.eat(Tok::Assign) {
+                    let rhs = self.expr()?;
+                    stmts.push(Stmt::assign(Expr::Var(name), rhs));
+                }
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::Semi)?;
+            return Ok(());
+        }
+        let s = self.stmt(locals)?;
+        stmts.push(s);
+        Ok(())
+    }
+
+    fn stmt(&mut self, locals: &mut Vec<(String, Type)>) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::LBrace => self.block(locals),
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Skip)
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_branch = self.stmt(locals)?;
+                let else_branch = if self.eat(Tok::KwElse) {
+                    self.stmt(locals)?
+                } else {
+                    Stmt::Skip
+                };
+                Ok(Stmt::If {
+                    id: StmtId::UNASSIGNED,
+                    cond,
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.stmt(locals)?;
+                Ok(Stmt::While {
+                    id: StmtId::UNASSIGNED,
+                    cond,
+                    body: Box::new(body),
+                })
+            }
+            Tok::KwGoto => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Goto(name))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return {
+                    id: StmtId::UNASSIGNED,
+                    value,
+                })
+            }
+            Tok::KwAssert => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assert {
+                    id: StmtId::UNASSIGNED,
+                    cond,
+                })
+            }
+            Tok::KwAssume => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Assume {
+                    id: StmtId::UNASSIGNED,
+                    cond,
+                })
+            }
+            _ => {
+                // expression statement: assignment or call
+                let e = self.expr()?;
+                if self.eat(Tok::Assign) {
+                    let rhs = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    if !e.is_lvalue() {
+                        return Err(ParseError::new(
+                            self.here(),
+                            "left-hand side of assignment is not an lvalue",
+                        ));
+                    }
+                    // v = f(...) is a call statement
+                    if let Expr::Call(func, args) = rhs {
+                        return Ok(Stmt::Call {
+                            id: StmtId::UNASSIGNED,
+                            dst: Some(e),
+                            func,
+                            args,
+                        });
+                    }
+                    Ok(Stmt::assign(e, rhs))
+                } else {
+                    self.expect(Tok::Semi)?;
+                    match e {
+                        Expr::Call(func, args) => Ok(Stmt::Call {
+                            id: StmtId::UNASSIGNED,
+                            dst: None,
+                            func,
+                            args,
+                        }),
+                        _ => Err(ParseError::new(
+                            self.here(),
+                            "expression statement must be a call or assignment",
+                        )),
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.eat(Tok::PipePipe) {
+            let r = self.and_expr()?;
+            e = Expr::bin(BinOp::Or, e, r);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.eq_expr()?;
+        while self.eat(Tok::AmpAmp) {
+            let r = self.eq_expr()?;
+            e = Expr::bin(BinOp::And, e, r);
+        }
+        Ok(e)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let r = self.rel_expr()?;
+            e = Expr::bin(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.add_expr()?;
+            e = Expr::bin(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            e = Expr::bin(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            e = Expr::bin(op, e, r);
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(match e {
+                    Expr::IntLit(v) => Expr::IntLit(-v),
+                    other => Expr::un(UnOp::Neg, other),
+                })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::un(UnOp::Not, e))
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(e.deref())
+            }
+            Tok::Amp => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(e.addr_of())
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    let f = self.expect_ident()?;
+                    e = e.field(f);
+                }
+                Tok::Arrow => {
+                    self.bump();
+                    let f = self.expect_ident()?;
+                    e = e.arrow(f);
+                }
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            Tok::KwNull => {
+                self.bump();
+                Ok(Expr::Null)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(Tok::LParen) {
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                // (type) casts are parsed and dropped (logical memory model)
+                if self.at_type() {
+                    let (base, _) = self.base_type()?;
+                    let mut _ty = base;
+                    while self.eat(Tok::Star) {
+                        _ty = _ty.ptr_to();
+                    }
+                    self.expect(Tok::RParen)?;
+                    return self.unary_expr();
+                }
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError::new(
+                self.here(),
+                format!("expected expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_expression_precedence() {
+        let e = parse_expr("a + b * c < d && !e").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(
+                    BinOp::Lt,
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::var("a"),
+                        Expr::bin(BinOp::Mul, Expr::var("b"), Expr::var("c"))
+                    ),
+                    Expr::var("d")
+                ),
+                Expr::un(UnOp::Not, Expr::var("e"))
+            )
+        );
+    }
+
+    #[test]
+    fn arrow_desugars_to_deref_field() {
+        let e = parse_expr("curr->val > v").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(BinOp::Gt, Expr::var("curr").arrow("val"), Expr::var("v"))
+        );
+    }
+
+    #[test]
+    fn parses_typedef_struct_pointer() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            list g;
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].name, "cell");
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(
+            p.globals[0],
+            ("g".into(), Type::Struct("cell".into()).ptr_to())
+        );
+    }
+
+    #[test]
+    fn parses_partition_function() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            list partition(list *l, int v) {
+                list curr, prev, newl, nextcurr;
+                curr = *l;
+                prev = NULL;
+                newl = NULL;
+                while (curr != NULL) {
+                    nextcurr = curr->next;
+                    if (curr->val > v) {
+                        if (prev != NULL) { prev->next = nextcurr; }
+                        if (curr == *l) { *l = nextcurr; }
+                        curr->next = newl;
+                        L: newl = curr;
+                    } else {
+                        prev = curr;
+                    }
+                    curr = nextcurr;
+                }
+                return newl;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let f = p.function("partition").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.locals.len(), 4);
+        let mut labels = Vec::new();
+        f.body.walk(&mut |s| {
+            if let Stmt::Label(l) = s {
+                labels.push(l.clone());
+            }
+        });
+        assert_eq!(labels, vec!["L".to_string()]);
+    }
+
+    #[test]
+    fn parses_calls_and_assignment_statements() {
+        let src = r#"
+            int bar(int* q, int y) { return y; }
+            void foo(int* p, int x) {
+                int r;
+                if (*p <= x) { *p = x; } else { *p = *p + x; }
+                r = bar(p, x);
+                bar(p, r);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let f = p.function("foo").unwrap();
+        let mut calls = 0;
+        f.body.walk(&mut |s| {
+            if matches!(s, Stmt::Call { .. }) {
+                calls += 1;
+            }
+        });
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn parses_arrays_and_index() {
+        let src = r#"
+            int a[10];
+            int sum(int n) {
+                int i, s;
+                i = 0; s = 0;
+                while (i < n) { s = s + a[i]; i = i + 1; }
+                return s;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(
+            p.globals[0],
+            ("a".into(), Type::Array(Box::new(Type::Int), Some(10)))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_lvalue() {
+        let src = "void f() { 3 = x; }";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn parses_goto_and_labels() {
+        let src = r#"
+            void f(int x) {
+                if (x > 0) goto done;
+                x = 1;
+                done: ;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let f = p.function("f").unwrap();
+        let mut gotos = 0;
+        f.body.walk(&mut |s| {
+            if matches!(s, Stmt::Goto(_)) {
+                gotos += 1;
+            }
+        });
+        assert_eq!(gotos, 1);
+    }
+
+    #[test]
+    fn casts_are_dropped() {
+        let e = parse_expr("(int*)p == NULL").unwrap();
+        assert_eq!(e, Expr::bin(BinOp::Eq, Expr::var("p"), Expr::Null));
+    }
+}

@@ -1,0 +1,281 @@
+//! Pretty printer for the C subset (round-trips through the parser).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders an expression in C concrete syntax.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+/// Renders a statement (tree) with the given indentation depth.
+pub fn stmt_to_string(s: &Stmt, indent: usize) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, s, indent);
+    out
+}
+
+/// Renders a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for sd in &p.structs {
+        let _ = writeln!(out, "struct {} {{", sd.name);
+        for (name, ty) in &sd.fields {
+            let _ = writeln!(out, "    {};", decl_to_string(name, ty));
+        }
+        let _ = writeln!(out, "}};");
+    }
+    for (name, ty) in &p.globals {
+        let _ = writeln!(out, "{};", decl_to_string(name, ty));
+    }
+    for f in &p.functions {
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| decl_to_string(&p.name, &p.ty))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} {}({}) {{",
+            f.ret,
+            f.name,
+            if params.is_empty() {
+                "void".to_string()
+            } else {
+                params.join(", ")
+            }
+        );
+        for (name, ty) in &f.locals {
+            let _ = writeln!(out, "    {};", decl_to_string(name, ty));
+        }
+        match &f.body {
+            Stmt::Seq(stmts) => {
+                for s in stmts {
+                    out.push_str(&stmt_to_string(s, 1));
+                }
+            }
+            other => out.push_str(&stmt_to_string(other, 1)),
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Renders a declaration `T name` with C declarator syntax.
+pub fn decl_to_string(name: &str, ty: &Type) -> String {
+    match ty {
+        Type::Array(elem, Some(n)) => format!("{elem} {name}[{n}]"),
+        Type::Array(elem, None) => format!("{elem} {name}[]"),
+        _ => format!("{ty} {name}"),
+    }
+}
+
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::IntLit(_) | Expr::Null | Expr::Var(_) | Expr::Call(_, _) => 10,
+        Expr::Field(_, _) | Expr::Index(_, _) => 9,
+        Expr::Unary(_, _) => 8,
+        Expr::Binary(op, _, _) => match op {
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 7,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 5,
+            BinOp::Eq | BinOp::Ne => 4,
+            BinOp::And => 3,
+            BinOp::Or => 2,
+        },
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
+    let my = prec(e);
+    let need_parens = my < parent_prec;
+    if need_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Null => out.push_str("NULL"),
+        Expr::Var(name) => out.push_str(name),
+        Expr::Unary(UnOp::Deref, inner) => {
+            // print (*p).f as p->f at the Field level; plain deref here
+            out.push('*');
+            write_expr(out, inner, 9);
+        }
+        Expr::Unary(op, inner) => {
+            let _ = write!(out, "{op}");
+            write_expr(out, inner, 8);
+        }
+        Expr::Field(base, field) => {
+            if let Expr::Unary(UnOp::Deref, p) = &**base {
+                write_expr(out, p, 9);
+                let _ = write!(out, "->{field}");
+            } else {
+                write_expr(out, base, 9);
+                let _ = write!(out, ".{field}");
+            }
+        }
+        Expr::Index(base, idx) => {
+            write_expr(out, base, 9);
+            out.push('[');
+            write_expr(out, idx, 0);
+            out.push(']');
+        }
+        Expr::Binary(op, l, r) => {
+            write_expr(out, l, my);
+            let _ = write!(out, " {op} ");
+            write_expr(out, r, my + 1);
+        }
+        Expr::Call(f, args) => {
+            let _ = write!(out, "{f}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Skip => {
+            let _ = writeln!(out, "{pad};");
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            let _ = writeln!(out, "{pad}{} = {};", expr_to_string(lhs), expr_to_string(rhs));
+        }
+        Stmt::Call { dst, func, args, .. } => {
+            let args: Vec<String> = args.iter().map(expr_to_string).collect();
+            match dst {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}{} = {func}({});",
+                        expr_to_string(d),
+                        args.join(", ")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}{func}({});", args.join(", "));
+                }
+            }
+        }
+        Stmt::Seq(stmts) => {
+            for st in stmts {
+                write_stmt(out, st, indent);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", expr_to_string(cond));
+            write_stmt(out, then_branch, indent + 1);
+            if matches!(**else_branch, Stmt::Skip) {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                write_stmt(out, else_branch, indent + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", expr_to_string(cond));
+            write_stmt(out, body, indent + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Goto(l) => {
+            let _ = writeln!(out, "{pad}goto {l};");
+        }
+        Stmt::Label(l) => {
+            let _ = writeln!(out, "{l}:");
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "{pad}return {};", expr_to_string(e));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return;");
+            }
+        },
+        Stmt::Assert { cond, .. } => {
+            let _ = writeln!(out, "{pad}assert({});", expr_to_string(cond));
+        }
+        Stmt::Assume { cond, .. } => {
+            let _ = writeln!(out, "{pad}assume({});", expr_to_string(cond));
+        }
+        Stmt::Break => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        Stmt::Continue => {
+            let _ = writeln!(out, "{pad}continue;");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn expr_round_trips() {
+        for src in [
+            "x + y * z",
+            "(x + y) * z",
+            "curr->val > v",
+            "*p <= 0 && x == 0",
+            "!(prev == NULL)",
+            "a[i + 1] == a[j]",
+            "&x != &y",
+            "f(x, *p)",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = expr_to_string(&e);
+            let re = parse_expr(&printed).unwrap();
+            assert_eq!(e, re, "round trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            int g;
+            void f(list p, int x) {
+                int y;
+                y = 0;
+                while (p != NULL) {
+                    if (p->val > x) { y = y + 1; } else { p = p->next; }
+                }
+                L: return;
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        let p2 = parse_program(&printed).unwrap();
+        // struct defs print outside typedefs, so compare functions and globals
+        assert_eq!(p.globals, p2.globals);
+        assert_eq!(p.functions.len(), p2.functions.len());
+        assert_eq!(p.functions[0].locals, p2.functions[0].locals);
+    }
+
+    #[test]
+    fn line_count_is_stable() {
+        let src = "int g;\nvoid f() { g = 1; }";
+        let p = parse_program(src).unwrap();
+        assert!(p.line_count() >= 3);
+    }
+}

@@ -1,0 +1,731 @@
+//! Lowering into the paper's intermediate form (§4).
+//!
+//! After [`simplify_program`]:
+//!
+//! 1. all intraprocedural control flow uses `if`/`while`/`goto` with pure,
+//!    call-free conditions (`break`/`continue` are eliminated);
+//! 2. all expressions are free of side effects and contain at most one
+//!    pointer dereference along any access path (`**p` and `p->a->b` are
+//!    split through temporaries);
+//! 3. function calls occur only at the top level of a [`Stmt::Call`]
+//!    (`z = x + f(y);` becomes `t = f(y); z = x + t;`);
+//! 4. every function has a single `return` of a plain variable, at the
+//!    distinguished exit label [`EXIT_LABEL`];
+//! 5. every statement carries a unique [`StmtId`], stable across the
+//!    translation to a boolean program.
+
+use crate::ast::*;
+use crate::typeck::{intrinsic_return, TypeEnv, TypeError};
+
+/// The label that every `return` jumps to after normalization.
+pub const EXIT_LABEL: &str = "__exit";
+
+/// The synthesized variable holding a function's return value.
+pub const RET_VAR: &str = "__retval";
+
+/// Prefix of simplifier-introduced temporaries.
+pub const TEMP_PREFIX: &str = "__t";
+
+/// Lowers a program into the intermediate form and numbers its statements.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the program is ill-typed (the simplifier
+/// type-checks as it introduces temporaries).
+pub fn simplify_program(program: &Program) -> Result<Program, TypeError> {
+    let env = TypeEnv::new(program);
+    let mut out = Program {
+        structs: program.structs.clone(),
+        globals: program.globals.clone(),
+        functions: Vec::new(),
+    };
+    for f in &program.functions {
+        out.functions.push(simplify_function(&env, f)?);
+    }
+    number_statements(&mut out);
+    Ok(out)
+}
+
+/// Assigns a fresh, unique [`StmtId`] to every statement in the program.
+pub fn number_statements(program: &mut Program) {
+    let mut next = 0u32;
+    for f in &mut program.functions {
+        number_stmt(&mut f.body, &mut next);
+    }
+}
+
+fn number_stmt(s: &mut Stmt, next: &mut u32) {
+    let mut take = || {
+        let id = StmtId(*next);
+        *next += 1;
+        id
+    };
+    match s {
+        Stmt::Assign { id, .. }
+        | Stmt::Call { id, .. }
+        | Stmt::Return { id, .. }
+        | Stmt::Assert { id, .. }
+        | Stmt::Assume { id, .. } => *id = take(),
+        Stmt::If {
+            id,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            *id = take();
+            number_stmt(then_branch, next);
+            number_stmt(else_branch, next);
+        }
+        Stmt::While { id, body, .. } => {
+            *id = take();
+            number_stmt(body, next);
+        }
+        Stmt::Seq(stmts) => {
+            for st in stmts {
+                number_stmt(st, next);
+            }
+        }
+        _ => {}
+    }
+}
+
+struct Simplifier<'a> {
+    env: &'a TypeEnv,
+    params: Vec<Param>,
+    locals: Vec<(String, Type)>,
+    fname: String,
+    temp_counter: u32,
+    label_counter: u32,
+}
+
+impl<'a> Simplifier<'a> {
+    fn lookup(&self, name: &str) -> Option<Type> {
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.ty.clone())
+            .or_else(|| {
+                self.locals
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, t)| t.clone())
+            })
+            .or_else(|| self.env.var_type(None, name))
+    }
+
+    fn type_of(&self, e: &Expr) -> Result<Type, TypeError> {
+        self.env.type_of_with(&|n| self.lookup(n), e)
+    }
+
+    fn fresh_temp(&mut self, ty: Type) -> String {
+        let name = format!("{TEMP_PREFIX}{}", self.temp_counter);
+        self.temp_counter += 1;
+        self.locals.push((name.clone(), ty));
+        name
+    }
+
+    fn fresh_label(&mut self, base: &str) -> String {
+        let name = format!("__{base}{}_{}", self.fname, self.label_counter);
+        self.label_counter += 1;
+        name
+    }
+
+    /// Rewrites `e` so that no access path contains more than one
+    /// dereference and no call remains, emitting temp assignments into
+    /// `pre`. `top_lvalue` marks the outermost lvalue of an assignment,
+    /// which may keep its own (single) outer dereference.
+    fn flatten_expr(&mut self, e: &Expr, pre: &mut Vec<Stmt>) -> Result<Expr, TypeError> {
+        match e {
+            Expr::IntLit(_) | Expr::Null | Expr::Var(_) => Ok(e.clone()),
+            Expr::Unary(UnOp::Deref, inner) => {
+                let inner = self.flatten_expr(inner, pre)?;
+                let inner = self.demote_pointer(inner, pre)?;
+                Ok(inner.deref())
+            }
+            Expr::Unary(op, inner) => {
+                let inner = self.flatten_expr(inner, pre)?;
+                Ok(Expr::un(*op, inner))
+            }
+            Expr::Binary(op, l, r) => {
+                let l = self.flatten_expr(l, pre)?;
+                let r = self.flatten_expr(r, pre)?;
+                Ok(Expr::bin(*op, l, r))
+            }
+            Expr::Field(base, f) => {
+                let base = self.flatten_expr(base, pre)?;
+                // (*p).f : p must be deref-free
+                if let Expr::Unary(UnOp::Deref, p) = base {
+                    let p = self.demote_pointer(*p, pre)?;
+                    Ok(p.deref().field(f.clone()))
+                } else {
+                    Ok(Expr::Field(Box::new(base), f.clone()))
+                }
+            }
+            Expr::Index(base, idx) => {
+                let base = self.flatten_expr(base, pre)?;
+                let base = self.demote_pointer(base, pre)?;
+                let idx = self.flatten_expr(idx, pre)?;
+                let idx = self.demote_scalar_if_deep(idx, pre)?;
+                Ok(Expr::Index(Box::new(base), Box::new(idx)))
+            }
+            Expr::Call(name, args) => {
+                let mut flat_args = Vec::with_capacity(args.len());
+                for a in args {
+                    flat_args.push(self.flatten_expr(a, pre)?);
+                }
+                let ret = match intrinsic_return(name) {
+                    Some(t) => t,
+                    None => self
+                        .env
+                        .fn_sig(name)
+                        .ok_or_else(|| TypeError {
+                            message: format!("unknown function `{name}`"),
+                        })?
+                        .ret
+                        .clone(),
+                };
+                let t = self.fresh_temp(ret);
+                pre.push(Stmt::Call {
+                    id: StmtId::UNASSIGNED,
+                    dst: Some(Expr::Var(t.clone())),
+                    func: name.clone(),
+                    args: flat_args,
+                });
+                Ok(Expr::Var(t))
+            }
+        }
+    }
+
+    /// If `e` (used as a pointer about to be dereferenced) itself contains
+    /// a dereference, copies it into a temporary so the outer access is a
+    /// single dereference.
+    fn demote_pointer(&mut self, e: Expr, pre: &mut Vec<Stmt>) -> Result<Expr, TypeError> {
+        if e.deref_depth() == 0 {
+            return Ok(e);
+        }
+        let ty = self.type_of(&e)?;
+        let t = self.fresh_temp(ty);
+        pre.push(Stmt::assign(Expr::Var(t.clone()), e));
+        Ok(Expr::Var(t))
+    }
+
+    /// Index expressions may not contain dereferences (keeps location
+    /// enumeration syntactic); copies deep indices into temporaries.
+    fn demote_scalar_if_deep(
+        &mut self,
+        e: Expr,
+        pre: &mut Vec<Stmt>,
+    ) -> Result<Expr, TypeError> {
+        if e.deref_depth() == 0 {
+            return Ok(e);
+        }
+        let ty = self.type_of(&e)?;
+        let t = self.fresh_temp(ty);
+        pre.push(Stmt::assign(Expr::Var(t.clone()), e));
+        Ok(Expr::Var(t))
+    }
+
+    fn simplify_stmt(
+        &mut self,
+        s: &Stmt,
+        out: &mut Vec<Stmt>,
+        break_label: Option<&str>,
+        continue_label: Option<&str>,
+        ret_ty: &Type,
+    ) -> Result<(), TypeError> {
+        match s {
+            Stmt::Skip => out.push(Stmt::Skip),
+            Stmt::Label(l) => out.push(Stmt::Label(l.clone())),
+            Stmt::Goto(l) => out.push(Stmt::Goto(l.clone())),
+            Stmt::Break => match break_label {
+                Some(l) => out.push(Stmt::Goto(l.to_string())),
+                None => {
+                    return Err(TypeError {
+                        message: "`break` outside of a loop".into(),
+                    })
+                }
+            },
+            Stmt::Continue => match continue_label {
+                Some(l) => out.push(Stmt::Goto(l.to_string())),
+                None => {
+                    return Err(TypeError {
+                        message: "`continue` outside of a loop".into(),
+                    })
+                }
+            },
+            Stmt::Assign { lhs, rhs, .. } => {
+                let mut pre = Vec::new();
+                let lhs = self.flatten_expr(lhs, &mut pre)?;
+                let rhs = self.flatten_expr(rhs, &mut pre)?;
+                out.extend(pre);
+                // `lhs = f(...)` from flattening becomes a direct call
+                if let Expr::Var(tv) = &rhs {
+                    if let Some(Stmt::Call { dst: Some(d), .. }) = out.last_mut() {
+                        if *d == Expr::Var(tv.clone()) && tv.starts_with(TEMP_PREFIX) {
+                            *d = lhs;
+                            return Ok(());
+                        }
+                    }
+                }
+                out.push(Stmt::assign(lhs, rhs));
+            }
+            Stmt::Call { dst, func, args, .. } => {
+                let mut pre = Vec::new();
+                let dst = match dst {
+                    Some(d) => Some(self.flatten_expr(d, &mut pre)?),
+                    None => None,
+                };
+                let mut flat_args = Vec::with_capacity(args.len());
+                for a in args {
+                    flat_args.push(self.flatten_expr(a, &mut pre)?);
+                }
+                out.extend(pre);
+                out.push(Stmt::Call {
+                    id: StmtId::UNASSIGNED,
+                    dst,
+                    func: func.clone(),
+                    args: flat_args,
+                });
+            }
+            Stmt::Seq(stmts) => {
+                for st in stmts {
+                    self.simplify_stmt(st, out, break_label, continue_label, ret_ty)?;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let mut pre = Vec::new();
+                let cond = self.flatten_expr(cond, &mut pre)?;
+                out.extend(pre);
+                let mut tb = Vec::new();
+                self.simplify_stmt(then_branch, &mut tb, break_label, continue_label, ret_ty)?;
+                let mut eb = Vec::new();
+                self.simplify_stmt(else_branch, &mut eb, break_label, continue_label, ret_ty)?;
+                out.push(Stmt::If {
+                    id: StmtId::UNASSIGNED,
+                    cond,
+                    then_branch: Box::new(Stmt::Seq(tb)),
+                    else_branch: Box::new(Stmt::Seq(eb)),
+                });
+            }
+            Stmt::While { cond, body, .. } => {
+                let mut pre = Vec::new();
+                let flat_cond = self.flatten_expr(cond, &mut pre)?;
+                let brk = self.fresh_label("brk_");
+                let cont = self.fresh_label("cont_");
+                let mut sbody = Vec::new();
+                self.simplify_stmt(body, &mut sbody, Some(&brk), Some(&cont), ret_ty)?;
+                if pre.is_empty() {
+                    // Pure condition: keep the `while` shape (as in Fig. 1).
+                    out.push(Stmt::Label(cont.clone()));
+                    out.push(Stmt::While {
+                        id: StmtId::UNASSIGNED,
+                        cond: flat_cond,
+                        body: Box::new(Stmt::Seq(sbody)),
+                    });
+                } else {
+                    // Condition needed calls/temps: lower to if/goto so the
+                    // temps are recomputed on every iteration.
+                    out.push(Stmt::Label(cont.clone()));
+                    out.extend(pre);
+                    sbody.push(Stmt::Goto(cont.clone()));
+                    out.push(Stmt::If {
+                        id: StmtId::UNASSIGNED,
+                        cond: flat_cond,
+                        then_branch: Box::new(Stmt::Seq(sbody)),
+                        else_branch: Box::new(Stmt::Seq(vec![])),
+                    });
+                }
+                out.push(Stmt::Label(brk));
+            }
+            Stmt::Return { value, .. } => {
+                match value {
+                    Some(e) => {
+                        if *ret_ty == Type::Void {
+                            return Err(TypeError {
+                                message: "void function returns a value".into(),
+                            });
+                        }
+                        let mut pre = Vec::new();
+                        let e = self.flatten_expr(e, &mut pre)?;
+                        out.extend(pre);
+                        out.push(Stmt::assign(Expr::var(RET_VAR), e));
+                    }
+                    None => {}
+                }
+                out.push(Stmt::Goto(EXIT_LABEL.to_string()));
+            }
+            Stmt::Assert { cond, .. } => {
+                let mut pre = Vec::new();
+                let cond = self.flatten_expr(cond, &mut pre)?;
+                out.extend(pre);
+                out.push(Stmt::Assert {
+                    id: StmtId::UNASSIGNED,
+                    cond,
+                });
+            }
+            Stmt::Assume { cond, .. } => {
+                let mut pre = Vec::new();
+                let cond = self.flatten_expr(cond, &mut pre)?;
+                out.extend(pre);
+                out.push(Stmt::Assume {
+                    id: StmtId::UNASSIGNED,
+                    cond,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// If the function consists of straight code ending in a single
+/// `return v;` of a plain variable (like the paper's `bar` returning
+/// `l1`, or `partition` returning `newl`), that variable can stay the
+/// return variable — the paper's signature computation (§4.5.2) depends
+/// on predicates naming it. Returns the variable if so.
+fn sole_trailing_return_var(f: &Function) -> Option<Option<String>> {
+    let mut count = 0;
+    f.body.walk(&mut |s| {
+        if matches!(s, Stmt::Return { .. }) {
+            count += 1;
+        }
+    });
+    if count > 1 {
+        return None;
+    }
+    let Stmt::Seq(stmts) = &f.body else {
+        return None;
+    };
+    match stmts.last() {
+        Some(Stmt::Return { value: None, .. }) if count == 1 => Some(None),
+        Some(Stmt::Return {
+            value: Some(Expr::Var(v)),
+            ..
+        }) if count == 1 => Some(Some(v.clone())),
+        None if count == 0 && f.ret == Type::Void => Some(None),
+        Some(_) if count == 0 && f.ret == Type::Void => Some(None),
+        _ => None,
+    }
+}
+
+fn simplify_function(env: &TypeEnv, f: &Function) -> Result<Function, TypeError> {
+    let mut simp = Simplifier {
+        env,
+        params: f.params.clone(),
+        locals: f.locals.clone(),
+        fname: f.name.clone(),
+        temp_counter: 0,
+        label_counter: 0,
+    };
+    // fast path: keep the original return variable when possible
+    if let Some(ret_var) = sole_trailing_return_var(f) {
+        let Stmt::Seq(stmts) = &f.body else {
+            unreachable!("sole_trailing_return_var checked Seq");
+        };
+        let mut body: Vec<Stmt> = stmts.clone();
+        if matches!(body.last(), Some(Stmt::Return { .. })) {
+            body.pop();
+        }
+        let mut out = Vec::new();
+        for s in &body {
+            simp.simplify_stmt(s, &mut out, None, None, &f.ret)?;
+        }
+        out.push(Stmt::Label(EXIT_LABEL.to_string()));
+        out.push(Stmt::Return {
+            id: StmtId::UNASSIGNED,
+            value: ret_var.map(Expr::Var),
+        });
+        return Ok(Function {
+            name: f.name.clone(),
+            ret: f.ret.clone(),
+            params: f.params.clone(),
+            locals: simp.locals,
+            body: Stmt::Seq(out),
+        });
+    }
+    if f.ret != Type::Void {
+        simp.locals.push((RET_VAR.to_string(), f.ret.clone()));
+    }
+    let mut out = Vec::new();
+    simp.simplify_stmt(&f.body, &mut out, None, None, &f.ret)?;
+    // single exit
+    out.push(Stmt::Label(EXIT_LABEL.to_string()));
+    out.push(Stmt::Return {
+        id: StmtId::UNASSIGNED,
+        value: if f.ret == Type::Void {
+            None
+        } else {
+            Some(Expr::var(RET_VAR))
+        },
+    });
+    Ok(Function {
+        name: f.name.clone(),
+        ret: f.ret.clone(),
+        params: f.params.clone(),
+        locals: simp.locals,
+        body: Stmt::Seq(out),
+    })
+}
+
+/// Checks the intermediate-form invariants (used in tests and debug
+/// assertions): call-free expressions outside calls, dereference depth at
+/// most one, no `break`/`continue`, single `return` per function.
+pub fn check_simple_form(program: &Program) -> Result<(), String> {
+    for f in &program.functions {
+        let mut returns = 0usize;
+        let mut err = None;
+        f.body.walk(&mut |s| {
+            let check_expr = |e: &Expr, what: &str| -> Option<String> {
+                if e.has_call() {
+                    return Some(format!("{}: call inside {what}", f.name));
+                }
+                if e.deref_depth() > 1 {
+                    return Some(format!(
+                        "{}: `{}` has dereference depth > 1",
+                        f.name,
+                        crate::pretty::expr_to_string(e)
+                    ));
+                }
+                None
+            };
+            let bad = match s {
+                Stmt::Assign { lhs, rhs, .. } => {
+                    check_expr(lhs, "lhs").or_else(|| check_expr(rhs, "rhs"))
+                }
+                Stmt::Call { dst, args, .. } => dst
+                    .as_ref()
+                    .and_then(|d| check_expr(d, "call dst"))
+                    .or_else(|| args.iter().find_map(|a| check_expr(a, "call arg"))),
+                Stmt::If { cond, .. } | Stmt::While { cond, .. } => {
+                    check_expr(cond, "condition")
+                }
+                Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => {
+                    check_expr(cond, "assertion")
+                }
+                Stmt::Return { value, .. } => {
+                    returns += 1;
+                    match value {
+                        Some(Expr::Var(_)) | None => None,
+                        Some(_) => Some(format!("{}: return of a non-variable", f.name)),
+                    }
+                }
+                Stmt::Break | Stmt::Continue => {
+                    Some(format!("{}: break/continue survived simplification", f.name))
+                }
+                _ => None,
+            };
+            if err.is_none() {
+                err = bad;
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if returns != 1 {
+            return Err(format!("{}: expected 1 return, found {returns}", f.name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn simp(src: &str) -> Program {
+        let p = parse_program(src).unwrap();
+        let s = simplify_program(&p).unwrap();
+        check_simple_form(&s).unwrap();
+        s
+    }
+
+    #[test]
+    fn splits_nested_derefs() {
+        let s = simp(
+            r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            int f(list p) {
+                int x;
+                x = p->next->val;
+                return x;
+            }
+        "#,
+        );
+        let f = s.function("f").unwrap();
+        // a temp was introduced
+        assert!(f.locals.iter().any(|(n, _)| n.starts_with(TEMP_PREFIX)));
+    }
+
+    #[test]
+    fn extracts_calls_from_expressions() {
+        let s = simp(
+            r#"
+            int g(int y) { return y + 1; }
+            int f(int x) {
+                int z;
+                z = x + g(x);
+                return z;
+            }
+        "#,
+        );
+        let f = s.function("f").unwrap();
+        let mut calls = 0;
+        let mut call_args_pure = true;
+        f.body.walk(&mut |st| {
+            if let Stmt::Call { args, .. } = st {
+                calls += 1;
+                call_args_pure &= args.iter().all(|a| !a.has_call());
+            }
+        });
+        assert_eq!(calls, 1);
+        assert!(call_args_pure);
+    }
+
+    #[test]
+    fn direct_call_assignment_keeps_destination() {
+        let s = simp(
+            r#"
+            int g(int y) { return y; }
+            int f(int x) {
+                int z;
+                z = g(x);
+                return z;
+            }
+        "#,
+        );
+        let f = s.function("f").unwrap();
+        let mut found = false;
+        f.body.walk(&mut |st| {
+            if let Stmt::Call { dst: Some(d), .. } = st {
+                found = *d == Expr::var("z");
+            }
+        });
+        assert!(found, "call should assign directly to z");
+    }
+
+    #[test]
+    fn break_and_continue_become_gotos() {
+        let s = simp(
+            r#"
+            void f(int x) {
+                while (x > 0) {
+                    if (x == 5) break;
+                    if (x == 3) continue;
+                    x = x - 1;
+                }
+            }
+        "#,
+        );
+        let f = s.function("f").unwrap();
+        let mut gotos = 0;
+        f.body.walk(&mut |st| {
+            if matches!(st, Stmt::Goto(_)) {
+                gotos += 1;
+            }
+        });
+        assert!(gotos >= 2);
+    }
+
+    #[test]
+    fn returns_are_normalized_to_single_exit() {
+        let s = simp(
+            r#"
+            int f(int x) {
+                if (x > 0) return 1;
+                return 0;
+            }
+        "#,
+        );
+        let f = s.function("f").unwrap();
+        let mut returns = 0;
+        f.body.walk(&mut |st| {
+            if matches!(st, Stmt::Return { .. }) {
+                returns += 1;
+            }
+        });
+        assert_eq!(returns, 1);
+        assert!(f.locals.iter().any(|(n, _)| n == RET_VAR));
+    }
+
+    #[test]
+    fn statements_get_unique_ids() {
+        let s = simp("int f(int x) { x = 1; x = 2; return x; }");
+        let mut ids = Vec::new();
+        s.function("f").unwrap().body.walk(&mut |st| {
+            if let Some(id) = st.id() {
+                ids.push(id);
+            }
+        });
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate statement ids");
+        assert!(ids.iter().all(|i| *i != StmtId::UNASSIGNED));
+    }
+
+    #[test]
+    fn while_with_call_in_condition_is_lowered() {
+        let s = simp(
+            r#"
+            int more(int x) { return x - 1; }
+            void f(int x) {
+                while (more(x) > 0) {
+                    x = x - 1;
+                }
+            }
+        "#,
+        );
+        let f = s.function("f").unwrap();
+        // no While should remain with an impure condition; the loop became
+        // if/goto, so at most the call sits before an `if`
+        let mut whiles = 0;
+        f.body.walk(&mut |st| {
+            if matches!(st, Stmt::While { .. }) {
+                whiles += 1;
+            }
+        });
+        assert_eq!(whiles, 0);
+        check_simple_form(&s).unwrap();
+    }
+
+    #[test]
+    fn partition_keeps_while_shape() {
+        let s = simp(
+            r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            list partition(list *l, int v) {
+                list curr, prev, newl, nextcurr;
+                curr = *l;
+                prev = NULL;
+                newl = NULL;
+                while (curr != NULL) {
+                    nextcurr = curr->next;
+                    if (curr->val > v) {
+                        if (prev != NULL) { prev->next = nextcurr; }
+                        if (curr == *l) { *l = nextcurr; }
+                        curr->next = newl;
+                        L: newl = curr;
+                    } else {
+                        prev = curr;
+                    }
+                    curr = nextcurr;
+                }
+                return newl;
+            }
+        "#,
+        );
+        let f = s.function("partition").unwrap();
+        let mut whiles = 0;
+        f.body.walk(&mut |st| {
+            if matches!(st, Stmt::While { .. }) {
+                whiles += 1;
+            }
+        });
+        assert_eq!(whiles, 1, "pure loop condition keeps while shape");
+    }
+}

@@ -1,0 +1,448 @@
+//! Type checker for the C subset.
+//!
+//! Besides rejecting ill-typed programs, the checker exposes
+//! [`TypeEnv::type_of`], which later phases (weakest preconditions, the
+//! points-to analysis, the prover encoding) use to enumerate the locations
+//! mentioned by an expression and to distinguish pointer-valued from
+//! integer-valued terms.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A type error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description of the error.
+    pub message: String,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>) -> TypeError {
+        TypeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A function signature as seen by callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Parameter types in order.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+}
+
+/// Typing context for a program.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    structs: HashMap<String, StructDef>,
+    globals: HashMap<String, Type>,
+    functions: HashMap<String, FnSig>,
+}
+
+impl TypeEnv {
+    /// Builds the environment from a program's declarations.
+    pub fn new(program: &Program) -> TypeEnv {
+        let mut env = TypeEnv::default();
+        for s in &program.structs {
+            env.structs.insert(s.name.clone(), s.clone());
+        }
+        for (name, ty) in &program.globals {
+            env.globals.insert(name.clone(), ty.clone());
+        }
+        for f in &program.functions {
+            env.functions.insert(
+                f.name.clone(),
+                FnSig {
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                    ret: f.ret.clone(),
+                },
+            );
+        }
+        env
+    }
+
+    /// Looks up a struct definition.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.get(name)
+    }
+
+    /// Looks up a function signature.
+    pub fn fn_sig(&self, name: &str) -> Option<&FnSig> {
+        self.functions.get(name)
+    }
+
+    /// Looks up the type of `name` in `func`'s scope (params, locals,
+    /// then globals).
+    pub fn var_type(&self, func: Option<&Function>, name: &str) -> Option<Type> {
+        if let Some(f) = func {
+            if let Some(t) = f.var_type(name) {
+                return Some(t.clone());
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    /// Computes the type of `e` in the scope of `func` (or global scope if
+    /// `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the expression is ill-typed or references
+    /// an unknown name.
+    pub fn type_of(&self, func: Option<&Function>, e: &Expr) -> Result<Type, TypeError> {
+        self.type_of_with(&|name| self.var_type(func, name), e)
+    }
+
+    /// Like [`TypeEnv::type_of`], but with a custom variable-type lookup.
+    ///
+    /// The simplifier uses this while it is still inventing temporaries
+    /// that are not yet recorded in any [`Function`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the expression is ill-typed or references
+    /// an unknown name.
+    pub fn type_of_with(
+        &self,
+        lookup: &dyn Fn(&str) -> Option<Type>,
+        e: &Expr,
+    ) -> Result<Type, TypeError> {
+        match e {
+            Expr::IntLit(_) => Ok(Type::Int),
+            Expr::Null => Ok(Type::Ptr(Box::new(Type::Void))),
+            Expr::Var(name) => lookup(name)
+                .ok_or_else(|| TypeError::new(format!("unknown variable `{name}`"))),
+            Expr::Unary(UnOp::Deref, inner) => {
+                let t = self.type_of_with(lookup, inner)?;
+                t.pointee().cloned().ok_or_else(|| {
+                    TypeError::new(format!(
+                        "cannot dereference non-pointer `{}` of type {t}",
+                        crate::pretty::expr_to_string(inner)
+                    ))
+                })
+            }
+            Expr::Unary(UnOp::AddrOf, inner) => {
+                if !inner.is_lvalue() {
+                    return Err(TypeError::new(format!(
+                        "cannot take address of non-lvalue `{}`",
+                        crate::pretty::expr_to_string(inner)
+                    )));
+                }
+                Ok(self.type_of_with(lookup, inner)?.ptr_to())
+            }
+            Expr::Unary(UnOp::Neg, inner) | Expr::Unary(UnOp::Not, inner) => {
+                let t = self.type_of_with(lookup, inner)?;
+                if matches!(t, Type::Struct(_)) {
+                    return Err(TypeError::new("unary operator applied to struct value"));
+                }
+                Ok(Type::Int)
+            }
+            Expr::Binary(op, l, r) => {
+                let lt = self.type_of_with(lookup, l)?;
+                let rt = self.type_of_with(lookup, r)?;
+                if op.is_logical() || op.is_comparison() {
+                    if !compatible(&lt, &rt) && !(op.is_logical()) {
+                        return Err(TypeError::new(format!(
+                            "cannot compare {lt} with {rt} in `{}`",
+                            crate::pretty::expr_to_string(e)
+                        )));
+                    }
+                    return Ok(Type::Int);
+                }
+                // arithmetic; pointer arithmetic yields the pointer type
+                match (&lt, &rt) {
+                    (Type::Int, Type::Int) => Ok(Type::Int),
+                    (p, Type::Int) if p.is_pointer_like() => Ok(lt.clone()),
+                    (Type::Int, p) if p.is_pointer_like() => Ok(rt.clone()),
+                    _ => Err(TypeError::new(format!(
+                        "invalid operands {lt} {op} {rt} in `{}`",
+                        crate::pretty::expr_to_string(e)
+                    ))),
+                }
+            }
+            Expr::Field(base, field) => {
+                let bt = self.type_of_with(lookup, base)?;
+                let sname = match &bt {
+                    Type::Struct(n) => n.clone(),
+                    _ => {
+                        return Err(TypeError::new(format!(
+                            "field access `.{field}` on non-struct type {bt}"
+                        )))
+                    }
+                };
+                let sd = self
+                    .structs
+                    .get(&sname)
+                    .ok_or_else(|| TypeError::new(format!("unknown struct `{sname}`")))?;
+                sd.field_type(field).cloned().ok_or_else(|| {
+                    TypeError::new(format!("struct {sname} has no field `{field}`"))
+                })
+            }
+            Expr::Index(base, idx) => {
+                let bt = self.type_of_with(lookup, base)?;
+                let it = self.type_of_with(lookup, idx)?;
+                if it != Type::Int {
+                    return Err(TypeError::new("array index must be an int"));
+                }
+                bt.pointee().cloned().ok_or_else(|| {
+                    TypeError::new(format!("cannot index non-array type {bt}"))
+                })
+            }
+            Expr::Call(name, args) => {
+                if let Some(t) = intrinsic_return(name) {
+                    return Ok(t);
+                }
+                let sig = self
+                    .functions
+                    .get(name)
+                    .ok_or_else(|| TypeError::new(format!("unknown function `{name}`")))?
+                    .clone();
+                if sig.params.len() != args.len() {
+                    return Err(TypeError::new(format!(
+                        "`{name}` expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    )));
+                }
+                for (formal, actual) in sig.params.iter().zip(args) {
+                    let at = self.type_of_with(lookup, actual)?;
+                    if !compatible(formal, &at) {
+                        return Err(TypeError::new(format!(
+                            "argument `{}` of `{name}` has type {at}, expected {formal}",
+                            crate::pretty::expr_to_string(actual)
+                        )));
+                    }
+                }
+                Ok(sig.ret)
+            }
+        }
+    }
+}
+
+/// Intrinsics recognized by the toolkit (modeled, not user-defined).
+///
+/// `nondet()` returns an arbitrary int (environment input) and `malloc(n)`
+/// returns a fresh object pointer; both are understood by the interpreter
+/// and conservatively havoced by the abstraction.
+pub fn intrinsic_return(name: &str) -> Option<Type> {
+    match name {
+        "nondet" => Some(Type::Int),
+        "malloc" => Some(Type::Ptr(Box::new(Type::Void))),
+        _ => None,
+    }
+}
+
+/// Type compatibility: `int` with `int`, any pointer with `void*`/`NULL`,
+/// identical types, arrays decaying to pointers.
+pub fn compatible(a: &Type, b: &Type) -> bool {
+    let decay = |t: &Type| match t {
+        Type::Array(elem, _) => Type::Ptr(elem.clone()),
+        other => other.clone(),
+    };
+    let (a, b) = (decay(a), decay(b));
+    if a == b {
+        return true;
+    }
+    match (&a, &b) {
+        (Type::Ptr(x), Type::Ptr(y)) => **x == Type::Void || **y == Type::Void || x == y,
+        // literal 0 used as a null pointer
+        (Type::Ptr(_), Type::Int) | (Type::Int, Type::Ptr(_)) => true,
+        _ => false,
+    }
+}
+
+/// Checks every statement of every function in the program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered.
+pub fn check_program(program: &Program) -> Result<TypeEnv, TypeError> {
+    let env = TypeEnv::new(program);
+    for f in &program.functions {
+        check_stmt(&env, program, f, &f.body)?;
+    }
+    Ok(env)
+}
+
+fn check_stmt(
+    env: &TypeEnv,
+    program: &Program,
+    f: &Function,
+    s: &Stmt,
+) -> Result<(), TypeError> {
+    match s {
+        Stmt::Skip | Stmt::Goto(_) | Stmt::Label(_) | Stmt::Break | Stmt::Continue => Ok(()),
+        Stmt::Assign { lhs, rhs, .. } => {
+            let lt = env.type_of(Some(f), lhs)?;
+            let rt = env.type_of(Some(f), rhs)?;
+            if !compatible(&lt, &rt) {
+                return Err(TypeError::new(format!(
+                    "cannot assign {rt} to {lt} in `{} = {}`",
+                    crate::pretty::expr_to_string(lhs),
+                    crate::pretty::expr_to_string(rhs)
+                )));
+            }
+            Ok(())
+        }
+        Stmt::Call { dst, func, args, .. } => {
+            let call = Expr::Call(func.clone(), args.clone());
+            let rt = env.type_of(Some(f), &call)?;
+            if let Some(d) = dst {
+                let dt = env.type_of(Some(f), d)?;
+                if rt == Type::Void {
+                    return Err(TypeError::new(format!(
+                        "void function `{func}` used as a value"
+                    )));
+                }
+                if !compatible(&dt, &rt) {
+                    return Err(TypeError::new(format!(
+                        "cannot assign {rt} returned by `{func}` to {dt}"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        Stmt::Seq(stmts) => {
+            for st in stmts {
+                check_stmt(env, program, f, st)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            env.type_of(Some(f), cond)?;
+            check_stmt(env, program, f, then_branch)?;
+            check_stmt(env, program, f, else_branch)
+        }
+        Stmt::While { cond, body, .. } => {
+            env.type_of(Some(f), cond)?;
+            check_stmt(env, program, f, body)
+        }
+        Stmt::Return { value, .. } => match (value, &f.ret) {
+            (None, Type::Void) => Ok(()),
+            (None, t) => Err(TypeError::new(format!(
+                "`{}` must return a value of type {t}",
+                f.name
+            ))),
+            (Some(_), Type::Void) => Err(TypeError::new(format!(
+                "void function `{}` returns a value",
+                f.name
+            ))),
+            (Some(e), t) => {
+                let et = env.type_of(Some(f), e)?;
+                if compatible(t, &et) {
+                    Ok(())
+                } else {
+                    Err(TypeError::new(format!(
+                        "`{}` returns {et}, expected {t}",
+                        f.name
+                    )))
+                }
+            }
+        },
+        Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => {
+            env.type_of(Some(f), cond)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<TypeEnv, TypeError> {
+        let p = parse_program(src).unwrap();
+        check_program(&p)
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check(
+            r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            int g;
+            int f(list p, int x) {
+                list q;
+                q = p->next;
+                if (q != NULL && q->val > x) { g = g + 1; }
+                return g;
+            }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let err = check("void f() { x = 1; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_bad_deref() {
+        let err = check("void f(int x) { int y; y = *x; }").unwrap_err();
+        assert!(err.message.contains("dereference"));
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let err = check(
+            "struct s { int a; }; void f(struct s* p) { int y; y = p->b; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("no field"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let err = check("int g(int x) { return x; } void f() { int y; y = g(1, 2); }")
+            .unwrap_err();
+        assert!(err.message.contains("arguments"));
+    }
+
+    #[test]
+    fn null_is_compatible_with_pointers() {
+        check("void f(int* p) { p = NULL; if (p == NULL) { p = p; } }").unwrap();
+    }
+
+    #[test]
+    fn pointer_arithmetic_keeps_pointer_type() {
+        let p = parse_program("void f(int* p, int i) { p = p + i; }").unwrap();
+        let env = TypeEnv::new(&p);
+        let f = p.function("f").unwrap();
+        let e = crate::parser::parse_expr("p + i").unwrap();
+        assert_eq!(
+            env.type_of(Some(f), &e).unwrap(),
+            Type::Ptr(Box::new(Type::Int))
+        );
+    }
+
+    #[test]
+    fn type_of_addr_of() {
+        let p = parse_program("void f(int x) { ; }").unwrap();
+        let env = TypeEnv::new(&p);
+        let f = p.function("f").unwrap();
+        let e = crate::parser::parse_expr("&x").unwrap();
+        assert_eq!(
+            env.type_of(Some(f), &e).unwrap(),
+            Type::Ptr(Box::new(Type::Int))
+        );
+    }
+}

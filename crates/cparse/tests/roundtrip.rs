@@ -1,0 +1,140 @@
+//! Property tests: the pretty printer and parser are mutually inverse,
+//! and simplification preserves the concrete semantics.
+
+use cparse::interp::{Interp, Value};
+use cparse::parser::{parse_expr, parse_program};
+use cparse::{parse_and_simplify, pretty};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum E {
+    Num(i64),
+    Var(usize),
+    Neg(Box<E>),
+    Not(Box<E>),
+    Bin(usize, Box<E>, Box<E>),
+}
+
+const OPS: [&str; 13] = [
+    "+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||",
+];
+const VARS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+fn render(e: &E) -> String {
+    match e {
+        E::Num(v) => v.to_string(),
+        E::Var(i) => VARS[i % 3].to_string(),
+        E::Neg(x) => format!("-({})", render(x)),
+        E::Not(x) => format!("!({})", render(x)),
+        E::Bin(op, a, b) => {
+            format!("({}) {} ({})", render(a), OPS[op % 13], render(b))
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(E::Num),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
+            inner.clone().prop_map(|e| E::Not(Box::new(e))),
+            ((0usize..13), inner.clone(), inner)
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval(e: &E, env: &[i64; 3]) -> Option<i64> {
+    Some(match e {
+        E::Num(v) => *v,
+        E::Var(i) => env[i % 3],
+        E::Neg(x) => eval(x, env)?.wrapping_neg(),
+        E::Not(x) => i64::from(eval(x, env)? == 0),
+        E::Bin(op, a, b) => {
+            let (x, y) = (eval(a, env)?, eval(b, env)?);
+            match OPS[op % 13] {
+                "+" => x.wrapping_add(y),
+                "-" => x.wrapping_sub(y),
+                "*" => x.wrapping_mul(y),
+                "/" => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.wrapping_div(y)
+                }
+                "%" => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.wrapping_rem(y)
+                }
+                "<" => i64::from(x < y),
+                "<=" => i64::from(x <= y),
+                ">" => i64::from(x > y),
+                ">=" => i64::from(x >= y),
+                "==" => i64::from(x == y),
+                "!=" => i64::from(x != y),
+                "&&" => i64::from(x != 0 && y != 0),
+                "||" => i64::from(x != 0 || y != 0),
+                _ => unreachable!(),
+            }
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn expressions_round_trip_through_the_printer(e in expr_strategy()) {
+        let src = render(&e);
+        let parsed = parse_expr(&src).expect("generated expression parses");
+        let printed = pretty::expr_to_string(&parsed);
+        let reparsed = parse_expr(&printed).expect("printed expression parses");
+        prop_assert_eq!(parsed, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn interpreter_matches_an_independent_evaluator(
+        e in expr_strategy(),
+        args in prop::array::uniform3(-5i8..6),
+    ) {
+        let src = format!(
+            "int f(int alpha, int beta, int gamma) {{ return {}; }}",
+            render(&e)
+        );
+        let program = parse_and_simplify(&src).expect("generated program parses");
+        let mut interp = Interp::new(&program).expect("interp");
+        let argv = args.iter().map(|v| Value::Int(*v as i64)).collect();
+        let got = interp.run("f", argv);
+        let env = [args[0] as i64, args[1] as i64, args[2] as i64];
+        match eval(&e, &env) {
+            Some(expected) => {
+                prop_assert_eq!(got.ok().flatten(), Some(Value::Int(expected)));
+            }
+            None => {
+                // division by zero: the interpreter must trap
+                prop_assert!(got.is_err());
+            }
+        }
+    }
+}
+
+#[test]
+fn statement_round_trip_on_the_corpus() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus/toys");
+    for entry in std::fs::read_dir(dir).expect("corpus") {
+        let path = entry.expect("entry").path();
+        if path.extension().map(|e| e != "c").unwrap_or(true) {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read");
+        let p1 = parse_program(&src).expect("parses");
+        let printed = pretty::program_to_string(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{path:?} reprint fails: {e}\n{printed}"));
+        assert_eq!(p1.globals, p2.globals, "{path:?}");
+        assert_eq!(p1.functions.len(), p2.functions.len(), "{path:?}");
+    }
+}

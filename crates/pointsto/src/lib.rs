@@ -1,0 +1,553 @@
+//! Flow-insensitive, context-insensitive may-alias analysis.
+//!
+//! This crate plays the role of Das's points-to analysis \[12\] in the
+//! paper: C2bp consults it to prune the alias-case disjuncts of Morris'
+//! axiom of assignment (§4.2) and to bound the set of predicates a
+//! procedure call may affect (§4.5.3).
+//!
+//! The implementation is a unification-based (Steensgaard-style) analysis
+//! over abstract storage nodes: one node per variable, one per `malloc`
+//! site, and *phantom* nodes created on demand for pointer targets.
+//! Structs are collapsed (field-insensitive) — field disambiguation is
+//! done later, syntactically, by the weakest-precondition module, which is
+//! sound because two lvalues `p->f` and `q->g` with `f != g` never alias
+//! regardless of where `p` and `q` point.
+//!
+//! # Example
+//!
+//! ```
+//! use cparse::parse_and_simplify;
+//! use pointsto::PointsTo;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_and_simplify(
+//!     "void f(int a, int b) { int *p; int *q; p = &a; q = &b; *p = 1; }",
+//! )?;
+//! let mut pts = PointsTo::analyze(&program);
+//! assert!(pts.may_point_to("f", "p", "f", "a"));
+//! assert!(!pts.may_point_to("f", "p", "f", "b"));
+//! assert!(!pts.targets_may_intersect("f", "p", "f", "q"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use cparse::ast::{Expr, Program, Stmt, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// The scope a variable belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Scope {
+    Global,
+    Fn(String),
+}
+
+/// An abstract storage location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Loc {
+    Var(Scope, String),
+    /// Heap object allocated at the n-th `malloc` encountered.
+    Heap(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ValueRef {
+    /// The value stored in this node (a variable's contents).
+    Copy(usize),
+    /// The address of this node (`&x`).
+    Address(usize),
+}
+
+/// The result of the analysis; answers may-alias queries.
+#[derive(Debug, Default)]
+pub struct PointsTo {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    /// `pts[find(n)]` = node pointed to by values stored in class of `n`.
+    pts: Vec<Option<usize>>,
+    ids: HashMap<Loc, usize>,
+    addr_taken: HashSet<usize>,
+    /// The shared "external world" blob that all unconstrained inputs
+    /// (pointer parameters and globals) point into: distinct callers may
+    /// pass aliased or even cyclic structures, so these all may alias.
+    input_blob: Option<usize>,
+}
+
+impl PointsTo {
+    /// Runs the analysis over a (simplified or unsimplified) program.
+    pub fn analyze(program: &Program) -> PointsTo {
+        let mut a = PointsTo::default();
+        let mut heap_counter = 0u32;
+        // nodes for every declared variable, so queries never miss
+        for (g, ty) in &program.globals {
+            let n = a.node(Loc::Var(Scope::Global, g.clone()));
+            if ty.is_pointer_like() {
+                a.make_input_blob(n);
+            }
+        }
+        for f in &program.functions {
+            for p in &f.params {
+                let n = a.node(Loc::Var(Scope::Fn(f.name.clone()), p.name.clone()));
+                if p.ty.is_pointer_like() {
+                    // parameters are arbitrary inputs: anything reachable
+                    // from them may alias anything else reachable from them
+                    // (the caller may even pass cyclic structures), so the
+                    // whole reachable region collapses to one blob.
+                    a.make_input_blob(n);
+                }
+            }
+            for (l, _) in &f.locals {
+                a.node(Loc::Var(Scope::Fn(f.name.clone()), l.clone()));
+            }
+        }
+        for f in &program.functions {
+            let fname = f.name.clone();
+            let mut stmts = Vec::new();
+            f.body.walk(&mut |s| stmts.push(s.clone()));
+            for s in stmts {
+                a.process_stmt(program, &fname, &s, &mut heap_counter);
+            }
+        }
+        a
+    }
+
+    /// Points input node `n` into the shared self-referential external
+    /// blob: the pointed-to "world" of unconstrained inputs is a single
+    /// may-alias region.
+    fn make_input_blob(&mut self, n: usize) {
+        let blob = match self.input_blob {
+            Some(b) => b,
+            None => {
+                let b = self.fresh();
+                // self-referential: pointers inside the blob point back in
+                let tb = self.target(b);
+                self.unify(b, tb);
+                self.input_blob = Some(b);
+                b
+            }
+        };
+        let t = self.target(n);
+        self.unify(t, blob);
+    }
+
+    // -- union-find --------------------------------------------------------
+
+    fn node(&mut self, loc: Loc) -> usize {
+        if let Some(id) = self.ids.get(&loc) {
+            return *id;
+        }
+        let id = self.fresh();
+        self.ids.insert(loc, id);
+        id
+    }
+
+    fn fresh(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.rank.push(0);
+        self.pts.push(None);
+        id
+    }
+
+    fn find(&mut self, mut n: usize) -> usize {
+        while self.parent[n] != n {
+            self.parent[n] = self.parent[self.parent[n]];
+            n = self.parent[n];
+        }
+        n
+    }
+
+    /// The points-to target of class `n`, creating a phantom if absent.
+    fn target(&mut self, n: usize) -> usize {
+        let r = self.find(n);
+        if let Some(t) = self.pts[r] {
+            return self.find(t);
+        }
+        let t = self.fresh();
+        self.pts[r] = Some(t);
+        t
+    }
+
+    fn unify(&mut self, a: usize, b: usize) {
+        let mut work = vec![(a, b)];
+        while let Some((x, y)) = work.pop() {
+            let rx = self.find(x);
+            let ry = self.find(y);
+            if rx == ry {
+                continue;
+            }
+            let (win, lose) = if self.rank[rx] >= self.rank[ry] {
+                (rx, ry)
+            } else {
+                (ry, rx)
+            };
+            if self.rank[win] == self.rank[lose] {
+                self.rank[win] += 1;
+            }
+            self.parent[lose] = win;
+            if self.addr_taken.contains(&lose) {
+                self.addr_taken.insert(win);
+            }
+            match (self.pts[win], self.pts[lose]) {
+                (Some(pw), Some(pl)) => work.push((pw, pl)),
+                (None, Some(pl)) => self.pts[win] = Some(pl),
+                _ => {}
+            }
+        }
+    }
+
+    // -- constraint generation ----------------------------------------------
+
+    fn var_node(&mut self, program: &Program, func: &str, name: &str) -> usize {
+        let scope = if program
+            .function(func)
+            .map(|f| f.var_type(name).is_some())
+            .unwrap_or(false)
+        {
+            Scope::Fn(func.to_string())
+        } else {
+            Scope::Global
+        };
+        self.node(Loc::Var(scope, name.to_string()))
+    }
+
+    /// The value a pointer-producing expression evaluates to, or `None`
+    /// for expressions carrying no pointer (plain integers).
+    fn value_node(
+        &mut self,
+        program: &Program,
+        func: &str,
+        e: &Expr,
+    ) -> Option<ValueRef> {
+        match e {
+            Expr::Var(x) => Some(ValueRef::Copy(self.var_node(program, func, x))),
+            Expr::Unary(UnOp::AddrOf, inner) => {
+                let n = self.lvalue_node(program, func, inner)?;
+                let root = self.find(n);
+                self.addr_taken.insert(root);
+                Some(ValueRef::Address(n))
+            }
+            Expr::Unary(UnOp::Deref, p) => {
+                let pv = self.value_node(program, func, p)?;
+                let holder = self.deref_of(pv);
+                Some(ValueRef::Copy(holder))
+            }
+            Expr::Field(base, _) => match &**base {
+                Expr::Unary(UnOp::Deref, p) => {
+                    let pv = self.value_node(program, func, p)?;
+                    let holder = self.deref_of(pv);
+                    Some(ValueRef::Copy(holder))
+                }
+                lv => {
+                    let n = self.lvalue_node(program, func, lv)?;
+                    Some(ValueRef::Copy(n))
+                }
+            },
+            Expr::Index(base, _) => {
+                let pv = self.value_node(program, func, base)?;
+                let holder = self.deref_of(pv);
+                Some(ValueRef::Copy(holder))
+            }
+            Expr::Binary(_, l, r) => self
+                .value_node(program, func, l)
+                .or_else(|| self.value_node(program, func, r)),
+            Expr::Unary(_, inner) => self.value_node(program, func, inner),
+            _ => None,
+        }
+    }
+
+    /// Given a value reference for a pointer `p`, the node holding `*p`.
+    fn deref_of(&mut self, v: ValueRef) -> usize {
+        match v {
+            ValueRef::Copy(n) => self.target(n),
+            ValueRef::Address(n) => n,
+        }
+    }
+
+    /// The storage node an lvalue denotes.
+    fn lvalue_node(&mut self, program: &Program, func: &str, lv: &Expr) -> Option<usize> {
+        match lv {
+            Expr::Var(x) => Some(self.var_node(program, func, x)),
+            Expr::Unary(UnOp::Deref, p) => {
+                let pv = self.value_node(program, func, p)?;
+                Some(self.deref_of(pv))
+            }
+            Expr::Field(base, _) => match &**base {
+                Expr::Unary(UnOp::Deref, p) => {
+                    let pv = self.value_node(program, func, p)?;
+                    Some(self.deref_of(pv))
+                }
+                lv2 => self.lvalue_node(program, func, lv2),
+            },
+            Expr::Index(base, _) => {
+                let pv = self.value_node(program, func, base)?;
+                Some(self.deref_of(pv))
+            }
+            _ => None,
+        }
+    }
+
+    /// Constraint for `dst_holder = value`.
+    fn assign_into(&mut self, dst_holder: usize, value: ValueRef) {
+        match value {
+            ValueRef::Copy(src) => {
+                let td = self.target(dst_holder);
+                let ts = self.target(src);
+                self.unify(td, ts);
+            }
+            ValueRef::Address(obj) => {
+                let td = self.target(dst_holder);
+                self.unify(td, obj);
+            }
+        }
+    }
+
+    fn process_stmt(
+        &mut self,
+        program: &Program,
+        func: &str,
+        s: &Stmt,
+        heap_counter: &mut u32,
+    ) {
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                let Some(dst) = self.lvalue_node(program, func, lhs) else {
+                    return;
+                };
+                if let Some(v) = self.value_node(program, func, rhs) {
+                    self.assign_into(dst, v);
+                }
+            }
+            Stmt::Call {
+                dst,
+                func: callee,
+                args,
+                ..
+            } => {
+                if callee == "malloc" {
+                    if let Some(d) = dst {
+                        if let Some(dn) = self.lvalue_node(program, func, d) {
+                            let h = self.node(Loc::Heap(*heap_counter));
+                            *heap_counter += 1;
+                            let td = self.target(dn);
+                            self.unify(td, h);
+                        }
+                    }
+                    return;
+                }
+                let Some(cf) = program.function(callee) else {
+                    return;
+                };
+                let formals: Vec<String> =
+                    cf.params.iter().map(|p| p.name.clone()).collect();
+                for (formal, actual) in formals.iter().zip(args) {
+                    let fnode =
+                        self.node(Loc::Var(Scope::Fn(callee.clone()), formal.clone()));
+                    if let Some(v) = self.value_node(program, func, actual) {
+                        self.assign_into(fnode, v);
+                    }
+                }
+                if let Some(d) = dst {
+                    if let Some(dn) = self.lvalue_node(program, func, d) {
+                        let r = self.node(Loc::Var(
+                            Scope::Fn(callee.clone()),
+                            cparse::simplify::RET_VAR.to_string(),
+                        ));
+                        self.assign_into(dn, ValueRef::Copy(r));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // -- queries -------------------------------------------------------------
+
+    fn lookup(&mut self, func: &str, name: &str) -> Option<usize> {
+        let fn_loc = Loc::Var(Scope::Fn(func.to_string()), name.to_string());
+        if let Some(id) = self.ids.get(&fn_loc) {
+            return Some(*id);
+        }
+        self.ids
+            .get(&Loc::Var(Scope::Global, name.to_string()))
+            .copied()
+    }
+
+    /// May pointer variable `p` (in `p_func`) point to variable `x` (in
+    /// `x_func`)? `false` is definitive; `true` means "maybe".
+    pub fn may_point_to(&mut self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool {
+        let (Some(pn), Some(xn)) = (self.lookup(p_func, p), self.lookup(x_func, x))
+        else {
+            return true; // unknown names: be conservative
+        };
+        let xr = self.find(xn);
+        if !self.addr_taken.contains(&xr) {
+            return false;
+        }
+        let tp = self.target(pn);
+        self.find(tp) == self.find(xr)
+    }
+
+    /// May pointer variables `p` and `q` point into the same object?
+    /// `false` is definitive.
+    pub fn targets_may_intersect(
+        &mut self,
+        p_func: &str,
+        p: &str,
+        q_func: &str,
+        q: &str,
+    ) -> bool {
+        let (Some(pn), Some(qn)) = (self.lookup(p_func, p), self.lookup(q_func, q))
+        else {
+            return true;
+        };
+        let tp = self.target(pn);
+        let tq = self.target(qn);
+        self.find(tp) == self.find(tq)
+    }
+
+    /// Is the address of variable `x` ever taken?
+    pub fn address_taken(&mut self, func: &str, x: &str) -> bool {
+        match self.lookup(func, x) {
+            Some(n) => {
+                let r = self.find(n);
+                self.addr_taken.contains(&r)
+            }
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cparse::parse_and_simplify;
+
+    fn analyze(src: &str) -> PointsTo {
+        PointsTo::analyze(&parse_and_simplify(src).unwrap())
+    }
+
+    #[test]
+    fn address_of_establishes_pointing() {
+        let mut a = analyze("void f(int x, int y) { int* p; p = &x; }");
+        assert!(a.may_point_to("f", "p", "f", "x"));
+        assert!(!a.may_point_to("f", "p", "f", "y"));
+        assert!(a.address_taken("f", "x"));
+        assert!(!a.address_taken("f", "y"));
+    }
+
+    #[test]
+    fn copies_merge_targets() {
+        let mut a = analyze("void f(int x) { int* p; int* q; p = &x; q = p; }");
+        assert!(a.may_point_to("f", "q", "f", "x"));
+        assert!(a.targets_may_intersect("f", "p", "f", "q"));
+    }
+
+    #[test]
+    fn distinct_pointers_stay_apart() {
+        let mut a =
+            analyze("void f(int x, int y) { int* p; int* q; p = &x; q = &y; }");
+        assert!(!a.targets_may_intersect("f", "p", "f", "q"));
+        assert!(!a.may_point_to("f", "p", "f", "y"));
+    }
+
+    #[test]
+    fn flow_insensitivity_over_approximates() {
+        let mut a = analyze("void f(int x, int y) { int* p; p = &x; p = &y; }");
+        assert!(a.may_point_to("f", "p", "f", "x"));
+        assert!(a.may_point_to("f", "p", "f", "y"));
+    }
+
+    #[test]
+    fn paper_partition_pointers_unaliased_with_locals() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            list partition(list *l, int v) {
+                list curr, prev, newl, nextcurr;
+                curr = *l;
+                prev = NULL;
+                newl = NULL;
+                while (curr != NULL) {
+                    nextcurr = curr->next;
+                    prev = curr;
+                    curr = nextcurr;
+                }
+                return newl;
+            }
+        "#;
+        let mut a = analyze(src);
+        for v in ["curr", "prev", "newl", "nextcurr"] {
+            assert!(
+                !a.may_point_to("partition", "l", "partition", v),
+                "l should not point to {v}"
+            );
+            assert!(!a.address_taken("partition", v), "{v} address-taken");
+        }
+        assert!(a.targets_may_intersect("partition", "curr", "partition", "prev"));
+    }
+
+    #[test]
+    fn calls_bind_formals_to_actuals() {
+        let src = r#"
+            void callee(int* q) { *q = 1; }
+            void caller(int x, int y) { callee(&x); }
+        "#;
+        let mut a = analyze(src);
+        assert!(a.may_point_to("callee", "q", "caller", "x"));
+        assert!(!a.may_point_to("callee", "q", "caller", "y"));
+    }
+
+    #[test]
+    fn returns_flow_to_destinations() {
+        let src = r#"
+            int g;
+            int* get() { return &g; }
+            void use_it() { int* p; p = get(); }
+        "#;
+        let mut a = analyze(src);
+        assert!(a.may_point_to("use_it", "p", "use_it", "g"));
+    }
+
+    #[test]
+    fn malloc_gives_fresh_objects() {
+        let src = r#"
+            void f(int x) {
+                int* p; int* q;
+                p = malloc(4);
+                q = &x;
+            }
+        "#;
+        let mut a = analyze(src);
+        assert!(!a.targets_may_intersect("f", "p", "f", "q"));
+        assert!(!a.may_point_to("f", "p", "f", "x"));
+    }
+
+    #[test]
+    fn deref_assignment_flows_contents() {
+        let src = r#"
+            void f(int x) {
+                int* p; int** pp; int* q;
+                pp = &p;
+                *pp = &x;
+                q = *pp;
+            }
+        "#;
+        let mut a = analyze(src);
+        assert!(a.may_point_to("f", "q", "f", "x"));
+        assert!(a.may_point_to("f", "p", "f", "x"));
+    }
+
+    #[test]
+    fn list_fields_unify_through_next() {
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            void f(list a) {
+                list b;
+                b = a->next;
+            }
+        "#;
+        let mut a = analyze(src);
+        assert!(a.targets_may_intersect("f", "a", "f", "b"));
+    }
+}

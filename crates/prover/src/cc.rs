@@ -1,0 +1,396 @@
+//! Congruence closure for equality with uninterpreted functions and
+//! pointer constructors.
+//!
+//! Classes carry *constructor tags* so that distinct constants conflict
+//! when merged: two different numerals, `NULL` versus any address, the
+//! addresses of two different variables, or the address of a variable
+//! versus the address of a struct field. Asserted disequalities raise a
+//! conflict when their sides fall into the same class.
+
+use crate::term::{TermData, TermId, TermStore};
+use std::collections::HashMap;
+
+/// A constructor tag attached to an equivalence class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ctor {
+    Num(i64),
+    Null,
+    AddrVar(String),
+    /// Address of field `.0` of some object; two classes with different
+    /// field names conflict, same field names merge by congruence.
+    AddrFld(String),
+}
+
+impl Ctor {
+    /// Whether two tags can denote the same value.
+    fn compatible(&self, other: &Ctor) -> bool {
+        match (self, other) {
+            (Ctor::Num(a), Ctor::Num(b)) => a == b,
+            (Ctor::AddrVar(a), Ctor::AddrVar(b)) => a == b,
+            // same-field addresses may coincide (if the base pointers do)
+            (Ctor::AddrFld(f), Ctor::AddrFld(g)) => f == g,
+            (Ctor::Null, Ctor::Null) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Result of an assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcResult {
+    /// Still consistent.
+    Ok,
+    /// The asserted set of (dis)equalities is contradictory.
+    Conflict,
+}
+
+/// The congruence-closure engine.
+///
+/// Usage: create with a snapshot of the [`TermStore`], `register` the terms
+/// of interest, then `assert_eq`/`assert_ne`, checking for conflicts.
+#[derive(Debug)]
+pub struct CongruenceClosure<'a> {
+    store: &'a TermStore,
+    parent: HashMap<TermId, TermId>,
+    rank: HashMap<TermId, u32>,
+    tag: HashMap<TermId, Ctor>,
+    /// Asserted disequalities (checked after every merge).
+    diseqs: Vec<(TermId, TermId)>,
+    /// parent term -> (function signature) uses, for congruence propagation
+    uses: HashMap<TermId, Vec<TermId>>,
+    /// signature table: (head, arg classes) -> representative app term
+    sigs: HashMap<(String, Vec<TermId>), TermId>,
+    registered: Vec<TermId>,
+}
+
+impl<'a> CongruenceClosure<'a> {
+    /// Creates an empty closure over `store`.
+    pub fn new(store: &'a TermStore) -> CongruenceClosure<'a> {
+        CongruenceClosure {
+            store,
+            parent: HashMap::new(),
+            rank: HashMap::new(),
+            tag: HashMap::new(),
+            diseqs: Vec::new(),
+            uses: HashMap::new(),
+            sigs: HashMap::new(),
+            registered: Vec::new(),
+        }
+    }
+
+    /// Registers `t` and all of its subterms.
+    ///
+    /// Registration can itself trigger merges (a new term may be congruent
+    /// to an existing one), so it reports conflicts.
+    pub fn register(&mut self, t: TermId) -> CcResult {
+        if self.parent.contains_key(&t) {
+            return CcResult::Ok;
+        }
+        self.parent.insert(t, t);
+        self.rank.insert(t, 0);
+        self.registered.push(t);
+        let tag = match self.store.data(t) {
+            TermData::Num(v) => Some(Ctor::Num(*v)),
+            TermData::Null => Some(Ctor::Null),
+            TermData::AddrVar(n) => Some(Ctor::AddrVar(n.clone())),
+            TermData::AddrFld(f, _) => Some(Ctor::AddrFld(f.clone())),
+            _ => None,
+        };
+        if let Some(tag) = tag {
+            self.tag.insert(t, tag);
+        }
+        // recurse into children and set up use lists
+        let children: Vec<TermId> = match self.store.data(t) {
+            TermData::App(_, args) => args.clone(),
+            TermData::AddrFld(_, p) => vec![*p],
+            TermData::Add(l, r) | TermData::Sub(l, r) | TermData::Mul(l, r) => {
+                vec![*l, *r]
+            }
+            TermData::Neg(x) => vec![*x],
+            _ => Vec::new(),
+        };
+        for c in children {
+            if self.register(c) == CcResult::Conflict {
+                return CcResult::Conflict;
+            }
+            let root = self.find(c);
+            self.uses.entry(root).or_default().push(t);
+        }
+        // seed the signature table; a collision means the new term is
+        // congruent to an existing one
+        if let Some(sig) = self.signature(t) {
+            if let Some(other) = self.sigs.get(&sig).copied() {
+                if self.merge(other, t) == CcResult::Conflict {
+                    return CcResult::Conflict;
+                }
+            } else {
+                self.sigs.insert(sig, t);
+            }
+        }
+        self.check_diseqs()
+    }
+
+    /// The current signature of an interpreted-as-function term: head name
+    /// plus argument class representatives. Arithmetic heads participate so
+    /// that `x + y` and `x' + y'` merge when `x = x'`, `y = y'`.
+    fn signature(&mut self, t: TermId) -> Option<(String, Vec<TermId>)> {
+        match self.store.data(t) {
+            TermData::App(f, args) => {
+                let classes = args.iter().map(|a| self.find(*a)).collect();
+                Some((format!("app:{f}"), classes))
+            }
+            TermData::AddrFld(f, p) => Some((format!("addrfld:{f}"), vec![self.find(*p)])),
+            TermData::Add(l, r) => {
+                // canonical order (Add is commutative)
+                let mut cs = vec![self.find(*l), self.find(*r)];
+                cs.sort();
+                Some(("add".to_string(), cs))
+            }
+            TermData::Sub(l, r) => Some(("sub".to_string(), vec![self.find(*l), self.find(*r)])),
+            TermData::Mul(l, r) => {
+                let mut cs = vec![self.find(*l), self.find(*r)];
+                cs.sort();
+                Some(("mul".to_string(), cs))
+            }
+            TermData::Neg(x) => Some(("neg".to_string(), vec![self.find(*x)])),
+            _ => None,
+        }
+    }
+
+    /// Class representative of `t` (must be registered).
+    pub fn find(&mut self, t: TermId) -> TermId {
+        let p = *self.parent.get(&t).unwrap_or(&t);
+        if p == t {
+            return t;
+        }
+        let root = self.find(p);
+        self.parent.insert(t, root);
+        root
+    }
+
+    /// Asserts `a == b`.
+    ///
+    /// Returns [`CcResult::Conflict`] if this contradicts earlier
+    /// assertions or constructor distinctness.
+    pub fn assert_eq(&mut self, a: TermId, b: TermId) -> CcResult {
+        if self.register(a) == CcResult::Conflict
+            || self.register(b) == CcResult::Conflict
+        {
+            return CcResult::Conflict;
+        }
+        if self.merge(a, b) == CcResult::Conflict {
+            return CcResult::Conflict;
+        }
+        self.check_diseqs()
+    }
+
+    /// Merges the classes of `a` and `b` and propagates congruences.
+    fn merge(&mut self, a: TermId, b: TermId) -> CcResult {
+        let mut queue = vec![(a, b)];
+        while let Some((x, y)) = queue.pop() {
+            let rx = self.find(x);
+            let ry = self.find(y);
+            if rx == ry {
+                continue;
+            }
+            // tag compatibility
+            if let (Some(tx), Some(ty)) = (self.tag.get(&rx), self.tag.get(&ry)) {
+                if !tx.compatible(ty) {
+                    return CcResult::Conflict;
+                }
+            }
+            // union by rank
+            let (win, lose) = if self.rank[&rx] >= self.rank[&ry] {
+                (rx, ry)
+            } else {
+                (ry, rx)
+            };
+            if self.rank[&win] == self.rank[&lose] {
+                *self.rank.get_mut(&win).expect("rank") += 1;
+            }
+            self.parent.insert(lose, win);
+            // merge tags
+            if let Some(tl) = self.tag.get(&lose).cloned() {
+                self.tag.entry(win).or_insert(tl);
+            }
+            // congruence: re-signature all users of the losing class
+            let users = self.uses.remove(&lose).unwrap_or_default();
+            for u in users.clone() {
+                if let Some(sig) = self.signature(u) {
+                    if let Some(other) = self.sigs.get(&sig).copied() {
+                        if self.find(other) != self.find(u) {
+                            queue.push((other, u));
+                        }
+                    } else {
+                        self.sigs.insert(sig, u);
+                    }
+                }
+            }
+            self.uses.entry(win).or_default().extend(users);
+        }
+        CcResult::Ok
+    }
+
+    fn check_diseqs(&mut self) -> CcResult {
+        for (x, y) in self.diseqs.clone() {
+            if self.find(x) == self.find(y) {
+                return CcResult::Conflict;
+            }
+        }
+        CcResult::Ok
+    }
+
+    /// Asserts `a != b`.
+    pub fn assert_ne(&mut self, a: TermId, b: TermId) -> CcResult {
+        if self.register(a) == CcResult::Conflict
+            || self.register(b) == CcResult::Conflict
+        {
+            return CcResult::Conflict;
+        }
+        if self.find(a) == self.find(b) {
+            return CcResult::Conflict;
+        }
+        self.diseqs.push((a, b));
+        CcResult::Ok
+    }
+
+    /// True if `a` and `b` are currently known equal.
+    ///
+    /// Registration may merge congruent classes as a side effect; a
+    /// registration conflict also reports "equal" conservatively only in
+    /// the sense that the caller should already have seen the conflict
+    /// via an `assert_*` return value.
+    pub fn are_equal(&mut self, a: TermId, b: TermId) -> bool {
+        let _ = self.register(a);
+        let _ = self.register(b);
+        self.find(a) == self.find(b)
+    }
+
+    /// All registered terms grouped by class representative.
+    pub fn classes(&mut self) -> HashMap<TermId, Vec<TermId>> {
+        let mut out: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        for t in self.registered.clone() {
+            let r = self.find(t);
+            out.entry(r).or_default().push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn transitivity() {
+        let mut s = TermStore::new();
+        let a = s.var("a", Sort::Int);
+        let b = s.var("b", Sort::Int);
+        let c = s.var("c", Sort::Int);
+        let mut cc = CongruenceClosure::new(&s);
+        assert_eq!(cc.assert_eq(a, b), CcResult::Ok);
+        assert_eq!(cc.assert_eq(b, c), CcResult::Ok);
+        assert!(cc.are_equal(a, c));
+    }
+
+    #[test]
+    fn congruence_of_apps() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Ptr);
+        let y = s.var("y", Sort::Ptr);
+        let fx = s.app("fld_val", vec![x], Sort::Int);
+        let fy = s.app("fld_val", vec![y], Sort::Int);
+        let mut cc = CongruenceClosure::new(&s);
+        cc.register(fx);
+        cc.register(fy);
+        assert!(!cc.are_equal(fx, fy));
+        assert_eq!(cc.assert_eq(x, y), CcResult::Ok);
+        assert!(cc.are_equal(fx, fy));
+    }
+
+    #[test]
+    fn contrapositive_of_congruence_detects_conflict() {
+        // f(x) != f(y) and x == y is a conflict
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Ptr);
+        let y = s.var("y", Sort::Ptr);
+        let fx = s.app("f", vec![x], Sort::Int);
+        let fy = s.app("f", vec![y], Sort::Int);
+        let mut cc = CongruenceClosure::new(&s);
+        assert_eq!(cc.assert_ne(fx, fy), CcResult::Ok);
+        assert_eq!(cc.assert_eq(x, y), CcResult::Conflict);
+    }
+
+    #[test]
+    fn distinct_numerals_conflict() {
+        let mut s = TermStore::new();
+        let one = s.num(1);
+        let two = s.num(2);
+        let x = s.var("x", Sort::Int);
+        let mut cc = CongruenceClosure::new(&s);
+        assert_eq!(cc.assert_eq(x, one), CcResult::Ok);
+        assert_eq!(cc.assert_eq(x, two), CcResult::Conflict);
+    }
+
+    #[test]
+    fn null_conflicts_with_addresses() {
+        let mut s = TermStore::new();
+        let null = s.null();
+        let ax = s.addr_var("x");
+        let mut cc = CongruenceClosure::new(&s);
+        assert_eq!(cc.assert_eq(ax, null), CcResult::Conflict);
+    }
+
+    #[test]
+    fn addresses_of_distinct_vars_conflict() {
+        let mut s = TermStore::new();
+        let ax = s.addr_var("x");
+        let ay = s.addr_var("y");
+        let mut cc = CongruenceClosure::new(&s);
+        assert_eq!(cc.assert_eq(ax, ay), CcResult::Conflict);
+    }
+
+    #[test]
+    fn field_addresses_same_field_can_merge() {
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let q = s.var("q", Sort::Ptr);
+        let fp = s.addr_fld("next", p);
+        let fq = s.addr_fld("next", q);
+        let mut cc = CongruenceClosure::new(&s);
+        assert_eq!(cc.assert_eq(fp, fq), CcResult::Ok);
+        // congruence downward is NOT implied (injectivity not assumed here),
+        // but upward congruence works: p == q forces &p->next == &q->next
+        let mut cc2 = CongruenceClosure::new(&s);
+        cc2.register(fp);
+        cc2.register(fq);
+        assert_eq!(cc2.assert_eq(p, q), CcResult::Ok);
+        assert!(cc2.are_equal(fp, fq));
+    }
+
+    #[test]
+    fn field_addresses_distinct_fields_conflict() {
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let fp = s.addr_fld("next", p);
+        let vp = s.addr_fld("val", p);
+        let mut cc = CongruenceClosure::new(&s);
+        assert_eq!(cc.assert_eq(fp, vp), CcResult::Conflict);
+    }
+
+    #[test]
+    fn arithmetic_terms_congruent() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let one = s.num(1);
+        let x1 = s.add(x, one);
+        let y1 = s.add(y, one);
+        let mut cc = CongruenceClosure::new(&s);
+        cc.register(x1);
+        cc.register(y1);
+        assert_eq!(cc.assert_eq(x, y), CcResult::Ok);
+        assert!(cc.are_equal(x1, y1));
+    }
+}

@@ -1,0 +1,370 @@
+//! A small DPLL(T) SAT core.
+//!
+//! Formulas are Tseitin-encoded into CNF; atom variables are shared with
+//! the theory layer, which is consulted at every unit-propagation fixpoint
+//! with the currently assigned atom literals. Backtracking is
+//! chronological — the queries produced by predicate abstraction are tiny
+//! (a cube, an invariant, and a goal), so clause learning would be
+//! over-engineering, while the DPLL structure still handles the
+//! disjunctions introduced by Morris' axiom of assignment.
+
+use crate::term::{Atom, Formula, TermStore};
+use crate::theory::{check as theory_check, Lit, TheoryResult};
+use std::collections::HashMap;
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A theory-consistent propositional model exists (possibly
+    /// optimistic, see the theory layer's contract).
+    Sat,
+    /// No model: the formula is unsatisfiable.
+    Unsat,
+    /// Budget exhausted.
+    Unknown,
+}
+
+/// Decision budget: queries here are minute; this is a safety net.
+const MAX_DECISIONS: u64 = 200_000;
+
+/// Checks satisfiability of `formula` modulo the combined theory.
+pub fn solve(store: &TermStore, formula: &Formula) -> SatResult {
+    match formula {
+        Formula::True => return SatResult::Sat,
+        Formula::False => return SatResult::Unsat,
+        _ => {}
+    }
+    let mut enc = Encoder::new();
+    let root = enc.encode(formula);
+    enc.clauses.push(vec![root]);
+    let mut solver = Dpll {
+        atoms: enc.atoms,
+        clauses: enc.clauses,
+        assignment: vec![None; enc.var_count],
+        store,
+        decisions: 0,
+    };
+    solver.run()
+}
+
+struct Encoder {
+    /// atom -> variable index (atom variables are 0..atoms.len()).
+    atom_vars: HashMap<Atom, usize>,
+    atoms: Vec<Atom>,
+    var_count: usize,
+    clauses: Vec<Vec<i32>>,
+    memo: HashMap<Formula, i32>,
+}
+
+impl Encoder {
+    fn new() -> Encoder {
+        Encoder {
+            atom_vars: HashMap::new(),
+            atoms: Vec::new(),
+            var_count: 0,
+            clauses: Vec::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> usize {
+        let v = self.var_count;
+        self.var_count += 1;
+        v
+    }
+
+    fn lit(v: usize, positive: bool) -> i32 {
+        let l = (v + 1) as i32;
+        if positive {
+            l
+        } else {
+            -l
+        }
+    }
+
+    fn atom_var(&mut self, a: Atom) -> usize {
+        if let Some(v) = self.atom_vars.get(&a) {
+            return *v;
+        }
+        // atom variables must come first; they do, because atoms are only
+        // created before any aux var (encode recurses atoms-first)
+        let v = self.fresh();
+        self.atom_vars.insert(a, v);
+        self.atoms.push(a);
+        debug_assert_eq!(self.atoms.len(), self.var_count);
+        v
+    }
+
+    /// Pre-registers every atom so atom variables occupy the low indices.
+    fn register_atoms(&mut self, f: &Formula) {
+        for a in f.atoms() {
+            self.atom_var(a);
+        }
+    }
+
+    fn encode(&mut self, f: &Formula) -> i32 {
+        self.register_atoms(f);
+        self.encode_inner(f)
+    }
+
+    fn encode_inner(&mut self, f: &Formula) -> i32 {
+        if let Some(l) = self.memo.get(f) {
+            return *l;
+        }
+        let lit = match f {
+            Formula::True => {
+                let v = self.fresh();
+                self.clauses.push(vec![Self::lit(v, true)]);
+                Self::lit(v, true)
+            }
+            Formula::False => {
+                let v = self.fresh();
+                self.clauses.push(vec![Self::lit(v, false)]);
+                Self::lit(v, true)
+            }
+            Formula::Atom(a) => Self::lit(self.atom_var(*a), true),
+            Formula::Not(g) => -self.encode_inner(g),
+            Formula::And(gs) => {
+                let ls: Vec<i32> = gs.iter().map(|g| self.encode_inner(g)).collect();
+                let v = self.fresh();
+                let vl = Self::lit(v, true);
+                for l in &ls {
+                    self.clauses.push(vec![-vl, *l]);
+                }
+                let mut big: Vec<i32> = ls.iter().map(|l| -l).collect();
+                big.push(vl);
+                self.clauses.push(big);
+                vl
+            }
+            Formula::Or(gs) => {
+                let ls: Vec<i32> = gs.iter().map(|g| self.encode_inner(g)).collect();
+                let v = self.fresh();
+                let vl = Self::lit(v, true);
+                for l in &ls {
+                    self.clauses.push(vec![vl, -l]);
+                }
+                let mut big: Vec<i32> = ls.clone();
+                big.push(-vl);
+                self.clauses.push(big);
+                vl
+            }
+        };
+        self.memo.insert(f.clone(), lit);
+        lit
+    }
+}
+
+struct Dpll<'a> {
+    atoms: Vec<Atom>,
+    clauses: Vec<Vec<i32>>,
+    assignment: Vec<Option<bool>>,
+    store: &'a TermStore,
+    decisions: u64,
+}
+
+impl Dpll<'_> {
+    fn run(&mut self) -> SatResult {
+        self.search(0)
+    }
+
+    fn lit_value(&self, l: i32) -> Option<bool> {
+        let v = (l.unsigned_abs() as usize) - 1;
+        self.assignment[v].map(|b| if l > 0 { b } else { !b })
+    }
+
+    /// Unit propagation; returns false on propositional conflict and the
+    /// list of variables assigned (for undo).
+    fn propagate(&mut self, trail: &mut Vec<usize>) -> bool {
+        loop {
+            let mut changed = false;
+            for ci in 0..self.clauses.len() {
+                let mut unassigned: Option<i32> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &l in &self.clauses[ci] {
+                    match self.lit_value(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false, // conflict
+                    1 => {
+                        let l = unassigned.expect("unit literal");
+                        let v = (l.unsigned_abs() as usize) - 1;
+                        self.assignment[v] = Some(l > 0);
+                        trail.push(v);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn assigned_theory_lits(&self) -> Vec<Lit> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter_map(|(v, a)| {
+                self.assignment[v].map(|b| Lit {
+                    atom: *a,
+                    positive: b,
+                })
+            })
+            .collect()
+    }
+
+    fn search(&mut self, depth: usize) -> SatResult {
+        self.decisions += 1;
+        if self.decisions > MAX_DECISIONS {
+            return SatResult::Unknown;
+        }
+        let mut trail = Vec::new();
+        if !self.propagate(&mut trail) {
+            self.undo(&trail);
+            return SatResult::Unsat;
+        }
+        if theory_check(self.store, &self.assigned_theory_lits()) == TheoryResult::Conflict
+        {
+            self.undo(&trail);
+            return SatResult::Unsat;
+        }
+        // pick an unassigned variable (atoms first, for earlier theory cuts)
+        let pick = self.assignment.iter().position(Option::is_none);
+        let Some(v) = pick else {
+            self.undo(&trail);
+            return SatResult::Sat;
+        };
+        let mut unknown = false;
+        for val in [true, false] {
+            self.assignment[v] = Some(val);
+            match self.search(depth + 1) {
+                SatResult::Sat => {
+                    self.assignment[v] = None;
+                    self.undo(&trail);
+                    return SatResult::Sat;
+                }
+                SatResult::Unknown => unknown = true,
+                SatResult::Unsat => {}
+            }
+            self.assignment[v] = None;
+        }
+        self.undo(&trail);
+        if unknown {
+            SatResult::Unknown
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    fn undo(&mut self, trail: &[usize]) {
+        for &v in trail {
+            self.assignment[v] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn propositional_sat_and_unsat() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let a = s.le(x, y);
+        // a && !a unsat
+        let f = Formula::and([a.clone(), a.clone().negate()]);
+        assert_eq!(solve(&s, &f), SatResult::Unsat);
+        // a || !a sat
+        let f = Formula::or([a.clone(), a.negate()]);
+        assert_eq!(solve(&s, &f), SatResult::Sat);
+    }
+
+    #[test]
+    fn theory_prunes_models() {
+        // (x <= 2) && (3 <= x) is propositionally fine, theory-unsat
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let two = s.num(2);
+        let three = s.num(3);
+        let f = Formula::and([s.le(x, two), s.le(three, x)]);
+        assert_eq!(solve(&s, &f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn disjunctions_explore_cases() {
+        // (x <= 0 || x >= 5) && x == 3 is unsat
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let zero = s.num(0);
+        let five = s.num(5);
+        let three = s.num(3);
+        let f = Formula::and([
+            Formula::or([s.le(x, zero), s.le(five, x)]),
+            s.eq(x, three),
+        ]);
+        assert_eq!(solve(&s, &f), SatResult::Unsat);
+        // (x <= 0 || x >= 5) && x == 7 is sat
+        let seven = s.num(7);
+        let f = Formula::and([
+            Formula::or([s.le(x, zero), s.le(five, x)]),
+            s.eq(x, seven),
+        ]);
+        assert_eq!(solve(&s, &f), SatResult::Sat);
+    }
+
+    #[test]
+    fn morris_style_alias_disjunction() {
+        // ((p == q) && 3 > 5) || ((p != q) && deref(p) > 5), with
+        // deref(p) <= 5 conjoined: both disjuncts die.
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let q = s.var("q", Sort::Ptr);
+        let dp = s.app("deref", vec![p], Sort::Int);
+        let five = s.num(5);
+        let three = s.num(3);
+        let case_alias = Formula::and([s.eq(p, q), s.lt(five, three)]);
+        let case_not = Formula::and([s.ne(p, q), s.lt(five, dp)]);
+        let f = Formula::and([
+            Formula::or([case_alias, case_not]),
+            s.le(dp, five),
+        ]);
+        assert_eq!(solve(&s, &f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn nested_negations() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let one = s.num(1);
+        let a = s.le(x, one);
+        let f = Formula::Not(Box::new(Formula::Not(Box::new(a.clone()))));
+        assert_eq!(solve(&s, &f), SatResult::Sat);
+        let g = Formula::and([f, a.negate()]);
+        assert_eq!(solve(&s, &g), SatResult::Unsat);
+    }
+
+    #[test]
+    fn true_false_shortcuts() {
+        let s = TermStore::new();
+        assert_eq!(solve(&s, &Formula::True), SatResult::Sat);
+        assert_eq!(solve(&s, &Formula::False), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,455 @@
+//! Linear integer arithmetic via Fourier–Motzkin elimination.
+//!
+//! Atoms are linearized over *theory variables* — maximal non-arithmetic
+//! subterms (variables, uninterpreted applications, addresses). The solver
+//! answers `Unsat` only when a rational contradiction is derived, which is
+//! sound for the integers: if the rational relaxation is empty, so is the
+//! integer solution set. `Sat` therefore means "no contradiction found",
+//! exactly the incompleteness contract the abstraction tolerates.
+
+use crate::term::{TermData, TermId, TermStore};
+use std::collections::BTreeMap;
+
+/// A linear expression `Σ cᵢ·xᵢ + k` over theory variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Coefficients per theory variable (no zero entries).
+    pub coeffs: BTreeMap<TermId, i128>,
+    /// Constant offset.
+    pub constant: i128,
+}
+
+impl LinExpr {
+    /// The constant expression `k`.
+    pub fn constant(k: i128) -> LinExpr {
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: k,
+        }
+    }
+
+    /// The single-variable expression `x`.
+    pub fn var(x: TermId) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(x, 1);
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// `self + c * other`.
+    pub fn add_scaled(&self, other: &LinExpr, c: i128) -> LinExpr {
+        let mut out = self.clone();
+        for (v, k) in &other.coeffs {
+            let e = out.coeffs.entry(*v).or_insert(0);
+            *e += c * k;
+            if *e == 0 {
+                out.coeffs.remove(v);
+            }
+        }
+        out.constant += c * other.constant;
+        out
+    }
+
+    /// `-self`.
+    pub fn negate(&self) -> LinExpr {
+        LinExpr::constant(0).add_scaled(self, -1)
+    }
+
+    /// True if the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Divides all coefficients and the constant by their gcd (for `≤ 0`
+    /// constraints the constant may be rounded *up* after division, which
+    /// tightens soundly for integers).
+    fn normalize_le(&mut self) {
+        let mut g: i128 = 0;
+        for c in self.coeffs.values() {
+            g = gcd(g, c.abs());
+        }
+        if g > 1 {
+            for c in self.coeffs.values_mut() {
+                *c /= g;
+            }
+            // e + k <= 0  with all coeffs divisible by g:
+            // g*e' + k <= 0  <=>  e' <= -k/g  <=>  e' <= floor(-k/g)
+            // i.e. e' + ceil(k/g) <= 0
+            self.constant = div_ceil(self.constant, g);
+        }
+    }
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    if b == 0 {
+        a.abs()
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    if a >= 0 {
+        (a + b - 1) / b
+    } else {
+        -((-a) / b)
+    }
+}
+
+/// Outcome of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaResult {
+    /// No rational contradiction found.
+    Sat,
+    /// The constraints are unsatisfiable (already over the rationals).
+    Unsat,
+    /// Gave up (elimination blew past the size budget).
+    Unknown,
+}
+
+/// Maximum number of inequalities tolerated during elimination.
+const FM_BUDGET: usize = 4000;
+
+/// A set of linear constraints, all of the form `e ≤ 0` (equalities are
+/// kept separately and substituted out first).
+#[derive(Debug, Clone, Default)]
+pub struct LaSolver {
+    les: Vec<LinExpr>,
+    eqs: Vec<LinExpr>,
+}
+
+impl LaSolver {
+    /// Creates an empty solver.
+    pub fn new() -> LaSolver {
+        LaSolver::default()
+    }
+
+    /// Asserts `e ≤ 0`.
+    pub fn assert_le0(&mut self, e: LinExpr) {
+        self.les.push(e);
+    }
+
+    /// Asserts `e = 0`.
+    pub fn assert_eq0(&mut self, e: LinExpr) {
+        self.eqs.push(e);
+    }
+
+    /// Checks satisfiability over the rationals (sound for `Unsat`).
+    pub fn check(&self) -> LaResult {
+        let mut les = self.les.clone();
+        let mut eqs = self.eqs.clone();
+        // Gaussian elimination of equalities (rational pivoting: scale both
+        // sides; sound in the Unsat direction).
+        while let Some(eq) = eqs.pop() {
+            if eq.is_constant() {
+                if eq.constant != 0 {
+                    return LaResult::Unsat;
+                }
+                continue;
+            }
+            // pick the variable with the smallest |coefficient|
+            let (&v, &c) = eq
+                .coeffs
+                .iter()
+                .min_by_key(|(_, c)| c.abs())
+                .expect("non-constant");
+            // substitute v := -(eq - c*v)/c into all others, scaling through
+            for target in les.iter_mut().chain(eqs.iter_mut()) {
+                let tc = *target.coeffs.get(&v).unwrap_or(&0);
+                if tc == 0 {
+                    continue;
+                }
+                // c*target - tc*eq eliminates v; keep direction: multiply
+                // target by |c| (positive) and subtract sign-matched eq
+                let scale = c.abs();
+                let eq_scale = if c > 0 { -tc } else { tc };
+                let mut combined = LinExpr::constant(0).add_scaled(target, scale);
+                combined = combined.add_scaled(&eq, eq_scale);
+                debug_assert_eq!(*combined.coeffs.get(&v).unwrap_or(&0), 0);
+                *target = combined;
+            }
+        }
+        // Fourier–Motzkin on the inequalities
+        loop {
+            // constant contradictions?
+            for e in &les {
+                if e.is_constant() && e.constant > 0 {
+                    return LaResult::Unsat;
+                }
+            }
+            les.retain(|e| !e.is_constant());
+            if les.len() > FM_BUDGET {
+                return LaResult::Unknown;
+            }
+            // choose the variable appearing in the fewest pair products
+            let mut counts: BTreeMap<TermId, (usize, usize)> = BTreeMap::new();
+            for e in &les {
+                for (v, c) in &e.coeffs {
+                    let entry = counts.entry(*v).or_insert((0, 0));
+                    if *c > 0 {
+                        entry.0 += 1;
+                    } else {
+                        entry.1 += 1;
+                    }
+                }
+            }
+            let Some((&v, _)) = counts
+                .iter()
+                .min_by_key(|(_, (p, n))| p * n + p + n)
+            else {
+                return LaResult::Sat;
+            };
+            let mut upper = Vec::new(); // c > 0 : c*v <= -rest
+            let mut lower = Vec::new(); // c < 0
+            let mut rest = Vec::new();
+            for e in les {
+                match e.coeffs.get(&v).copied().unwrap_or(0) {
+                    0 => rest.push(e),
+                    c if c > 0 => upper.push((c, e)),
+                    c => lower.push((-c, e)),
+                }
+            }
+            if upper.len() * lower.len() + rest.len() > FM_BUDGET {
+                return LaResult::Unknown;
+            }
+            for (cu, u) in &upper {
+                for (cl, l) in &lower {
+                    // cu*v + ru <= 0 and -cl*v + rl <= 0
+                    // => cl*ru + cu*rl <= 0
+                    let mut combined = LinExpr::constant(0).add_scaled(u, *cl);
+                    combined = combined.add_scaled(l, *cu);
+                    debug_assert_eq!(*combined.coeffs.get(&v).unwrap_or(&0), 0);
+                    combined.normalize_le();
+                    rest.push(combined);
+                }
+            }
+            les = rest;
+            if les.is_empty() {
+                return LaResult::Sat;
+            }
+        }
+    }
+
+    /// True if the constraints force `a = b` (rational entailment, which
+    /// implies integer entailment). Used for Nelson–Oppen equality
+    /// propagation into the congruence closure.
+    pub fn entails_eq(&self, a: TermId, b: TermId) -> bool {
+        // a = b entailed iff adding a < b is unsat and adding b < a is unsat
+        // over ints: a <= b - 1, i.e. a - b + 1 <= 0
+        let mut diff = LinExpr::var(a);
+        diff = diff.add_scaled(&LinExpr::var(b), -1);
+        for dir in [1i128, -1] {
+            let mut probe = self.clone();
+            let mut e = LinExpr::constant(1).add_scaled(&diff, dir);
+            e.normalize_le();
+            probe.assert_le0(e);
+            if probe.check() != LaResult::Unsat {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The theory variables mentioned by the constraints.
+    pub fn vars(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        for e in self.les.iter().chain(self.eqs.iter()) {
+            for v in e.coeffs.keys() {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Linearizes an integer term into a [`LinExpr`], treating maximal
+/// non-arithmetic subterms as theory variables.
+pub fn linearize(store: &TermStore, t: TermId) -> LinExpr {
+    match store.data(t) {
+        TermData::Num(v) => LinExpr::constant(*v as i128),
+        TermData::Add(l, r) => {
+            let a = linearize(store, *l);
+            a.add_scaled(&linearize(store, *r), 1)
+        }
+        TermData::Sub(l, r) => {
+            let a = linearize(store, *l);
+            a.add_scaled(&linearize(store, *r), -1)
+        }
+        TermData::Neg(x) => linearize(store, *x).negate(),
+        TermData::Mul(l, r) => {
+            let a = linearize(store, *l);
+            let b = linearize(store, *r);
+            if a.is_constant() {
+                LinExpr::constant(0).add_scaled(&b, a.constant)
+            } else if b.is_constant() {
+                LinExpr::constant(0).add_scaled(&a, b.constant)
+            } else {
+                // nonlinear: the whole product is one opaque variable
+                LinExpr::var(t)
+            }
+        }
+        _ => LinExpr::var(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    fn v(s: &mut TermStore, n: &str) -> TermId {
+        s.var(n, Sort::Int)
+    }
+
+    /// Builds `l - r <= -1` i.e. l < r, or `l - r <= 0` for l <= r.
+    fn le(store: &TermStore, l: TermId, r: TermId, strict: bool) -> LinExpr {
+        let mut e = linearize(store, l);
+        e = e.add_scaled(&linearize(store, r), -1);
+        if strict {
+            e.constant += 1;
+        }
+        e
+    }
+
+    #[test]
+    fn simple_sat() {
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let y = v(&mut s, "y");
+        let mut la = LaSolver::new();
+        la.assert_le0(le(&s, x, y, false)); // x <= y
+        assert_eq!(la.check(), LaResult::Sat);
+    }
+
+    #[test]
+    fn cycle_of_strict_less_is_unsat() {
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let y = v(&mut s, "y");
+        let mut la = LaSolver::new();
+        la.assert_le0(le(&s, x, y, true)); // x < y
+        la.assert_le0(le(&s, y, x, true)); // y < x
+        assert_eq!(la.check(), LaResult::Unsat);
+    }
+
+    #[test]
+    fn transitive_bounds() {
+        // x <= y, y <= z, z <= x - 1 is unsat
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let y = v(&mut s, "y");
+        let z = v(&mut s, "z");
+        let mut la = LaSolver::new();
+        la.assert_le0(le(&s, x, y, false));
+        la.assert_le0(le(&s, y, z, false));
+        la.assert_le0(le(&s, z, x, true));
+        assert_eq!(la.check(), LaResult::Unsat);
+    }
+
+    #[test]
+    fn equalities_substitute() {
+        // x = 2 and x < 2 is unsat; x = 2 and x < 3 is sat
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let two = s.num(2);
+        let three = s.num(3);
+        let mut la = LaSolver::new();
+        let mut eq = linearize(&s, x);
+        eq = eq.add_scaled(&linearize(&s, two), -1);
+        la.assert_eq0(eq.clone());
+        let mut la2 = la.clone();
+        la.assert_le0(le(&s, x, two, true));
+        assert_eq!(la.check(), LaResult::Unsat);
+        la2.assert_le0(le(&s, x, three, true));
+        assert_eq!(la2.check(), LaResult::Sat);
+    }
+
+    #[test]
+    fn coefficients_work() {
+        // 2x <= 5 and 2x >= 6 is unsat (rationally: x<=2.5, x>=3)
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let mut la = LaSolver::new();
+        let mut e1 = LinExpr::constant(-5);
+        e1 = e1.add_scaled(&LinExpr::var(x), 2); // 2x - 5 <= 0
+        let mut e2 = LinExpr::constant(6);
+        e2 = e2.add_scaled(&LinExpr::var(x), -2); // 6 - 2x <= 0
+        la.assert_le0(e1);
+        la.assert_le0(e2);
+        assert_eq!(la.check(), LaResult::Unsat);
+    }
+
+    #[test]
+    fn integer_tightening_via_gcd() {
+        // 2x <= 1 and 2x >= 1 is rationally sat (x = 0.5) but the gcd
+        // normalization tightens 2x - 1 <= 0 to x <= 0 and 1 - 2x <= 0 to
+        // x >= 1, a contradiction.
+        let mut la = LaSolver::new();
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let mut e1 = LinExpr::constant(-1);
+        e1 = e1.add_scaled(&LinExpr::var(x), 2);
+        e1.normalize_le();
+        let mut e2 = LinExpr::constant(1);
+        e2 = e2.add_scaled(&LinExpr::var(x), -2);
+        e2.normalize_le();
+        la.assert_le0(e1);
+        la.assert_le0(e2);
+        assert_eq!(la.check(), LaResult::Unsat);
+    }
+
+    #[test]
+    fn entails_eq_detects_forced_equality() {
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let y = v(&mut s, "y");
+        let mut la = LaSolver::new();
+        la.assert_le0(le(&s, x, y, false));
+        la.assert_le0(le(&s, y, x, false));
+        assert!(la.entails_eq(x, y));
+        let mut la2 = LaSolver::new();
+        la2.assert_le0(le(&s, x, y, false));
+        assert!(!la2.entails_eq(x, y));
+    }
+
+    #[test]
+    fn linearize_flattens_arithmetic() {
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let two = s.num(2);
+        let twox = s.mul(two, x);
+        let e = s.add(twox, two);
+        let lin = linearize(&s, e);
+        assert_eq!(lin.constant, 2);
+        assert_eq!(lin.coeffs[&x], 2);
+    }
+
+    #[test]
+    fn nonlinear_products_are_opaque() {
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let y = v(&mut s, "y");
+        let xy = s.mul(x, y);
+        let lin = linearize(&s, xy);
+        assert_eq!(lin.coeffs.len(), 1);
+        assert!(lin.coeffs.contains_key(&xy));
+    }
+
+    #[test]
+    fn uf_terms_are_theory_variables() {
+        // fld_val(p) > v and fld_val(p) <= v is unsat
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let fv = s.app("fld_val", vec![p], Sort::Int);
+        let vv = v(&mut s, "v");
+        let mut la = LaSolver::new();
+        la.assert_le0(le(&s, vv, fv, true)); // v < fld_val(p)
+        la.assert_le0(le(&s, fv, vv, false)); // fld_val(p) <= v
+        assert_eq!(la.check(), LaResult::Unsat);
+    }
+}

@@ -1,0 +1,186 @@
+//! A Nelson–Oppen style theorem prover for quantifier-free formulas over
+//! linear integer arithmetic, equality with uninterpreted functions, and
+//! pointer constructors.
+//!
+//! This crate stands in for the Simplify and Vampyre provers used by the
+//! paper *Automatic Predicate Abstraction of C Programs* (PLDI 2001). Its
+//! contract matches theirs as the paper relies on it: [`Prover::implies`]
+//! answers `true` only for genuinely valid implications; a `false` answer
+//! means "could not prove", which costs the abstraction precision but
+//! never soundness.
+//!
+//! # Example
+//!
+//! ```
+//! use prover::Prover;
+//! use prover::term::Sort;
+//!
+//! let mut prover = Prover::new();
+//! let x = prover.store.var("x", Sort::Int);
+//! let two = prover.store.num(2);
+//! let four = prover.store.num(4);
+//! let hyp = prover.store.eq(x, two);      // x == 2
+//! let goal = prover.store.lt(x, four);    // x < 4
+//! assert!(prover.implies(&hyp, &goal));
+//! assert!(!prover.implies(&goal, &hyp));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod dpll;
+pub mod la;
+pub mod term;
+pub mod theory;
+pub mod translate;
+
+pub use dpll::SatResult;
+pub use term::{Atom, Formula, Sort, TermData, TermId, TermStore};
+pub use translate::{TranslateError, Translator};
+
+use std::collections::HashMap;
+
+/// Counters describing prover usage — the paper reports "theorem prover
+/// calls" per benchmark (Tables 1 and 2); [`ProverStats::queries`] is that
+/// number.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Number of (uncached) queries answered by the decision procedures.
+    pub queries: u64,
+    /// Number of queries answered from the cache.
+    pub cache_hits: u64,
+    /// Queries that came back unsatisfiable (proved implications).
+    pub unsat: u64,
+    /// Queries that came back satisfiable or unknown.
+    pub sat_or_unknown: u64,
+}
+
+/// The theorem prover, with a query cache (the paper's fifth optimization:
+/// "we cache all computations by the theorem prover").
+#[derive(Debug, Default)]
+pub struct Prover {
+    /// The term store shared by all formulas this prover answers about.
+    pub store: TermStore,
+    cache: HashMap<Formula, SatResult>,
+    /// Usage counters.
+    pub stats: ProverStats,
+}
+
+impl Prover {
+    /// Creates a prover with an empty term store.
+    pub fn new() -> Prover {
+        Prover::default()
+    }
+
+    /// Checks satisfiability of `f`, consulting the cache first.
+    pub fn check_sat(&mut self, f: &Formula) -> SatResult {
+        match f {
+            Formula::True => return SatResult::Sat,
+            Formula::False => return SatResult::Unsat,
+            _ => {}
+        }
+        if let Some(r) = self.cache.get(f) {
+            self.stats.cache_hits += 1;
+            return *r;
+        }
+        self.stats.queries += 1;
+        let r = dpll::solve(&self.store, f);
+        match r {
+            SatResult::Unsat => self.stats.unsat += 1,
+            _ => self.stats.sat_or_unknown += 1,
+        }
+        self.cache.insert(f.clone(), r);
+        r
+    }
+
+    /// True if `hyp ⇒ goal` is valid (refutation of `hyp ∧ ¬goal`).
+    ///
+    /// A `false` answer means the implication could not be proved — it may
+    /// still hold (the decision procedures are incomplete, as were
+    /// Simplify and Vampyre).
+    pub fn implies(&mut self, hyp: &Formula, goal: &Formula) -> bool {
+        let q = Formula::and([hyp.clone(), goal.clone().negate()]);
+        self.check_sat(&q) == SatResult::Unsat
+    }
+
+    /// True if the conjunction of `hyps` implies `goal`.
+    pub fn implies_all(&mut self, hyps: &[Formula], goal: &Formula) -> bool {
+        let hyp = Formula::and(hyps.iter().cloned());
+        self.implies(&hyp, goal)
+    }
+
+    /// True if `f` is unsatisfiable.
+    pub fn is_unsat(&mut self, f: &Formula) -> bool {
+        self.check_sat(f) == SatResult::Unsat
+    }
+
+    /// Clears the query cache (the store is kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Resets the usage counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ProverStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implication_examples_from_the_paper() {
+        // §4.1: (x = 2) => (x < 4), hence (x = 2) strengthens WP(x=x+1, x<5)
+        let mut p = Prover::new();
+        let x = p.store.var("x", Sort::Int);
+        let two = p.store.num(2);
+        let four = p.store.num(4);
+        let hyp = p.store.eq(x, two);
+        let goal = p.store.lt(x, four);
+        assert!(p.implies(&hyp, &goal));
+        // and x < 5 does not imply x = 2
+        let five = p.store.num(5);
+        let h2 = p.store.lt(x, five);
+        assert!(!p.implies(&h2, &hyp));
+    }
+
+    #[test]
+    fn cache_avoids_recomputation() {
+        let mut p = Prover::new();
+        let x = p.store.var("x", Sort::Int);
+        let one = p.store.num(1);
+        let hyp = p.store.le(x, one);
+        let goal = p.store.le(x, one);
+        assert!(p.implies(&hyp, &goal));
+        let q0 = p.stats.queries;
+        assert!(p.implies(&hyp, &goal));
+        assert_eq!(p.stats.queries, q0);
+        assert!(p.stats.cache_hits > 0);
+    }
+
+    #[test]
+    fn enforce_style_mutual_exclusion() {
+        // (x = 1) && (x = 2) is unsatisfiable: the enforce invariant of §5.1
+        let mut p = Prover::new();
+        let x = p.store.var("x", Sort::Int);
+        let one = p.store.num(1);
+        let two = p.store.num(2);
+        let a = p.store.eq(x, one);
+        let b = p.store.eq(x, two);
+        assert!(p.is_unsat(&Formula::and([a, b])));
+    }
+
+    #[test]
+    fn implies_all_conjoins() {
+        let mut p = Prover::new();
+        let x = p.store.var("x", Sort::Int);
+        let y = p.store.var("y", Sort::Int);
+        let z = p.store.var("z", Sort::Int);
+        let h1 = p.store.le(x, y);
+        let h2 = p.store.le(y, z);
+        let goal = p.store.le(x, z);
+        assert!(p.implies_all(&[h1.clone(), h2], &goal));
+        assert!(!p.implies_all(&[h1], &goal));
+    }
+}

@@ -1,0 +1,487 @@
+//! Hash-consed terms and quantifier-free formulas.
+//!
+//! Terms live in a [`TermStore`] and are referenced by [`TermId`];
+//! structural equality of terms is id equality. The term language mixes
+//! linear integer arithmetic with uninterpreted functions (the Burstall
+//! memory encoding used by the C translation: `p->f` becomes `fld_f(p)`,
+//! `a[i]` becomes `idx(a, i)`, `&x` becomes the constructor `addr(x)`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// The sort of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Integer-valued.
+    Int,
+    /// Pointer-valued (includes addresses).
+    Ptr,
+}
+
+/// Term constructors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermData {
+    /// Integer constant.
+    Num(i64),
+    /// The null pointer.
+    Null,
+    /// A free variable (program variable or symbolic input).
+    Var(String),
+    /// The address of a named variable — a distinct constructor constant.
+    AddrVar(String),
+    /// The address of field `.0` of the object pointed to by `.1`
+    /// (injective constructor; addresses of distinct fields are distinct).
+    AddrFld(String, TermId),
+    /// Uninterpreted function application (e.g. `fld_val(p)`, `idx(a,i)`,
+    /// `deref(p)`, `div(a,b)`).
+    App(String, Vec<TermId>),
+    /// `l + r` (integer).
+    Add(TermId, TermId),
+    /// `l - r` (integer).
+    Sub(TermId, TermId),
+    /// `l * r` (integer; linear only when one side is constant).
+    Mul(TermId, TermId),
+    /// `-t` (integer).
+    Neg(TermId),
+}
+
+/// An atomic predicate over terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `l <= r` over integers.
+    Le(TermId, TermId),
+    /// `l == r` (any sort).
+    Eq(TermId, TermId),
+}
+
+/// A quantifier-free formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// An atomic predicate.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// `!self`, collapsing double negation and constants.
+    pub fn negate(self) -> Formula {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction of `fs` with constant folding.
+    pub fn and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut parts = Vec::new();
+        for f in fs {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.pop().expect("len 1"),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// Disjunction of `fs` with constant folding.
+    pub fn or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut parts = Vec::new();
+        for f in fs {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::False,
+            1 => parts.pop().expect("len 1"),
+            _ => Formula::Or(parts),
+        }
+    }
+
+    /// `self => other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::or([self.negate(), other])
+    }
+
+    /// All atoms of the formula, in first-occurrence order.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                if !out.contains(a) {
+                    out.push(*a);
+                }
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+            Formula::Not(f) => f.collect_atoms(out),
+        }
+    }
+}
+
+/// The arena interning all terms.
+#[derive(Debug, Default, Clone)]
+pub struct TermStore {
+    terms: Vec<(TermData, Sort)>,
+    intern: HashMap<TermData, TermId>,
+}
+
+impl TermStore {
+    /// Creates an empty store.
+    pub fn new() -> TermStore {
+        TermStore::default()
+    }
+
+    /// The number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a term, folding integer constants.
+    pub fn intern(&mut self, data: TermData, sort: Sort) -> TermId {
+        // constant folding for arithmetic
+        let data = self.fold(data);
+        if let Some(id) = self.intern.get(&data) {
+            return *id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push((data.clone(), sort));
+        self.intern.insert(data, id);
+        id
+    }
+
+    fn fold(&self, data: TermData) -> TermData {
+        let folded = match &data {
+            TermData::Add(l, r) => match (self.data(*l), self.data(*r)) {
+                (TermData::Num(a), TermData::Num(b)) => {
+                    Some(TermData::Num(a.wrapping_add(*b)))
+                }
+                (_, TermData::Num(0)) => Some(self.data(*l).clone()),
+                (TermData::Num(0), _) => Some(self.data(*r).clone()),
+                _ => None,
+            },
+            TermData::Sub(l, r) => match (self.data(*l), self.data(*r)) {
+                (TermData::Num(a), TermData::Num(b)) => {
+                    Some(TermData::Num(a.wrapping_sub(*b)))
+                }
+                (_, TermData::Num(0)) => Some(self.data(*l).clone()),
+                _ if l == r => Some(TermData::Num(0)),
+                _ => None,
+            },
+            TermData::Mul(l, r) => match (self.data(*l), self.data(*r)) {
+                (TermData::Num(a), TermData::Num(b)) => {
+                    Some(TermData::Num(a.wrapping_mul(*b)))
+                }
+                (_, TermData::Num(1)) => Some(self.data(*l).clone()),
+                (TermData::Num(1), _) => Some(self.data(*r).clone()),
+                (_, TermData::Num(0)) | (TermData::Num(0), _) => Some(TermData::Num(0)),
+                _ => None,
+            },
+            TermData::Neg(t) => match self.data(*t) {
+                TermData::Num(a) => Some(TermData::Num(a.wrapping_neg())),
+                _ => None,
+            },
+            _ => None,
+        };
+        folded.unwrap_or(data)
+    }
+
+    /// The data of a term.
+    pub fn data(&self, id: TermId) -> &TermData {
+        &self.terms[id.0 as usize].0
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.terms[id.0 as usize].1
+    }
+
+    // -- convenience constructors -----------------------------------------
+
+    /// Integer constant.
+    pub fn num(&mut self, v: i64) -> TermId {
+        self.intern(TermData::Num(v), Sort::Int)
+    }
+
+    /// The null pointer.
+    pub fn null(&mut self) -> TermId {
+        self.intern(TermData::Null, Sort::Ptr)
+    }
+
+    /// A free variable of the given sort.
+    pub fn var(&mut self, name: impl Into<String>, sort: Sort) -> TermId {
+        self.intern(TermData::Var(name.into()), sort)
+    }
+
+    /// `&name`.
+    pub fn addr_var(&mut self, name: impl Into<String>) -> TermId {
+        self.intern(TermData::AddrVar(name.into()), Sort::Ptr)
+    }
+
+    /// `&(p->field)`.
+    pub fn addr_fld(&mut self, field: impl Into<String>, p: TermId) -> TermId {
+        self.intern(TermData::AddrFld(field.into(), p), Sort::Ptr)
+    }
+
+    /// Uninterpreted application.
+    pub fn app(&mut self, f: impl Into<String>, args: Vec<TermId>, sort: Sort) -> TermId {
+        self.intern(TermData::App(f.into(), args), sort)
+    }
+
+    /// `l + r`.
+    pub fn add(&mut self, l: TermId, r: TermId) -> TermId {
+        self.intern(TermData::Add(l, r), Sort::Int)
+    }
+
+    /// `l - r`.
+    pub fn sub(&mut self, l: TermId, r: TermId) -> TermId {
+        self.intern(TermData::Sub(l, r), Sort::Int)
+    }
+
+    /// `l * r`.
+    pub fn mul(&mut self, l: TermId, r: TermId) -> TermId {
+        self.intern(TermData::Mul(l, r), Sort::Int)
+    }
+
+    /// `-t`.
+    pub fn neg(&mut self, t: TermId) -> TermId {
+        self.intern(TermData::Neg(t), Sort::Int)
+    }
+
+    // -- atom/formula helpers ---------------------------------------------
+
+    /// `l <= r`.
+    pub fn le(&mut self, l: TermId, r: TermId) -> Formula {
+        Formula::Atom(Atom::Le(l, r))
+    }
+
+    /// `l < r` over integers (`l + 1 <= r`).
+    pub fn lt(&mut self, l: TermId, r: TermId) -> Formula {
+        let one = self.num(1);
+        let l1 = self.add(l, one);
+        Formula::Atom(Atom::Le(l1, r))
+    }
+
+    /// `l == r` with the operands ordered canonically.
+    pub fn eq(&mut self, l: TermId, r: TermId) -> Formula {
+        let (a, b) = if l <= r { (l, r) } else { (r, l) };
+        if a == b {
+            return Formula::True;
+        }
+        Formula::Atom(Atom::Eq(a, b))
+    }
+
+    /// `l != r`.
+    pub fn ne(&mut self, l: TermId, r: TermId) -> Formula {
+        self.eq(l, r).negate()
+    }
+
+    /// Renders a term for diagnostics.
+    pub fn term_to_string(&self, id: TermId) -> String {
+        match self.data(id) {
+            TermData::Num(v) => v.to_string(),
+            TermData::Null => "NULL".to_string(),
+            TermData::Var(n) => n.clone(),
+            TermData::AddrVar(n) => format!("&{n}"),
+            TermData::AddrFld(f, p) => format!("&({}->{f})", self.term_to_string(*p)),
+            TermData::App(f, args) => {
+                let args: Vec<String> =
+                    args.iter().map(|a| self.term_to_string(*a)).collect();
+                format!("{f}({})", args.join(", "))
+            }
+            TermData::Add(l, r) => {
+                format!("({} + {})", self.term_to_string(*l), self.term_to_string(*r))
+            }
+            TermData::Sub(l, r) => {
+                format!("({} - {})", self.term_to_string(*l), self.term_to_string(*r))
+            }
+            TermData::Mul(l, r) => {
+                format!("({} * {})", self.term_to_string(*l), self.term_to_string(*r))
+            }
+            TermData::Neg(t) => format!("-{}", self.term_to_string(*t)),
+        }
+    }
+
+    /// Renders a formula for diagnostics.
+    pub fn formula_to_string(&self, f: &Formula) -> String {
+        match f {
+            Formula::True => "true".into(),
+            Formula::False => "false".into(),
+            Formula::Atom(Atom::Le(l, r)) => format!(
+                "{} <= {}",
+                self.term_to_string(*l),
+                self.term_to_string(*r)
+            ),
+            Formula::Atom(Atom::Eq(l, r)) => format!(
+                "{} == {}",
+                self.term_to_string(*l),
+                self.term_to_string(*r)
+            ),
+            Formula::And(fs) => {
+                let parts: Vec<String> =
+                    fs.iter().map(|g| self.formula_to_string(g)).collect();
+                format!("({})", parts.join(" && "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> =
+                    fs.iter().map(|g| self.formula_to_string(g)).collect();
+                format!("({})", parts.join(" || "))
+            }
+            Formula::Not(g) => format!("!{}", self.formula_to_string(g)),
+        }
+    }
+
+    /// All subterms of `t` (including `t`), deduplicated.
+    pub fn subterms(&self, t: TermId) -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut stack = vec![t];
+        while let Some(id) = stack.pop() {
+            if out.contains(&id) {
+                continue;
+            }
+            out.push(id);
+            match self.data(id) {
+                TermData::App(_, args) => stack.extend(args.iter().copied()),
+                TermData::AddrFld(_, p) => stack.push(*p),
+                TermData::Add(l, r) | TermData::Sub(l, r) | TermData::Mul(l, r) => {
+                    stack.push(*l);
+                    stack.push(*r);
+                }
+                TermData::Neg(x) => stack.push(*x),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut s = TermStore::new();
+        let a = s.var("x", Sort::Int);
+        let b = s.var("x", Sort::Int);
+        assert_eq!(a, b);
+        let c = s.var("y", Sort::Int);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut s = TermStore::new();
+        let two = s.num(2);
+        let three = s.num(3);
+        let five = s.add(two, three);
+        assert_eq!(*s.data(five), TermData::Num(5));
+        let x = s.var("x", Sort::Int);
+        let zero = s.num(0);
+        let x0 = s.add(x, zero);
+        assert_eq!(x0, x);
+        let xx = s.sub(x, x);
+        assert_eq!(*s.data(xx), TermData::Num(0));
+        let x1 = s.mul(x, zero);
+        assert_eq!(*s.data(x1), TermData::Num(0));
+    }
+
+    #[test]
+    fn formula_combinators_fold() {
+        let f = Formula::and([Formula::True, Formula::True]);
+        assert_eq!(f, Formula::True);
+        let f = Formula::and([Formula::True, Formula::False]);
+        assert_eq!(f, Formula::False);
+        let f = Formula::or([Formula::False, Formula::False]);
+        assert_eq!(f, Formula::False);
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let a = s.le(x, y);
+        assert_eq!(a.clone().negate().negate(), a);
+    }
+
+    #[test]
+    fn eq_is_canonical_and_reflexive() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        assert_eq!(s.eq(x, y), s.eq(y, x));
+        assert_eq!(s.eq(x, x), Formula::True);
+    }
+
+    #[test]
+    fn atoms_are_collected_in_order() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let a = s.le(x, y);
+        let b = s.eq(x, y);
+        let f = Formula::and([a.clone(), Formula::or([b.clone(), a.clone()])]);
+        assert_eq!(f.atoms().len(), 2);
+    }
+
+    #[test]
+    fn subterms_traverses_apps() {
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let fld = s.app("fld_next", vec![p], Sort::Ptr);
+        let fld2 = s.app("fld_val", vec![fld], Sort::Int);
+        let subs = s.subterms(fld2);
+        assert!(subs.contains(&p) && subs.contains(&fld) && subs.contains(&fld2));
+    }
+
+    #[test]
+    fn rendering_is_readable() {
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let v = s.app("fld_val", vec![p], Sort::Int);
+        let five = s.num(5);
+        let f = s.lt(v, five);
+        assert_eq!(s.formula_to_string(&f), "(fld_val(p) + 1) <= 5");
+    }
+}

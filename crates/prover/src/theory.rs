@@ -1,0 +1,272 @@
+//! Nelson–Oppen style combination of congruence closure and linear
+//! integer arithmetic.
+//!
+//! Given a conjunction of atom literals, the checker asserts equalities
+//! and disequalities into the congruence closure, inequalities and integer
+//! equalities into the Fourier–Motzkin solver, and propagates entailed
+//! equalities between the two until a fixpoint (bounded). `Conflict` is
+//! sound; `Consistent` may be optimistic (the abstraction only loses
+//! precision from that, never soundness).
+
+use crate::cc::{CcResult, CongruenceClosure};
+use crate::la::{linearize, LaResult, LaSolver};
+use crate::term::{Atom, Sort, TermData, TermId, TermStore};
+
+/// A literal: an atom with a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    /// The atom.
+    pub atom: Atom,
+    /// `true` for the atom itself, `false` for its negation.
+    pub positive: bool,
+}
+
+/// Outcome of a theory consistency check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TheoryResult {
+    /// No contradiction found (possibly optimistic).
+    Consistent,
+    /// The literals are jointly unsatisfiable.
+    Conflict,
+}
+
+/// Don't run pairwise equality propagation above this many shared terms.
+const PROPAGATION_CAP: usize = 24;
+
+/// Checks the conjunction of `lits` for theory consistency.
+pub fn check(store: &TermStore, lits: &[Lit]) -> TheoryResult {
+    let mut cc = CongruenceClosure::new(store);
+    let mut la = LaSolver::new();
+    let mut int_diseqs: Vec<(TermId, TermId)> = Vec::new();
+
+    for lit in lits {
+        match (lit.atom, lit.positive) {
+            (Atom::Eq(l, r), true) => {
+                if cc.assert_eq(l, r) == CcResult::Conflict {
+                    return TheoryResult::Conflict;
+                }
+                if store.sort(l) == Sort::Int {
+                    let e = linearize(store, l).add_scaled(&linearize(store, r), -1);
+                    la.assert_eq0(e);
+                }
+            }
+            (Atom::Eq(l, r), false) => {
+                if cc.assert_ne(l, r) == CcResult::Conflict {
+                    return TheoryResult::Conflict;
+                }
+                if store.sort(l) == Sort::Int {
+                    int_diseqs.push((l, r));
+                }
+            }
+            (Atom::Le(l, r), true) => {
+                if cc.register(l) == CcResult::Conflict
+                    || cc.register(r) == CcResult::Conflict
+                {
+                    return TheoryResult::Conflict;
+                }
+                let e = linearize(store, l).add_scaled(&linearize(store, r), -1);
+                la.assert_le0(e);
+            }
+            (Atom::Le(l, r), false) => {
+                if cc.register(l) == CcResult::Conflict
+                    || cc.register(r) == CcResult::Conflict
+                {
+                    return TheoryResult::Conflict;
+                }
+                // !(l <= r)  ==>  r + 1 <= l
+                let mut e = linearize(store, r).add_scaled(&linearize(store, l), -1);
+                e.constant += 1;
+                la.assert_le0(e);
+            }
+        }
+    }
+
+    // propagation fixpoint (two rounds suffice for these query sizes)
+    for _ in 0..2 {
+        // CC -> LA: merged int classes become LA equalities; classes tagged
+        // with a numeral pin their members to that value.
+        let lavars = la.vars();
+        if lavars.len() <= PROPAGATION_CAP {
+            for (i, &a) in lavars.iter().enumerate() {
+                for &b in lavars.iter().skip(i + 1) {
+                    if cc.are_equal(a, b) {
+                        let e = linearize(store, a).add_scaled(&linearize(store, b), -1);
+                        la.assert_eq0(e);
+                    }
+                }
+                if let Some(v) = class_numeral(store, &mut cc, a) {
+                    let mut e = linearize(store, a);
+                    e.constant -= v as i128;
+                    la.assert_eq0(e);
+                }
+            }
+        }
+        match la.check() {
+            LaResult::Unsat => return TheoryResult::Conflict,
+            LaResult::Sat | LaResult::Unknown => {}
+        }
+        // LA -> CC: entailed equalities between shared variables
+        let lavars = la.vars();
+        if lavars.len() <= PROPAGATION_CAP {
+            for (i, &a) in lavars.iter().enumerate() {
+                for &b in lavars.iter().skip(i + 1) {
+                    if !cc.are_equal(a, b) && la.entails_eq(a, b) {
+                        if cc.assert_eq(a, b) == CcResult::Conflict {
+                            return TheoryResult::Conflict;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // integer disequalities: conflict when equality is forced
+    for (a, b) in int_diseqs {
+        if cc.are_equal(a, b) || la.entails_eq(a, b) {
+            return TheoryResult::Conflict;
+        }
+    }
+    TheoryResult::Consistent
+}
+
+/// If the class of `t` contains a numeral, returns its value.
+fn class_numeral(
+    store: &TermStore,
+    cc: &mut CongruenceClosure<'_>,
+    t: TermId,
+) -> Option<i64> {
+    let _ = cc.register(t);
+    let classes = cc.classes();
+    let root = cc.find(t);
+    classes.get(&root).and_then(|members| {
+        members.iter().find_map(|m| match store.data(*m) {
+            TermData::Num(v) => Some(*v),
+            _ => None,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(atom: Atom, positive: bool) -> Lit {
+        Lit { atom, positive }
+    }
+
+    #[test]
+    fn arithmetic_conflict() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let five = s.num(5);
+        // x <= 5 and !(x <= 5)
+        let a = Atom::Le(x, five);
+        assert_eq!(
+            check(&s, &[lit(a, true), lit(a, false)]),
+            TheoryResult::Conflict
+        );
+    }
+
+    #[test]
+    fn equality_feeds_arithmetic() {
+        // x == 2 implies x < 4: check x == 2 && !(x <= 3) conflicts
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let two = s.num(2);
+        let three = s.num(3);
+        let eq = Atom::Eq(two.min(x), two.max(x));
+        let le = Atom::Le(x, three);
+        assert_eq!(
+            check(&s, &[lit(eq, true), lit(le, false)]),
+            TheoryResult::Conflict
+        );
+    }
+
+    #[test]
+    fn arithmetic_feeds_congruence() {
+        // x <= y, y <= x, f(x) != f(y) conflicts via equality propagation
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let fx = s.app("f", vec![x], Sort::Int);
+        let fy = s.app("f", vec![y], Sort::Int);
+        let lits = [
+            lit(Atom::Le(x, y), true),
+            lit(Atom::Le(y, x), true),
+            lit(Atom::Eq(fx.min(fy), fx.max(fy)), false),
+        ];
+        assert_eq!(check(&s, &lits), TheoryResult::Conflict);
+    }
+
+    #[test]
+    fn pointer_reasoning_from_the_paper() {
+        // §2.2: curr != NULL, fld_val(curr) > v, fld_val(prev) <= v,
+        // prev != NULL, and prev == curr is a conflict
+        // (congruence: prev == curr forces fld_val equal, but > v vs <= v).
+        let mut s = TermStore::new();
+        let curr = s.var("curr", Sort::Ptr);
+        let prev = s.var("prev", Sort::Ptr);
+        let v = s.var("v", Sort::Int);
+        let fc = s.app("fld_val", vec![curr], Sort::Int);
+        let fp = s.app("fld_val", vec![prev], Sort::Int);
+        let lits = [
+            lit(Atom::Le(fc, v), false),         // curr->val > v
+            lit(Atom::Le(fp, v), true),          // prev->val <= v
+            lit(Atom::Eq(prev.min(curr), prev.max(curr)), true), // prev == curr
+        ];
+        assert_eq!(check(&s, &lits), TheoryResult::Conflict);
+    }
+
+    #[test]
+    fn consistent_set_is_consistent() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let lits = [lit(Atom::Le(x, y), true)];
+        assert_eq!(check(&s, &lits), TheoryResult::Consistent);
+    }
+
+    #[test]
+    fn numeral_class_pins_value() {
+        // p == NULL-style via ints: x == y, y == 3, x <= 2 conflicts
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let three = s.num(3);
+        let two = s.num(2);
+        let lits = [
+            lit(Atom::Eq(x.min(y), x.max(y)), true),
+            lit(Atom::Eq(y.min(three), y.max(three)), true),
+            lit(Atom::Le(x, two), true),
+        ];
+        assert_eq!(check(&s, &lits), TheoryResult::Conflict);
+    }
+
+    #[test]
+    fn null_disequality_via_constructors() {
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let null = s.null();
+        let ax = s.addr_var("x");
+        // p == NULL and p == &x conflicts
+        let lits = [
+            lit(Atom::Eq(p.min(null), p.max(null)), true),
+            lit(Atom::Eq(p.min(ax), p.max(ax)), true),
+        ];
+        assert_eq!(check(&s, &lits), TheoryResult::Conflict);
+    }
+
+    #[test]
+    fn int_disequality_forced_equal_conflicts() {
+        // x <= y && y <= x && x != y
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let lits = [
+            lit(Atom::Le(x, y), true),
+            lit(Atom::Le(y, x), true),
+            lit(Atom::Eq(x.min(y), x.max(y)), false),
+        ];
+        assert_eq!(check(&s, &lits), TheoryResult::Conflict);
+    }
+}

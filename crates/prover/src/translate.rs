@@ -1,0 +1,413 @@
+//! Translation from C expressions to prover formulas.
+//!
+//! Uses the Burstall-style memory encoding: `p->f` becomes the
+//! uninterpreted application `fld_f(p)`, `*p` becomes `deref(p)`,
+//! `a[i]` becomes `idx(a, i)`, and `&x` becomes the constructor constant
+//! `addr(x)`. Pointer arithmetic follows the paper's logical model of
+//! memory (`p + i` *is* `p`). Nonlinear arithmetic (`/`, `%`, and
+//! variable×variable products) is left uninterpreted, which is sound.
+
+use crate::term::{Formula, Sort, TermId, TermStore};
+use cparse::ast::{BinOp, Expr, Type, UnOp};
+use cparse::typeck::TypeEnv;
+use std::fmt;
+
+/// A translation failure (ill-typed or unsupported predicate expression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslateError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl TranslateError {
+    fn new(message: impl Into<String>) -> TranslateError {
+        TranslateError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translate error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates expressions of one scope into a [`TermStore`].
+pub struct Translator<'a> {
+    /// The shared term store.
+    pub store: &'a mut TermStore,
+    env: &'a TypeEnv,
+    lookup: &'a dyn Fn(&str) -> Option<Type>,
+}
+
+impl<'a> Translator<'a> {
+    /// Creates a translator for a scope described by `lookup` (variable
+    /// name to type).
+    pub fn new(
+        store: &'a mut TermStore,
+        env: &'a TypeEnv,
+        lookup: &'a dyn Fn(&str) -> Option<Type>,
+    ) -> Translator<'a> {
+        Translator { store, env, lookup }
+    }
+
+    fn type_of(&self, e: &Expr) -> Result<Type, TranslateError> {
+        self.env
+            .type_of_with(self.lookup, e)
+            .map_err(|te| TranslateError::new(te.message))
+    }
+
+    fn sort_of(&self, e: &Expr) -> Result<Sort, TranslateError> {
+        Ok(match self.type_of(e)? {
+            Type::Ptr(_) | Type::Array(_, _) => Sort::Ptr,
+            _ => Sort::Int,
+        })
+    }
+
+    /// Translates a boolean-position expression into a formula.
+    ///
+    /// # Errors
+    ///
+    /// Fails on calls and ill-typed expressions.
+    pub fn formula(&mut self, e: &Expr) -> Result<Formula, TranslateError> {
+        match e {
+            Expr::IntLit(v) => Ok(if *v != 0 { Formula::True } else { Formula::False }),
+            Expr::Null => Ok(Formula::False),
+            Expr::Unary(UnOp::Not, inner) => Ok(self.formula(inner)?.negate()),
+            Expr::Binary(BinOp::And, l, r) => {
+                Ok(Formula::and([self.formula(l)?, self.formula(r)?]))
+            }
+            Expr::Binary(BinOp::Or, l, r) => {
+                Ok(Formula::or([self.formula(l)?, self.formula(r)?]))
+            }
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                let ptr_cmp =
+                    self.sort_of(l)? == Sort::Ptr || self.sort_of(r)? == Sort::Ptr;
+                if ptr_cmp {
+                    let lt = self.pointer_term(l)?;
+                    let rt = self.pointer_term(r)?;
+                    match op {
+                        BinOp::Eq => Ok(self.store.eq(lt, rt)),
+                        BinOp::Ne => Ok(self.store.ne(lt, rt)),
+                        _ => Err(TranslateError::new(format!(
+                            "ordered comparison `{op}` on pointers"
+                        ))),
+                    }
+                } else {
+                    let lt = self.term(l)?;
+                    let rt = self.term(r)?;
+                    Ok(match op {
+                        BinOp::Lt => self.store.lt(lt, rt),
+                        BinOp::Le => self.store.le(lt, rt),
+                        BinOp::Gt => self.store.lt(rt, lt),
+                        BinOp::Ge => self.store.le(rt, lt),
+                        BinOp::Eq => self.store.eq(lt, rt),
+                        BinOp::Ne => self.store.ne(lt, rt),
+                        _ => unreachable!(),
+                    })
+                }
+            }
+            // any other expression used as a condition: e != 0 / e != NULL
+            other => {
+                let sort = self.sort_of(other)?;
+                let t = self.term(other)?;
+                match sort {
+                    Sort::Ptr => {
+                        let null = self.store.null();
+                        Ok(self.store.ne(t, null))
+                    }
+                    Sort::Int => {
+                        let zero = self.store.num(0);
+                        Ok(self.store.ne(t, zero))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Translates a pointer-position expression, mapping the literal `0`
+    /// to `NULL`.
+    fn pointer_term(&mut self, e: &Expr) -> Result<TermId, TranslateError> {
+        match e {
+            Expr::IntLit(0) | Expr::Null => Ok(self.store.null()),
+            _ => self.term(e),
+        }
+    }
+
+    /// Translates a value-position expression into a term.
+    ///
+    /// # Errors
+    ///
+    /// Fails on calls and ill-typed expressions.
+    pub fn term(&mut self, e: &Expr) -> Result<TermId, TranslateError> {
+        match e {
+            Expr::IntLit(v) => Ok(self.store.num(*v)),
+            Expr::Null => Ok(self.store.null()),
+            Expr::Var(name) => {
+                let sort = self.sort_of(e)?;
+                let _ = self
+                    .lookup_type(name)
+                    .ok_or_else(|| TranslateError::new(format!("unknown variable `{name}`")))?;
+                Ok(self.store.var(name.clone(), sort))
+            }
+            Expr::Unary(UnOp::Deref, inner) => {
+                let p = self.pointer_term(inner)?;
+                let sort = self.sort_of(e)?;
+                Ok(self.store.app("deref", vec![p], sort))
+            }
+            Expr::Unary(UnOp::AddrOf, inner) => self.addr_term(inner),
+            Expr::Unary(UnOp::Neg, inner) => {
+                let t = self.term(inner)?;
+                Ok(self.store.neg(t))
+            }
+            Expr::Unary(UnOp::Not, inner) => {
+                // boolean in value position: keep it opaque but congruent
+                let t = self.term(inner)?;
+                Ok(self.store.app("b_not", vec![t], Sort::Int))
+            }
+            Expr::Field(base, field) => {
+                // p->f: apply fld_f to the pointer; x.f: to addr(x)
+                let obj = match &**base {
+                    Expr::Unary(UnOp::Deref, p) => self.pointer_term(p)?,
+                    lv => self.addr_term(lv)?,
+                };
+                let sort = self.sort_of(e)?;
+                Ok(self.store.app(format!("fld_{field}"), vec![obj], sort))
+            }
+            Expr::Index(base, idx) => {
+                let b = self.term(base)?;
+                let i = self.term(idx)?;
+                let sort = self.sort_of(e)?;
+                Ok(self.store.app("idx", vec![b, i], sort))
+            }
+            Expr::Binary(op, l, r) => {
+                // pointer arithmetic: logical model, result is the pointer
+                if op.is_arith() {
+                    if self.sort_of(l)? == Sort::Ptr {
+                        return self.term(l);
+                    }
+                    if self.sort_of(r)? == Sort::Ptr {
+                        return self.term(r);
+                    }
+                }
+                let lt = self.term(l)?;
+                let rt = self.term(r)?;
+                match op {
+                    BinOp::Add => Ok(self.store.add(lt, rt)),
+                    BinOp::Sub => Ok(self.store.sub(lt, rt)),
+                    BinOp::Mul => Ok(self.store.mul(lt, rt)),
+                    BinOp::Div => Ok(self.fold_div(lt, rt, true)),
+                    BinOp::Rem => Ok(self.fold_div(lt, rt, false)),
+                    _ => {
+                        // comparison/logical in value position: opaque
+                        let name = format!("b_{op:?}").to_lowercase();
+                        Ok(self.store.app(name, vec![lt, rt], Sort::Int))
+                    }
+                }
+            }
+            Expr::Call(name, _) => Err(TranslateError::new(format!(
+                "call to `{name}` inside a predicate"
+            ))),
+        }
+    }
+
+    fn fold_div(&mut self, l: TermId, r: TermId, is_div: bool) -> TermId {
+        use crate::term::TermData;
+        if let (TermData::Num(a), TermData::Num(b)) =
+            (self.store.data(l).clone(), self.store.data(r).clone())
+        {
+            if b != 0 {
+                let v = if is_div { a.wrapping_div(b) } else { a.wrapping_rem(b) };
+                return self.store.num(v);
+            }
+        }
+        let name = if is_div { "div" } else { "mod" };
+        self.store.app(name, vec![l, r], Sort::Int)
+    }
+
+    /// Translates `&lv` for an lvalue `lv`.
+    fn addr_term(&mut self, lv: &Expr) -> Result<TermId, TranslateError> {
+        match lv {
+            Expr::Var(name) => Ok(self.store.addr_var(name.clone())),
+            Expr::Unary(UnOp::Deref, p) => self.pointer_term(p),
+            Expr::Field(base, field) => {
+                let obj = match &**base {
+                    Expr::Unary(UnOp::Deref, p) => self.pointer_term(p)?,
+                    inner_lv => self.addr_term(inner_lv)?,
+                };
+                Ok(self.store.addr_fld(field.clone(), obj))
+            }
+            Expr::Index(base, idx) => {
+                let b = self.term(base)?;
+                let i = self.term(idx)?;
+                Ok(self.store.app("addr_idx", vec![b, i], Sort::Ptr))
+            }
+            other => Err(TranslateError::new(format!(
+                "cannot take address of `{}`",
+                cparse::pretty::expr_to_string(other)
+            ))),
+        }
+    }
+
+    fn lookup_type(&self, name: &str) -> Option<Type> {
+        (self.lookup)(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::{solve, SatResult};
+    use cparse::parse_expr;
+    use cparse::parse_program;
+
+    /// Convenience: a scope with int x,y,v; int* p,q; struct cell* curr,prev;
+    /// int a[10].
+    fn scope() -> (TypeEnv, impl Fn(&str) -> Option<Type>) {
+        let p = parse_program(
+            r#"
+            struct cell { int val; struct cell* next; };
+            int x, y, v;
+            int a[10];
+            void scope_holder(int* p, int* q, struct cell* curr, struct cell* prev) { ; }
+        "#,
+        )
+        .unwrap();
+        let env = TypeEnv::new(&p);
+        let f = p.function("scope_holder").unwrap().clone();
+        let lookup = move |name: &str| {
+            f.var_type(name).cloned().or(match name {
+                "x" | "y" | "v" => Some(Type::Int),
+                "a" => Some(Type::Array(Box::new(Type::Int), Some(10))),
+                _ => None,
+            })
+        };
+        (env, lookup)
+    }
+
+    fn tr(src: &str) -> (TermStore, Formula) {
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let e = parse_expr(src).unwrap();
+        let f = Translator::new(&mut store, &env, &lookup)
+            .formula(&e)
+            .unwrap();
+        (store, f)
+    }
+
+    #[test]
+    fn translates_comparisons() {
+        let (s, f) = tr("x < 5");
+        assert_eq!(s.formula_to_string(&f), "(x + 1) <= 5");
+        let (s, f) = tr("x >= y");
+        assert_eq!(s.formula_to_string(&f), "y <= x");
+    }
+
+    #[test]
+    fn translates_pointer_equalities() {
+        let (s, f) = tr("curr == NULL");
+        assert!(s.formula_to_string(&f).contains("NULL"));
+        let (s, f) = tr("p != 0");
+        assert!(s.formula_to_string(&f).contains("NULL"));
+    }
+
+    #[test]
+    fn translates_field_access() {
+        let (s, f) = tr("curr->val > v");
+        assert_eq!(s.formula_to_string(&f), "(v + 1) <= fld_val(curr)");
+    }
+
+    #[test]
+    fn bare_int_condition_is_nonzero() {
+        let (s, f) = tr("x");
+        assert!(s.formula_to_string(&f).contains("!"));
+    }
+
+    #[test]
+    fn pointer_plus_int_is_the_pointer() {
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let e = parse_expr("p + 3").unwrap();
+        let t = Translator::new(&mut store, &env, &lookup).term(&e).unwrap();
+        let p = parse_expr("p").unwrap();
+        let tp = Translator::new(&mut store, &env, &lookup).term(&p).unwrap();
+        assert_eq!(t, tp);
+    }
+
+    #[test]
+    fn end_to_end_validity_via_solver() {
+        // x == 2 && !(x < 5) is unsat, i.e. x == 2 => x < 5
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let hyp = parse_expr("x == 2").unwrap();
+        let goal = parse_expr("x < 5").unwrap();
+        let mut t = Translator::new(&mut store, &env, &lookup);
+        let h = t.formula(&hyp).unwrap();
+        let g = t.formula(&goal).unwrap();
+        let q = Formula::and([h, g.negate()]);
+        assert_eq!(solve(&store, &q), SatResult::Unsat);
+    }
+
+    #[test]
+    fn paper_section_22_non_alias_inference() {
+        // (curr != NULL) && (curr->val > v) && (prev->val <= v || prev == NULL)
+        //   => prev != curr
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let inv = parse_expr(
+            "curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)",
+        )
+        .unwrap();
+        let goal = parse_expr("prev != curr").unwrap();
+        let mut t = Translator::new(&mut store, &env, &lookup);
+        let h = t.formula(&inv).unwrap();
+        let g = t.formula(&goal).unwrap();
+        let q = Formula::and([h, g.negate()]);
+        assert_eq!(solve(&store, &q), SatResult::Unsat);
+    }
+
+    #[test]
+    fn array_elements_congruent_on_index() {
+        // i == j && a[i] != a[j] is unsat
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let mut t = Translator::new(&mut store, &env, &lookup);
+        let h = t.formula(&parse_expr("x == y").unwrap()).unwrap();
+        let g = t.formula(&parse_expr("a[x] == a[y]").unwrap()).unwrap();
+        let q = Formula::and([h, g.negate()]);
+        assert_eq!(solve(&store, &q), SatResult::Unsat);
+    }
+
+    #[test]
+    fn addr_of_distinct_vars_unequal() {
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let mut t = Translator::new(&mut store, &env, &lookup);
+        let g = t.formula(&parse_expr("&x != &y").unwrap()).unwrap();
+        let q = g.negate();
+        assert_eq!(solve(&store, &q), SatResult::Unsat);
+    }
+
+    #[test]
+    fn division_is_uninterpreted_but_congruent() {
+        // x == y => x / 2 == y / 2
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let mut t = Translator::new(&mut store, &env, &lookup);
+        let h = t.formula(&parse_expr("x == y").unwrap()).unwrap();
+        let g = t.formula(&parse_expr("x / 2 == y / 2").unwrap()).unwrap();
+        let q = Formula::and([h, g.negate()]);
+        assert_eq!(solve(&store, &q), SatResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_calls_in_predicates() {
+        let (env, lookup) = scope();
+        let mut store = TermStore::new();
+        let e = parse_expr("f(x) > 0").unwrap();
+        assert!(Translator::new(&mut store, &env, &lookup).formula(&e).is_err());
+    }
+}

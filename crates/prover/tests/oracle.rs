@@ -1,0 +1,195 @@
+//! Property tests: the prover against a brute-force evaluation oracle.
+//!
+//! Soundness contract under test: whenever the prover says an implication
+//! is `Valid`, exhaustive evaluation over a small integer box must find no
+//! counterexample. (The converse — completeness — is *not* promised and
+//! not asserted.)
+
+use proptest::prelude::*;
+use prover::{Formula, Prover, Sort, TermId, TermStore};
+
+/// A tiny integer term/formula language with an evaluator.
+#[derive(Debug, Clone)]
+enum T {
+    Var(usize),
+    Num(i64),
+    Add(Box<T>, Box<T>),
+    Sub(Box<T>, Box<T>),
+    MulC(i64, Box<T>),
+}
+
+#[derive(Debug, Clone)]
+enum F {
+    Le(T, T),
+    Eq(T, T),
+    Not(Box<F>),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+}
+
+const NVARS: usize = 3;
+const RANGE: std::ops::Range<i64> = -4..5;
+
+fn term_strategy() -> impl Strategy<Value = T> {
+    let leaf = prop_oneof![
+        (0usize..NVARS).prop_map(T::Var),
+        (-5i64..6).prop_map(T::Num),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| T::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| T::Sub(Box::new(a), Box::new(b))),
+            ((-3i64..4), inner).prop_map(|(c, a)| T::MulC(c, Box::new(a))),
+        ]
+    })
+}
+
+fn formula_strategy() -> impl Strategy<Value = F> {
+    let atom = prop_oneof![
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| F::Le(a, b)),
+        (term_strategy(), term_strategy()).prop_map(|(a, b)| F::Eq(a, b)),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| F::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_t(t: &T, env: &[i64]) -> i64 {
+    match t {
+        T::Var(i) => env[*i % NVARS],
+        T::Num(v) => *v,
+        T::Add(a, b) => eval_t(a, env).wrapping_add(eval_t(b, env)),
+        T::Sub(a, b) => eval_t(a, env).wrapping_sub(eval_t(b, env)),
+        T::MulC(c, a) => c.wrapping_mul(eval_t(a, env)),
+    }
+}
+
+fn eval_f(f: &F, env: &[i64]) -> bool {
+    match f {
+        F::Le(a, b) => eval_t(a, env) <= eval_t(b, env),
+        F::Eq(a, b) => eval_t(a, env) == eval_t(b, env),
+        F::Not(x) => !eval_f(x, env),
+        F::And(a, b) => eval_f(a, env) && eval_f(b, env),
+        F::Or(a, b) => eval_f(a, env) || eval_f(b, env),
+    }
+}
+
+fn build_t(store: &mut TermStore, t: &T) -> TermId {
+    match t {
+        T::Var(i) => store.var(format!("v{}", i % NVARS), Sort::Int),
+        T::Num(v) => store.num(*v),
+        T::Add(a, b) => {
+            let (x, y) = (build_t(store, a), build_t(store, b));
+            store.add(x, y)
+        }
+        T::Sub(a, b) => {
+            let (x, y) = (build_t(store, a), build_t(store, b));
+            store.sub(x, y)
+        }
+        T::MulC(c, a) => {
+            let k = store.num(*c);
+            let x = build_t(store, a);
+            store.mul(k, x)
+        }
+    }
+}
+
+fn build_f(store: &mut TermStore, f: &F) -> Formula {
+    match f {
+        F::Le(a, b) => {
+            let (x, y) = (build_t(store, a), build_t(store, b));
+            store.le(x, y)
+        }
+        F::Eq(a, b) => {
+            let (x, y) = (build_t(store, a), build_t(store, b));
+            store.eq(x, y)
+        }
+        F::Not(x) => build_f(store, x).negate(),
+        F::And(a, b) => Formula::and([build_f(store, a), build_f(store, b)]),
+        F::Or(a, b) => Formula::or([build_f(store, a), build_f(store, b)]),
+    }
+}
+
+/// Exhaustive search for an assignment satisfying `f` in the box.
+fn brute_sat(f: &F) -> Option<[i64; NVARS]> {
+    for a in RANGE {
+        for b in RANGE {
+            for c in RANGE {
+                if eval_f(f, &[a, b, c]) {
+                    return Some([a, b, c]);
+                }
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn unsat_claims_are_sound(f in formula_strategy()) {
+        let mut prover = Prover::new();
+        let formula = build_f(&mut prover.store, &f);
+        if prover.is_unsat(&formula) {
+            // no assignment in the box may satisfy it
+            if let Some(model) = brute_sat(&f) {
+                prop_assert!(
+                    false,
+                    "prover claimed UNSAT but {model:?} satisfies {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_implications_are_sound(h in formula_strategy(), g in formula_strategy()) {
+        let mut prover = Prover::new();
+        let hyp = build_f(&mut prover.store, &h);
+        let goal = build_f(&mut prover.store, &g);
+        if prover.implies(&hyp, &goal) {
+            for a in RANGE {
+                for b in RANGE {
+                    for c in RANGE {
+                        let env = [a, b, c];
+                        if eval_f(&h, &env) {
+                            prop_assert!(
+                                eval_f(&g, &env),
+                                "claimed {h:?} => {g:?}, refuted by {env:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_bounded_formulas_decide_correctly(f in formula_strategy()) {
+        // conjoin the box bounds so rational/integer gaps cannot hide a
+        // model outside the box; then UNSAT must agree with brute force
+        let mut prover = Prover::new();
+        let formula = build_f(&mut prover.store, &f);
+        let mut bounded = vec![formula];
+        for i in 0..NVARS {
+            let v = prover.store.var(format!("v{i}"), Sort::Int);
+            let lo = prover.store.num(RANGE.start);
+            let hi = prover.store.num(RANGE.end - 1);
+            bounded.push(prover.store.le(lo, v));
+            bounded.push(prover.store.le(v, hi));
+        }
+        let all = Formula::and(bounded);
+        let brute = brute_sat(&f).is_some();
+        if prover.is_unsat(&all) {
+            prop_assert!(!brute, "UNSAT claim refuted for {f:?}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The SLAM process: abstract, model check, refine (§6.1).
+//!
+//! Given a C program (with the property already instrumented as `assert`
+//! statements) the loop is:
+//!
+//! 1. **C2bp** abstracts the program with the current predicate set;
+//! 2. **Bebop** model checks the boolean program — if no assertion
+//!    failure is reachable, the property is *validated*;
+//! 3. otherwise a concrete failing execution of the boolean program is
+//!    extracted and **Newton** replays it against the C semantics: a
+//!    feasible path is a *real error*; an infeasible path yields new
+//!    predicates and the loop repeats.
+//!
+//! Convergence is not guaranteed (property checking is undecidable), so
+//! the loop is bounded; within the bound, the paper observed convergence
+//! in a few iterations on control-dominated properties, and this
+//! implementation does too (see the `cegar` integration tests).
+
+use c2bp::{abstract_program, C2bpOptions, Pred, PredScope};
+use cparse::ast::{Program, StmtId};
+use newton::{DiscoveredScope, Newton, NewtonResult};
+use std::fmt;
+
+/// Options for the CEGAR loop.
+#[derive(Debug, Clone)]
+pub struct SlamOptions {
+    /// Maximum abstraction–check–refine iterations.
+    pub max_iterations: u32,
+    /// Budget (number of interpreter runs) for counterexample extraction.
+    pub trace_runs: u64,
+    /// Options forwarded to C2bp.
+    pub c2bp: C2bpOptions,
+}
+
+impl Default for SlamOptions {
+    fn default() -> SlamOptions {
+        SlamOptions {
+            max_iterations: 16,
+            trace_runs: 200_000,
+            c2bp: C2bpOptions::paper_defaults(),
+        }
+    }
+}
+
+/// The outcome of a SLAM run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlamVerdict {
+    /// No execution violates the property (for the checked entry).
+    Validated,
+    /// A (possibly) real violation was found; the decisions describe the
+    /// erroneous C path.
+    ErrorFound {
+        /// `(statement id, branch direction)` pairs of the failing path.
+        decisions: Vec<(StmtId, bool)>,
+    },
+    /// The loop did not converge within its budget.
+    GaveUp {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Statistics for one iteration.
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// Predicates in use this iteration.
+    pub predicates: usize,
+    /// Theorem prover calls spent by C2bp.
+    pub prover_calls: u64,
+    /// Bebop worklist iterations.
+    pub bebop_iterations: u64,
+    /// Whether Bebop reached an error.
+    pub error_reachable: bool,
+}
+
+/// The result of [`check`].
+#[derive(Debug, Clone)]
+pub struct SlamRun {
+    /// Final verdict.
+    pub verdict: SlamVerdict,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// The final predicate set.
+    pub final_preds: Vec<Pred>,
+    /// Per-iteration statistics.
+    pub per_iteration: Vec<IterationStats>,
+}
+
+/// Errors from the toolchain (not property verdicts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlamError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SlamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slam error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SlamError {}
+
+/// Runs the SLAM process on a *simplified* instrumented program.
+///
+/// # Errors
+///
+/// Returns [`SlamError`] if any tool fails mechanically (the property
+/// verdict, including non-convergence, is reported in [`SlamRun`]).
+pub fn check(
+    program: &Program,
+    entry: &str,
+    initial_preds: Vec<Pred>,
+    options: &SlamOptions,
+) -> Result<SlamRun, SlamError> {
+    let mut preds = initial_preds;
+    let mut per_iteration = Vec::new();
+    for iteration in 1..=options.max_iterations {
+        let abs = abstract_program(program, &preds, &options.c2bp)
+            .map_err(|e| SlamError { message: e.message })?;
+        let mut bebop = bebop::Bebop::new(&abs.bprogram)
+            .map_err(|e| SlamError { message: e.message })?;
+        let analysis = bebop
+            .analyze(entry)
+            .map_err(|e| SlamError { message: e.message })?;
+        per_iteration.push(IterationStats {
+            predicates: preds.len(),
+            prover_calls: abs.stats.prover_calls,
+            bebop_iterations: analysis.iterations,
+            error_reachable: analysis.error_reachable(),
+        });
+        if !analysis.error_reachable() {
+            return Ok(SlamRun {
+                verdict: SlamVerdict::Validated,
+                iterations: iteration,
+                final_preds: preds,
+                per_iteration,
+            });
+        }
+        // extract a concrete failing boolean-program execution
+        let Some(trace) = bebop::trace::find_error_trace(
+            &abs.bprogram,
+            entry,
+            options.trace_runs,
+            1_000_000,
+        ) else {
+            return Ok(SlamRun {
+                verdict: SlamVerdict::GaveUp {
+                    reason: "counterexample extraction budget exhausted".into(),
+                },
+                iterations: iteration,
+                final_preds: preds,
+                per_iteration,
+            });
+        };
+        let decisions = trace.decisions();
+        // replay against the C semantics
+        let mut n = Newton::new(program).map_err(|e| SlamError { message: e.message })?;
+        match n
+            .analyze(entry, &decisions)
+            .map_err(|e| SlamError { message: e.message })?
+        {
+            NewtonResult::PossiblyFeasible => {
+                return Ok(SlamRun {
+                    verdict: SlamVerdict::ErrorFound { decisions },
+                    iterations: iteration,
+                    final_preds: preds,
+                    per_iteration,
+                });
+            }
+            NewtonResult::Infeasible { new_preds } => {
+                let mut added = 0;
+                for np in new_preds {
+                    let scope = match np.scope {
+                        DiscoveredScope::Global => PredScope::Global,
+                        DiscoveredScope::Local(f) => {
+                            // predicates over globals only are promoted so
+                            // they survive across procedure boundaries
+                            if np
+                                .expr
+                                .vars()
+                                .iter()
+                                .all(|v| program.global_type(v).is_some())
+                            {
+                                PredScope::Global
+                            } else {
+                                PredScope::Local(f)
+                            }
+                        }
+                    };
+                    let cand = Pred {
+                        scope,
+                        expr: np.expr,
+                    };
+                    if !preds
+                        .iter()
+                        .any(|p| p.scope == cand.scope && p.var_name() == cand.var_name())
+                    {
+                        preds.push(cand);
+                        added += 1;
+                    }
+                }
+                if added == 0 {
+                    return Ok(SlamRun {
+                        verdict: SlamVerdict::GaveUp {
+                            reason: "refinement produced no new predicates".into(),
+                        },
+                        iterations: iteration,
+                        final_preds: preds,
+                        per_iteration,
+                    });
+                }
+            }
+        }
+    }
+    let final_len = per_iteration.len() as u32;
+    Ok(SlamRun {
+        verdict: SlamVerdict::GaveUp {
+            reason: "iteration budget exhausted".into(),
+        },
+        iterations: final_len,
+        final_preds: preds,
+        per_iteration,
+    })
+}

@@ -1,0 +1,150 @@
+//! Weaving a specification into a C program.
+//!
+//! Adds the spec's state variables as globals, splices each event handler
+//! immediately before every call of the corresponding function, and
+//! prepends the state initialization to the designated entry function.
+//! The result is an ordinary C program in which the property violation is
+//! an ordinary `assert` failure — exactly what C2bp and Bebop check.
+
+use crate::spec::{init_statements, parse_handler_text, Spec};
+use cparse::ast::{Program, Stmt};
+
+/// Instruments `program` (an *unsimplified* parse) with `spec`, using
+/// `entry` as the function where state initialization happens.
+///
+/// Returns the instrumented program; run it through
+/// [`cparse::simplify_program`] before abstraction.
+pub fn instrument(program: &Program, spec: &Spec, entry: &str) -> Program {
+    let mut out = program.clone();
+    for (name, ty, _) in &spec.state {
+        if out.global_type(name).is_none() {
+            out.globals.push((name.clone(), ty.clone()));
+        }
+    }
+    for f in &mut out.functions {
+        let is_entry = f.name == entry;
+        let mut body = weave(&f.body, spec);
+        if is_entry {
+            let mut init = init_statements(spec);
+            init.push(body);
+            body = Stmt::Seq(init);
+        }
+        f.body = body;
+    }
+    out
+}
+
+/// Recursively inserts handlers before matching calls.
+fn weave(s: &Stmt, spec: &Spec) -> Stmt {
+    match s {
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(|st| weave(st, spec)).collect()),
+        Stmt::If {
+            id,
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            id: *id,
+            cond: cond.clone(),
+            then_branch: Box::new(weave(then_branch, spec)),
+            else_branch: Box::new(weave(else_branch, spec)),
+        },
+        Stmt::While { id, cond, body } => Stmt::While {
+            id: *id,
+            cond: cond.clone(),
+            body: Box::new(weave(body, spec)),
+        },
+        Stmt::Call { func, args, .. } => {
+            match spec.events.iter().find(|(name, _)| name == func) {
+                Some((_, body)) => {
+                    let arg_texts: Vec<String> = args
+                        .iter()
+                        .map(cparse::pretty::expr_to_string)
+                        .collect();
+                    let arg_refs: Vec<&str> =
+                        arg_texts.iter().map(String::as_str).collect();
+                    match parse_handler_text(body, &arg_refs) {
+                        Ok(handler) => Stmt::Seq(vec![handler, s.clone()]),
+                        // surfaced later as a type error on the call itself
+                        Err(_) => s.clone(),
+                    }
+                }
+                None => s.clone(),
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::locking_spec;
+    use cparse::parse_program;
+
+    const DRIVER: &str = r#"
+        void KeAcquireSpinLock(void) { ; }
+        void KeReleaseSpinLock(void) { ; }
+        void work(int n) {
+            KeAcquireSpinLock();
+            n = n + 1;
+            KeReleaseSpinLock();
+        }
+    "#;
+
+    #[test]
+    fn adds_state_globals() {
+        let p = parse_program(DRIVER).unwrap();
+        let out = instrument(&p, &locking_spec(), "work");
+        assert!(out.global_type("locked").is_some());
+    }
+
+    #[test]
+    fn splices_handlers_before_calls() {
+        let p = parse_program(DRIVER).unwrap();
+        let out = instrument(&p, &locking_spec(), "work");
+        let f = out.function("work").unwrap();
+        let mut asserts = 0;
+        let mut assigns_to_locked = 0;
+        f.body.walk(&mut |s| match s {
+            Stmt::Assert { .. } => asserts += 1,
+            Stmt::Assign { lhs, .. } => {
+                if cparse::pretty::expr_to_string(lhs) == "locked" {
+                    assigns_to_locked += 1;
+                }
+            }
+            _ => {}
+        });
+        // one abort-check per event + init
+        assert_eq!(asserts, 2);
+        // init + acquire-set + release-clear
+        assert_eq!(assigns_to_locked, 3);
+    }
+
+    #[test]
+    fn instrumented_program_still_typechecks_and_simplifies() {
+        let p = parse_program(DRIVER).unwrap();
+        let out = instrument(&p, &locking_spec(), "work");
+        cparse::check_program(&out).unwrap();
+        let s = cparse::simplify_program(&out).unwrap();
+        cparse::simplify::check_simple_form(&s).unwrap();
+    }
+
+    #[test]
+    fn non_event_calls_untouched() {
+        let src = r#"
+            void helper(void) { ; }
+            void work(void) { helper(); }
+        "#;
+        let p = parse_program(src).unwrap();
+        let out = instrument(&p, &locking_spec(), "work");
+        let f = out.function("work").unwrap();
+        let mut asserts = 0;
+        f.body.walk(&mut |s| {
+            if matches!(s, Stmt::Assert { .. }) {
+                asserts += 1;
+            }
+        });
+        assert_eq!(asserts, 0);
+    }
+}

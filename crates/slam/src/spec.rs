@@ -1,0 +1,329 @@
+//! SLIC-lite temporal safety specifications.
+//!
+//! The SLAM toolkit checks that "a program respects a set of temporal
+//! safety properties of the interfaces it uses" (§6.1), written as a
+//! state machine over the interface's events. This module implements a
+//! small fragment of the SLIC specification language:
+//!
+//! ```text
+//! state {
+//!     int locked = 0;
+//! }
+//!
+//! KeAcquireSpinLock.call {
+//!     if (locked == 1) { abort; }
+//!     locked = 1;
+//! }
+//!
+//! KeReleaseSpinLock.call {
+//!     if (locked == 0) { abort; }
+//!     locked = 0;
+//! }
+//! ```
+//!
+//! `state` declares global tracking variables (zero-or-constant
+//! initialized); each `Name.call` handler runs just before any call to
+//! `Name`; `abort` marks the property violation (it becomes
+//! `assert(0)` in the instrumented program). Handlers may reference the
+//! call's actual arguments positionally as `$1`, `$2`, … (per-object
+//! properties such as `$1->done == 1` work — the predicates discovered by
+//! refinement are then heap predicates on the passed object):
+//!
+//! ```text
+//! IoComplete.call {
+//!     if ($1->done == 1) { abort; }
+//!     $1->done = 1;
+//! }
+//! ```
+
+use cparse::ast::{Expr, Stmt, Type};
+use cparse::parser::parse_program;
+use std::fmt;
+
+/// A parsed specification.
+#[derive(Debug, Clone, Default)]
+pub struct Spec {
+    /// State variables: name, type, initial value.
+    pub state: Vec<(String, Type, i64)>,
+    /// Event handlers: function name → handler body *source text*.
+    ///
+    /// Bodies may reference the call's actual arguments as `$1`, `$2`, …
+    /// (SLIC's positional parameters); they are substituted per call site
+    /// during instrumentation, which is why the text form is kept.
+    pub events: Vec<(String, String)>,
+}
+
+/// A specification syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a SLIC-lite specification.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] describing the first problem.
+pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
+    let mut spec = Spec::default();
+    let mut rest = src;
+    while let Some(start) = rest.find(|c: char| !c.is_whitespace()) {
+        rest = &rest[start..];
+        if rest.starts_with("//") {
+            match rest.find('\n') {
+                Some(nl) => {
+                    rest = &rest[nl + 1..];
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let brace = rest.find('{').ok_or_else(|| SpecError {
+            message: "expected `{` after section header".into(),
+        })?;
+        let header = rest[..brace].trim().to_string();
+        let body_start = brace + 1;
+        let body_end = matching_brace(rest, brace).ok_or_else(|| SpecError {
+            message: format!("unbalanced braces in section `{header}`"),
+        })?;
+        let body = &rest[body_start..body_end];
+        if header == "state" {
+            parse_state(body, &mut spec)?;
+        } else if let Some(fname) = header.strip_suffix(".call") {
+            // validate now (with dummy arguments) so errors surface at
+            // spec-parse time, but store the text for per-call-site
+            // substitution
+            parse_handler_text(body, &["__slic_dummy"; 9])?;
+            spec.events.push((fname.trim().to_string(), body.to_string()));
+        } else {
+            return Err(SpecError {
+                message: format!("unknown section `{header}` (expected `state` or `<fn>.call`)"),
+            });
+        }
+        rest = &rest[body_end + 1..];
+    }
+    Ok(spec)
+}
+
+fn matching_brace(s: &str, open: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_state(body: &str, spec: &mut Spec) -> Result<(), SpecError> {
+    for line in body.split(';') {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // `int name = k` or `int name`
+        let (decl, init) = match line.split_once('=') {
+            Some((d, i)) => {
+                let v: i64 = i.trim().parse().map_err(|_| SpecError {
+                    message: format!("bad initializer in `{line}`"),
+                })?;
+                (d.trim(), v)
+            }
+            None => (line, 0),
+        };
+        let mut parts = decl.split_whitespace();
+        let ty = parts.next().ok_or_else(|| SpecError {
+            message: format!("bad state declaration `{line}`"),
+        })?;
+        let name = parts.next().ok_or_else(|| SpecError {
+            message: format!("bad state declaration `{line}`"),
+        })?;
+        if ty != "int" {
+            return Err(SpecError {
+                message: format!("state variables must be int, got `{ty}`"),
+            });
+        }
+        spec.state.push((name.to_string(), Type::Int, init));
+    }
+    Ok(())
+}
+
+/// Parses an event body with the given argument substitutions for
+/// `$1`..`$9`, rewriting `abort` to `assert(0)`.
+///
+/// The parse is name-resolution-free (type checking happens later on the
+/// whole instrumented program), so handler bodies may freely reference the
+/// caller's variables through the `$n` substitutions.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the body does not parse, references an
+/// argument beyond those provided, or declares locals.
+pub fn parse_handler_text(body: &str, args: &[&str]) -> Result<Stmt, SpecError> {
+    let mut rewritten = body
+        .replace("abort;", "assert(0);")
+        .replace("abort ;", "assert(0);");
+    for k in (1..=9).rev() {
+        let pat = format!("${k}");
+        if rewritten.contains(&pat) {
+            let Some(actual) = args.get(k - 1) else {
+                return Err(SpecError {
+                    message: format!("handler references ${k} but the call has fewer arguments"),
+                });
+            };
+            rewritten = rewritten.replace(&pat, &format!("({actual})"));
+        }
+    }
+    let wrapped = format!("void __slic_handler() {{ {rewritten} }}");
+    let program = parse_program(&wrapped).map_err(|e| SpecError {
+        message: format!("cannot parse handler body: {e}"),
+    })?;
+    let f = program
+        .function("__slic_handler")
+        .ok_or_else(|| SpecError {
+            message: "internal: handler function missing".into(),
+        })?;
+    if !f.locals.is_empty() {
+        return Err(SpecError {
+            message: "handlers may not declare local variables".into(),
+        });
+    }
+    Ok(f.body.clone())
+}
+
+/// The initial-state assignments (`locked = 0;` etc.) as statements.
+pub fn init_statements(spec: &Spec) -> Vec<Stmt> {
+    spec.state
+        .iter()
+        .map(|(name, _, init)| Stmt::assign(Expr::var(name.clone()), Expr::int(*init)))
+        .collect()
+}
+
+/// The canonical two-phase locking specification used for the driver
+/// benchmarks (acquire/release alternation).
+pub fn locking_spec() -> Spec {
+    parse_spec(
+        r#"
+        state {
+            int locked = 0;
+        }
+        KeAcquireSpinLock.call {
+            if (locked == 1) { abort; }
+            locked = 1;
+        }
+        KeReleaseSpinLock.call {
+            if (locked == 0) { abort; }
+            locked = 0;
+        }
+        "#,
+    )
+    .expect("built-in spec parses")
+}
+
+/// The interrupt-request-packet completion discipline used for the driver
+/// benchmarks: each IRP must be completed exactly once before return and
+/// never completed twice.
+pub fn irp_spec() -> Spec {
+    parse_spec(
+        r#"
+        state {
+            int completed = 0;
+        }
+        IoCompleteRequest.call {
+            if (completed == 1) { abort; }
+            completed = 1;
+        }
+        IoCheckCompleted.call {
+            if (completed == 0) { abort; }
+        }
+        "#,
+    )
+    .expect("built-in spec parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_locking_spec() {
+        let s = locking_spec();
+        assert_eq!(s.state.len(), 1);
+        assert_eq!(s.state[0].0, "locked");
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].0, "KeAcquireSpinLock");
+    }
+
+    #[test]
+    fn handler_rewrites_abort_to_assert() {
+        let s = locking_spec();
+        let stmt = parse_handler_text(&s.events[0].1, &[]).unwrap();
+        let mut asserts = 0;
+        stmt.walk(&mut |st| {
+            if matches!(st, Stmt::Assert { .. }) {
+                asserts += 1;
+            }
+        });
+        assert_eq!(asserts, 1);
+    }
+
+    #[test]
+    fn positional_arguments_substitute() {
+        let stmt = parse_handler_text(
+            "if ($1->completed == 1) { abort; } $1->completed = 1;",
+            &["request"],
+        )
+        .unwrap();
+        let text = cparse::pretty::stmt_to_string(&stmt, 0);
+        assert!(text.contains("request->completed"), "{text}");
+        assert!(!text.contains('$'), "{text}");
+    }
+
+    #[test]
+    fn missing_argument_is_an_error() {
+        let err = parse_handler_text("if ($2 > 0) { abort; }", &["x"]).unwrap_err();
+        assert!(err.message.contains("$2"), "{err}");
+    }
+
+    #[test]
+    fn state_initializers() {
+        let s = parse_spec("state { int a = 3; int b; }").unwrap();
+        assert_eq!(s.state[0].2, 3);
+        assert_eq!(s.state[1].2, 0);
+        let inits = init_statements(&s);
+        assert_eq!(inits.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_sections() {
+        assert!(parse_spec("bogus { }").is_err());
+    }
+
+    #[test]
+    fn rejects_non_int_state() {
+        assert!(parse_spec("state { float x; }").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let s = parse_spec("// a comment\nstate { int x; }").unwrap();
+        assert_eq!(s.state.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: abstract a tiny C program, print the boolean program,
+//! model check it, and read off an invariant.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
+use cparse::parse_and_simplify;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little C program: clamp a counter into [0, 10].
+    let source = r#"
+        int clamp(int x) {
+            if (x < 0) {
+                x = 0;
+            }
+            if (x > 10) {
+                x = 10;
+            }
+            L: return x;
+        }
+    "#;
+
+    // Predicates to track, in the paper's input-file format.
+    let predicates = parse_pred_file("clamp x < 0, x > 10")?;
+
+    // 1. Front end: parse, type check, lower to the intermediate form.
+    let program = parse_and_simplify(source)?;
+
+    // 2. C2bp: build the boolean program BP(P, E).
+    let abstraction = abstract_program(&program, &predicates, &C2bpOptions::paper_defaults())?;
+    println!("=== boolean program ===");
+    println!("{}", bp::program_to_string(&abstraction.bprogram));
+    println!(
+        "(abstraction used {} theorem-prover calls)",
+        abstraction.stats.prover_calls
+    );
+
+    // 3. Bebop: compute reachable states and read the invariant at L.
+    let mut bebop = bebop::Bebop::new(&abstraction.bprogram)?;
+    let analysis = bebop.analyze("clamp")?;
+    println!("=== invariant at label L ===");
+    for cube in bebop.invariant_at_label(&analysis, "clamp", "L") {
+        let parts: Vec<String> = cube
+            .iter()
+            .map(|(name, value)| {
+                format!("{}({})", if *value { "" } else { "!" }, name)
+            })
+            .collect();
+        println!("  {}", parts.join(" && "));
+    }
+    // Expected: !(x < 0) && !(x > 10) — the clamp works.
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Command-line Bebop: model check a boolean program (`.bp`) file.
+//!
+//! ```sh
+//! bebop <program.bp> <entry-proc> [--invariant <proc> <label>]
+//! ```
+//!
+//! Reports whether any assertion failure is reachable, and optionally the
+//! reachable-state invariant at a label.
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bebop <program.bp> <entry-proc> [--invariant <proc> <label>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let source = match std::fs::read_to_string(&args[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bebop: cannot read {}: {e}", args[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match bp::parse_bp(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bebop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut checker = match bebop::Bebop::new(&program) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bebop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match checker.analyze(&args[1]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bebop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if analysis.error_reachable() {
+        println!("RESULT: assertion failure reachable");
+        for site in &analysis.errors {
+            println!("  at {}:{}", site.proc, site.pc);
+        }
+        if let Some(trace) =
+            bebop::find_error_trace(&program, &args[1], 100_000, 1_000_000)
+        {
+            println!("  one failing execution ({} steps):", trace.steps.len());
+            for step in trace.steps.iter().take(40) {
+                println!("    {}:{}", step.proc, step.pc);
+            }
+        }
+    } else {
+        println!("RESULT: no assertion failure is reachable");
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--invariant") {
+        let (Some(proc_name), Some(label)) = (args.get(pos + 1), args.get(pos + 2))
+        else {
+            return usage();
+        };
+        println!("invariant at {proc_name}:{label}:");
+        for cube in checker.invariant_at_label(&analysis, proc_name, label) {
+            let parts: Vec<String> = cube
+                .iter()
+                .map(|(n, v)| format!("{}{{{n}}}", if *v { "" } else { "!" }))
+                .collect();
+            println!("  {}", parts.join(" && "));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,85 @@
+//! Command-line C2bp: abstract a C file with a predicate input file and
+//! print the boolean program.
+//!
+//! ```sh
+//! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
+//! ```
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let mut options = C2bpOptions::paper_defaults();
+    let mut iter = args[2..].iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--no-coi" => options.cubes.cone_of_influence = false,
+            "--no-syntax" => options.cubes.syntactic_fast_paths = false,
+            "--k" => match iter.next().map(String::as_str) {
+                Some("none") => options.cubes.max_cube_len = None,
+                Some(n) => match n.parse() {
+                    Ok(k) => options.cubes.max_cube_len = Some(k),
+                    Err(_) => return usage(),
+                },
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let source = match std::fs::read_to_string(&args[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("c2bp: cannot read {}: {e}", args[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let preds_src = match std::fs::read_to_string(&args[1]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("c2bp: cannot read {}: {e}", args[1]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match cparse::parse_and_simplify(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("c2bp: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let preds = match parse_pred_file(&preds_src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("c2bp: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match abstract_program(&program, &preds, &options) {
+        Ok(abs) => {
+            print!("{}", bp::program_to_string(&abs.bprogram));
+            eprintln!(
+                "// {} predicates, {} theorem-prover calls ({} cache hits), {:.2}s",
+                abs.stats.predicates,
+                abs.stats.prover_calls,
+                abs.stats.prover_cache_hits,
+                abs.stats.seconds
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("c2bp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

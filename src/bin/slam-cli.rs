@@ -1,0 +1,85 @@
+//! Command-line SLAM: check a temporal-safety property of a C file.
+//!
+//! ```sh
+//! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp]
+//! ```
+//!
+//! With no spec the program's own `assert` statements are checked.
+
+use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
+use slam::{SlamOptions, SlamVerdict};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let spec: Spec = match args.get(2).map(String::as_str) {
+        None => Spec::default(),
+        Some("--lock") => locking_spec(),
+        Some("--irp") => irp_spec(),
+        Some("--spec") => {
+            let Some(path) = args.get(3) else {
+                return usage();
+            };
+            match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(
+                |s| parse_spec(&s).map_err(|e| e.to_string()),
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("slam: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(_) => return usage(),
+    };
+    let source = match std::fs::read_to_string(&args[0]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("slam: cannot read {}: {e}", args[0]);
+            return ExitCode::FAILURE;
+        }
+    };
+    match slam::verify(&source, &spec, &args[1], &SlamOptions::default()) {
+        Ok(run) => {
+            let prover: u64 = run.per_iteration.iter().map(|s| s.prover_calls).sum();
+            match run.verdict {
+                SlamVerdict::Validated => {
+                    println!(
+                        "VALIDATED after {} iteration(s), {} predicates, {} prover calls",
+                        run.iterations,
+                        run.final_preds.len(),
+                        prover
+                    );
+                    ExitCode::SUCCESS
+                }
+                SlamVerdict::ErrorFound { decisions } => {
+                    println!(
+                        "ERROR FOUND after {} iteration(s): the property can be violated",
+                        run.iterations
+                    );
+                    println!("error path decisions (statement id, branch):");
+                    for (id, dir) in decisions {
+                        println!("  {id} -> {dir}");
+                    }
+                    ExitCode::FAILURE
+                }
+                SlamVerdict::GaveUp { reason } => {
+                    println!("UNKNOWN: {reason} (after {} iterations)", run.iterations);
+                    ExitCode::from(3)
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("slam: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,1 @@
+pub use c2bp; pub use bebop; pub use bp; pub use cparse; pub use prover; pub use slam; pub use newton; pub use bdd; pub use pointsto;

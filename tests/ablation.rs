@@ -1,0 +1,161 @@
+//! §5.2: "the above optimizations all have the property that they leave
+//! the resulting BP(P, E) semantically equivalent to the boolean program
+//! produced without these optimizations."
+//!
+//! Checked observably: for each precision-preserving configuration, Bebop
+//! computes the same per-label invariants and the same error-reachability
+//! verdicts as the paper-default configuration.
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions, CubeOptions};
+use cparse::parse_and_simplify;
+use std::collections::BTreeSet;
+
+fn invariant_fingerprint(
+    source: &str,
+    preds: &str,
+    entry: &str,
+    label: &str,
+    options: &C2bpOptions,
+) -> (bool, BTreeSet<Vec<(String, bool)>>) {
+    let program = parse_and_simplify(source).expect("parses");
+    let preds = parse_pred_file(preds).expect("pred file");
+    let abs = abstract_program(&program, &preds, options).expect("abstraction");
+    let mut bebop = bebop::Bebop::new(&abs.bprogram).expect("bebop");
+    let analysis = bebop.analyze(entry).expect("analysis");
+    let cubes = bebop
+        .invariant_at_label(&analysis, entry, label)
+        .into_iter()
+        .map(|mut cube| {
+            cube.sort();
+            cube
+        })
+        .collect();
+    (analysis.error_reachable(), cubes)
+}
+
+fn precision_preserving_configs() -> Vec<(&'static str, C2bpOptions)> {
+    vec![
+        ("paper", C2bpOptions::paper_defaults()),
+        (
+            "no-coi",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    cone_of_influence: false,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "no-syntax",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    syntactic_fast_paths: false,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "no-skip",
+            C2bpOptions {
+                skip_unaffected: false,
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+        (
+            "k-unbounded",
+            C2bpOptions {
+                cubes: CubeOptions {
+                    max_cube_len: None,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn partition_invariant_is_stable_across_configs() {
+    let source = std::fs::read_to_string("corpus/toys/partition.c").expect("corpus");
+    let preds = std::fs::read_to_string("corpus/toys/partition.preds").expect("corpus");
+    let baseline = invariant_fingerprint(
+        &source,
+        &preds,
+        "partition",
+        "L",
+        &C2bpOptions::paper_defaults(),
+    );
+    assert!(!baseline.1.is_empty());
+    for (name, options) in precision_preserving_configs() {
+        let got = invariant_fingerprint(&source, &preds, "partition", "L", &options);
+        assert_eq!(got, baseline, "config `{name}` changed the semantics");
+    }
+}
+
+#[test]
+fn listfind_verdict_is_stable_across_configs() {
+    let source = std::fs::read_to_string("corpus/toys/listfind.c").expect("corpus");
+    let preds = std::fs::read_to_string("corpus/toys/listfind.preds").expect("corpus");
+    let baseline = invariant_fingerprint(
+        &source,
+        &preds,
+        "listfind",
+        "L",
+        &C2bpOptions::paper_defaults(),
+    );
+    for (name, options) in precision_preserving_configs() {
+        let got = invariant_fingerprint(&source, &preds, "listfind", "L", &options);
+        assert_eq!(got, baseline, "config `{name}` changed the semantics");
+    }
+}
+
+#[test]
+fn cube_length_cap_is_the_precision_knob() {
+    // k is the one option that IS allowed to lose precision; k = 1 on
+    // partition degrades the invariant (more states admitted) but stays
+    // sound (a superset of the k = 3 invariant states)
+    let source = std::fs::read_to_string("corpus/toys/partition.c").expect("corpus");
+    let preds = std::fs::read_to_string("corpus/toys/partition.preds").expect("corpus");
+    let precise = invariant_fingerprint(
+        &source,
+        &preds,
+        "partition",
+        "L",
+        &C2bpOptions::paper_defaults(),
+    );
+    let coarse = invariant_fingerprint(
+        &source,
+        &preds,
+        "partition",
+        "L",
+        &C2bpOptions {
+            cubes: CubeOptions {
+                max_cube_len: Some(1),
+                ..CubeOptions::default()
+            },
+            ..C2bpOptions::paper_defaults()
+        },
+    );
+    // soundness direction: every precise reachable state must still be
+    // covered by the coarse abstraction's invariant
+    let covers = |cover: &BTreeSet<Vec<(String, bool)>>,
+                  state: &Vec<(String, bool)>| {
+        cover.iter().any(|cube| {
+            cube.iter().all(|(n, v)| {
+                state
+                    .iter()
+                    .find(|(sn, _)| sn == n)
+                    .map(|(_, sv)| sv == v)
+                    .unwrap_or(true)
+            })
+        })
+    };
+    for state in &precise.1 {
+        assert!(
+            covers(&coarse.1, state),
+            "k=1 abstraction lost a reachable state: {state:?}"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! §6.1: the SLAM process on the device-driver corpus — abstraction,
+//! model checking, and demand-driven predicate discovery. "Although the
+//! SLAM process may not converge in theory ... it has converged on all NT
+//! device drivers we have analyzed (even though they contain loops)."
+
+use slam::spec::{irp_spec, locking_spec};
+use slam::{verify, SlamOptions, SlamVerdict};
+
+fn driver(stem: &str) -> String {
+    std::fs::read_to_string(format!("corpus/drivers/{stem}.c")).expect("corpus")
+}
+
+#[test]
+fn all_well_behaved_drivers_validate_the_locking_property() {
+    for (stem, entry) in [
+        ("ioctl", "DeviceIoControl"),
+        ("openclos", "DispatchOpenClose"),
+        ("srdriver", "DispatchStartReset"),
+        ("log", "LogAppend"),
+        ("floppy", "FloppyReadWrite"),
+    ] {
+        let run = verify(&driver(stem), &locking_spec(), entry, &SlamOptions::default())
+            .expect("slam runs");
+        assert_eq!(
+            run.verdict,
+            SlamVerdict::Validated,
+            "{stem}/{entry}: {:?}",
+            run.verdict
+        );
+        // convergence "in a few iterations"
+        assert!(run.iterations <= 6, "{stem} took {} iterations", run.iterations);
+    }
+}
+
+#[test]
+fn floppy_validates_the_irp_property_on_both_entries() {
+    for entry in ["FloppyReadWrite", "FloppyDpc"] {
+        let run = verify(&driver("floppy"), &irp_spec(), entry, &SlamOptions::default())
+            .expect("slam runs");
+        assert_eq!(run.verdict, SlamVerdict::Validated, "{entry}: {:?}", run.verdict);
+    }
+}
+
+#[test]
+fn the_in_development_floppy_driver_bug_is_found() {
+    // the paper: "For the floppy driver under development, the SLAM
+    // toolkit found an error in how interrupt request packets are
+    // handled."
+    let run = verify(
+        &driver("flopnew"),
+        &irp_spec(),
+        "FlopnewReadWrite",
+        &SlamOptions::default(),
+    )
+    .expect("slam runs");
+    let SlamVerdict::ErrorFound { decisions } = &run.verdict else {
+        panic!("expected the IRP bug, got {:?}", run.verdict);
+    };
+    // the error trace passes through real program decisions
+    assert!(decisions.len() >= 3, "{decisions:?}");
+}
+
+#[test]
+fn discovered_predicates_are_spec_state_guards() {
+    // refinement should discover predicates about the spec's state
+    // variable (locked == ...), promoted to globals
+    let run = verify(
+        &driver("ioctl"),
+        &locking_spec(),
+        "DeviceIoControl",
+        &SlamOptions::default(),
+    )
+    .expect("slam runs");
+    assert!(
+        run.final_preds
+            .iter()
+            .any(|p| p.var_name().contains("locked")),
+        "{:?}",
+        run.final_preds.iter().map(|p| p.var_name()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn iteration_stats_show_monotone_predicate_growth() {
+    let run = verify(
+        &driver("srdriver"),
+        &locking_spec(),
+        "DispatchStartReset",
+        &SlamOptions::default(),
+    )
+    .expect("slam runs");
+    let counts: Vec<usize> = run.per_iteration.iter().map(|s| s.predicates).collect();
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    // the final iteration proves the property
+    assert!(!run.per_iteration.last().unwrap().error_reachable);
+}
+
+#[test]
+fn seeded_lock_bugs_are_reported_not_masked() {
+    // a driver that forgets to release on an early-exit path
+    let buggy = r#"
+        void KeAcquireSpinLock(void) { ; }
+        void KeReleaseSpinLock(void) { ; }
+        int work(int code) {
+            KeAcquireSpinLock();
+            if (code < 0) {
+                return -1;
+            }
+            KeReleaseSpinLock();
+            KeAcquireSpinLock();
+            KeReleaseSpinLock();
+            return 0;
+        }
+    "#;
+    // the missed release itself is not an error under this spec (no
+    // "must release before return" rule), but a double acquire is:
+    let double = r#"
+        void KeAcquireSpinLock(void) { ; }
+        void KeReleaseSpinLock(void) { ; }
+        int work(int code) {
+            KeAcquireSpinLock();
+            if (code < 0) {
+                KeAcquireSpinLock();
+            }
+            KeReleaseSpinLock();
+            return 0;
+        }
+    "#;
+    let ok_run = verify(buggy, &locking_spec(), "work", &SlamOptions::default()).unwrap();
+    assert_eq!(ok_run.verdict, SlamVerdict::Validated);
+    let bad_run = verify(double, &locking_spec(), "work", &SlamOptions::default()).unwrap();
+    assert!(matches!(bad_run.verdict, SlamVerdict::ErrorFound { .. }));
+}
+
+#[test]
+fn per_object_irp_spec_with_positional_arguments() {
+    // SLIC's positional parameters: the completion flag lives on the IRP
+    // object itself, so refinement must discover *pointer* predicates
+    // (request->done == 1) and the WP machinery must track them through
+    // heap stores
+    let spec = slam::parse_spec(
+        r#"
+        IoComplete.call {
+            if ($1->done == 1) { abort; }
+            $1->done = 1;
+        }
+        "#,
+    )
+    .expect("spec parses");
+    let good = r#"
+        struct irp { int done; int status; };
+        void IoComplete(struct irp* r) { ; }
+        int handle(struct irp* request, int rc) {
+            request->done = 0;
+            if (rc < 0) {
+                request->status = rc;
+                IoComplete(request);
+                return rc;
+            }
+            request->status = 0;
+            IoComplete(request);
+            return 0;
+        }
+    "#;
+    let run = verify(good, &spec, "handle", &SlamOptions::default()).expect("runs");
+    assert_eq!(run.verdict, SlamVerdict::Validated, "{run:?}");
+    assert!(
+        run.final_preds
+            .iter()
+            .any(|p| p.var_name().contains("done")),
+        "{:?}",
+        run.final_preds.iter().map(|p| p.var_name()).collect::<Vec<_>>()
+    );
+
+    let bad = r#"
+        struct irp { int done; int status; };
+        void IoComplete(struct irp* r) { ; }
+        int handle(struct irp* request, int rc) {
+            request->done = 0;
+            if (rc < 0) {
+                request->status = rc;
+                IoComplete(request);
+                /* BUG: falls through to the common completion */
+            }
+            request->status = 0;
+            IoComplete(request);
+            return 0;
+        }
+    "#;
+    let run = verify(bad, &spec, "handle", &SlamOptions::default()).expect("runs");
+    assert!(
+        matches!(run.verdict, SlamVerdict::ErrorFound { .. }),
+        "{run:?}"
+    );
+}

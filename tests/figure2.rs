@@ -1,0 +1,139 @@
+//! Golden test for Figure 2 / §4.5: modular abstraction of procedure
+//! calls — signatures, actual-parameter computation, return temporaries,
+//! and the post-call update of caller-local predicates.
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions, Pred};
+use cparse::parse_and_simplify;
+
+/// The paper's Figure 2 program (bar completed minimally so that its
+/// returns and locals exist).
+const FIG2: &str = r#"
+    int bar(int* q, int y) {
+        int l1, l2;
+        l1 = y;
+        l2 = 0;
+        return l1;
+    }
+    void foo(int* p, int x) {
+        int r;
+        if (*p <= x) {
+            *p = x;
+        } else {
+            *p = *p + x;
+        }
+        r = bar(p, x);
+    }
+"#;
+
+const FIG2_PREDS: &str = "bar y >= 0, *q <= y, y == l1, y > l2\nfoo *p <= 0, x == 0, r == 0";
+
+fn abstraction() -> c2bp::Abstraction {
+    let program = parse_and_simplify(FIG2).expect("parses");
+    let preds = parse_pred_file(FIG2_PREDS).expect("pred file");
+    abstract_program(&program, &preds, &C2bpOptions::paper_defaults()).expect("abstraction")
+}
+
+#[test]
+fn signature_of_bar_matches_the_paper() {
+    let abs = abstraction();
+    let sig = &abs.signatures["bar"];
+    // E_f = { *q <= y, y >= 0 }
+    let ef: Vec<String> = sig.formal_preds.iter().map(Pred::var_name).collect();
+    assert!(ef.contains(&"*q <= y".to_string()), "{ef:?}");
+    assert!(ef.contains(&"y >= 0".to_string()), "{ef:?}");
+    assert_eq!(ef.len(), 2);
+    // E_r = { y == l1, *q <= y }
+    let er: Vec<String> = sig.return_preds.iter().map(Pred::var_name).collect();
+    assert!(er.contains(&"y == l1".to_string()), "{er:?}");
+    assert!(er.contains(&"*q <= y".to_string()), "{er:?}");
+    assert_eq!(er.len(), 2);
+    assert_eq!(sig.ret_var.as_deref(), Some("l1"));
+}
+
+#[test]
+fn bar_becomes_a_two_formal_two_return_procedure() {
+    let abs = abstraction();
+    let bar = abs.bprogram.proc("bar").expect("bar");
+    assert_eq!(bar.formals.len(), 2);
+    assert_eq!(bar.n_returns, 2);
+    // its local predicates are E_R \ E_f = { y == l1, y > l2 }
+    assert!(bar.locals.iter().any(|l| l == "y == l1"), "{:?}", bar.locals);
+    assert!(bar.locals.iter().any(|l| l == "y > l2"), "{:?}", bar.locals);
+}
+
+#[test]
+fn conditional_abstction_matches_section_4_4() {
+    // if (*p <= x): then-assume is G(*p <= x) which the paper gives as
+    // {x == 0} => {*p <= 0}
+    let abs = abstraction();
+    let foo = abs.bprogram.proc("foo").expect("foo");
+    let text = bp::print::bstmt_to_string(&foo.body, 0);
+    assert!(text.contains("if (*)"), "{text}");
+    // the then-branch assume is G(*p <= x), which the paper gives as
+    // {x == 0} => {*p <= 0}; as a cube disjunction that is
+    // !( !{*p <= 0} && {x == 0} )
+    assert!(
+        text.contains("assume(!(!{*p <= 0} && {x == 0}));"),
+        "{text}"
+    );
+    // and the else-branch assume is {x == 0} => !{*p <= 0}
+    assert!(
+        text.contains("assume(!({*p <= 0} && {x == 0}));"),
+        "{text}"
+    );
+}
+
+#[test]
+fn call_uses_temporaries_and_updates_locals() {
+    let abs = abstraction();
+    let foo = abs.bprogram.proc("foo").expect("foo");
+    let text = bp::print::bstmt_to_string(&foo.body, 0);
+    // two return values flow into fresh temporaries
+    assert!(text.contains("__t0, __t1 = bar("), "{text}");
+    // the actuals are choose(F(e'), F(!e')) over the caller's predicates;
+    // for formal pred `y >= 0` with actual x the translated pred is
+    // `x >= 0`, provable from {x == 0}
+    assert!(text.contains("choose({x == 0}, false)"), "{text}");
+    // after the call, r == 0 and *p <= 0 are updated from the temporaries
+    let after_call = text.split("= bar(").nth(1).expect("call exists");
+    assert!(after_call.contains("{r == 0}"), "{text}");
+    assert!(after_call.contains("{*p <= 0}"), "{text}");
+    assert!(after_call.contains("__t"), "{text}");
+}
+
+#[test]
+fn assignment_through_pointer_matches_section_4_3() {
+    // *p = *p + x over { *p <= 0, x == 0, r == 0 }:
+    // {*p<=0} := choose({*p<=0} && {x==0}, !{*p<=0} && {x==0})
+    let abs = abstraction();
+    let foo = abs.bprogram.proc("foo").expect("foo");
+    let text = bp::print::bstmt_to_string(&foo.body, 0);
+    assert!(
+        text.contains("choose({*p <= 0} && {x == 0}, !{*p <= 0} && {x == 0})"),
+        "{text}"
+    );
+    // x == 0 and r == 0 are untouched by that assignment (no aliasing:
+    // their WP equals themselves, so they are skipped entirely)
+    let update_line = text
+        .lines()
+        .find(|l| l.contains("choose({*p <= 0} && {x == 0}"))
+        .expect("update line");
+    assert!(!update_line.contains("{r == 0}"), "{update_line}");
+}
+
+#[test]
+fn model_checking_the_figure_2_program_works() {
+    let abs = abstraction();
+    let mut bebop = bebop::Bebop::new(&abs.bprogram).expect("bebop");
+    let analysis = bebop.analyze("foo").expect("analysis");
+    assert!(!analysis.error_reachable());
+    // the return of foo is reachable (the final instruction is the
+    // flattener's dead implicit return, so look for the explicit one)
+    let flat = bebop.flat("foo").expect("flat");
+    let exit = flat
+        .instrs
+        .iter()
+        .position(|i| matches!(i, bp::flow::BInstr::Return { .. }))
+        .expect("foo has a return");
+    assert!(bebop.reachable(&analysis, "foo", exit));
+}

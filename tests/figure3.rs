@@ -1,0 +1,112 @@
+//! Figure 3 / §6.2: the double list reversal (`mark`) preserves the
+//! heap's shape. The abstraction proves `h->next == hnext` at the end of
+//! the procedure; the concrete interpreter confirms the code really is a
+//! correct mark-and-restore traversal.
+//!
+//! This is the paper's theorem-prover stress test ("every pair of
+//! pointers could potentially alias, and the cone-of-influence heuristics
+//! could not avoid the exponential number of calls"), so it is by far the
+//! slowest test in the suite.
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
+use cparse::interp::Interp;
+use cparse::parse_and_simplify;
+
+fn load() -> (cparse::Program, Vec<c2bp::Pred>) {
+    let source = std::fs::read_to_string("corpus/toys/reverse.c").expect("corpus");
+    let preds = std::fs::read_to_string("corpus/toys/reverse.preds").expect("corpus");
+    (
+        parse_and_simplify(&source).expect("parses"),
+        parse_pred_file(&preds).expect("pred file"),
+    )
+}
+
+/// Replaces `assume` statements with `skip` so the concrete check covers
+/// all executions (the assumes only narrow the *verified* subset).
+fn strip_assumes(s: &cparse::Stmt) -> cparse::Stmt {
+    use cparse::Stmt;
+    match s {
+        Stmt::Assume { .. } => Stmt::Skip,
+        Stmt::Seq(ss) => Stmt::Seq(ss.iter().map(strip_assumes).collect()),
+        Stmt::If {
+            id,
+            cond,
+            then_branch,
+            else_branch,
+        } => Stmt::If {
+            id: *id,
+            cond: cond.clone(),
+            then_branch: Box::new(strip_assumes(then_branch)),
+            else_branch: Box::new(strip_assumes(else_branch)),
+        },
+        Stmt::While { id, cond, body } => Stmt::While {
+            id: *id,
+            cond: cond.clone(),
+            body: Box::new(strip_assumes(body)),
+        },
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn concrete_mark_preserves_shape_and_marks_everything() {
+    let (mut program, _) = load();
+    for f in &mut program.functions {
+        f.body = strip_assumes(&f.body);
+    }
+    // try every h choice on lists of several lengths
+    for len in 1..=5usize {
+        for h_index in 0..len {
+            let mut interp = Interp::new(&program).expect("interp");
+            let vals = vec![0i64; len];
+            let head = interp.build_list("node", "mark", "next", &vals).unwrap();
+            // nondet() = 0 skips a node, 1 picks it as h
+            let mut inputs = vec![0i64; h_index];
+            inputs.push(1);
+            interp.nondet_inputs = inputs;
+            interp.run("mark", vec![head]).unwrap();
+            let after = interp.read_list("node", "mark", "next", head).unwrap();
+            assert_eq!(after.len(), len, "shape broken for len={len} h={h_index}");
+            assert!(after.iter().all(|m| *m == 1), "not all marked");
+        }
+    }
+}
+
+#[test]
+fn shape_preservation_is_proved_by_the_abstraction() {
+    let (program, preds) = load();
+    let abs = abstract_program(&program, &preds, &C2bpOptions::paper_defaults())
+        .expect("abstraction");
+    // the paper's observation: reverse needs an order of magnitude more
+    // prover calls than anything else in Table 2
+    assert!(
+        abs.stats.prover_calls > 50_000,
+        "expected the aliasing blowup, got {}",
+        abs.stats.prover_calls
+    );
+    let mut bebop = bebop::Bebop::new(&abs.bprogram).expect("bebop");
+    let analysis = bebop.analyze("mark").expect("analysis");
+    assert!(
+        !analysis.error_reachable(),
+        "h->next == hnext must hold at the end of mark"
+    );
+}
+
+#[test]
+fn dropping_the_mark_predicates_loses_the_proof() {
+    // the marked-ness predicates are load-bearing: they rule out the
+    // spurious revisits of h/hnext in the first loop
+    let (program, preds) = load();
+    let without: Vec<c2bp::Pred> = preds
+        .into_iter()
+        .filter(|p| !p.var_name().contains("mark"))
+        .collect();
+    let abs = abstract_program(&program, &without, &C2bpOptions::paper_defaults())
+        .expect("abstraction");
+    let mut bebop = bebop::Bebop::new(&abs.bprogram).expect("bebop");
+    let analysis = bebop.analyze("mark").expect("analysis");
+    assert!(
+        analysis.error_reachable(),
+        "expected a precision loss without the mark predicates"
+    );
+}

@@ -1,0 +1,410 @@
+//! Property-based test of the paper's soundness theorem (§4.6):
+//!
+//! > For any path p feasible in P, it is guaranteed that p is feasible in
+//! > BP(P, E) as well. Further, if Ω is the state of the C program after
+//! > executing p, then there exists an execution of p in the boolean
+//! > program ending in a state η such that φᵢ holds in Ω iff bᵢ is true
+//! > in η.
+//!
+//! The test generates random C programs (integer and pointer assignments,
+//! conditionals, bounded loops) and random predicate sets, executes the C
+//! program concretely while *watching* the predicates, abstracts it with
+//! C2bp, and replays the concrete path through the boolean program in
+//! lock step: every `assume` must pass, and every `choose(pos, neg)` must
+//! be consistent with the concrete predicate truth.
+
+use bp::ast::BExpr;
+use bp::flow::BInstr;
+use c2bp::{abstract_program, C2bpOptions, Pred};
+use cparse::interp::{Interp, TraceStep, Value};
+use cparse::parse_and_simplify;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A tiny statement language that renders to C source.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    /// `<var> = <expr>;`
+    Assign(usize, GenExpr),
+    /// `*p = <expr>;`
+    StoreP(GenExpr),
+    /// `p = &<var>;`
+    Retarget(usize),
+    /// `if (<cond>) { .. } else { .. }`
+    If(GenCond, Vec<GenStmt>, Vec<GenStmt>),
+    /// `k = 0; while (k < n) { ..; k = k + 1; }`
+    Loop(u8, Vec<GenStmt>),
+}
+
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Const(i64),
+    Var(usize),
+    Add(usize, i64),
+    Sum(usize, usize),
+    LoadP,
+}
+
+#[derive(Debug, Clone)]
+enum GenCond {
+    Lt(usize, usize),
+    Eq(usize, i64),
+    Gt(usize, i64),
+    PGt(i64),
+}
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+fn expr_src(e: &GenExpr) -> String {
+    match e {
+        GenExpr::Const(v) => v.to_string(),
+        GenExpr::Var(i) => VARS[*i % 3].to_string(),
+        GenExpr::Add(i, v) => format!("{} + {v}", VARS[*i % 3]),
+        GenExpr::Sum(i, j) => format!("{} + {}", VARS[*i % 3], VARS[*j % 3]),
+        GenExpr::LoadP => "*p".to_string(),
+    }
+}
+
+fn cond_src(c: &GenCond) -> String {
+    match c {
+        GenCond::Lt(i, j) => format!("{} < {}", VARS[*i % 3], VARS[*j % 3]),
+        GenCond::Eq(i, v) => format!("{} == {v}", VARS[*i % 3]),
+        GenCond::Gt(i, v) => format!("{} > {v}", VARS[*i % 3]),
+        GenCond::PGt(v) => format!("*p > {v}"),
+    }
+}
+
+fn stmts_src(stmts: &[GenStmt], indent: usize, loop_depth: &mut usize) -> String {
+    let pad = "    ".repeat(indent);
+    let mut out = String::new();
+    for s in stmts {
+        match s {
+            GenStmt::Assign(i, e) => {
+                out.push_str(&format!("{pad}{} = {};\n", VARS[*i % 3], expr_src(e)));
+            }
+            GenStmt::StoreP(e) => {
+                out.push_str(&format!("{pad}*p = {};\n", expr_src(e)));
+            }
+            GenStmt::Retarget(i) => {
+                out.push_str(&format!("{pad}p = &{};\n", VARS[*i % 3]));
+            }
+            GenStmt::If(c, t, e) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", cond_src(c)));
+                out.push_str(&stmts_src(t, indent + 1, loop_depth));
+                out.push_str(&format!("{pad}}} else {{\n"));
+                out.push_str(&stmts_src(e, indent + 1, loop_depth));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GenStmt::Loop(n, body) => {
+                *loop_depth += 1;
+                let k = format!("k{loop_depth}");
+                let n = (*n % 3) + 1;
+                out.push_str(&format!("{pad}{k} = 0;\n"));
+                out.push_str(&format!("{pad}while ({k} < {n}) {{\n"));
+                out.push_str(&stmts_src(body, indent + 1, loop_depth));
+                out.push_str(&format!("{pad}    {k} = {k} + 1;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Renders a whole program; `n_loops` must be an upper bound on loop count.
+fn program_src(stmts: &[GenStmt]) -> String {
+    let mut loop_depth = 0usize;
+    let body = stmts_src(stmts, 1, &mut loop_depth);
+    let decls: String = (1..=loop_depth)
+        .map(|i| format!("    int k{i};\n"))
+        .collect();
+    format!(
+        "void f(int a, int b, int c) {{\n    int* p;\n{decls}    p = &a;\n{body}}}\n"
+    )
+}
+
+fn gen_expr() -> impl Strategy<Value = GenExpr> {
+    prop_oneof![
+        (-4i64..8).prop_map(GenExpr::Const),
+        (0usize..3).prop_map(GenExpr::Var),
+        ((0usize..3), -3i64..4).prop_map(|(i, v)| GenExpr::Add(i, v)),
+        ((0usize..3), (0usize..3)).prop_map(|(i, j)| GenExpr::Sum(i, j)),
+        Just(GenExpr::LoadP),
+    ]
+}
+
+fn gen_cond() -> impl Strategy<Value = GenCond> {
+    prop_oneof![
+        ((0usize..3), (0usize..3)).prop_map(|(i, j)| GenCond::Lt(i, j)),
+        ((0usize..3), -2i64..5).prop_map(|(i, v)| GenCond::Eq(i, v)),
+        ((0usize..3), -2i64..5).prop_map(|(i, v)| GenCond::Gt(i, v)),
+        (-2i64..5).prop_map(GenCond::PGt),
+    ]
+}
+
+fn gen_stmts(depth: u32) -> BoxedStrategy<Vec<GenStmt>> {
+    let leaf = prop_oneof![
+        ((0usize..3), gen_expr()).prop_map(|(i, e)| GenStmt::Assign(i, e)),
+        gen_expr().prop_map(GenStmt::StoreP),
+        (0usize..3).prop_map(GenStmt::Retarget),
+    ];
+    if depth == 0 {
+        prop::collection::vec(leaf, 1..4).boxed()
+    } else {
+        let inner = gen_stmts(depth - 1);
+        let leaf2 = prop_oneof![
+            ((0usize..3), gen_expr()).prop_map(|(i, e)| GenStmt::Assign(i, e)),
+            gen_expr().prop_map(GenStmt::StoreP),
+            (0usize..3).prop_map(GenStmt::Retarget),
+            (gen_cond(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
+            (0u8..3, inner).prop_map(|(n, b)| GenStmt::Loop(n, b)),
+        ];
+        prop::collection::vec(leaf2, 1..5).boxed()
+    }
+}
+
+/// Candidate predicate texts (watching both integer and pointer facts).
+const PRED_POOL: [&str; 10] = [
+    "a < b", "b < c", "a == 0", "a > 1", "b == 2", "c < 4", "a <= c", "*p > 0",
+    "*p == 0", "b >= a",
+];
+
+/// Evaluates a deterministic boolean expression under a state.
+fn eval_det(e: &BExpr, state: &HashMap<String, bool>) -> Option<bool> {
+    match e {
+        BExpr::Const(b) => Some(*b),
+        BExpr::Nondet => None,
+        BExpr::Var(v) => state.get(v).copied(),
+        BExpr::Not(x) => eval_det(x, state).map(|b| !b),
+        BExpr::And(xs) => {
+            let mut acc = true;
+            for x in xs {
+                acc &= eval_det(x, state)?;
+            }
+            Some(acc)
+        }
+        BExpr::Or(xs) => {
+            let mut acc = false;
+            for x in xs {
+                acc |= eval_det(x, state)?;
+            }
+            Some(acc)
+        }
+        BExpr::Choose(_, _) => None,
+    }
+}
+
+/// Replays the concrete trace through the boolean program; panics with a
+/// soundness diagnosis on any mismatch.
+fn replay(
+    bp_instrs: &[BInstr],
+    c_trace: &[TraceStep],
+    pred_names: &[String],
+    src: &str,
+    bp_text: &str,
+) {
+    // initial state: predicate truths at the first step; undefined
+    // predicates (e.g. *p before p is set — cannot happen here since p is
+    // assigned first) default to false
+    let watch_at = |step: &TraceStep, i: usize| step.watches.get(i).copied().flatten();
+    let mut state: HashMap<String, bool> = HashMap::new();
+    for (i, name) in pred_names.iter().enumerate() {
+        state.insert(name.clone(), watch_at(&c_trace[0], i).unwrap_or(false));
+    }
+    let mut defined: HashMap<String, bool> = pred_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), watch_at(&c_trace[0], i).is_some()))
+        .collect();
+    let mut pc = 0usize;
+    let mut ci = 0usize;
+    let mut fuel = 1_000_000u64;
+    loop {
+        fuel -= 1;
+        assert!(fuel > 0, "replay did not terminate");
+        let instr = &bp_instrs[pc];
+        match instr {
+            BInstr::Nop => pc += 1,
+            BInstr::Jump(t) => pc = *t,
+            BInstr::Assume { cond, .. } => {
+                // soundness: the concrete path always passes the assumes
+                if defined.values().all(|d| *d) {
+                    let v = eval_det(cond, &state);
+                    assert_eq!(
+                        v,
+                        Some(true),
+                        "assume blocked the concrete path at pc {pc}: \
+                         {cond}\nstate: {state:?}\nprogram:\n{src}\nbp:\n{bp_text}"
+                    );
+                }
+                pc += 1;
+            }
+            BInstr::Assert { .. } => pc += 1,
+            BInstr::Branch {
+                id,
+                target_true,
+                target_false,
+                ..
+            } => {
+                // find the C branch step with this id
+                while ci < c_trace.len() && c_trace[ci].id != *id {
+                    ci += 1;
+                }
+                assert!(ci < c_trace.len(), "branch {id:?} missing in C trace");
+                let d = c_trace[ci].branch_taken.expect("branch direction");
+                ci += 1;
+                pc = if d { *target_true } else { *target_false };
+            }
+            BInstr::Assign { id, targets, values } => {
+                // find the corresponding C step and its post-state
+                let Some(id) = id else {
+                    pc += 1;
+                    continue;
+                };
+                while ci < c_trace.len() && c_trace[ci].id != Some(*id) {
+                    ci += 1;
+                }
+                assert!(ci + 1 < c_trace.len(), "assign {id:?} missing in C trace");
+                let post = &c_trace[ci + 1];
+                ci += 1;
+                // parallel assignment: all choose conditions are evaluated
+                // against the pre-state; updates are committed afterwards
+                let pre_state = state.clone();
+                for (t, v) in targets.iter().zip(values) {
+                    let idx = pred_names
+                        .iter()
+                        .position(|n| n == t)
+                        .expect("target is a predicate");
+                    let truth = watch_at(post, idx);
+                    // check choose-consistency when all hypotheses defined
+                    if let (BExpr::Choose(pos, neg), Some(truth), true) =
+                        (v, truth, defined.values().all(|d| *d))
+                    {
+                        if eval_det(pos, &pre_state) == Some(true) {
+                            assert!(
+                                truth,
+                                "choose(pos,...) asserted TRUE but predicate `{t}` \
+                                 is false after the assignment at pc {pc} (C id {id:?})\n\
+                                 pos: {pos}\nstate: {state:?}\nprogram:\n{src}\nbp:\n{bp_text}"
+                            );
+                        }
+                        if eval_det(neg, &pre_state) == Some(true) {
+                            assert!(
+                                !truth,
+                                "choose(..,neg) asserted FALSE but predicate `{t}` \
+                                 is true after the assignment at pc {pc} (C id {id:?})\n\
+                                 pos: {neg}\nstate: {state:?}\nprogram:\n{src}\nbp:\n{bp_text}"
+                            );
+                        }
+                    }
+                    match truth {
+                        Some(b) => {
+                            state.insert(t.clone(), b);
+                            defined.insert(t.clone(), true);
+                        }
+                        None => {
+                            state.insert(t.clone(), false);
+                            defined.insert(t.clone(), false);
+                        }
+                    }
+                }
+                pc += 1;
+            }
+            BInstr::Return { .. } => break,
+            BInstr::Call { .. } => panic!("generator produces no calls"),
+        }
+    }
+}
+
+fn run_soundness(stmts: Vec<GenStmt>, pred_mask: u16, args: [i8; 3]) {
+    let src = program_src(&stmts);
+    let program = match parse_and_simplify(&src) {
+        Ok(p) => p,
+        Err(e) => panic!("generated program does not parse: {e}\n{src}"),
+    };
+    // pick predicates from the pool by mask (at least one)
+    let mut preds = Vec::new();
+    for (i, text) in PRED_POOL.iter().enumerate() {
+        if pred_mask & (1 << i) != 0 {
+            preds.push(Pred::local("f", cparse::parse_expr(text).unwrap()));
+        }
+    }
+    if preds.is_empty() {
+        preds.push(Pred::local("f", cparse::parse_expr("a < b").unwrap()));
+    }
+    let pred_names: Vec<String> = preds.iter().map(Pred::var_name).collect();
+    // concrete run with predicate watches
+    let mut interp = Interp::new(&program).expect("interp");
+    interp.watches.insert(
+        "f".into(),
+        preds.iter().map(|p| p.expr.clone()).collect(),
+    );
+    interp.fuel = 200_000;
+    let argv = args.iter().map(|v| Value::Int(*v as i64)).collect();
+    if interp.run("f", argv).is_err() {
+        return; // trapped (e.g. fuel): no feasible path to check
+    }
+    let c_trace = interp.trace.steps.clone();
+    if c_trace.is_empty() {
+        return;
+    }
+    // abstraction
+    let abs = abstract_program(&program, &preds, &C2bpOptions::paper_defaults())
+        .expect("abstraction");
+    let bp_text = bp::program_to_string(&abs.bprogram);
+    let bproc = abs.bprogram.proc("f").expect("f");
+    let flat = bp::flow::flatten_proc(bproc).expect("flatten");
+    replay(&flat.instrs, &c_trace, &pred_names, &src, &bp_text);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn concrete_paths_replay_through_the_abstraction(
+        stmts in gen_stmts(2),
+        pred_mask in 1u16..1024,
+        args in prop::array::uniform3(-3i8..6),
+    ) {
+        run_soundness(stmts, pred_mask, args);
+    }
+}
+
+#[test]
+fn soundness_on_a_known_tricky_case() {
+    // pointer store through an alias: *p = b with p == &a flips a's
+    // predicates — the Morris-axiom path
+    let stmts = vec![
+        GenStmt::Retarget(0),
+        GenStmt::StoreP(GenExpr::Const(5)),
+        GenStmt::If(
+            GenCond::Gt(0, 1),
+            vec![GenStmt::Assign(1, GenExpr::Var(0))],
+            vec![GenStmt::StoreP(GenExpr::Const(0))],
+        ),
+    ];
+    for a in -2..4 {
+        run_soundness(stmts.clone(), 0b1111111111, [a, 0, 3]);
+    }
+}
+
+#[test]
+fn soundness_with_loops() {
+    let stmts = vec![
+        GenStmt::Loop(
+            2,
+            vec![
+                GenStmt::Assign(0, GenExpr::Add(0, 1)),
+                GenStmt::StoreP(GenExpr::Sum(0, 1)),
+            ],
+        ),
+        GenStmt::Assign(2, GenExpr::Sum(0, 0)),
+    ];
+    for b in -2..4 {
+        run_soundness(stmts.clone(), 0b1010101010, [1, b, 2]);
+    }
+}
