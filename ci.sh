@@ -1,0 +1,24 @@
+#!/bin/sh
+# Offline CI for the slam-toolkit workspace: release build, the full
+# test suite, and an explicit pass over the paper's golden figures.
+# The workspace has zero external dependencies, so everything here runs
+# without network access.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --offline --workspace
+
+echo "== tests (workspace) =="
+cargo test --offline --workspace -q
+
+echo "== golden figures (1, 2, 3) =="
+cargo test --offline -q --test figure1
+cargo test --offline -q --test figure2
+cargo test --offline -q --test figure3
+
+echo "== determinism across worker counts =="
+cargo test --offline -q --test determinism
+
+echo "ci: all green"

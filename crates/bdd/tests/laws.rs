@@ -2,7 +2,7 @@
 //! oracle over a small variable universe.
 
 use bdd::{Manager, FALSE, TRUE};
-use proptest::prelude::*;
+use testutil::{run_cases, Rng};
 
 /// A random boolean expression over variables 0..N.
 #[derive(Debug, Clone)]
@@ -16,19 +16,25 @@ enum Expr {
 
 const N: u32 = 5;
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = (0u32..N).prop_map(Expr::Var);
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.ratio(1, 4) {
+        return Expr::Var(rng.next_u64() as u32 % N);
+    }
+    match rng.index(4) {
+        0 => Expr::Not(Box::new(gen_expr(rng, depth - 1))),
+        1 => Expr::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => Expr::Xor(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
 }
 
 fn build(m: &mut Manager, e: &Expr) -> bdd::Bdd {
@@ -63,90 +69,118 @@ fn truth(e: &Expr, assignment: u32) -> bool {
     }
 }
 
-proptest! {
-    #[test]
-    fn bdd_matches_truth_table(e in expr_strategy()) {
-        let mut m = Manager::new();
-        let f = build(&mut m, &e);
-        for assignment in 0..(1u32 << N) {
-            let expected = truth(&e, assignment);
-            let got = m.eval(f, &|v| assignment & (1 << v) != 0);
-            prop_assert_eq!(got, expected, "assignment {:#b}", assignment);
-        }
-        // sat_count agrees with the table
-        let count = (0..(1u32 << N)).filter(|a| truth(&e, *a)).count() as u128;
-        prop_assert_eq!(m.sat_count(f, N), count);
-    }
+#[test]
+fn bdd_matches_truth_table() {
+    run_cases(
+        "bdd_matches_truth_table",
+        256,
+        |rng| gen_expr(rng, 4),
+        |e| {
+            let mut m = Manager::new();
+            let f = build(&mut m, e);
+            for assignment in 0..(1u32 << N) {
+                let expected = truth(e, assignment);
+                let got = m.eval(f, &|v| assignment & (1 << v) != 0);
+                assert_eq!(got, expected, "assignment {assignment:#b}");
+            }
+            // sat_count agrees with the table
+            let count = (0..(1u32 << N)).filter(|a| truth(e, *a)).count() as u128;
+            assert_eq!(m.sat_count(f, N), count);
+        },
+    );
+}
 
-    #[test]
-    fn canonicity_equal_functions_share_nodes(e in expr_strategy()) {
-        // f XOR f == FALSE, f OR f == f, double negation
-        let mut m = Manager::new();
-        let f = build(&mut m, &e);
-        let x = m.xor(f, f);
-        prop_assert_eq!(x, FALSE);
-        let o = m.or(f, f);
-        prop_assert_eq!(o, f);
-        let nn = {
-            let n = m.not(f);
-            m.not(n)
-        };
-        prop_assert_eq!(nn, f);
-    }
-
-    #[test]
-    fn quantification_matches_semantics(e in expr_strategy(), v in 0u32..N) {
-        let mut m = Manager::new();
-        let f = build(&mut m, &e);
-        let ex = m.exists(f, &[v]);
-        let fa = m.forall(f, &[v]);
-        for assignment in 0..(1u32 << N) {
-            let with_true = assignment | (1 << v);
-            let with_false = assignment & !(1 << v);
-            let t = truth(&e, with_true);
-            let fv = truth(&e, with_false);
-            prop_assert_eq!(
-                m.eval(ex, &|x| assignment & (1 << x) != 0),
-                t || fv
-            );
-            prop_assert_eq!(
-                m.eval(fa, &|x| assignment & (1 << x) != 0),
-                t && fv
-            );
-        }
-    }
-
-    #[test]
-    fn cubes_cover_exactly(e in expr_strategy()) {
-        let mut m = Manager::new();
-        let f = build(&mut m, &e);
-        let cubes = m.cubes(f);
-        for assignment in 0..(1u32 << N) {
-            let expected = truth(&e, assignment);
-            let covered = cubes.iter().any(|cube| {
-                cube.iter().all(|(v, val)| (assignment & (1 << v) != 0) == *val)
-            });
-            prop_assert_eq!(covered, expected);
-        }
-    }
-
-    #[test]
-    fn restrict_is_substitution(e in expr_strategy(), v in 0u32..N, val: bool) {
-        let mut m = Manager::new();
-        let f = build(&mut m, &e);
-        let r = m.restrict(f, v, val);
-        for assignment in 0..(1u32 << N) {
-            let forced = if val {
-                assignment | (1 << v)
-            } else {
-                assignment & !(1 << v)
+#[test]
+fn canonicity_equal_functions_share_nodes() {
+    run_cases(
+        "canonicity_equal_functions_share_nodes",
+        256,
+        |rng| gen_expr(rng, 4),
+        |e| {
+            // f XOR f == FALSE, f OR f == f, double negation
+            let mut m = Manager::new();
+            let f = build(&mut m, e);
+            let x = m.xor(f, f);
+            assert_eq!(x, FALSE);
+            let o = m.or(f, f);
+            assert_eq!(o, f);
+            let nn = {
+                let n = m.not(f);
+                m.not(n)
             };
-            prop_assert_eq!(
-                m.eval(r, &|x| assignment & (1 << x) != 0),
-                truth(&e, forced)
-            );
-        }
-    }
+            assert_eq!(nn, f);
+        },
+    );
+}
+
+#[test]
+fn quantification_matches_semantics() {
+    run_cases(
+        "quantification_matches_semantics",
+        256,
+        |rng| (gen_expr(rng, 4), rng.next_u64() as u32 % N),
+        |(e, v)| {
+            let mut m = Manager::new();
+            let f = build(&mut m, e);
+            let ex = m.exists(f, &[*v]);
+            let fa = m.forall(f, &[*v]);
+            for assignment in 0..(1u32 << N) {
+                let with_true = assignment | (1 << v);
+                let with_false = assignment & !(1 << v);
+                let t = truth(e, with_true);
+                let fv = truth(e, with_false);
+                assert_eq!(m.eval(ex, &|x| assignment & (1 << x) != 0), t || fv);
+                assert_eq!(m.eval(fa, &|x| assignment & (1 << x) != 0), t && fv);
+            }
+        },
+    );
+}
+
+#[test]
+fn cubes_cover_exactly() {
+    run_cases(
+        "cubes_cover_exactly",
+        256,
+        |rng| gen_expr(rng, 4),
+        |e| {
+            let mut m = Manager::new();
+            let f = build(&mut m, e);
+            let cubes = m.cubes(f);
+            for assignment in 0..(1u32 << N) {
+                let expected = truth(e, assignment);
+                let covered = cubes.iter().any(|cube| {
+                    cube.iter()
+                        .all(|(v, val)| (assignment & (1 << v) != 0) == *val)
+                });
+                assert_eq!(covered, expected);
+            }
+        },
+    );
+}
+
+#[test]
+fn restrict_is_substitution() {
+    run_cases(
+        "restrict_is_substitution",
+        256,
+        |rng| (gen_expr(rng, 4), rng.next_u64() as u32 % N, rng.gen_bool()),
+        |(e, v, val)| {
+            let mut m = Manager::new();
+            let f = build(&mut m, e);
+            let r = m.restrict(f, *v, *val);
+            for assignment in 0..(1u32 << N) {
+                let forced = if *val {
+                    assignment | (1 << v)
+                } else {
+                    assignment & !(1 << v)
+                };
+                assert_eq!(
+                    m.eval(r, &|x| assignment & (1 << x) != 0),
+                    truth(e, forced)
+                );
+            }
+        },
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@
 use bebop::Bebop;
 use bp::ast::{BExpr, BProc, BProgram, BStmt};
 use bp::interp::{BInterp, BOutcome, SeededChooser};
-use proptest::prelude::*;
+use testutil::{run_cases, Rng};
 
 /// Statement recipe (rendered into a [`BStmt`]).
 #[derive(Debug, Clone)]
@@ -85,45 +85,56 @@ fn bstmt(s: &S) -> BStmt {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        any::<bool>().prop_map(E::Const),
-        (0usize..3).prop_map(E::Var),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| E::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.ratio(1, 3) {
+        return if rng.gen_bool() {
+            E::Const(rng.gen_bool())
+        } else {
+            E::Var(rng.index(3))
+        };
+    }
+    match rng.index(3) {
+        0 => E::Not(Box::new(gen_expr(rng, depth - 1))),
+        1 => E::And(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+        _ => E::Or(
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        ),
+    }
 }
 
-fn stmt_strategy(depth: u32) -> BoxedStrategy<Vec<S>> {
-    let leaf = prop_oneof![
-        ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::AssignVar(i, e)),
-        (0usize..3).prop_map(S::AssignUnknown),
-        expr_strategy().prop_map(S::Assume),
-        expr_strategy().prop_map(S::Assert),
-        ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::CallHelper(i, e)),
-    ];
-    if depth == 0 {
-        prop::collection::vec(leaf, 1..4).boxed()
-    } else {
-        let inner = stmt_strategy(depth - 1);
-        let node = prop_oneof![
-            ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::AssignVar(i, e)),
-            (0usize..3).prop_map(S::AssignUnknown),
-            expr_strategy().prop_map(S::Assume),
-            expr_strategy().prop_map(S::Assert),
-            ((0usize..3), expr_strategy()).prop_map(|(i, e)| S::CallHelper(i, e)),
-            (expr_strategy(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| S::If(c, t, f)),
-            inner.prop_map(S::While),
-        ];
-        prop::collection::vec(node, 1..4).boxed()
+fn gen_leaf(rng: &mut Rng) -> S {
+    match rng.index(5) {
+        0 => S::AssignVar(rng.index(3), gen_expr(rng, 2)),
+        1 => S::AssignUnknown(rng.index(3)),
+        2 => S::Assume(gen_expr(rng, 2)),
+        3 => S::Assert(gen_expr(rng, 2)),
+        _ => S::CallHelper(rng.index(3), gen_expr(rng, 2)),
     }
+}
+
+fn gen_stmts(rng: &mut Rng, depth: u32) -> Vec<S> {
+    let n = rng.index(3) + 1;
+    (0..n)
+        .map(|_| {
+            if depth == 0 {
+                gen_leaf(rng)
+            } else {
+                match rng.index(7) {
+                    0..=4 => gen_leaf(rng),
+                    5 => S::If(
+                        gen_expr(rng, 2),
+                        gen_stmts(rng, depth - 1),
+                        gen_stmts(rng, depth - 1),
+                    ),
+                    _ => S::While(gen_stmts(rng, depth - 1)),
+                }
+            }
+        })
+        .collect()
 }
 
 fn build_program(stmts: &[S]) -> BProgram {
@@ -165,54 +176,57 @@ fn build_program(stmts: &[S]) -> BProgram {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn interpreter_behaviors_are_covered_by_bebop(stmts in stmt_strategy(2)) {
-        let program = build_program(&stmts);
-        let mut checker = Bebop::new(&program).expect("bebop setup");
-        let analysis = checker.analyze("main").expect("analysis");
-        let mut interp_error = false;
-        for seed in 0..24u64 {
-            let mut interp = BInterp::new(&program).expect("interp");
-            interp.fuel = 20_000;
-            let mut chooser = SeededChooser::new(seed);
-            let outcome = match interp.run("main", vec![], &mut chooser) {
-                Ok(o) => o,
-                Err(_) => continue, // out of fuel: ignore this resolution
-            };
-            match outcome {
-                BOutcome::AssertViolated { .. } => interp_error = true,
-                BOutcome::Completed | BOutcome::AssumeViolated { .. } => {}
+#[test]
+fn interpreter_behaviors_are_covered_by_bebop() {
+    run_cases(
+        "interpreter_behaviors_are_covered_by_bebop",
+        48,
+        |rng| gen_stmts(rng, 2),
+        |stmts| {
+            let program = build_program(stmts);
+            let mut checker = Bebop::new(&program).expect("bebop setup");
+            let analysis = checker.analyze("main").expect("analysis");
+            let mut interp_error = false;
+            for seed in 0..24u64 {
+                let mut interp = BInterp::new(&program).expect("interp");
+                interp.fuel = 20_000;
+                let mut chooser = SeededChooser::new(seed);
+                let outcome = match interp.run("main", vec![], &mut chooser) {
+                    Ok(o) => o,
+                    Err(_) => continue, // out of fuel: ignore this resolution
+                };
+                match outcome {
+                    BOutcome::AssertViolated { .. } => interp_error = true,
+                    BOutcome::Completed | BOutcome::AssumeViolated { .. } => {}
+                }
+                // every visited location is symbolically reachable, and the
+                // visited state satisfies the invariant there
+                for step in &interp.trace {
+                    assert!(
+                        checker.reachable(&analysis, &step.proc, step.pc),
+                        "interpreter visited unreachable {}:{}",
+                        step.proc,
+                        step.pc
+                    );
+                    let cubes = checker.invariant_at(&analysis, &step.proc, step.pc);
+                    let satisfied = cubes.iter().any(|cube| {
+                        cube.iter().all(|(name, val)| {
+                            step.state.get(name).map(|v| v == val).unwrap_or(false)
+                        })
+                    });
+                    assert!(
+                        satisfied,
+                        "state {:?} at {}:{} not in invariant {:?}",
+                        step.state, step.proc, step.pc, cubes
+                    );
+                }
             }
-            // every visited location is symbolically reachable, and the
-            // visited state satisfies the invariant there
-            for step in &interp.trace {
-                prop_assert!(
-                    checker.reachable(&analysis, &step.proc, step.pc),
-                    "interpreter visited unreachable {}:{}",
-                    step.proc,
-                    step.pc
-                );
-                let cubes = checker.invariant_at(&analysis, &step.proc, step.pc);
-                let satisfied = cubes.iter().any(|cube| {
-                    cube.iter().all(|(name, val)| {
-                        step.state.get(name).map(|v| v == val).unwrap_or(false)
-                    })
-                });
-                prop_assert!(
-                    satisfied,
-                    "state {:?} at {}:{} not in invariant {:?}",
-                    step.state, step.proc, step.pc, cubes
+            if interp_error {
+                assert!(
+                    analysis.error_reachable(),
+                    "interpreter failed an assert Bebop calls unreachable"
                 );
             }
-        }
-        if interp_error {
-            prop_assert!(
-                analysis.error_reachable(),
-                "interpreter failed an assert Bebop calls unreachable"
-            );
-        }
-    }
+        },
+    );
 }

@@ -3,11 +3,12 @@
 //! outcome) and `qsort` (where the cube-length cap k matters).
 //!
 //! ```sh
-//! cargo run --release -p bench --bin ablation
+//! cargo run --release -p bench --bin ablation [-- --jobs N]
 //! ```
 fn main() {
+    let jobs = bench::jobs_from_args();
     for (stem, entry) in [("partition", "partition"), ("qsort", "qsort_range")] {
-        let rows = bench::ablation_rows(stem, entry);
+        let rows = bench::ablation_rows(stem, entry, jobs);
         print!(
             "{}",
             bench::render(&rows, &format!("§5.2 ablations on `{stem}`"))

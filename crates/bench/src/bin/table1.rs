@@ -1,10 +1,10 @@
 //! Regenerates Table 1: the SLAM toolkit on the device-driver corpus.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin table1
+//! cargo run --release -p bench --bin table1 [-- --jobs N]
 //! ```
 fn main() {
-    let rows = bench::table1_rows();
+    let rows = bench::table1_rows(bench::jobs_from_args());
     print!(
         "{}",
         bench::render(

@@ -1,10 +1,10 @@
 //! Regenerates Table 2: the array- and heap-intensive programs.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin table2
+//! cargo run --release -p bench --bin table2 [-- --jobs N]
 //! ```
 fn main() {
-    let rows = bench::table2_rows();
+    let rows = bench::table2_rows(bench::jobs_from_args());
     print!(
         "{}",
         bench::render(&rows, "Table 2 — array and heap intensive programs through C2bp")

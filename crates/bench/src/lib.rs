@@ -36,6 +36,12 @@ pub struct Row {
     pub prover_calls: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Worker threads the abstraction ran with.
+    pub jobs: usize,
+    /// Shared prover-cache hit rate over the abstraction phase(s).
+    pub cache_hit_rate: f64,
+    /// Abstraction phase wall-times (summed over CEGAR iterations).
+    pub phases: c2bp::PhaseSeconds,
     /// Human-readable outcome.
     pub outcome: String,
 }
@@ -44,13 +50,22 @@ pub struct Row {
 pub fn render(rows: &[Row], title: &str) -> String {
     let mut out = format!("{title}\n");
     out.push_str(&format!(
-        "{:<22} {:<10} {:>6} {:>6} {:>10} {:>9}  outcome\n",
-        "program", "config", "lines", "preds", "thm calls", "time (s)"
+        "{:<22} {:<10} {:>6} {:>6} {:>10} {:>9} {:>4} {:>6} {:>9}  outcome\n",
+        "program", "config", "lines", "preds", "thm calls", "time (s)", "jobs", "cache%", "solve (s)"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<22} {:<10} {:>6} {:>6} {:>10} {:>9.2}  {}\n",
-            r.program, r.config, r.lines, r.predicates, r.prover_calls, r.seconds, r.outcome
+            "{:<22} {:<10} {:>6} {:>6} {:>10} {:>9.2} {:>4} {:>6.1} {:>9.2}  {}\n",
+            r.program,
+            r.config,
+            r.lines,
+            r.predicates,
+            r.prover_calls,
+            r.seconds,
+            r.jobs,
+            r.cache_hit_rate * 100.0,
+            r.phases.solve,
+            r.outcome
         ));
     }
     out
@@ -119,6 +134,9 @@ pub fn run_toy(stem: &str, entry: &str, options: &C2bpOptions) -> Row {
         predicates: abs.stats.predicates,
         prover_calls: abs.stats.prover_calls,
         seconds: c2bp_secs,
+        jobs: abs.stats.jobs,
+        cache_hit_rate: abs.stats.shared_cache.hit_rate(),
+        phases: abs.stats.phases,
         outcome: if analysis.error_reachable() {
             "assert reachable".into()
         } else {
@@ -128,19 +146,35 @@ pub fn run_toy(stem: &str, entry: &str, options: &C2bpOptions) -> Row {
 }
 
 /// Runs one Table 1 entry (the full SLAM loop on a driver) and returns
-/// its row.
-pub fn run_driver(stem: &str, entry: &str, prop: &str) -> Row {
+/// its row. `jobs = 0` defers to `C2BP_JOBS` (default sequential).
+pub fn run_driver(stem: &str, entry: &str, prop: &str, jobs: usize) -> Row {
     let dir = corpus_dir().join("drivers");
     let source = read(dir.join(format!("{stem}.c")));
     let spec = spec_for(prop);
+    let options = SlamOptions {
+        c2bp: C2bpOptions {
+            jobs,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
     let t0 = Instant::now();
-    let run = slam::verify(&source, &spec, entry, &SlamOptions::default())
-        .expect("slam run completes");
+    let run = slam::verify(&source, &spec, entry, &options).expect("slam run completes");
     let secs = t0.elapsed().as_secs_f64();
     let prover_calls: u64 = run.per_iteration.iter().map(|s| s.prover_calls).sum();
     let lines = cparse::parse_and_simplify(&source)
         .map(|p| p.line_count())
         .unwrap_or(0);
+    // aggregate the per-iteration abstraction stats into one row
+    let (mut hits, mut lookups) = (0u64, 0u64);
+    let mut phases = c2bp::PhaseSeconds::default();
+    for it in &run.per_iteration {
+        hits += it.shared_cache.hits;
+        lookups += it.shared_cache.hits + it.shared_cache.misses;
+        phases.plan += it.abs_phases.plan;
+        phases.solve += it.abs_phases.solve;
+        phases.merge += it.abs_phases.merge;
+    }
     Row {
         program: stem.to_string(),
         config: prop.to_string(),
@@ -148,6 +182,13 @@ pub fn run_driver(stem: &str, entry: &str, prop: &str) -> Row {
         predicates: run.final_preds.len(),
         prover_calls,
         seconds: secs,
+        jobs: run.per_iteration.first().map_or(1, |it| it.jobs),
+        cache_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        phases,
         outcome: match run.verdict {
             SlamVerdict::Validated => format!("validated ({} iters)", run.iterations),
             SlamVerdict::ErrorFound { .. } => format!("ERROR FOUND ({} iters)", run.iterations),
@@ -157,27 +198,33 @@ pub fn run_driver(stem: &str, entry: &str, prop: &str) -> Row {
 }
 
 /// All Table 1 rows (plus the buggy-driver row appended last).
-pub fn table1_rows() -> Vec<Row> {
+/// `jobs = 0` defers to `C2BP_JOBS` (default sequential).
+pub fn table1_rows(jobs: usize) -> Vec<Row> {
     let mut rows: Vec<Row> = DRIVERS
         .iter()
-        .map(|(stem, entry, prop)| run_driver(stem, entry, prop))
+        .map(|(stem, entry, prop)| run_driver(stem, entry, prop, jobs))
         .collect();
     let (stem, entry, prop) = BUGGY_DRIVER;
-    rows.push(run_driver(stem, entry, prop));
+    rows.push(run_driver(stem, entry, prop, jobs));
     rows
 }
 
-/// All Table 2 rows.
-pub fn table2_rows() -> Vec<Row> {
+/// All Table 2 rows. `jobs = 0` defers to `C2BP_JOBS`.
+pub fn table2_rows(jobs: usize) -> Vec<Row> {
+    let options = C2bpOptions {
+        jobs,
+        ..C2bpOptions::paper_defaults()
+    };
     TOYS.iter()
-        .map(|(stem, entry)| run_toy(stem, entry, &C2bpOptions::paper_defaults()))
+        .map(|(stem, entry)| run_toy(stem, entry, &options))
         .collect()
 }
 
 /// The §5.2 ablation grid on one toy program: each optimization toggled
 /// off in turn (the paper: "the above optimizations dramatically reduce
 /// the number of calls made to the theorem prover").
-pub fn ablation_rows(stem: &str, entry: &str) -> Vec<Row> {
+/// `jobs = 0` defers to `C2BP_JOBS`.
+pub fn ablation_rows(stem: &str, entry: &str, jobs: usize) -> Vec<Row> {
     let configs: Vec<(&str, C2bpOptions)> = vec![
         ("paper", C2bpOptions::paper_defaults()),
         (
@@ -240,12 +287,33 @@ pub fn ablation_rows(stem: &str, entry: &str) -> Vec<Row> {
     ];
     configs
         .into_iter()
-        .map(|(name, options)| {
+        .map(|(name, mut options)| {
+            options.jobs = jobs;
             let mut row = run_toy(stem, entry, &options);
             row.config = name.to_string();
             row
         })
         .collect()
+}
+
+/// Parses an optional `--jobs N` from a bench binary's arguments.
+/// Returns 0 (defer to `C2BP_JOBS`) when absent; exits on a malformed
+/// value so the harnesses share one error message.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--jobs" {
+            match iter.next().and_then(|n| n.parse().ok()) {
+                Some(j) if j > 0 => return j,
+                _ => {
+                    eprintln!("usage: --jobs N (N >= 1)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    0
 }
 
 #[cfg(test)]
@@ -276,6 +344,9 @@ mod tests {
             predicates: 2,
             prover_calls: 3,
             seconds: 0.5,
+            jobs: 1,
+            cache_hit_rate: 0.25,
+            phases: c2bp::PhaseSeconds::default(),
             outcome: "ok".into(),
         }];
         let text = render(&rows, "T");

@@ -9,6 +9,31 @@
 //! the modular signature scheme of §4.5. Each procedure receives an
 //! `enforce` invariant `¬F(false)` ruling out inconsistent predicate
 //! combinations (§5.1).
+//!
+//! # Parallel abstraction
+//!
+//! The paper notes that each statement is abstracted independently; the
+//! prover calls dominating the runtime are embarrassingly parallel. The
+//! engine therefore runs in three phases:
+//!
+//! 1. **plan** (sequential, no prover): signatures, then a pre-order walk
+//!    of every procedure body collecting one *leaf task* per statement
+//!    that needs cube searches (plus one `enforce` task per procedure).
+//!    Call temporaries are named during this walk, so naming never
+//!    depends on scheduling.
+//! 2. **solve** (parallel): a scoped worker pool pulls tasks off a shared
+//!    index. Every task gets a *fresh* prover — its local cache and
+//!    counters are a pure function of the task — wired to one
+//!    [`SharedCache`] keyed by store-independent canonical formulas, so
+//!    workers reuse each other's decision-procedure results without
+//!    perturbing the deterministic counters.
+//! 3. **merge** (sequential): the same pre-order walk re-assembles the
+//!    boolean program from the task outputs and sums the counters in
+//!    task order.
+//!
+//! The emitted program and all counters except
+//! [`shared_hits`](prover::ProverStats::shared_hits) (and wall-times) are
+//! byte-identical for any worker count.
 
 use crate::cubes::{CubeOptions, CubeSearch, CubeStats, ScopeVar};
 use crate::preds::{Pred, PredScope};
@@ -18,9 +43,11 @@ use bp::ast::{BExpr, BProc, BProgram, BStmt};
 use cparse::ast::{Expr, Function, Program, Stmt};
 use cparse::typeck::TypeEnv;
 use pointsto::PointsTo;
-use prover::Prover;
+use prover::{CacheSnapshot, Prover, ProverStats, SharedCache};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Options controlling the abstraction.
@@ -33,6 +60,10 @@ pub struct C2bpOptions {
     pub skip_unaffected: bool,
     /// Compute `enforce` invariants (§5.1).
     pub compute_enforce: bool,
+    /// Worker threads for the solve phase; `0` defers to the `C2BP_JOBS`
+    /// environment variable (itself defaulting to 1). The output is
+    /// identical for every value.
+    pub jobs: usize,
 }
 
 impl C2bpOptions {
@@ -42,7 +73,21 @@ impl C2bpOptions {
             cubes: CubeOptions::default(),
             skip_unaffected: true,
             compute_enforce: true,
+            jobs: 0,
         }
+    }
+
+    /// The worker count to actually use: `jobs` if set, else `C2BP_JOBS`,
+    /// else 1.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        std::env::var("C2BP_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
     }
 }
 
@@ -61,6 +106,18 @@ impl fmt::Display for AbsError {
 
 impl std::error::Error for AbsError {}
 
+/// Wall-clock seconds per engine phase (scheduling-dependent, unlike the
+/// counters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSeconds {
+    /// Signature computation and leaf planning.
+    pub plan: f64,
+    /// Parallel cube-search / prover work.
+    pub solve: f64,
+    /// Deterministic re-assembly of the boolean program.
+    pub merge: f64,
+}
+
 /// Summary counters for one abstraction run (the columns of the paper's
 /// Tables 1 and 2).
 #[derive(Debug, Clone, Default)]
@@ -69,14 +126,24 @@ pub struct AbsStats {
     pub lines: usize,
     /// Number of input predicates.
     pub predicates: usize,
-    /// Theorem-prover calls (uncached queries).
+    /// Theorem-prover calls (logical queries: misses of a task-local
+    /// cache). Identical for every worker count.
     pub prover_calls: u64,
-    /// Prover cache hits.
+    /// Task-local prover cache hits. Identical for every worker count.
     pub prover_cache_hits: u64,
     /// Cube-search counters.
     pub cubes: CubeStats,
     /// Wall-clock seconds spent abstracting.
     pub seconds: f64,
+    /// Requested worker count for the solve phase (the pool itself is
+    /// additionally capped at the machine's available parallelism).
+    pub jobs: usize,
+    /// Leaf work units solved (statements + enforce invariants).
+    pub units: usize,
+    /// Shared prover-result cache counters (scheduling-dependent).
+    pub shared_cache: CacheSnapshot,
+    /// Per-phase wall-clock times (scheduling-dependent).
+    pub phases: PhaseSeconds,
 }
 
 /// The result of abstracting a program.
@@ -104,8 +171,7 @@ pub fn abstract_program(
 ) -> Result<Abstraction, AbsError> {
     let start = Instant::now();
     let env = TypeEnv::new(program);
-    let mut pts = PointsTo::analyze(program);
-    let mut prover = Prover::new();
+    let base_pts = PointsTo::analyze(program);
     // validate scopes and dedupe
     let mut preds_vec: Vec<Pred> = Vec::new();
     for p in preds {
@@ -129,44 +195,128 @@ pub fn abstract_program(
         .cloned()
         .collect();
 
-    // pass 1: signatures
+    // phase 1 (plan): signatures, scopes, and the leaf-task list
     let mut signatures = HashMap::new();
     for f in &program.functions {
         signatures.insert(f.name.clone(), signature(program, f, &preds_vec));
     }
+    let mut plans: Vec<FuncPlan<'_>> = Vec::new();
+    let mut tasks: Vec<LeafTask<'_>> = Vec::new();
+    for (fi, f) in program.functions.iter().enumerate() {
+        let mut scope_vars: Vec<ScopeVar> =
+            global_preds.iter().map(ScopeVar::of_pred).collect();
+        scope_vars.extend(
+            preds_vec
+                .iter()
+                .filter(|p| p.scope == PredScope::Local(f.name.clone()))
+                .map(ScopeVar::of_pred),
+        );
+        let mut plan = FuncPlan {
+            func: f,
+            scope_vars,
+            temps: Vec::new(),
+        };
+        let mut temp_counter = 0u32;
+        collect_leaves(
+            &f.body,
+            fi,
+            &signatures,
+            &mut temp_counter,
+            &mut plan.temps,
+            &mut tasks,
+        )?;
+        if options.compute_enforce {
+            tasks.push(LeafTask {
+                func_idx: fi,
+                kind: LeafKind::Enforce,
+            });
+        }
+        plans.push(plan);
+    }
+    let plan_seconds = start.elapsed().as_secs_f64();
 
-    // pass 2: abstraction
+    // phase 2 (solve): cube searches across the worker pool
+    let solve_start = Instant::now();
+    let jobs = options.effective_jobs();
+    let shared = SharedCache::new();
+    let ctx = SolveCtx {
+        program,
+        env: &env,
+        signatures: &signatures,
+        global_preds: &global_preds,
+        options,
+        plans: &plans,
+        base_pts: &base_pts,
+        shared: shared.clone(),
+    };
+    let results = solve_all(&ctx, &tasks, jobs);
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+
+    // phase 3 (merge): deterministic re-assembly in task order
+    let merge_start = Instant::now();
     let mut bprogram = BProgram {
         globals: global_preds.iter().map(Pred::var_name).collect(),
         procs: Vec::new(),
     };
+    let mut merger = Merger {
+        results: &results,
+        cursor: 0,
+    };
+    let mut prover_stats = ProverStats::default();
     let mut cube_stats = CubeStats::default();
-    for f in &program.functions {
-        let mut actx = ProcAbstractor::new(
-            program,
-            &env,
-            &mut pts,
-            &mut prover,
-            &signatures,
-            &global_preds,
-            &preds_vec,
-            f,
-            options,
-        );
-        let bproc = actx.run()?;
-        cube_stats.cubes_tested += actx.cube_stats.cubes_tested;
-        cube_stats.cubes_pruned += actx.cube_stats.cubes_pruned;
-        cube_stats.fast_path_hits += actx.cube_stats.fast_path_hits;
-        bprogram.procs.push(bproc);
+    for plan in &plans {
+        let sig = &signatures[&plan.func.name];
+        let body = merger.stmt(&plan.func.body, sig);
+        let enforce = if options.compute_enforce {
+            match &merger.next().out {
+                LeafOut::Enforce(e) => e.clone(),
+                other => unreachable!("enforce task yielded {other:?}"),
+            }
+        } else {
+            None
+        };
+        let formal_names: Vec<String> =
+            sig.formal_preds.iter().map(Pred::var_name).collect();
+        let locals: Vec<String> = preds_vec
+            .iter()
+            .filter(|p| p.scope == PredScope::Local(plan.func.name.clone()))
+            .map(Pred::var_name)
+            .filter(|n| !formal_names.contains(n))
+            .chain(plan.temps.iter().cloned())
+            .collect();
+        bprogram.procs.push(BProc {
+            name: plan.func.name.clone(),
+            formals: formal_names,
+            n_returns: sig.return_preds.len(),
+            locals,
+            enforce,
+            body,
+        });
+    }
+    for r in &results {
+        prover_stats.queries += r.prover_stats.queries;
+        prover_stats.cache_hits += r.prover_stats.cache_hits;
+        prover_stats.shared_hits += r.prover_stats.shared_hits;
+        cube_stats.cubes_tested += r.cube_stats.cubes_tested;
+        cube_stats.cubes_pruned += r.cube_stats.cubes_pruned;
+        cube_stats.fast_path_hits += r.cube_stats.fast_path_hits;
     }
 
     let stats = AbsStats {
         lines: program.line_count(),
         predicates: preds_vec.len(),
-        prover_calls: prover.stats.queries,
-        prover_cache_hits: prover.stats.cache_hits,
+        prover_calls: prover_stats.queries,
+        prover_cache_hits: prover_stats.cache_hits,
         cubes: cube_stats,
         seconds: start.elapsed().as_secs_f64(),
+        jobs,
+        units: results.len(),
+        shared_cache: shared.snapshot(),
+        phases: PhaseSeconds {
+            plan: plan_seconds,
+            solve: solve_seconds,
+            merge: merge_start.elapsed().as_secs_f64(),
+        },
     };
     Ok(Abstraction {
         bprogram,
@@ -175,75 +325,269 @@ pub fn abstract_program(
     })
 }
 
-/// Per-procedure abstraction state.
-struct ProcAbstractor<'a> {
-    program: &'a Program,
-    env: &'a TypeEnv,
-    pts: &'a mut PointsTo,
-    prover: &'a mut Prover,
-    signatures: &'a HashMap<String, Signature>,
-    global_preds: &'a [Pred],
-    all_preds: &'a [Pred],
-    func: &'a Function,
-    options: &'a C2bpOptions,
+// -- plan phase -----------------------------------------------------------
+
+/// Per-procedure context fixed before the solve phase.
+struct FuncPlan<'p> {
+    func: &'p Function,
     /// Scope: global preds then this function's local preds.
     scope_vars: Vec<ScopeVar>,
-    /// Extra boolean temporaries introduced for call returns.
+    /// Boolean temporaries for call returns, in pre-order.
     temps: Vec<String>,
-    temp_counter: u32,
+}
+
+/// One unit of prover work: a leaf statement, or a procedure's `enforce`
+/// invariant.
+#[derive(Debug)]
+enum LeafKind<'p> {
+    Assign {
+        id: cparse::StmtId,
+        lhs: &'p Expr,
+        rhs: &'p Expr,
+    },
+    /// `if`/`while` guard pair: `G(cond)` and `G(!cond)`.
+    Branch { cond: &'p Expr },
+    Assert { cond: &'p Expr },
+    Assume { id: cparse::StmtId, cond: &'p Expr },
+    Call {
+        id: cparse::StmtId,
+        dst: &'p Option<Expr>,
+        callee: &'p str,
+        args: &'p [Expr],
+        /// Pre-assigned names for the callee's return predicates.
+        temps: Vec<String>,
+    },
+    Enforce,
+}
+
+#[derive(Debug)]
+struct LeafTask<'p> {
+    func_idx: usize,
+    kind: LeafKind<'p>,
+}
+
+/// Pre-order walk pushing one task per prover-requiring statement. The
+/// merge phase repeats this walk, so the two must visit leaves in the
+/// same order.
+fn collect_leaves<'p>(
+    s: &'p Stmt,
+    func_idx: usize,
+    signatures: &HashMap<String, Signature>,
+    temp_counter: &mut u32,
+    temps: &mut Vec<String>,
+    out: &mut Vec<LeafTask<'p>>,
+) -> Result<(), AbsError> {
+    let mut push = |kind| out.push(LeafTask { func_idx, kind });
+    match s {
+        Stmt::Skip | Stmt::Goto(_) | Stmt::Label(_) | Stmt::Return { .. } => {}
+        Stmt::Seq(ss) => {
+            for st in ss {
+                collect_leaves(st, func_idx, signatures, temp_counter, temps, out)?;
+            }
+        }
+        Stmt::Assign { id, lhs, rhs } => push(LeafKind::Assign { id: *id, lhs, rhs }),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            push(LeafKind::Branch { cond });
+            collect_leaves(then_branch, func_idx, signatures, temp_counter, temps, out)?;
+            collect_leaves(else_branch, func_idx, signatures, temp_counter, temps, out)?;
+        }
+        Stmt::While { cond, body, .. } => {
+            push(LeafKind::Branch { cond });
+            collect_leaves(body, func_idx, signatures, temp_counter, temps, out)?;
+        }
+        Stmt::Assert { cond, .. } => push(LeafKind::Assert { cond }),
+        Stmt::Assume { id, cond } => push(LeafKind::Assume { id: *id, cond }),
+        Stmt::Call { id, dst, func, args } => {
+            // temporaries only for callees we can see; naming here keeps it
+            // independent of solve-phase scheduling
+            let call_temps: Vec<String> = match signatures.get(func) {
+                Some(sig) => sig
+                    .return_preds
+                    .iter()
+                    .map(|_| {
+                        let name = format!("__t{temp_counter}");
+                        *temp_counter += 1;
+                        temps.push(name.clone());
+                        name
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+            push(LeafKind::Call {
+                id: *id,
+                dst,
+                callee: func,
+                args,
+                temps: call_temps,
+            });
+        }
+        Stmt::Break | Stmt::Continue => {
+            return Err(AbsError {
+                message: "break/continue must be simplified away before c2bp".into(),
+            })
+        }
+    }
+    Ok(())
+}
+
+// -- solve phase ----------------------------------------------------------
+
+/// Immutable inputs shared by every worker.
+struct SolveCtx<'p> {
+    program: &'p Program,
+    env: &'p TypeEnv,
+    signatures: &'p HashMap<String, Signature>,
+    global_preds: &'p [Pred],
+    options: &'p C2bpOptions,
+    plans: &'p [FuncPlan<'p>],
+    base_pts: &'p PointsTo,
+    shared: SharedCache,
+}
+
+/// What one task produced.
+#[derive(Debug, Clone)]
+enum LeafOut {
+    /// A complete boolean statement (assignments, calls, assumes).
+    Stmt(BStmt),
+    /// The `G(cond)` / `G(!cond)` pair of a branch or assert.
+    Guards { pos: BExpr, neg: BExpr },
+    /// The procedure's `enforce` invariant.
+    Enforce(Option<BExpr>),
+}
+
+#[derive(Debug)]
+struct LeafResult {
+    out: LeafOut,
+    prover_stats: ProverStats,
     cube_stats: CubeStats,
 }
 
-impl<'a> ProcAbstractor<'a> {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        program: &'a Program,
-        env: &'a TypeEnv,
-        pts: &'a mut PointsTo,
-        prover: &'a mut Prover,
-        signatures: &'a HashMap<String, Signature>,
-        global_preds: &'a [Pred],
-        all_preds: &'a [Pred],
-        func: &'a Function,
-        options: &'a C2bpOptions,
-    ) -> ProcAbstractor<'a> {
-        let mut scope_vars: Vec<ScopeVar> =
-            global_preds.iter().map(ScopeVar::of_pred).collect();
-        scope_vars.extend(
-            all_preds
-                .iter()
-                .filter(|p| p.scope == PredScope::Local(func.name.clone()))
-                .map(ScopeVar::of_pred),
-        );
-        ProcAbstractor {
-            program,
-            env,
-            pts,
-            prover,
-            signatures,
-            global_preds,
-            all_preds,
-            func,
-            options,
-            scope_vars,
-            temps: Vec::new(),
-            temp_counter: 0,
-            cube_stats: CubeStats::default(),
+/// Solves every task, in parallel when `jobs > 1`. Results land in task
+/// order regardless of which worker computed them.
+fn solve_all(ctx: &SolveCtx<'_>, tasks: &[LeafTask<'_>], jobs: usize) -> Vec<LeafResult> {
+    // the solve phase is CPU-bound, so running more workers than the
+    // machine has cores only adds scheduling thrash; the output is
+    // worker-count independent either way
+    let cores = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+    let workers = jobs.min(tasks.len()).min(cores).max(1);
+    if workers == 1 {
+        let mut pts = ctx.base_pts.clone();
+        return tasks.iter().map(|t| solve_one(ctx, t, &mut pts)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<LeafResult>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Points-to queries only path-compress and materialize
+                // phantom targets — answers are query-order independent —
+                // so one clone per worker suffices.
+                let mut pts = ctx.base_pts.clone();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let r = solve_one(ctx, &tasks[i], &mut pts);
+                    *slots[i].lock().expect("result slot") = Some(r);
+                }
+            });
         }
-    }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("every claimed task produced a result")
+        })
+        .collect()
+}
 
-    fn local_preds(&self) -> Vec<&'a Pred> {
-        self.all_preds
-            .iter()
-            .filter(|p| p.scope == PredScope::Local(self.func.name.clone()))
-            .collect()
+fn solve_one(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, pts: &mut PointsTo) -> LeafResult {
+    let plan = &ctx.plans[task.func_idx];
+    // a fresh prover per task: its cache and counters depend only on the
+    // task, never on scheduling; the shared cache still short-circuits
+    // decision-procedure work across tasks and threads
+    let mut solver = LeafSolver {
+        program: ctx.program,
+        env: ctx.env,
+        pts,
+        prover: Prover::with_shared_cache(ctx.shared.clone()),
+        signatures: ctx.signatures,
+        global_preds: ctx.global_preds,
+        func: plan.func,
+        scope_vars: &plan.scope_vars,
+        options: ctx.options,
+        cube_stats: CubeStats::default(),
+    };
+    let out = match &task.kind {
+        LeafKind::Assign { id, lhs, rhs } => {
+            LeafOut::Stmt(solver.assign(Some(*id), lhs, rhs))
+        }
+        LeafKind::Branch { cond } => {
+            let pos = solver.guard(cond);
+            let neg = solver.guard(&cond.negated());
+            LeafOut::Guards { pos, neg }
+        }
+        LeafKind::Assert { cond } => {
+            // failure guard first, matching the sequential engine's query
+            // order within this statement
+            let neg = solver.guard(&cond.negated());
+            let pos = solver.guard(cond);
+            LeafOut::Guards { pos, neg }
+        }
+        LeafKind::Assume { id, cond } => {
+            let g = solver.guard(cond);
+            LeafOut::Stmt(BStmt::Assume {
+                id: Some(*id),
+                branch: None,
+                cond: g,
+            })
+        }
+        LeafKind::Call {
+            id,
+            dst,
+            callee,
+            args,
+            temps,
+        } => LeafOut::Stmt(solver.call(*id, dst, callee, args, temps)),
+        LeafKind::Enforce => {
+            let vars = plan.scope_vars.clone();
+            LeafOut::Enforce(solver.with_search(|cs| cs.enforce_invariant(&vars)))
+        }
+    };
+    LeafResult {
+        out,
+        prover_stats: solver.prover.stats,
+        cube_stats: solver.cube_stats,
     }
+}
 
+/// Abstraction of a single leaf statement: the cube-search and WP plumbing
+/// shared by all task kinds.
+struct LeafSolver<'a> {
+    program: &'a Program,
+    env: &'a TypeEnv,
+    pts: &'a mut PointsTo,
+    prover: Prover,
+    signatures: &'a HashMap<String, Signature>,
+    global_preds: &'a [Pred],
+    func: &'a Function,
+    scope_vars: &'a [ScopeVar],
+    options: &'a C2bpOptions,
+    cube_stats: CubeStats,
+}
+
+impl<'a> LeafSolver<'a> {
     /// Runs a cube search over the given variable set.
-    fn with_search<T>(
-        &mut self,
-        run: impl FnOnce(&mut CubeSearch<'_>) -> T,
-    ) -> T {
+    fn with_search<T>(&mut self, run: impl FnOnce(&mut CubeSearch<'_>) -> T) -> T {
         let lookup = {
             let func = self.func;
             let env = self.env;
@@ -254,7 +598,7 @@ impl<'a> ProcAbstractor<'a> {
             }
         };
         let mut cs = CubeSearch::new(
-            self.prover,
+            &mut self.prover,
             self.env,
             &lookup,
             self.options.cubes.clone(),
@@ -281,174 +625,15 @@ impl<'a> ProcAbstractor<'a> {
         }
     }
 
-    fn fresh_temp(&mut self) -> String {
-        let name = format!("__t{}", self.temp_counter);
-        self.temp_counter += 1;
-        self.temps.push(name.clone());
-        name
-    }
-
-    fn run(&mut self) -> Result<BProc, AbsError> {
-        let body = self.stmt(&self.func.body)?;
-        let sig = &self.signatures[&self.func.name];
-        let formal_names: Vec<String> =
-            sig.formal_preds.iter().map(Pred::var_name).collect();
-        let locals: Vec<String> = self
-            .local_preds()
-            .iter()
-            .map(|p| p.var_name())
-            .filter(|n| !formal_names.contains(n))
-            .chain(self.temps.iter().cloned())
-            .collect();
-        let enforce = if self.options.compute_enforce {
-            let vars = self.scope_vars.clone();
-            self.with_search(|cs| cs.enforce_invariant(&vars))
-        } else {
-            None
-        };
-        Ok(BProc {
-            name: self.func.name.clone(),
-            formals: formal_names,
-            n_returns: sig.return_preds.len(),
-            locals,
-            enforce,
-            body,
-        })
-    }
-
-    fn stmt(&mut self, s: &Stmt) -> Result<BStmt, AbsError> {
-        match s {
-            Stmt::Skip => Ok(BStmt::Skip),
-            Stmt::Goto(l) => Ok(BStmt::Goto(l.clone())),
-            Stmt::Label(l) => Ok(BStmt::Label(l.clone())),
-            Stmt::Seq(ss) => {
-                let mut out = Vec::new();
-                for st in ss {
-                    out.push(self.stmt(st)?);
-                }
-                Ok(BStmt::Seq(out))
-            }
-            Stmt::Assign { id, lhs, rhs } => Ok(self.assign(Some(*id), lhs, rhs)),
-            Stmt::If {
-                id,
-                cond,
-                then_branch,
-                else_branch,
-            } => {
-                let vars = self.scope_vars.clone();
-                let g_then =
-                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
-                let neg = cond.negated();
-                let g_else =
-                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, &neg));
-                let tb = self.stmt(then_branch)?;
-                let eb = self.stmt(else_branch)?;
-                Ok(BStmt::If {
-                    id: Some(*id),
-                    cond: BExpr::Nondet,
-                    then_branch: Box::new(BStmt::Seq(vec![
-                        BStmt::Assume {
-                            id: Some(*id),
-                            branch: Some(true),
-                            cond: g_then,
-                        },
-                        tb,
-                    ])),
-                    else_branch: Box::new(BStmt::Seq(vec![
-                        BStmt::Assume {
-                            id: Some(*id),
-                            branch: Some(false),
-                            cond: g_else,
-                        },
-                        eb,
-                    ])),
-                })
-            }
-            Stmt::While { id, cond, body } => {
-                let vars = self.scope_vars.clone();
-                let g_enter =
-                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
-                let neg = cond.negated();
-                let g_exit =
-                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, &neg));
-                let b = self.stmt(body)?;
-                Ok(BStmt::Seq(vec![
-                    BStmt::While {
-                        id: Some(*id),
-                        cond: BExpr::Nondet,
-                        body: Box::new(BStmt::Seq(vec![
-                            BStmt::Assume {
-                                id: Some(*id),
-                                branch: Some(true),
-                                cond: g_enter,
-                            },
-                            b,
-                        ])),
-                    },
-                    BStmt::Assume {
-                        id: Some(*id),
-                        branch: Some(false),
-                        cond: g_exit,
-                    },
-                ]))
-            }
-            Stmt::Assert { id, cond } => {
-                let vars = self.scope_vars.clone();
-                let neg = cond.negated();
-                let g_fail =
-                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, &neg));
-                let g_ok =
-                    self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
-                Ok(BStmt::If {
-                    id: Some(*id),
-                    cond: BExpr::Nondet,
-                    then_branch: Box::new(BStmt::Seq(vec![
-                        BStmt::Assume {
-                            id: Some(*id),
-                            branch: Some(false),
-                            cond: g_fail,
-                        },
-                        BStmt::Assert {
-                            id: Some(*id),
-                            cond: BExpr::Const(false),
-                        },
-                    ])),
-                    else_branch: Box::new(BStmt::Assume {
-                        id: Some(*id),
-                        branch: Some(true),
-                        cond: g_ok,
-                    }),
-                })
-            }
-            Stmt::Assume { id, cond } => {
-                let vars = self.scope_vars.clone();
-                let g = self
-                    .with_search(|cs| cs.strongest_implied_conjunction(&vars, cond));
-                Ok(BStmt::Assume {
-                    id: Some(*id),
-                    branch: None,
-                    cond: g,
-                })
-            }
-            Stmt::Return { id, .. } => {
-                let sig = &self.signatures[&self.func.name];
-                let values: Vec<BExpr> = sig
-                    .return_preds
-                    .iter()
-                    .map(|p| BExpr::var(p.var_name()))
-                    .collect();
-                Ok(BStmt::Return { id: Some(*id), values })
-            }
-            Stmt::Call { id, dst, func, args } => self.call(*id, dst, func, args),
-            Stmt::Break | Stmt::Continue => Err(AbsError {
-                message: "break/continue must be simplified away before c2bp".into(),
-            }),
-        }
+    /// `G_V(φ)` over the procedure scope.
+    fn guard(&mut self, cond: &Expr) -> BExpr {
+        let vars = self.scope_vars.to_vec();
+        self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond))
     }
 
     /// §4.3: abstraction of an assignment.
     fn assign(&mut self, id: Option<cparse::StmtId>, lhs: &Expr, rhs: &Expr) -> BStmt {
-        let scope = self.scope_vars.clone();
+        let scope = self.scope_vars.to_vec();
         let mut targets = Vec::new();
         let mut values = Vec::new();
         for sv in &scope {
@@ -486,19 +671,21 @@ impl<'a> ProcAbstractor<'a> {
         }
     }
 
-    /// §4.5.3: abstraction of a procedure call.
+    /// §4.5.3: abstraction of a procedure call. `temps` were named in the
+    /// plan phase, one per return predicate of the callee.
     fn call(
         &mut self,
         id: cparse::StmtId,
         dst: &Option<Expr>,
         callee: &str,
         args: &[Expr],
-    ) -> Result<BStmt, AbsError> {
-        let scope = self.scope_vars.clone();
+        temps: &[String],
+    ) -> BStmt {
+        let scope = self.scope_vars.to_vec();
         let Some(sig) = self.signatures.get(callee).cloned() else {
             // intrinsic (nondet/malloc) or external function: havoc
             // everything the destination might touch
-            return Ok(self.havoc_for_unknown_call(Some(id), dst));
+            return self.havoc_for_unknown_call(Some(id), dst);
         };
         // actuals for the formal-parameter predicates
         let mut actuals = Vec::new();
@@ -510,8 +697,7 @@ impl<'a> ProcAbstractor<'a> {
         // temporaries receiving the return predicates
         let mut temp_names = Vec::new();
         let mut temp_vars: Vec<ScopeVar> = Vec::new();
-        for rp in &sig.return_preds {
-            let t = self.fresh_temp();
+        for (t, rp) in temps.iter().zip(&sig.return_preds) {
             temp_names.push(t.clone());
             // translate e_i to the calling context: e_i[v/r, a/f]
             let mut e = subst_formals(&rp.expr, &sig.formals, args);
@@ -525,7 +711,10 @@ impl<'a> ProcAbstractor<'a> {
                 }
             }
             if translatable {
-                temp_vars.push(ScopeVar { name: t, expr: e });
+                temp_vars.push(ScopeVar {
+                    name: t.clone(),
+                    expr: e,
+                });
             }
         }
         let call_stmt = BStmt::Call {
@@ -569,7 +758,7 @@ impl<'a> ProcAbstractor<'a> {
                 values,
             });
         }
-        Ok(BStmt::Seq(stmts))
+        BStmt::Seq(stmts)
     }
 
     /// Does `pred` mention the destination, a location reachable from an
@@ -638,7 +827,7 @@ impl<'a> ProcAbstractor<'a> {
         let Some(d) = dst else {
             return BStmt::Skip;
         };
-        let scope = self.scope_vars.clone();
+        let scope = self.scope_vars.to_vec();
         let mut targets = Vec::new();
         for sv in &scope {
             let mut ctx = self.wp_ctx();
@@ -654,6 +843,137 @@ impl<'a> ProcAbstractor<'a> {
         } else {
             let values = vec![BExpr::unknown(); targets.len()];
             BStmt::Assign { id, targets, values }
+        }
+    }
+}
+
+// -- merge phase ----------------------------------------------------------
+
+/// Replays the plan-phase walk, consuming one [`LeafResult`] per leaf.
+struct Merger<'r> {
+    results: &'r [LeafResult],
+    cursor: usize,
+}
+
+impl<'r> Merger<'r> {
+    fn next(&mut self) -> &'r LeafResult {
+        let r = &self.results[self.cursor];
+        self.cursor += 1;
+        r
+    }
+
+    fn next_stmt(&mut self) -> BStmt {
+        match &self.next().out {
+            LeafOut::Stmt(s) => s.clone(),
+            other => unreachable!("statement task yielded {other:?}"),
+        }
+    }
+
+    fn next_guards(&mut self) -> (BExpr, BExpr) {
+        match &self.next().out {
+            LeafOut::Guards { pos, neg } => (pos.clone(), neg.clone()),
+            other => unreachable!("guard task yielded {other:?}"),
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, sig: &Signature) -> BStmt {
+        match s {
+            Stmt::Skip => BStmt::Skip,
+            Stmt::Goto(l) => BStmt::Goto(l.clone()),
+            Stmt::Label(l) => BStmt::Label(l.clone()),
+            Stmt::Seq(ss) => {
+                BStmt::Seq(ss.iter().map(|st| self.stmt(st, sig)).collect())
+            }
+            Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Assume { .. } => {
+                self.next_stmt()
+            }
+            Stmt::If {
+                id,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let (g_then, g_else) = self.next_guards();
+                let tb = self.stmt(then_branch, sig);
+                let eb = self.stmt(else_branch, sig);
+                BStmt::If {
+                    id: Some(*id),
+                    cond: BExpr::Nondet,
+                    then_branch: Box::new(BStmt::Seq(vec![
+                        BStmt::Assume {
+                            id: Some(*id),
+                            branch: Some(true),
+                            cond: g_then,
+                        },
+                        tb,
+                    ])),
+                    else_branch: Box::new(BStmt::Seq(vec![
+                        BStmt::Assume {
+                            id: Some(*id),
+                            branch: Some(false),
+                            cond: g_else,
+                        },
+                        eb,
+                    ])),
+                }
+            }
+            Stmt::While { id, body, .. } => {
+                let (g_enter, g_exit) = self.next_guards();
+                let b = self.stmt(body, sig);
+                BStmt::Seq(vec![
+                    BStmt::While {
+                        id: Some(*id),
+                        cond: BExpr::Nondet,
+                        body: Box::new(BStmt::Seq(vec![
+                            BStmt::Assume {
+                                id: Some(*id),
+                                branch: Some(true),
+                                cond: g_enter,
+                            },
+                            b,
+                        ])),
+                    },
+                    BStmt::Assume {
+                        id: Some(*id),
+                        branch: Some(false),
+                        cond: g_exit,
+                    },
+                ])
+            }
+            Stmt::Assert { id, .. } => {
+                let (g_ok, g_fail) = self.next_guards();
+                BStmt::If {
+                    id: Some(*id),
+                    cond: BExpr::Nondet,
+                    then_branch: Box::new(BStmt::Seq(vec![
+                        BStmt::Assume {
+                            id: Some(*id),
+                            branch: Some(false),
+                            cond: g_fail,
+                        },
+                        BStmt::Assert {
+                            id: Some(*id),
+                            cond: BExpr::Const(false),
+                        },
+                    ])),
+                    else_branch: Box::new(BStmt::Assume {
+                        id: Some(*id),
+                        branch: Some(true),
+                        cond: g_ok,
+                    }),
+                }
+            }
+            Stmt::Return { id, .. } => {
+                let values: Vec<BExpr> = sig
+                    .return_preds
+                    .iter()
+                    .map(|p| BExpr::var(p.var_name()))
+                    .collect();
+                BStmt::Return { id: Some(*id), values }
+            }
+            Stmt::Break | Stmt::Continue => {
+                unreachable!("break/continue rejected during planning")
+            }
         }
     }
 }
@@ -822,5 +1142,40 @@ mod tests {
         assert_eq!(a.stats.predicates, 1);
         assert!(a.stats.prover_calls > 0);
         assert!(a.stats.lines > 0);
+        assert_eq!(a.stats.jobs, 1);
+        assert!(a.stats.units > 0);
+        assert!(a.stats.shared_cache.insertions > 0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_output() {
+        let src = r#"
+            void f(int x, int y) {
+                while (x > 0) {
+                    if (y > x) { y = y - 1; } else { x = x - 1; }
+                }
+                assert(x <= 0);
+            }
+        "#;
+        let preds = "f x > 0, y > x, x <= 0";
+        let program = parse_and_simplify(src).unwrap();
+        let preds = parse_pred_file(preds).unwrap();
+        let run = |jobs: usize| {
+            let options = C2bpOptions {
+                jobs,
+                ..C2bpOptions::paper_defaults()
+            };
+            abstract_program(&program, &preds, &options).unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(
+            bp::program_to_string(&one.bprogram),
+            bp::program_to_string(&four.bprogram)
+        );
+        assert_eq!(one.stats.prover_calls, four.stats.prover_calls);
+        assert_eq!(one.stats.prover_cache_hits, four.stats.prover_cache_hits);
+        assert_eq!(one.stats.cubes, four.stats.cubes);
+        assert_eq!(four.stats.jobs, 4);
     }
 }

@@ -4,7 +4,7 @@
 use cparse::interp::{Interp, Value};
 use cparse::parser::{parse_expr, parse_program};
 use cparse::{parse_and_simplify, pretty};
-use proptest::prelude::*;
+use testutil::{run_cases, Rng};
 
 #[derive(Debug, Clone)]
 enum E {
@@ -32,19 +32,23 @@ fn render(e: &E) -> String {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (0i64..100).prop_map(E::Num),
-        (0usize..3).prop_map(E::Var),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
-            inner.clone().prop_map(|e| E::Not(Box::new(e))),
-            ((0usize..13), inner.clone(), inner)
-                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_e(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.ratio(1, 3) {
+        return if rng.gen_bool() {
+            E::Num(rng.gen_range(0, 100))
+        } else {
+            E::Var(rng.index(3))
+        };
+    }
+    match rng.index(3) {
+        0 => E::Neg(Box::new(gen_e(rng, depth - 1))),
+        1 => E::Not(Box::new(gen_e(rng, depth - 1))),
+        _ => E::Bin(
+            rng.index(13),
+            Box::new(gen_e(rng, depth - 1)),
+            Box::new(gen_e(rng, depth - 1)),
+        ),
+    }
 }
 
 fn eval(e: &E, env: &[i64; 3]) -> Option<i64> {
@@ -85,40 +89,57 @@ fn eval(e: &E, env: &[i64; 3]) -> Option<i64> {
     })
 }
 
-proptest! {
-    #[test]
-    fn expressions_round_trip_through_the_printer(e in expr_strategy()) {
-        let src = render(&e);
-        let parsed = parse_expr(&src).expect("generated expression parses");
-        let printed = pretty::expr_to_string(&parsed);
-        let reparsed = parse_expr(&printed).expect("printed expression parses");
-        prop_assert_eq!(parsed, reparsed, "printed: {}", printed);
-    }
+#[test]
+fn expressions_round_trip_through_the_printer() {
+    run_cases(
+        "expressions_round_trip_through_the_printer",
+        256,
+        |rng| gen_e(rng, 4),
+        |e| {
+            let src = render(e);
+            let parsed = parse_expr(&src).expect("generated expression parses");
+            let printed = pretty::expr_to_string(&parsed);
+            let reparsed = parse_expr(&printed).expect("printed expression parses");
+            assert_eq!(parsed, reparsed, "printed: {printed}");
+        },
+    );
+}
 
-    #[test]
-    fn interpreter_matches_an_independent_evaluator(
-        e in expr_strategy(),
-        args in prop::array::uniform3(-5i8..6),
-    ) {
-        let src = format!(
-            "int f(int alpha, int beta, int gamma) {{ return {}; }}",
-            render(&e)
-        );
-        let program = parse_and_simplify(&src).expect("generated program parses");
-        let mut interp = Interp::new(&program).expect("interp");
-        let argv = args.iter().map(|v| Value::Int(*v as i64)).collect();
-        let got = interp.run("f", argv);
-        let env = [args[0] as i64, args[1] as i64, args[2] as i64];
-        match eval(&e, &env) {
-            Some(expected) => {
-                prop_assert_eq!(got.ok().flatten(), Some(Value::Int(expected)));
+#[test]
+fn interpreter_matches_an_independent_evaluator() {
+    run_cases(
+        "interpreter_matches_an_independent_evaluator",
+        256,
+        |rng| {
+            let e = gen_e(rng, 4);
+            let args = [
+                rng.gen_range(-5, 6) as i8,
+                rng.gen_range(-5, 6) as i8,
+                rng.gen_range(-5, 6) as i8,
+            ];
+            (e, args)
+        },
+        |(e, args)| {
+            let src = format!(
+                "int f(int alpha, int beta, int gamma) {{ return {}; }}",
+                render(e)
+            );
+            let program = parse_and_simplify(&src).expect("generated program parses");
+            let mut interp = Interp::new(&program).expect("interp");
+            let argv = args.iter().map(|v| Value::Int(*v as i64)).collect();
+            let got = interp.run("f", argv);
+            let env = [args[0] as i64, args[1] as i64, args[2] as i64];
+            match eval(e, &env) {
+                Some(expected) => {
+                    assert_eq!(got.ok().flatten(), Some(Value::Int(expected)));
+                }
+                None => {
+                    // division by zero: the interpreter must trap
+                    assert!(got.is_err());
+                }
             }
-            None => {
-                // division by zero: the interpreter must trap
-                prop_assert!(got.is_err());
-            }
-        }
-    }
+        },
+    );
 }
 
 #[test]

@@ -60,7 +60,12 @@ enum ValueRef {
 }
 
 /// The result of the analysis; answers may-alias queries.
-#[derive(Debug, Default)]
+///
+/// `Clone` exists so parallel abstraction workers can each own a copy:
+/// queries take `&mut self` (path compression, on-demand phantom
+/// targets) but their *answers* are independent of query order, so
+/// clones stay observably equivalent.
+#[derive(Debug, Default, Clone)]
 pub struct PointsTo {
     parent: Vec<usize>,
     rank: Vec<u32>,

@@ -1,0 +1,396 @@
+//! A sharded, lock-striped satisfiability-result cache shared across
+//! worker threads.
+//!
+//! The paper caches "all computations by the theorem prover" inside one
+//! prover instance. When the abstraction is sharded across threads each
+//! worker owns a private [`TermStore`](crate::TermStore) — `TermId`s are
+//! store-local, so results cannot be exchanged by id. This module gives
+//! each query a *store-independent canonical key* (a structural byte
+//! serialization of the formula) and keeps the key → [`SatResult`] map in
+//! `N` independently locked shards selected by key hash, so concurrent
+//! workers rarely contend on the same lock.
+//!
+//! The shared cache is an accelerator, not a semantic layer: a prover
+//! wired to one still counts a *logical* query (its own cache missed)
+//! whether the answer then comes from the shared map or from the decision
+//! procedures. That keeps [`ProverStats`](crate::ProverStats) — and hence
+//! the emitted boolean program's stats header — byte-identical across
+//! thread counts, while the shared hits only shave wall-clock time.
+
+use crate::dpll::SatResult;
+use crate::term::{Atom, Formula, TermData, TermId, TermStore};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of lock stripes. Power of two; far above any realistic worker
+/// count so two workers rarely queue on one shard.
+const SHARD_COUNT: usize = 64;
+
+/// A store-independent canonical encoding of a formula, usable as a cache
+/// key across provers with different term stores.
+pub type CanonKey = Vec<u8>;
+
+/// Monotonic usage counters for a [`SharedCache`].
+///
+/// `hits + misses` is the number of lookups; `insertions + redundant`
+/// the number of inserts (an insert is *redundant* when another worker
+/// published the same key first — the result is identical, only the work
+/// was duplicated). Unlike the per-prover counters these are
+/// scheduling-dependent and vary run to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Inserts that created a new entry.
+    pub insertions: u64,
+    /// Inserts that found the key already present (racing workers).
+    pub redundant: u64,
+    /// Entries resident at snapshot time.
+    pub entries: usize,
+}
+
+impl CacheSnapshot {
+    /// Fraction of lookups answered from the cache, `0.0` when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    shards: Vec<RwLock<HashMap<CanonKey, SatResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    redundant: AtomicU64,
+}
+
+/// A thread-safe prover-result cache; clones share the same storage.
+///
+/// ```
+/// use prover::{Prover, SharedCache, Sort};
+///
+/// let cache = SharedCache::new();
+/// let mut a = Prover::with_shared_cache(cache.clone());
+/// let mut b = Prover::with_shared_cache(cache.clone());
+/// let x = a.store.var("x", Sort::Int);
+/// let one = a.store.num(1);
+/// let f = a.store.le(x, one);
+/// a.is_unsat(&f);
+/// // `b` has its own store, but the structurally identical query is
+/// // answered without re-running the decision procedures:
+/// let x = b.store.var("x", Sort::Int);
+/// let one = b.store.num(1);
+/// let f = b.store.le(x, one);
+/// b.is_unsat(&f);
+/// assert_eq!(cache.snapshot().hits, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedCache {
+    inner: Arc<Inner>,
+}
+
+impl SharedCache {
+    /// Creates an empty cache.
+    pub fn new() -> SharedCache {
+        let shards = (0..SHARD_COUNT).map(|_| RwLock::default()).collect();
+        SharedCache {
+            inner: Arc::new(Inner {
+                shards,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &RwLock<HashMap<CanonKey, SatResult>> {
+        // FNV-1a over the key bytes; the low bits select the stripe.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        &self.inner.shards[(h as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Looks up a canonical key, counting a hit or miss.
+    pub fn lookup(&self, key: &[u8]) -> Option<SatResult> {
+        let found = self
+            .shard(key)
+            .read()
+            .expect("cache shard poisoned")
+            .get(key)
+            .copied();
+        match found {
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Publishes a result, counting whether the entry was new.
+    pub fn insert(&self, key: CanonKey, result: SatResult) {
+        let mut shard = self.shard(&key).write().expect("cache shard poisoned");
+        if shard.insert(key, result).is_none() {
+            self.inner.insertions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.redundant.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of cached results across all shards.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True if nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent-enough snapshot of the usage counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            insertions: self.inner.insertions.load(Ordering::Relaxed),
+            redundant: self.inner.redundant.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+// -- canonical serialization ----------------------------------------------
+
+// Term tags (first byte of a term encoding).
+const T_REF: u8 = 0;
+const T_NUM: u8 = 1;
+const T_NULL: u8 = 2;
+const T_VAR: u8 = 3;
+const T_ADDR_VAR: u8 = 4;
+const T_ADDR_FLD: u8 = 5;
+const T_APP: u8 = 6;
+const T_ADD: u8 = 7;
+const T_SUB: u8 = 8;
+const T_MUL: u8 = 9;
+const T_NEG: u8 = 10;
+
+// Formula tags (disjoint byte range from term tags for readability).
+const F_TRUE: u8 = 0x80;
+const F_FALSE: u8 = 0x81;
+const F_LE: u8 = 0x82;
+const F_EQ: u8 = 0x83;
+const F_AND: u8 = 0x84;
+const F_OR: u8 = 0x85;
+const F_NOT: u8 = 0x86;
+
+/// Serializes `f` into a key that depends only on the formula's structure,
+/// not on the `TermId` numbering of `store`.
+///
+/// Shared subterms are emitted once and back-referenced by their
+/// first-visit ordinal (pre-order), so the encoding is linear in the DAG
+/// size and two stores interning the same structure produce the same
+/// bytes.
+pub fn canon_formula(store: &TermStore, f: &Formula) -> CanonKey {
+    let mut enc = Encoder {
+        store,
+        seen: HashMap::new(),
+        out: Vec::with_capacity(64),
+    };
+    enc.formula(f);
+    enc.out
+}
+
+struct Encoder<'s> {
+    store: &'s TermStore,
+    seen: HashMap<TermId, u32>,
+    out: Vec<u8>,
+}
+
+impl Encoder<'_> {
+    fn formula(&mut self, f: &Formula) {
+        match f {
+            Formula::True => self.out.push(F_TRUE),
+            Formula::False => self.out.push(F_FALSE),
+            Formula::Atom(Atom::Le(l, r)) => {
+                self.out.push(F_LE);
+                self.term(*l);
+                self.term(*r);
+            }
+            Formula::Atom(Atom::Eq(l, r)) => {
+                self.out.push(F_EQ);
+                self.term(*l);
+                self.term(*r);
+            }
+            Formula::And(fs) => {
+                self.out.push(F_AND);
+                self.u32(fs.len() as u32);
+                for g in fs {
+                    self.formula(g);
+                }
+            }
+            Formula::Or(fs) => {
+                self.out.push(F_OR);
+                self.u32(fs.len() as u32);
+                for g in fs {
+                    self.formula(g);
+                }
+            }
+            Formula::Not(g) => {
+                self.out.push(F_NOT);
+                self.formula(g);
+            }
+        }
+    }
+
+    fn term(&mut self, id: TermId) {
+        if let Some(ix) = self.seen.get(&id) {
+            let ix = *ix;
+            self.out.push(T_REF);
+            self.u32(ix);
+            return;
+        }
+        // Pre-order ordinals: assigned at first visit, before children,
+        // so traversal order — identical across stores — fixes them.
+        let ix = self.seen.len() as u32;
+        self.seen.insert(id, ix);
+        match self.store.data(id) {
+            TermData::Num(v) => {
+                self.out.push(T_NUM);
+                self.out.extend_from_slice(&v.to_le_bytes());
+            }
+            TermData::Null => self.out.push(T_NULL),
+            TermData::Var(n) => {
+                self.out.push(T_VAR);
+                self.str(n);
+            }
+            TermData::AddrVar(n) => {
+                self.out.push(T_ADDR_VAR);
+                self.str(n);
+            }
+            TermData::AddrFld(fld, p) => {
+                let p = *p;
+                self.out.push(T_ADDR_FLD);
+                self.str(fld);
+                self.term(p);
+            }
+            TermData::App(name, args) => {
+                let args = args.clone();
+                self.out.push(T_APP);
+                self.str(name);
+                self.u32(args.len() as u32);
+                for a in args {
+                    self.term(a);
+                }
+            }
+            TermData::Add(l, r) => {
+                let (l, r) = (*l, *r);
+                self.out.push(T_ADD);
+                self.term(l);
+                self.term(r);
+            }
+            TermData::Sub(l, r) => {
+                let (l, r) = (*l, *r);
+                self.out.push(T_SUB);
+                self.term(l);
+                self.term(r);
+            }
+            TermData::Mul(l, r) => {
+                let (l, r) = (*l, *r);
+                self.out.push(T_MUL);
+                self.term(l);
+                self.term(r);
+            }
+            TermData::Neg(t) => {
+                let t = *t;
+                self.out.push(T_NEG);
+                self.term(t);
+            }
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    /// Builds `fld_val(p) + x <= x` in a store that has interned `extra`
+    /// unrelated terms first, skewing all the ids.
+    fn build(extra: usize) -> (TermStore, Formula) {
+        let mut s = TermStore::new();
+        for i in 0..extra {
+            s.var(format!("pad{i}"), Sort::Int);
+        }
+        let p = s.var("p", Sort::Ptr);
+        let v = s.app("fld_val", vec![p], Sort::Int);
+        let x = s.var("x", Sort::Int);
+        let sum = s.add(v, x);
+        let f = s.le(sum, x);
+        (s, f)
+    }
+
+    #[test]
+    fn keys_are_store_independent() {
+        let (s1, f1) = build(0);
+        let (s2, f2) = build(17);
+        assert_eq!(canon_formula(&s1, &f1), canon_formula(&s2, &f2));
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_keys() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let le = s.le(x, y);
+        let ge = s.le(y, x);
+        assert_ne!(canon_formula(&s, &le), canon_formula(&s, &ge));
+        let k = canon_formula(&s, &le);
+        assert_ne!(k, canon_formula(&s, &le.clone().negate()));
+    }
+
+    #[test]
+    fn shared_subterms_back_reference() {
+        let mut s = TermStore::new();
+        let x = s.var("a_rather_long_variable_name", Sort::Int);
+        let sum = s.add(x, x);
+        // the second occurrence of `x` must be a reference, not a copy
+        let doubled = s.le(sum, x);
+        let key = canon_formula(&s, &doubled);
+        let name_len = "a_rather_long_variable_name".len();
+        assert!(key.len() < 2 * name_len, "key {} bytes", key.len());
+    }
+
+    #[test]
+    fn sharing_results_across_stores() {
+        let cache = SharedCache::new();
+        let (s1, f1) = build(0);
+        cache.insert(canon_formula(&s1, &f1), SatResult::Sat);
+        let (s2, f2) = build(5);
+        assert_eq!(cache.lookup(&canon_formula(&s2, &f2)), Some(SatResult::Sat));
+        let snap = cache.snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.insertions), (1, 0, 1));
+        assert_eq!(snap.entries, 1);
+        assert!((snap.hit_rate() - 1.0).abs() < 1e-9);
+    }
+}

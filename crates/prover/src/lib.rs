@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cc;
 pub mod dpll;
 pub mod la;
@@ -34,6 +35,7 @@ pub mod term;
 pub mod theory;
 pub mod translate;
 
+pub use cache::{canon_formula, CacheSnapshot, SharedCache};
 pub use dpll::SatResult;
 pub use term::{Atom, Formula, Sort, TermData, TermId, TermStore};
 pub use translate::{TranslateError, Translator};
@@ -53,6 +55,12 @@ pub struct ProverStats {
     pub unsat: u64,
     /// Queries that came back satisfiable or unknown.
     pub sat_or_unknown: u64,
+    /// Of the `queries`, how many were answered by a [`SharedCache`]
+    /// instead of the decision procedures. A shared hit still counts in
+    /// `queries` and in `unsat`/`sat_or_unknown`, so those stay
+    /// deterministic across thread counts; this one depends on scheduling
+    /// when several provers share a cache and may vary run to run.
+    pub shared_hits: u64,
 }
 
 /// The theorem prover, with a query cache (the paper's fifth optimization:
@@ -62,6 +70,8 @@ pub struct Prover {
     /// The term store shared by all formulas this prover answers about.
     pub store: TermStore,
     cache: HashMap<Formula, SatResult>,
+    /// Cross-prover result cache, if this prover participates in one.
+    shared: Option<SharedCache>,
     /// Usage counters.
     pub stats: ProverStats,
 }
@@ -70,6 +80,22 @@ impl Prover {
     /// Creates a prover with an empty term store.
     pub fn new() -> Prover {
         Prover::default()
+    }
+
+    /// Creates a prover whose solver results are published to (and served
+    /// from) `shared`, keyed by the store-independent canonical encoding
+    /// of each query. The local per-formula cache and all deterministic
+    /// counters behave exactly as without the shared cache.
+    pub fn with_shared_cache(shared: SharedCache) -> Prover {
+        Prover {
+            shared: Some(shared),
+            ..Prover::default()
+        }
+    }
+
+    /// Attaches or detaches a shared result cache.
+    pub fn set_shared_cache(&mut self, shared: Option<SharedCache>) {
+        self.shared = shared;
     }
 
     /// Checks satisfiability of `f`, consulting the cache first.
@@ -83,8 +109,27 @@ impl Prover {
             self.stats.cache_hits += 1;
             return *r;
         }
+        // A local miss is a logical prover call no matter who answers it:
+        // counting here keeps `queries` independent of what other workers
+        // have already published to the shared cache.
         self.stats.queries += 1;
-        let r = dpll::solve(&self.store, f);
+        let r = match &self.shared {
+            Some(shared) => {
+                let key = cache::canon_formula(&self.store, f);
+                match shared.lookup(&key) {
+                    Some(r) => {
+                        self.stats.shared_hits += 1;
+                        r
+                    }
+                    None => {
+                        let r = dpll::solve(&self.store, f);
+                        shared.insert(key, r);
+                        r
+                    }
+                }
+            }
+            None => dpll::solve(&self.store, f),
+        };
         match r {
             SatResult::Unsat => self.stats.unsat += 1,
             _ => self.stats.sat_or_unknown += 1,

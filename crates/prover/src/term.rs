@@ -157,6 +157,9 @@ impl Formula {
 pub struct TermStore {
     terms: Vec<(TermData, Sort)>,
     intern: HashMap<TermData, TermId>,
+    /// Per-term structural fingerprint (Merkle-style FNV over the term
+    /// tree), identical across stores that intern the same structure.
+    fps: Vec<u64>,
 }
 
 impl TermStore {
@@ -183,9 +186,62 @@ impl TermStore {
             return *id;
         }
         let id = TermId(self.terms.len() as u32);
+        let fp = self.fingerprint_of(&data);
         self.terms.push((data.clone(), sort));
+        self.fps.push(fp);
         self.intern.insert(data, id);
         id
+    }
+
+    /// The structural fingerprint of an interned term: a function of the
+    /// term *tree* only, so two stores that intern the same structure in
+    /// different orders agree on it. Used to orient commutative atoms
+    /// store-independently.
+    pub fn fingerprint(&self, id: TermId) -> u64 {
+        self.fps[id.0 as usize]
+    }
+
+    fn fingerprint_of(&self, data: &TermData) -> u64 {
+        // FNV-1a over the variant tag, payload bytes, and the (already
+        // computed) child fingerprints — Merkle-style, O(1) per intern.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        fn mix(h: u64, bytes: &[u8]) -> u64 {
+            bytes
+                .iter()
+                .fold(h, |h, b| (h ^ u64::from(*b)).wrapping_mul(PRIME))
+        }
+        let tag_mix = |tag: u8| mix(OFFSET, &[tag]);
+        match data {
+            TermData::Num(v) => mix(tag_mix(1), &v.to_le_bytes()),
+            TermData::Null => tag_mix(2),
+            TermData::Var(n) => mix(tag_mix(3), n.as_bytes()),
+            TermData::AddrVar(n) => mix(tag_mix(4), n.as_bytes()),
+            TermData::AddrFld(fld, p) => {
+                let h = mix(tag_mix(5), fld.as_bytes());
+                mix(h, &self.fingerprint(*p).to_le_bytes())
+            }
+            TermData::App(name, args) => {
+                let mut h = mix(tag_mix(6), name.as_bytes());
+                for a in args {
+                    h = mix(h, &self.fingerprint(*a).to_le_bytes());
+                }
+                h
+            }
+            TermData::Add(l, r) => {
+                let h = mix(tag_mix(7), &self.fingerprint(*l).to_le_bytes());
+                mix(h, &self.fingerprint(*r).to_le_bytes())
+            }
+            TermData::Sub(l, r) => {
+                let h = mix(tag_mix(8), &self.fingerprint(*l).to_le_bytes());
+                mix(h, &self.fingerprint(*r).to_le_bytes())
+            }
+            TermData::Mul(l, r) => {
+                let h = mix(tag_mix(9), &self.fingerprint(*l).to_le_bytes());
+                mix(h, &self.fingerprint(*r).to_le_bytes())
+            }
+            TermData::Neg(t) => mix(tag_mix(10), &self.fingerprint(*t).to_le_bytes()),
+        }
     }
 
     fn fold(&self, data: TermData) -> TermData {
@@ -301,11 +357,18 @@ impl TermStore {
     }
 
     /// `l == r` with the operands ordered canonically.
+    ///
+    /// The orientation is by structural [`fingerprint`](Self::fingerprint)
+    /// (`TermId` breaks the astronomically rare fingerprint tie), so
+    /// provers with *different* stores build the same atom for the same
+    /// structural equality — which is what lets the shared result cache
+    /// match their queries across threads.
     pub fn eq(&mut self, l: TermId, r: TermId) -> Formula {
-        let (a, b) = if l <= r { (l, r) } else { (r, l) };
-        if a == b {
+        if l == r {
             return Formula::True;
         }
+        let (kl, kr) = ((self.fingerprint(l), l), (self.fingerprint(r), r));
+        let (a, b) = if kl <= kr { (l, r) } else { (r, l) };
         Formula::Atom(Atom::Eq(a, b))
     }
 
@@ -452,6 +515,49 @@ mod tests {
         let y = s.var("y", Sort::Int);
         assert_eq!(s.eq(x, y), s.eq(y, x));
         assert_eq!(s.eq(x, x), Formula::True);
+    }
+
+    #[test]
+    fn eq_orientation_is_store_independent() {
+        // two stores interning the operands in opposite orders must still
+        // orient the equality the same way (by structural fingerprint),
+        // so their shared-cache keys match
+        let mut s1 = TermStore::new();
+        let x1 = s1.var("x", Sort::Int);
+        let y1 = s1.var("y", Sort::Int);
+        let mut s2 = TermStore::new();
+        let y2 = s2.var("y", Sort::Int);
+        let x2 = s2.var("x", Sort::Int);
+        let f1 = s1.eq(x1, y1);
+        let f2 = s2.eq(x2, y2);
+        let oriented = |s: &TermStore, f: &Formula| match f {
+            Formula::Atom(Atom::Eq(l, r)) => {
+                (s.term_to_string(*l), s.term_to_string(*r))
+            }
+            other => panic!("expected an equality, got {other:?}"),
+        };
+        assert_eq!(oriented(&s1, &f1), oriented(&s2, &f2));
+    }
+
+    #[test]
+    fn fingerprints_are_store_independent_and_structural() {
+        let mut s1 = TermStore::new();
+        for i in 0..9 {
+            s1.var(format!("pad{i}"), Sort::Int);
+        }
+        let a1 = s1.var("a", Sort::Int);
+        let b1 = s1.var("b", Sort::Int);
+        let sum1 = s1.add(a1, b1);
+        let mut s2 = TermStore::new();
+        let b2 = s2.var("b", Sort::Int);
+        let a2 = s2.var("a", Sort::Int);
+        let sum2 = s2.add(a2, b2);
+        assert_eq!(s1.fingerprint(sum1), s2.fingerprint(sum2));
+        assert_ne!(s1.fingerprint(a1), s1.fingerprint(b1));
+        // Add is not commutative in the fingerprint (only Eq atoms are
+        // reoriented, at construction)
+        let flipped = s2.add(b2, a2);
+        assert_ne!(s2.fingerprint(sum2), s2.fingerprint(flipped));
     }
 
     #[test]

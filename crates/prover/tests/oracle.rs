@@ -5,8 +5,8 @@
 //! counterexample. (The converse — completeness — is *not* promised and
 //! not asserted.)
 
-use proptest::prelude::*;
 use prover::{Formula, Prover, Sort, TermId, TermStore};
+use testutil::{run_cases, Rng};
 
 /// A tiny integer term/formula language with an evaluator.
 #[derive(Debug, Clone)]
@@ -30,36 +30,34 @@ enum F {
 const NVARS: usize = 3;
 const RANGE: std::ops::Range<i64> = -4..5;
 
-fn term_strategy() -> impl Strategy<Value = T> {
-    let leaf = prop_oneof![
-        (0usize..NVARS).prop_map(T::Var),
-        (-5i64..6).prop_map(T::Num),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| T::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| T::Sub(Box::new(a), Box::new(b))),
-            ((-3i64..4), inner).prop_map(|(c, a)| T::MulC(c, Box::new(a))),
-        ]
-    })
+fn gen_t(rng: &mut Rng, depth: u32) -> T {
+    if depth == 0 || rng.ratio(1, 3) {
+        return if rng.gen_bool() {
+            T::Var(rng.index(NVARS))
+        } else {
+            T::Num(rng.gen_range(-5, 6))
+        };
+    }
+    match rng.index(3) {
+        0 => T::Add(Box::new(gen_t(rng, depth - 1)), Box::new(gen_t(rng, depth - 1))),
+        1 => T::Sub(Box::new(gen_t(rng, depth - 1)), Box::new(gen_t(rng, depth - 1))),
+        _ => T::MulC(rng.gen_range(-3, 4), Box::new(gen_t(rng, depth - 1))),
+    }
 }
 
-fn formula_strategy() -> impl Strategy<Value = F> {
-    let atom = prop_oneof![
-        (term_strategy(), term_strategy()).prop_map(|(a, b)| F::Le(a, b)),
-        (term_strategy(), term_strategy()).prop_map(|(a, b)| F::Eq(a, b)),
-    ];
-    atom.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| F::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_f(rng: &mut Rng, depth: u32) -> F {
+    if depth == 0 || rng.ratio(1, 3) {
+        return if rng.gen_bool() {
+            F::Le(gen_t(rng, 3), gen_t(rng, 3))
+        } else {
+            F::Eq(gen_t(rng, 3), gen_t(rng, 3))
+        };
+    }
+    match rng.index(3) {
+        0 => F::Not(Box::new(gen_f(rng, depth - 1))),
+        1 => F::And(Box::new(gen_f(rng, depth - 1)), Box::new(gen_f(rng, depth - 1))),
+        _ => F::Or(Box::new(gen_f(rng, depth - 1)), Box::new(gen_f(rng, depth - 1))),
+    }
 }
 
 fn eval_t(t: &T, env: &[i64]) -> i64 {
@@ -132,64 +130,78 @@ fn brute_sat(f: &F) -> Option<[i64; NVARS]> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn unsat_claims_are_sound(f in formula_strategy()) {
-        let mut prover = Prover::new();
-        let formula = build_f(&mut prover.store, &f);
-        if prover.is_unsat(&formula) {
-            // no assignment in the box may satisfy it
-            if let Some(model) = brute_sat(&f) {
-                prop_assert!(
-                    false,
-                    "prover claimed UNSAT but {model:?} satisfies {f:?}"
-                );
+#[test]
+fn unsat_claims_are_sound() {
+    run_cases(
+        "unsat_claims_are_sound",
+        128,
+        |rng| gen_f(rng, 3),
+        |f| {
+            let mut prover = Prover::new();
+            let formula = build_f(&mut prover.store, f);
+            if prover.is_unsat(&formula) {
+                // no assignment in the box may satisfy it
+                if let Some(model) = brute_sat(f) {
+                    panic!("prover claimed UNSAT but {model:?} satisfies {f:?}");
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn valid_implications_are_sound(h in formula_strategy(), g in formula_strategy()) {
-        let mut prover = Prover::new();
-        let hyp = build_f(&mut prover.store, &h);
-        let goal = build_f(&mut prover.store, &g);
-        if prover.implies(&hyp, &goal) {
-            for a in RANGE {
-                for b in RANGE {
-                    for c in RANGE {
-                        let env = [a, b, c];
-                        if eval_f(&h, &env) {
-                            prop_assert!(
-                                eval_f(&g, &env),
-                                "claimed {h:?} => {g:?}, refuted by {env:?}"
-                            );
+#[test]
+fn valid_implications_are_sound() {
+    run_cases(
+        "valid_implications_are_sound",
+        128,
+        |rng| (gen_f(rng, 3), gen_f(rng, 3)),
+        |(h, g)| {
+            let mut prover = Prover::new();
+            let hyp = build_f(&mut prover.store, h);
+            let goal = build_f(&mut prover.store, g);
+            if prover.implies(&hyp, &goal) {
+                for a in RANGE {
+                    for b in RANGE {
+                        for c in RANGE {
+                            let env = [a, b, c];
+                            if eval_f(h, &env) {
+                                assert!(
+                                    eval_f(g, &env),
+                                    "claimed {h:?} => {g:?}, refuted by {env:?}"
+                                );
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn box_bounded_formulas_decide_correctly(f in formula_strategy()) {
-        // conjoin the box bounds so rational/integer gaps cannot hide a
-        // model outside the box; then UNSAT must agree with brute force
-        let mut prover = Prover::new();
-        let formula = build_f(&mut prover.store, &f);
-        let mut bounded = vec![formula];
-        for i in 0..NVARS {
-            let v = prover.store.var(format!("v{i}"), Sort::Int);
-            let lo = prover.store.num(RANGE.start);
-            let hi = prover.store.num(RANGE.end - 1);
-            bounded.push(prover.store.le(lo, v));
-            bounded.push(prover.store.le(v, hi));
-        }
-        let all = Formula::and(bounded);
-        let brute = brute_sat(&f).is_some();
-        if prover.is_unsat(&all) {
-            prop_assert!(!brute, "UNSAT claim refuted for {f:?}");
-        }
-    }
+#[test]
+fn box_bounded_formulas_decide_correctly() {
+    run_cases(
+        "box_bounded_formulas_decide_correctly",
+        128,
+        |rng| gen_f(rng, 3),
+        |f| {
+            // conjoin the box bounds so rational/integer gaps cannot hide a
+            // model outside the box; then UNSAT must agree with brute force
+            let mut prover = Prover::new();
+            let formula = build_f(&mut prover.store, f);
+            let mut bounded = vec![formula];
+            for i in 0..NVARS {
+                let v = prover.store.var(format!("v{i}"), Sort::Int);
+                let lo = prover.store.num(RANGE.start);
+                let hi = prover.store.num(RANGE.end - 1);
+                bounded.push(prover.store.le(lo, v));
+                bounded.push(prover.store.le(v, hi));
+            }
+            let all = Formula::and(bounded);
+            let brute = brute_sat(f).is_some();
+            if prover.is_unsat(&all) {
+                assert!(!brute, "UNSAT claim refuted for {f:?}");
+            }
+        },
+    );
 }

@@ -1,0 +1,93 @@
+//! Concurrency stress for the sharded prover-result cache: many threads
+//! hammering overlapping keys must never lose or duplicate a counter
+//! update, and every lookup after an insert must return the inserted
+//! result (the cache is insert-only, so stale reads are impossible).
+
+use prover::dpll::SatResult;
+use prover::SharedCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+const THREADS: usize = 8;
+const KEYS: u64 = 512;
+const ROUNDS: u64 = 2_000;
+
+/// A key that collides across threads but spreads over all shards.
+fn key(i: u64) -> Vec<u8> {
+    i.to_le_bytes().to_vec()
+}
+
+fn result_for(i: u64) -> SatResult {
+    if i % 2 == 0 {
+        SatResult::Unsat
+    } else {
+        SatResult::Sat
+    }
+}
+
+#[test]
+fn hammering_from_eight_threads_loses_no_stats() {
+    let cache = SharedCache::new();
+    let barrier = Barrier::new(THREADS);
+    let lookups = AtomicU64::new(0);
+    let inserts = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = &cache;
+            let barrier = &barrier;
+            let lookups = &lookups;
+            let inserts = &inserts;
+            scope.spawn(move || {
+                barrier.wait();
+                // xorshift so every thread walks the key space in its
+                // own order, maximising same-shard contention
+                let mut x = 0x9e37_79b9 ^ (t as u64 + 1);
+                for _ in 0..ROUNDS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = x % KEYS;
+                    let k = key(i);
+                    match cache.lookup(&k) {
+                        Some(r) => assert_eq!(r, result_for(i), "wrong cached result"),
+                        None => {
+                            cache.insert(k, result_for(i));
+                            inserts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    lookups.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let snap = cache.snapshot();
+    // every lookup is counted exactly once, as a hit or a miss
+    assert_eq!(snap.hits + snap.misses, lookups.load(Ordering::Relaxed));
+    // every insert attempt is counted exactly once, as new or redundant
+    assert_eq!(
+        snap.insertions + snap.redundant,
+        inserts.load(Ordering::Relaxed)
+    );
+    // first-writer-wins: one stored entry per distinct key, never more
+    assert_eq!(snap.insertions, KEYS);
+    assert_eq!(cache.len(), KEYS as usize);
+    // a miss is always followed by an insert attempt in this workload,
+    // and a key can only miss before its first insert lands
+    assert!(snap.misses >= KEYS);
+    assert!(snap.hits > 0, "workload never hit the cache");
+}
+
+#[test]
+fn clones_share_one_cache() {
+    let a = SharedCache::new();
+    let b = a.clone();
+    std::thread::scope(|scope| {
+        scope.spawn(|| a.insert(key(1), SatResult::Unsat));
+        scope.spawn(|| b.insert(key(2), SatResult::Sat));
+    });
+    assert_eq!(a.lookup(&key(2)), Some(SatResult::Sat));
+    assert_eq!(b.lookup(&key(1)), Some(SatResult::Unsat));
+    let snap = b.snapshot();
+    assert_eq!(snap.insertions, 2);
+    assert_eq!(snap.entries, 2);
+}

@@ -71,6 +71,14 @@ pub struct IterationStats {
     pub bebop_iterations: u64,
     /// Whether Bebop reached an error.
     pub error_reachable: bool,
+    /// Worker threads the abstraction ran with.
+    pub jobs: usize,
+    /// Wall-clock seconds spent in C2bp this iteration.
+    pub abs_seconds: f64,
+    /// C2bp phase timings for this iteration.
+    pub abs_phases: c2bp::PhaseSeconds,
+    /// Shared prover-cache counters for this iteration's abstraction.
+    pub shared_cache: prover::CacheSnapshot,
 }
 
 /// The result of [`check`].
@@ -128,6 +136,10 @@ pub fn check(
             prover_calls: abs.stats.prover_calls,
             bebop_iterations: analysis.iterations,
             error_reachable: analysis.error_reachable(),
+            jobs: abs.stats.jobs,
+            abs_seconds: abs.stats.seconds,
+            abs_phases: abs.stats.phases,
+            shared_cache: abs.stats.shared_cache,
         });
         if !analysis.error_reachable() {
             return Ok(SlamRun {

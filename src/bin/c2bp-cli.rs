@@ -3,14 +3,19 @@
 //!
 //! ```sh
 //! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
+//!     [--jobs N]
 //! ```
+//!
+//! `--jobs` (or the `C2BP_JOBS` environment variable) shards the cube
+//! searches across worker threads; the printed boolean program and the
+//! deterministic counters are identical for every value.
 
 use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none]"
+        "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] [--jobs N]"
     );
     ExitCode::from(2)
 }
@@ -33,6 +38,10 @@ fn main() -> ExitCode {
                     Err(_) => return usage(),
                 },
                 None => return usage(),
+            },
+            "--jobs" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(j) if j > 0 => options.jobs = j,
+                _ => return usage(),
             },
             _ => return usage(),
         }
@@ -74,6 +83,17 @@ fn main() -> ExitCode {
                 abs.stats.prover_calls,
                 abs.stats.prover_cache_hits,
                 abs.stats.seconds
+            );
+            eprintln!(
+                "// jobs {}: {} units, shared cache {:.1}% hit rate ({} entries), \
+                 plan {:.2}s solve {:.2}s merge {:.2}s",
+                abs.stats.jobs,
+                abs.stats.units,
+                abs.stats.shared_cache.hit_rate() * 100.0,
+                abs.stats.shared_cache.entries,
+                abs.stats.phases.plan,
+                abs.stats.phases.solve,
+                abs.stats.phases.merge
             );
             ExitCode::SUCCESS
         }

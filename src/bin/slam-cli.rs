@@ -1,17 +1,22 @@
 //! Command-line SLAM: check a temporal-safety property of a C file.
 //!
 //! ```sh
-//! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp]
+//! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
+//! `--jobs` (or `C2BP_JOBS`) shards each CEGAR iteration's abstraction
+//! phase across worker threads without changing the verdict, iteration
+//! count, or prover-call totals.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
 use slam::{SlamOptions, SlamVerdict};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp]");
+    eprintln!(
+        "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]"
+    );
     ExitCode::from(2)
 }
 
@@ -20,26 +25,35 @@ fn main() -> ExitCode {
     if args.len() < 2 {
         return usage();
     }
-    let spec: Spec = match args.get(2).map(String::as_str) {
-        None => Spec::default(),
-        Some("--lock") => locking_spec(),
-        Some("--irp") => irp_spec(),
-        Some("--spec") => {
-            let Some(path) = args.get(3) else {
-                return usage();
-            };
-            match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(
-                |s| parse_spec(&s).map_err(|e| e.to_string()),
-            ) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("slam: {e}");
-                    return ExitCode::FAILURE;
+    let mut spec: Spec = Spec::default();
+    let mut options = SlamOptions::default();
+    let mut iter = args[2..].iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--lock" => spec = locking_spec(),
+            "--irp" => spec = irp_spec(),
+            "--spec" => {
+                let Some(path) = iter.next() else {
+                    return usage();
+                };
+                match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| parse_spec(&s).map_err(|e| e.to_string()))
+                {
+                    Ok(s) => spec = s,
+                    Err(e) => {
+                        eprintln!("slam: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
+            "--jobs" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(j) if j > 0 => options.c2bp.jobs = j,
+                _ => return usage(),
+            },
+            _ => return usage(),
         }
-        Some(_) => return usage(),
-    };
+    }
     let source = match std::fs::read_to_string(&args[0]) {
         Ok(s) => s,
         Err(e) => {
@@ -47,9 +61,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match slam::verify(&source, &spec, &args[1], &SlamOptions::default()) {
+    match slam::verify(&source, &spec, &args[1], &options) {
         Ok(run) => {
             let prover: u64 = run.per_iteration.iter().map(|s| s.prover_calls).sum();
+            for (i, it) in run.per_iteration.iter().enumerate() {
+                eprintln!(
+                    "// iter {}: {} preds, {} prover calls, jobs {}, abs {:.2}s \
+                     (plan {:.2}s solve {:.2}s merge {:.2}s), \
+                     shared cache {:.1}% hit rate ({} entries)",
+                    i + 1,
+                    it.predicates,
+                    it.prover_calls,
+                    it.jobs,
+                    it.abs_seconds,
+                    it.abs_phases.plan,
+                    it.abs_phases.solve,
+                    it.abs_phases.merge,
+                    it.shared_cache.hit_rate() * 100.0,
+                    it.shared_cache.entries
+                );
+            }
             match run.verdict {
                 SlamVerdict::Validated => {
                     println!(

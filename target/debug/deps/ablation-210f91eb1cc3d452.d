@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-210f91eb1cc3d452.d: tests/ablation.rs
+
+/root/repo/target/debug/deps/ablation-210f91eb1cc3d452: tests/ablation.rs
+
+tests/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-8fee7aad9eb6103c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-8fee7aad9eb6103c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

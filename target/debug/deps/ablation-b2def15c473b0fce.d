@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b2def15c473b0fce.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b2def15c473b0fce: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdd-04bfbf7a40774a24.d: crates/bdd/src/lib.rs
+
+/root/repo/target/debug/deps/libbdd-04bfbf7a40774a24.rlib: crates/bdd/src/lib.rs
+
+/root/repo/target/debug/deps/libbdd-04bfbf7a40774a24.rmeta: crates/bdd/src/lib.rs
+
+crates/bdd/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdd-cca888d543a8059b.d: crates/bdd/src/lib.rs
+
+/root/repo/target/debug/deps/bdd-cca888d543a8059b: crates/bdd/src/lib.rs
+
+crates/bdd/src/lib.rs:

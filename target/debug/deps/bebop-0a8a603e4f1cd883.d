@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bebop-0a8a603e4f1cd883.d: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+/root/repo/target/debug/deps/libbebop-0a8a603e4f1cd883.rlib: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+/root/repo/target/debug/deps/libbebop-0a8a603e4f1cd883.rmeta: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+crates/bebop/src/lib.rs:
+crates/bebop/src/engine.rs:
+crates/bebop/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bebop-c70ae2bb75687867.d: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+/root/repo/target/debug/deps/bebop-c70ae2bb75687867: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+crates/bebop/src/lib.rs:
+crates/bebop/src/engine.rs:
+crates/bebop/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bebop_cli-5eda457c16860f21.d: src/bin/bebop-cli.rs
+
+/root/repo/target/debug/deps/bebop_cli-5eda457c16860f21: src/bin/bebop-cli.rs
+
+src/bin/bebop-cli.rs:

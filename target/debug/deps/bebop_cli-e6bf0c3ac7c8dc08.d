@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bebop_cli-e6bf0c3ac7c8dc08.d: src/bin/bebop-cli.rs
+
+/root/repo/target/debug/deps/bebop_cli-e6bf0c3ac7c8dc08: src/bin/bebop-cli.rs
+
+src/bin/bebop-cli.rs:

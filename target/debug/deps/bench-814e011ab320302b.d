@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-814e011ab320302b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-814e011ab320302b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-814e011ab320302b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

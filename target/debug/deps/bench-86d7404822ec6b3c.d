@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-86d7404822ec6b3c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-86d7404822ec6b3c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

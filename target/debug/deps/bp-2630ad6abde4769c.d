@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bp-2630ad6abde4769c.d: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+/root/repo/target/debug/deps/libbp-2630ad6abde4769c.rlib: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+/root/repo/target/debug/deps/libbp-2630ad6abde4769c.rmeta: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+crates/bp/src/lib.rs:
+crates/bp/src/ast.rs:
+crates/bp/src/flow.rs:
+crates/bp/src/interp.rs:
+crates/bp/src/parse.rs:
+crates/bp/src/print.rs:

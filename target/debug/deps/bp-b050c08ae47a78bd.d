@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bp-b050c08ae47a78bd.d: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+/root/repo/target/debug/deps/bp-b050c08ae47a78bd: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+crates/bp/src/lib.rs:
+crates/bp/src/ast.rs:
+crates/bp/src/flow.rs:
+crates/bp/src/interp.rs:
+crates/bp/src/parse.rs:
+crates/bp/src/print.rs:

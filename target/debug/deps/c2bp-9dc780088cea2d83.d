@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/c2bp-9dc780088cea2d83.d: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+/root/repo/target/debug/deps/libc2bp-9dc780088cea2d83.rlib: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+/root/repo/target/debug/deps/libc2bp-9dc780088cea2d83.rmeta: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abs.rs:
+crates/core/src/cubes.rs:
+crates/core/src/preds.rs:
+crates/core/src/sig.rs:
+crates/core/src/wp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/c2bp-ee76106b68a0567e.d: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+/root/repo/target/debug/deps/c2bp-ee76106b68a0567e: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abs.rs:
+crates/core/src/cubes.rs:
+crates/core/src/preds.rs:
+crates/core/src/sig.rs:
+crates/core/src/wp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c2bp_cli-113ef64bc6e7e806.d: src/bin/c2bp-cli.rs
+
+/root/repo/target/debug/deps/c2bp_cli-113ef64bc6e7e806: src/bin/c2bp-cli.rs
+
+src/bin/c2bp-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/c2bp_cli-49aab5481cf66ae3.d: src/bin/c2bp-cli.rs
+
+/root/repo/target/debug/deps/c2bp_cli-49aab5481cf66ae3: src/bin/c2bp-cli.rs
+
+src/bin/c2bp-cli.rs:

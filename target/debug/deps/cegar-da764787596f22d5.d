@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cegar-da764787596f22d5.d: tests/cegar.rs
+
+/root/repo/target/debug/deps/cegar-da764787596f22d5: tests/cegar.rs
+
+tests/cegar.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cparse-897d60ee3c917ccf.d: crates/cparse/src/lib.rs crates/cparse/src/ast.rs crates/cparse/src/flow.rs crates/cparse/src/interp.rs crates/cparse/src/lexer.rs crates/cparse/src/parser.rs crates/cparse/src/pretty.rs crates/cparse/src/simplify.rs crates/cparse/src/typeck.rs
+
+/root/repo/target/debug/deps/cparse-897d60ee3c917ccf: crates/cparse/src/lib.rs crates/cparse/src/ast.rs crates/cparse/src/flow.rs crates/cparse/src/interp.rs crates/cparse/src/lexer.rs crates/cparse/src/parser.rs crates/cparse/src/pretty.rs crates/cparse/src/simplify.rs crates/cparse/src/typeck.rs
+
+crates/cparse/src/lib.rs:
+crates/cparse/src/ast.rs:
+crates/cparse/src/flow.rs:
+crates/cparse/src/interp.rs:
+crates/cparse/src/lexer.rs:
+crates/cparse/src/parser.rs:
+crates/cparse/src/pretty.rs:
+crates/cparse/src/simplify.rs:
+crates/cparse/src/typeck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-99fdeb06f446e6c0.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-99fdeb06f446e6c0: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-17f897c9fda71ba5.d: crates/bebop/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-17f897c9fda71ba5: crates/bebop/tests/differential.rs
+
+crates/bebop/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-9c5a11f97d94d54c.d: tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-9c5a11f97d94d54c: tests/figure1.rs
+
+tests/figure1.rs:

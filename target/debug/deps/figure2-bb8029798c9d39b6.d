@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-bb8029798c9d39b6.d: tests/figure2.rs
+
+/root/repo/target/debug/deps/figure2-bb8029798c9d39b6: tests/figure2.rs
+
+tests/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-f5fdbb18c3d230a0.d: tests/figure3.rs
+
+/root/repo/target/debug/deps/figure3-f5fdbb18c3d230a0: tests/figure3.rs
+
+tests/figure3.rs:

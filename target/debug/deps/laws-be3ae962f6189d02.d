@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laws-be3ae962f6189d02.d: crates/bdd/tests/laws.rs
+
+/root/repo/target/debug/deps/laws-be3ae962f6189d02: crates/bdd/tests/laws.rs
+
+crates/bdd/tests/laws.rs:

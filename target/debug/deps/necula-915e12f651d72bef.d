@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/necula-915e12f651d72bef.d: tests/necula.rs
+
+/root/repo/target/debug/deps/necula-915e12f651d72bef: tests/necula.rs
+
+tests/necula.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newton-40eed48906f84321.d: crates/newton/src/lib.rs
+
+/root/repo/target/debug/deps/libnewton-40eed48906f84321.rlib: crates/newton/src/lib.rs
+
+/root/repo/target/debug/deps/libnewton-40eed48906f84321.rmeta: crates/newton/src/lib.rs
+
+crates/newton/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newton-645356665aef054e.d: crates/newton/src/lib.rs
+
+/root/repo/target/debug/deps/newton-645356665aef054e: crates/newton/src/lib.rs
+
+crates/newton/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-ae3e2c975ae4ef38.d: crates/prover/tests/oracle.rs
+
+/root/repo/target/debug/deps/oracle-ae3e2c975ae4ef38: crates/prover/tests/oracle.rs
+
+crates/prover/tests/oracle.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pointsto-0020db688414c64f.d: crates/pointsto/src/lib.rs
+
+/root/repo/target/debug/deps/libpointsto-0020db688414c64f.rlib: crates/pointsto/src/lib.rs
+
+/root/repo/target/debug/deps/libpointsto-0020db688414c64f.rmeta: crates/pointsto/src/lib.rs
+
+crates/pointsto/src/lib.rs:

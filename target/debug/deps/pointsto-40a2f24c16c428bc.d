@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pointsto-40a2f24c16c428bc.d: crates/pointsto/src/lib.rs
+
+/root/repo/target/debug/deps/pointsto-40a2f24c16c428bc: crates/pointsto/src/lib.rs
+
+crates/pointsto/src/lib.rs:

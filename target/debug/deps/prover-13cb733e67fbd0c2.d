@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/prover-13cb733e67fbd0c2.d: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+/root/repo/target/debug/deps/prover-13cb733e67fbd0c2: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+crates/prover/src/lib.rs:
+crates/prover/src/cache.rs:
+crates/prover/src/cc.rs:
+crates/prover/src/dpll.rs:
+crates/prover/src/la.rs:
+crates/prover/src/term.rs:
+crates/prover/src/theory.rs:
+crates/prover/src/translate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/prover-c1c45c7c84c931af.d: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+/root/repo/target/debug/deps/libprover-c1c45c7c84c931af.rlib: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+/root/repo/target/debug/deps/libprover-c1c45c7c84c931af.rmeta: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+crates/prover/src/lib.rs:
+crates/prover/src/cache.rs:
+crates/prover/src/cc.rs:
+crates/prover/src/dpll.rs:
+crates/prover/src/la.rs:
+crates/prover/src/term.rs:
+crates/prover/src/theory.rs:
+crates/prover/src/translate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/roundtrip-b7fc50686f5a8656.d: crates/cparse/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-b7fc50686f5a8656: crates/cparse/tests/roundtrip.rs
+
+crates/cparse/tests/roundtrip.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cparse

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shared_cache-e2e3e07e3e84dc90.d: crates/prover/tests/shared_cache.rs
+
+/root/repo/target/debug/deps/shared_cache-e2e3e07e3e84dc90: crates/prover/tests/shared_cache.rs
+
+crates/prover/tests/shared_cache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/slam-bbc7ee6fc2bc00fb.d: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+/root/repo/target/debug/deps/libslam-bbc7ee6fc2bc00fb.rlib: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+/root/repo/target/debug/deps/libslam-bbc7ee6fc2bc00fb.rmeta: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/cegar.rs:
+crates/slam/src/instrument.rs:
+crates/slam/src/spec.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/slam-ccd66e2244eebcea.d: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+/root/repo/target/debug/deps/slam-ccd66e2244eebcea: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/cegar.rs:
+crates/slam/src/instrument.rs:
+crates/slam/src/spec.rs:

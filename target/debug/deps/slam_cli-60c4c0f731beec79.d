@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slam_cli-60c4c0f731beec79.d: src/bin/slam-cli.rs
+
+/root/repo/target/debug/deps/slam_cli-60c4c0f731beec79: src/bin/slam-cli.rs
+
+src/bin/slam-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slam_cli-fc26fd78f46e6c1b.d: src/bin/slam-cli.rs
+
+/root/repo/target/debug/deps/slam_cli-fc26fd78f46e6c1b: src/bin/slam-cli.rs
+
+src/bin/slam-cli.rs:

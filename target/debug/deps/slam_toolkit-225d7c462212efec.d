@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slam_toolkit-225d7c462212efec.d: src/lib.rs
+
+/root/repo/target/debug/deps/slam_toolkit-225d7c462212efec: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/slam_toolkit-d62c43cbb16cbf6c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libslam_toolkit-d62c43cbb16cbf6c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libslam_toolkit-d62c43cbb16cbf6c.rmeta: src/lib.rs
+
+src/lib.rs:

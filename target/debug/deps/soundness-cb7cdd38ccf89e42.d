@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-cb7cdd38ccf89e42.d: tests/soundness.rs
+
+/root/repo/target/debug/deps/soundness-cb7cdd38ccf89e42: tests/soundness.rs
+
+tests/soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5ba18a6ddc31c0e0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5ba18a6ddc31c0e0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d90e16a7533ce41a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d90e16a7533ce41a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

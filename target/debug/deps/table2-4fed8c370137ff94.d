@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4fed8c370137ff94.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4fed8c370137ff94: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-59af71c7c382d208.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-59af71c7c382d208: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/testutil-4a379f26ca86bf78.d: crates/testutil/src/lib.rs
+
+/root/repo/target/debug/deps/libtestutil-4a379f26ca86bf78.rlib: crates/testutil/src/lib.rs
+
+/root/repo/target/debug/deps/libtestutil-4a379f26ca86bf78.rmeta: crates/testutil/src/lib.rs
+
+crates/testutil/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testutil-f411088f76197621.d: crates/testutil/src/lib.rs
+
+/root/repo/target/debug/deps/testutil-f411088f76197621: crates/testutil/src/lib.rs
+
+crates/testutil/src/lib.rs:

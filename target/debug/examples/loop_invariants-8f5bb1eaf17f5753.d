@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loop_invariants-8f5bb1eaf17f5753.d: examples/loop_invariants.rs
+
+/root/repo/target/debug/examples/loop_invariants-8f5bb1eaf17f5753: examples/loop_invariants.rs
+
+examples/loop_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition-71f084371c0a053d.d: examples/partition.rs
+
+/root/repo/target/debug/examples/partition-71f084371c0a053d: examples/partition.rs
+
+examples/partition.rs:

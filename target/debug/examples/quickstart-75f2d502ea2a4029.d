@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-75f2d502ea2a4029.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-75f2d502ea2a4029: examples/quickstart.rs
+
+examples/quickstart.rs:

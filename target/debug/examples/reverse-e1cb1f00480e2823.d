@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reverse-e1cb1f00480e2823.d: examples/reverse.rs
+
+/root/repo/target/debug/examples/reverse-e1cb1f00480e2823: examples/reverse.rs
+
+examples/reverse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/slam_driver-64eb68fc9f5f7aad.d: examples/slam_driver.rs
+
+/root/repo/target/debug/examples/slam_driver-64eb68fc9f5f7aad: examples/slam_driver.rs
+
+examples/slam_driver.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbdd.rlib: /root/repo/crates/bdd/src/lib.rs

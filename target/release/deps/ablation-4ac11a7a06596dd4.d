@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-4ac11a7a06596dd4.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-4ac11a7a06596dd4: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

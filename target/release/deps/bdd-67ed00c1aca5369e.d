@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bdd-67ed00c1aca5369e.d: crates/bdd/src/lib.rs
+
+/root/repo/target/release/deps/libbdd-67ed00c1aca5369e.rlib: crates/bdd/src/lib.rs
+
+/root/repo/target/release/deps/libbdd-67ed00c1aca5369e.rmeta: crates/bdd/src/lib.rs
+
+crates/bdd/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bebop-3a9da2f851fab7d9.d: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+/root/repo/target/release/deps/libbebop-3a9da2f851fab7d9.rlib: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+/root/repo/target/release/deps/libbebop-3a9da2f851fab7d9.rmeta: crates/bebop/src/lib.rs crates/bebop/src/engine.rs crates/bebop/src/trace.rs
+
+crates/bebop/src/lib.rs:
+crates/bebop/src/engine.rs:
+crates/bebop/src/trace.rs:

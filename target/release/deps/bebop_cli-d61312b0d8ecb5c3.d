@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bebop_cli-d61312b0d8ecb5c3.d: src/bin/bebop-cli.rs
+
+/root/repo/target/release/deps/bebop_cli-d61312b0d8ecb5c3: src/bin/bebop-cli.rs
+
+src/bin/bebop-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-83c5cca27e16d4e7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-83c5cca27e16d4e7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-83c5cca27e16d4e7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bp-4dc743db2531bce6.d: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+/root/repo/target/release/deps/libbp-4dc743db2531bce6.rlib: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+/root/repo/target/release/deps/libbp-4dc743db2531bce6.rmeta: crates/bp/src/lib.rs crates/bp/src/ast.rs crates/bp/src/flow.rs crates/bp/src/interp.rs crates/bp/src/parse.rs crates/bp/src/print.rs
+
+crates/bp/src/lib.rs:
+crates/bp/src/ast.rs:
+crates/bp/src/flow.rs:
+crates/bp/src/interp.rs:
+crates/bp/src/parse.rs:
+crates/bp/src/print.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/c2bp-40311a4e606bde95.d: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+/root/repo/target/release/deps/libc2bp-40311a4e606bde95.rlib: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+/root/repo/target/release/deps/libc2bp-40311a4e606bde95.rmeta: crates/core/src/lib.rs crates/core/src/abs.rs crates/core/src/cubes.rs crates/core/src/preds.rs crates/core/src/sig.rs crates/core/src/wp.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abs.rs:
+crates/core/src/cubes.rs:
+crates/core/src/preds.rs:
+crates/core/src/sig.rs:
+crates/core/src/wp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/c2bp_cli-4b8bbcb7c91f71cc.d: src/bin/c2bp-cli.rs
+
+/root/repo/target/release/deps/c2bp_cli-4b8bbcb7c91f71cc: src/bin/c2bp-cli.rs
+
+src/bin/c2bp-cli.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cparse-01a82a0eddb66f14.d: crates/cparse/src/lib.rs crates/cparse/src/ast.rs crates/cparse/src/flow.rs crates/cparse/src/interp.rs crates/cparse/src/lexer.rs crates/cparse/src/parser.rs crates/cparse/src/pretty.rs crates/cparse/src/simplify.rs crates/cparse/src/typeck.rs
+
+/root/repo/target/release/deps/libcparse-01a82a0eddb66f14.rlib: crates/cparse/src/lib.rs crates/cparse/src/ast.rs crates/cparse/src/flow.rs crates/cparse/src/interp.rs crates/cparse/src/lexer.rs crates/cparse/src/parser.rs crates/cparse/src/pretty.rs crates/cparse/src/simplify.rs crates/cparse/src/typeck.rs
+
+/root/repo/target/release/deps/libcparse-01a82a0eddb66f14.rmeta: crates/cparse/src/lib.rs crates/cparse/src/ast.rs crates/cparse/src/flow.rs crates/cparse/src/interp.rs crates/cparse/src/lexer.rs crates/cparse/src/parser.rs crates/cparse/src/pretty.rs crates/cparse/src/simplify.rs crates/cparse/src/typeck.rs
+
+crates/cparse/src/lib.rs:
+crates/cparse/src/ast.rs:
+crates/cparse/src/flow.rs:
+crates/cparse/src/interp.rs:
+crates/cparse/src/lexer.rs:
+crates/cparse/src/parser.rs:
+crates/cparse/src/pretty.rs:
+crates/cparse/src/simplify.rs:
+crates/cparse/src/typeck.rs:

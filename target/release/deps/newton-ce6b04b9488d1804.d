@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newton-ce6b04b9488d1804.d: crates/newton/src/lib.rs
+
+/root/repo/target/release/deps/libnewton-ce6b04b9488d1804.rlib: crates/newton/src/lib.rs
+
+/root/repo/target/release/deps/libnewton-ce6b04b9488d1804.rmeta: crates/newton/src/lib.rs
+
+crates/newton/src/lib.rs:

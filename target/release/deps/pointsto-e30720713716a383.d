@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pointsto-e30720713716a383.d: crates/pointsto/src/lib.rs
+
+/root/repo/target/release/deps/libpointsto-e30720713716a383.rlib: crates/pointsto/src/lib.rs
+
+/root/repo/target/release/deps/libpointsto-e30720713716a383.rmeta: crates/pointsto/src/lib.rs
+
+crates/pointsto/src/lib.rs:

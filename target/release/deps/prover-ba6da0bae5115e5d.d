@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/prover-ba6da0bae5115e5d.d: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+/root/repo/target/release/deps/libprover-ba6da0bae5115e5d.rlib: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+/root/repo/target/release/deps/libprover-ba6da0bae5115e5d.rmeta: crates/prover/src/lib.rs crates/prover/src/cache.rs crates/prover/src/cc.rs crates/prover/src/dpll.rs crates/prover/src/la.rs crates/prover/src/term.rs crates/prover/src/theory.rs crates/prover/src/translate.rs
+
+crates/prover/src/lib.rs:
+crates/prover/src/cache.rs:
+crates/prover/src/cc.rs:
+crates/prover/src/dpll.rs:
+crates/prover/src/la.rs:
+crates/prover/src/term.rs:
+crates/prover/src/theory.rs:
+crates/prover/src/translate.rs:

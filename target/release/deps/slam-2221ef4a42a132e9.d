@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/slam-2221ef4a42a132e9.d: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+/root/repo/target/release/deps/libslam-2221ef4a42a132e9.rlib: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+/root/repo/target/release/deps/libslam-2221ef4a42a132e9.rmeta: crates/slam/src/lib.rs crates/slam/src/cegar.rs crates/slam/src/instrument.rs crates/slam/src/spec.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/cegar.rs:
+crates/slam/src/instrument.rs:
+crates/slam/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slam_cli-c96cb99cb0a87188.d: src/bin/slam-cli.rs
+
+/root/repo/target/release/deps/slam_cli-c96cb99cb0a87188: src/bin/slam-cli.rs
+
+src/bin/slam-cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/slam_toolkit-e8ba040c1a5bac2e.d: src/lib.rs
+
+/root/repo/target/release/deps/libslam_toolkit-e8ba040c1a5bac2e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libslam_toolkit-e8ba040c1a5bac2e.rmeta: src/lib.rs
+
+src/lib.rs:

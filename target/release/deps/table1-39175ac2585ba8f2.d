@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-39175ac2585ba8f2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-39175ac2585ba8f2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8e529fd6a605438e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8e529fd6a605438e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

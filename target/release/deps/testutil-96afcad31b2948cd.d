@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/testutil-96afcad31b2948cd.d: crates/testutil/src/lib.rs
+
+/root/repo/target/release/deps/libtestutil-96afcad31b2948cd.rlib: crates/testutil/src/lib.rs
+
+/root/repo/target/release/deps/libtestutil-96afcad31b2948cd.rmeta: crates/testutil/src/lib.rs
+
+crates/testutil/src/lib.rs:

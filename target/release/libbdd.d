@@ -1,0 +1,1 @@
+/root/repo/target/release/libbdd.rlib: /root/repo/crates/bdd/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libtestutil.rlib: /root/repo/crates/testutil/src/lib.rs

@@ -1,0 +1,110 @@
+//! The worker count is a pure performance knob: the pretty-printed
+//! boolean program and the deterministic counters (prover calls, local
+//! cache hits, cube-search totals) must be byte-identical at every
+//! `--jobs` value. Only wall-times and shared-cache traffic may vary.
+//!
+//! Covers the full toys corpus (fixed predicate files) and the full
+//! drivers corpus (predicates discovered by one sequential CEGAR run,
+//! then re-abstracted at each worker count).
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions, Pred};
+use cparse::ast::Program;
+use slam::spec::locking_spec;
+use slam::{instrument, SlamOptions};
+
+fn opts(jobs: usize) -> C2bpOptions {
+    C2bpOptions {
+        jobs,
+        ..C2bpOptions::paper_defaults()
+    }
+}
+
+/// Abstracts sequentially, then at each worker count in `jobs`, and
+/// asserts the output and deterministic counters never change.
+fn assert_jobs_invariant(program: &Program, preds: &[Pred], jobs: &[usize], name: &str) {
+    let base = abstract_program(program, preds, &opts(1)).expect("sequential abstraction");
+    let base_text = bp::program_to_string(&base.bprogram);
+    assert_eq!(base.stats.jobs, 1, "{name}");
+    for &j in jobs {
+        let par = abstract_program(program, preds, &opts(j)).expect("parallel abstraction");
+        assert_eq!(par.stats.jobs, j, "{name}: jobs knob not honoured");
+        assert_eq!(
+            bp::program_to_string(&par.bprogram),
+            base_text,
+            "{name}: boolean program differs at jobs={j}"
+        );
+        assert_eq!(
+            par.stats.prover_calls, base.stats.prover_calls,
+            "{name}: prover calls differ at jobs={j}"
+        );
+        assert_eq!(
+            par.stats.prover_cache_hits, base.stats.prover_cache_hits,
+            "{name}: local cache hits differ at jobs={j}"
+        );
+        assert_eq!(
+            par.stats.cubes, base.stats.cubes,
+            "{name}: cube-search counters differ at jobs={j}"
+        );
+    }
+}
+
+fn toy(stem: &str) -> (Program, Vec<Pred>) {
+    let source =
+        std::fs::read_to_string(format!("corpus/toys/{stem}.c")).expect("corpus source");
+    let preds_src =
+        std::fs::read_to_string(format!("corpus/toys/{stem}.preds")).expect("corpus preds");
+    let program = cparse::parse_and_simplify(&source).expect("corpus parses");
+    let preds = parse_pred_file(&preds_src).expect("corpus predicates parse");
+    (program, preds)
+}
+
+/// Instruments a driver with the locking property (the same pipeline as
+/// `slam::verify`) and discovers its predicates with one sequential
+/// CEGAR run.
+fn driver(stem: &str, entry: &str) -> (Program, Vec<Pred>) {
+    let source =
+        std::fs::read_to_string(format!("corpus/drivers/{stem}.c")).expect("corpus source");
+    let parsed = cparse::parse_program(&source).expect("corpus parses");
+    let instrumented = instrument(&parsed, &locking_spec(), entry);
+    let simplified = cparse::simplify_program(&instrumented).expect("corpus simplifies");
+    let run = slam::check(&simplified, entry, Vec::new(), &SlamOptions::default())
+        .expect("slam runs");
+    assert!(
+        !run.final_preds.is_empty(),
+        "{stem}: CEGAR discovered no predicates"
+    );
+    (simplified, run.final_preds)
+}
+
+#[test]
+fn partition_is_identical_at_jobs_2_and_8() {
+    let (program, preds) = toy("partition");
+    assert_jobs_invariant(&program, &preds, &[2, 8], "partition");
+}
+
+#[test]
+fn floppy_is_identical_at_jobs_2_and_8() {
+    let (program, preds) = driver("floppy", "FloppyReadWrite");
+    assert_jobs_invariant(&program, &preds, &[2, 8], "floppy");
+}
+
+#[test]
+fn remaining_toys_are_identical_at_jobs_4() {
+    for stem in ["kmp", "qsort", "listfind", "reverse"] {
+        let (program, preds) = toy(stem);
+        assert_jobs_invariant(&program, &preds, &[4], stem);
+    }
+}
+
+#[test]
+fn remaining_drivers_are_identical_at_jobs_4() {
+    for (stem, entry) in [
+        ("ioctl", "DeviceIoControl"),
+        ("openclos", "DispatchOpenClose"),
+        ("srdriver", "DispatchStartReset"),
+        ("log", "LogAppend"),
+    ] {
+        let (program, preds) = driver(stem, entry);
+        assert_jobs_invariant(&program, &preds, &[4], stem);
+    }
+}

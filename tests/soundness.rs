@@ -18,7 +18,7 @@ use bp::flow::BInstr;
 use c2bp::{abstract_program, C2bpOptions, Pred};
 use cparse::interp::{Interp, TraceStep, Value};
 use cparse::parse_and_simplify;
-use proptest::prelude::*;
+use testutil::{run_cases, Rng};
 use std::collections::HashMap;
 
 /// A tiny statement language that renders to C source.
@@ -122,45 +122,59 @@ fn program_src(stmts: &[GenStmt]) -> String {
     )
 }
 
-fn gen_expr() -> impl Strategy<Value = GenExpr> {
-    prop_oneof![
-        (-4i64..8).prop_map(GenExpr::Const),
-        (0usize..3).prop_map(GenExpr::Var),
-        ((0usize..3), -3i64..4).prop_map(|(i, v)| GenExpr::Add(i, v)),
-        ((0usize..3), (0usize..3)).prop_map(|(i, j)| GenExpr::Sum(i, j)),
-        Just(GenExpr::LoadP),
-    ]
-}
-
-fn gen_cond() -> impl Strategy<Value = GenCond> {
-    prop_oneof![
-        ((0usize..3), (0usize..3)).prop_map(|(i, j)| GenCond::Lt(i, j)),
-        ((0usize..3), -2i64..5).prop_map(|(i, v)| GenCond::Eq(i, v)),
-        ((0usize..3), -2i64..5).prop_map(|(i, v)| GenCond::Gt(i, v)),
-        (-2i64..5).prop_map(GenCond::PGt),
-    ]
-}
-
-fn gen_stmts(depth: u32) -> BoxedStrategy<Vec<GenStmt>> {
-    let leaf = prop_oneof![
-        ((0usize..3), gen_expr()).prop_map(|(i, e)| GenStmt::Assign(i, e)),
-        gen_expr().prop_map(GenStmt::StoreP),
-        (0usize..3).prop_map(GenStmt::Retarget),
-    ];
-    if depth == 0 {
-        prop::collection::vec(leaf, 1..4).boxed()
-    } else {
-        let inner = gen_stmts(depth - 1);
-        let leaf2 = prop_oneof![
-            ((0usize..3), gen_expr()).prop_map(|(i, e)| GenStmt::Assign(i, e)),
-            gen_expr().prop_map(GenStmt::StoreP),
-            (0usize..3).prop_map(GenStmt::Retarget),
-            (gen_cond(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
-            (0u8..3, inner).prop_map(|(n, b)| GenStmt::Loop(n, b)),
-        ];
-        prop::collection::vec(leaf2, 1..5).boxed()
+fn gen_expr(rng: &mut Rng) -> GenExpr {
+    match rng.index(5) {
+        0 => GenExpr::Const(rng.gen_range(-4, 8)),
+        1 => GenExpr::Var(rng.index(3)),
+        2 => GenExpr::Add(rng.index(3), rng.gen_range(-3, 4)),
+        3 => GenExpr::Sum(rng.index(3), rng.index(3)),
+        _ => GenExpr::LoadP,
     }
+}
+
+fn gen_cond(rng: &mut Rng) -> GenCond {
+    match rng.index(4) {
+        0 => GenCond::Lt(rng.index(3), rng.index(3)),
+        1 => GenCond::Eq(rng.index(3), rng.gen_range(-2, 5)),
+        2 => GenCond::Gt(rng.index(3), rng.gen_range(-2, 5)),
+        _ => GenCond::PGt(rng.gen_range(-2, 5)),
+    }
+}
+
+fn gen_leaf(rng: &mut Rng) -> GenStmt {
+    match rng.index(3) {
+        0 => GenStmt::Assign(rng.index(3), gen_expr(rng)),
+        1 => GenStmt::StoreP(gen_expr(rng)),
+        _ => GenStmt::Retarget(rng.index(3)),
+    }
+}
+
+fn gen_stmts(rng: &mut Rng, depth: u32) -> Vec<GenStmt> {
+    let n = if depth == 0 {
+        rng.index(3) + 1
+    } else {
+        rng.index(4) + 1
+    };
+    (0..n)
+        .map(|_| {
+            if depth == 0 {
+                gen_leaf(rng)
+            } else {
+                match rng.index(5) {
+                    0..=2 => gen_leaf(rng),
+                    3 => GenStmt::If(
+                        gen_cond(rng),
+                        gen_stmts(rng, depth - 1),
+                        gen_stmts(rng, depth - 1),
+                    ),
+                    _ => GenStmt::Loop(
+                        rng.gen_range(0, 3) as u8,
+                        gen_stmts(rng, depth - 1),
+                    ),
+                }
+            }
+        })
+        .collect()
 }
 
 /// Candidate predicate texts (watching both integer and pointer facts).
@@ -357,21 +371,51 @@ fn run_soundness(stmts: Vec<GenStmt>, pred_mask: u16, args: [i8; 3]) {
     replay(&flat.instrs, &c_trace, &pred_names, &src, &bp_text);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
+#[test]
+fn concrete_paths_replay_through_the_abstraction() {
+    run_cases(
+        "concrete_paths_replay_through_the_abstraction",
+        64,
+        |rng| {
+            let stmts = gen_stmts(rng, 2);
+            let pred_mask = rng.gen_range(1, 1024) as u16;
+            let args = [
+                rng.gen_range(-3, 6) as i8,
+                rng.gen_range(-3, 6) as i8,
+                rng.gen_range(-3, 6) as i8,
+            ];
+            (stmts, pred_mask, args)
+        },
+        |(stmts, pred_mask, args)| {
+            run_soundness(stmts.clone(), *pred_mask, *args);
+        },
+    );
+}
 
-    #[test]
-    fn concrete_paths_replay_through_the_abstraction(
-        stmts in gen_stmts(2),
-        pred_mask in 1u16..1024,
-        args in prop::array::uniform3(-3i8..6),
-    ) {
-        run_soundness(stmts, pred_mask, args);
-    }
+#[test]
+fn soundness_regression_aliased_store_in_nested_loops() {
+    // recorded by the historical proptest run (the one entry of
+    // `tests/soundness.proptest-regressions`): a store through `p`
+    // retargeted to `b`, inside nested single-iteration loops, with
+    // pred_mask 351 — exercised a watched-predicate/definedness edge in
+    // the Morris-axiom replay
+    let stmts = vec![
+        GenStmt::Retarget(1),
+        GenStmt::Loop(
+            0,
+            vec![
+                GenStmt::Assign(2, GenExpr::LoadP),
+                GenStmt::Loop(
+                    0,
+                    vec![
+                        GenStmt::Assign(0, GenExpr::Add(0, -2)),
+                        GenStmt::StoreP(GenExpr::Var(0)),
+                    ],
+                ),
+            ],
+        ),
+    ];
+    run_soundness(stmts, 351, [0, 0, 0]);
 }
 
 #[test]
