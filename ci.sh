@@ -7,6 +7,12 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "== format =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace -- -D warnings
+
 echo "== build (release) =="
 cargo build --release --offline --workspace
 
@@ -20,5 +26,10 @@ cargo test --offline -q --test figure3
 
 echo "== determinism across worker counts =="
 cargo test --offline -q --test determinism
+
+echo "== pruning differential + corpus lint gate =="
+# Lints every corpus-generated boolean program (pruned and unpruned)
+# and proves the two abstractions normalize identically.
+cargo test --offline -q --test prune_differential
 
 echo "ci: all green"

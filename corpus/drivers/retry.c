@@ -1,0 +1,27 @@
+/* Synthetic retry dispatch routine. The lock is acquired and released
+ * under the same test of `attempts`, so proving the locking discipline
+ * needs a predicate over `attempts`; harnesses seed `attempts > 0` in
+ * one polarity (left alone, refinement discovers both sides and their
+ * mutual exclusion keeps them enforce-live). The bookkeeping after the
+ * release decrements `attempts` and stores it into an untracked
+ * global: live C code, but dead at the predicate level, so the
+ * abstraction's final update to the attempts predicate can be
+ * pruned. */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+void IoMarkPending(void) { ; }
+
+int backoff_hint;
+
+void DispatchRetry(int attempts) {
+    if (attempts > 0) {
+        KeAcquireSpinLock();
+    }
+    IoMarkPending();
+    if (attempts > 0) {
+        KeReleaseSpinLock();
+    }
+    attempts = attempts - 1;
+    backoff_hint = attempts;
+}

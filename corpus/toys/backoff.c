@@ -1,0 +1,22 @@
+/* Liveness-stress toy: a polling loop drains two counters, then the
+ * epilogue folds both into untracked bookkeeping. The final decrements
+ * still change the tracked predicates (their weakest preconditions are
+ * not constant), but no later statement observes either predicate, so
+ * a liveness-aware abstraction engine can skip both cube searches. */
+int spent;
+
+int poll(int budget, int signal) {
+    int seen;
+    seen = 0;
+    while (budget > 0) {
+        if (signal > 0) {
+            seen = seen + 1;
+            signal = signal - 1;
+        }
+        budget = budget - 1;
+    }
+    budget = budget - 1;
+    signal = signal - 1;
+    spent = budget + signal;
+    return seen;
+}

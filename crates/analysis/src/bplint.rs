@@ -1,0 +1,875 @@
+//! Static well-formedness verifier ("bp-lint") for generated boolean
+//! programs, plus the liveness-based normalizer the differential test
+//! suite compares pruned/unpruned abstractions with.
+//!
+//! The lint is a CBMC-style sanity gate over `bp::ast`: a boolean
+//! program that trips any check is either malformed (undefined labels,
+//! arity mismatches, undeclared variables) or suspicious in a way a
+//! correct abstraction never is (unreachable code, dead variables,
+//! conflicting parallel-assignment targets, degenerate `enforce`
+//! clauses). C2bp output must lint clean; the seeded-defect fixtures in
+//! the test suite document exactly what each check catches.
+
+use crate::dataflow::{reachable, solve, BitSet, Cfg, Direction};
+use bp::ast::{BExpr, BProc, BProgram, BStmt};
+use bp::flow::{flatten_proc, BInstr, FlatProc};
+use bp::print::{bexpr_to_string, var_to_string};
+use cparse::ast::StmtId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Lint category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// `goto L` where `L` is not defined in the procedure.
+    UndefinedLabel,
+    /// The same label defined more than once in a procedure.
+    DuplicateLabel,
+    /// A statement no path from the procedure entry can reach.
+    UnreachableStmt,
+    /// A declared variable never referenced by any statement.
+    DeadVar,
+    /// The same target assigned twice in one parallel assignment.
+    DuplicateTarget,
+    /// Parallel assignment with differing target/value counts.
+    ArityMismatch,
+    /// A referenced variable not declared in any enclosing scope.
+    UndeclaredVar,
+    /// A call to a procedure the program does not define.
+    UndefinedCallee,
+    /// A call whose argument or destination count disagrees with the
+    /// callee's signature.
+    CallArity,
+    /// A degenerate or ill-scoped `enforce` clause.
+    EnforceMisuse,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintKind::UndefinedLabel => "undefined-label",
+            LintKind::DuplicateLabel => "duplicate-label",
+            LintKind::UnreachableStmt => "unreachable-stmt",
+            LintKind::DeadVar => "dead-var",
+            LintKind::DuplicateTarget => "duplicate-target",
+            LintKind::ArityMismatch => "arity-mismatch",
+            LintKind::UndeclaredVar => "undeclared-var",
+            LintKind::UndefinedCallee => "undefined-callee",
+            LintKind::CallArity => "call-arity",
+            LintKind::EnforceMisuse => "enforce-misuse",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One finding, with enough location detail to act on: the procedure,
+/// the originating C statement id when the boolean statement carries
+/// one, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Lint category.
+    pub kind: LintKind,
+    /// Enclosing procedure (`None` for program-level findings).
+    pub proc: Option<String>,
+    /// Originating C statement, when the statement carries a span.
+    pub stmt: Option<StmtId>,
+    /// Description of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(p) = &self.proc {
+            write!(f, " in `{p}`")?;
+        }
+        if let Some(id) = self.stmt {
+            write!(f, " at C stmt {id}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Runs every check over a boolean program; an empty result means the
+/// program is well-formed.
+pub fn lint_program(program: &BProgram) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let mut referenced_globals: BTreeSet<String> = BTreeSet::new();
+    for proc in &program.procs {
+        lint_proc(program, proc, &mut lints, &mut referenced_globals);
+    }
+    // Program-level: globals no procedure ever references. `enforce`
+    // clauses count as references (checked inside lint_proc).
+    for g in &program.globals {
+        if !referenced_globals.contains(g) {
+            lints.push(Lint {
+                kind: LintKind::DeadVar,
+                proc: None,
+                stmt: None,
+                message: format!("global {} is never referenced", var_to_string(g)),
+            });
+        }
+    }
+    lints.sort_by(|a, b| (&a.proc, a.kind, &a.message).cmp(&(&b.proc, b.kind, &b.message)));
+    lints
+}
+
+fn lint_proc(
+    program: &BProgram,
+    proc: &BProc,
+    lints: &mut Vec<Lint>,
+    referenced_globals: &mut BTreeSet<String>,
+) {
+    let pname = Some(proc.name.clone());
+    let scope: BTreeSet<&str> = program
+        .globals
+        .iter()
+        .chain(proc.formals.iter())
+        .chain(proc.locals.iter())
+        .map(String::as_str)
+        .collect();
+    let globals: BTreeSet<&str> = program.globals.iter().map(String::as_str).collect();
+
+    // -- labels ----------------------------------------------------------
+    let mut defined_labels: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut gotos: Vec<&str> = Vec::new();
+    proc.body.walk(&mut |s| match s {
+        BStmt::Label(l) => *defined_labels.entry(l.as_str()).or_insert(0) += 1,
+        BStmt::Goto(l) => gotos.push(l.as_str()),
+        _ => {}
+    });
+    for (label, count) in &defined_labels {
+        if *count > 1 {
+            lints.push(Lint {
+                kind: LintKind::DuplicateLabel,
+                proc: pname.clone(),
+                stmt: None,
+                message: format!("label `{label}` defined {count} times"),
+            });
+        }
+    }
+    for label in &gotos {
+        if !defined_labels.contains_key(label) {
+            lints.push(Lint {
+                kind: LintKind::UndefinedLabel,
+                proc: pname.clone(),
+                stmt: None,
+                message: format!("goto targets undefined label `{label}`"),
+            });
+        }
+    }
+
+    // -- per-statement checks -------------------------------------------
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    let reference = |referenced: &mut BTreeSet<String>, e: &BExpr| {
+        for v in e.vars() {
+            referenced.insert(v);
+        }
+    };
+    proc.body.walk(&mut |s| match s {
+        BStmt::Assign {
+            id,
+            targets,
+            values,
+        } => {
+            if targets.len() != values.len() {
+                lints.push(Lint {
+                    kind: LintKind::ArityMismatch,
+                    proc: pname.clone(),
+                    stmt: *id,
+                    message: format!(
+                        "parallel assignment has {} targets but {} values",
+                        targets.len(),
+                        values.len()
+                    ),
+                });
+            }
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            for t in targets {
+                if !seen.insert(t.as_str()) {
+                    lints.push(Lint {
+                        kind: LintKind::DuplicateTarget,
+                        proc: pname.clone(),
+                        stmt: *id,
+                        message: format!(
+                            "target {} assigned twice in one parallel assignment",
+                            var_to_string(t)
+                        ),
+                    });
+                }
+                referenced.insert(t.clone());
+            }
+            for v in values {
+                reference(&mut referenced, v);
+            }
+        }
+        BStmt::Assume { cond, .. } | BStmt::Assert { cond, .. } => {
+            reference(&mut referenced, cond);
+        }
+        BStmt::If { cond, .. } | BStmt::While { cond, .. } => {
+            reference(&mut referenced, cond);
+        }
+        BStmt::Call {
+            id,
+            dsts,
+            proc: callee,
+            args,
+        } => {
+            for d in dsts {
+                referenced.insert(d.clone());
+            }
+            for a in args {
+                reference(&mut referenced, a);
+            }
+            match program.proc(callee) {
+                None => lints.push(Lint {
+                    kind: LintKind::UndefinedCallee,
+                    proc: pname.clone(),
+                    stmt: *id,
+                    message: format!("call to undefined procedure `{callee}`"),
+                }),
+                Some(c) => {
+                    if args.len() != c.formals.len() {
+                        lints.push(Lint {
+                            kind: LintKind::CallArity,
+                            proc: pname.clone(),
+                            stmt: *id,
+                            message: format!(
+                                "`{callee}` takes {} arguments, call passes {}",
+                                c.formals.len(),
+                                args.len()
+                            ),
+                        });
+                    }
+                    if !dsts.is_empty() && dsts.len() != c.n_returns {
+                        lints.push(Lint {
+                            kind: LintKind::CallArity,
+                            proc: pname.clone(),
+                            stmt: *id,
+                            message: format!(
+                                "`{callee}` returns {} values, call binds {}",
+                                c.n_returns,
+                                dsts.len()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        BStmt::Return { values, .. } => {
+            for v in values {
+                reference(&mut referenced, v);
+            }
+        }
+        _ => {}
+    });
+    if let Some(e) = &proc.enforce {
+        reference(&mut referenced, e);
+    }
+
+    // -- scoping ---------------------------------------------------------
+    for v in &referenced {
+        if !scope.contains(v.as_str()) {
+            lints.push(Lint {
+                kind: LintKind::UndeclaredVar,
+                proc: pname.clone(),
+                stmt: None,
+                message: format!("{} is referenced but not declared", var_to_string(v)),
+            });
+        }
+        if globals.contains(v.as_str()) {
+            referenced_globals.insert(v.clone());
+        }
+    }
+    for l in &proc.locals {
+        if !referenced.contains(l) {
+            lints.push(Lint {
+                kind: LintKind::DeadVar,
+                proc: pname.clone(),
+                stmt: None,
+                message: format!("local {} is never referenced", var_to_string(l)),
+            });
+        }
+    }
+
+    // -- enforce ---------------------------------------------------------
+    if let Some(e) = &proc.enforce {
+        if !e.is_deterministic() {
+            lints.push(Lint {
+                kind: LintKind::EnforceMisuse,
+                proc: pname.clone(),
+                stmt: None,
+                message: format!(
+                    "enforce clause `{}` is nondeterministic",
+                    bexpr_to_string(e)
+                ),
+            });
+        }
+        if *e == BExpr::Const(false) {
+            lints.push(Lint {
+                kind: LintKind::EnforceMisuse,
+                proc: pname.clone(),
+                stmt: None,
+                message: "enforce clause is `false`: every execution is discarded".into(),
+            });
+        }
+    }
+
+    // -- unreachable code (on the flat form) -----------------------------
+    // Undefined labels make flattening fail; those were reported above.
+    if let Ok(flat) = flatten_proc(proc) {
+        let cfg = flat_cfg(&flat);
+        let live = reachable(&cfg);
+        for (i, ok) in live.iter().enumerate() {
+            if *ok {
+                continue;
+            }
+            // The flattener appends a synthetic fall-off return; it is
+            // legitimately unreachable when the body always returns.
+            if i == flat.instrs.len() - 1
+                && matches!(&flat.instrs[i], BInstr::Return { id: None, .. })
+            {
+                continue;
+            }
+            lints.push(Lint {
+                kind: LintKind::UnreachableStmt,
+                proc: pname.clone(),
+                stmt: flat.instrs[i].id(),
+                message: format!(
+                    "instruction {i} ({}) is unreachable",
+                    instr_mnemonic(&flat.instrs[i])
+                ),
+            });
+        }
+    }
+}
+
+fn instr_mnemonic(i: &BInstr) -> &'static str {
+    match i {
+        BInstr::Assign { .. } => "assign",
+        BInstr::Assume { .. } => "assume",
+        BInstr::Assert { .. } => "assert",
+        BInstr::Branch { .. } => "branch",
+        BInstr::Jump(_) => "jump",
+        BInstr::Call { .. } => "call",
+        BInstr::Return { .. } => "return",
+        BInstr::Nop => "nop",
+    }
+}
+
+/// The CFG of a flat boolean procedure: straight-line fallthrough except
+/// for branches, jumps, and returns.
+pub fn flat_cfg(flat: &FlatProc) -> Cfg {
+    let n = flat.instrs.len();
+    let succs = flat
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(i, instr)| match instr {
+            BInstr::Branch {
+                target_true,
+                target_false,
+                ..
+            } => {
+                if target_true == target_false {
+                    vec![*target_true]
+                } else {
+                    vec![*target_true, *target_false]
+                }
+            }
+            BInstr::Jump(t) => vec![*t],
+            BInstr::Return { .. } => vec![],
+            _ => {
+                if i + 1 < n {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
+            }
+        })
+        .collect();
+    Cfg::new(succs)
+}
+
+// ---------------------------------------------------------------------------
+// Liveness-based normal form
+// ---------------------------------------------------------------------------
+
+/// Strong (faint-variable) liveness per instruction of a flat procedure:
+/// `live_after[i]` holds the variables whose values can still influence
+/// an assume, assert, branch, call, return, or the `enforce` clause.
+///
+/// An assignment target generates its source variables only when the
+/// target itself is live after the instruction, so chains of assignments
+/// that feed nothing — even mutually-recursive ones — stay dead.
+fn strong_liveness(program: &BProgram, proc: &BProc, flat: &FlatProc) -> Vec<BitSet> {
+    let scope = program.scope_of(proc);
+    let index: BTreeMap<&str, usize> = scope
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
+    let bits = scope.len();
+    let mut always = BitSet::empty(bits);
+    // The enforce clause is an implicit assume between every pair of
+    // statements: its variables are live everywhere.
+    if let Some(e) = &proc.enforce {
+        for v in e.vars() {
+            if let Some(&i) = index.get(v.as_str()) {
+                always.insert(i);
+            }
+        }
+    }
+    // Globals survive the procedure and flow through calls.
+    let mut global_bits = BitSet::empty(bits);
+    for g in &program.globals {
+        if let Some(&i) = index.get(g.as_str()) {
+            global_bits.insert(i);
+        }
+    }
+    let add_vars = |set: &mut BitSet, e: &BExpr| {
+        for v in e.vars() {
+            if let Some(&i) = index.get(v.as_str()) {
+                set.insert(i);
+            }
+        }
+    };
+    let cfg = flat_cfg(flat);
+    let mut transfer = |n: usize, live_after: &BitSet| -> BitSet {
+        let mut out = live_after.clone();
+        match &flat.instrs[n] {
+            BInstr::Assign {
+                targets, values, ..
+            } => {
+                // Parallel semantics: record which targets are live, kill
+                // all targets, then gen sources of the live ones.
+                let live_targets: Vec<bool> = targets
+                    .iter()
+                    .map(|t| {
+                        index
+                            .get(t.as_str())
+                            .is_some_and(|&i| live_after.contains(i))
+                    })
+                    .collect();
+                for t in targets {
+                    if let Some(&i) = index.get(t.as_str()) {
+                        out.remove(i);
+                    }
+                }
+                for (j, v) in values.iter().enumerate() {
+                    if live_targets.get(j).copied().unwrap_or(true) {
+                        add_vars(&mut out, v);
+                    }
+                }
+            }
+            BInstr::Assume { cond, .. }
+            | BInstr::Assert { cond, .. }
+            | BInstr::Branch { cond, .. } => add_vars(&mut out, cond),
+            BInstr::Call { dsts, args, .. } => {
+                for d in dsts {
+                    if let Some(&i) = index.get(d.as_str()) {
+                        out.remove(i);
+                    }
+                }
+                for a in args {
+                    add_vars(&mut out, a);
+                }
+                // The callee may read or write any global.
+                out.union_with(&global_bits);
+            }
+            BInstr::Return { values, .. } => {
+                for v in values {
+                    add_vars(&mut out, v);
+                }
+                out.union_with(&global_bits);
+            }
+            BInstr::Jump(_) | BInstr::Nop => {}
+        }
+        out.union_with(&always);
+        out
+    };
+    let sol = solve(
+        &cfg,
+        Direction::Backward,
+        &BitSet::empty(bits),
+        &mut transfer,
+    );
+    sol.exit
+}
+
+/// A canonical, liveness-normalized rendering of a boolean program.
+///
+/// Two abstractions of the same C program — one built with predicate
+/// pruning, one without — differ only in assignments to predicates whose
+/// values nothing downstream observes. This normal form erases exactly
+/// that difference: per procedure it flattens the body, drops
+/// assignments to strongly-dead variables, removes unreachable
+/// instructions, renumbers, and prints the result. Byte-equal normal
+/// forms therefore witness semantically identical programs, which is the
+/// contract `tests/prune_differential.rs` checks across the corpus.
+pub fn normalized_text(program: &BProgram) -> String {
+    let mut out = String::new();
+    for g in &program.globals {
+        out.push_str(&format!("decl {};\n", var_to_string(g)));
+    }
+    for proc in &program.procs {
+        normalize_proc(program, proc, &mut out);
+    }
+    out
+}
+
+fn normalize_proc(program: &BProgram, proc: &BProc, out: &mut String) {
+    out.push_str(&format!(
+        "proc {}({}) returns {}\n",
+        proc.name,
+        proc.formals
+            .iter()
+            .map(|f| var_to_string(f))
+            .collect::<Vec<_>>()
+            .join(", "),
+        proc.n_returns
+    ));
+    for l in &proc.locals {
+        out.push_str(&format!("  decl {};\n", var_to_string(l)));
+    }
+    if let Some(e) = &proc.enforce {
+        out.push_str(&format!("  enforce {};\n", bexpr_to_string(e)));
+    }
+    let Ok(flat) = flatten_proc(proc) else {
+        // Malformed procedure (undefined label): fall back to the raw
+        // body so the caller still gets a stable, comparable rendering.
+        out.push_str(&bp::print::bstmt_to_string(&proc.body, 2));
+        out.push('\n');
+        return;
+    };
+    let scope = program.scope_of(proc);
+    let live_after = strong_liveness(program, proc, &flat);
+    let index: BTreeMap<&str, usize> = scope
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.as_str(), i))
+        .collect();
+    let reach = reachable(&flat_cfg(&flat));
+
+    // Rebuild each instruction, dropping dead assignment targets, then
+    // decide which instructions survive.
+    let n = flat.instrs.len();
+    let mut kept: Vec<Option<BInstr>> = Vec::with_capacity(n);
+    for (i, instr) in flat.instrs.iter().enumerate() {
+        if !reach[i] {
+            kept.push(None);
+            continue;
+        }
+        let slot = match instr {
+            BInstr::Assign {
+                id,
+                targets,
+                values,
+            } => {
+                let mut ts = Vec::new();
+                let mut vs = Vec::new();
+                for (t, v) in targets.iter().zip(values) {
+                    let live = index
+                        .get(t.as_str())
+                        .is_some_and(|&b| live_after[i].contains(b));
+                    if live {
+                        ts.push(t.clone());
+                        vs.push(v.clone());
+                    }
+                }
+                if ts.is_empty() {
+                    None
+                } else {
+                    Some(BInstr::Assign {
+                        id: *id,
+                        targets: ts,
+                        values: vs,
+                    })
+                }
+            }
+            BInstr::Nop => None,
+            other => Some(other.clone()),
+        };
+        kept.push(slot);
+    }
+
+    // Renumber: every old index maps to the next kept instruction at or
+    // after it; jumping past the end means falling off (the synthetic
+    // return is always kept, so this is only a safety net).
+    let mut next_kept = vec![0usize; n + 1];
+    let mut new_count = 0usize;
+    for i in 0..n {
+        next_kept[i] = new_count;
+        if kept[i].is_some() {
+            new_count += 1;
+        }
+    }
+    next_kept[n] = new_count;
+
+    for slot in kept.into_iter().flatten() {
+        let line = match slot {
+            BInstr::Assign {
+                targets, values, ..
+            } => format!(
+                "{} := {}",
+                targets
+                    .iter()
+                    .map(|t| var_to_string(t))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                values
+                    .iter()
+                    .map(bexpr_to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            BInstr::Assume { branch, cond, .. } => match branch {
+                Some(b) => format!("assume[{b}] {}", bexpr_to_string(&cond)),
+                None => format!("assume {}", bexpr_to_string(&cond)),
+            },
+            BInstr::Assert { cond, .. } => format!("assert {}", bexpr_to_string(&cond)),
+            BInstr::Branch {
+                cond,
+                target_true,
+                target_false,
+                ..
+            } => format!(
+                "br {} -> {}, {}",
+                bexpr_to_string(&cond),
+                next_kept[target_true],
+                next_kept[target_false]
+            ),
+            BInstr::Jump(t) => format!("jmp {}", next_kept[t]),
+            BInstr::Call {
+                dsts, proc, args, ..
+            } => format!(
+                "{}call {}({})",
+                if dsts.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "{} := ",
+                        dsts.iter()
+                            .map(|d| var_to_string(d))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                },
+                proc,
+                args.iter()
+                    .map(bexpr_to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            BInstr::Return { values, .. } => format!(
+                "ret {}",
+                values
+                    .iter()
+                    .map(bexpr_to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            BInstr::Nop => unreachable!("nops were dropped"),
+        };
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp::parse_bp;
+
+    fn kinds(program: &BProgram) -> Vec<LintKind> {
+        let mut ks: Vec<LintKind> = lint_program(program).iter().map(|l| l.kind).collect();
+        ks.dedup();
+        ks
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let p = parse_bp(
+            r#"
+            decl g;
+            void main() {
+                bool a;
+                a = g;
+                if (a) { g = false; } else { g = true; }
+                assert(!a || !g);
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(lint_program(&p), Vec::new());
+    }
+
+    #[test]
+    fn undefined_and_duplicate_labels() {
+        let p = parse_bp("void main() { L: skip; L: skip; goto M; }").unwrap();
+        let ks = kinds(&p);
+        assert!(ks.contains(&LintKind::DuplicateLabel));
+        assert!(ks.contains(&LintKind::UndefinedLabel));
+    }
+
+    #[test]
+    fn unreachable_after_return() {
+        let p = parse_bp("decl g; void main() { return; g = true; }").unwrap();
+        assert!(kinds(&p).contains(&LintKind::UnreachableStmt));
+    }
+
+    #[test]
+    fn dead_local_flagged_dead_global_flagged() {
+        let p = parse_bp("decl g; void main() { bool a; skip; }").unwrap();
+        let ls = lint_program(&p);
+        let dead: Vec<&Lint> = ls.iter().filter(|l| l.kind == LintKind::DeadVar).collect();
+        assert_eq!(dead.len(), 2, "{ls:?}");
+    }
+
+    #[test]
+    fn duplicate_parallel_target() {
+        let p = parse_bp("decl g; void main() { g, g = true, false; }").unwrap();
+        assert!(kinds(&p).contains(&LintKind::DuplicateTarget));
+    }
+
+    #[test]
+    fn undeclared_variable() {
+        let p = parse_bp("void main() { phantom = true; }").unwrap();
+        assert!(kinds(&p).contains(&LintKind::UndeclaredVar));
+    }
+
+    #[test]
+    fn undefined_callee_and_arity() {
+        let p = parse_bp(
+            r#"
+            void callee(x) { skip; }
+            void main() {
+                bool a;
+                a = true;
+                callee(a, a);
+                missing();
+            }
+        "#,
+        )
+        .unwrap();
+        let ks = kinds(&p);
+        assert!(ks.contains(&LintKind::UndefinedCallee));
+        assert!(ks.contains(&LintKind::CallArity));
+    }
+
+    #[test]
+    fn enforce_false_flagged() {
+        let mut p = parse_bp("decl g; void main() { g = true; }").unwrap();
+        p.procs[0].enforce = Some(BExpr::Const(false));
+        assert!(kinds(&p).contains(&LintKind::EnforceMisuse));
+    }
+
+    #[test]
+    fn enforce_nondet_flagged() {
+        let mut p = parse_bp("decl g; void main() { g = true; }").unwrap();
+        p.procs[0].enforce = Some(BExpr::or([BExpr::var("g"), BExpr::Nondet]));
+        assert!(kinds(&p).contains(&LintKind::EnforceMisuse));
+    }
+
+    #[test]
+    fn normalization_drops_dead_assignment_chains() {
+        // `a` feeds `b`, `b` feeds nothing: both assignments are faint
+        // and must normalize away, leaving the two programs byte-equal.
+        let with_chain = parse_bp(
+            r#"
+            decl g;
+            void main() {
+                bool a; bool b;
+                a = g;
+                b = a;
+                g = !g;
+            }
+        "#,
+        )
+        .unwrap();
+        let without = parse_bp(
+            r#"
+            decl g;
+            void main() {
+                bool a; bool b;
+                g = !g;
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(normalized_text(&with_chain), normalized_text(&without));
+    }
+
+    #[test]
+    fn normalization_keeps_observable_assignments() {
+        let p = parse_bp(
+            r#"
+            decl g;
+            void main() {
+                bool a;
+                a = g;
+                assert(a);
+            }
+        "#,
+        )
+        .unwrap();
+        let text = normalized_text(&p);
+        assert!(text.contains(":= g"), "{text}");
+        assert!(text.contains("assert"), "{text}");
+    }
+
+    #[test]
+    fn normalization_redirects_jumps_over_dropped_instrs() {
+        // The dead store sits inside a loop body; dropping it must not
+        // break the loop's branch targets.
+        let p = parse_bp(
+            r#"
+            decl g;
+            void main() {
+                bool dead;
+                while (*) {
+                    dead = g;
+                    g = !g;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let q = parse_bp(
+            r#"
+            decl g;
+            void main() {
+                bool dead;
+                while (*) {
+                    g = !g;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(normalized_text(&p), normalized_text(&q));
+    }
+
+    #[test]
+    fn enforce_keeps_its_variables_live() {
+        let mut p = parse_bp(
+            r#"
+            decl g;
+            void main() {
+                bool a;
+                a = g;
+                g = !g;
+            }
+        "#,
+        )
+        .unwrap();
+        p.procs[0].enforce = Some(BExpr::or([BExpr::var("a"), BExpr::var("g")]));
+        let text = normalized_text(&p);
+        assert!(
+            text.contains("a := g") || text.contains("{a} := g"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Call graph over a [`cparse::ast::Program`]: direct-call edges,
+//! Tarjan strongly-connected components, and a bottom-up ordering for
+//! interprocedural summary propagation.
+
+use cparse::ast::{Expr, Program, Stmt};
+use std::collections::BTreeMap;
+
+/// The call graph of a program, with nodes in program function order.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Function names, in program declaration order.
+    pub names: Vec<String>,
+    /// `callees[i]` lists indices of functions that `names[i]` calls
+    /// directly (deduplicated, sorted; unknown callees are dropped).
+    pub callees: Vec<Vec<usize>>,
+    /// Strongly-connected components in reverse topological order:
+    /// callees appear before callers, so iterating `sccs` in order is a
+    /// bottom-up traversal. Each component lists node indices.
+    pub sccs: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph and its SCC decomposition.
+    pub fn build(program: &Program) -> CallGraph {
+        let names: Vec<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+        let index: BTreeMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        for (i, f) in program.functions.iter().enumerate() {
+            f.body.walk(&mut |stmt| {
+                if let Stmt::Call { func, .. } = stmt {
+                    if let Some(&j) = index.get(func.as_str()) {
+                        callees[i].push(j);
+                    }
+                }
+            });
+            callees[i].sort_unstable();
+            callees[i].dedup();
+        }
+        let sccs = tarjan(&callees);
+        CallGraph {
+            names,
+            callees,
+            sccs,
+        }
+    }
+
+    /// Index of a function by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// True if `node` sits on a call cycle (including self-recursion).
+    pub fn is_recursive(&self, node: usize) -> bool {
+        self.sccs
+            .iter()
+            .find(|scc| scc.contains(&node))
+            .map(|scc| scc.len() > 1 || self.callees[node].contains(&node))
+            .unwrap_or(false)
+    }
+}
+
+/// Iterative Tarjan SCC; components come out in reverse topological
+/// order (callees before callers), which is exactly the bottom-up
+/// summary-propagation order.
+fn tarjan(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succs.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // explicit DFS frames: (node, next-child position)
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < succs[v].len() {
+                let w = succs[v][*child];
+                *child += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Visits every expression appearing in a statement tree (conditions,
+/// assignment sides, call arguments and destinations, returned values).
+pub fn walk_exprs(body: &Stmt, f: &mut dyn FnMut(&Expr)) {
+    body.walk(&mut |stmt| match stmt {
+        Stmt::Assign { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Stmt::Call { dst, args, .. } => {
+            if let Some(d) = dst {
+                f(d);
+            }
+            for a in args {
+                f(a);
+            }
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => f(cond),
+        Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => f(cond),
+        Stmt::Return { value: Some(e), .. } => f(e),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_sccs(succs: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        tarjan(&succs)
+    }
+
+    #[test]
+    fn sccs_come_out_bottom_up() {
+        // 0 -> 1 -> 2, 2 -> 1 (cycle {1,2}), 0 -> 3
+        let sccs = graph_sccs(vec![vec![1, 3], vec![2], vec![1], vec![]]);
+        // Components in reverse topological order: leaves first.
+        let pos = |node: usize| {
+            sccs.iter()
+                .position(|c| c.contains(&node))
+                .expect("node in some scc")
+        };
+        assert!(pos(1) < pos(0), "callee cycle before caller");
+        assert!(pos(3) < pos(0));
+        assert_eq!(sccs[pos(1)], vec![1, 2]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let sccs = graph_sccs(vec![vec![0]]);
+        assert_eq!(sccs, vec![vec![0]]);
+    }
+
+    #[test]
+    fn callgraph_from_source() {
+        let program = cparse::parse_and_simplify(
+            "int g;\n\
+             void leaf() { g = 1; }\n\
+             void mid() { leaf(); }\n\
+             void main() { mid(); leaf(); }\n",
+        )
+        .expect("parse");
+        let cg = CallGraph::build(&program);
+        let leaf = cg.index_of("leaf").unwrap();
+        let mid = cg.index_of("mid").unwrap();
+        let main = cg.index_of("main").unwrap();
+        assert_eq!(cg.callees[main], {
+            let mut v = vec![mid, leaf];
+            v.sort_unstable();
+            v
+        });
+        assert!(!cg.is_recursive(main));
+        let pos = |node: usize| cg.sccs.iter().position(|c| c.contains(&node)).unwrap();
+        assert!(pos(leaf) < pos(mid) && pos(mid) < pos(main));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let program = cparse::parse_and_simplify(
+            "int g;\n\
+             void even() { if (g) { odd(); } }\n\
+             void odd() { if (g) { even(); } }\n\
+             void main() { even(); }\n",
+        )
+        .expect("parse");
+        let cg = CallGraph::build(&program);
+        assert!(cg.is_recursive(cg.index_of("even").unwrap()));
+        assert!(cg.is_recursive(cg.index_of("odd").unwrap()));
+        assert!(!cg.is_recursive(cg.index_of("main").unwrap()));
+    }
+}

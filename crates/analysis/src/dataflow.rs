@@ -1,0 +1,389 @@
+//! A generic monotone dataflow framework: bit-vector facts, a CFG
+//! abstraction, and a forward/backward worklist solver.
+//!
+//! The solver is deliberately small: facts are [`BitSet`]s over a
+//! caller-chosen universe (predicates, boolean variables, reachability
+//! bits), transfer functions are arbitrary monotone closures, and the
+//! fixpoint is the classic Kildall worklist. Callers instantiate it for
+//! MOD/REF-style summaries, predicate liveness, boolean-variable strong
+//! liveness, and plain reachability; a brute-force round-robin fixpoint
+//! in the test suite pins down the solver contract.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A fixed-width bit set; the dataflow fact lattice (`⊥` = empty,
+/// join = union).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    bits: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `bits` elements.
+    pub fn empty(bits: usize) -> BitSet {
+        BitSet {
+            bits,
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// The full set over a universe of `bits` elements.
+    pub fn full(bits: usize) -> BitSet {
+        let mut s = BitSet::empty(bits);
+        for i in 0..bits {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Sets bit `i`; returns true if it was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Clears bit `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.bits, other.bits);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self ∖= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.bits, other.bits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.bits).filter(|&i| self.contains(i))
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A control-flow graph given purely by successor lists; node 0 is the
+/// entry.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[n]` lists the successors of node `n`.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds a CFG from successor lists.
+    pub fn new(succs: Vec<Vec<usize>>) -> Cfg {
+        Cfg { succs }
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Predecessor lists derived from `succs`.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.succs.len()];
+        for (n, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(n);
+            }
+        }
+        preds
+    }
+}
+
+/// Analysis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow along edges (entry fact at node 0).
+    Forward,
+    /// Facts flow against edges (boundary fact at exit nodes).
+    Backward,
+}
+
+/// The fixpoint: one fact pair per node, in execution order.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Fact at the *entry* of each node (before the node executes).
+    pub entry: Vec<BitSet>,
+    /// Fact at the *exit* of each node (after the node executes).
+    pub exit: Vec<BitSet>,
+}
+
+/// Runs the worklist solver to fixpoint.
+///
+/// * `boundary` seeds the entry of node 0 (forward) or the exit of every
+///   node without successors (backward).
+/// * `transfer(n, input) -> output` maps the node's input-side fact to
+///   its output side (entry→exit when forward, exit→entry when
+///   backward). It must be monotone in `input` for termination.
+///
+/// The worklist is seeded in a fixed order and deduplicated, so the
+/// result — a unique least fixpoint for monotone transfers — is also
+/// reached deterministically.
+pub fn solve(
+    cfg: &Cfg,
+    direction: Direction,
+    boundary: &BitSet,
+    transfer: &mut dyn FnMut(usize, &BitSet) -> BitSet,
+) -> Solution {
+    let n = cfg.len();
+    let bits = boundary.len();
+    let mut entry = vec![BitSet::empty(bits); n];
+    let mut exit = vec![BitSet::empty(bits); n];
+    if n == 0 {
+        return Solution { entry, exit };
+    }
+    let preds = cfg.preds();
+    // the edge relation the facts flow along
+    let (flow_in, flow_out): (&Vec<Vec<usize>>, &Vec<Vec<usize>>) = match direction {
+        Forward => (&preds, &cfg.succs),
+        Backward => (&cfg.succs, &preds),
+    };
+    use Direction::*;
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    // seed the boundary
+    match direction {
+        Forward => {
+            entry[0] = boundary.clone();
+        }
+        Backward => {
+            for (i, ss) in cfg.succs.iter().enumerate() {
+                if ss.is_empty() {
+                    exit[i] = boundary.clone();
+                }
+            }
+        }
+    }
+    while let Some(node) = queue.pop_front() {
+        queued[node] = false;
+        // join the incoming facts
+        let (input, output) = match direction {
+            Forward => (&mut entry, &mut exit),
+            Backward => (&mut exit, &mut entry),
+        };
+        for &p in &flow_in[node] {
+            let incoming = output[p].clone();
+            input[node].union_with(&incoming);
+        }
+        let next = transfer(node, &input[node]);
+        if next != output[node] {
+            output[node] = next;
+            for &s in &flow_out[node] {
+                if !queued[s] {
+                    queued[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+    Solution { entry, exit }
+}
+
+/// Convenience: gen/kill instantiation of [`solve`]
+/// (`out = gen ∪ (in ∖ kill)`).
+pub fn solve_gen_kill(
+    cfg: &Cfg,
+    direction: Direction,
+    boundary: &BitSet,
+    gen: &[BitSet],
+    kill: &[BitSet],
+) -> Solution {
+    solve(cfg, direction, boundary, &mut |n, input| {
+        let mut out = input.clone();
+        out.subtract(&kill[n]);
+        out.union_with(&gen[n]);
+        out
+    })
+}
+
+/// Forward reachability from the entry node: the set of nodes a path
+/// from node 0 can visit.
+pub fn reachable(cfg: &Cfg) -> Vec<bool> {
+    let n = cfg.len();
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return seen;
+    }
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(node) = stack.pop() {
+        for &s in &cfg.succs[node] {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(bits: usize, elems: &[usize]) -> BitSet {
+        let mut s = BitSet::empty(bits);
+        for &e in elems {
+            s.insert(e);
+        }
+        s
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::empty(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        s.remove(0);
+        assert!(!s.contains(0));
+        let full = BitSet::full(130);
+        assert_eq!(full.count(), 130);
+    }
+
+    #[test]
+    fn forward_gen_kill_on_a_diamond() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3: reaching "definitions" {0..3}, each
+        // node generates its own bit
+        let cfg = Cfg::new(vec![vec![1, 2], vec![3], vec![3], vec![]]);
+        let bits = 4;
+        let gen: Vec<BitSet> = (0..4).map(|i| set(bits, &[i])).collect();
+        let kill = vec![BitSet::empty(bits); 4];
+        let sol = solve_gen_kill(&cfg, Direction::Forward, &BitSet::empty(bits), &gen, &kill);
+        assert_eq!(sol.entry[3], set(bits, &[0, 1, 2]));
+        assert_eq!(sol.exit[3], set(bits, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn backward_liveness_through_a_loop() {
+        // 0: x=.. ; 1: loop head (uses x); 2: body (kills x, re-gens x);
+        // 3: exit (no successors)
+        let cfg = Cfg::new(vec![vec![1], vec![2, 3], vec![1], vec![]]);
+        let bits = 1;
+        let gen = vec![
+            BitSet::empty(bits),
+            set(bits, &[0]),
+            set(bits, &[0]),
+            BitSet::empty(bits),
+        ];
+        let kill = vec![
+            BitSet::empty(bits),
+            BitSet::empty(bits),
+            set(bits, &[0]),
+            BitSet::empty(bits),
+        ];
+        let sol = solve_gen_kill(&cfg, Direction::Backward, &BitSet::empty(bits), &gen, &kill);
+        // x is live into the loop head and into node 0
+        assert!(sol.entry[1].contains(0));
+        assert!(sol.entry[0].contains(0));
+        // nothing is live out of the exit
+        assert!(sol.exit[3].is_empty());
+    }
+
+    #[test]
+    fn conditional_transfer_models_strong_liveness() {
+        // strong liveness: node 1 assigns t := f(u) — u becomes live only
+        // if t is live after. Node 2 uses t; node 3 uses nothing.
+        // CFG A: 0 -> 1 -> 2(end).  CFG B: 0 -> 1 -> 3(end).
+        let bits = 2; // bit 0 = t, bit 1 = u
+        let run = |last_gen: BitSet| {
+            let cfg = Cfg::new(vec![vec![1], vec![2], vec![]]);
+            let mut transfer = |n: usize, input: &BitSet| -> BitSet {
+                let mut out = input.clone();
+                if n == 1 {
+                    let t_live = out.contains(0);
+                    out.remove(0);
+                    if t_live {
+                        out.insert(1);
+                    }
+                }
+                if n == 2 {
+                    out.union_with(&last_gen);
+                }
+                out
+            };
+            solve(
+                &cfg,
+                Direction::Backward,
+                &BitSet::empty(bits),
+                &mut transfer,
+            )
+        };
+        let uses_t = run(set(bits, &[0]));
+        assert!(uses_t.entry[1].contains(1), "u live when t is used");
+        let uses_nothing = run(BitSet::empty(bits));
+        assert!(
+            !uses_nothing.entry[1].contains(1),
+            "u faint when t is faint"
+        );
+    }
+
+    #[test]
+    fn reachability_skips_disconnected_nodes() {
+        let cfg = Cfg::new(vec![vec![1], vec![], vec![1]]);
+        assert_eq!(reachable(&cfg), vec![true, true, false]);
+    }
+
+    #[test]
+    fn empty_cfg_is_fine() {
+        let cfg = Cfg::new(Vec::new());
+        let sol = solve_gen_kill(&cfg, Direction::Forward, &BitSet::empty(0), &[], &[]);
+        assert!(sol.entry.is_empty() && sol.exit.is_empty());
+        assert!(reachable(&cfg).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Static analyses for the SLAM toolkit.
+//!
+//! This crate hosts the toolkit's dataflow layer, kept deliberately
+//! independent of the abstraction engine so every client — signature
+//! computation, predicate pruning, the boolean-program verifier —
+//! consumes the same solver and the same summaries:
+//!
+//! * [`dataflow`] — a generic monotone framework: bit-vector facts, a
+//!   successor-list CFG, and a forward/backward worklist solver whose
+//!   contract is pinned by a brute-force fixpoint oracle in the tests.
+//! * [`callgraph`] — direct-call graph with Tarjan SCCs in bottom-up
+//!   (callee-first) order.
+//! * [`modref`] — interprocedural MOD/REF summaries, resolved against
+//!   the Steensgaard points-to graph at query time. Replaces the old
+//!   syntactic "assigned or address-taken" mod-set walk in signature
+//!   computation.
+//! * [`bplint`] — a static well-formedness verifier for generated
+//!   boolean programs, plus the liveness-based normal form used to
+//!   compare pruned and unpruned abstractions byte-for-byte.
+
+#![warn(missing_docs)]
+
+pub mod bplint;
+pub mod callgraph;
+pub mod dataflow;
+pub mod modref;
+
+pub use bplint::{lint_program, normalized_text, Lint, LintKind};
+pub use callgraph::CallGraph;
+pub use dataflow::{reachable, solve, solve_gen_kill, BitSet, Cfg, Direction, Solution};
+pub use modref::{FnEffects, ModRef, Place};

@@ -1,0 +1,426 @@
+//! Interprocedural MOD/REF summaries.
+//!
+//! For every procedure we compute which *places* (globals and named
+//! locals) it may write or read, directly or through pointers, including
+//! the transitive effects of its callees. Summaries are propagated
+//! bottom-up over the call graph's strongly-connected components, with a
+//! fixpoint inside each component so recursion converges.
+//!
+//! Deref writes are kept symbolic — "writes through pointer `p` of
+//! function `f`" — and resolved against [`pointsto::PointsTo`] at query
+//! time, so the summary itself stays flow- and alias-insensitive while
+//! queries get the full benefit of the points-to graph.
+
+use crate::callgraph::CallGraph;
+use cparse::ast::{Expr, Program, Stmt, Type};
+use pointsto::PointsTo;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A named storage location, resolved to its owning scope.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Place {
+    /// A global variable.
+    Global(String),
+    /// A local or formal of a specific function.
+    Local(String, String),
+}
+
+impl Place {
+    fn resolve(program: &Program, func: &str, name: &str) -> Place {
+        if let Some(f) = program.function(func) {
+            if f.var_type(name).is_some() {
+                return Place::Local(func.to_string(), name.to_string());
+            }
+        }
+        // Unknown names resolve to globals: `may_point_to` applies the
+        // same fallback, so queries stay consistent.
+        Place::Global(name.to_string())
+    }
+
+    /// The variable name of this place.
+    pub fn name(&self) -> &str {
+        match self {
+            Place::Global(n) | Place::Local(_, n) => n,
+        }
+    }
+}
+
+/// The transitive effect summary of one procedure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnEffects {
+    /// Places written directly by name (`x = e`, `x.f = e`, `a[i] = e`
+    /// for array-typed `a`).
+    pub mod_direct: BTreeSet<Place>,
+    /// Pointers written *through* (`*p = e`, `p->f = e`, `p[i] = e`),
+    /// as (owning function, pointer variable) pairs. The places actually
+    /// modified are whatever these pointers may point to.
+    pub mod_deref: BTreeSet<(String, String)>,
+    /// Places read by name.
+    pub ref_direct: BTreeSet<Place>,
+    /// Pointers read through, as (owning function, pointer variable).
+    pub ref_deref: BTreeSet<(String, String)>,
+    /// True if the procedure (transitively) calls a function with no
+    /// definition in the program; every query then answers "maybe".
+    pub clobbers_unknown: bool,
+}
+
+impl FnEffects {
+    fn union_with(&mut self, other: &FnEffects) -> bool {
+        let before = (
+            self.mod_direct.len(),
+            self.mod_deref.len(),
+            self.ref_direct.len(),
+            self.ref_deref.len(),
+            self.clobbers_unknown,
+        );
+        self.mod_direct.extend(other.mod_direct.iter().cloned());
+        self.mod_deref.extend(other.mod_deref.iter().cloned());
+        self.ref_direct.extend(other.ref_direct.iter().cloned());
+        self.ref_deref.extend(other.ref_deref.iter().cloned());
+        self.clobbers_unknown |= other.clobbers_unknown;
+        before
+            != (
+                self.mod_direct.len(),
+                self.mod_deref.len(),
+                self.ref_direct.len(),
+                self.ref_deref.len(),
+                self.clobbers_unknown,
+            )
+    }
+}
+
+/// Interprocedural MOD/REF results for a whole program.
+#[derive(Debug, Clone)]
+pub struct ModRef {
+    effects: BTreeMap<String, FnEffects>,
+}
+
+impl ModRef {
+    /// Computes transitive per-procedure effect summaries.
+    pub fn analyze(program: &Program) -> ModRef {
+        let cg = CallGraph::build(program);
+        let mut effects: BTreeMap<String, FnEffects> = BTreeMap::new();
+        // Local (intraprocedural) effects first.
+        for f in &program.functions {
+            effects.insert(f.name.clone(), local_effects(program, f));
+        }
+        // Bottom-up over SCCs; fixpoint within each component handles
+        // recursion. Unknown callees were already flagged by
+        // `local_effects`.
+        for scc in &cg.sccs {
+            loop {
+                let mut changed = false;
+                for &node in scc {
+                    let name = &cg.names[node];
+                    for &callee in &cg.callees[node] {
+                        let callee_fx = effects[&cg.names[callee]].clone();
+                        changed |= effects
+                            .get_mut(name)
+                            .expect("every function has effects")
+                            .union_with(&callee_fx);
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        ModRef { effects }
+    }
+
+    /// The transitive effect summary of `func` (empty if unknown).
+    pub fn effects(&self, func: &str) -> FnEffects {
+        self.effects.get(func).cloned().unwrap_or(FnEffects {
+            clobbers_unknown: true,
+            ..FnEffects::default()
+        })
+    }
+
+    /// May executing `func` modify the variable `var` visible in scope
+    /// `var_func`? `false` is definitive; `true` means "maybe". Sound
+    /// for globals and for `var_func`'s locals/formals whose address may
+    /// escape into `func`.
+    pub fn may_modify(&self, pts: &mut PointsTo, func: &str, var_func: &str, var: &str) -> bool {
+        let Some(fx) = self.effects.get(func) else {
+            return true;
+        };
+        if fx.clobbers_unknown {
+            return true;
+        }
+        let queried_local = Place::Local(var_func.to_string(), var.to_string());
+        let queried_global = Place::Global(var.to_string());
+        if fx.mod_direct.contains(&queried_local) || fx.mod_direct.contains(&queried_global) {
+            return true;
+        }
+        fx.mod_deref
+            .iter()
+            .any(|(pf, p)| pts.may_point_to(pf, p, var_func, var))
+    }
+
+    /// May executing `func` read the variable `var` visible in scope
+    /// `var_func`? `false` is definitive.
+    pub fn may_ref(&self, pts: &mut PointsTo, func: &str, var_func: &str, var: &str) -> bool {
+        let Some(fx) = self.effects.get(func) else {
+            return true;
+        };
+        if fx.clobbers_unknown {
+            return true;
+        }
+        let queried_local = Place::Local(var_func.to_string(), var.to_string());
+        let queried_global = Place::Global(var.to_string());
+        if fx.ref_direct.contains(&queried_local) || fx.ref_direct.contains(&queried_global) {
+            return true;
+        }
+        fx.ref_deref
+            .iter()
+            .any(|(pf, p)| pts.may_point_to(pf, p, var_func, var))
+    }
+
+    /// The formals of `func` that the procedure may modify — the MOD set
+    /// restricted to parameters, which is what signature computation
+    /// (footnote 4 of the paper) needs.
+    pub fn modified_formals(
+        &self,
+        pts: &mut PointsTo,
+        program: &Program,
+        func: &str,
+    ) -> Vec<String> {
+        let Some(f) = program.function(func) else {
+            return Vec::new();
+        };
+        f.params
+            .iter()
+            .filter(|p| self.may_modify(pts, func, func, &p.name))
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// The globals that `func` may modify, in sorted order.
+    pub fn modified_globals(
+        &self,
+        pts: &mut PointsTo,
+        program: &Program,
+        func: &str,
+    ) -> Vec<String> {
+        program
+            .globals
+            .iter()
+            .filter(|(g, _)| self.may_modify(pts, func, func, g))
+            .map(|(g, _)| g.clone())
+            .collect()
+    }
+}
+
+/// True if the root of this lvalue path is written *directly* (no
+/// pointer hop): returns the root name, plus whether the path crossed an
+/// `Index` (which is a direct write only for array-typed roots).
+fn lvalue_root(e: &Expr) -> Option<(&str, bool)> {
+    match e {
+        Expr::Var(x) => Some((x, false)),
+        Expr::Field(b, _) => lvalue_root(b),
+        Expr::Index(b, _) => lvalue_root(b).map(|(x, _)| (x, true)),
+        _ => None,
+    }
+}
+
+fn is_array(program: &Program, func: &cparse::ast::Function, name: &str) -> bool {
+    let ty = func.var_type(name).or_else(|| program.global_type(name));
+    matches!(ty, Some(Type::Array(_, _)))
+}
+
+fn local_effects(program: &Program, f: &cparse::ast::Function) -> FnEffects {
+    let mut fx = FnEffects::default();
+    let fname = f.name.as_str();
+    let record_write = |fx: &mut FnEffects, lhs: &Expr| {
+        if let Some((root, crossed_index)) = lvalue_root(lhs) {
+            if !crossed_index || is_array(program, f, root) {
+                fx.mod_direct.insert(Place::resolve(program, fname, root));
+            }
+        }
+        // Every dereferenced/indexed base is a write through a pointer;
+        // array roots land here too, which only adds conservatism.
+        for p in lhs.derefd_vars() {
+            fx.mod_deref.insert((fname.to_string(), p));
+        }
+    };
+    f.body.walk(&mut |stmt| match stmt {
+        Stmt::Assign { lhs, rhs, .. } => {
+            record_write(&mut fx, lhs);
+            for v in rhs.vars() {
+                fx.ref_direct.insert(Place::resolve(program, fname, &v));
+            }
+            for p in rhs.derefd_vars() {
+                fx.ref_deref.insert((fname.to_string(), p));
+            }
+            // Reads feeding the lvalue itself (index exprs, pointer bases).
+            for v in lhs.vars() {
+                fx.ref_direct.insert(Place::resolve(program, fname, &v));
+            }
+        }
+        Stmt::Call {
+            dst, func, args, ..
+        } => {
+            if program.function(func).is_none() {
+                fx.clobbers_unknown = true;
+            }
+            if let Some(d) = dst {
+                record_write(&mut fx, d);
+            }
+            for a in args {
+                for v in a.vars() {
+                    fx.ref_direct.insert(Place::resolve(program, fname, &v));
+                }
+                for p in a.derefd_vars() {
+                    fx.ref_deref.insert((fname.to_string(), p));
+                }
+                // `f(&x)` lets the callee write `x`; the callee's own
+                // `*p = ..` shows up as a deref through its formal, which
+                // points-to connects back to `x`. Nothing extra needed
+                // here — points-to already models the binding.
+            }
+        }
+        Stmt::If { cond, .. }
+        | Stmt::While { cond, .. }
+        | Stmt::Assert { cond, .. }
+        | Stmt::Assume { cond, .. } => {
+            for v in cond.vars() {
+                fx.ref_direct.insert(Place::resolve(program, fname, &v));
+            }
+            for p in cond.derefd_vars() {
+                fx.ref_deref.insert((fname.to_string(), p));
+            }
+        }
+        Stmt::Return { value: Some(e), .. } => {
+            for v in e.vars() {
+                fx.ref_direct.insert(Place::resolve(program, fname, &v));
+            }
+            for p in e.derefd_vars() {
+                fx.ref_deref.insert((fname.to_string(), p));
+            }
+        }
+        _ => {}
+    });
+    fx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> (Program, ModRef, PointsTo) {
+        let program = cparse::parse_and_simplify(src).expect("parse");
+        let mr = ModRef::analyze(&program);
+        let pts = PointsTo::analyze(&program);
+        (program, mr, pts)
+    }
+
+    #[test]
+    fn direct_assignment_modifies_formal() {
+        let (program, mr, mut pts) =
+            setup("void f(int x, int y) { x = y + 1; } void main() { f(1, 2); }");
+        assert_eq!(mr.modified_formals(&mut pts, &program, "f"), vec!["x"]);
+    }
+
+    #[test]
+    fn write_through_pointer_modifies_pointed_to_formal() {
+        let (program, mr, mut pts) = setup(
+            "void set(int* p) { *p = 0; }\n\
+             void f(int x, int y) { set(&x); }\n\
+             void main() { f(1, 2); }",
+        );
+        // `f` modifies `x` only through `set`'s pointer write.
+        assert!(mr.may_modify(&mut pts, "f", "f", "x"));
+        assert_eq!(mr.modified_formals(&mut pts, &program, "f"), vec!["x"]);
+        // `y`'s address never escapes: definitively unmodified.
+        assert!(!mr.may_modify(&mut pts, "f", "f", "y"));
+    }
+
+    #[test]
+    fn address_taken_but_never_written_is_not_modified() {
+        let (program, mr, mut pts) = setup(
+            "int g;\n\
+             void observe(int* p) { g = *p; }\n\
+             void f(int x) { observe(&x); }\n\
+             void main() { f(1); }",
+        );
+        // The old syntactic walk treated `&x` as a modification; the
+        // MOD/REF summary sees only a read through the pointer.
+        assert!(mr.modified_formals(&mut pts, &program, "f").is_empty());
+        assert!(mr.may_ref(&mut pts, "f", "f", "x"));
+        assert!(mr.may_modify(&mut pts, "f", "f", "g"));
+        let _ = program;
+    }
+
+    #[test]
+    fn global_effects_propagate_bottom_up() {
+        let (program, mr, mut pts) = setup(
+            "int g; int h;\n\
+             void leaf() { g = 1; }\n\
+             void mid() { leaf(); }\n\
+             void main() { mid(); }",
+        );
+        assert_eq!(mr.modified_globals(&mut pts, &program, "main"), vec!["g"]);
+        assert!(!mr.may_modify(&mut pts, "main", "main", "h"));
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let (_, mr, mut pts) = setup(
+            "int g; int h;\n\
+             void even(int n) { if (n) { h = 1; odd(n - 1); } }\n\
+             void odd(int n) { if (n) { g = 1; even(n - 1); } }\n\
+             void main() { even(4); }",
+        );
+        assert!(mr.may_modify(&mut pts, "even", "even", "g"));
+        assert!(mr.may_modify(&mut pts, "odd", "odd", "h"));
+    }
+
+    #[test]
+    fn unknown_callee_clobbers_everything() {
+        // The frontend rejects calls to undefined functions, so build the
+        // situation by renaming a callee after parsing: this models
+        // externally-linked code the analysis must stay sound for.
+        let mut program = cparse::parse_and_simplify(
+            "int g; void known() { g = g; } void f(int x) { known(); } void main() { f(0); }",
+        )
+        .expect("parse");
+        fn rename_calls(s: &mut Stmt) {
+            match s {
+                Stmt::Call { func, .. } if func == "known" => *func = "mystery".to_string(),
+                Stmt::Seq(ss) => ss.iter_mut().for_each(rename_calls),
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    rename_calls(then_branch);
+                    rename_calls(else_branch);
+                }
+                Stmt::While { body, .. } => rename_calls(body),
+                _ => {}
+            }
+        }
+        rename_calls(&mut program.function_mut("f").unwrap().body);
+        let mr = ModRef::analyze(&program);
+        let mut pts = PointsTo::analyze(&program);
+        assert!(mr.effects("f").clobbers_unknown);
+        assert!(mr.may_modify(&mut pts, "f", "f", "x"));
+        assert!(mr.may_modify(&mut pts, "main", "main", "g"));
+        // `main` transitively calls the unknown function too.
+        assert!(mr.effects("main").clobbers_unknown);
+        // A function that never touches the unknown callee keeps precise
+        // answers.
+        assert!(!mr.effects("known").clobbers_unknown);
+    }
+
+    #[test]
+    fn ref_tracks_reads() {
+        let (_, mr, mut pts) = setup(
+            "int g;\n\
+             void f(int x, int y) { x = g; }\n\
+             void main() { f(1, 2); }",
+        );
+        assert!(mr.may_ref(&mut pts, "f", "f", "g"));
+        assert!(!mr.may_ref(&mut pts, "f", "f", "y"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Pins the worklist solver's contract against a brute-force oracle: a
+//! round-robin fixpoint that re-applies every transfer until nothing
+//! changes. For monotone transfers both must reach the same (unique
+//! least) fixpoint, on random CFGs, in both directions.
+
+use analysis::dataflow::{solve_gen_kill, BitSet, Cfg, Direction, Solution};
+use testutil::{run_cases, Rng};
+
+#[derive(Debug)]
+struct Case {
+    cfg: Cfg,
+    bits: usize,
+    boundary: BitSet,
+    gen: Vec<BitSet>,
+    kill: Vec<BitSet>,
+}
+
+fn random_case(rng: &mut Rng) -> Case {
+    let n = rng.gen_range(1, 12) as usize;
+    let bits = rng.gen_range(1, 9) as usize;
+    let mut succs = vec![Vec::new(); n];
+    for (i, ss) in succs.iter_mut().enumerate() {
+        // Mostly fallthrough-shaped with random extra edges (loops,
+        // skips, back edges) and occasional exits.
+        if i + 1 < n && !rng.ratio(1, 5) {
+            ss.push(i + 1);
+        }
+        if rng.ratio(1, 2) {
+            let t = rng.index(n);
+            if !ss.contains(&t) {
+                ss.push(t);
+            }
+        }
+    }
+    let mut boundary = BitSet::empty(bits);
+    for b in 0..bits {
+        if rng.ratio(1, 4) {
+            boundary.insert(b);
+        }
+    }
+    let mut randset = |rng: &mut Rng| {
+        let mut s = BitSet::empty(bits);
+        for b in 0..bits {
+            if rng.ratio(1, 3) {
+                s.insert(b);
+            }
+        }
+        s
+    };
+    let gen = (0..n).map(|_| randset(rng)).collect();
+    let kill = (0..n).map(|_| randset(rng)).collect();
+    Case {
+        cfg: Cfg::new(succs),
+        bits,
+        boundary,
+        gen,
+        kill,
+    }
+}
+
+/// The oracle: apply every node's equation in a fixed round-robin order
+/// until a full sweep changes nothing. No worklist, no cleverness.
+fn brute_force(case: &Case, direction: Direction) -> Solution {
+    let n = case.cfg.len();
+    let preds = case.cfg.preds();
+    let mut entry = vec![BitSet::empty(case.bits); n];
+    let mut exit = vec![BitSet::empty(case.bits); n];
+    match direction {
+        Direction::Forward => entry[0] = case.boundary.clone(),
+        Direction::Backward => {
+            for (i, ss) in case.cfg.succs.iter().enumerate() {
+                if ss.is_empty() {
+                    exit[i] = case.boundary.clone();
+                }
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for node in 0..n {
+            let feeders: &Vec<usize> = match direction {
+                Direction::Forward => &preds[node],
+                Direction::Backward => &case.cfg.succs[node],
+            };
+            for &f in feeders {
+                let fact = match direction {
+                    Direction::Forward => exit[f].clone(),
+                    Direction::Backward => entry[f].clone(),
+                };
+                let input = match direction {
+                    Direction::Forward => &mut entry[node],
+                    Direction::Backward => &mut exit[node],
+                };
+                changed |= input.union_with(&fact);
+            }
+            let input = match direction {
+                Direction::Forward => entry[node].clone(),
+                Direction::Backward => exit[node].clone(),
+            };
+            let mut output = input;
+            output.subtract(&case.kill[node]);
+            output.union_with(&case.gen[node]);
+            let slot = match direction {
+                Direction::Forward => &mut exit[node],
+                Direction::Backward => &mut entry[node],
+            };
+            if *slot != output {
+                *slot = output;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Solution { entry, exit }
+}
+
+fn check(case: &Case, direction: Direction) {
+    let fast = solve_gen_kill(&case.cfg, direction, &case.boundary, &case.gen, &case.kill);
+    let slow = brute_force(case, direction);
+    for i in 0..case.cfg.len() {
+        assert_eq!(
+            fast.entry[i], slow.entry[i],
+            "entry facts diverge at node {i} ({direction:?})"
+        );
+        assert_eq!(
+            fast.exit[i], slow.exit[i],
+            "exit facts diverge at node {i} ({direction:?})"
+        );
+    }
+}
+
+#[test]
+fn worklist_matches_brute_force_forward() {
+    run_cases("solver-vs-bruteforce-forward", 300, random_case, |case| {
+        check(case, Direction::Forward);
+    });
+}
+
+#[test]
+fn worklist_matches_brute_force_backward() {
+    run_cases("solver-vs-bruteforce-backward", 300, random_case, |case| {
+        check(case, Direction::Backward);
+    });
+}
+
+#[test]
+fn worklist_is_deterministic() {
+    run_cases("solver-deterministic", 50, random_case, |case| {
+        let a = solve_gen_kill(
+            &case.cfg,
+            Direction::Forward,
+            &case.boundary,
+            &case.gen,
+            &case.kill,
+        );
+        let b = solve_gen_kill(
+            &case.cfg,
+            Direction::Forward,
+            &case.boundary,
+            &case.gen,
+            &case.kill,
+        );
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(a.exit, b.exit);
+    });
+}

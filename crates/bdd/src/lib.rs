@@ -382,12 +382,7 @@ impl Manager {
         out
     }
 
-    fn cubes_rec(
-        &self,
-        f: Bdd,
-        path: &mut Vec<(u32, bool)>,
-        out: &mut Vec<Vec<(u32, bool)>>,
-    ) {
+    fn cubes_rec(&self, f: Bdd, path: &mut Vec<(u32, bool)>, out: &mut Vec<Vec<(u32, bool)>>) {
         if f == FALSE {
             return;
         }

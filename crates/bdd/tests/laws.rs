@@ -174,10 +174,7 @@ fn restrict_is_substitution() {
                 } else {
                     assignment & !(1 << v)
                 };
-                assert_eq!(
-                    m.eval(r, &|x| assignment & (1 << x) != 0),
-                    truth(e, forced)
-                );
+                assert_eq!(m.eval(r, &|x| assignment & (1 << x) != 0), truth(e, forced));
             }
         },
     );

@@ -252,11 +252,7 @@ impl Bebop {
 
     /// The enforce invariant of `proc` over the current bank (TRUE if none).
     fn enforce_bdd(&mut self, proc: &str) -> Result<Bdd, BebopError> {
-        let Some(inv) = self
-            .program
-            .proc(proc)
-            .and_then(|p| p.enforce.clone())
-        else {
+        let Some(inv) = self.program.proc(proc).and_then(|p| p.enforce.clone()) else {
             return Ok(TRUE);
         };
         let (t, _) = self.eval(proc, &inv, &Self::cur_var)?;
@@ -348,7 +344,9 @@ impl Bebop {
             match instr {
                 BInstr::Nop => add_edge!(proc.clone(), node + 1, pe),
                 BInstr::Jump(t) => add_edge!(proc.clone(), t, pe),
-                BInstr::Assign { targets, values, .. } => {
+                BInstr::Assign {
+                    targets, values, ..
+                } => {
                     let post = self.apply_assign(&proc, pe, &targets, &values)?;
                     add_edge!(proc.clone(), node + 1, post);
                 }
@@ -382,7 +380,12 @@ impl Bebop {
                     add_edge!(proc.clone(), target_true, t_states);
                     add_edge!(proc.clone(), target_false, f_states);
                 }
-                BInstr::Call { dsts, proc: callee, args, .. } => {
+                BInstr::Call {
+                    dsts,
+                    proc: callee,
+                    args,
+                    ..
+                } => {
                     if self.program.proc(&callee).is_none() {
                         return Err(BebopError {
                             message: format!("call to unknown procedure `{callee}`"),
@@ -399,8 +402,7 @@ impl Bebop {
                     add_edge!(callee.clone(), 0, seed);
                     // apply existing summary
                     if let Some(&sum) = summaries.get(&callee) {
-                        let post =
-                            self.apply_summary(&proc, &callee, k1, sum, &dsts)?;
+                        let post = self.apply_summary(&proc, &callee, k1, sum, &dsts)?;
                         add_edge!(proc.clone(), node + 1, post);
                     }
                 }
@@ -432,12 +434,7 @@ impl Bebop {
 
     /// `Link(caller current bank, callee next bank)`: formals bound to
     /// actuals, globals copied.
-    fn call_link(
-        &mut self,
-        caller: &str,
-        callee: &str,
-        args: &[BExpr],
-    ) -> Result<Bdd, BebopError> {
+    fn call_link(&mut self, caller: &str, callee: &str, args: &[BExpr]) -> Result<Bdd, BebopError> {
         let callee_proc = self.program.proc(callee).expect("checked").clone();
         if args.len() != callee_proc.formals.len() {
             return Err(BebopError {
@@ -497,12 +494,7 @@ impl Bebop {
     /// Builds the summary contribution of a `return` with `values`, from
     /// the exit path edges `pe`: keeps (entry bank, current-bank globals,
     /// return-value vars).
-    fn summarize(
-        &mut self,
-        proc: &str,
-        pe: Bdd,
-        values: &[BExpr],
-    ) -> Result<Bdd, BebopError> {
+    fn summarize(&mut self, proc: &str, pe: Bdd, values: &[BExpr]) -> Result<Bdd, BebopError> {
         let mut s = pe;
         for (j, v) in values.iter().enumerate() {
             let (vt, vf) = self.eval(proc, v, &Self::cur_var)?;
@@ -569,8 +561,7 @@ impl Bebop {
         }
         // discard unconsumed return values
         if callee_rets > dsts.len() {
-            let leftover: Vec<u32> =
-                (dsts.len()..callee_rets).map(|j| self.ret_var(j)).collect();
+            let leftover: Vec<u32> = (dsts.len()..callee_rets).map(|j| self.ret_var(j)).collect();
             k = self.mgr.exists(k, &leftover);
         }
         Ok(k)
@@ -673,8 +664,7 @@ mod tests {
 
     #[test]
     fn assume_blocks_failure() {
-        let (_, a) =
-            analyze("bool g; void main() { g = unknown(); assume(g); assert(g); }");
+        let (_, a) = analyze("bool g; void main() { g = unknown(); assume(g); assert(g); }");
         assert!(!a.error_reachable());
     }
 

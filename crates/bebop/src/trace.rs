@@ -122,11 +122,9 @@ pub fn find_error_trace(
                     .trace
                     .iter()
                     .map(|s| {
-                        let branch = flats.get(&s.proc).and_then(|f| {
-                            match f.instrs.get(s.pc) {
-                                Some(bp::flow::BInstr::Assume { branch, .. }) => *branch,
-                                _ => None,
-                            }
+                        let branch = flats.get(&s.proc).and_then(|f| match f.instrs.get(s.pc) {
+                            Some(bp::flow::BInstr::Assume { branch, .. }) => *branch,
+                            _ => None,
                         });
                         BTraceStep {
                             proc: s.proc.clone(),

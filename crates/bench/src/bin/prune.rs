@@ -1,0 +1,25 @@
+//! Predicate-liveness pruning A/B: every Table 1 and Table 2 program
+//! abstracted with the paper's every-update engine and with pruning on,
+//! reporting the prover-call reduction. The differential test suite
+//! separately proves the two abstractions are semantically identical.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin prune [-- --jobs N]
+//! ```
+fn main() {
+    let jobs = bench::jobs_from_args();
+    let toys = bench::table2_prune_rows(jobs);
+    print!(
+        "{}",
+        bench::render_prune(&toys, "Pruning A/B — Table 2 programs (single abstraction)")
+    );
+    println!();
+    let drivers = bench::table1_prune_rows(jobs);
+    print!(
+        "{}",
+        bench::render_prune(
+            &drivers,
+            "Pruning A/B — Table 1 drivers (prover calls summed over CEGAR iterations)"
+        )
+    );
+}

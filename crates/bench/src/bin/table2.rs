@@ -7,7 +7,10 @@ fn main() {
     let rows = bench::table2_rows(bench::jobs_from_args());
     print!(
         "{}",
-        bench::render(&rows, "Table 2 — array and heap intensive programs through C2bp")
+        bench::render(
+            &rows,
+            "Table 2 — array and heap intensive programs through C2bp"
+        )
     );
     println!(
         "\npaper shape check: `reverse` dominates prover calls (every pair \

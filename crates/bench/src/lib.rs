@@ -34,6 +34,8 @@ pub struct Row {
     pub predicates: usize,
     /// Theorem-prover calls.
     pub prover_calls: u64,
+    /// Predicate updates removed by liveness pruning (0 when off).
+    pub pruned_updates: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
     /// Worker threads the abstraction ran with.
@@ -51,7 +53,15 @@ pub fn render(rows: &[Row], title: &str) -> String {
     let mut out = format!("{title}\n");
     out.push_str(&format!(
         "{:<22} {:<10} {:>6} {:>6} {:>10} {:>9} {:>4} {:>6} {:>9}  outcome\n",
-        "program", "config", "lines", "preds", "thm calls", "time (s)", "jobs", "cache%", "solve (s)"
+        "program",
+        "config",
+        "lines",
+        "preds",
+        "thm calls",
+        "time (s)",
+        "jobs",
+        "cache%",
+        "solve (s)"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -80,8 +90,7 @@ pub fn corpus_dir() -> PathBuf {
 }
 
 fn read(path: PathBuf) -> String {
-    std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
 }
 
 /// The Table 2 benchmark set: (file stem, entry procedure).
@@ -133,6 +142,7 @@ pub fn run_toy(stem: &str, entry: &str, options: &C2bpOptions) -> Row {
         lines: abs.stats.lines,
         predicates: abs.stats.predicates,
         prover_calls: abs.stats.prover_calls,
+        pruned_updates: abs.stats.pruned_updates,
         seconds: c2bp_secs,
         jobs: abs.stats.jobs,
         cache_hit_rate: abs.stats.shared_cache.hit_rate(),
@@ -148,12 +158,18 @@ pub fn run_toy(stem: &str, entry: &str, options: &C2bpOptions) -> Row {
 /// Runs one Table 1 entry (the full SLAM loop on a driver) and returns
 /// its row. `jobs = 0` defers to `C2BP_JOBS` (default sequential).
 pub fn run_driver(stem: &str, entry: &str, prop: &str, jobs: usize) -> Row {
+    run_driver_config(stem, entry, prop, jobs, false)
+}
+
+/// [`run_driver`] with predicate-liveness pruning selectable.
+pub fn run_driver_config(stem: &str, entry: &str, prop: &str, jobs: usize, prune: bool) -> Row {
     let dir = corpus_dir().join("drivers");
     let source = read(dir.join(format!("{stem}.c")));
     let spec = spec_for(prop);
     let options = SlamOptions {
         c2bp: C2bpOptions {
             jobs,
+            prune_dead_preds: prune,
             ..C2bpOptions::paper_defaults()
         },
         ..SlamOptions::default()
@@ -181,6 +197,7 @@ pub fn run_driver(stem: &str, entry: &str, prop: &str, jobs: usize) -> Row {
         lines,
         predicates: run.final_preds.len(),
         prover_calls,
+        pruned_updates: run.per_iteration.iter().map(|s| s.pruned_updates).sum(),
         seconds: secs,
         jobs: run.per_iteration.first().map_or(1, |it| it.jobs),
         cache_hit_rate: if lookups == 0 {
@@ -284,6 +301,13 @@ pub fn ablation_rows(stem: &str, entry: &str, jobs: usize) -> Vec<Row> {
                 ..C2bpOptions::paper_defaults()
             },
         ),
+        (
+            "prune",
+            C2bpOptions {
+                prune_dead_preds: true,
+                ..C2bpOptions::paper_defaults()
+            },
+        ),
     ];
     configs
         .into_iter()
@@ -294,6 +318,156 @@ pub fn ablation_rows(stem: &str, entry: &str, jobs: usize) -> Vec<Row> {
             row
         })
         .collect()
+}
+
+/// One unpruned/pruned A/B measurement.
+#[derive(Debug, Clone)]
+pub struct PruneRow {
+    /// Program name.
+    pub program: String,
+    /// Prover calls with every update computed (the paper's engine).
+    pub unpruned: u64,
+    /// Prover calls with dead-predicate updates skipped.
+    pub pruned: u64,
+    /// Updates the liveness analysis removed.
+    pub pruned_updates: u64,
+}
+
+impl PruneRow {
+    /// Fraction of prover calls the pruning removed.
+    pub fn saving(&self) -> f64 {
+        if self.unpruned == 0 {
+            0.0
+        } else {
+            1.0 - self.pruned as f64 / self.unpruned as f64
+        }
+    }
+}
+
+/// Renders the pruning A/B rows, with an aggregate reduction line.
+pub fn render_prune(rows: &[PruneRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>10} {:>8} {:>8}\n",
+        "program", "unpruned", "pruned", "removed", "saving"
+    ));
+    let (mut total_u, mut total_p) = (0u64, 0u64);
+    for r in rows {
+        total_u += r.unpruned;
+        total_p += r.pruned;
+        out.push_str(&format!(
+            "{:<22} {:>10} {:>10} {:>8} {:>7.1}%\n",
+            r.program,
+            r.unpruned,
+            r.pruned,
+            r.pruned_updates,
+            r.saving() * 100.0
+        ));
+    }
+    if total_u > 0 {
+        out.push_str(&format!(
+            "total prover-call reduction: {:.1}% ({total_u} -> {total_p})\n",
+            (1.0 - total_p as f64 / total_u as f64) * 100.0
+        ));
+    }
+    out
+}
+
+/// The liveness-stress toy: dead non-constant predicate updates by
+/// construction, where the Table 2 set (whose `enforce` invariants keep
+/// every predicate live) has none. Benchmarked alongside [`TOYS`] in
+/// the pruning A/B runs but kept out of the Table 2 reproduction.
+pub const PRUNE_TOY: (&str, &str) = ("backoff", "poll");
+
+/// A/B rows for predicate-liveness pruning over the Table 2 programs
+/// plus [`PRUNE_TOY`]: each toy abstracted with the paper engine and
+/// with pruning on.
+pub fn table2_prune_rows(jobs: usize) -> Vec<PruneRow> {
+    let dir = corpus_dir().join("toys");
+    TOYS.iter()
+        .chain(std::iter::once(&PRUNE_TOY))
+        .map(|(stem, _)| {
+            let source = read(dir.join(format!("{stem}.c")));
+            let preds_src = read(dir.join(format!("{stem}.preds")));
+            let program = cparse::parse_and_simplify(&source).expect("corpus parses");
+            let preds = parse_pred_file(&preds_src).expect("corpus predicates parse");
+            let base = abstract_program(
+                &program,
+                &preds,
+                &C2bpOptions {
+                    jobs,
+                    ..C2bpOptions::paper_defaults()
+                },
+            )
+            .expect("abstraction succeeds");
+            let pruned = abstract_program(
+                &program,
+                &preds,
+                &C2bpOptions {
+                    jobs,
+                    prune_dead_preds: true,
+                    ..C2bpOptions::paper_defaults()
+                },
+            )
+            .expect("abstraction succeeds");
+            PruneRow {
+                program: stem.to_string(),
+                unpruned: base.stats.prover_calls,
+                pruned: pruned.stats.prover_calls,
+                pruned_updates: pruned.stats.pruned_updates,
+            }
+        })
+        .collect()
+}
+
+/// A/B rows for pruning over the Table 1 drivers: prover calls summed
+/// across each driver's CEGAR iterations, with and without pruning.
+pub fn table1_prune_rows(jobs: usize) -> Vec<PruneRow> {
+    let mut set: Vec<(&str, &str, &str)> = DRIVERS.to_vec();
+    set.push(BUGGY_DRIVER);
+    let mut rows: Vec<PruneRow> = set
+        .iter()
+        .map(|(stem, entry, prop)| {
+            let base = run_driver_config(stem, entry, prop, jobs, false);
+            let pruned = run_driver_config(stem, entry, prop, jobs, true);
+            PruneRow {
+                program: stem.to_string(),
+                unpruned: base.prover_calls,
+                pruned: pruned.prover_calls,
+                pruned_updates: pruned.pruned_updates,
+            }
+        })
+        .collect();
+    rows.push(retry_prune_row(jobs));
+    rows
+}
+
+/// The liveness-stress driver row: `retry` verified with the
+/// single-polarity seed predicate `attempts > 0` (see the comment in
+/// `corpus/drivers/retry.c`), A/B measured like the rest of Table 1.
+fn retry_prune_row(jobs: usize) -> PruneRow {
+    let source = read(corpus_dir().join("drivers").join("retry.c"));
+    let run_with = |prune: bool| {
+        let options = SlamOptions {
+            c2bp: C2bpOptions {
+                jobs,
+                prune_dead_preds: prune,
+                ..C2bpOptions::paper_defaults()
+            },
+            ..SlamOptions::default()
+        };
+        let seeds = parse_pred_file("DispatchRetry attempts > 0").expect("seed parses");
+        slam::verify_seeded(&source, &locking_spec(), "DispatchRetry", seeds, &options)
+            .expect("slam run completes")
+    };
+    let base = run_with(false);
+    let pruned = run_with(true);
+    PruneRow {
+        program: "retry".to_string(),
+        unpruned: base.per_iteration.iter().map(|s| s.prover_calls).sum(),
+        pruned: pruned.per_iteration.iter().map(|s| s.prover_calls).sum(),
+        pruned_updates: pruned.per_iteration.iter().map(|s| s.pruned_updates).sum(),
+    }
 }
 
 /// Parses an optional `--jobs N` from a bench binary's arguments.
@@ -343,6 +517,7 @@ mod tests {
             lines: 1,
             predicates: 2,
             prover_calls: 3,
+            pruned_updates: 0,
             seconds: 0.5,
             jobs: 1,
             cache_hit_rate: 0.25,

@@ -91,10 +91,7 @@ impl BExpr {
 
     /// The `unknown()` expression: `choose(false, false)`, i.e. `*`.
     pub fn unknown() -> BExpr {
-        BExpr::Choose(
-            Box::new(BExpr::Const(false)),
-            Box::new(BExpr::Const(false)),
-        )
+        BExpr::Choose(Box::new(BExpr::Const(false)), Box::new(BExpr::Const(false)))
     }
 
     /// `choose(pos, neg)` with the paper's short-circuit simplifications:
@@ -329,10 +326,7 @@ mod tests {
             BExpr::Const(false)
         );
         // choose(b, !b) = b
-        assert_eq!(
-            BExpr::choose(v.clone(), v.clone().negate()),
-            v.clone()
-        );
+        assert_eq!(BExpr::choose(v.clone(), v.clone().negate()), v.clone());
         // unknown stays a choose
         assert!(matches!(BExpr::unknown(), BExpr::Choose(_, _)));
         let _ = v;

@@ -149,6 +149,34 @@ struct Flattener {
 }
 
 impl Flattener {
+    /// Can control reach the next instruction slot?
+    ///
+    /// False only when the last emitted instruction is an unconditional
+    /// transfer (jump/return) and no already-bound label or patched
+    /// jump/branch target points at the upcoming slot. Targets of
+    /// still-pending gotos are `usize::MAX`, and labels bind eagerly, so
+    /// scanning the emitted prefix is sufficient: nothing can retroactively
+    /// acquire the skipped position.
+    fn fallthrough_possible(&self) -> bool {
+        if !matches!(
+            self.instrs.last(),
+            Some(BInstr::Jump(_) | BInstr::Return { .. })
+        ) {
+            return true;
+        }
+        let pos = self.instrs.len();
+        self.labels.values().any(|&t| t == pos)
+            || self.instrs.iter().any(|i| match i {
+                BInstr::Jump(t) => *t == pos,
+                BInstr::Branch {
+                    target_true,
+                    target_false,
+                    ..
+                } => *target_true == pos || *target_false == pos,
+                _ => false,
+            })
+    }
+
     fn stmt(&mut self, s: &BStmt) {
         match s {
             BStmt::Skip => {}
@@ -159,7 +187,11 @@ impl Flattener {
                 self.pending.push((self.instrs.len(), l.clone()));
                 self.instrs.push(BInstr::Jump(usize::MAX));
             }
-            BStmt::Assign { id, targets, values } => self.instrs.push(BInstr::Assign {
+            BStmt::Assign {
+                id,
+                targets,
+                values,
+            } => self.instrs.push(BInstr::Assign {
                 id: *id,
                 targets: targets.clone(),
                 values: values.clone(),
@@ -173,7 +205,12 @@ impl Flattener {
                 id: *id,
                 cond: cond.clone(),
             }),
-            BStmt::Call { id, dsts, proc, args } => self.instrs.push(BInstr::Call {
+            BStmt::Call {
+                id,
+                dsts,
+                proc,
+                args,
+            } => self.instrs.push(BInstr::Call {
                 id: *id,
                 dsts: dsts.clone(),
                 proc: proc.clone(),
@@ -203,8 +240,15 @@ impl Flattener {
                 });
                 let then_start = self.instrs.len();
                 self.stmt(then_branch);
-                let j = self.instrs.len();
-                self.instrs.push(BInstr::Jump(usize::MAX));
+                // The join jump is dead when the then-branch cannot fall
+                // through and nothing else targets its slot.
+                let join = if self.fallthrough_possible() {
+                    let j = self.instrs.len();
+                    self.instrs.push(BInstr::Jump(usize::MAX));
+                    Some(j)
+                } else {
+                    None
+                };
                 let else_start = self.instrs.len();
                 self.stmt(else_branch);
                 let end = self.instrs.len();
@@ -217,8 +261,10 @@ impl Flattener {
                     *target_true = then_start;
                     *target_false = else_start;
                 }
-                if let BInstr::Jump(t) = &mut self.instrs[j] {
-                    *t = end;
+                if let Some(j) = join {
+                    if let BInstr::Jump(t) = &mut self.instrs[j] {
+                        *t = end;
+                    }
                 }
             }
             BStmt::While { id, cond, body } => {
@@ -231,7 +277,9 @@ impl Flattener {
                 });
                 let body_start = self.instrs.len();
                 self.stmt(body);
-                self.instrs.push(BInstr::Jump(head));
+                if self.fallthrough_possible() {
+                    self.instrs.push(BInstr::Jump(head));
+                }
                 let exit = self.instrs.len();
                 if let BInstr::Branch {
                     target_true,

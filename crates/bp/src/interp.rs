@@ -154,8 +154,7 @@ impl<'a> BInterp<'a> {
     pub fn new(program: &'a BProgram) -> Result<BInterp<'a>, BRuntimeError> {
         let mut flats = HashMap::new();
         for p in &program.procs {
-            let f = flatten_proc(p)
-                .map_err(|e| BRuntimeError::UnknownProc(e.message))?;
+            let f = flatten_proc(p).map_err(|e| BRuntimeError::UnknownProc(e.message))?;
             flats.insert(p.name.clone(), f);
         }
         Ok(BInterp {
@@ -214,12 +213,7 @@ impl<'a> BInterp<'a> {
             .ok_or_else(|| BRuntimeError::UnknownVar(v.to_string()))
     }
 
-    fn write_var(
-        &mut self,
-        frame: &mut BFrame,
-        v: &str,
-        val: bool,
-    ) -> Result<(), BRuntimeError> {
+    fn write_var(&mut self, frame: &mut BFrame, v: &str, val: bool) -> Result<(), BRuntimeError> {
         if let Some(slot) = frame.locals.get_mut(v) {
             *slot = val;
             return Ok(());
@@ -279,9 +273,7 @@ impl<'a> BInterp<'a> {
     }
 
     fn enforce_of(&self, proc_name: &str) -> Option<BExpr> {
-        self.program
-            .proc(proc_name)
-            .and_then(|p| p.enforce.clone())
+        self.program.proc(proc_name).and_then(|p| p.enforce.clone())
     }
 
     /// Runs `main_proc` with the given initial global values (missing
@@ -341,7 +333,11 @@ impl<'a> BInterp<'a> {
             match instr {
                 BInstr::Nop => stack.last_mut().expect("frame").pc += 1,
                 BInstr::Jump(t) => stack.last_mut().expect("frame").pc = t,
-                BInstr::Assign { id, targets, values } => {
+                BInstr::Assign {
+                    id,
+                    targets,
+                    values,
+                } => {
                     let frame = stack.last().expect("frame");
                     let mut vals = Vec::with_capacity(values.len());
                     for (t, v) in targets.iter().zip(&values) {
@@ -356,8 +352,7 @@ impl<'a> BInterp<'a> {
                     let frame = stack.last_mut().expect("frame");
                     let proc_name = frame.proc.clone();
                     // split borrows: write through helper
-                    let pairs: Vec<(String, bool)> =
-                        targets.into_iter().zip(vals).collect();
+                    let pairs: Vec<(String, bool)> = targets.into_iter().zip(vals).collect();
                     let mut frame_owned = stack.pop().expect("frame");
                     for (t, v) in pairs {
                         self.write_var(&mut frame_owned, &t, v)?;
@@ -424,7 +419,12 @@ impl<'a> BInterp<'a> {
                     stack.last_mut().expect("frame").pc =
                         if taken { target_true } else { target_false };
                 }
-                BInstr::Call { id, dsts, proc, args } => {
+                BInstr::Call {
+                    id,
+                    dsts,
+                    proc,
+                    args,
+                } => {
                     let frame = stack.last().expect("frame");
                     let mut argv = Vec::with_capacity(args.len());
                     for a in &args {
@@ -496,10 +496,7 @@ mod tests {
 
     #[test]
     fn deterministic_assignment() {
-        let (out, globals) = run_with_seed(
-            "bool g; void main() { g = true; g = !g; }",
-            0,
-        );
+        let (out, globals) = run_with_seed("bool g; void main() { g = true; g = !g; }", 0);
         assert_eq!(out, BOutcome::Completed);
         assert_eq!(globals["g"], false);
     }
@@ -578,15 +575,9 @@ mod tests {
     #[test]
     fn choose_semantics() {
         // choose(pos, neg): pos true -> true
-        let (_, g) = run_with_seed(
-            "bool a; void main() { a = choose(true, false); }",
-            0,
-        );
+        let (_, g) = run_with_seed("bool a; void main() { a = choose(true, false); }", 0);
         assert!(g["a"]);
-        let (_, g) = run_with_seed(
-            "bool a; void main() { a = choose(false, true); }",
-            0,
-        );
+        let (_, g) = run_with_seed("bool a; void main() { a = choose(false, true); }", 0);
         assert!(!g["a"]);
     }
 

@@ -95,10 +95,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, BpParseError> {
                 }
                 match quoted_end {
                     Some(end) if !src[i + 1..end].trim().is_empty() => {
-                        out.push((
-                            Tok::Quoted(src[i + 1..end].trim().to_string()),
-                            line,
-                        ));
+                        out.push((Tok::Quoted(src[i + 1..end].trim().to_string()), line));
                         i = end + 1;
                     }
                     _ => {
@@ -124,9 +121,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, BpParseError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let t = match &src[start..i] {

@@ -107,7 +107,9 @@ fn write_bstmt(out: &mut String, s: &BStmt, indent: usize) {
         BStmt::Skip => {
             let _ = writeln!(out, "{pad}skip;");
         }
-        BStmt::Assign { targets, values, .. } => {
+        BStmt::Assign {
+            targets, values, ..
+        } => {
             let ts: Vec<String> = targets.iter().map(|t| var_to_string(t)).collect();
             let vs: Vec<String> = values.iter().map(bexpr_to_string).collect();
             let _ = writeln!(out, "{pad}{} = {};", ts.join(", "), vs.join(", "));
@@ -147,18 +149,15 @@ fn write_bstmt(out: &mut String, s: &BStmt, indent: usize) {
         BStmt::Label(l) => {
             let _ = writeln!(out, "{l}:");
         }
-        BStmt::Call { dsts, proc, args, .. } => {
+        BStmt::Call {
+            dsts, proc, args, ..
+        } => {
             let args: Vec<String> = args.iter().map(bexpr_to_string).collect();
             if dsts.is_empty() {
                 let _ = writeln!(out, "{pad}{proc}({});", args.join(", "));
             } else {
                 let ds: Vec<String> = dsts.iter().map(|d| var_to_string(d)).collect();
-                let _ = writeln!(
-                    out,
-                    "{pad}{} = {proc}({});",
-                    ds.join(", "),
-                    args.join(", ")
-                );
+                let _ = writeln!(out, "{pad}{} = {proc}({});", ds.join(", "), args.join(", "));
             }
         }
         BStmt::Return { values, .. } => {

@@ -36,6 +36,7 @@
 //! byte-identical for any worker count.
 
 use crate::cubes::{CubeOptions, CubeSearch, CubeStats, ScopeVar};
+use crate::live::{function_liveness, LiveInputs, LiveMap};
 use crate::preds::{Pred, PredScope};
 use crate::sig::{signature, Signature};
 use crate::wp::{wp_assign, AliasCase, WpCtx};
@@ -60,6 +61,14 @@ pub struct C2bpOptions {
     pub skip_unaffected: bool,
     /// Compute `enforce` invariants (§5.1).
     pub compute_enforce: bool,
+    /// Prune updates to dead predicates: a backward liveness analysis
+    /// (see [`crate::live`]) finds, per assignment, the predicates whose
+    /// post-state nothing downstream can observe, and their cube searches
+    /// are skipped entirely. Sound — a skipped predicate is simply
+    /// unconstrained, never wrong — and invisible after liveness
+    /// normalization. Requires `cubes.cone_of_influence`; silently
+    /// disabled otherwise.
+    pub prune_dead_preds: bool,
     /// Worker threads for the solve phase; `0` defers to the `C2BP_JOBS`
     /// environment variable (itself defaulting to 1). The output is
     /// identical for every value.
@@ -73,6 +82,9 @@ impl C2bpOptions {
             cubes: CubeOptions::default(),
             skip_unaffected: true,
             compute_enforce: true,
+            // The paper's engine computes every update; pruning is this
+            // reproduction's addition, kept off for the golden figures.
+            prune_dead_preds: false,
             jobs: 0,
         }
     }
@@ -131,6 +143,10 @@ pub struct AbsStats {
     pub prover_calls: u64,
     /// Task-local prover cache hits. Identical for every worker count.
     pub prover_cache_hits: u64,
+    /// Predicate updates skipped because liveness proved the target dead
+    /// at that statement (zero unless
+    /// [`prune_dead_preds`](C2bpOptions::prune_dead_preds) is on).
+    pub pruned_updates: u64,
     /// Cube-search counters.
     pub cubes: CubeStats,
     /// Wall-clock seconds spent abstracting.
@@ -171,7 +187,8 @@ pub fn abstract_program(
 ) -> Result<Abstraction, AbsError> {
     let start = Instant::now();
     let env = TypeEnv::new(program);
-    let base_pts = PointsTo::analyze(program);
+    let mut base_pts = PointsTo::analyze(program);
+    let modref = analysis::ModRef::analyze(program);
     // validate scopes and dedupe
     let mut preds_vec: Vec<Pred> = Vec::new();
     for p in preds {
@@ -198,13 +215,15 @@ pub fn abstract_program(
     // phase 1 (plan): signatures, scopes, and the leaf-task list
     let mut signatures = HashMap::new();
     for f in &program.functions {
-        signatures.insert(f.name.clone(), signature(program, f, &preds_vec));
+        signatures.insert(
+            f.name.clone(),
+            signature(program, f, &preds_vec, &modref, &mut base_pts),
+        );
     }
     let mut plans: Vec<FuncPlan<'_>> = Vec::new();
     let mut tasks: Vec<LeafTask<'_>> = Vec::new();
     for (fi, f) in program.functions.iter().enumerate() {
-        let mut scope_vars: Vec<ScopeVar> =
-            global_preds.iter().map(ScopeVar::of_pred).collect();
+        let mut scope_vars: Vec<ScopeVar> = global_preds.iter().map(ScopeVar::of_pred).collect();
         scope_vars.extend(
             preds_vec
                 .iter()
@@ -264,6 +283,7 @@ pub fn abstract_program(
     };
     let mut prover_stats = ProverStats::default();
     let mut cube_stats = CubeStats::default();
+    let mut pruned_updates = 0u64;
     for plan in &plans {
         let sig = &signatures[&plan.func.name];
         let body = merger.stmt(&plan.func.body, sig);
@@ -275,8 +295,7 @@ pub fn abstract_program(
         } else {
             None
         };
-        let formal_names: Vec<String> =
-            sig.formal_preds.iter().map(Pred::var_name).collect();
+        let formal_names: Vec<String> = sig.formal_preds.iter().map(Pred::var_name).collect();
         let locals: Vec<String> = preds_vec
             .iter()
             .filter(|p| p.scope == PredScope::Local(plan.func.name.clone()))
@@ -300,6 +319,7 @@ pub fn abstract_program(
         cube_stats.cubes_tested += r.cube_stats.cubes_tested;
         cube_stats.cubes_pruned += r.cube_stats.cubes_pruned;
         cube_stats.fast_path_hits += r.cube_stats.fast_path_hits;
+        pruned_updates += r.pruned;
     }
 
     let stats = AbsStats {
@@ -307,6 +327,7 @@ pub fn abstract_program(
         predicates: preds_vec.len(),
         prover_calls: prover_stats.queries,
         prover_cache_hits: prover_stats.cache_hits,
+        pruned_updates,
         cubes: cube_stats,
         seconds: start.elapsed().as_secs_f64(),
         jobs,
@@ -346,9 +367,18 @@ enum LeafKind<'p> {
         rhs: &'p Expr,
     },
     /// `if`/`while` guard pair: `G(cond)` and `G(!cond)`.
-    Branch { cond: &'p Expr },
-    Assert { cond: &'p Expr },
-    Assume { id: cparse::StmtId, cond: &'p Expr },
+    Branch {
+        id: cparse::StmtId,
+        cond: &'p Expr,
+    },
+    Assert {
+        id: cparse::StmtId,
+        cond: &'p Expr,
+    },
+    Assume {
+        id: cparse::StmtId,
+        cond: &'p Expr,
+    },
     Call {
         id: cparse::StmtId,
         dst: &'p Option<Expr>,
@@ -387,22 +417,27 @@ fn collect_leaves<'p>(
         }
         Stmt::Assign { id, lhs, rhs } => push(LeafKind::Assign { id: *id, lhs, rhs }),
         Stmt::If {
+            id,
             cond,
             then_branch,
             else_branch,
-            ..
         } => {
-            push(LeafKind::Branch { cond });
+            push(LeafKind::Branch { id: *id, cond });
             collect_leaves(then_branch, func_idx, signatures, temp_counter, temps, out)?;
             collect_leaves(else_branch, func_idx, signatures, temp_counter, temps, out)?;
         }
-        Stmt::While { cond, body, .. } => {
-            push(LeafKind::Branch { cond });
+        Stmt::While { id, cond, body } => {
+            push(LeafKind::Branch { id: *id, cond });
             collect_leaves(body, func_idx, signatures, temp_counter, temps, out)?;
         }
-        Stmt::Assert { cond, .. } => push(LeafKind::Assert { cond }),
+        Stmt::Assert { id, cond } => push(LeafKind::Assert { id: *id, cond }),
         Stmt::Assume { id, cond } => push(LeafKind::Assume { id: *id, cond }),
-        Stmt::Call { id, dst, func, args } => {
+        Stmt::Call {
+            id,
+            dst,
+            func,
+            args,
+        } => {
             // temporaries only for callees we can see; naming here keeps it
             // independent of solve-phase scheduling
             let call_temps: Vec<String> = match signatures.get(func) {
@@ -465,41 +500,30 @@ struct LeafResult {
     out: LeafOut,
     prover_stats: ProverStats,
     cube_stats: CubeStats,
+    /// Updates skipped because liveness proved the target dead.
+    pruned: u64,
 }
 
 /// Solves every task, in parallel when `jobs > 1`. Results land in task
 /// order regardless of which worker computed them.
+///
+/// With pruning on, the solve phase runs in two deterministic sub-phases:
+/// everything except assignments first (2a), then — once the liveness
+/// analysis has consumed the solved guards, calls and enforce invariants —
+/// the assignments (2b), each skipping its dead targets.
 fn solve_all(ctx: &SolveCtx<'_>, tasks: &[LeafTask<'_>], jobs: usize) -> Vec<LeafResult> {
-    // the solve phase is CPU-bound, so running more workers than the
-    // machine has cores only adds scheduling thrash; the output is
-    // worker-count independent either way
-    let cores = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
-    let workers = jobs.min(tasks.len()).min(cores).max(1);
-    if workers == 1 {
-        let mut pts = ctx.base_pts.clone();
-        return tasks.iter().map(|t| solve_one(ctx, t, &mut pts)).collect();
+    let slots: Vec<Mutex<Option<LeafResult>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let no_live: Vec<Option<LiveMap>> = Vec::new();
+    if ctx.options.prune_dead_preds && ctx.options.cubes.cone_of_influence {
+        let (pre, assigns): (Vec<usize>, Vec<usize>) =
+            (0..tasks.len()).partition(|&i| !matches!(tasks[i].kind, LeafKind::Assign { .. }));
+        solve_indices(ctx, tasks, &pre, jobs, &no_live, &slots);
+        let live = compute_liveness(ctx, tasks, &slots);
+        solve_indices(ctx, tasks, &assigns, jobs, &live, &slots);
+    } else {
+        let all: Vec<usize> = (0..tasks.len()).collect();
+        solve_indices(ctx, tasks, &all, jobs, &no_live, &slots);
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<LeafResult>>> =
-        tasks.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // Points-to queries only path-compress and materialize
-                // phantom targets — answers are query-order independent —
-                // so one clone per worker suffices.
-                let mut pts = ctx.base_pts.clone();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    let r = solve_one(ctx, &tasks[i], &mut pts);
-                    *slots[i].lock().expect("result slot") = Some(r);
-                }
-            });
-        }
-    });
     slots
         .into_iter()
         .map(|m| {
@@ -510,7 +534,150 @@ fn solve_all(ctx: &SolveCtx<'_>, tasks: &[LeafTask<'_>], jobs: usize) -> Vec<Lea
         .collect()
 }
 
-fn solve_one(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, pts: &mut PointsTo) -> LeafResult {
+/// Solves the tasks at `indices`, writing each result into its slot.
+fn solve_indices(
+    ctx: &SolveCtx<'_>,
+    tasks: &[LeafTask<'_>],
+    indices: &[usize],
+    jobs: usize,
+    live: &[Option<LiveMap>],
+    slots: &[Mutex<Option<LeafResult>>],
+) {
+    // the solve phase is CPU-bound, so running more workers than the
+    // machine has cores only adds scheduling thrash; the output is
+    // worker-count independent either way
+    let cores = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+    let workers = jobs.min(indices.len()).min(cores).max(1);
+    if workers == 1 {
+        let mut pts = ctx.base_pts.clone();
+        for &i in indices {
+            let r = solve_one(ctx, &tasks[i], &mut pts, live);
+            *slots[i].lock().expect("result slot") = Some(r);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Points-to queries only path-compress and materialize
+                // phantom targets — answers are query-order independent —
+                // so one clone per worker suffices.
+                let mut pts = ctx.base_pts.clone();
+                loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    if n >= indices.len() {
+                        break;
+                    }
+                    let i = indices[n];
+                    let r = solve_one(ctx, &tasks[i], &mut pts, live);
+                    *slots[i].lock().expect("result slot") = Some(r);
+                }
+            });
+        }
+    });
+}
+
+/// Runs the per-function liveness analyses between the two solve
+/// sub-phases, from the phase-2a outputs sitting in `slots`.
+fn compute_liveness(
+    ctx: &SolveCtx<'_>,
+    tasks: &[LeafTask<'_>],
+    slots: &[Mutex<Option<LeafResult>>],
+) -> Vec<Option<LiveMap>> {
+    // Exact mention sets of the solved non-assign outputs, per function,
+    // keyed by statement id; plus the enforce invariant's variables.
+    let nfuncs = ctx.plans.len();
+    let mut mentions: Vec<HashMap<cparse::StmtId, Vec<String>>> = vec![HashMap::new(); nfuncs];
+    let mut enforce_vars: Vec<Vec<String>> = vec![Vec::new(); nfuncs];
+    let mut add = |fi: usize, id: cparse::StmtId, vars: Vec<String>| {
+        if id == cparse::StmtId::UNASSIGNED {
+            return; // lookup miss makes the liveness gen everything
+        }
+        mentions[fi].entry(id).or_default().extend(vars);
+    };
+    for (task, slot) in tasks.iter().zip(slots) {
+        let guard = slot.lock().expect("result slot");
+        let Some(result) = guard.as_ref() else {
+            continue; // an assign task: solved in phase 2b
+        };
+        match (&task.kind, &result.out) {
+            (
+                LeafKind::Branch { id, .. } | LeafKind::Assert { id, .. },
+                LeafOut::Guards { pos, neg },
+            ) => {
+                let mut vars = pos.vars();
+                vars.extend(neg.vars());
+                add(task.func_idx, *id, vars);
+            }
+            (LeafKind::Assume { id, .. } | LeafKind::Call { id, .. }, LeafOut::Stmt(s)) => {
+                add(task.func_idx, *id, bstmt_mentions(s));
+            }
+            (LeafKind::Enforce, LeafOut::Enforce(Some(e))) => {
+                enforce_vars[task.func_idx] = e.vars();
+            }
+            _ => {}
+        }
+    }
+    let global_pred_names: Vec<String> = ctx.global_preds.iter().map(Pred::var_name).collect();
+    let mut pts = ctx.base_pts.clone();
+    ctx.plans
+        .iter()
+        .enumerate()
+        .map(|(fi, plan)| {
+            let return_pred_names: Vec<String> = ctx.signatures[&plan.func.name]
+                .return_preds
+                .iter()
+                .map(Pred::var_name)
+                .collect();
+            let inputs = LiveInputs {
+                env: ctx.env,
+                func: plan.func,
+                scope_vars: &plan.scope_vars,
+                global_pred_names: &global_pred_names,
+                return_pred_names: &return_pred_names,
+                enforce_vars: &enforce_vars[fi],
+                mentions: &mentions[fi],
+                options: ctx.options,
+            };
+            function_liveness(&inputs, &mut pts)
+        })
+        .collect()
+}
+
+/// Every predicate name a solved boolean statement reads: assume
+/// conditions, call actuals, assignment values.
+fn bstmt_mentions(s: &BStmt) -> Vec<String> {
+    let mut out = Vec::new();
+    s.walk(&mut |st| match st {
+        BStmt::Assign { values, .. } => {
+            for v in values {
+                out.extend(v.vars());
+            }
+        }
+        BStmt::Assume { cond, .. } | BStmt::Assert { cond, .. } => out.extend(cond.vars()),
+        BStmt::If { cond, .. } | BStmt::While { cond, .. } => out.extend(cond.vars()),
+        BStmt::Call { args, .. } => {
+            for a in args {
+                out.extend(a.vars());
+            }
+        }
+        BStmt::Return { values, .. } => {
+            for v in values {
+                out.extend(v.vars());
+            }
+        }
+        _ => {}
+    });
+    out
+}
+
+fn solve_one(
+    ctx: &SolveCtx<'_>,
+    task: &LeafTask<'_>,
+    pts: &mut PointsTo,
+    live: &[Option<LiveMap>],
+) -> LeafResult {
     let plan = &ctx.plans[task.func_idx];
     // a fresh prover per task: its cache and counters depend only on the
     // task, never on scheduling; the shared cache still short-circuits
@@ -526,17 +693,22 @@ fn solve_one(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, pts: &mut PointsTo) -> Lea
         scope_vars: &plan.scope_vars,
         options: ctx.options,
         cube_stats: CubeStats::default(),
+        pruned: 0,
     };
     let out = match &task.kind {
         LeafKind::Assign { id, lhs, rhs } => {
-            LeafOut::Stmt(solver.assign(Some(*id), lhs, rhs))
+            let live_after = live
+                .get(task.func_idx)
+                .and_then(|m| m.as_ref())
+                .and_then(|m| m.get(id));
+            LeafOut::Stmt(solver.assign(Some(*id), lhs, rhs, live_after))
         }
-        LeafKind::Branch { cond } => {
+        LeafKind::Branch { cond, .. } => {
             let pos = solver.guard(cond);
             let neg = solver.guard(&cond.negated());
             LeafOut::Guards { pos, neg }
         }
-        LeafKind::Assert { cond } => {
+        LeafKind::Assert { cond, .. } => {
             // failure guard first, matching the sequential engine's query
             // order within this statement
             let neg = solver.guard(&cond.negated());
@@ -567,6 +739,7 @@ fn solve_one(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, pts: &mut PointsTo) -> Lea
         out,
         prover_stats: solver.prover.stats,
         cube_stats: solver.cube_stats,
+        pruned: solver.pruned,
     }
 }
 
@@ -583,6 +756,7 @@ struct LeafSolver<'a> {
     scope_vars: &'a [ScopeVar],
     options: &'a C2bpOptions,
     cube_stats: CubeStats,
+    pruned: u64,
 }
 
 impl<'a> LeafSolver<'a> {
@@ -631,12 +805,22 @@ impl<'a> LeafSolver<'a> {
         self.with_search(|cs| cs.strongest_implied_conjunction(&vars, cond))
     }
 
-    /// §4.3: abstraction of an assignment.
-    fn assign(&mut self, id: Option<cparse::StmtId>, lhs: &Expr, rhs: &Expr) -> BStmt {
+    /// §4.3: abstraction of an assignment. When `live_after` is known,
+    /// predicates outside it are dead — their cube searches are skipped
+    /// and they are left out of the parallel assignment (unconstrained,
+    /// which nothing downstream observes).
+    fn assign(
+        &mut self,
+        id: Option<cparse::StmtId>,
+        lhs: &Expr,
+        rhs: &Expr,
+        live_after: Option<&std::collections::BTreeSet<String>>,
+    ) -> BStmt {
         let scope = self.scope_vars.to_vec();
         let mut targets = Vec::new();
         let mut values = Vec::new();
         for sv in &scope {
+            let dead = live_after.is_some_and(|live| !live.contains(&sv.name));
             let (wp_pos, wp_neg) = {
                 let mut ctx = self.wp_ctx();
                 let pos = wp_assign(&mut ctx, lhs, rhs, &sv.expr);
@@ -651,12 +835,18 @@ impl<'a> LeafSolver<'a> {
                     }
                 }
             }
+            if dead {
+                // The predicate is dead after this assignment: no later
+                // statement can observe its value, so skip the cube
+                // searches entirely. The update disappears, which is the
+                // same boolean program the liveness normalizer produces.
+                self.pruned += 1;
+                continue;
+            }
             let value = match (wp_pos, wp_neg) {
                 (Some(p), Some(n)) => {
-                    let fp = self
-                        .with_search(|cs| cs.largest_implying_disjunction(&scope, &p));
-                    let fn_ = self
-                        .with_search(|cs| cs.largest_implying_disjunction(&scope, &n));
+                    let fp = self.with_search(|cs| cs.largest_implying_disjunction(&scope, &p));
+                    let fn_ = self.with_search(|cs| cs.largest_implying_disjunction(&scope, &n));
                     BExpr::choose(fp, fn_)
                 }
                 _ => BExpr::unknown(),
@@ -667,7 +857,11 @@ impl<'a> LeafSolver<'a> {
         if targets.is_empty() {
             BStmt::Skip
         } else {
-            BStmt::Assign { id, targets, values }
+            BStmt::Assign {
+                id,
+                targets,
+                values,
+            }
         }
     }
 
@@ -724,8 +918,7 @@ impl<'a> LeafSolver<'a> {
             args: actuals,
         };
         // E_u: local predicates of the caller that may have changed
-        let local_names: Vec<String> =
-            self.global_preds.iter().map(Pred::var_name).collect();
+        let local_names: Vec<String> = self.global_preds.iter().map(Pred::var_name).collect();
         let mut updated = Vec::new();
         let mut unchanged_vars: Vec<ScopeVar> = Vec::new();
         for sv in &scope {
@@ -806,8 +999,7 @@ impl<'a> LeafSolver<'a> {
                 }
                 // written through a global pointer inside the callee
                 for (g, ty) in &self.program.globals {
-                    if ty.is_pointer_like()
-                        && self.pts.targets_may_intersect(&fname, d, callee, g)
+                    if ty.is_pointer_like() && self.pts.targets_may_intersect(&fname, d, callee, g)
                     {
                         return true;
                     }
@@ -819,11 +1011,7 @@ impl<'a> LeafSolver<'a> {
 
     /// Havoc for calls whose callee we cannot see (intrinsics, externals):
     /// local predicates mentioning the destination are invalidated.
-    fn havoc_for_unknown_call(
-        &mut self,
-        id: Option<cparse::StmtId>,
-        dst: &Option<Expr>,
-    ) -> BStmt {
+    fn havoc_for_unknown_call(&mut self, id: Option<cparse::StmtId>, dst: &Option<Expr>) -> BStmt {
         let Some(d) = dst else {
             return BStmt::Skip;
         };
@@ -842,7 +1030,11 @@ impl<'a> LeafSolver<'a> {
             BStmt::Skip
         } else {
             let values = vec![BExpr::unknown(); targets.len()];
-            BStmt::Assign { id, targets, values }
+            BStmt::Assign {
+                id,
+                targets,
+                values,
+            }
         }
     }
 }
@@ -881,12 +1073,8 @@ impl<'r> Merger<'r> {
             Stmt::Skip => BStmt::Skip,
             Stmt::Goto(l) => BStmt::Goto(l.clone()),
             Stmt::Label(l) => BStmt::Label(l.clone()),
-            Stmt::Seq(ss) => {
-                BStmt::Seq(ss.iter().map(|st| self.stmt(st, sig)).collect())
-            }
-            Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Assume { .. } => {
-                self.next_stmt()
-            }
+            Stmt::Seq(ss) => BStmt::Seq(ss.iter().map(|st| self.stmt(st, sig)).collect()),
+            Stmt::Assign { .. } | Stmt::Call { .. } | Stmt::Assume { .. } => self.next_stmt(),
             Stmt::If {
                 id,
                 then_branch,
@@ -969,7 +1157,10 @@ impl<'r> Merger<'r> {
                     .iter()
                     .map(|p| BExpr::var(p.var_name()))
                     .collect();
-                BStmt::Return { id: Some(*id), values }
+                BStmt::Return {
+                    id: Some(*id),
+                    values,
+                }
             }
             Stmt::Break | Stmt::Continue => {
                 unreachable!("break/continue rejected during planning")
@@ -1001,10 +1192,7 @@ mod tests {
 
     #[test]
     fn simple_assignment_updates_predicate() {
-        let a = abstract_src(
-            "void f(int x) { x = 0; }",
-            "f x == 0",
-        );
+        let a = abstract_src("void f(int x) { x = 0; }", "f x == 0");
         let p = a.bprogram.proc("f").unwrap();
         let text = bp::print::bstmt_to_string(&p.body, 0);
         assert!(text.contains("{x == 0} = true;"), "{text}");
@@ -1070,10 +1258,7 @@ mod tests {
 
     #[test]
     fn enforce_invariant_excludes_contradictions() {
-        let a = abstract_src(
-            "void f(int x) { x = 1; }",
-            "f x == 1, x == 2",
-        );
+        let a = abstract_src("void f(int x) { x = 1; }", "f x == 1, x == 2");
         let p = a.bprogram.proc("f").unwrap();
         let inv = p.enforce.as_ref().expect("enforce");
         let text = bp::print::bexpr_to_string(inv);
@@ -1115,10 +1300,7 @@ mod tests {
 
     #[test]
     fn nondet_call_havocs_destination_predicates() {
-        let a = abstract_src(
-            "void f(int x) { x = nondet(); }",
-            "f x == 0",
-        );
+        let a = abstract_src("void f(int x) { x = nondet(); }", "f x == 0");
         let p = a.bprogram.proc("f").unwrap();
         let text = bp::print::bstmt_to_string(&p.body, 0);
         assert!(text.contains("{x == 0} = unknown();"), "{text}");
@@ -1126,10 +1308,7 @@ mod tests {
 
     #[test]
     fn assert_splits_into_failure_branch() {
-        let a = abstract_src(
-            "void f(int x) { assert(x == 0); }",
-            "f x == 0",
-        );
+        let a = abstract_src("void f(int x) { assert(x == 0); }", "f x == 0");
         let p = a.bprogram.proc("f").unwrap();
         let text = bp::print::bstmt_to_string(&p.body, 0);
         assert!(text.contains("assert(false);"), "{text}");
@@ -1145,6 +1324,57 @@ mod tests {
         assert_eq!(a.stats.jobs, 1);
         assert!(a.stats.units > 0);
         assert!(a.stats.shared_cache.insertions > 0);
+    }
+
+    #[test]
+    fn pruning_cuts_prover_calls_but_not_behavior() {
+        // {y == 0} feeds no guard, return, or enforce clause: both its
+        // updates are dead. Pruning must skip their cube searches yet
+        // leave the liveness-normalized program identical.
+        let src = r#"
+            void f(int x, int y) {
+                y = 0;
+                y = y + 1;
+                if (x == 0) { x = 1; }
+                assert(x == 1);
+            }
+        "#;
+        let preds = "f x == 0, x == 1, y == 0";
+        let program = parse_and_simplify(src).unwrap();
+        let preds = parse_pred_file(preds).unwrap();
+        let unpruned = abstract_program(&program, &preds, &C2bpOptions::paper_defaults()).unwrap();
+        assert_eq!(unpruned.stats.pruned_updates, 0);
+        let options = C2bpOptions {
+            prune_dead_preds: true,
+            ..C2bpOptions::paper_defaults()
+        };
+        let pruned = abstract_program(&program, &preds, &options).unwrap();
+        assert!(pruned.stats.pruned_updates > 0, "{:?}", pruned.stats);
+        assert!(
+            pruned.stats.prover_calls < unpruned.stats.prover_calls,
+            "pruned {} vs unpruned {}",
+            pruned.stats.prover_calls,
+            unpruned.stats.prover_calls
+        );
+        assert_eq!(
+            analysis::normalized_text(&pruned.bprogram),
+            analysis::normalized_text(&unpruned.bprogram)
+        );
+        // pruning stays worker-count independent
+        let four = abstract_program(
+            &program,
+            &preds,
+            &C2bpOptions {
+                jobs: 4,
+                ..options.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            bp::program_to_string(&pruned.bprogram),
+            bp::program_to_string(&four.bprogram)
+        );
+        assert_eq!(pruned.stats.prover_calls, four.stats.prover_calls);
     }
 
     #[test]

@@ -120,11 +120,7 @@ impl<'a> CubeSearch<'a> {
 
     /// `F_V(φ)`: the largest disjunction of cubes over `vars` implying
     /// `φ`, as a boolean-program expression.
-    pub fn largest_implying_disjunction(
-        &mut self,
-        vars: &[ScopeVar],
-        phi: &Expr,
-    ) -> BExpr {
+    pub fn largest_implying_disjunction(&mut self, vars: &[ScopeVar], phi: &Expr) -> BExpr {
         if self.options.atomic_decomposition {
             match phi {
                 Expr::Binary(BinOp::And, l, r) => {
@@ -179,7 +175,7 @@ impl<'a> CubeSearch<'a> {
         // for there
         let track_blocked = goal != Formula::False;
         // enumerate cubes by increasing length
-        for len in 1..=max_len.max(0) {
+        for len in 1..=max_len {
             let mut combo = CubeEnum::new(lits.len(), len);
             while let Some(cube_vars) = combo.next_combo() {
                 'signs: for signs in 0..(1u32 << len) {
@@ -225,11 +221,7 @@ impl<'a> CubeSearch<'a> {
     }
 
     /// `G_V(φ) = ¬F_V(¬φ)`: the strongest expressible consequence of `φ`.
-    pub fn strongest_implied_conjunction(
-        &mut self,
-        vars: &[ScopeVar],
-        phi: &Expr,
-    ) -> BExpr {
+    pub fn strongest_implied_conjunction(&mut self, vars: &[ScopeVar], phi: &Expr) -> BExpr {
         let neg = phi.negated();
         self.largest_implying_disjunction(vars, &neg).negate()
     }
@@ -280,7 +272,7 @@ impl<'a> CubeSearch<'a> {
 /// The syntactic cone of influence (§5.2, third optimization): starting
 /// from the tokens of `φ`, repeatedly add predicates sharing a variable or
 /// an accessed field, until a fixpoint.
-fn cone_of_influence<'v>(vars: &'v [ScopeVar], phi: &Expr) -> Vec<&'v ScopeVar> {
+pub(crate) fn cone_of_influence<'v>(vars: &'v [ScopeVar], phi: &Expr) -> Vec<&'v ScopeVar> {
     let mut tokens = influence_tokens(phi);
     let mut included = vec![false; vars.len()];
     loop {
@@ -475,10 +467,7 @@ mod tests {
         let vars = scope_vars(&["x == 1", "x == 2"]);
         let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
         let f = cs.largest_implying_disjunction(&vars, &parse_expr("x >= 1").unwrap());
-        assert_eq!(
-            f,
-            BExpr::or([BExpr::var("x == 1"), BExpr::var("x == 2")])
-        );
+        assert_eq!(f, BExpr::or([BExpr::var("x == 1"), BExpr::var("x == 2")]));
     }
 
     #[test]
@@ -573,14 +562,8 @@ mod tests {
         let mut prover = Prover::new();
         let vars = scope_vars(&["*p <= 0", "x == 0", "r == 0"]);
         let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
-        let f = cs.largest_implying_disjunction(
-            &vars,
-            &parse_expr("*p + x <= 0").unwrap(),
-        );
-        assert_eq!(
-            f,
-            BExpr::and([BExpr::var("*p <= 0"), BExpr::var("x == 0")])
-        );
+        let f = cs.largest_implying_disjunction(&vars, &parse_expr("*p + x <= 0").unwrap());
+        assert_eq!(f, BExpr::and([BExpr::var("*p <= 0"), BExpr::var("x == 0")]));
     }
 
     #[test]

@@ -29,13 +29,12 @@
 
 pub mod abs;
 pub mod cubes;
+mod live;
 pub mod preds;
 pub mod sig;
 pub mod wp;
 
-pub use abs::{
-    abstract_program, AbsError, AbsStats, Abstraction, C2bpOptions, PhaseSeconds,
-};
+pub use abs::{abstract_program, AbsError, AbsStats, Abstraction, C2bpOptions, PhaseSeconds};
 pub use cubes::{CubeOptions, CubeStats, ScopeVar};
 pub use preds::{parse_pred_file, Pred, PredScope};
 pub use sig::{signature, Signature};

@@ -1,0 +1,428 @@
+//! Predicate liveness: a backward dataflow over the C control flow that
+//! decides, per assignment, which predicates can still influence anything
+//! downstream — a later guard, assert, assume, call, return predicate, or
+//! the `enforce` invariant. Updates to dead predicates are pruned from
+//! the abstraction: their cube searches (and prover calls) are skipped
+//! and the predicate is simply not assigned, which the boolean program
+//! reads as "unconstrained" — a sound weakening that, by construction,
+//! nothing downstream observes.
+//!
+//! # Why the gen sets are sound
+//!
+//! The liveness computed here must *over*-approximate the liveness of the
+//! boolean program that phase 2b will emit — before that program exists.
+//! Two facts make this possible:
+//!
+//! * Guards, assumes, calls and enforce invariants are solved first
+//!   (phase 2a), so their exact mention sets are known.
+//! * An assignment's update `{φ} = choose(F(WP), F(¬WP))` only mentions
+//!   predicates inside `cone_of_influence(WP)`: the cube search restricts
+//!   its candidate variables to the cone (see [`crate::cubes`]), and the
+//!   syntactic fast paths return predicates sharing all tokens with the
+//!   goal. Pruning is therefore gated on `CubeOptions::cone_of_influence`
+//!   being enabled; with the cone disabled the analysis reports
+//!   everything live.
+//!
+//! The transfer mirrors the faint-variable (strong liveness) analysis the
+//! boolean-program normalizer runs, so the differential suite can compare
+//! pruned and unpruned abstractions byte-for-byte after normalization.
+
+use crate::abs::C2bpOptions;
+use crate::cubes::{cone_of_influence, ScopeVar};
+use crate::wp::{wp_assign, WpCtx};
+use analysis::{solve, BitSet, Cfg, Direction};
+use cparse::ast::Function;
+use cparse::flow::{flatten_function, Instr};
+use cparse::typeck::TypeEnv;
+use cparse::StmtId;
+use pointsto::PointsTo;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Live-after predicate names per assignment statement.
+pub(crate) type LiveMap = HashMap<StmtId, BTreeSet<String>>;
+
+/// Everything the per-function analysis needs, fixed after phase 2a.
+pub(crate) struct LiveInputs<'a> {
+    pub env: &'a TypeEnv,
+    pub func: &'a Function,
+    /// The procedure's predicate scope, in plan order.
+    pub scope_vars: &'a [ScopeVar],
+    /// Names of the global predicates (live across calls and returns).
+    pub global_pred_names: &'a [String],
+    /// Names of this procedure's return predicates (`E_r`).
+    pub return_pred_names: &'a [String],
+    /// Variables mentioned by the solved `enforce` invariant; live at
+    /// every program point (the invariant is an implicit assume between
+    /// every pair of statements).
+    pub enforce_vars: &'a [String],
+    /// Predicate names mentioned by each solved phase-2a output, keyed by
+    /// statement id: branch/assert guard pairs, assume conditions, and
+    /// complete call translations (actuals and update values).
+    pub mentions: &'a HashMap<StmtId, Vec<String>>,
+    pub options: &'a C2bpOptions,
+}
+
+/// Computes live-after sets for every assignment of the function.
+///
+/// Returns `None` when the function cannot be analyzed precisely —
+/// un-flattenable body, duplicated or unassigned statement ids, shadowed
+/// predicate names — in which case the caller must treat every predicate
+/// as live (no pruning, exactly the unpruned abstraction).
+pub(crate) fn function_liveness(inp: &LiveInputs<'_>, pts: &mut PointsTo) -> Option<LiveMap> {
+    if !inp.options.cubes.cone_of_influence {
+        return None; // cube search may mention anything: nothing is dead
+    }
+    let flat = flatten_function(inp.func).ok()?;
+    let bits = inp.scope_vars.len();
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    for (i, sv) in inp.scope_vars.iter().enumerate() {
+        if index.insert(sv.name.as_str(), i).is_some() {
+            return None; // shadowed predicate name: bit would be ambiguous
+        }
+    }
+    // Assignment ids key the result map; bail out if they cannot.
+    let mut seen_assign_ids = HashSet::new();
+    for instr in &flat.instrs {
+        if let Instr::Assign { id, .. } = instr {
+            if *id == StmtId::UNASSIGNED || !seen_assign_ids.insert(*id) {
+                return None;
+            }
+        }
+    }
+
+    let bitset_of = |names: &[String]| {
+        let mut s = BitSet::empty(bits);
+        for n in names {
+            if let Some(&i) = index.get(n.as_str()) {
+                s.insert(i);
+            }
+        }
+        s
+    };
+    let always = bitset_of(inp.enforce_vars);
+    let global_bits = bitset_of(inp.global_pred_names);
+    let full = BitSet::full(bits);
+
+    // Per-node transfers, precomputed so the fixpoint loop is pure bitset
+    // work. WP computation happens once per (assignment, predicate) pair.
+    enum Node {
+        Identity,
+        /// Unconditional gens (guards, assumes, calls, returns).
+        Gen(BitSet),
+        /// Parallel assignment: kill every written predicate, then gen
+        /// the cone of its new value for each one that is live after.
+        Assign {
+            kills: BitSet,
+            rewritten: Vec<(usize, BitSet)>,
+        },
+    }
+    let gen_of = |id: &StmtId, extra: Option<&BitSet>| -> Node {
+        // A missing mention set (unassigned or colliding id) means we
+        // cannot tell what the solved output reads: everything is.
+        let mut s = match inp.mentions.get(id) {
+            Some(names) => bitset_of(names),
+            None => full.clone(),
+        };
+        if let Some(e) = extra {
+            s.union_with(e);
+        }
+        Node::Gen(s)
+    };
+    let nodes: Vec<Node> = flat
+        .instrs
+        .iter()
+        .map(|instr| match instr {
+            Instr::Jump(_) | Instr::Nop => Node::Identity,
+            Instr::Branch { id, .. } | Instr::Assert { id, .. } | Instr::Assume { id, .. } => {
+                gen_of(id, None)
+            }
+            // The callee may read or write any global predicate.
+            Instr::Call { id, .. } => gen_of(id, Some(&global_bits)),
+            Instr::Return { .. } => {
+                let mut s = bitset_of(inp.return_pred_names);
+                s.union_with(&global_bits);
+                Node::Gen(s)
+            }
+            Instr::Assign { lhs, rhs, .. } => {
+                let mut kills = BitSet::empty(bits);
+                let mut rewritten = Vec::new();
+                for (bit, sv) in inp.scope_vars.iter().enumerate() {
+                    // Mirror of `LeafSolver::assign`, classifying instead
+                    // of solving.
+                    let (wp_pos, wp_neg) = {
+                        let func = inp.func;
+                        let env = inp.env;
+                        let mut ctx = WpCtx {
+                            env,
+                            pts,
+                            func: func.name.clone(),
+                            lookup: Box::new(move |name| {
+                                func.var_type(name)
+                                    .cloned()
+                                    .or_else(|| env.var_type(None, name))
+                            }),
+                        };
+                        let pos = wp_assign(&mut ctx, lhs, rhs, &sv.expr);
+                        let neg = wp_assign(&mut ctx, lhs, rhs, &sv.expr.negated());
+                        (pos, neg)
+                    };
+                    if inp.options.skip_unaffected && wp_pos.as_ref() == Some(&sv.expr) {
+                        continue; // optimization 2: solver emits nothing
+                    }
+                    kills.insert(bit);
+                    if let (Some(p), Some(n)) = (wp_pos, wp_neg) {
+                        // The solved value `choose(F(p), F(n))` mentions
+                        // only predicates in the cones of p and n.
+                        let mut cone = BitSet::empty(bits);
+                        for v in cone_of_influence(inp.scope_vars, &p) {
+                            cone.insert(index[v.name.as_str()]);
+                        }
+                        for v in cone_of_influence(inp.scope_vars, &n) {
+                            cone.insert(index[v.name.as_str()]);
+                        }
+                        rewritten.push((bit, cone));
+                    }
+                    // else: value is `unknown()` — mentions nothing
+                }
+                Node::Assign { kills, rewritten }
+            }
+        })
+        .collect();
+
+    let mut succs = vec![Vec::new(); flat.instrs.len()];
+    for (i, instr) in flat.instrs.iter().enumerate() {
+        match instr {
+            Instr::Branch {
+                target_true,
+                target_false,
+                ..
+            } => {
+                succs[i].push(*target_true);
+                if target_false != target_true {
+                    succs[i].push(*target_false);
+                }
+            }
+            Instr::Jump(t) => succs[i].push(*t),
+            Instr::Return { .. } => {}
+            _ => {
+                if i + 1 < flat.instrs.len() {
+                    succs[i].push(i + 1);
+                }
+            }
+        }
+    }
+    let cfg = Cfg::new(succs);
+    let mut transfer = |n: usize, live_after: &BitSet| -> BitSet {
+        let mut out = live_after.clone();
+        match &nodes[n] {
+            Node::Identity => {}
+            Node::Gen(g) => {
+                out.union_with(g);
+            }
+            Node::Assign { kills, rewritten } => {
+                let mut gens = BitSet::empty(bits);
+                for (bit, cone) in rewritten {
+                    if live_after.contains(*bit) {
+                        gens.union_with(cone);
+                    }
+                }
+                out.subtract(kills);
+                out.union_with(&gens);
+            }
+        }
+        out.union_with(&always);
+        out
+    };
+    let sol = solve(
+        &cfg,
+        Direction::Backward,
+        &BitSet::empty(bits),
+        &mut transfer,
+    );
+
+    let mut live = LiveMap::new();
+    for (i, instr) in flat.instrs.iter().enumerate() {
+        if let Instr::Assign { id, .. } = instr {
+            let names: BTreeSet<String> = sol.exit[i]
+                .iter()
+                .map(|b| inp.scope_vars[b].name.clone())
+                .collect();
+            live.insert(*id, names);
+        }
+    }
+    Some(live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preds::{parse_pred_file, Pred, PredScope};
+    use cparse::parse_and_simplify;
+
+    fn liveness_of(src: &str, preds: &str, func: &str) -> Option<LiveMap> {
+        let program = parse_and_simplify(src).unwrap();
+        let preds = parse_pred_file(preds).unwrap();
+        let env = TypeEnv::new(&program);
+        let mut pts = PointsTo::analyze(&program);
+        let f = program.function(func).unwrap();
+        let scope_vars: Vec<ScopeVar> = preds
+            .iter()
+            .filter(|p| {
+                p.scope == PredScope::Global || p.scope == PredScope::Local(func.to_string())
+            })
+            .map(ScopeVar::of_pred)
+            .collect();
+        let global_names: Vec<String> = preds
+            .iter()
+            .filter(|p| p.scope == PredScope::Global)
+            .map(Pred::var_name)
+            .collect();
+        // Exact mention sets for the solved guards: the tests use guard
+        // expressions that are themselves predicates, so the solved
+        // output mentions exactly that predicate.
+        let mut mentions = HashMap::new();
+        f.body.walk(&mut |s| {
+            use cparse::ast::Stmt;
+            let (id, cond) = match s {
+                Stmt::If { id, cond, .. }
+                | Stmt::While { id, cond, .. }
+                | Stmt::Assert { id, cond }
+                | Stmt::Assume { id, cond } => (*id, cond),
+                _ => return,
+            };
+            let names: Vec<String> = scope_vars
+                .iter()
+                .filter(|sv| sv.expr == *cond || sv.expr == cond.negated())
+                .map(|sv| sv.name.clone())
+                .collect();
+            mentions.insert(id, names);
+        });
+        let options = C2bpOptions::paper_defaults();
+        let inp = LiveInputs {
+            env: &env,
+            func: f,
+            scope_vars: &scope_vars,
+            global_pred_names: &global_names,
+            return_pred_names: &[],
+            enforce_vars: &[],
+            mentions: &mentions,
+            options: &options,
+        };
+        function_liveness(&inp, &mut pts)
+    }
+
+    fn assign_lives(src: &str, preds: &str, func: &str) -> Vec<BTreeSet<String>> {
+        let program = parse_and_simplify(src).unwrap();
+        let f = program.function(func).unwrap();
+        let flat = flatten_function(f).unwrap();
+        let live = liveness_of(src, preds, func).expect("analyzable");
+        flat.instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Assign { id, .. } => Some(live[id].clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn predicate_never_observed_is_dead() {
+        // y == 0 feeds nothing: no guard, no return, no global.
+        let lives = assign_lives(
+            "void f(int x, int y) { y = 0; if (x == 0) { x = 1; } }",
+            "f x == 0, y == 0",
+            "f",
+        );
+        assert!(!lives[0].contains("y == 0"), "{lives:?}");
+        assert!(lives[0].contains("x == 0"), "{lives:?}");
+    }
+
+    #[test]
+    fn predicate_feeding_a_later_guard_is_live() {
+        let lives = assign_lives(
+            "void f(int x) { x = 0; if (x == 0) { x = 1; } }",
+            "f x == 0",
+            "f",
+        );
+        assert!(lives[0].contains("x == 0"), "{lives:?}");
+    }
+
+    #[test]
+    fn liveness_flows_through_copy_chains() {
+        // y = x; z = y; assert(z == 0): the later copy's update reads
+        // {y == 0} (cone of WP(z = y, z == 0)), so {y == 0} stays live
+        // after the first assignment even though no guard mentions it.
+        let lives = assign_lives(
+            "void f(int x, int y, int z) { y = x; z = y; assert(z == 0); }",
+            "f x == 0, y == 0, z == 0",
+            "f",
+        );
+        assert!(lives[0].contains("y == 0"), "{lives:?}");
+        assert!(lives[1].contains("z == 0"), "{lives:?}");
+    }
+
+    #[test]
+    fn dead_copy_chain_stays_dead() {
+        // y = 0; z = y; and nothing ever looks at y or z.
+        let lives = assign_lives(
+            "void f(int x, int y, int z) { y = 0; z = y; assert(x == 0); }",
+            "f x == 0, y == 0, z == 0",
+            "f",
+        );
+        assert!(!lives[0].contains("y == 0"), "{lives:?}");
+        assert!(!lives[1].contains("z == 0"), "{lives:?}");
+    }
+
+    #[test]
+    fn global_predicates_are_live_at_returns() {
+        let lives = assign_lives("int g; void f() { g = 1; }", "global g == 0", "f");
+        assert!(lives[0].contains("g == 0"), "{lives:?}");
+    }
+
+    #[test]
+    fn cone_disabled_reports_nothing_analyzable() {
+        let program = parse_and_simplify("void f(int x) { x = 0; }").unwrap();
+        let preds = parse_pred_file("f x == 0").unwrap();
+        let env = TypeEnv::new(&program);
+        let mut pts = PointsTo::analyze(&program);
+        let f = program.function("f").unwrap();
+        let scope_vars: Vec<ScopeVar> = preds.iter().map(ScopeVar::of_pred).collect();
+        let mut options = C2bpOptions::paper_defaults();
+        options.cubes.cone_of_influence = false;
+        let inp = LiveInputs {
+            env: &env,
+            func: f,
+            scope_vars: &scope_vars,
+            global_pred_names: &[],
+            return_pred_names: &[],
+            enforce_vars: &[],
+            mentions: &HashMap::new(),
+            options: &options,
+        };
+        assert!(function_liveness(&inp, &mut pts).is_none());
+    }
+
+    #[test]
+    fn enforce_variables_are_live_everywhere() {
+        let program = parse_and_simplify("void f(int x, int y) { y = 0; }").unwrap();
+        let preds = parse_pred_file("f y == 0").unwrap();
+        let env = TypeEnv::new(&program);
+        let mut pts = PointsTo::analyze(&program);
+        let f = program.function("f").unwrap();
+        let scope_vars: Vec<ScopeVar> = preds.iter().map(ScopeVar::of_pred).collect();
+        let options = C2bpOptions::paper_defaults();
+        let enforce = vec!["y == 0".to_string()];
+        let inp = LiveInputs {
+            env: &env,
+            func: f,
+            scope_vars: &scope_vars,
+            global_pred_names: &[],
+            return_pred_names: &[],
+            enforce_vars: &enforce,
+            mentions: &HashMap::new(),
+            options: &options,
+        };
+        let live = function_liveness(&inp, &mut pts).unwrap();
+        assert!(live.values().all(|s| s.contains("y == 0")));
+    }
+}

@@ -193,7 +193,8 @@ mod tests {
 
     #[test]
     fn continuation_lines_after_commas() {
-        let src = "mark h == 0, prev == h, this == h,\n     this->next == hnext,\n     prev == this";
+        let src =
+            "mark h == 0, prev == h, this == h,\n     this->next == hnext,\n     prev == this";
         let preds = parse_pred_file(src).unwrap();
         assert_eq!(preds.len(), 5);
     }

@@ -8,7 +8,9 @@
 //! on globals and by-reference parameters).
 
 use crate::preds::{Pred, PredScope};
-use cparse::ast::{Expr, Function, Program, Stmt, UnOp};
+use analysis::ModRef;
+use cparse::ast::{Expr, Function, Program, Stmt};
+use pointsto::PointsTo;
 
 /// The signature of one procedure's abstraction.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,55 +43,34 @@ pub fn return_var(f: &Function) -> Option<String> {
     out
 }
 
-/// Formal parameters whose value may change inside the body (assigned
-/// directly or address-taken). Predicates in `E_r` mentioning these are
-/// dropped (footnote 4: the formal may no longer equal its actual at the
-/// end of the call).
-pub fn modified_formals(f: &Function) -> Vec<String> {
-    let formal_names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
-    let mut out: Vec<String> = Vec::new();
-    f.body.walk(&mut |s| {
-        let mut hit = |name: &str| {
-            if formal_names.contains(&name) && !out.iter().any(|o| o == name) {
-                out.push(name.to_string());
-            }
-        };
-        match s {
-            Stmt::Assign { lhs, rhs, .. } => {
-                if let Expr::Var(v) = lhs {
-                    hit(v);
-                }
-                // address-taken formals may be modified through the pointer
-                rhs.walk(&mut |e| {
-                    if let Expr::Unary(UnOp::AddrOf, inner) = e {
-                        if let Expr::Var(v) = &**inner {
-                            hit(v);
-                        }
-                    }
-                });
-            }
-            Stmt::Call { dst, args, .. } => {
-                if let Some(Expr::Var(v)) = dst {
-                    hit(v);
-                }
-                for a in args {
-                    a.walk(&mut |e| {
-                        if let Expr::Unary(UnOp::AddrOf, inner) = e {
-                            if let Expr::Var(v) = &**inner {
-                                hit(v);
-                            }
-                        }
-                    });
-                }
-            }
-            _ => {}
-        }
-    });
-    out
+/// Formal parameters whose value may change inside the body. Predicates
+/// in `E_r` mentioning these are dropped (footnote 4: the formal may no
+/// longer equal its actual at the end of the call).
+///
+/// The MOD set comes from the interprocedural [`ModRef`] summaries: a
+/// formal counts as modified if it is assigned directly, or if some
+/// pointer written through (here or in a callee) may point at it. This
+/// is strictly more precise than the old syntactic walk, which treated
+/// every address-taken formal as modified even when the escaping pointer
+/// was only ever read.
+pub fn modified_formals(
+    modref: &ModRef,
+    pts: &mut PointsTo,
+    program: &Program,
+    f: &Function,
+) -> Vec<String> {
+    modref.modified_formals(pts, program, &f.name)
 }
 
-/// Computes the signature of `func` with respect to the predicates `E`.
-pub fn signature(program: &Program, func: &Function, preds: &[Pred]) -> Signature {
+/// Computes the signature of `func` with respect to the predicates `E`,
+/// consulting the MOD/REF summaries for footnote 4.
+pub fn signature(
+    program: &Program,
+    func: &Function,
+    preds: &[Pred],
+    modref: &ModRef,
+    pts: &mut PointsTo,
+) -> Signature {
     let local_preds: Vec<&Pred> = preds
         .iter()
         .filter(|p| p.scope == PredScope::Local(func.name.clone()))
@@ -98,7 +79,7 @@ pub fn signature(program: &Program, func: &Function, preds: &[Pred]) -> Signatur
     let formals: Vec<String> = func.params.iter().map(|p| p.name.clone()).collect();
     let globals: Vec<&str> = program.globals.iter().map(|(n, _)| n.as_str()).collect();
     let r = return_var(func);
-    let modified = modified_formals(func);
+    let modified = modified_formals(modref, pts, program, func);
 
     let mentions_local = |e: &Expr| e.vars().iter().any(|v| locals.contains(&v.as_str()));
     let formal_preds: Vec<Pred> = local_preds
@@ -122,10 +103,7 @@ pub fn signature(program: &Program, func: &Function, preds: &[Pred]) -> Signatur
         let in_formals = formal_preds.iter().any(|fp| fp.expr == p.expr);
         let clause2 = in_formals
             && (vars.iter().any(|v| globals.contains(&v.as_str()))
-                || p.expr
-                    .derefd_vars()
-                    .iter()
-                    .any(|v| formals.contains(v)));
+                || p.expr.derefd_vars().iter().any(|v| formals.contains(v)));
         if clause1 || clause2 {
             // footnote 4: drop if a mentioned formal is modified
             let mentions_modified = vars.iter().any(|v| modified.contains(v));
@@ -150,6 +128,18 @@ mod tests {
     use crate::preds::parse_pred_file;
     use cparse::parse_and_simplify;
 
+    fn sig_of(program: &Program, func: &str, preds: &[Pred]) -> Signature {
+        let modref = ModRef::analyze(program);
+        let mut pts = PointsTo::analyze(program);
+        signature(
+            program,
+            program.function(func).unwrap(),
+            preds,
+            &modref,
+            &mut pts,
+        )
+    }
+
     /// The paper's Figure 2 program.
     const FIG2: &str = r#"
         int bar(int* q, int y) {
@@ -168,12 +158,10 @@ mod tests {
     #[test]
     fn figure_2_signature_of_bar() {
         let program = parse_and_simplify(FIG2).unwrap();
-        let preds = parse_pred_file(
-            "bar y >= 0, *q <= y, y == l1, y > l2\nfoo *p <= 0, x == 0, r == 0",
-        )
-        .unwrap();
-        let bar = program.function("bar").unwrap();
-        let sig = signature(&program, bar, &preds);
+        let preds =
+            parse_pred_file("bar y >= 0, *q <= y, y == l1, y > l2\nfoo *p <= 0, x == 0, r == 0")
+                .unwrap();
+        let sig = sig_of(&program, "bar", &preds);
         assert_eq!(sig.ret_var.as_deref(), Some("l1"));
         let ef: Vec<String> = sig.formal_preds.iter().map(Pred::var_name).collect();
         assert_eq!(ef, vec!["y >= 0", "*q <= y"]);
@@ -198,10 +186,36 @@ mod tests {
         )
         .unwrap();
         let preds = parse_pred_file("bar y >= 0, y == l1").unwrap();
-        let bar = program.function("bar").unwrap();
-        let sig = signature(&program, bar, &preds);
+        let sig = sig_of(&program, "bar", &preds);
         assert!(sig.return_preds.is_empty(), "{:?}", sig.return_preds);
-        assert!(modified_formals(bar).contains(&"y".to_string()));
+        let modref = ModRef::analyze(&program);
+        let mut pts = PointsTo::analyze(&program);
+        let bar = program.function("bar").unwrap();
+        assert!(modified_formals(&modref, &mut pts, &program, bar).contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn observed_but_unmodified_formal_keeps_return_preds() {
+        // `q` escapes into `observe`, which only *reads* through it. The
+        // old syntactic walk counted the `&`-escape as a modification and
+        // dropped `y == l1` from E_r; MOD/REF keeps it.
+        let program = parse_and_simplify(
+            r#"
+            int g;
+            void observe(int* p) { g = *p; }
+            int bar(int y) {
+                int l1;
+                observe(&y);
+                l1 = y;
+                return l1;
+            }
+        "#,
+        )
+        .unwrap();
+        let preds = parse_pred_file("bar y == l1").unwrap();
+        let sig = sig_of(&program, "bar", &preds);
+        let er: Vec<String> = sig.return_preds.iter().map(Pred::var_name).collect();
+        assert!(er.contains(&"y == l1".to_string()), "er = {er:?}");
     }
 
     #[test]
@@ -214,8 +228,7 @@ mod tests {
         )
         .unwrap();
         let preds = parse_pred_file("setg g == 0, v == 0").unwrap();
-        let f = program.function("setg").unwrap();
-        let sig = signature(&program, f, &preds);
+        let sig = sig_of(&program, "setg", &preds);
         let er: Vec<String> = sig.return_preds.iter().map(Pred::var_name).collect();
         assert!(er.contains(&"g == 0".to_string()));
         assert!(!er.contains(&"v == 0".to_string()));
@@ -223,14 +236,9 @@ mod tests {
 
     #[test]
     fn return_var_found_after_simplification() {
-        let program = parse_and_simplify(
-            "int f(int x) { if (x > 0) { return 1; } return 0; }",
-        )
-        .unwrap();
+        let program =
+            parse_and_simplify("int f(int x) { if (x > 0) { return 1; } return 0; }").unwrap();
         let f = program.function("f").unwrap();
-        assert_eq!(
-            return_var(f).as_deref(),
-            Some(cparse::simplify::RET_VAR)
-        );
+        assert_eq!(return_var(f).as_deref(), Some(cparse::simplify::RET_VAR));
     }
 }

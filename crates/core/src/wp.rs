@@ -59,8 +59,11 @@ pub struct WpCtx<'a> {
     /// Enclosing function name.
     pub func: String,
     /// Variable-type lookup for the enclosing scope.
-    pub lookup: Box<dyn Fn(&str) -> Option<Type> + 'a>,
+    pub lookup: VarLookup<'a>,
 }
+
+/// A scope-local variable-type lookup.
+pub type VarLookup<'a> = Box<dyn Fn(&str) -> Option<Type> + 'a>;
 
 impl WpCtx<'_> {
     fn type_of(&self, e: &Expr) -> Option<Type> {
@@ -135,12 +138,8 @@ impl WpCtx<'_> {
                 }
                 AliasCase::May(Expr::bin(BinOp::Eq, p.clone(), q.clone()))
             }
-            (Shape::Deref(p), Shape::Field(q, f)) => {
-                self.deref_vs_field(p, q, f)
-            }
-            (Shape::Field(q, f), Shape::Deref(p)) => {
-                self.deref_vs_field(p, q, f)
-            }
+            (Shape::Deref(p), Shape::Field(q, f)) => self.deref_vs_field(p, q, f),
+            (Shape::Field(q, f), Shape::Deref(p)) => self.deref_vs_field(p, q, f),
             (Shape::Field(p, f), Shape::Field(q, g)) => {
                 if f != g {
                     return AliasCase::Never;
@@ -178,8 +177,9 @@ impl WpCtx<'_> {
             }
             // fields vs array elements: expressible only via interior
             // addresses we do not model — give up precision, stay sound
-            (Shape::Field(_, _), Shape::Index(_, _))
-            | (Shape::Index(_, _), Shape::Field(_, _)) => AliasCase::Unknown,
+            (Shape::Field(_, _), Shape::Index(_, _)) | (Shape::Index(_, _), Shape::Field(_, _)) => {
+                AliasCase::Unknown
+            }
             (Shape::Other, _) | (_, Shape::Other) => AliasCase::Unknown,
         }
     }
@@ -259,11 +259,7 @@ pub fn wp_assign(ctx: &mut WpCtx<'_>, lhs: &Expr, rhs: &Expr, phi: &Expr) -> Opt
             }
             AliasCase::May(cond) => {
                 let hit = Expr::bin(BinOp::And, cond.clone(), wp.subst_expr(&y, rhs));
-                let miss = Expr::bin(
-                    BinOp::And,
-                    Expr::un(UnOp::Not, cond),
-                    wp.clone(),
-                );
+                let miss = Expr::bin(BinOp::And, Expr::un(UnOp::Not, cond), wp.clone());
                 wp = Expr::bin(BinOp::Or, hit, miss);
             }
             AliasCase::Unknown => return None,
@@ -309,9 +305,7 @@ mod tests {
             env,
             pts,
             func: func.to_string(),
-            lookup: Box::new(move |n| {
-                f.var_type(n).cloned()
-            }),
+            lookup: Box::new(move |n| f.var_type(n).cloned()),
         };
         let lhs = parse_expr(lhs).unwrap();
         let rhs = parse_expr(rhs).unwrap();
@@ -372,8 +366,13 @@ mod tests {
         let (p, env, mut pts, f) = setup(src, "f");
         // assignment to prev->next leaves curr->val alone
         let wp = wp_str(
-            &p, &env, &mut pts, &f,
-            "prev->next", "nextcurr", "curr->val > v",
+            &p,
+            &env,
+            &mut pts,
+            &f,
+            "prev->next",
+            "nextcurr",
+            "curr->val > v",
         )
         .unwrap();
         assert_eq!(wp, "curr->val > v");
@@ -388,9 +387,11 @@ mod tests {
             }
         "#;
         let (p, env, mut pts, f) = setup(src, "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "curr->val", "0", "prev->val > v")
-            .unwrap();
-        assert!(wp.contains("curr == prev") || wp.contains("prev == curr"), "wp={wp}");
+        let wp = wp_str(&p, &env, &mut pts, &f, "curr->val", "0", "prev->val > v").unwrap();
+        assert!(
+            wp.contains("curr == prev") || wp.contains("prev == curr"),
+            "wp={wp}"
+        );
     }
 
     #[test]
@@ -403,8 +404,7 @@ mod tests {
             }
         "#;
         let (p, env, mut pts, f) = setup(src, "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "prev", "curr", "prev->val > v")
-            .unwrap();
+        let wp = wp_str(&p, &env, &mut pts, &f, "prev", "curr", "prev->val > v").unwrap();
         assert_eq!(wp, "curr->val > v");
     }
 
@@ -462,10 +462,7 @@ mod tests {
     fn locations_enumerates_lvalues() {
         let phi = parse_expr("curr->val > v && *p == a[i]").unwrap();
         let locs = locations(&phi);
-        let strs: Vec<String> = locs
-            .iter()
-            .map(cparse::pretty::expr_to_string)
-            .collect();
+        let strs: Vec<String> = locs.iter().map(cparse::pretty::expr_to_string).collect();
         assert!(strs.contains(&"curr->val".to_string()));
         assert!(strs.contains(&"curr".to_string()));
         assert!(strs.contains(&"v".to_string()));

@@ -605,12 +605,7 @@ impl Function {
             .iter()
             .find(|p| p.name == name)
             .map(|p| &p.ty)
-            .or_else(|| {
-                self.locals
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, t)| t)
-            })
+            .or_else(|| self.locals.iter().find(|(n, _)| n == name).map(|(_, t)| t))
     }
 }
 
@@ -738,6 +733,9 @@ mod tests {
     fn type_display() {
         let t = Type::Struct("cell".into()).ptr_to();
         assert_eq!(t.to_string(), "struct cell*");
-        assert_eq!(Type::Array(Box::new(Type::Int), Some(4)).to_string(), "int[4]");
+        assert_eq!(
+            Type::Array(Box::new(Type::Int), Some(4)).to_string(),
+            "int[4]"
+        );
     }
 }

@@ -131,12 +131,9 @@ pub fn flatten_function(f: &Function) -> Result<FlatFunction, FlattenError> {
         value: None,
     });
     for (idx, label) in fl.pending_gotos {
-        let target = *fl
-            .labels
-            .get(&label)
-            .ok_or_else(|| FlattenError {
-                message: format!("undefined label `{label}` in `{}`", f.name),
-            })?;
+        let target = *fl.labels.get(&label).ok_or_else(|| FlattenError {
+            message: format!("undefined label `{label}` in `{}`", f.name),
+        })?;
         if let Instr::Jump(t) = &mut fl.instrs[idx] {
             *t = target;
         }
@@ -189,7 +186,12 @@ impl Flattener {
                 lhs: lhs.clone(),
                 rhs: rhs.clone(),
             }),
-            Stmt::Call { id, dst, func, args } => self.instrs.push(Instr::Call {
+            Stmt::Call {
+                id,
+                dst,
+                func,
+                args,
+            } => self.instrs.push(Instr::Call {
                 id: *id,
                 dst: dst.clone(),
                 func: func.clone(),

@@ -169,8 +169,7 @@ impl Interp {
     /// Returns [`Trap::Unsupported`] if the program fails to flatten.
     pub fn new(program: &Program) -> Result<Interp, Trap> {
         let env = TypeEnv::new(program);
-        let flats = flatten_program(program)
-            .map_err(|e| Trap::Unsupported(e.message))?;
+        let flats = flatten_program(program).map_err(|e| Trap::Unsupported(e.message))?;
         let mut interp = Interp {
             program: program.clone(),
             env,
@@ -343,9 +342,7 @@ impl Interp {
                         Value::Null => return Err(Trap::NullDeref),
                         _ => return Err(Trap::UninitRead),
                     },
-                    other => {
-                        return Err(Trap::Unsupported(format!("index of {other}")))
-                    }
+                    other => return Err(Trap::Unsupported(format!("index of {other}"))),
                 };
                 if i < 0 {
                     return Err(Trap::OutOfBounds);
@@ -394,9 +391,7 @@ impl Interp {
                     Ok(v)
                 }
             }
-            Expr::Unary(UnOp::AddrOf, inner) => {
-                Ok(Value::Ptr(self.eval_lvalue(frame, inner)?))
-            }
+            Expr::Unary(UnOp::AddrOf, inner) => Ok(Value::Ptr(self.eval_lvalue(frame, inner)?)),
             Expr::Unary(UnOp::Neg, inner) => match self.eval(frame, inner)? {
                 Value::Int(v) => Ok(Value::Int(v.wrapping_neg())),
                 _ => Err(Trap::Unsupported("negation of pointer".into())),
@@ -412,13 +407,7 @@ impl Interp {
         }
     }
 
-    fn eval_binary(
-        &self,
-        frame: &Frame,
-        op: BinOp,
-        l: &Expr,
-        r: &Expr,
-    ) -> Result<Value, Trap> {
+    fn eval_binary(&self, frame: &Frame, op: BinOp, l: &Expr, r: &Expr) -> Result<Value, Trap> {
         // short-circuit-free but lazy evaluation is still fine: operands
         // are pure; we evaluate both eagerly except for logical ops where
         // laziness avoids spurious traps on the non-taken side.
@@ -461,8 +450,7 @@ impl Interp {
                     _ => return Err(Trap::Unsupported("ordered pointer compare".into())),
                 },
                 // comparing a pointer against literal 0
-                (Value::Ptr(_), Value::Int(0)) | (Value::Int(0), Value::Ptr(_)) => match op
-                {
+                (Value::Ptr(_), Value::Int(0)) | (Value::Int(0), Value::Ptr(_)) => match op {
                     BinOp::Eq => false,
                     BinOp::Ne => true,
                     _ => return Err(Trap::Unsupported("pointer/int compare".into())),
@@ -608,7 +596,10 @@ impl Interp {
                     stack.last_mut().expect("frame").pc += 1;
                 }
                 Instr::Call {
-                    dst, func: callee, args, ..
+                    dst,
+                    func: callee,
+                    args,
+                    ..
                 } => {
                     let frame = stack.last().expect("frame");
                     self.record_step(frame, None);
@@ -930,9 +921,16 @@ mod tests {
             }
         "#;
         let mut i = interp_of(src);
-        let head = i.build_list("cell", "val", "next", &[5, 1, 9, 3, 7]).unwrap();
-        let l = i.alloc_value(&Type::Struct("cell".into()).ptr_to(), head).unwrap();
-        let big = i.run("partition", vec![l.clone(), Value::Int(4)]).unwrap().unwrap();
+        let head = i
+            .build_list("cell", "val", "next", &[5, 1, 9, 3, 7])
+            .unwrap();
+        let l = i
+            .alloc_value(&Type::Struct("cell".into()).ptr_to(), head)
+            .unwrap();
+        let big = i
+            .run("partition", vec![l.clone(), Value::Int(4)])
+            .unwrap()
+            .unwrap();
         // returned list: elements > 4, in reverse encounter order
         let bigs = i.read_list("cell", "val", "next", big).unwrap();
         assert_eq!(bigs, vec![7, 9, 5]);

@@ -219,16 +219,17 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                     bump!();
                 }
                 let text = &src[start..i];
-                let v: i64 = text
-                    .parse()
-                    .map_err(|_| ParseError::new(pos, format!("integer literal `{text}` overflows")))?;
-                out.push(Token { tok: Tok::Int(v), pos });
+                let v: i64 = text.parse().map_err(|_| {
+                    ParseError::new(pos, format!("integer literal `{text}` overflows"))
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    pos,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 let text = &src[start..i];

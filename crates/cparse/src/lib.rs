@@ -118,10 +118,8 @@ mod tests {
 
     #[test]
     fn parse_and_simplify_pipeline() {
-        let p = parse_and_simplify(
-            "int f(int x) { if (x > 0) return x; else return -x; }",
-        )
-        .unwrap();
+        let p =
+            parse_and_simplify("int f(int x) { if (x > 0) return x; else return -x; }").unwrap();
         simplify::check_simple_form(&p).unwrap();
     }
 

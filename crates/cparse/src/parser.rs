@@ -268,7 +268,10 @@ impl Parser {
                         Type::Array(elem, _) => Type::Ptr(elem),
                         other => other,
                     };
-                    params.push(Param { name: pname, ty: pty });
+                    params.push(Param {
+                        name: pname,
+                        ty: pty,
+                    });
                     if !self.eat(Tok::Comma) {
                         break;
                     }

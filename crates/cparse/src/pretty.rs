@@ -152,9 +152,16 @@ fn write_stmt(out: &mut String, s: &Stmt, indent: usize) {
             let _ = writeln!(out, "{pad};");
         }
         Stmt::Assign { lhs, rhs, .. } => {
-            let _ = writeln!(out, "{pad}{} = {};", expr_to_string(lhs), expr_to_string(rhs));
+            let _ = writeln!(
+                out,
+                "{pad}{} = {};",
+                expr_to_string(lhs),
+                expr_to_string(rhs)
+            );
         }
-        Stmt::Call { dst, func, args, .. } => {
+        Stmt::Call {
+            dst, func, args, ..
+        } => {
             let args: Vec<String> = args.iter().map(expr_to_string).collect();
             match dst {
                 Some(d) => {

@@ -211,11 +211,7 @@ impl<'a> Simplifier<'a> {
 
     /// Index expressions may not contain dereferences (keeps location
     /// enumeration syntactic); copies deep indices into temporaries.
-    fn demote_scalar_if_deep(
-        &mut self,
-        e: Expr,
-        pre: &mut Vec<Stmt>,
-    ) -> Result<Expr, TypeError> {
+    fn demote_scalar_if_deep(&mut self, e: Expr, pre: &mut Vec<Stmt>) -> Result<Expr, TypeError> {
         if e.deref_depth() == 0 {
             return Ok(e);
         }
@@ -269,7 +265,9 @@ impl<'a> Simplifier<'a> {
                 }
                 out.push(Stmt::assign(lhs, rhs));
             }
-            Stmt::Call { dst, func, args, .. } => {
+            Stmt::Call {
+                dst, func, args, ..
+            } => {
                 let mut pre = Vec::new();
                 let dst = match dst {
                     Some(d) => Some(self.flatten_expr(d, &mut pre)?),
@@ -343,19 +341,16 @@ impl<'a> Simplifier<'a> {
                 out.push(Stmt::Label(brk));
             }
             Stmt::Return { value, .. } => {
-                match value {
-                    Some(e) => {
-                        if *ret_ty == Type::Void {
-                            return Err(TypeError {
-                                message: "void function returns a value".into(),
-                            });
-                        }
-                        let mut pre = Vec::new();
-                        let e = self.flatten_expr(e, &mut pre)?;
-                        out.extend(pre);
-                        out.push(Stmt::assign(Expr::var(RET_VAR), e));
+                if let Some(e) = value {
+                    if *ret_ty == Type::Void {
+                        return Err(TypeError {
+                            message: "void function returns a value".into(),
+                        });
                     }
-                    None => {}
+                    let mut pre = Vec::new();
+                    let e = self.flatten_expr(e, &mut pre)?;
+                    out.extend(pre);
+                    out.push(Stmt::assign(Expr::var(RET_VAR), e));
                 }
                 out.push(Stmt::Goto(EXIT_LABEL.to_string()));
             }
@@ -500,9 +495,7 @@ pub fn check_simple_form(program: &Program) -> Result<(), String> {
                     .as_ref()
                     .and_then(|d| check_expr(d, "call dst"))
                     .or_else(|| args.iter().find_map(|a| check_expr(a, "call arg"))),
-                Stmt::If { cond, .. } | Stmt::While { cond, .. } => {
-                    check_expr(cond, "condition")
-                }
+                Stmt::If { cond, .. } | Stmt::While { cond, .. } => check_expr(cond, "condition"),
                 Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => {
                     check_expr(cond, "assertion")
                 }
@@ -513,9 +506,10 @@ pub fn check_simple_form(program: &Program) -> Result<(), String> {
                         Some(_) => Some(format!("{}: return of a non-variable", f.name)),
                     }
                 }
-                Stmt::Break | Stmt::Continue => {
-                    Some(format!("{}: break/continue survived simplification", f.name))
-                }
+                Stmt::Break | Stmt::Continue => Some(format!(
+                    "{}: break/continue survived simplification",
+                    f.name
+                )),
                 _ => None,
             };
             if err.is_none() {

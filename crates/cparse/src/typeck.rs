@@ -121,8 +121,9 @@ impl TypeEnv {
         match e {
             Expr::IntLit(_) => Ok(Type::Int),
             Expr::Null => Ok(Type::Ptr(Box::new(Type::Void))),
-            Expr::Var(name) => lookup(name)
-                .ok_or_else(|| TypeError::new(format!("unknown variable `{name}`"))),
+            Expr::Var(name) => {
+                lookup(name).ok_or_else(|| TypeError::new(format!("unknown variable `{name}`")))
+            }
             Expr::Unary(UnOp::Deref, inner) => {
                 let t = self.type_of_with(lookup, inner)?;
                 t.pointee().cloned().ok_or_else(|| {
@@ -185,9 +186,9 @@ impl TypeEnv {
                     .structs
                     .get(&sname)
                     .ok_or_else(|| TypeError::new(format!("unknown struct `{sname}`")))?;
-                sd.field_type(field).cloned().ok_or_else(|| {
-                    TypeError::new(format!("struct {sname} has no field `{field}`"))
-                })
+                sd.field_type(field)
+                    .cloned()
+                    .ok_or_else(|| TypeError::new(format!("struct {sname} has no field `{field}`")))
             }
             Expr::Index(base, idx) => {
                 let bt = self.type_of_with(lookup, base)?;
@@ -195,9 +196,9 @@ impl TypeEnv {
                 if it != Type::Int {
                     return Err(TypeError::new("array index must be an int"));
                 }
-                bt.pointee().cloned().ok_or_else(|| {
-                    TypeError::new(format!("cannot index non-array type {bt}"))
-                })
+                bt.pointee()
+                    .cloned()
+                    .ok_or_else(|| TypeError::new(format!("cannot index non-array type {bt}")))
             }
             Expr::Call(name, args) => {
                 if let Some(t) = intrinsic_return(name) {
@@ -270,17 +271,12 @@ pub fn compatible(a: &Type, b: &Type) -> bool {
 pub fn check_program(program: &Program) -> Result<TypeEnv, TypeError> {
     let env = TypeEnv::new(program);
     for f in &program.functions {
-        check_stmt(&env, program, f, &f.body)?;
+        check_stmt(&env, f, &f.body)?;
     }
     Ok(env)
 }
 
-fn check_stmt(
-    env: &TypeEnv,
-    program: &Program,
-    f: &Function,
-    s: &Stmt,
-) -> Result<(), TypeError> {
+fn check_stmt(env: &TypeEnv, f: &Function, s: &Stmt) -> Result<(), TypeError> {
     match s {
         Stmt::Skip | Stmt::Goto(_) | Stmt::Label(_) | Stmt::Break | Stmt::Continue => Ok(()),
         Stmt::Assign { lhs, rhs, .. } => {
@@ -295,7 +291,9 @@ fn check_stmt(
             }
             Ok(())
         }
-        Stmt::Call { dst, func, args, .. } => {
+        Stmt::Call {
+            dst, func, args, ..
+        } => {
             let call = Expr::Call(func.clone(), args.clone());
             let rt = env.type_of(Some(f), &call)?;
             if let Some(d) = dst {
@@ -315,7 +313,7 @@ fn check_stmt(
         }
         Stmt::Seq(stmts) => {
             for st in stmts {
-                check_stmt(env, program, f, st)?;
+                check_stmt(env, f, st)?;
             }
             Ok(())
         }
@@ -326,12 +324,12 @@ fn check_stmt(
             ..
         } => {
             env.type_of(Some(f), cond)?;
-            check_stmt(env, program, f, then_branch)?;
-            check_stmt(env, program, f, else_branch)
+            check_stmt(env, f, then_branch)?;
+            check_stmt(env, f, else_branch)
         }
         Stmt::While { cond, body, .. } => {
             env.type_of(Some(f), cond)?;
-            check_stmt(env, program, f, body)
+            check_stmt(env, f, body)
         }
         Stmt::Return { value, .. } => match (value, &f.ret) {
             (None, Type::Void) => Ok(()),
@@ -403,17 +401,14 @@ mod tests {
 
     #[test]
     fn rejects_missing_field() {
-        let err = check(
-            "struct s { int a; }; void f(struct s* p) { int y; y = p->b; }",
-        )
-        .unwrap_err();
+        let err =
+            check("struct s { int a; }; void f(struct s* p) { int y; y = p->b; }").unwrap_err();
         assert!(err.message.contains("no field"));
     }
 
     #[test]
     fn rejects_arity_mismatch() {
-        let err = check("int g(int x) { return x; } void f() { int y; y = g(1, 2); }")
-            .unwrap_err();
+        let err = check("int g(int x) { return x; } void f() { int y; y = g(1, 2); }").unwrap_err();
         assert!(err.message.contains("arguments"));
     }
 

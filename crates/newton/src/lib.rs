@@ -105,9 +105,7 @@ impl<'a> Newton<'a> {
     /// Returns [`NewtonError`] if the program cannot be flattened.
     pub fn new(program: &'a Program) -> Result<Newton<'a>, NewtonError> {
         let env = TypeEnv::new(program);
-        let flats = flatten_program(program).map_err(|e| NewtonError {
-            message: e.message,
-        })?;
+        let flats = flatten_program(program).map_err(|e| NewtonError { message: e.message })?;
         let mut stmt_owner = HashMap::new();
         for f in &program.functions {
             f.body.walk(&mut |s| {
@@ -169,10 +167,7 @@ impl<'a> Newton<'a> {
                 Ok(self.prover.store.app(format!("deref@{k}"), vec![pt], sort))
             }
             Expr::Unary(UnOp::AddrOf, inner) => match &**inner {
-                Expr::Var(v) => Ok(self.prover.store.addr_var(format!(
-                    "{}::{v}",
-                    frame.func
-                ))),
+                Expr::Var(v) => Ok(self.prover.store.addr_var(format!("{}::{v}", frame.func))),
                 Expr::Unary(UnOp::Deref, p) => self.eval(frame, globals, p),
                 Expr::Field(base, f) => {
                     let obj = match &**base {
@@ -261,10 +256,12 @@ impl<'a> Newton<'a> {
         e: &Expr,
     ) -> Result<Formula, NewtonError> {
         match e {
-            Expr::IntLit(v) => Ok(if *v != 0 { Formula::True } else { Formula::False }),
-            Expr::Unary(UnOp::Not, inner) => {
-                Ok(self.formula(frame, globals, inner)?.negate())
-            }
+            Expr::IntLit(v) => Ok(if *v != 0 {
+                Formula::True
+            } else {
+                Formula::False
+            }),
+            Expr::Unary(UnOp::Not, inner) => Ok(self.formula(frame, globals, inner)?.negate()),
             Expr::Binary(BinOp::And, l, r) => Ok(Formula::and([
                 self.formula(frame, globals, l)?,
                 self.formula(frame, globals, r)?,
@@ -425,9 +422,7 @@ impl<'a> Newton<'a> {
                     };
                     if did != id {
                         return Err(NewtonError {
-                            message: format!(
-                                "trace mismatch at assert {id}: decision {did}"
-                            ),
+                            message: format!("trace mismatch at assert {id}: decision {did}"),
                         });
                     }
                     cursor += 1;
@@ -449,7 +444,12 @@ impl<'a> Newton<'a> {
                         break; // failure point reached
                     }
                 }
-                Instr::Call { dst, func: callee, args, .. } => {
+                Instr::Call {
+                    dst,
+                    func: callee,
+                    args,
+                    ..
+                } => {
                     self.sym_call(&mut stack, &mut globals, &dst, &callee, &args)?;
                 }
                 Instr::Return { value, .. } => {
@@ -461,9 +461,7 @@ impl<'a> Newton<'a> {
                             })?;
                             let d = d.clone();
                             let _ = caller;
-                            if let Some(eq) =
-                                self.sym_store(&mut stack, &mut globals, &d, val)?
-                            {
+                            if let Some(eq) = self.sym_store(&mut stack, &mut globals, &d, val)? {
                                 constraints.push(eq);
                             }
                         }
@@ -487,7 +485,7 @@ impl<'a> Newton<'a> {
     /// stores through pointers.
     fn sym_assign(
         &mut self,
-        stack: &mut Vec<SymFrame>,
+        stack: &mut [SymFrame],
         globals: &mut HashMap<String, TermId>,
         lhs: &Expr,
         rhs: &Expr,
@@ -500,7 +498,7 @@ impl<'a> Newton<'a> {
     /// Stores `val` into the lvalue `lhs`.
     fn sym_store(
         &mut self,
-        stack: &mut Vec<SymFrame>,
+        stack: &mut [SymFrame],
         globals: &mut HashMap<String, TermId>,
         lhs: &Expr,
         val: TermId,
@@ -531,10 +529,10 @@ impl<'a> Newton<'a> {
                 let k = self.epoch(field) + 1;
                 self.epochs.insert(field.clone(), k);
                 let sort = self.prover.store.sort(val);
-                let newread =
-                    self.prover
-                        .store
-                        .app(format!("fld_{field}@{k}"), vec![obj], sort);
+                let newread = self
+                    .prover
+                    .store
+                    .app(format!("fld_{field}@{k}"), vec![obj], sort);
                 // record the definitional equation as a path constraint via
                 // the prover cache-friendly route: an equality constraint
                 let eq = self.prover.store.eq(newread, val);
@@ -546,10 +544,7 @@ impl<'a> Newton<'a> {
                 let k = self.epoch("*") + 1;
                 self.epochs.insert("*".to_string(), k);
                 let sort = self.prover.store.sort(val);
-                let newread = self
-                    .prover
-                    .store
-                    .app(format!("deref@{k}"), vec![pt], sort);
+                let newread = self.prover.store.app(format!("deref@{k}"), vec![pt], sort);
                 let eq = self.prover.store.eq(newread, val);
                 Ok(Some(eq))
             }
@@ -560,10 +555,7 @@ impl<'a> Newton<'a> {
                 let k = self.epoch("[]") + 1;
                 self.epochs.insert("[]".to_string(), k);
                 let sort = self.prover.store.sort(val);
-                let newread = self
-                    .prover
-                    .store
-                    .app(format!("idx@{k}"), vec![b, i], sort);
+                let newread = self.prover.store.app(format!("idx@{k}"), vec![b, i], sort);
                 let eq = self.prover.store.eq(newread, val);
                 Ok(Some(eq))
             }
@@ -585,8 +577,7 @@ impl<'a> Newton<'a> {
         args: &[Expr],
     ) -> Result<(), NewtonError> {
         // intrinsics: fresh values
-        if callee == "nondet" || callee == "malloc" || self.program.function(callee).is_none()
-        {
+        if callee == "nondet" || callee == "malloc" || self.program.function(callee).is_none() {
             stack.last_mut().expect("frame").pc += 1;
             if let Some(d) = dst {
                 let sort = if callee == "malloc" {
@@ -684,10 +675,9 @@ fn transport_preds(program: &Program, preds: &mut Vec<DiscoveredPred>) {
                         if p.expr.vars().iter().any(|x| x == v) {
                             let e = p.expr.subst_var(v, &Expr::Var(r.clone()));
                             // only if every variable resolves in the callee
-                            if e.vars()
-                                .iter()
-                                .all(|x| cf.var_type(x).is_some() || program.global_type(x).is_some())
-                            {
+                            if e.vars().iter().all(|x| {
+                                cf.var_type(x).is_some() || program.global_type(x).is_some()
+                            }) {
                                 added.push(DiscoveredPred {
                                     scope: DiscoveredScope::Local(callee.clone()),
                                     expr: e,
@@ -701,8 +691,7 @@ fn transport_preds(program: &Program, preds: &mut Vec<DiscoveredPred>) {
                             if p.expr.vars().iter().any(|x| x == av) {
                                 let e = p.expr.subst_var(av, &Expr::Var(formal.name.clone()));
                                 if e.vars().iter().all(|x| {
-                                    cf.var_type(x).is_some()
-                                        || program.global_type(x).is_some()
+                                    cf.var_type(x).is_some() || program.global_type(x).is_some()
                                 }) {
                                     added.push(DiscoveredPred {
                                         scope: DiscoveredScope::Local(callee.clone()),
@@ -717,10 +706,7 @@ fn transport_preds(program: &Program, preds: &mut Vec<DiscoveredPred>) {
         }
         let mut changed = false;
         for a in added {
-            if !preds
-                .iter()
-                .any(|p| p.scope == a.scope && p.expr == a.expr)
-            {
+            if !preds.iter().any(|p| p.scope == a.scope && p.expr == a.expr) {
                 preds.push(a);
                 changed = true;
             }
@@ -779,9 +765,7 @@ mod newton_tests {
     fn decision_ids(program: &Program, func: &str) -> Vec<StmtId> {
         let mut out = Vec::new();
         program.function(func).unwrap().body.walk(&mut |s| match s {
-            Stmt::If { id, .. } | Stmt::While { id, .. } | Stmt::Assert { id, .. } => {
-                out.push(*id)
-            }
+            Stmt::If { id, .. } | Stmt::While { id, .. } | Stmt::Assert { id, .. } => out.push(*id),
             _ => {}
         });
         out
@@ -789,10 +773,8 @@ mod newton_tests {
 
     #[test]
     fn contradictory_branches_are_infeasible() {
-        let p = parse_and_simplify(
-            "void f(int x) { if (x > 0) { if (x < 0) { assert(0); } } }",
-        )
-        .unwrap();
+        let p = parse_and_simplify("void f(int x) { if (x > 0) { if (x < 0) { assert(0); } } }")
+            .unwrap();
         let ids = decision_ids(&p, "f");
         let mut n = Newton::new(&p).unwrap();
         let r = n
@@ -811,30 +793,20 @@ mod newton_tests {
 
     #[test]
     fn consistent_path_is_possibly_feasible() {
-        let p = parse_and_simplify(
-            "void f(int x) { if (x > 0) { assert(x <= 0); } }",
-        )
-        .unwrap();
+        let p = parse_and_simplify("void f(int x) { if (x > 0) { assert(x <= 0); } }").unwrap();
         let ids = decision_ids(&p, "f");
         let mut n = Newton::new(&p).unwrap();
-        let r = n
-            .analyze("f", &[(ids[0], true), (ids[1], false)])
-            .unwrap();
+        let r = n.analyze("f", &[(ids[0], true), (ids[1], false)]).unwrap();
         assert_eq!(r, NewtonResult::PossiblyFeasible);
     }
 
     #[test]
     fn assignments_update_symbolic_state() {
         // x = 1; if (x == 2) { assert(0); } is infeasible
-        let p = parse_and_simplify(
-            "void f(int x) { x = 1; if (x == 2) { assert(0); } }",
-        )
-        .unwrap();
+        let p = parse_and_simplify("void f(int x) { x = 1; if (x == 2) { assert(0); } }").unwrap();
         let ids = decision_ids(&p, "f");
         let mut n = Newton::new(&p).unwrap();
-        let r = n
-            .analyze("f", &[(ids[0], true), (ids[1], false)])
-            .unwrap();
+        let r = n.analyze("f", &[(ids[0], true), (ids[1], false)]).unwrap();
         assert!(matches!(r, NewtonResult::Infeasible { .. }), "{r:?}");
     }
 
@@ -853,9 +825,7 @@ mod newton_tests {
         let p = parse_and_simplify(src).unwrap();
         let ids = decision_ids(&p, "f");
         let mut n = Newton::new(&p).unwrap();
-        let r = n
-            .analyze("f", &[(ids[0], true), (ids[1], false)])
-            .unwrap();
+        let r = n.analyze("f", &[(ids[0], true), (ids[1], false)]).unwrap();
         let NewtonResult::Infeasible { new_preds } = r else {
             panic!("expected infeasible");
         };
@@ -876,9 +846,7 @@ mod newton_tests {
         let p = parse_and_simplify(src).unwrap();
         let ids = decision_ids(&p, "f");
         let mut n = Newton::new(&p).unwrap();
-        let r = n
-            .analyze("f", &[(ids[0], true), (ids[1], false)])
-            .unwrap();
+        let r = n.analyze("f", &[(ids[0], true), (ids[1], false)]).unwrap();
         assert!(matches!(r, NewtonResult::Infeasible { .. }), "{r:?}");
     }
 
@@ -894,9 +862,7 @@ mod newton_tests {
         let p = parse_and_simplify(src).unwrap();
         let ids = decision_ids(&p, "f");
         let mut n = Newton::new(&p).unwrap();
-        let r = n
-            .analyze("f", &[(ids[0], true), (ids[1], false)])
-            .unwrap();
+        let r = n.analyze("f", &[(ids[0], true), (ids[1], false)]).unwrap();
         assert!(matches!(r, NewtonResult::Infeasible { .. }), "{r:?}");
     }
 
@@ -911,9 +877,7 @@ mod newton_tests {
         let p = parse_and_simplify(src).unwrap();
         let ids = decision_ids(&p, "f");
         let mut n = Newton::new(&p).unwrap();
-        let r = n
-            .analyze("f", &[(ids[0], true), (ids[1], false)])
-            .unwrap();
+        let r = n.analyze("f", &[(ids[0], true), (ids[1], false)]).unwrap();
         assert_eq!(r, NewtonResult::PossiblyFeasible);
     }
 
@@ -942,9 +906,7 @@ mod transport_tests {
     fn ids_of(program: &Program, func: &str) -> Vec<StmtId> {
         let mut out = Vec::new();
         program.function(func).unwrap().body.walk(&mut |s| match s {
-            Stmt::If { id, .. } | Stmt::While { id, .. } | Stmt::Assert { id, .. } => {
-                out.push(*id)
-            }
+            Stmt::If { id, .. } | Stmt::While { id, .. } | Stmt::Assert { id, .. } => out.push(*id),
             _ => {}
         });
         out
@@ -1010,11 +972,10 @@ mod transport_tests {
         let s_ids = ids_of(&p, "sink");
         let mut n = Newton::new(&p).unwrap();
         // an infeasible variant: x > 0 then v <= 0 inside sink (same value)
-        let r = n
-            .analyze(
-                "f",
-                &[(f_ids[0], true), (s_ids[0], false), (s_ids[0], false)],
-            );
+        let r = n.analyze(
+            "f",
+            &[(f_ids[0], true), (s_ids[0], false), (s_ids[0], false)],
+        );
         // the second decision for s_ids[0] will mismatch (only one branch);
         // accept either an error or a verdict — the point is the transport
         // below on a clean run

@@ -219,12 +219,7 @@ impl PointsTo {
 
     /// The value a pointer-producing expression evaluates to, or `None`
     /// for expressions carrying no pointer (plain integers).
-    fn value_node(
-        &mut self,
-        program: &Program,
-        func: &str,
-        e: &Expr,
-    ) -> Option<ValueRef> {
+    fn value_node(&mut self, program: &Program, func: &str, e: &Expr) -> Option<ValueRef> {
         match e {
             Expr::Var(x) => Some(ValueRef::Copy(self.var_node(program, func, x))),
             Expr::Unary(UnOp::AddrOf, inner) => {
@@ -308,13 +303,7 @@ impl PointsTo {
         }
     }
 
-    fn process_stmt(
-        &mut self,
-        program: &Program,
-        func: &str,
-        s: &Stmt,
-        heap_counter: &mut u32,
-    ) {
+    fn process_stmt(&mut self, program: &Program, func: &str, s: &Stmt, heap_counter: &mut u32) {
         match s {
             Stmt::Assign { lhs, rhs, .. } => {
                 let Some(dst) = self.lvalue_node(program, func, lhs) else {
@@ -344,11 +333,9 @@ impl PointsTo {
                 let Some(cf) = program.function(callee) else {
                     return;
                 };
-                let formals: Vec<String> =
-                    cf.params.iter().map(|p| p.name.clone()).collect();
+                let formals: Vec<String> = cf.params.iter().map(|p| p.name.clone()).collect();
                 for (formal, actual) in formals.iter().zip(args) {
-                    let fnode =
-                        self.node(Loc::Var(Scope::Fn(callee.clone()), formal.clone()));
+                    let fnode = self.node(Loc::Var(Scope::Fn(callee.clone()), formal.clone()));
                     if let Some(v) = self.value_node(program, func, actual) {
                         self.assign_into(fnode, v);
                     }
@@ -382,8 +369,7 @@ impl PointsTo {
     /// May pointer variable `p` (in `p_func`) point to variable `x` (in
     /// `x_func`)? `false` is definitive; `true` means "maybe".
     pub fn may_point_to(&mut self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool {
-        let (Some(pn), Some(xn)) = (self.lookup(p_func, p), self.lookup(x_func, x))
-        else {
+        let (Some(pn), Some(xn)) = (self.lookup(p_func, p), self.lookup(x_func, x)) else {
             return true; // unknown names: be conservative
         };
         let xr = self.find(xn);
@@ -396,15 +382,8 @@ impl PointsTo {
 
     /// May pointer variables `p` and `q` point into the same object?
     /// `false` is definitive.
-    pub fn targets_may_intersect(
-        &mut self,
-        p_func: &str,
-        p: &str,
-        q_func: &str,
-        q: &str,
-    ) -> bool {
-        let (Some(pn), Some(qn)) = (self.lookup(p_func, p), self.lookup(q_func, q))
-        else {
+    pub fn targets_may_intersect(&mut self, p_func: &str, p: &str, q_func: &str, q: &str) -> bool {
+        let (Some(pn), Some(qn)) = (self.lookup(p_func, p), self.lookup(q_func, q)) else {
             return true;
         };
         let tp = self.target(pn);
@@ -451,8 +430,7 @@ mod tests {
 
     #[test]
     fn distinct_pointers_stay_apart() {
-        let mut a =
-            analyze("void f(int x, int y) { int* p; int* q; p = &x; q = &y; }");
+        let mut a = analyze("void f(int x, int y) { int* p; int* q; p = &x; q = &y; }");
         assert!(!a.targets_may_intersect("f", "p", "f", "q"));
         assert!(!a.may_point_to("f", "p", "f", "y"));
     }

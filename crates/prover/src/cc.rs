@@ -173,9 +173,7 @@ impl<'a> CongruenceClosure<'a> {
     /// Returns [`CcResult::Conflict`] if this contradicts earlier
     /// assertions or constructor distinctness.
     pub fn assert_eq(&mut self, a: TermId, b: TermId) -> CcResult {
-        if self.register(a) == CcResult::Conflict
-            || self.register(b) == CcResult::Conflict
-        {
+        if self.register(a) == CcResult::Conflict || self.register(b) == CcResult::Conflict {
             return CcResult::Conflict;
         }
         if self.merge(a, b) == CcResult::Conflict {
@@ -242,9 +240,7 @@ impl<'a> CongruenceClosure<'a> {
 
     /// Asserts `a != b`.
     pub fn assert_ne(&mut self, a: TermId, b: TermId) -> CcResult {
-        if self.register(a) == CcResult::Conflict
-            || self.register(b) == CcResult::Conflict
-        {
+        if self.register(a) == CcResult::Conflict || self.register(b) == CcResult::Conflict {
             return CcResult::Conflict;
         }
         if self.find(a) == self.find(b) {

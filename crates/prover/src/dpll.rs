@@ -164,7 +164,7 @@ struct Dpll<'a> {
 
 impl Dpll<'_> {
     fn run(&mut self) -> SatResult {
-        self.search(0)
+        self.search()
     }
 
     fn lit_value(&self, l: i32) -> Option<bool> {
@@ -228,7 +228,7 @@ impl Dpll<'_> {
             .collect()
     }
 
-    fn search(&mut self, depth: usize) -> SatResult {
+    fn search(&mut self) -> SatResult {
         self.decisions += 1;
         if self.decisions > MAX_DECISIONS {
             return SatResult::Unknown;
@@ -238,8 +238,7 @@ impl Dpll<'_> {
             self.undo(&trail);
             return SatResult::Unsat;
         }
-        if theory_check(self.store, &self.assigned_theory_lits()) == TheoryResult::Conflict
-        {
+        if theory_check(self.store, &self.assigned_theory_lits()) == TheoryResult::Conflict {
             self.undo(&trail);
             return SatResult::Unsat;
         }
@@ -252,7 +251,7 @@ impl Dpll<'_> {
         let mut unknown = false;
         for val in [true, false] {
             self.assignment[v] = Some(val);
-            match self.search(depth + 1) {
+            match self.search() {
                 SatResult::Sat => {
                     self.assignment[v] = None;
                     self.undo(&trail);
@@ -316,17 +315,11 @@ mod tests {
         let zero = s.num(0);
         let five = s.num(5);
         let three = s.num(3);
-        let f = Formula::and([
-            Formula::or([s.le(x, zero), s.le(five, x)]),
-            s.eq(x, three),
-        ]);
+        let f = Formula::and([Formula::or([s.le(x, zero), s.le(five, x)]), s.eq(x, three)]);
         assert_eq!(solve(&s, &f), SatResult::Unsat);
         // (x <= 0 || x >= 5) && x == 7 is sat
         let seven = s.num(7);
-        let f = Formula::and([
-            Formula::or([s.le(x, zero), s.le(five, x)]),
-            s.eq(x, seven),
-        ]);
+        let f = Formula::and([Formula::or([s.le(x, zero), s.le(five, x)]), s.eq(x, seven)]);
         assert_eq!(solve(&s, &f), SatResult::Sat);
     }
 
@@ -342,10 +335,7 @@ mod tests {
         let three = s.num(3);
         let case_alias = Formula::and([s.eq(p, q), s.lt(five, three)]);
         let case_not = Formula::and([s.ne(p, q), s.lt(five, dp)]);
-        let f = Formula::and([
-            Formula::or([case_alias, case_not]),
-            s.le(dp, five),
-        ]);
+        let f = Formula::and([Formula::or([case_alias, case_not]), s.le(dp, five)]);
         assert_eq!(solve(&s, &f), SatResult::Unsat);
     }
 

@@ -196,10 +196,7 @@ impl LaSolver {
                     }
                 }
             }
-            let Some((&v, _)) = counts
-                .iter()
-                .min_by_key(|(_, (p, n))| p * n + p + n)
-            else {
+            let Some((&v, _)) = counts.iter().min_by_key(|(_, (p, n))| p * n + p + n) else {
                 return LaResult::Sat;
             };
             let mut upper = Vec::new(); // c > 0 : c*v <= -rest

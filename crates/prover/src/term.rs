@@ -247,25 +247,19 @@ impl TermStore {
     fn fold(&self, data: TermData) -> TermData {
         let folded = match &data {
             TermData::Add(l, r) => match (self.data(*l), self.data(*r)) {
-                (TermData::Num(a), TermData::Num(b)) => {
-                    Some(TermData::Num(a.wrapping_add(*b)))
-                }
+                (TermData::Num(a), TermData::Num(b)) => Some(TermData::Num(a.wrapping_add(*b))),
                 (_, TermData::Num(0)) => Some(self.data(*l).clone()),
                 (TermData::Num(0), _) => Some(self.data(*r).clone()),
                 _ => None,
             },
             TermData::Sub(l, r) => match (self.data(*l), self.data(*r)) {
-                (TermData::Num(a), TermData::Num(b)) => {
-                    Some(TermData::Num(a.wrapping_sub(*b)))
-                }
+                (TermData::Num(a), TermData::Num(b)) => Some(TermData::Num(a.wrapping_sub(*b))),
                 (_, TermData::Num(0)) => Some(self.data(*l).clone()),
                 _ if l == r => Some(TermData::Num(0)),
                 _ => None,
             },
             TermData::Mul(l, r) => match (self.data(*l), self.data(*r)) {
-                (TermData::Num(a), TermData::Num(b)) => {
-                    Some(TermData::Num(a.wrapping_mul(*b)))
-                }
+                (TermData::Num(a), TermData::Num(b)) => Some(TermData::Num(a.wrapping_mul(*b))),
                 (_, TermData::Num(1)) => Some(self.data(*l).clone()),
                 (TermData::Num(1), _) => Some(self.data(*r).clone()),
                 (_, TermData::Num(0)) | (TermData::Num(0), _) => Some(TermData::Num(0)),
@@ -386,18 +380,29 @@ impl TermStore {
             TermData::AddrVar(n) => format!("&{n}"),
             TermData::AddrFld(f, p) => format!("&({}->{f})", self.term_to_string(*p)),
             TermData::App(f, args) => {
-                let args: Vec<String> =
-                    args.iter().map(|a| self.term_to_string(*a)).collect();
+                let args: Vec<String> = args.iter().map(|a| self.term_to_string(*a)).collect();
                 format!("{f}({})", args.join(", "))
             }
             TermData::Add(l, r) => {
-                format!("({} + {})", self.term_to_string(*l), self.term_to_string(*r))
+                format!(
+                    "({} + {})",
+                    self.term_to_string(*l),
+                    self.term_to_string(*r)
+                )
             }
             TermData::Sub(l, r) => {
-                format!("({} - {})", self.term_to_string(*l), self.term_to_string(*r))
+                format!(
+                    "({} - {})",
+                    self.term_to_string(*l),
+                    self.term_to_string(*r)
+                )
             }
             TermData::Mul(l, r) => {
-                format!("({} * {})", self.term_to_string(*l), self.term_to_string(*r))
+                format!(
+                    "({} * {})",
+                    self.term_to_string(*l),
+                    self.term_to_string(*r)
+                )
             }
             TermData::Neg(t) => format!("-{}", self.term_to_string(*t)),
         }
@@ -408,24 +413,18 @@ impl TermStore {
         match f {
             Formula::True => "true".into(),
             Formula::False => "false".into(),
-            Formula::Atom(Atom::Le(l, r)) => format!(
-                "{} <= {}",
-                self.term_to_string(*l),
-                self.term_to_string(*r)
-            ),
-            Formula::Atom(Atom::Eq(l, r)) => format!(
-                "{} == {}",
-                self.term_to_string(*l),
-                self.term_to_string(*r)
-            ),
+            Formula::Atom(Atom::Le(l, r)) => {
+                format!("{} <= {}", self.term_to_string(*l), self.term_to_string(*r))
+            }
+            Formula::Atom(Atom::Eq(l, r)) => {
+                format!("{} == {}", self.term_to_string(*l), self.term_to_string(*r))
+            }
             Formula::And(fs) => {
-                let parts: Vec<String> =
-                    fs.iter().map(|g| self.formula_to_string(g)).collect();
+                let parts: Vec<String> = fs.iter().map(|g| self.formula_to_string(g)).collect();
                 format!("({})", parts.join(" && "))
             }
             Formula::Or(fs) => {
-                let parts: Vec<String> =
-                    fs.iter().map(|g| self.formula_to_string(g)).collect();
+                let parts: Vec<String> = fs.iter().map(|g| self.formula_to_string(g)).collect();
                 format!("({})", parts.join(" || "))
             }
             Formula::Not(g) => format!("!{}", self.formula_to_string(g)),
@@ -531,9 +530,7 @@ mod tests {
         let f1 = s1.eq(x1, y1);
         let f2 = s2.eq(x2, y2);
         let oriented = |s: &TermStore, f: &Formula| match f {
-            Formula::Atom(Atom::Eq(l, r)) => {
-                (s.term_to_string(*l), s.term_to_string(*r))
-            }
+            Formula::Atom(Atom::Eq(l, r)) => (s.term_to_string(*l), s.term_to_string(*r)),
             other => panic!("expected an equality, got {other:?}"),
         };
         assert_eq!(oriented(&s1, &f1), oriented(&s2, &f2));

@@ -59,18 +59,14 @@ pub fn check(store: &TermStore, lits: &[Lit]) -> TheoryResult {
                 }
             }
             (Atom::Le(l, r), true) => {
-                if cc.register(l) == CcResult::Conflict
-                    || cc.register(r) == CcResult::Conflict
-                {
+                if cc.register(l) == CcResult::Conflict || cc.register(r) == CcResult::Conflict {
                     return TheoryResult::Conflict;
                 }
                 let e = linearize(store, l).add_scaled(&linearize(store, r), -1);
                 la.assert_le0(e);
             }
             (Atom::Le(l, r), false) => {
-                if cc.register(l) == CcResult::Conflict
-                    || cc.register(r) == CcResult::Conflict
-                {
+                if cc.register(l) == CcResult::Conflict || cc.register(r) == CcResult::Conflict {
                     return TheoryResult::Conflict;
                 }
                 // !(l <= r)  ==>  r + 1 <= l
@@ -110,10 +106,11 @@ pub fn check(store: &TermStore, lits: &[Lit]) -> TheoryResult {
         if lavars.len() <= PROPAGATION_CAP {
             for (i, &a) in lavars.iter().enumerate() {
                 for &b in lavars.iter().skip(i + 1) {
-                    if !cc.are_equal(a, b) && la.entails_eq(a, b) {
-                        if cc.assert_eq(a, b) == CcResult::Conflict {
-                            return TheoryResult::Conflict;
-                        }
+                    if !cc.are_equal(a, b)
+                        && la.entails_eq(a, b)
+                        && cc.assert_eq(a, b) == CcResult::Conflict
+                    {
+                        return TheoryResult::Conflict;
                     }
                 }
             }
@@ -130,11 +127,7 @@ pub fn check(store: &TermStore, lits: &[Lit]) -> TheoryResult {
 }
 
 /// If the class of `t` contains a numeral, returns its value.
-fn class_numeral(
-    store: &TermStore,
-    cc: &mut CongruenceClosure<'_>,
-    t: TermId,
-) -> Option<i64> {
+fn class_numeral(store: &TermStore, cc: &mut CongruenceClosure<'_>, t: TermId) -> Option<i64> {
     let _ = cc.register(t);
     let classes = cc.classes();
     let root = cc.find(t);
@@ -210,8 +203,8 @@ mod tests {
         let fc = s.app("fld_val", vec![curr], Sort::Int);
         let fp = s.app("fld_val", vec![prev], Sort::Int);
         let lits = [
-            lit(Atom::Le(fc, v), false),         // curr->val > v
-            lit(Atom::Le(fp, v), true),          // prev->val <= v
+            lit(Atom::Le(fc, v), false),                         // curr->val > v
+            lit(Atom::Le(fp, v), true),                          // prev->val <= v
             lit(Atom::Eq(prev.min(curr), prev.max(curr)), true), // prev == curr
         ];
         assert_eq!(check(&s, &lits), TheoryResult::Conflict);

@@ -74,18 +74,19 @@ impl<'a> Translator<'a> {
     /// Fails on calls and ill-typed expressions.
     pub fn formula(&mut self, e: &Expr) -> Result<Formula, TranslateError> {
         match e {
-            Expr::IntLit(v) => Ok(if *v != 0 { Formula::True } else { Formula::False }),
+            Expr::IntLit(v) => Ok(if *v != 0 {
+                Formula::True
+            } else {
+                Formula::False
+            }),
             Expr::Null => Ok(Formula::False),
             Expr::Unary(UnOp::Not, inner) => Ok(self.formula(inner)?.negate()),
             Expr::Binary(BinOp::And, l, r) => {
                 Ok(Formula::and([self.formula(l)?, self.formula(r)?]))
             }
-            Expr::Binary(BinOp::Or, l, r) => {
-                Ok(Formula::or([self.formula(l)?, self.formula(r)?]))
-            }
+            Expr::Binary(BinOp::Or, l, r) => Ok(Formula::or([self.formula(l)?, self.formula(r)?])),
             Expr::Binary(op, l, r) if op.is_comparison() => {
-                let ptr_cmp =
-                    self.sort_of(l)? == Sort::Ptr || self.sort_of(r)? == Sort::Ptr;
+                let ptr_cmp = self.sort_of(l)? == Sort::Ptr || self.sort_of(r)? == Sort::Ptr;
                 if ptr_cmp {
                     let lt = self.pointer_term(l)?;
                     let rt = self.pointer_term(r)?;
@@ -220,7 +221,11 @@ impl<'a> Translator<'a> {
             (self.store.data(l).clone(), self.store.data(r).clone())
         {
             if b != 0 {
-                let v = if is_div { a.wrapping_div(b) } else { a.wrapping_rem(b) };
+                let v = if is_div {
+                    a.wrapping_div(b)
+                } else {
+                    a.wrapping_rem(b)
+                };
                 return self.store.num(v);
             }
         }
@@ -357,10 +362,8 @@ mod tests {
         //   => prev != curr
         let (env, lookup) = scope();
         let mut store = TermStore::new();
-        let inv = parse_expr(
-            "curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)",
-        )
-        .unwrap();
+        let inv = parse_expr("curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)")
+            .unwrap();
         let goal = parse_expr("prev != curr").unwrap();
         let mut t = Translator::new(&mut store, &env, &lookup);
         let h = t.formula(&inv).unwrap();
@@ -408,6 +411,8 @@ mod tests {
         let (env, lookup) = scope();
         let mut store = TermStore::new();
         let e = parse_expr("f(x) > 0").unwrap();
-        assert!(Translator::new(&mut store, &env, &lookup).formula(&e).is_err());
+        assert!(Translator::new(&mut store, &env, &lookup)
+            .formula(&e)
+            .is_err());
     }
 }

@@ -39,8 +39,14 @@ fn gen_t(rng: &mut Rng, depth: u32) -> T {
         };
     }
     match rng.index(3) {
-        0 => T::Add(Box::new(gen_t(rng, depth - 1)), Box::new(gen_t(rng, depth - 1))),
-        1 => T::Sub(Box::new(gen_t(rng, depth - 1)), Box::new(gen_t(rng, depth - 1))),
+        0 => T::Add(
+            Box::new(gen_t(rng, depth - 1)),
+            Box::new(gen_t(rng, depth - 1)),
+        ),
+        1 => T::Sub(
+            Box::new(gen_t(rng, depth - 1)),
+            Box::new(gen_t(rng, depth - 1)),
+        ),
         _ => T::MulC(rng.gen_range(-3, 4), Box::new(gen_t(rng, depth - 1))),
     }
 }
@@ -55,8 +61,14 @@ fn gen_f(rng: &mut Rng, depth: u32) -> F {
     }
     match rng.index(3) {
         0 => F::Not(Box::new(gen_f(rng, depth - 1))),
-        1 => F::And(Box::new(gen_f(rng, depth - 1)), Box::new(gen_f(rng, depth - 1))),
-        _ => F::Or(Box::new(gen_f(rng, depth - 1)), Box::new(gen_f(rng, depth - 1))),
+        1 => F::And(
+            Box::new(gen_f(rng, depth - 1)),
+            Box::new(gen_f(rng, depth - 1)),
+        ),
+        _ => F::Or(
+            Box::new(gen_f(rng, depth - 1)),
+            Box::new(gen_f(rng, depth - 1)),
+        ),
     }
 }
 

@@ -30,6 +30,10 @@ pub struct SlamOptions {
     pub trace_runs: u64,
     /// Options forwarded to C2bp.
     pub c2bp: C2bpOptions,
+    /// Run the boolean-program verifier (`analysis::lint_program`) over
+    /// every iteration's abstraction; findings abort the run with a
+    /// [`SlamError`], since a generated program should always lint clean.
+    pub lint: bool,
 }
 
 impl Default for SlamOptions {
@@ -38,6 +42,7 @@ impl Default for SlamOptions {
             max_iterations: 16,
             trace_runs: 200_000,
             c2bp: C2bpOptions::paper_defaults(),
+            lint: false,
         }
     }
 }
@@ -67,6 +72,8 @@ pub struct IterationStats {
     pub predicates: usize,
     /// Theorem prover calls spent by C2bp.
     pub prover_calls: u64,
+    /// Predicate updates skipped by liveness pruning.
+    pub pruned_updates: u64,
     /// Bebop worklist iterations.
     pub bebop_iterations: u64,
     /// Whether Bebop reached an error.
@@ -126,14 +133,27 @@ pub fn check(
     for iteration in 1..=options.max_iterations {
         let abs = abstract_program(program, &preds, &options.c2bp)
             .map_err(|e| SlamError { message: e.message })?;
-        let mut bebop = bebop::Bebop::new(&abs.bprogram)
-            .map_err(|e| SlamError { message: e.message })?;
+        if options.lint {
+            let lints = analysis::lint_program(&abs.bprogram);
+            if !lints.is_empty() {
+                let listing: Vec<String> = lints.iter().map(ToString::to_string).collect();
+                return Err(SlamError {
+                    message: format!(
+                        "iteration {iteration} abstraction failed lint:\n  {}",
+                        listing.join("\n  ")
+                    ),
+                });
+            }
+        }
+        let mut bebop =
+            bebop::Bebop::new(&abs.bprogram).map_err(|e| SlamError { message: e.message })?;
         let analysis = bebop
             .analyze(entry)
             .map_err(|e| SlamError { message: e.message })?;
         per_iteration.push(IterationStats {
             predicates: preds.len(),
             prover_calls: abs.stats.prover_calls,
+            pruned_updates: abs.stats.pruned_updates,
             bebop_iterations: analysis.iterations,
             error_reachable: analysis.error_reachable(),
             jobs: abs.stats.jobs,
@@ -150,12 +170,9 @@ pub fn check(
             });
         }
         // extract a concrete failing boolean-program execution
-        let Some(trace) = bebop::trace::find_error_trace(
-            &abs.bprogram,
-            entry,
-            options.trace_runs,
-            1_000_000,
-        ) else {
+        let Some(trace) =
+            bebop::trace::find_error_trace(&abs.bprogram, entry, options.trace_runs, 1_000_000)
+        else {
             return Ok(SlamRun {
                 verdict: SlamVerdict::GaveUp {
                     reason: "counterexample extraction budget exhausted".into(),

@@ -57,12 +57,9 @@ fn weave(s: &Stmt, spec: &Spec) -> Stmt {
         Stmt::Call { func, args, .. } => {
             match spec.events.iter().find(|(name, _)| name == func) {
                 Some((_, body)) => {
-                    let arg_texts: Vec<String> = args
-                        .iter()
-                        .map(cparse::pretty::expr_to_string)
-                        .collect();
-                    let arg_refs: Vec<&str> =
-                        arg_texts.iter().map(String::as_str).collect();
+                    let arg_texts: Vec<String> =
+                        args.iter().map(cparse::pretty::expr_to_string).collect();
+                    let arg_refs: Vec<&str> = arg_texts.iter().map(String::as_str).collect();
                     match parse_handler_text(body, &arg_refs) {
                         Ok(handler) => Stmt::Seq(vec![handler, s.clone()]),
                         // surfaced later as a type error on the call itself

@@ -40,6 +40,7 @@ pub use cegar::{check, IterationStats, SlamError, SlamOptions, SlamRun, SlamVerd
 pub use instrument::instrument;
 pub use spec::{parse_spec, Spec, SpecError};
 
+use c2bp::Pred;
 use cparse::{check_program, parse_program, simplify_program};
 
 /// One-call driver: parse `src`, weave in `spec`, simplify, and run the
@@ -56,6 +57,21 @@ pub fn verify(
     entry: &str,
     options: &SlamOptions,
 ) -> Result<SlamRun, SlamError> {
+    verify_seeded(src, spec, entry, Vec::new(), options)
+}
+
+/// [`verify`] with caller-provided predicates joining the refinement
+/// loop from its first iteration. Seeds let a harness hand the loop a
+/// predicate it would otherwise discover in both polarities, and are
+/// how the liveness-stress benchmarks keep their dead predicate out of
+/// the mutual-exclusion `enforce` invariant.
+pub fn verify_seeded(
+    src: &str,
+    spec: &Spec,
+    entry: &str,
+    seeds: Vec<Pred>,
+    options: &SlamOptions,
+) -> Result<SlamRun, SlamError> {
     let program = parse_program(src).map_err(|e| SlamError {
         message: e.to_string(),
     })?;
@@ -66,7 +82,7 @@ pub fn verify(
     let simplified = simplify_program(&instrumented).map_err(|e| SlamError {
         message: e.to_string(),
     })?;
-    check(&simplified, entry, Vec::new(), options)
+    check(&simplified, entry, seeds, options)
 }
 
 #[cfg(test)]
@@ -212,6 +228,10 @@ mod tests {
         );
         let run = verify(&src, &locking_spec(), "work", &SlamOptions::default()).unwrap();
         assert_eq!(run.per_iteration.len() as u32, run.iterations);
-        assert!(run.per_iteration.last().map(|s| !s.error_reachable).unwrap_or(false));
+        assert!(run
+            .per_iteration
+            .last()
+            .map(|s| !s.error_reachable)
+            .unwrap_or(false));
     }
 }

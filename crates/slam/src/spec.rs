@@ -103,7 +103,8 @@ pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
             // spec-parse time, but store the text for per-call-site
             // substitution
             parse_handler_text(body, &["__slic_dummy"; 9])?;
-            spec.events.push((fname.trim().to_string(), body.to_string()));
+            spec.events
+                .push((fname.trim().to_string(), body.to_string()));
         } else {
             return Err(SpecError {
                 message: format!("unknown section `{header}` (expected `state` or `<fn>.call`)"),

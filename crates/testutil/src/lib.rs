@@ -173,9 +173,12 @@ mod tests {
     #[test]
     fn runner_reports_failing_input() {
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run_cases("always-fails", 3, |rng| rng.gen_range(0, 10), |_| {
-                panic!("boom")
-            });
+            run_cases(
+                "always-fails",
+                3,
+                |rng| rng.gen_range(0, 10),
+                |_| panic!("boom"),
+            );
         }));
         assert!(result.is_err());
     }

@@ -33,7 +33,10 @@ fn check(name: &str, entry: &str) -> Result<(), Box<dyn std::error::Error>> {
     );
     // the loop invariant at the scan loop head, as a disjunction of cubes
     let cubes = bebop.invariant_at_label(&analysis, entry, "L");
-    println!("  invariant at L ({} reachable predicate states):", cubes.len());
+    println!(
+        "  invariant at L ({} reachable predicate states):",
+        cubes.len()
+    );
     for cube in cubes.iter().take(6) {
         let parts: Vec<String> = cube
             .iter()

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  > 4: {:?}", interp.read_list("cell", "val", "next", big)?);
     let Value::Ptr(addr) = l else { unreachable!() };
     let small = interp.load(addr)?;
-    println!("  <= 4: {:?}", interp.read_list("cell", "val", "next", small)?);
+    println!(
+        "  <= 4: {:?}",
+        interp.read_list("cell", "val", "next", small)?
+    );
 
     // --- Figure 1(b): the abstraction -------------------------------------
     let abstraction = abstract_program(&program, &predicates, &C2bpOptions::paper_defaults())?;
@@ -52,18 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         println!("  {}", parts.join(" && "));
     }
-    println!(
-        "  == (curr != NULL) && (curr->val > v) && (prev->val <= v || prev == NULL)"
-    );
+    println!("  == (curr != NULL) && (curr->val > v) && (prev->val <= v || prev == NULL)");
 
     // --- alias refinement: the invariant implies prev != curr -------------
     let env = cparse::typeck::TypeEnv::new(&program);
     let func = program.function("partition").expect("partition exists");
     let lookup = |name: &str| func.var_type(name).cloned();
     let mut prover = Prover::new();
-    let invariant = cparse::parse_expr(
-        "curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)",
-    )?;
+    let invariant =
+        cparse::parse_expr("curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)")?;
     let goal = cparse::parse_expr("prev != curr")?;
     let mut translator = Translator::new(&mut prover.store, &env, &lookup);
     let hyp: Formula = translator.formula(&invariant)?;

@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cube in bebop.invariant_at_label(&analysis, "clamp", "L") {
         let parts: Vec<String> = cube
             .iter()
-            .map(|(name, value)| {
-                format!("{}({})", if *value { "" } else { "!" }, name)
-            })
+            .map(|(name, value)| format!("{}({})", if *value { "" } else { "!" }, name))
             .collect();
         println!("  {}", parts.join(" && "));
     }

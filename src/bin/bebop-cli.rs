@@ -52,9 +52,7 @@ fn main() -> ExitCode {
         for site in &analysis.errors {
             println!("  at {}:{}", site.proc, site.pc);
         }
-        if let Some(trace) =
-            bebop::find_error_trace(&program, &args[1], 100_000, 1_000_000)
-        {
+        if let Some(trace) = bebop::find_error_trace(&program, &args[1], 100_000, 1_000_000) {
             println!("  one failing execution ({} steps):", trace.steps.len());
             for step in trace.steps.iter().take(40) {
                 println!("    {}:{}", step.proc, step.pc);
@@ -64,8 +62,7 @@ fn main() -> ExitCode {
         println!("RESULT: no assertion failure is reachable");
     }
     if let Some(pos) = args.iter().position(|a| a == "--invariant") {
-        let (Some(proc_name), Some(label)) = (args.get(pos + 1), args.get(pos + 2))
-        else {
+        let (Some(proc_name), Some(label)) = (args.get(pos + 1), args.get(pos + 2)) else {
             return usage();
         };
         println!("invariant at {proc_name}:{label}:");

@@ -3,19 +3,24 @@
 //!
 //! ```sh
 //! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
-//!     [--jobs N]
+//!     [--jobs N] [--no-prune] [--lint]
 //! ```
 //!
 //! `--jobs` (or the `C2BP_JOBS` environment variable) shards the cube
 //! searches across worker threads; the printed boolean program and the
 //! deterministic counters are identical for every value.
+//!
+//! Predicate-liveness pruning is on by default (`--no-prune` restores
+//! the paper's every-update engine for A/B comparison); `--lint` runs
+//! the boolean-program verifier over the result and fails on findings.
 
 use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] [--jobs N]"
+        "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] \
+         [--jobs N] [--no-prune] [--lint]"
     );
     ExitCode::from(2)
 }
@@ -25,10 +30,16 @@ fn main() -> ExitCode {
     if args.len() < 2 {
         return usage();
     }
-    let mut options = C2bpOptions::paper_defaults();
+    let mut options = C2bpOptions {
+        prune_dead_preds: true,
+        ..C2bpOptions::paper_defaults()
+    };
+    let mut lint = false;
     let mut iter = args[2..].iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
+            "--no-prune" => options.prune_dead_preds = false,
+            "--lint" => lint = true,
             "--no-coi" => options.cubes.cone_of_influence = false,
             "--no-syntax" => options.cubes.syntactic_fast_paths = false,
             "--k" => match iter.next().map(String::as_str) {
@@ -78,10 +89,12 @@ fn main() -> ExitCode {
         Ok(abs) => {
             print!("{}", bp::program_to_string(&abs.bprogram));
             eprintln!(
-                "// {} predicates, {} theorem-prover calls ({} cache hits), {:.2}s",
+                "// {} predicates, {} theorem-prover calls ({} cache hits), \
+                 {} pruned updates, {:.2}s",
                 abs.stats.predicates,
                 abs.stats.prover_calls,
                 abs.stats.prover_cache_hits,
+                abs.stats.pruned_updates,
                 abs.stats.seconds
             );
             eprintln!(
@@ -95,6 +108,15 @@ fn main() -> ExitCode {
                 abs.stats.phases.solve,
                 abs.stats.phases.merge
             );
+            if lint {
+                let lints = analysis::lint_program(&abs.bprogram);
+                for l in &lints {
+                    eprintln!("c2bp: lint: {l}");
+                }
+                if !lints.is_empty() {
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

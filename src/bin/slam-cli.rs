@@ -2,12 +2,15 @@
 //!
 //! ```sh
 //! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]
+//!     [--no-prune] [--lint]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
 //! `--jobs` (or `C2BP_JOBS`) shards each CEGAR iteration's abstraction
 //! phase across worker threads without changing the verdict, iteration
-//! count, or prover-call totals.
+//! count, or prover-call totals. Predicate-liveness pruning is on by
+//! default (`--no-prune` for A/B runs); `--lint` verifies every
+//! iteration's boolean program with the static checker.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
 use slam::{SlamOptions, SlamVerdict};
@@ -15,7 +18,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]"
+        "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N] \
+         [--no-prune] [--lint]"
     );
     ExitCode::from(2)
 }
@@ -27,9 +31,12 @@ fn main() -> ExitCode {
     }
     let mut spec: Spec = Spec::default();
     let mut options = SlamOptions::default();
+    options.c2bp.prune_dead_preds = true;
     let mut iter = args[2..].iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
+            "--no-prune" => options.c2bp.prune_dead_preds = false,
+            "--lint" => options.lint = true,
             "--lock" => spec = locking_spec(),
             "--irp" => spec = irp_spec(),
             "--spec" => {
@@ -66,12 +73,13 @@ fn main() -> ExitCode {
             let prover: u64 = run.per_iteration.iter().map(|s| s.prover_calls).sum();
             for (i, it) in run.per_iteration.iter().enumerate() {
                 eprintln!(
-                    "// iter {}: {} preds, {} prover calls, jobs {}, abs {:.2}s \
-                     (plan {:.2}s solve {:.2}s merge {:.2}s), \
+                    "// iter {}: {} preds, {} prover calls, {} pruned updates, jobs {}, \
+                     abs {:.2}s (plan {:.2}s solve {:.2}s merge {:.2}s), \
                      shared cache {:.1}% hit rate ({} entries)",
                     i + 1,
                     it.predicates,
                     it.prover_calls,
+                    it.pruned_updates,
                     it.jobs,
                     it.abs_seconds,
                     it.abs_phases.plan,

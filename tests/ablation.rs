@@ -140,8 +140,7 @@ fn cube_length_cap_is_the_precision_knob() {
     );
     // soundness direction: every precise reachable state must still be
     // covered by the coarse abstraction's invariant
-    let covers = |cover: &BTreeSet<Vec<(String, bool)>>,
-                  state: &Vec<(String, bool)>| {
+    let covers = |cover: &BTreeSet<Vec<(String, bool)>>, state: &Vec<(String, bool)>| {
         cover.iter().any(|cube| {
             cube.iter().all(|(n, v)| {
                 state

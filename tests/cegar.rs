@@ -19,8 +19,13 @@ fn all_well_behaved_drivers_validate_the_locking_property() {
         ("log", "LogAppend"),
         ("floppy", "FloppyReadWrite"),
     ] {
-        let run = verify(&driver(stem), &locking_spec(), entry, &SlamOptions::default())
-            .expect("slam runs");
+        let run = verify(
+            &driver(stem),
+            &locking_spec(),
+            entry,
+            &SlamOptions::default(),
+        )
+        .expect("slam runs");
         assert_eq!(
             run.verdict,
             SlamVerdict::Validated,
@@ -28,16 +33,30 @@ fn all_well_behaved_drivers_validate_the_locking_property() {
             run.verdict
         );
         // convergence "in a few iterations"
-        assert!(run.iterations <= 6, "{stem} took {} iterations", run.iterations);
+        assert!(
+            run.iterations <= 6,
+            "{stem} took {} iterations",
+            run.iterations
+        );
     }
 }
 
 #[test]
 fn floppy_validates_the_irp_property_on_both_entries() {
     for entry in ["FloppyReadWrite", "FloppyDpc"] {
-        let run = verify(&driver("floppy"), &irp_spec(), entry, &SlamOptions::default())
-            .expect("slam runs");
-        assert_eq!(run.verdict, SlamVerdict::Validated, "{entry}: {:?}", run.verdict);
+        let run = verify(
+            &driver("floppy"),
+            &irp_spec(),
+            entry,
+            &SlamOptions::default(),
+        )
+        .expect("slam runs");
+        assert_eq!(
+            run.verdict,
+            SlamVerdict::Validated,
+            "{entry}: {:?}",
+            run.verdict
+        );
     }
 }
 
@@ -76,7 +95,10 @@ fn discovered_predicates_are_spec_state_guards() {
             .iter()
             .any(|p| p.var_name().contains("locked")),
         "{:?}",
-        run.final_preds.iter().map(|p| p.var_name()).collect::<Vec<_>>()
+        run.final_preds
+            .iter()
+            .map(|p| p.var_name())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -169,7 +191,10 @@ fn per_object_irp_spec_with_positional_arguments() {
             .iter()
             .any(|p| p.var_name().contains("done")),
         "{:?}",
-        run.final_preds.iter().map(|p| p.var_name()).collect::<Vec<_>>()
+        run.final_preds
+            .iter()
+            .map(|p| p.var_name())
+            .collect::<Vec<_>>()
     );
 
     let bad = r#"

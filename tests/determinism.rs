@@ -49,8 +49,7 @@ fn assert_jobs_invariant(program: &Program, preds: &[Pred], jobs: &[usize], name
 }
 
 fn toy(stem: &str) -> (Program, Vec<Pred>) {
-    let source =
-        std::fs::read_to_string(format!("corpus/toys/{stem}.c")).expect("corpus source");
+    let source = std::fs::read_to_string(format!("corpus/toys/{stem}.c")).expect("corpus source");
     let preds_src =
         std::fs::read_to_string(format!("corpus/toys/{stem}.preds")).expect("corpus preds");
     let program = cparse::parse_and_simplify(&source).expect("corpus parses");
@@ -67,8 +66,8 @@ fn driver(stem: &str, entry: &str) -> (Program, Vec<Pred>) {
     let parsed = cparse::parse_program(&source).expect("corpus parses");
     let instrumented = instrument(&parsed, &locking_spec(), entry);
     let simplified = cparse::simplify_program(&instrumented).expect("corpus simplifies");
-    let run = slam::check(&simplified, entry, Vec::new(), &SlamOptions::default())
-        .expect("slam runs");
+    let run =
+        slam::check(&simplified, entry, Vec::new(), &SlamOptions::default()).expect("slam runs");
     assert!(
         !run.final_preds.is_empty(),
         "{stem}: CEGAR discovered no predicates"

@@ -15,8 +15,8 @@ fn setup() -> (cparse::Program, c2bp::Abstraction) {
     let preds = std::fs::read_to_string("corpus/toys/partition.preds").expect("corpus");
     let program = parse_and_simplify(&source).expect("parses");
     let preds = parse_pred_file(&preds).expect("predicate file");
-    let abs = abstract_program(&program, &preds, &C2bpOptions::paper_defaults())
-        .expect("abstraction");
+    let abs =
+        abstract_program(&program, &preds, &C2bpOptions::paper_defaults()).expect("abstraction");
     (program, abs)
 }
 
@@ -53,9 +53,7 @@ fn boolean_program_matches_figure_1b() {
     assert!(text.contains("assume({curr == NULL});"), "{text}");
     // the else branch: prev = curr copies both predicates
     assert!(
-        text.contains(
-            "{prev == NULL}, {prev->val > v} = {curr == NULL}, {curr->val > v};"
-        ),
+        text.contains("{prev == NULL}, {prev->val > v} = {curr == NULL}, {curr->val > v};"),
         "{text}"
     );
     // the then branch assumes the guard
@@ -83,11 +81,7 @@ fn invariant_at_l_matches_section_2_2() {
     assert!(!cubes.is_empty(), "label L unreachable?");
     // expected: (curr != NULL) && (curr->val > v) && (prev->val <= v || prev == NULL)
     for cube in &cubes {
-        let get = |name: &str| {
-            cube.iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, v)| *v)
-        };
+        let get = |name: &str| cube.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
         assert_eq!(get("curr == NULL"), Some(false), "{cube:?}");
         assert_eq!(get("curr->val > v"), Some(true), "{cube:?}");
         // prev->val <= v or prev == NULL
@@ -116,10 +110,9 @@ fn invariant_refines_aliasing() {
     let func = program.function("partition").expect("partition");
     let lookup = |n: &str| func.var_type(n).cloned();
     let mut prover = Prover::new();
-    let inv = cparse::parse_expr(
-        "curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)",
-    )
-    .unwrap();
+    let inv =
+        cparse::parse_expr("curr != NULL && curr->val > v && (prev->val <= v || prev == NULL)")
+            .unwrap();
     let goal = cparse::parse_expr("prev != curr").unwrap();
     let mut tr = Translator::new(&mut prover.store, &env, &lookup);
     let hyp = tr.formula(&inv).unwrap();

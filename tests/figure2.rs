@@ -57,7 +57,11 @@ fn bar_becomes_a_two_formal_two_return_procedure() {
     assert_eq!(bar.formals.len(), 2);
     assert_eq!(bar.n_returns, 2);
     // its local predicates are E_R \ E_f = { y == l1, y > l2 }
-    assert!(bar.locals.iter().any(|l| l == "y == l1"), "{:?}", bar.locals);
+    assert!(
+        bar.locals.iter().any(|l| l == "y == l1"),
+        "{:?}",
+        bar.locals
+    );
     assert!(bar.locals.iter().any(|l| l == "y > l2"), "{:?}", bar.locals);
 }
 
@@ -77,10 +81,7 @@ fn conditional_abstction_matches_section_4_4() {
         "{text}"
     );
     // and the else-branch assume is {x == 0} => !{*p <= 0}
-    assert!(
-        text.contains("assume(!({*p <= 0} && {x == 0}));"),
-        "{text}"
-    );
+    assert!(text.contains("assume(!({*p <= 0} && {x == 0}));"), "{text}");
 }
 
 #[test]

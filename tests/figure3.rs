@@ -75,8 +75,8 @@ fn concrete_mark_preserves_shape_and_marks_everything() {
 #[test]
 fn shape_preservation_is_proved_by_the_abstraction() {
     let (program, preds) = load();
-    let abs = abstract_program(&program, &preds, &C2bpOptions::paper_defaults())
-        .expect("abstraction");
+    let abs =
+        abstract_program(&program, &preds, &C2bpOptions::paper_defaults()).expect("abstraction");
     // the paper's observation: reverse needs an order of magnitude more
     // prover calls than anything else in Table 2
     assert!(
@@ -101,8 +101,8 @@ fn dropping_the_mark_predicates_loses_the_proof() {
         .into_iter()
         .filter(|p| !p.var_name().contains("mark"))
         .collect();
-    let abs = abstract_program(&program, &without, &C2bpOptions::paper_defaults())
-        .expect("abstraction");
+    let abs =
+        abstract_program(&program, &without, &C2bpOptions::paper_defaults()).expect("abstraction");
     let mut bebop = bebop::Bebop::new(&abs.bprogram).expect("bebop");
     let analysis = bebop.analyze("mark").expect("analysis");
     assert!(

@@ -8,14 +8,12 @@ use cparse::interp::{Interp, Value};
 use cparse::parse_and_simplify;
 
 fn check_toy(stem: &str, entry: &str) -> (c2bp::Abstraction, bool) {
-    let source =
-        std::fs::read_to_string(format!("corpus/toys/{stem}.c")).expect("corpus");
-    let preds =
-        std::fs::read_to_string(format!("corpus/toys/{stem}.preds")).expect("corpus");
+    let source = std::fs::read_to_string(format!("corpus/toys/{stem}.c")).expect("corpus");
+    let preds = std::fs::read_to_string(format!("corpus/toys/{stem}.preds")).expect("corpus");
     let program = parse_and_simplify(&source).expect("parses");
     let preds = parse_pred_file(&preds).expect("pred file");
-    let abs = abstract_program(&program, &preds, &C2bpOptions::paper_defaults())
-        .expect("abstraction");
+    let abs =
+        abstract_program(&program, &preds, &C2bpOptions::paper_defaults()).expect("abstraction");
     let mut bebop = bebop::Bebop::new(&abs.bprogram).expect("bebop");
     let analysis = bebop.analyze(entry).expect("analysis");
     (abs, analysis.error_reachable())

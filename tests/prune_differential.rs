@@ -1,0 +1,145 @@
+//! Differential check for predicate-liveness pruning, across the whole
+//! corpus: the pruned and unpruned abstractions must be *semantically
+//! identical* — byte-equal after liveness normalization erases the
+//! dead assignments the pruner skipped — while the pruned run makes no
+//! more prover calls. Both must also pass the boolean-program verifier
+//! with zero findings.
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions, Pred};
+use cparse::ast::Program;
+use slam::spec::locking_spec;
+use slam::{instrument, SlamOptions};
+
+fn base_opts() -> C2bpOptions {
+    C2bpOptions::paper_defaults()
+}
+
+fn prune_opts() -> C2bpOptions {
+    C2bpOptions {
+        prune_dead_preds: true,
+        ..C2bpOptions::paper_defaults()
+    }
+}
+
+/// Runs both engines and checks lint-cleanliness, normalized equality,
+/// and the prover-call direction. Returns the number of pruned updates
+/// so callers can assert the analysis actually bit somewhere.
+fn assert_prune_equivalent(program: &Program, preds: &[Pred], name: &str) -> u64 {
+    let unpruned = abstract_program(program, preds, &base_opts()).expect("unpruned abstraction");
+    let pruned = abstract_program(program, preds, &prune_opts()).expect("pruned abstraction");
+    for (label, abs) in [("unpruned", &unpruned), ("pruned", &pruned)] {
+        let lints = analysis::lint_program(&abs.bprogram);
+        assert!(
+            lints.is_empty(),
+            "{name} ({label}): generated program failed lint:\n{}",
+            lints
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    assert_eq!(
+        analysis::normalized_text(&pruned.bprogram),
+        analysis::normalized_text(&unpruned.bprogram),
+        "{name}: pruning changed reachable behavior"
+    );
+    assert!(
+        pruned.stats.prover_calls <= unpruned.stats.prover_calls,
+        "{name}: pruning increased prover calls ({} > {})",
+        pruned.stats.prover_calls,
+        unpruned.stats.prover_calls
+    );
+    assert_eq!(unpruned.stats.pruned_updates, 0, "{name}");
+    pruned.stats.pruned_updates
+}
+
+fn toy(stem: &str) -> (Program, Vec<Pred>) {
+    let source = std::fs::read_to_string(format!("corpus/toys/{stem}.c")).expect("corpus source");
+    let preds_src =
+        std::fs::read_to_string(format!("corpus/toys/{stem}.preds")).expect("corpus preds");
+    let program = cparse::parse_and_simplify(&source).expect("corpus parses");
+    let preds = parse_pred_file(&preds_src).expect("corpus predicates parse");
+    (program, preds)
+}
+
+/// Instruments a driver with the locking property and discovers its
+/// predicates with one sequential CEGAR run, like `slam::verify` does.
+fn driver(stem: &str, entry: &str) -> (Program, Vec<Pred>) {
+    driver_seeded(stem, entry, Vec::new())
+}
+
+fn driver_seeded(stem: &str, entry: &str, seeds: Vec<Pred>) -> (Program, Vec<Pred>) {
+    let source =
+        std::fs::read_to_string(format!("corpus/drivers/{stem}.c")).expect("corpus source");
+    let parsed = cparse::parse_program(&source).expect("corpus parses");
+    let instrumented = instrument(&parsed, &locking_spec(), entry);
+    let simplified = cparse::simplify_program(&instrumented).expect("corpus simplifies");
+    let run = slam::check(&simplified, entry, seeds, &SlamOptions::default()).expect("slam runs");
+    (simplified, run.final_preds)
+}
+
+#[test]
+fn toys_corpus_prunes_equivalently() {
+    for (stem, _) in bench_toys() {
+        let (program, preds) = toy(stem);
+        // The PLDI figures keep every predicate live: each toy's enforce
+        // invariant mentions the whole predicate set, so nothing here is
+        // expected to be pruned — only preserved.
+        assert_prune_equivalent(&program, &preds, stem);
+    }
+}
+
+/// The liveness-stress toy has dead non-constant updates by
+/// construction, so here the analysis must actually bite.
+#[test]
+fn backoff_toy_prunes_nontrivially() {
+    let (program, preds) = toy("backoff");
+    let pruned = assert_prune_equivalent(&program, &preds, "backoff");
+    assert!(
+        pruned >= 2,
+        "expected both epilogue decrements pruned, got {pruned}"
+    );
+}
+
+#[test]
+fn drivers_corpus_prunes_equivalently() {
+    for (stem, entry) in [
+        ("floppy", "FloppyReadWrite"),
+        ("ioctl", "DeviceIoControl"),
+        ("openclos", "DispatchOpenClose"),
+        ("srdriver", "DispatchStartReset"),
+        ("log", "LogAppend"),
+    ] {
+        let (program, preds) = driver(stem, entry);
+        assert_prune_equivalent(&program, &preds, stem);
+    }
+}
+
+/// The retry driver's predicate over `attempts` receives a dead
+/// decrement after the final release; pruning must remove it without
+/// changing the abstraction. The predicate is seeded in one polarity:
+/// left to itself Newton discovers both `attempts > 0` and
+/// `attempts <= 0`, whose mutual exclusion lands in the `enforce`
+/// invariant and makes them live everywhere.
+#[test]
+fn retry_driver_prunes_nontrivially() {
+    let seeds = parse_pred_file("DispatchRetry attempts > 0").expect("seed parses");
+    let (program, preds) = driver_seeded("retry", "DispatchRetry", seeds);
+    assert!(
+        preds.iter().any(|p| format!("{p:?}").contains("attempts")),
+        "the seeded predicate over `attempts` should survive: {preds:?}"
+    );
+    let pruned = assert_prune_equivalent(&program, &preds, "retry");
+    assert!(pruned >= 1, "expected the dead decrement pruned");
+}
+
+fn bench_toys() -> [(&'static str, &'static str); 5] {
+    [
+        ("kmp", "kmp"),
+        ("qsort", "qsort_range"),
+        ("partition", "partition"),
+        ("listfind", "listfind"),
+        ("reverse", "mark"),
+    ]
+}

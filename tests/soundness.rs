@@ -18,8 +18,8 @@ use bp::flow::BInstr;
 use c2bp::{abstract_program, C2bpOptions, Pred};
 use cparse::interp::{Interp, TraceStep, Value};
 use cparse::parse_and_simplify;
-use testutil::{run_cases, Rng};
 use std::collections::HashMap;
+use testutil::{run_cases, Rng};
 
 /// A tiny statement language that renders to C source.
 #[derive(Debug, Clone)]
@@ -117,9 +117,7 @@ fn program_src(stmts: &[GenStmt]) -> String {
     let decls: String = (1..=loop_depth)
         .map(|i| format!("    int k{i};\n"))
         .collect();
-    format!(
-        "void f(int a, int b, int c) {{\n    int* p;\n{decls}    p = &a;\n{body}}}\n"
-    )
+    format!("void f(int a, int b, int c) {{\n    int* p;\n{decls}    p = &a;\n{body}}}\n")
 }
 
 fn gen_expr(rng: &mut Rng) -> GenExpr {
@@ -167,10 +165,7 @@ fn gen_stmts(rng: &mut Rng, depth: u32) -> Vec<GenStmt> {
                         gen_stmts(rng, depth - 1),
                         gen_stmts(rng, depth - 1),
                     ),
-                    _ => GenStmt::Loop(
-                        rng.gen_range(0, 3) as u8,
-                        gen_stmts(rng, depth - 1),
-                    ),
+                    _ => GenStmt::Loop(rng.gen_range(0, 3) as u8, gen_stmts(rng, depth - 1)),
                 }
             }
         })
@@ -179,8 +174,7 @@ fn gen_stmts(rng: &mut Rng, depth: u32) -> Vec<GenStmt> {
 
 /// Candidate predicate texts (watching both integer and pointer facts).
 const PRED_POOL: [&str; 10] = [
-    "a < b", "b < c", "a == 0", "a > 1", "b == 2", "c < 4", "a <= c", "*p > 0",
-    "*p == 0", "b >= a",
+    "a < b", "b < c", "a == 0", "a > 1", "b == 2", "c < 4", "a <= c", "*p > 0", "*p == 0", "b >= a",
 ];
 
 /// Evaluates a deterministic boolean expression under a state.
@@ -269,7 +263,11 @@ fn replay(
                 ci += 1;
                 pc = if d { *target_true } else { *target_false };
             }
-            BInstr::Assign { id, targets, values } => {
+            BInstr::Assign {
+                id,
+                targets,
+                values,
+            } => {
                 // find the corresponding C step and its post-state
                 let Some(id) = id else {
                     pc += 1;
@@ -349,10 +347,9 @@ fn run_soundness(stmts: Vec<GenStmt>, pred_mask: u16, args: [i8; 3]) {
     let pred_names: Vec<String> = preds.iter().map(Pred::var_name).collect();
     // concrete run with predicate watches
     let mut interp = Interp::new(&program).expect("interp");
-    interp.watches.insert(
-        "f".into(),
-        preds.iter().map(|p| p.expr.clone()).collect(),
-    );
+    interp
+        .watches
+        .insert("f".into(), preds.iter().map(|p| p.expr.clone()).collect());
     interp.fuel = 200_000;
     let argv = args.iter().map(|v| Value::Int(*v as i64)).collect();
     if interp.run("f", argv).is_err() {
@@ -363,8 +360,8 @@ fn run_soundness(stmts: Vec<GenStmt>, pred_mask: u16, args: [i8; 3]) {
         return;
     }
     // abstraction
-    let abs = abstract_program(&program, &preds, &C2bpOptions::paper_defaults())
-        .expect("abstraction");
+    let abs =
+        abstract_program(&program, &preds, &C2bpOptions::paper_defaults()).expect("abstraction");
     let bp_text = bp::program_to_string(&abs.bprogram);
     let bproc = abs.bprogram.proc("f").expect("f");
     let flat = bp::flow::flatten_proc(bproc).expect("flatten");
