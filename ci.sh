@@ -32,4 +32,16 @@ echo "== pruning differential + corpus lint gate =="
 # and proves the two abstractions normalize identically.
 cargo test --offline -q --test prune_differential
 
+echo "== incremental-session differentials =="
+# Random session-vs-fresh-solver sequences and theory push/pop stress
+# (prover crate), then the whole corpus abstracted with sessions on and
+# off — boolean programs and deterministic counters must be identical.
+cargo test --offline -q -p prover --test session_differential
+cargo test --offline -q --test incremental_differential
+
+echo "== incremental A/B smoke (exits nonzero on divergence) =="
+inc_json="$(mktemp)"
+./target/release/incremental_ab --smoke --json "$inc_json"
+rm -f "$inc_json"
+
 echo "ci: all green"

@@ -1,0 +1,47 @@
+//! Incremental-session A/B: every corpus program abstracted twice — with
+//! the persistent prover sessions (the default) and solving every cube
+//! from scratch (`--no-incremental` in the CLIs) — reporting wall-clock
+//! times and verifying the outputs and deterministic counters agree
+//! exactly. Exits nonzero if any run pair diverges.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin incremental_ab [-- --jobs N] [--smoke]
+//!     [--json <path>]
+//! ```
+//!
+//! `--smoke` restricts to two fast toys for CI.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let jobs = bench::jobs_from_args();
+    let smoke = bench::flag_in_args("--smoke");
+    let mut rows = bench::incremental_toy_rows(jobs, smoke);
+    print!(
+        "{}",
+        bench::render_incremental(
+            &rows,
+            "Incremental A/B — Table 2 programs plus `backoff` (single abstraction)"
+        )
+    );
+    if !smoke {
+        println!();
+        let drivers = bench::incremental_driver_rows(jobs);
+        print!(
+            "{}",
+            bench::render_incremental(
+                &drivers,
+                "Incremental A/B — Table 1 drivers plus `retry` (full CEGAR loop)"
+            )
+        );
+        rows.extend(drivers);
+    }
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::inc_rows(&rows));
+    }
+    if rows.iter().all(|r| r.identical) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("incremental: FAIL — some runs diverged from the from-scratch baseline");
+        ExitCode::FAILURE
+    }
+}

@@ -4,7 +4,7 @@
 //! separately proves the two abstractions are semantically identical.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin prune [-- --jobs N]
+//! cargo run --release -p bench --bin prune [-- --jobs N] [--json <path>]
 //! ```
 fn main() {
     let jobs = bench::jobs_from_args();
@@ -22,4 +22,8 @@ fn main() {
             "Pruning A/B — Table 1 drivers (prover calls summed over CEGAR iterations)"
         )
     );
+    if let Some(path) = bench::json_path_from_args() {
+        let all: Vec<bench::PruneRow> = toys.into_iter().chain(drivers).collect();
+        bench::write_json(&path, &bench::json::prune_rows(&all));
+    }
 }

@@ -1,10 +1,13 @@
 //! Regenerates Table 1: the SLAM toolkit on the device-driver corpus.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin table1 [-- --jobs N]
+//! cargo run --release -p bench --bin table1 [-- --jobs N] [--json <path>]
 //! ```
 fn main() {
     let rows = bench::table1_rows(bench::jobs_from_args());
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::rows(&rows));
+    }
     print!(
         "{}",
         bench::render(

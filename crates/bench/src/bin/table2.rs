@@ -1,10 +1,13 @@
 //! Regenerates Table 2: the array- and heap-intensive programs.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin table2 [-- --jobs N]
+//! cargo run --release -p bench --bin table2 [-- --jobs N] [--json <path>]
 //! ```
 fn main() {
     let rows = bench::table2_rows(bench::jobs_from_args());
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::rows(&rows));
+    }
     print!(
         "{}",
         bench::render(

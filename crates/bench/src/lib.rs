@@ -40,6 +40,8 @@ pub struct Row {
     pub seconds: f64,
     /// Worker threads the abstraction ran with.
     pub jobs: usize,
+    /// Shared prover-cache hits over the abstraction phase(s).
+    pub cache_hits: u64,
     /// Shared prover-cache hit rate over the abstraction phase(s).
     pub cache_hit_rate: f64,
     /// Abstraction phase wall-times (summed over CEGAR iterations).
@@ -145,6 +147,7 @@ pub fn run_toy(stem: &str, entry: &str, options: &C2bpOptions) -> Row {
         pruned_updates: abs.stats.pruned_updates,
         seconds: c2bp_secs,
         jobs: abs.stats.jobs,
+        cache_hits: abs.stats.shared_cache.hits,
         cache_hit_rate: abs.stats.shared_cache.hit_rate(),
         phases: abs.stats.phases,
         outcome: if analysis.error_reachable() {
@@ -200,6 +203,7 @@ pub fn run_driver_config(stem: &str, entry: &str, prop: &str, jobs: usize, prune
         pruned_updates: run.per_iteration.iter().map(|s| s.pruned_updates).sum(),
         seconds: secs,
         jobs: run.per_iteration.first().map_or(1, |it| it.jobs),
+        cache_hits: hits,
         cache_hit_rate: if lookups == 0 {
             0.0
         } else {
@@ -470,6 +474,313 @@ fn retry_prune_row(jobs: usize) -> PruneRow {
     }
 }
 
+/// One incremental-vs-from-scratch A/B measurement. The two runs must
+/// agree exactly — same boolean program (or SLAM verdict), same
+/// deterministic prover counters — so `identical` is an acceptance
+/// check, not a statistic.
+#[derive(Debug, Clone)]
+pub struct IncRow {
+    /// Program name.
+    pub program: String,
+    /// Configuration ("-" for toys, the property for drivers).
+    pub config: String,
+    /// Theorem-prover calls (identical in both runs when `identical`).
+    pub prover_calls: u64,
+    /// Wall-clock seconds with incremental sessions on.
+    pub incremental_secs: f64,
+    /// Wall-clock seconds solving every cube from scratch.
+    pub baseline_secs: f64,
+    /// Incremental-session solver runs (scheduling-dependent).
+    pub session_solves: u64,
+    /// Queries answered by recorded unsat cores without solving.
+    pub session_core_hits: u64,
+    /// Whether the two runs produced byte-identical output and equal
+    /// deterministic counters.
+    pub identical: bool,
+}
+
+impl IncRow {
+    /// Baseline time over incremental time (> 1 means sessions won).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_secs == 0.0 {
+            1.0
+        } else {
+            self.baseline_secs / self.incremental_secs
+        }
+    }
+}
+
+/// Renders the incremental A/B rows with an aggregate speedup line.
+pub fn render_incremental(rows: &[IncRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<22} {:<10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>9}  identical\n",
+        "program", "config", "thm calls", "inc (s)", "base (s)", "speedup", "solves", "core hits"
+    ));
+    let (mut inc_total, mut base_total) = (0.0f64, 0.0f64);
+    for r in rows {
+        inc_total += r.incremental_secs;
+        base_total += r.baseline_secs;
+        out.push_str(&format!(
+            "{:<22} {:<10} {:>10} {:>9.2} {:>9.2} {:>7.2}x {:>8} {:>9}  {}\n",
+            r.program,
+            r.config,
+            r.prover_calls,
+            r.incremental_secs,
+            r.baseline_secs,
+            r.speedup(),
+            r.session_solves,
+            r.session_core_hits,
+            if r.identical { "yes" } else { "NO" }
+        ));
+    }
+    if inc_total > 0.0 {
+        out.push_str(&format!(
+            "total: {base_total:.2}s from scratch vs {inc_total:.2}s incremental ({:.2}x)\n",
+            base_total / inc_total
+        ));
+    }
+    out
+}
+
+fn toy_inc_row(stem: &str, jobs: usize) -> IncRow {
+    let dir = corpus_dir().join("toys");
+    let source = read(dir.join(format!("{stem}.c")));
+    let preds_src = read(dir.join(format!("{stem}.preds")));
+    let program = cparse::parse_and_simplify(&source).expect("corpus parses");
+    let preds = parse_pred_file(&preds_src).expect("corpus predicates parse");
+    let run_with = |incremental: bool| {
+        let options = C2bpOptions {
+            jobs,
+            cubes: CubeOptions {
+                incremental,
+                ..CubeOptions::default()
+            },
+            ..C2bpOptions::paper_defaults()
+        };
+        let t0 = Instant::now();
+        let abs = abstract_program(&program, &preds, &options).expect("abstraction succeeds");
+        (abs, t0.elapsed().as_secs_f64())
+    };
+    let (inc, inc_secs) = run_with(true);
+    let (base, base_secs) = run_with(false);
+    IncRow {
+        program: stem.to_string(),
+        config: "-".into(),
+        prover_calls: inc.stats.prover_calls,
+        incremental_secs: inc_secs,
+        baseline_secs: base_secs,
+        session_solves: inc.stats.sessions.solves,
+        session_core_hits: inc.stats.sessions.core_hits,
+        identical: bp::program_to_string(&inc.bprogram) == bp::program_to_string(&base.bprogram)
+            && inc.stats.prover_calls == base.stats.prover_calls
+            && inc.stats.prover_cache_hits == base.stats.prover_cache_hits,
+    }
+}
+
+fn driver_inc_row(stem: &str, entry: &str, prop: &str, seeds: Option<&str>, jobs: usize) -> IncRow {
+    let source = read(corpus_dir().join("drivers").join(format!("{stem}.c")));
+    let spec = spec_for(prop);
+    let run_with = |incremental: bool| {
+        let options = SlamOptions {
+            c2bp: C2bpOptions {
+                jobs,
+                cubes: CubeOptions {
+                    incremental,
+                    ..CubeOptions::default()
+                },
+                ..C2bpOptions::paper_defaults()
+            },
+            ..SlamOptions::default()
+        };
+        let t0 = Instant::now();
+        let run = match seeds {
+            Some(s) => {
+                let seeds = parse_pred_file(s).expect("seed parses");
+                slam::verify_seeded(&source, &spec, entry, seeds, &options)
+            }
+            None => slam::verify(&source, &spec, entry, &options),
+        }
+        .expect("slam run completes");
+        (run, t0.elapsed().as_secs_f64())
+    };
+    let (inc, inc_secs) = run_with(true);
+    let (base, base_secs) = run_with(false);
+    let calls =
+        |run: &slam::SlamRun| -> u64 { run.per_iteration.iter().map(|s| s.prover_calls).sum() };
+    IncRow {
+        program: stem.to_string(),
+        config: prop.to_string(),
+        prover_calls: calls(&inc),
+        incremental_secs: inc_secs,
+        baseline_secs: base_secs,
+        // SLAM's IterationStats does not thread session counters through;
+        // the per-abstraction numbers are visible via the c2bp CLI.
+        session_solves: 0,
+        session_core_hits: 0,
+        identical: format!("{:?}", inc.verdict) == format!("{:?}", base.verdict)
+            && inc.iterations == base.iterations
+            && calls(&inc) == calls(&base),
+    }
+}
+
+/// Incremental A/B rows over the Table 2 toys plus the liveness-stress
+/// toy `backoff`. `smoke` restricts to two fast programs for CI.
+pub fn incremental_toy_rows(jobs: usize, smoke: bool) -> Vec<IncRow> {
+    let stems: Vec<&str> = if smoke {
+        vec!["partition", "listfind"]
+    } else {
+        TOYS.iter()
+            .map(|(stem, _)| *stem)
+            .chain(std::iter::once(PRUNE_TOY.0))
+            .collect()
+    };
+    stems
+        .into_iter()
+        .map(|stem| toy_inc_row(stem, jobs))
+        .collect()
+}
+
+/// Incremental A/B rows over the Table 1 drivers, the buggy driver, and
+/// the seeded `retry` run.
+pub fn incremental_driver_rows(jobs: usize) -> Vec<IncRow> {
+    let mut set: Vec<(&str, &str, &str)> = DRIVERS.to_vec();
+    set.push(BUGGY_DRIVER);
+    let mut rows: Vec<IncRow> = set
+        .iter()
+        .map(|(stem, entry, prop)| driver_inc_row(stem, entry, prop, None, jobs))
+        .collect();
+    rows.push(driver_inc_row(
+        "retry",
+        "DispatchRetry",
+        "lock",
+        Some("DispatchRetry attempts > 0"),
+        jobs,
+    ));
+    rows
+}
+
+/// Minimal JSON emission for the bench binaries' `--json <path>` output
+/// (hand-rolled: the workspace takes no serialization dependency).
+pub mod json {
+    use super::{IncRow, PruneRow, Row};
+
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn array(items: impl Iterator<Item = String>) -> String {
+        let body: Vec<String> = items.collect();
+        format!("[\n{}\n]\n", body.join(",\n"))
+    }
+
+    /// Table rows as a JSON array of objects.
+    pub fn rows(rows: &[Row]) -> String {
+        array(rows.iter().map(|r| {
+            format!(
+                "  {{\"program\": \"{}\", \"config\": \"{}\", \"lines\": {}, \
+                 \"predicates\": {}, \"prover_calls\": {}, \"pruned_updates\": {}, \
+                 \"seconds\": {:.6}, \"jobs\": {}, \"cache_hits\": {}, \
+                 \"cache_hit_rate\": {:.6}, \"phases\": {{\"plan\": {:.6}, \
+                 \"solve\": {:.6}, \"merge\": {:.6}}}, \"outcome\": \"{}\"}}",
+                esc(&r.program),
+                esc(&r.config),
+                r.lines,
+                r.predicates,
+                r.prover_calls,
+                r.pruned_updates,
+                r.seconds,
+                r.jobs,
+                r.cache_hits,
+                r.cache_hit_rate,
+                r.phases.plan,
+                r.phases.solve,
+                r.phases.merge,
+                esc(&r.outcome)
+            )
+        }))
+    }
+
+    /// Pruning A/B rows as a JSON array of objects.
+    pub fn prune_rows(rows: &[PruneRow]) -> String {
+        array(rows.iter().map(|r| {
+            format!(
+                "  {{\"program\": \"{}\", \"unpruned\": {}, \"pruned\": {}, \
+                 \"pruned_updates\": {}, \"saving\": {:.6}}}",
+                esc(&r.program),
+                r.unpruned,
+                r.pruned,
+                r.pruned_updates,
+                r.saving()
+            )
+        }))
+    }
+
+    /// Incremental A/B rows as a JSON array of objects.
+    pub fn inc_rows(rows: &[IncRow]) -> String {
+        array(rows.iter().map(|r| {
+            format!(
+                "  {{\"program\": \"{}\", \"config\": \"{}\", \"prover_calls\": {}, \
+                 \"incremental_secs\": {:.6}, \"baseline_secs\": {:.6}, \
+                 \"speedup\": {:.6}, \"session_solves\": {}, \
+                 \"session_core_hits\": {}, \"identical\": {}}}",
+                esc(&r.program),
+                esc(&r.config),
+                r.prover_calls,
+                r.incremental_secs,
+                r.baseline_secs,
+                r.speedup(),
+                r.session_solves,
+                r.session_core_hits,
+                r.identical
+            )
+        }))
+    }
+}
+
+/// Parses an optional `--json <path>` from a bench binary's arguments.
+pub fn json_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--json" {
+            match iter.next() {
+                Some(path) => return Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("usage: --json <path>");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True if the bare flag `name` appears in the binary's arguments.
+pub fn flag_in_args(name: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == name)
+}
+
+/// Writes `content` to `path`, exiting with a message on failure.
+pub fn write_json(path: &std::path::Path, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
+}
+
 /// Parses an optional `--jobs N` from a bench binary's arguments.
 /// Returns 0 (defer to `C2BP_JOBS`) when absent; exits on a malformed
 /// value so the harnesses share one error message.
@@ -520,6 +831,7 @@ mod tests {
             pruned_updates: 0,
             seconds: 0.5,
             jobs: 1,
+            cache_hits: 1,
             cache_hit_rate: 0.25,
             phases: c2bp::PhaseSeconds::default(),
             outcome: "ok".into(),

@@ -44,7 +44,7 @@ use bp::ast::{BExpr, BProc, BProgram, BStmt};
 use cparse::ast::{Expr, Function, Program, Stmt};
 use cparse::typeck::TypeEnv;
 use pointsto::PointsTo;
-use prover::{CacheSnapshot, Prover, ProverStats, SharedCache};
+use prover::{CacheSnapshot, Prover, ProverStats, SessionStats, SharedCache};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -158,6 +158,9 @@ pub struct AbsStats {
     pub units: usize,
     /// Shared prover-result cache counters (scheduling-dependent).
     pub shared_cache: CacheSnapshot,
+    /// Incremental prover-session counters (scheduling-dependent: only
+    /// queries that miss every cache reach a session).
+    pub sessions: SessionStats,
     /// Per-phase wall-clock times (scheduling-dependent).
     pub phases: PhaseSeconds,
 }
@@ -283,6 +286,7 @@ pub fn abstract_program(
     };
     let mut prover_stats = ProverStats::default();
     let mut cube_stats = CubeStats::default();
+    let mut session_stats = SessionStats::default();
     let mut pruned_updates = 0u64;
     for plan in &plans {
         let sig = &signatures[&plan.func.name];
@@ -319,6 +323,7 @@ pub fn abstract_program(
         cube_stats.cubes_tested += r.cube_stats.cubes_tested;
         cube_stats.cubes_pruned += r.cube_stats.cubes_pruned;
         cube_stats.fast_path_hits += r.cube_stats.fast_path_hits;
+        session_stats.absorb(&r.session_stats);
         pruned_updates += r.pruned;
     }
 
@@ -333,6 +338,7 @@ pub fn abstract_program(
         jobs,
         units: results.len(),
         shared_cache: shared.snapshot(),
+        sessions: session_stats,
         phases: PhaseSeconds {
             plan: plan_seconds,
             solve: solve_seconds,
@@ -500,6 +506,7 @@ struct LeafResult {
     out: LeafOut,
     prover_stats: ProverStats,
     cube_stats: CubeStats,
+    session_stats: SessionStats,
     /// Updates skipped because liveness proved the target dead.
     pruned: u64,
 }
@@ -693,6 +700,7 @@ fn solve_one(
         scope_vars: &plan.scope_vars,
         options: ctx.options,
         cube_stats: CubeStats::default(),
+        session_stats: SessionStats::default(),
         pruned: 0,
     };
     let out = match &task.kind {
@@ -739,6 +747,7 @@ fn solve_one(
         out,
         prover_stats: solver.prover.stats,
         cube_stats: solver.cube_stats,
+        session_stats: solver.session_stats,
         pruned: solver.pruned,
     }
 }
@@ -756,6 +765,7 @@ struct LeafSolver<'a> {
     scope_vars: &'a [ScopeVar],
     options: &'a C2bpOptions,
     cube_stats: CubeStats,
+    session_stats: SessionStats,
     pruned: u64,
 }
 
@@ -781,6 +791,7 @@ impl<'a> LeafSolver<'a> {
         self.cube_stats.cubes_tested += cs.stats.cubes_tested;
         self.cube_stats.cubes_pruned += cs.stats.cubes_pruned;
         self.cube_stats.fast_path_hits += cs.stats.fast_path_hits;
+        self.session_stats.absorb(&cs.session_stats);
         out
     }
 

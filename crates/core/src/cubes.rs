@@ -26,7 +26,7 @@ use crate::preds::Pred;
 use bp::BExpr;
 use cparse::ast::{BinOp, Expr, Type, UnOp};
 use cparse::typeck::TypeEnv;
-use prover::{Formula, Prover, Translator};
+use prover::{Formula, Prover, ProverSession, SessionStats, Translator};
 
 /// Tunable knobs for the cube search (see module docs).
 #[derive(Debug, Clone)]
@@ -39,6 +39,11 @@ pub struct CubeOptions {
     pub syntactic_fast_paths: bool,
     /// Distribute `F` through `&&` and `||` (loses precision on `||`).
     pub atomic_decomposition: bool,
+    /// Answer cache-missed cube queries with a per-goal incremental
+    /// [`ProverSession`] instead of from-scratch solving. Caching, query
+    /// counting and results are identical either way; only wall time
+    /// changes.
+    pub incremental: bool,
 }
 
 impl Default for CubeOptions {
@@ -48,6 +53,7 @@ impl Default for CubeOptions {
             cone_of_influence: true,
             syntactic_fast_paths: true,
             atomic_decomposition: false,
+            incremental: true,
         }
     }
 }
@@ -94,6 +100,11 @@ pub struct CubeSearch<'a> {
     pub options: CubeOptions,
     /// Counters.
     pub stats: CubeStats,
+    /// Incremental-session counters, aggregated over all goals searched.
+    /// Unlike [`CubeStats`] these depend on cache scheduling (a query
+    /// served by the shared cache never reaches a session), so they are
+    /// diagnostics, not deterministic outputs.
+    pub session_stats: SessionStats,
 }
 
 impl<'a> CubeSearch<'a> {
@@ -110,6 +121,7 @@ impl<'a> CubeSearch<'a> {
             lookup,
             options,
             stats: CubeStats::default(),
+            session_stats: SessionStats::default(),
         }
     }
 
@@ -161,6 +173,9 @@ impl<'a> CubeSearch<'a> {
             .enumerate()
             .filter_map(|(i, v)| self.translate(&v.expr).map(|f| (i, f)))
             .collect();
+        // both polarities of every literal, cloned once per goal instead
+        // of once per cube
+        let lits_neg: Vec<Formula> = lits.iter().map(|(_, f)| f.clone().negate()).collect();
         let max_len = self
             .options
             .max_cube_len
@@ -174,6 +189,29 @@ impl<'a> CubeSearch<'a> {
         // true); the unsatisfiable cubes are exactly what we are looking
         // for there
         let track_blocked = goal != Formula::False;
+        // Incremental mode: one session per implication direction, with
+        // the goal side asserted once and every literal registered once.
+        // Only cache-missed queries reach a session, and results, caching
+        // and query counting are identical to from-scratch solving.
+        let mut sessions = self.options.incremental.then(|| {
+            let mut pos = ProverSession::new(&neg_goal);
+            let pos_ids: Vec<_> = lits
+                .iter()
+                .zip(&lits_neg)
+                .map(|((_, f), nf)| (pos.assume(f), pos.assume(nf)))
+                .collect();
+            let neg = track_blocked.then(|| {
+                let base = neg_goal.clone().negate();
+                let mut sess = ProverSession::new(&base);
+                let ids: Vec<_> = lits
+                    .iter()
+                    .zip(&lits_neg)
+                    .map(|((_, f), nf)| (sess.assume(f), sess.assume(nf)))
+                    .collect();
+                (sess, ids)
+            });
+            (pos, pos_ids, neg)
+        });
         // enumerate cubes by increasing length
         for len in 1..=max_len {
             let mut combo = CubeEnum::new(lits.len(), len);
@@ -192,20 +230,58 @@ impl<'a> CubeSearch<'a> {
                         }
                     }
                     self.stats.cubes_tested += 1;
-                    let hyp = Formula::and(cube.iter().map(|&(vi, pos)| {
-                        let f = lits[vi].1.clone();
-                        if pos {
-                            f
-                        } else {
-                            f.negate()
+                    let hyp_refs: Vec<&Formula> = cube
+                        .iter()
+                        .map(|&(vi, pos)| if pos { &lits[vi].1 } else { &lits_neg[vi] })
+                        .collect();
+                    let implies_goal = match &mut sessions {
+                        Some((pos_sess, pos_ids, _)) => {
+                            let ids: Vec<_> = cube
+                                .iter()
+                                .map(|&(vi, pos)| if pos { pos_ids[vi].0 } else { pos_ids[vi].1 })
+                                .collect();
+                            self.prover.implication_query(&hyp_refs, &goal, |store| {
+                                pos_sess.solve_assuming(store, &ids)
+                            }) == prover::SatResult::Unsat
                         }
-                    }));
-                    if self.prover.implies(&hyp, &goal) {
+                        None => self.prover.implies_refs(&hyp_refs, &goal),
+                    };
+                    if implies_goal {
                         implicants.push(cube);
-                    } else if track_blocked && self.prover.implies(&hyp, &neg_goal) {
-                        blocked.push(cube);
+                    } else if track_blocked {
+                        let blocks = match &mut sessions {
+                            Some((_, _, Some((neg_sess, neg_ids)))) => {
+                                let ids: Vec<_> = cube
+                                    .iter()
+                                    .map(
+                                        |&(vi, pos)| {
+                                            if pos {
+                                                neg_ids[vi].0
+                                            } else {
+                                                neg_ids[vi].1
+                                            }
+                                        },
+                                    )
+                                    .collect();
+                                self.prover
+                                    .implication_query(&hyp_refs, &neg_goal, |store| {
+                                        neg_sess.solve_assuming(store, &ids)
+                                    })
+                                    == prover::SatResult::Unsat
+                            }
+                            _ => self.prover.implies_refs(&hyp_refs, &neg_goal),
+                        };
+                        if blocks {
+                            blocked.push(cube);
+                        }
                     }
                 }
+            }
+        }
+        if let Some((pos, _, neg)) = sessions {
+            self.session_stats.absorb(&pos.stats);
+            if let Some((neg, _)) = neg {
+                self.session_stats.absorb(&neg.stats);
             }
         }
         BExpr::or(implicants.into_iter().map(|cube| {

@@ -212,6 +212,75 @@ pub fn canon_formula(store: &TermStore, f: &Formula) -> CanonKey {
     enc.out
 }
 
+/// A canonicalized implication query `hyps ∧ ¬goal`, folded like
+/// [`Formula::and`]/[`Formula::negate`] would fold it.
+pub enum CanonQuery {
+    /// The query collapsed to a constant; no solver call is needed (and,
+    /// matching [`check_sat`](crate::Prover::check_sat)'s `True`/`False`
+    /// shortcuts, none is counted).
+    Const(SatResult),
+    /// The canonical key of the equivalent materialized formula.
+    Key(CanonKey),
+}
+
+/// Serializes the query `and(hyps ∧ ¬goal)` directly from borrowed parts,
+/// producing byte-for-byte the key [`canon_formula`] would produce for the
+/// materialized [`Formula`] — without cloning hypotheses or goal.
+///
+/// The fold mirrors `Formula::and` over `hyps.iter().cloned()` chained
+/// with `goal.negate()`: `True` parts vanish, a `False` part collapses the
+/// query, conjunctions flatten one level, zero parts mean `True` and one
+/// part stands alone.
+pub fn canon_implication(store: &TermStore, hyps: &[&Formula], goal: &Formula) -> CanonQuery {
+    enum Part<'a> {
+        Pos(&'a Formula),
+        Neg(&'a Formula),
+    }
+    let mut parts: Vec<Part> = Vec::new();
+    for h in hyps {
+        match h {
+            Formula::True => {}
+            Formula::False => return CanonQuery::Const(SatResult::Unsat),
+            Formula::And(inner) => parts.extend(inner.iter().map(Part::Pos)),
+            other => parts.push(Part::Pos(other)),
+        }
+    }
+    // ¬goal as Formula::negate produces it, then folded like any part
+    match goal {
+        Formula::True => return CanonQuery::Const(SatResult::Unsat),
+        Formula::False => {}
+        Formula::Not(g) => match g.as_ref() {
+            Formula::True => {}
+            Formula::False => return CanonQuery::Const(SatResult::Unsat),
+            Formula::And(inner) => parts.extend(inner.iter().map(Part::Pos)),
+            other => parts.push(Part::Pos(other)),
+        },
+        other => parts.push(Part::Neg(other)),
+    }
+    if parts.is_empty() {
+        return CanonQuery::Const(SatResult::Sat);
+    }
+    let mut enc = Encoder {
+        store,
+        seen: HashMap::new(),
+        out: Vec::with_capacity(64),
+    };
+    if parts.len() > 1 {
+        enc.out.push(F_AND);
+        enc.u32(parts.len() as u32);
+    }
+    for p in &parts {
+        match p {
+            Part::Pos(f) => enc.formula(f),
+            Part::Neg(f) => {
+                enc.out.push(F_NOT);
+                enc.formula(f);
+            }
+        }
+    }
+    CanonQuery::Key(enc.out)
+}
+
 struct Encoder<'s> {
     store: &'s TermStore,
     seen: HashMap<TermId, u32>,
@@ -379,6 +448,58 @@ mod tests {
         let key = canon_formula(&s, &doubled);
         let name_len = "a_rather_long_variable_name".len();
         assert!(key.len() < 2 * name_len, "key {} bytes", key.len());
+    }
+
+    /// The mirror must agree byte-for-byte with canonicalizing the
+    /// materialized query, or cache entries would stop being shared
+    /// between the by-reference and by-value query paths.
+    fn assert_mirrors(store: &TermStore, hyps: &[&Formula], goal: &Formula) {
+        let q = Formula::and(
+            hyps.iter()
+                .map(|h| (*h).clone())
+                .chain([goal.clone().negate()]),
+        );
+        match canon_implication(store, hyps, goal) {
+            CanonQuery::Key(key) => assert_eq!(key, canon_formula(store, &q), "query {q:?}"),
+            CanonQuery::Const(r) => {
+                let expected = match q {
+                    Formula::True => SatResult::Sat,
+                    Formula::False => SatResult::Unsat,
+                    other => panic!("folded to Const({r:?}) but query is {other:?}"),
+                };
+                assert_eq!(r, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn implication_keys_match_materialized_queries() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let one = s.num(1);
+        let a = s.le(x, y);
+        let b = s.le(y, one);
+        let c = s.eq(x, one);
+        let conj = Formula::and([a.clone(), b.clone()]);
+        let disj = Formula::or([a.clone(), c.clone()]);
+        let nb = b.clone().negate();
+        let cases: Vec<(Vec<&Formula>, &Formula)> = vec![
+            (vec![&a], &b),                 // plain implication
+            (vec![&a, &b], &c),             // multiple hypotheses
+            (vec![&conj], &c),              // conjunction flattens one level
+            (vec![&a], &nb),                // negated goal unwraps
+            (vec![&disj], &b),              // disjunction stays opaque
+            (vec![&Formula::True, &a], &b), // True hypothesis vanishes
+            (vec![], &b),                   // no hypotheses
+            (vec![&a], &Formula::True),     // trivially valid goal
+            (vec![&a], &Formula::False),    // goal False: query is the hyp
+            (vec![&Formula::False], &b),    // absurd hypothesis
+            (vec![], &Formula::False),      // empty vs False: query is True
+        ];
+        for (hyps, goal) in cases {
+            assert_mirrors(&s, &hyps, goal);
+        }
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! addresses of two different variables, or the address of a variable
 //! versus the address of a struct field. Asserted disequalities raise a
 //! conflict when their sides fall into the same class.
+//!
+//! The closure supports *scopes*: between [`push_scope`] and [`pop_scope`]
+//! every mutation — union-find merges, path compressions, tag and
+//! signature-table inserts, use-list moves — is recorded on an undo trail
+//! and reverted exactly, so an incremental caller backtracks instead of
+//! rebuilding. Mutations outside any scope are permanent and cost no trail
+//! entries.
+//!
+//! [`push_scope`]: CongruenceClosure::push_scope
+//! [`pop_scope`]: CongruenceClosure::pop_scope
 
 use crate::term::{TermData, TermId, TermStore};
 use std::collections::HashMap;
@@ -44,13 +54,40 @@ pub enum CcResult {
     Conflict,
 }
 
+/// One reversible mutation on the undo trail.
+#[derive(Debug)]
+enum Undo {
+    /// `parent[t]` changed; `prev` is the old entry (`None`: was absent).
+    Parent(TermId, Option<TermId>),
+    /// `rank[t]` changed; `prev` is the old entry.
+    Rank(TermId, Option<u32>),
+    /// A tag was inserted for `t` where none existed.
+    Tag(TermId),
+    /// A signature entry was inserted where none existed.
+    Sig(String, Vec<TermId>),
+    /// `uses[root]` grew by one entry (from `register`).
+    UsesPush(TermId),
+    /// `uses[lose]` was moved onto `uses[win]` (from `merge`).
+    UsesMoved {
+        lose: TermId,
+        win: TermId,
+        win_prev_len: usize,
+        moved: Vec<TermId>,
+    },
+    /// A disequality was pushed.
+    Diseq,
+    /// A term was appended to `registered`.
+    Registered,
+}
+
 /// The congruence-closure engine.
 ///
-/// Usage: create with a snapshot of the [`TermStore`], `register` the terms
-/// of interest, then `assert_eq`/`assert_ne`, checking for conflicts.
-#[derive(Debug)]
-pub struct CongruenceClosure<'a> {
-    store: &'a TermStore,
+/// Usage: `register` the terms of interest against a [`TermStore`], then
+/// `assert_eq`/`assert_ne`, checking for conflicts. The store is passed
+/// per call (not borrowed by the struct) so the closure can live inside a
+/// long-lived prover session that owns its own store snapshot.
+#[derive(Debug, Default)]
+pub struct CongruenceClosure {
     parent: HashMap<TermId, TermId>,
     rank: HashMap<TermId, u32>,
     tag: HashMap<TermId, Ctor>,
@@ -61,20 +98,97 @@ pub struct CongruenceClosure<'a> {
     /// signature table: (head, arg classes) -> representative app term
     sigs: HashMap<(String, Vec<TermId>), TermId>,
     registered: Vec<TermId>,
+    trail: Vec<Undo>,
+    marks: Vec<usize>,
 }
 
-impl<'a> CongruenceClosure<'a> {
-    /// Creates an empty closure over `store`.
-    pub fn new(store: &'a TermStore) -> CongruenceClosure<'a> {
-        CongruenceClosure {
-            store,
-            parent: HashMap::new(),
-            rank: HashMap::new(),
-            tag: HashMap::new(),
-            diseqs: Vec::new(),
-            uses: HashMap::new(),
-            sigs: HashMap::new(),
-            registered: Vec::new(),
+impl CongruenceClosure {
+    /// Creates an empty closure.
+    pub fn new() -> CongruenceClosure {
+        CongruenceClosure::default()
+    }
+
+    /// Opens a scope: every mutation until the matching
+    /// [`pop_scope`](CongruenceClosure::pop_scope) is recorded for undo.
+    pub fn push_scope(&mut self) {
+        self.marks.push(self.trail.len());
+    }
+
+    /// Reverts every mutation made since the matching `push_scope`.
+    pub fn pop_scope(&mut self) {
+        let mark = self.marks.pop().expect("pop_scope without push_scope");
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("trail entry") {
+                Undo::Parent(t, prev) => match prev {
+                    Some(p) => {
+                        self.parent.insert(t, p);
+                    }
+                    None => {
+                        self.parent.remove(&t);
+                    }
+                },
+                Undo::Rank(t, prev) => match prev {
+                    Some(r) => {
+                        self.rank.insert(t, r);
+                    }
+                    None => {
+                        self.rank.remove(&t);
+                    }
+                },
+                Undo::Tag(t) => {
+                    self.tag.remove(&t);
+                }
+                Undo::Sig(head, args) => {
+                    self.sigs.remove(&(head, args));
+                }
+                Undo::UsesPush(root) => {
+                    let list = self.uses.get_mut(&root).expect("uses list");
+                    list.pop();
+                    if list.is_empty() {
+                        self.uses.remove(&root);
+                    }
+                }
+                Undo::UsesMoved {
+                    lose,
+                    win,
+                    win_prev_len,
+                    moved,
+                } => {
+                    let list = self.uses.get_mut(&win).expect("uses list");
+                    list.truncate(win_prev_len);
+                    if list.is_empty() {
+                        self.uses.remove(&win);
+                    }
+                    if !moved.is_empty() {
+                        self.uses.insert(lose, moved);
+                    }
+                }
+                Undo::Diseq => {
+                    self.diseqs.pop();
+                }
+                Undo::Registered => {
+                    self.registered.pop();
+                }
+            }
+        }
+    }
+
+    /// True while at least one scope is open (mutations must be logged).
+    fn logging(&self) -> bool {
+        !self.marks.is_empty()
+    }
+
+    fn set_parent(&mut self, t: TermId, p: TermId) {
+        let prev = self.parent.insert(t, p);
+        if self.logging() {
+            self.trail.push(Undo::Parent(t, prev));
+        }
+    }
+
+    fn set_rank(&mut self, t: TermId, r: u32) {
+        let prev = self.rank.insert(t, r);
+        if self.logging() {
+            self.trail.push(Undo::Rank(t, prev));
         }
     }
 
@@ -82,14 +196,17 @@ impl<'a> CongruenceClosure<'a> {
     ///
     /// Registration can itself trigger merges (a new term may be congruent
     /// to an existing one), so it reports conflicts.
-    pub fn register(&mut self, t: TermId) -> CcResult {
+    pub fn register(&mut self, store: &TermStore, t: TermId) -> CcResult {
         if self.parent.contains_key(&t) {
             return CcResult::Ok;
         }
-        self.parent.insert(t, t);
-        self.rank.insert(t, 0);
+        self.set_parent(t, t);
+        self.set_rank(t, 0);
         self.registered.push(t);
-        let tag = match self.store.data(t) {
+        if self.logging() {
+            self.trail.push(Undo::Registered);
+        }
+        let tag = match store.data(t) {
             TermData::Num(v) => Some(Ctor::Num(*v)),
             TermData::Null => Some(Ctor::Null),
             TermData::AddrVar(n) => Some(Ctor::AddrVar(n.clone())),
@@ -98,9 +215,12 @@ impl<'a> CongruenceClosure<'a> {
         };
         if let Some(tag) = tag {
             self.tag.insert(t, tag);
+            if self.logging() {
+                self.trail.push(Undo::Tag(t));
+            }
         }
         // recurse into children and set up use lists
-        let children: Vec<TermId> = match self.store.data(t) {
+        let children: Vec<TermId> = match store.data(t) {
             TermData::App(_, args) => args.clone(),
             TermData::AddrFld(_, p) => vec![*p],
             TermData::Add(l, r) | TermData::Sub(l, r) | TermData::Mul(l, r) => {
@@ -110,20 +230,26 @@ impl<'a> CongruenceClosure<'a> {
             _ => Vec::new(),
         };
         for c in children {
-            if self.register(c) == CcResult::Conflict {
+            if self.register(store, c) == CcResult::Conflict {
                 return CcResult::Conflict;
             }
             let root = self.find(c);
             self.uses.entry(root).or_default().push(t);
+            if self.logging() {
+                self.trail.push(Undo::UsesPush(root));
+            }
         }
         // seed the signature table; a collision means the new term is
         // congruent to an existing one
-        if let Some(sig) = self.signature(t) {
+        if let Some(sig) = self.signature(store, t) {
             if let Some(other) = self.sigs.get(&sig).copied() {
-                if self.merge(other, t) == CcResult::Conflict {
+                if self.merge(store, other, t) == CcResult::Conflict {
                     return CcResult::Conflict;
                 }
             } else {
+                if self.logging() {
+                    self.trail.push(Undo::Sig(sig.0.clone(), sig.1.clone()));
+                }
                 self.sigs.insert(sig, t);
             }
         }
@@ -133,38 +259,56 @@ impl<'a> CongruenceClosure<'a> {
     /// The current signature of an interpreted-as-function term: head name
     /// plus argument class representatives. Arithmetic heads participate so
     /// that `x + y` and `x' + y'` merge when `x = x'`, `y = y'`.
-    fn signature(&mut self, t: TermId) -> Option<(String, Vec<TermId>)> {
-        match self.store.data(t) {
+    fn signature(&mut self, store: &TermStore, t: TermId) -> Option<(String, Vec<TermId>)> {
+        match store.data(t) {
             TermData::App(f, args) => {
+                let args = args.clone();
                 let classes = args.iter().map(|a| self.find(*a)).collect();
                 Some((format!("app:{f}"), classes))
             }
-            TermData::AddrFld(f, p) => Some((format!("addrfld:{f}"), vec![self.find(*p)])),
+            TermData::AddrFld(f, p) => {
+                let (f, p) = (f.clone(), *p);
+                Some((format!("addrfld:{f}"), vec![self.find(p)]))
+            }
             TermData::Add(l, r) => {
                 // canonical order (Add is commutative)
-                let mut cs = vec![self.find(*l), self.find(*r)];
+                let (l, r) = (*l, *r);
+                let mut cs = vec![self.find(l), self.find(r)];
                 cs.sort();
                 Some(("add".to_string(), cs))
             }
-            TermData::Sub(l, r) => Some(("sub".to_string(), vec![self.find(*l), self.find(*r)])),
+            TermData::Sub(l, r) => {
+                let (l, r) = (*l, *r);
+                Some(("sub".to_string(), vec![self.find(l), self.find(r)]))
+            }
             TermData::Mul(l, r) => {
-                let mut cs = vec![self.find(*l), self.find(*r)];
+                let (l, r) = (*l, *r);
+                let mut cs = vec![self.find(l), self.find(r)];
                 cs.sort();
                 Some(("mul".to_string(), cs))
             }
-            TermData::Neg(x) => Some(("neg".to_string(), vec![self.find(*x)])),
+            TermData::Neg(x) => {
+                let x = *x;
+                Some(("neg".to_string(), vec![self.find(x)]))
+            }
             _ => None,
         }
     }
 
     /// Class representative of `t` (must be registered).
+    ///
+    /// Path compression is logged like any other parent change: a
+    /// compressed pointer may jump across a merge that a `pop_scope` later
+    /// retracts, so it must be retracted with it.
     pub fn find(&mut self, t: TermId) -> TermId {
         let p = *self.parent.get(&t).unwrap_or(&t);
         if p == t {
             return t;
         }
         let root = self.find(p);
-        self.parent.insert(t, root);
+        if root != p {
+            self.set_parent(t, root);
+        }
         root
     }
 
@@ -172,18 +316,20 @@ impl<'a> CongruenceClosure<'a> {
     ///
     /// Returns [`CcResult::Conflict`] if this contradicts earlier
     /// assertions or constructor distinctness.
-    pub fn assert_eq(&mut self, a: TermId, b: TermId) -> CcResult {
-        if self.register(a) == CcResult::Conflict || self.register(b) == CcResult::Conflict {
+    pub fn assert_eq(&mut self, store: &TermStore, a: TermId, b: TermId) -> CcResult {
+        if self.register(store, a) == CcResult::Conflict
+            || self.register(store, b) == CcResult::Conflict
+        {
             return CcResult::Conflict;
         }
-        if self.merge(a, b) == CcResult::Conflict {
+        if self.merge(store, a, b) == CcResult::Conflict {
             return CcResult::Conflict;
         }
         self.check_diseqs()
     }
 
     /// Merges the classes of `a` and `b` and propagates congruences.
-    fn merge(&mut self, a: TermId, b: TermId) -> CcResult {
+    fn merge(&mut self, store: &TermStore, a: TermId, b: TermId) -> CcResult {
         let mut queue = vec![(a, b)];
         while let Some((x, y)) = queue.pop() {
             let rx = self.find(x);
@@ -204,27 +350,48 @@ impl<'a> CongruenceClosure<'a> {
                 (ry, rx)
             };
             if self.rank[&win] == self.rank[&lose] {
-                *self.rank.get_mut(&win).expect("rank") += 1;
+                let r = self.rank[&win] + 1;
+                self.set_rank(win, r);
             }
-            self.parent.insert(lose, win);
+            self.set_parent(lose, win);
             // merge tags
             if let Some(tl) = self.tag.get(&lose).cloned() {
-                self.tag.entry(win).or_insert(tl);
+                if let std::collections::hash_map::Entry::Vacant(e) = self.tag.entry(win) {
+                    e.insert(tl);
+                    if self.logging() {
+                        self.trail.push(Undo::Tag(win));
+                    }
+                }
             }
             // congruence: re-signature all users of the losing class
             let users = self.uses.remove(&lose).unwrap_or_default();
             for u in users.clone() {
-                if let Some(sig) = self.signature(u) {
+                if let Some(sig) = self.signature(store, u) {
                     if let Some(other) = self.sigs.get(&sig).copied() {
                         if self.find(other) != self.find(u) {
                             queue.push((other, u));
                         }
                     } else {
+                        if self.logging() {
+                            self.trail.push(Undo::Sig(sig.0.clone(), sig.1.clone()));
+                        }
                         self.sigs.insert(sig, u);
                     }
                 }
             }
-            self.uses.entry(win).or_default().extend(users);
+            if !users.is_empty() {
+                let win_list = self.uses.entry(win).or_default();
+                let win_prev_len = win_list.len();
+                win_list.extend(users.iter().copied());
+                if self.logging() {
+                    self.trail.push(Undo::UsesMoved {
+                        lose,
+                        win,
+                        win_prev_len,
+                        moved: users,
+                    });
+                }
+            }
         }
         CcResult::Ok
     }
@@ -239,14 +406,19 @@ impl<'a> CongruenceClosure<'a> {
     }
 
     /// Asserts `a != b`.
-    pub fn assert_ne(&mut self, a: TermId, b: TermId) -> CcResult {
-        if self.register(a) == CcResult::Conflict || self.register(b) == CcResult::Conflict {
+    pub fn assert_ne(&mut self, store: &TermStore, a: TermId, b: TermId) -> CcResult {
+        if self.register(store, a) == CcResult::Conflict
+            || self.register(store, b) == CcResult::Conflict
+        {
             return CcResult::Conflict;
         }
         if self.find(a) == self.find(b) {
             return CcResult::Conflict;
         }
         self.diseqs.push((a, b));
+        if self.logging() {
+            self.trail.push(Undo::Diseq);
+        }
         CcResult::Ok
     }
 
@@ -256,9 +428,9 @@ impl<'a> CongruenceClosure<'a> {
     /// registration conflict also reports "equal" conservatively only in
     /// the sense that the caller should already have seen the conflict
     /// via an `assert_*` return value.
-    pub fn are_equal(&mut self, a: TermId, b: TermId) -> bool {
-        let _ = self.register(a);
-        let _ = self.register(b);
+    pub fn are_equal(&mut self, store: &TermStore, a: TermId, b: TermId) -> bool {
+        let _ = self.register(store, a);
+        let _ = self.register(store, b);
         self.find(a) == self.find(b)
     }
 
@@ -284,10 +456,10 @@ mod tests {
         let a = s.var("a", Sort::Int);
         let b = s.var("b", Sort::Int);
         let c = s.var("c", Sort::Int);
-        let mut cc = CongruenceClosure::new(&s);
-        assert_eq!(cc.assert_eq(a, b), CcResult::Ok);
-        assert_eq!(cc.assert_eq(b, c), CcResult::Ok);
-        assert!(cc.are_equal(a, c));
+        let mut cc = CongruenceClosure::new();
+        assert_eq!(cc.assert_eq(&s, a, b), CcResult::Ok);
+        assert_eq!(cc.assert_eq(&s, b, c), CcResult::Ok);
+        assert!(cc.are_equal(&s, a, c));
     }
 
     #[test]
@@ -297,12 +469,12 @@ mod tests {
         let y = s.var("y", Sort::Ptr);
         let fx = s.app("fld_val", vec![x], Sort::Int);
         let fy = s.app("fld_val", vec![y], Sort::Int);
-        let mut cc = CongruenceClosure::new(&s);
-        cc.register(fx);
-        cc.register(fy);
-        assert!(!cc.are_equal(fx, fy));
-        assert_eq!(cc.assert_eq(x, y), CcResult::Ok);
-        assert!(cc.are_equal(fx, fy));
+        let mut cc = CongruenceClosure::new();
+        cc.register(&s, fx);
+        cc.register(&s, fy);
+        assert!(!cc.are_equal(&s, fx, fy));
+        assert_eq!(cc.assert_eq(&s, x, y), CcResult::Ok);
+        assert!(cc.are_equal(&s, fx, fy));
     }
 
     #[test]
@@ -313,9 +485,9 @@ mod tests {
         let y = s.var("y", Sort::Ptr);
         let fx = s.app("f", vec![x], Sort::Int);
         let fy = s.app("f", vec![y], Sort::Int);
-        let mut cc = CongruenceClosure::new(&s);
-        assert_eq!(cc.assert_ne(fx, fy), CcResult::Ok);
-        assert_eq!(cc.assert_eq(x, y), CcResult::Conflict);
+        let mut cc = CongruenceClosure::new();
+        assert_eq!(cc.assert_ne(&s, fx, fy), CcResult::Ok);
+        assert_eq!(cc.assert_eq(&s, x, y), CcResult::Conflict);
     }
 
     #[test]
@@ -324,9 +496,9 @@ mod tests {
         let one = s.num(1);
         let two = s.num(2);
         let x = s.var("x", Sort::Int);
-        let mut cc = CongruenceClosure::new(&s);
-        assert_eq!(cc.assert_eq(x, one), CcResult::Ok);
-        assert_eq!(cc.assert_eq(x, two), CcResult::Conflict);
+        let mut cc = CongruenceClosure::new();
+        assert_eq!(cc.assert_eq(&s, x, one), CcResult::Ok);
+        assert_eq!(cc.assert_eq(&s, x, two), CcResult::Conflict);
     }
 
     #[test]
@@ -334,8 +506,8 @@ mod tests {
         let mut s = TermStore::new();
         let null = s.null();
         let ax = s.addr_var("x");
-        let mut cc = CongruenceClosure::new(&s);
-        assert_eq!(cc.assert_eq(ax, null), CcResult::Conflict);
+        let mut cc = CongruenceClosure::new();
+        assert_eq!(cc.assert_eq(&s, ax, null), CcResult::Conflict);
     }
 
     #[test]
@@ -343,8 +515,8 @@ mod tests {
         let mut s = TermStore::new();
         let ax = s.addr_var("x");
         let ay = s.addr_var("y");
-        let mut cc = CongruenceClosure::new(&s);
-        assert_eq!(cc.assert_eq(ax, ay), CcResult::Conflict);
+        let mut cc = CongruenceClosure::new();
+        assert_eq!(cc.assert_eq(&s, ax, ay), CcResult::Conflict);
     }
 
     #[test]
@@ -354,15 +526,15 @@ mod tests {
         let q = s.var("q", Sort::Ptr);
         let fp = s.addr_fld("next", p);
         let fq = s.addr_fld("next", q);
-        let mut cc = CongruenceClosure::new(&s);
-        assert_eq!(cc.assert_eq(fp, fq), CcResult::Ok);
+        let mut cc = CongruenceClosure::new();
+        assert_eq!(cc.assert_eq(&s, fp, fq), CcResult::Ok);
         // congruence downward is NOT implied (injectivity not assumed here),
         // but upward congruence works: p == q forces &p->next == &q->next
-        let mut cc2 = CongruenceClosure::new(&s);
-        cc2.register(fp);
-        cc2.register(fq);
-        assert_eq!(cc2.assert_eq(p, q), CcResult::Ok);
-        assert!(cc2.are_equal(fp, fq));
+        let mut cc2 = CongruenceClosure::new();
+        cc2.register(&s, fp);
+        cc2.register(&s, fq);
+        assert_eq!(cc2.assert_eq(&s, p, q), CcResult::Ok);
+        assert!(cc2.are_equal(&s, fp, fq));
     }
 
     #[test]
@@ -371,8 +543,8 @@ mod tests {
         let p = s.var("p", Sort::Ptr);
         let fp = s.addr_fld("next", p);
         let vp = s.addr_fld("val", p);
-        let mut cc = CongruenceClosure::new(&s);
-        assert_eq!(cc.assert_eq(fp, vp), CcResult::Conflict);
+        let mut cc = CongruenceClosure::new();
+        assert_eq!(cc.assert_eq(&s, fp, vp), CcResult::Conflict);
     }
 
     #[test]
@@ -383,10 +555,76 @@ mod tests {
         let one = s.num(1);
         let x1 = s.add(x, one);
         let y1 = s.add(y, one);
-        let mut cc = CongruenceClosure::new(&s);
-        cc.register(x1);
-        cc.register(y1);
-        assert_eq!(cc.assert_eq(x, y), CcResult::Ok);
-        assert!(cc.are_equal(x1, y1));
+        let mut cc = CongruenceClosure::new();
+        cc.register(&s, x1);
+        cc.register(&s, y1);
+        assert_eq!(cc.assert_eq(&s, x, y), CcResult::Ok);
+        assert!(cc.are_equal(&s, x1, y1));
+    }
+
+    #[test]
+    fn scope_undoes_merges_and_congruence() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let one = s.num(1);
+        let x1 = s.add(x, one);
+        let y1 = s.add(y, one);
+        let mut cc = CongruenceClosure::new();
+        cc.register(&s, x1);
+        cc.register(&s, y1);
+        cc.push_scope();
+        assert_eq!(cc.assert_eq(&s, x, y), CcResult::Ok);
+        assert!(cc.are_equal(&s, x1, y1));
+        cc.pop_scope();
+        assert!(!cc.are_equal(&s, x, y));
+        assert!(!cc.are_equal(&s, x1, y1));
+        // the popped merge must not leave a stale signature behind:
+        // re-asserting inside a new scope must still propagate congruence
+        cc.push_scope();
+        assert_eq!(cc.assert_eq(&s, x, y), CcResult::Ok);
+        assert!(cc.are_equal(&s, x1, y1));
+        cc.pop_scope();
+    }
+
+    #[test]
+    fn scope_undoes_registration_and_diseqs() {
+        let mut s = TermStore::new();
+        let p = s.var("p", Sort::Ptr);
+        let q = s.var("q", Sort::Ptr);
+        let fp = s.app("f", vec![p], Sort::Int);
+        let fq = s.app("f", vec![q], Sort::Int);
+        let mut cc = CongruenceClosure::new();
+        cc.push_scope();
+        assert_eq!(cc.assert_ne(&s, fp, fq), CcResult::Ok);
+        assert_eq!(cc.assert_eq(&s, p, q), CcResult::Conflict);
+        cc.pop_scope();
+        // after the pop the disequality is gone: the merge succeeds
+        cc.push_scope();
+        assert_eq!(cc.assert_eq(&s, p, q), CcResult::Ok);
+        assert!(cc.are_equal(&s, fp, fq));
+        cc.pop_scope();
+        assert!(cc.classes().is_empty());
+    }
+
+    #[test]
+    fn deep_scopes_restore_each_level() {
+        let mut s = TermStore::new();
+        let vars: Vec<TermId> = (0..8).map(|i| s.var(format!("v{i}"), Sort::Int)).collect();
+        let mut cc = CongruenceClosure::new();
+        // chain v0 == v1 == ... == v7, one scope per link
+        for w in vars.windows(2) {
+            cc.push_scope();
+            assert_eq!(cc.assert_eq(&s, w[0], w[1]), CcResult::Ok);
+        }
+        assert!(cc.are_equal(&s, vars[0], vars[7]));
+        // unwind one link at a time; the chain shortens from the end
+        for i in (1..vars.len()).rev() {
+            cc.pop_scope();
+            assert!(!cc.are_equal(&s, vars[0], vars[i]));
+            if i > 1 {
+                assert!(cc.are_equal(&s, vars[0], vars[i - 1]));
+            }
+        }
     }
 }

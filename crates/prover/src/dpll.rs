@@ -9,7 +9,7 @@
 //! disjunctions introduced by Morris' axiom of assignment.
 
 use crate::term::{Atom, Formula, TermStore};
-use crate::theory::{check as theory_check, Lit, TheoryResult};
+use crate::theory::{check as theory_check, IncrementalTheory, Lit, TheoryResult};
 use std::collections::HashMap;
 
 /// Result of a satisfiability check.
@@ -277,6 +277,372 @@ impl Dpll<'_> {
     }
 }
 
+/// An incremental DPLL(T) solver with a persistent clause database and
+/// assumption (selector) literals, MiniSat style.
+///
+/// Formulas are Tseitin-encoded once into a shared, memoized clause
+/// database. The session's base formula is asserted as a root unit clause;
+/// every other formula is guarded by a fresh *selector* variable via the
+/// clause `¬sel ∨ root(f)`, so a single [`solve`](Incremental::solve) call
+/// activates an arbitrary subset of them by pinning selectors true (the
+/// rest are pinned false, which satisfies their guard clauses and leaves
+/// their encodings inert).
+///
+/// Theory state is an [`IncrementalTheory`] that backtracks through the
+/// search via scopes instead of being rebuilt at every node — each node
+/// pushes one scope, asserts only the atoms newly assigned since its
+/// parent, checks, and pops the scope on the way back up.
+///
+/// The caller supplies the `decide` list: the atom variables of the base
+/// formula and the active assumptions, in first-occurrence order of the
+/// equivalent one-shot query. Auxiliary (Tseitin) variables are never
+/// decided — once every relevant atom is assigned, unit propagation forces
+/// every reachable gate variable, and gates of inactive formulas are
+/// definitional (always extendable), so a conflict-free full `decide`
+/// assignment is a model.
+pub struct Incremental {
+    atom_vars: HashMap<Atom, usize>,
+    /// var index -> atom, for theory assertion (None: auxiliary var).
+    vars_atoms: Vec<Option<Atom>>,
+    clauses: Vec<Vec<i32>>,
+    memo: HashMap<Formula, i32>,
+    var_count: usize,
+    /// var index -> the child variables of the gate it defines (empty
+    /// for atoms, selectors, and constant pins). Drives the per-solve
+    /// reachability filter.
+    gate_children: Vec<Vec<usize>>,
+    /// Root variables of the base formula's unit clauses.
+    base_roots: Vec<usize>,
+    /// selector var -> root var of the formula it guards.
+    sel_roots: HashMap<usize, usize>,
+}
+
+impl Incremental {
+    /// Creates an empty session database.
+    pub fn new() -> Incremental {
+        Incremental {
+            atom_vars: HashMap::new(),
+            vars_atoms: Vec::new(),
+            clauses: Vec::new(),
+            memo: HashMap::new(),
+            var_count: 0,
+            gate_children: Vec::new(),
+            base_roots: Vec::new(),
+            sel_roots: HashMap::new(),
+        }
+    }
+
+    fn fresh(&mut self) -> usize {
+        let v = self.var_count;
+        self.var_count += 1;
+        self.vars_atoms.push(None);
+        self.gate_children.push(Vec::new());
+        v
+    }
+
+    fn atom_var(&mut self, a: Atom) -> usize {
+        if let Some(v) = self.atom_vars.get(&a) {
+            return *v;
+        }
+        let v = self.fresh();
+        self.atom_vars.insert(a, v);
+        self.vars_atoms[v] = Some(a);
+        v
+    }
+
+    /// The variables of `f`'s atoms, in first-occurrence order.
+    fn atom_vars_of(&mut self, f: &Formula) -> Vec<usize> {
+        f.atoms().into_iter().map(|a| self.atom_var(a)).collect()
+    }
+
+    fn encode(&mut self, f: &Formula) -> i32 {
+        if let Some(l) = self.memo.get(f) {
+            return *l;
+        }
+        let lit = match f {
+            Formula::True => {
+                let v = self.fresh();
+                self.clauses.push(vec![Encoder::lit(v, true)]);
+                Encoder::lit(v, true)
+            }
+            Formula::False => {
+                let v = self.fresh();
+                self.clauses.push(vec![Encoder::lit(v, false)]);
+                Encoder::lit(v, true)
+            }
+            Formula::Atom(a) => Encoder::lit(self.atom_var(*a), true),
+            Formula::Not(g) => -self.encode(g),
+            Formula::And(gs) => {
+                let ls: Vec<i32> = gs.iter().map(|g| self.encode(g)).collect();
+                let v = self.fresh();
+                self.gate_children[v] = ls.iter().map(|l| l.unsigned_abs() as usize - 1).collect();
+                let vl = Encoder::lit(v, true);
+                for l in &ls {
+                    self.clauses.push(vec![-vl, *l]);
+                }
+                let mut big: Vec<i32> = ls.iter().map(|l| -l).collect();
+                big.push(vl);
+                self.clauses.push(big);
+                vl
+            }
+            Formula::Or(gs) => {
+                let ls: Vec<i32> = gs.iter().map(|g| self.encode(g)).collect();
+                let v = self.fresh();
+                self.gate_children[v] = ls.iter().map(|l| l.unsigned_abs() as usize - 1).collect();
+                let vl = Encoder::lit(v, true);
+                for l in &ls {
+                    self.clauses.push(vec![vl, -l]);
+                }
+                let mut big: Vec<i32> = ls.clone();
+                big.push(-vl);
+                self.clauses.push(big);
+                vl
+            }
+        };
+        self.memo.insert(f.clone(), lit);
+        lit
+    }
+
+    /// Asserts `f` unconditionally (a root unit clause) and returns the
+    /// variables of its atoms in first-occurrence order.
+    pub fn assert_base(&mut self, f: &Formula) -> Vec<usize> {
+        let atoms = self.atom_vars_of(f);
+        let root = self.encode(f);
+        self.clauses.push(vec![root]);
+        self.base_roots.push(root.unsigned_abs() as usize - 1);
+        atoms
+    }
+
+    /// Registers `f` behind a fresh selector variable; returns the
+    /// selector and the variables of `f`'s atoms in first-occurrence
+    /// order. `f` holds in a solve exactly when its selector is assumed.
+    pub fn add_selector(&mut self, f: &Formula) -> (usize, Vec<usize>) {
+        let atoms = self.atom_vars_of(f);
+        let root = self.encode(f);
+        let sel = self.fresh();
+        self.clauses.push(vec![-Encoder::lit(sel, true), root]);
+        self.sel_roots.insert(sel, root.unsigned_abs() as usize - 1);
+        (sel, atoms)
+    }
+
+    /// The clauses reachable from the base and the `on` selectors: the
+    /// definitional clauses of every gate in an active formula's encoding
+    /// plus the active guard clauses. Everything else is inert in this
+    /// solve — off-selector guards are satisfied outright, and a
+    /// definitional gate no active formula reaches can never force an
+    /// atom (its variable is otherwise unconstrained, so unit propagation
+    /// through it only ever assigns the gate itself) — dropping them
+    /// changes no answer, only the time spent scanning them.
+    fn active_clauses(&self, on: &[usize]) -> Vec<&Vec<i32>> {
+        let mut relevant = vec![false; self.var_count];
+        let mut stack: Vec<usize> = self.base_roots.clone();
+        for &sel in on {
+            stack.push(sel);
+            if let Some(&root) = self.sel_roots.get(&sel) {
+                stack.push(root);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            if std::mem::replace(&mut relevant[v], true) {
+                continue;
+            }
+            stack.extend(self.gate_children[v].iter().copied());
+        }
+        self.clauses
+            .iter()
+            .filter(|c| c.iter().all(|&l| relevant[l.unsigned_abs() as usize - 1]))
+            .collect()
+    }
+
+    /// Solves with `on` selectors pinned true, `off` pinned false, and the
+    /// branching restricted to `decide` (atom variables, in order).
+    /// Returns the result and the number of decisions spent.
+    pub fn solve(
+        &self,
+        store: &TermStore,
+        on: &[usize],
+        off: &[usize],
+        decide: &[usize],
+    ) -> (SatResult, u64) {
+        let mut search = IncSearch {
+            clauses: self.active_clauses(on),
+            vars_atoms: &self.vars_atoms,
+            assignment: vec![None; self.var_count],
+            asserted: vec![false; self.var_count],
+            theory: IncrementalTheory::new(),
+            store,
+            decide,
+            decisions: 0,
+        };
+        for &v in off {
+            search.assignment[v] = Some(false);
+        }
+        for &v in on {
+            search.assignment[v] = Some(true);
+        }
+        let r = search.search();
+        (r, search.decisions)
+    }
+}
+
+impl Default for Incremental {
+    fn default() -> Incremental {
+        Incremental::new()
+    }
+}
+
+struct IncSearch<'a> {
+    /// The active slice of the session's clause database for this solve.
+    clauses: Vec<&'a Vec<i32>>,
+    vars_atoms: &'a [Option<Atom>],
+    assignment: Vec<Option<bool>>,
+    /// Atom variables already asserted into the theory by an enclosing node.
+    asserted: Vec<bool>,
+    theory: IncrementalTheory,
+    store: &'a TermStore,
+    decide: &'a [usize],
+    decisions: u64,
+}
+
+impl IncSearch<'_> {
+    fn lit_value(&self, l: i32) -> Option<bool> {
+        let v = (l.unsigned_abs() as usize) - 1;
+        self.assignment[v].map(|b| if l > 0 { b } else { !b })
+    }
+
+    fn propagate(&mut self, trail: &mut Vec<usize>) -> bool {
+        loop {
+            let mut changed = false;
+            for ci in 0..self.clauses.len() {
+                let mut unassigned: Option<i32> = None;
+                let mut n_unassigned = 0;
+                let mut satisfied = false;
+                for &l in self.clauses[ci] {
+                    match self.lit_value(l) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false,
+                    1 => {
+                        let l = unassigned.expect("unit literal");
+                        let v = (l.unsigned_abs() as usize) - 1;
+                        self.assignment[v] = Some(l > 0);
+                        trail.push(v);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    fn undo(&mut self, trail: &[usize]) {
+        for &v in trail {
+            self.assignment[v] = None;
+        }
+    }
+
+    fn search(&mut self) -> SatResult {
+        self.decisions += 1;
+        if self.decisions > MAX_DECISIONS {
+            return SatResult::Unknown;
+        }
+        let mut trail = Vec::new();
+        if !self.propagate(&mut trail) {
+            self.undo(&trail);
+            return SatResult::Unsat;
+        }
+        // assert the atoms newly assigned at this node into a fresh theory
+        // scope; the scope is popped when the node is abandoned. Any such
+        // atom is either the parent's decision / an initial assumption
+        // (in `decide`) or was just propagated (in `trail`), so those two
+        // lists cover the batch without scanning every variable.
+        let mut batch: Vec<(usize, Lit)> = Vec::new();
+        let decide = self.decide;
+        for &v in trail.iter().chain(decide) {
+            if self.asserted[v] {
+                continue;
+            }
+            if let (Some(b), Some(a)) = (self.assignment[v], self.vars_atoms[v]) {
+                self.asserted[v] = true;
+                batch.push((
+                    v,
+                    Lit {
+                        atom: a,
+                        positive: b,
+                    },
+                ));
+            }
+        }
+        self.theory.push();
+        let mut conflict = false;
+        for &(_, lit) in &batch {
+            if self.theory.assert_lit(self.store, lit) == TheoryResult::Conflict {
+                conflict = true;
+                break;
+            }
+        }
+        if !conflict && self.theory.check(self.store) == TheoryResult::Conflict {
+            conflict = true;
+        }
+        let leave = |s: &mut Self, trail: &[usize]| {
+            for &(v, _) in &batch {
+                s.asserted[v] = false;
+            }
+            s.theory.pop();
+            s.undo(trail);
+        };
+        if conflict {
+            leave(self, &trail);
+            return SatResult::Unsat;
+        }
+        let pick = self
+            .decide
+            .iter()
+            .copied()
+            .find(|&v| self.assignment[v].is_none());
+        let Some(v) = pick else {
+            leave(self, &trail);
+            return SatResult::Sat;
+        };
+        let mut unknown = false;
+        for val in [true, false] {
+            self.assignment[v] = Some(val);
+            match self.search() {
+                SatResult::Sat => {
+                    self.assignment[v] = None;
+                    leave(self, &trail);
+                    return SatResult::Sat;
+                }
+                SatResult::Unknown => unknown = true,
+                SatResult::Unsat => {}
+            }
+            self.assignment[v] = None;
+        }
+        leave(self, &trail);
+        if unknown {
+            SatResult::Unknown
+        } else {
+            SatResult::Unsat
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +722,92 @@ mod tests {
         let s = TermStore::new();
         assert_eq!(solve(&s, &Formula::True), SatResult::Sat);
         assert_eq!(solve(&s, &Formula::False), SatResult::Unsat);
+    }
+
+    /// Decide list for a base + active assumption set, mirroring the
+    /// first-occurrence atom order of the one-shot query.
+    fn decide_list(parts: &[&[usize]]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for p in parts {
+            for &v in *p {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let two = s.num(2);
+        let three = s.num(3);
+        let base = s.le(x, two);
+        let a1 = s.le(three, x); // contradicts base
+        let a2 = s.le(x, three); // consistent with base
+        let mut inc = Incremental::new();
+        let base_atoms = inc.assert_base(&base);
+        let (s1, v1) = inc.add_selector(&a1);
+        let (s2, v2) = inc.add_selector(&a2);
+
+        // base alone
+        let (r, _) = inc.solve(&s, &[], &[s1, s2], &base_atoms);
+        assert_eq!(r, SatResult::Sat);
+        assert_eq!(solve(&s, &base), SatResult::Sat);
+
+        // base + a1: unsat both ways
+        let d = decide_list(&[&v1, &base_atoms]);
+        let (r, _) = inc.solve(&s, &[s1], &[s2], &d);
+        assert_eq!(r, SatResult::Unsat);
+        assert_eq!(
+            solve(&s, &Formula::and([a1.clone(), base.clone()])),
+            SatResult::Unsat
+        );
+
+        // base + a2: sat both ways (the previous solve left no residue)
+        let d = decide_list(&[&v2, &base_atoms]);
+        let (r, _) = inc.solve(&s, &[s2], &[s1], &d);
+        assert_eq!(r, SatResult::Sat);
+        assert_eq!(solve(&s, &Formula::and([a2, base])), SatResult::Sat);
+    }
+
+    #[test]
+    fn incremental_disjunctive_base_explores_cases() {
+        // base: (x <= 0 || x >= 5); assumptions pin x to 3 or 7
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let zero = s.num(0);
+        let five = s.num(5);
+        let three = s.num(3);
+        let seven = s.num(7);
+        let base = Formula::or([s.le(x, zero), s.le(five, x)]);
+        let mut inc = Incremental::new();
+        let base_atoms = inc.assert_base(&base);
+        let (s3, v3) = inc.add_selector(&s.eq(x, three));
+        let (s7, v7) = inc.add_selector(&s.eq(x, seven));
+        let d = decide_list(&[&v3, &base_atoms]);
+        assert_eq!(inc.solve(&s, &[s3], &[s7], &d).0, SatResult::Unsat);
+        let d = decide_list(&[&v7, &base_atoms]);
+        assert_eq!(inc.solve(&s, &[s7], &[s3], &d).0, SatResult::Sat);
+    }
+
+    #[test]
+    fn incremental_negated_assumptions_share_atoms() {
+        // selector-guarded p and !p over the same atom
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let one = s.num(1);
+        let p = s.le(x, one);
+        let np = p.clone().negate();
+        let mut inc = Incremental::new();
+        let base_atoms = inc.assert_base(&Formula::True);
+        let (sp, vp) = inc.add_selector(&p);
+        let (sn, vn) = inc.add_selector(&np);
+        let d = decide_list(&[&vp, &vn, &base_atoms]);
+        assert_eq!(inc.solve(&s, &[sp, sn], &[], &d).0, SatResult::Unsat);
+        assert_eq!(inc.solve(&s, &[sp], &[sn], &d).0, SatResult::Sat);
+        assert_eq!(inc.solve(&s, &[sn], &[sp], &d).0, SatResult::Sat);
     }
 }

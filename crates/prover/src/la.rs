@@ -119,12 +119,27 @@ const FM_BUDGET: usize = 4000;
 pub struct LaSolver {
     les: Vec<LinExpr>,
     eqs: Vec<LinExpr>,
+    /// Scope marks: `(les.len(), eqs.len())` at each `push_scope`.
+    scopes: Vec<(usize, usize)>,
 }
 
 impl LaSolver {
     /// Creates an empty solver.
     pub fn new() -> LaSolver {
         LaSolver::default()
+    }
+
+    /// Opens a scope; assertions made after this call are retracted by the
+    /// matching [`pop_scope`](LaSolver::pop_scope).
+    pub fn push_scope(&mut self) {
+        self.scopes.push((self.les.len(), self.eqs.len()));
+    }
+
+    /// Retracts every assertion made since the matching `push_scope`.
+    pub fn pop_scope(&mut self) {
+        let (les, eqs) = self.scopes.pop().expect("pop_scope without push_scope");
+        self.les.truncate(les);
+        self.eqs.truncate(eqs);
     }
 
     /// Asserts `e ≤ 0`.
@@ -435,6 +450,33 @@ mod tests {
         let lin = linearize(&s, xy);
         assert_eq!(lin.coeffs.len(), 1);
         assert!(lin.coeffs.contains_key(&xy));
+    }
+
+    #[test]
+    fn scopes_retract_bounds() {
+        let mut s = TermStore::new();
+        let x = v(&mut s, "x");
+        let y = v(&mut s, "y");
+        let mut la = LaSolver::new();
+        la.assert_le0(le(&s, x, y, false)); // x <= y
+        la.push_scope();
+        la.assert_le0(le(&s, y, x, true)); // y < x: contradiction
+        assert_eq!(la.check(), LaResult::Unsat);
+        la.pop_scope();
+        assert_eq!(la.check(), LaResult::Sat);
+        // nested scopes unwind independently
+        la.push_scope();
+        let mut eq = linearize(&s, x);
+        eq = eq.add_scaled(&linearize(&s, y), -1);
+        la.assert_eq0(eq);
+        la.push_scope();
+        la.assert_le0(le(&s, x, y, true)); // x < y contradicts x = y
+        assert_eq!(la.check(), LaResult::Unsat);
+        la.pop_scope();
+        assert_eq!(la.check(), LaResult::Sat);
+        assert!(la.entails_eq(x, y));
+        la.pop_scope();
+        assert!(!la.entails_eq(x, y));
     }
 
     #[test]

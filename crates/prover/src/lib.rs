@@ -31,15 +31,18 @@ pub mod cache;
 pub mod cc;
 pub mod dpll;
 pub mod la;
+pub mod session;
 pub mod term;
 pub mod theory;
 pub mod translate;
 
 pub use cache::{canon_formula, CacheSnapshot, SharedCache};
 pub use dpll::SatResult;
+pub use session::{AssumptionId, ProverSession, SessionStats};
 pub use term::{Atom, Formula, Sort, TermData, TermId, TermStore};
 pub use translate::{TranslateError, Translator};
 
+use cache::{CanonKey, CanonQuery};
 use std::collections::HashMap;
 
 /// Counters describing prover usage — the paper reports "theorem prover
@@ -69,7 +72,9 @@ pub struct ProverStats {
 pub struct Prover {
     /// The term store shared by all formulas this prover answers about.
     pub store: TermStore,
-    cache: HashMap<Formula, SatResult>,
+    /// Local result cache, keyed by the canonical query fingerprint (the
+    /// same bytes the shared cache uses, computed once per query).
+    cache: HashMap<CanonKey, SatResult>,
     /// Cross-prover result cache, if this prover participates in one.
     shared: Option<SharedCache>,
     /// Usage counters.
@@ -105,7 +110,19 @@ impl Prover {
             Formula::False => return SatResult::Unsat,
             _ => {}
         }
-        if let Some(r) = self.cache.get(f) {
+        let key = cache::canon_formula(&self.store, f);
+        self.decide_keyed(key, |store| dpll::solve(store, f))
+    }
+
+    /// Answers the query behind `key`, consulting the local cache, then
+    /// the shared cache, then `solve_fresh`. All counter bookkeeping lives
+    /// here so every query path counts identically.
+    fn decide_keyed(
+        &mut self,
+        key: CanonKey,
+        solve_fresh: impl FnOnce(&TermStore) -> SatResult,
+    ) -> SatResult {
+        if let Some(r) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             return *r;
         }
@@ -114,28 +131,43 @@ impl Prover {
         // have already published to the shared cache.
         self.stats.queries += 1;
         let r = match &self.shared {
-            Some(shared) => {
-                let key = cache::canon_formula(&self.store, f);
-                match shared.lookup(&key) {
-                    Some(r) => {
-                        self.stats.shared_hits += 1;
-                        r
-                    }
-                    None => {
-                        let r = dpll::solve(&self.store, f);
-                        shared.insert(key, r);
-                        r
-                    }
+            Some(shared) => match shared.lookup(&key) {
+                Some(r) => {
+                    self.stats.shared_hits += 1;
+                    r
                 }
-            }
-            None => dpll::solve(&self.store, f),
+                None => {
+                    let r = solve_fresh(&self.store);
+                    shared.insert(key.clone(), r);
+                    r
+                }
+            },
+            None => solve_fresh(&self.store),
         };
         match r {
             SatResult::Unsat => self.stats.unsat += 1,
             _ => self.stats.sat_or_unknown += 1,
         }
-        self.cache.insert(f.clone(), r);
+        self.cache.insert(key, r);
         r
+    }
+
+    /// Decides `(∧ hyps) ∧ ¬goal` without materializing it: the canonical
+    /// key is serialized straight from the borrowed parts, and only on a
+    /// full cache miss does `solve_fresh` run — against either the
+    /// materialized formula or an incremental session, the caller's
+    /// choice. Caching and counting are identical to
+    /// [`check_sat`](Prover::check_sat) on the materialized query.
+    pub fn implication_query(
+        &mut self,
+        hyps: &[&Formula],
+        goal: &Formula,
+        solve_fresh: impl FnOnce(&TermStore) -> SatResult,
+    ) -> SatResult {
+        match cache::canon_implication(&self.store, hyps, goal) {
+            CanonQuery::Const(r) => r,
+            CanonQuery::Key(key) => self.decide_keyed(key, solve_fresh),
+        }
     }
 
     /// True if `hyp ⇒ goal` is valid (refutation of `hyp ∧ ¬goal`).
@@ -144,14 +176,27 @@ impl Prover {
     /// still hold (the decision procedures are incomplete, as were
     /// Simplify and Vampyre).
     pub fn implies(&mut self, hyp: &Formula, goal: &Formula) -> bool {
-        let q = Formula::and([hyp.clone(), goal.clone().negate()]);
-        self.check_sat(&q) == SatResult::Unsat
+        self.implies_refs(&[hyp], goal)
     }
 
     /// True if the conjunction of `hyps` implies `goal`.
     pub fn implies_all(&mut self, hyps: &[Formula], goal: &Formula) -> bool {
-        let hyp = Formula::and(hyps.iter().cloned());
-        self.implies(&hyp, goal)
+        let refs: Vec<&Formula> = hyps.iter().collect();
+        self.implies_refs(&refs, goal)
+    }
+
+    /// [`implies_all`](Prover::implies_all) over borrowed hypotheses; the
+    /// query formula is only built (cloning the parts) on a cache miss.
+    pub fn implies_refs(&mut self, hyps: &[&Formula], goal: &Formula) -> bool {
+        let r = self.implication_query(hyps, goal, |store| {
+            let q = Formula::and(
+                hyps.iter()
+                    .map(|h| (*h).clone())
+                    .chain([goal.clone().negate()]),
+            );
+            dpll::solve(store, &q)
+        });
+        r == SatResult::Unsat
     }
 
     /// True if `f` is unsatisfiable.

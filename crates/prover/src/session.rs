@@ -1,0 +1,323 @@
+//! Incremental prover sessions: one base formula, many assumption
+//! subsets.
+//!
+//! Cube search asks a long run of questions of the shape
+//! `base ∧ ℓ₁ ∧ … ∧ ℓₖ` where `base` is the (negated) goal of one
+//! statement and the `ℓᵢ` are drawn from a fixed set of predicate
+//! literals. A [`ProverSession`] translates that shape directly: the base
+//! is Tseitin-encoded and asserted once, every literal is registered once
+//! behind a selector variable, and each query activates a subset of
+//! selectors against the persistent clause database
+//! ([`dpll::Incremental`]). Theory state backtracks through the search via
+//! the scope trails in the congruence closure and the linear solver
+//! instead of being rebuilt per node.
+//!
+//! When a query is unsatisfiable the session extracts an *unsat core* — a
+//! subset of the assumptions that is already contradictory with the base —
+//! by bounded deletion minimization, and records it. Any later query whose
+//! assumption set contains a recorded core is answered `Unsat` without
+//! touching the solver. Cores are genuinely unsat (each minimization step
+//! re-proves unsatisfiability), so the shortcut can never change an
+//! answer, only skip the work of re-deriving it.
+//!
+//! The session does not own a [`TermStore`]; the caller passes its store
+//! to every solve. All formulas handed to the session must come from that
+//! store (term ids stay valid because stores are append-only).
+
+use crate::dpll::{Incremental, SatResult};
+use crate::term::{Formula, TermStore};
+
+/// Handle to a formula registered with [`ProverSession::assume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AssumptionId(u32);
+
+/// Usage counters for one [`ProverSession`].
+///
+/// These depend on which queries actually reach the session (a query
+/// served by a prover cache never gets here), so in a parallel run they
+/// vary with scheduling — report them as wall-clock-style diagnostics,
+/// not as deterministic outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// Queries decided by the incremental solver.
+    pub solves: u64,
+    /// Queries answered by a recorded unsat core without solving.
+    pub core_hits: u64,
+    /// Extra solver runs spent minimizing cores.
+    pub minimize_solves: u64,
+    /// Total DPLL decisions across all solver runs.
+    pub decisions: u64,
+}
+
+impl SessionStats {
+    /// Accumulates `other` into `self`.
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.solves += other.solves;
+        self.core_hits += other.core_hits;
+        self.minimize_solves += other.minimize_solves;
+        self.decisions += other.decisions;
+    }
+}
+
+struct Assumption {
+    sel: usize,
+    /// The assumption's atom variables, in first-occurrence order.
+    atoms: Vec<usize>,
+}
+
+/// An incremental solving session over one base formula.
+pub struct ProverSession {
+    solver: Incremental,
+    base_atoms: Vec<usize>,
+    assumptions: Vec<Assumption>,
+    /// Recorded unsat cores: sorted assumption-index sets that are
+    /// contradictory together with the base.
+    cores: Vec<Vec<u32>>,
+    /// Usage counters.
+    pub stats: SessionStats,
+}
+
+/// Keep deletion minimization cheap: cubes are short, so cores are too.
+const MAX_CORE_MINIMIZE: usize = 6;
+
+impl ProverSession {
+    /// Creates a session asserting `base` once.
+    pub fn new(base: &Formula) -> ProverSession {
+        let mut solver = Incremental::new();
+        let base_atoms = solver.assert_base(base);
+        ProverSession {
+            solver,
+            base_atoms,
+            assumptions: Vec::new(),
+            cores: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Registers `f` as an assumable formula and returns its handle.
+    pub fn assume(&mut self, f: &Formula) -> AssumptionId {
+        let (sel, atoms) = self.solver.add_selector(f);
+        self.assumptions.push(Assumption { sel, atoms });
+        AssumptionId(self.assumptions.len() as u32 - 1)
+    }
+
+    /// Solves `base ∧ (∧ active assumptions)` against the store the
+    /// session's formulas were built in.
+    ///
+    /// Unsat results are recorded as (unminimized) cores so later
+    /// superset queries are answered without solving, but no extra
+    /// solver runs are spent shrinking them — callers that walk a
+    /// superset-pruned lattice (the cube search) never re-ask a
+    /// superset, so minimization there is pure overhead. Use
+    /// [`solve_with_core`](Self::solve_with_core) when the core itself
+    /// is wanted.
+    pub fn solve_assuming(&mut self, store: &TermStore, active: &[AssumptionId]) -> SatResult {
+        if self.find_subsumed_core(active).is_some() {
+            self.stats.core_hits += 1;
+            return SatResult::Unsat;
+        }
+        self.stats.solves += 1;
+        let r = self.raw_solve(store, active);
+        if r == SatResult::Unsat {
+            self.record_core(active);
+        }
+        r
+    }
+
+    /// Like [`solve_assuming`](Self::solve_assuming), also returning the
+    /// unsat core (a subset of `active` contradictory with the base) when
+    /// the answer is `Unsat`.
+    pub fn solve_with_core(
+        &mut self,
+        store: &TermStore,
+        active: &[AssumptionId],
+    ) -> (SatResult, Option<Vec<AssumptionId>>) {
+        if let Some(core) = self.find_subsumed_core(active) {
+            self.stats.core_hits += 1;
+            return (SatResult::Unsat, Some(core));
+        }
+        self.stats.solves += 1;
+        let r = self.raw_solve(store, active);
+        if r != SatResult::Unsat {
+            return (r, None);
+        }
+        let core = self.minimize_core(store, active);
+        self.record_core(&core);
+        (SatResult::Unsat, Some(core))
+    }
+
+    fn record_core(&mut self, core: &[AssumptionId]) {
+        let mut ids: Vec<u32> = core.iter().map(|a| a.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        self.cores.push(ids);
+    }
+
+    /// A recorded core contained in `active`, if any.
+    fn find_subsumed_core(&self, active: &[AssumptionId]) -> Option<Vec<AssumptionId>> {
+        self.cores
+            .iter()
+            .find(|core| core.iter().all(|i| active.contains(&AssumptionId(*i))))
+            .map(|core| core.iter().map(|i| AssumptionId(*i)).collect())
+    }
+
+    /// One solver run under the given assumptions. The decide list mirrors
+    /// the first-occurrence atom order of the equivalent one-shot query
+    /// `(∧ assumptions) ∧ base`.
+    fn raw_solve(&mut self, store: &TermStore, active: &[AssumptionId]) -> SatResult {
+        let on: Vec<usize> = active
+            .iter()
+            .map(|a| self.assumptions[a.0 as usize].sel)
+            .collect();
+        let off: Vec<usize> = self
+            .assumptions
+            .iter()
+            .filter(|a| !on.contains(&a.sel))
+            .map(|a| a.sel)
+            .collect();
+        let mut decide: Vec<usize> = Vec::new();
+        for a in active {
+            for &v in &self.assumptions[a.0 as usize].atoms {
+                if !decide.contains(&v) {
+                    decide.push(v);
+                }
+            }
+        }
+        for &v in &self.base_atoms {
+            if !decide.contains(&v) {
+                decide.push(v);
+            }
+        }
+        let (r, decisions) = self.solver.solve(store, &on, &off, &decide);
+        self.stats.decisions += decisions;
+        r
+    }
+
+    /// Deletion-based core minimization. Every kept step re-proves that
+    /// the remaining set is unsat with the base, so the invariant "the
+    /// returned set is genuinely contradictory" holds unconditionally; an
+    /// `Unknown` trial conservatively keeps its literal.
+    fn minimize_core(&mut self, store: &TermStore, active: &[AssumptionId]) -> Vec<AssumptionId> {
+        let mut core: Vec<AssumptionId> = active.to_vec();
+        if core.len() > MAX_CORE_MINIMIZE {
+            return core;
+        }
+        let mut i = 0;
+        while i < core.len() && core.len() > 1 {
+            let mut trial = core.clone();
+            trial.remove(i);
+            self.stats.minimize_solves += 1;
+            if self.raw_solve(store, &trial) == SatResult::Unsat {
+                core = trial;
+            } else {
+                i += 1;
+            }
+        }
+        core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::solve;
+    use crate::term::Sort;
+
+    #[test]
+    fn session_matches_one_shot_solving() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let zero = s.num(0);
+        let five = s.num(5);
+        let three = s.num(3);
+        let one = s.num(1);
+        let base = Formula::or([s.le(x, zero), s.le(five, x)]);
+        let p = s.le(x, three);
+        let np = p.clone().negate();
+        let q = s.le(one, x);
+
+        let mut sess = ProverSession::new(&base);
+        let ap = sess.assume(&p);
+        let anp = sess.assume(&np);
+        let aq = sess.assume(&q);
+
+        for active in [
+            vec![],
+            vec![ap],
+            vec![anp],
+            vec![aq],
+            vec![ap, aq],  // 1 <= x <= 3 against the base: unsat
+            vec![anp, aq], // x >= 4 ... still sat via x >= 5? no: x > 3 and base
+            vec![ap, anp], // internally inconsistent
+        ] {
+            let parts: Vec<Formula> = active
+                .iter()
+                .map(|a| match *a {
+                    v if v == ap => p.clone(),
+                    v if v == anp => np.clone(),
+                    _ => q.clone(),
+                })
+                .chain([base.clone()])
+                .collect();
+            let expect = solve(&s, &Formula::and(parts));
+            assert_eq!(
+                sess.solve_assuming(&s, &active),
+                expect,
+                "active {active:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cores_are_recorded_and_reused() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let ten = s.num(10);
+        let five = s.num(5);
+        let zero = s.num(0);
+        let base = s.le(ten, x); // x >= 10
+        let small = s.le(x, five); // contradicts base alone
+        let other = s.le(y, zero);
+
+        let mut sess = ProverSession::new(&base);
+        let a_small = sess.assume(&small);
+        let a_other = sess.assume(&other);
+
+        let (r, core) = sess.solve_with_core(&s, &[a_other, a_small]);
+        assert_eq!(r, SatResult::Unsat);
+        // minimization must shrink the core to the one real culprit
+        assert_eq!(core, Some(vec![a_small]));
+        assert_eq!(sess.stats.core_hits, 0);
+
+        // any superset of the core is answered without solving
+        let before = sess.stats.solves + sess.stats.minimize_solves;
+        assert_eq!(sess.solve_assuming(&s, &[a_small]), SatResult::Unsat);
+        assert_eq!(sess.stats.core_hits, 1);
+        assert_eq!(before, sess.stats.solves + sess.stats.minimize_solves);
+
+        // and a disjoint set still solves normally
+        assert_eq!(sess.solve_assuming(&s, &[a_other]), SatResult::Sat);
+    }
+
+    #[test]
+    fn core_of_internally_inconsistent_cube_excludes_base_only_facts() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let hundred = s.num(100);
+        let one = s.num(1);
+        let base = s.le(y, hundred);
+        let p = s.le(x, one);
+        let np = p.clone().negate();
+
+        let mut sess = ProverSession::new(&base);
+        let ap = sess.assume(&p);
+        let anp = sess.assume(&np);
+        let (r, core) = sess.solve_with_core(&s, &[ap, anp]);
+        assert_eq!(r, SatResult::Unsat);
+        let mut core = core.expect("unsat core");
+        core.sort();
+        assert_eq!(core, vec![ap, anp]);
+    }
+}

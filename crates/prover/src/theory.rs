@@ -7,6 +7,18 @@
 //! equalities between the two until a fixpoint (bounded). `Conflict` is
 //! sound; `Consistent` may be optimistic (the abstraction only loses
 //! precision from that, never soundness).
+//!
+//! Two entry points share one implementation: the one-shot [`check`]
+//! asserts a literal slice and checks once, while [`IncrementalTheory`]
+//! keeps the asserted state alive across [`push`]/[`pop`] scopes so a
+//! backtracking solver re-asserts only what changed. The propagation
+//! fixpoint derives facts that are consequences of the *current* literal
+//! set, so [`IncrementalTheory::check`] runs it inside a private scope and
+//! retracts the derived state afterwards — asserted literals stay, derived
+//! ones never leak into outer scopes.
+//!
+//! [`push`]: IncrementalTheory::push
+//! [`pop`]: IncrementalTheory::pop
 
 use crate::cc::{CcResult, CongruenceClosure};
 use crate::la::{linearize, LaResult, LaSolver};
@@ -35,100 +47,163 @@ const PROPAGATION_CAP: usize = 24;
 
 /// Checks the conjunction of `lits` for theory consistency.
 pub fn check(store: &TermStore, lits: &[Lit]) -> TheoryResult {
-    let mut cc = CongruenceClosure::new(store);
-    let mut la = LaSolver::new();
-    let mut int_diseqs: Vec<(TermId, TermId)> = Vec::new();
-
+    let mut t = IncrementalTheory::new();
     for lit in lits {
+        if t.assert_lit(store, *lit) == TheoryResult::Conflict {
+            return TheoryResult::Conflict;
+        }
+    }
+    t.check(store)
+}
+
+/// Combined theory state that survives across solver scopes.
+///
+/// `assert_lit` is the monotone half of [`check`]: it loads a literal into
+/// the congruence closure / linear solver and reports immediate conflicts.
+/// `check` runs the cross-theory propagation fixpoint on whatever is
+/// currently asserted. Scopes nest arbitrarily deep; popping a scope
+/// retracts the literals (and any state they dragged in) asserted under
+/// it.
+#[derive(Debug, Default)]
+pub struct IncrementalTheory {
+    cc: CongruenceClosure,
+    la: LaSolver,
+    int_diseqs: Vec<(TermId, TermId)>,
+    /// `int_diseqs.len()` at each open scope.
+    scopes: Vec<usize>,
+}
+
+impl IncrementalTheory {
+    /// Creates an empty theory state.
+    pub fn new() -> IncrementalTheory {
+        IncrementalTheory::default()
+    }
+
+    /// Opens a scope over both theories.
+    pub fn push(&mut self) {
+        self.cc.push_scope();
+        self.la.push_scope();
+        self.scopes.push(self.int_diseqs.len());
+    }
+
+    /// Retracts everything asserted since the matching [`push`](Self::push).
+    pub fn pop(&mut self) {
+        let n = self.scopes.pop().expect("pop without push");
+        self.int_diseqs.truncate(n);
+        self.la.pop_scope();
+        self.cc.pop_scope();
+    }
+
+    /// Asserts one literal; `Conflict` means the asserted set is already
+    /// contradictory (soundly — further literals cannot rescue it).
+    pub fn assert_lit(&mut self, store: &TermStore, lit: Lit) -> TheoryResult {
         match (lit.atom, lit.positive) {
             (Atom::Eq(l, r), true) => {
-                if cc.assert_eq(l, r) == CcResult::Conflict {
+                if self.cc.assert_eq(store, l, r) == CcResult::Conflict {
                     return TheoryResult::Conflict;
                 }
                 if store.sort(l) == Sort::Int {
                     let e = linearize(store, l).add_scaled(&linearize(store, r), -1);
-                    la.assert_eq0(e);
+                    self.la.assert_eq0(e);
                 }
             }
             (Atom::Eq(l, r), false) => {
-                if cc.assert_ne(l, r) == CcResult::Conflict {
+                if self.cc.assert_ne(store, l, r) == CcResult::Conflict {
                     return TheoryResult::Conflict;
                 }
                 if store.sort(l) == Sort::Int {
-                    int_diseqs.push((l, r));
+                    self.int_diseqs.push((l, r));
                 }
             }
             (Atom::Le(l, r), true) => {
-                if cc.register(l) == CcResult::Conflict || cc.register(r) == CcResult::Conflict {
+                if self.cc.register(store, l) == CcResult::Conflict
+                    || self.cc.register(store, r) == CcResult::Conflict
+                {
                     return TheoryResult::Conflict;
                 }
                 let e = linearize(store, l).add_scaled(&linearize(store, r), -1);
-                la.assert_le0(e);
+                self.la.assert_le0(e);
             }
             (Atom::Le(l, r), false) => {
-                if cc.register(l) == CcResult::Conflict || cc.register(r) == CcResult::Conflict {
+                if self.cc.register(store, l) == CcResult::Conflict
+                    || self.cc.register(store, r) == CcResult::Conflict
+                {
                     return TheoryResult::Conflict;
                 }
                 // !(l <= r)  ==>  r + 1 <= l
                 let mut e = linearize(store, r).add_scaled(&linearize(store, l), -1);
                 e.constant += 1;
-                la.assert_le0(e);
+                self.la.assert_le0(e);
             }
         }
+        TheoryResult::Consistent
     }
 
-    // propagation fixpoint (two rounds suffice for these query sizes)
-    for _ in 0..2 {
-        // CC -> LA: merged int classes become LA equalities; classes tagged
-        // with a numeral pin their members to that value.
-        let lavars = la.vars();
-        if lavars.len() <= PROPAGATION_CAP {
-            for (i, &a) in lavars.iter().enumerate() {
-                for &b in lavars.iter().skip(i + 1) {
-                    if cc.are_equal(a, b) {
-                        let e = linearize(store, a).add_scaled(&linearize(store, b), -1);
-                        la.assert_eq0(e);
+    /// Runs the cross-theory propagation fixpoint over the asserted
+    /// literals and reports consistency. Derived facts are confined to a
+    /// private scope, so the call leaves the asserted state untouched and
+    /// may be repeated at every level of a solver's descent.
+    pub fn check(&mut self, store: &TermStore) -> TheoryResult {
+        self.push();
+        let r = self.check_inner(store);
+        self.pop();
+        r
+    }
+
+    fn check_inner(&mut self, store: &TermStore) -> TheoryResult {
+        // propagation fixpoint (two rounds suffice for these query sizes)
+        for _ in 0..2 {
+            // CC -> LA: merged int classes become LA equalities; classes
+            // tagged with a numeral pin their members to that value.
+            let lavars = self.la.vars();
+            if lavars.len() <= PROPAGATION_CAP {
+                for (i, &a) in lavars.iter().enumerate() {
+                    for &b in lavars.iter().skip(i + 1) {
+                        if self.cc.are_equal(store, a, b) {
+                            let e = linearize(store, a).add_scaled(&linearize(store, b), -1);
+                            self.la.assert_eq0(e);
+                        }
                     }
-                }
-                if let Some(v) = class_numeral(store, &mut cc, a) {
-                    let mut e = linearize(store, a);
-                    e.constant -= v as i128;
-                    la.assert_eq0(e);
-                }
-            }
-        }
-        match la.check() {
-            LaResult::Unsat => return TheoryResult::Conflict,
-            LaResult::Sat | LaResult::Unknown => {}
-        }
-        // LA -> CC: entailed equalities between shared variables
-        let lavars = la.vars();
-        if lavars.len() <= PROPAGATION_CAP {
-            for (i, &a) in lavars.iter().enumerate() {
-                for &b in lavars.iter().skip(i + 1) {
-                    if !cc.are_equal(a, b)
-                        && la.entails_eq(a, b)
-                        && cc.assert_eq(a, b) == CcResult::Conflict
-                    {
-                        return TheoryResult::Conflict;
+                    if let Some(v) = class_numeral(store, &mut self.cc, a) {
+                        let mut e = linearize(store, a);
+                        e.constant -= v as i128;
+                        self.la.assert_eq0(e);
                     }
                 }
             }
+            match self.la.check() {
+                LaResult::Unsat => return TheoryResult::Conflict,
+                LaResult::Sat | LaResult::Unknown => {}
+            }
+            // LA -> CC: entailed equalities between shared variables
+            let lavars = self.la.vars();
+            if lavars.len() <= PROPAGATION_CAP {
+                for (i, &a) in lavars.iter().enumerate() {
+                    for &b in lavars.iter().skip(i + 1) {
+                        if !self.cc.are_equal(store, a, b)
+                            && self.la.entails_eq(a, b)
+                            && self.cc.assert_eq(store, a, b) == CcResult::Conflict
+                        {
+                            return TheoryResult::Conflict;
+                        }
+                    }
+                }
+            }
         }
-    }
 
-    // integer disequalities: conflict when equality is forced
-    for (a, b) in int_diseqs {
-        if cc.are_equal(a, b) || la.entails_eq(a, b) {
-            return TheoryResult::Conflict;
+        // integer disequalities: conflict when equality is forced
+        for &(a, b) in &self.int_diseqs {
+            if self.cc.are_equal(store, a, b) || self.la.entails_eq(a, b) {
+                return TheoryResult::Conflict;
+            }
         }
+        TheoryResult::Consistent
     }
-    TheoryResult::Consistent
 }
 
 /// If the class of `t` contains a numeral, returns its value.
-fn class_numeral(store: &TermStore, cc: &mut CongruenceClosure<'_>, t: TermId) -> Option<i64> {
-    let _ = cc.register(t);
+fn class_numeral(store: &TermStore, cc: &mut CongruenceClosure, t: TermId) -> Option<i64> {
+    let _ = cc.register(store, t);
     let classes = cc.classes();
     let root = cc.find(t);
     classes.get(&root).and_then(|members| {
@@ -261,5 +336,70 @@ mod tests {
             lit(Atom::Eq(x.min(y), x.max(y)), false),
         ];
         assert_eq!(check(&s, &lits), TheoryResult::Conflict);
+    }
+
+    #[test]
+    fn incremental_scopes_match_one_shot_checks() {
+        // assert x <= y at the base, then per-scope contradictions; the
+        // scoped answers must match fresh one-shot checks of the same set
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let base = lit(Atom::Le(x, y), true);
+        let contra = lit(Atom::Le(x, y), false);
+        let eqxy = lit(Atom::Eq(x.min(y), x.max(y)), true);
+
+        let mut inc = IncrementalTheory::new();
+        assert_eq!(inc.assert_lit(&s, base), TheoryResult::Consistent);
+        assert_eq!(inc.check(&s), check(&s, &[base]));
+
+        inc.push();
+        assert_eq!(inc.assert_lit(&s, contra), TheoryResult::Consistent);
+        assert_eq!(inc.check(&s), TheoryResult::Conflict);
+        assert_eq!(inc.check(&s), check(&s, &[base, contra]));
+        inc.pop();
+
+        // the conflict is retracted; a different extension is consistent
+        inc.push();
+        assert_eq!(inc.assert_lit(&s, eqxy), TheoryResult::Consistent);
+        assert_eq!(inc.check(&s), check(&s, &[base, eqxy]));
+        inc.pop();
+        assert_eq!(inc.check(&s), TheoryResult::Consistent);
+    }
+
+    #[test]
+    fn derived_facts_do_not_leak_from_check() {
+        // x <= y, y <= x lets check() derive x == y inside its private
+        // scope; after a pop of the second bound the disequality x != y
+        // must be consistent again.
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let mut inc = IncrementalTheory::new();
+        assert_eq!(
+            inc.assert_lit(&s, lit(Atom::Le(x, y), true)),
+            TheoryResult::Consistent
+        );
+        inc.push();
+        assert_eq!(
+            inc.assert_lit(&s, lit(Atom::Le(y, x), true)),
+            TheoryResult::Consistent
+        );
+        assert_eq!(inc.check(&s), TheoryResult::Consistent);
+        inc.push();
+        assert_eq!(
+            inc.assert_lit(&s, lit(Atom::Eq(x.min(y), x.max(y)), false)),
+            TheoryResult::Consistent
+        );
+        assert_eq!(inc.check(&s), TheoryResult::Conflict);
+        inc.pop();
+        inc.pop();
+        inc.push();
+        assert_eq!(
+            inc.assert_lit(&s, lit(Atom::Eq(x.min(y), x.max(y)), false)),
+            TheoryResult::Consistent
+        );
+        assert_eq!(inc.check(&s), TheoryResult::Consistent);
+        inc.pop();
     }
 }

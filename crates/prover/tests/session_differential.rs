@@ -1,0 +1,297 @@
+//! Differential tests for the incremental prover sessions.
+//!
+//! Contract under test: a [`ProverSession`] answering a sequence of
+//! assumption-subset queries returns exactly the same [`SatResult`] as a
+//! fresh one-shot solve of the materialized conjunction at every step, the
+//! unsat cores it reports are genuinely contradictory with the base, and
+//! the scoped theory state (congruence closure + linear arithmetic)
+//! survives arbitrary push/pop interleavings.
+
+use prover::dpll::solve;
+use prover::theory::{check, IncrementalTheory, Lit, TheoryResult};
+use prover::{Atom, Formula, ProverSession, Sort, TermId, TermStore};
+use testutil::{run_cases, Rng};
+
+/// A tiny formula language over a fixed set of integer variables, built
+/// without a store so generated cases are printable and replayable.
+#[derive(Debug, Clone)]
+enum F {
+    Le(usize, i64),
+    Ge(usize, i64),
+    EqVars(usize, usize),
+    EqNum(usize, i64),
+    Not(Box<F>),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+}
+
+const NVARS: usize = 3;
+
+fn gen_f(rng: &mut Rng, depth: u32) -> F {
+    if depth == 0 || rng.ratio(1, 2) {
+        let v = rng.index(NVARS);
+        return match rng.index(4) {
+            0 => F::Le(v, rng.gen_range(-4, 5)),
+            1 => F::Ge(v, rng.gen_range(-4, 5)),
+            2 => F::EqVars(v, rng.index(NVARS)),
+            _ => F::EqNum(v, rng.gen_range(-4, 5)),
+        };
+    }
+    match rng.index(3) {
+        0 => F::Not(Box::new(gen_f(rng, depth - 1))),
+        1 => F::And(
+            Box::new(gen_f(rng, depth - 1)),
+            Box::new(gen_f(rng, depth - 1)),
+        ),
+        _ => F::Or(
+            Box::new(gen_f(rng, depth - 1)),
+            Box::new(gen_f(rng, depth - 1)),
+        ),
+    }
+}
+
+fn var(store: &mut TermStore, i: usize) -> TermId {
+    store.var(format!("v{}", i % NVARS), Sort::Int)
+}
+
+fn build_f(store: &mut TermStore, f: &F) -> Formula {
+    match f {
+        F::Le(v, n) => {
+            let (x, k) = (var(store, *v), store.num(*n));
+            store.le(x, k)
+        }
+        F::Ge(v, n) => {
+            let (x, k) = (var(store, *v), store.num(*n));
+            store.le(k, x)
+        }
+        F::EqVars(a, b) => {
+            let (x, y) = (var(store, *a), var(store, *b));
+            store.eq(x, y)
+        }
+        F::EqNum(v, n) => {
+            let (x, k) = (var(store, *v), store.num(*n));
+            store.eq(x, k)
+        }
+        F::Not(x) => build_f(store, x).negate(),
+        F::And(a, b) => Formula::and([build_f(store, a), build_f(store, b)]),
+        F::Or(a, b) => Formula::or([build_f(store, a), build_f(store, b)]),
+    }
+}
+
+/// One random differential case: a base formula, a pool of assumable
+/// formulas, and a sequence of subset queries (bitmasks over the pool).
+#[derive(Debug, Clone)]
+struct SessionCase {
+    base: F,
+    pool: Vec<F>,
+    queries: Vec<u32>,
+}
+
+fn gen_case(rng: &mut Rng) -> SessionCase {
+    let pool_len = 2 + rng.index(3); // 2..=4 assumptions
+    SessionCase {
+        base: gen_f(rng, 2),
+        pool: (0..pool_len).map(|_| gen_f(rng, 1)).collect(),
+        queries: (0..10)
+            .map(|_| (rng.next_u64() as u32) & ((1 << pool_len) - 1))
+            .collect(),
+    }
+}
+
+#[test]
+fn session_matches_fresh_solver_on_random_sequences() {
+    run_cases("session_matches_fresh_solver", 96, gen_case, |case| {
+        let mut store = TermStore::new();
+        let base = build_f(&mut store, &case.base);
+        let pool: Vec<Formula> = case.pool.iter().map(|f| build_f(&mut store, f)).collect();
+        let mut sess = ProverSession::new(&base);
+        let ids: Vec<_> = pool.iter().map(|f| sess.assume(f)).collect();
+        for &mask in &case.queries {
+            let active: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, id)| *id)
+                .collect();
+            let parts: Vec<Formula> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, f)| f.clone())
+                .chain([base.clone()])
+                .collect();
+            let expect = solve(&store, &Formula::and(parts));
+            let (got, core) = sess.solve_with_core(&store, &active);
+            assert_eq!(got, expect, "mask {mask:#b} diverged");
+            if let Some(core) = core {
+                // the reported core must itself be contradictory with the
+                // base — check it against a fresh solver, not the session
+                assert!(core.iter().all(|id| active.contains(id)), "core ⊄ active");
+                let core_parts: Vec<Formula> = ids
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, id)| core.contains(id))
+                    .map(|(i, _)| pool[i].clone())
+                    .chain([base.clone()])
+                    .collect();
+                assert_eq!(
+                    solve(&store, &Formula::and(core_parts)),
+                    prover::SatResult::Unsat,
+                    "recorded core is not genuinely unsat (mask {mask:#b})"
+                );
+            }
+        }
+    });
+}
+
+/// One random theory operation for the push/pop stress test.
+#[derive(Debug, Clone)]
+enum Op {
+    Push,
+    Pop,
+    Assert(LitSpec),
+    Check,
+}
+
+/// A literal over the fixed variable set, mixing congruence content
+/// (equalities over variables and `f(v)` terms) with linear content
+/// (bounds), so every scope exercises both trails.
+#[derive(Debug, Clone, Copy)]
+enum LitSpec {
+    VarEq(usize, usize, bool),
+    NumEq(usize, i64, bool),
+    Bound(usize, i64, bool),
+    FunEq(usize, usize, bool),
+}
+
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let mut depth = 0usize;
+    (0..24)
+        .map(|_| match rng.index(6) {
+            0 => {
+                depth += 1;
+                Op::Push
+            }
+            1 if depth > 0 => {
+                depth -= 1;
+                Op::Pop
+            }
+            2 | 3 => Op::Assert(match rng.index(4) {
+                0 => LitSpec::VarEq(rng.index(NVARS), rng.index(NVARS), rng.gen_bool()),
+                1 => LitSpec::NumEq(rng.index(NVARS), rng.gen_range(-3, 4), rng.gen_bool()),
+                2 => LitSpec::Bound(rng.index(NVARS), rng.gen_range(-3, 4), rng.gen_bool()),
+                _ => LitSpec::FunEq(rng.index(NVARS), rng.index(NVARS), rng.gen_bool()),
+            }),
+            _ => Op::Check,
+        })
+        .collect()
+}
+
+fn build_lit(store: &mut TermStore, spec: LitSpec) -> Lit {
+    match spec {
+        LitSpec::VarEq(a, b, positive) => {
+            let (x, y) = (var(store, a), var(store, b));
+            Lit {
+                atom: Atom::Eq(x.min(y), x.max(y)),
+                positive,
+            }
+        }
+        LitSpec::NumEq(v, n, positive) => {
+            let (x, k) = (var(store, v), store.num(n));
+            Lit {
+                atom: Atom::Eq(x.min(k), x.max(k)),
+                positive,
+            }
+        }
+        LitSpec::Bound(v, n, positive) => {
+            let (x, k) = (var(store, v), store.num(n));
+            Lit {
+                atom: Atom::Le(x, k),
+                positive,
+            }
+        }
+        LitSpec::FunEq(a, b, positive) => {
+            let (x, y) = (var(store, a), var(store, b));
+            let (fx, fy) = (
+                store.app("f", vec![x], Sort::Int),
+                store.app("f", vec![y], Sort::Int),
+            );
+            Lit {
+                atom: Atom::Eq(fx.min(fy), fx.max(fy)),
+                positive,
+            }
+        }
+    }
+}
+
+#[test]
+fn push_pop_stress_matches_one_shot_theory_checks() {
+    run_cases("theory_push_pop_stress", 128, gen_ops, |ops| {
+        let mut store = TermStore::new();
+        let mut inc = IncrementalTheory::new();
+        // shadow frames: the literals asserted under each open scope, in
+        // chronological order — flattening them replays the exact assert
+        // sequence the incremental side has seen
+        let mut frames: Vec<Vec<Lit>> = vec![Vec::new()];
+        let mut conflicted_at: Option<usize> = None;
+        for op in ops {
+            match op {
+                Op::Push => {
+                    inc.push();
+                    frames.push(Vec::new());
+                }
+                Op::Pop => {
+                    inc.pop();
+                    frames.pop();
+                    if conflicted_at.is_some_and(|d| d > frames.len()) {
+                        conflicted_at = None;
+                    }
+                }
+                Op::Assert(spec) => {
+                    if conflicted_at.is_some() {
+                        continue; // asserting past a conflict is undefined
+                    }
+                    let lit = build_lit(&mut store, *spec);
+                    frames.last_mut().unwrap().push(lit);
+                    if inc.assert_lit(&store, lit) == TheoryResult::Conflict {
+                        conflicted_at = Some(frames.len());
+                    }
+                }
+                Op::Check => {
+                    let flat: Vec<Lit> = frames.iter().flatten().copied().collect();
+                    let expect = check(&store, &flat);
+                    let got = if conflicted_at.is_some() {
+                        TheoryResult::Conflict
+                    } else {
+                        inc.check(&store)
+                    };
+                    assert_eq!(
+                        got,
+                        expect,
+                        "diverged with {} scopes open",
+                        frames.len() - 1
+                    );
+                }
+            }
+        }
+        // unwind everything: the base scope must behave as if the run
+        // above never happened
+        while frames.len() > 1 {
+            inc.pop();
+            frames.pop();
+        }
+        let flat: Vec<Lit> = frames[0].clone();
+        let mut fresh = IncrementalTheory::new();
+        let mut fresh_conflict = false;
+        for lit in &flat {
+            if fresh.assert_lit(&store, *lit) == TheoryResult::Conflict {
+                fresh_conflict = true;
+                break;
+            }
+        }
+        let base_conflicted = conflicted_at.is_some_and(|d| d <= 1);
+        if !base_conflicted && !fresh_conflict {
+            assert_eq!(inc.check(&store), fresh.check(&store));
+        }
+    });
+}

@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
-//!     [--jobs N] [--no-prune] [--lint]
+//!     [--jobs N] [--no-prune] [--no-incremental] [--lint]
 //! ```
 //!
 //! `--jobs` (or the `C2BP_JOBS` environment variable) shards the cube
@@ -20,7 +20,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] \
-         [--jobs N] [--no-prune] [--lint]"
+         [--jobs N] [--no-prune] [--no-incremental] [--lint]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--no-prune" => options.prune_dead_preds = false,
+            "--no-incremental" => options.cubes.incremental = false,
             "--lint" => lint = true,
             "--no-coi" => options.cubes.cone_of_influence = false,
             "--no-syntax" => options.cubes.syntactic_fast_paths = false,
@@ -107,6 +108,12 @@ fn main() -> ExitCode {
                 abs.stats.phases.plan,
                 abs.stats.phases.solve,
                 abs.stats.phases.merge
+            );
+            eprintln!(
+                "// sessions: {} solves, {} core hits, {} minimize solves",
+                abs.stats.sessions.solves,
+                abs.stats.sessions.core_hits,
+                abs.stats.sessions.minimize_solves
             );
             if lint {
                 let lints = analysis::lint_program(&abs.bprogram);

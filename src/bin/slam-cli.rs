@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]
-//!     [--no-prune] [--lint]
+//!     [--no-prune] [--no-incremental] [--lint]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
@@ -19,7 +19,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N] \
-         [--no-prune] [--lint]"
+         [--no-prune] [--no-incremental] [--lint]"
     );
     ExitCode::from(2)
 }
@@ -36,6 +36,7 @@ fn main() -> ExitCode {
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--no-prune" => options.c2bp.prune_dead_preds = false,
+            "--no-incremental" => options.c2bp.cubes.incremental = false,
             "--lint" => options.lint = true,
             "--lock" => spec = locking_spec(),
             "--irp" => spec = irp_spec(),

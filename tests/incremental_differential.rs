@@ -1,0 +1,118 @@
+//! Differential check for the incremental prover sessions, across the
+//! whole corpus: abstracting with the persistent sessions (the default)
+//! and solving every cube from scratch (`--no-incremental`) must produce
+//! *byte-identical* boolean programs and equal deterministic prover
+//! counters. The sessions are a pure execution strategy — unsat-core
+//! pruning and persistent theory state may only change how fast an
+//! answer arrives, never which answer it is.
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions, CubeOptions, Pred};
+use cparse::ast::Program;
+use slam::spec::locking_spec;
+use slam::{instrument, SlamOptions};
+
+fn opts(incremental: bool, jobs: usize) -> C2bpOptions {
+    C2bpOptions {
+        jobs,
+        cubes: CubeOptions {
+            incremental,
+            ..CubeOptions::default()
+        },
+        ..C2bpOptions::paper_defaults()
+    }
+}
+
+/// Abstracts with sessions on and off and asserts exact agreement:
+/// byte-identical boolean program text and equal deterministic counters
+/// (`prover_calls`, cache hits, pruned updates, cube statistics).
+fn assert_incremental_equivalent(program: &Program, preds: &[Pred], name: &str) {
+    let inc = abstract_program(program, preds, &opts(true, 1)).expect("incremental abstraction");
+    let base = abstract_program(program, preds, &opts(false, 1)).expect("baseline abstraction");
+    assert_eq!(
+        bp::program_to_string(&inc.bprogram),
+        bp::program_to_string(&base.bprogram),
+        "{name}: incremental sessions changed the boolean program"
+    );
+    assert_eq!(
+        inc.stats.prover_calls, base.stats.prover_calls,
+        "{name}: prover-call counts diverged"
+    );
+    assert_eq!(
+        inc.stats.prover_cache_hits, base.stats.prover_cache_hits,
+        "{name}: cache-hit counts diverged"
+    );
+    assert_eq!(
+        inc.stats.pruned_updates, base.stats.pruned_updates,
+        "{name}: pruning diverged"
+    );
+    assert_eq!(
+        inc.stats.cubes, base.stats.cubes,
+        "{name}: cube statistics diverged"
+    );
+    // the incremental run should also agree with itself across worker
+    // counts, like every other deterministic output
+    let four = abstract_program(program, preds, &opts(true, 4)).expect("parallel abstraction");
+    assert_eq!(
+        bp::program_to_string(&inc.bprogram),
+        bp::program_to_string(&four.bprogram),
+        "{name}: incremental output varies with worker count"
+    );
+    assert_eq!(inc.stats.prover_calls, four.stats.prover_calls, "{name}");
+}
+
+fn toy(stem: &str) -> (Program, Vec<Pred>) {
+    let source = std::fs::read_to_string(format!("corpus/toys/{stem}.c")).expect("corpus source");
+    let preds_src =
+        std::fs::read_to_string(format!("corpus/toys/{stem}.preds")).expect("corpus preds");
+    let program = cparse::parse_and_simplify(&source).expect("corpus parses");
+    let preds = parse_pred_file(&preds_src).expect("corpus predicates parse");
+    (program, preds)
+}
+
+/// Instruments a driver with the locking property and discovers its
+/// predicates with one sequential CEGAR run, like `slam::verify` does.
+fn driver_seeded(stem: &str, entry: &str, seeds: Vec<Pred>) -> (Program, Vec<Pred>) {
+    let source =
+        std::fs::read_to_string(format!("corpus/drivers/{stem}.c")).expect("corpus source");
+    let parsed = cparse::parse_program(&source).expect("corpus parses");
+    let instrumented = instrument(&parsed, &locking_spec(), entry);
+    let simplified = cparse::simplify_program(&instrumented).expect("corpus simplifies");
+    let run = slam::check(&simplified, entry, seeds, &SlamOptions::default()).expect("slam runs");
+    (simplified, run.final_preds)
+}
+
+#[test]
+fn toys_corpus_is_incremental_invariant() {
+    for stem in [
+        "kmp",
+        "qsort",
+        "partition",
+        "listfind",
+        "reverse",
+        "backoff",
+    ] {
+        let (program, preds) = toy(stem);
+        assert_incremental_equivalent(&program, &preds, stem);
+    }
+}
+
+#[test]
+fn drivers_corpus_is_incremental_invariant() {
+    for (stem, entry) in [
+        ("floppy", "FloppyReadWrite"),
+        ("ioctl", "DeviceIoControl"),
+        ("openclos", "DispatchOpenClose"),
+        ("srdriver", "DispatchStartReset"),
+        ("log", "LogAppend"),
+    ] {
+        let (program, preds) = driver_seeded(stem, entry, Vec::new());
+        assert_incremental_equivalent(&program, &preds, stem);
+    }
+}
+
+#[test]
+fn retry_driver_is_incremental_invariant() {
+    let seeds = parse_pred_file("DispatchRetry attempts > 0").expect("seed parses");
+    let (program, preds) = driver_seeded("retry", "DispatchRetry", seeds);
+    assert_incremental_equivalent(&program, &preds, "retry");
+}
