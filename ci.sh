@@ -44,4 +44,15 @@ inc_json="$(mktemp)"
 ./target/release/incremental_ab --smoke --json "$inc_json"
 rm -f "$inc_json"
 
+echo "== cross-iteration reuse differential =="
+# The full CEGAR loop with and without the reuse session: byte-identical
+# boolean programs at every iteration, same verdicts, same final
+# predicate sets, worker-count invariant within each mode.
+cargo test --offline -q --test reuse_differential
+
+echo "== CEGAR reuse A/B smoke (exits nonzero on divergence) =="
+cegar_json="$(mktemp)"
+./target/release/cegar_ab --smoke --json "$cegar_json"
+rm -f "$cegar_json"
+
 echo "ci: all green"

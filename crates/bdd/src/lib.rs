@@ -79,6 +79,25 @@ impl Manager {
         self.nodes.len()
     }
 
+    /// Entries across the operation memo caches (`ite`, `rename`,
+    /// `exists`). Unlike the node arena these are pure accelerators.
+    pub fn cache_entry_count(&self) -> usize {
+        self.ite_cache.len() + self.rename_cache.len() + self.exists_cache.len()
+    }
+
+    /// Drops the operation memo caches while keeping the node arena and
+    /// unique table intact. Every existing [`Bdd`] handle stays valid and
+    /// every future operation still returns the same canonical node; only
+    /// memoized sub-results are recomputed on demand. Callers that hold a
+    /// manager across many analysis runs (the CEGAR loop reuses one
+    /// manager per [`check`](../slam) call) invoke this between runs to
+    /// bound memory without discarding the interned node structure.
+    pub fn clear_caches(&mut self) {
+        self.ite_cache.clear();
+        self.rename_cache.clear();
+        self.exists_cache.clear();
+    }
+
     fn node(&self, f: Bdd) -> Node {
         self.nodes[f.0 as usize]
     }
@@ -433,6 +452,30 @@ impl Manager {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clear_caches_keeps_the_arena_and_the_answers() {
+        let mut m = Manager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let xy = m.and(x, y);
+        let f = m.or(xy, z);
+        let quantified = m.exists(f, &[1]);
+        assert!(m.cache_entry_count() > 0);
+        let nodes_before = m.node_count();
+        m.clear_caches();
+        assert_eq!(m.cache_entry_count(), 0);
+        // the arena and unique table survive: handles stay valid and
+        // rebuilding the same functions yields the same nodes
+        assert_eq!(m.node_count(), nodes_before);
+        let xy2 = m.and(x, y);
+        let f2 = m.or(xy2, z);
+        assert_eq!(f2, f);
+        assert_eq!(m.exists(f2, &[1]), quantified);
+        assert_eq!(m.node_count(), nodes_before);
+        assert_eq!(m.sat_count(f, 3), 5);
+    }
 
     #[test]
     fn terminals_and_vars() {

@@ -81,6 +81,19 @@ impl Bebop {
     ///
     /// Returns [`BebopError`] on unresolved labels or duplicate variables.
     pub fn new(program: &BProgram) -> Result<Bebop, BebopError> {
+        Bebop::with_manager(program, Manager::new())
+    }
+
+    /// Like [`Bebop::new`], but analyzing inside an existing BDD manager.
+    ///
+    /// BDD handles are canonical functions of variable *indices*, so a
+    /// manager may be carried across programs: nodes interned by an
+    /// earlier run are simply reused when the same functions reappear.
+    /// The CEGAR loop passes one manager through every iteration (taking
+    /// it back with [`Bebop::into_manager`] and trimming it with
+    /// [`Manager::clear_caches`]) so the interned transfer-relation
+    /// structure shared between consecutive abstractions is built once.
+    pub fn with_manager(program: &BProgram, mgr: Manager) -> Result<Bebop, BebopError> {
         let mut flats = HashMap::new();
         let mut scopes = HashMap::new();
         let mut positions = HashMap::new();
@@ -104,12 +117,24 @@ impl Bebop {
         Ok(Bebop {
             program: program.clone(),
             flats,
-            mgr: Manager::new(),
+            mgr,
             scopes,
             positions,
             n_globals: program.globals.len(),
             ret_base: 4 * max_scope as u32,
         })
+    }
+
+    /// `(node arena size, memo-cache entries)` of the BDD manager — the
+    /// peak for a finished run, since both only grow during an analysis.
+    pub fn bdd_stats(&self) -> (usize, usize) {
+        (self.mgr.node_count(), self.mgr.cache_entry_count())
+    }
+
+    /// Consumes the checker and returns its BDD manager, so a caller can
+    /// thread it into the next run (see [`Bebop::with_manager`]).
+    pub fn into_manager(self) -> Manager {
+        self.mgr
     }
 
     // -- bank helpers --------------------------------------------------------

@@ -35,5 +35,6 @@
 mod engine;
 pub mod trace;
 
+pub use bdd::Manager;
 pub use engine::{Analysis, Bebop, BebopError, ErrorSite};
 pub use trace::{find_error_trace, BTrace, BTraceStep};

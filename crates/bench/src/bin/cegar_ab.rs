@@ -1,0 +1,45 @@
+//! Cross-iteration reuse A/B: every multi-iteration corpus driver run
+//! through the full CEGAR loop twice — with the reuse session (the
+//! default: persistent prover cache, memoized transfer functions,
+//! retained BDD arena) and from scratch (`--no-reuse` in the `slam`
+//! CLI) — reporting per-iteration prover calls, reused units, cache hit
+//! rates, and wall-clock times, and verifying the two modes produce
+//! byte-identical boolean programs at every iteration, the same verdict,
+//! and the same final predicate set. Each mode additionally runs at two
+//! worker counts to check the deterministic counters are
+//! scheduling-independent. Exits nonzero if any run pair diverges.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin cegar_ab [-- --jobs N] [--smoke]
+//!     [--json <path>]
+//! ```
+//!
+//! `--smoke` restricts to one fast driver for CI.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let jobs = match bench::jobs_from_args() {
+        // the harness pairs each run with an alternate worker count, so
+        // it needs an explicit baseline rather than deferring to C2BP_JOBS
+        0 => 1,
+        j => j,
+    };
+    let smoke = bench::flag_in_args("--smoke");
+    let rows = bench::cegar_rows(jobs, smoke);
+    print!(
+        "{}",
+        bench::render_cegar(
+            &rows,
+            "CEGAR reuse A/B — Table 1 drivers plus `flopnew` and `retry` (full loop)"
+        )
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::cegar_rows(&rows));
+    }
+    if rows.iter().all(|r| r.identical) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cegar_ab: FAIL — reuse diverged from the from-scratch baseline");
+        ExitCode::FAILURE
+    }
+}

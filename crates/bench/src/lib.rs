@@ -660,10 +660,233 @@ pub fn incremental_driver_rows(jobs: usize) -> Vec<IncRow> {
     rows
 }
 
+/// One per-iteration point of a reuse-vs-scratch CEGAR A/B: the same
+/// CEGAR iteration measured once with the cross-iteration reuse session
+/// and once abstracting from scratch.
+#[derive(Debug, Clone)]
+pub struct CegarIter {
+    /// Predicates in use this iteration.
+    pub predicates: usize,
+    /// Theorem-prover calls with reuse off.
+    pub scratch_prover_calls: u64,
+    /// Theorem-prover calls with the reuse session on.
+    pub reuse_prover_calls: u64,
+    /// Abstraction units replayed from the reuse memo.
+    pub reused_units: usize,
+    /// Shared prover-cache hit rate of the reuse run's iteration delta.
+    pub cache_hit_rate: f64,
+    /// BDD nodes resident after the reuse run's model-checking pass.
+    pub bdd_nodes: usize,
+}
+
+impl CegarIter {
+    /// Fraction of prover calls the reuse session removed this iteration.
+    pub fn saving(&self) -> f64 {
+        if self.scratch_prover_calls == 0 {
+            0.0
+        } else {
+            1.0 - self.reuse_prover_calls as f64 / self.scratch_prover_calls as f64
+        }
+    }
+}
+
+/// One program's reuse-vs-scratch CEGAR A/B. The two modes must agree
+/// exactly — byte-identical boolean programs at every iteration, same
+/// verdict, same final predicate set, and within each mode the
+/// deterministic counters must not depend on the worker count — so
+/// `identical` is an acceptance check, not a statistic.
+#[derive(Debug, Clone)]
+pub struct CegarRow {
+    /// Program name.
+    pub program: String,
+    /// Checked property.
+    pub config: String,
+    /// Per-iteration comparison points.
+    pub iterations: Vec<CegarIter>,
+    /// Wall-clock seconds for the whole loop with reuse on.
+    pub reuse_secs: f64,
+    /// Wall-clock seconds for the whole loop with reuse off.
+    pub scratch_secs: f64,
+    /// Human-readable verdict (identical in both modes when `identical`).
+    pub verdict: String,
+    /// Whether all four runs (reuse on/off × two worker counts) agreed.
+    pub identical: bool,
+}
+
+/// Renders the CEGAR A/B rows: one line per iteration, then a per-run
+/// wall-clock summary line.
+pub fn render_cegar(rows: &[CegarRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<10} {:<6} {:>4} {:>6} {:>9} {:>9} {:>7} {:>7} {:>7} {:>10}  identical\n",
+        "program",
+        "config",
+        "iter",
+        "preds",
+        "scratch",
+        "reuse",
+        "saving",
+        "reused",
+        "cache%",
+        "bdd nodes"
+    ));
+    for r in rows {
+        for (i, it) in r.iterations.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<10} {:<6} {:>4} {:>6} {:>9} {:>9} {:>6.1}% {:>7} {:>6.1}% {:>10}  {}\n",
+                if i == 0 { r.program.as_str() } else { "" },
+                if i == 0 { r.config.as_str() } else { "" },
+                i + 1,
+                it.predicates,
+                it.scratch_prover_calls,
+                it.reuse_prover_calls,
+                it.saving() * 100.0,
+                it.reused_units,
+                it.cache_hit_rate * 100.0,
+                it.bdd_nodes,
+                if i == 0 {
+                    if r.identical {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10} total: {:.2}s scratch vs {:.2}s reuse — {}\n",
+            "", r.scratch_secs, r.reuse_secs, r.verdict
+        ));
+    }
+    out
+}
+
+fn cegar_slam_run(
+    source: &str,
+    spec: &Spec,
+    entry: &str,
+    seeds: Option<&str>,
+    reuse: bool,
+    jobs: usize,
+) -> (slam::SlamRun, f64) {
+    let options = SlamOptions {
+        keep_bps: true,
+        c2bp: C2bpOptions {
+            jobs,
+            reuse,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    let t0 = Instant::now();
+    let run = match seeds {
+        Some(s) => {
+            let seeds = parse_pred_file(s).expect("seed parses");
+            slam::verify_seeded(source, spec, entry, seeds, &options)
+        }
+        None => slam::verify(source, spec, entry, &options),
+    }
+    .expect("slam run completes");
+    (run, t0.elapsed().as_secs_f64())
+}
+
+fn cegar_row(stem: &str, entry: &str, prop: &str, seeds: Option<&str>, jobs: usize) -> CegarRow {
+    let source = read(corpus_dir().join("drivers").join(format!("{stem}.c")));
+    let spec = spec_for(prop);
+    let (scratch, scratch_secs) = cegar_slam_run(&source, &spec, entry, seeds, false, jobs);
+    let (reuse, reuse_secs) = cegar_slam_run(&source, &spec, entry, seeds, true, jobs);
+    // the same two modes at a different worker count: the deterministic
+    // counters and boolean programs must not depend on scheduling
+    let alt = if jobs == 1 { 4 } else { 1 };
+    let (scratch_alt, _) = cegar_slam_run(&source, &spec, entry, seeds, false, alt);
+    let (reuse_alt, _) = cegar_slam_run(&source, &spec, entry, seeds, true, alt);
+    let bps = |run: &slam::SlamRun| -> Vec<String> {
+        run.per_iteration
+            .iter()
+            .map(|it| it.bp_text.clone().expect("keep_bps was set"))
+            .collect()
+    };
+    let counters = |run: &slam::SlamRun| -> Vec<(u64, u64, usize)> {
+        run.per_iteration
+            .iter()
+            .map(|it| (it.prover_calls, it.pruned_updates, it.reused_units))
+            .collect()
+    };
+    let preds = |run: &slam::SlamRun| -> Vec<String> {
+        run.final_preds.iter().map(|p| format!("{p:?}")).collect()
+    };
+    let identical = bps(&scratch) == bps(&reuse)
+        && format!("{:?}", scratch.verdict) == format!("{:?}", reuse.verdict)
+        && preds(&scratch) == preds(&reuse)
+        && bps(&scratch) == bps(&scratch_alt)
+        && counters(&scratch) == counters(&scratch_alt)
+        && bps(&reuse) == bps(&reuse_alt)
+        && counters(&reuse) == counters(&reuse_alt);
+    let iterations = scratch
+        .per_iteration
+        .iter()
+        .zip(&reuse.per_iteration)
+        .map(|(s, r)| CegarIter {
+            predicates: r.predicates,
+            scratch_prover_calls: s.prover_calls,
+            reuse_prover_calls: r.prover_calls,
+            reused_units: r.reused_units,
+            cache_hit_rate: r.shared_cache.hit_rate(),
+            bdd_nodes: r.bdd_nodes,
+        })
+        .collect();
+    CegarRow {
+        program: stem.to_string(),
+        config: prop.to_string(),
+        iterations,
+        reuse_secs,
+        scratch_secs,
+        verdict: match reuse.verdict {
+            SlamVerdict::Validated => format!("validated ({} iters)", reuse.iterations),
+            SlamVerdict::ErrorFound { .. } => format!("ERROR FOUND ({} iters)", reuse.iterations),
+            SlamVerdict::GaveUp { reason } => format!("gave up: {reason}"),
+        },
+        identical,
+    }
+}
+
+/// Reuse-vs-scratch CEGAR A/B rows over the Table 1 drivers, the buggy
+/// driver, and the seeded `retry` run (the drivers with ≥ 2 iterations,
+/// where cross-iteration reuse can act). `smoke` restricts to one fast
+/// driver for CI. Each program runs four times: reuse on/off × two
+/// worker counts.
+pub fn cegar_rows(jobs: usize, smoke: bool) -> Vec<CegarRow> {
+    if smoke {
+        return vec![cegar_row(
+            "openclos",
+            "DispatchOpenClose",
+            "lock",
+            None,
+            jobs,
+        )];
+    }
+    let mut set: Vec<(&str, &str, &str)> = DRIVERS.to_vec();
+    set.push(BUGGY_DRIVER);
+    let mut rows: Vec<CegarRow> = set
+        .iter()
+        .map(|(stem, entry, prop)| cegar_row(stem, entry, prop, None, jobs))
+        .collect();
+    rows.push(cegar_row(
+        "retry",
+        "DispatchRetry",
+        "lock",
+        Some("DispatchRetry attempts > 0"),
+        jobs,
+    ));
+    rows
+}
+
 /// Minimal JSON emission for the bench binaries' `--json <path>` output
 /// (hand-rolled: the workspace takes no serialization dependency).
 pub mod json {
-    use super::{IncRow, PruneRow, Row};
+    use super::{CegarRow, IncRow, PruneRow, Row};
 
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
@@ -723,6 +946,44 @@ pub mod json {
                 r.pruned,
                 r.pruned_updates,
                 r.saving()
+            )
+        }))
+    }
+
+    /// CEGAR reuse A/B rows as a JSON array of objects with nested
+    /// per-iteration arrays.
+    pub fn cegar_rows(rows: &[CegarRow]) -> String {
+        array(rows.iter().map(|r| {
+            let iters: Vec<String> = r
+                .iterations
+                .iter()
+                .map(|it| {
+                    format!(
+                        "    {{\"predicates\": {}, \"scratch_prover_calls\": {}, \
+                         \"reuse_prover_calls\": {}, \"saving\": {:.6}, \
+                         \"reused_units\": {}, \"cache_hit_rate\": {:.6}, \
+                         \"bdd_nodes\": {}}}",
+                        it.predicates,
+                        it.scratch_prover_calls,
+                        it.reuse_prover_calls,
+                        it.saving(),
+                        it.reused_units,
+                        it.cache_hit_rate,
+                        it.bdd_nodes
+                    )
+                })
+                .collect();
+            format!(
+                "  {{\"program\": \"{}\", \"config\": \"{}\", \"verdict\": \"{}\", \
+                 \"scratch_secs\": {:.6}, \"reuse_secs\": {:.6}, \"identical\": {}, \
+                 \"iterations\": [\n{}\n  ]}}",
+                esc(&r.program),
+                esc(&r.config),
+                esc(&r.verdict),
+                r.scratch_secs,
+                r.reuse_secs,
+                r.identical,
+                iters.join(",\n")
             )
         }))
     }

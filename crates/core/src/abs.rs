@@ -34,6 +34,21 @@
 //! The emitted program and all counters except
 //! [`shared_hits`](prover::ProverStats::shared_hits) (and wall-times) are
 //! byte-identical for any worker count.
+//!
+//! # Cross-iteration reuse
+//!
+//! A CEGAR driver abstracts the *same* program many times while only
+//! *adding* predicates. [`abstract_program_reusing`] accepts a
+//! [`ReuseSession`] that survives those calls and carries two things:
+//! the [`SharedCache`] of prover verdicts, and a memo of whole leaf
+//! outputs keyed by a *cone fingerprint* — a deterministic serialization
+//! of everything a leaf's output can depend on (see [`leaf_fingerprint`]
+//! for the invariant). A leaf whose fingerprint is unchanged since an
+//! earlier call is replayed verbatim, spending zero prover calls; only
+//! statements whose relevant-predicate cone actually grew are re-solved.
+//! The memo is frozen during the solve phase and harvested afterwards,
+//! so hits remain a pure function of the inputs and the output stays
+//! worker-count invariant.
 
 use crate::cubes::{CubeOptions, CubeSearch, CubeStats, ScopeVar};
 use crate::live::{function_liveness, LiveInputs, LiveMap};
@@ -73,6 +88,11 @@ pub struct C2bpOptions {
     /// environment variable (itself defaulting to 1). The output is
     /// identical for every value.
     pub jobs: usize,
+    /// Consult and grow the [`ReuseSession`] handed to
+    /// [`abstract_program_reusing`]. Off, a session argument is ignored
+    /// and every call behaves exactly like [`abstract_program`] from
+    /// scratch; the emitted boolean program is byte-identical either way.
+    pub reuse: bool,
 }
 
 impl C2bpOptions {
@@ -86,6 +106,7 @@ impl C2bpOptions {
             // reproduction's addition, kept off for the golden figures.
             prune_dead_preds: false,
             jobs: 0,
+            reuse: true,
         }
     }
 
@@ -156,7 +177,14 @@ pub struct AbsStats {
     pub jobs: usize,
     /// Leaf work units solved (statements + enforce invariants).
     pub units: usize,
-    /// Shared prover-result cache counters (scheduling-dependent).
+    /// Leaf work units replayed verbatim from a [`ReuseSession`] memo
+    /// instead of being solved (always zero without a session). Identical
+    /// for every worker count.
+    pub reused_units: usize,
+    /// Shared prover-result cache counters (scheduling-dependent). When a
+    /// [`ReuseSession`] is in use the cache outlives this run, so these
+    /// are the per-run *delta* ([`CacheSnapshot::delta`]) — `entries`
+    /// still reports total residency.
     pub shared_cache: CacheSnapshot,
     /// Incremental prover-session counters (scheduling-dependent: only
     /// queries that miss every cache reach a session).
@@ -176,6 +204,51 @@ pub struct Abstraction {
     pub stats: AbsStats,
 }
 
+/// Cross-iteration reuse state: the prover cache and transfer-function
+/// memo a CEGAR driver threads through consecutive
+/// [`abstract_program_reusing`] calls over the *same* program.
+///
+/// The session is sound to keep only while the program and the
+/// non-`jobs` options stay fixed; both are fingerprinted, and a change
+/// silently drops the memo (the shared cache holds pure logical verdicts
+/// and is always valid). Within that regime a leaf is replayed iff its
+/// [`leaf_fingerprint`] — statement, relevant-predicate cone, liveness
+/// and signature context — matches an earlier solve exactly, which is
+/// what makes reuse-on output byte-identical to scratch.
+#[derive(Debug)]
+pub struct ReuseSession {
+    shared: SharedCache,
+    memo: HashMap<String, LeafOut>,
+    config_sig: Option<String>,
+}
+
+impl ReuseSession {
+    /// Creates an empty session.
+    pub fn new() -> ReuseSession {
+        ReuseSession {
+            shared: SharedCache::new(),
+            memo: HashMap::new(),
+            config_sig: None,
+        }
+    }
+
+    /// Memoized leaf outputs currently held.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The persistent prover-verdict cache.
+    pub fn shared_cache(&self) -> &SharedCache {
+        &self.shared
+    }
+}
+
+impl Default for ReuseSession {
+    fn default() -> ReuseSession {
+        ReuseSession::new()
+    }
+}
+
 /// Runs C2bp: abstracts `program` (already simplified) with respect to
 /// `preds`.
 ///
@@ -188,7 +261,45 @@ pub fn abstract_program(
     preds: &[Pred],
     options: &C2bpOptions,
 ) -> Result<Abstraction, AbsError> {
+    abstract_with(program, preds, options, None)
+}
+
+/// Like [`abstract_program`], but consulting and growing `session` (when
+/// [`C2bpOptions::reuse`] is on): prover verdicts and whole leaf outputs
+/// from earlier calls over the same program are replayed instead of
+/// re-solved. The boolean program is byte-identical to a scratch run;
+/// only the work counters shrink. [`AbsStats::shared_cache`] reports the
+/// per-call cache delta and [`AbsStats::reused_units`] the replayed
+/// leaves.
+///
+/// # Errors
+///
+/// Returns [`AbsError`] exactly as [`abstract_program`] does.
+pub fn abstract_program_reusing(
+    program: &Program,
+    preds: &[Pred],
+    options: &C2bpOptions,
+    session: &mut ReuseSession,
+) -> Result<Abstraction, AbsError> {
+    abstract_with(program, preds, options, Some(session))
+}
+
+fn abstract_with(
+    program: &Program,
+    preds: &[Pred],
+    options: &C2bpOptions,
+    session: Option<&mut ReuseSession>,
+) -> Result<Abstraction, AbsError> {
     let start = Instant::now();
+    // reuse off: behave exactly like a sessionless scratch run
+    let mut session = if options.reuse { session } else { None };
+    if let Some(s) = session.as_deref_mut() {
+        let sig = config_signature(program, options);
+        if s.config_sig.as_deref() != Some(sig.as_str()) {
+            s.memo.clear();
+            s.config_sig = Some(sig);
+        }
+    }
     let env = TypeEnv::new(program);
     let mut base_pts = PointsTo::analyze(program);
     let modref = analysis::ModRef::analyze(program);
@@ -257,10 +368,16 @@ pub fn abstract_program(
     }
     let plan_seconds = start.elapsed().as_secs_f64();
 
-    // phase 2 (solve): cube searches across the worker pool
+    // phase 2 (solve): cube searches across the worker pool; with a
+    // session, its memo is read-only for the whole phase (hits stay a
+    // pure function of the inputs) and its shared cache carries prover
+    // verdicts in from earlier runs
     let solve_start = Instant::now();
     let jobs = options.effective_jobs();
-    let shared = SharedCache::new();
+    let shared = session
+        .as_deref()
+        .map_or_else(SharedCache::new, |s| s.shared.clone());
+    let cache_before = shared.snapshot();
     let ctx = SolveCtx {
         program,
         env: &env,
@@ -270,9 +387,61 @@ pub fn abstract_program(
         plans: &plans,
         base_pts: &base_pts,
         shared: shared.clone(),
+        memo: session.as_deref().map(|s| &s.memo),
     };
-    let results = solve_all(&ctx, &tasks, jobs);
+    // intra-run replay: guard and enforce leaves are keyed without their
+    // statement identity, so semantically identical leaves elsewhere in
+    // the program solve once and are copied (deterministically — the
+    // grouping is a pure function of the task list)
+    let mut replay_of: Vec<Option<usize>> = vec![None; tasks.len()];
+    if ctx.memo.is_some() {
+        let no_live: Vec<Option<LiveMap>> = Vec::new();
+        let mut first: HashMap<String, usize> = HashMap::new();
+        for (i, t) in tasks.iter().enumerate() {
+            if matches!(
+                t.kind,
+                LeafKind::Branch { .. } | LeafKind::Assert { .. } | LeafKind::Enforce
+            ) {
+                match first.entry(leaf_fingerprint(&ctx, t, &no_live)) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        replay_of[i] = Some(*e.get());
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                    }
+                }
+            }
+        }
+    }
+    let results = solve_all(&ctx, &tasks, &replay_of, jobs);
     let solve_seconds = solve_start.elapsed().as_secs_f64();
+    if std::env::var_os("C2BP_REUSE_DEBUG").is_some() {
+        let mut by_kind: std::collections::BTreeMap<&'static str, (u64, usize, usize)> =
+            std::collections::BTreeMap::new();
+        for (t, r) in tasks.iter().zip(&results) {
+            let kind = match t.kind {
+                LeafKind::Branch { .. } => "branch",
+                LeafKind::Assert { .. } => "assert",
+                LeafKind::Assume { .. } => "assume",
+                LeafKind::Assign { .. } => "assign",
+                LeafKind::Call { .. } => "call",
+                LeafKind::Enforce => "enforce",
+            };
+            let e = by_kind.entry(kind).or_default();
+            e.0 += r.prover_stats.queries;
+            e.1 += 1;
+            e.2 += usize::from(r.reused);
+        }
+        eprintln!("reuse debug (kind: calls/units/reused): {by_kind:?}");
+    }
+    // harvest this run's freshly solved leaves into the memo
+    if let Some(s) = session {
+        for r in &results {
+            if let Some(key) = &r.fingerprint {
+                s.memo.insert(key.clone(), r.out.clone());
+            }
+        }
+    }
 
     // phase 3 (merge): deterministic re-assembly in task order
     let merge_start = Instant::now();
@@ -288,6 +457,7 @@ pub fn abstract_program(
     let mut cube_stats = CubeStats::default();
     let mut session_stats = SessionStats::default();
     let mut pruned_updates = 0u64;
+    let mut reused_units = 0usize;
     for plan in &plans {
         let sig = &signatures[&plan.func.name];
         let body = merger.stmt(&plan.func.body, sig);
@@ -325,6 +495,7 @@ pub fn abstract_program(
         cube_stats.fast_path_hits += r.cube_stats.fast_path_hits;
         session_stats.absorb(&r.session_stats);
         pruned_updates += r.pruned;
+        reused_units += usize::from(r.reused);
     }
 
     let stats = AbsStats {
@@ -337,7 +508,8 @@ pub fn abstract_program(
         seconds: start.elapsed().as_secs_f64(),
         jobs,
         units: results.len(),
-        shared_cache: shared.snapshot(),
+        reused_units,
+        shared_cache: shared.snapshot().delta(&cache_before),
         sessions: session_stats,
         phases: PhaseSeconds {
             plan: plan_seconds,
@@ -488,6 +660,9 @@ struct SolveCtx<'p> {
     plans: &'p [FuncPlan<'p>],
     base_pts: &'p PointsTo,
     shared: SharedCache,
+    /// Frozen view of the session memo, when reusing. Read-only for the
+    /// whole solve phase so hits never depend on scheduling.
+    memo: Option<&'p HashMap<String, LeafOut>>,
 }
 
 /// What one task produced.
@@ -509,6 +684,11 @@ struct LeafResult {
     session_stats: SessionStats,
     /// Updates skipped because liveness proved the target dead.
     pruned: u64,
+    /// Memo key to store this freshly solved output under; `None` for
+    /// sessionless runs and for replayed leaves (already memoized).
+    fingerprint: Option<String>,
+    /// Whether the output was replayed from the session memo.
+    reused: bool,
 }
 
 /// Solves every task, in parallel when `jobs > 1`. Results land in task
@@ -518,18 +698,53 @@ struct LeafResult {
 /// everything except assignments first (2a), then — once the liveness
 /// analysis has consumed the solved guards, calls and enforce invariants —
 /// the assignments (2b), each skipping its dead targets.
-fn solve_all(ctx: &SolveCtx<'_>, tasks: &[LeafTask<'_>], jobs: usize) -> Vec<LeafResult> {
+fn solve_all(
+    ctx: &SolveCtx<'_>,
+    tasks: &[LeafTask<'_>],
+    replay_of: &[Option<usize>],
+    jobs: usize,
+) -> Vec<LeafResult> {
     let slots: Vec<Mutex<Option<LeafResult>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
     let no_live: Vec<Option<LiveMap>> = Vec::new();
+    // copies each replay target's output from its (already solved) source
+    let fill_replays = || {
+        for (j, src) in replay_of.iter().enumerate() {
+            if let Some(i) = *src {
+                let out = slots[i]
+                    .lock()
+                    .expect("result slot")
+                    .as_ref()
+                    .expect("replay source solved before targets are filled")
+                    .out
+                    .clone();
+                *slots[j].lock().expect("result slot") = Some(LeafResult {
+                    out,
+                    prover_stats: ProverStats::default(),
+                    cube_stats: CubeStats::default(),
+                    session_stats: SessionStats::default(),
+                    pruned: 0,
+                    fingerprint: None,
+                    reused: true,
+                });
+            }
+        }
+    };
     if ctx.options.prune_dead_preds && ctx.options.cubes.cone_of_influence {
-        let (pre, assigns): (Vec<usize>, Vec<usize>) =
-            (0..tasks.len()).partition(|&i| !matches!(tasks[i].kind, LeafKind::Assign { .. }));
+        let (pre, assigns): (Vec<usize>, Vec<usize>) = (0..tasks.len())
+            .filter(|&i| replay_of[i].is_none())
+            .partition(|&i| !matches!(tasks[i].kind, LeafKind::Assign { .. }));
         solve_indices(ctx, tasks, &pre, jobs, &no_live, &slots);
+        // replay targets are never assignments, so they are all in place
+        // before the liveness pass reads the guard results
+        fill_replays();
         let live = compute_liveness(ctx, tasks, &slots);
         solve_indices(ctx, tasks, &assigns, jobs, &live, &slots);
     } else {
-        let all: Vec<usize> = (0..tasks.len()).collect();
+        let all: Vec<usize> = (0..tasks.len())
+            .filter(|&i| replay_of[i].is_none())
+            .collect();
         solve_indices(ctx, tasks, &all, jobs, &no_live, &slots);
+        fill_replays();
     }
     slots
         .into_iter()
@@ -686,6 +901,23 @@ fn solve_one(
     live: &[Option<LiveMap>],
 ) -> LeafResult {
     let plan = &ctx.plans[task.func_idx];
+    // cross-iteration reuse: replay the leaf verbatim when its cone
+    // fingerprint matches an earlier solve; the zeroed counters make the
+    // saved work visible in the per-run stats
+    let fingerprint = ctx.memo.map(|_| leaf_fingerprint(ctx, task, live));
+    if let (Some(memo), Some(key)) = (ctx.memo, fingerprint.as_deref()) {
+        if let Some(out) = memo.get(key) {
+            return LeafResult {
+                out: out.clone(),
+                prover_stats: ProverStats::default(),
+                cube_stats: CubeStats::default(),
+                session_stats: SessionStats::default(),
+                pruned: 0,
+                fingerprint: None,
+                reused: true,
+            };
+        }
+    }
     // a fresh prover per task: its cache and counters depend only on the
     // task, never on scheduling; the shared cache still short-circuits
     // decision-procedure work across tasks and threads
@@ -749,7 +981,260 @@ fn solve_one(
         cube_stats: solver.cube_stats,
         session_stats: solver.session_stats,
         pruned: solver.pruned,
+        fingerprint,
+        reused: false,
     }
+}
+
+// -- cross-iteration reuse ------------------------------------------------
+
+/// FNV-1a over the program text plus every option that can change the
+/// output (`jobs` is deliberately excluded — the output is worker-count
+/// invariant). A [`ReuseSession`] whose signature differs drops its memo.
+fn config_signature(program: &Program, options: &C2bpOptions) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{program:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!(
+        "{h:016x}|{:?}|{}|{}|{}",
+        options.cubes, options.skip_unaffected, options.compute_enforce, options.prune_dead_preds
+    )
+}
+
+/// Indices (in scope order) of every variable transitively sharing an
+/// influence token with the seed set — the same closure the cube search's
+/// cone-of-influence restriction computes, seeded with a whole statement.
+fn cone_indices(scope: &[ScopeVar], mut tokens: Vec<String>) -> Vec<usize> {
+    let mut included = vec![false; scope.len()];
+    loop {
+        let mut changed = false;
+        for (i, sv) in scope.iter().enumerate() {
+            if included[i] {
+                continue;
+            }
+            let vt = crate::cubes::influence_tokens(&sv.expr);
+            if vt.iter().any(|t| tokens.contains(t)) {
+                included[i] = true;
+                changed = true;
+                for t in vt {
+                    if !tokens.contains(&t) {
+                        tokens.push(t);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return (0..scope.len()).filter(|&i| included[i]).collect();
+        }
+    }
+}
+
+/// The deterministic key under which a leaf's output is memoized across
+/// abstraction runs.
+///
+/// **Invariant**: two runs over the same program and options in which a
+/// leaf produces the same fingerprint produce byte-identical outputs for
+/// that leaf. The key therefore serializes everything the output can
+/// depend on:
+///
+/// * the statement's kind and pretty-printed expressions. Leaves whose
+///   output embeds a statement id (assignments, assumes, calls) also key
+///   on the id and enclosing procedure; guard and `enforce` leaves
+///   produce pure expressions, so their keys instead carry the type
+///   resolution of every variable the search can consult — semantically
+///   identical leaves anywhere in the program (or a later iteration)
+///   share one solve;
+/// * the *relevant-predicate cone* — the scope variables the cube
+///   searches can consult. For guards this is the influence-token
+///   closure of the condition (exactly the cube search's own
+///   cone-of-influence restriction; syntactic fast paths only ever match
+///   token-sharing variables, so they cannot see past it). For
+///   assignments the closure is seeded with both sides of the
+///   assignment: a variable outside it shares no token with the
+///   statement, so its WP is untouched and `skip_unaffected` drops it,
+///   while the WPs of affected variables only mention tokens inside the
+///   closure. That argument needs Morris-axiom aliasing to be syntactic,
+///   so it falls back to the full scope whenever the lhs is not a plain
+///   variable or any predicate mentions a dereference, an index, or a
+///   struct field (where `AliasCase` can couple token-disjoint
+///   expressions), or when the relevant option is off;
+/// * per-assignment liveness verdicts for the cone members (pruning
+///   changes the emitted update list);
+/// * for calls: the callee signature, temporaries, and — because the
+///   updated/unchanged partition inspects every predicate — the full
+///   scope;
+/// * for `enforce`: the full scope and its type resolutions (the search
+///   disables the cone, and the invariant depends on nothing else).
+fn leaf_fingerprint(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<LiveMap>]) -> String {
+    use cparse::pretty::expr_to_string;
+    use std::fmt::Write as _;
+    let plan = &ctx.plans[task.func_idx];
+    let scope = &plan.scope_vars;
+    let coi = ctx.options.cubes.cone_of_influence;
+    let push_full = |key: &mut String| {
+        for sv in scope.iter() {
+            key.push('\x1f');
+            key.push_str(&sv.name);
+        }
+    };
+    let push_cone = |key: &mut String, seeds: Vec<String>| {
+        for i in cone_indices(scope, seeds) {
+            key.push('\x1f');
+            key.push_str(&scope[i].name);
+        }
+    };
+    // the searches resolve each variable's type through the enclosing
+    // procedure, so a function-name-free key must carry the resolutions
+    let push_types = |key: &mut String, exprs: &mut dyn Iterator<Item = &Expr>| {
+        let mut names: Vec<String> = Vec::new();
+        for e in exprs {
+            for v in e.vars() {
+                if !names.contains(&v) {
+                    names.push(v);
+                }
+            }
+        }
+        names.sort();
+        for n in &names {
+            let ty = plan
+                .func
+                .var_type(n)
+                .cloned()
+                .or_else(|| ctx.env.var_type(None, n));
+            let _ = write!(key, "\x1f{n}:{ty:?}");
+        }
+    };
+    let mut key = String::new();
+    match &task.kind {
+        LeafKind::Branch { cond, .. } | LeafKind::Assert { cond, .. } => {
+            // guard outputs are pure expressions (no embedded statement
+            // identity), so the key carries no function name or id:
+            // identical guards anywhere in the program share one solve
+            let tag = if matches!(task.kind, LeafKind::Branch { .. }) {
+                'b'
+            } else {
+                't'
+            };
+            let _ = write!(key, "{tag}|{}", expr_to_string(cond));
+            let members: Vec<usize> = if coi {
+                cone_indices(scope, crate::cubes::influence_tokens(cond))
+            } else {
+                (0..scope.len()).collect()
+            };
+            for &i in &members {
+                key.push('\x1f');
+                key.push_str(&scope[i].name);
+            }
+            key.push('\x1e');
+            push_types(
+                &mut key,
+                &mut std::iter::once(*cond).chain(members.iter().map(|&i| &scope[i].expr)),
+            );
+        }
+        LeafKind::Assume { id, cond } => {
+            // the emitted `assume` embeds its statement id, so the key
+            // pins the statement
+            let _ = write!(key, "u|{}|{id:?}|{}", plan.func.name, expr_to_string(cond));
+            if coi {
+                push_cone(&mut key, crate::cubes::influence_tokens(cond));
+            } else {
+                push_full(&mut key);
+            }
+        }
+        LeafKind::Assign { id, lhs, rhs } => {
+            let _ = write!(
+                key,
+                "a|{}|{id:?}|{}|{}",
+                plan.func.name,
+                expr_to_string(lhs),
+                expr_to_string(rhs)
+            );
+            let mut seeds = crate::cubes::influence_tokens(lhs);
+            for t in crate::cubes::influence_tokens(rhs) {
+                if !seeds.contains(&t) {
+                    seeds.push(t);
+                }
+            }
+            // the token cone only bounds WP effects when aliasing is
+            // syntactic: plain-variable destination, and no predicate
+            // reaching through a pointer, array, or struct field
+            let aliasing_possible = !matches!(lhs, Expr::Var(_))
+                || seeds.iter().any(|t| t == "deref")
+                || scope.iter().any(|sv| {
+                    crate::cubes::influence_tokens(&sv.expr)
+                        .iter()
+                        .any(|t| t == "deref" || t.starts_with("f:"))
+                });
+            let members: Vec<usize> = if coi && ctx.options.skip_unaffected && !aliasing_possible {
+                cone_indices(scope, seeds)
+            } else {
+                (0..scope.len()).collect()
+            };
+            let live_after = live
+                .get(task.func_idx)
+                .and_then(|m| m.as_ref())
+                .and_then(|m| m.get(id));
+            for i in members {
+                let sv = &scope[i];
+                let dead = live_after.is_some_and(|l| !l.contains(&sv.name));
+                key.push('\x1f');
+                key.push_str(&sv.name);
+                key.push(if dead { '-' } else { '+' });
+            }
+        }
+        LeafKind::Call {
+            id,
+            dst,
+            callee,
+            args,
+            temps,
+        } => {
+            let dst_text = dst.as_ref().map(expr_to_string).unwrap_or_default();
+            let _ = write!(key, "c|{}|{id:?}|{callee}|{dst_text}", plan.func.name);
+            for a in *args {
+                key.push('\x1f');
+                key.push_str(&expr_to_string(a));
+            }
+            key.push('\x1e');
+            for t in temps {
+                key.push('\x1f');
+                key.push_str(t);
+            }
+            key.push('\x1e');
+            match ctx.signatures.get(*callee) {
+                Some(sig) => {
+                    for f in &sig.formals {
+                        let _ = write!(key, "\x1f{f}");
+                    }
+                    key.push('\x1e');
+                    for p in &sig.formal_preds {
+                        let _ = write!(key, "\x1f{}", p.var_name());
+                    }
+                    key.push('\x1e');
+                    for p in &sig.return_preds {
+                        let _ = write!(key, "\x1f{}", p.var_name());
+                    }
+                    let _ = write!(key, "\x1e{:?}", sig.ret_var);
+                }
+                None => key.push('?'),
+            }
+            let _ = write!(key, "\x1e{}", ctx.global_preds.len());
+            push_full(&mut key);
+        }
+        LeafKind::Enforce => {
+            // the invariant is a pure function of the scope (its output
+            // embeds nothing statement- or function-specific), so
+            // procedures with the same predicate scope — common once
+            // refinement promotes predicates to globals — share one solve
+            key.push('e');
+            push_full(&mut key);
+            key.push('\x1e');
+            push_types(&mut key, &mut scope.iter().map(|sv| &sv.expr));
+        }
+    }
+    key
 }
 
 /// Abstraction of a single leaf statement: the cube-search and WP plumbing
@@ -1386,6 +1871,120 @@ mod tests {
             bp::program_to_string(&four.bprogram)
         );
         assert_eq!(pruned.stats.prover_calls, four.stats.prover_calls);
+    }
+
+    const REUSE_SRC: &str = r#"
+        void f(int x, int y) {
+            x = 0;
+            y = y + 1;
+            if (x == 0) { x = 1; }
+            assert(x == 1);
+        }
+    "#;
+
+    #[test]
+    fn reuse_session_replays_identical_runs_for_free() {
+        let program = parse_and_simplify(REUSE_SRC).unwrap();
+        let preds = parse_pred_file("f x == 0, x == 1").unwrap();
+        let opts = C2bpOptions::paper_defaults();
+        let mut session = ReuseSession::new();
+        let first = abstract_program_reusing(&program, &preds, &opts, &mut session).unwrap();
+        assert_eq!(first.stats.reused_units, 0);
+        assert!(first.stats.prover_calls > 0);
+        assert_eq!(session.memo_len(), first.stats.units);
+        // nothing changed: every leaf replays, no prover runs at all
+        let second = abstract_program_reusing(&program, &preds, &opts, &mut session).unwrap();
+        assert_eq!(second.stats.reused_units, second.stats.units);
+        assert_eq!(second.stats.prover_calls, 0);
+        assert_eq!(
+            bp::program_to_string(&first.bprogram),
+            bp::program_to_string(&second.bprogram)
+        );
+        // the per-run cache delta attributes no insertions to the replay
+        assert_eq!(second.stats.shared_cache.insertions, 0);
+    }
+
+    #[test]
+    fn reuse_matches_scratch_as_predicates_grow() {
+        let program = parse_and_simplify(REUSE_SRC).unwrap();
+        let opts = C2bpOptions::paper_defaults();
+        let mut session = ReuseSession::new();
+        let steps = ["f x == 0, x == 1", "f x == 0, x == 1, y > 0"];
+        for (i, step) in steps.iter().enumerate() {
+            let preds = parse_pred_file(step).unwrap();
+            let scratch = abstract_program(&program, &preds, &opts).unwrap();
+            let reused = abstract_program_reusing(&program, &preds, &opts, &mut session).unwrap();
+            assert_eq!(
+                bp::program_to_string(&scratch.bprogram),
+                bp::program_to_string(&reused.bprogram),
+                "step {i}: reuse changed the boolean program"
+            );
+            if i > 0 {
+                // the x-cone statements replay; only the new y-cone work
+                // (and the full-scope enforce invariant) is re-solved
+                assert!(reused.stats.reused_units >= 3, "{:?}", reused.stats);
+                assert!(
+                    reused.stats.prover_calls < scratch.stats.prover_calls,
+                    "reuse spent {} vs scratch {}",
+                    reused.stats.prover_calls,
+                    scratch.stats.prover_calls
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_is_worker_count_invariant() {
+        let program = parse_and_simplify(REUSE_SRC).unwrap();
+        let steps = ["f x == 0, x == 1", "f x == 0, x == 1, y > 0"];
+        let run = |jobs: usize| {
+            let opts = C2bpOptions {
+                jobs,
+                ..C2bpOptions::paper_defaults()
+            };
+            let mut session = ReuseSession::new();
+            steps
+                .iter()
+                .map(|step| {
+                    let preds = parse_pred_file(step).unwrap();
+                    abstract_program_reusing(&program, &preds, &opts, &mut session).unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        for (one, four) in run(1).iter().zip(run(4)) {
+            assert_eq!(
+                bp::program_to_string(&one.bprogram),
+                bp::program_to_string(&four.bprogram)
+            );
+            assert_eq!(one.stats.prover_calls, four.stats.prover_calls);
+            assert_eq!(one.stats.reused_units, four.stats.reused_units);
+            assert_eq!(one.stats.cubes, four.stats.cubes);
+        }
+    }
+
+    #[test]
+    fn reuse_respects_option_gates() {
+        let program = parse_and_simplify(REUSE_SRC).unwrap();
+        let preds = parse_pred_file("f x == 0, x == 1").unwrap();
+        // reuse off: the session is ignored entirely
+        let off = C2bpOptions {
+            reuse: false,
+            ..C2bpOptions::paper_defaults()
+        };
+        let mut session = ReuseSession::new();
+        abstract_program_reusing(&program, &preds, &off, &mut session).unwrap();
+        assert_eq!(session.memo_len(), 0);
+        // an options change between runs drops the memo instead of
+        // replaying outputs computed under a different configuration
+        let on = C2bpOptions::paper_defaults();
+        abstract_program_reusing(&program, &preds, &on, &mut session).unwrap();
+        assert!(session.memo_len() > 0);
+        let changed = C2bpOptions {
+            compute_enforce: false,
+            ..C2bpOptions::paper_defaults()
+        };
+        let r = abstract_program_reusing(&program, &preds, &changed, &mut session).unwrap();
+        assert_eq!(r.stats.reused_units, 0);
     }
 
     #[test]

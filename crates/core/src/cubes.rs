@@ -381,7 +381,7 @@ pub(crate) fn cone_of_influence<'v>(vars: &'v [ScopeVar], phi: &Expr) -> Vec<&'v
 /// Tokens over which influence is computed: variable names and accessed
 /// field names (fields stand in for "a location or an alias of a
 /// location" — any two same-named fields may alias).
-fn influence_tokens(e: &Expr) -> Vec<String> {
+pub(crate) fn influence_tokens(e: &Expr) -> Vec<String> {
     let mut out = Vec::new();
     e.walk(&mut |sub| match sub {
         Expr::Var(v) => {

@@ -34,7 +34,10 @@ pub mod preds;
 pub mod sig;
 pub mod wp;
 
-pub use abs::{abstract_program, AbsError, AbsStats, Abstraction, C2bpOptions, PhaseSeconds};
+pub use abs::{
+    abstract_program, abstract_program_reusing, AbsError, AbsStats, Abstraction, C2bpOptions,
+    PhaseSeconds, ReuseSession,
+};
 pub use cubes::{CubeOptions, CubeStats, ScopeVar};
 pub use preds::{parse_pred_file, Pred, PredScope};
 pub use sig::{signature, Signature};

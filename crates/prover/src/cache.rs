@@ -62,6 +62,22 @@ impl CacheSnapshot {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The traffic between `prev` and `self`: every monotonic counter is
+    /// subtracted (saturating, so a mismatched pair degrades to zeros
+    /// instead of wrapping), while `entries` — a gauge, not a counter —
+    /// keeps the value at `self`. This is how a caller holding one cache
+    /// across many runs (the CEGAR loop) attributes per-run work: snapshot
+    /// before and after, and report `after.delta(&before)`.
+    pub fn delta(&self, prev: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.saturating_sub(prev.hits),
+            misses: self.misses.saturating_sub(prev.misses),
+            insertions: self.insertions.saturating_sub(prev.insertions),
+            redundant: self.redundant.saturating_sub(prev.redundant),
+            entries: self.entries,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -424,6 +440,54 @@ mod tests {
         let (s1, f1) = build(0);
         let (s2, f2) = build(17);
         assert_eq!(canon_formula(&s1, &f1), canon_formula(&s2, &f2));
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_keeps_entries() {
+        let before = CacheSnapshot {
+            hits: 10,
+            misses: 4,
+            insertions: 4,
+            redundant: 1,
+            entries: 4,
+        };
+        let after = CacheSnapshot {
+            hits: 25,
+            misses: 9,
+            insertions: 7,
+            redundant: 1,
+            entries: 7,
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.hits, 15);
+        assert_eq!(d.misses, 5);
+        assert_eq!(d.insertions, 3);
+        assert_eq!(d.redundant, 0);
+        // entries is a gauge: the delta reports residency, not traffic
+        assert_eq!(d.entries, 7);
+        assert!((d.hit_rate() - 0.75).abs() < 1e-9);
+        // delta against a default snapshot is the snapshot itself
+        assert_eq!(after.delta(&CacheSnapshot::default()), after);
+        // a swapped pair saturates instead of wrapping
+        let swapped = before.delta(&after);
+        assert_eq!(swapped.hits, 0);
+        assert_eq!(swapped.misses, 0);
+    }
+
+    #[test]
+    fn live_cache_delta_attributes_per_phase_traffic() {
+        let cache = SharedCache::new();
+        cache.insert(vec![1], SatResult::Unsat);
+        let _ = cache.lookup(&[1]);
+        let mid = cache.snapshot();
+        cache.insert(vec![2], SatResult::Sat);
+        let _ = cache.lookup(&[2]);
+        let _ = cache.lookup(&[3]);
+        let d = cache.snapshot().delta(&mid);
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.insertions, 1);
+        assert_eq!(d.entries, 2);
     }
 
     #[test]

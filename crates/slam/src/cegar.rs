@@ -16,7 +16,9 @@
 //! in a few iterations on control-dominated properties, and this
 //! implementation does too (see the `cegar` integration tests).
 
-use c2bp::{abstract_program, C2bpOptions, Pred, PredScope};
+use c2bp::{
+    abstract_program, abstract_program_reusing, C2bpOptions, Pred, PredScope, ReuseSession,
+};
 use cparse::ast::{Program, StmtId};
 use newton::{DiscoveredScope, Newton, NewtonResult};
 use std::fmt;
@@ -28,12 +30,18 @@ pub struct SlamOptions {
     pub max_iterations: u32,
     /// Budget (number of interpreter runs) for counterexample extraction.
     pub trace_runs: u64,
-    /// Options forwarded to C2bp.
+    /// Options forwarded to C2bp. `c2bp.reuse` additionally controls the
+    /// loop's cross-iteration state: when set, one [`ReuseSession`] and
+    /// one BDD manager persist across all iterations of this run.
     pub c2bp: C2bpOptions,
     /// Run the boolean-program verifier (`analysis::lint_program`) over
     /// every iteration's abstraction; findings abort the run with a
     /// [`SlamError`], since a generated program should always lint clean.
     pub lint: bool,
+    /// Record every iteration's boolean-program text in
+    /// [`IterationStats::bp_text`] (for differential testing; off by
+    /// default because the texts can be large).
+    pub keep_bps: bool,
 }
 
 impl Default for SlamOptions {
@@ -43,6 +51,7 @@ impl Default for SlamOptions {
             trace_runs: 200_000,
             c2bp: C2bpOptions::paper_defaults(),
             lint: false,
+            keep_bps: false,
         }
     }
 }
@@ -85,7 +94,21 @@ pub struct IterationStats {
     /// C2bp phase timings for this iteration.
     pub abs_phases: c2bp::PhaseSeconds,
     /// Shared prover-cache counters for this iteration's abstraction.
+    /// With reuse on, the cache persists across iterations and these are
+    /// per-iteration deltas (`entries` stays cumulative — it is a gauge).
     pub shared_cache: prover::CacheSnapshot,
+    /// Abstraction units replayed verbatim from the reuse session's
+    /// transfer-function memo (0 with reuse off or on iteration 1).
+    pub reused_units: usize,
+    /// BDD nodes resident in the model checker's arena after this
+    /// iteration (cumulative across iterations with reuse on).
+    pub bdd_nodes: usize,
+    /// BDD operation-cache entries after this iteration, before the
+    /// between-iteration [`bebop::Manager::clear_caches`] trim.
+    pub bdd_cache_entries: usize,
+    /// This iteration's boolean program, when [`SlamOptions::keep_bps`]
+    /// is set.
+    pub bp_text: Option<String>,
 }
 
 /// The result of [`check`].
@@ -130,9 +153,17 @@ pub fn check(
 ) -> Result<SlamRun, SlamError> {
     let mut preds = initial_preds;
     let mut per_iteration = Vec::new();
+    // cross-iteration state: transfer-function memo + shared prover cache
+    // on the abstraction side, one BDD manager on the model-checking side
+    let mut session = ReuseSession::new();
+    let mut manager: Option<bebop::Manager> = None;
     for iteration in 1..=options.max_iterations {
-        let abs = abstract_program(program, &preds, &options.c2bp)
-            .map_err(|e| SlamError { message: e.message })?;
+        let abs = if options.c2bp.reuse {
+            abstract_program_reusing(program, &preds, &options.c2bp, &mut session)
+        } else {
+            abstract_program(program, &preds, &options.c2bp)
+        }
+        .map_err(|e| SlamError { message: e.message })?;
         if options.lint {
             let lints = analysis::lint_program(&abs.bprogram);
             if !lints.is_empty() {
@@ -145,11 +176,22 @@ pub fn check(
                 });
             }
         }
-        let mut bebop =
-            bebop::Bebop::new(&abs.bprogram).map_err(|e| SlamError { message: e.message })?;
+        let mut bebop = match manager.take() {
+            Some(mgr) => bebop::Bebop::with_manager(&abs.bprogram, mgr),
+            None => bebop::Bebop::new(&abs.bprogram),
+        }
+        .map_err(|e| SlamError { message: e.message })?;
         let analysis = bebop
             .analyze(entry)
             .map_err(|e| SlamError { message: e.message })?;
+        let (bdd_nodes, bdd_cache_entries) = bebop.bdd_stats();
+        if options.c2bp.reuse {
+            // keep the node arena (canonical, so sharing carries over to
+            // the next iteration's BDDs) but drop the unbounded memos
+            let mut mgr = bebop.into_manager();
+            mgr.clear_caches();
+            manager = Some(mgr);
+        }
         per_iteration.push(IterationStats {
             predicates: preds.len(),
             prover_calls: abs.stats.prover_calls,
@@ -160,6 +202,12 @@ pub fn check(
             abs_seconds: abs.stats.seconds,
             abs_phases: abs.stats.phases,
             shared_cache: abs.stats.shared_cache,
+            reused_units: abs.stats.reused_units,
+            bdd_nodes,
+            bdd_cache_entries,
+            bp_text: options
+                .keep_bps
+                .then(|| bp::program_to_string(&abs.bprogram)),
         });
         if !analysis.error_reachable() {
             return Ok(SlamRun {

@@ -3,8 +3,13 @@
 //!
 //! ```sh
 //! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
-//!     [--jobs N] [--no-prune] [--no-incremental] [--lint]
+//!     [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]
 //! ```
+//!
+//! `--no-reuse` clears [`C2bpOptions::reuse`]; a single-shot abstraction
+//! never has a previous iteration to reuse from, so the flag exists only
+//! for option-set parity with the `slam` CLI (ablations that forward the
+//! same flag list to both tools).
 //!
 //! `--jobs` (or the `C2BP_JOBS` environment variable) shards the cube
 //! searches across worker threads; the printed boolean program and the
@@ -20,7 +25,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] \
-         [--jobs N] [--no-prune] [--no-incremental] [--lint]"
+         [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]"
     );
     ExitCode::from(2)
 }
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
         match flag.as_str() {
             "--no-prune" => options.prune_dead_preds = false,
             "--no-incremental" => options.cubes.incremental = false,
+            "--no-reuse" => options.reuse = false,
             "--lint" => lint = true,
             "--no-coi" => options.cubes.cone_of_influence = false,
             "--no-syntax" => options.cubes.syntactic_fast_paths = false,

@@ -2,15 +2,18 @@
 //!
 //! ```sh
 //! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]
-//!     [--no-prune] [--no-incremental] [--lint]
+//!     [--no-prune] [--no-incremental] [--no-reuse] [--lint]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
 //! `--jobs` (or `C2BP_JOBS`) shards each CEGAR iteration's abstraction
 //! phase across worker threads without changing the verdict, iteration
 //! count, or prover-call totals. Predicate-liveness pruning is on by
-//! default (`--no-prune` for A/B runs); `--lint` verifies every
-//! iteration's boolean program with the static checker.
+//! default (`--no-prune` for A/B runs); `--no-reuse` disables the
+//! cross-iteration reuse session (persistent prover cache, memoized
+//! transfer functions, retained BDD arena) so each iteration abstracts
+//! and model checks from scratch; `--lint` verifies every iteration's
+//! boolean program with the static checker.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
 use slam::{SlamOptions, SlamVerdict};
@@ -19,7 +22,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N] \
-         [--no-prune] [--no-incremental] [--lint]"
+         [--no-prune] [--no-incremental] [--no-reuse] [--lint]"
     );
     ExitCode::from(2)
 }
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
         match flag.as_str() {
             "--no-prune" => options.c2bp.prune_dead_preds = false,
             "--no-incremental" => options.c2bp.cubes.incremental = false,
+            "--no-reuse" => options.c2bp.reuse = false,
             "--lint" => options.lint = true,
             "--lock" => spec = locking_spec(),
             "--irp" => spec = irp_spec(),
@@ -74,20 +78,25 @@ fn main() -> ExitCode {
             let prover: u64 = run.per_iteration.iter().map(|s| s.prover_calls).sum();
             for (i, it) in run.per_iteration.iter().enumerate() {
                 eprintln!(
-                    "// iter {}: {} preds, {} prover calls, {} pruned updates, jobs {}, \
+                    "// iter {}: {} preds, {} prover calls, {} pruned updates, \
+                     {} reused units, jobs {}, \
                      abs {:.2}s (plan {:.2}s solve {:.2}s merge {:.2}s), \
-                     shared cache {:.1}% hit rate ({} entries)",
+                     shared cache {:.1}% hit rate ({} entries), \
+                     bdd {} nodes / {} cache entries",
                     i + 1,
                     it.predicates,
                     it.prover_calls,
                     it.pruned_updates,
+                    it.reused_units,
                     it.jobs,
                     it.abs_seconds,
                     it.abs_phases.plan,
                     it.abs_phases.solve,
                     it.abs_phases.merge,
                     it.shared_cache.hit_rate() * 100.0,
-                    it.shared_cache.entries
+                    it.shared_cache.entries,
+                    it.bdd_nodes,
+                    it.bdd_cache_entries
                 );
             }
             match run.verdict {

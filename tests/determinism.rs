@@ -95,6 +95,98 @@ fn remaining_toys_are_identical_at_jobs_4() {
     }
 }
 
+/// Runs the full CEGAR loop on an instrumented driver at the given
+/// worker count with reuse on or off, keeping every iteration's boolean
+/// program.
+fn full_check(program: &Program, entry: &str, jobs: usize, reuse: bool) -> slam::SlamRun {
+    let options = SlamOptions {
+        keep_bps: true,
+        c2bp: C2bpOptions {
+            jobs,
+            reuse,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    slam::check(program, entry, Vec::new(), &options).expect("slam runs")
+}
+
+/// The full SLAM loop is as deterministic as a single abstraction:
+/// within each reuse mode the verdict, the per-iteration deterministic
+/// counters, the final predicate set, and every iteration's boolean
+/// program must not depend on the worker count — and across the two
+/// modes everything except the counters must agree too.
+#[test]
+fn full_cegar_loop_is_worker_count_and_reuse_invariant() {
+    let source = std::fs::read_to_string("corpus/drivers/openclos.c").expect("corpus source");
+    let parsed = cparse::parse_program(&source).expect("corpus parses");
+    let instrumented = instrument(&parsed, &locking_spec(), "DispatchOpenClose");
+    let program = cparse::simplify_program(&instrumented).expect("corpus simplifies");
+    let runs: Vec<(bool, usize, slam::SlamRun)> = [(true, 1), (true, 4), (false, 1), (false, 4)]
+        .into_iter()
+        .map(|(reuse, jobs)| {
+            (
+                reuse,
+                jobs,
+                full_check(&program, "DispatchOpenClose", jobs, reuse),
+            )
+        })
+        .collect();
+    let (_, _, base) = &runs[0];
+    let preds_of = |run: &slam::SlamRun| -> Vec<String> {
+        run.final_preds.iter().map(|p| format!("{p:?}")).collect()
+    };
+    for (reuse, jobs, run) in &runs {
+        let tag = format!("reuse={reuse} jobs={jobs}");
+        // verdict, iteration count, final predicates, and bp texts agree
+        // across all four runs
+        assert_eq!(
+            format!("{:?}", run.verdict),
+            format!("{:?}", base.verdict),
+            "{tag}"
+        );
+        assert_eq!(run.iterations, base.iterations, "{tag}");
+        assert_eq!(preds_of(run), preds_of(base), "{tag}");
+        for (i, (it, bt)) in run
+            .per_iteration
+            .iter()
+            .zip(&base.per_iteration)
+            .enumerate()
+        {
+            assert_eq!(
+                it.bp_text,
+                bt.bp_text,
+                "{tag}: bp differs at iteration {}",
+                i + 1
+            );
+            assert_eq!(it.predicates, bt.predicates, "{tag}: iteration {}", i + 1);
+        }
+    }
+    // within each mode the deterministic prover counters are worker-count
+    // invariant (across modes they legitimately differ — that is the win)
+    for pair in [[0, 1], [2, 3]] {
+        let (_, _, a) = &runs[pair[0]];
+        let (_, _, b) = &runs[pair[1]];
+        for (i, (ia, ib)) in a.per_iteration.iter().zip(&b.per_iteration).enumerate() {
+            assert_eq!(ia.prover_calls, ib.prover_calls, "iteration {}", i + 1);
+            assert_eq!(ia.pruned_updates, ib.pruned_updates, "iteration {}", i + 1);
+            assert_eq!(ia.reused_units, ib.reused_units, "iteration {}", i + 1);
+        }
+    }
+    // the reuse session did act: iteration 2 replays units and saves calls
+    let reuse_run = &runs[0].2;
+    let scratch_run = &runs[2].2;
+    assert!(reuse_run.per_iteration[1].reused_units > 0);
+    assert!(
+        reuse_run.per_iteration[1].prover_calls < scratch_run.per_iteration[1].prover_calls,
+        "reuse saved nothing on iteration 2"
+    );
+    assert!(scratch_run
+        .per_iteration
+        .iter()
+        .all(|it| it.reused_units == 0));
+}
+
 #[test]
 fn remaining_drivers_are_identical_at_jobs_4() {
     for (stem, entry) in [

@@ -1,0 +1,133 @@
+//! Differential check for cross-iteration reuse, across the whole
+//! drivers corpus: the full CEGAR loop with the reuse session (the
+//! default — persistent prover cache, memoized transfer functions,
+//! retained BDD arena) and from scratch (`--no-reuse`) must produce
+//! *byte-identical* boolean programs at every iteration, the same
+//! verdict, and the same final predicate set, at every worker count.
+//! Reuse is a pure execution strategy: only the prover-call counters may
+//! (and should) differ between the two modes.
+
+use c2bp::C2bpOptions;
+use cparse::ast::Program;
+use slam::spec::{irp_spec, locking_spec, Spec};
+use slam::{instrument, SlamOptions, SlamRun};
+
+fn check(program: &Program, entry: &str, seeds: &str, reuse: bool, jobs: usize) -> SlamRun {
+    let options = SlamOptions {
+        keep_bps: true,
+        c2bp: C2bpOptions {
+            jobs,
+            reuse,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    let seeds = c2bp::parse_pred_file(seeds).expect("seeds parse");
+    slam::check(program, entry, seeds, &options).expect("slam runs")
+}
+
+fn prepare(stem: &str, entry: &str, spec: &Spec) -> Program {
+    let source =
+        std::fs::read_to_string(format!("corpus/drivers/{stem}.c")).expect("corpus source");
+    let parsed = cparse::parse_program(&source).expect("corpus parses");
+    let instrumented = instrument(&parsed, spec, entry);
+    cparse::simplify_program(&instrumented).expect("corpus simplifies")
+}
+
+/// Runs reuse on/off at 1 and 4 workers and asserts every observable
+/// except the counters agrees at every iteration.
+fn assert_reuse_equivalent(stem: &str, entry: &str, spec: &Spec, seeds: &str) {
+    let program = prepare(stem, entry, spec);
+    let reuse = check(&program, entry, seeds, true, 1);
+    let scratch = check(&program, entry, seeds, false, 1);
+    assert_eq!(
+        format!("{:?}", reuse.verdict),
+        format!("{:?}", scratch.verdict),
+        "{stem}: verdicts diverged"
+    );
+    assert_eq!(reuse.iterations, scratch.iterations, "{stem}");
+    assert_eq!(
+        format!("{:?}", reuse.final_preds),
+        format!("{:?}", scratch.final_preds),
+        "{stem}: final predicate sets diverged"
+    );
+    for (i, (r, s)) in reuse
+        .per_iteration
+        .iter()
+        .zip(&scratch.per_iteration)
+        .enumerate()
+    {
+        assert_eq!(
+            r.bp_text,
+            s.bp_text,
+            "{stem}: boolean programs diverged at iteration {}",
+            i + 1
+        );
+        assert_eq!(
+            r.error_reachable,
+            s.error_reachable,
+            "{stem}: iteration {}",
+            i + 1
+        );
+    }
+    // the loop runs, the session replays, and scratch mode never does
+    assert!(reuse.iterations >= 2, "{stem}: no refinement happened");
+    assert!(
+        reuse.per_iteration.iter().any(|it| it.reused_units > 0),
+        "{stem}: the reuse session never replayed a unit"
+    );
+    assert!(scratch.per_iteration.iter().all(|it| it.reused_units == 0));
+    // each mode is worker-count invariant, counters included
+    for (mode, one) in [(true, &reuse), (false, &scratch)] {
+        let four = check(&program, entry, seeds, mode, 4);
+        assert_eq!(one.iterations, four.iterations, "{stem} reuse={mode}");
+        for (i, (a, b)) in one
+            .per_iteration
+            .iter()
+            .zip(&four.per_iteration)
+            .enumerate()
+        {
+            assert_eq!(
+                a.bp_text,
+                b.bp_text,
+                "{stem} reuse={mode}: bp varies with workers at iteration {}",
+                i + 1
+            );
+            assert_eq!(
+                a.prover_calls,
+                b.prover_calls,
+                "{stem} reuse={mode}: prover calls vary with workers at iteration {}",
+                i + 1
+            );
+            assert_eq!(a.reused_units, b.reused_units, "{stem} reuse={mode}");
+        }
+    }
+}
+
+#[test]
+fn locking_drivers_are_reuse_invariant() {
+    for (stem, entry) in [
+        ("floppy", "FloppyReadWrite"),
+        ("ioctl", "DeviceIoControl"),
+        ("openclos", "DispatchOpenClose"),
+        ("srdriver", "DispatchStartReset"),
+        ("log", "LogAppend"),
+    ] {
+        assert_reuse_equivalent(stem, entry, &locking_spec(), "");
+    }
+}
+
+#[test]
+fn buggy_driver_is_reuse_invariant() {
+    assert_reuse_equivalent("flopnew", "FlopnewReadWrite", &irp_spec(), "");
+}
+
+#[test]
+fn seeded_retry_driver_is_reuse_invariant() {
+    assert_reuse_equivalent(
+        "retry",
+        "DispatchRetry",
+        &locking_spec(),
+        "DispatchRetry attempts > 0",
+    );
+}
