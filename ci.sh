@@ -55,4 +55,15 @@ cegar_json="$(mktemp)"
 ./target/release/cegar_ab --smoke --json "$cegar_json"
 rm -f "$cegar_json"
 
+echo "== alias-precision differential (unify vs inclusion) =="
+# Whole-corpus subset cross-check (inclusion points-to sets must be
+# subsets of the unification sets) plus verdict/final-predicate
+# equality between the two alias modes at 1 and 4 workers.
+cargo test --offline -q --test alias_differential
+
+echo "== alias-precision A/B smoke (exits nonzero on divergence or subset violation) =="
+alias_json="$(mktemp)"
+./target/release/alias_ab --smoke --json "$alias_json"
+rm -f "$alias_json"
+
 echo "ci: all green"

@@ -1,0 +1,39 @@
+/* Synthetic mirrored-extension driver: two statically allocated device
+ * extensions whose busy flags are reached through pointers. `own` and
+ * `peer` each point at exactly one flag, but both flow into `cur`, so a
+ * unification-based points-to analysis merges all three pointers into
+ * one equivalence class covering both flags, while the inclusion-based
+ * analysis keeps own -> {primary.busy} and peer -> {shadow.busy}. The
+ * locking property holds unconditionally; the seeded predicates over
+ * the two flags measure how many Morris-axiom alias disjuncts each
+ * analysis charges the stores (see `bench --bin alias_ab`). */
+
+void KeAcquireSpinLock(void) { ; }
+void KeReleaseSpinLock(void) { ; }
+
+struct DEVICE_EXTENSION {
+    int busy;
+    int errors;
+};
+
+struct DEVICE_EXTENSION primary;
+struct DEVICE_EXTENSION shadow;
+
+int DispatchMirror(int request) {
+    int *own;
+    int *peer;
+    int *cur;
+    own = &primary.busy;
+    peer = &shadow.busy;
+    if (request > 0) {
+        cur = own;
+    } else {
+        cur = peer;
+    }
+    *peer = 0;
+    KeAcquireSpinLock();
+    *own = 1;
+    *cur = request;
+    KeReleaseSpinLock();
+    return primary.busy;
+}

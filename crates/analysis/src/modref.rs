@@ -7,13 +7,13 @@
 //! fixpoint inside each component so recursion converges.
 //!
 //! Deref writes are kept symbolic — "writes through pointer `p` of
-//! function `f`" — and resolved against [`pointsto::PointsTo`] at query
+//! function `f`" — and resolved against a [`pointsto::AliasOracle`] at query
 //! time, so the summary itself stays flow- and alias-insensitive while
 //! queries get the full benefit of the points-to graph.
 
 use crate::callgraph::CallGraph;
 use cparse::ast::{Expr, Program, Stmt, Type};
-use pointsto::PointsTo;
+use pointsto::AliasOracle;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A named storage location, resolved to its owning scope.
@@ -140,7 +140,7 @@ impl ModRef {
     /// `var_func`? `false` is definitive; `true` means "maybe". Sound
     /// for globals and for `var_func`'s locals/formals whose address may
     /// escape into `func`.
-    pub fn may_modify(&self, pts: &mut PointsTo, func: &str, var_func: &str, var: &str) -> bool {
+    pub fn may_modify(&self, pts: &dyn AliasOracle, func: &str, var_func: &str, var: &str) -> bool {
         let Some(fx) = self.effects.get(func) else {
             return true;
         };
@@ -159,7 +159,7 @@ impl ModRef {
 
     /// May executing `func` read the variable `var` visible in scope
     /// `var_func`? `false` is definitive.
-    pub fn may_ref(&self, pts: &mut PointsTo, func: &str, var_func: &str, var: &str) -> bool {
+    pub fn may_ref(&self, pts: &dyn AliasOracle, func: &str, var_func: &str, var: &str) -> bool {
         let Some(fx) = self.effects.get(func) else {
             return true;
         };
@@ -181,7 +181,7 @@ impl ModRef {
     /// (footnote 4 of the paper) needs.
     pub fn modified_formals(
         &self,
-        pts: &mut PointsTo,
+        pts: &dyn AliasOracle,
         program: &Program,
         func: &str,
     ) -> Vec<String> {
@@ -198,7 +198,7 @@ impl ModRef {
     /// The globals that `func` may modify, in sorted order.
     pub fn modified_globals(
         &self,
-        pts: &mut PointsTo,
+        pts: &dyn AliasOracle,
         program: &Program,
         func: &str,
     ) -> Vec<String> {
@@ -306,6 +306,7 @@ fn local_effects(program: &Program, f: &cparse::ast::Function) -> FnEffects {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pointsto::PointsTo;
 
     fn setup(src: &str) -> (Program, ModRef, PointsTo) {
         let program = cparse::parse_and_simplify(src).expect("parse");
@@ -316,28 +317,28 @@ mod tests {
 
     #[test]
     fn direct_assignment_modifies_formal() {
-        let (program, mr, mut pts) =
+        let (program, mr, pts) =
             setup("void f(int x, int y) { x = y + 1; } void main() { f(1, 2); }");
-        assert_eq!(mr.modified_formals(&mut pts, &program, "f"), vec!["x"]);
+        assert_eq!(mr.modified_formals(&pts, &program, "f"), vec!["x"]);
     }
 
     #[test]
     fn write_through_pointer_modifies_pointed_to_formal() {
-        let (program, mr, mut pts) = setup(
+        let (program, mr, pts) = setup(
             "void set(int* p) { *p = 0; }\n\
              void f(int x, int y) { set(&x); }\n\
              void main() { f(1, 2); }",
         );
         // `f` modifies `x` only through `set`'s pointer write.
-        assert!(mr.may_modify(&mut pts, "f", "f", "x"));
-        assert_eq!(mr.modified_formals(&mut pts, &program, "f"), vec!["x"]);
+        assert!(mr.may_modify(&pts, "f", "f", "x"));
+        assert_eq!(mr.modified_formals(&pts, &program, "f"), vec!["x"]);
         // `y`'s address never escapes: definitively unmodified.
-        assert!(!mr.may_modify(&mut pts, "f", "f", "y"));
+        assert!(!mr.may_modify(&pts, "f", "f", "y"));
     }
 
     #[test]
     fn address_taken_but_never_written_is_not_modified() {
-        let (program, mr, mut pts) = setup(
+        let (program, mr, pts) = setup(
             "int g;\n\
              void observe(int* p) { g = *p; }\n\
              void f(int x) { observe(&x); }\n\
@@ -345,34 +346,34 @@ mod tests {
         );
         // The old syntactic walk treated `&x` as a modification; the
         // MOD/REF summary sees only a read through the pointer.
-        assert!(mr.modified_formals(&mut pts, &program, "f").is_empty());
-        assert!(mr.may_ref(&mut pts, "f", "f", "x"));
-        assert!(mr.may_modify(&mut pts, "f", "f", "g"));
+        assert!(mr.modified_formals(&pts, &program, "f").is_empty());
+        assert!(mr.may_ref(&pts, "f", "f", "x"));
+        assert!(mr.may_modify(&pts, "f", "f", "g"));
         let _ = program;
     }
 
     #[test]
     fn global_effects_propagate_bottom_up() {
-        let (program, mr, mut pts) = setup(
+        let (program, mr, pts) = setup(
             "int g; int h;\n\
              void leaf() { g = 1; }\n\
              void mid() { leaf(); }\n\
              void main() { mid(); }",
         );
-        assert_eq!(mr.modified_globals(&mut pts, &program, "main"), vec!["g"]);
-        assert!(!mr.may_modify(&mut pts, "main", "main", "h"));
+        assert_eq!(mr.modified_globals(&pts, &program, "main"), vec!["g"]);
+        assert!(!mr.may_modify(&pts, "main", "main", "h"));
     }
 
     #[test]
     fn recursion_reaches_fixpoint() {
-        let (_, mr, mut pts) = setup(
+        let (_, mr, pts) = setup(
             "int g; int h;\n\
              void even(int n) { if (n) { h = 1; odd(n - 1); } }\n\
              void odd(int n) { if (n) { g = 1; even(n - 1); } }\n\
              void main() { even(4); }",
         );
-        assert!(mr.may_modify(&mut pts, "even", "even", "g"));
-        assert!(mr.may_modify(&mut pts, "odd", "odd", "h"));
+        assert!(mr.may_modify(&pts, "even", "even", "g"));
+        assert!(mr.may_modify(&pts, "odd", "odd", "h"));
     }
 
     #[test]
@@ -402,10 +403,10 @@ mod tests {
         }
         rename_calls(&mut program.function_mut("f").unwrap().body);
         let mr = ModRef::analyze(&program);
-        let mut pts = PointsTo::analyze(&program);
+        let pts = PointsTo::analyze(&program);
         assert!(mr.effects("f").clobbers_unknown);
-        assert!(mr.may_modify(&mut pts, "f", "f", "x"));
-        assert!(mr.may_modify(&mut pts, "main", "main", "g"));
+        assert!(mr.may_modify(&pts, "f", "f", "x"));
+        assert!(mr.may_modify(&pts, "main", "main", "g"));
         // `main` transitively calls the unknown function too.
         assert!(mr.effects("main").clobbers_unknown);
         // A function that never touches the unknown callee keeps precise
@@ -415,12 +416,12 @@ mod tests {
 
     #[test]
     fn ref_tracks_reads() {
-        let (_, mr, mut pts) = setup(
+        let (_, mr, pts) = setup(
             "int g;\n\
              void f(int x, int y) { x = g; }\n\
              void main() { f(1, 2); }",
         );
-        assert!(mr.may_ref(&mut pts, "f", "f", "g"));
-        assert!(!mr.may_ref(&mut pts, "f", "f", "y"));
+        assert!(mr.may_ref(&pts, "f", "f", "g"));
+        assert!(!mr.may_ref(&pts, "f", "f", "y"));
     }
 }

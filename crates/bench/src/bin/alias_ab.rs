@@ -1,0 +1,45 @@
+//! Alias-precision A/B: every corpus driver run through the full CEGAR
+//! loop under both points-to analyses — the coarse Steensgaard-style
+//! unification (`--alias=unify` in the CLIs) and the field-sensitive
+//! inclusion analysis (`--alias=inclusion`, the default) — reporting
+//! per-driver May-pair counts, Morris-axiom alias-disjunct counts,
+//! prover-call deltas, and wall-clock times. Each mode additionally runs
+//! at two worker counts. Exits nonzero if the modes diverge on verdict
+//! or final predicates, if either mode is scheduling-dependent, or if
+//! any inclusion points-to set is not a subset of the corresponding
+//! unification set (a soundness violation, not a statistic).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin alias_ab [-- --jobs N] [--smoke]
+//!     [--json <path>]
+//! ```
+//!
+//! `--smoke` restricts to one fast driver for CI.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let jobs = match bench::jobs_from_args() {
+        // the harness pairs each run with an alternate worker count, so
+        // it needs an explicit baseline rather than deferring to C2BP_JOBS
+        0 => 1,
+        j => j,
+    };
+    let smoke = bench::flag_in_args("--smoke");
+    let rows = bench::alias_rows(jobs, smoke);
+    print!(
+        "{}",
+        bench::render_alias(
+            &rows,
+            "Alias precision A/B — unification vs field-sensitive inclusion (full loop)"
+        )
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::alias_rows(&rows));
+    }
+    if rows.iter().all(|r| r.identical && r.subset_ok) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("alias_ab: FAIL — alias modes diverged or a subset violation was found");
+        ExitCode::FAILURE
+    }
+}

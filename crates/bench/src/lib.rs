@@ -883,10 +883,251 @@ pub fn cegar_rows(jobs: usize, smoke: bool) -> Vec<CegarRow> {
     rows
 }
 
+/// One program's unify-vs-inclusion alias-precision A/B: the same full
+/// CEGAR run under both points-to analyses, plus each oracle's static
+/// May/Must/Never pair counts over the instrumented program and a
+/// structural soundness check (every inclusion points-to set must be a
+/// subset of the corresponding unification set).
+#[derive(Debug, Clone)]
+pub struct AliasRow {
+    /// Program name.
+    pub program: String,
+    /// Checked property.
+    pub config: String,
+    /// Pointer pairs the unification analysis cannot refute.
+    pub unify_may: usize,
+    /// Pointer pairs the inclusion analysis cannot refute.
+    pub inclusion_may: usize,
+    /// Morris-axiom `May` disjuncts emitted across the loop, unification.
+    pub unify_disjuncts: u64,
+    /// Morris-axiom `May` disjuncts emitted across the loop, inclusion.
+    pub inclusion_disjuncts: u64,
+    /// Theorem-prover calls across the loop, unification.
+    pub unify_prover: u64,
+    /// Theorem-prover calls across the loop, inclusion.
+    pub inclusion_prover: u64,
+    /// Wall-clock seconds for the whole loop, unification.
+    pub unify_secs: f64,
+    /// Wall-clock seconds for the whole loop, inclusion.
+    pub inclusion_secs: f64,
+    /// Human-readable verdict (identical in both modes when `identical`).
+    pub verdict: String,
+    /// Whether the inclusion sets are subsets of the unification sets on
+    /// the instrumented program.
+    pub subset_ok: bool,
+    /// Whether all four runs (two alias modes × two worker counts)
+    /// agreed on verdict and final predicates, with each mode
+    /// byte-identical and counter-identical across worker counts.
+    pub identical: bool,
+}
+
+impl AliasRow {
+    /// Fraction of unrefuted pointer pairs the inclusion analysis removed.
+    pub fn may_reduction(&self) -> f64 {
+        reduction(self.unify_may as u64, self.inclusion_may as u64)
+    }
+
+    /// Fraction of Morris-axiom `May` disjuncts the inclusion analysis
+    /// removed.
+    pub fn disjunct_reduction(&self) -> f64 {
+        reduction(self.unify_disjuncts, self.inclusion_disjuncts)
+    }
+
+    /// Fraction of theorem-prover calls the inclusion analysis removed
+    /// (negative if it added calls — reported honestly either way).
+    pub fn prover_reduction(&self) -> f64 {
+        reduction(self.unify_prover, self.inclusion_prover)
+    }
+}
+
+fn reduction(coarse: u64, sharp: u64) -> f64 {
+    if coarse == 0 {
+        0.0
+    } else {
+        1.0 - sharp as f64 / coarse as f64
+    }
+}
+
+/// Renders the alias A/B rows: one line per program, then a per-run
+/// wall-clock summary line.
+pub fn render_alias(rows: &[AliasRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<10} {:<6} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7}  subset identical\n",
+        "program",
+        "config",
+        "may(uni)",
+        "may(inc)",
+        "disj(uni)",
+        "disj(inc)",
+        "thm(uni)",
+        "thm(inc)",
+        "Δthm"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<6} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9} {:>6.1}%  {:<6} {}\n",
+            r.program,
+            r.config,
+            r.unify_may,
+            r.inclusion_may,
+            r.unify_disjuncts,
+            r.inclusion_disjuncts,
+            r.unify_prover,
+            r.inclusion_prover,
+            r.prover_reduction() * 100.0,
+            if r.subset_ok { "yes" } else { "NO" },
+            if r.identical { "yes" } else { "NO" }
+        ));
+        out.push_str(&format!(
+            "{:<10} total: {:.2}s unify vs {:.2}s inclusion — {}\n",
+            "", r.unify_secs, r.inclusion_secs, r.verdict
+        ));
+    }
+    out
+}
+
+fn alias_slam_run(
+    source: &str,
+    spec: &Spec,
+    entry: &str,
+    seeds: Option<&str>,
+    alias: c2bp::AliasMode,
+    jobs: usize,
+) -> (slam::SlamRun, f64) {
+    let options = SlamOptions {
+        keep_bps: true,
+        c2bp: C2bpOptions {
+            jobs,
+            alias,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    let t0 = Instant::now();
+    let run = match seeds {
+        Some(s) => {
+            let seeds = parse_pred_file(s).expect("seed parses");
+            slam::verify_seeded(source, spec, entry, seeds, &options)
+        }
+        None => slam::verify(source, spec, entry, &options),
+    }
+    .expect("slam run completes");
+    (run, t0.elapsed().as_secs_f64())
+}
+
+fn alias_row(stem: &str, entry: &str, prop: &str, seeds: Option<&str>, jobs: usize) -> AliasRow {
+    use c2bp::AliasMode;
+    let source = read(corpus_dir().join("drivers").join(format!("{stem}.c")));
+    let spec = spec_for(prop);
+    // static precision on the same program the abstraction sees: the
+    // instrumented, simplified driver
+    let program = cparse::parse_program(&source).expect("corpus parses");
+    let instrumented = slam::instrument(&program, &spec, entry);
+    let instrumented =
+        cparse::simplify_program(&instrumented).expect("instrumented driver simplifies");
+    let subset_ok = pointsto::subset_violations(&instrumented).is_empty();
+    let unify_oracle = pointsto::analyze_shared(&instrumented, AliasMode::Unify);
+    let inclusion_oracle = pointsto::analyze_shared(&instrumented, AliasMode::Inclusion);
+    let unify_pairs = pointsto::may_pair_counts(&instrumented, unify_oracle.as_ref());
+    let inclusion_pairs = pointsto::may_pair_counts(&instrumented, inclusion_oracle.as_ref());
+    // the full loop under each analysis, each at two worker counts
+    let (uni, unify_secs) = alias_slam_run(&source, &spec, entry, seeds, AliasMode::Unify, jobs);
+    let (inc, inclusion_secs) =
+        alias_slam_run(&source, &spec, entry, seeds, AliasMode::Inclusion, jobs);
+    let alt = if jobs == 1 { 4 } else { 1 };
+    let (uni_alt, _) = alias_slam_run(&source, &spec, entry, seeds, AliasMode::Unify, alt);
+    let (inc_alt, _) = alias_slam_run(&source, &spec, entry, seeds, AliasMode::Inclusion, alt);
+    let bps = |run: &slam::SlamRun| -> Vec<String> {
+        run.per_iteration
+            .iter()
+            .map(|it| it.bp_text.clone().expect("keep_bps was set"))
+            .collect()
+    };
+    let counters = |run: &slam::SlamRun| -> Vec<(u64, u64, u64)> {
+        run.per_iteration
+            .iter()
+            .map(|it| (it.prover_calls, it.pruned_updates, it.alias_disjuncts))
+            .collect()
+    };
+    let preds = |run: &slam::SlamRun| -> Vec<String> {
+        run.final_preds.iter().map(|p| format!("{p:?}")).collect()
+    };
+    // across alias modes only the *semantic* outcome must agree; within
+    // a mode the runs must stay deterministic across worker counts
+    let identical = format!("{:?}", uni.verdict) == format!("{:?}", inc.verdict)
+        && preds(&uni) == preds(&inc)
+        && bps(&uni) == bps(&uni_alt)
+        && counters(&uni) == counters(&uni_alt)
+        && bps(&inc) == bps(&inc_alt)
+        && counters(&inc) == counters(&inc_alt);
+    let disjuncts = |run: &slam::SlamRun| -> u64 {
+        run.per_iteration.iter().map(|it| it.alias_disjuncts).sum()
+    };
+    let prover =
+        |run: &slam::SlamRun| -> u64 { run.per_iteration.iter().map(|it| it.prover_calls).sum() };
+    AliasRow {
+        program: stem.to_string(),
+        config: prop.to_string(),
+        unify_may: unify_pairs.may,
+        inclusion_may: inclusion_pairs.may,
+        unify_disjuncts: disjuncts(&uni),
+        inclusion_disjuncts: disjuncts(&inc),
+        unify_prover: prover(&uni),
+        inclusion_prover: prover(&inc),
+        unify_secs,
+        inclusion_secs,
+        verdict: match inc.verdict {
+            SlamVerdict::Validated => format!("validated ({} iters)", inc.iterations),
+            SlamVerdict::ErrorFound { .. } => format!("ERROR FOUND ({} iters)", inc.iterations),
+            SlamVerdict::GaveUp { reason } => format!("gave up: {reason}"),
+        },
+        subset_ok,
+        identical,
+    }
+}
+
+/// The `mirror` driver's seeded predicates: the two busy flags its
+/// pointers reach. The verdict never depends on them — they exist so
+/// the stores through `own`/`peer`/`cur` have in-scope predicates to
+/// charge alias disjuncts against, making the two analyses' precision
+/// gap measurable.
+pub const MIRROR_SEEDS: &str = "DispatchMirror primary.busy == 1\nDispatchMirror shadow.busy == 0";
+
+/// Unify-vs-inclusion alias-precision A/B rows over the Table 1
+/// drivers, the buggy driver, the seeded `retry` run, and the
+/// pointer-heavy `mirror` driver (the one corpus program whose
+/// directional pointer copies separate the two analyses — the Table 1
+/// drivers are pointer-free, so their rows are honest flat baselines).
+/// `smoke` restricts to `mirror` for CI, the fastest row that still
+/// exercises both oracles. Each program runs four times: two alias
+/// modes × two worker counts.
+pub fn alias_rows(jobs: usize, smoke: bool) -> Vec<AliasRow> {
+    let mirror = |jobs| alias_row("mirror", "DispatchMirror", "lock", Some(MIRROR_SEEDS), jobs);
+    if smoke {
+        return vec![mirror(jobs)];
+    }
+    let mut set: Vec<(&str, &str, &str)> = DRIVERS.to_vec();
+    set.push(BUGGY_DRIVER);
+    let mut rows: Vec<AliasRow> = set
+        .iter()
+        .map(|(stem, entry, prop)| alias_row(stem, entry, prop, None, jobs))
+        .collect();
+    rows.push(alias_row(
+        "retry",
+        "DispatchRetry",
+        "lock",
+        Some("DispatchRetry attempts > 0"),
+        jobs,
+    ));
+    rows.push(mirror(jobs));
+    rows
+}
+
 /// Minimal JSON emission for the bench binaries' `--json <path>` output
 /// (hand-rolled: the workspace takes no serialization dependency).
 pub mod json {
-    use super::{CegarRow, IncRow, PruneRow, Row};
+    use super::{AliasRow, CegarRow, IncRow, PruneRow, Row};
 
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
@@ -984,6 +1225,36 @@ pub mod json {
                 r.reuse_secs,
                 r.identical,
                 iters.join(",\n")
+            )
+        }))
+    }
+
+    /// Alias-precision A/B rows as a JSON array of objects.
+    pub fn alias_rows(rows: &[AliasRow]) -> String {
+        array(rows.iter().map(|r| {
+            format!(
+                "  {{\"program\": \"{}\", \"config\": \"{}\", \"verdict\": \"{}\", \
+                 \"may_pairs\": {{\"unify\": {}, \"inclusion\": {}, \"reduction\": {:.6}}}, \
+                 \"alias_disjuncts\": {{\"unify\": {}, \"inclusion\": {}, \
+                 \"reduction\": {:.6}}}, \"prover_calls\": {{\"unify\": {}, \
+                 \"inclusion\": {}, \"reduction\": {:.6}}}, \"unify_secs\": {:.6}, \
+                 \"inclusion_secs\": {:.6}, \"subset_ok\": {}, \"identical\": {}}}",
+                esc(&r.program),
+                esc(&r.config),
+                esc(&r.verdict),
+                r.unify_may,
+                r.inclusion_may,
+                r.may_reduction(),
+                r.unify_disjuncts,
+                r.inclusion_disjuncts,
+                r.disjunct_reduction(),
+                r.unify_prover,
+                r.inclusion_prover,
+                r.prover_reduction(),
+                r.unify_secs,
+                r.inclusion_secs,
+                r.subset_ok,
+                r.identical
             )
         }))
     }

@@ -50,7 +50,7 @@
 //! so hits remain a pure function of the inputs and the output stays
 //! worker-count invariant.
 
-use crate::cubes::{CubeOptions, CubeSearch, CubeStats, ScopeVar};
+use crate::cubes::{AliasGroups, CubeOptions, CubeSearch, CubeStats, ScopeVar, Token};
 use crate::live::{function_liveness, LiveInputs, LiveMap};
 use crate::preds::{Pred, PredScope};
 use crate::sig::{signature, Signature};
@@ -58,7 +58,7 @@ use crate::wp::{wp_assign, AliasCase, WpCtx};
 use bp::ast::{BExpr, BProc, BProgram, BStmt};
 use cparse::ast::{Expr, Function, Program, Stmt};
 use cparse::typeck::TypeEnv;
-use pointsto::PointsTo;
+use pointsto::{AliasMode, AliasOracle};
 use prover::{CacheSnapshot, Prover, ProverStats, SessionStats, SharedCache};
 use std::collections::HashMap;
 use std::fmt;
@@ -93,6 +93,11 @@ pub struct C2bpOptions {
     /// and every call behaves exactly like [`abstract_program`] from
     /// scratch; the emitted boolean program is byte-identical either way.
     pub reuse: bool,
+    /// Which points-to analysis prunes Morris-axiom alias cases and
+    /// refines the influence-token cones: the unification analysis, or
+    /// the field-sensitive inclusion analysis (the paper's Das-style
+    /// default).
+    pub alias: AliasMode,
 }
 
 impl C2bpOptions {
@@ -107,6 +112,7 @@ impl C2bpOptions {
             prune_dead_preds: false,
             jobs: 0,
             reuse: true,
+            alias: AliasMode::Inclusion,
         }
     }
 
@@ -186,6 +192,11 @@ pub struct AbsStats {
     /// are the per-run *delta* ([`CacheSnapshot::delta`]) — `entries`
     /// still reports total residency.
     pub shared_cache: CacheSnapshot,
+    /// Morris-axiom `May` alias disjuncts generated across every WP
+    /// computation of the run — the quantity a sharper points-to
+    /// analysis exists to shrink. Identical for every worker count (but
+    /// lower under reuse, which skips whole WP computations).
+    pub alias_disjuncts: u64,
     /// Incremental prover-session counters (scheduling-dependent: only
     /// queries that miss every cache reach a session).
     pub sessions: SessionStats,
@@ -301,7 +312,7 @@ fn abstract_with(
         }
     }
     let env = TypeEnv::new(program);
-    let mut base_pts = PointsTo::analyze(program);
+    let base_pts = pointsto::analyze_shared(program, options.alias);
     let modref = analysis::ModRef::analyze(program);
     // validate scopes and dedupe
     let mut preds_vec: Vec<Pred> = Vec::new();
@@ -331,7 +342,7 @@ fn abstract_with(
     for f in &program.functions {
         signatures.insert(
             f.name.clone(),
-            signature(program, f, &preds_vec, &modref, &mut base_pts),
+            signature(program, f, &preds_vec, &modref, base_pts.as_ref()),
         );
     }
     let mut plans: Vec<FuncPlan<'_>> = Vec::new();
@@ -344,9 +355,14 @@ fn abstract_with(
                 .filter(|p| p.scope == PredScope::Local(f.name.clone()))
                 .map(ScopeVar::of_pred),
         );
+        // groups only refine the cones under the inclusion analysis;
+        // the unification mode keeps the legacy any-deref closure
+        let groups = (options.alias == AliasMode::Inclusion)
+            .then(|| AliasGroups::compute(program, base_pts.as_ref(), &f.name));
         let mut plan = FuncPlan {
             func: f,
             scope_vars,
+            groups,
             temps: Vec::new(),
         };
         let mut temp_counter = 0u32;
@@ -385,7 +401,7 @@ fn abstract_with(
         global_preds: &global_preds,
         options,
         plans: &plans,
-        base_pts: &base_pts,
+        base_pts: base_pts.as_ref(),
         shared: shared.clone(),
         memo: session.as_deref().map(|s| &s.memo),
     };
@@ -458,6 +474,7 @@ fn abstract_with(
     let mut session_stats = SessionStats::default();
     let mut pruned_updates = 0u64;
     let mut reused_units = 0usize;
+    let mut alias_disjuncts = 0u64;
     for plan in &plans {
         let sig = &signatures[&plan.func.name];
         let body = merger.stmt(&plan.func.body, sig);
@@ -496,6 +513,7 @@ fn abstract_with(
         session_stats.absorb(&r.session_stats);
         pruned_updates += r.pruned;
         reused_units += usize::from(r.reused);
+        alias_disjuncts += r.alias_disjuncts;
     }
 
     let stats = AbsStats {
@@ -510,6 +528,7 @@ fn abstract_with(
         units: results.len(),
         reused_units,
         shared_cache: shared.snapshot().delta(&cache_before),
+        alias_disjuncts,
         sessions: session_stats,
         phases: PhaseSeconds {
             plan: plan_seconds,
@@ -531,6 +550,10 @@ struct FuncPlan<'p> {
     func: &'p Function,
     /// Scope: global preds then this function's local preds.
     scope_vars: Vec<ScopeVar>,
+    /// Alias groups of the function's variables (inclusion mode only):
+    /// the cube searches, liveness and reuse fingerprints all compute
+    /// their cones against the same groups.
+    groups: Option<AliasGroups>,
     /// Boolean temporaries for call returns, in pre-order.
     temps: Vec<String>,
 }
@@ -658,7 +681,7 @@ struct SolveCtx<'p> {
     global_preds: &'p [Pred],
     options: &'p C2bpOptions,
     plans: &'p [FuncPlan<'p>],
-    base_pts: &'p PointsTo,
+    base_pts: &'p dyn AliasOracle,
     shared: SharedCache,
     /// Frozen view of the session memo, when reusing. Read-only for the
     /// whole solve phase so hits never depend on scheduling.
@@ -684,6 +707,8 @@ struct LeafResult {
     session_stats: SessionStats,
     /// Updates skipped because liveness proved the target dead.
     pruned: u64,
+    /// Morris-axiom `May` alias disjuncts generated by this leaf's WPs.
+    alias_disjuncts: u64,
     /// Memo key to store this freshly solved output under; `None` for
     /// sessionless runs and for replayed leaves (already memoized).
     fingerprint: Option<String>,
@@ -723,6 +748,7 @@ fn solve_all(
                     cube_stats: CubeStats::default(),
                     session_stats: SessionStats::default(),
                     pruned: 0,
+                    alias_disjuncts: 0,
                     fingerprint: None,
                     reused: true,
                 });
@@ -771,9 +797,8 @@ fn solve_indices(
     let cores = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
     let workers = jobs.min(indices.len()).min(cores).max(1);
     if workers == 1 {
-        let mut pts = ctx.base_pts.clone();
         for &i in indices {
-            let r = solve_one(ctx, &tasks[i], &mut pts, live);
+            let r = solve_one(ctx, &tasks[i], live);
             *slots[i].lock().expect("result slot") = Some(r);
         }
         return;
@@ -781,20 +806,16 @@ fn solve_indices(
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                // Points-to queries only path-compress and materialize
-                // phantom targets — answers are query-order independent —
-                // so one clone per worker suffices.
-                let mut pts = ctx.base_pts.clone();
-                loop {
-                    let n = next.fetch_add(1, Ordering::Relaxed);
-                    if n >= indices.len() {
-                        break;
-                    }
-                    let i = indices[n];
-                    let r = solve_one(ctx, &tasks[i], &mut pts, live);
-                    *slots[i].lock().expect("result slot") = Some(r);
+            // points-to queries are read-only, so every worker shares the
+            // one analysis computed up front
+            scope.spawn(|| loop {
+                let n = next.fetch_add(1, Ordering::Relaxed);
+                if n >= indices.len() {
+                    break;
                 }
+                let i = indices[n];
+                let r = solve_one(ctx, &tasks[i], live);
+                *slots[i].lock().expect("result slot") = Some(r);
             });
         }
     });
@@ -842,7 +863,6 @@ fn compute_liveness(
         }
     }
     let global_pred_names: Vec<String> = ctx.global_preds.iter().map(Pred::var_name).collect();
-    let mut pts = ctx.base_pts.clone();
     ctx.plans
         .iter()
         .enumerate()
@@ -860,9 +880,10 @@ fn compute_liveness(
                 return_pred_names: &return_pred_names,
                 enforce_vars: &enforce_vars[fi],
                 mentions: &mentions[fi],
+                groups: plan.groups.as_ref(),
                 options: ctx.options,
             };
-            function_liveness(&inputs, &mut pts)
+            function_liveness(&inputs, ctx.base_pts)
         })
         .collect()
 }
@@ -894,12 +915,7 @@ fn bstmt_mentions(s: &BStmt) -> Vec<String> {
     out
 }
 
-fn solve_one(
-    ctx: &SolveCtx<'_>,
-    task: &LeafTask<'_>,
-    pts: &mut PointsTo,
-    live: &[Option<LiveMap>],
-) -> LeafResult {
+fn solve_one(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<LiveMap>]) -> LeafResult {
     let plan = &ctx.plans[task.func_idx];
     // cross-iteration reuse: replay the leaf verbatim when its cone
     // fingerprint matches an earlier solve; the zeroed counters make the
@@ -913,6 +929,7 @@ fn solve_one(
                 cube_stats: CubeStats::default(),
                 session_stats: SessionStats::default(),
                 pruned: 0,
+                alias_disjuncts: 0,
                 fingerprint: None,
                 reused: true,
             };
@@ -924,16 +941,18 @@ fn solve_one(
     let mut solver = LeafSolver {
         program: ctx.program,
         env: ctx.env,
-        pts,
+        pts: ctx.base_pts,
         prover: Prover::with_shared_cache(ctx.shared.clone()),
         signatures: ctx.signatures,
         global_preds: ctx.global_preds,
         func: plan.func,
         scope_vars: &plan.scope_vars,
+        groups: plan.groups.as_ref(),
         options: ctx.options,
         cube_stats: CubeStats::default(),
         session_stats: SessionStats::default(),
         pruned: 0,
+        alias_disjuncts: 0,
     };
     let out = match &task.kind {
         LeafKind::Assign { id, lhs, rhs } => {
@@ -981,6 +1000,7 @@ fn solve_one(
         cube_stats: solver.cube_stats,
         session_stats: solver.session_stats,
         pruned: solver.pruned,
+        alias_disjuncts: solver.alias_disjuncts,
         fingerprint,
         reused: false,
     }
@@ -998,15 +1018,23 @@ fn config_signature(program: &Program, options: &C2bpOptions) -> String {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     format!(
-        "{h:016x}|{:?}|{}|{}|{}",
-        options.cubes, options.skip_unaffected, options.compute_enforce, options.prune_dead_preds
+        "{h:016x}|{:?}|{}|{}|{}|{}",
+        options.cubes,
+        options.skip_unaffected,
+        options.compute_enforce,
+        options.prune_dead_preds,
+        options.alias
     )
 }
 
 /// Indices (in scope order) of every variable transitively sharing an
 /// influence token with the seed set — the same closure the cube search's
 /// cone-of-influence restriction computes, seeded with a whole statement.
-fn cone_indices(scope: &[ScopeVar], mut tokens: Vec<String>) -> Vec<usize> {
+fn cone_indices(
+    scope: &[ScopeVar],
+    mut tokens: Vec<Token>,
+    groups: Option<&AliasGroups>,
+) -> Vec<usize> {
     let mut included = vec![false; scope.len()];
     loop {
         let mut changed = false;
@@ -1014,8 +1042,8 @@ fn cone_indices(scope: &[ScopeVar], mut tokens: Vec<String>) -> Vec<usize> {
             if included[i] {
                 continue;
             }
-            let vt = crate::cubes::influence_tokens(&sv.expr);
-            if vt.iter().any(|t| tokens.contains(t)) {
+            let vt = crate::cubes::influence_tokens(&sv.expr, groups);
+            if vt.iter().any(|t| tokens.iter().any(|u| u.matches(t))) {
                 included[i] = true;
                 changed = true;
                 for t in vt {
@@ -1072,6 +1100,7 @@ fn leaf_fingerprint(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<Live
     use std::fmt::Write as _;
     let plan = &ctx.plans[task.func_idx];
     let scope = &plan.scope_vars;
+    let groups = plan.groups.as_ref();
     let coi = ctx.options.cubes.cone_of_influence;
     let push_full = |key: &mut String| {
         for sv in scope.iter() {
@@ -1079,8 +1108,8 @@ fn leaf_fingerprint(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<Live
             key.push_str(&sv.name);
         }
     };
-    let push_cone = |key: &mut String, seeds: Vec<String>| {
-        for i in cone_indices(scope, seeds) {
+    let push_cone = |key: &mut String, seeds: Vec<Token>| {
+        for i in cone_indices(scope, seeds, groups) {
             key.push('\x1f');
             key.push_str(&scope[i].name);
         }
@@ -1119,7 +1148,7 @@ fn leaf_fingerprint(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<Live
             };
             let _ = write!(key, "{tag}|{}", expr_to_string(cond));
             let members: Vec<usize> = if coi {
-                cone_indices(scope, crate::cubes::influence_tokens(cond))
+                cone_indices(scope, crate::cubes::influence_tokens(cond, groups), groups)
             } else {
                 (0..scope.len()).collect()
             };
@@ -1138,7 +1167,7 @@ fn leaf_fingerprint(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<Live
             // pins the statement
             let _ = write!(key, "u|{}|{id:?}|{}", plan.func.name, expr_to_string(cond));
             if coi {
-                push_cone(&mut key, crate::cubes::influence_tokens(cond));
+                push_cone(&mut key, crate::cubes::influence_tokens(cond, groups));
             } else {
                 push_full(&mut key);
             }
@@ -1151,24 +1180,45 @@ fn leaf_fingerprint(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<Live
                 expr_to_string(lhs),
                 expr_to_string(rhs)
             );
-            let mut seeds = crate::cubes::influence_tokens(lhs);
-            for t in crate::cubes::influence_tokens(rhs) {
+            let mut seeds = crate::cubes::influence_tokens(lhs, groups);
+            for t in crate::cubes::influence_tokens(rhs, groups) {
                 if !seeds.contains(&t) {
                     seeds.push(t);
                 }
             }
-            // the token cone only bounds WP effects when aliasing is
+            // The token cone only bounds WP effects when aliasing is
             // syntactic: plain-variable destination, and no predicate
-            // reaching through a pointer, array, or struct field
-            let aliasing_possible = !matches!(lhs, Expr::Var(_))
-                || seeds.iter().any(|t| t == "deref")
-                || scope.iter().any(|sv| {
-                    crate::cubes::influence_tokens(&sv.expr)
-                        .iter()
-                        .any(|t| t == "deref" || t.starts_with("f:"))
-                });
+            // reaching through a pointer, array, or struct field. One
+            // refinement, backed by the points-to oracle: a destination
+            // variable whose address is never taken has no aliases, so
+            // predicates whose locations are all shapes the Morris axiom
+            // decides exactly against an unaliased variable (see
+            // [`crate::wp::decisive_against_unaliased_var`]) either get a
+            // syntactic substitution (token-sharing, inside the cone) or
+            // are provably untouched.
+            let aliasing_possible = match lhs {
+                Expr::Var(v)
+                    if !ctx.base_pts.address_taken(&plan.func.name, v)
+                        && scope.iter().all(|sv| {
+                            crate::wp::locations(&sv.expr)
+                                .iter()
+                                .all(crate::wp::decisive_against_unaliased_var)
+                        }) =>
+                {
+                    false
+                }
+                Expr::Var(_) => {
+                    seeds.iter().any(|t| matches!(t, Token::Deref(_)))
+                        || scope.iter().any(|sv| {
+                            crate::cubes::influence_tokens(&sv.expr, groups)
+                                .iter()
+                                .any(|t| matches!(t, Token::Deref(_) | Token::Field(..)))
+                        })
+                }
+                _ => true,
+            };
             let members: Vec<usize> = if coi && ctx.options.skip_unaffected && !aliasing_possible {
-                cone_indices(scope, seeds)
+                cone_indices(scope, seeds, groups)
             } else {
                 (0..scope.len()).collect()
             };
@@ -1242,16 +1292,18 @@ fn leaf_fingerprint(ctx: &SolveCtx<'_>, task: &LeafTask<'_>, live: &[Option<Live
 struct LeafSolver<'a> {
     program: &'a Program,
     env: &'a TypeEnv,
-    pts: &'a mut PointsTo,
+    pts: &'a dyn AliasOracle,
     prover: Prover,
     signatures: &'a HashMap<String, Signature>,
     global_preds: &'a [Pred],
     func: &'a Function,
     scope_vars: &'a [ScopeVar],
+    groups: Option<&'a AliasGroups>,
     options: &'a C2bpOptions,
     cube_stats: CubeStats,
     session_stats: SessionStats,
     pruned: u64,
+    alias_disjuncts: u64,
 }
 
 impl<'a> LeafSolver<'a> {
@@ -1272,6 +1324,7 @@ impl<'a> LeafSolver<'a> {
             &lookup,
             self.options.cubes.clone(),
         );
+        cs.groups = self.groups;
         let out = run(&mut cs);
         self.cube_stats.cubes_tested += cs.stats.cubes_tested;
         self.cube_stats.cubes_pruned += cs.stats.cubes_pruned;
@@ -1286,6 +1339,7 @@ impl<'a> LeafSolver<'a> {
         WpCtx {
             env: self.env,
             pts: self.pts,
+            may_disjuncts: 0,
             func: self.func.name.clone(),
             lookup: Box::new(move |name| {
                 func.var_type(name)
@@ -1317,13 +1371,14 @@ impl<'a> LeafSolver<'a> {
         let mut values = Vec::new();
         for sv in &scope {
             let dead = live_after.is_some_and(|live| !live.contains(&sv.name));
-            let (wp_pos, wp_neg) = {
+            let (wp_pos, wp_neg, may) = {
                 let mut ctx = self.wp_ctx();
                 let pos = wp_assign(&mut ctx, lhs, rhs, &sv.expr);
                 let neg_pred = sv.expr.negated();
                 let neg = wp_assign(&mut ctx, lhs, rhs, &neg_pred);
-                (pos, neg)
+                (pos, neg, ctx.may_disjuncts)
             };
+            self.alias_disjuncts += may;
             if self.options.skip_unaffected {
                 if let Some(wp) = &wp_pos {
                     if *wp == sv.expr {

@@ -1,0 +1,172 @@
+//! Alias-precision lint: assignments whose Morris-axiom `May` disjunct
+//! is statically dead under the inclusion points-to analysis.
+//!
+//! The WP of an assignment guards each possibly-aliased location with a
+//! runtime alias test (`*p == &x ? ... : ...`). When the unification
+//! analysis reports `May` but the sharper inclusion analysis proves
+//! `Never`, that guard — and the `decide`/constant-store update built
+//! from it — can never fire: the abstraction is still sound, just
+//! carrying provably unreachable alias cases. This lint enumerates those
+//! sites so a precision regression (or a too-coarse analysis choice)
+//! shows up as a warning instead of silent prover work.
+//!
+//! Warnings are advisory, never failures: both analyses are sound, and
+//! under `--alias=unify` the extra disjuncts are the expected cost.
+
+use crate::preds::{Pred, PredScope};
+use crate::wp::{AliasCase, WpCtx};
+use cparse::ast::{Expr, Program, Stmt};
+use cparse::pretty::expr_to_string;
+use cparse::typeck::TypeEnv;
+use cparse::StmtId;
+use pointsto::{AliasMode, AliasOracle};
+use std::fmt;
+
+/// One assignment × predicate-location pair whose alias disjunct the
+/// inclusion analysis refutes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliasLintWarning {
+    /// Enclosing function.
+    pub func: String,
+    /// The assignment's statement id.
+    pub stmt: StmtId,
+    /// Pretty-printed assigned lvalue.
+    pub lhs: String,
+    /// Pretty-printed location from the predicate.
+    pub location: String,
+    /// The predicate mentioning the location.
+    pub pred: String,
+}
+
+impl fmt::Display for AliasLintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stmt {}: `{} = ...` may-aliases `{}` (predicate `{}`) only under \
+             unification; the inclusion analysis proves the disjunct unreachable",
+            self.func, self.stmt, self.lhs, self.location, self.pred
+        )
+    }
+}
+
+/// Runs both points-to analyses and reports, for every assignment and
+/// every in-scope predicate location, the alias disjuncts the
+/// unification analysis would emit but the inclusion analysis refutes.
+/// Deterministic: functions, statements, predicates and locations are
+/// visited in program order.
+pub fn lint_alias_precision(program: &Program, preds: &[Pred]) -> Vec<AliasLintWarning> {
+    let env = TypeEnv::new(program);
+    let unify = pointsto::analyze_shared(program, AliasMode::Unify);
+    let inclusion = pointsto::analyze_shared(program, AliasMode::Inclusion);
+    let mut out = Vec::new();
+    for f in &program.functions {
+        let scope: Vec<&Pred> = preds
+            .iter()
+            .filter(|p| p.scope == PredScope::Global || p.scope == PredScope::Local(f.name.clone()))
+            .collect();
+        if scope.is_empty() {
+            continue;
+        }
+        let mut assigns: Vec<(StmtId, &Expr)> = Vec::new();
+        f.body.walk(&mut |s| {
+            if let Stmt::Assign { id, lhs, .. } = s {
+                assigns.push((*id, lhs));
+            }
+        });
+        let case_of = |oracle: &dyn AliasOracle, lhs: &Expr, loc: &Expr| -> AliasCase {
+            let mut ctx = WpCtx {
+                env: &env,
+                pts: oracle,
+                may_disjuncts: 0,
+                func: f.name.clone(),
+                lookup: Box::new(|name| {
+                    f.var_type(name)
+                        .cloned()
+                        .or_else(|| env.var_type(None, name))
+                }),
+            };
+            ctx.alias_case(lhs, loc)
+        };
+        for (id, lhs) in assigns {
+            for p in &scope {
+                for loc in crate::wp::locations(&p.expr) {
+                    let coarse = case_of(unify.as_ref(), lhs, &loc);
+                    if matches!(coarse, AliasCase::Never | AliasCase::Must) {
+                        continue; // no disjunct, or a certain alias
+                    }
+                    if case_of(inclusion.as_ref(), lhs, &loc) == AliasCase::Never {
+                        out.push(AliasLintWarning {
+                            func: f.name.clone(),
+                            stmt: id,
+                            lhs: expr_to_string(lhs),
+                            location: expr_to_string(&loc),
+                            pred: p.var_name(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preds::parse_pred_file;
+    use cparse::parse_and_simplify;
+
+    /// The seeded defect: `p` only ever points to `x`, but the
+    /// unification analysis merges `p` and `q` (one equivalence class
+    /// with `{x, y}`), so `*p = 3` drags a dead `p == &y` disjunct into
+    /// the WP of `y == 0`.
+    const SEEDED: &str = r#"
+        void f(int x, int y) {
+            int* p;
+            int* q;
+            p = &x;
+            q = p;
+            q = &y;
+            *p = 3;
+        }
+    "#;
+
+    #[test]
+    fn directional_copy_defect_is_reported() {
+        let program = parse_and_simplify(SEEDED).unwrap();
+        let preds = parse_pred_file("f y == 0").unwrap();
+        let warnings = lint_alias_precision(&program, &preds);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        let w = &warnings[0];
+        assert_eq!(w.func, "f");
+        assert_eq!(w.lhs, "*p");
+        assert_eq!(w.location, "y");
+        assert_eq!(w.pred, "y == 0");
+        assert!(w.to_string().contains("unreachable"), "{w}");
+    }
+
+    #[test]
+    fn genuinely_reachable_disjuncts_stay_silent() {
+        // Both analyses agree `p` may point at `x`: the disjunct is real.
+        let program = parse_and_simplify(
+            r#"
+            void f(int x, int c) {
+                int* p;
+                p = &x;
+                if (c > 0) { p = &c; }
+                *p = 3;
+            }
+            "#,
+        )
+        .unwrap();
+        let preds = parse_pred_file("f x == 0").unwrap();
+        assert!(lint_alias_precision(&program, &preds).is_empty());
+    }
+
+    #[test]
+    fn programs_without_pointers_never_warn() {
+        let program = parse_and_simplify("void f(int x) { x = 1; }").unwrap();
+        let preds = parse_pred_file("f x == 0").unwrap();
+        assert!(lint_alias_precision(&program, &preds).is_empty());
+    }
+}

@@ -24,9 +24,11 @@
 
 use crate::preds::Pred;
 use bp::BExpr;
-use cparse::ast::{BinOp, Expr, Type, UnOp};
+use cparse::ast::{BinOp, Expr, Program, Type, UnOp};
 use cparse::typeck::TypeEnv;
+use pointsto::AliasOracle;
 use prover::{Formula, Prover, ProverSession, SessionStats, Translator};
+use std::collections::HashMap;
 
 /// Tunable knobs for the cube search (see module docs).
 #[derive(Debug, Clone)]
@@ -105,6 +107,10 @@ pub struct CubeSearch<'a> {
     /// served by the shared cache never reaches a session), so they are
     /// diagnostics, not deterministic outputs.
     pub session_stats: SessionStats,
+    /// Alias groups of the enclosing function, refining the cone of
+    /// influence (`None` keeps the legacy any-deref-links-any-deref
+    /// behavior — the unification mode).
+    pub groups: Option<&'a AliasGroups>,
 }
 
 impl<'a> CubeSearch<'a> {
@@ -122,6 +128,7 @@ impl<'a> CubeSearch<'a> {
             options,
             stats: CubeStats::default(),
             session_stats: SessionStats::default(),
+            groups: None,
         }
     }
 
@@ -156,7 +163,7 @@ impl<'a> CubeSearch<'a> {
             }
         }
         let relevant: Vec<&ScopeVar> = if self.options.cone_of_influence {
-            cone_of_influence(vars, phi)
+            cone_of_influence(vars, phi, self.groups)
         } else {
             vars.iter().collect()
         };
@@ -345,11 +352,120 @@ impl<'a> CubeSearch<'a> {
     }
 }
 
+/// Per-function alias groups: variables are placed in the same group
+/// when the storage they denote or point into may overlap according to
+/// the active points-to analysis (pointers by `targets_may_intersect`,
+/// pointer-vs-scalar by `may_point_to`). Influence tokens carry the
+/// group of their base variable, so the cone of influence links `*p`
+/// with `*q` (or `p->f` with `q->f`) only when `p` and `q` may reach
+/// common storage. With no groups, every dereference links to every
+/// other and any two same-named fields may alias — the legacy
+/// over-approximation, kept verbatim for the unification mode.
+#[derive(Debug, Clone, Default)]
+pub struct AliasGroups {
+    groups: HashMap<String, usize>,
+}
+
+impl AliasGroups {
+    /// Computes alias groups over the variables visible in `func`.
+    pub fn compute(program: &Program, oracle: &dyn AliasOracle, func: &str) -> AliasGroups {
+        let mut names: Vec<String> = program.globals.iter().map(|(g, _)| g.clone()).collect();
+        if let Some(f) = program.function(func) {
+            names.extend(f.params.iter().map(|p| p.name.clone()));
+            names.extend(f.locals.iter().map(|(l, _)| l.clone()));
+        }
+        names.sort();
+        names.dedup();
+        let is_ptr = |n: &str| {
+            program
+                .function(func)
+                .and_then(|f| f.var_type(n))
+                .or_else(|| program.global_type(n))
+                .map(Type::is_pointer_like)
+                .unwrap_or(false)
+        };
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut parent: Vec<usize> = (0..names.len()).collect();
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                let overlap = match (is_ptr(&names[i]), is_ptr(&names[j])) {
+                    (true, true) => oracle.targets_may_intersect(func, &names[i], func, &names[j]),
+                    (true, false) => oracle.may_point_to(func, &names[i], func, &names[j]),
+                    (false, true) => oracle.may_point_to(func, &names[j], func, &names[i]),
+                    // two non-pointers denote overlapping storage only
+                    // when they are the same variable
+                    (false, false) => false,
+                };
+                if overlap {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    // deterministic representative: the smaller index
+                    let (lo, hi) = if ri <= rj { (ri, rj) } else { (rj, ri) };
+                    parent[hi] = lo;
+                }
+            }
+        }
+        let groups = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), find(&mut parent, i)))
+            .collect();
+        AliasGroups { groups }
+    }
+
+    /// The group of `var`, when known.
+    pub fn group(&self, var: &str) -> Option<usize> {
+        self.groups.get(var).copied()
+    }
+}
+
+/// A token over which influence is computed: variable names, accessed
+/// field names, and dereferences, the latter two tagged with the alias
+/// group of their base variable when groups are available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// A named variable.
+    Var(String),
+    /// A dereference or index through a pointer in the given group.
+    Deref(Option<usize>),
+    /// An access to the named field of an object in the given group.
+    Field(String, Option<usize>),
+}
+
+impl Token {
+    fn groups_touch(a: Option<usize>, b: Option<usize>) -> bool {
+        match (a, b) {
+            (Some(x), Some(y)) => x == y,
+            // an unresolvable base may reach anything
+            _ => true,
+        }
+    }
+
+    /// May the storage these two tokens stand for overlap?
+    pub(crate) fn matches(&self, other: &Token) -> bool {
+        match (self, other) {
+            (Token::Var(a), Token::Var(b)) => a == b,
+            (Token::Deref(a), Token::Deref(b)) => Token::groups_touch(*a, *b),
+            (Token::Field(f, a), Token::Field(g, b)) => f == g && Token::groups_touch(*a, *b),
+            _ => false,
+        }
+    }
+}
+
 /// The syntactic cone of influence (§5.2, third optimization): starting
 /// from the tokens of `φ`, repeatedly add predicates sharing a variable or
-/// an accessed field, until a fixpoint.
-pub(crate) fn cone_of_influence<'v>(vars: &'v [ScopeVar], phi: &Expr) -> Vec<&'v ScopeVar> {
-    let mut tokens = influence_tokens(phi);
+/// an accessed field (of a possibly-overlapping object), until a fixpoint.
+pub(crate) fn cone_of_influence<'v>(
+    vars: &'v [ScopeVar],
+    phi: &Expr,
+    groups: Option<&AliasGroups>,
+) -> Vec<&'v ScopeVar> {
+    let mut tokens = influence_tokens(phi, groups);
     let mut included = vec![false; vars.len()];
     loop {
         let mut changed = false;
@@ -357,8 +473,8 @@ pub(crate) fn cone_of_influence<'v>(vars: &'v [ScopeVar], phi: &Expr) -> Vec<&'v
             if included[i] {
                 continue;
             }
-            let vt = influence_tokens(&v.expr);
-            if vt.iter().any(|t| tokens.contains(t)) {
+            let vt = influence_tokens(&v.expr, groups);
+            if vt.iter().any(|t| tokens.iter().any(|u| u.matches(t))) {
                 included[i] = true;
                 changed = true;
                 for t in vt {
@@ -378,31 +494,37 @@ pub(crate) fn cone_of_influence<'v>(vars: &'v [ScopeVar], phi: &Expr) -> Vec<&'v
     }
 }
 
-/// Tokens over which influence is computed: variable names and accessed
-/// field names (fields stand in for "a location or an alias of a
-/// location" — any two same-named fields may alias).
-pub(crate) fn influence_tokens(e: &Expr) -> Vec<String> {
+/// The alias group of the base variable of a dereference-shaped
+/// subexpression, when groups are available and the base is resolvable.
+fn base_group(base: &Expr, groups: Option<&AliasGroups>) -> Option<usize> {
+    match base {
+        Expr::Var(v) => groups?.group(v),
+        _ => None,
+    }
+}
+
+/// Tokens over which influence is computed (see [`Token`]).
+pub(crate) fn influence_tokens(e: &Expr, groups: Option<&AliasGroups>) -> Vec<Token> {
     let mut out = Vec::new();
-    e.walk(&mut |sub| match sub {
-        Expr::Var(v) => {
-            let t = format!("v:{v}");
-            if !out.contains(&t) {
-                out.push(t);
+    e.walk(&mut |sub| {
+        let t = match sub {
+            Expr::Var(v) => Token::Var(v.clone()),
+            Expr::Field(base, f) => {
+                let g = match &**base {
+                    Expr::Var(_) => base_group(base, groups),
+                    Expr::Unary(UnOp::Deref, p) => base_group(p, groups),
+                    Expr::Index(a, _) => base_group(a, groups),
+                    _ => None,
+                };
+                Token::Field(f.clone(), g)
             }
+            Expr::Unary(UnOp::Deref, p) => Token::Deref(base_group(p, groups)),
+            Expr::Index(a, _) => Token::Deref(base_group(a, groups)),
+            _ => return,
+        };
+        if !out.contains(&t) {
+            out.push(t);
         }
-        Expr::Field(_, f) => {
-            let t = format!("f:{f}");
-            if !out.contains(&t) {
-                out.push(t);
-            }
-        }
-        Expr::Unary(UnOp::Deref, _) | Expr::Index(_, _) => {
-            let t = "deref".to_string();
-            if !out.contains(&t) {
-                out.push(t);
-            }
-        }
-        _ => {}
     });
     out
 }

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod abs;
+pub mod aliaslint;
 pub mod cubes;
 mod live;
 pub mod preds;
@@ -38,6 +39,8 @@ pub use abs::{
     abstract_program, abstract_program_reusing, AbsError, AbsStats, Abstraction, C2bpOptions,
     PhaseSeconds, ReuseSession,
 };
-pub use cubes::{CubeOptions, CubeStats, ScopeVar};
+pub use aliaslint::{lint_alias_precision, AliasLintWarning};
+pub use cubes::{AliasGroups, CubeOptions, CubeStats, ScopeVar};
+pub use pointsto::AliasMode;
 pub use preds::{parse_pred_file, Pred, PredScope};
 pub use sig::{signature, Signature};

@@ -28,14 +28,14 @@
 //! pruned and unpruned abstractions byte-for-byte after normalization.
 
 use crate::abs::C2bpOptions;
-use crate::cubes::{cone_of_influence, ScopeVar};
+use crate::cubes::{cone_of_influence, AliasGroups, ScopeVar};
 use crate::wp::{wp_assign, WpCtx};
 use analysis::{solve, BitSet, Cfg, Direction};
 use cparse::ast::Function;
 use cparse::flow::{flatten_function, Instr};
 use cparse::typeck::TypeEnv;
 use cparse::StmtId;
-use pointsto::PointsTo;
+use pointsto::AliasOracle;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Live-after predicate names per assignment statement.
@@ -59,6 +59,10 @@ pub(crate) struct LiveInputs<'a> {
     /// statement id: branch/assert guard pairs, assume conditions, and
     /// complete call translations (actuals and update values).
     pub mentions: &'a HashMap<StmtId, Vec<String>>,
+    /// Alias groups of the function, so the cones computed here agree
+    /// with the ones the cube search will use (`None` under the
+    /// unification mode — the legacy field/deref over-approximation).
+    pub groups: Option<&'a AliasGroups>,
     pub options: &'a C2bpOptions,
 }
 
@@ -68,7 +72,7 @@ pub(crate) struct LiveInputs<'a> {
 /// un-flattenable body, duplicated or unassigned statement ids, shadowed
 /// predicate names — in which case the caller must treat every predicate
 /// as live (no pruning, exactly the unpruned abstraction).
-pub(crate) fn function_liveness(inp: &LiveInputs<'_>, pts: &mut PointsTo) -> Option<LiveMap> {
+pub(crate) fn function_liveness(inp: &LiveInputs<'_>, pts: &dyn AliasOracle) -> Option<LiveMap> {
     if !inp.options.cubes.cone_of_influence {
         return None; // cube search may mention anything: nothing is dead
     }
@@ -155,6 +159,7 @@ pub(crate) fn function_liveness(inp: &LiveInputs<'_>, pts: &mut PointsTo) -> Opt
                         let mut ctx = WpCtx {
                             env,
                             pts,
+                            may_disjuncts: 0,
                             func: func.name.clone(),
                             lookup: Box::new(move |name| {
                                 func.var_type(name)
@@ -174,10 +179,10 @@ pub(crate) fn function_liveness(inp: &LiveInputs<'_>, pts: &mut PointsTo) -> Opt
                         // The solved value `choose(F(p), F(n))` mentions
                         // only predicates in the cones of p and n.
                         let mut cone = BitSet::empty(bits);
-                        for v in cone_of_influence(inp.scope_vars, &p) {
+                        for v in cone_of_influence(inp.scope_vars, &p, inp.groups) {
                             cone.insert(index[v.name.as_str()]);
                         }
-                        for v in cone_of_influence(inp.scope_vars, &n) {
+                        for v in cone_of_influence(inp.scope_vars, &n, inp.groups) {
                             cone.insert(index[v.name.as_str()]);
                         }
                         rewritten.push((bit, cone));
@@ -258,12 +263,13 @@ mod tests {
     use super::*;
     use crate::preds::{parse_pred_file, Pred, PredScope};
     use cparse::parse_and_simplify;
+    use pointsto::PointsTo;
 
     fn liveness_of(src: &str, preds: &str, func: &str) -> Option<LiveMap> {
         let program = parse_and_simplify(src).unwrap();
         let preds = parse_pred_file(preds).unwrap();
         let env = TypeEnv::new(&program);
-        let mut pts = PointsTo::analyze(&program);
+        let pts = PointsTo::analyze(&program);
         let f = program.function(func).unwrap();
         let scope_vars: Vec<ScopeVar> = preds
             .iter()
@@ -306,9 +312,10 @@ mod tests {
             return_pred_names: &[],
             enforce_vars: &[],
             mentions: &mentions,
+            groups: None,
             options: &options,
         };
-        function_liveness(&inp, &mut pts)
+        function_liveness(&inp, &pts)
     }
 
     fn assign_lives(src: &str, preds: &str, func: &str) -> Vec<BTreeSet<String>> {
@@ -384,7 +391,7 @@ mod tests {
         let program = parse_and_simplify("void f(int x) { x = 0; }").unwrap();
         let preds = parse_pred_file("f x == 0").unwrap();
         let env = TypeEnv::new(&program);
-        let mut pts = PointsTo::analyze(&program);
+        let pts = PointsTo::analyze(&program);
         let f = program.function("f").unwrap();
         let scope_vars: Vec<ScopeVar> = preds.iter().map(ScopeVar::of_pred).collect();
         let mut options = C2bpOptions::paper_defaults();
@@ -397,9 +404,10 @@ mod tests {
             return_pred_names: &[],
             enforce_vars: &[],
             mentions: &HashMap::new(),
+            groups: None,
             options: &options,
         };
-        assert!(function_liveness(&inp, &mut pts).is_none());
+        assert!(function_liveness(&inp, &pts).is_none());
     }
 
     #[test]
@@ -407,7 +415,7 @@ mod tests {
         let program = parse_and_simplify("void f(int x, int y) { y = 0; }").unwrap();
         let preds = parse_pred_file("f y == 0").unwrap();
         let env = TypeEnv::new(&program);
-        let mut pts = PointsTo::analyze(&program);
+        let pts = PointsTo::analyze(&program);
         let f = program.function("f").unwrap();
         let scope_vars: Vec<ScopeVar> = preds.iter().map(ScopeVar::of_pred).collect();
         let options = C2bpOptions::paper_defaults();
@@ -420,9 +428,10 @@ mod tests {
             return_pred_names: &[],
             enforce_vars: &enforce,
             mentions: &HashMap::new(),
+            groups: None,
             options: &options,
         };
-        let live = function_liveness(&inp, &mut pts).unwrap();
+        let live = function_liveness(&inp, &pts).unwrap();
         assert!(live.values().all(|s| s.contains("y == 0")));
     }
 }

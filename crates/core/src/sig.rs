@@ -10,7 +10,7 @@
 use crate::preds::{Pred, PredScope};
 use analysis::ModRef;
 use cparse::ast::{Expr, Function, Program, Stmt};
-use pointsto::PointsTo;
+use pointsto::AliasOracle;
 
 /// The signature of one procedure's abstraction.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +55,7 @@ pub fn return_var(f: &Function) -> Option<String> {
 /// was only ever read.
 pub fn modified_formals(
     modref: &ModRef,
-    pts: &mut PointsTo,
+    pts: &dyn AliasOracle,
     program: &Program,
     f: &Function,
 ) -> Vec<String> {
@@ -69,7 +69,7 @@ pub fn signature(
     func: &Function,
     preds: &[Pred],
     modref: &ModRef,
-    pts: &mut PointsTo,
+    pts: &dyn AliasOracle,
 ) -> Signature {
     let local_preds: Vec<&Pred> = preds
         .iter()
@@ -127,16 +127,17 @@ mod tests {
     use super::*;
     use crate::preds::parse_pred_file;
     use cparse::parse_and_simplify;
+    use pointsto::PointsTo;
 
     fn sig_of(program: &Program, func: &str, preds: &[Pred]) -> Signature {
         let modref = ModRef::analyze(program);
-        let mut pts = PointsTo::analyze(program);
+        let pts = PointsTo::analyze(program);
         signature(
             program,
             program.function(func).unwrap(),
             preds,
             &modref,
-            &mut pts,
+            &pts,
         )
     }
 
@@ -189,9 +190,9 @@ mod tests {
         let sig = sig_of(&program, "bar", &preds);
         assert!(sig.return_preds.is_empty(), "{:?}", sig.return_preds);
         let modref = ModRef::analyze(&program);
-        let mut pts = PointsTo::analyze(&program);
+        let pts = PointsTo::analyze(&program);
         let bar = program.function("bar").unwrap();
-        assert!(modified_formals(&modref, &mut pts, &program, bar).contains(&"y".to_string()));
+        assert!(modified_formals(&modref, &pts, &program, bar).contains(&"y".to_string()));
     }
 
     #[test]

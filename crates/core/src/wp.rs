@@ -17,7 +17,7 @@
 
 use cparse::ast::{BinOp, Expr, Type, UnOp};
 use cparse::typeck::TypeEnv;
-use pointsto::PointsTo;
+use pointsto::AliasOracle;
 
 /// Can two memory cells of these types be the same cell? Stricter than
 /// expression-level compatibility: an `int` cell is never a pointer cell
@@ -54,8 +54,11 @@ pub enum AliasCase {
 pub struct WpCtx<'a> {
     /// Typing environment.
     pub env: &'a TypeEnv,
-    /// The points-to analysis results.
-    pub pts: &'a mut PointsTo,
+    /// The points-to analysis results (whichever mode is selected).
+    pub pts: &'a dyn AliasOracle,
+    /// Alias-case `May` disjuncts emitted by [`wp_assign`] through this
+    /// context (the quantity sharper points-to facts reduce).
+    pub may_disjuncts: u64,
     /// Enclosing function name.
     pub func: String,
     /// Variable-type lookup for the enclosing scope.
@@ -105,6 +108,16 @@ impl WpCtx<'_> {
             (Shape::Var(_), Shape::Field(_, _)) | (Shape::Field(_, _), Shape::Var(_)) => {
                 AliasCase::Never
             }
+            (Shape::Var(v), Shape::DirectField(s, _))
+            | (Shape::DirectField(s, _), Shape::Var(v)) => {
+                if v == s {
+                    // whole-object assignment rewrites the interior field;
+                    // not expressible as a substitution on the field lvalue
+                    AliasCase::Unknown
+                } else {
+                    AliasCase::Never
+                }
+            }
             (Shape::Var(v), Shape::Deref(p)) | (Shape::Deref(p), Shape::Var(v)) => {
                 if let Some(pv) = Self::base_var(p) {
                     if !self.pts.may_point_to(&func, pv, &func, v) {
@@ -140,6 +153,44 @@ impl WpCtx<'_> {
             }
             (Shape::Deref(p), Shape::Field(q, f)) => self.deref_vs_field(p, q, f),
             (Shape::Field(q, f), Shape::Deref(p)) => self.deref_vs_field(p, q, f),
+            (Shape::Deref(p), Shape::DirectField(s, f))
+            | (Shape::DirectField(s, f), Shape::Deref(p)) => {
+                // *p aliases s.f iff p == &s.f; the oracle knows whether p
+                // can reach the object s at all
+                if let Some(pv) = Self::base_var(p) {
+                    if !self.pts.may_point_to(&func, pv, &func, s) {
+                        return AliasCase::Never;
+                    }
+                }
+                let field_lv = Expr::Var(s.to_string()).field(f.to_string());
+                AliasCase::May(Expr::bin(BinOp::Eq, (*p).clone(), field_lv.addr_of()))
+            }
+            (Shape::Field(q, g), Shape::DirectField(s, f))
+            | (Shape::DirectField(s, f), Shape::Field(q, g)) => {
+                // q->g aliases s.f only for the same field, with q == &s
+                if f != g {
+                    return AliasCase::Never;
+                }
+                if let Some(qv) = Self::base_var(q) {
+                    if !self.pts.may_point_to(&func, qv, &func, s) {
+                        return AliasCase::Never;
+                    }
+                }
+                AliasCase::May(Expr::bin(
+                    BinOp::Eq,
+                    (*q).clone(),
+                    Expr::Var(s.to_string()).addr_of(),
+                ))
+            }
+            (Shape::DirectField(s, f), Shape::DirectField(t, g)) => {
+                // distinct named objects have disjoint interiors; distinct
+                // fields of one object never overlap (syntactic equality
+                // was already Must above)
+                let _ = (s, f, t, g);
+                AliasCase::Never
+            }
+            (Shape::DirectField(_, _), Shape::Index(_, _))
+            | (Shape::Index(_, _), Shape::DirectField(_, _)) => AliasCase::Unknown,
             (Shape::Field(p, f), Shape::Field(q, g)) => {
                 if f != g {
                     return AliasCase::Never;
@@ -214,6 +265,8 @@ enum Shape<'a> {
     Deref(&'a Expr),
     /// `base_ptr->field` (base is the *pointer*, not the struct value).
     Field(&'a Expr, &'a str),
+    /// `object.field` — a field of a *named* struct object.
+    DirectField(&'a str, &'a str),
     Index(&'a Expr, &'a Expr),
     Other,
 }
@@ -224,7 +277,8 @@ fn shape(e: &Expr) -> Shape<'_> {
         Expr::Unary(UnOp::Deref, p) => Shape::Deref(p),
         Expr::Field(base, f) => match &**base {
             Expr::Unary(UnOp::Deref, p) => Shape::Field(p, f),
-            // x.f: treat as a field of the object &x
+            // x.f: a field of the named object x
+            Expr::Var(s) => Shape::DirectField(s, f),
             _ => Shape::Other,
         },
         Expr::Index(a, i) => Shape::Index(a, i),
@@ -244,6 +298,26 @@ pub fn locations(phi: &Expr) -> Vec<Expr> {
     out
 }
 
+/// Would [`WpCtx::alias_case`] reach a *decisive* answer (`Never`,
+/// `Must`, or points-to-prunable `May`) for this location against an
+/// assigned plain variable whose address is never taken? Shapes with
+/// unresolvable bases (`Shape::Other`, non-variable pointer bases) fall
+/// through to unconditional `May`/`Unknown` regardless of points-to
+/// facts, so the aliasing-possible gates in `abs.rs` must not treat
+/// them as refutable.
+pub(crate) fn decisive_against_unaliased_var(loc: &Expr) -> bool {
+    match loc {
+        Expr::Var(_) => true,
+        Expr::Unary(UnOp::Deref, p) => matches!(&**p, Expr::Var(_)),
+        // p->f is Shape::Field (Never against a variable); s.f is
+        // Shape::DirectField, which is Unknown against the object s
+        // itself (whole-struct assignment), so it stays non-decisive
+        Expr::Field(base, _) => matches!(&**base, Expr::Unary(UnOp::Deref, _)),
+        Expr::Index(a, _) => matches!(&**a, Expr::Var(_)),
+        _ => false,
+    }
+}
+
 /// `WP(lhs = rhs, φ)` under Morris' axiom with alias pruning.
 ///
 /// Returns `None` when some may-alias pair has no expressible alias
@@ -258,6 +332,7 @@ pub fn wp_assign(ctx: &mut WpCtx<'_>, lhs: &Expr, rhs: &Expr, phi: &Expr) -> Opt
                 wp = wp.subst_expr(&y, rhs);
             }
             AliasCase::May(cond) => {
+                ctx.may_disjuncts += 1;
                 let hit = Expr::bin(BinOp::And, cond.clone(), wp.subst_expr(&y, rhs));
                 let miss = Expr::bin(BinOp::And, Expr::un(UnOp::Not, cond), wp.clone());
                 wp = Expr::bin(BinOp::Or, hit, miss);
@@ -282,6 +357,7 @@ mod tests {
     use super::*;
     use cparse::parser::{parse_expr, parse_program};
     use cparse::simplify::simplify_program;
+    use pointsto::PointsTo;
 
     fn setup(src: &str, func: &str) -> (cparse::Program, TypeEnv, PointsTo, String) {
         let p = parse_program(src).unwrap();
@@ -294,7 +370,7 @@ mod tests {
     fn wp_str(
         program: &cparse::Program,
         env: &TypeEnv,
-        pts: &mut PointsTo,
+        pts: &PointsTo,
         func: &str,
         lhs: &str,
         rhs: &str,
@@ -304,6 +380,7 @@ mod tests {
         let mut ctx = WpCtx {
             env,
             pts,
+            may_disjuncts: 0,
             func: func.to_string(),
             lookup: Box::new(move |n| f.var_type(n).cloned()),
         };
@@ -324,8 +401,8 @@ mod tests {
     #[test]
     fn plain_substitution_without_pointers() {
         // WP(x = x + 1, x < 5) = x + 1 < 5
-        let (p, env, mut pts, f) = setup("void f(int x) { x = x + 1; }", "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "x", "x + 1", "x < 5").unwrap();
+        let (p, env, pts, f) = setup("void f(int x) { x = x + 1; }", "f");
+        let wp = wp_str(&p, &env, &pts, &f, "x", "x + 1", "x < 5").unwrap();
         assert_eq!(wp, "x + 1 < 5");
     }
 
@@ -333,8 +410,8 @@ mod tests {
     fn morris_axiom_for_possible_alias() {
         // WP(x = 3, *p > 5) with p possibly pointing to x:
         // (p == &x && 3 > 5) || (!(p == &x) && *p > 5)
-        let (p, env, mut pts, f) = setup(SCALARS, "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "x", "3", "*p > 5").unwrap();
+        let (p, env, pts, f) = setup(SCALARS, "f");
+        let wp = wp_str(&p, &env, &pts, &f, "x", "3", "*p > 5").unwrap();
         assert!(wp.contains("p == &x"), "wp = {wp}");
         assert!(wp.contains("3 > 5"), "wp = {wp}");
         assert!(wp.contains("*p > 5"), "wp = {wp}");
@@ -350,8 +427,8 @@ mod tests {
                 x = 3;
             }
         "#;
-        let (p, env, mut pts, f) = setup(src, "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "x", "3", "*q > 5").unwrap();
+        let (p, env, pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &pts, &f, "x", "3", "*q > 5").unwrap();
         assert_eq!(wp, "*q > 5");
     }
 
@@ -363,12 +440,12 @@ mod tests {
                 prev->next = nextcurr;
             }
         "#;
-        let (p, env, mut pts, f) = setup(src, "f");
+        let (p, env, pts, f) = setup(src, "f");
         // assignment to prev->next leaves curr->val alone
         let wp = wp_str(
             &p,
             &env,
-            &mut pts,
+            &pts,
             &f,
             "prev->next",
             "nextcurr",
@@ -386,8 +463,8 @@ mod tests {
                 curr->val = v;
             }
         "#;
-        let (p, env, mut pts, f) = setup(src, "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "curr->val", "0", "prev->val > v").unwrap();
+        let (p, env, pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &pts, &f, "curr->val", "0", "prev->val > v").unwrap();
         assert!(
             wp.contains("curr == prev") || wp.contains("prev == curr"),
             "wp={wp}"
@@ -403,8 +480,8 @@ mod tests {
                 prev = curr;
             }
         "#;
-        let (p, env, mut pts, f) = setup(src, "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "prev", "curr", "prev->val > v").unwrap();
+        let (p, env, pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &pts, &f, "prev", "curr", "prev->val > v").unwrap();
         assert_eq!(wp, "curr->val > v");
     }
 
@@ -415,8 +492,8 @@ mod tests {
             typedef struct cell { int val; struct cell* next; } *list;
             void f(list p, int v) { v = 3; }
         "#;
-        let (prog, env, mut pts, f) = setup(src, "f");
-        let wp = wp_str(&prog, &env, &mut pts, &f, "v", "3", "p->val > 0").unwrap();
+        let (prog, env, pts, f) = setup(src, "f");
+        let wp = wp_str(&prog, &env, &pts, &f, "v", "3", "p->val > 0").unwrap();
         assert_eq!(wp, "p->val > 0");
     }
 
@@ -426,21 +503,22 @@ mod tests {
             int a[10];
             void f(int i, int j) { a[i] = 0; }
         "#;
-        let (p, env, mut pts, f) = setup(src, "f");
-        let wp = wp_str(&p, &env, &mut pts, &f, "a[i]", "0", "a[j] > 1").unwrap();
+        let (p, env, pts, f) = setup(src, "f");
+        let wp = wp_str(&p, &env, &pts, &f, "a[i]", "0", "a[j] > 1").unwrap();
         assert!(wp.contains("i == j") || wp.contains("j == i"), "wp={wp}");
         // and identical indices substitute outright
-        let wp2 = wp_str(&p, &env, &mut pts, &f, "a[i]", "0", "a[i] > 1").unwrap();
+        let wp2 = wp_str(&p, &env, &pts, &f, "a[i]", "0", "a[i] > 1").unwrap();
         assert_eq!(wp2, "0 > 1");
     }
 
     #[test]
     fn unaffected_detects_identity() {
-        let (p, env, mut pts, f) = setup("void f(int x, int y) { x = 1; }", "f");
+        let (p, env, pts, f) = setup("void f(int x, int y) { x = 1; }", "f");
         let fun = p.function(&f).unwrap();
         let mut ctx = WpCtx {
             env: &env,
-            pts: &mut pts,
+            pts: &pts,
+            may_disjuncts: 0,
             func: f.clone(),
             lookup: Box::new(move |n| fun.var_type(n).cloned()),
         };

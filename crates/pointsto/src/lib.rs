@@ -1,32 +1,50 @@
-//! Flow-insensitive, context-insensitive may-alias analysis.
+//! Flow-insensitive, context-insensitive may-alias analyses.
 //!
 //! This crate plays the role of Das's points-to analysis \[12\] in the
 //! paper: C2bp consults it to prune the alias-case disjuncts of Morris'
 //! axiom of assignment (§4.2) and to bound the set of predicates a
 //! procedure call may affect (§4.5.3).
 //!
-//! The implementation is a unification-based (Steensgaard-style) analysis
-//! over abstract storage nodes: one node per variable, one per `malloc`
-//! site, and *phantom* nodes created on demand for pointer targets.
-//! Structs are collapsed (field-insensitive) — field disambiguation is
-//! done later, syntactically, by the weakest-precondition module, which is
-//! sound because two lvalues `p->f` and `q->g` with `f != g` never alias
-//! regardless of where `p` and `q` point.
+//! Two analyses are provided behind the [`AliasOracle`] trait:
+//!
+//! * [`PointsTo`] — a unification-based (Steensgaard-style) analysis
+//!   over abstract storage nodes: one node per variable, one per
+//!   `malloc` site, and *phantom* nodes created on demand for pointer
+//!   targets. Structs are collapsed (field-insensitive). Assignments
+//!   unify the targets of both sides, so flow is symmetric.
+//! * [`Inclusion`] — an inclusion-based (Andersen-style) subset
+//!   constraint solver with field sensitivity and one-level-flow-style
+//!   directionality in the spirit of Das: an assignment `p = q` only
+//!   adds the *subset* edge `pts(q) ⊆ pts(p)`, never the reverse, and
+//!   struct fields get distinct cells per (object, field name). Every
+//!   inclusion points-to set is, by construction, a subset of the
+//!   corresponding unification set (checked structurally by
+//!   [`subset_violations`]).
+//!
+//! Field disambiguation for the *unification* analysis is done later,
+//! syntactically, by the weakest-precondition module, which is sound
+//! because two lvalues `p->f` and `q->g` with `f != g` never alias
+//! regardless of where `p` and `q` point; the inclusion analysis
+//! additionally refutes `p->f` vs `q->f` when `p` and `q` provably
+//! point to different objects.
 //!
 //! # Example
 //!
 //! ```
 //! use cparse::parse_and_simplify;
-//! use pointsto::PointsTo;
+//! use pointsto::{AliasOracle, Inclusion, PointsTo};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let program = parse_and_simplify(
 //!     "void f(int a, int b) { int *p; int *q; p = &a; q = &b; *p = 1; }",
 //! )?;
-//! let mut pts = PointsTo::analyze(&program);
+//! let pts = PointsTo::analyze(&program);
 //! assert!(pts.may_point_to("f", "p", "f", "a"));
 //! assert!(!pts.may_point_to("f", "p", "f", "b"));
 //! assert!(!pts.targets_may_intersect("f", "p", "f", "q"));
+//! let inc = Inclusion::analyze(&program);
+//! assert!(inc.may_point_to("f", "p", "f", "a"));
+//! assert!(!inc.targets_may_intersect("f", "p", "f", "q"));
 //! # Ok(())
 //! # }
 //! ```
@@ -34,7 +52,60 @@
 #![warn(missing_docs)]
 
 use cparse::ast::{Expr, Program, Stmt, UnOp};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which points-to analysis backs the alias oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AliasMode {
+    /// Steensgaard-style unification ([`PointsTo`]).
+    Unify,
+    /// Andersen/Das-style inclusion with field sensitivity
+    /// ([`Inclusion`]); the paper's configuration, so the default.
+    #[default]
+    Inclusion,
+}
+
+impl std::fmt::Display for AliasMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AliasMode::Unify => write!(f, "unify"),
+            AliasMode::Inclusion => write!(f, "inclusion"),
+        }
+    }
+}
+
+impl std::str::FromStr for AliasMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<AliasMode, String> {
+        match s {
+            "unify" => Ok(AliasMode::Unify),
+            "inclusion" => Ok(AliasMode::Inclusion),
+            other => Err(format!("unknown alias mode `{other}` (unify|inclusion)")),
+        }
+    }
+}
+
+/// May-alias queries C2bp asks of a points-to analysis.
+///
+/// All answers are conservative: `false` is definitive ("never"), `true`
+/// means "maybe". Implementations answer from immutable solved state so
+/// one oracle can be shared across abstraction worker threads.
+pub trait AliasOracle: Send + Sync {
+    /// May pointer variable `p` (in `p_func`) point to variable `x` (in
+    /// `x_func`)?
+    fn may_point_to(&self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool;
+    /// May pointer variables `p` and `q` point into the same object?
+    fn targets_may_intersect(&self, p_func: &str, p: &str, q_func: &str, q: &str) -> bool;
+    /// Is the address of variable `x` ever taken?
+    fn address_taken(&self, func: &str, x: &str) -> bool;
+    /// The rendered points-to set of `var` (named objects plus
+    /// `<external>` for the unknown outside world; phantom/heap-proxy
+    /// nodes are omitted), or `None` when the variable is unknown.
+    fn points_to_set(&self, func: &str, var: &str) -> Option<BTreeSet<String>>;
+    /// Which analysis this oracle is.
+    fn mode(&self) -> AliasMode;
+}
 
 /// The scope a variable belongs to.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -51,6 +122,14 @@ enum Loc {
     Heap(u32),
 }
 
+fn render_loc(loc: &Loc) -> String {
+    match loc {
+        Loc::Var(Scope::Global, n) => n.clone(),
+        Loc::Var(Scope::Fn(f), n) => format!("{f}::{n}"),
+        Loc::Heap(k) => format!("heap#{k}"),
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum ValueRef {
     /// The value stored in this node (a variable's contents).
@@ -59,12 +138,10 @@ enum ValueRef {
     Address(usize),
 }
 
-/// The result of the analysis; answers may-alias queries.
+/// The unification (Steensgaard-style) analysis.
 ///
-/// `Clone` exists so parallel abstraction workers can each own a copy:
-/// queries take `&mut self` (path compression, on-demand phantom
-/// targets) but their *answers* are independent of query order, so
-/// clones stay observably equivalent.
+/// Queries take `&self`: the constraint-generation phase is the only
+/// mutating phase, and query answers are independent of query order.
 #[derive(Debug, Default, Clone)]
 pub struct PointsTo {
     parent: Vec<usize>,
@@ -158,6 +235,14 @@ impl PointsTo {
     fn find(&mut self, mut n: usize) -> usize {
         while self.parent[n] != n {
             self.parent[n] = self.parent[self.parent[n]];
+            n = self.parent[n];
+        }
+        n
+    }
+
+    /// Read-only root lookup (no path compression) for query time.
+    fn findr(&self, mut n: usize) -> usize {
+        while self.parent[n] != n {
             n = self.parent[n];
         }
         n
@@ -356,7 +441,7 @@ impl PointsTo {
 
     // -- queries -------------------------------------------------------------
 
-    fn lookup(&mut self, func: &str, name: &str) -> Option<usize> {
+    fn lookup(&self, func: &str, name: &str) -> Option<usize> {
         let fn_loc = Loc::Var(Scope::Fn(func.to_string()), name.to_string());
         if let Some(id) = self.ids.get(&fn_loc) {
             return Some(*id);
@@ -368,39 +453,768 @@ impl PointsTo {
 
     /// May pointer variable `p` (in `p_func`) point to variable `x` (in
     /// `x_func`)? `false` is definitive; `true` means "maybe".
-    pub fn may_point_to(&mut self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool {
+    pub fn may_point_to(&self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool {
         let (Some(pn), Some(xn)) = (self.lookup(p_func, p), self.lookup(x_func, x)) else {
             return true; // unknown names: be conservative
         };
-        let xr = self.find(xn);
+        let xr = self.findr(xn);
         if !self.addr_taken.contains(&xr) {
             return false;
         }
-        let tp = self.target(pn);
-        self.find(tp) == self.find(xr)
+        match self.pts[self.findr(pn)] {
+            // a pointer never assigned points to nothing known
+            None => false,
+            Some(t) => self.findr(t) == xr,
+        }
     }
 
     /// May pointer variables `p` and `q` point into the same object?
     /// `false` is definitive.
-    pub fn targets_may_intersect(&mut self, p_func: &str, p: &str, q_func: &str, q: &str) -> bool {
+    pub fn targets_may_intersect(&self, p_func: &str, p: &str, q_func: &str, q: &str) -> bool {
         let (Some(pn), Some(qn)) = (self.lookup(p_func, p), self.lookup(q_func, q)) else {
             return true;
         };
-        let tp = self.target(pn);
-        let tq = self.target(qn);
-        self.find(tp) == self.find(tq)
+        let rp = self.findr(pn);
+        let rq = self.findr(qn);
+        if rp == rq {
+            // same class: identical (possibly phantom) target
+            return true;
+        }
+        match (self.pts[rp], self.pts[rq]) {
+            (Some(a), Some(b)) => self.findr(a) == self.findr(b),
+            // an unassigned pointer shares its target with nothing
+            _ => false,
+        }
     }
 
     /// Is the address of variable `x` ever taken?
-    pub fn address_taken(&mut self, func: &str, x: &str) -> bool {
+    pub fn address_taken(&self, func: &str, x: &str) -> bool {
         match self.lookup(func, x) {
             Some(n) => {
-                let r = self.find(n);
+                let r = self.findr(n);
                 self.addr_taken.contains(&r)
             }
             None => true,
         }
     }
+
+    /// The rendered points-to set of `var` (see [`AliasOracle::points_to_set`]).
+    pub fn points_to_set(&self, func: &str, var: &str) -> Option<BTreeSet<String>> {
+        let n = self.lookup(func, var)?;
+        let mut out = BTreeSet::new();
+        let Some(t) = self.pts[self.findr(n)] else {
+            return Some(out);
+        };
+        let tr = self.findr(t);
+        for (loc, id) in &self.ids {
+            if self.findr(*id) == tr {
+                out.insert(render_loc(loc));
+            }
+        }
+        if self.input_blob.map(|b| self.findr(b) == tr) == Some(true) {
+            out.insert("<external>".to_string());
+        }
+        Some(out)
+    }
+}
+
+impl AliasOracle for PointsTo {
+    fn may_point_to(&self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool {
+        PointsTo::may_point_to(self, p_func, p, x_func, x)
+    }
+    fn targets_may_intersect(&self, p_func: &str, p: &str, q_func: &str, q: &str) -> bool {
+        PointsTo::targets_may_intersect(self, p_func, p, q_func, q)
+    }
+    fn address_taken(&self, func: &str, x: &str) -> bool {
+        PointsTo::address_taken(self, func, x)
+    }
+    fn points_to_set(&self, func: &str, var: &str) -> Option<BTreeSet<String>> {
+        PointsTo::points_to_set(self, func, var)
+    }
+    fn mode(&self) -> AliasMode {
+        AliasMode::Unify
+    }
+}
+
+// -- inclusion analysis ------------------------------------------------------
+
+/// Node kinds in the inclusion constraint graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum IKind {
+    /// A named object (variable or heap allocation site).
+    Obj(Loc),
+    /// The field `f` of the object another node denotes.
+    Field(usize, String),
+    /// The unknown outside world (escaped / caller-provided storage).
+    External,
+    /// Placeholder target seeded under an otherwise-unconstrained
+    /// dereferenced pointer (mirrors the unification phantoms).
+    Phantom,
+    /// Value-carrying temporary (load results, address-of values).
+    Proxy,
+}
+
+/// Where an lvalue's storage is, as a constraint sink: either a node we
+/// know statically, or "the `field` cell of whatever `ptr` points to".
+enum Sink {
+    Node(usize),
+    Store { ptr: usize, field: Option<String> },
+}
+
+/// The inclusion-based (Andersen/Das-style) analysis: directional subset
+/// constraints over a constraint graph with per-(object, field) cells.
+///
+/// Strictly more precise than [`PointsTo`] — every points-to set it
+/// computes is a subset of the unification analysis' set for the same
+/// variable ([`subset_violations`] checks this over whole programs).
+#[derive(Debug, Default, Clone)]
+pub struct Inclusion {
+    kinds: Vec<IKind>,
+    /// `pts[n]` = nodes the values stored in `n` may point to.
+    pts: Vec<BTreeSet<usize>>,
+    /// Copy edges `a -> b`: `pts(b) ⊇ pts(a)`.
+    succ: Vec<BTreeSet<usize>>,
+    ids: HashMap<Loc, usize>,
+    fields: HashMap<(usize, String), usize>,
+    addr_taken: HashSet<usize>,
+    seeded: HashSet<usize>,
+    /// Memoized load proxies per `(ptr, field)` so chained indirection
+    /// (`**pp`) routes stores and loads through shared cells.
+    load_memo: HashMap<(usize, Option<String>), usize>,
+    /// Deferred complex constraints `(ptr, field, node)`, resolved
+    /// against `pts(ptr)` at solve time.
+    loads: Vec<(usize, Option<String>, usize)>,
+    stores: Vec<(usize, Option<String>, usize)>,
+    addr_fields: Vec<(usize, String, usize)>,
+    external: usize,
+}
+
+impl Inclusion {
+    /// Runs the analysis over a (simplified or unsimplified) program.
+    pub fn analyze(program: &Program) -> Inclusion {
+        let mut a = Inclusion::default();
+        let ext = a.fresh(IKind::External);
+        a.external = ext;
+        // self-referential: pointers inside the unknown world point back
+        // into it (callers may pass aliased or cyclic structures)
+        a.pts[ext].insert(ext);
+        let mut heap_counter = 0u32;
+        for (g, ty) in &program.globals {
+            let n = a.node(Loc::Var(Scope::Global, g.clone()));
+            if ty.is_pointer_like() {
+                a.pts[n].insert(ext);
+            }
+        }
+        for f in &program.functions {
+            for p in &f.params {
+                let n = a.node(Loc::Var(Scope::Fn(f.name.clone()), p.name.clone()));
+                if p.ty.is_pointer_like() {
+                    a.pts[n].insert(ext);
+                }
+            }
+            for (l, _) in &f.locals {
+                a.node(Loc::Var(Scope::Fn(f.name.clone()), l.clone()));
+            }
+        }
+        for f in &program.functions {
+            let fname = f.name.clone();
+            let mut stmts = Vec::new();
+            f.body.walk(&mut |s| stmts.push(s.clone()));
+            for s in stmts {
+                a.process_stmt(program, &fname, &s, &mut heap_counter);
+            }
+        }
+        a.solve();
+        a
+    }
+
+    // -- graph construction --------------------------------------------------
+
+    fn fresh(&mut self, kind: IKind) -> usize {
+        let id = self.kinds.len();
+        self.kinds.push(kind);
+        self.pts.push(BTreeSet::new());
+        self.succ.push(BTreeSet::new());
+        id
+    }
+
+    fn node(&mut self, loc: Loc) -> usize {
+        if let Some(id) = self.ids.get(&loc) {
+            return *id;
+        }
+        let id = self.fresh(IKind::Obj(loc.clone()));
+        self.ids.insert(loc, id);
+        id
+    }
+
+    fn var_node(&mut self, program: &Program, func: &str, name: &str) -> usize {
+        let scope = if program
+            .function(func)
+            .map(|f| f.var_type(name).is_some())
+            .unwrap_or(false)
+        {
+            Scope::Fn(func.to_string())
+        } else {
+            Scope::Global
+        };
+        self.node(Loc::Var(scope, name.to_string()))
+    }
+
+    /// The `(t, f)` field cell; the external world and `None` fields
+    /// collapse to the base node itself.
+    fn cell(&mut self, t: usize, f: Option<&str>) -> usize {
+        let Some(f) = f else { return t };
+        if t == self.external {
+            return self.external;
+        }
+        if let Some(&c) = self.fields.get(&(t, f.to_string())) {
+            return c;
+        }
+        let c = self.fresh(IKind::Field(t, f.to_string()));
+        self.fields.insert((t, f.to_string()), c);
+        c
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) -> bool {
+        from != to && self.succ[from].insert(to)
+    }
+
+    /// Guarantees a dereferenced pointer has at least one (phantom)
+    /// target, so stores and loads through it stay connected even when
+    /// nothing constrains where it points (the unification analysis gets
+    /// this from on-demand phantom targets).
+    fn ensure_seed(&mut self, ptr: usize) {
+        if !self.seeded.insert(ptr) {
+            return;
+        }
+        let ph = self.fresh(IKind::Phantom);
+        self.pts[ptr].insert(ph);
+    }
+
+    /// The named object a target node is (part of), if any.
+    fn obj_root(&self, mut n: usize) -> Option<usize> {
+        loop {
+            match &self.kinds[n] {
+                IKind::Obj(_) => return Some(n),
+                IKind::Field(b, _) => n = *b,
+                _ => return None,
+            }
+        }
+    }
+
+    // -- constraint generation ----------------------------------------------
+
+    fn lvalue_sink(&mut self, program: &Program, func: &str, lv: &Expr) -> Option<Sink> {
+        match lv {
+            Expr::Var(x) => Some(Sink::Node(self.var_node(program, func, x))),
+            Expr::Unary(UnOp::Deref, p) => {
+                let pv = self.value_node(program, func, p)?;
+                Some(Sink::Store {
+                    ptr: pv,
+                    field: None,
+                })
+            }
+            Expr::Field(base, f) => match &**base {
+                Expr::Unary(UnOp::Deref, p) => {
+                    let pv = self.value_node(program, func, p)?;
+                    Some(Sink::Store {
+                        ptr: pv,
+                        field: Some(f.clone()),
+                    })
+                }
+                Expr::Index(b, _) => {
+                    let pv = self.value_node(program, func, b)?;
+                    Some(Sink::Store {
+                        ptr: pv,
+                        field: Some(f.clone()),
+                    })
+                }
+                lv2 => match self.lvalue_sink(program, func, lv2)? {
+                    Sink::Node(n) => Some(Sink::Node(self.cell(n, Some(f)))),
+                    // a nested complex base collapses to the outer field
+                    Sink::Store { ptr, .. } => Some(Sink::Store {
+                        ptr,
+                        field: Some(f.clone()),
+                    }),
+                },
+            },
+            Expr::Index(b, _) => {
+                let pv = self.value_node(program, func, b)?;
+                Some(Sink::Store {
+                    ptr: pv,
+                    field: None,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The node whose points-to set is the value of `e`, or `None` for
+    /// expressions carrying no pointer.
+    fn value_node(&mut self, program: &Program, func: &str, e: &Expr) -> Option<usize> {
+        match e {
+            Expr::Var(x) => Some(self.var_node(program, func, x)),
+            Expr::Unary(UnOp::AddrOf, inner) => {
+                let sink = self.lvalue_sink(program, func, inner)?;
+                Some(self.addr_value(sink))
+            }
+            Expr::Unary(UnOp::Deref, _) | Expr::Field(..) | Expr::Index(..) => {
+                let sink = self.lvalue_sink(program, func, e)?;
+                Some(self.read_sink(sink))
+            }
+            Expr::Binary(_, l, r) => {
+                if let Some(v) = self.value_node(program, func, l) {
+                    Some(v)
+                } else {
+                    self.value_node(program, func, r)
+                }
+            }
+            Expr::Unary(_, inner) => self.value_node(program, func, inner),
+            _ => None,
+        }
+    }
+
+    fn read_sink(&mut self, sink: Sink) -> usize {
+        match sink {
+            Sink::Node(n) => n,
+            Sink::Store { ptr, field } => {
+                self.ensure_seed(ptr);
+                if let Some(&d) = self.load_memo.get(&(ptr, field.clone())) {
+                    return d;
+                }
+                let d = self.fresh(IKind::Proxy);
+                self.load_memo.insert((ptr, field.clone()), d);
+                self.loads.push((ptr, field, d));
+                d
+            }
+        }
+    }
+
+    fn addr_value(&mut self, sink: Sink) -> usize {
+        match sink {
+            Sink::Node(n) => {
+                if let Some(o) = self.obj_root(n) {
+                    self.addr_taken.insert(o);
+                }
+                let a = self.fresh(IKind::Proxy);
+                self.pts[a].insert(n);
+                a
+            }
+            // `&*p` (and `&a[i]` after array decay) is just `p`'s value
+            Sink::Store { ptr, field: None } => ptr,
+            Sink::Store {
+                ptr,
+                field: Some(f),
+            } => {
+                self.ensure_seed(ptr);
+                let a = self.fresh(IKind::Proxy);
+                self.addr_fields.push((ptr, f, a));
+                a
+            }
+        }
+    }
+
+    /// Constraint for `sink = value-of(v)`.
+    fn connect(&mut self, sink: Sink, v: usize) {
+        match sink {
+            Sink::Node(n) => {
+                self.add_edge(v, n);
+            }
+            Sink::Store { ptr, field } => {
+                self.ensure_seed(ptr);
+                self.stores.push((ptr, field, v));
+            }
+        }
+    }
+
+    fn process_stmt(&mut self, program: &Program, func: &str, s: &Stmt, heap_counter: &mut u32) {
+        match s {
+            Stmt::Assign { lhs, rhs, .. } => {
+                let Some(dst) = self.lvalue_sink(program, func, lhs) else {
+                    return;
+                };
+                if let Some(v) = self.value_node(program, func, rhs) {
+                    self.connect(dst, v);
+                }
+            }
+            Stmt::Call {
+                dst,
+                func: callee,
+                args,
+                ..
+            } => {
+                if callee == "malloc" {
+                    if let Some(d) = dst {
+                        if let Some(dn) = self.lvalue_sink(program, func, d) {
+                            // heap counters advance in the same order as the
+                            // unification walk, so `heap#N` names line up in
+                            // the subset cross-check
+                            let h = self.node(Loc::Heap(*heap_counter));
+                            *heap_counter += 1;
+                            let a = self.fresh(IKind::Proxy);
+                            self.pts[a].insert(h);
+                            self.connect(dn, a);
+                        }
+                    }
+                    return;
+                }
+                let Some(cf) = program.function(callee) else {
+                    return;
+                };
+                let formals: Vec<String> = cf.params.iter().map(|p| p.name.clone()).collect();
+                for (formal, actual) in formals.iter().zip(args) {
+                    let fnode = self.node(Loc::Var(Scope::Fn(callee.clone()), formal.clone()));
+                    if let Some(v) = self.value_node(program, func, actual) {
+                        self.add_edge(v, fnode);
+                    }
+                }
+                if let Some(d) = dst {
+                    if let Some(dn) = self.lvalue_sink(program, func, d) {
+                        let r = self.node(Loc::Var(
+                            Scope::Fn(callee.clone()),
+                            cparse::simplify::RET_VAR.to_string(),
+                        ));
+                        self.connect(dn, r);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // -- solving -------------------------------------------------------------
+
+    /// Naive fixpoint over the subset constraints; the corpus graphs are
+    /// tiny (hundreds of nodes), so simplicity beats a worklist here.
+    fn solve(&mut self) {
+        loop {
+            let mut changed = false;
+            // external closure: once a pointer may point into the unknown
+            // world, everything stored there may flow back out of it
+            for n in 0..self.pts.len() {
+                if n != self.external && self.pts[n].contains(&self.external) {
+                    changed |= self.add_edge(self.external, n);
+                }
+            }
+            // copy edges
+            for a in 0..self.succ.len() {
+                if self.pts[a].is_empty() {
+                    continue;
+                }
+                let src = self.pts[a].clone();
+                let succs: Vec<usize> = self.succ[a].iter().copied().collect();
+                for b in succs {
+                    let before = self.pts[b].len();
+                    self.pts[b].extend(src.iter().copied());
+                    changed |= self.pts[b].len() != before;
+                }
+            }
+            // loads: dst ⊇ pts(cell(t, f)) for every target t of ptr
+            for i in 0..self.loads.len() {
+                let (p, f, d) = self.loads[i].clone();
+                for t in self.pts[p].clone() {
+                    let c = self.cell(t, f.as_deref());
+                    changed |= self.add_edge(c, d);
+                }
+            }
+            // stores: cell(t, f) ⊇ pts(src)
+            for i in 0..self.stores.len() {
+                let (p, f, s) = self.stores[i].clone();
+                for t in self.pts[p].clone() {
+                    let c = self.cell(t, f.as_deref());
+                    changed |= self.add_edge(s, c);
+                }
+            }
+            // address-of-field: dst ∋ cell(t, f)
+            for i in 0..self.addr_fields.len() {
+                let (p, f, d) = self.addr_fields[i].clone();
+                for t in self.pts[p].clone() {
+                    let c = self.cell(t, Some(&f));
+                    changed |= self.pts[d].insert(c);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // -- queries -------------------------------------------------------------
+
+    fn lookup(&self, func: &str, name: &str) -> Option<usize> {
+        let fn_loc = Loc::Var(Scope::Fn(func.to_string()), name.to_string());
+        if let Some(id) = self.ids.get(&fn_loc) {
+            return Some(*id);
+        }
+        self.ids
+            .get(&Loc::Var(Scope::Global, name.to_string()))
+            .copied()
+    }
+
+    /// Do two target nodes denote (possibly) overlapping storage? Equal
+    /// nodes do; so do an object and one of its own field cells. Two
+    /// *different* fields of the same object do not — that is the
+    /// field-sensitivity win.
+    fn storage_overlaps(&self, a: usize, b: usize) -> bool {
+        self.is_ancestor(a, b) || self.is_ancestor(b, a)
+    }
+
+    fn is_ancestor(&self, anc: usize, mut n: usize) -> bool {
+        loop {
+            if n == anc {
+                return true;
+            }
+            match &self.kinds[n] {
+                IKind::Field(b, _) => n = *b,
+                _ => return false,
+            }
+        }
+    }
+
+    /// May pointer variable `p` (in `p_func`) point to (into) variable
+    /// `x` (in `x_func`)? `false` is definitive.
+    pub fn may_point_to(&self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool {
+        let (Some(pn), Some(xn)) = (self.lookup(p_func, p), self.lookup(x_func, x)) else {
+            return true; // unknown names: be conservative
+        };
+        self.pts[pn].iter().any(|&t| self.obj_root(t) == Some(xn))
+    }
+
+    /// May pointer variables `p` and `q` point into overlapping storage?
+    /// `false` is definitive.
+    pub fn targets_may_intersect(&self, p_func: &str, p: &str, q_func: &str, q: &str) -> bool {
+        let (Some(pn), Some(qn)) = (self.lookup(p_func, p), self.lookup(q_func, q)) else {
+            return true;
+        };
+        if pn == qn {
+            return true;
+        }
+        self.pts[pn]
+            .iter()
+            .any(|&a| self.pts[qn].iter().any(|&b| self.storage_overlaps(a, b)))
+    }
+
+    /// Is the address of variable `x` ever (syntactically) taken?
+    pub fn address_taken(&self, func: &str, x: &str) -> bool {
+        match self.lookup(func, x) {
+            Some(n) => self.addr_taken.contains(&n),
+            None => true,
+        }
+    }
+
+    fn render_target(&self, t: usize) -> Option<String> {
+        match &self.kinds[t] {
+            IKind::External => Some("<external>".to_string()),
+            IKind::Phantom | IKind::Proxy => None,
+            IKind::Obj(loc) => Some(render_loc(loc)),
+            IKind::Field(..) => {
+                let o = self.obj_root(t)?;
+                match &self.kinds[o] {
+                    IKind::Obj(loc) => Some(render_loc(loc)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// The rendered points-to set of `var` (see [`AliasOracle::points_to_set`]).
+    pub fn points_to_set(&self, func: &str, var: &str) -> Option<BTreeSet<String>> {
+        let n = self.lookup(func, var)?;
+        let mut out = BTreeSet::new();
+        for &t in &self.pts[n] {
+            if let Some(s) = self.render_target(t) {
+                out.insert(s);
+            }
+        }
+        Some(out)
+    }
+}
+
+impl AliasOracle for Inclusion {
+    fn may_point_to(&self, p_func: &str, p: &str, x_func: &str, x: &str) -> bool {
+        Inclusion::may_point_to(self, p_func, p, x_func, x)
+    }
+    fn targets_may_intersect(&self, p_func: &str, p: &str, q_func: &str, q: &str) -> bool {
+        Inclusion::targets_may_intersect(self, p_func, p, q_func, q)
+    }
+    fn address_taken(&self, func: &str, x: &str) -> bool {
+        Inclusion::address_taken(self, func, x)
+    }
+    fn points_to_set(&self, func: &str, var: &str) -> Option<BTreeSet<String>> {
+        Inclusion::points_to_set(self, func, var)
+    }
+    fn mode(&self) -> AliasMode {
+        AliasMode::Inclusion
+    }
+}
+
+// -- shared analysis, cross-checks, statistics -------------------------------
+
+/// Runs (or reuses a memoized run of) the `mode` analysis for `program`.
+///
+/// The whole-program analysis is computed once per (program, mode) and
+/// shared: the abstraction engine, signature computation, and liveness
+/// pruning all consult the same immutable oracle, instead of each
+/// recomputing the analysis (or cloning it per worker thread). A small
+/// LRU keyed by a fingerprint of the program text backs this; the CEGAR
+/// loop re-abstracts the same program every iteration, so in practice
+/// this is one analysis per verification run per mode.
+pub fn analyze_shared(program: &Program, mode: AliasMode) -> Arc<dyn AliasOracle> {
+    type CacheEntry = (u64, AliasMode, Arc<dyn AliasOracle>);
+    static CACHE: OnceLock<Mutex<Vec<CacheEntry>>> = OnceLock::new();
+    let fp = fingerprint(program);
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    if let Ok(mut guard) = cache.lock() {
+        if let Some(i) = guard.iter().position(|(f, m, _)| *f == fp && *m == mode) {
+            let hit = guard.remove(i);
+            let oracle = Arc::clone(&hit.2);
+            guard.push(hit); // move-to-back LRU
+            return oracle;
+        }
+    }
+    // analyze outside the lock; a racing duplicate analysis is harmless
+    let oracle: Arc<dyn AliasOracle> = match mode {
+        AliasMode::Unify => Arc::new(PointsTo::analyze(program)),
+        AliasMode::Inclusion => Arc::new(Inclusion::analyze(program)),
+    };
+    if let Ok(mut guard) = cache.lock() {
+        if guard.len() >= 8 {
+            guard.remove(0);
+        }
+        guard.push((fp, mode, Arc::clone(&oracle)));
+    }
+    oracle
+}
+
+/// FNV-1a over the debug rendering of the program (stable within a
+/// build, which is all the process-local cache needs).
+fn fingerprint(program: &Program) -> u64 {
+    let text = format!("{program:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Every variable of the program as `(scope-function, name, pointer-like)`;
+/// globals carry an empty scope string. Deterministic order.
+fn all_vars(program: &Program) -> Vec<(String, String, bool)> {
+    let mut out = Vec::new();
+    let mut globals: Vec<_> = program.globals.iter().collect();
+    globals.sort_by(|a, b| a.0.cmp(&b.0));
+    for (g, ty) in globals {
+        out.push((String::new(), g.clone(), ty.is_pointer_like()));
+    }
+    for f in &program.functions {
+        let mut names: Vec<(String, bool)> = f
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.ty.is_pointer_like()))
+            .chain(
+                f.locals
+                    .iter()
+                    .map(|(l, ty)| (l.clone(), ty.is_pointer_like())),
+            )
+            .collect();
+        names.sort();
+        names.dedup_by(|a, b| a.0 == b.0);
+        for (n, ptr) in names {
+            out.push((f.name.clone(), n, ptr));
+        }
+    }
+    out
+}
+
+/// Structural soundness cross-check: for every variable of `program`,
+/// the inclusion analysis' rendered points-to set must be a subset of
+/// the unification analysis' set. Returns human-readable violations
+/// (empty = the subset property holds).
+pub fn subset_violations(program: &Program) -> Vec<String> {
+    let uni = PointsTo::analyze(program);
+    let inc = Inclusion::analyze(program);
+    let mut out = Vec::new();
+    for (func, name, _) in all_vars(program) {
+        let scope = if func.is_empty() { "<global>" } else { &func };
+        let (Some(u), Some(i)) = (
+            uni.points_to_set(&func, &name),
+            inc.points_to_set(&func, &name),
+        ) else {
+            out.push(format!("{scope}::{name}: variable unknown to an analysis"));
+            continue;
+        };
+        let extra: Vec<&String> = i.difference(&u).collect();
+        if !extra.is_empty() {
+            out.push(format!(
+                "{scope}::{name}: inclusion ⊄ unification: extra {extra:?} (inclusion {i:?}, unification {u:?})"
+            ));
+        }
+    }
+    out
+}
+
+/// How many variable pairs an oracle classifies each way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Pairs that definitely overlap (a variable with itself).
+    pub must: usize,
+    /// Distinct pointer pairs the oracle cannot refute.
+    pub may: usize,
+    /// Distinct pointer pairs proven non-overlapping.
+    pub never: usize,
+}
+
+impl PairCounts {
+    fn add(&mut self, other: PairCounts) {
+        self.must += other.must;
+        self.may += other.may;
+        self.never += other.never;
+    }
+}
+
+/// Classifies every unordered pair of pointer-like variables visible in
+/// `func` (its params and locals plus pointer-like globals) under the
+/// oracle's `targets_may_intersect`.
+pub fn may_pair_counts_fn(program: &Program, oracle: &dyn AliasOracle, func: &str) -> PairCounts {
+    let mut vars: Vec<(String, String)> = Vec::new();
+    for (scope, name, ptr) in all_vars(program) {
+        if ptr && (scope.is_empty() || scope == func) {
+            vars.push((
+                if scope.is_empty() {
+                    func.to_string()
+                } else {
+                    scope
+                },
+                name,
+            ));
+        }
+    }
+    let mut c = PairCounts {
+        must: vars.len(),
+        ..PairCounts::default()
+    };
+    for i in 0..vars.len() {
+        for j in (i + 1)..vars.len() {
+            let (pf, p) = &vars[i];
+            let (qf, q) = &vars[j];
+            if oracle.targets_may_intersect(pf, p, qf, q) {
+                c.may += 1;
+            } else {
+                c.never += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Sums [`may_pair_counts_fn`] over every function of the program.
+pub fn may_pair_counts(program: &Program, oracle: &dyn AliasOracle) -> PairCounts {
+    let mut c = PairCounts::default();
+    for f in &program.functions {
+        c.add(may_pair_counts_fn(program, oracle, &f.name));
+    }
+    c
 }
 
 #[cfg(test)]
@@ -412,34 +1226,71 @@ mod tests {
         PointsTo::analyze(&parse_and_simplify(src).unwrap())
     }
 
+    /// Both analyses, after asserting the inclusion ⊆ unification
+    /// cross-check holds for the program.
+    fn both(src: &str) -> (PointsTo, Inclusion) {
+        let program = parse_and_simplify(src).unwrap();
+        let v = subset_violations(&program);
+        assert!(v.is_empty(), "subset violations:\n  {}", v.join("\n  "));
+        (PointsTo::analyze(&program), Inclusion::analyze(&program))
+    }
+
     #[test]
     fn address_of_establishes_pointing() {
-        let mut a = analyze("void f(int x, int y) { int* p; p = &x; }");
+        let (a, i) = both("void f(int x, int y) { int* p; p = &x; }");
         assert!(a.may_point_to("f", "p", "f", "x"));
         assert!(!a.may_point_to("f", "p", "f", "y"));
         assert!(a.address_taken("f", "x"));
         assert!(!a.address_taken("f", "y"));
+        assert!(i.may_point_to("f", "p", "f", "x"));
+        assert!(!i.may_point_to("f", "p", "f", "y"));
+        assert!(i.address_taken("f", "x"));
+        assert!(!i.address_taken("f", "y"));
     }
 
     #[test]
     fn copies_merge_targets() {
-        let mut a = analyze("void f(int x) { int* p; int* q; p = &x; q = p; }");
+        let (a, i) = both("void f(int x) { int* p; int* q; p = &x; q = p; }");
         assert!(a.may_point_to("f", "q", "f", "x"));
         assert!(a.targets_may_intersect("f", "p", "f", "q"));
+        assert!(i.may_point_to("f", "q", "f", "x"));
+        assert!(i.targets_may_intersect("f", "p", "f", "q"));
     }
 
     #[test]
     fn distinct_pointers_stay_apart() {
-        let mut a = analyze("void f(int x, int y) { int* p; int* q; p = &x; q = &y; }");
+        let (a, i) = both("void f(int x, int y) { int* p; int* q; p = &x; q = &y; }");
         assert!(!a.targets_may_intersect("f", "p", "f", "q"));
         assert!(!a.may_point_to("f", "p", "f", "y"));
+        assert!(!i.targets_may_intersect("f", "p", "f", "q"));
+        assert!(!i.may_point_to("f", "p", "f", "y"));
     }
 
     #[test]
     fn flow_insensitivity_over_approximates() {
-        let mut a = analyze("void f(int x, int y) { int* p; p = &x; p = &y; }");
+        let (a, i) = both("void f(int x, int y) { int* p; p = &x; p = &y; }");
         assert!(a.may_point_to("f", "p", "f", "x"));
         assert!(a.may_point_to("f", "p", "f", "y"));
+        assert!(i.may_point_to("f", "p", "f", "x"));
+        assert!(i.may_point_to("f", "p", "f", "y"));
+    }
+
+    #[test]
+    fn inclusion_copies_are_directional() {
+        // unification merges p's and q's targets on `q = p`, so the later
+        // `q = &y` bleeds back into p; inclusion keeps pts(p) = {x}
+        let (a, i) = both("void f(int x, int y) { int* p; int* q; p = &x; q = p; q = &y; }");
+        assert!(
+            a.may_point_to("f", "p", "f", "y"),
+            "unify over-approximates"
+        );
+        assert!(
+            !i.may_point_to("f", "p", "f", "y"),
+            "inclusion is directional"
+        );
+        assert!(i.may_point_to("f", "p", "f", "x"));
+        assert!(i.may_point_to("f", "q", "f", "x"));
+        assert!(i.may_point_to("f", "q", "f", "y"));
     }
 
     #[test]
@@ -459,15 +1310,24 @@ mod tests {
                 return newl;
             }
         "#;
-        let mut a = analyze(src);
+        let (a, i) = both(src);
         for v in ["curr", "prev", "newl", "nextcurr"] {
             assert!(
                 !a.may_point_to("partition", "l", "partition", v),
                 "l should not point to {v}"
             );
             assert!(!a.address_taken("partition", v), "{v} address-taken");
+            assert!(
+                !i.may_point_to("partition", "l", "partition", v),
+                "l should not point to {v} (inclusion)"
+            );
+            assert!(
+                !i.address_taken("partition", v),
+                "{v} addr-taken (inclusion)"
+            );
         }
         assert!(a.targets_may_intersect("partition", "curr", "partition", "prev"));
+        assert!(i.targets_may_intersect("partition", "curr", "partition", "prev"));
     }
 
     #[test]
@@ -476,9 +1336,11 @@ mod tests {
             void callee(int* q) { *q = 1; }
             void caller(int x, int y) { callee(&x); }
         "#;
-        let mut a = analyze(src);
+        let (a, i) = both(src);
         assert!(a.may_point_to("callee", "q", "caller", "x"));
         assert!(!a.may_point_to("callee", "q", "caller", "y"));
+        assert!(i.may_point_to("callee", "q", "caller", "x"));
+        assert!(!i.may_point_to("callee", "q", "caller", "y"));
     }
 
     #[test]
@@ -488,8 +1350,9 @@ mod tests {
             int* get() { return &g; }
             void use_it() { int* p; p = get(); }
         "#;
-        let mut a = analyze(src);
+        let (a, i) = both(src);
         assert!(a.may_point_to("use_it", "p", "use_it", "g"));
+        assert!(i.may_point_to("use_it", "p", "use_it", "g"));
     }
 
     #[test]
@@ -501,13 +1364,16 @@ mod tests {
                 q = &x;
             }
         "#;
-        let mut a = analyze(src);
+        let (a, i) = both(src);
         assert!(!a.targets_may_intersect("f", "p", "f", "q"));
         assert!(!a.may_point_to("f", "p", "f", "x"));
+        assert!(!i.targets_may_intersect("f", "p", "f", "q"));
+        assert!(!i.may_point_to("f", "p", "f", "x"));
     }
 
     #[test]
     fn deref_assignment_flows_contents() {
+        // multi-level indirection: stores through pp reach p's contents
         let src = r#"
             void f(int x) {
                 int* p; int** pp; int* q;
@@ -516,9 +1382,11 @@ mod tests {
                 q = *pp;
             }
         "#;
-        let mut a = analyze(src);
+        let (a, i) = both(src);
         assert!(a.may_point_to("f", "q", "f", "x"));
         assert!(a.may_point_to("f", "p", "f", "x"));
+        assert!(i.may_point_to("f", "q", "f", "x"));
+        assert!(i.may_point_to("f", "p", "f", "x"));
     }
 
     #[test]
@@ -530,7 +1398,182 @@ mod tests {
                 b = a->next;
             }
         "#;
-        let mut a = analyze(src);
+        let (a, i) = both(src);
         assert!(a.targets_may_intersect("f", "a", "f", "b"));
+        assert!(i.targets_may_intersect("f", "a", "f", "b"));
+    }
+
+    #[test]
+    fn pointer_fields_are_distinguished() {
+        // the field-sensitivity win: sp->a and sp->b hold different
+        // pointers, so p and q provably never overlap under inclusion,
+        // while the field-collapsing unification analysis merges them
+        let src = r#"
+            typedef struct pair { int* a; int* b; } pair;
+            void f(int x, int y) {
+                pair* sp; int* p; int* q;
+                sp = malloc(8);
+                sp->a = &x;
+                sp->b = &y;
+                p = sp->a;
+                q = sp->b;
+            }
+        "#;
+        let (a, i) = both(src);
+        assert!(a.targets_may_intersect("f", "p", "f", "q"));
+        assert!(a.may_point_to("f", "p", "f", "y"));
+        assert!(!i.targets_may_intersect("f", "p", "f", "q"));
+        assert!(i.may_point_to("f", "p", "f", "x"));
+        assert!(!i.may_point_to("f", "p", "f", "y"));
+        assert!(i.may_point_to("f", "q", "f", "y"));
+        assert!(!i.may_point_to("f", "q", "f", "x"));
+    }
+
+    #[test]
+    fn address_of_struct_field_stays_connected() {
+        // &sp->a materializes the field cell; stores through the cell
+        // pointer must be visible to direct field loads
+        let src = r#"
+            typedef struct pair { int* a; int* b; } pair;
+            void f(int x, int y) {
+                pair* sp; int** fp; int* p;
+                sp = malloc(8);
+                fp = &sp->a;
+                *fp = &x;
+                p = sp->a;
+            }
+        "#;
+        let (a, i) = both(src);
+        assert!(a.may_point_to("f", "p", "f", "x"));
+        assert!(i.may_point_to("f", "p", "f", "x"));
+        assert!(!i.may_point_to("f", "p", "f", "y"));
+    }
+
+    #[test]
+    fn recursive_struct_types_terminate_and_cycle() {
+        // self-referential list cell: a->next = a must reach a fixpoint
+        // and make a and b point into the same allocation
+        let src = r#"
+            typedef struct cell { int val; struct cell* next; } *list;
+            void f() {
+                list a; list b;
+                a = malloc(8);
+                a->next = a;
+                b = a->next;
+            }
+        "#;
+        let (a, i) = both(src);
+        assert!(a.targets_may_intersect("f", "a", "f", "b"));
+        assert!(i.targets_may_intersect("f", "a", "f", "b"));
+        assert!(i.points_to_set("f", "b").unwrap().contains("heap#0"));
+    }
+
+    #[test]
+    fn calls_are_direct_only() {
+        // the C subset has no function-pointer type — every call names
+        // its callee, so call-graph edges are exact in both analyses and
+        // an address passed to a callee binds only that callee's formal
+        let src = r#"
+            void sink(int* q) { }
+            void other(int* r) { }
+            void f(int x) {
+                int* p;
+                sink(&x);
+                p = NULL;
+            }
+        "#;
+        let (a, i) = both(src);
+        assert!(a.address_taken("f", "x"));
+        assert!(i.address_taken("f", "x"));
+        assert!(a.may_point_to("sink", "q", "f", "x"));
+        assert!(i.may_point_to("sink", "q", "f", "x"));
+        assert!(!a.may_point_to("f", "p", "f", "x"));
+        assert!(!i.may_point_to("f", "p", "f", "x"));
+    }
+
+    #[test]
+    fn params_point_into_the_external_world() {
+        let (a, i) = both("void f(int* p, int* q) { int* r; r = p; }");
+        assert!(a.targets_may_intersect("f", "p", "f", "q"));
+        assert!(i.targets_may_intersect("f", "p", "f", "q"));
+        assert!(i.points_to_set("f", "r").unwrap().contains("<external>"));
+        assert!(a.points_to_set("f", "r").unwrap().contains("<external>"));
+    }
+
+    #[test]
+    fn escaped_storage_flows_back_from_external() {
+        // storing &g through a caller-provided pointer publishes g; a
+        // load through another caller-provided pointer may observe it
+        let src = r#"
+            int g;
+            void f(int** out, int** inp) {
+                int* r;
+                *out = &g;
+                r = *inp;
+            }
+        "#;
+        let (a, i) = both(src);
+        assert!(a.may_point_to("f", "r", "f", "g"));
+        assert!(i.may_point_to("f", "r", "f", "g"));
+    }
+
+    #[test]
+    fn alias_mode_parses_and_renders() {
+        assert_eq!("unify".parse::<AliasMode>(), Ok(AliasMode::Unify));
+        assert_eq!("inclusion".parse::<AliasMode>(), Ok(AliasMode::Inclusion));
+        assert!("steensgaard".parse::<AliasMode>().is_err());
+        assert_eq!(AliasMode::default(), AliasMode::Inclusion);
+        assert_eq!(AliasMode::Unify.to_string(), "unify");
+        assert_eq!(AliasMode::Inclusion.to_string(), "inclusion");
+    }
+
+    #[test]
+    fn analyze_shared_memoizes_per_program_and_mode() {
+        let program = parse_and_simplify("void f(int x) { int* p; p = &x; }").unwrap();
+        let a = analyze_shared(&program, AliasMode::Inclusion);
+        let b = analyze_shared(&program, AliasMode::Inclusion);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same program+mode should share one oracle"
+        );
+        let u = analyze_shared(&program, AliasMode::Unify);
+        assert_eq!(u.mode(), AliasMode::Unify);
+        assert!(u.may_point_to("f", "p", "f", "x"));
+        assert!(a.may_point_to("f", "p", "f", "x"));
+    }
+
+    #[test]
+    fn pair_counts_measure_the_precision_gap() {
+        let src = r#"
+            typedef struct pair { int* a; int* b; } pair;
+            void f(int x, int y) {
+                pair* sp; int* p; int* q;
+                sp = malloc(8);
+                sp->a = &x;
+                sp->b = &y;
+                p = sp->a;
+                q = sp->b;
+            }
+        "#;
+        let program = parse_and_simplify(src).unwrap();
+        let uni = may_pair_counts(&program, &PointsTo::analyze(&program));
+        let inc = may_pair_counts(&program, &Inclusion::analyze(&program));
+        assert_eq!(uni.must, inc.must);
+        assert_eq!(uni.may + uni.never, inc.may + inc.never);
+        assert!(
+            inc.may < uni.may,
+            "inclusion should refute more pairs: {inc:?} vs {uni:?}"
+        );
+    }
+
+    #[test]
+    fn queries_are_stable_across_clones() {
+        let a = analyze("void f(int x) { int* p; int* q; p = &x; q = p; }");
+        let c = a.clone();
+        assert_eq!(
+            a.may_point_to("f", "q", "f", "x"),
+            c.may_point_to("f", "q", "f", "x")
+        );
+        assert_eq!(a.points_to_set("f", "p"), c.points_to_set("f", "p"));
     }
 }

@@ -4,6 +4,7 @@
 //! ```sh
 //! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
 //!     [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]
+//!     [--alias unify|inclusion] [--alias-stats]
 //! ```
 //!
 //! `--no-reuse` clears [`C2bpOptions::reuse`]; a single-shot abstraction
@@ -17,15 +18,24 @@
 //!
 //! Predicate-liveness pruning is on by default (`--no-prune` restores
 //! the paper's every-update engine for A/B comparison); `--lint` runs
-//! the boolean-program verifier over the result and fails on findings.
+//! the boolean-program verifier over the result and fails on findings,
+//! and additionally prints (non-fatal) alias-precision warnings for
+//! Morris-axiom disjuncts the inclusion analysis proves unreachable.
+//!
+//! `--alias` selects the points-to analysis pruning those disjuncts
+//! (default `inclusion`, the paper's Das-style configuration);
+//! `--alias-stats` dumps per-function points-to sets and
+//! May/Must/Never pointer-pair counts for *both* analyses to stderr —
+//! the debugging view behind the inclusion ⊆ unification cross-check.
 
-use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
+use c2bp::{abstract_program, parse_pred_file, AliasMode, C2bpOptions};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] \
-         [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]"
+         [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint] \
+         [--alias unify|inclusion] [--alias-stats]"
     );
     ExitCode::from(2)
 }
@@ -40,6 +50,7 @@ fn main() -> ExitCode {
         ..C2bpOptions::paper_defaults()
     };
     let mut lint = false;
+    let mut alias_stats = false;
     let mut iter = args[2..].iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
@@ -47,6 +58,11 @@ fn main() -> ExitCode {
             "--no-incremental" => options.cubes.incremental = false,
             "--no-reuse" => options.reuse = false,
             "--lint" => lint = true,
+            "--alias-stats" => alias_stats = true,
+            "--alias" => match iter.next().map(|m| m.parse::<AliasMode>()) {
+                Some(Ok(mode)) => options.alias = mode,
+                _ => return usage(),
+            },
             "--no-coi" => options.cubes.cone_of_influence = false,
             "--no-syntax" => options.cubes.syntactic_fast_paths = false,
             "--k" => match iter.next().map(String::as_str) {
@@ -92,6 +108,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if alias_stats {
+        print_alias_stats(&program);
+    }
     match abstract_program(&program, &preds, &options) {
         Ok(abs) => {
             print!("{}", bp::program_to_string(&abs.bprogram));
@@ -122,6 +141,10 @@ fn main() -> ExitCode {
                 abs.stats.sessions.minimize_solves
             );
             if lint {
+                // advisory: dead alias disjuncts are sound, just wasteful
+                for w in c2bp::lint_alias_precision(&program, &preds) {
+                    eprintln!("c2bp: alias-lint: {w}");
+                }
                 let lints = analysis::lint_program(&abs.bprogram);
                 for l in &lints {
                     eprintln!("c2bp: lint: {l}");
@@ -135,6 +158,33 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("c2bp: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--alias-stats`: per-function points-to sets and pointer-pair
+/// classification counts for both analyses, on stderr.
+fn print_alias_stats(program: &cparse::ast::Program) {
+    for mode in [AliasMode::Unify, AliasMode::Inclusion] {
+        let oracle = pointsto::analyze_shared(program, mode);
+        eprintln!("// alias stats [{mode}]");
+        for f in &program.functions {
+            let counts = pointsto::may_pair_counts_fn(program, oracle.as_ref(), &f.name);
+            eprintln!(
+                "//   {}: pointer pairs must {} / may {} / never {}",
+                f.name, counts.must, counts.may, counts.never
+            );
+            let mut names: Vec<String> = program.globals.iter().map(|(g, _)| g.clone()).collect();
+            names.extend(f.params.iter().map(|p| p.name.clone()));
+            names.extend(f.locals.iter().map(|(l, _)| l.clone()));
+            names.sort();
+            names.dedup();
+            for n in &names {
+                if let Some(set) = oracle.points_to_set(&f.name, n) {
+                    let rendered: Vec<String> = set.into_iter().collect();
+                    eprintln!("//     {n} -> {{{}}}", rendered.join(", "));
+                }
+            }
         }
     }
 }

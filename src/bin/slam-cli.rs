@@ -3,6 +3,7 @@
 //! ```sh
 //! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]
 //!     [--no-prune] [--no-incremental] [--no-reuse] [--lint]
+//!     [--alias unify|inclusion]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
@@ -13,7 +14,11 @@
 //! cross-iteration reuse session (persistent prover cache, memoized
 //! transfer functions, retained BDD arena) so each iteration abstracts
 //! and model checks from scratch; `--lint` verifies every iteration's
-//! boolean program with the static checker.
+//! boolean program with the static checker. `--alias` selects the
+//! points-to analysis pruning Morris-axiom disjuncts (default
+//! `inclusion`); the verdict and final predicates are identical either
+//! way, only the per-iteration alias-disjunct and prover-call counters
+//! move.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
 use slam::{SlamOptions, SlamVerdict};
@@ -22,7 +27,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N] \
-         [--no-prune] [--no-incremental] [--no-reuse] [--lint]"
+         [--no-prune] [--no-incremental] [--no-reuse] [--lint] [--alias unify|inclusion]"
     );
     ExitCode::from(2)
 }
@@ -42,6 +47,10 @@ fn main() -> ExitCode {
             "--no-incremental" => options.c2bp.cubes.incremental = false,
             "--no-reuse" => options.c2bp.reuse = false,
             "--lint" => options.lint = true,
+            "--alias" => match iter.next().map(|m| m.parse::<c2bp::AliasMode>()) {
+                Some(Ok(mode)) => options.c2bp.alias = mode,
+                _ => return usage(),
+            },
             "--lock" => spec = locking_spec(),
             "--irp" => spec = irp_spec(),
             "--spec" => {
@@ -79,7 +88,7 @@ fn main() -> ExitCode {
             for (i, it) in run.per_iteration.iter().enumerate() {
                 eprintln!(
                     "// iter {}: {} preds, {} prover calls, {} pruned updates, \
-                     {} reused units, jobs {}, \
+                     {} alias disjuncts, {} reused units, jobs {}, \
                      abs {:.2}s (plan {:.2}s solve {:.2}s merge {:.2}s), \
                      shared cache {:.1}% hit rate ({} entries), \
                      bdd {} nodes / {} cache entries",
@@ -87,6 +96,7 @@ fn main() -> ExitCode {
                     it.predicates,
                     it.prover_calls,
                     it.pruned_updates,
+                    it.alias_disjuncts,
                     it.reused_units,
                     it.jobs,
                     it.abs_seconds,

@@ -1,0 +1,215 @@
+//! Whole-corpus alias-precision differential (ISSUE 5 acceptance):
+//!
+//! * structural soundness — every inclusion-analysis points-to set is a
+//!   subset of the corresponding unification set, on every corpus
+//!   program both as parsed and as instrumented for its property;
+//! * semantic equivalence — the full CEGAR loop reaches the same
+//!   verdict and the same final predicate set under `--alias=unify` and
+//!   `--alias=inclusion`, at 1 and 4 workers, with each mode
+//!   byte-identical across worker counts.
+//!
+//! The two analyses are both sound, so they may produce different
+//! boolean programs (the inclusion mode's are smaller); what they must
+//! never do is disagree about the property.
+
+use c2bp::{parse_pred_file, AliasMode, C2bpOptions};
+use slam::spec::{irp_spec, locking_spec, Spec};
+use slam::{SlamOptions, SlamRun};
+use std::path::PathBuf;
+
+fn corpus(sub: &str, stem: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(sub)
+        .join(format!("{stem}.c"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+const TOYS: [&str; 6] = [
+    "backoff",
+    "kmp",
+    "listfind",
+    "partition",
+    "qsort",
+    "reverse",
+];
+
+/// (stem, entry, lock property?, seed predicates)
+const DRIVERS: [(&str, &str, bool, Option<&str>); 8] = [
+    ("floppy", "FloppyReadWrite", true, None),
+    ("ioctl", "DeviceIoControl", true, None),
+    ("openclos", "DispatchOpenClose", true, None),
+    ("srdriver", "DispatchStartReset", true, None),
+    ("log", "LogAppend", true, None),
+    ("flopnew", "FlopnewReadWrite", false, None),
+    (
+        "retry",
+        "DispatchRetry",
+        true,
+        Some("DispatchRetry attempts > 0"),
+    ),
+    (
+        "mirror",
+        "DispatchMirror",
+        true,
+        Some("DispatchMirror primary.busy == 1\nDispatchMirror shadow.busy == 0"),
+    ),
+];
+
+fn spec_of(lock: bool) -> Spec {
+    if lock {
+        locking_spec()
+    } else {
+        irp_spec()
+    }
+}
+
+#[test]
+fn inclusion_sets_are_subsets_of_unification_sets_corpus_wide() {
+    let mut checked = 0;
+    for stem in TOYS {
+        let program = cparse::parse_and_simplify(&corpus("toys", stem)).unwrap();
+        let violations = pointsto::subset_violations(&program);
+        assert!(violations.is_empty(), "{stem}: {violations:?}");
+        checked += 1;
+    }
+    for (stem, entry, lock, _) in DRIVERS {
+        let raw = cparse::parse_program(&corpus("drivers", stem)).unwrap();
+        let violations = pointsto::subset_violations(&raw);
+        assert!(violations.is_empty(), "{stem} (parsed): {violations:?}");
+        let instrumented = slam::instrument(&raw, &spec_of(lock), entry);
+        let simplified = cparse::simplify_program(&instrumented).unwrap();
+        let violations = pointsto::subset_violations(&simplified);
+        assert!(
+            violations.is_empty(),
+            "{stem} (instrumented): {violations:?}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, TOYS.len() + DRIVERS.len());
+}
+
+fn run(
+    source: &str,
+    entry: &str,
+    lock: bool,
+    seeds: Option<&str>,
+    alias: AliasMode,
+    jobs: usize,
+) -> SlamRun {
+    let options = SlamOptions {
+        keep_bps: true,
+        c2bp: C2bpOptions {
+            jobs,
+            alias,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    let spec = spec_of(lock);
+    match seeds {
+        Some(s) => slam::verify_seeded(source, &spec, entry, parse_pred_file(s).unwrap(), &options),
+        None => slam::verify(source, &spec, entry, &options),
+    }
+    .unwrap()
+}
+
+fn final_preds(run: &SlamRun) -> Vec<String> {
+    run.final_preds.iter().map(|p| format!("{p:?}")).collect()
+}
+
+fn bps(run: &SlamRun) -> Vec<String> {
+    run.per_iteration
+        .iter()
+        .map(|it| it.bp_text.clone().expect("keep_bps was set"))
+        .collect()
+}
+
+#[test]
+fn verdicts_and_final_predicates_agree_across_alias_modes_and_workers() {
+    for (stem, entry, lock, seeds) in DRIVERS {
+        let source = corpus("drivers", stem);
+        let uni1 = run(&source, entry, lock, seeds, AliasMode::Unify, 1);
+        let uni4 = run(&source, entry, lock, seeds, AliasMode::Unify, 4);
+        let inc1 = run(&source, entry, lock, seeds, AliasMode::Inclusion, 1);
+        let inc4 = run(&source, entry, lock, seeds, AliasMode::Inclusion, 4);
+        // cross-mode: same verdict, same final predicates
+        assert_eq!(
+            format!("{:?}", uni1.verdict),
+            format!("{:?}", inc1.verdict),
+            "{stem}: verdict diverged between alias modes"
+        );
+        assert_eq!(
+            final_preds(&uni1),
+            final_preds(&inc1),
+            "{stem}: final predicates diverged between alias modes"
+        );
+        // within-mode: byte-identical boolean programs across workers
+        assert_eq!(
+            bps(&uni1),
+            bps(&uni4),
+            "{stem}: unify mode is scheduling-dependent"
+        );
+        assert_eq!(
+            bps(&inc1),
+            bps(&inc4),
+            "{stem}: inclusion mode is scheduling-dependent"
+        );
+        assert_eq!(
+            format!("{:?}", uni1.verdict),
+            format!("{:?}", uni4.verdict),
+            "{stem}"
+        );
+        assert_eq!(
+            format!("{:?}", inc1.verdict),
+            format!("{:?}", inc4.verdict),
+            "{stem}"
+        );
+        assert_eq!(final_preds(&uni1), final_preds(&uni4), "{stem}");
+        assert_eq!(final_preds(&inc1), final_preds(&inc4), "{stem}");
+    }
+}
+
+#[test]
+fn inclusion_never_charges_more_alias_disjuncts_than_unification() {
+    // The sharper analysis can only remove Morris-axiom disjuncts, never
+    // add them — per driver, summed over the loop. (Equality is common:
+    // most Table 1 drivers are pointer-free.)
+    for (stem, entry, lock, seeds) in DRIVERS {
+        let source = corpus("drivers", stem);
+        let uni = run(&source, entry, lock, seeds, AliasMode::Unify, 1);
+        let inc = run(&source, entry, lock, seeds, AliasMode::Inclusion, 1);
+        let d = |r: &SlamRun| -> u64 { r.per_iteration.iter().map(|it| it.alias_disjuncts).sum() };
+        assert!(
+            d(&inc) <= d(&uni),
+            "{stem}: inclusion charged {} disjuncts vs unify's {}",
+            d(&inc),
+            d(&uni)
+        );
+    }
+}
+
+#[test]
+fn mirror_driver_measures_a_real_precision_gap() {
+    // The directional-copy driver exists so the A/B is not vacuous:
+    // unification must charge strictly more disjuncts than inclusion.
+    let source = corpus("drivers", "mirror");
+    let seeds = Some("DispatchMirror primary.busy == 1\nDispatchMirror shadow.busy == 0");
+    let uni = run(&source, "DispatchMirror", true, seeds, AliasMode::Unify, 1);
+    let inc = run(
+        &source,
+        "DispatchMirror",
+        true,
+        seeds,
+        AliasMode::Inclusion,
+        1,
+    );
+    let d = |r: &SlamRun| -> u64 { r.per_iteration.iter().map(|it| it.alias_disjuncts).sum() };
+    assert!(
+        d(&inc) < d(&uni),
+        "expected a strict disjunct reduction, got inclusion {} vs unify {}",
+        d(&inc),
+        d(&uni)
+    );
+    assert_eq!(format!("{:?}", uni.verdict), format!("{:?}", inc.verdict));
+}
