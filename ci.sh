@@ -66,4 +66,16 @@ alias_json="$(mktemp)"
 ./target/release/alias_ab --smoke --json "$alias_json"
 rm -f "$alias_json"
 
+echo "== corpus check-in gate =="
+# Every file under corpus/ parses, instruments against its spec family
+# and lints clean; generated drivers byte-match their generator output.
+cargo test --offline -q --test corpus_sanity
+
+echo "== matrix wall smoke (exits nonzero on any verdict mismatch) =="
+# Fixed seeds: 7 spec families x 3 seeds x {safe, defect} x
+# {reuse on/off}, every verdict checked against generator ground truth.
+# BENCH_matrix.json is the checked-in record of this subset; the full
+# 504-pair wall runs with --full (see EXPERIMENTS.md).
+./target/release/matrix --smoke --json "BENCH_matrix.json" > /dev/null
+
 echo "ci: all green"

@@ -1,0 +1,35 @@
+// corpusgen: family=apiorder seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=safe
+void IoInitDevice(void) { ; }
+void IoStartDevice(void) { ; }
+void IoStopDevice(void) { ; }
+void IoSubmitRequest(void) { ; }
+
+void DispatchDevice(int n0, int n1) {
+    int t0;
+    int t1;
+    int i0;
+    int i1;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    IoInitDevice();
+    IoStartDevice();
+    IoSubmitRequest();
+    t1 = 0;
+    IoStopDevice();
+    t1 = t1 + t0;
+    i0 = n0;
+    while (i0 > 0) {
+        t0 = t0 - 1;
+        i0 = i0 - 1;
+    }
+    i1 = n1;
+    while (i1 > 0) {
+        t1 = 0;
+        IoStartDevice();
+        IoSubmitRequest();
+        t0 = t0 + 1;
+        IoStopDevice();
+        i1 = i1 - 1;
+    }
+}

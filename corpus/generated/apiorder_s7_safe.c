@@ -1,0 +1,48 @@
+// corpusgen: family=apiorder seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=safe
+void IoInitDevice(void) { ; }
+void IoStartDevice(void) { ; }
+void IoStopDevice(void) { ; }
+void IoSubmitRequest(void) { ; }
+
+void DispatchDevice(int b0, int b1, int b2) {
+    int t0;
+    int t1;
+    int scratch;
+    int *sp;
+    t0 = 0;
+    t1 = 0;
+    scratch = 0;
+    t0 = t0 - 1;
+    IoInitDevice();
+    IoStartDevice();
+    t1 = t1 + t0;
+    t0 = t0 - 1;
+    IoStopDevice();
+    t0 = t0 + 1;
+    t0 = t0 + 1;
+    t1 = t1 + t0;
+    IoStartDevice();
+    IoSubmitRequest();
+    IoStopDevice();
+    t0 = t0 + 1;
+    IoStartDevice();
+    t0 = t0 - 1;
+    IoSubmitRequest();
+    IoStopDevice();
+    if (b0 > 0) {
+        IoStartDevice();
+        t1 = t1 + t0;
+        IoSubmitRequest();
+    }
+    if (b1 > 0) {
+        sp = &scratch;
+        *sp = *sp + 1;
+        if (b2 > 0) {
+            sp = &scratch;
+            *sp = *sp + 1;
+        }
+    }
+    if (b0 > 0) {
+        IoStopDevice();
+    }
+}

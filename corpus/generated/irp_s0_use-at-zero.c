@@ -1,0 +1,23 @@
+// corpusgen: family=irp seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=use-at-zero
+void IoCompleteRequest(void) { ; }
+void IoCheckCompleted(void) { ; }
+
+void DispatchIrp(int n0) {
+    int t0;
+    int t1;
+    int i0;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    IoCheckCompleted(); /* DEFECT: use-at-zero */
+    IoCompleteRequest();
+    IoCheckCompleted();
+    t1 = 0;
+    t1 = t1 + t0;
+    i0 = n0;
+    while (i0 > 0) {
+        t0 = t0 - 1;
+        i0 = i0 - 1;
+    }
+    t1 = 0;
+}

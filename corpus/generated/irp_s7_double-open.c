@@ -1,0 +1,32 @@
+// corpusgen: family=irp seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=double-open
+void IoCompleteRequest(void) { ; }
+void IoCheckCompleted(void) { ; }
+
+void DispatchIrp(int b0, int b1) {
+    int t0;
+    int t1;
+    int scratch;
+    int *sp;
+    t0 = 0;
+    t1 = 0;
+    scratch = 0;
+    t0 = t0 - 1;
+    IoCompleteRequest();
+    t1 = t1 + t0;
+    t0 = t0 - 1;
+    IoCompleteRequest(); /* DEFECT: double-open */
+    IoCheckCompleted();
+    if (b0 > 0) {
+        if (b1 > 0) {
+            sp = &scratch;
+            *sp = *sp + 1;
+        }
+        t0 = t0 - 1;
+    }
+    t0 = t0 + 1;
+    t0 = t0 + 1;
+    IoCheckCompleted();
+    t1 = t1 + t0;
+    sp = &scratch;
+    *sp = *sp + 1;
+}

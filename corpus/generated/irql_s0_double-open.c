@@ -1,0 +1,36 @@
+// corpusgen: family=irql seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=double-open
+void KeRaiseIrql(void) { ; }
+void KeLowerIrql(void) { ; }
+
+void DispatchIrql(int n0, int n1) {
+    int t0;
+    int t1;
+    int i0;
+    int i1;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    KeRaiseIrql();
+    KeRaiseIrql(); /* DEFECT: double-open */
+    t1 = t1 + t0;
+    t0 = t0 + 1;
+    KeLowerIrql();
+    i0 = n0;
+    while (i0 > 0) {
+        t1 = 0;
+        KeRaiseIrql();
+        t1 = t1 + t0;
+        t0 = t0 - 1;
+        KeLowerIrql();
+        i0 = i0 - 1;
+    }
+    i1 = n1;
+    while (i1 > 0) {
+        t0 = t0 + 1;
+        i1 = i1 - 1;
+    }
+    KeRaiseIrql();
+    t1 = 0;
+    t1 = 0;
+    KeLowerIrql();
+}

@@ -1,0 +1,38 @@
+// corpusgen: family=irql seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=double-open
+void KeRaiseIrql(void) { ; }
+void KeLowerIrql(void) { ; }
+
+void DispatchIrql(int b0, int b1) {
+    int t0;
+    int t1;
+    int scratch;
+    int *sp;
+    t0 = 0;
+    t1 = 0;
+    scratch = 0;
+    t0 = t0 - 1;
+    KeRaiseIrql();
+    t0 = t0 + 1;
+    KeRaiseIrql(); /* DEFECT: double-open */
+    t1 = t1 + t0;
+    KeLowerIrql();
+    t0 = t0 + 1;
+    t1 = t1 + t0;
+    if (b0 > 0) {
+        KeRaiseIrql();
+        t0 = t0 + 1;
+    }
+    t0 = t0 - 1;
+    sp = &scratch;
+    *sp = *sp + 1;
+    if (b0 > 0) {
+        KeLowerIrql();
+    }
+    t0 = t0 - 1;
+    if (b1 > 0) {
+        t0 = t0 - 1;
+        t0 = t0 + 1;
+    }
+    t0 = t0 - 1;
+    t0 = t0 - 1;
+}

@@ -1,0 +1,25 @@
+// corpusgen: family=refcount seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=close-at-zero
+void ObReferenceObject(void) { ; }
+void ObDereferenceObject(void) { ; }
+
+void DispatchObject(int b0, int b1) {
+    int t0;
+    int t1;
+    t0 = 0;
+    t1 = 0;
+    ObDereferenceObject(); /* DEFECT: close-at-zero */
+    t0 = t0 + 1;
+    ObReferenceObject();
+    t1 = t1 + t0;
+    t0 = t0 + 1;
+    ObDereferenceObject();
+    if (b0 > 0) {
+        t1 = 0;
+        t1 = t1 + t0;
+    }
+    t0 = t0 + 1;
+    if (b1 > 0) {
+        t1 = 0;
+        t1 = 0;
+    }
+}

@@ -1,0 +1,31 @@
+// corpusgen: family=refcount seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=safe
+void ObReferenceObject(void) { ; }
+void ObDereferenceObject(void) { ; }
+
+void DispatchObject(int b0, int b1) {
+    int t0;
+    int t1;
+    int scratch;
+    int *sp;
+    t0 = 0;
+    t1 = 0;
+    scratch = 0;
+    t0 = t0 - 1;
+    ObReferenceObject();
+    t0 = t0 + 1;
+    t1 = t1 + t0;
+    ObDereferenceObject();
+    t0 = t0 + 1;
+    t1 = t1 + t0;
+    if (b0 > 0) {
+        t1 = t1 + t0;
+    }
+    sp = &scratch;
+    *sp = *sp + 1;
+    t0 = t0 - 1;
+    if (b1 > 0) {
+        t0 = t0 - 1;
+        t0 = t0 + 1;
+    }
+    t0 = t0 - 1;
+}

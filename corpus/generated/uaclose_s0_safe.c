@@ -1,0 +1,33 @@
+// corpusgen: family=uaclose seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=safe
+void ZwOpenFile(void) { ; }
+void ZwClose(void) { ; }
+void ZwReadFile(void) { ; }
+
+void DispatchFile(int n0, int n1) {
+    int t0;
+    int t1;
+    int i0;
+    int i1;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    ZwOpenFile();
+    ZwReadFile();
+    t1 = 0;
+    ZwClose();
+    t1 = t1 + t0;
+    i0 = n0;
+    while (i0 > 0) {
+        t0 = t0 - 1;
+        i0 = i0 - 1;
+    }
+    i1 = n1;
+    while (i1 > 0) {
+        t1 = 0;
+        ZwOpenFile();
+        ZwReadFile();
+        t0 = t0 + 1;
+        ZwClose();
+        i1 = i1 - 1;
+    }
+}

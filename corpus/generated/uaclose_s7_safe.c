@@ -1,0 +1,46 @@
+// corpusgen: family=uaclose seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=safe
+void ZwOpenFile(void) { ; }
+void ZwClose(void) { ; }
+void ZwReadFile(void) { ; }
+
+void DispatchFile(int b0, int b1, int b2) {
+    int t0;
+    int t1;
+    int scratch;
+    int *sp;
+    t0 = 0;
+    t1 = 0;
+    scratch = 0;
+    t0 = t0 - 1;
+    ZwOpenFile();
+    t1 = t1 + t0;
+    t0 = t0 - 1;
+    ZwClose();
+    t0 = t0 + 1;
+    t0 = t0 + 1;
+    t1 = t1 + t0;
+    ZwOpenFile();
+    ZwReadFile();
+    ZwClose();
+    t0 = t0 + 1;
+    ZwOpenFile();
+    t0 = t0 - 1;
+    ZwReadFile();
+    ZwClose();
+    if (b0 > 0) {
+        ZwOpenFile();
+        t1 = t1 + t0;
+        ZwReadFile();
+    }
+    if (b1 > 0) {
+        sp = &scratch;
+        *sp = *sp + 1;
+        if (b2 > 0) {
+            sp = &scratch;
+            *sp = *sp + 1;
+        }
+    }
+    if (b0 > 0) {
+        ZwClose();
+    }
+}

@@ -69,88 +69,162 @@ impl Chooser for ScriptedChooser {
     }
 }
 
-/// Searches for a concrete failing execution of `program` starting at
-/// `main`, exploring nondeterministic choices depth-first (at most
-/// `max_runs` executions, each bounded by `fuel` steps).
-///
-/// Returns `None` if no failure was found within the budget — for traces
-/// produced after Bebop has proved reachability this only happens when the
-/// budget is too small.
+/// The result of one search execution.
+enum SearchRun {
+    /// An assertion failed: the counterexample.
+    Failed(BTrace),
+    /// No failure; carries how many choices the run consumed.
+    Passed(usize),
+}
+
+/// Runs `program` from `main` resolving nondeterminism through
+/// `chooser` and classifies the outcome. Returns the number of choices
+/// consumed alongside pass/fail; `None` only on interpreter setup
+/// errors.
+fn run_once(
+    program: &BProgram,
+    main: &str,
+    fuel: u64,
+    chooser: &mut dyn Chooser,
+) -> Option<SearchRun> {
+    let mut interp = BInterp::new(program).ok()?;
+    interp.fuel = fuel;
+    let mut consumed = 0usize;
+    let mut counting = CountingChooser {
+        inner: chooser,
+        consumed: &mut consumed,
+    };
+    // formals of the entry procedure are unconstrained: their values
+    // are part of the searched choice string
+    let n_formals = program.proc(main).map(|p| p.formals.len()).unwrap_or(0);
+    let ctx = ChooseCtx {
+        proc: main.to_string(),
+        id: None,
+        target: None,
+        purpose: bp::interp::ChoosePurpose::InitialValue,
+    };
+    let args: Vec<bool> = (0..n_formals).map(|_| counting.choose(&ctx)).collect();
+    let outcome = interp.run(main, args, &mut counting);
+    match outcome {
+        Ok(BOutcome::AssertViolated { .. }) => {
+            // branch directions: C2bp encodes each C branch decision as
+            // an `assume` carrying the arm (`branch` tag); those are the
+            // authoritative C-semantic decisions. The raw boolean
+            // `if (*)` direction is dropped (it is inverted for the
+            // assert encoding).
+            let mut flats = std::collections::HashMap::new();
+            for p in &program.procs {
+                if let Ok(f) = bp::flow::flatten_proc(p) {
+                    flats.insert(p.name.clone(), f);
+                }
+            }
+            let steps = interp
+                .trace
+                .iter()
+                .map(|s| {
+                    let branch = flats.get(&s.proc).and_then(|f| match f.instrs.get(s.pc) {
+                        Some(bp::flow::BInstr::Assume { branch, .. }) => *branch,
+                        _ => None,
+                    });
+                    BTraceStep {
+                        proc: s.proc.clone(),
+                        pc: s.pc,
+                        id: s.id,
+                        branch,
+                        state: s.state.clone(),
+                    }
+                })
+                .collect();
+            Some(SearchRun::Failed(BTrace { steps }))
+        }
+        Ok(_) | Err(_) => Some(SearchRun::Passed(consumed)),
+    }
+}
+
+/// Wraps a chooser to count how many choices a run consumed.
+struct CountingChooser<'a> {
+    inner: &'a mut dyn Chooser,
+    consumed: &'a mut usize,
+}
+
+impl Chooser for CountingChooser<'_> {
+    fn choose(&mut self, ctx: &ChooseCtx) -> bool {
+        *self.consumed += 1;
+        self.inner.choose(ctx)
+    }
+}
+
+/// [`find_error_trace_with`] with the same budget for both strategies —
+/// the drop-in form used by the CEGAR loop's defaults.
 pub fn find_error_trace(
     program: &BProgram,
     main: &str,
     max_runs: u64,
     fuel: u64,
 ) -> Option<BTrace> {
-    // Depth-first search over binary choice strings. `script` holds the
-    // fixed prefix; each run extends it implicitly with `false`s. On
-    // completion without failure, backtrack: flip the last `false` that
-    // was actually consumed to `true`.
+    find_error_trace_with(program, main, max_runs, max_runs, fuel)
+}
+
+/// Returns `None` if no failure was found within the budgets — for
+/// traces produced after Bebop has proved reachability this only
+/// happens when the budgets are too small.
+///
+/// Two complementary deterministic strategies run in sequence. The
+/// primary (`dfs_runs` executions) is a depth-first search over choice
+/// strings, backtracking by flipping the last consumed `false` to
+/// `true` — cheap and exact on programs whose error sits behind late
+/// choices. When the error guard is an *early* choice followed by
+/// nondeterministic loops, that DFS sinks its whole budget unrolling
+/// the trailing loops first; for those programs a second pass
+/// (`restart_runs` executions) draws every choice from a seeded
+/// counter-derived stream, which hits an error path with probability
+/// `2^-k` per run where `k` is the number of constrained choices
+/// *before* the failing assertion — exactly the early-error case the
+/// DFS is worst at. The fallback only executes once the primary budget
+/// is spent, so programs the primary handles keep their exact traces.
+pub fn find_error_trace_with(
+    program: &BProgram,
+    main: &str,
+    dfs_runs: u64,
+    restart_runs: u64,
+    fuel: u64,
+) -> Option<BTrace> {
+    // primary: last-false-flipped DFS; `script` holds the fixed prefix,
+    // runs extend it implicitly with `false`s
     let mut script: Vec<bool> = Vec::new();
-    for _ in 0..max_runs {
-        let mut interp = BInterp::new(program).ok()?;
-        interp.fuel = fuel;
+    let mut exhausted_tree = false;
+    for _ in 0..dfs_runs {
         let mut chooser = ScriptedChooser {
             script: script.clone(),
             consumed: 0,
         };
-        // formals of the entry procedure are unconstrained: their values
-        // are part of the searched choice string
-        let n_formals = program.proc(main).map(|p| p.formals.len()).unwrap_or(0);
-        let ctx = ChooseCtx {
-            proc: main.to_string(),
-            id: None,
-            target: None,
-            purpose: bp::interp::ChoosePurpose::InitialValue,
-        };
-        let args: Vec<bool> = (0..n_formals).map(|_| chooser.choose(&ctx)).collect();
-        let outcome = interp.run(main, args, &mut chooser);
-        match outcome {
-            Ok(BOutcome::AssertViolated { .. }) => {
-                // branch directions: C2bp encodes each C branch decision as
-                // an `assume` carrying the arm (`branch` tag); those are the
-                // authoritative C-semantic decisions. The raw boolean
-                // `if (*)` direction is dropped (it is inverted for the
-                // assert encoding).
-                let mut flats = std::collections::HashMap::new();
-                for p in &program.procs {
-                    if let Ok(f) = bp::flow::flatten_proc(p) {
-                        flats.insert(p.name.clone(), f);
-                    }
-                }
-                let steps = interp
-                    .trace
-                    .iter()
-                    .map(|s| {
-                        let branch = flats.get(&s.proc).and_then(|f| match f.instrs.get(s.pc) {
-                            Some(bp::flow::BInstr::Assume { branch, .. }) => *branch,
-                            _ => None,
-                        });
-                        BTraceStep {
-                            proc: s.proc.clone(),
-                            pc: s.pc,
-                            id: s.id,
-                            branch,
-                            state: s.state.clone(),
-                        }
-                    })
-                    .collect();
-                return Some(BTrace { steps });
-            }
-            Ok(_) | Err(_) => {
-                // backtrack: extend script to what was consumed (filled
-                // with false), then flip trailing trues off and the last
-                // false to true
-                let consumed = chooser.consumed.min(256);
-                script.resize(consumed, false);
+        match run_once(program, main, fuel, &mut chooser)? {
+            SearchRun::Failed(trace) => return Some(trace),
+            SearchRun::Passed(consumed) => {
+                script.resize(consumed.min(256), false);
                 while script.last() == Some(&true) {
                     script.pop();
                 }
                 let Some(last) = script.last_mut() else {
-                    return None; // whole tree explored
+                    // the whole (truncated) tree is explored; if no run
+                    // was cut off at 256 choices this is exhaustive
+                    exhausted_tree = true;
+                    break;
                 };
                 *last = true;
             }
+        }
+    }
+    if exhausted_tree {
+        return None;
+    }
+    // fallback: seeded random restarts (deterministic: the seed is the
+    // run index)
+    for run in 0..restart_runs {
+        let mut chooser = bp::interp::SeededChooser::new(0x5eed_0000 + run);
+        match run_once(program, main, fuel, &mut chooser)? {
+            SearchRun::Failed(trace) => return Some(trace),
+            SearchRun::Passed(_) => {}
         }
     }
     None
@@ -185,6 +259,46 @@ mod tests {
         let t = find_error_trace(&p, "main", 1000, 10_000).unwrap();
         // the failing run passes both branch instructions and the assert
         assert!(t.steps.len() >= 4);
+    }
+
+    #[test]
+    fn random_fallback_beats_trailing_choice_blowup() {
+        // the error guard is the FIRST choice, followed by ten unrelated
+        // choices: the primary DFS flips from the end and needs > 2^10
+        // runs to reach it, but a random restart hits `e = true` with
+        // probability 1/2 per run
+        let src = r#"
+            bool e, a0, a1, a2, a3, a4, a5, a6, a7, a8, a9;
+            void main() {
+                e = unknown();
+                a0 = unknown(); a1 = unknown(); a2 = unknown();
+                a3 = unknown(); a4 = unknown(); a5 = unknown();
+                a6 = unknown(); a7 = unknown(); a8 = unknown();
+                a9 = unknown();
+                assert(!e);
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        // budget of 100 runs per strategy: far below the 1024 the
+        // primary needs, plenty for the fallback
+        let t = find_error_trace(&p, "main", 100, 10_000).unwrap();
+        assert!(!t.steps.is_empty());
+    }
+
+    #[test]
+    fn exhausted_choice_tree_skips_the_fallback() {
+        // a safe program with a tiny choice tree: the DFS proves
+        // exhaustion quickly and must not burn restart budget
+        let src = r#"
+            bool g;
+            void main() {
+                g = unknown();
+                if (g) { } else { }
+                assert(true);
+            }
+        "#;
+        let p = parse_bp(src).unwrap();
+        assert!(find_error_trace_with(&p, "main", 100, u64::MAX, 10_000).is_none());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 //! outcome) and `qsort` (where the cube-length cap k matters).
 //!
 //! ```sh
-//! cargo run --release -p bench --bin ablation [-- --jobs N]
+//! cargo run --release -p bench --bin ablation [-- --jobs N] [--json <path>]
 //! ```
 fn main() {
     let jobs = bench::jobs_from_args();
+    let mut all_rows = Vec::new();
     for (stem, entry) in [("partition", "partition"), ("qsort", "qsort_range")] {
         let rows = bench::ablation_rows(stem, entry, jobs);
         print!(
@@ -14,5 +15,9 @@ fn main() {
             bench::render(&rows, &format!("§5.2 ablations on `{stem}`"))
         );
         println!();
+        all_rows.extend(rows);
+    }
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::rows(&all_rows));
     }
 }

@@ -1,0 +1,68 @@
+//! The matrix regression wall: (spec family × generated driver ×
+//! {reuse on/off} × {1,4 workers}) through `slam::verify`, every verdict
+//! checked against the generator's ground truth.
+//!
+//! ```sh
+//! # ci smoke subset: fixed seeds, two configs, exits nonzero on any
+//! # verdict mismatch
+//! cargo run --release -p bench --bin matrix -- --smoke --json BENCH_matrix.json
+//!
+//! # the full wall: 504 (spec, driver) pairs × 4 configs = 2016 runs
+//! cargo run --release -p bench --bin matrix -- --full \
+//!     --json BENCH_matrix_full.json --md MATRIX.md
+//! ```
+//!
+//! Defaults to `--smoke`. `--md <path>` writes the markdown report next
+//! to the JSON; without it the report goes to stdout.
+
+use bench::matrix::{
+    full_seeds, render_json, render_markdown, run_matrix, smoke_seeds, FULL_CONFIGS, SMOKE_CONFIGS,
+};
+use std::path::PathBuf;
+
+fn path_after_flag(flag: &str) -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == flag {
+            match iter.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("usage: {flag} <path>");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let full = bench::flag_in_args("--full");
+    let (seeds, configs, title) = if full {
+        (full_seeds(), &FULL_CONFIGS[..], "Matrix wall (full)")
+    } else {
+        (smoke_seeds(), &SMOKE_CONFIGS[..], "Matrix wall (smoke)")
+    };
+    let report = run_matrix(&seeds, configs, false);
+    let md = render_markdown(&report, title);
+    match path_after_flag("--md") {
+        Some(path) => bench::write_json(&path, &md),
+        None => print!("{md}"),
+    }
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &render_json(&report));
+    }
+    if report.mismatches > 0 {
+        eprintln!(
+            "matrix: {} cell(s) disagree with ground truth",
+            report.mismatches
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "matrix: {} cells over {} (spec, driver) pairs, all verdicts agree",
+        report.cells.len(),
+        report.drivers
+    );
+}

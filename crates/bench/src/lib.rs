@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod matrix;
+
 use c2bp::{abstract_program, parse_pred_file, C2bpOptions, CubeOptions};
-use slam::spec::{irp_spec, locking_spec, Spec};
+use slam::spec::{locking_spec, Spec};
 use slam::{SlamOptions, SlamVerdict};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -118,11 +120,10 @@ pub const DRIVERS: [(&str, &str, &str); 5] = [
 pub const BUGGY_DRIVER: (&str, &str, &str) = ("flopnew", "FlopnewReadWrite", "irp");
 
 fn spec_for(prop: &str) -> Spec {
-    match prop {
-        "lock" => locking_spec(),
-        "irp" => irp_spec(),
-        other => panic!("unknown property `{other}`"),
-    }
+    slam::SpecRegistry::builtin()
+        .get(prop)
+        .unwrap_or_else(|| panic!("unknown property `{prop}`"))
+        .spec()
 }
 
 /// Runs one Table 2 entry (pure C2bp + Bebop with a fixed predicate file)
@@ -1129,7 +1130,7 @@ pub fn alias_rows(jobs: usize, smoke: bool) -> Vec<AliasRow> {
 pub mod json {
     use super::{AliasRow, CegarRow, IncRow, PruneRow, Row};
 
-    fn esc(s: &str) -> String {
+    pub(crate) fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
         for c in s.chars() {
             match c {
@@ -1144,7 +1145,7 @@ pub mod json {
         out
     }
 
-    fn array(items: impl Iterator<Item = String>) -> String {
+    pub(crate) fn array(items: impl Iterator<Item = String>) -> String {
         let body: Vec<String> = items.collect();
         format!("[\n{}\n]\n", body.join(",\n"))
     }

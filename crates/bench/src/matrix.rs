@@ -1,0 +1,349 @@
+//! The matrix regression wall: every spec-registry family crossed with
+//! a seeded generated corpus, run under {reuse on/off} × {1, 4 workers},
+//! with every verdict checked against the generator's ground truth.
+//!
+//! The paper's Table 1 is eight hand-written drivers against one
+//! property; nothing that small can tell an optimisation lever from
+//! measurement noise. The matrix manufactures the missing workload: in
+//! full mode, 7 families × 36 seeds × {safe, defect} = 504 (spec,
+//! driver) cells, each verified under four configurations (2016 SLAM
+//! runs), all of which must agree with the constructive ground truth.
+//! The ci gate runs the smoke subset (fixed seeds, two configurations)
+//! and exits nonzero on the first disagreement.
+
+use corpusgen::{generate, params_for_index, GroundTruth};
+use slam::{SlamOptions, SlamVerdict, SpecRegistry};
+use std::time::Instant;
+
+/// One (driver, configuration) measurement.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Spec-registry family.
+    pub family: &'static str,
+    /// Generated driver name (`<family>_s<seed>_<truth>`).
+    pub driver: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Ground truth: `safe` or the defect slug.
+    pub truth: String,
+    /// Cross-iteration abstraction reuse on?
+    pub reuse: bool,
+    /// C2bp worker threads.
+    pub jobs: usize,
+    /// What SLAM concluded: `validated`, `error`, `gaveup: …`, or
+    /// `slam-error: …`.
+    pub verdict: String,
+    /// Verdict agrees with ground truth.
+    pub ok: bool,
+    /// CEGAR iterations executed.
+    pub iterations: u32,
+    /// Theorem-prover calls summed over all iterations.
+    pub prover_calls: u64,
+    /// Wall-clock seconds for the whole run.
+    pub seconds: f64,
+}
+
+/// The whole wall, plus the totals the report and the ci gate need.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Every measurement, in deterministic (family, seed, truth,
+    /// config) order.
+    pub cells: Vec<MatrixCell>,
+    /// Distinct (spec, driver) pairs covered.
+    pub drivers: usize,
+    /// Cells whose verdict disagreed with ground truth.
+    pub mismatches: usize,
+}
+
+/// The configuration axes: (reuse, jobs).
+pub const FULL_CONFIGS: [(bool, usize); 4] = [(true, 1), (false, 1), (true, 4), (false, 4)];
+/// The ci smoke subset runs both reuse arms single-threaded.
+pub const SMOKE_CONFIGS: [(bool, usize); 2] = [(true, 1), (false, 1)];
+
+/// Seeds for full mode: 36 per family × {safe, defect} = 504 pairs.
+pub fn full_seeds() -> Vec<u64> {
+    (0..36).collect()
+}
+
+/// Fixed smoke seeds: 3 per family × {safe, defect} = 42 pairs.
+pub fn smoke_seeds() -> Vec<u64> {
+    vec![0, 1, 2]
+}
+
+/// Runs the matrix over `seeds` × {safe, defect} × `configs` for every
+/// registry family. Progress goes to stderr (`quiet` suppresses it).
+pub fn run_matrix(seeds: &[u64], configs: &[(bool, usize)], quiet: bool) -> MatrixReport {
+    let registry = SpecRegistry::builtin();
+    let mut cells = Vec::new();
+    let mut drivers = 0;
+    let mut mismatches = 0;
+    for entry in registry.iter() {
+        let spec = entry.spec();
+        for &seed in seeds {
+            let params = params_for_index(seed as usize);
+            for want_defect in [false, true] {
+                let d = generate(entry.name, &params, seed, want_defect);
+                drivers += 1;
+                for &(reuse, jobs) in configs {
+                    let mut options = SlamOptions::default();
+                    options.c2bp.reuse = reuse;
+                    options.c2bp.jobs = jobs;
+                    // generated drivers end in nondeterministic loop
+                    // tails that sink the primary trace search; a small
+                    // primary budget hands over to the low-weight
+                    // fallback quickly instead of stalling per cell
+                    options.trace_runs = 2_000;
+                    let start = Instant::now();
+                    let outcome = slam::verify(&d.source, &spec, d.entry, &options);
+                    let seconds = start.elapsed().as_secs_f64();
+                    let (verdict, ok, iterations, prover_calls) = match &outcome {
+                        Ok(run) => {
+                            let verdict = match &run.verdict {
+                                SlamVerdict::Validated => "validated".to_string(),
+                                SlamVerdict::ErrorFound { .. } => "error".to_string(),
+                                SlamVerdict::GaveUp { reason } => format!("gaveup: {reason}"),
+                            };
+                            let ok = matches!(
+                                (&d.truth, &run.verdict),
+                                (GroundTruth::Safe, SlamVerdict::Validated)
+                                    | (GroundTruth::Defect { .. }, SlamVerdict::ErrorFound { .. })
+                            );
+                            let calls: u64 = run.per_iteration.iter().map(|s| s.prover_calls).sum();
+                            (verdict, ok, run.iterations, calls)
+                        }
+                        Err(e) => (format!("slam-error: {e}"), false, 0, 0),
+                    };
+                    if !ok {
+                        mismatches += 1;
+                        eprintln!(
+                            "MISMATCH {} reuse={reuse} jobs={jobs}: truth {} but {verdict}",
+                            d.name,
+                            truth_slug(&d.truth),
+                        );
+                    }
+                    cells.push(MatrixCell {
+                        family: entry.name,
+                        driver: d.name.clone(),
+                        seed,
+                        truth: truth_slug(&d.truth),
+                        reuse,
+                        jobs,
+                        verdict,
+                        ok,
+                        iterations,
+                        prover_calls,
+                        seconds,
+                    });
+                }
+            }
+        }
+        if !quiet {
+            eprintln!("matrix: {} done ({} cells so far)", entry.name, cells.len());
+        }
+    }
+    MatrixReport {
+        cells,
+        drivers,
+        mismatches,
+    }
+}
+
+fn truth_slug(t: &GroundTruth) -> String {
+    match t {
+        GroundTruth::Safe => "safe".to_string(),
+        GroundTruth::Defect { kind, .. } => kind.as_str().to_string(),
+    }
+}
+
+/// Per-(family, config) aggregate used by both report formats.
+#[derive(Debug, Clone)]
+pub struct MatrixGroup {
+    /// Family name.
+    pub family: &'static str,
+    /// Reuse arm.
+    pub reuse: bool,
+    /// Worker arm.
+    pub jobs: usize,
+    /// Cells in the group.
+    pub cells: usize,
+    /// Cells agreeing with ground truth.
+    pub ok: usize,
+    /// Mean CEGAR iterations.
+    pub mean_iterations: f64,
+    /// Total prover calls.
+    pub prover_calls: u64,
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Groups cells by (family, reuse, jobs), preserving first-seen order.
+pub fn group_cells(report: &MatrixReport) -> Vec<MatrixGroup> {
+    let mut groups: Vec<MatrixGroup> = Vec::new();
+    for c in &report.cells {
+        let g = match groups
+            .iter_mut()
+            .find(|g| g.family == c.family && g.reuse == c.reuse && g.jobs == c.jobs)
+        {
+            Some(g) => g,
+            None => {
+                groups.push(MatrixGroup {
+                    family: c.family,
+                    reuse: c.reuse,
+                    jobs: c.jobs,
+                    cells: 0,
+                    ok: 0,
+                    mean_iterations: 0.0,
+                    prover_calls: 0,
+                    seconds: 0.0,
+                });
+                groups.last_mut().unwrap()
+            }
+        };
+        g.cells += 1;
+        g.ok += c.ok as usize;
+        g.mean_iterations += c.iterations as f64;
+        g.prover_calls += c.prover_calls;
+        g.seconds += c.seconds;
+    }
+    for g in &mut groups {
+        if g.cells > 0 {
+            g.mean_iterations /= g.cells as f64;
+        }
+    }
+    groups
+}
+
+/// The reuse lever per family at jobs = 1: total prover calls with the
+/// cross-iteration session off vs on, and the relative saving.
+pub fn reuse_deltas(report: &MatrixReport) -> Vec<(&'static str, u64, u64, f64)> {
+    let groups = group_cells(report);
+    let mut out = Vec::new();
+    for g in &groups {
+        if !g.reuse || g.jobs != 1 {
+            continue;
+        }
+        let Some(off) = groups
+            .iter()
+            .find(|o| o.family == g.family && !o.reuse && o.jobs == 1)
+        else {
+            continue;
+        };
+        let saving = if off.prover_calls > 0 {
+            1.0 - g.prover_calls as f64 / off.prover_calls as f64
+        } else {
+            0.0
+        };
+        out.push((g.family, off.prover_calls, g.prover_calls, saving));
+    }
+    out
+}
+
+/// Renders the markdown report.
+pub fn render_markdown(report: &MatrixReport, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n\n"));
+    out.push_str(&format!(
+        "{} cells over {} (spec, driver) pairs; {} mismatch(es).\n\n",
+        report.cells.len(),
+        report.drivers,
+        report.mismatches
+    ));
+    out.push_str("| family | reuse | jobs | cells | ok | mean iters | prover calls | seconds |\n");
+    out.push_str("|--------|-------|------|-------|----|------------|--------------|--------|\n");
+    for g in group_cells(report) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.2} | {} | {:.2} |\n",
+            g.family,
+            if g.reuse { "on" } else { "off" },
+            g.jobs,
+            g.cells,
+            g.ok,
+            g.mean_iterations,
+            g.prover_calls,
+            g.seconds
+        ));
+    }
+    out.push_str("\n## Reuse lever (jobs = 1)\n\n");
+    out.push_str("| family | prover calls (reuse off) | prover calls (reuse on) | saving |\n");
+    out.push_str("|--------|--------------------------|-------------------------|--------|\n");
+    for (family, off, on, saving) in reuse_deltas(report) {
+        out.push_str(&format!(
+            "| {family} | {off} | {on} | {:.1}% |\n",
+            saving * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders the whole report as JSON (cells plus per-group summary).
+pub fn render_json(report: &MatrixReport) -> String {
+    use crate::json::{array, esc};
+    let cells = array(report.cells.iter().map(|c| {
+        format!(
+            "  {{\"family\": \"{}\", \"driver\": \"{}\", \"seed\": {}, \"truth\": \"{}\", \
+             \"reuse\": {}, \"jobs\": {}, \"verdict\": \"{}\", \"ok\": {}, \
+             \"iterations\": {}, \"prover_calls\": {}, \"seconds\": {:.6}}}",
+            esc(c.family),
+            esc(&c.driver),
+            c.seed,
+            esc(&c.truth),
+            c.reuse,
+            c.jobs,
+            esc(&c.verdict),
+            c.ok,
+            c.iterations,
+            c.prover_calls,
+            c.seconds
+        )
+    }));
+    let groups = array(group_cells(report).iter().map(|g| {
+        format!(
+            "  {{\"family\": \"{}\", \"reuse\": {}, \"jobs\": {}, \"cells\": {}, \"ok\": {}, \
+             \"mean_iterations\": {:.4}, \"prover_calls\": {}, \"seconds\": {:.6}}}",
+            esc(g.family),
+            g.reuse,
+            g.jobs,
+            g.cells,
+            g.ok,
+            g.mean_iterations,
+            g.prover_calls,
+            g.seconds
+        )
+    }));
+    format!(
+        "{{\n\"drivers\": {},\n\"mismatches\": {},\n\"groups\": {},\n\"cells\": {}}}\n",
+        report.drivers,
+        report.mismatches,
+        groups.trim_end(),
+        cells.trim_end()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_agrees_with_ground_truth() {
+        // one seed, one config, all families: 14 SLAM runs
+        let report = run_matrix(&[0], &[(true, 1)], true);
+        assert_eq!(report.drivers, 14);
+        assert_eq!(report.cells.len(), 14);
+        assert_eq!(report.mismatches, 0, "{:#?}", report.cells);
+        let md = render_markdown(&report, "tiny");
+        assert!(md.contains("| lock |"));
+        let json = render_json(&report);
+        assert!(json.contains("\"mismatches\": 0"));
+    }
+
+    #[test]
+    fn grouping_aggregates_per_config() {
+        let report = run_matrix(&[0], &SMOKE_CONFIGS, true);
+        let groups = group_cells(&report);
+        // 7 families × 2 configs
+        assert_eq!(groups.len(), 14);
+        assert!(groups.iter().all(|g| g.cells == 2));
+        let deltas = reuse_deltas(&report);
+        assert_eq!(deltas.len(), 7);
+    }
+}

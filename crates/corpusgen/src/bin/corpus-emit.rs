@@ -1,0 +1,69 @@
+//! Emits the checked-in sample of the generated corpus to
+//! `corpus/generated/`, with a `MANIFEST.md` recording each file's
+//! family, seed, parameters and ground truth.
+//!
+//! ```sh
+//! cargo run -p corpusgen --bin corpus-emit
+//! ```
+//!
+//! The sample is a fixed slice of the matrix workload: every spec
+//! family at two seeds, safe and defect variants. `tests/corpus_sanity.rs`
+//! regenerates each file from its header comment and byte-compares, so
+//! editing these files by hand (or changing the generator) without
+//! re-running this bin fails CI.
+
+use corpusgen::{generate, params_for_index, GroundTruth, FAMILIES};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The checked-in seeds: two per family, picked to exercise different
+/// parameter ladder rungs (sizes, depths, pointer usage).
+pub const SAMPLE_SEEDS: [u64; 2] = [0, 7];
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let dir = root.join("corpus/generated");
+    std::fs::create_dir_all(&dir).expect("create corpus/generated");
+
+    let mut manifest = String::from(
+        "# Generated corpus sample\n\n\
+         A fixed slice of the matrix workload (see `crates/corpusgen` and\n\
+         `bench --bin matrix`): every spec family at two seeds, safe and\n\
+         seeded-defect variants. Regenerate with:\n\n\
+         ```sh\n\
+         cargo run -p corpusgen --bin corpus-emit\n\
+         ```\n\n\
+         `tests/corpus_sanity.rs` regenerates each file from its header\n\
+         comment and byte-compares, so these files must not be edited by\n\
+         hand.\n\n\
+         | file | family | seed | ground truth |\n\
+         |------|--------|------|--------------|\n",
+    );
+    let mut count = 0usize;
+    for &family in FAMILIES {
+        for seed in SAMPLE_SEEDS {
+            let params = params_for_index(seed as usize);
+            for want_defect in [false, true] {
+                let d = generate(family, &params, seed, want_defect);
+                let file = format!("{}.c", d.name);
+                let truth = match d.truth {
+                    GroundTruth::Safe => "safe".to_string(),
+                    GroundTruth::Defect { kind, line } => {
+                        format!("{} at line {line}", kind.as_str())
+                    }
+                };
+                writeln!(manifest, "| `{file}` | {family} | {seed} | {truth} |").unwrap();
+                std::fs::write(dir.join(&file), &d.source).expect("write driver");
+                count += 1;
+            }
+        }
+    }
+    std::fs::write(dir.join("MANIFEST.md"), &manifest).expect("write manifest");
+    eprintln!(
+        "corpus-emit: wrote {count} drivers + MANIFEST.md to {}",
+        dir.display()
+    );
+}

@@ -1,0 +1,833 @@
+//! Seeded generator of C driver corpora with known ground-truth verdicts.
+//!
+//! The paper's evaluation is eight hand-written drivers against one
+//! locking specification — too small and too uniform for optimisation
+//! work to register. This crate manufactures the missing workload: for
+//! every family in the [`slam::SpecRegistry`](https://docs.rs) it emits
+//! syntactically-valid C drivers from a seeded xorshift stream
+//! ([`testutil::Rng`]), each with an exact, constructive ground truth:
+//!
+//! * **safe** drivers follow the family's protocol on every path, and
+//! * **defective** drivers are the same body with one protocol-violating
+//!   call spliced in at a recorded site (marked `/* DEFECT: ... */` in
+//!   the source), chosen so the violating call *aborts on its first
+//!   arrival* — downstream state corruption can never mask it.
+//!
+//! Ground truth is exact because every branch condition in a generated
+//! driver tests a **fresh entry parameter** (`b0`, `b1`, …) and every
+//! loop bound is a fresh parameter (`n0`, …): all paths are feasible, so
+//! a defect site is always reachable and a safe driver has no
+//! unreachable-protocol excuse. The generator never branches on computed
+//! values.
+//!
+//! Shape is controlled by [`GenParams`]: statement budget, nesting
+//! depth, predicate pressure (flag-guarded protocol brackets, each of
+//! which forces the CEGAR loop to discover a `bK > 0` predicate),
+//! pointer noise, and loops.
+//!
+//! One deliberate restriction: the `refcount` family (the only one whose
+//! spec state is a counter, not a bit) emits exactly one
+//! reference/dereference bracket per driver. The abstraction cannot
+//! carry a predicate forward across the arithmetic store
+//! `refs = refs + 1` (no cube implies the weakest precondition of an
+//! increment), so nested or repeated brackets are semantically safe but
+//! unprovable — the generator sticks to the shapes the tool can close.
+
+#![warn(missing_docs)]
+
+use testutil::Rng;
+
+/// Spec-family names this generator can emit drivers for, in registry
+/// order. Matches `slam::SpecRegistry::builtin()`.
+pub const FAMILIES: &[&str] = &[
+    "lock", "irql", "irp", "dfree", "uaclose", "refcount", "apiorder",
+];
+
+/// Generator shape knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenParams {
+    /// Top-level construct budget after the mandatory first bracket.
+    pub statements: usize,
+    /// Maximum nesting depth of state-preserving `if` blocks.
+    pub depth: usize,
+    /// Flag-guarded brackets to allow (each adds a predicate the
+    /// refinement loop must discover).
+    pub pressure: usize,
+    /// Emit pointer noise (`sp = &scratch; *sp = *sp + 1;`).
+    pub pointers: bool,
+    /// Emit counted loops.
+    pub loops: bool,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            statements: 6,
+            depth: 2,
+            pressure: 1,
+            pointers: false,
+            loops: true,
+        }
+    }
+}
+
+/// A deterministic parameter ladder for matrix runs: driver index `i`
+/// maps to a fixed shape, cycling through sizes, depths, pressure
+/// levels, pointer use, and loops.
+pub fn params_for_index(i: usize) -> GenParams {
+    GenParams {
+        statements: 3 + (i % 5) * 2,
+        depth: 1 + (i % 3),
+        pressure: i % 3,
+        pointers: i % 2 == 1,
+        loops: i % 4 != 3,
+    }
+}
+
+/// The kind of protocol violation a defective driver contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectKind {
+    /// The opening event repeated while its bit is already set
+    /// (double acquire, double raise, double complete).
+    DoubleOpen,
+    /// The closing event issued while the bit is clear (release without
+    /// acquire, double free, dereference at zero).
+    CloseAtZero,
+    /// A use event issued while the bit is clear (read after close,
+    /// check before complete, submit before start).
+    UseAtZero,
+    /// The opening event issued before the family's mandatory prelude
+    /// (start before init).
+    OpenBeforePrelude,
+}
+
+impl DefectKind {
+    /// A stable slug for reports and file names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DefectKind::DoubleOpen => "double-open",
+            DefectKind::CloseAtZero => "close-at-zero",
+            DefectKind::UseAtZero => "use-at-zero",
+            DefectKind::OpenBeforePrelude => "open-before-prelude",
+        }
+    }
+
+    /// The inverse of [`as_str`](DefectKind::as_str).
+    pub fn from_slug(s: &str) -> Option<DefectKind> {
+        Some(match s {
+            "double-open" => DefectKind::DoubleOpen,
+            "close-at-zero" => DefectKind::CloseAtZero,
+            "use-at-zero" => DefectKind::UseAtZero,
+            "open-before-prelude" => DefectKind::OpenBeforePrelude,
+            _ => return None,
+        })
+    }
+}
+
+/// The generator's verdict oracle for one driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundTruth {
+    /// Every path respects the protocol: SLAM must validate.
+    Safe,
+    /// One reachable violating call: SLAM must find an error.
+    Defect {
+        /// What was spliced in.
+        kind: DefectKind,
+        /// 1-based line of the `/* DEFECT */` marker in `source`.
+        line: usize,
+    },
+}
+
+/// One generated driver.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    /// Stable name: `<family>_s<seed>_<safe|defect-slug>`.
+    pub name: String,
+    /// Spec-registry family this driver exercises.
+    pub family: &'static str,
+    /// Entry function for `slam::verify`.
+    pub entry: &'static str,
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// The shape knobs it was generated with.
+    pub params: GenParams,
+    /// Complete C source (event stubs + entry function).
+    pub source: String,
+    /// The verdict SLAM must reach.
+    pub truth: GroundTruth,
+}
+
+/// The protocol skeleton behind one spec family: which event opens the
+/// tracked bit, which closes it, which merely require it, and what the
+/// spec punishes.
+struct Protocol {
+    family: &'static str,
+    entry: &'static str,
+    /// Event that must run once before `open` is legal (apiorder).
+    prelude: Option<&'static str>,
+    open: &'static str,
+    /// `None` for one-shot protocols (irp: a request is completed once
+    /// and never un-completed).
+    close: Option<&'static str>,
+    /// Events legal only while the bit is set.
+    uses: &'static [&'static str],
+    /// Whether `open` aborts when the bit is already set.
+    reopen_aborts: bool,
+    /// At most one bracket per driver (irp: no close; refcount: the
+    /// abstraction cannot track repeated counter increments).
+    single_bracket: bool,
+}
+
+const PROTOCOLS: &[Protocol] = &[
+    Protocol {
+        family: "lock",
+        entry: "DispatchLock",
+        prelude: None,
+        open: "KeAcquireSpinLock",
+        close: Some("KeReleaseSpinLock"),
+        uses: &[],
+        reopen_aborts: true,
+        single_bracket: false,
+    },
+    Protocol {
+        family: "irql",
+        entry: "DispatchIrql",
+        prelude: None,
+        open: "KeRaiseIrql",
+        close: Some("KeLowerIrql"),
+        uses: &[],
+        reopen_aborts: true,
+        single_bracket: false,
+    },
+    Protocol {
+        family: "irp",
+        entry: "DispatchIrp",
+        prelude: None,
+        open: "IoCompleteRequest",
+        close: None,
+        uses: &["IoCheckCompleted"],
+        reopen_aborts: true,
+        single_bracket: true,
+    },
+    Protocol {
+        family: "dfree",
+        entry: "DispatchPool",
+        prelude: None,
+        open: "ExAllocatePool",
+        close: Some("ExFreePool"),
+        uses: &[],
+        reopen_aborts: false,
+        single_bracket: false,
+    },
+    Protocol {
+        family: "uaclose",
+        entry: "DispatchFile",
+        prelude: None,
+        open: "ZwOpenFile",
+        close: Some("ZwClose"),
+        uses: &["ZwReadFile"],
+        reopen_aborts: false,
+        single_bracket: false,
+    },
+    Protocol {
+        family: "refcount",
+        entry: "DispatchObject",
+        prelude: None,
+        open: "ObReferenceObject",
+        close: Some("ObDereferenceObject"),
+        uses: &[],
+        reopen_aborts: false,
+        single_bracket: true,
+    },
+    Protocol {
+        family: "apiorder",
+        entry: "DispatchDevice",
+        prelude: Some("IoInitDevice"),
+        open: "IoStartDevice",
+        close: Some("IoStopDevice"),
+        uses: &["IoSubmitRequest"],
+        reopen_aborts: false,
+        single_bracket: false,
+    },
+];
+
+fn protocol(family: &str) -> &'static Protocol {
+    PROTOCOLS
+        .iter()
+        .find(|p| p.family == family)
+        .unwrap_or_else(|| panic!("corpusgen: unknown spec family `{family}`"))
+}
+
+/// The defect kinds a family's spec can punish (what [`generate`] may
+/// splice in when asked for a defective driver).
+pub fn defect_kinds(family: &str) -> Vec<DefectKind> {
+    let p = protocol(family);
+    let mut kinds = Vec::new();
+    if p.reopen_aborts {
+        kinds.push(DefectKind::DoubleOpen);
+    }
+    if p.close.is_some() {
+        kinds.push(DefectKind::CloseAtZero);
+    }
+    if !p.uses.is_empty() {
+        kinds.push(DefectKind::UseAtZero);
+    }
+    if p.prelude.is_some() {
+        kinds.push(DefectKind::OpenBeforePrelude);
+    }
+    kinds
+}
+
+/// The entry function name for a family's generated drivers.
+pub fn entry_for(family: &str) -> &'static str {
+    protocol(family).entry
+}
+
+/// Tracked-bit state at an emission point, as known on *all* paths
+/// reaching it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    Zero,
+    One,
+    /// Path-dependent (between the halves of a flag-guarded bracket):
+    /// no defect may be spliced here and no protocol call emitted.
+    Cond,
+}
+
+/// An eligible defect-insertion site: a position in the body where the
+/// tracked state is definite.
+struct Point {
+    idx: usize,
+    state: St,
+    after_prelude: bool,
+    indent: usize,
+}
+
+struct Emitter {
+    proto: &'static Protocol,
+    params: GenParams,
+    rng: Rng,
+    lines: Vec<String>,
+    points: Vec<Point>,
+    flags: usize,
+    count_params: usize,
+    loop_vars: usize,
+    uses_pointers: bool,
+    state: St,
+    after_prelude: bool,
+    brackets: usize,
+    guarded: usize,
+}
+
+impl Emitter {
+    fn new(proto: &'static Protocol, params: GenParams, rng: Rng) -> Emitter {
+        Emitter {
+            proto,
+            params,
+            rng,
+            lines: Vec::new(),
+            points: Vec::new(),
+            flags: 0,
+            count_params: 0,
+            loop_vars: 0,
+            uses_pointers: false,
+            state: St::Zero,
+            after_prelude: proto.prelude.is_none(),
+            brackets: 0,
+            guarded: 0,
+        }
+    }
+
+    fn push(&mut self, indent: usize, text: &str) {
+        self.lines
+            .push(format!("{:width$}{text}", "", width = indent * 4));
+    }
+
+    fn point(&mut self, indent: usize) {
+        if self.state == St::Cond {
+            return;
+        }
+        self.points.push(Point {
+            idx: self.lines.len(),
+            state: self.state,
+            after_prelude: self.after_prelude,
+            indent,
+        });
+    }
+
+    fn fresh_flag(&mut self) -> String {
+        let f = format!("b{}", self.flags);
+        self.flags += 1;
+        f
+    }
+
+    /// A protocol-neutral statement. Never branches on computed values.
+    fn work_stmt(&mut self, indent: usize, record: bool) {
+        if record {
+            self.point(indent);
+        }
+        match self.rng.index(4) {
+            0 => self.push(indent, "t0 = t0 + 1;"),
+            1 => self.push(indent, "t1 = t1 + t0;"),
+            2 => self.push(indent, "t0 = t0 - 1;"),
+            _ => {
+                if self.params.pointers {
+                    self.uses_pointers = true;
+                    self.push(indent, "sp = &scratch;");
+                    self.push(indent, "*sp = *sp + 1;");
+                } else {
+                    self.push(indent, "t1 = 0;");
+                }
+            }
+        }
+    }
+
+    /// Work, possibly wrapped in a state-preserving `if (bK > 0)` nest.
+    fn work_block(&mut self, indent: usize, depth: usize, record: bool) {
+        if depth == 0 || self.rng.ratio(2, 3) {
+            self.work_stmt(indent, record);
+            return;
+        }
+        let f = self.fresh_flag();
+        if record {
+            self.point(indent);
+        }
+        self.push(indent, &format!("if ({f} > 0) {{"));
+        let n = 1 + self.rng.index(2);
+        for _ in 0..n {
+            self.work_block(indent + 1, depth - 1, record);
+        }
+        self.push(indent, "}");
+    }
+
+    fn use_call(&mut self, indent: usize) {
+        let u = *self.rng.pick(self.proto.uses);
+        self.push(indent, &format!("{u}();"));
+    }
+
+    /// Statements legal while the bit is set: work and use events.
+    fn bracket_interior(&mut self, indent: usize, record: bool) {
+        let n = 1 + self.rng.index(2);
+        for _ in 0..n {
+            if !self.proto.uses.is_empty() && self.rng.gen_bool() {
+                if record {
+                    self.point(indent);
+                }
+                self.use_call(indent);
+            } else {
+                self.work_stmt(indent, record);
+            }
+        }
+    }
+
+    /// `open(); ...; close();` (close omitted for one-shot protocols).
+    fn plain_bracket(&mut self, indent: usize, record: bool) {
+        self.brackets += 1;
+        if record {
+            self.point(indent);
+        }
+        self.push(indent, &format!("{}();", self.proto.open));
+        self.state = St::One;
+        self.bracket_interior(indent, record);
+        if let Some(close) = self.proto.close {
+            if record {
+                self.point(indent);
+            }
+            self.push(indent, &format!("{close}();"));
+            self.state = St::Zero;
+        }
+    }
+
+    /// The classic correlated shape: open under a fresh flag, work,
+    /// close under the same flag. Forces the CEGAR loop to discover the
+    /// flag predicate. Between the halves the tracked state is
+    /// path-dependent, so nothing is recorded there.
+    fn guarded_bracket(&mut self, indent: usize) {
+        self.brackets += 1;
+        self.guarded += 1;
+        let f = self.fresh_flag();
+        self.point(indent);
+        self.push(indent, &format!("if ({f} > 0) {{"));
+        self.push(indent + 1, &format!("{}();", self.proto.open));
+        self.state = St::One;
+        self.bracket_interior(indent + 1, true);
+        self.state = St::Cond;
+        self.push(indent, "}");
+        let n = 1 + self.rng.index(2);
+        for _ in 0..n {
+            self.work_block(indent, self.params.depth, false);
+        }
+        match self.proto.close {
+            Some(close) => {
+                self.push(indent, &format!("if ({f} > 0) {{"));
+                // paths entering the guard hold the bit
+                self.state = St::One;
+                self.point(indent + 1);
+                self.push(indent + 1, &format!("{close}();"));
+                self.push(indent, "}");
+                self.state = St::Zero;
+            }
+            None => {
+                // one-shot protocol: optionally use under the same flag
+                if !self.proto.uses.is_empty() && self.rng.gen_bool() {
+                    self.push(indent, &format!("if ({f} > 0) {{"));
+                    let u = *self.rng.pick(self.proto.uses);
+                    self.push(indent + 1, &format!("{u}();"));
+                    self.push(indent, "}");
+                }
+                self.state = St::Cond;
+            }
+        }
+    }
+
+    /// `iK = nK; while (iK > 0) { ...; iK = iK - 1; }` — body is
+    /// state-preserving (work, or a full bracket for multi-bracket
+    /// families).
+    fn loop_item(&mut self, indent: usize) {
+        let n = format!("n{}", self.count_params);
+        self.count_params += 1;
+        let i = format!("i{}", self.loop_vars);
+        self.loop_vars += 1;
+        let record = self.state != St::Cond;
+        self.push(indent, &format!("{i} = {n};"));
+        self.push(indent, &format!("while ({i} > 0) {{"));
+        self.work_block(indent + 1, self.params.depth.saturating_sub(1), record);
+        if self.state == St::Zero
+            && !self.proto.single_bracket
+            && self.proto.close.is_some()
+            && self.rng.gen_bool()
+        {
+            self.plain_bracket(indent + 1, record);
+        }
+        self.push(indent + 1, &format!("{i} = {i} - 1;"));
+        self.push(indent, "}");
+    }
+
+    fn top_item(&mut self, indent: usize) {
+        let single_spent = self.proto.single_bracket && self.brackets > 0;
+        let can_bracket = self.state == St::Zero && !single_spent;
+        let can_guarded = can_bracket && self.guarded < self.params.pressure;
+        let can_use = self.state == St::One && !self.proto.uses.is_empty();
+        let record = self.state != St::Cond;
+        let mut choices: Vec<u8> = vec![0, 0];
+        if self.params.loops {
+            choices.push(1);
+        }
+        if can_bracket {
+            choices.push(2);
+        }
+        if can_guarded {
+            choices.push(3);
+        }
+        if can_use {
+            choices.push(4);
+        }
+        match *self.rng.pick(&choices) {
+            0 => self.work_block(indent, self.params.depth, record),
+            1 => self.loop_item(indent),
+            2 => self.plain_bracket(indent, true),
+            3 => self.guarded_bracket(indent),
+            _ => {
+                self.point(indent);
+                self.use_call(indent);
+            }
+        }
+    }
+
+    fn build(&mut self) {
+        let ind = 1;
+        // a definite Zero site at function start (before any prelude)
+        self.work_stmt(ind, true);
+        if let Some(pre) = self.proto.prelude {
+            self.point(ind);
+            self.push(ind, &format!("{pre}();"));
+            self.after_prelude = true;
+        }
+        // mandatory first bracket: every driver exercises its protocol,
+        // and every defect kind has an eligible site
+        if self.params.pressure > 0 && self.rng.gen_bool() {
+            self.guarded_bracket(ind);
+        } else {
+            self.plain_bracket(ind, true);
+        }
+        for _ in 0..self.params.statements {
+            self.top_item(ind);
+        }
+    }
+
+    fn eligible(&self, p: &Point, kind: DefectKind) -> bool {
+        // keep defects at most one branch deep: counterexample
+        // extraction enumerates low-weight choice deviations, and a
+        // defect buried under many fresh-flag branches would need one
+        // `true` choice per enclosing branch to reach
+        if p.indent > 2 {
+            return false;
+        }
+        match kind {
+            DefectKind::DoubleOpen => p.state == St::One,
+            DefectKind::CloseAtZero => p.state == St::Zero,
+            DefectKind::UseAtZero => p.state == St::Zero && p.after_prelude,
+            DefectKind::OpenBeforePrelude => !p.after_prelude,
+        }
+    }
+
+    /// Splices one violating call into the recorded body. The chosen
+    /// site aborts on first arrival, so reachability (guaranteed by
+    /// fresh-parameter branching) is the whole ground truth.
+    fn inject(&mut self) -> DefectKind {
+        let kinds: Vec<DefectKind> = defect_kinds(self.proto.family)
+            .into_iter()
+            .filter(|k| self.points.iter().any(|p| self.eligible(p, *k)))
+            .collect();
+        assert!(
+            !kinds.is_empty(),
+            "corpusgen: no eligible defect site in `{}` driver",
+            self.proto.family
+        );
+        let kind = *self.rng.pick(&kinds);
+        let sites: Vec<usize> = (0..self.points.len())
+            .filter(|&i| self.eligible(&self.points[i], kind))
+            .collect();
+        let site = &self.points[*self.rng.pick(&sites)];
+        let call = match kind {
+            DefectKind::DoubleOpen | DefectKind::OpenBeforePrelude => self.proto.open,
+            DefectKind::CloseAtZero => self.proto.close.expect("close-at-zero needs a close"),
+            DefectKind::UseAtZero => self.rng.pick(self.proto.uses),
+        };
+        let text = format!(
+            "{:width$}{call}(); /* DEFECT: {} */",
+            "",
+            kind.as_str(),
+            width = site.indent * 4
+        );
+        self.lines.insert(site.idx, text);
+        kind
+    }
+}
+
+/// Generates one driver for `family` from `seed`. With `want_defect`
+/// the safe body gets one violating call spliced in (same seed ⇒ same
+/// body as the safe variant).
+pub fn generate(family: &str, params: &GenParams, seed: u64, want_defect: bool) -> Driver {
+    let proto = protocol(family);
+    let mut e = Emitter::new(proto, *params, Rng::new(seed));
+    e.build();
+    let kind = want_defect.then(|| e.inject());
+
+    let mut events: Vec<&str> = Vec::new();
+    if let Some(pre) = proto.prelude {
+        events.push(pre);
+    }
+    events.push(proto.open);
+    if let Some(close) = proto.close {
+        events.push(close);
+    }
+    events.extend(proto.uses);
+
+    let suffix = kind.map_or("safe", |k| k.as_str());
+    let name = format!("{family}_s{seed}_{suffix}");
+
+    let mut src = String::new();
+    src.push_str(&format!(
+        "// corpusgen: family={family} seed={seed} statements={} depth={} pressure={} \
+         pointers={} loops={} truth={suffix}\n",
+        params.statements, params.depth, params.pressure, params.pointers, params.loops
+    ));
+    for ev in &events {
+        src.push_str(&format!("void {ev}(void) {{ ; }}\n"));
+    }
+    src.push('\n');
+    let args: Vec<String> = (0..e.flags)
+        .map(|k| format!("int b{k}"))
+        .chain((0..e.count_params).map(|k| format!("int n{k}")))
+        .collect();
+    let sig = if args.is_empty() {
+        "void".to_string()
+    } else {
+        args.join(", ")
+    };
+    src.push_str(&format!("void {}({sig}) {{\n", proto.entry));
+    src.push_str("    int t0;\n    int t1;\n");
+    for k in 0..e.loop_vars {
+        src.push_str(&format!("    int i{k};\n"));
+    }
+    if e.uses_pointers {
+        src.push_str("    int scratch;\n    int *sp;\n");
+    }
+    src.push_str("    t0 = 0;\n    t1 = 0;\n");
+    if e.uses_pointers {
+        src.push_str("    scratch = 0;\n");
+    }
+    for line in &e.lines {
+        src.push_str(line);
+        src.push('\n');
+    }
+    src.push_str("}\n");
+
+    let truth = match kind {
+        None => GroundTruth::Safe,
+        Some(kind) => {
+            let line = src
+                .lines()
+                .position(|l| l.contains("/* DEFECT:"))
+                .expect("defect marker present")
+                + 1;
+            GroundTruth::Defect { kind, line }
+        }
+    };
+
+    Driver {
+        name,
+        family: proto.family,
+        entry: proto.entry,
+        seed,
+        params: *params,
+        source: src,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_bytes() {
+        for &family in FAMILIES {
+            for seed in [0u64, 1, 7, 1234] {
+                for want_defect in [false, true] {
+                    let p = GenParams::default();
+                    let a = generate(family, &p, seed, want_defect);
+                    let b = generate(family, &p, seed, want_defect);
+                    assert_eq!(a.source, b.source, "{family} seed {seed}");
+                    assert_eq!(a.truth, b.truth, "{family} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_holds_across_random_params() {
+        testutil::run_cases(
+            "corpusgen-deterministic",
+            40,
+            |rng| {
+                let params = GenParams {
+                    statements: rng.gen_range(1, 12) as usize,
+                    depth: rng.gen_range(0, 4) as usize,
+                    pressure: rng.gen_range(0, 3) as usize,
+                    pointers: rng.gen_bool(),
+                    loops: rng.gen_bool(),
+                };
+                let family = *rng.pick(FAMILIES);
+                let seed = rng.next_u64();
+                let defect = rng.gen_bool();
+                (family, params, seed, defect)
+            },
+            |&(family, params, seed, defect)| {
+                let a = generate(family, &params, seed, defect);
+                let b = generate(family, &params, seed, defect);
+                assert_eq!(a.source, b.source);
+            },
+        );
+    }
+
+    #[test]
+    fn seed_sweep_produces_distinct_sources() {
+        for &family in FAMILIES {
+            let mut hashes = HashSet::new();
+            for seed in 0..100u64 {
+                let d = generate(family, &GenParams::default(), seed, false);
+                hashes.insert(d.source);
+            }
+            assert!(
+                hashes.len() >= 95,
+                "{family}: only {} distinct sources in a 100-seed sweep",
+                hashes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn defect_variant_shares_the_safe_body() {
+        for &family in FAMILIES {
+            let p = GenParams::default();
+            let safe = generate(family, &p, 42, false);
+            let bad = generate(family, &p, 42, true);
+            let marker_gone: Vec<&str> = bad
+                .source
+                .lines()
+                .filter(|l| !l.contains("/* DEFECT:"))
+                .collect();
+            let safe_body: Vec<&str> = safe
+                .source
+                .lines()
+                .filter(|l| !l.starts_with("// corpusgen:"))
+                .collect();
+            let bad_body: Vec<&str> = marker_gone
+                .iter()
+                .copied()
+                .filter(|l| !l.starts_with("// corpusgen:"))
+                .collect();
+            assert_eq!(
+                safe_body, bad_body,
+                "{family}: defect must be a pure splice"
+            );
+        }
+    }
+
+    #[test]
+    fn defect_marker_line_is_exact() {
+        for &family in FAMILIES {
+            for seed in 0..20u64 {
+                let d = generate(family, &GenParams::default(), seed, true);
+                let GroundTruth::Defect { kind, line } = d.truth else {
+                    panic!("{family}: expected a defect");
+                };
+                let text = d.source.lines().nth(line - 1).unwrap();
+                assert!(
+                    text.contains(&format!("/* DEFECT: {} */", kind.as_str())),
+                    "{family} seed {seed}: line {line} is `{text}`"
+                );
+                assert!(defect_kinds(family).contains(&kind));
+            }
+        }
+    }
+
+    #[test]
+    fn refcount_emits_one_bracket_only() {
+        for seed in 0..50u64 {
+            let p = GenParams {
+                statements: 10,
+                pressure: 2,
+                ..GenParams::default()
+            };
+            let d = generate("refcount", &p, seed, false);
+            let refs = d
+                .source
+                .lines()
+                .filter(|l| l.trim() == "ObReferenceObject();")
+                .count();
+            assert_eq!(refs, 1, "seed {seed}:\n{}", d.source);
+        }
+    }
+
+    #[test]
+    fn params_ladder_is_stable() {
+        let p0 = params_for_index(0);
+        assert_eq!(p0.statements, 3);
+        assert_eq!(p0.depth, 1);
+        assert_eq!(p0.pressure, 0);
+        assert!(!p0.pointers);
+        assert!(p0.loops);
+        // the ladder cycles — index 60 repeats index 0
+        assert_eq!(params_for_index(60), p0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown spec family")]
+    fn unknown_family_panics() {
+        generate("nosuch", &GenParams::default(), 0, false);
+    }
+}

@@ -1,0 +1,75 @@
+//! Generated drivers are real inputs: they parse, instrument, and — on
+//! a small sample — verify to exactly their ground-truth verdict. The
+//! full-scale check lives in the bench matrix runner; this is the fast
+//! per-crate gate.
+
+use corpusgen::{generate, GenParams, GroundTruth, FAMILIES};
+use slam::{SlamOptions, SlamVerdict, SpecRegistry};
+
+#[test]
+fn every_family_parses_across_a_seed_sweep() {
+    for &family in FAMILIES {
+        for seed in 0..12u64 {
+            let params = corpusgen::params_for_index(seed as usize);
+            for want_defect in [false, true] {
+                let d = generate(family, &params, seed, want_defect);
+                let program = cparse::parse_program(&d.source)
+                    .unwrap_or_else(|e| panic!("{}: parse error {e}\n{}", d.name, d.source));
+                cparse::check_program(&program)
+                    .unwrap_or_else(|e| panic!("{}: check error {e}\n{}", d.name, d.source));
+            }
+        }
+    }
+}
+
+#[test]
+fn sample_drivers_verify_to_ground_truth() {
+    let registry = SpecRegistry::builtin();
+    let options = SlamOptions {
+        lint: true,
+        ..SlamOptions::default()
+    };
+    for &family in FAMILIES {
+        let spec = registry.get(family).expect("family registered").spec();
+        for seed in [3u64, 11] {
+            let params = corpusgen::params_for_index(seed as usize);
+            for want_defect in [false, true] {
+                let d = generate(family, &params, seed, want_defect);
+                let run = slam::verify(&d.source, &spec, d.entry, &options)
+                    .unwrap_or_else(|e| panic!("{}: slam error {e}\n{}", d.name, d.source));
+                match (&d.truth, &run.verdict) {
+                    (GroundTruth::Safe, SlamVerdict::Validated) => {}
+                    (GroundTruth::Defect { .. }, SlamVerdict::ErrorFound { .. }) => {}
+                    (truth, verdict) => panic!(
+                        "{}: ground truth {truth:?} but verdict {verdict:?}\n{}",
+                        d.name, d.source
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pointer_noise_does_not_break_verification() {
+    let params = GenParams {
+        statements: 6,
+        depth: 2,
+        pressure: 1,
+        pointers: true,
+        loops: true,
+    };
+    let spec = SpecRegistry::builtin().get("lock").unwrap().spec();
+    for seed in 0..3u64 {
+        let d = generate("lock", &params, seed, false);
+        let run = slam::verify(&d.source, &spec, d.entry, &SlamOptions::default())
+            .unwrap_or_else(|e| panic!("{}: slam error {e}\n{}", d.name, d.source));
+        assert_eq!(
+            run.verdict,
+            SlamVerdict::Validated,
+            "{}:\n{}",
+            d.name,
+            d.source
+        );
+    }
+}

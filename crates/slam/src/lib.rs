@@ -35,10 +35,12 @@
 pub mod cegar;
 pub mod instrument;
 pub mod spec;
+pub mod specs;
 
 pub use cegar::{check, IterationStats, SlamError, SlamOptions, SlamRun, SlamVerdict};
 pub use instrument::instrument;
 pub use spec::{parse_spec, Spec, SpecError};
+pub use specs::{SpecEntry, SpecRegistry, ViolationShape};
 
 use c2bp::Pred;
 use cparse::{check_program, parse_program, simplify_program};

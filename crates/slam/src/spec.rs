@@ -54,15 +54,90 @@ pub struct Spec {
 }
 
 /// A specification syntax error.
+///
+/// Each variant pins one way a SLIC-lite text can be malformed; the
+/// matrix harness and the CLIs only format them, but the error-path unit
+/// tests construct every variant from a minimal bad spec string.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecError {
-    /// Description.
-    pub message: String,
+pub enum SpecError {
+    /// A section header was not followed by `{`.
+    MissingSectionBrace {
+        /// The offending header text (may be a whole trailing fragment).
+        header: String,
+    },
+    /// A section body's braces never close.
+    UnbalancedBraces {
+        /// The section header.
+        header: String,
+    },
+    /// A section header is neither `state` nor `<fn>.call`.
+    UnknownSection {
+        /// The header as written.
+        header: String,
+    },
+    /// A `state` line is not of the form `int name [= k]`.
+    BadStateDecl {
+        /// The line as written.
+        line: String,
+    },
+    /// A `state` initializer is not an integer literal.
+    BadInitializer {
+        /// The line as written.
+        line: String,
+    },
+    /// A `state` variable has a non-`int` type.
+    NonIntState {
+        /// The type as written.
+        ty: String,
+    },
+    /// A handler references `$n` but the call site has fewer arguments.
+    MissingArgument {
+        /// The referenced 1-based argument index.
+        index: usize,
+    },
+    /// A handler body does not parse as a statement sequence.
+    HandlerParse {
+        /// The parser's message.
+        message: String,
+    },
+    /// A handler body declares local variables.
+    HandlerDeclaresLocals,
 }
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spec error: {}", self.message)
+        write!(f, "spec error: ")?;
+        match self {
+            SpecError::MissingSectionBrace { header } => {
+                write!(f, "expected `{{` after section header `{header}`")
+            }
+            SpecError::UnbalancedBraces { header } => {
+                write!(f, "unbalanced braces in section `{header}`")
+            }
+            SpecError::UnknownSection { header } => {
+                write!(
+                    f,
+                    "unknown section `{header}` (expected `state` or `<fn>.call`)"
+                )
+            }
+            SpecError::BadStateDecl { line } => write!(f, "bad state declaration `{line}`"),
+            SpecError::BadInitializer { line } => write!(f, "bad initializer in `{line}`"),
+            SpecError::NonIntState { ty } => {
+                write!(f, "state variables must be int, got `{ty}`")
+            }
+            SpecError::MissingArgument { index } => {
+                write!(
+                    f,
+                    "handler references ${index} but the call has fewer arguments"
+                )
+            }
+            SpecError::HandlerParse { message } => {
+                write!(f, "cannot parse handler body: {message}")
+            }
+            SpecError::HandlerDeclaresLocals => {
+                write!(f, "handlers may not declare local variables")
+            }
+        }
     }
 }
 
@@ -87,13 +162,15 @@ pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
                 None => break,
             }
         }
-        let brace = rest.find('{').ok_or_else(|| SpecError {
-            message: "expected `{` after section header".into(),
-        })?;
+        let brace = rest
+            .find('{')
+            .ok_or_else(|| SpecError::MissingSectionBrace {
+                header: rest.trim().to_string(),
+            })?;
         let header = rest[..brace].trim().to_string();
         let body_start = brace + 1;
-        let body_end = matching_brace(rest, brace).ok_or_else(|| SpecError {
-            message: format!("unbalanced braces in section `{header}`"),
+        let body_end = matching_brace(rest, brace).ok_or_else(|| SpecError::UnbalancedBraces {
+            header: header.clone(),
         })?;
         let body = &rest[body_start..body_end];
         if header == "state" {
@@ -106,9 +183,7 @@ pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
             spec.events
                 .push((fname.trim().to_string(), body.to_string()));
         } else {
-            return Err(SpecError {
-                message: format!("unknown section `{header}` (expected `state` or `<fn>.call`)"),
-            });
+            return Err(SpecError::UnknownSection { header });
         }
         rest = &rest[body_end + 1..];
     }
@@ -142,24 +217,22 @@ fn parse_state(body: &str, spec: &mut Spec) -> Result<(), SpecError> {
         // `int name = k` or `int name`
         let (decl, init) = match line.split_once('=') {
             Some((d, i)) => {
-                let v: i64 = i.trim().parse().map_err(|_| SpecError {
-                    message: format!("bad initializer in `{line}`"),
+                let v: i64 = i.trim().parse().map_err(|_| SpecError::BadInitializer {
+                    line: line.to_string(),
                 })?;
                 (d.trim(), v)
             }
             None => (line, 0),
         };
         let mut parts = decl.split_whitespace();
-        let ty = parts.next().ok_or_else(|| SpecError {
-            message: format!("bad state declaration `{line}`"),
+        let ty = parts.next().ok_or_else(|| SpecError::BadStateDecl {
+            line: line.to_string(),
         })?;
-        let name = parts.next().ok_or_else(|| SpecError {
-            message: format!("bad state declaration `{line}`"),
+        let name = parts.next().ok_or_else(|| SpecError::BadStateDecl {
+            line: line.to_string(),
         })?;
         if ty != "int" {
-            return Err(SpecError {
-                message: format!("state variables must be int, got `{ty}`"),
-            });
+            return Err(SpecError::NonIntState { ty: ty.to_string() });
         }
         spec.state.push((name.to_string(), Type::Int, init));
     }
@@ -185,26 +258,22 @@ pub fn parse_handler_text(body: &str, args: &[&str]) -> Result<Stmt, SpecError> 
         let pat = format!("${k}");
         if rewritten.contains(&pat) {
             let Some(actual) = args.get(k - 1) else {
-                return Err(SpecError {
-                    message: format!("handler references ${k} but the call has fewer arguments"),
-                });
+                return Err(SpecError::MissingArgument { index: k });
             };
             rewritten = rewritten.replace(&pat, &format!("({actual})"));
         }
     }
     let wrapped = format!("void __slic_handler() {{ {rewritten} }}");
-    let program = parse_program(&wrapped).map_err(|e| SpecError {
-        message: format!("cannot parse handler body: {e}"),
+    let program = parse_program(&wrapped).map_err(|e| SpecError::HandlerParse {
+        message: e.to_string(),
     })?;
     let f = program
         .function("__slic_handler")
-        .ok_or_else(|| SpecError {
+        .ok_or_else(|| SpecError::HandlerParse {
             message: "internal: handler function missing".into(),
         })?;
     if !f.locals.is_empty() {
-        return Err(SpecError {
-            message: "handlers may not declare local variables".into(),
-        });
+        return Err(SpecError::HandlerDeclaresLocals);
     }
     Ok(f.body.clone())
 }
@@ -218,45 +287,25 @@ pub fn init_statements(spec: &Spec) -> Vec<Stmt> {
 }
 
 /// The canonical two-phase locking specification used for the driver
-/// benchmarks (acquire/release alternation).
+/// benchmarks (acquire/release alternation). Registered as `lock` in
+/// [`crate::specs::SpecRegistry`]; kept as a function for the original
+/// call sites.
 pub fn locking_spec() -> Spec {
-    parse_spec(
-        r#"
-        state {
-            int locked = 0;
-        }
-        KeAcquireSpinLock.call {
-            if (locked == 1) { abort; }
-            locked = 1;
-        }
-        KeReleaseSpinLock.call {
-            if (locked == 0) { abort; }
-            locked = 0;
-        }
-        "#,
-    )
-    .expect("built-in spec parses")
+    crate::specs::SpecRegistry::builtin()
+        .get("lock")
+        .expect("lock is registered")
+        .spec()
 }
 
 /// The interrupt-request-packet completion discipline used for the driver
 /// benchmarks: each IRP must be completed exactly once before return and
-/// never completed twice.
+/// never completed twice. Registered as `irp` in
+/// [`crate::specs::SpecRegistry`].
 pub fn irp_spec() -> Spec {
-    parse_spec(
-        r#"
-        state {
-            int completed = 0;
-        }
-        IoCompleteRequest.call {
-            if (completed == 1) { abort; }
-            completed = 1;
-        }
-        IoCheckCompleted.call {
-            if (completed == 0) { abort; }
-        }
-        "#,
-    )
-    .expect("built-in spec parses")
+    crate::specs::SpecRegistry::builtin()
+        .get("irp")
+        .expect("irp is registered")
+        .spec()
 }
 
 #[cfg(test)]
@@ -300,7 +349,98 @@ mod tests {
     #[test]
     fn missing_argument_is_an_error() {
         let err = parse_handler_text("if ($2 > 0) { abort; }", &["x"]).unwrap_err();
-        assert!(err.message.contains("$2"), "{err}");
+        assert_eq!(err, SpecError::MissingArgument { index: 2 });
+        assert!(err.to_string().contains("$2"), "{err}");
+    }
+
+    // one minimal malformed spec string per `SpecError` variant
+
+    #[test]
+    fn error_missing_section_brace() {
+        let err = parse_spec("state").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::MissingSectionBrace {
+                header: "state".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_unbalanced_braces() {
+        let err = parse_spec("state { int x;").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::UnbalancedBraces {
+                header: "state".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_unknown_section() {
+        let err = parse_spec("bogus { }").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::UnknownSection {
+                header: "bogus".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_bad_state_decl() {
+        let err = parse_spec("state { int; }").unwrap_err();
+        assert_eq!(err, SpecError::BadStateDecl { line: "int".into() });
+    }
+
+    #[test]
+    fn error_bad_initializer() {
+        let err = parse_spec("state { int x = y; }").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::BadInitializer {
+                line: "int x = y".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_non_int_state() {
+        let err = parse_spec("state { float x; }").unwrap_err();
+        assert_eq!(err, SpecError::NonIntState { ty: "float".into() });
+    }
+
+    #[test]
+    fn error_handler_parse() {
+        let err = parse_spec("f.call { if }").unwrap_err();
+        assert!(matches!(err, SpecError::HandlerParse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn error_handler_declares_locals() {
+        let err = parse_spec("f.call { int x; abort; }").unwrap_err();
+        assert_eq!(err, SpecError::HandlerDeclaresLocals);
+    }
+
+    #[test]
+    fn every_variant_displays_with_prefix() {
+        let variants = vec![
+            SpecError::MissingSectionBrace { header: "h".into() },
+            SpecError::UnbalancedBraces { header: "h".into() },
+            SpecError::UnknownSection { header: "h".into() },
+            SpecError::BadStateDecl { line: "l".into() },
+            SpecError::BadInitializer { line: "l".into() },
+            SpecError::NonIntState { ty: "t".into() },
+            SpecError::MissingArgument { index: 3 },
+            SpecError::HandlerParse {
+                message: "m".into(),
+            },
+            SpecError::HandlerDeclaresLocals,
+        ];
+        for v in variants {
+            assert!(v.to_string().starts_with("spec error: "), "{v}");
+        }
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! The built-in specification registry: named SLIC-lite spec families.
+//!
+//! The paper's evaluation drives one property (lock discipline) plus the
+//! IRP-completion check on a handful of drivers. This module widens the
+//! property axis the way Rudra registers its independent analyses: each
+//! [`SpecEntry`] is a named temporal-safety spec with machine-readable
+//! metadata — the interface events it watches, the shapes a violation can
+//! take, and canonical safe/violating call traces — so harnesses (the
+//! corpus generator, the matrix runner, the CLIs) can enumerate
+//! properties instead of hard-coding them.
+//!
+//! Families:
+//!
+//! | name       | discipline                                            |
+//! |------------|-------------------------------------------------------|
+//! | `lock`     | spin-lock acquire/release alternation                 |
+//! | `irql`     | IRQL raise/lower alternation (double-raise aborts)    |
+//! | `irp`      | IRP completed exactly once, checked only after        |
+//! | `dfree`    | pool allocations freed at most once                   |
+//! | `uaclose`  | file handles never read or closed after close         |
+//! | `refcount` | object reference counts never driven below zero       |
+//! | `apiorder` | device init → start → submit call ordering            |
+
+use crate::spec::{parse_spec, Spec};
+
+/// The shape of a property violation an entry's state machine can reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationShape {
+    /// `event` called while its tracked bit is already set (double
+    /// acquire, double raise, double complete).
+    RepeatedEvent {
+        /// The repeated event.
+        event: &'static str,
+    },
+    /// `event` called while the bit `precursor` should have set is clear
+    /// (release without acquire, read after close, start before init).
+    EventWithoutPrecursor {
+        /// The premature event.
+        event: &'static str,
+        /// The event that must run first.
+        precursor: &'static str,
+    },
+    /// `event` would drive a tracked counter below zero (dereference
+    /// with no outstanding references).
+    CounterUnderflow {
+        /// The decrementing event.
+        event: &'static str,
+    },
+}
+
+/// One named specification family.
+#[derive(Debug, Clone)]
+pub struct SpecEntry {
+    /// Registry key (stable; harnesses select by this).
+    pub name: &'static str,
+    /// One-line human description.
+    pub description: &'static str,
+    /// The SLIC-lite source text.
+    pub source: &'static str,
+    /// The interface events the spec instruments, in protocol order.
+    pub events: &'static [&'static str],
+    /// Every violation shape the state machine can reach.
+    pub violations: &'static [ViolationShape],
+    /// A canonical event sequence that must validate.
+    pub safe_trace: &'static [&'static str],
+    /// A canonical event sequence whose last call must abort.
+    pub violating_trace: &'static [&'static str],
+}
+
+impl SpecEntry {
+    /// Parses the entry's spec (built-in sources always parse).
+    pub fn spec(&self) -> Spec {
+        parse_spec(self.source).expect("built-in registry spec parses")
+    }
+
+    /// C stub definitions for every event, so a driver that only calls
+    /// the interface is a complete program.
+    pub fn stub_decls(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events {
+            out.push_str(&format!("void {ev}(void) {{ ; }}\n"));
+        }
+        out
+    }
+
+    /// A straight-line driver calling `trace` in order from `entry`.
+    pub fn trace_driver(&self, entry: &str, trace: &[&str]) -> String {
+        let mut out = self.stub_decls();
+        out.push_str(&format!("void {entry}(void) {{\n"));
+        for ev in trace {
+            out.push_str(&format!("    {ev}();\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+const LOCK_SRC: &str = r#"
+state {
+    int locked = 0;
+}
+KeAcquireSpinLock.call {
+    if (locked == 1) { abort; }
+    locked = 1;
+}
+KeReleaseSpinLock.call {
+    if (locked == 0) { abort; }
+    locked = 0;
+}
+"#;
+
+const IRQL_SRC: &str = r#"
+state {
+    int irql_raised = 0;
+}
+KeRaiseIrql.call {
+    if (irql_raised == 1) { abort; }
+    irql_raised = 1;
+}
+KeLowerIrql.call {
+    if (irql_raised == 0) { abort; }
+    irql_raised = 0;
+}
+"#;
+
+const IRP_SRC: &str = r#"
+state {
+    int completed = 0;
+}
+IoCompleteRequest.call {
+    if (completed == 1) { abort; }
+    completed = 1;
+}
+IoCheckCompleted.call {
+    if (completed == 0) { abort; }
+}
+"#;
+
+const DFREE_SRC: &str = r#"
+state {
+    int allocated = 0;
+}
+ExAllocatePool.call {
+    allocated = 1;
+}
+ExFreePool.call {
+    if (allocated == 0) { abort; }
+    allocated = 0;
+}
+"#;
+
+const UACLOSE_SRC: &str = r#"
+state {
+    int handle_open = 0;
+}
+ZwOpenFile.call {
+    handle_open = 1;
+}
+ZwReadFile.call {
+    if (handle_open == 0) { abort; }
+}
+ZwClose.call {
+    if (handle_open == 0) { abort; }
+    handle_open = 0;
+}
+"#;
+
+const REFCOUNT_SRC: &str = r#"
+state {
+    int refs = 0;
+}
+ObReferenceObject.call {
+    refs = refs + 1;
+}
+ObDereferenceObject.call {
+    if (refs == 0) { abort; }
+    refs = refs - 1;
+}
+"#;
+
+const APIORDER_SRC: &str = r#"
+state {
+    int dev_inited = 0;
+    int dev_started = 0;
+}
+IoInitDevice.call {
+    dev_inited = 1;
+}
+IoStartDevice.call {
+    if (dev_inited == 0) { abort; }
+    dev_started = 1;
+}
+IoSubmitRequest.call {
+    if (dev_started == 0) { abort; }
+}
+IoStopDevice.call {
+    if (dev_started == 0) { abort; }
+    dev_started = 0;
+}
+"#;
+
+/// The built-in entries, in registry order.
+const BUILTIN: &[SpecEntry] = &[
+    SpecEntry {
+        name: "lock",
+        description: "spin-lock discipline: acquire and release strictly alternate",
+        source: LOCK_SRC,
+        events: &["KeAcquireSpinLock", "KeReleaseSpinLock"],
+        violations: &[
+            ViolationShape::RepeatedEvent {
+                event: "KeAcquireSpinLock",
+            },
+            ViolationShape::EventWithoutPrecursor {
+                event: "KeReleaseSpinLock",
+                precursor: "KeAcquireSpinLock",
+            },
+        ],
+        safe_trace: &["KeAcquireSpinLock", "KeReleaseSpinLock"],
+        violating_trace: &["KeAcquireSpinLock", "KeAcquireSpinLock"],
+    },
+    SpecEntry {
+        name: "irql",
+        description: "IRQL discipline: raise and lower strictly alternate (double raise aborts)",
+        source: IRQL_SRC,
+        events: &["KeRaiseIrql", "KeLowerIrql"],
+        violations: &[
+            ViolationShape::RepeatedEvent {
+                event: "KeRaiseIrql",
+            },
+            ViolationShape::EventWithoutPrecursor {
+                event: "KeLowerIrql",
+                precursor: "KeRaiseIrql",
+            },
+        ],
+        safe_trace: &["KeRaiseIrql", "KeLowerIrql"],
+        violating_trace: &["KeRaiseIrql", "KeRaiseIrql"],
+    },
+    SpecEntry {
+        name: "irp",
+        description: "IRP completion: completed exactly once, checked only after completion",
+        source: IRP_SRC,
+        events: &["IoCompleteRequest", "IoCheckCompleted"],
+        violations: &[
+            ViolationShape::RepeatedEvent {
+                event: "IoCompleteRequest",
+            },
+            ViolationShape::EventWithoutPrecursor {
+                event: "IoCheckCompleted",
+                precursor: "IoCompleteRequest",
+            },
+        ],
+        safe_trace: &["IoCompleteRequest", "IoCheckCompleted"],
+        violating_trace: &["IoCompleteRequest", "IoCompleteRequest"],
+    },
+    SpecEntry {
+        name: "dfree",
+        description:
+            "pool discipline: every free matches an outstanding allocation (no double free)",
+        source: DFREE_SRC,
+        events: &["ExAllocatePool", "ExFreePool"],
+        violations: &[ViolationShape::EventWithoutPrecursor {
+            event: "ExFreePool",
+            precursor: "ExAllocatePool",
+        }],
+        safe_trace: &["ExAllocatePool", "ExFreePool"],
+        violating_trace: &["ExAllocatePool", "ExFreePool", "ExFreePool"],
+    },
+    SpecEntry {
+        name: "uaclose",
+        description: "handle discipline: no read or close after the handle is closed",
+        source: UACLOSE_SRC,
+        events: &["ZwOpenFile", "ZwReadFile", "ZwClose"],
+        violations: &[
+            ViolationShape::EventWithoutPrecursor {
+                event: "ZwReadFile",
+                precursor: "ZwOpenFile",
+            },
+            ViolationShape::EventWithoutPrecursor {
+                event: "ZwClose",
+                precursor: "ZwOpenFile",
+            },
+        ],
+        safe_trace: &["ZwOpenFile", "ZwReadFile", "ZwClose"],
+        violating_trace: &["ZwOpenFile", "ZwClose", "ZwReadFile"],
+    },
+    SpecEntry {
+        name: "refcount",
+        description: "reference counting: dereferences never outnumber references",
+        source: REFCOUNT_SRC,
+        events: &["ObReferenceObject", "ObDereferenceObject"],
+        violations: &[ViolationShape::CounterUnderflow {
+            event: "ObDereferenceObject",
+        }],
+        // One balanced pair. Deeper nesting is semantically safe too,
+        // but the abstraction cannot track the counter through a second
+        // `refs = refs + 1` (no positive cube survives an arithmetic
+        // store), so corpus drivers for this family stick to single or
+        // guarded brackets — the shapes the tool actually proves.
+        safe_trace: &["ObReferenceObject", "ObDereferenceObject"],
+        violating_trace: &[
+            "ObReferenceObject",
+            "ObDereferenceObject",
+            "ObDereferenceObject",
+        ],
+    },
+    SpecEntry {
+        name: "apiorder",
+        description: "device API ordering: init before start, start before submit/stop",
+        source: APIORDER_SRC,
+        events: &[
+            "IoInitDevice",
+            "IoStartDevice",
+            "IoSubmitRequest",
+            "IoStopDevice",
+        ],
+        violations: &[
+            ViolationShape::EventWithoutPrecursor {
+                event: "IoStartDevice",
+                precursor: "IoInitDevice",
+            },
+            ViolationShape::EventWithoutPrecursor {
+                event: "IoSubmitRequest",
+                precursor: "IoStartDevice",
+            },
+            ViolationShape::EventWithoutPrecursor {
+                event: "IoStopDevice",
+                precursor: "IoStartDevice",
+            },
+        ],
+        safe_trace: &[
+            "IoInitDevice",
+            "IoStartDevice",
+            "IoSubmitRequest",
+            "IoStopDevice",
+        ],
+        violating_trace: &[
+            "IoInitDevice",
+            "IoStartDevice",
+            "IoStopDevice",
+            "IoSubmitRequest",
+        ],
+    },
+];
+
+/// The registry of built-in spec families.
+#[derive(Debug, Clone)]
+pub struct SpecRegistry {
+    entries: Vec<SpecEntry>,
+}
+
+impl SpecRegistry {
+    /// All built-in families.
+    pub fn builtin() -> SpecRegistry {
+        SpecRegistry {
+            entries: BUILTIN.to_vec(),
+        }
+    }
+
+    /// Looks up a family by registry key.
+    pub fn get(&self, name: &str) -> Option<&SpecEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Registry keys, in registry order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Iterates the entries in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = &SpecEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the registry is empty (it never is for `builtin`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify, SlamOptions, SlamVerdict};
+
+    #[test]
+    fn registry_has_all_families() {
+        let reg = SpecRegistry::builtin();
+        assert_eq!(
+            reg.names(),
+            vec!["lock", "irql", "irp", "dfree", "uaclose", "refcount", "apiorder"]
+        );
+        assert!(!reg.is_empty());
+        assert_eq!(reg.len(), 7);
+        assert!(reg.get("lock").is_some());
+        assert!(reg.get("nosuch").is_none());
+    }
+
+    #[test]
+    fn every_entry_parses_and_covers_its_events() {
+        for entry in SpecRegistry::builtin().iter() {
+            let spec = entry.spec();
+            assert!(!spec.state.is_empty(), "{}: no state vars", entry.name);
+            let handled: Vec<&str> = spec.events.iter().map(|(n, _)| n.as_str()).collect();
+            for ev in entry.events {
+                assert!(
+                    handled.contains(ev),
+                    "{}: event {ev} has no handler",
+                    entry.name
+                );
+            }
+            assert_eq!(
+                handled.len(),
+                entry.events.len(),
+                "{}: undocumented handler",
+                entry.name
+            );
+            assert!(!entry.violations.is_empty(), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn violation_metadata_names_real_events() {
+        for entry in SpecRegistry::builtin().iter() {
+            for v in entry.violations {
+                let named: Vec<&str> = match v {
+                    ViolationShape::RepeatedEvent { event } => vec![event],
+                    ViolationShape::EventWithoutPrecursor { event, precursor } => {
+                        vec![event, precursor]
+                    }
+                    ViolationShape::CounterUnderflow { event } => vec![event],
+                };
+                for ev in named {
+                    assert!(entry.events.contains(&ev), "{}: {ev}", entry.name);
+                }
+            }
+        }
+    }
+
+    /// Round trip: each registry spec woven into a tiny driver must give
+    /// a lint-clean boolean program and the expected verdict on both the
+    /// canonical safe and violating traces.
+    #[test]
+    fn safe_and_violating_traces_round_trip() {
+        let options = SlamOptions {
+            lint: true,
+            ..SlamOptions::default()
+        };
+        for entry in SpecRegistry::builtin().iter() {
+            let spec = entry.spec();
+            let safe = entry.trace_driver("DispatchEntry", entry.safe_trace);
+            let run = verify(&safe, &spec, "DispatchEntry", &options)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert_eq!(
+                run.verdict,
+                SlamVerdict::Validated,
+                "{}: safe trace {:?}",
+                entry.name,
+                entry.safe_trace
+            );
+            let bad = entry.trace_driver("DispatchEntry", entry.violating_trace);
+            let run = verify(&bad, &spec, "DispatchEntry", &options)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert!(
+                matches!(run.verdict, SlamVerdict::ErrorFound { .. }),
+                "{}: violating trace {:?} gave {:?}",
+                entry.name,
+                entry.violating_trace,
+                run.verdict
+            );
+        }
+    }
+
+    /// The legacy constructors and the registry agree on the two paper
+    /// specs.
+    #[test]
+    fn legacy_constructors_match_registry() {
+        let reg = SpecRegistry::builtin();
+        let lock = reg.get("lock").unwrap().spec();
+        let legacy = crate::spec::locking_spec();
+        assert_eq!(lock.state.len(), legacy.state.len());
+        assert_eq!(lock.events.len(), legacy.events.len());
+        let irp = reg.get("irp").unwrap().spec();
+        let legacy = crate::spec::irp_spec();
+        assert_eq!(irp.state.len(), legacy.state.len());
+        assert_eq!(irp.events.len(), legacy.events.len());
+    }
+}

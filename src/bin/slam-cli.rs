@@ -1,12 +1,15 @@
 //! Command-line SLAM: check a temporal-safety property of a C file.
 //!
 //! ```sh
-//! slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N]
-//!     [--no-prune] [--no-incremental] [--no-reuse] [--lint]
+//! slam <program.c> <entry-proc> [--spec <file.slic> | --prop <family> | --lock | --irp]
+//!     [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]
 //!     [--alias unify|inclusion]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
+//! `--prop` selects a named family from the built-in registry (`lock`,
+//! `irql`, `irp`, `dfree`, `uaclose`, `refcount`, `apiorder`);
+//! `--spec` loads a SLIC-lite file instead.
 //! `--jobs` (or `C2BP_JOBS`) shards each CEGAR iteration's abstraction
 //! phase across worker threads without changing the verdict, iteration
 //! count, or prover-call totals. Predicate-liveness pruning is on by
@@ -21,13 +24,14 @@
 //! move.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
-use slam::{SlamOptions, SlamVerdict};
+use slam::{SlamOptions, SlamVerdict, SpecRegistry};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --lock | --irp] [--jobs N] \
-         [--no-prune] [--no-incremental] [--no-reuse] [--lint] [--alias unify|inclusion]"
+        "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --prop <family> | --lock | \
+         --irp] [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint] \
+         [--alias unify|inclusion]"
     );
     ExitCode::from(2)
 }
@@ -53,6 +57,21 @@ fn main() -> ExitCode {
             },
             "--lock" => spec = locking_spec(),
             "--irp" => spec = irp_spec(),
+            "--prop" => {
+                let Some(name) = iter.next() else {
+                    return usage();
+                };
+                match SpecRegistry::builtin().get(name) {
+                    Some(entry) => spec = entry.spec(),
+                    None => {
+                        eprintln!(
+                            "slam: unknown property `{name}`; registry has: {}",
+                            SpecRegistry::builtin().names().join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--spec" => {
                 let Some(path) = iter.next() else {
                     return usage();

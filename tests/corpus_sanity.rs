@@ -1,0 +1,155 @@
+//! Corpus check-in gate (ISSUE 6): every file under `corpus/` parses
+//! via `cparse`, instruments against its spec family without error, and
+//! its boolean abstraction passes the bp lint — so a broken check-in
+//! fails this fast test instead of a mid-bench run. Generated drivers
+//! are additionally regenerated from their header comment and
+//! byte-compared, pinning the checked-in sample to the generator.
+
+use c2bp::{abstract_program, parse_pred_file, C2bpOptions};
+use corpusgen::{generate, GenParams};
+use slam::{instrument, Spec, SpecRegistry};
+use std::path::{Path, PathBuf};
+
+fn corpus(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(sub)
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Abstracts `program` over `preds` and asserts the result lints clean.
+fn assert_lints_clean(program: &cparse::ast::Program, preds: &[c2bp::Pred], name: &str) {
+    let abs = abstract_program(program, preds, &C2bpOptions::paper_defaults())
+        .unwrap_or_else(|e| panic!("{name}: abstraction failed: {e:?}"));
+    let lints = analysis::lint_program(&abs.bprogram);
+    assert!(lints.is_empty(), "{name}: bp lint findings: {lints:?}");
+}
+
+/// The spec family and entry procedure for each hand-written driver.
+const DRIVER_FAMILIES: [(&str, &str, &str); 8] = [
+    ("floppy", "FloppyReadWrite", "lock"),
+    ("flopnew", "FlopnewReadWrite", "irp"),
+    ("ioctl", "DeviceIoControl", "lock"),
+    ("log", "LogAppend", "lock"),
+    ("mirror", "DispatchMirror", "lock"),
+    ("openclos", "DispatchOpenClose", "lock"),
+    ("retry", "DispatchRetry", "lock"),
+    ("srdriver", "DispatchStartReset", "lock"),
+];
+
+fn spec_for(family: &str) -> Spec {
+    SpecRegistry::builtin()
+        .get(family)
+        .unwrap_or_else(|| panic!("unknown spec family `{family}`"))
+        .spec()
+}
+
+/// Instrument + simplify + abstract (over the given predicates) + lint.
+fn check_instrumented(source: &str, family: &str, entry: &str, name: &str) {
+    let parsed = cparse::parse_program(source).unwrap_or_else(|e| panic!("{name}: parse: {e:?}"));
+    let instrumented = instrument(&parsed, &spec_for(family), entry);
+    let simplified = cparse::simplify_program(&instrumented)
+        .unwrap_or_else(|e| panic!("{name}: simplify: {e:?}"));
+    assert_lints_clean(&simplified, &[], name);
+}
+
+#[test]
+fn every_toy_parses_abstracts_and_lints_clean() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(corpus("toys")).expect("corpus/toys") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("c") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let program = cparse::parse_and_simplify(&read(&path))
+            .unwrap_or_else(|e| panic!("{name}: parse: {e:?}"));
+        let preds = parse_pred_file(&read(&path.with_extension("preds")))
+            .unwrap_or_else(|e| panic!("{name}: preds: {e:?}"));
+        assert_lints_clean(&program, &preds, &name);
+        seen += 1;
+    }
+    assert_eq!(seen, 6, "corpus/toys changed; update this test's count");
+}
+
+#[test]
+fn every_driver_instruments_against_its_family_and_lints_clean() {
+    let dir = corpus("drivers");
+    let on_disk = std::fs::read_dir(&dir).expect("corpus/drivers").count();
+    assert_eq!(
+        on_disk,
+        DRIVER_FAMILIES.len(),
+        "corpus/drivers changed; extend DRIVER_FAMILIES"
+    );
+    for (stem, entry, family) in DRIVER_FAMILIES {
+        let source = read(&dir.join(format!("{stem}.c")));
+        check_instrumented(&source, family, entry, stem);
+    }
+}
+
+/// Parses the self-describing header (`// corpusgen: family=... seed=...`)
+/// the generator stamps on every driver.
+fn parse_header(source: &str, name: &str) -> (String, u64, GenParams, bool) {
+    let header = source
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("// corpusgen: "))
+        .unwrap_or_else(|| panic!("{name}: missing corpusgen header"));
+    let mut kv = std::collections::HashMap::new();
+    for pair in header.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{name}: malformed header field `{pair}`"));
+        kv.insert(k, v);
+    }
+    let get = |k: &str| {
+        *kv.get(k)
+            .unwrap_or_else(|| panic!("{name}: header lacks `{k}`"))
+    };
+    let params = GenParams {
+        statements: get("statements").parse().unwrap(),
+        depth: get("depth").parse().unwrap(),
+        pressure: get("pressure").parse().unwrap(),
+        pointers: get("pointers").parse().unwrap(),
+        loops: get("loops").parse().unwrap(),
+    };
+    (
+        get("family").to_string(),
+        get("seed").parse().unwrap(),
+        params,
+        get("truth") != "safe",
+    )
+}
+
+#[test]
+fn every_generated_driver_matches_its_generator_output_and_lints_clean() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(corpus("generated")).expect("corpus/generated") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("c") {
+            continue;
+        }
+        let name = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let source = read(&path);
+        let (family, seed, params, want_defect) = parse_header(&source, &name);
+        let d = generate(&family, &params, seed, want_defect);
+        assert_eq!(
+            d.source, source,
+            "{name}: checked-in file differs from generator output; \
+             re-run `cargo run -p corpusgen --bin corpus-emit`"
+        );
+        assert_eq!(
+            format!("{}.c", d.name),
+            path.file_name().unwrap().to_str().unwrap()
+        );
+        check_instrumented(&source, &family, d.entry, &name);
+        seen += 1;
+    }
+    assert_eq!(
+        seen, 28,
+        "corpus/generated changed; re-run corpus-emit and update this count"
+    );
+}
