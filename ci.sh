@@ -66,6 +66,16 @@ alias_json="$(mktemp)"
 ./target/release/alias_ab --smoke --json "$alias_json"
 rm -f "$alias_json"
 
+echo "== slicing + interval-oracle differential =="
+# The two ISSUE 7 passes are transparent: same verdicts and final
+# predicates in all four {slice, intervals} x {on, off} configurations
+# over the drivers and the whole generated corpus, at 1 and 4 workers,
+# with the oracle leaving boolean programs byte-identical.
+cargo test --offline -q --test slice_differential
+
+echo "== slicing + interval A/B smoke (exits nonzero on divergence, ground-truth miss, <20% counter saving, or a >5% Table 1 regression) =="
+./target/release/slice_ab --smoke --json "BENCH_slice.json" > /dev/null
+
 echo "== corpus check-in gate =="
 # Every file under corpus/ parses, instruments against its spec family
 # and lints clean; generated drivers byte-match their generator output.

@@ -1,0 +1,55 @@
+// corpusgen: family=apiorder seed=0 statements=5 depth=2 pressure=2 pointers=false loops=true counter=true truth=use-at-zero
+void IoInitDevice(void) { ; }
+void IoStartDevice(void) { ; }
+void IoStopDevice(void) { ; }
+void IoSubmitRequest(void) { ; }
+
+void DispatchDevice(int n0, int n1, int n2, int n3) {
+    int t0;
+    int t1;
+    int i0;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    IoInitDevice();
+    if (n0 > 0) {
+        IoStartDevice();
+        t0 = t0 - 1;
+        IoSubmitRequest();
+    }
+    t0 = t0 - 1;
+    t0 = t0 + 1;
+    if (n0 > 0) {
+        IoStopDevice();
+    }
+    IoStartDevice();
+    IoSubmitRequest();
+    IoSubmitRequest();
+    IoStopDevice();
+    t1 = t1 + t0;
+    IoSubmitRequest(); /* DEFECT: use-at-zero */
+    if (n1 > 0) {
+        IoStartDevice();
+        IoSubmitRequest();
+        IoSubmitRequest();
+    }
+    t1 = t1 + t0;
+    t0 = t0 - 1;
+    if (n1 > 0) {
+        IoStopDevice();
+    }
+    t0 = t0 - 1;
+    i0 = 0;
+    while (i0 < n2) {
+        if (n3 > 0) {
+            t0 = t0 + 1;
+            t0 = t0 - 1;
+        }
+        if (i0 >= 0) {
+            IoStartDevice();
+            t0 = t0 - 1;
+            IoStopDevice();
+        }
+        i0 = i0 + 1;
+    }
+}

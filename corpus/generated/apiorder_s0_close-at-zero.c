@@ -1,4 +1,4 @@
-// corpusgen: family=apiorder seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=close-at-zero
+// corpusgen: family=apiorder seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=close-at-zero
 void IoInitDevice(void) { ; }
 void IoStartDevice(void) { ; }
 void IoStopDevice(void) { ; }

@@ -1,4 +1,4 @@
-// corpusgen: family=apiorder seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=safe
+// corpusgen: family=apiorder seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false counter=false truth=safe
 void IoInitDevice(void) { ; }
 void IoStartDevice(void) { ; }
 void IoStopDevice(void) { ; }

@@ -1,0 +1,48 @@
+// corpusgen: family=dfree seed=0 statements=5 depth=2 pressure=2 pointers=false loops=true counter=true truth=safe
+void ExAllocatePool(void) { ; }
+void ExFreePool(void) { ; }
+
+void DispatchPool(int n0, int n1, int n2) {
+    int t0;
+    int t1;
+    int i0;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    if (n0 > 0) {
+        ExAllocatePool();
+        t0 = t0 + 1;
+        t0 = t0 - 1;
+    }
+    t1 = 0;
+    t0 = t0 - 1;
+    if (n0 > 0) {
+        ExFreePool();
+    }
+    t0 = t0 - 1;
+    i0 = 0;
+    while (i0 < n1) {
+        t1 = 0;
+        if (i0 >= 0) {
+            ExAllocatePool();
+            t0 = t0 + 1;
+            ExFreePool();
+        }
+        i0 = i0 + 1;
+    }
+    ExAllocatePool();
+    t0 = t0 - 1;
+    t1 = t1 + t0;
+    ExFreePool();
+    if (n2 > 0) {
+        ExAllocatePool();
+        t1 = 0;
+        t1 = t1 + t0;
+    }
+    t1 = t1 + t0;
+    t0 = t0 - 1;
+    if (n2 > 0) {
+        ExFreePool();
+    }
+    t0 = t0 - 1;
+}

@@ -1,4 +1,4 @@
-// corpusgen: family=dfree seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=close-at-zero
+// corpusgen: family=dfree seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false counter=false truth=close-at-zero
 void ExAllocatePool(void) { ; }
 void ExFreePool(void) { ; }
 

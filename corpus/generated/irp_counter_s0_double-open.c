@@ -1,0 +1,40 @@
+// corpusgen: family=irp seed=0 statements=5 depth=2 pressure=2 pointers=false loops=true counter=true truth=double-open
+void IoCompleteRequest(void) { ; }
+void IoCheckCompleted(void) { ; }
+
+void DispatchIrp(int n0, int n1, int n2, int n3, int n4) {
+    int t0;
+    int t1;
+    int i0;
+    int i1;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    if (n0 > 0) {
+        IoCompleteRequest();
+        IoCompleteRequest(); /* DEFECT: double-open */
+        t0 = t0 - 1;
+        IoCheckCompleted();
+    }
+    t0 = t0 - 1;
+    t0 = t0 + 1;
+    i0 = 0;
+    while (i0 < n1) {
+        t1 = 0;
+        i0 = i0 + 1;
+    }
+    i1 = 0;
+    while (i1 < n2) {
+        t0 = t0 + 1;
+        i1 = i1 + 1;
+    }
+    t0 = t0 - 1;
+    if (n3 > 0) {
+        if (n4 > 0) {
+            t1 = 0;
+            t0 = t0 + 1;
+        }
+        t0 = t0 - 1;
+    }
+    t1 = t1 + t0;
+}

@@ -1,4 +1,4 @@
-// corpusgen: family=irp seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=safe
+// corpusgen: family=irp seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=safe
 void IoCompleteRequest(void) { ; }
 void IoCheckCompleted(void) { ; }
 

@@ -1,4 +1,4 @@
-// corpusgen: family=irp seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=use-at-zero
+// corpusgen: family=irp seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=use-at-zero
 void IoCompleteRequest(void) { ; }
 void IoCheckCompleted(void) { ; }
 

@@ -1,4 +1,4 @@
-// corpusgen: family=irp seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=double-open
+// corpusgen: family=irp seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false counter=false truth=double-open
 void IoCompleteRequest(void) { ; }
 void IoCheckCompleted(void) { ; }
 

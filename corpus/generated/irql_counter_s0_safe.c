@@ -1,0 +1,48 @@
+// corpusgen: family=irql seed=0 statements=5 depth=2 pressure=2 pointers=false loops=true counter=true truth=safe
+void KeRaiseIrql(void) { ; }
+void KeLowerIrql(void) { ; }
+
+void DispatchIrql(int n0, int n1, int n2) {
+    int t0;
+    int t1;
+    int i0;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    if (n0 > 0) {
+        KeRaiseIrql();
+        t0 = t0 + 1;
+        t0 = t0 - 1;
+    }
+    t1 = 0;
+    t0 = t0 - 1;
+    if (n0 > 0) {
+        KeLowerIrql();
+    }
+    t0 = t0 - 1;
+    i0 = 0;
+    while (i0 < n1) {
+        t1 = 0;
+        if (i0 >= 0) {
+            KeRaiseIrql();
+            t0 = t0 + 1;
+            KeLowerIrql();
+        }
+        i0 = i0 + 1;
+    }
+    KeRaiseIrql();
+    t0 = t0 - 1;
+    t1 = t1 + t0;
+    KeLowerIrql();
+    if (n2 > 0) {
+        KeRaiseIrql();
+        t1 = 0;
+        t1 = t1 + t0;
+    }
+    t1 = t1 + t0;
+    t0 = t0 - 1;
+    if (n2 > 0) {
+        KeLowerIrql();
+    }
+    t0 = t0 - 1;
+}

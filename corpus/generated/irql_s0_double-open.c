@@ -1,4 +1,4 @@
-// corpusgen: family=irql seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=double-open
+// corpusgen: family=irql seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=double-open
 void KeRaiseIrql(void) { ; }
 void KeLowerIrql(void) { ; }
 

@@ -1,4 +1,4 @@
-// corpusgen: family=irql seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=safe
+// corpusgen: family=irql seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=safe
 void KeRaiseIrql(void) { ; }
 void KeLowerIrql(void) { ; }
 

@@ -1,4 +1,4 @@
-// corpusgen: family=irql seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=double-open
+// corpusgen: family=irql seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false counter=false truth=double-open
 void KeRaiseIrql(void) { ; }
 void KeLowerIrql(void) { ; }
 

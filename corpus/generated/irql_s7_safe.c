@@ -1,4 +1,4 @@
-// corpusgen: family=irql seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=safe
+// corpusgen: family=irql seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false counter=false truth=safe
 void KeRaiseIrql(void) { ; }
 void KeLowerIrql(void) { ; }
 

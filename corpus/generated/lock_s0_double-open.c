@@ -1,4 +1,4 @@
-// corpusgen: family=lock seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=double-open
+// corpusgen: family=lock seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=double-open
 void KeAcquireSpinLock(void) { ; }
 void KeReleaseSpinLock(void) { ; }
 

@@ -1,4 +1,4 @@
-// corpusgen: family=lock seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=safe
+// corpusgen: family=lock seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false counter=false truth=safe
 void KeAcquireSpinLock(void) { ; }
 void KeReleaseSpinLock(void) { ; }
 

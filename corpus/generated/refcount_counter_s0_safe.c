@@ -1,0 +1,42 @@
+// corpusgen: family=refcount seed=0 statements=5 depth=2 pressure=2 pointers=false loops=true counter=true truth=safe
+void ObReferenceObject(void) { ; }
+void ObDereferenceObject(void) { ; }
+
+void DispatchObject(int n0, int n1, int n2, int n3, int n4) {
+    int t0;
+    int t1;
+    int i0;
+    int i1;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    if (n0 > 0) {
+        ObReferenceObject();
+        t0 = t0 + 1;
+        t0 = t0 - 1;
+    }
+    t1 = 0;
+    t0 = t0 - 1;
+    if (n0 > 0) {
+        ObDereferenceObject();
+    }
+    t0 = t0 - 1;
+    i0 = 0;
+    while (i0 < n1) {
+        t1 = 0;
+        i0 = i0 + 1;
+    }
+    i1 = 0;
+    while (i1 < n2) {
+        t0 = t0 + 1;
+        i1 = i1 + 1;
+    }
+    t0 = t0 - 1;
+    if (n3 > 0) {
+        if (n4 > 0) {
+            t1 = 0;
+            t0 = t0 + 1;
+        }
+        t0 = t0 - 1;
+    }
+}

@@ -1,4 +1,4 @@
-// corpusgen: family=refcount seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=close-at-zero
+// corpusgen: family=refcount seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=close-at-zero
 void ObReferenceObject(void) { ; }
 void ObDereferenceObject(void) { ; }
 

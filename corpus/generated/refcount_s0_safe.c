@@ -1,4 +1,4 @@
-// corpusgen: family=refcount seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true truth=safe
+// corpusgen: family=refcount seed=0 statements=3 depth=1 pressure=0 pointers=false loops=true counter=false truth=safe
 void ObReferenceObject(void) { ; }
 void ObDereferenceObject(void) { ; }
 

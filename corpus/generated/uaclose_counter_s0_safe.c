@@ -1,0 +1,52 @@
+// corpusgen: family=uaclose seed=0 statements=5 depth=2 pressure=2 pointers=false loops=true counter=true truth=safe
+void ZwOpenFile(void) { ; }
+void ZwClose(void) { ; }
+void ZwReadFile(void) { ; }
+
+void DispatchFile(int n0, int n1, int n2, int n3) {
+    int t0;
+    int t1;
+    int i0;
+    t0 = 0;
+    t1 = 0;
+    t0 = t0 + 1;
+    if (n0 > 0) {
+        ZwOpenFile();
+        t0 = t0 - 1;
+        ZwReadFile();
+    }
+    t0 = t0 - 1;
+    t0 = t0 + 1;
+    if (n0 > 0) {
+        ZwClose();
+    }
+    ZwOpenFile();
+    ZwReadFile();
+    ZwReadFile();
+    ZwClose();
+    t1 = t1 + t0;
+    if (n1 > 0) {
+        ZwOpenFile();
+        ZwReadFile();
+        ZwReadFile();
+    }
+    t1 = t1 + t0;
+    t0 = t0 - 1;
+    if (n1 > 0) {
+        ZwClose();
+    }
+    t0 = t0 - 1;
+    i0 = 0;
+    while (i0 < n2) {
+        if (n3 > 0) {
+            t0 = t0 + 1;
+            t0 = t0 - 1;
+        }
+        if (i0 >= 0) {
+            ZwOpenFile();
+            t0 = t0 - 1;
+            ZwClose();
+        }
+        i0 = i0 + 1;
+    }
+}

@@ -1,4 +1,4 @@
-// corpusgen: family=uaclose seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false truth=use-at-zero
+// corpusgen: family=uaclose seed=7 statements=7 depth=2 pressure=1 pointers=true loops=false counter=false truth=use-at-zero
 void ZwOpenFile(void) { ; }
 void ZwClose(void) { ; }
 void ZwReadFile(void) { ; }

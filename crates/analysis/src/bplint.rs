@@ -42,6 +42,10 @@ pub enum LintKind {
     CallArity,
     /// A degenerate or ill-scoped `enforce` clause.
     EnforceMisuse,
+    /// An `assume` or branch edge whose forced predicate literals are
+    /// numerically unsatisfiable (advisory; see
+    /// [`lint_infeasible_edges`]).
+    InfeasibleEdge,
 }
 
 impl fmt::Display for LintKind {
@@ -57,6 +61,7 @@ impl fmt::Display for LintKind {
             LintKind::UndefinedCallee => "undefined-callee",
             LintKind::CallArity => "call-arity",
             LintKind::EnforceMisuse => "enforce-misuse",
+            LintKind::InfeasibleEdge => "infeasible-edge",
         };
         write!(f, "{s}")
     }
@@ -342,6 +347,114 @@ fn lint_proc(
             });
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Interval-informed feasibility advisory
+// ---------------------------------------------------------------------------
+
+/// Collects the predicate literals an edge *forces*: conjuncts of the
+/// condition (negated for the else/exit edge) that are plain variables
+/// or their negations. Extraction is partial — disjunctive,
+/// nondeterministic, and `choose` parts contribute nothing, which only
+/// weakens the constraint set and so can never invent a spurious
+/// infeasibility.
+fn forced_literals<'a>(e: &'a BExpr, neg: bool, out: &mut Vec<(&'a str, bool)>) {
+    match e {
+        BExpr::Var(v) => out.push((v.as_str(), !neg)),
+        BExpr::Not(inner) => forced_literals(inner, !neg, out),
+        BExpr::And(cs) if !neg => {
+            for c in cs {
+                forced_literals(c, neg, out);
+            }
+        }
+        BExpr::Or(cs) if neg => {
+            for c in cs {
+                forced_literals(c, neg, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// True when the literal set is numerically unsatisfiable: every
+/// variable name that parses as a C expression becomes an interval
+/// constraint, and the resulting box is empty. Unparseable names are
+/// skipped (weakening the set), so `true` is definite.
+fn literals_are_unsat(lits: &[(&str, bool)]) -> bool {
+    let parsed: Vec<(cparse::ast::Expr, bool)> = lits
+        .iter()
+        .filter_map(|(name, sign)| Some((cparse::parse_expr(name).ok()?, *sign)))
+        .collect();
+    if parsed.is_empty() {
+        return false;
+    }
+    let hyps: Vec<(&cparse::ast::Expr, bool)> = parsed.iter().map(|(e, s)| (e, *s)).collect();
+    // goal `0` is identically false: the implication holds exactly when
+    // the hypothesis box is empty
+    let goal = cparse::ast::Expr::IntLit(0);
+    crate::intervals::decide_implication(&hyps, &goal, &|_| true)
+        == Some(crate::intervals::NumericAnswer::Proved)
+}
+
+/// Interval-informed feasibility advisory over a boolean program: flags
+/// `assume` statements and `if`/`while` edges whose forced predicate
+/// literals — interpreted through the variables' C predicate names,
+/// together with the procedure's `enforce` clause — are numerically
+/// unsatisfiable. Such an edge can never execute; a sufficiently
+/// precise abstraction would have emitted `assume(false)` or dropped
+/// the arm outright, so a hit usually means the cube bound truncated a
+/// provable combination.
+///
+/// Deliberately not part of [`lint_program`]: infeasible edges are
+/// sound (merely wasteful), so clients treat these findings as
+/// advisory rather than fatal.
+pub fn lint_infeasible_edges(program: &BProgram) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    for proc in &program.procs {
+        let mut ambient: Vec<(&str, bool)> = Vec::new();
+        if let Some(e) = &proc.enforce {
+            forced_literals(e, false, &mut ambient);
+        }
+        let pname = Some(proc.name.clone());
+        proc.body.walk(&mut |s| {
+            let mut check = |id: &Option<StmtId>, cond: &BExpr, neg: bool, what: &str| {
+                let mut lits = ambient.clone();
+                let before = lits.len();
+                forced_literals(cond, neg, &mut lits);
+                // the edge itself must force something, else the finding
+                // would just restate an enforce contradiction
+                if lits.len() == before {
+                    return;
+                }
+                if literals_are_unsat(&lits) {
+                    lints.push(Lint {
+                        kind: LintKind::InfeasibleEdge,
+                        proc: pname.clone(),
+                        stmt: *id,
+                        message: format!(
+                            "{what} `{}` forces numerically unsatisfiable literals",
+                            bexpr_to_string(cond)
+                        ),
+                    });
+                }
+            };
+            match s {
+                BStmt::Assume { id, cond, .. } => check(id, cond, false, "assume"),
+                BStmt::If { id, cond, .. } => {
+                    check(id, cond, false, "then edge of");
+                    check(id, cond, true, "else edge of");
+                }
+                BStmt::While { id, cond, .. } => {
+                    check(id, cond, false, "loop-entry edge of");
+                    check(id, cond, true, "loop-exit edge of");
+                }
+                _ => {}
+            }
+        });
+    }
+    lints.sort_by(|a, b| (&a.proc, a.kind, &a.message).cmp(&(&b.proc, b.kind, &b.message)));
+    lints
 }
 
 fn instr_mnemonic(i: &BInstr) -> &'static str {
@@ -771,6 +884,88 @@ mod tests {
         let mut p = parse_bp("decl g; void main() { g = true; }").unwrap();
         p.procs[0].enforce = Some(BExpr::or([BExpr::var("g"), BExpr::Nondet]));
         assert!(kinds(&p).contains(&LintKind::EnforceMisuse));
+    }
+
+    #[test]
+    fn infeasible_assume_is_flagged() {
+        // seeded defect: no integer satisfies x > 0 ∧ x <= 0
+        let p = parse_bp(
+            r#"
+            void main() {
+                assume({x > 0} && {x <= 0});
+            }
+        "#,
+        )
+        .unwrap();
+        let ls = lint_infeasible_edges(&p);
+        assert_eq!(ls.len(), 1, "{ls:?}");
+        assert_eq!(ls[0].kind, LintKind::InfeasibleEdge);
+        assert_eq!(ls[0].proc.as_deref(), Some("main"));
+    }
+
+    #[test]
+    fn feasible_assume_is_not_flagged() {
+        // distinct variables: the box {x > 0, y <= 0} is nonempty
+        let p = parse_bp(
+            r#"
+            void main() {
+                assume({x > 0} && {y <= 0});
+                assume(!{x > 0});
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(lint_infeasible_edges(&p), Vec::new());
+    }
+
+    #[test]
+    fn else_edge_infeasibility_is_flagged() {
+        // ¬(x > 0 ∨ x + 1 <= 1) forces x <= 0 ∧ x + 1 > 1, i.e. x > 0
+        let p = parse_bp(
+            r#"
+            void main() {
+                if ({x > 0} || {x + 1 <= 1}) { skip; } else { skip; }
+            }
+        "#,
+        )
+        .unwrap();
+        let ls = lint_infeasible_edges(&p);
+        assert_eq!(ls.len(), 1, "{ls:?}");
+        assert!(ls[0].message.contains("else edge"), "{}", ls[0].message);
+    }
+
+    #[test]
+    fn enforce_clause_joins_the_constraint_set() {
+        let mut p = parse_bp(
+            r#"
+            void main() {
+                assume({x <= 4});
+            }
+        "#,
+        )
+        .unwrap();
+        // alone, x <= 4 is satisfiable; under enforce x > 4 it is not
+        assert_eq!(lint_infeasible_edges(&p), Vec::new());
+        p.procs[0].enforce = Some(BExpr::var("x > 4"));
+        let ls = lint_infeasible_edges(&p);
+        assert_eq!(ls.len(), 1, "{ls:?}");
+    }
+
+    #[test]
+    fn nondeterministic_and_disjunctive_conditions_are_skipped() {
+        // nothing here *forces* contradictory literals: `*` and the
+        // non-negated disjunction contribute no constraints
+        let p = parse_bp(
+            r#"
+            void main() {
+                if (*) { skip; } else { skip; }
+                assume({x > 0} || {x <= 0});
+                while (*) { skip; }
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(lint_infeasible_edges(&p), Vec::new());
     }
 
     #[test]

@@ -248,6 +248,74 @@ pub fn solve_gen_kill(
     })
 }
 
+/// A generic forward, *edge-sensitive* worklist solver over an
+/// arbitrary join semilattice, with widening.
+///
+/// Unlike [`solve`], facts are an opaque type `T` (an interval
+/// environment, a constant map, …) and the transfer function is applied
+/// per out-edge: `transfer(n, fact, slot)` produces the fact flowing
+/// along the edge to `cfg.succs[n][slot]`, which is how a branch node
+/// refines its condition differently on its true and false edges.
+///
+/// * `boundary` seeds the entry of node 0.
+/// * `join(cur, incoming) -> changed` merges an edge fact into a node's
+///   accumulated entry fact.
+/// * `widen(cur, incoming) -> changed` is used instead of `join` at
+///   nodes where `widen_at` is true; it must be a widening operator
+///   (every infinite ascending chain stabilizes). Passing back-edge
+///   targets guarantees termination on lattices of infinite height,
+///   because every CFG cycle then contains a widening point.
+///
+/// Returns the entry fact of every node; `None` marks nodes no fact
+/// ever reached (unreachable from the entry). The worklist is FIFO and
+/// deduplicated, so for monotone transfers the result is deterministic.
+pub fn solve_forward_lattice<T: Clone>(
+    cfg: &Cfg,
+    boundary: T,
+    widen_at: &[bool],
+    transfer: &mut dyn FnMut(usize, &T, usize) -> T,
+    join: &mut dyn FnMut(&mut T, &T) -> bool,
+    widen: &mut dyn FnMut(&mut T, &T) -> bool,
+) -> Vec<Option<T>> {
+    let n = cfg.len();
+    let mut entry: Vec<Option<T>> = vec![None; n];
+    if n == 0 {
+        return entry;
+    }
+    entry[0] = Some(boundary);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut queued = vec![false; n];
+    queued[0] = true;
+    while let Some(node) = queue.pop_front() {
+        queued[node] = false;
+        let Some(fact) = entry[node].clone() else {
+            continue;
+        };
+        for slot in 0..cfg.succs[node].len() {
+            let succ = cfg.succs[node][slot];
+            let incoming = transfer(node, &fact, slot);
+            let changed = match &mut entry[succ] {
+                Some(cur) => {
+                    if widen_at.get(succ).copied().unwrap_or(false) {
+                        widen(cur, &incoming)
+                    } else {
+                        join(cur, &incoming)
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(incoming);
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                queue.push_back(succ);
+            }
+        }
+    }
+    entry
+}
+
 /// Forward reachability from the entry node: the set of nodes a path
 /// from node 0 can visit.
 pub fn reachable(cfg: &Cfg) -> Vec<bool> {
@@ -385,5 +453,122 @@ mod tests {
         let sol = solve_gen_kill(&cfg, Direction::Forward, &BitSet::empty(0), &[], &[]);
         assert!(sol.entry.is_empty() && sol.exit.is_empty());
         assert!(reachable(&cfg).is_empty());
+        let lattice = solve_forward_lattice(
+            &cfg,
+            0u32,
+            &[],
+            &mut |_, f, _| *f,
+            &mut |_, _| false,
+            &mut |_, _| false,
+        );
+        assert!(lattice.is_empty());
+    }
+
+    #[test]
+    fn single_node_self_loop_converges() {
+        // one node whose only successor is itself: the gen/kill solver
+        // and the lattice solver must both reach a fixpoint, not spin
+        let cfg = Cfg::new(vec![vec![0]]);
+        let sol = solve_gen_kill(
+            &cfg,
+            Direction::Forward,
+            &BitSet::empty(2),
+            &[set(2, &[1])],
+            &[BitSet::empty(2)],
+        );
+        assert_eq!(sol.exit[0], set(2, &[1]));
+        // saturating transfer: fact only grows to a cap, so plain join
+        // (max) stabilizes without widening
+        let entry = solve_forward_lattice(
+            &cfg,
+            0u32,
+            &[false],
+            &mut |_, f, _| (*f + 1).min(7),
+            &mut |cur, inc| {
+                let next = (*cur).max(*inc);
+                let changed = next != *cur;
+                *cur = next;
+                changed
+            },
+            &mut |_, _| unreachable!("no widening point"),
+        );
+        assert_eq!(entry[0], Some(7));
+    }
+
+    #[test]
+    fn unreachable_blocks_get_no_lattice_fact() {
+        // 0 -> 1; node 2 is disconnected (and points at 1, like dead
+        // code falling back into live code)
+        let cfg = Cfg::new(vec![vec![1], vec![], vec![1]]);
+        let entry = solve_forward_lattice(
+            &cfg,
+            10u32,
+            &[false; 3],
+            &mut |_, f, _| *f,
+            &mut |cur, inc| {
+                let next = (*cur).max(*inc);
+                let changed = next != *cur;
+                *cur = next;
+                changed
+            },
+            &mut |_, _| false,
+        );
+        assert_eq!(entry[0], Some(10));
+        assert_eq!(entry[1], Some(10));
+        assert_eq!(entry[2], None, "unreachable node must stay bottom");
+    }
+
+    #[test]
+    fn widening_terminates_an_oscillating_transfer() {
+        // 0 -> 1 -> 1 (self loop). The transfer on the back edge
+        // oscillates between 0 and 1 forever; plain replacement-join
+        // would never stabilize, so the solver must terminate only
+        // because node 1 is a widening point that jumps to top (= 2),
+        // where the transfer is finally stable.
+        let cfg = Cfg::new(vec![vec![1], vec![1]]);
+        let entry = solve_forward_lattice(
+            &cfg,
+            0u8,
+            &[false, true],
+            &mut |_, f, _| if *f >= 2 { 2 } else { 1 - *f },
+            &mut |cur, inc| {
+                let changed = *cur != *inc;
+                *cur = *inc;
+                changed
+            },
+            &mut |cur, inc| {
+                if *cur == *inc {
+                    false
+                } else {
+                    let changed = *cur != 2;
+                    *cur = 2; // top
+                    changed
+                }
+            },
+        );
+        assert_eq!(entry[1], Some(2), "widening must have jumped to top");
+    }
+
+    #[test]
+    fn lattice_branch_edges_see_different_facts() {
+        // 0 is a two-way branch: slot 0 (true edge, to node 1) adds 100,
+        // slot 1 (false edge, to node 2) adds 200 — per-edge transfer is
+        // what lets interval analysis refine branch conditions.
+        let cfg = Cfg::new(vec![vec![1, 2], vec![], vec![]]);
+        let entry = solve_forward_lattice(
+            &cfg,
+            1u32,
+            &[false; 3],
+            &mut |_, f, slot| f + if slot == 0 { 100 } else { 200 },
+            &mut |cur, inc| {
+                let next = (*cur).max(*inc);
+                let changed = next != *cur;
+                *cur = next;
+                changed
+            },
+            &mut |_, _| false,
+        );
+        assert_eq!(entry[1], Some(101));
+        assert_eq!(entry[2], Some(201));
     }
 }

@@ -1,0 +1,1024 @@
+//! Interval + constant-propagation abstract interpretation, and the
+//! numeric implication decider it backs.
+//!
+//! Two consumers share the machinery in this module:
+//!
+//! * [`IntervalFacts::analyze`] runs a forward, per-function abstract
+//!   interpretation over the flat CFG ([`cparse::flow`]) on the interval
+//!   lattice (constants are width-zero intervals), with widening at
+//!   back-edge targets followed by two narrowing sweeps, yielding
+//!   per-statement variable bounds. The same [`Env`] constraint
+//!   machinery backs the boolean-program lint's infeasible-edge
+//!   advisory ([`crate::bplint`]).
+//! * [`decide_implication`] is the *NumericOracle* consulted by the cube
+//!   search before every theorem-prover query: given the cube's literals
+//!   and the goal, it attempts to settle `cube ⇒ goal` by pure interval
+//!   reasoning over integer-typed scalars. [`NumericAnswer::Proved`] and
+//!   [`NumericAnswer::Disproved`] are only returned when the answer is
+//!   guaranteed to coincide with the prover's (the caller cross-checks
+//!   this in debug builds), so the oracle can replace prover calls but
+//!   never change a cube result.
+//!
+//! The decider is deliberately *not* seeded with the per-program-point
+//! facts: the cube search asks context-free validity questions
+//! (`cube ⇒ goal` must hold in every state, not just states reaching a
+//! particular statement), so strengthening the hypothesis with point
+//! invariants would change answers relative to the prover. Constant
+//! facts still reach the queries, through the weakest-precondition
+//! substitutions that inline assigned constants into the goal text; see
+//! DESIGN.md for the decision table.
+
+use crate::dataflow::{solve_forward_lattice, Cfg};
+use crate::modref::ModRef;
+use cparse::ast::{BinOp, Expr, Program, StmtId, Type, UnOp};
+use cparse::flow::{flatten_function, Instr};
+use pointsto::{analyze_shared, AliasMode, AliasOracle};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// The interval domain
+// ---------------------------------------------------------------------------
+
+/// An integer interval `[lo, hi]`; `None` bounds are ±∞. `lo > hi`
+/// encodes the empty interval (an unsatisfiable constraint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (`None` = −∞).
+    pub lo: Option<i64>,
+    /// Upper bound (`None` = +∞).
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The unconstrained interval (−∞, +∞).
+    pub const TOP: Interval = Interval { lo: None, hi: None };
+
+    /// The single-point interval `[v, v]`.
+    pub fn point(v: i64) -> Interval {
+        Interval {
+            lo: Some(v),
+            hi: Some(v),
+        }
+    }
+
+    /// True when no integer lies in the interval.
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    /// The constant value, when the interval is a single point.
+    pub fn as_const(&self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) if l == h => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Greatest lower bound.
+    pub fn meet(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    /// Standard interval widening: any bound that moved is dropped to ∞.
+    pub fn widen(&self, next: &Interval) -> Interval {
+        if self.is_empty() {
+            return *next;
+        }
+        if next.is_empty() {
+            return *self;
+        }
+        Interval {
+            lo: match (self.lo, next.lo) {
+                (Some(a), Some(b)) if b >= a => Some(a),
+                _ => None,
+            },
+            hi: match (self.hi, next.hi) {
+                (Some(a), Some(b)) if b <= a => Some(a),
+                _ => None,
+            },
+        }
+    }
+
+    fn add(&self, other: &Interval) -> Interval {
+        let add = |a: Option<i64>, b: Option<i64>| match (a, b) {
+            (Some(x), Some(y)) => x.checked_add(y),
+            _ => None,
+        };
+        Interval {
+            lo: add(self.lo, other.lo),
+            hi: add(self.hi, other.hi),
+        }
+    }
+
+    fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    fn neg(&self) -> Interval {
+        let neg = |b: Option<i64>| b.and_then(i64::checked_neg);
+        Interval {
+            lo: neg(self.hi),
+            hi: neg(self.lo),
+        }
+    }
+
+    fn mul(&self, other: &Interval) -> Interval {
+        // exact only for bounded operands; any overflow widens to ∞
+        let (Some(al), Some(ah), Some(bl), Some(bh)) = (self.lo, self.hi, other.lo, other.hi)
+        else {
+            // one precise special case: multiplication by the constant 0
+            if self.as_const() == Some(0) || other.as_const() == Some(0) {
+                return Interval::point(0);
+            }
+            return Interval::TOP;
+        };
+        let mut lo: Option<i64> = None;
+        let mut hi: Option<i64> = None;
+        for a in [al, ah] {
+            for b in [bl, bh] {
+                match a.checked_mul(b) {
+                    Some(p) => {
+                        lo = Some(lo.map_or(p, |c: i64| c.min(p)));
+                        hi = Some(hi.map_or(p, |c: i64| c.max(p)));
+                    }
+                    None => return Interval::TOP,
+                }
+            }
+        }
+        Interval { lo, hi }
+    }
+}
+
+/// A three-valued truth value for abstract condition evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Definitely true for every concrete value in the abstract state.
+    True,
+    /// Definitely false for every concrete value in the abstract state.
+    False,
+    /// Cannot be decided from the intervals.
+    Unknown,
+}
+
+impl Tri {
+    fn negate(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract environments
+// ---------------------------------------------------------------------------
+
+/// Variable → interval at one program point. Absent variables are
+/// unconstrained; the whole environment is only recorded for reachable
+/// points. [`Env::unsat`] marks a point whose accumulated constraints
+/// are contradictory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Env {
+    vars: BTreeMap<String, Interval>,
+}
+
+impl Env {
+    /// The unconstrained environment.
+    pub fn top() -> Env {
+        Env::default()
+    }
+
+    /// The interval of `var` (TOP when untracked).
+    pub fn get(&self, var: &str) -> Interval {
+        self.vars.get(var).copied().unwrap_or(Interval::TOP)
+    }
+
+    fn set(&mut self, var: &str, iv: Interval) {
+        if iv == Interval::TOP {
+            self.vars.remove(var);
+        } else {
+            self.vars.insert(var.to_string(), iv);
+        }
+    }
+
+    fn havoc(&mut self, var: &str) {
+        self.vars.remove(var);
+    }
+
+    /// Drops every binding whose variable `keep` rejects (the `"0"`
+    /// contradiction marker survives). Used by the forward pass so
+    /// branch refinement never pins a fact on an untracked variable a
+    /// pointer store could silently invalidate.
+    fn retain_vars(&mut self, keep: &dyn Fn(&str) -> bool) {
+        self.vars.retain(|k, _| k == "0" || keep(k));
+    }
+
+    /// True when some variable's constraints are contradictory — no
+    /// concrete state satisfies this environment.
+    pub fn unsat(&self) -> bool {
+        self.vars.values().any(Interval::is_empty)
+    }
+
+    /// Number of variables with a nontrivial bound.
+    pub fn bounded_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn join_with(&mut self, other: &Env) -> bool {
+        self.merge_with(other, Interval::join)
+    }
+
+    fn widen_with(&mut self, other: &Env) -> bool {
+        self.merge_with(other, Interval::widen)
+    }
+
+    fn merge_with(&mut self, other: &Env, op: fn(&Interval, &Interval) -> Interval) -> bool {
+        // an unsat side contributes nothing (it is the bottom state)
+        if other.unsat() {
+            return false;
+        }
+        if self.unsat() {
+            *self = other.clone();
+            return true;
+        }
+        let mut changed = false;
+        let keys: Vec<String> = self.vars.keys().cloned().collect();
+        for k in keys {
+            let merged = op(&self.get(&k), &other.get(&k));
+            if merged != self.get(&k) {
+                changed = true;
+            }
+            self.set(&k, merged);
+        }
+        changed
+    }
+
+    /// Abstract evaluation of a pure expression. Over-approximates: the
+    /// result interval contains every value the expression can take in
+    /// any state described by `self`.
+    pub fn eval(&self, e: &Expr) -> Interval {
+        match e {
+            Expr::IntLit(v) => Interval::point(*v),
+            Expr::Null => Interval::point(0),
+            Expr::Var(v) => self.get(v),
+            Expr::Unary(UnOp::Neg, inner) => self.eval(inner).neg(),
+            Expr::Unary(UnOp::Not, inner) => match self.eval_bool(inner) {
+                Tri::True => Interval::point(0),
+                Tri::False => Interval::point(1),
+                Tri::Unknown => Interval {
+                    lo: Some(0),
+                    hi: Some(1),
+                },
+            },
+            Expr::Binary(op, l, r) => {
+                let (a, b) = (self.eval(l), self.eval(r));
+                match op {
+                    BinOp::Add => a.add(&b),
+                    BinOp::Sub => a.sub(&b),
+                    BinOp::Mul => a.mul(&b),
+                    op if op.is_comparison() => match self.compare(*op, &a, &b) {
+                        Tri::True => Interval::point(1),
+                        Tri::False => Interval::point(0),
+                        Tri::Unknown => Interval {
+                            lo: Some(0),
+                            hi: Some(1),
+                        },
+                    },
+                    BinOp::And | BinOp::Or => match self.eval_bool(e) {
+                        Tri::True => Interval::point(1),
+                        Tri::False => Interval::point(0),
+                        Tri::Unknown => Interval {
+                            lo: Some(0),
+                            hi: Some(1),
+                        },
+                    },
+                    // integer division/remainder semantics are left to
+                    // the prover; stay sound with TOP
+                    _ => Interval::TOP,
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    fn compare(&self, op: BinOp, a: &Interval, b: &Interval) -> Tri {
+        if a.is_empty() || b.is_empty() {
+            // vacuous: no concrete state reaches this comparison
+            return Tri::Unknown;
+        }
+        let lt = |x: &Interval, y: &Interval| match (x.hi, y.lo) {
+            (Some(xh), Some(yl)) if xh < yl => Tri::True,
+            _ => match (x.lo, y.hi) {
+                (Some(xl), Some(yh)) if xl >= yh => Tri::False,
+                _ => Tri::Unknown,
+            },
+        };
+        let le = |x: &Interval, y: &Interval| match (x.hi, y.lo) {
+            (Some(xh), Some(yl)) if xh <= yl => Tri::True,
+            _ => match (x.lo, y.hi) {
+                (Some(xl), Some(yh)) if xl > yh => Tri::False,
+                _ => Tri::Unknown,
+            },
+        };
+        match op {
+            BinOp::Lt => lt(a, b),
+            BinOp::Le => le(a, b),
+            BinOp::Gt => lt(b, a),
+            BinOp::Ge => le(b, a),
+            BinOp::Eq => match (a.as_const(), b.as_const()) {
+                (Some(x), Some(y)) if x == y => Tri::True,
+                _ => {
+                    // disjoint intervals are definitely unequal
+                    if le(a, b) == Tri::False || le(b, a) == Tri::False {
+                        Tri::False
+                    } else {
+                        Tri::Unknown
+                    }
+                }
+            },
+            BinOp::Ne => self.compare(BinOp::Eq, a, b).negate(),
+            _ => Tri::Unknown,
+        }
+    }
+
+    /// Three-valued truth of a condition in this environment.
+    pub fn eval_bool(&self, e: &Expr) -> Tri {
+        match e {
+            Expr::IntLit(v) => {
+                if *v != 0 {
+                    Tri::True
+                } else {
+                    Tri::False
+                }
+            }
+            Expr::Unary(UnOp::Not, inner) => self.eval_bool(inner).negate(),
+            Expr::Binary(BinOp::And, l, r) => match (self.eval_bool(l), self.eval_bool(r)) {
+                (Tri::False, _) | (_, Tri::False) => Tri::False,
+                (Tri::True, Tri::True) => Tri::True,
+                _ => Tri::Unknown,
+            },
+            Expr::Binary(BinOp::Or, l, r) => match (self.eval_bool(l), self.eval_bool(r)) {
+                (Tri::True, _) | (_, Tri::True) => Tri::True,
+                (Tri::False, Tri::False) => Tri::False,
+                _ => Tri::Unknown,
+            },
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                self.compare(*op, &self.eval(l), &self.eval(r))
+            }
+            other => {
+                let iv = self.eval(other);
+                match iv.as_const() {
+                    Some(0) => Tri::False,
+                    Some(_) => Tri::True,
+                    None => {
+                        // an interval excluding 0 is definitely truthy
+                        if matches!(iv.lo, Some(l) if l > 0) || matches!(iv.hi, Some(h) if h < 0) {
+                            Tri::True
+                        } else {
+                            Tri::Unknown
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks the environment contradictory. `"0"` is not a legal C
+    /// identifier, so the marker can never collide with a real variable.
+    fn mark_unsat(&mut self) {
+        self.vars.insert(
+            "0".to_string(),
+            Interval {
+                lo: Some(1),
+                hi: Some(0),
+            },
+        );
+    }
+
+    /// Refines the environment by assuming `cond` evaluates to `sense`.
+    /// `exact` is cleared when some conjunct could not be captured as an
+    /// interval constraint (the refined box then over-approximates the
+    /// constrained states — still sound for `Proved`, not for
+    /// `Disproved`).
+    fn assume(&mut self, cond: &Expr, sense: bool, exact: &mut bool) {
+        match cond {
+            Expr::Unary(UnOp::Not, inner) => self.assume(inner, !sense, exact),
+            Expr::Binary(BinOp::And, l, r) if sense => {
+                self.assume(l, true, exact);
+                self.assume(r, true, exact);
+            }
+            // ¬(l ∨ r) ≡ ¬l ∧ ¬r
+            Expr::Binary(BinOp::Or, l, r) if !sense => {
+                self.assume(l, false, exact);
+                self.assume(r, false, exact);
+            }
+            Expr::IntLit(v) => {
+                if (*v != 0) != sense {
+                    self.mark_unsat();
+                }
+            }
+            Expr::Binary(op, l, r) if op.is_comparison() => {
+                let op = if sense {
+                    *op
+                } else {
+                    op.negate().expect("comparisons always negate")
+                };
+                self.assume_cmp(op, l, r, exact);
+            }
+            Expr::Var(v) if !sense => {
+                // `!v`, i.e. v == 0
+                self.set(v, self.get(v).meet(&Interval::point(0)));
+            }
+            other => {
+                // disjunctions, truthy variables, and anything else the
+                // box can't capture: still catch a definite conflict
+                match (self.eval_bool(other), sense) {
+                    (Tri::True, false) | (Tri::False, true) => self.mark_unsat(),
+                    // already entailed by the box: nothing to add
+                    (Tri::True, true) | (Tri::False, false) => {}
+                    (Tri::Unknown, _) => *exact = false,
+                }
+            }
+        }
+    }
+
+    fn assume_cmp(&mut self, op: BinOp, l: &Expr, r: &Expr, exact: &mut bool) {
+        // normalize to `var ⋈ interval-of-other-side`
+        let (var, bound, op) = match (l, r) {
+            (Expr::Var(v), other) => (v, self.eval(other), op),
+            (other, Expr::Var(v)) => {
+                let Some(flipped) = op.flip() else {
+                    *exact = false;
+                    return;
+                };
+                (v, self.eval(other), flipped)
+            }
+            _ => {
+                // constant-vs-constant still decides satisfiability
+                match self.compare(op, &self.eval(l), &self.eval(r)) {
+                    Tri::False => self.mark_unsat(),
+                    Tri::Unknown => *exact = false,
+                    Tri::True => {}
+                }
+                return;
+            }
+        };
+        // the bound side must be a known constant for an exact box edge
+        let Some(c) = bound.as_const() else {
+            *exact = false;
+            return;
+        };
+        let cur = self.get(var);
+        let refined = match op {
+            BinOp::Eq => cur.meet(&Interval::point(c)),
+            BinOp::Lt => cur.meet(&Interval {
+                lo: None,
+                hi: c.checked_sub(1),
+            }),
+            BinOp::Le => cur.meet(&Interval {
+                lo: None,
+                hi: Some(c),
+            }),
+            BinOp::Gt => cur.meet(&Interval {
+                lo: c.checked_add(1),
+                hi: None,
+            }),
+            BinOp::Ge => cur.meet(&Interval {
+                lo: Some(c),
+                hi: None,
+            }),
+            BinOp::Ne => {
+                // representable when it contradicts a point or trims an
+                // interval endpoint; otherwise the box over-approximates
+                if cur.as_const() == Some(c) {
+                    Interval {
+                        lo: Some(1),
+                        hi: Some(0),
+                    }
+                } else if cur.lo == Some(c) {
+                    Interval {
+                        lo: c.checked_add(1),
+                        hi: cur.hi,
+                    }
+                } else if cur.hi == Some(c) {
+                    Interval {
+                        lo: cur.lo,
+                        hi: c.checked_sub(1),
+                    }
+                } else {
+                    *exact = false;
+                    cur
+                }
+            }
+            _ => {
+                *exact = false;
+                cur
+            }
+        };
+        self.set(var, refined);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The numeric implication oracle
+// ---------------------------------------------------------------------------
+
+/// A definite answer from the numeric oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericAnswer {
+    /// The hypothesis implies the goal (the prover would answer Unsat
+    /// for `hyp ∧ ¬goal`).
+    Proved,
+    /// The hypothesis does not imply the goal (the prover would find a
+    /// model of `hyp ∧ ¬goal`).
+    Disproved,
+}
+
+/// Is `e` a pure integer-scalar expression the interval semantics
+/// models exactly: integer literals, integer-typed variables accepted by
+/// `is_int_var`, and `+ − × ! && || comparisons` over them? Pointer
+/// shapes, struct fields, division, and calls disqualify the query.
+pub fn pure_int_expr(e: &Expr, is_int_var: &dyn Fn(&str) -> bool) -> bool {
+    match e {
+        Expr::IntLit(_) => true,
+        Expr::Var(v) => is_int_var(v),
+        Expr::Unary(UnOp::Neg | UnOp::Not, inner) => pure_int_expr(inner, is_int_var),
+        Expr::Binary(op, l, r) => {
+            !matches!(op, BinOp::Div | BinOp::Rem)
+                && pure_int_expr(l, is_int_var)
+                && pure_int_expr(r, is_int_var)
+        }
+        _ => false,
+    }
+}
+
+/// The NumericOracle: attempts to settle `⋀ hyps ⇒ goal` by interval
+/// reasoning alone. Each hypothesis is `(expr, polarity)` — a cube
+/// literal. `is_int_var` must accept only integer-typed scalars whose
+/// address is never taken (so the prover models them as free integers).
+///
+/// `Some(Proved)` is sound whenever the hypothesis box (an
+/// over-approximation of the hypothesis's models) forces the goal true,
+/// or the captured constraints are already contradictory.
+/// `Some(Disproved)` additionally requires every hypothesis conjunct to
+/// be captured *exactly* in the box (the box then equals the
+/// hypothesis's model set, so any point of the nonempty box refutes the
+/// implication when the goal is definitely false over it). Anything
+/// else is `None` and falls through to the prover.
+pub fn decide_implication(
+    hyps: &[(&Expr, bool)],
+    goal: &Expr,
+    is_int_var: &dyn Fn(&str) -> bool,
+) -> Option<NumericAnswer> {
+    if !pure_int_expr(goal, is_int_var) {
+        return None;
+    }
+    let mut env = Env::top();
+    let mut exact = true;
+    for (e, sign) in hyps {
+        if pure_int_expr(e, is_int_var) {
+            env.assume(e, *sign, &mut exact);
+        } else {
+            exact = false;
+        }
+    }
+    if env.unsat() {
+        // the captured constraints alone are contradictory, and they are
+        // implied by the full hypothesis: the implication holds vacuously
+        return Some(NumericAnswer::Proved);
+    }
+    match env.eval_bool(goal) {
+        Tri::True => Some(NumericAnswer::Proved),
+        Tri::False if exact => Some(NumericAnswer::Disproved),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The forward per-function pass
+// ---------------------------------------------------------------------------
+
+/// Per-statement interval facts for a whole program.
+///
+/// Facts are recorded at the *entry* of each identified statement of
+/// each function, for every integer-typed, address-free scalar. The
+/// analysis is intraprocedural with conservative boundaries: parameters
+/// and globals are unconstrained on entry, and calls havoc everything
+/// the MOD/REF summary says the callee may modify.
+pub struct IntervalFacts {
+    per_func: BTreeMap<String, BTreeMap<StmtId, Env>>,
+}
+
+impl IntervalFacts {
+    /// Runs the analysis over every function of a simplified program.
+    pub fn analyze(program: &Program) -> IntervalFacts {
+        let pts = analyze_shared(program, AliasMode::Inclusion);
+        let modref = ModRef::analyze(program);
+        let mut per_func = BTreeMap::new();
+        for f in &program.functions {
+            let Ok(flat) = flatten_function(f) else {
+                continue;
+            };
+            let facts = analyze_flat(program, f, &flat.instrs, &pts, &modref);
+            per_func.insert(f.name.clone(), facts);
+        }
+        IntervalFacts { per_func }
+    }
+
+    /// The environment at the entry of statement `id` in `func`, if the
+    /// statement is reachable and was analyzed.
+    pub fn at(&self, func: &str, id: StmtId) -> Option<&Env> {
+        self.per_func.get(func)?.get(&id)
+    }
+
+    /// Three-valued truth of `cond` at the entry of statement `id`
+    /// (`Unknown` when no facts were recorded there).
+    pub fn cond_at(&self, func: &str, id: StmtId, cond: &Expr) -> Tri {
+        match self.at(func, id) {
+            Some(env) => env.eval_bool(cond),
+            None => Tri::Unknown,
+        }
+    }
+
+    /// Total nontrivially-bounded (statement, variable) facts — a cheap
+    /// "did the analysis find anything" diagnostic.
+    pub fn bounded_facts(&self) -> usize {
+        self.per_func
+            .values()
+            .flat_map(|m| m.values())
+            .map(Env::bounded_vars)
+            .sum()
+    }
+}
+
+fn analyze_flat(
+    program: &Program,
+    f: &cparse::ast::Function,
+    instrs: &[Instr],
+    pts: &Arc<dyn AliasOracle>,
+    modref: &ModRef,
+) -> BTreeMap<StmtId, Env> {
+    let fname = f.name.clone();
+    // track only integer scalars whose address is never taken: stores
+    // through pointers can then never invalidate a tracked fact
+    let tracked = |v: &str| -> bool {
+        let ty = f.var_type(v).or_else(|| program.global_type(v));
+        matches!(ty, Some(Type::Int)) && !pts.address_taken(&fname, v)
+    };
+    let n = instrs.len();
+    let succs: Vec<Vec<usize>> = instrs
+        .iter()
+        .enumerate()
+        .map(|(i, ins)| match ins {
+            Instr::Branch {
+                target_true,
+                target_false,
+                ..
+            } => vec![*target_true, *target_false],
+            Instr::Jump(t) => vec![*t],
+            Instr::Return { .. } => vec![],
+            _ => {
+                if i + 1 < n {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                }
+            }
+        })
+        .collect();
+    let cfg = Cfg::new(succs);
+    // widen at back-edge targets: every loop the flattener emits jumps
+    // backward in instruction order, so cycles always contain one
+    let mut widen_at = vec![false; n];
+    for (i, ss) in cfg.succs.iter().enumerate() {
+        for &s in ss {
+            if s <= i {
+                widen_at[s] = true;
+            }
+        }
+    }
+    let mut transfer = |node: usize, env: &Env, slot: usize| -> Env {
+        let mut out = env.clone();
+        let mut _exact = true;
+        match &instrs[node] {
+            Instr::Assign { lhs, rhs, .. } => {
+                if let Expr::Var(v) = lhs {
+                    if tracked(v) {
+                        out.set(v, env.eval(rhs));
+                    }
+                }
+                // non-variable destinations can only name untracked
+                // storage (tracked scalars are never address-taken)
+            }
+            Instr::Call { dst, func, .. } => {
+                if let Some(Expr::Var(v)) = dst {
+                    out.havoc(v);
+                }
+                let clobbered: Vec<String> = out
+                    .vars
+                    .keys()
+                    .filter(|v| modref.may_modify(pts.as_ref(), func, &fname, v))
+                    .cloned()
+                    .collect();
+                for v in clobbered {
+                    out.havoc(&v);
+                }
+            }
+            Instr::Branch { cond, .. } => {
+                out.assume(cond, slot == 0, &mut _exact);
+                out.retain_vars(&tracked);
+            }
+            Instr::Assert { cond, .. } | Instr::Assume { cond, .. } => {
+                out.assume(cond, true, &mut _exact);
+                out.retain_vars(&tracked);
+            }
+            Instr::Jump(_) | Instr::Return { .. } | Instr::Nop => {}
+        }
+        out
+    };
+    let mut entry = solve_forward_lattice(
+        &cfg,
+        Env::top(),
+        &widen_at,
+        &mut transfer,
+        &mut |cur, inc| cur.join_with(inc),
+        &mut |cur, inc| cur.widen_with(inc),
+    );
+    // two narrowing sweeps: re-applying the (monotone) equations from a
+    // post-fixpoint stays above the least fixpoint, so each sweep can
+    // only tighten the widened bounds, never break soundness
+    let preds = cfg.preds();
+    for _ in 0..2 {
+        for node in 1..n {
+            let mut acc: Option<Env> = None;
+            for &p in &preds[node] {
+                let Some(penv) = entry[p].clone() else {
+                    continue;
+                };
+                // a branch can list the same successor on both slots;
+                // every edge contributes its own refined fact
+                for (slot, &s) in cfg.succs[p].iter().enumerate() {
+                    if s != node {
+                        continue;
+                    }
+                    let fact = transfer(p, &penv, slot);
+                    match &mut acc {
+                        Some(a) => {
+                            a.join_with(&fact);
+                        }
+                        None => acc = Some(fact),
+                    }
+                }
+            }
+            if let (Some(new), Some(_)) = (acc, &entry[node]) {
+                entry[node] = Some(new);
+            }
+        }
+    }
+    let mut facts = BTreeMap::new();
+    for (i, ins) in instrs.iter().enumerate() {
+        let (Some(id), Some(env)) = (ins.id(), &entry[i]) else {
+            continue;
+        };
+        if id == StmtId::UNASSIGNED {
+            continue;
+        }
+        facts
+            .entry(id)
+            .and_modify(|e: &mut Env| {
+                e.join_with(env);
+            })
+            .or_insert_with(|| env.clone());
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cparse::parser::{parse_expr, parse_program};
+    use cparse::simplify::simplify_program;
+
+    fn all_int(_: &str) -> bool {
+        true
+    }
+
+    fn decide(hyps: &[(&str, bool)], goal: &str) -> Option<NumericAnswer> {
+        let hyps: Vec<(Expr, bool)> = hyps
+            .iter()
+            .map(|(s, b)| (parse_expr(s).unwrap(), *b))
+            .collect();
+        let refs: Vec<(&Expr, bool)> = hyps.iter().map(|(e, b)| (e, *b)).collect();
+        let goal = parse_expr(goal).unwrap();
+        decide_implication(&refs, &goal, &all_int)
+    }
+
+    #[test]
+    fn constants_prove_and_disprove() {
+        assert_eq!(
+            decide(&[("count == 0", true)], "count <= 0"),
+            Some(NumericAnswer::Proved)
+        );
+        assert_eq!(
+            decide(&[("count == 0", true)], "count > 0"),
+            Some(NumericAnswer::Disproved)
+        );
+        assert_eq!(
+            decide(&[("count == 0", true)], "count + 1 > 0"),
+            Some(NumericAnswer::Proved)
+        );
+    }
+
+    #[test]
+    fn negated_literals_refine() {
+        // ¬(count < 1) is count >= 1
+        assert_eq!(
+            decide(&[("count < 1", false)], "count > 0"),
+            Some(NumericAnswer::Proved)
+        );
+    }
+
+    #[test]
+    fn contradictory_hypotheses_are_vacuously_proved() {
+        assert_eq!(
+            decide(&[("x > 5", true), ("x < 3", true)], "x == 100"),
+            Some(NumericAnswer::Proved)
+        );
+    }
+
+    #[test]
+    fn two_variable_goals_stay_unknown() {
+        assert_eq!(decide(&[("x > 0", true)], "x > y"), None);
+    }
+
+    #[test]
+    fn inexact_hypotheses_never_disprove() {
+        // the `x != 3` literal is not box-representable, so the oracle
+        // must not claim a refutation even though the box says false
+        assert_eq!(decide(&[("x != 3", true)], "x > 10"), None);
+        // …but proving through an over-approximated box is still fine
+        assert_eq!(
+            decide(&[("x != 3", true), ("x > 4", true)], "x > 0"),
+            Some(NumericAnswer::Proved)
+        );
+    }
+
+    #[test]
+    fn pointer_shapes_disqualify() {
+        let is_int = |v: &str| v != "p";
+        let goal = parse_expr("*p > 0").unwrap();
+        assert_eq!(decide_implication(&[], &goal, &is_int), None);
+        let hyp = parse_expr("p == 0").unwrap();
+        let goal2 = parse_expr("x > 0").unwrap();
+        // untyped hypothesis is dropped; goal alone is undecidable
+        assert_eq!(decide_implication(&[(&hyp, true)], &goal2, &is_int), None);
+    }
+
+    #[test]
+    fn division_is_left_to_the_prover() {
+        assert_eq!(decide(&[("x == 4", true)], "x / 2 == 2"), None);
+    }
+
+    #[test]
+    fn multiplication_overflow_widens() {
+        let env = {
+            let mut e = Env::top();
+            e.set("x", Interval::point(i64::MAX));
+            e
+        };
+        let expr = parse_expr("x * 2").unwrap();
+        assert_eq!(env.eval(&expr), Interval::TOP);
+    }
+
+    fn facts_for(src: &str) -> (cparse::Program, IntervalFacts) {
+        let p = parse_program(src).unwrap();
+        let s = simplify_program(&p).unwrap();
+        let facts = IntervalFacts::analyze(&s);
+        (s, facts)
+    }
+
+    fn branch_ids(program: &cparse::Program, func: &str) -> Vec<(StmtId, Expr)> {
+        let mut out = Vec::new();
+        program.function(func).unwrap().body.walk(&mut |s| {
+            if let cparse::ast::Stmt::If { id, cond, .. }
+            | cparse::ast::Stmt::While { id, cond, .. } = s
+            {
+                out.push((*id, cond.clone()));
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn constant_propagation_reaches_a_branch() {
+        let (p, facts) = facts_for(
+            r#"
+            void f(void) {
+                int x;
+                x = 0;
+                if (x > 0) { x = 1; } else { x = 2; }
+            }
+        "#,
+        );
+        let (id, cond) = branch_ids(&p, "f").remove(0);
+        assert_eq!(facts.cond_at("f", id, &cond), Tri::False);
+        assert!(facts.bounded_facts() > 0);
+    }
+
+    #[test]
+    fn loops_widen_but_keep_the_stable_bound() {
+        let (p, facts) = facts_for(
+            r#"
+            void f(int n) {
+                int i;
+                i = 0;
+                while (i < n) {
+                    i = i + 1;
+                }
+            }
+        "#,
+        );
+        // at the loop head, widening drops the upper bound but the
+        // lower bound 0 is stable and must survive
+        let (id, _) = branch_ids(&p, "f")[0].clone();
+        let env = facts.at("f", id).expect("loop head reachable");
+        assert_eq!(env.get("i").lo, Some(0));
+    }
+
+    #[test]
+    fn calls_havoc_what_the_callee_may_modify() {
+        let (p, facts) = facts_for(
+            r#"
+            int g;
+            void bump(void) { g = g + 1; }
+            void f(void) {
+                int x; int y;
+                g = 0;
+                x = 0;
+                bump();
+                if (g > 0) { y = 1; } else { y = 2; }
+                if (x > 0) { y = 3; } else { y = 4; }
+            }
+        "#,
+        );
+        let branches = branch_ids(&p, "f");
+        // g was havocked by the call: its branch is undecided
+        assert_eq!(
+            facts.cond_at("f", branches[0].0, &branches[0].1),
+            Tri::Unknown
+        );
+        // x was untouched by the call: still the constant 0
+        assert_eq!(
+            facts.cond_at("f", branches[1].0, &branches[1].1),
+            Tri::False
+        );
+    }
+
+    #[test]
+    fn address_taken_variables_are_untracked() {
+        let (p, facts) = facts_for(
+            r#"
+            void f(void) {
+                int x; int* p;
+                x = 0;
+                p = &x;
+                *p = 5;
+                if (x > 0) { x = 1; } else { x = 2; }
+            }
+        "#,
+        );
+        let (id, cond) = branch_ids(&p, "f").remove(0);
+        assert_eq!(facts.cond_at("f", id, &cond), Tri::Unknown);
+    }
+}

@@ -17,15 +17,25 @@
 //! * [`bplint`] — a static well-formedness verifier for generated
 //!   boolean programs, plus the liveness-based normal form used to
 //!   compare pruned and unpruned abstractions byte-for-byte.
+//! * [`intervals`] — forward interval + constant-propagation abstract
+//!   interpretation, and the numeric implication oracle the cube
+//!   search consults before paying for a prover query.
+//! * [`slice`] — the property-directed interprocedural slicer: the
+//!   backward relevant-statement closure seeded from spec observers
+//!   and predicate cones, applied before abstraction.
 
 #![warn(missing_docs)]
 
 pub mod bplint;
 pub mod callgraph;
 pub mod dataflow;
+pub mod intervals;
 pub mod modref;
+pub mod slice;
 
-pub use bplint::{lint_program, normalized_text, Lint, LintKind};
+pub use bplint::{lint_infeasible_edges, lint_program, normalized_text, Lint, LintKind};
 pub use callgraph::CallGraph;
 pub use dataflow::{reachable, solve, solve_gen_kill, BitSet, Cfg, Direction, Solution};
+pub use intervals::{decide_implication, IntervalFacts, NumericAnswer};
 pub use modref::{FnEffects, ModRef, Place};
+pub use slice::{slice_program, SliceStats};

@@ -1,0 +1,519 @@
+//! Property-directed interprocedural program slicing.
+//!
+//! The slicer runs between spec instrumentation and predicate
+//! abstraction: starting from the instrumented property's observation
+//! points (`assert`/`assume` statements), every branch condition, and
+//! the seed predicates' cone of influence, it computes the set of
+//! *relevant places* — variables whose values can reach an observation
+//! — and drops the assignments and calls that provably cannot touch
+//! them, then drops whole functions no longer reachable from the entry
+//! point through the kept calls.
+//!
+//! The design is deliberately verdict-preserving rather than maximally
+//! aggressive:
+//!
+//! * **All control flow is kept.** `if`/`while`/`goto`/labels,
+//!   `assert`, `assume`, and `return` statements always survive, and
+//!   every branch condition's variables seed the relevant set. The
+//!   sliced program therefore has the same path structure the
+//!   counterexample-driven refinement loop will enumerate, so Newton
+//!   sees identical path constraints and discovers identical
+//!   predicates.
+//! * **Pointers fall back to "keep".** Every address-taken variable is
+//!   relevant up front, stores through pointers are never dropped, and
+//!   calls are kept whenever the MOD/REF summary (resolved against the
+//!   [`pointsto::AliasOracle`]) cannot bound their effects away from
+//!   the relevant set. On pointer-heavy code the slice degenerates to
+//!   the identity — documented honestly in EXPERIMENTS.md.
+//! * **Observers pin calls.** A call is kept if its callee transitively
+//!   contains an `assert` (a property observation that must stay
+//!   reachable) or an `assume` (dropping one would *add* executions and
+//!   could flip a verdict).
+//!
+//! Only `Assign` and `Call` statements are ever dropped (replaced by
+//! `Skip` via [`cparse::slice::apply_slice`]), plus unreachable
+//! functions in their entirety — the latter is where the prover-call
+//! savings concentrate, since each dropped function saves its whole
+//! per-statement abstraction and `enforce` cube searches.
+
+use crate::callgraph::CallGraph;
+use crate::modref::{ModRef, Place};
+use cparse::ast::{Expr, Program, Stmt, StmtId};
+use cparse::slice::apply_slice;
+use pointsto::{analyze_shared, AliasMode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters describing one slicing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceStats {
+    /// Identified statements in the instrumented program.
+    pub stmts_total: usize,
+    /// Assignments and calls dropped from kept functions.
+    pub stmts_dropped: usize,
+    /// Functions in the instrumented program.
+    pub funcs_total: usize,
+    /// Functions dropped as unreachable through kept calls.
+    pub funcs_dropped: usize,
+    /// Size of the relevant-place set at the fixpoint.
+    pub relevant_places: usize,
+}
+
+/// The outcome of the relevant-statement computation, before it is
+/// applied to the IR.
+#[derive(Debug, Clone)]
+pub struct ProgramSlice {
+    /// Per-function statement ids to replace with `skip`.
+    pub drop_stmts: BTreeMap<String, BTreeSet<StmtId>>,
+    /// Functions to remove entirely.
+    pub drop_funcs: BTreeSet<String>,
+    /// Counters for `--slice-stats` and the A/B harness.
+    pub stats: SliceStats,
+}
+
+/// A seed for the relevant set: an expression whose variables matter,
+/// resolved in the scope of `func` (`None` = global scope only).
+pub type SliceSeed<'a> = (Option<&'a str>, &'a Expr);
+
+fn resolve(program: &Program, func: Option<&str>, name: &str) -> Place {
+    if let Some(f) = func.and_then(|f| program.function(f)) {
+        if f.var_type(name).is_some() {
+            return Place::Local(f.name.clone(), name.to_string());
+        }
+    }
+    Place::Global(name.to_string())
+}
+
+/// The root place written by an lvalue, when the write is direct (no
+/// pointer hop anywhere on the path). `None` means the target is only
+/// known through aliasing — the caller must keep the write.
+fn direct_store_root(lhs: &Expr) -> Option<&str> {
+    match lhs {
+        Expr::Var(x) => Some(x),
+        Expr::Field(b, _) | Expr::Index(b, _) => direct_store_root(b),
+        _ => None,
+    }
+}
+
+/// True when the statement tree contains a property observation.
+fn has_direct_observer(body: &Stmt) -> bool {
+    let mut found = false;
+    body.walk(&mut |s| {
+        if matches!(s, Stmt::Assert { .. } | Stmt::Assume { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Computes the relevant-statement slice of an instrumented, simplified
+/// program, seeded from its own observers plus `seeds`.
+pub fn compute_slice(program: &Program, entry: &str, seeds: &[SliceSeed<'_>]) -> ProgramSlice {
+    let pts = analyze_shared(program, AliasMode::Inclusion);
+    let modref = ModRef::analyze(program);
+    let cg = CallGraph::build(program);
+
+    // Which functions transitively contain an assert/assume?
+    let mut observer: BTreeMap<&str, bool> = program
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), has_direct_observer(&f.body)))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (i, f) in program.functions.iter().enumerate() {
+            if observer[f.name.as_str()] {
+                continue;
+            }
+            if cg.callees[i]
+                .iter()
+                .any(|&j| observer[cg.names[j].as_str()])
+            {
+                observer.insert(f.name.as_str(), true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Seed the relevant set: every condition's variables (branch
+    // structure is kept, so everything feeding it must be too), every
+    // address-taken variable (the coarse pointer fallback), and the
+    // caller's seed predicates.
+    let mut relevant: BTreeSet<Place> = BTreeSet::new();
+    for f in &program.functions {
+        let fname = f.name.as_str();
+        f.body.walk(&mut |s| {
+            if let Stmt::If { cond, .. }
+            | Stmt::While { cond, .. }
+            | Stmt::Assert { cond, .. }
+            | Stmt::Assume { cond, .. } = s
+            {
+                for v in cond.vars() {
+                    relevant.insert(resolve(program, Some(fname), &v));
+                }
+            }
+        });
+        for (name, _) in f
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), ()))
+            .chain(f.locals.iter().map(|(n, _)| (n.clone(), ())))
+        {
+            if pts.address_taken(fname, &name) {
+                relevant.insert(Place::Local(fname.to_string(), name));
+            }
+        }
+    }
+    for (g, _) in &program.globals {
+        // a global whose address is taken anywhere is pinned; the oracle
+        // resolves unknown names to globals, so any scope works
+        if program
+            .functions
+            .iter()
+            .any(|f| f.var_type(g).is_none() && pts.address_taken(&f.name, g))
+        {
+            relevant.insert(Place::Global(g.clone()));
+        }
+    }
+    for (func, expr) in seeds {
+        for v in expr.vars() {
+            relevant.insert(resolve(program, *func, &v));
+        }
+    }
+
+    let may_modify_relevant = |relevant: &BTreeSet<Place>, callee: &str| -> bool {
+        relevant.iter().any(|place| match place {
+            Place::Global(g) => modref.may_modify(pts.as_ref(), callee, "", g),
+            Place::Local(pf, v) => modref.may_modify(pts.as_ref(), callee, pf, v),
+        })
+    };
+
+    // Fixpoint: grow the relevant set through kept assignments and
+    // calls until nothing new becomes relevant.
+    loop {
+        let before = relevant.len();
+        for f in &program.functions {
+            let fname = f.name.as_str();
+            f.body.walk(&mut |s| match s {
+                Stmt::Assign { lhs, rhs, .. } => {
+                    let kept = match direct_store_root(lhs) {
+                        Some(root) => relevant.contains(&resolve(program, Some(fname), root)),
+                        None => true, // store through a pointer: keep
+                    };
+                    if kept {
+                        for v in rhs.vars().into_iter().chain(lhs.vars()) {
+                            relevant.insert(resolve(program, Some(fname), &v));
+                        }
+                    }
+                }
+                Stmt::Call {
+                    dst, func, args, ..
+                } => {
+                    let dst_relevant = dst.as_ref().is_some_and(|d| match direct_store_root(d) {
+                        Some(root) => relevant.contains(&resolve(program, Some(fname), root)),
+                        None => true,
+                    });
+                    let kept = program.function(func).is_none()
+                        || observer.get(func.as_str()).copied().unwrap_or(true)
+                        || dst_relevant
+                        || may_modify_relevant(&relevant, func);
+                    if kept {
+                        for a in args {
+                            for v in a.vars() {
+                                relevant.insert(resolve(program, Some(fname), &v));
+                            }
+                        }
+                        if let Some(callee) = program.function(func) {
+                            for p in &callee.params {
+                                relevant.insert(Place::Local(callee.name.clone(), p.name.clone()));
+                            }
+                            if dst.is_some() {
+                                if let Some(d) = dst {
+                                    for v in d.vars() {
+                                        relevant.insert(resolve(program, Some(fname), &v));
+                                    }
+                                }
+                                callee.body.walk(&mut |s| {
+                                    if let Stmt::Return { value: Some(e), .. } = s {
+                                        for v in e.vars() {
+                                            relevant.insert(resolve(
+                                                program,
+                                                Some(callee.name.as_str()),
+                                                &v,
+                                            ));
+                                        }
+                                    }
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            });
+        }
+        if relevant.len() == before {
+            break;
+        }
+    }
+
+    // Final pass: record the drops implied by the fixpoint.
+    let mut drop_stmts: BTreeMap<String, BTreeSet<StmtId>> = BTreeMap::new();
+    let mut kept_callees: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut stmts_total = 0usize;
+    for f in &program.functions {
+        let fname = f.name.as_str();
+        let drops = drop_stmts.entry(f.name.clone()).or_default();
+        let callees = kept_callees.entry(fname).or_default();
+        f.body.walk(&mut |s| {
+            if s.id().is_some() {
+                stmts_total += 1;
+            }
+            match s {
+                Stmt::Assign { id, lhs, .. } => {
+                    let kept = match direct_store_root(lhs) {
+                        Some(root) => relevant.contains(&resolve(program, Some(fname), root)),
+                        None => true,
+                    };
+                    if !kept && *id != StmtId::UNASSIGNED {
+                        drops.insert(*id);
+                    }
+                }
+                Stmt::Call { id, dst, func, .. } => {
+                    let dst_relevant = dst.as_ref().is_some_and(|d| match direct_store_root(d) {
+                        Some(root) => relevant.contains(&resolve(program, Some(fname), root)),
+                        None => true,
+                    });
+                    let kept = program.function(func).is_none()
+                        || observer.get(func.as_str()).copied().unwrap_or(true)
+                        || dst_relevant
+                        || may_modify_relevant(&relevant, func);
+                    if kept {
+                        callees.insert(func.as_str());
+                    } else if *id != StmtId::UNASSIGNED {
+                        drops.insert(*id);
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+
+    // Functions unreachable from the entry through kept calls are
+    // dropped whole. An unknown entry keeps everything.
+    let mut drop_funcs: BTreeSet<String> = BTreeSet::new();
+    if program.function(entry).is_some() {
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        let mut work = vec![entry];
+        while let Some(f) = work.pop() {
+            if !visited.insert(f) {
+                continue;
+            }
+            if let Some(callees) = kept_callees.get(f) {
+                for &c in callees {
+                    if program.function(c).is_some() && !visited.contains(c) {
+                        work.push(c);
+                    }
+                }
+            }
+        }
+        for f in &program.functions {
+            if !visited.contains(f.name.as_str()) {
+                drop_funcs.insert(f.name.clone());
+            }
+        }
+    }
+    drop_stmts.retain(|f, ids| !ids.is_empty() && !drop_funcs.contains(f));
+
+    let stmts_dropped = drop_stmts.values().map(BTreeSet::len).sum();
+    let stats = SliceStats {
+        stmts_total,
+        stmts_dropped,
+        funcs_total: program.functions.len(),
+        funcs_dropped: drop_funcs.len(),
+        relevant_places: relevant.len(),
+    };
+    ProgramSlice {
+        drop_stmts,
+        drop_funcs,
+        stats,
+    }
+}
+
+/// Computes and applies the property-directed slice in one step,
+/// returning the sliced program and the run's counters.
+pub fn slice_program(
+    program: &Program,
+    entry: &str,
+    seeds: &[SliceSeed<'_>],
+) -> (Program, SliceStats) {
+    let slice = compute_slice(program, entry, seeds);
+    let sliced = apply_slice(program, &slice.drop_stmts, &slice.drop_funcs);
+    (sliced, slice.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sliced(src: &str, entry: &str) -> (Program, SliceStats) {
+        let program = cparse::parse_and_simplify(src).expect("parse");
+        slice_program(&program, entry, &[])
+    }
+
+    fn assigns_to(program: &Program, func: &str, var: &str) -> usize {
+        let mut n = 0;
+        program.function(func).unwrap().body.walk(&mut |s| {
+            if let Stmt::Assign {
+                lhs: Expr::Var(v), ..
+            } = s
+            {
+                if v == var {
+                    n += 1;
+                }
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn padding_assignments_are_dropped() {
+        let (p, stats) = sliced(
+            r#"
+            int state;
+            int pad;
+            void main(void) {
+                state = 0;
+                pad = 0;
+                pad = pad + 1;
+                if (state > 0) { state = 1; } else { state = 2; }
+                assert(state > 0);
+            }
+        "#,
+            "main",
+        );
+        assert_eq!(assigns_to(&p, "main", "pad"), 0, "padding var sliced away");
+        assert!(assigns_to(&p, "main", "state") >= 3, "observed var kept");
+        assert_eq!(stats.stmts_dropped, 2);
+        assert_eq!(stats.funcs_dropped, 0);
+    }
+
+    #[test]
+    fn observer_free_unreachable_functions_are_dropped() {
+        let (p, stats) = sliced(
+            r#"
+            int g;
+            int noise;
+            void scratch(void) { noise = noise + 1; }
+            void main(void) {
+                g = 1;
+                scratch();
+                assert(g > 0);
+            }
+        "#,
+            "main",
+        );
+        assert!(p.function("scratch").is_none(), "irrelevant callee dropped");
+        assert_eq!(stats.funcs_dropped, 1);
+    }
+
+    #[test]
+    fn observer_callees_are_pinned() {
+        let (p, _) = sliced(
+            r#"
+            int g;
+            void check(void) { assert(g > 0); }
+            void main(void) {
+                g = 1;
+                check();
+            }
+        "#,
+            "main",
+        );
+        assert!(p.function("check").is_some(), "assert keeps the callee");
+    }
+
+    #[test]
+    fn callee_modifying_relevant_global_is_kept() {
+        let (p, _) = sliced(
+            r#"
+            int g;
+            void bump(void) { g = g + 1; }
+            void main(void) {
+                g = 0;
+                bump();
+                assert(g > 0);
+            }
+        "#,
+            "main",
+        );
+        assert!(p.function("bump").is_some(), "writer of observed var kept");
+        assert_eq!(assigns_to(&p, "bump", "g"), 1);
+    }
+
+    #[test]
+    fn pointer_stores_fall_back_to_keep() {
+        let (p, stats) = sliced(
+            r#"
+            void main(void) {
+                int x; int* q;
+                x = 0;
+                q = &x;
+                *q = 5;
+                assert(x >= 0);
+            }
+        "#,
+            "main",
+        );
+        assert_eq!(stats.stmts_dropped, 0, "address-taken var pins everything");
+        let mut deref_stores = 0;
+        p.function("main").unwrap().body.walk(&mut |s| {
+            if let Stmt::Assign { lhs, .. } = s {
+                if direct_store_root(lhs).is_none() {
+                    deref_stores += 1;
+                }
+            }
+        });
+        assert_eq!(deref_stores, 1);
+    }
+
+    #[test]
+    fn seed_predicates_pin_their_cone() {
+        let program = cparse::parse_and_simplify(
+            r#"
+            int tracked;
+            void main(void) {
+                int dead;
+                tracked = 1;
+                dead = 2;
+            }
+        "#,
+        )
+        .expect("parse");
+        let seed = cparse::parse_expr("tracked > 0").unwrap();
+        let (p, _) = slice_program(&program, "main", &[(None, &seed)]);
+        assert_eq!(assigns_to(&p, "main", "tracked"), 1, "seeded cone kept");
+        assert_eq!(assigns_to(&p, "main", "dead"), 0, "unseeded assign dropped");
+    }
+
+    #[test]
+    fn relevant_return_values_keep_their_feeders() {
+        let (p, _) = sliced(
+            r#"
+            int make(void) {
+                int t;
+                t = 7;
+                return t;
+            }
+            void main(void) {
+                int v;
+                v = make();
+                assert(v == 7);
+            }
+        "#,
+            "main",
+        );
+        assert_eq!(assigns_to(&p, "make", "t"), 1, "return feeder kept");
+    }
+}

@@ -1,0 +1,85 @@
+//! Slicing + interval-oracle A/B: every Table 1 driver and a sweep of
+//! generated counter-shape drivers run through the full CEGAR loop
+//! under all four {slice, intervals} × {on, off} configurations,
+//! reporting prover calls per cell, wall-clock for the corner cells,
+//! slicer drop counts, and numeric-oracle hits.
+//!
+//! Exit status encodes the acceptance gates:
+//! * every cell of every program must agree on verdict and final
+//!   predicates, with the oracle leaving boolean programs byte-identical
+//!   for a fixed slicing arm;
+//! * every verdict must match its known ground truth (the generator's
+//!   constructive truth for counter drivers, the documented expected
+//!   verdict for Table 1);
+//! * the two passes together must remove at least 20% of the counter
+//!   family's prover calls;
+//! * no Table 1 driver may regress by more than 5% prover calls.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin slice_ab [-- --jobs N] [--smoke]
+//!     [--json <path>]
+//! ```
+//!
+//! `--smoke` restricts to one driver and one counter pair for CI.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let jobs = match bench::jobs_from_args() {
+        0 => 1,
+        j => j,
+    };
+    let smoke = bench::flag_in_args("--smoke");
+    let rows = bench::slice_rows(jobs, smoke);
+    print!(
+        "{}",
+        bench::render_slice(
+            &rows,
+            "Slicing + interval oracle A/B — {slice, intervals} x {on, off} (full loop)"
+        )
+    );
+    let counter: Vec<&bench::SliceRow> = rows.iter().filter(|r| r.group == "counter").collect();
+    let counter_base: u64 = counter.iter().map(|r| r.base_prover).sum();
+    let counter_opt: u64 = counter.iter().map(|r| r.opt_prover).sum();
+    let counter_reduction = if counter_base > 0 {
+        1.0 - counter_opt as f64 / counter_base as f64
+    } else {
+        0.0
+    };
+    println!(
+        "counter family: {counter_base} -> {counter_opt} prover calls ({:.1}% reduction)",
+        counter_reduction * 100.0
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::slice_rows(&rows));
+    }
+    let mut ok = true;
+    for r in &rows {
+        if !r.identical || !r.truth_ok {
+            eprintln!(
+                "slice_ab: FAIL — {} diverged across configs or missed ground truth",
+                r.program
+            );
+            ok = false;
+        }
+        // the passes must never make a Table 1 driver more than 5% worse
+        if r.group == "table1" && r.opt_prover as f64 > r.base_prover as f64 * 1.05 {
+            eprintln!(
+                "slice_ab: FAIL — {} regressed: {} -> {} prover calls",
+                r.program, r.base_prover, r.opt_prover
+            );
+            ok = false;
+        }
+    }
+    if counter_reduction < 0.20 {
+        eprintln!(
+            "slice_ab: FAIL — counter-family prover-call reduction {:.1}% is below the 20% gate",
+            counter_reduction * 100.0
+        );
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

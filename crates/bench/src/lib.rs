@@ -1125,10 +1125,328 @@ pub fn alias_rows(jobs: usize, smoke: bool) -> Vec<AliasRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Property-directed slicing + interval-oracle A/B
+// ---------------------------------------------------------------------------
+
+/// One program's {slice, intervals} A/B: the same full CEGAR run under
+/// all four on/off combinations, reporting prover calls per cell,
+/// wall-clock for the two corner cells, what the slicer removed, and
+/// how often the numeric oracle answered a cube query. The passes are
+/// transparent, so all four cells must agree on verdict and final
+/// predicates (`identical`), and where ground truth is known the
+/// verdict must match it (`truth_ok`).
+#[derive(Debug, Clone)]
+pub struct SliceRow {
+    /// Program name.
+    pub program: String,
+    /// Checked property.
+    pub config: String,
+    /// Workload group: `table1` (the paper's drivers) or `counter`
+    /// (generated arithmetic-guard drivers, the oracle's target).
+    pub group: &'static str,
+    /// Prover calls with both passes off (the pre-pass baseline).
+    pub base_prover: u64,
+    /// Prover calls with slicing only.
+    pub slice_prover: u64,
+    /// Prover calls with the interval oracle only.
+    pub intervals_prover: u64,
+    /// Prover calls with both passes on (the default configuration).
+    pub opt_prover: u64,
+    /// Wall-clock seconds, both passes off.
+    pub base_secs: f64,
+    /// Wall-clock seconds, both passes on.
+    pub opt_secs: f64,
+    /// Statements the slicer dropped (both-on run).
+    pub stmts_dropped: usize,
+    /// Statements before slicing.
+    pub stmts_total: usize,
+    /// Numeric-oracle answers (proved + disproved) across the both-on
+    /// run's iterations.
+    pub numeric_hits: u64,
+    /// Human-readable verdict (shared by all four cells when `identical`).
+    pub verdict: String,
+    /// Verdict matches ground truth (always checked for generated
+    /// counter drivers; for Table 1 drivers, the known expected verdict).
+    pub truth_ok: bool,
+    /// All four cells agreed on verdict and final predicates, and for a
+    /// fixed slicing arm the oracle left every boolean program
+    /// byte-identical.
+    pub identical: bool,
+}
+
+impl SliceRow {
+    /// Fraction of prover calls both passes together removed (negative
+    /// if they added calls — reported honestly either way).
+    pub fn prover_reduction(&self) -> f64 {
+        reduction(self.base_prover, self.opt_prover)
+    }
+}
+
+/// Renders the slice/interval A/B rows: one line per program with the
+/// four prover-call cells, then a wall-clock and slicer summary line.
+pub fn render_slice(rows: &[SliceRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<26} {:<8} {:>9} {:>9} {:>9} {:>9} {:>7}  truth identical\n",
+        "program", "config", "thm(off)", "thm(slc)", "thm(int)", "thm(both)", "Δthm"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:<8} {:>9} {:>9} {:>9} {:>9} {:>6.1}%  {:<5} {}\n",
+            r.program,
+            r.config,
+            r.base_prover,
+            r.slice_prover,
+            r.intervals_prover,
+            r.opt_prover,
+            r.prover_reduction() * 100.0,
+            if r.truth_ok { "yes" } else { "NO" },
+            if r.identical { "yes" } else { "NO" }
+        ));
+        out.push_str(&format!(
+            "{:<26} total: {:.2}s off vs {:.2}s on, sliced {}/{} stmts, \
+             {} oracle hits — {}\n",
+            "", r.base_secs, r.opt_secs, r.stmts_dropped, r.stmts_total, r.numeric_hits, r.verdict
+        ));
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn slice_slam_run(
+    source: &str,
+    spec: &Spec,
+    entry: &str,
+    seeds: Option<&str>,
+    slice: bool,
+    intervals: bool,
+    jobs: usize,
+    trace_runs: Option<u64>,
+) -> (slam::SlamRun, f64) {
+    let mut options = SlamOptions {
+        keep_bps: true,
+        slice,
+        c2bp: C2bpOptions {
+            jobs,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    options.c2bp.cubes.numeric_oracle = intervals;
+    if let Some(t) = trace_runs {
+        options.trace_runs = t;
+    }
+    let t0 = Instant::now();
+    let run = match seeds {
+        Some(s) => {
+            let seeds = parse_pred_file(s).expect("seed parses");
+            slam::verify_seeded(source, spec, entry, seeds, &options)
+        }
+        None => slam::verify(source, spec, entry, &options),
+    }
+    .expect("slam run completes");
+    (run, t0.elapsed().as_secs_f64())
+}
+
+/// Expected outcome for the truth check: `validated`, `error`, or no
+/// expectation (`truth_ok` then just records agreement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// The property must be validated.
+    Validated,
+    /// The seeded defect must be found.
+    Error,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn slice_row(
+    program: &str,
+    source: &str,
+    prop: &str,
+    entry: &str,
+    seeds: Option<&str>,
+    group: &'static str,
+    expect: Option<Expect>,
+    jobs: usize,
+    trace_runs: Option<u64>,
+) -> SliceRow {
+    let spec = spec_for(prop);
+    let cell = |slice, intervals| {
+        slice_slam_run(
+            source, &spec, entry, seeds, slice, intervals, jobs, trace_runs,
+        )
+    };
+    let (off_off, base_secs) = cell(false, false);
+    let (on_off, _) = cell(true, false);
+    let (off_on, _) = cell(false, true);
+    let (on_on, opt_secs) = cell(true, true);
+    let prover =
+        |run: &slam::SlamRun| -> u64 { run.per_iteration.iter().map(|it| it.prover_calls).sum() };
+    let numeric = |run: &slam::SlamRun| -> u64 {
+        run.per_iteration
+            .iter()
+            .map(|it| it.numeric_proved + it.numeric_disproved)
+            .sum()
+    };
+    let bps = |run: &slam::SlamRun| -> Vec<String> {
+        run.per_iteration
+            .iter()
+            .map(|it| it.bp_text.clone().expect("keep_bps was set"))
+            .collect()
+    };
+    let preds = |run: &slam::SlamRun| -> Vec<String> {
+        run.final_preds.iter().map(|p| format!("{p:?}")).collect()
+    };
+    let all = [&off_off, &on_off, &off_on, &on_on];
+    let identical = all
+        .iter()
+        .all(|r| format!("{:?}", r.verdict) == format!("{:?}", off_off.verdict))
+        && all.iter().all(|r| preds(r) == preds(&off_off))
+        // the oracle must never change an abstraction, only skip queries
+        && bps(&on_on) == bps(&on_off)
+        && bps(&off_on) == bps(&off_off);
+    let truth_ok = match expect {
+        Some(Expect::Validated) => matches!(on_on.verdict, SlamVerdict::Validated),
+        Some(Expect::Error) => matches!(on_on.verdict, SlamVerdict::ErrorFound { .. }),
+        None => true,
+    };
+    let (stmts_dropped, stmts_total) = on_on
+        .slice
+        .map(|s| (s.stmts_dropped, s.stmts_total))
+        .unwrap_or((0, 0));
+    SliceRow {
+        program: program.to_string(),
+        config: prop.to_string(),
+        group,
+        base_prover: prover(&off_off),
+        slice_prover: prover(&on_off),
+        intervals_prover: prover(&off_on),
+        opt_prover: prover(&on_on),
+        base_secs,
+        opt_secs,
+        stmts_dropped,
+        stmts_total,
+        numeric_hits: numeric(&on_on),
+        verdict: match &on_on.verdict {
+            SlamVerdict::Validated => format!("validated ({} iters)", on_on.iterations),
+            SlamVerdict::ErrorFound { .. } => format!("ERROR FOUND ({} iters)", on_on.iterations),
+            SlamVerdict::GaveUp { reason } => format!("gave up: {reason}"),
+        },
+        truth_ok,
+        identical,
+    }
+}
+
+/// The counter-shape generator parameters the A/B measures (the same
+/// shape `corpus-emit` checks in at seed 0).
+pub fn counter_params() -> corpusgen::GenParams {
+    corpusgen::GenParams {
+        statements: 5,
+        depth: 2,
+        pressure: 2,
+        pointers: false,
+        loops: true,
+        counter: true,
+    }
+}
+
+/// Slicing/interval A/B rows: the Table 1 drivers (plus the buggy
+/// driver and the seeded `retry` run) as the regression guard, and
+/// generated counter-shape drivers — bounded ascending loops with
+/// `nK > 0` arithmetic guards — as the workload the interval oracle
+/// targets. Counter verdicts are checked against the generator's
+/// constructive ground truth. `smoke` restricts to one driver and one
+/// counter pair for CI.
+pub fn slice_rows(jobs: usize, smoke: bool) -> Vec<SliceRow> {
+    let mut rows = Vec::new();
+    let counter = |rows: &mut Vec<SliceRow>, family: &'static str, seed: u64, defect: bool| {
+        let d = corpusgen::generate(family, &counter_params(), seed, defect);
+        let expect = match d.truth {
+            corpusgen::GroundTruth::Safe => Expect::Validated,
+            corpusgen::GroundTruth::Defect { .. } => Expect::Error,
+        };
+        rows.push(slice_row(
+            &d.name,
+            &d.source,
+            family,
+            d.entry,
+            None,
+            "counter",
+            Some(expect),
+            jobs,
+            // generated drivers end in nondeterministic loop tails; hand
+            // over to the low-weight trace fallback quickly
+            Some(2_000),
+        ));
+    };
+    if smoke {
+        let source = read(corpus_dir().join("drivers").join("openclos.c"));
+        rows.push(slice_row(
+            "openclos",
+            &source,
+            "lock",
+            "DispatchOpenClose",
+            None,
+            "table1",
+            Some(Expect::Validated),
+            jobs,
+            None,
+        ));
+        counter(&mut rows, "lock", 0, false);
+        counter(&mut rows, "lock", 0, true);
+        return rows;
+    }
+    let mut set: Vec<(&str, &str, &str, Expect)> = DRIVERS
+        .iter()
+        .map(|&(stem, entry, prop)| (stem, entry, prop, Expect::Validated))
+        .collect();
+    set.push((
+        BUGGY_DRIVER.0,
+        BUGGY_DRIVER.1,
+        BUGGY_DRIVER.2,
+        Expect::Error,
+    ));
+    for (stem, entry, prop, expect) in set {
+        let source = read(corpus_dir().join("drivers").join(format!("{stem}.c")));
+        rows.push(slice_row(
+            stem,
+            &source,
+            prop,
+            entry,
+            None,
+            "table1",
+            Some(expect),
+            jobs,
+            None,
+        ));
+    }
+    let source = read(corpus_dir().join("drivers").join("retry.c"));
+    rows.push(slice_row(
+        "retry",
+        &source,
+        "lock",
+        "DispatchRetry",
+        Some("DispatchRetry attempts > 0"),
+        "table1",
+        Some(Expect::Validated),
+        jobs,
+        None,
+    ));
+    for family in corpusgen::FAMILIES {
+        for seed in [0u64, 1] {
+            for defect in [false, true] {
+                counter(&mut rows, family, seed, defect);
+            }
+        }
+    }
+    rows
+}
+
 /// Minimal JSON emission for the bench binaries' `--json <path>` output
 /// (hand-rolled: the workspace takes no serialization dependency).
 pub mod json {
-    use super::{AliasRow, CegarRow, IncRow, PruneRow, Row};
+    use super::{AliasRow, CegarRow, IncRow, PruneRow, Row, SliceRow};
 
     pub(crate) fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
@@ -1255,6 +1573,36 @@ pub mod json {
                 r.unify_secs,
                 r.inclusion_secs,
                 r.subset_ok,
+                r.identical
+            )
+        }))
+    }
+
+    /// Slicing/interval A/B rows as a JSON array of objects.
+    pub fn slice_rows(rows: &[SliceRow]) -> String {
+        array(rows.iter().map(|r| {
+            format!(
+                "  {{\"program\": \"{}\", \"config\": \"{}\", \"group\": \"{}\", \
+                 \"prover_calls\": {{\"base\": {}, \"slice\": {}, \"intervals\": {}, \
+                 \"both\": {}, \"reduction\": {:.6}}}, \"base_secs\": {:.6}, \
+                 \"opt_secs\": {:.6}, \"stmts_dropped\": {}, \"stmts_total\": {}, \
+                 \"numeric_hits\": {}, \"verdict\": \"{}\", \"truth_ok\": {}, \
+                 \"identical\": {}}}",
+                esc(&r.program),
+                esc(&r.config),
+                esc(r.group),
+                r.base_prover,
+                r.slice_prover,
+                r.intervals_prover,
+                r.opt_prover,
+                r.prover_reduction(),
+                r.base_secs,
+                r.opt_secs,
+                r.stmts_dropped,
+                r.stmts_total,
+                r.numeric_hits,
+                esc(&r.verdict),
+                r.truth_ok,
                 r.identical
             )
         }))

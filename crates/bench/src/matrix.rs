@@ -272,6 +272,22 @@ pub fn render_markdown(report: &MatrixReport, title: &str) -> String {
             saving * 100.0
         ));
     }
+    out.push_str("\n## Per-cell measurements\n\n");
+    out.push_str("| driver | reuse | jobs | verdict | ok | iters | prover calls | seconds |\n");
+    out.push_str("|--------|-------|------|---------|----|-------|--------------|--------|\n");
+    for c in &report.cells {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:.3} |\n",
+            c.driver,
+            if c.reuse { "on" } else { "off" },
+            c.jobs,
+            c.verdict,
+            if c.ok { "yes" } else { "NO" },
+            c.iterations,
+            c.prover_calls,
+            c.seconds
+        ));
+    }
     out
 }
 
@@ -332,6 +348,15 @@ mod tests {
         assert_eq!(report.mismatches, 0, "{:#?}", report.cells);
         let md = render_markdown(&report, "tiny");
         assert!(md.contains("| lock |"));
+        // the per-cell table carries wall-clock and prover-call columns
+        assert!(md.contains("## Per-cell measurements"));
+        for c in &report.cells {
+            assert!(
+                md.contains(&format!("| {} | on | 1 |", c.driver)),
+                "missing per-cell row for {}",
+                c.driver
+            );
+        }
         let json = render_json(&report);
         assert!(json.contains("\"mismatches\": 0"));
     }

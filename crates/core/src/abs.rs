@@ -510,6 +510,8 @@ fn abstract_with(
         cube_stats.cubes_tested += r.cube_stats.cubes_tested;
         cube_stats.cubes_pruned += r.cube_stats.cubes_pruned;
         cube_stats.fast_path_hits += r.cube_stats.fast_path_hits;
+        cube_stats.numeric_proved += r.cube_stats.numeric_proved;
+        cube_stats.numeric_disproved += r.cube_stats.numeric_disproved;
         session_stats.absorb(&r.session_stats);
         pruned_updates += r.pruned;
         reused_units += usize::from(r.reused);
@@ -1329,6 +1331,8 @@ impl<'a> LeafSolver<'a> {
         self.cube_stats.cubes_tested += cs.stats.cubes_tested;
         self.cube_stats.cubes_pruned += cs.stats.cubes_pruned;
         self.cube_stats.fast_path_hits += cs.stats.fast_path_hits;
+        self.cube_stats.numeric_proved += cs.stats.numeric_proved;
+        self.cube_stats.numeric_disproved += cs.stats.numeric_disproved;
         self.session_stats.absorb(&cs.session_stats);
         out
     }

@@ -23,6 +23,7 @@
 //! distribution of `F` over `&&`/`||`.
 
 use crate::preds::Pred;
+use analysis::intervals::{decide_implication, NumericAnswer};
 use bp::BExpr;
 use cparse::ast::{BinOp, Expr, Program, Type, UnOp};
 use cparse::typeck::TypeEnv;
@@ -46,6 +47,12 @@ pub struct CubeOptions {
     /// counting and results are identical either way; only wall time
     /// changes.
     pub incremental: bool,
+    /// Consult the interval/constant numeric oracle
+    /// ([`analysis::intervals::decide_implication`]) before each prover
+    /// query. Oracle answers are exact (cross-checked against the prover
+    /// in debug builds), so results are identical either way; only the
+    /// prover-call count changes.
+    pub numeric_oracle: bool,
 }
 
 impl Default for CubeOptions {
@@ -56,6 +63,7 @@ impl Default for CubeOptions {
             syntactic_fast_paths: true,
             atomic_decomposition: false,
             incremental: true,
+            numeric_oracle: true,
         }
     }
 }
@@ -69,6 +77,10 @@ pub struct CubeStats {
     pub cubes_pruned: u64,
     /// Queries answered by the syntactic fast path.
     pub fast_path_hits: u64,
+    /// Implications the numeric oracle settled as valid.
+    pub numeric_proved: u64,
+    /// Implications the numeric oracle settled as invalid.
+    pub numeric_disproved: u64,
 }
 
 /// One in-scope boolean variable: its BP name and its predicate.
@@ -137,6 +149,30 @@ impl<'a> CubeSearch<'a> {
         t.formula(e).ok()
     }
 
+    /// Asks the numeric oracle whether `⋀ hyps ⇒ goal`. `Some(true)` /
+    /// `Some(false)` replace a prover call; `None` falls through to the
+    /// prover. The oracle only fires on pure integer-scalar queries,
+    /// where interval semantics coincides with the prover's linear
+    /// arithmetic, so a definite answer is always the prover's answer
+    /// (enforced by a debug-build cross-check at every call site).
+    fn numeric_decide(&mut self, hyps: &[(&Expr, bool)], goal: &Expr) -> Option<bool> {
+        if !self.options.numeric_oracle {
+            return None;
+        }
+        let lookup = self.lookup;
+        let is_int = |v: &str| matches!(lookup(v), Some(Type::Int));
+        match decide_implication(hyps, goal, &is_int)? {
+            NumericAnswer::Proved => {
+                self.stats.numeric_proved += 1;
+                Some(true)
+            }
+            NumericAnswer::Disproved => {
+                self.stats.numeric_disproved += 1;
+                Some(false)
+            }
+        }
+    }
+
     /// `F_V(φ)`: the largest disjunction of cubes over `vars` implying
     /// `φ`, as a boolean-program expression.
     pub fn largest_implying_disjunction(&mut self, vars: &[ScopeVar], phi: &Expr) -> BExpr {
@@ -171,8 +207,21 @@ impl<'a> CubeSearch<'a> {
             // untranslatable goal: nothing can be proven to imply it
             return BExpr::Const(false);
         };
-        // trivial validity/unsatisfiability of φ itself
-        if self.prover.implies(&Formula::True, &goal) {
+        // trivial validity/unsatisfiability of φ itself; the numeric
+        // oracle short-circuits the prover when intervals already decide
+        // validity (cross-checked against the prover in debug builds)
+        let trivially_valid = match self.numeric_decide(&[], phi) {
+            Some(ans) => {
+                debug_assert_eq!(
+                    ans,
+                    self.prover.implies(&Formula::True, &goal),
+                    "numeric oracle diverged from prover on validity of {phi:?}"
+                );
+                ans
+            }
+            None => self.prover.implies(&Formula::True, &goal),
+        };
+        if trivially_valid {
             return BExpr::Const(true);
         }
         let lits: Vec<(usize, Formula)> = relevant
@@ -191,6 +240,7 @@ impl<'a> CubeSearch<'a> {
         let mut implicants: Vec<Vec<(usize, bool)>> = Vec::new();
         let mut blocked: Vec<Vec<(usize, bool)>> = Vec::new();
         let neg_goal = goal.clone().negate();
+        let neg_phi = phi.negated();
         // when computing F(false) for `enforce`, the "cube implies ¬φ"
         // pruning would block everything (every satisfiable cube implies
         // true); the unsatisfiable cubes are exactly what we are looking
@@ -241,42 +291,88 @@ impl<'a> CubeSearch<'a> {
                         .iter()
                         .map(|&(vi, pos)| if pos { &lits[vi].1 } else { &lits_neg[vi] })
                         .collect();
-                    let implies_goal = match &mut sessions {
-                        Some((pos_sess, pos_ids, _)) => {
-                            let ids: Vec<_> = cube
-                                .iter()
-                                .map(|&(vi, pos)| if pos { pos_ids[vi].0 } else { pos_ids[vi].1 })
-                                .collect();
-                            self.prover.implication_query(&hyp_refs, &goal, |store| {
-                                pos_sess.solve_assuming(store, &ids)
-                            }) == prover::SatResult::Unsat
+                    let hyp_exprs: Vec<(&Expr, bool)> = cube
+                        .iter()
+                        .map(|&(vi, pos)| (&relevant[lits[vi].0].expr, pos))
+                        .collect();
+                    let numeric = self.numeric_decide(&hyp_exprs, phi);
+                    // in debug builds an oracle hit still runs the prover
+                    // path so the answers can be cross-checked; release
+                    // builds skip the prover call entirely
+                    let prover_implies =
+                        (numeric.is_none() || cfg!(debug_assertions)).then(
+                            || match &mut sessions {
+                                Some((pos_sess, pos_ids, _)) => {
+                                    let ids: Vec<_> = cube
+                                        .iter()
+                                        .map(
+                                            |&(vi, pos)| {
+                                                if pos {
+                                                    pos_ids[vi].0
+                                                } else {
+                                                    pos_ids[vi].1
+                                                }
+                                            },
+                                        )
+                                        .collect();
+                                    self.prover.implication_query(&hyp_refs, &goal, |store| {
+                                        pos_sess.solve_assuming(store, &ids)
+                                    }) == prover::SatResult::Unsat
+                                }
+                                None => self.prover.implies_refs(&hyp_refs, &goal),
+                            },
+                        );
+                    let implies_goal = match numeric {
+                        Some(ans) => {
+                            if let Some(actual) = prover_implies {
+                                assert_eq!(
+                                    ans, actual,
+                                    "numeric oracle diverged from prover on cube ⇒ {phi:?} \
+                                     (hyps: {hyp_exprs:?})"
+                                );
+                            }
+                            ans
                         }
-                        None => self.prover.implies_refs(&hyp_refs, &goal),
+                        None => prover_implies.expect("prover ran when the oracle abstained"),
                     };
                     if implies_goal {
                         implicants.push(cube);
                     } else if track_blocked {
-                        let blocks = match &mut sessions {
-                            Some((_, _, Some((neg_sess, neg_ids)))) => {
-                                let ids: Vec<_> = cube
-                                    .iter()
-                                    .map(
-                                        |&(vi, pos)| {
-                                            if pos {
-                                                neg_ids[vi].0
-                                            } else {
-                                                neg_ids[vi].1
-                                            }
-                                        },
-                                    )
-                                    .collect();
-                                self.prover
-                                    .implication_query(&hyp_refs, &neg_goal, |store| {
-                                        neg_sess.solve_assuming(store, &ids)
-                                    })
-                                    == prover::SatResult::Unsat
+                        let numeric_blocks = self.numeric_decide(&hyp_exprs, &neg_phi);
+                        let prover_blocks = (numeric_blocks.is_none() || cfg!(debug_assertions))
+                            .then(|| match &mut sessions {
+                                Some((_, _, Some((neg_sess, neg_ids)))) => {
+                                    let ids: Vec<_> = cube
+                                        .iter()
+                                        .map(
+                                            |&(vi, pos)| {
+                                                if pos {
+                                                    neg_ids[vi].0
+                                                } else {
+                                                    neg_ids[vi].1
+                                                }
+                                            },
+                                        )
+                                        .collect();
+                                    self.prover
+                                        .implication_query(&hyp_refs, &neg_goal, |store| {
+                                            neg_sess.solve_assuming(store, &ids)
+                                        })
+                                        == prover::SatResult::Unsat
+                                }
+                                _ => self.prover.implies_refs(&hyp_refs, &neg_goal),
+                            });
+                        let blocks = match numeric_blocks {
+                            Some(ans) => {
+                                if let Some(actual) = prover_blocks {
+                                    assert_eq!(
+                                        ans, actual,
+                                        "numeric oracle diverged from prover on cube ⇒ ¬{phi:?}"
+                                    );
+                                }
+                                ans
                             }
-                            _ => self.prover.implies_refs(&hyp_refs, &neg_goal),
+                            None => prover_blocks.expect("prover ran when the oracle abstained"),
                         };
                         if blocks {
                             blocked.push(cube);

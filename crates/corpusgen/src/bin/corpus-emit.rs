@@ -7,18 +7,33 @@
 //! ```
 //!
 //! The sample is a fixed slice of the matrix workload: every spec
-//! family at two seeds, safe and defect variants. `tests/corpus_sanity.rs`
+//! family at two seeds, safe and defect variants, plus a counter-shape
+//! variant per family (bounded ascending loops and arithmetic bracket
+//! guards — the interval-oracle workload). `tests/corpus_sanity.rs`
 //! regenerates each file from its header comment and byte-compares, so
 //! editing these files by hand (or changing the generator) without
 //! re-running this bin fails CI.
 
-use corpusgen::{generate, params_for_index, GroundTruth, FAMILIES};
+use corpusgen::{generate, params_for_index, GenParams, GroundTruth, FAMILIES};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// The checked-in seeds: two per family, picked to exercise different
 /// parameter ladder rungs (sizes, depths, pointer usage).
 pub const SAMPLE_SEEDS: [u64; 2] = [0, 7];
+
+/// The counter-shape sample params (mirrored by the `slice_ab` bench
+/// and `counter_params()` in the corpusgen unit tests).
+fn counter_params() -> GenParams {
+    GenParams {
+        statements: 5,
+        depth: 2,
+        pressure: 2,
+        pointers: false,
+        loops: true,
+        counter: true,
+    }
+}
 
 fn main() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -32,34 +47,50 @@ fn main() {
         "# Generated corpus sample\n\n\
          A fixed slice of the matrix workload (see `crates/corpusgen` and\n\
          `bench --bin matrix`): every spec family at two seeds, safe and\n\
-         seeded-defect variants. Regenerate with:\n\n\
+         seeded-defect variants, plus one counter-shape pair per family\n\
+         (bounded ascending loops and `nK > 0` arithmetic bracket guards,\n\
+         the workload the interval numeric oracle targets). Regenerate\n\
+         with:\n\n\
          ```sh\n\
          cargo run -p corpusgen --bin corpus-emit\n\
          ```\n\n\
          `tests/corpus_sanity.rs` regenerates each file from its header\n\
          comment and byte-compares, so these files must not be edited by\n\
          hand.\n\n\
-         | file | family | seed | ground truth |\n\
-         |------|--------|------|--------------|\n",
+         | file | family | shape | seed | ground truth |\n\
+         |------|--------|-------|------|--------------|\n",
     );
     let mut count = 0usize;
+    let mut emit = |manifest: &mut String, family: &str, params: &GenParams, seed: u64| {
+        let shape = if params.counter {
+            "counter"
+        } else {
+            "straight"
+        };
+        for want_defect in [false, true] {
+            let d = generate(family, params, seed, want_defect);
+            let file = format!("{}.c", d.name);
+            let truth = match d.truth {
+                GroundTruth::Safe => "safe".to_string(),
+                GroundTruth::Defect { kind, line } => {
+                    format!("{} at line {line}", kind.as_str())
+                }
+            };
+            writeln!(
+                manifest,
+                "| `{file}` | {family} | {shape} | {seed} | {truth} |"
+            )
+            .unwrap();
+            std::fs::write(dir.join(&file), &d.source).expect("write driver");
+            count += 1;
+        }
+    };
     for &family in FAMILIES {
         for seed in SAMPLE_SEEDS {
             let params = params_for_index(seed as usize);
-            for want_defect in [false, true] {
-                let d = generate(family, &params, seed, want_defect);
-                let file = format!("{}.c", d.name);
-                let truth = match d.truth {
-                    GroundTruth::Safe => "safe".to_string(),
-                    GroundTruth::Defect { kind, line } => {
-                        format!("{} at line {line}", kind.as_str())
-                    }
-                };
-                writeln!(manifest, "| `{file}` | {family} | {seed} | {truth} |").unwrap();
-                std::fs::write(dir.join(&file), &d.source).expect("write driver");
-                count += 1;
-            }
+            emit(&mut manifest, family, &params, seed);
         }
+        emit(&mut manifest, family, &counter_params(), 0);
     }
     std::fs::write(dir.join("MANIFEST.md"), &manifest).expect("write manifest");
     eprintln!(

@@ -23,7 +23,9 @@
 //! Shape is controlled by [`GenParams`]: statement budget, nesting
 //! depth, predicate pressure (flag-guarded protocol brackets, each of
 //! which forces the CEGAR loop to discover a `bK > 0` predicate),
-//! pointer noise, and loops.
+//! pointer noise, loops, and the `counter` shape (bounded ascending
+//! loops and arithmetic bracket guards — the workload the interval
+//! numeric oracle is measured on).
 //!
 //! One deliberate restriction: the `refcount` family (the only one whose
 //! spec state is a counter, not a bit) emits exactly one
@@ -57,6 +59,15 @@ pub struct GenParams {
     pub pointers: bool,
     /// Emit counted loops.
     pub loops: bool,
+    /// Counter shape: guarded brackets test arithmetic over fresh count
+    /// parameters (`nK > 0`) instead of flags, and loops run the bounded
+    /// ascending form `iK = 0; while (iK < nK) { …; iK = iK + 1; }` with
+    /// spec events under (invariantly true) arithmetic guards on the
+    /// live counter. Every guard still tests a fresh parameter or a
+    /// loop-invariant fact, so ground truth stays exact; the shape
+    /// exists to give the interval/constant numeric oracle a corpus
+    /// family whose cube queries are pure integer arithmetic.
+    pub counter: bool,
 }
 
 impl Default for GenParams {
@@ -67,6 +78,7 @@ impl Default for GenParams {
             pressure: 1,
             pointers: false,
             loops: true,
+            counter: false,
         }
     }
 }
@@ -81,6 +93,7 @@ pub fn params_for_index(i: usize) -> GenParams {
         pressure: i % 3,
         pointers: i % 2 == 1,
         loops: i % 4 != 3,
+        counter: false,
     }
 }
 
@@ -141,7 +154,7 @@ pub enum GroundTruth {
 /// One generated driver.
 #[derive(Debug, Clone)]
 pub struct Driver {
-    /// Stable name: `<family>_s<seed>_<safe|defect-slug>`.
+    /// Stable name: `<family>[_counter]_s<seed>_<safe|defect-slug>`.
     pub name: String,
     /// Spec-registry family this driver exercises.
     pub family: &'static str,
@@ -361,6 +374,21 @@ impl Emitter {
         f
     }
 
+    /// The guard condition for a correlated bracket: a fresh flag test
+    /// (`bK > 0`), or in counter mode an arithmetic test of a fresh
+    /// count parameter (`nK > 0`) — same feasibility (the parameter is
+    /// unconstrained), but the predicate the refinement loop must
+    /// discover is an integer comparison the numeric oracle can decide.
+    fn fresh_guard(&mut self) -> String {
+        if self.params.counter {
+            let n = format!("n{}", self.count_params);
+            self.count_params += 1;
+            format!("{n} > 0")
+        } else {
+            format!("{} > 0", self.fresh_flag())
+        }
+    }
+
     /// A protocol-neutral statement. Never branches on computed values.
     fn work_stmt(&mut self, indent: usize, record: bool) {
         if record {
@@ -382,17 +410,18 @@ impl Emitter {
         }
     }
 
-    /// Work, possibly wrapped in a state-preserving `if (bK > 0)` nest.
+    /// Work, possibly wrapped in a state-preserving guard nest
+    /// (`if (bK > 0)`, or `if (nK > 0)` in counter mode).
     fn work_block(&mut self, indent: usize, depth: usize, record: bool) {
         if depth == 0 || self.rng.ratio(2, 3) {
             self.work_stmt(indent, record);
             return;
         }
-        let f = self.fresh_flag();
+        let guard = self.fresh_guard();
         if record {
             self.point(indent);
         }
-        self.push(indent, &format!("if ({f} > 0) {{"));
+        self.push(indent, &format!("if ({guard}) {{"));
         let n = 1 + self.rng.index(2);
         for _ in 0..n {
             self.work_block(indent + 1, depth - 1, record);
@@ -445,9 +474,9 @@ impl Emitter {
     fn guarded_bracket(&mut self, indent: usize) {
         self.brackets += 1;
         self.guarded += 1;
-        let f = self.fresh_flag();
+        let guard = self.fresh_guard();
         self.point(indent);
-        self.push(indent, &format!("if ({f} > 0) {{"));
+        self.push(indent, &format!("if ({guard}) {{"));
         self.push(indent + 1, &format!("{}();", self.proto.open));
         self.state = St::One;
         self.bracket_interior(indent + 1, true);
@@ -459,7 +488,7 @@ impl Emitter {
         }
         match self.proto.close {
             Some(close) => {
-                self.push(indent, &format!("if ({f} > 0) {{"));
+                self.push(indent, &format!("if ({guard}) {{"));
                 // paths entering the guard hold the bit
                 self.state = St::One;
                 self.point(indent + 1);
@@ -470,7 +499,7 @@ impl Emitter {
             None => {
                 // one-shot protocol: optionally use under the same flag
                 if !self.proto.uses.is_empty() && self.rng.gen_bool() {
-                    self.push(indent, &format!("if ({f} > 0) {{"));
+                    self.push(indent, &format!("if ({guard}) {{"));
                     let u = *self.rng.pick(self.proto.uses);
                     self.push(indent + 1, &format!("{u}();"));
                     self.push(indent, "}");
@@ -482,24 +511,43 @@ impl Emitter {
 
     /// `iK = nK; while (iK > 0) { ...; iK = iK - 1; }` — body is
     /// state-preserving (work, or a full bracket for multi-bracket
-    /// families).
+    /// families). In counter mode the loop runs the bounded ascending
+    /// form `iK = 0; while (iK < nK) { ...; iK = iK + 1; }` and any
+    /// bracket sits under an arithmetic guard on the live counter that
+    /// is invariantly true inside the body (`iK >= 0`): the bracket is
+    /// balanced, so the tracked state is preserved whether or not the
+    /// abstraction can see through the guard.
     fn loop_item(&mut self, indent: usize) {
         let n = format!("n{}", self.count_params);
         self.count_params += 1;
         let i = format!("i{}", self.loop_vars);
         self.loop_vars += 1;
         let record = self.state != St::Cond;
-        self.push(indent, &format!("{i} = {n};"));
-        self.push(indent, &format!("while ({i} > 0) {{"));
-        self.work_block(indent + 1, self.params.depth.saturating_sub(1), record);
-        if self.state == St::Zero
-            && !self.proto.single_bracket
-            && self.proto.close.is_some()
-            && self.rng.gen_bool()
-        {
-            self.plain_bracket(indent + 1, record);
+        let wants_bracket = |e: &mut Emitter| {
+            e.state == St::Zero
+                && !e.proto.single_bracket
+                && e.proto.close.is_some()
+                && e.rng.gen_bool()
+        };
+        if self.params.counter {
+            self.push(indent, &format!("{i} = 0;"));
+            self.push(indent, &format!("while ({i} < {n}) {{"));
+            self.work_block(indent + 1, self.params.depth.saturating_sub(1), record);
+            if wants_bracket(self) {
+                self.push(indent + 1, &format!("if ({i} >= 0) {{"));
+                self.plain_bracket(indent + 2, record);
+                self.push(indent + 1, "}");
+            }
+            self.push(indent + 1, &format!("{i} = {i} + 1;"));
+        } else {
+            self.push(indent, &format!("{i} = {n};"));
+            self.push(indent, &format!("while ({i} > 0) {{"));
+            self.work_block(indent + 1, self.params.depth.saturating_sub(1), record);
+            if wants_bracket(self) {
+                self.plain_bracket(indent + 1, record);
+            }
+            self.push(indent + 1, &format!("{i} = {i} - 1;"));
         }
-        self.push(indent + 1, &format!("{i} = {i} - 1;"));
         self.push(indent, "}");
     }
 
@@ -625,13 +673,19 @@ pub fn generate(family: &str, params: &GenParams, seed: u64, want_defect: bool) 
     events.extend(proto.uses);
 
     let suffix = kind.map_or("safe", |k| k.as_str());
-    let name = format!("{family}_s{seed}_{suffix}");
+    let shape = if params.counter { "_counter" } else { "" };
+    let name = format!("{family}{shape}_s{seed}_{suffix}");
 
     let mut src = String::new();
     src.push_str(&format!(
         "// corpusgen: family={family} seed={seed} statements={} depth={} pressure={} \
-         pointers={} loops={} truth={suffix}\n",
-        params.statements, params.depth, params.pressure, params.pointers, params.loops
+         pointers={} loops={} counter={} truth={suffix}\n",
+        params.statements,
+        params.depth,
+        params.pressure,
+        params.pointers,
+        params.loops,
+        params.counter
     ));
     for ev in &events {
         src.push_str(&format!("void {ev}(void) {{ ; }}\n"));
@@ -719,6 +773,7 @@ mod tests {
                     pressure: rng.gen_range(0, 3) as usize,
                     pointers: rng.gen_bool(),
                     loops: rng.gen_bool(),
+                    counter: rng.gen_bool(),
                 };
                 let family = *rng.pick(FAMILIES);
                 let seed = rng.next_u64();
@@ -810,6 +865,60 @@ mod tests {
                 .filter(|l| l.trim() == "ObReferenceObject();")
                 .count();
             assert_eq!(refs, 1, "seed {seed}:\n{}", d.source);
+        }
+    }
+
+    /// The counter-shape params used by the checked-in corpus sample
+    /// and the `slice_ab` bench.
+    fn counter_params() -> GenParams {
+        GenParams {
+            statements: 5,
+            depth: 2,
+            pressure: 2,
+            pointers: false,
+            loops: true,
+            counter: true,
+        }
+    }
+
+    #[test]
+    fn counter_shape_emits_ascending_loops_and_arithmetic_guards() {
+        let mut saw_loop = false;
+        let mut saw_guard = false;
+        for seed in 0..20u64 {
+            let d = generate("lock", &counter_params(), seed, false);
+            assert!(d.name.starts_with("lock_counter_s"), "{}", d.name);
+            assert!(
+                !d.source.contains("int b"),
+                "counter shape must not fall back to flag guards:\n{}",
+                d.source
+            );
+            saw_loop |= d.source.contains("while (i0 < n");
+            saw_guard |= d.source.contains("if (n0 > 0)");
+            // descending loops belong to the straight shape only
+            for line in d.source.lines() {
+                assert!(!line.trim_start().starts_with("i0 = n"), "{}", d.source);
+            }
+        }
+        assert!(saw_loop, "no ascending bounded loop in 20 seeds");
+        assert!(saw_guard, "no arithmetic bracket guard in 20 seeds");
+    }
+
+    #[test]
+    fn counter_shape_is_deterministic_and_splices_defects() {
+        for &family in FAMILIES {
+            let p = counter_params();
+            let a = generate(family, &p, 3, true);
+            let b = generate(family, &p, 3, true);
+            assert_eq!(a.source, b.source, "{family}");
+            let GroundTruth::Defect { kind, line } = a.truth else {
+                panic!("{family}: expected a defect");
+            };
+            let text = a.source.lines().nth(line - 1).unwrap();
+            assert!(
+                text.contains(&format!("/* DEFECT: {} */", kind.as_str())),
+                "{family}: line {line} is `{text}`"
+            );
         }
     }
 

@@ -31,6 +31,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod simplify;
+pub mod slice;
 pub mod typeck;
 
 pub use ast::{Expr, Function, Program, Stmt, StmtId, Type};

@@ -1,0 +1,106 @@
+//! Applying a computed program slice to the simplified IR.
+//!
+//! The slicing *analysis* lives in the `analysis` crate (it needs the
+//! call graph, MOD/REF summaries, and the alias oracle); this module is
+//! the mechanical half: given the statements and functions the analysis
+//! decided to drop, produce the sliced program. Dropped statements are
+//! replaced by [`Stmt::Skip`] rather than removed so the surrounding
+//! `Seq`/`If`/`While` structure — and every surviving [`StmtId`] — is
+//! untouched, which keeps Newton's trace-to-statement mapping valid.
+
+use crate::ast::{Program, Stmt, StmtId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Produces the sliced program: functions named in `drop_funcs` are
+/// removed entirely, and within the survivors every `Assign`/`Call`
+/// whose id appears in `drop_stmts` becomes `skip`.
+///
+/// Ids in `drop_stmts` that name non-assignment statements are ignored
+/// — only statement kinds with no control-flow or observation role are
+/// ever erased.
+pub fn apply_slice(
+    program: &Program,
+    drop_stmts: &BTreeMap<String, BTreeSet<StmtId>>,
+    drop_funcs: &BTreeSet<String>,
+) -> Program {
+    let mut out = program.clone();
+    out.functions.retain(|f| !drop_funcs.contains(&f.name));
+    for f in &mut out.functions {
+        if let Some(ids) = drop_stmts.get(&f.name) {
+            if !ids.is_empty() {
+                erase(&mut f.body, ids);
+            }
+        }
+    }
+    out
+}
+
+fn erase(s: &mut Stmt, ids: &BTreeSet<StmtId>) {
+    match s {
+        Stmt::Assign { id, .. } | Stmt::Call { id, .. } if ids.contains(id) => *s = Stmt::Skip,
+        Stmt::Seq(ss) => {
+            for child in ss {
+                erase(child, ids);
+            }
+        }
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            erase(then_branch, ids);
+            erase(else_branch, ids);
+        }
+        Stmt::While { body, .. } => erase(body, ids),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_simplify;
+
+    #[test]
+    fn erases_listed_statements_and_functions() {
+        let program = parse_and_simplify(
+            "int g;\n\
+             void helper(void) { g = 2; }\n\
+             void main(void) { g = 0; g = 1; helper(); }\n",
+        )
+        .expect("parse");
+        // collect main's statement ids in order
+        let mut ids = Vec::new();
+        program.function("main").unwrap().body.walk(&mut |s| {
+            if let Some(id) = s.id() {
+                ids.push(id);
+            }
+        });
+        let mut drop_stmts = BTreeMap::new();
+        drop_stmts.insert(
+            "main".to_string(),
+            [ids[1], ids[2]].into_iter().collect::<BTreeSet<_>>(),
+        );
+        let drop_funcs: BTreeSet<String> = ["helper".to_string()].into_iter().collect();
+        let sliced = apply_slice(&program, &drop_stmts, &drop_funcs);
+        assert!(sliced.function("helper").is_none());
+        let mut kept = Vec::new();
+        sliced.function("main").unwrap().body.walk(&mut |s| {
+            if let Some(id) = s.id() {
+                kept.push(id);
+            }
+        });
+        assert!(kept.contains(&ids[0]), "first assignment survives");
+        assert!(
+            !kept.contains(&ids[1]) && !kept.contains(&ids[2]),
+            "listed ids erased"
+        );
+    }
+
+    #[test]
+    fn empty_slice_is_identity() {
+        let program = parse_and_simplify("void main(void) { int x; x = 1; }").expect("parse");
+        let sliced = apply_slice(&program, &BTreeMap::new(), &BTreeSet::new());
+        assert_eq!(sliced, program);
+    }
+}

@@ -247,12 +247,14 @@ impl LaSolver {
 
     /// True if the constraints force `a = b` (rational entailment, which
     /// implies integer entailment). Used for Nelson–Oppen equality
-    /// propagation into the congruence closure.
-    pub fn entails_eq(&self, a: TermId, b: TermId) -> bool {
+    /// propagation into the congruence closure. Both sides are
+    /// linearized, so numerals and arithmetic terms contribute their
+    /// value rather than acting as opaque fresh variables (e.g.
+    /// `x <= 0 ∧ x >= 0` entails `x = 0`).
+    pub fn entails_eq(&self, store: &TermStore, a: TermId, b: TermId) -> bool {
         // a = b entailed iff adding a < b is unsat and adding b < a is unsat
         // over ints: a <= b - 1, i.e. a - b + 1 <= 0
-        let mut diff = LinExpr::var(a);
-        diff = diff.add_scaled(&LinExpr::var(b), -1);
+        let diff = linearize(store, a).add_scaled(&linearize(store, b), -1);
         for dir in [1i128, -1] {
             let mut probe = self.clone();
             let mut e = LinExpr::constant(1).add_scaled(&diff, dir);
@@ -423,10 +425,10 @@ mod tests {
         let mut la = LaSolver::new();
         la.assert_le0(le(&s, x, y, false));
         la.assert_le0(le(&s, y, x, false));
-        assert!(la.entails_eq(x, y));
+        assert!(la.entails_eq(&s, x, y));
         let mut la2 = LaSolver::new();
         la2.assert_le0(le(&s, x, y, false));
-        assert!(!la2.entails_eq(x, y));
+        assert!(!la2.entails_eq(&s, x, y));
     }
 
     #[test]
@@ -474,9 +476,9 @@ mod tests {
         assert_eq!(la.check(), LaResult::Unsat);
         la.pop_scope();
         assert_eq!(la.check(), LaResult::Sat);
-        assert!(la.entails_eq(x, y));
+        assert!(la.entails_eq(&s, x, y));
         la.pop_scope();
-        assert!(!la.entails_eq(x, y));
+        assert!(!la.entails_eq(&s, x, y));
     }
 
     #[test]

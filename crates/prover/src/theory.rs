@@ -181,7 +181,7 @@ impl IncrementalTheory {
                 for (i, &a) in lavars.iter().enumerate() {
                     for &b in lavars.iter().skip(i + 1) {
                         if !self.cc.are_equal(store, a, b)
-                            && self.la.entails_eq(a, b)
+                            && self.la.entails_eq(store, a, b)
                             && self.cc.assert_eq(store, a, b) == CcResult::Conflict
                         {
                             return TheoryResult::Conflict;
@@ -193,7 +193,7 @@ impl IncrementalTheory {
 
         // integer disequalities: conflict when equality is forced
         for &(a, b) in &self.int_diseqs {
-            if self.cc.are_equal(store, a, b) || self.la.entails_eq(a, b) {
+            if self.cc.are_equal(store, a, b) || self.la.entails_eq(store, a, b) {
                 return TheoryResult::Conflict;
             }
         }

@@ -4,7 +4,8 @@
 //! ```sh
 //! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
 //!     [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]
-//!     [--alias unify|inclusion] [--alias-stats]
+//!     [--alias unify|inclusion] [--alias-stats] [--no-slice] [--no-intervals]
+//!     [--slice-stats]
 //! ```
 //!
 //! `--no-reuse` clears [`C2bpOptions::reuse`]; a single-shot abstraction
@@ -27,6 +28,14 @@
 //! `--alias-stats` dumps per-function points-to sets and
 //! May/Must/Never pointer-pair counts for *both* analyses to stderr —
 //! the debugging view behind the inclusion ⊆ unification cross-check.
+//!
+//! The program is sliced before abstraction (seeded by its `assert`s
+//! and the predicate file's cone of influence, with reachability rooted
+//! at `main` when the program has one); `--no-slice` abstracts the full
+//! program and `--slice-stats` reports what was dropped. The interval
+//! numeric oracle answers cube-implication queries whose hypotheses and
+//! goal are pure integer arithmetic without calling the prover;
+//! `--no-intervals` routes every query to the prover.
 
 use c2bp::{abstract_program, parse_pred_file, AliasMode, C2bpOptions};
 use std::process::ExitCode;
@@ -35,7 +44,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] \
          [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint] \
-         [--alias unify|inclusion] [--alias-stats]"
+         [--alias unify|inclusion] [--alias-stats] [--no-slice] [--no-intervals] \
+         [--slice-stats]"
     );
     ExitCode::from(2)
 }
@@ -51,10 +61,15 @@ fn main() -> ExitCode {
     };
     let mut lint = false;
     let mut alias_stats = false;
+    let mut slice = true;
+    let mut slice_stats = false;
     let mut iter = args[2..].iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--no-prune" => options.prune_dead_preds = false,
+            "--no-slice" => slice = false,
+            "--no-intervals" => options.cubes.numeric_oracle = false,
+            "--slice-stats" => slice_stats = true,
             "--no-incremental" => options.cubes.incremental = false,
             "--no-reuse" => options.reuse = false,
             "--lint" => lint = true,
@@ -111,7 +126,39 @@ fn main() -> ExitCode {
     if alias_stats {
         print_alias_stats(&program);
     }
-    match abstract_program(&program, &preds, &options) {
+    // property-directed slice before abstraction: the program's asserts
+    // seed the relevant set automatically; the predicate file's cone is
+    // seeded explicitly, so everything the predicates mention survives
+    let sliced = slice.then(|| {
+        let seeds: Vec<analysis::slice::SliceSeed<'_>> = preds
+            .iter()
+            .map(|p| {
+                let func = match &p.scope {
+                    c2bp::PredScope::Local(f) => Some(f.as_str()),
+                    _ => None,
+                };
+                (func, &p.expr)
+            })
+            .collect();
+        let entry = if program.function("main").is_some() {
+            "main"
+        } else {
+            // no entry procedure: reachability keeps every function
+            ""
+        };
+        analysis::slice::slice_program(&program, entry, &seeds)
+    });
+    if slice_stats {
+        match &sliced {
+            Some((_, s)) => eprintln!(
+                "// slice: dropped {}/{} statements, {}/{} functions, {} relevant places",
+                s.stmts_dropped, s.stmts_total, s.funcs_dropped, s.funcs_total, s.relevant_places
+            ),
+            None => eprintln!("// slice: disabled (--no-slice)"),
+        }
+    }
+    let program = sliced.as_ref().map_or(&program, |(p, _)| p);
+    match abstract_program(program, &preds, &options) {
         Ok(abs) => {
             print!("{}", bp::program_to_string(&abs.bprogram));
             eprintln!(
@@ -140,10 +187,19 @@ fn main() -> ExitCode {
                 abs.stats.sessions.core_hits,
                 abs.stats.sessions.minimize_solves
             );
+            eprintln!(
+                "// numeric oracle: {} proved, {} disproved",
+                abs.stats.cubes.numeric_proved, abs.stats.cubes.numeric_disproved
+            );
             if lint {
                 // advisory: dead alias disjuncts are sound, just wasteful
-                for w in c2bp::lint_alias_precision(&program, &preds) {
+                for w in c2bp::lint_alias_precision(program, &preds) {
                     eprintln!("c2bp: alias-lint: {w}");
+                }
+                // advisory: numerically infeasible edges are sound too —
+                // usually the cube bound truncating a provable combination
+                for l in analysis::lint_infeasible_edges(&abs.bprogram) {
+                    eprintln!("c2bp: interval-lint: {l}");
                 }
                 let lints = analysis::lint_program(&abs.bprogram);
                 for l in &lints {

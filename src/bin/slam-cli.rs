@@ -3,7 +3,7 @@
 //! ```sh
 //! slam <program.c> <entry-proc> [--spec <file.slic> | --prop <family> | --lock | --irp]
 //!     [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]
-//!     [--alias unify|inclusion]
+//!     [--alias unify|inclusion] [--no-slice] [--no-intervals] [--slice-stats]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
@@ -22,6 +22,11 @@
 //! `inclusion`); the verdict and final predicates are identical either
 //! way, only the per-iteration alias-disjunct and prover-call counters
 //! move.
+//!
+//! Property-directed slicing and the interval numeric oracle are both on
+//! by default and verdict-preserving; `--no-slice` / `--no-intervals`
+//! disable them for A/B runs, and `--slice-stats` prints what the slicer
+//! removed.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
 use slam::{SlamOptions, SlamVerdict, SpecRegistry};
@@ -31,7 +36,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --prop <family> | --lock | \
          --irp] [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint] \
-         [--alias unify|inclusion]"
+         [--alias unify|inclusion] [--no-slice] [--no-intervals] [--slice-stats]"
     );
     ExitCode::from(2)
 }
@@ -44,10 +49,14 @@ fn main() -> ExitCode {
     let mut spec: Spec = Spec::default();
     let mut options = SlamOptions::default();
     options.c2bp.prune_dead_preds = true;
+    let mut slice_stats = false;
     let mut iter = args[2..].iter();
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--no-prune" => options.c2bp.prune_dead_preds = false,
+            "--no-slice" => options.slice = false,
+            "--no-intervals" => options.c2bp.cubes.numeric_oracle = false,
+            "--slice-stats" => slice_stats = true,
             "--no-incremental" => options.c2bp.cubes.incremental = false,
             "--no-reuse" => options.c2bp.reuse = false,
             "--lint" => options.lint = true,
@@ -110,7 +119,8 @@ fn main() -> ExitCode {
                      {} alias disjuncts, {} reused units, jobs {}, \
                      abs {:.2}s (plan {:.2}s solve {:.2}s merge {:.2}s), \
                      shared cache {:.1}% hit rate ({} entries), \
-                     bdd {} nodes / {} cache entries",
+                     bdd {} nodes / {} cache entries, \
+                     numeric oracle {} proved / {} disproved",
                     i + 1,
                     it.predicates,
                     it.prover_calls,
@@ -125,8 +135,24 @@ fn main() -> ExitCode {
                     it.shared_cache.hit_rate() * 100.0,
                     it.shared_cache.entries,
                     it.bdd_nodes,
-                    it.bdd_cache_entries
+                    it.bdd_cache_entries,
+                    it.numeric_proved,
+                    it.numeric_disproved
                 );
+            }
+            if slice_stats {
+                match &run.slice {
+                    Some(s) => eprintln!(
+                        "// slice: dropped {}/{} statements, {}/{} functions, \
+                         {} relevant places",
+                        s.stmts_dropped,
+                        s.stmts_total,
+                        s.funcs_dropped,
+                        s.funcs_total,
+                        s.relevant_places
+                    ),
+                    None => eprintln!("// slice: disabled (--no-slice)"),
+                }
             }
             match run.verdict {
                 SlamVerdict::Validated => {

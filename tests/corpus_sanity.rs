@@ -115,6 +115,7 @@ fn parse_header(source: &str, name: &str) -> (String, u64, GenParams, bool) {
         pressure: get("pressure").parse().unwrap(),
         pointers: get("pointers").parse().unwrap(),
         loops: get("loops").parse().unwrap(),
+        counter: get("counter").parse().unwrap(),
     };
     (
         get("family").to_string(),
@@ -149,7 +150,7 @@ fn every_generated_driver_matches_its_generator_output_and_lints_clean() {
         seen += 1;
     }
     assert_eq!(
-        seen, 28,
+        seen, 42,
         "corpus/generated changed; re-run corpus-emit and update this count"
     );
 }
