@@ -76,6 +76,16 @@ cargo test --offline -q --test slice_differential
 echo "== slicing + interval A/B smoke (exits nonzero on divergence, ground-truth miss, <20% counter saving, or a >5% Table 1 regression) =="
 ./target/release/slice_ab --smoke --json "BENCH_slice.json" > /dev/null
 
+echo "== cube-engine differential (search vs AllSAT enumeration) =="
+# The two ISSUE 8 engines answer every F_V/G_V goal identically:
+# byte-identical boolean programs, same verdicts, same final predicate
+# sets over the drivers, the whole generated corpus, and the toys, at
+# 1 and 4 workers (prover-call profiles may differ).
+cargo test --offline -q --test enum_differential
+
+echo "== cube-engine A/B smoke (exits nonzero on divergence, ground-truth miss, or no counter-family prover-call drop) =="
+./target/release/enum_ab --smoke --json "BENCH_enum.json" > /dev/null
+
 echo "== corpus check-in gate =="
 # Every file under corpus/ parses, instruments against its spec family
 # and lints clean; generated drivers byte-match their generator output.

@@ -1,0 +1,114 @@
+//! Cube-engine A/B: every Table 1 driver (plus the buggy driver and the
+//! seeded `retry` run) and a sweep of generated counter-shape drivers
+//! run through the full CEGAR loop under both cube engines — the
+//! paper's superset-pruned search and the AllSAT model-enumeration
+//! engine — reporting prover calls, session solves, core-minimization
+//! solves, and wall-clock per arm, followed by the predicate-count
+//! scaling sweep (one chain-predicate `F_V` goal at k = 4..16).
+//!
+//! Exit status encodes the acceptance gates:
+//! * both arms of every program must agree exactly — byte-identical
+//!   per-iteration boolean programs, same verdict (which must also
+//!   match ground truth), same final predicates — and every sweep
+//!   point must agree where the search arm ran;
+//! * enumeration must strictly lower the prover-call count on `floppy`
+//!   and on the counter family in aggregate;
+//! * the enumerate arm must not regress Table 1 wall-clock by more
+//!   than 5% in aggregate (full runs only — single smoke timings are
+//!   too noisy to gate on).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin enum_ab [-- --jobs N] [--smoke]
+//!     [--json <path>]
+//! ```
+//!
+//! `--smoke` restricts to one driver, one counter pair, and k <= 6 for CI.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let jobs = match bench::jobs_from_args() {
+        0 => 1,
+        j => j,
+    };
+    let smoke = bench::flag_in_args("--smoke");
+    let rows = bench::enum_rows(jobs, smoke);
+    print!(
+        "{}",
+        bench::render_enum(
+            &rows,
+            "Cube-engine A/B — search vs AllSAT enumeration (full loop)"
+        )
+    );
+    let (max_k, search_cap) = if smoke { (6, 6) } else { (16, 10) };
+    let sweep = bench::sweep_rows(max_k, search_cap);
+    println!();
+    print!(
+        "{}",
+        bench::render_sweep(
+            &sweep,
+            search_cap,
+            "Predicate-count scaling — one F_V goal over chain predicates x < 1..k"
+        )
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::enum_report(&rows, &sweep));
+    }
+    let mut ok = true;
+    for r in &rows {
+        if !r.identical || !r.truth_ok {
+            eprintln!(
+                "enum_ab: FAIL — {} diverged across engines or missed ground truth",
+                r.program
+            );
+            ok = false;
+        }
+    }
+    for s in &sweep {
+        if !s.identical {
+            eprintln!("enum_ab: FAIL — sweep k={} diverged across engines", s.k);
+            ok = false;
+        }
+    }
+    // enumeration must win where the issue promises: the cone-heavy
+    // floppy driver and the counter family in aggregate
+    if let Some(floppy) = rows.iter().find(|r| r.program == "floppy") {
+        if floppy.enum_prover >= floppy.search_prover {
+            eprintln!(
+                "enum_ab: FAIL — floppy prover calls did not drop: {} -> {}",
+                floppy.search_prover, floppy.enum_prover
+            );
+            ok = false;
+        }
+    }
+    let counter: Vec<&bench::EnumRow> = rows.iter().filter(|r| r.group == "counter").collect();
+    let counter_search: u64 = counter.iter().map(|r| r.search_prover).sum();
+    let counter_enum: u64 = counter.iter().map(|r| r.enum_prover).sum();
+    if !counter.is_empty() {
+        println!(
+            "counter family: {counter_search} -> {counter_enum} prover calls ({:.1}% reduction)",
+            (1.0 - counter_enum as f64 / counter_search.max(1) as f64) * 100.0
+        );
+        if counter_enum >= counter_search {
+            eprintln!("enum_ab: FAIL — counter-family prover calls did not drop");
+            ok = false;
+        }
+    }
+    if !smoke {
+        let table1: Vec<&bench::EnumRow> = rows.iter().filter(|r| r.group == "table1").collect();
+        let search_secs: f64 = table1.iter().map(|r| r.search_secs).sum();
+        let enum_secs: f64 = table1.iter().map(|r| r.enum_secs).sum();
+        println!("table 1 wall-clock: {search_secs:.2}s search vs {enum_secs:.2}s enumerate");
+        if enum_secs > search_secs * 1.05 {
+            eprintln!(
+                "enum_ab: FAIL — Table 1 wall-clock regressed more than 5%: \
+                 {search_secs:.2}s -> {enum_secs:.2}s"
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

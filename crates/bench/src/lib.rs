@@ -1443,10 +1443,416 @@ pub fn slice_rows(jobs: usize, smoke: bool) -> Vec<SliceRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Cube-engine (AllSAT enumeration vs paper search) A/B
+// ---------------------------------------------------------------------------
+
+/// One program's search-vs-enumerate cube-engine A/B: the same full
+/// CEGAR run under both engines, reporting prover calls, incremental
+/// session solves, core-minimization solves, and wall-clock per arm,
+/// plus the enumeration-only counters (models accepted, per-goal
+/// fallbacks). The engines answer every goal identically, so the runs
+/// must agree on per-iteration boolean programs, verdict, and final
+/// predicates (`identical`).
+#[derive(Debug, Clone)]
+pub struct EnumRow {
+    /// Program name.
+    pub program: String,
+    /// Checked property.
+    pub config: String,
+    /// Workload group: `table1` (the paper's drivers) or `counter`
+    /// (generated arithmetic-guard drivers).
+    pub group: &'static str,
+    /// Theorem-prover calls under the cube search.
+    pub search_prover: u64,
+    /// Theorem-prover calls under AllSAT enumeration.
+    pub enum_prover: u64,
+    /// Incremental-session solver runs, search arm.
+    pub search_solves: u64,
+    /// Incremental-session solver runs, enumerate arm.
+    pub enum_solves: u64,
+    /// Core-minimization solver runs, search arm.
+    pub search_minimize: u64,
+    /// Core-minimization solver runs, enumerate arm.
+    pub enum_minimize: u64,
+    /// Models accepted during AllSAT enumeration.
+    pub models: u64,
+    /// Goals where enumeration fell back to the search.
+    pub fallbacks: u64,
+    /// Wall-clock seconds, search arm.
+    pub search_secs: f64,
+    /// Wall-clock seconds, enumerate arm.
+    pub enum_secs: f64,
+    /// Human-readable verdict (shared by both arms when `identical`).
+    pub verdict: String,
+    /// Verdict matches ground truth where one is known.
+    pub truth_ok: bool,
+    /// Both arms agreed: byte-identical per-iteration boolean programs,
+    /// same verdict, same final predicates.
+    pub identical: bool,
+}
+
+impl EnumRow {
+    /// Fraction of prover calls enumeration removed (negative if it
+    /// added calls — reported honestly either way).
+    pub fn prover_reduction(&self) -> f64 {
+        reduction(self.search_prover, self.enum_prover)
+    }
+}
+
+/// Renders the cube-engine A/B rows: one line per program with the
+/// prover-call and session-solve cells, then a wall-clock summary line.
+pub fn render_enum(rows: &[EnumRow], title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<26} {:<8} {:>9} {:>9} {:>7} {:>9} {:>9} {:>8} {:>8} {:>7} {:>5}  truth identical\n",
+        "program",
+        "config",
+        "thm(srch)",
+        "thm(enum)",
+        "Δthm",
+        "slv(srch)",
+        "slv(enum)",
+        "min(s/e)",
+        "models",
+        "fallbk",
+        "",
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:<8} {:>9} {:>9} {:>6.1}% {:>9} {:>9} {:>8} {:>8} {:>7} {:>5}  {:<5} {}\n",
+            r.program,
+            r.config,
+            r.search_prover,
+            r.enum_prover,
+            r.prover_reduction() * 100.0,
+            r.search_solves,
+            r.enum_solves,
+            format!("{}/{}", r.search_minimize, r.enum_minimize),
+            r.models,
+            r.fallbacks,
+            "",
+            if r.truth_ok { "yes" } else { "NO" },
+            if r.identical { "yes" } else { "NO" }
+        ));
+        out.push_str(&format!(
+            "{:<26} total: {:.2}s search vs {:.2}s enumerate — {}\n",
+            "", r.search_secs, r.enum_secs, r.verdict
+        ));
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enum_slam_run(
+    source: &str,
+    spec: &Spec,
+    entry: &str,
+    seeds: Option<&str>,
+    engine: c2bp::CubeEngine,
+    numeric_oracle: bool,
+    jobs: usize,
+    trace_runs: Option<u64>,
+) -> (slam::SlamRun, f64) {
+    let mut options = SlamOptions {
+        keep_bps: true,
+        c2bp: C2bpOptions {
+            jobs,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    options.c2bp.cubes.engine = engine;
+    options.c2bp.cubes.numeric_oracle = numeric_oracle;
+    if let Some(t) = trace_runs {
+        options.trace_runs = t;
+    }
+    let t0 = Instant::now();
+    let run = match seeds {
+        Some(s) => {
+            let seeds = parse_pred_file(s).expect("seed parses");
+            slam::verify_seeded(source, spec, entry, seeds, &options)
+        }
+        None => slam::verify(source, spec, entry, &options),
+    }
+    .expect("slam run completes");
+    (run, t0.elapsed().as_secs_f64())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enum_row(
+    program: &str,
+    source: &str,
+    prop: &str,
+    entry: &str,
+    seeds: Option<&str>,
+    group: &'static str,
+    expect: Option<Expect>,
+    jobs: usize,
+    trace_runs: Option<u64>,
+) -> EnumRow {
+    use c2bp::CubeEngine;
+    let spec = spec_for(prop);
+    // paper defaults (numeric oracle on) for both arms: the enumerate
+    // engine never consults the per-cube oracle, so this is the honest
+    // end-to-end default-vs-default comparison
+    let arm = |engine| enum_slam_run(source, &spec, entry, seeds, engine, true, jobs, trace_runs);
+    let (search, search_secs) = arm(CubeEngine::Search);
+    let (en, enum_secs) = arm(CubeEngine::Enumerate);
+    let bps = |run: &slam::SlamRun| -> Vec<String> {
+        run.per_iteration
+            .iter()
+            .map(|it| it.bp_text.clone().expect("keep_bps was set"))
+            .collect()
+    };
+    let preds = |run: &slam::SlamRun| -> Vec<String> {
+        run.final_preds.iter().map(|p| format!("{p:?}")).collect()
+    };
+    let prover =
+        |run: &slam::SlamRun| -> u64 { run.per_iteration.iter().map(|it| it.prover_calls).sum() };
+    let solves = |run: &slam::SlamRun| -> u64 {
+        run.per_iteration.iter().map(|it| it.sessions.solves).sum()
+    };
+    let minimize = |run: &slam::SlamRun| -> u64 {
+        run.per_iteration
+            .iter()
+            .map(|it| it.sessions.minimize_solves)
+            .sum()
+    };
+    let identical = bps(&search) == bps(&en)
+        && format!("{:?}", search.verdict) == format!("{:?}", en.verdict)
+        && preds(&search) == preds(&en);
+    let truth_ok = match expect {
+        Some(Expect::Validated) => matches!(en.verdict, SlamVerdict::Validated),
+        Some(Expect::Error) => matches!(en.verdict, SlamVerdict::ErrorFound { .. }),
+        None => true,
+    };
+    EnumRow {
+        program: program.to_string(),
+        config: prop.to_string(),
+        group,
+        search_prover: prover(&search),
+        enum_prover: prover(&en),
+        search_solves: solves(&search),
+        enum_solves: solves(&en),
+        search_minimize: minimize(&search),
+        enum_minimize: minimize(&en),
+        models: en.per_iteration.iter().map(|it| it.models_enumerated).sum(),
+        fallbacks: en.per_iteration.iter().map(|it| it.enum_fallbacks).sum(),
+        search_secs,
+        enum_secs,
+        verdict: match &en.verdict {
+            SlamVerdict::Validated => format!("validated ({} iters)", en.iterations),
+            SlamVerdict::ErrorFound { .. } => format!("ERROR FOUND ({} iters)", en.iterations),
+            SlamVerdict::GaveUp { reason } => format!("gave up: {reason}"),
+        },
+        truth_ok,
+        identical,
+    }
+}
+
+/// Cube-engine A/B rows: the Table 1 drivers (plus the buggy driver and
+/// the seeded `retry` run) as the wall-clock regression guard, and
+/// generated counter-shape drivers as the arithmetic-guard workload.
+/// `smoke` restricts to one driver and one counter pair for CI.
+pub fn enum_rows(jobs: usize, smoke: bool) -> Vec<EnumRow> {
+    let mut rows = Vec::new();
+    let counter = |rows: &mut Vec<EnumRow>, family: &'static str, seed: u64, defect: bool| {
+        let d = corpusgen::generate(family, &counter_params(), seed, defect);
+        let expect = match d.truth {
+            corpusgen::GroundTruth::Safe => Expect::Validated,
+            corpusgen::GroundTruth::Defect { .. } => Expect::Error,
+        };
+        rows.push(enum_row(
+            &d.name,
+            &d.source,
+            family,
+            d.entry,
+            None,
+            "counter",
+            Some(expect),
+            jobs,
+            Some(2_000),
+        ));
+    };
+    if smoke {
+        let source = read(corpus_dir().join("drivers").join("openclos.c"));
+        rows.push(enum_row(
+            "openclos",
+            &source,
+            "lock",
+            "DispatchOpenClose",
+            None,
+            "table1",
+            Some(Expect::Validated),
+            jobs,
+            None,
+        ));
+        counter(&mut rows, "lock", 0, false);
+        counter(&mut rows, "lock", 0, true);
+        return rows;
+    }
+    let mut set: Vec<(&str, &str, &str, Expect)> = DRIVERS
+        .iter()
+        .map(|&(stem, entry, prop)| (stem, entry, prop, Expect::Validated))
+        .collect();
+    set.push((
+        BUGGY_DRIVER.0,
+        BUGGY_DRIVER.1,
+        BUGGY_DRIVER.2,
+        Expect::Error,
+    ));
+    for (stem, entry, prop, expect) in set {
+        let source = read(corpus_dir().join("drivers").join(format!("{stem}.c")));
+        rows.push(enum_row(
+            stem,
+            &source,
+            prop,
+            entry,
+            None,
+            "table1",
+            Some(expect),
+            jobs,
+            None,
+        ));
+    }
+    let source = read(corpus_dir().join("drivers").join("retry.c"));
+    rows.push(enum_row(
+        "retry",
+        &source,
+        "lock",
+        "DispatchRetry",
+        Some("DispatchRetry attempts > 0"),
+        "table1",
+        Some(Expect::Validated),
+        jobs,
+        None,
+    ));
+    for family in corpusgen::FAMILIES {
+        for seed in [0u64, 1] {
+            for defect in [false, true] {
+                counter(&mut rows, family, seed, defect);
+            }
+        }
+    }
+    rows
+}
+
+/// One point of the predicate-count scaling sweep: a single `F_V` goal
+/// over the chain predicates `x < 1, …, x < k` with goal `x + y < 0`
+/// (the unconstrained `y` keeps every consistent sign pattern
+/// undetermined, so nothing short-circuits), cone of influence and the
+/// numeric oracle off to isolate the engine, cube length unbounded.
+/// The search arm enumerates every consistent cube and grows
+/// exponentially in `k`; enumeration solves one AllSAT loop per
+/// polarity — linear in `k` — then extracts the cubes combinatorially.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Number of chain predicates.
+    pub k: usize,
+    /// Prover queries, search arm (`None` past the search cap).
+    pub search_queries: Option<u64>,
+    /// Prover queries, enumerate arm.
+    pub enum_queries: u64,
+    /// Wall-clock seconds, search arm.
+    pub search_secs: Option<f64>,
+    /// Wall-clock seconds, enumerate arm.
+    pub enum_secs: f64,
+    /// Models the enumerate arm accepted.
+    pub models: u64,
+    /// Whether the two arms produced the same boolean expression (true
+    /// vacuously past the search cap).
+    pub identical: bool,
+}
+
+/// Runs the scaling sweep for `k` in `4..=max_k`, running the search
+/// arm only through `search_cap` (its query count grows exponentially;
+/// the cap is reported, never silent).
+pub fn sweep_rows(max_k: usize, search_cap: usize) -> Vec<SweepRow> {
+    use c2bp::cubes::CubeSearch;
+    use c2bp::{CubeEngine, CubeOptions, ScopeVar};
+    use cparse::ast::Type;
+    use cparse::parser::{parse_expr, parse_program};
+    use cparse::typeck::TypeEnv;
+    let program = parse_program("int x, y; void holder() { ; }").expect("sweep program parses");
+    let env = TypeEnv::new(&program);
+    let lookup = |name: &str| match name {
+        "x" | "y" => Some(Type::Int),
+        _ => None,
+    };
+    let goal = parse_expr("x + y < 0").expect("sweep goal parses");
+    let mut rows = Vec::new();
+    for k in 4..=max_k {
+        let vars: Vec<ScopeVar> = (1..=k)
+            .map(|i| {
+                let text = format!("x < {i}");
+                ScopeVar {
+                    expr: parse_expr(&text).expect("sweep predicate parses"),
+                    name: text,
+                }
+            })
+            .collect();
+        let arm = |engine| {
+            let options = CubeOptions {
+                engine,
+                cone_of_influence: false,
+                numeric_oracle: false,
+                max_cube_len: None,
+                ..CubeOptions::default()
+            };
+            let mut prover = prover::Prover::new();
+            let mut cs = CubeSearch::new(&mut prover, &env, &lookup, options);
+            let t0 = Instant::now();
+            let out = cs.largest_implying_disjunction(&vars, &goal);
+            let secs = t0.elapsed().as_secs_f64();
+            let (queries, models) = (cs.prover.stats.queries, cs.stats.models_enumerated);
+            (out, queries, models, secs)
+        };
+        let (enum_out, enum_queries, models, enum_secs) = arm(CubeEngine::Enumerate);
+        let search = (k <= search_cap).then(|| arm(CubeEngine::Search));
+        rows.push(SweepRow {
+            k,
+            search_queries: search.as_ref().map(|s| s.1),
+            enum_queries,
+            search_secs: search.as_ref().map(|s| s.3),
+            enum_secs,
+            models,
+            identical: search.as_ref().is_none_or(|s| s.0 == enum_out),
+        });
+    }
+    rows
+}
+
+/// Renders the scaling sweep with an explicit note about the search cap.
+pub fn render_sweep(rows: &[SweepRow], search_cap: usize, title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10} {:>8}  identical\n",
+        "k", "qry(srch)", "qry(enum)", "s(srch)", "s(enum)", "models"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4} {:>10} {:>10} {:>10} {:>10.3} {:>8}  {}\n",
+            r.k,
+            r.search_queries
+                .map_or("capped".to_string(), |q| q.to_string()),
+            r.enum_queries,
+            r.search_secs.map_or("-".to_string(), |s| format!("{s:.3}")),
+            r.enum_secs,
+            r.models,
+            if r.identical { "yes" } else { "NO" }
+        ));
+    }
+    out.push_str(&format!(
+        "search arm capped at k = {search_cap} (its query count grows exponentially)\n"
+    ));
+    out
+}
+
 /// Minimal JSON emission for the bench binaries' `--json <path>` output
 /// (hand-rolled: the workspace takes no serialization dependency).
 pub mod json {
-    use super::{AliasRow, CegarRow, IncRow, PruneRow, Row, SliceRow};
+    use super::{AliasRow, CegarRow, EnumRow, IncRow, PruneRow, Row, SliceRow, SweepRow};
 
     pub(crate) fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
@@ -1606,6 +2012,51 @@ pub mod json {
                 r.identical
             )
         }))
+    }
+
+    /// Cube-engine A/B rows plus the scaling sweep as one JSON object.
+    pub fn enum_report(rows: &[EnumRow], sweep: &[SweepRow]) -> String {
+        let drivers = array(rows.iter().map(|r| {
+            format!(
+                "  {{\"program\": \"{}\", \"config\": \"{}\", \"group\": \"{}\", \
+                 \"prover_calls\": {{\"search\": {}, \"enumerate\": {}, \
+                 \"reduction\": {:.6}}}, \"session_solves\": {{\"search\": {}, \
+                 \"enumerate\": {}}}, \"minimize_solves\": {{\"search\": {}, \
+                 \"enumerate\": {}}}, \"models\": {}, \"fallbacks\": {}, \
+                 \"search_secs\": {:.6}, \"enum_secs\": {:.6}, \
+                 \"verdict\": \"{}\", \"truth_ok\": {}, \"identical\": {}}}",
+                esc(&r.program),
+                esc(&r.config),
+                esc(r.group),
+                r.search_prover,
+                r.enum_prover,
+                r.prover_reduction(),
+                r.search_solves,
+                r.enum_solves,
+                r.search_minimize,
+                r.enum_minimize,
+                r.models,
+                r.fallbacks,
+                r.search_secs,
+                r.enum_secs,
+                esc(&r.verdict),
+                r.truth_ok,
+                r.identical
+            )
+        }));
+        let sweep = array(sweep.iter().map(|r| {
+            format!(
+                "  {{\"k\": {}, \"search_queries\": {}, \"enum_queries\": {}, \
+                 \"models\": {}, \"identical\": {}}}",
+                r.k,
+                r.search_queries
+                    .map_or("null".to_string(), |q| q.to_string()),
+                r.enum_queries,
+                r.models,
+                r.identical
+            )
+        }));
+        format!("{{\"drivers\": {drivers}, \"sweep\": {sweep}}}\n")
     }
 
     /// Incremental A/B rows as a JSON array of objects.

@@ -512,6 +512,8 @@ fn abstract_with(
         cube_stats.fast_path_hits += r.cube_stats.fast_path_hits;
         cube_stats.numeric_proved += r.cube_stats.numeric_proved;
         cube_stats.numeric_disproved += r.cube_stats.numeric_disproved;
+        cube_stats.models_enumerated += r.cube_stats.models_enumerated;
+        cube_stats.enum_fallbacks += r.cube_stats.enum_fallbacks;
         session_stats.absorb(&r.session_stats);
         pruned_updates += r.pruned;
         reused_units += usize::from(r.reused);
@@ -1333,6 +1335,8 @@ impl<'a> LeafSolver<'a> {
         self.cube_stats.fast_path_hits += cs.stats.fast_path_hits;
         self.cube_stats.numeric_proved += cs.stats.numeric_proved;
         self.cube_stats.numeric_disproved += cs.stats.numeric_disproved;
+        self.cube_stats.models_enumerated += cs.stats.models_enumerated;
+        self.cube_stats.enum_fallbacks += cs.stats.enum_fallbacks;
         self.session_stats.absorb(&cs.session_stats);
         out
     }
@@ -1966,7 +1970,10 @@ mod tests {
     #[test]
     fn reuse_matches_scratch_as_predicates_grow() {
         let program = parse_and_simplify(REUSE_SRC).unwrap();
-        let opts = C2bpOptions::paper_defaults();
+        let mut opts = C2bpOptions::paper_defaults();
+        // keep the prover-call comparison meaningful in release builds,
+        // where an interval-oracle hit skips the prover call entirely
+        opts.cubes.numeric_oracle = false;
         let mut session = ReuseSession::new();
         let steps = ["f x == 0, x == 1", "f x == 0, x == 1, y > 0"];
         for (i, step) in steps.iter().enumerate() {

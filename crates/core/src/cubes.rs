@@ -28,8 +28,47 @@ use bp::BExpr;
 use cparse::ast::{BinOp, Expr, Program, Type, UnOp};
 use cparse::typeck::TypeEnv;
 use pointsto::AliasOracle;
-use prover::{Formula, Prover, ProverSession, SessionStats, Translator};
-use std::collections::HashMap;
+use prover::{Formula, Prover, ProverSession, SatResult, SessionStats, Translator};
+use std::collections::{HashMap, HashSet};
+
+/// Which engine answers the per-goal `F_V`/`G_V` computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CubeEngine {
+    /// The paper's cube search: enumerate cubes by increasing length with
+    /// §5.2 superset pruning, one implication query per surviving cube.
+    Search,
+    /// AllSAT model enumeration: per goal polarity, enumerate the
+    /// solver-accepted total sign patterns of the predicates in one
+    /// incremental session (SAT → project the model onto the predicates →
+    /// assert a blocking clause → repeat until UNSAT), then extract the
+    /// prime implicants combinatorially with zero further prover calls.
+    /// Falls back to `Search` for a goal on solver `Unknown`s or pattern
+    /// blowup, so every goal is always answered; outputs are identical to
+    /// `Search` (gated by `tests/enum_differential.rs`). Implies
+    /// incremental sessions regardless of the `incremental` flag.
+    Enumerate,
+}
+
+impl std::str::FromStr for CubeEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CubeEngine, String> {
+        match s {
+            "search" => Ok(CubeEngine::Search),
+            "enumerate" => Ok(CubeEngine::Enumerate),
+            other => Err(format!("unknown cube engine '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for CubeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CubeEngine::Search => "search",
+            CubeEngine::Enumerate => "enumerate",
+        })
+    }
+}
 
 /// Tunable knobs for the cube search (see module docs).
 #[derive(Debug, Clone)]
@@ -45,7 +84,8 @@ pub struct CubeOptions {
     /// Answer cache-missed cube queries with a per-goal incremental
     /// [`ProverSession`] instead of from-scratch solving. Caching, query
     /// counting and results are identical either way; only wall time
-    /// changes.
+    /// changes. Ignored by [`CubeEngine::Enumerate`], which always
+    /// solves through sessions.
     pub incremental: bool,
     /// Consult the interval/constant numeric oracle
     /// ([`analysis::intervals::decide_implication`]) before each prover
@@ -53,6 +93,8 @@ pub struct CubeOptions {
     /// in debug builds), so results are identical either way; only the
     /// prover-call count changes.
     pub numeric_oracle: bool,
+    /// The engine answering each goal (see [`CubeEngine`]).
+    pub engine: CubeEngine,
 }
 
 impl Default for CubeOptions {
@@ -64,6 +106,7 @@ impl Default for CubeOptions {
             atomic_decomposition: false,
             incremental: true,
             numeric_oracle: true,
+            engine: CubeEngine::Search,
         }
     }
 }
@@ -81,6 +124,10 @@ pub struct CubeStats {
     pub numeric_proved: u64,
     /// Implications the numeric oracle settled as invalid.
     pub numeric_disproved: u64,
+    /// Models accepted during AllSAT enumeration (enumerate engine).
+    pub models_enumerated: u64,
+    /// Goals where the enumerate engine fell back to the search.
+    pub enum_fallbacks: u64,
 }
 
 /// One in-scope boolean variable: its BP name and its predicate.
@@ -237,8 +284,6 @@ impl<'a> CubeSearch<'a> {
             .max_cube_len
             .unwrap_or(lits.len())
             .min(lits.len());
-        let mut implicants: Vec<Vec<(usize, bool)>> = Vec::new();
-        let mut blocked: Vec<Vec<(usize, bool)>> = Vec::new();
         let neg_goal = goal.clone().negate();
         let neg_phi = phi.negated();
         // when computing F(false) for `enforce`, the "cube implies ¬φ"
@@ -246,15 +291,66 @@ impl<'a> CubeSearch<'a> {
         // true); the unsatisfiable cubes are exactly what we are looking
         // for there
         let track_blocked = goal != Formula::False;
+        let ctx = GoalLits {
+            goal,
+            neg_goal,
+            lits,
+            lits_neg,
+            max_len,
+            track_blocked,
+        };
+        let implicants = match self.options.engine {
+            CubeEngine::Enumerate => match self.enumerate_implicants(&ctx) {
+                Some(implicants) => implicants,
+                None => {
+                    self.stats.enum_fallbacks += 1;
+                    self.search_implicants(&relevant, phi, &neg_phi, &ctx)
+                }
+            },
+            CubeEngine::Search => self.search_implicants(&relevant, phi, &neg_phi, &ctx),
+        };
+        BExpr::or(implicants.into_iter().map(|cube| {
+            BExpr::and(cube.into_iter().map(|(vi, pos)| {
+                let var = BExpr::var(relevant[ctx.lits[vi].0].name.clone());
+                if pos {
+                    var
+                } else {
+                    var.negate()
+                }
+            }))
+        }))
+    }
+
+    /// The paper's engine: enumerate cubes over `ctx.lits` by increasing
+    /// length with superset pruning, one implication query per surviving
+    /// cube. Returns the prime implicants in enumeration order.
+    fn search_implicants(
+        &mut self,
+        relevant: &[&ScopeVar],
+        phi: &Expr,
+        neg_phi: &Expr,
+        ctx: &GoalLits,
+    ) -> Vec<Vec<(usize, bool)>> {
+        let GoalLits {
+            goal,
+            neg_goal,
+            lits,
+            lits_neg,
+            max_len,
+            track_blocked,
+        } = ctx;
+        let (max_len, track_blocked) = (*max_len, *track_blocked);
+        let mut implicants: Vec<Vec<(usize, bool)>> = Vec::new();
+        let mut blocked: Vec<Vec<(usize, bool)>> = Vec::new();
         // Incremental mode: one session per implication direction, with
         // the goal side asserted once and every literal registered once.
         // Only cache-missed queries reach a session, and results, caching
         // and query counting are identical to from-scratch solving.
         let mut sessions = self.options.incremental.then(|| {
-            let mut pos = ProverSession::new(&neg_goal);
+            let mut pos = ProverSession::new(neg_goal);
             let pos_ids: Vec<_> = lits
                 .iter()
-                .zip(&lits_neg)
+                .zip(lits_neg)
                 .map(|((_, f), nf)| (pos.assume(f), pos.assume(nf)))
                 .collect();
             let neg = track_blocked.then(|| {
@@ -262,7 +358,7 @@ impl<'a> CubeSearch<'a> {
                 let mut sess = ProverSession::new(&base);
                 let ids: Vec<_> = lits
                     .iter()
-                    .zip(&lits_neg)
+                    .zip(lits_neg)
                     .map(|((_, f), nf)| (sess.assume(f), sess.assume(nf)))
                     .collect();
                 (sess, ids)
@@ -315,11 +411,11 @@ impl<'a> CubeSearch<'a> {
                                             },
                                         )
                                         .collect();
-                                    self.prover.implication_query(&hyp_refs, &goal, |store| {
+                                    self.prover.implication_query(&hyp_refs, goal, |store| {
                                         pos_sess.solve_assuming(store, &ids)
                                     }) == prover::SatResult::Unsat
                                 }
-                                None => self.prover.implies_refs(&hyp_refs, &goal),
+                                None => self.prover.implies_refs(&hyp_refs, goal),
                             },
                         );
                     let implies_goal = match numeric {
@@ -338,7 +434,7 @@ impl<'a> CubeSearch<'a> {
                     if implies_goal {
                         implicants.push(cube);
                     } else if track_blocked {
-                        let numeric_blocks = self.numeric_decide(&hyp_exprs, &neg_phi);
+                        let numeric_blocks = self.numeric_decide(&hyp_exprs, neg_phi);
                         let prover_blocks = (numeric_blocks.is_none() || cfg!(debug_assertions))
                             .then(|| match &mut sessions {
                                 Some((_, _, Some((neg_sess, neg_ids)))) => {
@@ -354,13 +450,11 @@ impl<'a> CubeSearch<'a> {
                                             },
                                         )
                                         .collect();
-                                    self.prover
-                                        .implication_query(&hyp_refs, &neg_goal, |store| {
-                                            neg_sess.solve_assuming(store, &ids)
-                                        })
-                                        == prover::SatResult::Unsat
+                                    self.prover.implication_query(&hyp_refs, neg_goal, |store| {
+                                        neg_sess.solve_assuming(store, &ids)
+                                    }) == prover::SatResult::Unsat
                                 }
-                                _ => self.prover.implies_refs(&hyp_refs, &neg_goal),
+                                _ => self.prover.implies_refs(&hyp_refs, neg_goal),
                             });
                         let blocks = match numeric_blocks {
                             Some(ans) => {
@@ -387,16 +481,83 @@ impl<'a> CubeSearch<'a> {
                 self.session_stats.absorb(&neg.stats);
             }
         }
-        BExpr::or(implicants.into_iter().map(|cube| {
-            BExpr::and(cube.into_iter().map(|(vi, pos)| {
-                let var = BExpr::var(relevant[lits[vi].0].name.clone());
-                if pos {
-                    var
-                } else {
-                    var.negate()
-                }
-            }))
-        }))
+        implicants
+    }
+
+    /// The AllSAT engine: compute the same prime implicants as
+    /// [`search_implicants`](Self::search_implicants) from two model
+    /// enumerations instead of per-cube queries.
+    ///
+    /// A cube `c` implies the goal exactly when no theory-consistent
+    /// total sign pattern of the predicates extends `c` under `¬goal` —
+    /// so the patterns of `¬goal` (each one solver call, each blocked
+    /// with a clause once seen) determine *implies goal* for every cube
+    /// at once, and the patterns of `goal` likewise determine *implies
+    /// ¬goal* (the search's blocked-cube pruning). The prime implicants
+    /// are then extracted combinatorially by
+    /// [`extract_prime_cubes`]. Cost: one solver run per consistent
+    /// pattern per polarity plus one final UNSAT each, instead of one
+    /// query per surviving cube.
+    ///
+    /// Returns `None` — fall back to the search — when a solve answers
+    /// `Unknown`, a model leaves a predicate undetermined, the pattern
+    /// count exceeds [`model_budget`] (past which enumeration has no
+    /// advantage), or the extraction blows its node budget.
+    fn enumerate_implicants(&mut self, ctx: &GoalLits) -> Option<Vec<Vec<(usize, bool)>>> {
+        let n = ctx.lits.len();
+        if n == 0 || ctx.max_len == 0 {
+            return Some(Vec::new());
+        }
+        let budget = model_budget(n, ctx.max_len);
+        let neg_patterns = self.enumerate_patterns(&ctx.neg_goal, ctx, budget)?;
+        let pos_patterns = if ctx.track_blocked {
+            Some(self.enumerate_patterns(&ctx.goal, ctx, budget)?)
+        } else {
+            None
+        };
+        extract_prime_cubes(&neg_patterns, pos_patterns.as_deref(), n, ctx.max_len)
+    }
+
+    /// AllSAT over `base`: every theory-consistent total sign pattern of
+    /// `ctx.lits` under `base`, found by one continuation enumeration
+    /// ([`ProverSession::enumerate_models`]) — the DFS records each
+    /// accepting leaf's pattern, asserts its blocking clause in place,
+    /// and keeps searching, instead of restarting a solve per model.
+    /// Terminates because each blocking clause excludes at least one
+    /// pattern and there are finitely many. The work bypasses the prover
+    /// caches (the blocked base mutates), so it is counted via
+    /// [`Prover::count_uncached_query`] with solve-per-model parity: one
+    /// query per accepted pattern plus one for the final answer, keeping
+    /// the reported counts deterministic and independent of this
+    /// implementation detail.
+    fn enumerate_patterns(
+        &mut self,
+        base: &Formula,
+        ctx: &GoalLits,
+        budget: usize,
+    ) -> Option<Vec<Vec<bool>>> {
+        let mut sess = ProverSession::new(base);
+        let ids: Vec<_> = ctx.lits.iter().map(|(_, f)| sess.assume(f)).collect();
+        let (r, patterns) = sess.enumerate_models(&self.prover.store, &ids, budget);
+        for _ in &patterns {
+            self.prover.count_uncached_query(SatResult::Sat);
+        }
+        self.stats.models_enumerated += patterns.len() as u64;
+        let result = match r {
+            SatResult::Unsat => {
+                self.prover.count_uncached_query(SatResult::Unsat);
+                Some(patterns)
+            }
+            SatResult::Unknown => {
+                self.prover.count_uncached_query(SatResult::Unknown);
+                None
+            }
+            // more consistent patterns than the budget: the search
+            // engine cannot be doing worse, give up on enumeration
+            SatResult::Sat => None,
+        };
+        self.session_stats.absorb(&sess.stats);
+        result
     }
 
     /// `G_V(φ) = ¬F_V(¬φ)`: the strongest expressible consequence of `φ`.
@@ -446,6 +607,155 @@ impl<'a> CubeSearch<'a> {
         }
         None
     }
+}
+
+/// One goal's translated literal context, shared by both engines.
+struct GoalLits {
+    /// The translated goal `φ`.
+    goal: Formula,
+    /// `¬goal`, the base of implication queries / the S⁻ enumeration.
+    neg_goal: Formula,
+    /// Translatable predicates as `(index into relevant, formula)`.
+    lits: Vec<(usize, Formula)>,
+    /// The negation of each literal, index-aligned with `lits`.
+    lits_neg: Vec<Formula>,
+    /// Effective cube-length bound for this goal.
+    max_len: usize,
+    /// Whether cubes implying `¬φ` prune their supersets (off for
+    /// `enforce`'s `F(false)`).
+    track_blocked: bool,
+}
+
+/// The number of sign-assigned cubes of length ≤ `max_len` over `n`
+/// literals — what the search engine could test for this goal — clamped
+/// to a hard cap. Once AllSAT has accepted more patterns than this, the
+/// search engine cannot be doing worse, so enumeration gives up. The
+/// bound depends only on `(n, max_len)`, keeping the fallback decision
+/// deterministic across worker counts and runs.
+fn model_budget(n: usize, max_len: usize) -> usize {
+    const CAP: usize = 2048;
+    let mut total: usize = 0;
+    let mut choose: usize = 1; // C(n, len), updated incrementally
+    for len in 1..=max_len.min(n) {
+        choose = choose.saturating_mul(n - len + 1) / len;
+        total = total.saturating_add(choose.saturating_mul(1usize << len.min(20)));
+        if total >= CAP {
+            return CAP;
+        }
+    }
+    total
+}
+
+/// Extracts the search engine's output from the two pattern sets: the
+/// cubes of length ≤ `max_len` that no pattern in `neg` covers (they
+/// imply the goal — no countermodel extends them), all of whose
+/// immediate proper subcubes are covered by `neg` (prime: any shorter
+/// cube has a countermodel) and, when `pos` is given, also covered by
+/// `pos` (the search never tests a superset of a cube that implies
+/// `¬φ`, so such cubes never enter its output). Cubes are returned in
+/// the search's enumeration order: by length, then lexicographic
+/// literal-index combination, then the sign integer with bit `p` set
+/// when the combination's `p`-th literal is positive.
+///
+/// A pattern covers a cube when it agrees with every literal of it;
+/// coverage is inherited by subcubes, which is what makes the immediate
+/// subcube check sufficient. The search walks cubes top-down instead:
+/// branch from the empty cube on the literals disagreeing with the
+/// first covering pattern (any uncovered extension must flip one of
+/// them), deduplicate, and post-filter. Returns `None` if more than
+/// [`EXTRACT_NODE_BUDGET`] branch nodes are visited.
+fn extract_prime_cubes(
+    neg: &[Vec<bool>],
+    pos: Option<&[Vec<bool>]>,
+    n: usize,
+    max_len: usize,
+) -> Option<Vec<Vec<(usize, bool)>>> {
+    if neg.is_empty() {
+        // the base (¬goal ∧ blocked patterns) was unsat outright: every
+        // cube implies the goal, so the search keeps exactly the
+        // singletons — nothing shorter exists to prune them
+        return Some(
+            (0..n)
+                .flat_map(|i| [vec![(i, false)], vec![(i, true)]])
+                .collect(),
+        );
+    }
+    const EXTRACT_NODE_BUDGET: usize = 200_000;
+    let covers = |cube: &[(usize, bool)], sigma: &[bool]| cube.iter().all(|&(i, b)| sigma[i] == b);
+    // Minimality prune (the classic minimal-hitting-set "critical
+    // element" condition): literal `omit` of a cube is *critical* when
+    // some pattern disagrees with it while agreeing with every other
+    // literal — the witness that dropping it would re-cover the cube.
+    // A literal's critical set only shrinks as the cube grows, and
+    // every subcube of a minimal uncovered cube keeps all its literals
+    // critical, so a candidate with a non-critical literal can be cut
+    // without losing any output. Without this prune, covered
+    // same-direction chains alone visit ~2^n nodes (measured: the k=15
+    // predicate-scaling sweep blew the node budget and fell back).
+    let critical = |cube: &[(usize, bool)], omit: usize| {
+        neg.iter().any(|sigma| {
+            cube.iter()
+                .enumerate()
+                .all(|(k, &(j, b))| (sigma[j] == b) != (k == omit))
+        })
+    };
+    let mut found: Vec<Vec<(usize, bool)>> = Vec::new();
+    let mut seen: HashSet<Vec<(usize, bool)>> = HashSet::new();
+    let mut stack: Vec<Vec<(usize, bool)>> = vec![Vec::new()];
+    let mut nodes = 0usize;
+    while let Some(cube) = stack.pop() {
+        nodes += 1;
+        if nodes > EXTRACT_NODE_BUDGET {
+            return None;
+        }
+        match neg.iter().find(|sigma| covers(&cube, sigma)) {
+            None => found.push(cube),
+            Some(sigma) => {
+                if cube.len() == max_len {
+                    continue;
+                }
+                for (i, &sig_i) in sigma.iter().enumerate().take(n) {
+                    if cube.iter().any(|&(j, _)| j == i) {
+                        continue;
+                    }
+                    let mut next = cube.clone();
+                    next.push((i, !sig_i));
+                    next.sort_unstable();
+                    if seen.insert(next.clone())
+                        && (0..next.len()).all(|omit| critical(&next, omit))
+                    {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+    }
+    let covered_by =
+        |cube: &[(usize, bool)], pats: &[Vec<bool>]| pats.iter().any(|s| covers(cube, s));
+    found.retain(|cube| {
+        // singletons have no nonempty proper subcube; the search always
+        // tests them
+        cube.len() <= 1
+            || (0..cube.len()).all(|omit| {
+                let sub: Vec<(usize, bool)> = cube
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != omit)
+                    .map(|(_, &l)| l)
+                    .collect();
+                covered_by(&sub, neg) && pos.is_none_or(|p| covered_by(&sub, p))
+            })
+    });
+    found.sort_by_cached_key(|cube| {
+        let indices: Vec<usize> = cube.iter().map(|&(i, _)| i).collect();
+        let signs: u64 = cube
+            .iter()
+            .enumerate()
+            .map(|(p, &(_, b))| if b { 1u64 << p } else { 0 })
+            .sum();
+        (cube.len(), indices, signs)
+    });
+    Some(found)
 }
 
 /// Per-function alias groups: variables are placed in the same group
@@ -858,6 +1168,171 @@ mod tests {
         let mut cs = CubeSearch::new(&mut prover, &env, &lookup, CubeOptions::default());
         let f = cs.largest_implying_disjunction(&vars, &parse_expr("*p + x <= 0").unwrap());
         assert_eq!(f, BExpr::and([BExpr::var("*p <= 0"), BExpr::var("x == 0")]));
+    }
+
+    fn enum_options() -> CubeOptions {
+        CubeOptions {
+            engine: CubeEngine::Enumerate,
+            ..CubeOptions::default()
+        }
+    }
+
+    #[test]
+    fn enumerate_matches_search_on_unit_scenarios() {
+        let (env, lookup) = search_env();
+        let scenarios: &[(&[&str], &str)] = &[
+            (&["x < 5", "x == 2"], "x < 4"),
+            (&["x == 1", "y == 1"], "x >= 1"),
+            (&["x == 1", "x == 2"], "x >= 1"),
+            (&["*p <= 0", "x == 0", "r == 0"], "*p + x <= 0"),
+            (&["x == 1", "y == 1", "v == 1"], "x + y + v >= 3"),
+            (&["x < 5", "y < 5"], "x + y < 10"),
+        ];
+        for &(preds, phi) in scenarios {
+            let vars = scope_vars(preds);
+            let phi = parse_expr(phi).unwrap();
+            let mut p1 = Prover::new();
+            let mut search = CubeSearch::new(&mut p1, &env, &lookup, CubeOptions::default());
+            let want = search.largest_implying_disjunction(&vars, &phi);
+            let mut p2 = Prover::new();
+            let mut enumerate = CubeSearch::new(&mut p2, &env, &lookup, enum_options());
+            let got = enumerate.largest_implying_disjunction(&vars, &phi);
+            assert_eq!(got, want, "engines diverged on F({phi:?}) over {preds:?}");
+            assert_eq!(enumerate.stats.enum_fallbacks, 0, "unexpected fallback");
+        }
+    }
+
+    #[test]
+    fn enumerate_matches_search_on_enforce_and_dual() {
+        let (env, lookup) = search_env();
+        for preds in [
+            &["x == 1", "x == 2"][..],
+            &["x < 5", "y < 5"][..],
+            &["x < 5", "x == 2", "y == 1"][..],
+        ] {
+            let vars = scope_vars(preds);
+            let mut p1 = Prover::new();
+            let mut search = CubeSearch::new(&mut p1, &env, &lookup, CubeOptions::default());
+            let mut p2 = Prover::new();
+            let mut enumerate = CubeSearch::new(&mut p2, &env, &lookup, enum_options());
+            assert_eq!(
+                enumerate.enforce_invariant(&vars),
+                search.enforce_invariant(&vars),
+                "enforce diverged over {preds:?}"
+            );
+            let phi = parse_expr("x == 2").unwrap();
+            assert_eq!(
+                enumerate.strongest_implied_conjunction(&vars, &phi),
+                search.strongest_implied_conjunction(&vars, &phi),
+                "G diverged over {preds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumerate_spends_fewer_queries_on_chain_predicates() {
+        // chain x < 1 .. x < 6 with goal x + y < 0: every consistent
+        // cube stays undetermined (y is unconstrained), so the search
+        // pays for the whole cube lattice while enumeration pays one
+        // solve per consistent pattern (k + 1 of them) per polarity
+        let (env, lookup) = search_env();
+        let preds: Vec<String> = (1..=6).map(|i| format!("x < {i}")).collect();
+        let pred_refs: Vec<&str> = preds.iter().map(String::as_str).collect();
+        let vars = scope_vars(&pred_refs);
+        let phi = parse_expr("x + y < 0").unwrap();
+        let opts = CubeOptions {
+            cone_of_influence: false,
+            numeric_oracle: false,
+            max_cube_len: None,
+            ..CubeOptions::default()
+        };
+        let mut p1 = Prover::new();
+        let mut search = CubeSearch::new(&mut p1, &env, &lookup, opts.clone());
+        let want = search.largest_implying_disjunction(&vars, &phi);
+        let search_queries = search.prover.stats.queries;
+        let mut p2 = Prover::new();
+        let mut enumerate = CubeSearch::new(
+            &mut p2,
+            &env,
+            &lookup,
+            CubeOptions {
+                engine: CubeEngine::Enumerate,
+                ..opts
+            },
+        );
+        let got = enumerate.largest_implying_disjunction(&vars, &phi);
+        let enum_queries = enumerate.prover.stats.queries;
+        assert_eq!(got, want, "engines diverged on the chain goal");
+        assert_ne!(want, BExpr::Const(false), "chain goal found no implicants");
+        assert!(
+            enumerate.stats.models_enumerated > 0,
+            "no models enumerated"
+        );
+        assert_eq!(enumerate.stats.enum_fallbacks, 0, "unexpected fallback");
+        assert!(
+            enum_queries * 4 < search_queries,
+            "expected a >4x query saving: enumerate {enum_queries}, search {search_queries}"
+        );
+    }
+
+    #[test]
+    fn extract_prime_cubes_matches_hand_computation() {
+        // patterns over 3 literals: {TTF, FTT}. Minimal uncovered cubes:
+        // every cube must disagree with both patterns somewhere.
+        let neg = vec![vec![true, true, false], vec![false, true, true]];
+        let out = extract_prime_cubes(&neg, None, 3, 3).unwrap();
+        // singletons: (1,false) disagrees with both (σ₁ = T twice);
+        // pairs from branching: (0,F)+(1,F) is non-minimal (contains
+        // (1,F)); (0,F)+(2,F) kills TTF via 0 and FTT via 2; etc.
+        assert!(out.contains(&vec![(1, false)]));
+        assert!(out.contains(&vec![(0, false), (2, false)]));
+        assert!(out.contains(&vec![(0, true), (2, true)]));
+        // nothing in the output is covered or non-minimal
+        for cube in &out {
+            for sigma in &neg {
+                assert!(
+                    !cube.iter().all(|&(i, b)| sigma[i] == b),
+                    "covered cube {cube:?} in output"
+                );
+            }
+            assert!(
+                !(cube.len() > 1 && cube.contains(&(1, false))),
+                "non-minimal cube {cube:?} in output"
+            );
+        }
+        // ordering: lengths ascending, lexicographic combos within
+        for pair in out.windows(2) {
+            assert!(pair[0].len() <= pair[1].len(), "out of order: {out:?}");
+        }
+        // empty pattern set: all singletons, negative sign first
+        let all = extract_prime_cubes(&[], None, 2, 3).unwrap();
+        assert_eq!(
+            all,
+            vec![
+                vec![(0, false)],
+                vec![(0, true)],
+                vec![(1, false)],
+                vec![(1, true)]
+            ]
+        );
+    }
+
+    #[test]
+    fn extraction_stays_output_sensitive_on_threshold_chains() {
+        // the k-sweep shape: patterns are the k + 1 threshold valuations
+        // of the chain x < 1 .. x < k, and the minimal uncovered cubes
+        // are exactly the C(k, 2) inconsistent pairs {x < j+1, !(x <
+        // i+1)} with j < i. Before the criticality prune the walk blew
+        // its node budget near k = 15 (covered all-negative chains are
+        // ~2^k nodes on their own) and fell back to the search.
+        let k = 16;
+        let neg: Vec<Vec<bool>> = (0..=k).map(|v| (1..=k).map(|i| v < i).collect()).collect();
+        let out = extract_prime_cubes(&neg, None, k, k).expect("extraction blew its node budget");
+        assert_eq!(out.len(), k * (k - 1) / 2);
+        for cube in &out {
+            let (&(j, bj), &(i, bi)) = (&cube[0], &cube[1]);
+            assert!(j < i && bj && !bi, "unexpected cube {cube:?}");
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use abs::{
     PhaseSeconds, ReuseSession,
 };
 pub use aliaslint::{lint_alias_precision, AliasLintWarning};
-pub use cubes::{AliasGroups, CubeOptions, CubeStats, ScopeVar};
+pub use cubes::{AliasGroups, CubeEngine, CubeOptions, CubeStats, ScopeVar};
 pub use pointsto::AliasMode;
 pub use preds::{parse_pred_file, Pred, PredScope};
 pub use sig::{signature, Signature};

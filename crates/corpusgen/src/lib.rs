@@ -34,6 +34,13 @@
 //! `refs = refs + 1` (no cube implies the weakest precondition of an
 //! increment), so nested or repeated brackets are semantically safe but
 //! unprovable — the generator sticks to the shapes the tool can close.
+//! Re-measured when the AllSAT enumeration engine landed: both cube
+//! engines give up identically on nested and sequential two-bracket
+//! drivers ("refinement produced no new predicates" at iteration 2,
+//! with or without the cube-length bound), because the blocker is
+//! Newton's refinement — it never proposes a predicate that survives
+//! the second increment — not the cube engines, which are
+//! output-identical by construction. See `EXPERIMENTS.md`.
 
 #![warn(missing_docs)]
 

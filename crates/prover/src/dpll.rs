@@ -313,8 +313,8 @@ pub struct Incremental {
     gate_children: Vec<Vec<usize>>,
     /// Root variables of the base formula's unit clauses.
     base_roots: Vec<usize>,
-    /// selector var -> root var of the formula it guards.
-    sel_roots: HashMap<usize, usize>,
+    /// selector var -> signed root literal of the formula it guards.
+    sel_roots: HashMap<usize, i32>,
 }
 
 impl Incremental {
@@ -413,6 +413,35 @@ impl Incremental {
         atoms
     }
 
+    /// Asserts the disjunction of `fs` as a single clause over their
+    /// (memoized) root literals, with no fresh gate variable. The gate
+    /// encodings here are equivalences, so the clause is exactly
+    /// `assert_base(Or(fs))` minus one auxiliary variable and its n + 2
+    /// definitional clauses — the difference that keeps AllSAT blocking
+    /// linear in the number of models instead of inflating every later
+    /// solve's propagation. Member roots join the reachability seeds so
+    /// their definitional clauses stay active. Returns the variables of
+    /// the members' atoms in first-occurrence order.
+    pub fn assert_clause(&mut self, fs: &[Formula]) -> Vec<usize> {
+        let mut atoms: Vec<usize> = Vec::new();
+        for f in fs {
+            for v in self.atom_vars_of(f) {
+                if !atoms.contains(&v) {
+                    atoms.push(v);
+                }
+            }
+        }
+        let lits: Vec<i32> = fs.iter().map(|f| self.encode(f)).collect();
+        for &l in &lits {
+            let v = l.unsigned_abs() as usize - 1;
+            if !self.base_roots.contains(&v) {
+                self.base_roots.push(v);
+            }
+        }
+        self.clauses.push(lits);
+        atoms
+    }
+
     /// Registers `f` behind a fresh selector variable; returns the
     /// selector and the variables of `f`'s atoms in first-occurrence
     /// order. `f` holds in a solve exactly when its selector is assumed.
@@ -421,8 +450,17 @@ impl Incremental {
         let root = self.encode(f);
         let sel = self.fresh();
         self.clauses.push(vec![-Encoder::lit(sel, true), root]);
-        self.sel_roots.insert(sel, root.unsigned_abs() as usize - 1);
+        self.sel_roots.insert(sel, root);
         (sel, atoms)
+    }
+
+    /// The signed root literal of the formula guarded by `sel`. The gate
+    /// encodings are equivalences, so in any conflict-free assignment
+    /// where the formula's atoms are all assigned and its definitional
+    /// clauses are active, this literal's value *is* the formula's truth
+    /// value — the projection surface for AllSAT enumeration.
+    pub fn selector_root(&self, sel: usize) -> i32 {
+        self.sel_roots[&sel]
     }
 
     /// The clauses reachable from the base and the `on` selectors: the
@@ -433,13 +471,14 @@ impl Incremental {
     /// atom (its variable is otherwise unconstrained, so unit propagation
     /// through it only ever assigns the gate itself) — dropping them
     /// changes no answer, only the time spent scanning them.
-    fn active_clauses(&self, on: &[usize]) -> Vec<&Vec<i32>> {
+    fn active_clauses(&self, on: &[usize], seeds: &[usize]) -> Vec<&Vec<i32>> {
         let mut relevant = vec![false; self.var_count];
         let mut stack: Vec<usize> = self.base_roots.clone();
+        stack.extend_from_slice(seeds);
         for &sel in on {
             stack.push(sel);
             if let Some(&root) = self.sel_roots.get(&sel) {
-                stack.push(root);
+                stack.push(root.unsigned_abs() as usize - 1);
             }
         }
         while let Some(v) = stack.pop() {
@@ -464,8 +503,25 @@ impl Incremental {
         off: &[usize],
         decide: &[usize],
     ) -> (SatResult, u64) {
+        let (r, decisions, _) = self.solve_model(store, on, off, decide);
+        (r, decisions)
+    }
+
+    /// Like [`solve`](Self::solve), additionally returning — on `Sat` —
+    /// the total assignment of the `decide` atoms at the accepting leaf.
+    /// Every decide atom is assigned there (the leaf condition) and the
+    /// whole batch has been asserted into the theory solvers, so the
+    /// returned model is a theory-consistent total valuation of the
+    /// decision atoms that satisfies every active clause.
+    pub fn solve_model(
+        &self,
+        store: &TermStore,
+        on: &[usize],
+        off: &[usize],
+        decide: &[usize],
+    ) -> (SatResult, u64, Option<Vec<(Atom, bool)>>) {
         let mut search = IncSearch {
-            clauses: self.active_clauses(on),
+            clauses: self.active_clauses(on, &[]),
             vars_atoms: &self.vars_atoms,
             assignment: vec![None; self.var_count],
             asserted: vec![false; self.var_count],
@@ -473,6 +529,8 @@ impl Incremental {
             store,
             decide,
             decisions: 0,
+            model: None,
+            enumerate: None,
         };
         for &v in off {
             search.assignment[v] = Some(false);
@@ -481,7 +539,70 @@ impl Incremental {
             search.assignment[v] = Some(true);
         }
         let r = search.search();
-        (r, search.decisions)
+        let model = if r == SatResult::Sat {
+            search.model.map(|m| {
+                m.into_iter()
+                    .filter_map(|(v, b)| self.vars_atoms[v].map(|a| (a, b)))
+                    .collect()
+            })
+        } else {
+            None
+        };
+        (r, search.decisions, model)
+    }
+
+    /// AllSAT continuation over the `decide` atoms: one DFS run that, at
+    /// every accepting leaf, reads off the values of the `watch` root
+    /// literals as a sign pattern, asserts that pattern's blocking clause
+    /// in place, and keeps searching as if the leaf were a conflict. Each
+    /// region of the search tree is visited once — a solve-per-model
+    /// restart loop re-explores everything up to the newest blocking
+    /// clause on every restart, which is quadratic in the number of
+    /// models. `watch` holds signed root literals (see
+    /// [`selector_root`](Self::selector_root)); their definitional gates
+    /// join the reachability seeds so propagation always valuates them at
+    /// an accepting leaf.
+    ///
+    /// Returns `Unsat` when the pattern set is exhaustive, `Sat` when
+    /// more than `budget` patterns were found (the caller gives up; the
+    /// overflowing pattern is included), and `Unknown` on the decision
+    /// cap, which scales with the patterns found so the continuation is
+    /// never stricter than the restart loop it replaces.
+    pub fn solve_enumerate(
+        &self,
+        store: &TermStore,
+        off: &[usize],
+        decide: &[usize],
+        watch: &[i32],
+        budget: usize,
+    ) -> (SatResult, u64, Vec<Vec<bool>>) {
+        let seeds: Vec<usize> = watch
+            .iter()
+            .map(|l| l.unsigned_abs() as usize - 1)
+            .collect();
+        let mut search = IncSearch {
+            clauses: self.active_clauses(&[], &seeds),
+            vars_atoms: &self.vars_atoms,
+            assignment: vec![None; self.var_count],
+            asserted: vec![false; self.var_count],
+            theory: IncrementalTheory::new(),
+            store,
+            decide,
+            decisions: 0,
+            model: None,
+            enumerate: Some(EnumState {
+                roots: watch.to_vec(),
+                budget,
+                patterns: Vec::new(),
+                blocks: Vec::new(),
+            }),
+        };
+        for &v in off {
+            search.assignment[v] = Some(false);
+        }
+        let r = search.search();
+        let patterns = search.enumerate.expect("enum state persists").patterns;
+        (r, search.decisions, patterns)
     }
 }
 
@@ -489,6 +610,20 @@ impl Default for Incremental {
     fn default() -> Incremental {
         Incremental::new()
     }
+}
+
+/// State of one AllSAT continuation run (see
+/// [`Incremental::solve_enumerate`]).
+struct EnumState {
+    /// Signed root literals of the watched formulas, in pattern order.
+    roots: Vec<i32>,
+    /// Give up once more than this many patterns have been found.
+    budget: usize,
+    /// Accepted patterns, in discovery order.
+    patterns: Vec<Vec<bool>>,
+    /// Blocking clauses asserted at accepted leaves; propagated exactly
+    /// like the session clauses from the node after their leaf onward.
+    blocks: Vec<Vec<i32>>,
 }
 
 struct IncSearch<'a> {
@@ -502,6 +637,12 @@ struct IncSearch<'a> {
     store: &'a TermStore,
     decide: &'a [usize],
     decisions: u64,
+    /// The decide-variable assignment captured at the accepting leaf,
+    /// snapshotted before the leaf's trail is undone.
+    model: Option<Vec<(usize, bool)>>,
+    /// AllSAT continuation mode: present only under
+    /// [`Incremental::solve_enumerate`].
+    enumerate: Option<EnumState>,
 }
 
 impl IncSearch<'_> {
@@ -511,13 +652,20 @@ impl IncSearch<'_> {
     }
 
     fn propagate(&mut self, trail: &mut Vec<usize>) -> bool {
+        let n_fixed = self.clauses.len();
         loop {
             let mut changed = false;
-            for ci in 0..self.clauses.len() {
+            let n_blocks = self.enumerate.as_ref().map_or(0, |e| e.blocks.len());
+            for ci in 0..n_fixed + n_blocks {
+                let clause: &[i32] = if ci < n_fixed {
+                    self.clauses[ci]
+                } else {
+                    &self.enumerate.as_ref().expect("blocks exist").blocks[ci - n_fixed]
+                };
                 let mut unassigned: Option<i32> = None;
                 let mut n_unassigned = 0;
                 let mut satisfied = false;
-                for &l in self.clauses[ci] {
+                for &l in clause {
                     match self.lit_value(l) {
                         Some(true) => {
                             satisfied = true;
@@ -559,7 +707,14 @@ impl IncSearch<'_> {
 
     fn search(&mut self) -> SatResult {
         self.decisions += 1;
-        if self.decisions > MAX_DECISIONS {
+        // in enumeration mode the cap scales with the patterns found, so
+        // one continuation run is never stricter than the equivalent
+        // solve-per-model restart loop (whose cap was per solve)
+        let cap = match &self.enumerate {
+            Some(e) => MAX_DECISIONS.saturating_mul(e.patterns.len() as u64 + 1),
+            None => MAX_DECISIONS,
+        };
+        if self.decisions > cap {
             return SatResult::Unknown;
         }
         let mut trail = Vec::new();
@@ -617,6 +772,55 @@ impl IncSearch<'_> {
             .copied()
             .find(|&v| self.assignment[v].is_none());
         let Some(v) = pick else {
+            if self.enumerate.is_some() {
+                // an accepting leaf in enumeration mode: read the watched
+                // roots (all propagated — their gates are active and their
+                // atoms are decide variables), block the pattern, and keep
+                // searching as if this leaf were a conflict
+                let roots = self
+                    .enumerate
+                    .as_ref()
+                    .expect("enumerate mode")
+                    .roots
+                    .clone();
+                let mut pattern = Vec::with_capacity(roots.len());
+                let mut block = Vec::with_capacity(roots.len());
+                for l in roots {
+                    match self.lit_value(l) {
+                        Some(b) => {
+                            pattern.push(b);
+                            block.push(if b { -l } else { l });
+                        }
+                        // defensively unreachable: give up rather than
+                        // record a partial pattern
+                        None => {
+                            leave(self, &trail);
+                            return SatResult::Unknown;
+                        }
+                    }
+                }
+                let e = self.enumerate.as_mut().expect("enumerate mode");
+                e.patterns.push(pattern);
+                let overflow = e.patterns.len() > e.budget;
+                if !overflow {
+                    e.blocks.push(block);
+                }
+                leave(self, &trail);
+                return if overflow {
+                    SatResult::Sat // abort the run: patterns remain
+                } else {
+                    SatResult::Unsat // pretend conflict: enumerate on
+                };
+            }
+            // capture the model before `leave` undoes the trail: at this
+            // leaf every decide variable is assigned and asserted into the
+            // theory, so the snapshot is total and theory-consistent
+            self.model = Some(
+                self.decide
+                    .iter()
+                    .filter_map(|&d| self.assignment[d].map(|b| (d, b)))
+                    .collect(),
+            );
             leave(self, &trail);
             return SatResult::Sat;
         };

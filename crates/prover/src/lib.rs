@@ -204,6 +204,19 @@ impl Prover {
         self.check_sat(f) == SatResult::Unsat
     }
 
+    /// Records a solver run that had to bypass the caches — model
+    /// enumeration solves answer against a session-local base that grows
+    /// with every blocking clause, so their results must never be cached
+    /// or shared. Counting them here keeps `queries` an honest total of
+    /// prover work across both cube engines.
+    pub fn count_uncached_query(&mut self, r: SatResult) {
+        self.stats.queries += 1;
+        match r {
+            SatResult::Unsat => self.stats.unsat += 1,
+            _ => self.stats.sat_or_unknown += 1,
+        }
+    }
+
     /// Clears the query cache (the store is kept).
     pub fn clear_cache(&mut self) {
         self.cache.clear();

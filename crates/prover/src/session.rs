@@ -101,6 +101,122 @@ impl ProverSession {
         AssumptionId(self.assumptions.len() as u32 - 1)
     }
 
+    /// Permanently asserts `f` into the base (a blocking clause in model
+    /// enumeration). The recorded unsat cores are invalidated: they were
+    /// proved against the clause database as it stood when they were
+    /// recorded, and every later answer derived from one must hold
+    /// against the *current* base. Growth by conjunction happens to
+    /// preserve unsatisfiability, but keeping the cores would make the
+    /// session's correctness depend on that monotonicity argument (and
+    /// silently break if retraction or SAT-side caching is ever added),
+    /// so a growing base simply starts its core set afresh.
+    pub fn assert(&mut self, f: &Formula) {
+        let atoms = self.solver.assert_base(f);
+        for v in atoms {
+            if !self.base_atoms.contains(&v) {
+                self.base_atoms.push(v);
+            }
+        }
+        self.cores.clear();
+    }
+
+    /// Permanently asserts `⋁ fs` into the base as one clause over the
+    /// members' memoized encodings ([`Incremental::assert_clause`]) —
+    /// semantically identical to `assert(&Formula::or(fs))` but without
+    /// minting a gate per call, which is what keeps an AllSAT blocking
+    /// loop's clause database (and so every later solve) linear in the
+    /// number of models. Invalidates recorded cores for the same reason
+    /// [`assert`](Self::assert) does.
+    pub fn assert_clause(&mut self, fs: &[Formula]) {
+        let atoms = self.solver.assert_clause(fs);
+        for v in atoms {
+            if !self.base_atoms.contains(&v) {
+                self.base_atoms.push(v);
+            }
+        }
+        self.cores.clear();
+    }
+
+    /// Solves the base alone (no assumptions active) and returns a total
+    /// theory-consistent model over the atoms of the `watch` assumptions
+    /// plus the base atoms when satisfiable. The watched formulas do not
+    /// constrain the solve — their selectors stay off — but their atoms
+    /// join the decision list, so the returned model valuates every one
+    /// of them. This is the extraction surface for AllSAT enumeration:
+    /// watch the predicate literals, read off the sign pattern, assert a
+    /// blocking clause via [`assert`](Self::assert), repeat until
+    /// `Unsat`.
+    pub fn solve_model(
+        &mut self,
+        store: &TermStore,
+        watch: &[AssumptionId],
+    ) -> (SatResult, Option<Vec<(crate::term::Atom, bool)>>) {
+        self.stats.solves += 1;
+        let off: Vec<usize> = self.assumptions.iter().map(|a| a.sel).collect();
+        let mut decide: Vec<usize> = Vec::new();
+        for a in watch {
+            for &v in &self.assumptions[a.0 as usize].atoms {
+                if !decide.contains(&v) {
+                    decide.push(v);
+                }
+            }
+        }
+        for &v in &self.base_atoms {
+            if !decide.contains(&v) {
+                decide.push(v);
+            }
+        }
+        let (r, decisions, model) = self.solver.solve_model(store, &[], &off, &decide);
+        self.stats.decisions += decisions;
+        (r, model)
+    }
+
+    /// Enumerates every theory-consistent total sign pattern of the
+    /// `watch` assumption formulas under the base, in one continuation
+    /// DFS ([`Incremental::solve_enumerate`]) instead of a solve-per-
+    /// model restart loop — the restart loop re-explores the whole
+    /// already-blocked region on every solve, which is quadratic in the
+    /// number of patterns. Counting parity with that loop is kept:
+    /// `stats.solves` grows by one per pattern plus one for the final
+    /// exhausted (or unknown) answer. Returns `Unsat` with the complete
+    /// pattern set, `Sat` when more than `budget` patterns exist (the
+    /// overflowing pattern is included; the set is *not* complete), or
+    /// `Unknown` on a decision blowup.
+    pub fn enumerate_models(
+        &mut self,
+        store: &TermStore,
+        watch: &[AssumptionId],
+        budget: usize,
+    ) -> (SatResult, Vec<Vec<bool>>) {
+        let off: Vec<usize> = self.assumptions.iter().map(|a| a.sel).collect();
+        let mut decide: Vec<usize> = Vec::new();
+        for a in watch {
+            for &v in &self.assumptions[a.0 as usize].atoms {
+                if !decide.contains(&v) {
+                    decide.push(v);
+                }
+            }
+        }
+        for &v in &self.base_atoms {
+            if !decide.contains(&v) {
+                decide.push(v);
+            }
+        }
+        let roots: Vec<i32> = watch
+            .iter()
+            .map(|a| {
+                self.solver
+                    .selector_root(self.assumptions[a.0 as usize].sel)
+            })
+            .collect();
+        let (r, decisions, patterns) = self
+            .solver
+            .solve_enumerate(store, &off, &decide, &roots, budget);
+        self.stats.decisions += decisions;
+        self.stats.solves += patterns.len() as u64 + u64::from(r != SatResult::Sat);
+        (r, patterns)
+    }
+
     /// Solves `base ∧ (∧ active assumptions)` against the store the
     /// session's formulas were built in.
     ///
@@ -298,6 +414,171 @@ mod tests {
 
         // and a disjoint set still solves normally
         assert_eq!(sess.solve_assuming(&s, &[a_other]), SatResult::Sat);
+    }
+
+    #[test]
+    fn assert_invalidates_recorded_cores() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let y = s.var("y", Sort::Int);
+        let ten = s.num(10);
+        let five = s.num(5);
+        let zero = s.num(0);
+        let base = s.le(ten, x); // x >= 10
+        let small = s.le(x, five); // contradicts base alone
+        let neg_y = s.le(y, zero); // independent of the base — for now
+
+        let mut sess = ProverSession::new(&base);
+        let a_small = sess.assume(&small);
+        let a_neg_y = sess.assume(&neg_y);
+
+        // record a core and confirm superset queries hit it
+        let (r, core) = sess.solve_with_core(&s, &[a_neg_y, a_small]);
+        assert_eq!(r, SatResult::Unsat);
+        assert_eq!(core, Some(vec![a_small]));
+        assert_eq!(
+            sess.solve_assuming(&s, &[a_small, a_neg_y]),
+            SatResult::Unsat
+        );
+        assert_eq!(sess.stats.core_hits, 1);
+        assert_eq!(sess.solve_assuming(&s, &[a_neg_y]), SatResult::Sat);
+
+        // grow the clause DB: y >= 1 makes [a_neg_y] contradictory
+        let one = s.num(1);
+        sess.assert(&s.le(one, y));
+
+        // the old core no longer short-circuits — a superset query must
+        // re-solve against the grown base (and still answer correctly)
+        let solves_before = sess.stats.solves;
+        assert_eq!(
+            sess.solve_assuming(&s, &[a_small, a_neg_y]),
+            SatResult::Unsat
+        );
+        assert_eq!(sess.stats.core_hits, 1, "stale core answered a query");
+        assert!(sess.stats.solves > solves_before, "query was not re-solved");
+
+        // the previously-sat set now reflects the grown base
+        assert_eq!(sess.solve_assuming(&s, &[a_neg_y]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assert_clause_matches_asserting_the_disjunction() {
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let zero = s.num(0);
+        let one = s.num(1);
+        let three = s.num(3);
+        let five = s.num(5);
+        let low = s.le(x, zero);
+        let high = s.le(five, x);
+        let p = s.le(x, three);
+        let q = s.le(one, x);
+
+        let mut by_or = ProverSession::new(&Formula::True);
+        let mut by_clause = ProverSession::new(&Formula::True);
+        let ids = [by_or.assume(&p), by_or.assume(&q)];
+        assert_eq!(ids, [by_clause.assume(&p), by_clause.assume(&q)]);
+        by_or.assert(&Formula::or([low.clone(), high.clone()]));
+        by_clause.assert_clause(&[low, high]);
+
+        for active in [vec![], vec![ids[0]], vec![ids[1]], vec![ids[0], ids[1]]] {
+            let want = by_or.solve_assuming(&s, &active);
+            assert_eq!(by_clause.solve_assuming(&s, &active), want, "{active:?}");
+        }
+        // x <= 3 && x >= 1 contradicts the clause; each side alone is fine
+        assert_eq!(
+            by_clause.solve_assuming(&s, &[ids[0], ids[1]]),
+            SatResult::Unsat
+        );
+        assert_eq!(by_clause.solve_assuming(&s, &[ids[0]]), SatResult::Sat);
+
+        // solve_model still produces a total watched model under the clause
+        let (r, model) = by_clause.solve_model(&s, &ids);
+        assert_eq!(r, SatResult::Sat);
+        let model = model.expect("sat without a model");
+        let assign = |a: &crate::term::Atom| model.iter().find(|(m, _)| m == a).map(|(_, b)| *b);
+        assert!(p.eval(&assign).is_some() && q.eval(&assign).is_some());
+    }
+
+    #[test]
+    fn model_enumeration_blocks_to_exhaustion() {
+        // chain predicates x <= 0, x <= 1 under an unconstraining base:
+        // exactly the three consistent sign patterns TT, FT, FF appear,
+        // each exactly once, then the blocked base goes unsat.
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let zero = s.num(0);
+        let one = s.num(1);
+        let preds = [s.le(x, zero), s.le(x, one)];
+
+        let mut sess = ProverSession::new(&Formula::True);
+        let ids: Vec<AssumptionId> = preds.iter().map(|p| sess.assume(p)).collect();
+        let mut seen: Vec<Vec<bool>> = Vec::new();
+        loop {
+            let (r, model) = sess.solve_model(&s, &ids);
+            match r {
+                SatResult::Unsat => break,
+                SatResult::Sat => {
+                    let model = model.expect("sat without a model");
+                    let assign =
+                        |a: &crate::term::Atom| model.iter().find(|(m, _)| m == a).map(|(_, b)| *b);
+                    let pattern: Vec<bool> = preds
+                        .iter()
+                        .map(|p| p.eval(&assign).expect("model not total over watch atoms"))
+                        .collect();
+                    assert!(!seen.contains(&pattern), "pattern repeated: {pattern:?}");
+                    // block this pattern: at least one predicate flips
+                    let block: Vec<Formula> = preds
+                        .iter()
+                        .zip(&pattern)
+                        .map(|(p, &b)| if b { p.clone().negate() } else { p.clone() })
+                        .collect();
+                    seen.push(pattern);
+                    sess.assert_clause(&block);
+                }
+                SatResult::Unknown => panic!("unknown during enumeration"),
+            }
+            assert!(seen.len() <= 4, "enumeration failed to terminate");
+        }
+        let mut seen_sorted = seen.clone();
+        seen_sorted.sort();
+        assert_eq!(
+            seen_sorted,
+            vec![vec![false, false], vec![false, true], vec![true, true]],
+            "expected exactly the theory-consistent patterns"
+        );
+    }
+
+    #[test]
+    fn continuation_enumeration_matches_the_restart_loop() {
+        // same scenario as model_enumeration_blocks_to_exhaustion: the
+        // one-run continuation must produce exactly the same pattern set
+        // as blocking solve-by-solve, with solve-count parity (one per
+        // pattern plus the final exhausted answer)
+        let mut s = TermStore::new();
+        let x = s.var("x", Sort::Int);
+        let zero = s.num(0);
+        let one = s.num(1);
+        let preds = [s.le(x, zero), s.le(x, one)];
+
+        let mut sess = ProverSession::new(&Formula::True);
+        let ids: Vec<AssumptionId> = preds.iter().map(|p| sess.assume(p)).collect();
+        let (r, patterns) = sess.enumerate_models(&s, &ids, 16);
+        assert_eq!(r, SatResult::Unsat, "enumeration did not exhaust");
+        let mut sorted = patterns.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![vec![false, false], vec![false, true], vec![true, true]]
+        );
+        assert_eq!(sess.stats.solves, patterns.len() as u64 + 1);
+
+        // budget overflow reports Sat with the overflowing pattern kept
+        let mut tight = ProverSession::new(&Formula::True);
+        let tight_ids: Vec<AssumptionId> = preds.iter().map(|p| tight.assume(p)).collect();
+        let (r, partial) = tight.enumerate_models(&s, &tight_ids, 1);
+        assert_eq!(r, SatResult::Sat);
+        assert_eq!(partial.len(), 2);
     }
 
     #[test]

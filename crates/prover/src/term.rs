@@ -134,6 +134,41 @@ impl Formula {
         out
     }
 
+    /// Evaluates the formula under `assign`, a (possibly partial)
+    /// valuation of atoms. Returns `None` when an atom the result depends
+    /// on is unvalued; `And`/`Or` short-circuit, so a determined
+    /// connective tolerates unvalued atoms in its other branches.
+    pub fn eval(&self, assign: &dyn Fn(&Atom) -> Option<bool>) -> Option<bool> {
+        match self {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::Atom(a) => assign(a),
+            Formula::Not(f) => f.eval(assign).map(|b| !b),
+            Formula::And(fs) => {
+                let mut all = Some(true);
+                for f in fs {
+                    match f.eval(assign) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all = None,
+                    }
+                }
+                all
+            }
+            Formula::Or(fs) => {
+                let mut any = Some(false);
+                for f in fs {
+                    match f.eval(assign) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => any = None,
+                    }
+                }
+                any
+            }
+        }
+    }
+
     fn collect_atoms(&self, out: &mut Vec<Atom>) {
         match self {
             Formula::True | Formula::False => {}

@@ -5,7 +5,7 @@
 //! c2bp <program.c> <program.preds> [--no-coi] [--no-syntax] [--k N|--k none]
 //!     [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]
 //!     [--alias unify|inclusion] [--alias-stats] [--no-slice] [--no-intervals]
-//!     [--slice-stats]
+//!     [--slice-stats] [--cube-engine search|enumerate]
 //! ```
 //!
 //! `--no-reuse` clears [`C2bpOptions::reuse`]; a single-shot abstraction
@@ -36,8 +36,14 @@
 //! numeric oracle answers cube-implication queries whose hypotheses and
 //! goal are pure integer arithmetic without calling the prover;
 //! `--no-intervals` routes every query to the prover.
+//!
+//! `--cube-engine` selects how each `F_V`/`G_V` goal is answered:
+//! `search` (default) is the paper's superset-pruned cube enumeration,
+//! `enumerate` the AllSAT model-enumeration engine with per-goal
+//! fallback to the search. The printed boolean program is identical
+//! either way; only the prover-call profile changes.
 
-use c2bp::{abstract_program, parse_pred_file, AliasMode, C2bpOptions};
+use c2bp::{abstract_program, parse_pred_file, AliasMode, C2bpOptions, CubeEngine};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -45,7 +51,7 @@ fn usage() -> ExitCode {
         "usage: c2bp <program.c> <predicates.preds> [--no-coi] [--no-syntax] [--k N|none] \
          [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint] \
          [--alias unify|inclusion] [--alias-stats] [--no-slice] [--no-intervals] \
-         [--slice-stats]"
+         [--slice-stats] [--cube-engine search|enumerate]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +82,10 @@ fn main() -> ExitCode {
             "--alias-stats" => alias_stats = true,
             "--alias" => match iter.next().map(|m| m.parse::<AliasMode>()) {
                 Some(Ok(mode)) => options.alias = mode,
+                _ => return usage(),
+            },
+            "--cube-engine" => match iter.next().map(|m| m.parse::<CubeEngine>()) {
+                Some(Ok(engine)) => options.cubes.engine = engine,
                 _ => return usage(),
             },
             "--no-coi" => options.cubes.cone_of_influence = false,

@@ -4,6 +4,7 @@
 //! slam <program.c> <entry-proc> [--spec <file.slic> | --prop <family> | --lock | --irp]
 //!     [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint]
 //!     [--alias unify|inclusion] [--no-slice] [--no-intervals] [--slice-stats]
+//!     [--cube-engine search|enumerate]
 //! ```
 //!
 //! With no spec the program's own `assert` statements are checked.
@@ -27,6 +28,11 @@
 //! by default and verdict-preserving; `--no-slice` / `--no-intervals`
 //! disable them for A/B runs, and `--slice-stats` prints what the slicer
 //! removed.
+//!
+//! `--cube-engine` selects the `F_V`/`G_V` engine (`search` is the
+//! paper's cube enumeration, `enumerate` the AllSAT model-enumeration
+//! engine); boolean programs, verdicts and final predicates are
+//! identical either way, only the prover-call profile changes.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
 use slam::{SlamOptions, SlamVerdict, SpecRegistry};
@@ -36,7 +42,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: slam <program.c> <entry-proc> [--spec <file.slic> | --prop <family> | --lock | \
          --irp] [--jobs N] [--no-prune] [--no-incremental] [--no-reuse] [--lint] \
-         [--alias unify|inclusion] [--no-slice] [--no-intervals] [--slice-stats]"
+         [--alias unify|inclusion] [--no-slice] [--no-intervals] [--slice-stats] \
+         [--cube-engine search|enumerate]"
     );
     ExitCode::from(2)
 }
@@ -62,6 +69,10 @@ fn main() -> ExitCode {
             "--lint" => options.lint = true,
             "--alias" => match iter.next().map(|m| m.parse::<c2bp::AliasMode>()) {
                 Some(Ok(mode)) => options.c2bp.alias = mode,
+                _ => return usage(),
+            },
+            "--cube-engine" => match iter.next().map(|m| m.parse::<c2bp::CubeEngine>()) {
+                Some(Ok(engine)) => options.c2bp.cubes.engine = engine,
                 _ => return usage(),
             },
             "--lock" => spec = locking_spec(),
