@@ -86,6 +86,20 @@ cargo test --offline -q --test enum_differential
 echo "== cube-engine A/B smoke (exits nonzero on divergence, ground-truth miss, or no counter-family prover-call drop) =="
 ./target/release/enum_ab --smoke --json "BENCH_enum.json" > /dev/null
 
+echo "== verification-service differential (scheduler + disk store) =="
+# One batch across {disk store on/off} x {cold/warm} x {1,4 workers}:
+# byte-identical boolean programs, verdicts, and final predicate sets
+# in every configuration; a corrupted store degrades to a clean cold
+# start (warning, identical outputs); a warm store must halve the
+# batch's prover calls.
+cargo test --offline -q --test serve_differential
+
+echo "== disk-store robustness (truncation, bit flips, version skew, lock contention) =="
+cargo test --offline -q -p diskcache
+
+echo "== serve A/B smoke (exits nonzero on divergence or <50% warm prover-call drop) =="
+./target/release/serve_ab --smoke --json "BENCH_serve.json" > /dev/null
+
 echo "== corpus check-in gate =="
 # Every file under corpus/ parses, instruments against its spec family
 # and lints clean; generated drivers byte-match their generator output.

@@ -1,0 +1,90 @@
+//! Serve A/B: the whole corpus — Table 1 drivers, the buggy driver,
+//! and the generated counter families — run twice through the
+//! verification-service scheduler against one on-disk store: once cold
+//! (empty store) and once warm (store reopened by a fresh scheduler,
+//! exactly what a second `slam-serve` process sees). Reports per-job
+//! prover calls, hydrated/replayed memo counts, and batch throughput
+//! plus cache hit rates per temperature.
+//!
+//! Exit status encodes the acceptance gates:
+//! * cold and warm must agree exactly on every job — byte-identical
+//!   per-iteration boolean programs, same verdict (which must also
+//!   match ground truth), same final predicates;
+//! * no job's warm run may issue more prover calls than its cold run;
+//! * on the reuse-heavy generated counter families the warm batch must
+//!   issue at least 50% fewer prover calls in aggregate, and the whole
+//!   batch must hit the same bar (the ISSUE 9 acceptance threshold).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin serve_ab [-- --jobs N] [--smoke]
+//!     [--json <path>]
+//! ```
+//!
+//! `--jobs` sets the scheduler's worker count (default 2);
+//! `--smoke` restricts to one driver and one counter pair for CI.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let workers = match bench::jobs_from_args() {
+        0 => 2,
+        j => j,
+    };
+    let smoke = bench::flag_in_args("--smoke");
+    let (rows, totals) = bench::serve_ab(workers, smoke);
+    print!(
+        "{}",
+        bench::render_serve(
+            &rows,
+            &totals,
+            "Serve A/B — cold vs warm store through the scheduler"
+        )
+    );
+    if let Some(path) = bench::json_path_from_args() {
+        bench::write_json(&path, &bench::json::serve_report(&rows, &totals));
+    }
+    let mut ok = true;
+    for r in &rows {
+        if !r.identical || !r.truth_ok {
+            eprintln!(
+                "serve_ab: FAIL — {} diverged across temperatures or missed ground truth",
+                r.name
+            );
+            ok = false;
+        }
+        if r.warm_prover > r.cold_prover {
+            eprintln!(
+                "serve_ab: FAIL — {} warm prover calls rose: {} -> {}",
+                r.name, r.cold_prover, r.warm_prover
+            );
+            ok = false;
+        }
+    }
+    let gate = |label: &str, cold: u64, warm: u64, ok: &mut bool| {
+        println!(
+            "{label}: {cold} -> {warm} prover calls ({:.1}% reduction)",
+            (1.0 - warm as f64 / cold.max(1) as f64) * 100.0
+        );
+        if warm * 2 > cold {
+            eprintln!("serve_ab: FAIL — {label} warm prover calls did not drop by >= 50%");
+            *ok = false;
+        }
+    };
+    let counter: Vec<&bench::ServeRow> = rows.iter().filter(|r| r.group == "counter").collect();
+    gate(
+        "counter family",
+        counter.iter().map(|r| r.cold_prover).sum(),
+        counter.iter().map(|r| r.warm_prover).sum(),
+        &mut ok,
+    );
+    gate(
+        "whole batch",
+        totals.cold_prover,
+        totals.warm_prover,
+        &mut ok,
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

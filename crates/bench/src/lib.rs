@@ -1849,10 +1849,304 @@ pub fn render_sweep(rows: &[SweepRow], search_cap: usize, title: &str) -> String
     out
 }
 
+// ---------------------------------------------------------------------------
+// Verification-service (scheduler + disk store) cold/warm A/B
+// ---------------------------------------------------------------------------
+
+/// One job's cold-vs-warm comparison through the [`slam::Scheduler`]:
+/// the same batch run twice against the same on-disk store — once cold
+/// (empty store) and once warm (store populated by the cold run's
+/// checkpoint, reopened by a fresh scheduler as a new process would).
+/// The runs must agree exactly (`identical`): byte-identical
+/// per-iteration boolean programs, same verdict (also checked against
+/// generator ground truth where known), same final predicates. Only
+/// the prover-call count may — and on reuse-heavy jobs must — drop.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Job label.
+    pub name: String,
+    /// Spec family the job was checked against.
+    pub spec: String,
+    /// Workload group: `table1` (the paper's drivers) or `counter`
+    /// (generated arithmetic-guard drivers).
+    pub group: &'static str,
+    /// Human-readable outcome (shared by both runs when `identical`).
+    pub outcome: String,
+    /// Theorem-prover calls, cold run.
+    pub cold_prover: u64,
+    /// Theorem-prover calls, warm run.
+    pub warm_prover: u64,
+    /// Memo records hydrated from the disk store before the warm run.
+    pub warm_hydrated: usize,
+    /// Abstraction units the warm run replayed from the memo.
+    pub warm_reused: usize,
+    /// Verdict matches ground truth where one is known.
+    pub truth_ok: bool,
+    /// Cold and warm agreed on every observable output.
+    pub identical: bool,
+}
+
+impl ServeRow {
+    /// Fraction of prover calls the warm run removed.
+    pub fn prover_reduction(&self) -> f64 {
+        reduction(self.cold_prover, self.warm_prover)
+    }
+}
+
+/// Batch-level aggregates for one serve A/B run.
+#[derive(Debug, Clone)]
+pub struct ServeTotals {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Worker threads the scheduler ran with.
+    pub workers: usize,
+    /// Wall-clock seconds, cold batch.
+    pub cold_secs: f64,
+    /// Wall-clock seconds, warm batch.
+    pub warm_secs: f64,
+    /// Theorem-prover calls summed over the batch, cold.
+    pub cold_prover: u64,
+    /// Theorem-prover calls summed over the batch, warm.
+    pub warm_prover: u64,
+    /// Shared prover-cache hit rate over the cold batch.
+    pub cold_hit_rate: f64,
+    /// Shared prover-cache hit rate over the warm batch.
+    pub warm_hit_rate: f64,
+    /// Records in the disk store after the cold run's checkpoint.
+    pub store_entries: usize,
+}
+
+impl ServeTotals {
+    /// Batch throughput, cold run.
+    pub fn cold_jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.cold_secs.max(1e-9)
+    }
+
+    /// Batch throughput, warm run.
+    pub fn warm_jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.warm_secs.max(1e-9)
+    }
+
+    /// Fraction of prover calls the warm batch removed.
+    pub fn prover_reduction(&self) -> f64 {
+        reduction(self.cold_prover, self.warm_prover)
+    }
+}
+
+fn serve_options(trace_runs: Option<u64>) -> SlamOptions {
+    let mut options = SlamOptions {
+        keep_bps: true,
+        c2bp: C2bpOptions {
+            // one solver thread per job: the scheduler's pool is the
+            // parallelism under test
+            jobs: 1,
+            ..C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    if let Some(t) = trace_runs {
+        options.trace_runs = t;
+    }
+    options
+}
+
+/// The serve A/B batch: the Table 1 drivers (plus the buggy driver) and
+/// the generated counter corpus, as [`slam::Job`]s with their workload
+/// group and expected verdict. The seeded `retry` driver is absent —
+/// jobs carry no seed predicates (an honest protocol gap, see
+/// EXPERIMENTS.md). `smoke` restricts to one driver and one counter
+/// pair for CI.
+pub fn serve_jobs(smoke: bool) -> Vec<(slam::Job, &'static str, Expect)> {
+    let mut out = Vec::new();
+    let driver = |stem: &str, entry: &str, prop: &str, expect: Expect| {
+        let source = read(corpus_dir().join("drivers").join(format!("{stem}.c")));
+        let mut job = slam::Job::new(stem, source, prop, entry);
+        job.options = serve_options(None);
+        (job, "table1", expect)
+    };
+    let counter = |family: &'static str, seed: u64, defect: bool| {
+        let d = corpusgen::generate(family, &counter_params(), seed, defect);
+        let expect = match d.truth {
+            corpusgen::GroundTruth::Safe => Expect::Validated,
+            corpusgen::GroundTruth::Defect { .. } => Expect::Error,
+        };
+        let mut job = slam::Job::new(&d.name, &d.source, family, d.entry);
+        job.options = serve_options(Some(2_000));
+        (job, "counter", expect)
+    };
+    if smoke {
+        out.push(driver(
+            "openclos",
+            "DispatchOpenClose",
+            "lock",
+            Expect::Validated,
+        ));
+        out.push(counter("lock", 0, false));
+        out.push(counter("lock", 0, true));
+        return out;
+    }
+    for &(stem, entry, prop) in &DRIVERS {
+        out.push(driver(stem, entry, prop, Expect::Validated));
+    }
+    out.push(driver(
+        BUGGY_DRIVER.0,
+        BUGGY_DRIVER.1,
+        BUGGY_DRIVER.2,
+        Expect::Error,
+    ));
+    for family in corpusgen::FAMILIES {
+        for seed in [0u64, 1] {
+            for defect in [false, true] {
+                out.push(counter(family, seed, defect));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the serve A/B: the batch cold against a fresh on-disk store,
+/// checkpoint, then the same batch warm through a *new* scheduler that
+/// reopens the store (exactly what a second `slam-serve` process sees).
+/// The store lives in a temp file and is removed afterwards.
+pub fn serve_ab(workers: usize, smoke: bool) -> (Vec<ServeRow>, ServeTotals) {
+    let spec_jobs = serve_jobs(smoke);
+    let jobs: Vec<slam::Job> = spec_jobs.iter().map(|(j, _, _)| j.clone()).collect();
+    let store_path = std::env::temp_dir().join(format!(
+        "slam-serve-ab-{}{}.store",
+        std::process::id(),
+        if smoke { "-smoke" } else { "" }
+    ));
+    let _ = std::fs::remove_file(&store_path);
+
+    let cold_sched = slam::Scheduler::with_store(&store_path);
+    let t0 = Instant::now();
+    let cold = cold_sched.run_batch(&jobs, workers, &|_| {});
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_hit_rate = cold_sched.shared_cache().snapshot().hit_rate();
+    let store_entries = cold_sched.checkpoint().expect("cold checkpoint succeeds");
+    drop(cold_sched); // releases the store lock for the warm opener
+
+    let warm_sched = slam::Scheduler::with_store(&store_path);
+    for w in warm_sched.store_warnings() {
+        eprintln!("serve_ab: unexpected store warning: {w}");
+    }
+    let t0 = Instant::now();
+    let warm = warm_sched.run_batch(&jobs, workers, &|_| {});
+    let warm_secs = t0.elapsed().as_secs_f64();
+    let warm_hit_rate = warm_sched.shared_cache().snapshot().hit_rate();
+    let _ = std::fs::remove_file(&store_path);
+
+    let bps = |run: &slam::SlamRun| -> Vec<String> {
+        run.per_iteration
+            .iter()
+            .map(|it| it.bp_text.clone().expect("keep_bps was set"))
+            .collect()
+    };
+    let rows = spec_jobs
+        .iter()
+        .zip(cold.iter().zip(&warm))
+        .map(|((job, group, expect), (c, w))| {
+            let identical = match (&c.run, &w.run) {
+                (Ok(c), Ok(w)) => {
+                    bps(c) == bps(w)
+                        && format!("{:?}", c.verdict) == format!("{:?}", w.verdict)
+                        && format!("{:?}", c.final_preds) == format!("{:?}", w.final_preds)
+                }
+                _ => false,
+            };
+            let (outcome, truth_ok) = match &w.run {
+                Ok(run) => (
+                    match &run.verdict {
+                        SlamVerdict::Validated => format!("validated ({} iters)", run.iterations),
+                        SlamVerdict::ErrorFound { .. } => {
+                            format!("ERROR FOUND ({} iters)", run.iterations)
+                        }
+                        SlamVerdict::GaveUp { reason } => format!("gave up: {reason}"),
+                    },
+                    match expect {
+                        Expect::Validated => matches!(run.verdict, SlamVerdict::Validated),
+                        Expect::Error => matches!(run.verdict, SlamVerdict::ErrorFound { .. }),
+                    },
+                ),
+                Err(e) => (format!("FAILED: {}", e.message), false),
+            };
+            ServeRow {
+                name: job.name.clone(),
+                spec: job.spec.clone(),
+                group,
+                outcome,
+                cold_prover: c.prover_calls,
+                warm_prover: w.prover_calls,
+                warm_hydrated: w.memo_hydrated,
+                warm_reused: w.reused_units,
+                truth_ok,
+                identical,
+            }
+        })
+        .collect::<Vec<ServeRow>>();
+    let totals = ServeTotals {
+        jobs: jobs.len(),
+        workers,
+        cold_secs,
+        warm_secs,
+        cold_prover: rows.iter().map(|r| r.cold_prover).sum(),
+        warm_prover: rows.iter().map(|r| r.warm_prover).sum(),
+        cold_hit_rate,
+        warm_hit_rate,
+        store_entries,
+    };
+    (rows, totals)
+}
+
+/// Renders the serve A/B rows and the batch summary.
+pub fn render_serve(rows: &[ServeRow], totals: &ServeTotals, title: &str) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<26} {:<9} {:>10} {:>10} {:>7} {:>9} {:>8}  truth identical  outcome\n",
+        "job", "spec", "thm(cold)", "thm(warm)", "Δthm", "hydrated", "replayed",
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:<9} {:>10} {:>10} {:>6.1}% {:>9} {:>8}  {:<5} {:<9}  {}\n",
+            r.name,
+            r.spec,
+            r.cold_prover,
+            r.warm_prover,
+            r.prover_reduction() * 100.0,
+            r.warm_hydrated,
+            r.warm_reused,
+            if r.truth_ok { "yes" } else { "NO" },
+            if r.identical { "yes" } else { "NO" },
+            r.outcome,
+        ));
+    }
+    out.push_str(&format!(
+        "batch: {} jobs x {} workers — cold {:.2}s ({:.2} jobs/s, {:.1}% cache hits) \
+         vs warm {:.2}s ({:.2} jobs/s, {:.1}% cache hits)\n\
+         prover calls: {} -> {} ({:.1}% reduction); store: {} records after checkpoint\n",
+        totals.jobs,
+        totals.workers,
+        totals.cold_secs,
+        totals.cold_jobs_per_sec(),
+        totals.cold_hit_rate * 100.0,
+        totals.warm_secs,
+        totals.warm_jobs_per_sec(),
+        totals.warm_hit_rate * 100.0,
+        totals.cold_prover,
+        totals.warm_prover,
+        totals.prover_reduction() * 100.0,
+        totals.store_entries,
+    ));
+    out
+}
+
 /// Minimal JSON emission for the bench binaries' `--json <path>` output
 /// (hand-rolled: the workspace takes no serialization dependency).
 pub mod json {
-    use super::{AliasRow, CegarRow, EnumRow, IncRow, PruneRow, Row, SliceRow, SweepRow};
+    use super::{
+        AliasRow, CegarRow, EnumRow, IncRow, PruneRow, Row, ServeRow, ServeTotals, SliceRow,
+        SweepRow,
+    };
 
     pub(crate) fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
@@ -2057,6 +2351,47 @@ pub mod json {
             )
         }));
         format!("{{\"drivers\": {drivers}, \"sweep\": {sweep}}}\n")
+    }
+
+    /// Serve (cold/warm) A/B rows plus batch totals as one JSON object.
+    pub fn serve_report(rows: &[ServeRow], totals: &ServeTotals) -> String {
+        let jobs = array(rows.iter().map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"spec\": \"{}\", \"group\": \"{}\", \
+                 \"prover_calls\": {{\"cold\": {}, \"warm\": {}, \
+                 \"reduction\": {:.6}}}, \"warm_hydrated\": {}, \
+                 \"warm_reused\": {}, \"outcome\": \"{}\", \"truth_ok\": {}, \
+                 \"identical\": {}}}",
+                esc(&r.name),
+                esc(&r.spec),
+                esc(r.group),
+                r.cold_prover,
+                r.warm_prover,
+                r.prover_reduction(),
+                r.warm_hydrated,
+                r.warm_reused,
+                esc(&r.outcome),
+                r.truth_ok,
+                r.identical
+            )
+        }));
+        format!(
+            "{{\"jobs\": {jobs}, \"totals\": {{\"jobs\": {}, \"workers\": {}, \
+             \"cold_jobs_per_sec\": {:.6}, \"warm_jobs_per_sec\": {:.6}, \
+             \"prover_calls\": {{\"cold\": {}, \"warm\": {}, \"reduction\": {:.6}}}, \
+             \"cache_hit_rate\": {{\"cold\": {:.6}, \"warm\": {:.6}}}, \
+             \"store_entries\": {}}}}}\n",
+            totals.jobs,
+            totals.workers,
+            totals.cold_jobs_per_sec(),
+            totals.warm_jobs_per_sec(),
+            totals.cold_prover,
+            totals.warm_prover,
+            totals.prover_reduction(),
+            totals.cold_hit_rate,
+            totals.warm_hit_rate,
+            totals.store_entries
+        )
     }
 
     /// Incremental A/B rows as a JSON array of objects.

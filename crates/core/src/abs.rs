@@ -243,6 +243,18 @@ impl ReuseSession {
         }
     }
 
+    /// A session whose prover-verdict cache is `shared` — how a
+    /// scheduler plugs one process-wide (possibly disk-hydrated) cache
+    /// into every job's session. The memo starts empty; seed it with
+    /// [`hydrate_memo`](ReuseSession::hydrate_memo).
+    pub fn with_shared_cache(shared: SharedCache) -> ReuseSession {
+        ReuseSession {
+            shared,
+            memo: HashMap::new(),
+            config_sig: None,
+        }
+    }
+
     /// Memoized leaf outputs currently held.
     pub fn memo_len(&self) -> usize {
         self.memo.len()
@@ -252,6 +264,63 @@ impl ReuseSession {
     pub fn shared_cache(&self) -> &SharedCache {
         &self.shared
     }
+
+    /// The configuration signature the memo is currently valid for
+    /// (`None` until the first reusing abstraction or hydration). See
+    /// [`reuse_signature`].
+    pub fn config_sig(&self) -> Option<&str> {
+        self.config_sig.as_deref()
+    }
+
+    /// The memo as `(fingerprint, exact binary encoding)` pairs, in
+    /// sorted fingerprint order, for persistence. Pair it with
+    /// [`config_sig`](ReuseSession::config_sig): entries are only
+    /// replayable under the same signature.
+    pub fn export_memo(&self) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = self
+            .memo
+            .iter()
+            .map(|(k, v)| (k.clone(), crate::persist::encode_leaf_out(v)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Seeds the memo for the configuration `sig` from previously
+    /// [exported](ReuseSession::export_memo) entries. If the session was
+    /// holding a memo for a different signature it is dropped first.
+    /// Entries that fail to decode are skipped — a persistence-layer
+    /// miss costs a re-solve, never an error. Returns the entries
+    /// actually installed.
+    pub fn hydrate_memo(
+        &mut self,
+        sig: &str,
+        entries: impl IntoIterator<Item = (String, Vec<u8>)>,
+    ) -> usize {
+        if self.config_sig.as_deref() != Some(sig) {
+            self.memo.clear();
+            self.config_sig = Some(sig.to_string());
+        }
+        let mut installed = 0;
+        for (fingerprint, bytes) in entries {
+            if let Some(out) = crate::persist::decode_leaf_out(&bytes) {
+                self.memo.insert(fingerprint, out);
+                installed += 1;
+            }
+        }
+        installed
+    }
+}
+
+/// The signature under which a [`ReuseSession`] memo for `program` is
+/// valid: an FNV hash of the program plus every output-affecting option
+/// (`jobs` excluded — outputs are worker-count invariant). A memo
+/// persisted under one signature must only be hydrated into sessions
+/// verifying the identical program and configuration; the signature *is*
+/// the disk store's invalidation story, since an edited program or a
+/// changed option produces a different signature and simply misses.
+pub fn reuse_signature(program: &Program, options: &C2bpOptions) -> String {
+    config_signature(program, options)
 }
 
 impl Default for ReuseSession {
@@ -694,7 +763,7 @@ struct SolveCtx<'p> {
 
 /// What one task produced.
 #[derive(Debug, Clone)]
-enum LeafOut {
+pub(crate) enum LeafOut {
     /// A complete boolean statement (assignments, calls, assumes).
     Stmt(BStmt),
     /// The `G(cond)` / `G(!cond)` pair of a branch or assert.

@@ -106,7 +106,7 @@ impl Default for CubeOptions {
             atomic_decomposition: false,
             incremental: true,
             numeric_oracle: true,
-            engine: CubeEngine::Search,
+            engine: CubeEngine::Enumerate,
         }
     }
 }
@@ -300,13 +300,15 @@ impl<'a> CubeSearch<'a> {
             track_blocked,
         };
         let implicants = match self.options.engine {
-            CubeEngine::Enumerate => match self.enumerate_implicants(&ctx) {
-                Some(implicants) => implicants,
-                None => {
-                    self.stats.enum_fallbacks += 1;
-                    self.search_implicants(&relevant, phi, &neg_phi, &ctx)
+            CubeEngine::Enumerate => {
+                match self.enumerate_implicants(&relevant, phi, &neg_phi, &ctx) {
+                    Some(implicants) => implicants,
+                    None => {
+                        self.stats.enum_fallbacks += 1;
+                        self.search_implicants(&relevant, phi, &neg_phi, &ctx)
+                    }
                 }
-            },
+            }
             CubeEngine::Search => self.search_implicants(&relevant, phi, &neg_phi, &ctx),
         };
         BExpr::or(implicants.into_iter().map(|cube| {
@@ -503,15 +505,48 @@ impl<'a> CubeSearch<'a> {
     /// `Unknown`, a model leaves a predicate undetermined, the pattern
     /// count exceeds [`model_budget`] (past which enumeration has no
     /// advantage), or the extraction blows its node budget.
-    fn enumerate_implicants(&mut self, ctx: &GoalLits) -> Option<Vec<Vec<(usize, bool)>>> {
+    ///
+    /// The numeric oracle prefilters both per-polarity enumerations
+    /// (same contract as on the search path: oracle answers are exact,
+    /// debug builds cross-check them against the prover): a goal
+    /// polarity whose base formula the oracle proves unsatisfiable is
+    /// skipped outright in release builds, saving its counted final
+    /// UNSAT query, and [`enumerate_patterns`](Self::enumerate_patterns)
+    /// pre-asserts oracle-forced literals.
+    fn enumerate_implicants(
+        &mut self,
+        relevant: &[&ScopeVar],
+        phi: &Expr,
+        neg_phi: &Expr,
+        ctx: &GoalLits,
+    ) -> Option<Vec<Vec<(usize, bool)>>> {
         let n = ctx.lits.len();
         if n == 0 || ctx.max_len == 0 {
             return Some(Vec::new());
         }
         let budget = model_budget(n, ctx.max_len);
-        let neg_patterns = self.enumerate_patterns(&ctx.neg_goal, ctx, budget)?;
+        // (the symmetric prefilter for this polarity — ¬φ unsat, i.e. φ
+        // valid — already returned `Const(true)` before engine dispatch)
+        let neg_patterns =
+            self.enumerate_patterns(&ctx.neg_goal, neg_phi, relevant, ctx, budget)?;
         let pos_patterns = if ctx.track_blocked {
-            Some(self.enumerate_patterns(&ctx.goal, ctx, budget)?)
+            // `⊤ ⇒ ¬φ` valid means φ itself is unsatisfiable: the goal
+            // polarity can have no consistent sign pattern
+            let oracle_empty = self.numeric_decide(&[], neg_phi) == Some(true);
+            if oracle_empty && !cfg!(debug_assertions) {
+                Some(Vec::new())
+            } else {
+                let patterns = self.enumerate_patterns(&ctx.goal, phi, relevant, ctx, budget)?;
+                if oracle_empty {
+                    assert!(
+                        patterns.is_empty(),
+                        "numeric oracle diverged from AllSAT: {phi:?} proved unsatisfiable \
+                         but {} consistent patterns found",
+                        patterns.len()
+                    );
+                }
+                Some(patterns)
+            }
         } else {
             None
         };
@@ -533,12 +568,63 @@ impl<'a> CubeSearch<'a> {
     fn enumerate_patterns(
         &mut self,
         base: &Formula,
+        base_expr: &Expr,
+        relevant: &[&ScopeVar],
         ctx: &GoalLits,
         budget: usize,
     ) -> Option<Vec<Vec<bool>>> {
+        // forced-literal prefilter: a literal the numeric oracle proves
+        // decided under the base (`base ⇒ lit` or `base ⇒ ¬lit`) is
+        // conjoined into it, pruning the AllSAT DFS early. The pattern
+        // set is provably unchanged — a pattern violating a forced
+        // literal was theory-inconsistent already — so the counted
+        // queries (one per accepted pattern plus one) are too; only wall
+        // time drops. Debug builds enumerate the unpatched base instead
+        // and cross-check that every pattern agrees with every forced
+        // literal.
+        let mut forced: Vec<(usize, bool)> = Vec::new();
+        if self.options.numeric_oracle {
+            for (i, (ri, _)) in ctx.lits.iter().enumerate() {
+                let expr = &relevant[*ri].expr;
+                if self.numeric_decide(&[(base_expr, true)], expr) == Some(true) {
+                    forced.push((i, true));
+                } else if self.numeric_decide(&[(base_expr, true)], &expr.negated()) == Some(true) {
+                    forced.push((i, false));
+                }
+            }
+        }
+        let patched;
+        let base = if forced.is_empty() || cfg!(debug_assertions) {
+            base
+        } else {
+            patched = Formula::and(std::iter::once(base.clone()).chain(forced.iter().map(
+                |&(i, sign)| {
+                    if sign {
+                        ctx.lits[i].1.clone()
+                    } else {
+                        ctx.lits_neg[i].clone()
+                    }
+                },
+            )));
+            &patched
+        };
         let mut sess = ProverSession::new(base);
         let ids: Vec<_> = ctx.lits.iter().map(|(_, f)| sess.assume(f)).collect();
-        let (r, patterns) = sess.enumerate_models(&self.prover.store, &ids, budget);
+        let (r, mut patterns) = sess.enumerate_models(&self.prover.store, &ids, budget);
+        if cfg!(debug_assertions) {
+            for pattern in &patterns {
+                for &(i, sign) in &forced {
+                    assert_eq!(
+                        pattern[i], sign,
+                        "numeric oracle diverged from AllSAT: literal {i} proved forced to \
+                         {sign} under {base_expr:?}"
+                    );
+                }
+            }
+        }
+        // canonical pattern order, so the extraction walks the same
+        // nodes whether or not the forced-literal patch reshaped the DFS
+        patterns.sort();
         for _ in &patterns {
             self.prover.count_uncached_query(SatResult::Sat);
         }
@@ -1055,6 +1141,8 @@ mod tests {
             &lookup,
             CubeOptions {
                 cone_of_influence: false,
+                // superset pruning is a search-path behavior
+                engine: CubeEngine::Search,
                 ..CubeOptions::default()
             },
         );
@@ -1177,6 +1265,13 @@ mod tests {
         }
     }
 
+    fn search_options() -> CubeOptions {
+        CubeOptions {
+            engine: CubeEngine::Search,
+            ..CubeOptions::default()
+        }
+    }
+
     #[test]
     fn enumerate_matches_search_on_unit_scenarios() {
         let (env, lookup) = search_env();
@@ -1192,7 +1287,7 @@ mod tests {
             let vars = scope_vars(preds);
             let phi = parse_expr(phi).unwrap();
             let mut p1 = Prover::new();
-            let mut search = CubeSearch::new(&mut p1, &env, &lookup, CubeOptions::default());
+            let mut search = CubeSearch::new(&mut p1, &env, &lookup, search_options());
             let want = search.largest_implying_disjunction(&vars, &phi);
             let mut p2 = Prover::new();
             let mut enumerate = CubeSearch::new(&mut p2, &env, &lookup, enum_options());
@@ -1212,7 +1307,7 @@ mod tests {
         ] {
             let vars = scope_vars(preds);
             let mut p1 = Prover::new();
-            let mut search = CubeSearch::new(&mut p1, &env, &lookup, CubeOptions::default());
+            let mut search = CubeSearch::new(&mut p1, &env, &lookup, search_options());
             let mut p2 = Prover::new();
             let mut enumerate = CubeSearch::new(&mut p2, &env, &lookup, enum_options());
             assert_eq!(
@@ -1244,6 +1339,7 @@ mod tests {
             cone_of_influence: false,
             numeric_oracle: false,
             max_cube_len: None,
+            engine: CubeEngine::Search,
             ..CubeOptions::default()
         };
         let mut p1 = Prover::new();

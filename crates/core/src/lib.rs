@@ -31,13 +31,14 @@ pub mod abs;
 pub mod aliaslint;
 pub mod cubes;
 mod live;
+mod persist;
 pub mod preds;
 pub mod sig;
 pub mod wp;
 
 pub use abs::{
-    abstract_program, abstract_program_reusing, AbsError, AbsStats, Abstraction, C2bpOptions,
-    PhaseSeconds, ReuseSession,
+    abstract_program, abstract_program_reusing, reuse_signature, AbsError, AbsStats, Abstraction,
+    C2bpOptions, PhaseSeconds, ReuseSession,
 };
 pub use aliaslint::{lint_alias_precision, AliasLintWarning};
 pub use cubes::{AliasGroups, CubeEngine, CubeOptions, CubeStats, ScopeVar};

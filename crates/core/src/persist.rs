@@ -1,0 +1,449 @@
+//! Exact binary serialization of memoized leaf outputs.
+//!
+//! The reuse session's transfer-function memo maps a leaf fingerprint to
+//! a [`LeafOut`] — a fragment of the emitted boolean program. Persisting
+//! it across *processes* (the disk cache) needs an encoding that
+//! round-trips every field exactly: the `bp` textual printer is not
+//! enough, because it drops the originating [`StmtId`]s and branch tags
+//! that the model checker's trace extraction depends on.
+//!
+//! The encoding is a plain tagged pre-order walk with LE fixed-width
+//! lengths. Decoding is total: any malformed input returns `None`, which
+//! the persistence layer treats as a cache miss — a damaged or
+//! version-skewed record can cost a re-solve, never an error and never a
+//! wrong program.
+
+use crate::abs::LeafOut;
+use bp::{BExpr, BStmt};
+use cparse::ast::StmtId;
+
+// LeafOut tags.
+const L_STMT: u8 = 0;
+const L_GUARDS: u8 = 1;
+const L_ENFORCE_NONE: u8 = 2;
+const L_ENFORCE_SOME: u8 = 3;
+
+// BExpr tags.
+const E_FALSE: u8 = 0;
+const E_TRUE: u8 = 1;
+const E_NONDET: u8 = 2;
+const E_VAR: u8 = 3;
+const E_NOT: u8 = 4;
+const E_AND: u8 = 5;
+const E_OR: u8 = 6;
+const E_CHOOSE: u8 = 7;
+
+// BStmt tags.
+const S_SKIP: u8 = 0;
+const S_ASSIGN: u8 = 1;
+const S_ASSUME: u8 = 2;
+const S_ASSERT: u8 = 3;
+const S_IF: u8 = 4;
+const S_WHILE: u8 = 5;
+const S_GOTO: u8 = 6;
+const S_LABEL: u8 = 7;
+const S_CALL: u8 = 8;
+const S_RETURN: u8 = 9;
+const S_SEQ: u8 = 10;
+
+pub(crate) fn encode_leaf_out(out: &LeafOut) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match out {
+        LeafOut::Stmt(s) => {
+            buf.push(L_STMT);
+            stmt(&mut buf, s);
+        }
+        LeafOut::Guards { pos, neg } => {
+            buf.push(L_GUARDS);
+            expr(&mut buf, pos);
+            expr(&mut buf, neg);
+        }
+        LeafOut::Enforce(None) => buf.push(L_ENFORCE_NONE),
+        LeafOut::Enforce(Some(e)) => {
+            buf.push(L_ENFORCE_SOME);
+            expr(&mut buf, e);
+        }
+    }
+    buf
+}
+
+/// Decodes an encoded leaf output; `None` on any malformation, including
+/// trailing bytes.
+pub(crate) fn decode_leaf_out(bytes: &[u8]) -> Option<LeafOut> {
+    let mut c = Cursor { buf: bytes, at: 0 };
+    let out = match c.u8()? {
+        L_STMT => LeafOut::Stmt(c.stmt()?),
+        L_GUARDS => LeafOut::Guards {
+            pos: c.expr()?,
+            neg: c.expr()?,
+        },
+        L_ENFORCE_NONE => LeafOut::Enforce(None),
+        L_ENFORCE_SOME => LeafOut::Enforce(Some(c.expr()?)),
+        _ => return None,
+    };
+    (c.at == bytes.len()).then_some(out)
+}
+
+fn u32v(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn strv(buf: &mut Vec<u8>, s: &str) {
+    u32v(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn strs(buf: &mut Vec<u8>, ss: &[String]) {
+    u32v(buf, ss.len() as u32);
+    for s in ss {
+        strv(buf, s);
+    }
+}
+
+fn opt_id(buf: &mut Vec<u8>, id: &Option<StmtId>) {
+    match id {
+        None => buf.push(0),
+        Some(StmtId(n)) => {
+            buf.push(1);
+            u32v(buf, *n);
+        }
+    }
+}
+
+fn opt_bool(buf: &mut Vec<u8>, b: &Option<bool>) {
+    buf.push(match b {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    });
+}
+
+fn exprs(buf: &mut Vec<u8>, es: &[BExpr]) {
+    u32v(buf, es.len() as u32);
+    for e in es {
+        expr(buf, e);
+    }
+}
+
+fn expr(buf: &mut Vec<u8>, e: &BExpr) {
+    match e {
+        BExpr::Const(false) => buf.push(E_FALSE),
+        BExpr::Const(true) => buf.push(E_TRUE),
+        BExpr::Nondet => buf.push(E_NONDET),
+        BExpr::Var(v) => {
+            buf.push(E_VAR);
+            strv(buf, v);
+        }
+        BExpr::Not(inner) => {
+            buf.push(E_NOT);
+            expr(buf, inner);
+        }
+        BExpr::And(es) => {
+            buf.push(E_AND);
+            exprs(buf, es);
+        }
+        BExpr::Or(es) => {
+            buf.push(E_OR);
+            exprs(buf, es);
+        }
+        BExpr::Choose(p, n) => {
+            buf.push(E_CHOOSE);
+            expr(buf, p);
+            expr(buf, n);
+        }
+    }
+}
+
+fn stmt(buf: &mut Vec<u8>, s: &BStmt) {
+    match s {
+        BStmt::Skip => buf.push(S_SKIP),
+        BStmt::Assign {
+            id,
+            targets,
+            values,
+        } => {
+            buf.push(S_ASSIGN);
+            opt_id(buf, id);
+            strs(buf, targets);
+            exprs(buf, values);
+        }
+        BStmt::Assume { id, branch, cond } => {
+            buf.push(S_ASSUME);
+            opt_id(buf, id);
+            opt_bool(buf, branch);
+            expr(buf, cond);
+        }
+        BStmt::Assert { id, cond } => {
+            buf.push(S_ASSERT);
+            opt_id(buf, id);
+            expr(buf, cond);
+        }
+        BStmt::If {
+            id,
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            buf.push(S_IF);
+            opt_id(buf, id);
+            expr(buf, cond);
+            stmt(buf, then_branch);
+            stmt(buf, else_branch);
+        }
+        BStmt::While { id, cond, body } => {
+            buf.push(S_WHILE);
+            opt_id(buf, id);
+            expr(buf, cond);
+            stmt(buf, body);
+        }
+        BStmt::Goto(l) => {
+            buf.push(S_GOTO);
+            strv(buf, l);
+        }
+        BStmt::Label(l) => {
+            buf.push(S_LABEL);
+            strv(buf, l);
+        }
+        BStmt::Call {
+            id,
+            dsts,
+            proc,
+            args,
+        } => {
+            buf.push(S_CALL);
+            opt_id(buf, id);
+            strs(buf, dsts);
+            strv(buf, proc);
+            exprs(buf, args);
+        }
+        BStmt::Return { id, values } => {
+            buf.push(S_RETURN);
+            opt_id(buf, id);
+            exprs(buf, values);
+        }
+        BStmt::Seq(ss) => {
+            buf.push(S_SEQ);
+            u32v(buf, ss.len() as u32);
+            for st in ss {
+                stmt(buf, st);
+            }
+        }
+    }
+}
+
+struct Cursor<'b> {
+    buf: &'b [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// A length prefix, sanity-bounded by the bytes actually remaining
+    /// so a corrupt length cannot drive huge preallocations.
+    fn len(&mut self) -> Option<usize> {
+        let n = self.u32()? as usize;
+        (n <= self.buf.len().saturating_sub(self.at)).then_some(n)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn strs(&mut self) -> Option<Vec<String>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.str()).collect()
+    }
+
+    fn opt_id(&mut self) -> Option<Option<StmtId>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(StmtId(self.u32()?))),
+            _ => None,
+        }
+    }
+
+    fn opt_bool(&mut self) -> Option<Option<bool>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(false)),
+            2 => Some(Some(true)),
+            _ => None,
+        }
+    }
+
+    fn exprs(&mut self) -> Option<Vec<BExpr>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.expr()).collect()
+    }
+
+    fn expr(&mut self) -> Option<BExpr> {
+        Some(match self.u8()? {
+            E_FALSE => BExpr::Const(false),
+            E_TRUE => BExpr::Const(true),
+            E_NONDET => BExpr::Nondet,
+            E_VAR => BExpr::Var(self.str()?),
+            E_NOT => BExpr::Not(Box::new(self.expr()?)),
+            E_AND => BExpr::And(self.exprs()?),
+            E_OR => BExpr::Or(self.exprs()?),
+            E_CHOOSE => BExpr::Choose(Box::new(self.expr()?), Box::new(self.expr()?)),
+            _ => return None,
+        })
+    }
+
+    fn stmt(&mut self) -> Option<BStmt> {
+        Some(match self.u8()? {
+            S_SKIP => BStmt::Skip,
+            S_ASSIGN => BStmt::Assign {
+                id: self.opt_id()?,
+                targets: self.strs()?,
+                values: self.exprs()?,
+            },
+            S_ASSUME => BStmt::Assume {
+                id: self.opt_id()?,
+                branch: self.opt_bool()?,
+                cond: self.expr()?,
+            },
+            S_ASSERT => BStmt::Assert {
+                id: self.opt_id()?,
+                cond: self.expr()?,
+            },
+            S_IF => BStmt::If {
+                id: self.opt_id()?,
+                cond: self.expr()?,
+                then_branch: Box::new(self.stmt()?),
+                else_branch: Box::new(self.stmt()?),
+            },
+            S_WHILE => BStmt::While {
+                id: self.opt_id()?,
+                cond: self.expr()?,
+                body: Box::new(self.stmt()?),
+            },
+            S_GOTO => BStmt::Goto(self.str()?),
+            S_LABEL => BStmt::Label(self.str()?),
+            S_CALL => BStmt::Call {
+                id: self.opt_id()?,
+                dsts: self.strs()?,
+                proc: self.str()?,
+                args: self.exprs()?,
+            },
+            S_RETURN => BStmt::Return {
+                id: self.opt_id()?,
+                values: self.exprs()?,
+            },
+            S_SEQ => {
+                let n = self.len()?;
+                BStmt::Seq((0..n).map(|_| self.stmt()).collect::<Option<_>>()?)
+            }
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(out: &LeafOut) {
+        let enc = encode_leaf_out(out);
+        let dec = decode_leaf_out(&enc).expect("decodes");
+        // LeafOut has no PartialEq; the Debug form covers every field
+        assert_eq!(format!("{out:?}"), format!("{dec:?}"));
+    }
+
+    #[test]
+    fn all_variants_roundtrip_exactly() {
+        let guard = BExpr::Choose(
+            Box::new(BExpr::And(vec![
+                BExpr::var("{x == 0}"),
+                BExpr::Not(Box::new(BExpr::var("{y < z}"))),
+            ])),
+            Box::new(BExpr::Or(vec![BExpr::Const(true), BExpr::Nondet])),
+        );
+        roundtrip(&LeafOut::Guards {
+            pos: guard.clone(),
+            neg: BExpr::Const(false),
+        });
+        roundtrip(&LeafOut::Enforce(None));
+        roundtrip(&LeafOut::Enforce(Some(guard.clone())));
+        // statement ids and branch polarity must survive: the model
+        // checker's trace extraction reads them
+        roundtrip(&LeafOut::Stmt(BStmt::Seq(vec![
+            BStmt::Skip,
+            BStmt::Assign {
+                id: Some(StmtId(7)),
+                targets: vec!["{a}".into(), "{b}".into()],
+                values: vec![guard.clone(), BExpr::unknown()],
+            },
+            BStmt::Assume {
+                id: Some(StmtId(9)),
+                branch: Some(false),
+                cond: BExpr::var("{a}"),
+            },
+            BStmt::Assume {
+                id: None,
+                branch: Some(true),
+                cond: BExpr::Const(true),
+            },
+            BStmt::Assert {
+                id: Some(StmtId(u32::MAX - 1)),
+                cond: BExpr::var("{b}"),
+            },
+            BStmt::If {
+                id: Some(StmtId(0)),
+                cond: BExpr::Nondet,
+                then_branch: Box::new(BStmt::Goto("L1".into())),
+                else_branch: Box::new(BStmt::Label("L2".into())),
+            },
+            BStmt::While {
+                id: None,
+                cond: BExpr::Nondet,
+                body: Box::new(BStmt::Call {
+                    id: Some(StmtId(3)),
+                    dsts: vec!["__t0".into()],
+                    proc: "helper".into(),
+                    args: vec![BExpr::var("{a}")],
+                }),
+            },
+            BStmt::Return {
+                id: Some(StmtId(11)),
+                values: vec![BExpr::Const(false)],
+            },
+        ])));
+    }
+
+    #[test]
+    fn malformed_inputs_decode_to_none() {
+        let good = encode_leaf_out(&LeafOut::Guards {
+            pos: BExpr::var("{x == 0}"),
+            neg: BExpr::Not(Box::new(BExpr::var("{x == 0}"))),
+        });
+        assert!(decode_leaf_out(&good).is_some());
+        // empty, truncated, trailing garbage, bad tag, corrupt length
+        assert!(decode_leaf_out(&[]).is_none());
+        for cut in 1..good.len() {
+            // any strict prefix must fail cleanly, never panic
+            let _ = decode_leaf_out(&good[..cut]);
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_leaf_out(&trailing).is_none());
+        assert!(decode_leaf_out(&[99]).is_none());
+        let mut huge_len = vec![L_STMT, S_SEQ];
+        huge_len.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_leaf_out(&huge_len).is_none());
+    }
+}

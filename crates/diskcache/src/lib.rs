@@ -1,0 +1,486 @@
+//! An append-only on-disk store for cross-run verification caches.
+//!
+//! The in-memory caches of the toolkit — the shared prover-verdict cache
+//! and the reuse session's transfer-function memo — are keyed by
+//! *store-independent canonical fingerprints*, so their contents are
+//! meaningful in any later process. This crate persists them as a flat
+//! log of `(kind, key, value)` records behind an in-memory index, with
+//! three properties the daemon depends on:
+//!
+//! * **Opening never fails.** A missing, truncated, corrupted,
+//!   bit-flipped, or version-mismatched file degrades to a cold start
+//!   with a warning recorded on the handle — never an error, and (since
+//!   every record is checksummed) never a wrong value.
+//! * **Appends are atomic enough.** [`flush`](DiskCache::flush) appends
+//!   only whole records; a crash mid-append leaves at most one partial
+//!   record at the tail, which the next open discards.
+//! * **Single writer.** A sibling `.lock` file (created with
+//!   `O_CREAT | O_EXCL`) serializes writers; a second opener degrades to
+//!   an in-memory cold start that never writes, so a daemon and a CLI
+//!   pointed at the same store cannot interleave appends.
+//!
+//! The store is a cache, not a database: losing it costs wall-clock
+//! time on the next run, nothing else. That is why every failure mode
+//! maps to "start cold".
+//!
+//! # Record format
+//!
+//! ```text
+//! header:  "SLAMDC" magic | u16 LE format version
+//! record:  u8 kind | u32 LE key len | u32 LE val len | key | val
+//!          | u64 LE FNV-1a checksum of everything above
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic, followed by the format version.
+pub const MAGIC: &[u8; 6] = b"SLAMDC";
+/// Current record-format version. A file with any other version is
+/// ignored (cold start) and rewritten on the next flush.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Record kinds. The store itself is agnostic; these constants just keep
+/// the producers and consumers in one namespace.
+pub mod kind {
+    /// A shared-cache implication verdict: key is the canonical formula
+    /// encoding, value a single [`verdict`](super::verdict) byte.
+    pub const VERDICT: u8 = 1;
+    /// A reuse-session transfer-function memo entry: key is
+    /// `config signature ++ 0x00 ++ leaf fingerprint`, value the exact
+    /// binary encoding of the leaf output.
+    pub const MEMO: u8 = 2;
+}
+
+/// Portable one-byte encodings of prover verdicts, shared by the writer
+/// (scheduler checkpoint) and reader (scheduler hydration).
+pub mod verdict {
+    /// Satisfiable.
+    pub const SAT: u8 = 0;
+    /// Unsatisfiable.
+    pub const UNSAT: u8 = 1;
+    /// Solver budget exhausted; persisted so a warm run repeats the cold
+    /// run's cached behavior exactly.
+    pub const UNKNOWN: u8 = 2;
+}
+
+/// Upper bound on a single key or value, far above anything the caches
+/// produce; a length past it is treated as corruption, so a bit flip in
+/// a length field cannot make the loader allocate gigabytes.
+const MAX_FIELD_LEN: u32 = 64 * 1024 * 1024;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A persistent `(kind, key) -> value` map backed by an append-only log.
+///
+/// All reads are served from the in-memory index built at open time;
+/// [`put`](DiskCache::put) updates the index immediately and queues the
+/// record, and [`flush`](DiskCache::flush) appends the queue to disk.
+#[derive(Debug)]
+pub struct DiskCache {
+    path: PathBuf,
+    lock_path: Option<PathBuf>,
+    entries: HashMap<(u8, Vec<u8>), Vec<u8>>,
+    /// Records accepted since the last flush, in insertion order.
+    dirty: Vec<(u8, Vec<u8>)>,
+    /// The on-disk file must be rewritten from scratch (it was corrupt,
+    /// version-mismatched, or an overwrite changed an existing key).
+    needs_rewrite: bool,
+    read_only: bool,
+    warnings: Vec<String>,
+    loaded: usize,
+}
+
+impl DiskCache {
+    /// Opens (or prepares to create) the store at `path`.
+    ///
+    /// Never fails: every problem — unreadable file, bad header, corrupt
+    /// records, a concurrent writer holding the lock — degrades to a
+    /// cold (possibly read-only) store and a warning in
+    /// [`warnings`](DiskCache::warnings).
+    pub fn open(path: impl AsRef<Path>) -> DiskCache {
+        let path = path.as_ref().to_path_buf();
+        let mut cache = DiskCache {
+            lock_path: None,
+            entries: HashMap::new(),
+            dirty: Vec::new(),
+            needs_rewrite: false,
+            read_only: false,
+            warnings: Vec::new(),
+            loaded: 0,
+            path,
+        };
+        cache.acquire_lock();
+        cache.load();
+        cache
+    }
+
+    /// An unlocked, never-flushed store for callers that want the same
+    /// interface without any disk traffic (the "cache off" arm).
+    pub fn in_memory() -> DiskCache {
+        DiskCache {
+            path: PathBuf::new(),
+            lock_path: None,
+            entries: HashMap::new(),
+            dirty: Vec::new(),
+            needs_rewrite: false,
+            read_only: true,
+            warnings: Vec::new(),
+            loaded: 0,
+        }
+    }
+
+    fn acquire_lock(&mut self) {
+        let lock_path = self.path.with_extension("lock");
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut f) => {
+                let _ = write!(f, "{}", std::process::id());
+                self.lock_path = Some(lock_path);
+            }
+            Err(e) => {
+                self.read_only = true;
+                self.warnings.push(format!(
+                    "store {} is locked by another process ({e}); \
+                     running read-only from a cold cache (delete {} if stale)",
+                    self.path.display(),
+                    lock_path.display()
+                ));
+            }
+        }
+    }
+
+    fn load(&mut self) {
+        // a concurrent writer may be mid-append; reading would race, so a
+        // lock-degraded open starts cold as well as read-only
+        if self.read_only {
+            return;
+        }
+        let mut buf = Vec::new();
+        match File::open(&self.path) {
+            Ok(mut f) => {
+                if let Err(e) = f.read_to_end(&mut buf) {
+                    self.warn_cold(format!("unreadable store file: {e}"));
+                    return;
+                }
+            }
+            // no file yet: a clean cold start, not worth a warning
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return,
+            Err(e) => {
+                self.warn_cold(format!("cannot open store file: {e}"));
+                return;
+            }
+        }
+        if buf.len() < MAGIC.len() + 2 || &buf[..MAGIC.len()] != MAGIC {
+            self.warn_cold("store file has no valid header".into());
+            return;
+        }
+        let version = u16::from_le_bytes([buf[MAGIC.len()], buf[MAGIC.len() + 1]]);
+        if version != FORMAT_VERSION {
+            self.warn_cold(format!(
+                "store format version {version} != supported {FORMAT_VERSION}"
+            ));
+            return;
+        }
+        let mut at = MAGIC.len() + 2;
+        while at < buf.len() {
+            match decode_record(&buf[at..]) {
+                Ok((kind, key, val, consumed)) => {
+                    self.entries.insert((kind, key.to_vec()), val.to_vec());
+                    self.loaded += 1;
+                    at += consumed;
+                }
+                // a partial record at EOF is the expected residue of a
+                // crash mid-append: corruption either way — drop
+                // everything already loaded and start cold
+                Err(why) => {
+                    self.warn_cold(format!("corrupt record at byte {at}: {why}"));
+                    self.entries.clear();
+                    self.loaded = 0;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn warn_cold(&mut self, why: String) {
+        self.warnings.push(format!(
+            "store {}: {why}; starting from a cold cache",
+            self.path.display()
+        ));
+        self.needs_rewrite = true;
+    }
+
+    /// Looks up a record.
+    pub fn get(&self, kind: u8, key: &[u8]) -> Option<&[u8]> {
+        self.entries.get(&(kind, key.to_vec())).map(Vec::as_slice)
+    }
+
+    /// Inserts (or overwrites) a record. New keys append on the next
+    /// flush; changing an existing key's value forces a full rewrite so
+    /// the log never resurrects the stale value.
+    pub fn put(&mut self, kind: u8, key: Vec<u8>, val: Vec<u8>) {
+        match self.entries.get(&(kind, key.clone())) {
+            Some(existing) if *existing == val => {}
+            Some(_) => {
+                self.needs_rewrite = true;
+                self.entries.insert((kind, key), val);
+            }
+            None => {
+                self.dirty.push((kind, key.clone()));
+                self.entries.insert((kind, key), val);
+            }
+        }
+    }
+
+    /// Every record of `kind`, in unspecified order.
+    pub fn iter_kind(&self, kind: u8) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.entries
+            .iter()
+            .filter(move |((k, _), _)| *k == kind)
+            .map(|((_, key), val)| (key.as_slice(), val.as_slice()))
+    }
+
+    /// Number of resident records (all kinds).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no records are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records read back from disk at open time (0 on any cold start).
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// True when another process held the writer lock at open time: the
+    /// store serves an empty cache and [`flush`](DiskCache::flush) is a
+    /// no-op.
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Everything that went wrong while opening, in order. An empty
+    /// slice means a fully warm (or genuinely fresh) start.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Writes queued records to disk: an append for the common case, a
+    /// full rewrite after corruption or an overwrite. Read-only stores
+    /// return `Ok` without touching the filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the in-memory index stays valid and a
+    /// later flush retries the same records.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.read_only {
+            return Ok(());
+        }
+        if self.needs_rewrite {
+            let tmp = self.path.with_extension("tmp");
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(MAGIC)?;
+                f.write_all(&FORMAT_VERSION.to_le_bytes())?;
+                // deterministic record order keeps rewrites reproducible
+                let mut keys: Vec<&(u8, Vec<u8>)> = self.entries.keys().collect();
+                keys.sort();
+                for k in keys {
+                    f.write_all(&encode_record(k.0, &k.1, &self.entries[k]))?;
+                }
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, &self.path)?;
+            self.needs_rewrite = false;
+            self.dirty.clear();
+            return Ok(());
+        }
+        if self.dirty.is_empty() {
+            return Ok(());
+        }
+        let mut f = match OpenOptions::new().append(true).open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let mut f = File::create(&self.path)?;
+                f.write_all(MAGIC)?;
+                f.write_all(&FORMAT_VERSION.to_le_bytes())?;
+                f
+            }
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::new();
+        for (kind, key) in &self.dirty {
+            out.extend_from_slice(&encode_record(
+                *kind,
+                key,
+                &self.entries[&(*kind, key.clone())],
+            ));
+        }
+        f.write_all(&out)?;
+        f.sync_all()?;
+        self.dirty.clear();
+        Ok(())
+    }
+}
+
+impl Drop for DiskCache {
+    fn drop(&mut self) {
+        if let Some(lock) = &self.lock_path {
+            let _ = std::fs::remove_file(lock);
+        }
+    }
+}
+
+fn encode_record(kind: u8, key: &[u8], val: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 8 + key.len() + val.len() + 8);
+    out.push(kind);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(val.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(val);
+    let sum = fnv1a(FNV_OFFSET, &out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// One decoded record: kind, key, value, and the bytes consumed.
+type DecodedRecord<'a> = (u8, &'a [u8], &'a [u8], usize);
+
+/// Decodes one record from the front of `buf`, returning the record and
+/// the bytes consumed.
+fn decode_record(buf: &[u8]) -> Result<DecodedRecord<'_>, &'static str> {
+    if buf.len() < 9 {
+        return Err("truncated record head");
+    }
+    let kind = buf[0];
+    let key_len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    let val_len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
+    if key_len > MAX_FIELD_LEN || val_len > MAX_FIELD_LEN {
+        return Err("implausible field length");
+    }
+    let body_end = 9usize + key_len as usize + val_len as usize;
+    let total = body_end + 8;
+    if buf.len() < total {
+        return Err("truncated record body");
+    }
+    let sum = u64::from_le_bytes(buf[body_end..total].try_into().expect("8 bytes"));
+    if fnv1a(FNV_OFFSET, &buf[..body_end]) != sum {
+        return Err("checksum mismatch");
+    }
+    let key = &buf[9..9 + key_len as usize];
+    let val = &buf[9 + key_len as usize..body_end];
+    Ok((kind, key, val, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "diskcache_unit_{}_{}_{name}.store",
+            std::process::id(),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "_")
+        ));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(p.with_extension("lock"));
+        p
+    }
+
+    #[test]
+    fn roundtrip_and_append() {
+        let path = tmp_path("roundtrip");
+        {
+            let mut c = DiskCache::open(&path);
+            assert!(c.warnings().is_empty(), "{:?}", c.warnings());
+            c.put(kind::VERDICT, b"k1".to_vec(), vec![verdict::SAT]);
+            c.put(kind::MEMO, b"k1".to_vec(), b"other namespace".to_vec());
+            c.flush().unwrap();
+            c.put(kind::VERDICT, b"k2".to_vec(), vec![verdict::UNSAT]);
+            c.flush().unwrap();
+        }
+        let c = DiskCache::open(&path);
+        assert!(c.warnings().is_empty(), "{:?}", c.warnings());
+        assert_eq!(c.loaded(), 3);
+        assert_eq!(c.get(kind::VERDICT, b"k1"), Some(&[verdict::SAT][..]));
+        assert_eq!(c.get(kind::VERDICT, b"k2"), Some(&[verdict::UNSAT][..]));
+        assert_eq!(c.get(kind::MEMO, b"k1"), Some(&b"other namespace"[..]));
+        assert_eq!(c.get(kind::MEMO, b"k2"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn overwrite_forces_rewrite_and_survives() {
+        let path = tmp_path("overwrite");
+        {
+            let mut c = DiskCache::open(&path);
+            c.put(kind::MEMO, b"a".to_vec(), b"v1".to_vec());
+            c.flush().unwrap();
+            c.put(kind::MEMO, b"a".to_vec(), b"v2".to_vec());
+            c.flush().unwrap();
+        }
+        let c = DiskCache::open(&path);
+        assert!(c.warnings().is_empty(), "{:?}", c.warnings());
+        assert_eq!(c.get(kind::MEMO, b"a"), Some(&b"v2"[..]));
+        assert_eq!(c.loaded(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn second_opener_degrades_to_read_only_cold() {
+        let path = tmp_path("lock");
+        let mut first = DiskCache::open(&path);
+        first.put(kind::VERDICT, b"k".to_vec(), vec![verdict::SAT]);
+        first.flush().unwrap();
+        {
+            let mut second = DiskCache::open(&path);
+            assert!(second.read_only());
+            assert!(second.is_empty());
+            assert_eq!(second.warnings().len(), 1);
+            // writes are accepted in memory but never reach the disk
+            second.put(kind::VERDICT, b"x".to_vec(), vec![verdict::UNSAT]);
+            second.flush().unwrap();
+        }
+        drop(first);
+        let reopened = DiskCache::open(&path);
+        assert!(!reopened.read_only());
+        assert_eq!(reopened.loaded(), 1);
+        assert_eq!(reopened.get(kind::VERDICT, b"x"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_store_never_touches_disk() {
+        let mut c = DiskCache::in_memory();
+        c.put(kind::VERDICT, b"k".to_vec(), vec![verdict::SAT]);
+        assert_eq!(c.get(kind::VERDICT, b"k"), Some(&[verdict::SAT][..]));
+        c.flush().unwrap();
+        assert!(c.read_only());
+    }
+}

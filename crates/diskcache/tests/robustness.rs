@@ -1,0 +1,152 @@
+//! Robustness gates for the on-disk store: every way a store file can be
+//! damaged must degrade to a cold start with a warning — never an error,
+//! never a stale or corrupted value served as valid.
+
+use diskcache::{kind, verdict, DiskCache, FORMAT_VERSION, MAGIC};
+use std::path::PathBuf;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "diskcache_robust_{}_{name}.store",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(p.with_extension("lock"));
+    p
+}
+
+/// A store with a handful of records of both kinds, flushed to disk.
+fn seeded(path: &PathBuf) {
+    let mut c = DiskCache::open(path);
+    for i in 0..10u8 {
+        c.put(kind::VERDICT, vec![b'v', i], vec![verdict::SAT]);
+        c.put(kind::MEMO, vec![b'm', i], vec![i; 64]);
+    }
+    c.flush().unwrap();
+    drop(c);
+}
+
+/// Cold start: no records, at least one warning, and writes still work.
+fn assert_cold_but_usable(path: &PathBuf) {
+    let mut c = DiskCache::open(path);
+    assert_eq!(c.loaded(), 0, "damaged store must load nothing");
+    assert!(c.is_empty());
+    assert!(
+        !c.warnings().is_empty(),
+        "damage must be reported, not silent"
+    );
+    assert!(!c.read_only(), "a damaged file does not block writing");
+    // the store recovers: a put + flush rebuilds a valid file
+    c.put(kind::VERDICT, b"fresh".to_vec(), vec![verdict::UNSAT]);
+    c.flush().unwrap();
+    drop(c);
+    let c = DiskCache::open(path);
+    assert!(c.warnings().is_empty(), "{:?}", c.warnings());
+    assert_eq!(c.loaded(), 1);
+    assert_eq!(c.get(kind::VERDICT, b"fresh"), Some(&[verdict::UNSAT][..]));
+}
+
+#[test]
+fn truncated_file_degrades_to_cold_start() {
+    let path = tmp_path("truncated");
+    seeded(&path);
+    let bytes = std::fs::read(&path).unwrap();
+    // cut mid-record (three quarters in lands inside some record body)
+    std::fs::write(&path, &bytes[..bytes.len() * 3 / 4]).unwrap();
+    assert_cold_but_usable(&path);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let path = tmp_path("bitflip");
+    seeded(&path);
+    let bytes = std::fs::read(&path).unwrap();
+    // flip one bit at a spread of positions across header and records;
+    // the loader must either cold-start or (never) serve a wrong value
+    for pos in (0..bytes.len()).step_by(37) {
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        let c = DiskCache::open(&path);
+        assert_eq!(
+            c.loaded(),
+            0,
+            "bit flip at byte {pos} went undetected ({} records loaded)",
+            c.loaded()
+        );
+        assert!(!c.warnings().is_empty(), "flip at {pos} not reported");
+        drop(c);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn version_mismatch_degrades_to_cold_start() {
+    let path = tmp_path("version");
+    seeded(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let next = (FORMAT_VERSION + 1).to_le_bytes();
+    bytes[MAGIC.len()] = next[0];
+    bytes[MAGIC.len() + 1] = next[1];
+    std::fs::write(&path, &bytes).unwrap();
+    assert_cold_but_usable(&path);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn foreign_file_degrades_to_cold_start() {
+    let path = tmp_path("foreign");
+    std::fs::write(&path, b"this is not a store file at all").unwrap();
+    assert_cold_but_usable(&path);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn empty_file_degrades_to_cold_start() {
+    let path = tmp_path("empty");
+    std::fs::write(&path, b"").unwrap();
+    assert_cold_but_usable(&path);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn garbage_appended_after_valid_records_is_rejected() {
+    let path = tmp_path("tail_garbage");
+    seeded(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    std::fs::write(&path, &bytes).unwrap();
+    // conservative contract: any corruption anywhere drops the whole
+    // cache rather than guessing which prefix to trust
+    assert_cold_but_usable(&path);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn concurrent_openers_never_interleave_writes() {
+    let path = tmp_path("concurrent");
+    seeded(&path);
+    let bytes_before = std::fs::read(&path).unwrap();
+    let mut daemon = DiskCache::open(&path);
+    assert_eq!(daemon.loaded(), 20);
+    // a CLI pointed at the daemon's store: cold, read-only, warned
+    let mut cli = DiskCache::open(&path);
+    assert!(cli.read_only());
+    assert_eq!(cli.loaded(), 0);
+    assert_eq!(cli.warnings().len(), 1);
+    cli.put(kind::MEMO, b"cli".to_vec(), b"never lands".to_vec());
+    cli.flush().unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), bytes_before);
+    drop(cli);
+    // the daemon's lock survives the CLI's exit and its writes still work
+    daemon.put(kind::MEMO, b"daemon".to_vec(), b"lands".to_vec());
+    daemon.flush().unwrap();
+    drop(daemon);
+    let c = DiskCache::open(&path);
+    assert_eq!(c.loaded(), 21);
+    assert_eq!(c.get(kind::MEMO, b"daemon"), Some(&b"lands"[..]));
+    assert_eq!(c.get(kind::MEMO, b"cli"), None);
+    std::fs::remove_file(&path).unwrap();
+}

@@ -175,6 +175,36 @@ impl SharedCache {
         self.len() == 0
     }
 
+    /// Every cached `(key, result)` pair, for persistence. The order is
+    /// unspecified (shard-by-shard, hash order within a shard); callers
+    /// that need determinism sort the keys. Does not touch the usage
+    /// counters.
+    pub fn export(&self) -> Vec<(CanonKey, SatResult)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.inner.shards {
+            let shard = shard.read().expect("cache shard poisoned");
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        out
+    }
+
+    /// Bulk-seeds the cache (from a persistent store) without touching
+    /// the usage counters, so snapshots keep reporting only live query
+    /// traffic. Existing keys are left alone — a verdict computed this
+    /// run is as good as the stored one, and skipping keeps hydration
+    /// idempotent. Returns the number of entries actually added.
+    pub fn hydrate(&self, entries: impl IntoIterator<Item = (CanonKey, SatResult)>) -> usize {
+        let mut added = 0;
+        for (key, result) in entries {
+            let mut shard = self.shard(&key).write().expect("cache shard poisoned");
+            if let std::collections::hash_map::Entry::Vacant(e) = shard.entry(key) {
+                e.insert(result);
+                added += 1;
+            }
+        }
+        added
+    }
+
     /// A consistent-enough snapshot of the usage counters.
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
@@ -564,6 +594,28 @@ mod tests {
         for (hyps, goal) in cases {
             assert_mirrors(&s, &hyps, goal);
         }
+    }
+
+    #[test]
+    fn export_hydrate_roundtrip_preserves_entries_not_counters() {
+        let src = SharedCache::new();
+        src.insert(vec![1, 2], SatResult::Unsat);
+        src.insert(vec![3], SatResult::Sat);
+        src.insert(vec![4], SatResult::Unknown);
+        let mut exported = src.export();
+        exported.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(exported.len(), 3);
+        let dst = SharedCache::new();
+        dst.insert(vec![3], SatResult::Unsat); // pre-existing entry wins
+        assert_eq!(dst.hydrate(exported.clone()), 2);
+        assert_eq!(dst.hydrate(exported), 0); // idempotent
+        assert_eq!(dst.lookup(&[1, 2]), Some(SatResult::Unsat));
+        assert_eq!(dst.lookup(&[3]), Some(SatResult::Unsat));
+        assert_eq!(dst.lookup(&[4]), Some(SatResult::Unknown));
+        let snap = dst.snapshot();
+        // hydration and export are invisible to the traffic counters
+        assert_eq!(snap.insertions, 1);
+        assert_eq!(snap.entries, 3);
     }
 
     #[test]

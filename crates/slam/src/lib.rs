@@ -34,15 +34,22 @@
 
 pub mod cegar;
 pub mod instrument;
+pub mod sched;
 pub mod spec;
 pub mod specs;
+pub mod wire;
 
-pub use cegar::{check, IterationStats, SlamError, SlamOptions, SlamRun, SlamVerdict};
+pub use cegar::{
+    check, check_with, reuse_signature, IterationStats, SlamError, SlamOptions, SlamRun,
+    SlamVerdict,
+};
 pub use instrument::instrument;
+pub use sched::{Job, JobEvent, JobOutcome, JobResult, Scheduler};
 pub use spec::{parse_spec, Spec, SpecError};
 pub use specs::{SpecEntry, SpecRegistry, ViolationShape};
 
 use c2bp::Pred;
+use cparse::ast::Program;
 use cparse::{check_program, parse_program, simplify_program};
 
 /// One-call driver: parse `src`, weave in `spec`, simplify, and run the
@@ -74,6 +81,20 @@ pub fn verify_seeded(
     seeds: Vec<Pred>,
     options: &SlamOptions,
 ) -> Result<SlamRun, SlamError> {
+    let simplified = prepare(src, spec, entry)?;
+    check(&simplified, entry, seeds, options)
+}
+
+/// The front-end half of [`verify`]: parse `src`, weave in `spec`,
+/// type-check, and simplify — everything before the CEGAR loop. The
+/// returned program is what [`check`] / [`cegar::check_with`] expect,
+/// and what [`cegar::reuse_signature`] must be computed over.
+///
+/// # Errors
+///
+/// Returns [`SlamError`] on parse, instrumentation-consistency, or
+/// simplification failures.
+pub fn prepare(src: &str, spec: &Spec, entry: &str) -> Result<Program, SlamError> {
     let program = parse_program(src).map_err(|e| SlamError {
         message: e.to_string(),
     })?;
@@ -81,10 +102,9 @@ pub fn verify_seeded(
     check_program(&instrumented).map_err(|e| SlamError {
         message: e.to_string(),
     })?;
-    let simplified = simplify_program(&instrumented).map_err(|e| SlamError {
+    simplify_program(&instrumented).map_err(|e| SlamError {
         message: e.to_string(),
-    })?;
-    check(&simplified, entry, seeds, options)
+    })
 }
 
 #[cfg(test)]

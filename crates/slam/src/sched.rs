@@ -1,0 +1,491 @@
+//! Verification as a service: a job scheduler over the CEGAR loop.
+//!
+//! A [`Job`] names a verification task — a C source, a spec family from
+//! the [registry](crate::specs::SpecRegistry), an entry function, and
+//! [`SlamOptions`]. The [`Scheduler`] owns the cross-job state the CLIs
+//! used to rebuild per invocation:
+//!
+//! * one process-wide [`SharedCache`] of prover verdicts, consulted by
+//!   every job's abstraction (clones share storage, so concurrent jobs
+//!   feed each other);
+//! * optionally one on-disk [`DiskCache`] that persists those verdicts
+//!   and the per-configuration transfer-function memos across
+//!   *processes*, making re-verification of an unmodified program warm
+//!   from the first iteration.
+//!
+//! [`Scheduler::run_batch`] fans a batch out over a worker pool
+//! (`std::thread::scope` plus an atomic work index — the same idiom as
+//! C2bp's parallel solver) and streams [`JobEvent`]s to a callback as
+//! each CEGAR iteration completes, so a CLI or daemon can render
+//! progress without polling. Outputs are deterministic by construction:
+//! the worker count only changes *when* work happens, never *what* any
+//! job computes, and cache hydration bypasses the usage counters, so a
+//! warm run reports the same logical query counts a cold run would —
+//! minus the ones memo replay genuinely avoids.
+
+use crate::cegar::{self, IterationStats, SlamError, SlamOptions, SlamRun, SlamVerdict};
+use crate::specs::SpecRegistry;
+use diskcache::{kind, verdict, DiskCache};
+use prover::{SatResult, SharedCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One verification task.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Caller-chosen label, echoed in every event and result.
+    pub name: String,
+    /// C source of the program to verify.
+    pub source: String,
+    /// Spec-family key in [`SpecRegistry::builtin`] (`lock`, `irp`, …).
+    pub spec: String,
+    /// Entry function the property is checked from.
+    pub entry: String,
+    /// Loop options; `options.c2bp.reuse` additionally enables memo
+    /// persistence when the scheduler has a store.
+    pub options: SlamOptions,
+}
+
+impl Job {
+    /// A job with default [`SlamOptions`].
+    pub fn new(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        spec: impl Into<String>,
+        entry: impl Into<String>,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            source: source.into(),
+            spec: spec.into(),
+            entry: entry.into(),
+            options: SlamOptions::default(),
+        }
+    }
+}
+
+/// How a job ended, flattened for event consumers; the full
+/// [`SlamRun`]/[`SlamError`] lives in [`JobResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Property validated.
+    Validated,
+    /// A (possibly real) violation was found.
+    ErrorFound,
+    /// The loop gave up within its budget.
+    GaveUp,
+    /// A mechanical failure (parse error, unknown spec, tool error).
+    Failed,
+}
+
+/// Streamed progress, delivered to [`Scheduler::run_batch`]'s callback
+/// from worker threads (events of concurrent jobs interleave; each
+/// carries its job's name).
+#[derive(Debug)]
+pub enum JobEvent<'a> {
+    /// A worker picked the job up.
+    Started {
+        /// Job label.
+        job: &'a str,
+    },
+    /// One CEGAR iteration finished.
+    Iteration {
+        /// Job label.
+        job: &'a str,
+        /// 1-based iteration number.
+        iteration: u32,
+        /// That iteration's statistics.
+        stats: &'a IterationStats,
+    },
+    /// The job finished (in success or failure).
+    Finished {
+        /// Job label.
+        job: &'a str,
+        /// Flattened outcome.
+        outcome: JobOutcome,
+        /// Iterations executed (0 on front-end failure).
+        iterations: u32,
+        /// Theorem-prover calls across all iterations.
+        prover_calls: u64,
+        /// Wall-clock seconds for the whole job.
+        wall_seconds: f64,
+    },
+}
+
+/// The terminal record for one job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Job label.
+    pub name: String,
+    /// The full run, or the mechanical error that prevented one.
+    pub run: Result<SlamRun, SlamError>,
+    /// Wall-clock seconds from pickup to finish (front end included).
+    pub wall_seconds: f64,
+    /// Wall-clock seconds inside C2bp (the prover-bound phase), summed
+    /// over iterations.
+    pub abs_seconds: f64,
+    /// Theorem-prover calls, summed over iterations.
+    pub prover_calls: u64,
+    /// Abstraction units replayed from the session memo, summed over
+    /// iterations (> 0 on a warm run is the cache doing its job).
+    pub reused_units: usize,
+    /// Memo entries hydrated from the disk store before the run.
+    pub memo_hydrated: usize,
+}
+
+impl JobResult {
+    /// The flattened outcome (mirrors the `Finished` event).
+    pub fn outcome(&self) -> JobOutcome {
+        match &self.run {
+            Err(_) => JobOutcome::Failed,
+            Ok(run) => match run.verdict {
+                SlamVerdict::Validated => JobOutcome::Validated,
+                SlamVerdict::ErrorFound { .. } => JobOutcome::ErrorFound,
+                SlamVerdict::GaveUp { .. } => JobOutcome::GaveUp,
+            },
+        }
+    }
+}
+
+/// Separator between the configuration signature and the leaf
+/// fingerprint in a memo record's key. Signatures are decimal FNV
+/// digits, fingerprints are printable — neither contains a NUL.
+const MEMO_KEY_SEP: u8 = 0;
+
+/// The job scheduler. See the [module docs](self).
+pub struct Scheduler {
+    shared: SharedCache,
+    store: Option<Mutex<DiskCache>>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler::new()
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with a fresh in-process cache and no disk store.
+    pub fn new() -> Scheduler {
+        Scheduler {
+            shared: SharedCache::new(),
+            store: None,
+        }
+    }
+
+    /// A scheduler backed by the on-disk store at `path`. Opening never
+    /// fails: a missing file is a cold start, a damaged one degrades to
+    /// a cold start with [`store_warnings`](Scheduler::store_warnings),
+    /// and a file locked by another process falls back to read-only.
+    /// Persisted prover verdicts hydrate the shared cache immediately
+    /// (bypassing its usage counters, so warm and cold runs report
+    /// comparable traffic).
+    pub fn with_store(path: impl AsRef<std::path::Path>) -> Scheduler {
+        Scheduler::with_store_cache(DiskCache::open(path))
+    }
+
+    /// [`with_store`](Scheduler::with_store) over an already-open store
+    /// (e.g. [`DiskCache::in_memory`] in tests).
+    pub fn with_store_cache(store: DiskCache) -> Scheduler {
+        let shared = SharedCache::new();
+        shared.hydrate(store.iter_kind(kind::VERDICT).filter_map(|(key, val)| {
+            let result = match *val.first()? {
+                verdict::SAT => SatResult::Sat,
+                verdict::UNSAT => SatResult::Unsat,
+                verdict::UNKNOWN => SatResult::Unknown,
+                _ => return None,
+            };
+            Some((key.to_vec(), result))
+        }));
+        Scheduler {
+            shared,
+            store: Some(Mutex::new(store)),
+        }
+    }
+
+    /// The process-wide prover-verdict cache.
+    pub fn shared_cache(&self) -> &SharedCache {
+        &self.shared
+    }
+
+    /// Warnings accumulated by the disk store (empty without one).
+    pub fn store_warnings(&self) -> Vec<String> {
+        match &self.store {
+            Some(store) => store.lock().expect("store poisoned").warnings().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether a disk store is attached and writable.
+    pub fn store_writable(&self) -> bool {
+        match &self.store {
+            Some(store) => !store.lock().expect("store poisoned").read_only(),
+            None => false,
+        }
+    }
+
+    /// Runs `jobs` across `workers` threads (clamped to at least 1),
+    /// streaming [`JobEvent`]s to `on_event` as they happen. Results
+    /// come back in job order regardless of completion order, and every
+    /// job's outputs (boolean programs, verdicts, predicate sets) are
+    /// independent of `workers` and of cache temperature.
+    pub fn run_batch(
+        &self,
+        jobs: &[Job],
+        workers: usize,
+        on_event: &(dyn Fn(JobEvent<'_>) + Sync),
+    ) -> Vec<JobResult> {
+        let workers = workers.max(1).min(jobs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(idx) else { break };
+                    let result = self.run_job(job, on_event);
+                    *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index visited")
+            })
+            .collect()
+    }
+
+    /// Runs one job on the calling thread (the worker body of
+    /// [`run_batch`](Scheduler::run_batch), usable directly for
+    /// single-job callers that still want cache + store behavior).
+    pub fn run_job(&self, job: &Job, on_event: &(dyn Fn(JobEvent<'_>) + Sync)) -> JobResult {
+        let start = Instant::now();
+        on_event(JobEvent::Started { job: &job.name });
+        let prepared = SpecRegistry::builtin()
+            .get(&job.spec)
+            .ok_or_else(|| SlamError {
+                message: format!("unknown spec family `{}`", job.spec),
+            })
+            .and_then(|entry| crate::prepare(&job.source, &entry.spec(), &job.entry));
+        let run = prepared.and_then(|program| {
+            let mut session = c2bp::ReuseSession::with_shared_cache(self.shared.clone());
+            let sig = cegar::reuse_signature(&program, &job.entry, &[], &job.options);
+            let memo_hydrated = self.hydrate_memo(&mut session, &sig);
+            let run = cegar::check_with(
+                &program,
+                &job.entry,
+                Vec::new(),
+                &job.options,
+                &mut session,
+                &mut |iteration, stats| {
+                    on_event(JobEvent::Iteration {
+                        job: &job.name,
+                        iteration,
+                        stats,
+                    });
+                },
+            )?;
+            self.persist_memo(&session);
+            Ok((run, memo_hydrated))
+        });
+        let (run, memo_hydrated) = match run {
+            Ok((run, hydrated)) => (Ok(run), hydrated),
+            Err(e) => (Err(e), 0),
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let (iterations, prover_calls, abs_seconds, reused_units) = match &run {
+            Ok(r) => (
+                r.iterations,
+                r.per_iteration.iter().map(|s| s.prover_calls).sum(),
+                r.per_iteration.iter().map(|s| s.abs_seconds).sum(),
+                r.per_iteration.iter().map(|s| s.reused_units).sum(),
+            ),
+            Err(_) => (0, 0, 0.0, 0),
+        };
+        let result = JobResult {
+            name: job.name.clone(),
+            run,
+            wall_seconds,
+            abs_seconds,
+            prover_calls,
+            reused_units,
+            memo_hydrated,
+        };
+        on_event(JobEvent::Finished {
+            job: &job.name,
+            outcome: result.outcome(),
+            iterations,
+            prover_calls,
+            wall_seconds,
+        });
+        result
+    }
+
+    /// Seeds `session` with every memo record persisted under `sig`.
+    fn hydrate_memo(&self, session: &mut c2bp::ReuseSession, sig: &str) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let store = store.lock().expect("store poisoned");
+        let mut prefix = sig.as_bytes().to_vec();
+        prefix.push(MEMO_KEY_SEP);
+        let entries: Vec<(String, Vec<u8>)> = store
+            .iter_kind(kind::MEMO)
+            .filter(|(key, _)| key.starts_with(&prefix))
+            .filter_map(|(key, val)| {
+                let fingerprint = String::from_utf8(key[prefix.len()..].to_vec()).ok()?;
+                Some((fingerprint, val.to_vec()))
+            })
+            .collect();
+        drop(store);
+        session.hydrate_memo(sig, entries)
+    }
+
+    /// Writes `session`'s memo back to the store under its signature.
+    /// Records land in memory immediately (visible to later jobs'
+    /// hydration) and on disk at the next [`checkpoint`](Scheduler::checkpoint).
+    fn persist_memo(&self, session: &c2bp::ReuseSession) {
+        let Some(store) = &self.store else { return };
+        let Some(sig) = session.config_sig() else {
+            return;
+        };
+        let mut store = store.lock().expect("store poisoned");
+        for (fingerprint, bytes) in session.export_memo() {
+            let mut key = sig.as_bytes().to_vec();
+            key.push(MEMO_KEY_SEP);
+            key.extend_from_slice(fingerprint.as_bytes());
+            store.put(kind::MEMO, key, bytes);
+        }
+    }
+
+    /// Exports the shared cache's verdicts into the store and flushes
+    /// it to disk. A no-op without a store (returns `Ok(0)`); with a
+    /// read-only store the export still happens in memory but the flush
+    /// writes nothing. Returns the number of entries in the store after
+    /// the export.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the flush (disk full, permissions);
+    /// the in-memory caches are unaffected by a failed flush.
+    pub fn checkpoint(&self) -> std::io::Result<usize> {
+        let Some(store) = &self.store else {
+            return Ok(0);
+        };
+        let mut store = store.lock().expect("store poisoned");
+        for (key, result) in self.shared.export() {
+            let byte = match result {
+                SatResult::Sat => verdict::SAT,
+                SatResult::Unsat => verdict::UNSAT,
+                SatResult::Unknown => verdict::UNKNOWN,
+            };
+            store.put(kind::VERDICT, key, vec![byte]);
+        }
+        store.flush()?;
+        Ok(store.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock_job(name: &str, trace: &[&str]) -> Job {
+        let registry = SpecRegistry::builtin();
+        let entry = registry.get("lock").unwrap();
+        Job::new(name, entry.trace_driver("work", trace), "lock", "work")
+    }
+
+    #[test]
+    fn batch_results_keep_job_order_and_verdicts() {
+        let sched = Scheduler::new();
+        let jobs = vec![
+            lock_job("ok", &["KeAcquireSpinLock", "KeReleaseSpinLock"]),
+            lock_job("double", &["KeAcquireSpinLock", "KeAcquireSpinLock"]),
+            Job::new("broken", "void work(void) {", "lock", "work"),
+            Job::new("nospec", "void work(void) { ; }", "nosuch", "work"),
+        ];
+        let results = sched.run_batch(&jobs, 4, &|_| {});
+        let outcomes: Vec<JobOutcome> = results.iter().map(JobResult::outcome).collect();
+        assert_eq!(
+            outcomes,
+            vec![
+                JobOutcome::Validated,
+                JobOutcome::ErrorFound,
+                JobOutcome::Failed,
+                JobOutcome::Failed,
+            ]
+        );
+        assert_eq!(results[0].name, "ok");
+        assert!(results[0].prover_calls > 0);
+        assert!(results[3]
+            .run
+            .as_ref()
+            .unwrap_err()
+            .message
+            .contains("nosuch"));
+    }
+
+    #[test]
+    fn events_stream_in_causal_order_per_job() {
+        let sched = Scheduler::new();
+        let jobs = vec![lock_job("j", &["KeAcquireSpinLock", "KeReleaseSpinLock"])];
+        let log = Mutex::new(Vec::new());
+        sched.run_batch(&jobs, 1, &|ev| {
+            log.lock().unwrap().push(match ev {
+                JobEvent::Started { .. } => "started".to_string(),
+                JobEvent::Iteration { iteration, .. } => format!("iter {iteration}"),
+                JobEvent::Finished { outcome, .. } => format!("finished {outcome:?}"),
+            });
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.first().map(String::as_str), Some("started"));
+        assert_eq!(log.get(1).map(String::as_str), Some("iter 1"));
+        assert_eq!(log.last().map(String::as_str), Some("finished Validated"));
+    }
+
+    #[test]
+    fn warm_store_replays_memo_and_drops_prover_calls() {
+        let job = lock_job(
+            "warm",
+            &[
+                "KeAcquireSpinLock",
+                "KeReleaseSpinLock",
+                "KeAcquireSpinLock",
+                "KeReleaseSpinLock",
+            ],
+        );
+        // cold run against a fresh in-memory store
+        let cold_sched = Scheduler::with_store_cache(DiskCache::in_memory());
+        let cold = cold_sched.run_job(&job, &|_| {});
+        assert_eq!(cold.outcome(), JobOutcome::Validated);
+        assert_eq!(cold.memo_hydrated, 0);
+        cold_sched.checkpoint().unwrap();
+        // hand the populated store to a second scheduler: warm start
+        let store = cold_sched.store.unwrap().into_inner().unwrap();
+        assert!(store.len() > 0);
+        let warm_sched = Scheduler::with_store_cache(store);
+        let warm = warm_sched.run_job(&job, &|_| {});
+        assert_eq!(warm.outcome(), JobOutcome::Validated);
+        assert!(warm.memo_hydrated > 0, "memo should hydrate from store");
+        assert!(warm.reused_units > 0, "hydrated memo should replay");
+        assert!(
+            warm.prover_calls < cold.prover_calls,
+            "warm {} !< cold {}",
+            warm.prover_calls,
+            cold.prover_calls
+        );
+        // determinism across temperature: same verdict, same predicates
+        let (c, w) = (cold.run.unwrap(), warm.run.unwrap());
+        assert_eq!(c.verdict, w.verdict);
+        let names = |r: &SlamRun| {
+            r.final_preds
+                .iter()
+                .map(|p| p.var_name())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&c), names(&w));
+    }
+}

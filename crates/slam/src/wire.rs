@@ -1,0 +1,595 @@
+//! The `slam-serve` wire protocol: line-delimited JSON requests and
+//! events.
+//!
+//! One request per input line, one JSON object per output line. The
+//! toolkit deliberately has no third-party dependencies, so this module
+//! carries its own small JSON reader/writer — a strict recursive-descent
+//! parser over a [`Json`] value tree plus string-escaping emitters. The
+//! parser rejects trailing garbage, unterminated strings, and malformed
+//! escapes rather than guessing; a bad request line becomes an `error`
+//! event, never a crashed daemon.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"cmd": "verify", "job": {"name": "j1", "spec": "lock", "entry": "work", "source": "..."}}
+//! {"cmd": "batch", "workers": 4, "jobs": [{...}, {...}]}
+//! {"cmd": "checkpoint"}
+//! {"cmd": "stats"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! A job object may carry an `options` object; recognised keys are
+//! `max_iterations` (number) and `slice` (bool), everything else is
+//! rejected so a typo cannot silently run with defaults.
+//!
+//! Events (see [`crate::sched::JobEvent`] for the semantics):
+//!
+//! ```json
+//! {"event": "started", "job": "j1"}
+//! {"event": "iteration", "job": "j1", "iteration": 1, "predicates": 3, ...}
+//! {"event": "result", "job": "j1", "outcome": "validated", ...}
+//! {"event": "checkpoint", "entries": 120}
+//! {"event": "stats", ...}
+//! {"event": "error", "message": "..."}
+//! {"event": "shutdown"}
+//! ```
+
+use crate::cegar::IterationStats;
+use crate::sched::{Job, JobOutcome, JobResult};
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the protocol only uses non-negative integers).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys: last wins on lookup
+    /// by taking the first from the end — the parser keeps all).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects (`None` elsewhere / when absent).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.
+///
+/// # Errors
+///
+/// A human-readable description with a byte offset.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut at = 0;
+    let value = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(format!("trailing data at byte {at}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(bytes: &[u8], at: &mut usize, ch: u8) -> Result<(), String> {
+    if bytes.get(*at) == Some(&ch) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {at}", ch as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *at += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, at);
+                let key = match parse_value(bytes, at)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string (byte {at})")),
+                };
+                skip_ws(bytes, at);
+                expect(bytes, at, b':')?;
+                members.push((key, parse_value(bytes, at)?));
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {at}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, at)?);
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {at}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, at).map(Json::Str),
+        Some(b't') if bytes[*at..].starts_with(b"true") => {
+            *at += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*at..].starts_with(b"false") => {
+            *at += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*at..].starts_with(b"null") => {
+            *at += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => parse_number(bytes, at).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(bytes, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match bytes.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *at += 1;
+                        let hi = parse_hex4(bytes, at)?;
+                        let ch = if (0xd800..0xdc00).contains(&hi) {
+                            // surrogate pair: the low half must follow
+                            if bytes.get(*at) != Some(&b'\\') || bytes.get(*at + 1) != Some(&b'u') {
+                                return Err(format!("lone high surrogate at byte {at}"));
+                            }
+                            *at += 2;
+                            let lo = parse_hex4(bytes, at)?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err(format!("invalid low surrogate at byte {at}"));
+                            }
+                            let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                            char::from_u32(code)
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        out.push(ch.ok_or_else(|| format!("invalid code point at byte {at}"))?);
+                        continue; // parse_hex4 already advanced `at`
+                    }
+                    _ => return Err(format!("bad escape at byte {at}")),
+                }
+                *at += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(format!("raw control byte 0x{b:02x} in string at byte {at}"));
+            }
+            Some(_) => {
+                // copy one UTF-8 scalar (the input is a &str, so the
+                // boundaries are valid by construction)
+                let s = std::str::from_utf8(&bytes[*at..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().expect("non-empty by match");
+                out.push(ch);
+                *at += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: &mut usize) -> Result<u32, String> {
+    if bytes.len() < *at + 4 {
+        return Err("truncated \\u escape".into());
+    }
+    let hex = std::str::from_utf8(&bytes[*at..*at + 4]).map_err(|e| e.to_string())?;
+    let code = u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape at byte {at}"))?;
+    *at += 4;
+    Ok(code)
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Result<f64, String> {
+    let start = *at;
+    if bytes.get(*at) == Some(&b'-') {
+        *at += 1;
+    }
+    while matches!(
+        bytes.get(*at),
+        Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+    ) {
+        *at += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*at]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map_err(|_| format!("bad number at byte {start}"))
+}
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding
+/// quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Verify one job.
+    Verify(Job),
+    /// Verify a batch, optionally overriding the pool width.
+    Batch {
+        /// The jobs, in submission order (results keep this order).
+        jobs: Vec<Job>,
+        /// Worker override for this batch only.
+        workers: Option<usize>,
+    },
+    /// Flush the disk store.
+    Checkpoint,
+    /// Report scheduler counters.
+    Stats,
+    /// Flush and exit.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A description of the first problem found (bad JSON, missing or
+/// unknown fields); the caller reports it as an `error` event.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = parse(line)?;
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `cmd`")?;
+    match cmd {
+        "verify" => {
+            let job = value.get("job").ok_or("verify: missing object `job`")?;
+            Ok(Request::Verify(parse_job(job)?))
+        }
+        "batch" => {
+            let jobs = match value.get("jobs") {
+                Some(Json::Arr(items)) => items.iter().map(parse_job).collect::<Result<_, _>>()?,
+                _ => return Err("batch: missing array `jobs`".into()),
+            };
+            let workers = match value.get("workers") {
+                None => None,
+                Some(v) => Some(
+                    v.as_num()
+                        .filter(|n| n.fract() == 0.0 && *n >= 1.0)
+                        .ok_or("batch: `workers` must be a positive integer")?
+                        as usize,
+                ),
+            };
+            Ok(Request::Batch { jobs, workers })
+        }
+        "checkpoint" => Ok(Request::Checkpoint),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+fn parse_job(value: &Json) -> Result<Job, String> {
+    let field = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("job: missing string field `{key}`"))
+    };
+    let mut job = Job::new(
+        field("name")?,
+        field("source")?,
+        field("spec")?,
+        field("entry")?,
+    );
+    if let Some(options) = value.get("options") {
+        let Json::Obj(members) = options else {
+            return Err("job: `options` must be an object".into());
+        };
+        for (key, val) in members {
+            match key.as_str() {
+                "max_iterations" => {
+                    job.options.max_iterations = val
+                        .as_num()
+                        .filter(|n| n.fract() == 0.0 && *n >= 1.0)
+                        .ok_or("job: `max_iterations` must be a positive integer")?
+                        as u32;
+                }
+                "slice" => {
+                    job.options.slice = val.as_bool().ok_or("job: `slice` must be a boolean")?;
+                }
+                other => return Err(format!("job: unknown option `{other}`")),
+            }
+        }
+    }
+    Ok(job)
+}
+
+/// `started` event line (no trailing newline).
+pub fn event_started(job: &str) -> String {
+    format!("{{\"event\":\"started\",\"job\":\"{}\"}}", escape(job))
+}
+
+/// `iteration` event line.
+pub fn event_iteration(job: &str, iteration: u32, stats: &IterationStats) -> String {
+    format!(
+        "{{\"event\":\"iteration\",\"job\":\"{}\",\"iteration\":{},\"predicates\":{},\
+         \"prover_calls\":{},\"reused_units\":{},\"bebop_iterations\":{},\
+         \"error_reachable\":{}}}",
+        escape(job),
+        iteration,
+        stats.predicates,
+        stats.prover_calls,
+        stats.reused_units,
+        stats.bebop_iterations,
+        stats.error_reachable,
+    )
+}
+
+fn outcome_str(outcome: JobOutcome) -> &'static str {
+    match outcome {
+        JobOutcome::Validated => "validated",
+        JobOutcome::ErrorFound => "error_found",
+        JobOutcome::GaveUp => "gave_up",
+        JobOutcome::Failed => "failed",
+    }
+}
+
+/// `result` event line.
+pub fn event_result(result: &JobResult) -> String {
+    let mut line = format!(
+        "{{\"event\":\"result\",\"job\":\"{}\",\"outcome\":\"{}\"",
+        escape(&result.name),
+        outcome_str(result.outcome()),
+    );
+    match &result.run {
+        Ok(run) => {
+            let _ = write!(
+                line,
+                ",\"iterations\":{},\"prover_calls\":{},\"reused_units\":{},\
+                 \"memo_hydrated\":{},\"final_preds\":{},\"wall_seconds\":{:.6}",
+                run.iterations,
+                result.prover_calls,
+                result.reused_units,
+                result.memo_hydrated,
+                run.final_preds.len(),
+                result.wall_seconds,
+            );
+        }
+        Err(e) => {
+            let _ = write!(line, ",\"error\":\"{}\"", escape(&e.message));
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// `checkpoint` event line.
+pub fn event_checkpoint(entries: usize) -> String {
+    format!("{{\"event\":\"checkpoint\",\"entries\":{entries}}}")
+}
+
+/// `stats` event line.
+pub fn event_stats(cache: &prover::CacheSnapshot, store_writable: bool) -> String {
+    format!(
+        "{{\"event\":\"stats\",\"cache_entries\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"store_writable\":{}}}",
+        cache.entries, cache.hits, cache.misses, store_writable,
+    )
+}
+
+/// `error` event line.
+pub fn event_error(message: &str) -> String {
+    format!(
+        "{{\"event\":\"error\",\"message\":\"{}\"}}",
+        escape(message)
+    )
+}
+
+/// `shutdown` event line.
+pub fn event_shutdown() -> String {
+    "{\"event\":\"shutdown\"}".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#" {"a": [1, -2.5, "x\n\"yA"], "b": {"c": true, "d": null}} "#;
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Str("x\n\"yA".into()),
+            ])
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v, Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "{\"a\" 1}",
+            "nul",
+            r#""\ud83d""#,  // lone high surrogate
+            r#""\q""#,      // bad escape
+            "\"raw\u{1}\"", // control byte
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f😀";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&doc).unwrap(), Json::Str(nasty.into()));
+    }
+
+    #[test]
+    fn requests_parse() {
+        let req = parse_request(
+            r#"{"cmd":"verify","job":{"name":"j","spec":"lock","entry":"work","source":"void work(void) { ; }"}}"#,
+        )
+        .unwrap();
+        assert!(matches!(req, Request::Verify(ref j) if j.name == "j" && j.spec == "lock"));
+        let req = parse_request(
+            r#"{"cmd":"batch","workers":2,"jobs":[{"name":"a","spec":"lock","entry":"e","source":"s","options":{"max_iterations":3,"slice":false}}]}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Batch { jobs, workers } => {
+                assert_eq!(workers, Some(2));
+                assert_eq!(jobs[0].options.max_iterations, 3);
+                assert!(!jobs[0].options.slice);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        assert!(parse_request(r#"{"cmd":"verify"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"warp"}"#).is_err());
+        assert!(parse_request(
+            r#"{"cmd":"batch","jobs":[{"name":"a","spec":"l","entry":"e","source":"s","options":{"typo":1}}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn event_lines_are_single_line_json() {
+        use crate::cegar::SlamError;
+        let result = JobResult {
+            name: "j\"1".into(),
+            run: Err(SlamError {
+                message: "multi\nline".into(),
+            }),
+            wall_seconds: 0.5,
+            abs_seconds: 0.1,
+            prover_calls: 0,
+            reused_units: 0,
+            memo_hydrated: 0,
+        };
+        for line in [
+            event_started("j\"1"),
+            event_result(&result),
+            event_checkpoint(7),
+            event_error("bad \"cmd\""),
+            event_shutdown(),
+        ] {
+            assert!(!line.contains('\n'), "{line}");
+            assert!(parse(&line).is_ok(), "{line}");
+        }
+        assert!(event_result(&result).contains("\"outcome\":\"failed\""));
+    }
+}

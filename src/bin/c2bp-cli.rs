@@ -38,10 +38,10 @@
 //! `--no-intervals` routes every query to the prover.
 //!
 //! `--cube-engine` selects how each `F_V`/`G_V` goal is answered:
-//! `search` (default) is the paper's superset-pruned cube enumeration,
-//! `enumerate` the AllSAT model-enumeration engine with per-goal
-//! fallback to the search. The printed boolean program is identical
-//! either way; only the prover-call profile changes.
+//! `enumerate` (default) is the AllSAT model-enumeration engine with
+//! per-goal fallback to the search, `search` the paper's
+//! superset-pruned cube enumeration. The printed boolean program is
+//! identical either way; only the prover-call profile changes.
 
 use c2bp::{abstract_program, parse_pred_file, AliasMode, C2bpOptions, CubeEngine};
 use std::process::ExitCode;

@@ -29,10 +29,11 @@
 //! disable them for A/B runs, and `--slice-stats` prints what the slicer
 //! removed.
 //!
-//! `--cube-engine` selects the `F_V`/`G_V` engine (`search` is the
-//! paper's cube enumeration, `enumerate` the AllSAT model-enumeration
-//! engine); boolean programs, verdicts and final predicates are
-//! identical either way, only the prover-call profile changes.
+//! `--cube-engine` selects the `F_V`/`G_V` engine (`enumerate`, the
+//! default, is the AllSAT model-enumeration engine; `search` the
+//! paper's cube enumeration); boolean programs, verdicts and final
+//! predicates are identical either way, only the prover-call profile
+//! changes.
 
 use slam::spec::{irp_spec, locking_spec, parse_spec, Spec};
 use slam::{SlamOptions, SlamVerdict, SpecRegistry};

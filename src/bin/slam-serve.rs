@@ -1,0 +1,141 @@
+//! `slam-serve`: the SLAM toolkit as a long-lived verification service.
+//!
+//! Reads line-delimited JSON requests from stdin, schedules the jobs
+//! across a worker pool, and streams progress and result events to
+//! stdout — one JSON object per line (see [`slam::wire`] for the
+//! protocol). Diagnostics go to stderr; stdout carries nothing but
+//! protocol lines.
+//!
+//! ```text
+//! slam-serve [--workers N] [--store PATH]
+//! ```
+//!
+//! With `--store`, prover verdicts and transfer-function memos persist
+//! across processes: the store is loaded at startup (a damaged or
+//! locked file degrades to a cold start with a warning on stderr) and
+//! flushed on `checkpoint`, `shutdown`, and end of input.
+//!
+//! Example session:
+//!
+//! ```text
+//! $ printf '%s\n' \
+//!     '{"cmd":"batch","jobs":[{"name":"a","spec":"lock","entry":"work",
+//!       "source":"void KeAcquireSpinLock(void) { ; } ..."}]}' \
+//!     '{"cmd":"shutdown"}' | slam-serve --store slam.store
+//! {"event":"started","job":"a"}
+//! {"event":"iteration","job":"a","iteration":1,...}
+//! {"event":"result","job":"a","outcome":"validated",...}
+//! {"event":"shutdown"}
+//! ```
+
+use slam::wire::{self, Request};
+use slam::{JobEvent, Scheduler};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Mutex;
+
+fn usage() -> ! {
+    eprintln!("usage: slam-serve [--workers N] [--store PATH]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut workers = 1usize;
+    let mut store: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--store" => store = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("slam-serve: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let scheduler = match &store {
+        Some(path) => Scheduler::with_store(path),
+        None => Scheduler::new(),
+    };
+    for warning in scheduler.store_warnings() {
+        eprintln!("slam-serve: store: {warning}");
+    }
+
+    // one writer for all threads: worker events and request replies
+    // interleave but every line stays whole
+    let stdout = Mutex::new(std::io::stdout());
+    let emit = |line: String| {
+        let mut out = stdout.lock().expect("stdout poisoned");
+        writeln!(out, "{line}").and_then(|()| out.flush()).ok();
+    };
+    let on_event = |event: JobEvent<'_>| match event {
+        JobEvent::Started { job } => emit(wire::event_started(job)),
+        JobEvent::Iteration {
+            job,
+            iteration,
+            stats,
+        } => emit(wire::event_iteration(job, iteration, stats)),
+        // the result event carries store fields the summary lacks, so
+        // it is emitted from the results loop instead
+        JobEvent::Finished { .. } => {}
+    };
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("slam-serve: stdin: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match wire::parse_request(&line) {
+            Err(message) => emit(wire::event_error(&message)),
+            Ok(Request::Verify(job)) => {
+                let result = scheduler.run_job(&job, &on_event);
+                emit(wire::event_result(&result));
+            }
+            Ok(Request::Batch {
+                jobs,
+                workers: override_workers,
+            }) => {
+                let pool = override_workers.unwrap_or(workers);
+                for result in scheduler.run_batch(&jobs, pool, &on_event) {
+                    emit(wire::event_result(&result));
+                }
+            }
+            Ok(Request::Checkpoint) => match scheduler.checkpoint() {
+                Ok(entries) => emit(wire::event_checkpoint(entries)),
+                Err(e) => emit(wire::event_error(&format!("checkpoint failed: {e}"))),
+            },
+            Ok(Request::Stats) => {
+                let snapshot = scheduler.shared_cache().snapshot();
+                emit(wire::event_stats(&snapshot, scheduler.store_writable()));
+            }
+            Ok(Request::Shutdown) => {
+                if let Err(e) = scheduler.checkpoint() {
+                    emit(wire::event_error(&format!("final checkpoint failed: {e}")));
+                }
+                emit(wire::event_shutdown());
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+    // end of input without an explicit shutdown: still flush the store
+    if let Err(e) = scheduler.checkpoint() {
+        eprintln!("slam-serve: final checkpoint failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,206 @@
+//! Differential checks for the verification service (scheduler + disk
+//! store): one batch over the corpus — two Table 1 drivers plus every
+//! generated spec family in both ground-truth polarities — must produce
+//! *byte-identical* boolean programs at every iteration, the same
+//! verdicts, and the same final predicate sets across
+//! {disk store on, off} x {cold, warm} x {1, 4 workers}. The store is
+//! a pure execution strategy: only prover-call counters may (and on a
+//! warm store must) differ. A damaged store file degrades to a clean
+//! cold start with a warning — identical outputs, never a wrong
+//! verdict.
+
+use corpusgen::{generate, GenParams, GroundTruth};
+use slam::{Job, JobResult, Scheduler, SlamOptions};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn counter_params() -> GenParams {
+    GenParams {
+        statements: 5,
+        depth: 2,
+        pressure: 2,
+        pointers: false,
+        loops: true,
+        counter: true,
+    }
+}
+
+fn options(trace_runs: Option<u64>) -> SlamOptions {
+    let mut options = SlamOptions {
+        keep_bps: true,
+        c2bp: c2bp::C2bpOptions {
+            jobs: 1,
+            ..c2bp::C2bpOptions::paper_defaults()
+        },
+        ..SlamOptions::default()
+    };
+    if let Some(t) = trace_runs {
+        options.trace_runs = t;
+    }
+    options
+}
+
+/// The batch under test: a validated and a bug-finding driver from the
+/// checked-in corpus, then every generated family at seed 0 in both
+/// polarities.
+fn jobs() -> Vec<Job> {
+    let mut out = Vec::new();
+    for (stem, entry, family) in [
+        ("openclos", "DispatchOpenClose", "lock"),
+        ("flopnew", "FlopnewReadWrite", "irp"),
+    ] {
+        let source =
+            std::fs::read_to_string(format!("corpus/drivers/{stem}.c")).expect("corpus source");
+        let mut job = Job::new(stem, source, family, entry);
+        job.options = options(None);
+        out.push(job);
+    }
+    for family in corpusgen::FAMILIES {
+        for defect in [false, true] {
+            let d = generate(family, &counter_params(), 0, defect);
+            match d.truth {
+                GroundTruth::Safe => assert!(!defect),
+                GroundTruth::Defect { .. } => assert!(defect),
+            }
+            let mut job = Job::new(&d.name, &d.source, *family, d.entry);
+            job.options = options(Some(2_000));
+            out.push(job);
+        }
+    }
+    out
+}
+
+/// Everything a run is required to reproduce exactly: per-iteration
+/// boolean programs, verdict, final predicates (or the error message).
+type Fingerprint = (String, Vec<String>, String, String);
+
+fn fingerprints(results: &[JobResult]) -> Vec<Fingerprint> {
+    results
+        .iter()
+        .map(|r| match &r.run {
+            Ok(run) => (
+                r.name.clone(),
+                run.per_iteration
+                    .iter()
+                    .map(|it| it.bp_text.clone().expect("keep_bps was set"))
+                    .collect(),
+                format!("{:?}", run.verdict),
+                format!("{:?}", run.final_preds),
+            ),
+            Err(e) => (r.name.clone(), Vec::new(), String::new(), e.message.clone()),
+        })
+        .collect()
+}
+
+fn prover_calls(results: &[JobResult]) -> u64 {
+    results.iter().map(|r| r.prover_calls).sum()
+}
+
+/// The reference outputs: disk store off, cold, one worker. Computed
+/// once and shared by every test in this binary.
+fn reference() -> &'static Vec<Fingerprint> {
+    static REFERENCE: OnceLock<Vec<Fingerprint>> = OnceLock::new();
+    REFERENCE.get_or_init(|| fingerprints(&Scheduler::new().run_batch(&jobs(), 1, &|_| {})))
+}
+
+fn store_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "slam-serve-diff-{}-{tag}.store",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn storeless_batches_are_invariant_across_workers_and_temperature() {
+    let jobs = jobs();
+    for workers in [1usize, 4] {
+        let sched = Scheduler::new();
+        let cold = sched.run_batch(&jobs, workers, &|_| {});
+        assert_eq!(
+            &fingerprints(&cold),
+            reference(),
+            "cold storeless batch diverged at {workers} workers"
+        );
+        // second batch on the same scheduler: the shared prover cache
+        // is warm, the outputs must not notice
+        let warm = sched.run_batch(&jobs, workers, &|_| {});
+        assert_eq!(
+            &fingerprints(&warm),
+            reference(),
+            "warm storeless batch diverged at {workers} workers"
+        );
+        assert!(warm.iter().all(|r| r.memo_hydrated == 0));
+    }
+}
+
+#[test]
+fn disk_store_batches_are_invariant_and_halve_warm_prover_calls() {
+    let jobs = jobs();
+    for workers in [1usize, 4] {
+        let path = store_path(&format!("w{workers}"));
+        let _ = std::fs::remove_file(&path);
+        let sched = Scheduler::with_store(&path);
+        assert_eq!(sched.store_warnings(), Vec::<String>::new());
+        let cold = sched.run_batch(&jobs, workers, &|_| {});
+        assert_eq!(
+            &fingerprints(&cold),
+            reference(),
+            "cold stored batch diverged at {workers} workers"
+        );
+        let entries = sched.checkpoint().expect("checkpoint flushes");
+        assert!(entries > 0, "checkpoint persisted nothing");
+        drop(sched); // release the store lock for the warm opener
+        let warm_sched = Scheduler::with_store(&path);
+        assert_eq!(warm_sched.store_warnings(), Vec::<String>::new());
+        let warm = warm_sched.run_batch(&jobs, workers, &|_| {});
+        assert_eq!(
+            &fingerprints(&warm),
+            reference(),
+            "warm stored batch diverged at {workers} workers"
+        );
+        assert!(
+            warm.iter().any(|r| r.memo_hydrated > 0),
+            "no job hydrated memo records from the store"
+        );
+        let (c, w) = (prover_calls(&cold), prover_calls(&warm));
+        assert!(
+            w * 2 <= c,
+            "warm prover calls did not drop by >= 50%: {c} -> {w} at {workers} workers"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn corrupted_store_degrades_to_cold_start_with_identical_outputs() {
+    let jobs = jobs();
+    let path = store_path("corrupt");
+    let _ = std::fs::remove_file(&path);
+    let sched = Scheduler::with_store(&path);
+    let cold = sched.run_batch(&jobs, 2, &|_| {});
+    assert_eq!(&fingerprints(&cold), reference());
+    sched.checkpoint().expect("checkpoint flushes");
+    drop(sched);
+    // flip one bit in the middle of the file: some record's checksum
+    // (or framing) no longer matches and the whole file is distrusted
+    let mut bytes = std::fs::read(&path).expect("store file exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("corruption written");
+    let sched = Scheduler::with_store(&path);
+    assert!(
+        !sched.store_warnings().is_empty(),
+        "a corrupted store must warn"
+    );
+    let results = sched.run_batch(&jobs, 2, &|_| {});
+    assert_eq!(
+        &fingerprints(&results),
+        reference(),
+        "corrupted store changed outputs instead of degrading to cold"
+    );
+    assert!(
+        results.iter().all(|r| r.memo_hydrated == 0),
+        "a distrusted store must hydrate nothing"
+    );
+    let _ = std::fs::remove_file(&path);
+}
